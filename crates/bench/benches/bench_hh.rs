@@ -1,0 +1,38 @@
+//! Wall-clock benches for the heavy-hitter protocols (experiments
+//! F10–F11): Algorithm 4 (integer) and Theorem 5.3 (binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpest_comm::Seed;
+use mpest_core::hh_binary::{self, HhBinaryParams};
+use mpest_core::hh_general::{self, HhGeneralParams};
+use mpest_matrix::{norms, PNorm, Workloads};
+
+fn bench_hh(c: &mut Criterion) {
+    for n in [64usize, 128] {
+        let (ab, bb, _) = Workloads::planted_pairs(n, 2 * n, 0.06, &[(3, 7)], n / 2, 55);
+        let (a, b) = (ab.to_csr(), bb.to_csr());
+        let cmat = a.matmul(&b);
+        let l1 = norms::csr_lp_pow(&cmat, PNorm::ONE);
+        let phi = ((cmat.get(3, 7) as f64 - 6.0) / l1).min(0.9);
+        let eps = (phi / 2.0).min(0.4);
+
+        let mut g = c.benchmark_group("hh_general_alg4");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
+            let params = HhGeneralParams::new(1.0, phi, eps);
+            bench.iter(|| hh_general::run(&a, &b, &params, Seed(4)).unwrap().output);
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("hh_binary_thm53");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
+            let params = HhBinaryParams::new(1.0, phi, eps);
+            bench.iter(|| hh_binary::run(&ab, &bb, &params, Seed(5)).unwrap().output);
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_hh);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Wall-clock benches for the `ℓ∞` protocols (experiments F5–F7):
+//! Algorithm 2, Algorithm 3, and the Theorem 4.8 block-AMS protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpest_comm::Seed;
+use mpest_core::linf_binary::{self, LinfBinaryParams};
+use mpest_core::linf_general::{self, LinfGeneralParams};
+use mpest_core::linf_kappa::{self, LinfKappaParams};
+use mpest_matrix::Workloads;
+
+fn bench_linf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linf_binary_alg2");
+    g.sample_size(10);
+    for n in [64usize, 128] {
+        let (a, b, _) = Workloads::planted_pairs(n, n, 0.2, &[(2, 3)], n / 2, 7);
+        g.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
+            let params = LinfBinaryParams::new(0.3);
+            bench.iter(|| linf_binary::run(&a, &b, &params, Seed(1)).unwrap().output);
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("linf_kappa_alg3");
+    g.sample_size(10);
+    let (a, b, _) = Workloads::planted_pairs(128, 128, 0.2, &[(2, 3)], 96, 8);
+    for kappa in [4.0f64, 16.0, 64.0] {
+        g.bench_with_input(
+            BenchmarkId::new("kappa", format!("{kappa}")),
+            &kappa,
+            |bench, &k| {
+                let params = LinfKappaParams::new(k);
+                bench.iter(|| linf_kappa::run(&a, &b, &params, Seed(2)).unwrap().output);
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("linf_general_thm48");
+    g.sample_size(10);
+    let a = Workloads::integer_csr(128, 128, 0.15, 8, true, 9);
+    let b = Workloads::integer_csr(128, 128, 0.15, 8, true, 10);
+    for kappa in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("kappa", kappa), &kappa, |bench, &k| {
+            let params = LinfGeneralParams::new(k);
+            bench.iter(|| linf_general::run(&a, &b, &params, Seed(3)).unwrap().output);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_linf);
+criterion_main!(benches);

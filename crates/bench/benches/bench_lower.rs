@@ -1,0 +1,48 @@
+//! Wall-clock benches for the lower-bound constructions (experiments
+//! F8–F9): instance generation and the embedded-identity verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpest_lower::{DisjInstance, GapLinfInstance, SumInstance, SumParams};
+use mpest_matrix::stats;
+
+fn bench_lower(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disj_embedding");
+    g.sample_size(10);
+    for half in [16usize, 32] {
+        g.bench_with_input(BenchmarkId::new("half", half), &half, |b, &h| {
+            b.iter(|| {
+                let inst = DisjInstance::intersecting(h, 0.2, 1);
+                let linf = stats::linf_of_product_binary(&inst.matrix_a(), &inst.matrix_b()).0;
+                assert_eq!(linf, inst.exact_linf());
+                linf
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("gap_linf_embedding");
+    g.sample_size(10);
+    g.bench_function("half=16_kappa=12", |b| {
+        b.iter(|| {
+            let inst = GapLinfInstance::far(16, 12, 2);
+            stats::linf_of_product(&inst.matrix_a(), &inst.matrix_b()).0
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("sum_construction");
+    g.sample_size(10);
+    for n in [64usize, 128] {
+        g.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            let params = SumParams::practical(n, 2.0);
+            b.iter(|| {
+                let inst = SumInstance::sample(&params, 3);
+                (inst.sum(), inst.matrix_a().count_ones())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lower);
+criterion_main!(benches);

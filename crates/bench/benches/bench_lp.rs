@@ -1,0 +1,49 @@
+//! Wall-clock benches for Algorithm 1 / Theorem 3.1 and the one-round
+//! baseline (experiments F1–F3): protocol end-to-end runtime across `p`
+//! and `ε`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpest_comm::Seed;
+use mpest_core::lp_baseline::{self, BaselineParams};
+use mpest_core::lp_norm::{self, LpParams};
+use mpest_matrix::{CsrMatrix, PNorm, Workloads};
+
+fn pair(n: usize) -> (CsrMatrix, CsrMatrix) {
+    (
+        Workloads::bernoulli_bits(n, n, 0.15, 1).to_csr(),
+        Workloads::bernoulli_bits(n, n, 0.15, 2).to_csr(),
+    )
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_norm_alg1");
+    g.sample_size(10);
+    let (a, b) = pair(96);
+    for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO] {
+        g.bench_with_input(BenchmarkId::new("p", format!("{p:?}")), &p, |bench, &p| {
+            let params = LpParams::new(p, 0.25);
+            bench.iter(|| lp_norm::run(&a, &b, &params, Seed(3)).unwrap().output);
+        });
+    }
+    for eps in [0.4, 0.2, 0.1] {
+        g.bench_with_input(BenchmarkId::new("eps", format!("{eps}")), &eps, |bench, &eps| {
+            let params = LpParams::new(PNorm::ONE, eps);
+            bench.iter(|| lp_norm::run(&a, &b, &params, Seed(3)).unwrap().output);
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("lp_norm_baseline16");
+    g.sample_size(10);
+    let (a, b) = pair(96);
+    for eps in [0.4, 0.2] {
+        g.bench_with_input(BenchmarkId::new("eps", format!("{eps}")), &eps, |bench, &eps| {
+            let params = BaselineParams::new(PNorm::ONE, eps);
+            bench.iter(|| lp_baseline::run(&a, &b, &params, Seed(3)).unwrap().output);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Wall-clock benches for rectangular shapes (experiment F13, paper
+//! Section 6): the protocols across outer-dimension sweeps at a fixed
+//! inner dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpest_comm::Seed;
+use mpest_core::linf_binary::{self, LinfBinaryParams};
+use mpest_core::lp_norm::{self, LpParams};
+use mpest_core::exact_l1;
+use mpest_matrix::{PNorm, Workloads};
+
+fn bench_rect(c: &mut Criterion) {
+    let n = 96; // inner dimension
+    for m in [32usize, 128] {
+        let a = Workloads::bernoulli_bits(m, n, 0.15, 1);
+        let b = Workloads::bernoulli_bits(n, m, 0.15, 2);
+        let (ac, bc) = (a.to_csr(), b.to_csr());
+
+        let mut g = c.benchmark_group("rect_lp_p0");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("m", m), &m, |bench, _| {
+            let params = LpParams::new(PNorm::Zero, 0.3);
+            bench.iter(|| lp_norm::run(&ac, &bc, &params, Seed(1)).unwrap().output);
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("rect_linf_binary");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("m", m), &m, |bench, _| {
+            let params = LinfBinaryParams::new(0.3);
+            bench.iter(|| linf_binary::run(&a, &b, &params, Seed(2)).unwrap().output);
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("rect_exact_l1");
+        g.sample_size(20);
+        g.bench_with_input(BenchmarkId::new("m", m), &m, |bench, _| {
+            bench.iter(|| exact_l1::run(&ac, &bc, Seed(3)).unwrap().output);
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_rect);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Wall-clock benches for the sketch substrate (Lemma 2.1 / Lemma 2.6
+//! instantiations): build + apply + estimate costs per sketch family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpest_matrix::Workloads;
+use mpest_sketch::{AmsSketch, BlockAmsSketch, CountSketch, L0Sampler, L0Sketch, StableSketch};
+
+fn bench_sketch(c: &mut Criterion) {
+    let dim = 1024;
+    let m = Workloads::integer_csr(64, dim, 0.1, 5, false, 1);
+    let vec_entries = m.row_vec(0).entries.clone();
+
+    let mut g = c.benchmark_group("sketch_rows_64xdim1024");
+    g.sample_size(10);
+    g.bench_function("ams", |b| {
+        let s = AmsSketch::new(dim, 0.2, 5, 2);
+        b.iter(|| s.sketch_rows(&m));
+    });
+    g.bench_function("stable_p1", |b| {
+        let s = StableSketch::new(dim, 1.0, 0.2, 5, 3);
+        b.iter(|| s.sketch_rows(&m));
+    });
+    g.bench_function("l0", |b| {
+        let s = L0Sketch::new(dim, 0.2, 5, 4);
+        b.iter(|| s.sketch_rows(&m));
+    });
+    g.bench_function("l0_sampler", |b| {
+        let s = L0Sampler::new(dim, 10, 5);
+        b.iter(|| s.sketch_rows(&m));
+    });
+    g.bench_function("countsketch", |b| {
+        let s = CountSketch::new(dim, 5, 256, 6);
+        b.iter(|| s.sketch_rows(&m));
+    });
+    g.bench_function("block_ams_k8", |b| {
+        let s = BlockAmsSketch::new(dim, 8, 5, 7);
+        b.iter(|| s.sketch_rows(&m));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("estimate");
+    g.sample_size(20);
+    g.bench_function("ams", |b| {
+        let s = AmsSketch::new(dim, 0.2, 5, 2);
+        let sk = s.sketch_entries(&vec_entries);
+        b.iter(|| s.estimate_sq(&sk));
+    });
+    g.bench_function("stable_p1", |b| {
+        let s = StableSketch::new(dim, 1.0, 0.2, 5, 3);
+        let sk = s.sketch_entries(&vec_entries);
+        b.iter(|| s.estimate_norm(&sk));
+    });
+    g.bench_function("l0", |b| {
+        let s = L0Sketch::new(dim, 0.2, 5, 4);
+        let sk = s.sketch_entries(&vec_entries);
+        b.iter(|| s.estimate(&sk));
+    });
+    g.bench_with_input(BenchmarkId::new("l0_sampler_decode", 10), &10, |b, &reps| {
+        let s = L0Sampler::new(dim, reps, 5);
+        let sk = s.sketch_entries(&vec_entries);
+        b.iter(|| s.decode(&sk));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sketch);
+criterion_main!(benches);

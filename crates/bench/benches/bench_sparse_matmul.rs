@@ -1,0 +1,25 @@
+//! Wall-clock benches for Lemma 2.5 distributed sparse multiplication
+//! (experiment F12), across output sparsities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpest_comm::Seed;
+use mpest_core::sparse_matmul;
+use mpest_matrix::Workloads;
+
+fn bench_sparse_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_matmul_lemma25");
+    g.sample_size(10);
+    let n = 192;
+    for avg in [1.0f64, 4.0, 12.0] {
+        let (a, b) = Workloads::sparse_pair(n, n, avg, 7);
+        let (ac, bc) = (a.to_csr(), b.to_csr());
+        let s = ac.matmul(&bc).nnz();
+        g.bench_with_input(BenchmarkId::new("nnz", s), &s, |bench, _| {
+            bench.iter(|| sparse_matmul::run(&ac, &bc, Seed(1)).unwrap().output);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sparse_matmul);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates every table/figure of the reproduction (DESIGN.md §3).
+//!
+//! Usage:
+//!   experiments                 # run everything (a few minutes)
+//!   experiments --quick         # shrunken sweeps (smoke run)
+//!   experiments --only f1,f5    # a subset
+//!   experiments --json PATH     # also write machine-readable tables
+//!
+//! The output of a full run is recorded in EXPERIMENTS.md.
+
+use mpest_bench::experiments::{run, IDS};
+use mpest_bench::report::{save_json, Table};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut only: Option<Vec<String>> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--only" => {
+                i += 1;
+                let ids = args.get(i).expect("--only needs a comma-separated list");
+                only = Some(ids.split(',').map(|s| s.trim().to_lowercase()).collect());
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(PathBuf::from(args.get(i).expect("--json needs a path")));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: experiments [--quick] [--only t1,f1,...] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let selected: Vec<&str> = match &only {
+        Some(ids) => IDS
+            .iter()
+            .copied()
+            .filter(|id| ids.iter().any(|want| want == id))
+            .collect(),
+        None => IDS.to_vec(),
+    };
+    if selected.is_empty() {
+        eprintln!("no experiments selected; known ids: {IDS:?}");
+        std::process::exit(2);
+    }
+
+    println!("# mpest experiments — Woodruff–Zhang PODS'18 reproduction");
+    println!(
+        "# mode: {}; experiments: {}\n",
+        if quick { "quick" } else { "full" },
+        selected.join(", ")
+    );
+
+    let mut tables: Vec<Table> = Vec::new();
+    for id in selected {
+        let start = std::time::Instant::now();
+        let table = run(id, quick).expect("known id");
+        let secs = start.elapsed().as_secs_f64();
+        print!("{}", table.to_markdown());
+        println!("_({id} completed in {secs:.1}s)_\n");
+        tables.push(table);
+    }
+
+    if let Some(path) = json_path {
+        save_json(&tables, &path).expect("write json");
+        println!("# tables written to {}", path.display());
+    }
+}

@@ -1,0 +1,124 @@
+//! Power-law fitting for scaling claims.
+//!
+//! The paper's bounds have the form `cost = C · x^e · polylog`; a
+//! least-squares fit of `log cost` against `log x` recovers the exponent
+//! `e` (log factors perturb it mildly — the experiment tables report the
+//! fit together with `R²` so readers can judge).
+
+/// A fitted power law `y ≈ prefactor · x^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    /// The fitted exponent.
+    pub exponent: f64,
+    /// The fitted multiplicative constant.
+    pub prefactor: f64,
+    /// Coefficient of determination in log–log space.
+    pub r2: f64,
+}
+
+/// Fits `y = prefactor · x^exponent` by least squares in log–log space.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any coordinate is
+/// non-positive (power laws live on the positive quadrant).
+#[must_use]
+pub fn fit_power_law(points: &[(f64, f64)]) -> PowerFit {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "power-law fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let exponent = if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
+    let intercept = (sy - exponent * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (intercept + exponent * p.0)).powi(2))
+        .sum();
+    let r2 = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    PowerFit {
+        exponent,
+        prefactor: intercept.exp(),
+        r2,
+    }
+}
+
+/// Median of a list of f64 values (consumes and sorts a copy).
+#[must_use]
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Fraction of values satisfying a predicate.
+#[must_use]
+pub fn fraction(values: &[f64], pred: impl Fn(f64) -> bool) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| pred(v)).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = f64::from(i) * 10.0;
+            (x, 3.0 * x.powf(1.5))
+        }).collect();
+        let fit = fit_power_law(&pts);
+        assert!((fit.exponent - 1.5).abs() < 1e-9);
+        assert!((fit.prefactor - 3.0).abs() < 1e-6);
+        assert!(fit.r2 > 0.999_999);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = f64::from(i) * 4.0;
+                let noise = 1.0 + 0.1 * f64::from(i % 3) - 0.1;
+                (x, 7.0 * x.powf(2.0) * noise)
+            })
+            .collect();
+        let fit = fit_power_law(&pts);
+        assert!((fit.exponent - 2.0).abs() < 0.15, "exponent {}", fit.exponent);
+        assert!(fit.r2 > 0.98);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(fraction(&[1.0, 2.0, 3.0, 4.0], |v| v > 2.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn rejects_nonpositive() {
+        let _ = fit_power_law(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+}

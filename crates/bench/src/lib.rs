@@ -1,0 +1,21 @@
+//! Benchmark and experiment harness reproducing every result row of
+//! Woodruff & Zhang (PODS'18).
+//!
+//! The paper is a theory paper: its "evaluation" is the catalog of
+//! communication bounds in Section 1.2 and the theorems behind them.
+//! This crate regenerates that catalog *empirically*:
+//!
+//! * [`experiments`] — one function per experiment ID (T1, F1–F14; see
+//!   DESIGN.md §3) producing a [`report::Table`] of measured bits,
+//!   rounds, approximation quality, and fitted scaling exponents;
+//! * [`fit`] — log-log power-law fitting for the scaling claims;
+//! * [`report`] — markdown + JSON table output.
+//!
+//! `cargo run --release -p mpest-bench --bin experiments` regenerates
+//! everything (the output recorded in EXPERIMENTS.md); the Criterion
+//! benches under `benches/` measure wall-clock cost of the same
+//! protocols and substrates.
+
+pub mod experiments;
+pub mod fit;
+pub mod report;

@@ -1,0 +1,130 @@
+//! Experiment tables: markdown rendering and JSON persistence.
+
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One experiment's output table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment ID (T1, F1, ...).
+    pub id: String,
+    /// Human title including the paper artifact being reproduced.
+    pub title: String,
+    /// The paper's claim being checked.
+    pub claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Summary / verdict lines.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(id: &str, title: &str, claim: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            columns: columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("*Claim:* {}\n\n", self.claim));
+        // Column widths for alignment.
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (cell, &w) in cells.iter().zip(widths.iter()) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.columns));
+        let mut sep = String::from("|");
+        for &w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str(&format!("> {note}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Writes all tables as a single JSON document.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_json(tables: &[Table], path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    let json = serde_json::to_string_pretty(tables).expect("tables serialize");
+    file.write_all(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("F0", "demo", "x beats y", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.note("verdict: fine");
+        let md = t.to_markdown();
+        assert!(md.contains("### F0 — demo"));
+        assert!(md.contains("| a   | bb |"));
+        assert!(md.contains("| 333 | 4  |"));
+        assert!(md.contains("> verdict: fine"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Table::new("T1", "summary", "claims", &["col"]);
+        let dir = std::env::temp_dir().join("mpest-report-test");
+        let path = dir.join("tables.json");
+        save_json(&[t], &path).unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        assert!(data.contains("\"id\": \"T1\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,357 @@
+//! Protocol execution: two party functions on two threads, linked by
+//! byte-level channels, with a shared transcript recorder.
+//!
+//! [`execute`] spawns Alice and Bob as scoped threads. Each receives a
+//! [`Link`] through which *all* interaction flows: [`Link::send`] encodes a
+//! [`Wire`] value into a byte frame, records its exact bit count in the
+//! transcript, and pushes it to the peer; [`Link::recv`] blocks for the
+//! next frame, verifies the expected label, and decodes. Messages within
+//! the same annotated round may flow in both directions (simultaneous
+//! messages), matching the round convention of communication complexity.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::error::CommError;
+use crate::transcript::{MsgRecord, Party, Transcript};
+use crate::wire::Wire;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// A frame on the wire: label + packed payload. The round annotation lives
+/// only in the transcript (it is bookkeeping, not information sent).
+#[derive(Debug)]
+struct Frame {
+    label: &'static str,
+    bits: u64,
+    payload: Bytes,
+}
+
+/// Shared transcript recorder. Messages are recorded in global send order;
+/// the protocols in this workspace have a deterministic message order, so
+/// transcripts are reproducible.
+#[derive(Debug, Default)]
+struct Recorder {
+    records: Mutex<Vec<MsgRecord>>,
+}
+
+impl Recorder {
+    fn record(&self, from: Party, round: u16, label: &'static str, bits: u64) {
+        self.records.lock().push(MsgRecord {
+            from,
+            round,
+            label,
+            bits,
+        });
+    }
+}
+
+/// One party's handle to the conversation.
+pub struct Link<'a> {
+    side: Party,
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+    recorder: &'a Recorder,
+}
+
+impl<'a> Link<'a> {
+    /// The identity of the party holding this link.
+    #[must_use]
+    pub fn side(&self) -> Party {
+        self.side
+    }
+
+    /// Encodes and sends a message in the given protocol round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::ChannelClosed`] if the peer has terminated.
+    pub fn send<T: Wire>(&self, round: u16, label: &'static str, value: &T) -> Result<(), CommError> {
+        let mut w = BitWriter::new();
+        value.encode(&mut w);
+        let (payload, bits) = w.finish();
+        self.recorder.record(self.side, round, label, bits);
+        self.tx
+            .send(Frame {
+                label,
+                bits,
+                payload,
+            })
+            .map_err(|_| CommError::ChannelClosed)
+    }
+
+    /// Receives and decodes the next message, verifying its label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::ChannelClosed`] if the peer hung up,
+    /// [`CommError::LabelMismatch`] if the protocol state machines are out
+    /// of sync, or [`CommError::Decode`] on a malformed payload.
+    pub fn recv<T: Wire>(&self, expect_label: &'static str) -> Result<T, CommError> {
+        let frame = self.rx.recv().map_err(|_| CommError::ChannelClosed)?;
+        if frame.label != expect_label {
+            return Err(CommError::LabelMismatch {
+                expected: expect_label.to_string(),
+                got: frame.label.to_string(),
+            });
+        }
+        let mut r = BitReader::new(&frame.payload);
+        let value = T::decode(&mut r)?;
+        debug_assert!(
+            r.bits_read() == frame.bits,
+            "decoder for {expect_label:?} consumed {} of {} bits",
+            r.bits_read(),
+            frame.bits
+        );
+        Ok(value)
+    }
+
+    /// Sends `value` and receives the peer's message under the same label —
+    /// the "simultaneous exchange" idiom used by several protocols (both
+    /// messages belong to the same round).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any send/receive error.
+    pub fn exchange<T: Wire>(
+        &self,
+        round: u16,
+        label: &'static str,
+        value: &T,
+    ) -> Result<T, CommError> {
+        self.send(round, label, value)?;
+        self.recv(label)
+    }
+}
+
+/// The result of running a protocol: both parties' outputs plus the
+/// bit-exact transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionOutcome<AOut, BOut> {
+    /// Alice's local output.
+    pub alice: AOut,
+    /// Bob's local output.
+    pub bob: BOut,
+    /// Everything that crossed the wire.
+    pub transcript: Transcript,
+}
+
+/// Runs a two-party protocol. `alice_fn` and `bob_fn` execute on separate
+/// threads and may only interact through their [`Link`]s.
+///
+/// # Errors
+///
+/// Returns the first [`CommError`] raised by either party. If one party
+/// errors, the other typically observes [`CommError::ChannelClosed`]; the
+/// originating error is preferred.
+///
+/// # Panics
+///
+/// Panics if a party function panics (the panic is propagated).
+pub fn execute<AIn, BIn, AOut, BOut, FA, FB>(
+    alice_in: AIn,
+    bob_in: BIn,
+    alice_fn: FA,
+    bob_fn: FB,
+) -> Result<ExecutionOutcome<AOut, BOut>, CommError>
+where
+    AIn: Send,
+    BIn: Send,
+    AOut: Send,
+    BOut: Send,
+    FA: FnOnce(&Link<'_>, AIn) -> Result<AOut, CommError> + Send,
+    FB: FnOnce(&Link<'_>, BIn) -> Result<BOut, CommError> + Send,
+{
+    let recorder = Recorder::default();
+    let (a_tx, b_rx) = unbounded::<Frame>();
+    let (b_tx, a_rx) = unbounded::<Frame>();
+
+    let alice_link = Link {
+        side: Party::Alice,
+        tx: a_tx,
+        rx: a_rx,
+        recorder: &recorder,
+    };
+    let bob_link = Link {
+        side: Party::Bob,
+        tx: b_tx,
+        rx: b_rx,
+        recorder: &recorder,
+    };
+
+    let (a_res, b_res) = std::thread::scope(|scope| {
+        let a_handle = scope.spawn(|| {
+            let link = alice_link;
+            alice_fn(&link, alice_in)
+        });
+        let b_handle = scope.spawn(|| {
+            let link = bob_link;
+            bob_fn(&link, bob_in)
+        });
+        (
+            a_handle.join().expect("alice thread panicked"),
+            b_handle.join().expect("bob thread panicked"),
+        )
+    });
+
+    // Prefer a "real" error over the ChannelClosed echo the peer sees.
+    let (alice, bob) = match (a_res, b_res) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => return Err(e),
+        (Err(ea), Err(eb)) => {
+            return Err(if ea == CommError::ChannelClosed { eb } else { ea });
+        }
+    };
+
+    let transcript = Transcript {
+        records: recorder.records.into_inner(),
+    };
+    Ok(ExecutionOutcome {
+        alice,
+        bob,
+        transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FixedU64s;
+
+    #[test]
+    fn one_round_protocol() {
+        let out = execute(
+            10u64,
+            32u64,
+            |link, a| {
+                link.send(0, "value", &a)?;
+                Ok(a)
+            },
+            |link, b| {
+                let a: u64 = link.recv("value")?;
+                Ok(a + b)
+            },
+        )
+        .unwrap();
+        assert_eq!(out.bob, 42);
+        assert_eq!(out.transcript.rounds(), 1);
+        assert_eq!(out.transcript.messages(), 1);
+        assert_eq!(out.transcript.bits_from(Party::Alice), 8);
+        assert_eq!(out.transcript.bits_from(Party::Bob), 0);
+    }
+
+    #[test]
+    fn multi_round_alternation() {
+        let out = execute(
+            (),
+            (),
+            |link, ()| {
+                link.send(0, "ping", &1u64)?;
+                let pong: u64 = link.recv("pong")?;
+                link.send(2, "done", &(pong + 1))?;
+                Ok(pong)
+            },
+            |link, ()| {
+                let ping: u64 = link.recv("ping")?;
+                link.send(1, "pong", &(ping * 10))?;
+                let done: u64 = link.recv("done")?;
+                Ok(done)
+            },
+        )
+        .unwrap();
+        assert_eq!(out.alice, 10);
+        assert_eq!(out.bob, 11);
+        assert_eq!(out.transcript.rounds(), 3);
+    }
+
+    #[test]
+    fn simultaneous_exchange_is_one_round() {
+        let out = execute(
+            vec![1u64, 2, 3],
+            vec![9u64],
+            |link, mine| link.exchange(0, "weights", &mine),
+            |link, mine| link.exchange(0, "weights", &mine),
+        )
+        .unwrap();
+        assert_eq!(out.alice, vec![9]);
+        assert_eq!(out.bob, vec![1, 2, 3]);
+        assert_eq!(out.transcript.rounds(), 1);
+        assert_eq!(out.transcript.messages(), 2);
+    }
+
+    #[test]
+    fn label_mismatch_detected() {
+        let res = execute(
+            (),
+            (),
+            |link, ()| link.send(0, "alpha", &1u64),
+            |link, ()| {
+                let _: u64 = link.recv("beta")?;
+                Ok(())
+            },
+        );
+        match res {
+            Err(CommError::LabelMismatch { expected, got }) => {
+                assert_eq!(expected, "beta");
+                assert_eq!(got, "alpha");
+            }
+            other => panic!("expected label mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_error_propagates() {
+        let res: Result<ExecutionOutcome<(), ()>, _> = execute(
+            (),
+            (),
+            |_link, ()| Err(CommError::protocol("alice aborted")),
+            |link, ()| {
+                // Bob waits forever -> observes channel closed; the
+                // orchestrator should surface Alice's real error.
+                let _: u64 = link.recv("never")?;
+                Ok(())
+            },
+        );
+        assert_eq!(res.unwrap_err(), CommError::protocol("alice aborted"));
+    }
+
+    #[test]
+    fn transcript_bits_match_payload_encoding() {
+        let ids = FixedU64s::for_dim(256, vec![1, 2, 3, 4, 5]);
+        let expected_bits = ids.encoded_bits();
+        let out = execute(
+            ids.clone(),
+            (),
+            |link, v| link.send(0, "ids", &v),
+            |link, ()| {
+                let v: FixedU64s = link.recv("ids")?;
+                Ok(v)
+            },
+        )
+        .unwrap();
+        assert_eq!(out.bob, ids);
+        assert_eq!(out.transcript.total_bits(), expected_bits);
+    }
+
+    #[test]
+    fn many_messages_ordering_per_direction() {
+        let out = execute(
+            (),
+            (),
+            |link, ()| {
+                for i in 0..100u64 {
+                    link.send(0, "seq", &i)?;
+                }
+                Ok(())
+            },
+            |link, ()| {
+                let mut got = Vec::new();
+                for _ in 0..100 {
+                    got.push(link.recv::<u64>("seq")?);
+                }
+                Ok(got)
+            },
+        )
+        .unwrap();
+        assert_eq!(out.bob, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,143 @@
+//! A network cost model: why rounds matter.
+//!
+//! The paper optimizes two axes at once — total bits and rounds — because
+//! real deployments pay `latency · rounds + bits / bandwidth`. This module
+//! prices a [`Transcript`] under a [`NetworkModel`], which is what makes
+//! the tradeoffs concrete: Algorithm 1 spends one extra round to save a
+//! `1/ε` factor of bits, and whether that wins depends on the link.
+//!
+//! ```
+//! use mpest_comm::{MsgRecord, NetworkModel, Party, Transcript};
+//!
+//! let t = Transcript {
+//!     records: vec![MsgRecord { from: Party::Alice, round: 0, label: "x", bits: 8_000_000 }],
+//! };
+//! // A 10 Gbit/s datacenter link with 0.1 ms RTT:
+//! let dc = NetworkModel::datacenter();
+//! // A 100 Mbit/s WAN with 50 ms RTT:
+//! let wan = NetworkModel::wan();
+//! assert!(dc.seconds(&t) < wan.seconds(&t));
+//! ```
+
+use crate::transcript::Transcript;
+
+/// A simple latency/bandwidth link model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Per-round latency in seconds (one round = one synchronized phase;
+    /// simultaneous messages within a round share the latency charge).
+    pub round_latency_s: f64,
+    /// Link bandwidth in bits per second (shared by both directions; the
+    /// two parties' messages within a round are charged sequentially,
+    /// a conservative half-duplex assumption).
+    pub bits_per_second: f64,
+}
+
+impl NetworkModel {
+    /// A datacenter link: 0.1 ms RTT, 10 Gbit/s.
+    #[must_use]
+    pub fn datacenter() -> Self {
+        Self {
+            round_latency_s: 1e-4,
+            bits_per_second: 1e10,
+        }
+    }
+
+    /// A wide-area link: 50 ms RTT, 100 Mbit/s.
+    #[must_use]
+    pub fn wan() -> Self {
+        Self {
+            round_latency_s: 0.05,
+            bits_per_second: 1e8,
+        }
+    }
+
+    /// A mobile/edge link: 200 ms RTT, 5 Mbit/s.
+    #[must_use]
+    pub fn mobile() -> Self {
+        Self {
+            round_latency_s: 0.2,
+            bits_per_second: 5e6,
+        }
+    }
+
+    /// Estimated wall-clock seconds to play out a transcript:
+    /// `rounds · latency + total_bits / bandwidth`.
+    #[must_use]
+    pub fn seconds(&self, t: &Transcript) -> f64 {
+        f64::from(t.rounds()) * self.round_latency_s
+            + t.total_bits() as f64 / self.bits_per_second
+    }
+
+    /// The bit volume at which one extra round pays for itself: a
+    /// protocol may spend up to this many *extra* bits per round saved
+    /// before the round saving stops being worth it.
+    #[must_use]
+    pub fn bits_per_round(&self) -> f64 {
+        self.round_latency_s * self.bits_per_second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transcript::{MsgRecord, Party};
+
+    fn transcript(bits_per_round: &[u64]) -> Transcript {
+        Transcript {
+            records: bits_per_round
+                .iter()
+                .enumerate()
+                .map(|(r, &bits)| MsgRecord {
+                    from: if r % 2 == 0 { Party::Alice } else { Party::Bob },
+                    round: r as u16,
+                    label: "m",
+                    bits,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn pricing_formula() {
+        let t = transcript(&[1_000_000, 1_000_000]);
+        let m = NetworkModel {
+            round_latency_s: 0.01,
+            bits_per_second: 1e6,
+        };
+        // 2 rounds * 10ms + 2Mbit / 1Mbps = 0.02 + 2.0
+        assert!((m.seconds(&t) - 2.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounds_vs_bits_tradeoff_flips_with_the_link() {
+        // Protocol X: 1 round, 100 Mbit. Protocol Y: 2 rounds, 10 Mbit.
+        let x = transcript(&[100_000_000]);
+        let y = transcript(&[5_000_000, 5_000_000]);
+        // On a fat datacenter pipe, bits are cheap and X's single round
+        // wins only if latency dominates — it doesn't at 0.1 ms.
+        let dc = NetworkModel::datacenter();
+        assert!(dc.seconds(&y) < dc.seconds(&x));
+        // On a slow mobile link, Y's 10x bit saving dwarfs the extra RTT.
+        let mobile = NetworkModel::mobile();
+        assert!(mobile.seconds(&y) < mobile.seconds(&x));
+        // With extreme latency and huge bandwidth, fewer rounds win.
+        let satellite = NetworkModel {
+            round_latency_s: 2.0,
+            bits_per_second: 1e12,
+        };
+        assert!(satellite.seconds(&x) < satellite.seconds(&y));
+    }
+
+    #[test]
+    fn break_even_bits() {
+        let m = NetworkModel::wan();
+        assert!((m.bits_per_round() - 5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_transcript_is_free() {
+        let t = Transcript::default();
+        assert_eq!(NetworkModel::wan().seconds(&t), 0.0);
+    }
+}

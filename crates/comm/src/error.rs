@@ -1,0 +1,69 @@
+//! Error types for protocol execution.
+
+use std::fmt;
+
+/// Errors raised while running a two-party protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A message failed to decode (buffer exhausted, malformed varint, ...).
+    Decode(String),
+    /// A party received a message whose label differs from what its state
+    /// machine expected — the two party implementations are out of sync.
+    LabelMismatch {
+        /// Label the receiver expected.
+        expected: String,
+        /// Label actually carried by the incoming frame.
+        got: String,
+    },
+    /// The peer hung up before sending an expected message.
+    ChannelClosed,
+    /// A protocol-level invariant was violated (bad input dimensions,
+    /// parameter out of range, ...).
+    Protocol(String),
+}
+
+impl CommError {
+    /// Convenience constructor for [`CommError::Decode`].
+    #[must_use]
+    pub fn decode(msg: impl Into<String>) -> Self {
+        Self::Decode(msg.into())
+    }
+
+    /// Convenience constructor for [`CommError::Protocol`].
+    #[must_use]
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        Self::Protocol(msg.into())
+    }
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Decode(m) => write!(f, "decode error: {m}"),
+            Self::LabelMismatch { expected, got } => {
+                write!(f, "label mismatch: expected {expected:?}, got {got:?}")
+            }
+            Self::ChannelClosed => write!(f, "channel closed by peer"),
+            Self::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(CommError::decode("oops").to_string().contains("oops"));
+        assert!(CommError::ChannelClosed.to_string().contains("closed"));
+        let e = CommError::LabelMismatch {
+            expected: "a".into(),
+            got: "b".into(),
+        };
+        assert!(e.to_string().contains("expected"));
+        assert!(CommError::protocol("bad dims").to_string().contains("bad dims"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Transcripts: the bit-exact record of everything that crossed the wire.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identity of a party in the two-party model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Party {
+    /// Holds matrix `A` (the left factor).
+    Alice,
+    /// Holds matrix `B` (the right factor).
+    Bob,
+}
+
+impl Party {
+    /// The other party.
+    #[must_use]
+    pub fn peer(self) -> Party {
+        match self {
+            Party::Alice => Party::Bob,
+            Party::Bob => Party::Alice,
+        }
+    }
+}
+
+impl fmt::Display for Party {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Party::Alice => write!(f, "Alice"),
+            Party::Bob => write!(f, "Bob"),
+        }
+    }
+}
+
+/// One message record: who sent it, in which round, under which label, and
+/// exactly how many payload bits it carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Sending party.
+    pub from: Party,
+    /// Protocol round index (0-based). Rounds may contain messages in both
+    /// directions (simultaneous messages), per the usual convention.
+    pub round: u16,
+    /// Static label identifying the message within the protocol.
+    pub label: &'static str,
+    /// Exact payload size in bits.
+    pub bits: u64,
+}
+
+/// The full record of a protocol execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Transcript {
+    /// Message records in global send order.
+    pub records: Vec<MsgRecord>,
+}
+
+impl Transcript {
+    /// Total bits exchanged in both directions.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.records.iter().map(|r| r.bits).sum()
+    }
+
+    /// Bits sent by the given party.
+    #[must_use]
+    pub fn bits_from(&self, party: Party) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.from == party)
+            .map(|r| r.bits)
+            .sum()
+    }
+
+    /// Number of rounds used: one plus the maximum round index annotated on
+    /// any message (0 for an empty transcript).
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.records
+            .iter()
+            .map(|r| u32::from(r.round) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of messages exchanged.
+    #[must_use]
+    pub fn messages(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Aggregates bits by message label (useful for attributing cost to
+    /// protocol phases).
+    #[must_use]
+    pub fn bits_by_label(&self) -> BTreeMap<&'static str, u64> {
+        let mut out: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for r in &self.records {
+            *out.entry(r.label).or_insert(0) += r.bits;
+        }
+        out
+    }
+
+    /// Aggregates bits by round index.
+    #[must_use]
+    pub fn bits_by_round(&self) -> BTreeMap<u16, u64> {
+        let mut out: BTreeMap<u16, u64> = BTreeMap::new();
+        for r in &self.records {
+            *out.entry(r.round).or_insert(0) += r.bits;
+        }
+        out
+    }
+
+    /// Condensed summary for reporting.
+    #[must_use]
+    pub fn summary(&self) -> TranscriptSummary {
+        TranscriptSummary {
+            total_bits: self.total_bits(),
+            alice_bits: self.bits_from(Party::Alice),
+            bob_bits: self.bits_from(Party::Bob),
+            rounds: self.rounds(),
+            messages: self.messages(),
+        }
+    }
+
+    /// Appends the records of another transcript, shifting its round
+    /// indices to start after this transcript's final round. Used when a
+    /// protocol invokes another protocol as a sub-phase.
+    pub fn absorb_sequential(&mut self, other: Transcript) {
+        let offset = self.rounds() as u16;
+        for mut r in other.records {
+            r.round += offset;
+            self.records.push(r);
+        }
+    }
+
+    /// Merges the records of another transcript run *in parallel* with
+    /// this one: round indices are kept (independent copies share rounds),
+    /// bits add. Used by median boosting, where `k` independent copies of
+    /// a protocol run side by side without increasing the round count.
+    pub fn absorb_parallel(&mut self, other: Transcript) {
+        self.records.extend(other.records);
+    }
+}
+
+impl fmt::Display for Transcript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.summary();
+        write!(
+            f,
+            "{} bits ({} from Alice, {} from Bob) over {} round(s), {} message(s)",
+            s.total_bits, s.alice_bits, s.bob_bits, s.rounds, s.messages
+        )
+    }
+}
+
+/// Condensed transcript statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranscriptSummary {
+    /// Total bits in both directions.
+    pub total_bits: u64,
+    /// Bits sent by Alice.
+    pub alice_bits: u64,
+    /// Bits sent by Bob.
+    pub bob_bits: u64,
+    /// Number of rounds.
+    pub rounds: u32,
+    /// Number of messages.
+    pub messages: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(from: Party, round: u16, label: &'static str, bits: u64) -> MsgRecord {
+        MsgRecord {
+            from,
+            round,
+            label,
+            bits,
+        }
+    }
+
+    #[test]
+    fn empty_transcript() {
+        let t = Transcript::default();
+        assert_eq!(t.total_bits(), 0);
+        assert_eq!(t.rounds(), 0);
+        assert_eq!(t.messages(), 0);
+    }
+
+    #[test]
+    fn totals_and_directions() {
+        let t = Transcript {
+            records: vec![
+                rec(Party::Alice, 0, "x", 100),
+                rec(Party::Bob, 1, "y", 50),
+                rec(Party::Alice, 2, "z", 7),
+            ],
+        };
+        assert_eq!(t.total_bits(), 157);
+        assert_eq!(t.bits_from(Party::Alice), 107);
+        assert_eq!(t.bits_from(Party::Bob), 50);
+        assert_eq!(t.rounds(), 3);
+    }
+
+    #[test]
+    fn simultaneous_round_counts_once() {
+        let t = Transcript {
+            records: vec![
+                rec(Party::Alice, 0, "weights-a", 10),
+                rec(Party::Bob, 0, "weights-b", 12),
+            ],
+        };
+        assert_eq!(t.rounds(), 1);
+    }
+
+    #[test]
+    fn label_aggregation() {
+        let t = Transcript {
+            records: vec![
+                rec(Party::Alice, 0, "sketch", 10),
+                rec(Party::Alice, 0, "sketch", 15),
+                rec(Party::Bob, 1, "rows", 3),
+            ],
+        };
+        let by = t.bits_by_label();
+        assert_eq!(by["sketch"], 25);
+        assert_eq!(by["rows"], 3);
+        let byr = t.bits_by_round();
+        assert_eq!(byr[&0], 25);
+        assert_eq!(byr[&1], 3);
+    }
+
+    #[test]
+    fn absorb_sequential_shifts_rounds() {
+        let mut t1 = Transcript {
+            records: vec![rec(Party::Alice, 0, "a", 1), rec(Party::Bob, 1, "b", 2)],
+        };
+        let t2 = Transcript {
+            records: vec![rec(Party::Alice, 0, "c", 4)],
+        };
+        t1.absorb_sequential(t2);
+        assert_eq!(t1.rounds(), 3);
+        assert_eq!(t1.records[2].round, 2);
+        assert_eq!(t1.total_bits(), 7);
+    }
+
+    #[test]
+    fn absorb_parallel_keeps_rounds() {
+        let mut t1 = Transcript {
+            records: vec![rec(Party::Alice, 0, "a", 10), rec(Party::Bob, 1, "b", 20)],
+        };
+        let t2 = Transcript {
+            records: vec![rec(Party::Alice, 0, "a", 30), rec(Party::Bob, 1, "b", 40)],
+        };
+        t1.absorb_parallel(t2);
+        assert_eq!(t1.rounds(), 2, "parallel copies share rounds");
+        assert_eq!(t1.total_bits(), 100);
+    }
+
+    #[test]
+    fn party_peer_and_display() {
+        assert_eq!(Party::Alice.peer(), Party::Bob);
+        assert_eq!(Party::Bob.peer(), Party::Alice);
+        assert_eq!(Party::Alice.to_string(), "Alice");
+    }
+}

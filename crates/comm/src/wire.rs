@@ -1,0 +1,307 @@
+//! The [`Wire`] trait: typed, self-describing message payloads.
+//!
+//! Everything a protocol sends must implement [`Wire`], which serializes
+//! through [`BitWriter`] / [`BitReader`]. Encodings are chosen so that the
+//! transcript bit counts reflect the information content the paper bills:
+//! indices cost `⌈log₂ dim⌉` bits via [`FixedU64s`], counts and integer
+//! values cost varint/zigzag bits, and real-valued sketch entries cost 64
+//! bits per word.
+
+use crate::bits::{width_for, BitReader, BitWriter};
+use crate::error::CommError;
+
+/// A value that can cross the wire.
+pub trait Wire: Sized {
+    /// Serializes `self` into the writer.
+    fn encode(&self, w: &mut BitWriter);
+
+    /// Deserializes a value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Decode`] on malformed or truncated input.
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError>;
+
+    /// Convenience: the exact encoded size of `self` in bits.
+    fn encoded_bits(&self) -> u64 {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.bits_written()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_bit(*self);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        r.read_bit()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(*self);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        r.read_varint()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(u64::from(*self));
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        u32::try_from(r.read_varint()?).map_err(|_| CommError::decode("u32 overflow"))
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(u64::from(*self));
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        u16::try_from(r.read_varint()?).map_err(|_| CommError::decode("u16 overflow"))
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_zigzag(*self);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        r.read_zigzag()
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_f64(*self);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        r.read_f64()
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(*self as u64);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        usize::try_from(r.read_varint()?).map_err(|_| CommError::decode("usize overflow"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let len = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("vec length overflow"))?;
+        // Guard against absurd lengths from corrupt streams: cap the initial
+        // reservation; growth beyond this is still possible but amortized.
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            Some(v) => {
+                w.write_bit(true);
+                v.encode(w);
+            }
+            None => w.write_bit(false),
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        if r.read_bit()? {
+            Ok(Some(T::decode(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, w: &mut BitWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, w: &mut BitWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn encode(&self, w: &mut BitWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+        self.3.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?, D::decode(r)?))
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _w: &mut BitWriter) {}
+    fn decode(_r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(())
+    }
+}
+
+/// A vector of `u64` values packed at a fixed bit width — the encoding for
+/// index lists, where each index costs exactly `⌈log₂ dim⌉` bits.
+///
+/// ```
+/// use mpest_comm::{FixedU64s, Wire};
+/// let ids = FixedU64s::for_dim(1024, vec![3, 17, 1023]);
+/// // 6 width bits + 8 length bits + 3 * 10 index bits.
+/// assert_eq!(ids.encoded_bits(), 6 + 8 + 30);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedU64s {
+    /// Bit width of each packed value.
+    pub width: u32,
+    /// The values; each must fit in `width` bits.
+    pub vals: Vec<u64>,
+}
+
+impl FixedU64s {
+    /// Packs index values drawn from `0..dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is `>= dim` (an implementation bug).
+    #[must_use]
+    pub fn for_dim(dim: u64, vals: Vec<u64>) -> Self {
+        let width = width_for(dim);
+        for &v in &vals {
+            assert!(v < dim.max(2), "index {v} out of range for dim {dim}");
+        }
+        Self { width, vals }
+    }
+}
+
+impl Wire for FixedU64s {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_bits(u64::from(self.width), 6);
+        w.write_varint(self.vals.len() as u64);
+        for &v in &self.vals {
+            w.write_bits(v, self.width);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let width = r.read_bits(6)? as u32;
+        if width == 0 || width > 64 {
+            return Err(CommError::decode("invalid fixed width"));
+        }
+        let len = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("fixed vec length overflow"))?;
+        let mut vals = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            vals.push(r.read_bits(width)?);
+        }
+        Ok(Self { width, vals })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut w = BitWriter::new();
+        v.encode(&mut w);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let back = T::decode(&mut r).expect("decode");
+        assert_eq!(&back, v);
+        assert_eq!(r.bits_read(), bits, "decoder consumed exactly what was written");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&0u64);
+        roundtrip(&u64::MAX);
+        roundtrip(&12345u32);
+        roundtrip(&77u16);
+        roundtrip(&(-999i64));
+        roundtrip(&1.25f64);
+        roundtrip(&42usize);
+        roundtrip(&());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&vec![1u64, 2, 3]);
+        roundtrip(&Vec::<u64>::new());
+        roundtrip(&Some(5i64));
+        roundtrip(&Option::<i64>::None);
+        roundtrip(&(1u64, -2i64));
+        roundtrip(&(1u64, 2.5f64, vec![true, false]));
+        roundtrip(&vec![(0u64, 1i64), (5, -5)]);
+    }
+
+    #[test]
+    fn fixed_u64s_roundtrip_and_cost() {
+        let v = FixedU64s::for_dim(100, vec![0, 50, 99]);
+        assert_eq!(v.width, 7);
+        roundtrip(&v);
+        // width(6) + len varint(8) + 3*7
+        assert_eq!(v.encoded_bits(), 6 + 8 + 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fixed_u64s_range_check() {
+        let _ = FixedU64s::for_dim(10, vec![10]);
+    }
+
+    #[test]
+    fn fixed_u64s_dim_one() {
+        let v = FixedU64s::for_dim(1, vec![0, 0]);
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn vec_of_f64_costs_64_bits_each() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        // 8 length bits + 3 * 64.
+        assert_eq!(v.encoded_bits(), 8 + 192);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let mut w = BitWriter::new();
+        vec![1u64, 2, 3].encode(&mut w);
+        let (bytes, _) = w.finish();
+        let truncated = &bytes[..bytes.len() - 1];
+        let mut r = BitReader::new(truncated);
+        assert!(Vec::<u64>::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests: every wire encoding round-trips exactly, and the
+//! decoder consumes exactly the bits the encoder produced (so transcript
+//! accounting can never drift from the real payload).
+
+use mpest_comm::{BitReader, BitWriter, FixedU64s, Wire};
+use proptest::prelude::*;
+
+fn roundtrip_exact<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    let mut w = BitWriter::new();
+    v.encode(&mut w);
+    let (bytes, bits) = w.finish();
+    let mut r = BitReader::new(&bytes);
+    let back = T::decode(&mut r).expect("decode");
+    assert_eq!(&back, v);
+    assert_eq!(r.bits_read(), bits, "decoder consumed a different bit count");
+}
+
+proptest! {
+    #[test]
+    fn varints_roundtrip(v in any::<u64>()) {
+        let mut w = BitWriter::new();
+        w.write_varint(v);
+        let (bytes, _) = w.finish();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(r.read_varint().unwrap(), v);
+    }
+
+    #[test]
+    fn zigzag_roundtrips(v in any::<i64>()) {
+        let mut w = BitWriter::new();
+        w.write_zigzag(v);
+        let (bytes, _) = w.finish();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(r.read_zigzag().unwrap(), v);
+    }
+
+    #[test]
+    fn fixed_width_roundtrips(v in any::<u64>(), width in 1u32..=64) {
+        let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+        let mut w = BitWriter::new();
+        w.write_bits(masked, width);
+        let (bytes, bits) = w.finish();
+        prop_assert_eq!(bits, u64::from(width));
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(r.read_bits(width).unwrap(), masked);
+    }
+
+    #[test]
+    fn mixed_streams_roundtrip(
+        bools in proptest::collection::vec(any::<bool>(), 0..20),
+        ints in proptest::collection::vec(any::<i64>(), 0..20),
+        floats in proptest::collection::vec(any::<f64>(), 0..10),
+    ) {
+        let mut w = BitWriter::new();
+        for &b in &bools { w.write_bit(b); }
+        for &i in &ints { w.write_zigzag(i); }
+        for &f in &floats { w.write_f64(f); }
+        let (bytes, _) = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &bools { assert_eq!(r.read_bit().unwrap(), b); }
+        for &i in &ints { assert_eq!(r.read_zigzag().unwrap(), i); }
+        for &f in &floats { assert_eq!(r.read_f64().unwrap().to_bits(), f.to_bits()); }
+    }
+
+    #[test]
+    fn wire_vec_u64(v in proptest::collection::vec(any::<u64>(), 0..50)) {
+        roundtrip_exact(&v);
+    }
+
+    #[test]
+    fn wire_vec_pairs(v in proptest::collection::vec((any::<u32>(), any::<i64>()), 0..50)) {
+        roundtrip_exact(&v);
+    }
+
+    #[test]
+    fn wire_option_tuple(v in proptest::option::of((any::<u64>(), any::<f64>().prop_map(|f| if f.is_nan() { 0.0 } else { f })))) {
+        roundtrip_exact(&v);
+    }
+
+    #[test]
+    fn wire_fixed_u64s(dim in 1u64..100_000, idx in proptest::collection::vec(any::<u64>(), 0..40)) {
+        let vals: Vec<u64> = idx.into_iter().map(|v| v % dim.max(2)).collect();
+        roundtrip_exact(&FixedU64s::for_dim(dim, vals));
+    }
+}

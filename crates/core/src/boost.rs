@@ -1,0 +1,118 @@
+//! The "standard median trick" (Theorem 3.1's boosting step).
+//!
+//! Every estimation protocol in this crate succeeds with constant
+//! probability; the paper boosts to `1 − 1/n¹⁰` by running `O(log n)`
+//! independent copies and taking the median, "paying another `O(log n)`
+//! factor in the communication cost (which will be absorbed by the `Õ(·)`
+//! notation)". This module makes that a first-class combinator: the
+//! copies run with independent derived seeds and are accounted as
+//! *parallel* executions (bits add, rounds do not — independent copies
+//! share each round's synchronization).
+//!
+//! ```
+//! use mpest_comm::Seed;
+//! use mpest_core::boost::median_boost;
+//! use mpest_core::lp_norm::{self, LpParams};
+//! use mpest_matrix::{PNorm, Workloads};
+//!
+//! let a = Workloads::bernoulli_bits(32, 48, 0.2, 1).to_csr();
+//! let b = Workloads::bernoulli_bits(48, 32, 0.2, 2).to_csr();
+//! let params = LpParams::new(PNorm::ONE, 0.3);
+//! let run = median_boost(5, Seed(7), |s| lp_norm::run(&a, &b, &params, s)).unwrap();
+//! assert_eq!(run.rounds(), 2, "boosting does not add rounds");
+//! ```
+
+use crate::result::ProtocolRun;
+use mpest_comm::{CommError, Seed, Transcript};
+
+/// Runs `copies` independent executions of an `f64`-valued protocol and
+/// returns the median estimate, with bits summed and rounds unchanged.
+///
+/// # Errors
+///
+/// Propagates the first error from any copy; fails if `copies == 0`.
+pub fn median_boost<F>(
+    copies: usize,
+    seed: Seed,
+    mut run_one: F,
+) -> Result<ProtocolRun<f64>, CommError>
+where
+    F: FnMut(Seed) -> Result<ProtocolRun<f64>, CommError>,
+{
+    if copies == 0 {
+        return Err(CommError::protocol("median boosting needs >= 1 copy".to_string()));
+    }
+    let mut outputs = Vec::with_capacity(copies);
+    let mut transcript = Transcript::default();
+    for c in 0..copies {
+        let run = run_one(seed.derive_u64(c as u64))?;
+        outputs.push(run.output);
+        transcript.absorb_parallel(run.transcript);
+    }
+    outputs.sort_by(f64::total_cmp);
+    Ok(ProtocolRun {
+        output: outputs[(outputs.len() - 1) / 2],
+        transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp_norm::{self, LpParams};
+    use mpest_matrix::{stats, PNorm, Workloads};
+
+    #[test]
+    fn median_reduces_failure_rate() {
+        // Compare single-run vs 5-copy-median failure rates for a tight
+        // tolerance: the median must fail no more often (and typically
+        // much less).
+        let a = Workloads::bernoulli_bits(40, 56, 0.2, 1).to_csr();
+        let b = Workloads::bernoulli_bits(56, 40, 0.2, 2).to_csr();
+        let truth = stats::lp_pow_of_product(&a, &b, PNorm::TWO);
+        let params = LpParams::new(PNorm::TWO, 0.4);
+        let tol = 0.15;
+        let trials = 20;
+        let mut single_fail = 0;
+        let mut boosted_fail = 0;
+        for t in 0..trials {
+            let single = lp_norm::run(&a, &b, &params, Seed(9_000 + t)).unwrap();
+            if (single.output - truth).abs() > tol * truth {
+                single_fail += 1;
+            }
+            let boosted = median_boost(5, Seed(20_000 + t), |s| {
+                lp_norm::run(&a, &b, &params, s)
+            })
+            .unwrap();
+            if (boosted.output - truth).abs() > tol * truth {
+                boosted_fail += 1;
+            }
+        }
+        assert!(
+            boosted_fail <= single_fail,
+            "boosting made things worse: {boosted_fail} vs {single_fail}"
+        );
+        assert!(boosted_fail <= trials / 4, "boosted failure rate {boosted_fail}/{trials}");
+    }
+
+    #[test]
+    fn accounting_bits_add_rounds_do_not() {
+        let a = Workloads::bernoulli_bits(16, 24, 0.3, 3).to_csr();
+        let b = Workloads::bernoulli_bits(24, 16, 0.3, 4).to_csr();
+        let params = LpParams::new(PNorm::ONE, 0.4);
+        let one = lp_norm::run(&a, &b, &params, Seed(1)).unwrap();
+        let five = median_boost(5, Seed(1), |s| lp_norm::run(&a, &b, &params, s)).unwrap();
+        assert_eq!(five.rounds(), one.rounds());
+        assert!(five.bits() > 4 * one.bits() && five.bits() < 6 * one.bits());
+    }
+
+    #[test]
+    fn degenerate_copies() {
+        let a = Workloads::bernoulli_bits(8, 8, 0.3, 5).to_csr();
+        let b = Workloads::bernoulli_bits(8, 8, 0.3, 6).to_csr();
+        let params = LpParams::new(PNorm::ONE, 0.5);
+        let one = median_boost(1, Seed(2), |s| lp_norm::run(&a, &b, &params, s)).unwrap();
+        assert!(one.output >= 0.0);
+        assert!(median_boost(0, Seed(2), |s| lp_norm::run(&a, &b, &params, s)).is_err());
+    }
+}

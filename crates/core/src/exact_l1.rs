@@ -1,0 +1,191 @@
+//! Remark 2: exact computation of `‖AB‖₁` in one round and `O(n log n)`
+//! bits, for entrywise non-negative matrices.
+//!
+//! For non-negative `A, B`:
+//! `‖AB‖₁ = Σ_{i,j} (AB)_{i,j} = Σ_k ‖A_{*,k}‖₁ · ‖B_{k,*}‖₁`,
+//! so Alice only needs to ship her column sums. (With cancellation the
+//! identity fails — the API enforces non-negativity; the general-`p`
+//! protocols use Algorithm 1 instead.)
+//!
+//! ```
+//! use mpest_comm::Seed;
+//! use mpest_matrix::Workloads;
+//!
+//! let a = Workloads::bernoulli_bits(32, 48, 0.2, 1).to_csr();
+//! let b = Workloads::bernoulli_bits(48, 32, 0.2, 2).to_csr();
+//! let run = mpest_core::exact_l1::run(&a, &b, Seed(7)).unwrap();
+//! assert_eq!(run.rounds(), 1);
+//! assert_eq!(
+//!     run.output as f64,
+//!     mpest_matrix::stats::lp_pow_of_product(&a, &b, mpest_matrix::PNorm::ONE)
+//! );
+//! ```
+
+use crate::config::check_dims;
+use crate::result::ProtocolRun;
+use mpest_comm::{execute, CommError, Link, Seed};
+use mpest_matrix::CsrMatrix;
+
+/// Alice's phase: ships `‖A_{*,k}‖₁` for every inner index `k`.
+pub(crate) fn alice_phase(link: &Link<'_>, round: u16, a: &CsrMatrix) -> Result<(), CommError> {
+    let sums: Vec<u64> = a.col_abs_sums().iter().map(|&s| s as u64).collect();
+    link.send(round, "l1-col-sums", &sums)
+}
+
+/// Bob's phase: receives the column sums and computes the exact value.
+pub(crate) fn bob_phase(link: &Link<'_>, b: &CsrMatrix) -> Result<i128, CommError> {
+    let sums: Vec<u64> = link.recv("l1-col-sums")?;
+    if sums.len() != b.rows() {
+        return Err(CommError::protocol(format!(
+            "column-sum vector has length {}, expected {}",
+            sums.len(),
+            b.rows()
+        )));
+    }
+    let row_sums = b.row_abs_sums();
+    Ok(sums
+        .iter()
+        .zip(row_sums.iter())
+        .map(|(&u, &v)| i128::from(u) * i128::from(v))
+        .sum())
+}
+
+/// Both-parties variant used by the heavy-hitter protocols: a simultaneous
+/// exchange of column/row sums after which *both* parties know `‖AB‖₁`.
+pub(crate) fn exchange_alice(
+    link: &Link<'_>,
+    round: u16,
+    a: &CsrMatrix,
+) -> Result<i128, CommError> {
+    let mine: Vec<u64> = a.col_abs_sums().iter().map(|&s| s as u64).collect();
+    link.send(round, "l1-col-sums", &mine)?;
+    let theirs: Vec<u64> = link.recv("l1-row-sums")?;
+    if theirs.len() != mine.len() {
+        return Err(CommError::protocol("sum vector length mismatch".to_string()));
+    }
+    Ok(mine
+        .iter()
+        .zip(theirs.iter())
+        .map(|(&u, &v)| i128::from(u) * i128::from(v))
+        .sum())
+}
+
+/// Bob's half of [`exchange_alice`].
+pub(crate) fn exchange_bob(
+    link: &Link<'_>,
+    round: u16,
+    b: &CsrMatrix,
+) -> Result<i128, CommError> {
+    let mine: Vec<u64> = b.row_abs_sums().iter().map(|&s| s as u64).collect();
+    link.send(round, "l1-row-sums", &mine)?;
+    let theirs: Vec<u64> = link.recv("l1-col-sums")?;
+    if theirs.len() != mine.len() {
+        return Err(CommError::protocol("sum vector length mismatch".to_string()));
+    }
+    Ok(mine
+        .iter()
+        .zip(theirs.iter())
+        .map(|(&v, &u)| i128::from(u) * i128::from(v))
+        .sum())
+}
+
+/// Runs the one-round exact `‖AB‖₁` protocol (output lands at Bob).
+///
+/// # Errors
+///
+/// Fails on dimension mismatch or if either matrix has negative entries.
+pub fn run(a: &CsrMatrix, b: &CsrMatrix, _seed: Seed) -> Result<ProtocolRun<i128>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    if !a.is_nonnegative() || !b.is_nonnegative() {
+        return Err(CommError::protocol(
+            "Remark 2 requires entrywise non-negative matrices (no cancellation)".to_string(),
+        ));
+    }
+    let outcome = execute(
+        a,
+        b,
+        |link, a| alice_phase(link, 0, a),
+        bob_phase,
+    )?;
+    Ok(ProtocolRun {
+        output: outcome.bob,
+        transcript: outcome.transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::norms::PNorm;
+    use mpest_matrix::{stats, Workloads};
+
+    #[test]
+    fn exact_on_random_nonnegative() {
+        let a = Workloads::integer_csr(30, 40, 0.2, 6, false, 1);
+        let b = Workloads::integer_csr(40, 25, 0.2, 6, false, 2);
+        let run = run(&a, &b, Seed(7)).unwrap();
+        let truth = stats::lp_pow_of_product(&a, &b, PNorm::ONE);
+        assert_eq!(run.output as f64, truth);
+        assert_eq!(run.rounds(), 1);
+    }
+
+    #[test]
+    fn exact_on_binary() {
+        let a = Workloads::bernoulli_bits(20, 50, 0.3, 3).to_csr();
+        let b = Workloads::bernoulli_bits(50, 20, 0.3, 4).to_csr();
+        let run = run(&a, &b, Seed(7)).unwrap();
+        let truth = stats::lp_pow_of_product(&a, &b, PNorm::ONE);
+        assert_eq!(run.output as f64, truth);
+    }
+
+    #[test]
+    fn communication_is_n_log_n() {
+        // Cost must stay ~ inner_dim varints regardless of matrix density.
+        let a = Workloads::bernoulli_bits(64, 128, 0.9, 5).to_csr();
+        let b = Workloads::bernoulli_bits(128, 64, 0.9, 6).to_csr();
+        let run = run(&a, &b, Seed(1)).unwrap();
+        assert!(
+            run.bits() <= 128 * 32 + 64,
+            "l1 cost {} exceeds O(n log n) budget",
+            run.bits()
+        );
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = mpest_matrix::CsrMatrix::zeros(5, 5);
+        let b = mpest_matrix::CsrMatrix::zeros(5, 5);
+        assert_eq!(run(&a, &b, Seed(0)).unwrap().output, 0);
+    }
+
+    #[test]
+    fn rejects_negative_entries() {
+        let a = Workloads::integer_csr(5, 5, 0.5, 3, true, 9);
+        let b = Workloads::integer_csr(5, 5, 0.5, 3, false, 10);
+        assert!(run(&a, &b, Seed(0)).is_err());
+    }
+
+    #[test]
+    fn rejects_dim_mismatch() {
+        let a = Workloads::integer_csr(5, 6, 0.5, 3, false, 9);
+        let b = Workloads::integer_csr(5, 5, 0.5, 3, false, 10);
+        assert!(run(&a, &b, Seed(0)).is_err());
+    }
+
+    #[test]
+    fn both_parties_exchange_variant() {
+        let a = Workloads::integer_csr(12, 16, 0.3, 4, false, 11);
+        let b = Workloads::integer_csr(16, 12, 0.3, 4, false, 12);
+        let truth = stats::lp_pow_of_product(&a, &b, PNorm::ONE);
+        let out = execute(
+            &a,
+            &b,
+            |link, a| exchange_alice(link, 0, a),
+            |link, b| exchange_bob(link, 0, b),
+        )
+        .unwrap();
+        assert_eq!(out.alice as f64, truth);
+        assert_eq!(out.bob as f64, truth);
+        assert_eq!(out.transcript.rounds(), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! The min-side index exchange — the shared mechanism of Lemma 2.5,
+//! Algorithm 2 (steps 7–12), Algorithm 3, and Section 5.2.
+//!
+//! Write `C = A·B = Σ_k A_{*,k} ⊗ B_{k,*}`. For each inner index (universe
+//! item) `k`, Alice's side of the term has `u_k = nnz(A_{*,k})` entries and
+//! Bob's has `v_k = nnz(B_{k,*})`. Once both parties know `(u_k, v_k)` for
+//! the live items, the party holding the *lighter* side ships it, and the
+//! peer computes that outer-product term entirely locally. The result is a
+//! pair of additive shares `C_A + C_B = C` at a total list cost of
+//! `Σ_k min(u_k, v_k)` index entries — which is how the `√‖C‖₀` and
+//! `n^{1.5}` bounds arise.
+//!
+//! Convention: Alice ships items with `u_k ≤ v_k` (so Bob accumulates
+//! those terms into `C_B`), Bob ships items with `v_k < u_k` (Alice
+//! accumulates into `C_A`). Items with `u_k = 0` or `v_k = 0` contribute
+//! nothing and are skipped. Both messages belong to one (simultaneous)
+//! round.
+
+use mpest_comm::{width_for, BitReader, BitWriter, CommError, Link, Wire};
+use mpest_matrix::Accumulator;
+
+/// Parameters shared by both sides of an exchange.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExchangeCfg {
+    /// Round index to annotate the (simultaneous) messages with.
+    pub round: u16,
+    /// If true, entry values are all 1 and are not shipped.
+    pub binary: bool,
+    /// Rows of the output shape (`C` has `out_rows × out_cols`).
+    pub out_rows: usize,
+    /// Columns of the output shape.
+    pub out_cols: usize,
+    /// Inner dimension (item universe size; determines item index width).
+    pub inner_dim: usize,
+}
+
+/// The wire format of one party's shipped lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ItemLists {
+    inner_dim: u64,
+    coord_dim: u64,
+    binary: bool,
+    /// `(item, entries)` — for binary lists the values are implicitly 1.
+    items: Vec<(u32, Vec<(u32, i64)>)>,
+}
+
+impl Wire for ItemLists {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.inner_dim);
+        w.write_varint(self.coord_dim);
+        w.write_bit(self.binary);
+        w.write_varint(self.items.len() as u64);
+        let iw = width_for(self.inner_dim);
+        let cw = width_for(self.coord_dim);
+        for (item, entries) in &self.items {
+            w.write_bits(u64::from(*item), iw);
+            w.write_varint(entries.len() as u64);
+            for &(c, v) in entries {
+                w.write_bits(u64::from(c), cw);
+                if !self.binary {
+                    w.write_zigzag(v);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let inner_dim = r.read_varint()?;
+        let coord_dim = r.read_varint()?;
+        let binary = r.read_bit()?;
+        let n = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("item count overflow"))?;
+        let iw = width_for(inner_dim);
+        let cw = width_for(coord_dim);
+        let mut items = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let item = u32::try_from(r.read_bits(iw)?)
+                .map_err(|_| CommError::decode("item overflow"))?;
+            let len = usize::try_from(r.read_varint()?)
+                .map_err(|_| CommError::decode("list length overflow"))?;
+            let mut entries = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                let c = u32::try_from(r.read_bits(cw)?)
+                    .map_err(|_| CommError::decode("coord overflow"))?;
+                let v = if binary { 1 } else { r.read_zigzag()? };
+                entries.push((c, v));
+            }
+            items.push((item, entries));
+        }
+        Ok(Self {
+            inner_dim,
+            coord_dim,
+            binary,
+            items,
+        })
+    }
+}
+
+impl ItemLists {
+    /// Builds the lists one party ships. `mine_lighter(k)` decides whether
+    /// this party's side of item `k` is the one to ship (ties broken by
+    /// the caller's convention); `entries(k)` yields the shipped list.
+    pub(crate) fn build(
+        cfg: ExchangeCfg,
+        coord_dim: usize,
+        items: &[u32],
+        u: &[u32],
+        v: &[u32],
+        mine_lighter: impl Fn(u32, u32) -> bool,
+        entries: impl Fn(u32) -> Vec<(u32, i64)>,
+    ) -> Self {
+        let shipped = items
+            .iter()
+            .filter(|&&k| {
+                let (uk, vk) = (u[k as usize], v[k as usize]);
+                uk > 0 && vk > 0 && mine_lighter(uk, vk)
+            })
+            .map(|&k| (k, entries(k)))
+            .collect();
+        Self {
+            inner_dim: cfg.inner_dim as u64,
+            coord_dim: coord_dim as u64,
+            binary: cfg.binary,
+            items: shipped,
+        }
+    }
+
+    /// Accumulates the outer-product terms of received lists against this
+    /// party's own entries.
+    pub(crate) fn accumulate_against(
+        &self,
+        cfg: ExchangeCfg,
+        my_entries: impl Fn(u32) -> Vec<(u32, i64)>,
+        received_is_rows: bool,
+    ) -> Accumulator {
+        let mut acc = Accumulator::new(cfg.out_rows, cfg.out_cols);
+        for (k, list) in &self.items {
+            let mine = my_entries(*k);
+            if received_is_rows {
+                // Received Bob-style rows; mine are columns.
+                acc.add_outer(&mine, list);
+            } else {
+                // Received Alice-style columns; mine are rows.
+                acc.add_outer(list, &mine);
+            }
+        }
+        acc
+    }
+}
+
+/// Alice's side. `col_entries(k)` must return the nonzeros of `A_{*,k}`
+/// as `(row, value)` pairs. Returns her share `C_A` of the product.
+pub(crate) fn exchange_alice(
+    link: &Link<'_>,
+    cfg: ExchangeCfg,
+    items: &[u32],
+    u: &[u32],
+    v: &[u32],
+    col_entries: impl Fn(u32) -> Vec<(u32, i64)>,
+) -> Result<Accumulator, CommError> {
+    let to_ship: Vec<(u32, Vec<(u32, i64)>)> = items
+        .iter()
+        .filter(|&&k| {
+            let (uk, vk) = (u[k as usize], v[k as usize]);
+            uk > 0 && vk > 0 && uk <= vk
+        })
+        .map(|&k| (k, col_entries(k)))
+        .collect();
+    link.send(
+        cfg.round,
+        "exchange-alice-lists",
+        &ItemLists {
+            inner_dim: cfg.inner_dim as u64,
+            coord_dim: cfg.out_rows as u64,
+            binary: cfg.binary,
+            items: to_ship,
+        },
+    )?;
+    let from_bob: ItemLists = link.recv("exchange-bob-lists")?;
+    let mut acc = Accumulator::new(cfg.out_rows, cfg.out_cols);
+    for (k, row) in &from_bob.items {
+        let col = col_entries(*k);
+        acc.add_outer(&col, row);
+    }
+    Ok(acc)
+}
+
+/// Bob's side. `row_entries(k)` must return the nonzeros of `B_{k,*}` as
+/// `(col, value)` pairs. Returns his share `C_B` of the product.
+pub(crate) fn exchange_bob(
+    link: &Link<'_>,
+    cfg: ExchangeCfg,
+    items: &[u32],
+    u: &[u32],
+    v: &[u32],
+    row_entries: impl Fn(u32) -> Vec<(u32, i64)>,
+) -> Result<Accumulator, CommError> {
+    let to_ship: Vec<(u32, Vec<(u32, i64)>)> = items
+        .iter()
+        .filter(|&&k| {
+            let (uk, vk) = (u[k as usize], v[k as usize]);
+            uk > 0 && vk > 0 && vk < uk
+        })
+        .map(|&k| (k, row_entries(k)))
+        .collect();
+    link.send(
+        cfg.round,
+        "exchange-bob-lists",
+        &ItemLists {
+            inner_dim: cfg.inner_dim as u64,
+            coord_dim: cfg.out_cols as u64,
+            binary: cfg.binary,
+            items: to_ship,
+        },
+    )?;
+    let from_alice: ItemLists = link.recv("exchange-alice-lists")?;
+    let mut acc = Accumulator::new(cfg.out_rows, cfg.out_cols);
+    for (k, col) in &from_alice.items {
+        let row = row_entries(*k);
+        acc.add_outer(col, &row);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_comm::execute;
+    use mpest_matrix::{CsrMatrix, Workloads};
+
+    fn run_exchange(a: &CsrMatrix, b: &CsrMatrix, binary: bool) {
+        let at = a.transpose();
+        let u = a.col_nnz();
+        let v = b.row_nnz();
+        let items: Vec<u32> = (0..a.cols() as u32).collect();
+        let cfg = ExchangeCfg {
+            round: 0,
+            binary,
+            out_rows: a.rows(),
+            out_cols: b.cols(),
+            inner_dim: a.cols(),
+        };
+        let out = execute(
+            (),
+            (),
+            |link, ()| {
+                exchange_alice(link, cfg, &items, &u, &v, |k| at.row_vec(k as usize).entries)
+            },
+            |link, ()| {
+                exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries)
+            },
+        )
+        .unwrap();
+        // Shares sum to the exact product.
+        let mut triplets = out.alice.into_entries();
+        triplets.extend(out.bob.into_entries());
+        let c = CsrMatrix::from_triplets(a.rows(), b.cols(), triplets);
+        assert_eq!(c, a.matmul(b));
+        assert_eq!(out.transcript.rounds(), 1, "simultaneous exchange");
+        // Cost is bounded by the min-side totals (plus headers).
+        let min_side: u64 = (0..a.cols())
+            .map(|k| u64::from(u[k].min(v[k])))
+            .sum();
+        let header_slack = 200 + 40 * a.cols() as u64;
+        assert!(
+            out.transcript.total_bits() <= min_side * 64 + header_slack,
+            "exchange cost {} far above min-side budget {}",
+            out.transcript.total_bits(),
+            min_side * 64 + header_slack,
+        );
+    }
+
+    #[test]
+    fn shares_reconstruct_product_binary() {
+        let a = Workloads::bernoulli_bits(24, 30, 0.2, 1).to_csr();
+        let b = Workloads::bernoulli_bits(30, 20, 0.25, 2).to_csr();
+        run_exchange(&a, &b, true);
+    }
+
+    #[test]
+    fn shares_reconstruct_product_integer() {
+        let a = Workloads::integer_csr(15, 18, 0.3, 5, true, 3);
+        let b = Workloads::integer_csr(18, 12, 0.3, 5, true, 4);
+        run_exchange(&a, &b, false);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let a = CsrMatrix::zeros(5, 5);
+        let b = CsrMatrix::zeros(5, 5);
+        run_exchange(&a, &b, false);
+    }
+
+    #[test]
+    fn skewed_weights_ship_light_side() {
+        // One dense column on Alice's side vs sparse rows on Bob's: Bob's
+        // side is lighter, so Bob ships and Alice accumulates.
+        let a = CsrMatrix::from_triplets(50, 2, (0..50).map(|i| (i, 0, 1i64)).collect());
+        let b = CsrMatrix::from_triplets(2, 50, vec![(0, 7, 1)]);
+        let at = a.transpose();
+        let u = a.col_nnz();
+        let v = b.row_nnz();
+        let items: Vec<u32> = vec![0, 1];
+        let cfg = ExchangeCfg {
+            round: 0,
+            binary: true,
+            out_rows: 50,
+            out_cols: 50,
+            inner_dim: 2,
+        };
+        let out = execute(
+            (),
+            (),
+            |link, ()| {
+                exchange_alice(link, cfg, &items, &u, &v, |k| at.row_vec(k as usize).entries)
+            },
+            |link, ()| {
+                exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries)
+            },
+        )
+        .unwrap();
+        // All 50 entries of the product live in Alice's share.
+        assert_eq!(out.alice.nnz(), 50);
+        assert_eq!(out.bob.nnz(), 0);
+        // Bob shipped 1 entry, Alice shipped nothing.
+        assert!(out.transcript.bits_from(mpest_comm::Party::Bob) < 100);
+    }
+}

@@ -1,0 +1,369 @@
+//! Algorithm 4 / Theorem 5.1 / Corollary 5.2: `ℓp`-(φ, ε) heavy hitters
+//! of `AB` for (non-negative) integer matrices, `p ∈ (0, 2]`, in `O(1)`
+//! rounds and `Õ(√φ/ε · n)` bits.
+//!
+//! Pipeline: (1) both parties learn `‖C‖_p^p` — exactly via Remark 2 for
+//! `p = 1`, via an Algorithm 1 sub-phase otherwise; (2) Alice *thins*
+//! her matrix (binomial sampling of each unit) at rate `β` chosen so
+//! that heavy entries keep `Θ̃((pφ/ε)²)` surviving mass — enough for
+//! Chernoff to separate `φ`-heavy from `(φ−ε)`-light — while
+//! `‖C^β‖₀ = Õ(φ/ε²)` stays tiny; (3) the Lemma 2.5 sparse-multiplication
+//! phases recover `C^β` as additive shares; (4) Alice ships only her
+//! share's entries above a noise floor, and Bob thresholds the combined
+//! values, reporting `S` with `HH_φ ⊆ S ⊆ HH_{φ−ε}`.
+
+use crate::config::{check_dims, check_phi_eps, Constants};
+use crate::exact_l1;
+use crate::lp_norm::{self, LpParams};
+use crate::result::{HeavyHitters, HhPair, ProtocolRun};
+use crate::sparse_matmul;
+use mpest_comm::{execute, CommError, Link, Seed};
+use mpest_matrix::{CsrMatrix, PNorm};
+use rand::Rng;
+
+/// Parameters of the general-matrix heavy-hitter protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct HhGeneralParams {
+    /// The norm exponent `p ∈ (0, 2]`.
+    pub p: f64,
+    /// Heavy-hitter threshold `φ`.
+    pub phi: f64,
+    /// Approximation slack `ε` (`0 < ε ≤ φ ≤ 1`).
+    pub eps: f64,
+    /// Protocol constants.
+    pub consts: Constants,
+}
+
+impl HhGeneralParams {
+    /// Convenience constructor with default constants.
+    #[must_use]
+    pub fn new(p: f64, phi: f64, eps: f64) -> Self {
+        Self {
+            p,
+            phi,
+            eps,
+            consts: Constants::default(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), CommError> {
+        check_phi_eps(self.phi, self.eps)?;
+        if !(self.p > 0.0 && self.p <= 2.0) {
+            return Err(CommError::protocol(format!(
+                "heavy hitters support p in (0, 2], got {}",
+                self.p
+            )));
+        }
+        Ok(())
+    }
+
+    fn is_exact_l1(&self) -> bool {
+        (self.p - 1.0).abs() < 1e-12
+    }
+
+    /// Accuracy for the Algorithm 1 sub-phase when `p ≠ 1`.
+    fn sub_eps(&self) -> f64 {
+        (self.eps / (2.0 * self.phi)).clamp(0.05, 1.0 / 3.0)
+    }
+
+    /// Thinning rate from the norm mass (both parties compute this
+    /// identically from the shared estimate).
+    fn beta(&self, lp_pow: f64, cells: f64) -> f64 {
+        if lp_pow <= 0.0 {
+            return 1.0;
+        }
+        let t = (self.phi * lp_pow).powf(1.0 / self.p); // linear HH threshold
+        let delta = (self.eps / (8.0 * self.p * self.phi)).min(0.5);
+        let mu_min = self.consts.hh_mean_const * 3.0 * cells.ln() / (delta * delta);
+        (mu_min / t).min(1.0)
+    }
+}
+
+/// Binomial(`n`, `q`) sampling (unit-level thinning of a matrix entry).
+fn binomial(rng: &mut impl Rng, n: i64, q: f64) -> i64 {
+    debug_assert!(n >= 0);
+    if q >= 1.0 {
+        return n;
+    }
+    if n <= 4096 {
+        let mut c = 0i64;
+        for _ in 0..n {
+            if rng.gen::<f64>() < q {
+                c += 1;
+            }
+        }
+        c
+    } else {
+        // Normal approximation for very large entries (poly-bounded model).
+        let mean = n as f64 * q;
+        let sd = (n as f64 * q * (1.0 - q)).sqrt();
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + sd * z).round().clamp(0.0, n as f64) as i64
+    }
+}
+
+/// Runs Algorithm 4 (with the Corollary 5.2 extension to `p ∈ (0, 2]`).
+/// Output (at Bob) is a set `S` with `HH_φ ⊆ S ⊆ HH_{φ−ε}` w.h.p.
+///
+/// # Errors
+///
+/// Fails on dimension mismatch, invalid parameters, or negative entries.
+pub fn run(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    params: &HhGeneralParams,
+    seed: Seed,
+) -> Result<ProtocolRun<HeavyHitters>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    params.validate()?;
+    if !a.is_nonnegative() || !b.is_nonnegative() {
+        return Err(CommError::protocol(
+            "Algorithm 4 requires entrywise non-negative matrices".to_string(),
+        ));
+    }
+    let pub_seed = seed.derive("public");
+    let alice_seed = seed.derive("alice");
+    let cells = (a.rows() * b.cols()).max(2) as f64;
+    let p = params.p;
+    let pnorm = PNorm::P(p);
+    let b_cols = b.cols();
+    let out_rows = a.rows();
+    let lp_params = LpParams {
+        p: pnorm,
+        eps: params.sub_eps(),
+        consts: params.consts,
+        beta_override: None,
+    };
+
+    let outcome = execute(
+        a,
+        b,
+        |link: &Link<'_>, a: &CsrMatrix| {
+            // Phase 1: learn ‖C‖_p^p.
+            let (lp_pow, mm_base): (f64, u16) = if params.is_exact_l1() {
+                (exact_l1::exchange_alice(link, 0, a)? as f64, 1)
+            } else {
+                lp_norm::alice_phase(
+                    link,
+                    0,
+                    a,
+                    b_cols,
+                    &lp_params,
+                    pub_seed.derive("hh-lp"),
+                    alice_seed.derive("hh-lp"),
+                )?;
+                let est: f64 = link.recv("hh-lp-estimate")?;
+                (est.max(0.0), 3)
+            };
+            // Phase 2: thin.
+            let beta = params.beta(lp_pow, cells);
+            let mut rng = alice_seed.derive("thin").rng();
+            let thinned = CsrMatrix::from_triplets(
+                a.rows(),
+                a.cols(),
+                a.triplets()
+                    .map(|(r, c, v)| (r, c, binomial(&mut rng, v, beta)))
+                    .filter(|&(_, _, v)| v != 0)
+                    .collect(),
+            );
+            // Phase 3: sparse multiplication shares.
+            let ca = sparse_matmul::alice_phase(link, mm_base, &thinned, b_cols, false)?;
+            // Phase 4: ship entries of C_A above the noise floor.
+            let tau_keep = beta * (params.eps * lp_pow).powf(1.0 / p) / 8.0;
+            let kept: Vec<(u32, u32, i64)> = ca
+                .into_entries()
+                .into_iter()
+                .filter(|&(_, _, v)| v as f64 > tau_keep)
+                .collect();
+            link.send(mm_base + 2, "hh-alice-heavy-share", &kept)?;
+            Ok(())
+        },
+        |link: &Link<'_>, b: &CsrMatrix| {
+            let (lp_pow, mm_base): (f64, u16) = if params.is_exact_l1() {
+                (exact_l1::exchange_bob(link, 0, b)? as f64, 1)
+            } else {
+                let est =
+                    lp_norm::bob_phase(link, 0, b, &lp_params, pub_seed.derive("hh-lp"))?;
+                link.send(2, "hh-lp-estimate", &est)?;
+                (est.max(0.0), 3)
+            };
+            let beta = params.beta(lp_pow, cells);
+            let cb = sparse_matmul::bob_phase(link, mm_base, b, out_rows, false)?;
+            let kept: Vec<(u32, u32, i64)> = link.recv("hh-alice-heavy-share")?;
+            // Combine and threshold.
+            let tau_out = beta * ((params.phi - params.eps / 2.0).max(0.0) * lp_pow).powf(1.0 / p);
+            let mut combined = cb;
+            for (r, c, v) in kept {
+                if (r as usize) < out_rows && (c as usize) < b.cols() {
+                    combined.add(r, c, v);
+                } else {
+                    return Err(CommError::protocol("share entry out of range".to_string()));
+                }
+            }
+            let pairs = combined
+                .into_entries()
+                .into_iter()
+                .filter(|&(_, _, v)| v as f64 >= tau_out && v > 0)
+                .map(|(r, c, v)| HhPair {
+                    row: r,
+                    col: c,
+                    estimate: v as f64 / beta,
+                })
+                .collect();
+            Ok(HeavyHitters { pairs })
+        },
+    )?;
+    Ok(ProtocolRun {
+        output: outcome.bob,
+        transcript: outcome.transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::{norms, stats, Workloads};
+
+    /// Checks the containment HH_phi ⊆ S ⊆ HH_{phi−eps} on a run.
+    fn containment_ok(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        params: &HhGeneralParams,
+        seed: Seed,
+    ) -> bool {
+        let run = run(a, b, params, seed).unwrap();
+        let got = run.output.positions();
+        let must = stats::heavy_hitters_of_product(a, b, PNorm::P(params.p), params.phi);
+        let may = stats::heavy_hitters_of_product(
+            a,
+            b,
+            PNorm::P(params.p),
+            params.phi - params.eps,
+        );
+        must.iter().all(|pos| got.contains(pos)) && got.iter().all(|pos| may.contains(pos))
+    }
+
+    #[test]
+    fn exact_path_p1_containment() {
+        let (abit, bbit, _) = Workloads::planted_pairs(32, 64, 0.05, &[(3, 7), (11, 20)], 40, 1);
+        let (a, b) = (abit.to_csr(), bbit.to_csr());
+        let c = a.matmul(&b);
+        let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
+        let phi = 35.0 / l1; // planted entries (>= 40) are phi-heavy
+        let params = HhGeneralParams::new(1.0, phi.min(0.9), (phi / 2.0).min(0.4));
+        let mut ok = 0;
+        for t in 0..9 {
+            if containment_ok(&a, &b, &params, Seed(100 + t)) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 7, "p=1 containment failed too often: {ok}/9");
+    }
+
+    #[test]
+    fn planted_pairs_always_reported_p1() {
+        let (abit, bbit, planted) =
+            Workloads::planted_pairs(32, 64, 0.04, &[(5, 5)], 48, 2);
+        let (a, b) = (abit.to_csr(), bbit.to_csr());
+        let c = a.matmul(&b);
+        let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
+        let phi = (40.0 / l1).min(0.9);
+        let params = HhGeneralParams::new(1.0, phi, (phi / 2.0).min(0.4));
+        for t in 0..5 {
+            let run = run(&a, &b, &params, Seed(300 + t)).unwrap();
+            for &(i, j) in &planted {
+                assert!(
+                    run.output.contains(i, j),
+                    "planted ({i},{j}) missing at seed {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thinning_path_activates_and_preserves_planted() {
+        // Crank the Chernoff constant down so beta < 1 at laptop scale.
+        let (abit, bbit, planted) =
+            Workloads::planted_pairs(40, 96, 0.08, &[(2, 9)], 80, 3);
+        let (a, b) = (abit.to_csr(), bbit.to_csr());
+        let c = a.matmul(&b);
+        let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
+        let phi = (60.0 / l1).min(0.9);
+        // Tiny Chernoff constant: forces beta < 1 at this scale so the
+        // thinning machinery is exercised (noise correspondingly higher).
+        let mut consts = Constants::practical();
+        consts.hh_mean_const = 0.005;
+        let params = HhGeneralParams {
+            p: 1.0,
+            phi,
+            eps: (phi / 2.0).min(0.4),
+            consts,
+        };
+        let beta = params.beta(l1, (40 * 96) as f64);
+        assert!(beta < 1.0, "thinning should activate (beta = {beta})");
+        let mut hit = 0;
+        for t in 0..9 {
+            let run = run(&a, &b, &params, Seed(700 + t)).unwrap();
+            if planted.iter().all(|&(i, j)| run.output.contains(i, j)) {
+                hit += 1;
+            }
+        }
+        assert!(hit >= 6, "planted pair lost under thinning: {hit}/9");
+    }
+
+    #[test]
+    fn p2_subprotocol_path() {
+        let (abit, bbit, _) = Workloads::planted_pairs(28, 48, 0.05, &[(1, 2)], 36, 4);
+        let (a, b) = (abit.to_csr(), bbit.to_csr());
+        let c = a.matmul(&b);
+        let l2 = norms::csr_lp_pow(&c, PNorm::TWO);
+        let phi = ((36.0f64 * 36.0) / l2 * 0.8).min(0.9);
+        let params = HhGeneralParams::new(2.0, phi, (phi / 2.0).min(phi));
+        let mut ok = 0;
+        for t in 0..9 {
+            if containment_ok(&a, &b, &params, Seed(500 + t)) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 5, "p=2 containment failed too often: {ok}/9");
+    }
+
+    #[test]
+    fn empty_product_reports_nothing() {
+        let (abit, bbit) = Workloads::disjoint_supports(16, 32, 0.3, 5);
+        let params = HhGeneralParams::new(1.0, 0.5, 0.25);
+        let run = run(&abit.to_csr(), &bbit.to_csr(), &params, Seed(1)).unwrap();
+        assert!(run.output.pairs.is_empty());
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        let a = CsrMatrix::zeros(4, 4);
+        let b = CsrMatrix::zeros(4, 4);
+        assert!(run(&a, &b, &HhGeneralParams::new(1.0, 0.1, 0.2), Seed(0)).is_err());
+        assert!(run(&a, &b, &HhGeneralParams::new(3.0, 0.5, 0.2), Seed(0)).is_err());
+        let neg = Workloads::integer_csr(4, 4, 0.5, 3, true, 1);
+        assert!(run(&neg, &b, &HhGeneralParams::new(1.0, 0.5, 0.2), Seed(0)).is_err());
+    }
+
+    #[test]
+    fn binomial_thinning_moments() {
+        let mut rng = Seed(9).rng();
+        let n = 200i64;
+        let q = 0.3;
+        let trials = 2000;
+        let mut sum = 0i64;
+        for _ in 0..trials {
+            let x = binomial(&mut rng, n, q);
+            assert!((0..=n).contains(&x));
+            sum += x;
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 60.0).abs() < 2.0, "binomial mean {mean}");
+        // Large-n path.
+        let big = binomial(&mut rng, 1_000_000, 0.5);
+        assert!((400_000..=600_000).contains(&big));
+    }
+}

@@ -1,0 +1,236 @@
+//! Theorem 3.2: `ℓ0`-sampling of `C = A·B` in one round and `Õ(n/ε²)`
+//! bits.
+//!
+//! Composition of two linear sketches, both shipped Alice→Bob in a single
+//! message:
+//!
+//! * an `ℓ0` *norm* sketch of every column of `A` (accuracy `ε`), which by
+//!   linearity Bob turns into `sk(C_{*,j}) = Σ_k B_{k,j} · sk(A_{*,k})`
+//!   for every column `j` — estimating each column support size;
+//! * an `ℓ0` *sampler* sketch of the same columns, similarly combined.
+//!
+//! Bob picks a column `j` proportionally to the estimated support sizes
+//! (`(1±ε)`-correct marginals) and decodes the sampler on column `j` to
+//! get a uniform nonzero row index. The overall output is a `(1±ε)`
+//! uniform sample of the nonzero positions of `C`.
+//!
+//! ```
+//! use mpest_comm::Seed;
+//! use mpest_core::l0_sample::{self, L0SampleParams};
+//! use mpest_core::MatrixSample;
+//! use mpest_matrix::Workloads;
+//!
+//! let a = Workloads::bernoulli_bits(16, 24, 0.25, 1).to_csr();
+//! let b = Workloads::bernoulli_bits(24, 16, 0.25, 2).to_csr();
+//! let run = l0_sample::run(&a, &b, &L0SampleParams::new(0.4), Seed(9)).unwrap();
+//! assert_eq!(run.rounds(), 1);
+//! if let MatrixSample::Sampled { row, col, value } = run.output {
+//!     assert_eq!(a.matmul(&b).get(row as usize, col), value);
+//! }
+//! ```
+
+use crate::config::{check_dims, check_eps, Constants};
+use crate::result::{MatrixSample, ProtocolRun};
+use crate::wire::WFieldMat;
+use mpest_comm::{execute, CommError, Seed};
+use mpest_matrix::{CsrMatrix, DenseMatrix};
+use mpest_sketch::linear::combine_rows;
+use mpest_sketch::{L0Sampler, L0Sketch, M61, SampleOutcome};
+use rand::Rng;
+
+/// Parameters of the `ℓ0`-sampling protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct L0SampleParams {
+    /// Marginal accuracy `ε` of the column-size estimates.
+    pub eps: f64,
+    /// Protocol constants.
+    pub consts: Constants,
+}
+
+impl L0SampleParams {
+    /// Convenience constructor with default constants.
+    #[must_use]
+    pub fn new(eps: f64) -> Self {
+        Self {
+            eps,
+            consts: Constants::default(),
+        }
+    }
+}
+
+/// Runs the `ℓ0`-sampling protocol. Output (at Bob) samples each nonzero
+/// entry of `C` with probability `(1±ε)/‖C‖₀`.
+///
+/// # Errors
+///
+/// Fails on dimension mismatch or invalid parameters.
+pub fn run(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    params: &L0SampleParams,
+    seed: Seed,
+) -> Result<ProtocolRun<MatrixSample>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    check_eps(params.eps)?;
+    let pub_seed = seed.derive("public");
+    let bob_seed = seed.derive("bob");
+    let col_dim = a.rows(); // columns of C live in this dimension
+    let norm_sketch = L0Sketch::new(
+        col_dim.max(1),
+        params.eps,
+        params.consts.sketch_reps,
+        pub_seed.derive("l0s-norm").0,
+    );
+    let sampler = L0Sampler::new(
+        col_dim.max(1),
+        params.consts.sampler_reps,
+        pub_seed.derive("l0s-sampler").0,
+    );
+
+    let outcome = execute(
+        a,
+        b,
+        |link, a: &CsrMatrix| {
+            // Sketch every column of A (rows of Aᵀ).
+            let at = a.transpose();
+            link.send(0, "l0s-norm-sketches", &WFieldMat(norm_sketch.sketch_rows(&at)))?;
+            link.send(0, "l0s-sampler-sketches", &WFieldMat(sampler.sketch_rows(&at)))
+        },
+        |link, b: &CsrMatrix| {
+            let norm_rows: DenseMatrix<M61> = link.recv::<WFieldMat>("l0s-norm-sketches")?.0;
+            let samp_rows: DenseMatrix<M61> = link.recv::<WFieldMat>("l0s-sampler-sketches")?.0;
+            if norm_rows.rows() != b.rows() || samp_rows.rows() != b.rows() {
+                return Err(CommError::protocol(
+                    "sketch row count does not match inner dimension".to_string(),
+                ));
+            }
+            let bt = b.transpose();
+            // Estimate ‖C_{*,j}‖₀ for every column j.
+            let mut ests = vec![0.0f64; b.cols()];
+            for (j, est) in ests.iter_mut().enumerate() {
+                let weights = bt.row_vec(j).entries;
+                if weights.is_empty() {
+                    continue;
+                }
+                let skc = combine_rows(&norm_rows, &weights);
+                *est = norm_sketch.estimate(&skc).max(0.0);
+            }
+            let total: f64 = ests.iter().sum();
+            if total <= 0.0 {
+                return Ok(MatrixSample::ZeroMatrix);
+            }
+            // Pick a column proportionally to the estimates.
+            let mut rng = bob_seed.rng();
+            let mut target = rng.gen::<f64>() * total;
+            let mut col = b.cols() - 1;
+            for (j, &e) in ests.iter().enumerate() {
+                if target < e {
+                    col = j;
+                    break;
+                }
+                target -= e;
+            }
+            // Decode a uniform nonzero row of that column.
+            let weights = bt.row_vec(col).entries;
+            let skc = combine_rows(&samp_rows, &weights);
+            match sampler.decode(&skc) {
+                SampleOutcome::Sampled { index, value } => Ok(MatrixSample::Sampled {
+                    row: index as u32,
+                    col: col as u32,
+                    value,
+                }),
+                SampleOutcome::ZeroVector => Ok(MatrixSample::Failed),
+                SampleOutcome::Failed => Ok(MatrixSample::Failed),
+            }
+        },
+    )?;
+    Ok(ProtocolRun {
+        output: outcome.bob,
+        transcript: outcome.transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::Workloads;
+    use std::collections::HashMap;
+
+    #[test]
+    fn one_round_and_support_valid() {
+        let a = Workloads::bernoulli_bits(20, 28, 0.2, 1).to_csr();
+        let b = Workloads::bernoulli_bits(28, 20, 0.2, 2).to_csr();
+        let c = a.matmul(&b);
+        let params = L0SampleParams::new(0.4);
+        let mut successes = 0;
+        for t in 0..20 {
+            let run = run(&a, &b, &params, Seed(100 + t)).unwrap();
+            assert_eq!(run.rounds(), 1, "Theorem 3.2 is one-round");
+            if let MatrixSample::Sampled { row, col, value } = run.output {
+                successes += 1;
+                assert_eq!(
+                    c.get(row as usize, col),
+                    value,
+                    "sampled value must match the product entry"
+                );
+                assert!(value != 0);
+            }
+        }
+        assert!(successes >= 16, "sampler succeeded only {successes}/20");
+    }
+
+    #[test]
+    fn zero_matrix_detected() {
+        let (a, b) = Workloads::disjoint_supports(12, 24, 0.4, 3);
+        let params = L0SampleParams::new(0.5);
+        let run = run(&a.to_csr(), &b.to_csr(), &params, Seed(7)).unwrap();
+        assert_eq!(run.output, MatrixSample::ZeroMatrix);
+    }
+
+    #[test]
+    fn approximately_uniform_over_support() {
+        // Tiny instance so we can afford many runs: support must be hit
+        // near-uniformly.
+        let a = Workloads::bernoulli_bits(10, 14, 0.25, 5).to_csr();
+        let b = Workloads::bernoulli_bits(14, 10, 0.25, 6).to_csr();
+        let c = a.matmul(&b);
+        let support: Vec<(u32, u32)> = c.triplets().map(|(r, cc, _)| (r, cc)).collect();
+        assert!(support.len() >= 5, "need a nontrivial support");
+        let params = L0SampleParams::new(0.3);
+        let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut successes = 0u64;
+        let trials = 800;
+        for t in 0..trials {
+            if let MatrixSample::Sampled { row, col, .. } =
+                run(&a, &b, &params, Seed(50_000 + t)).unwrap().output
+            {
+                assert!(
+                    support.contains(&(row, col)),
+                    "sampled ({row},{col}) outside support"
+                );
+                *counts.entry((row, col)).or_insert(0) += 1;
+                successes += 1;
+            }
+        }
+        assert!(successes >= trials * 7 / 10, "successes {successes}");
+        let expect = successes as f64 / support.len() as f64;
+        let mut worst: f64 = 0.0;
+        for &pos in &support {
+            let got = *counts.get(&pos).unwrap_or(&0) as f64;
+            worst = worst.max((got - expect).abs() / expect.max(1.0));
+        }
+        assert!(
+            worst < 0.8,
+            "worst relative deviation from uniform {worst} (expect per-cell {expect})"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let a = CsrMatrix::zeros(4, 4);
+        let b = CsrMatrix::zeros(5, 4);
+        assert!(run(&a, &b, &L0SampleParams::new(0.5), Seed(0)).is_err());
+        let b4 = CsrMatrix::zeros(4, 4);
+        assert!(run(&a, &b4, &L0SampleParams::new(0.0), Seed(0)).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Remark 3: `ℓ1`-sampling of `C = A·B` in one round and `O(n log n)`
+//! bits, for entrywise non-negative matrices.
+//!
+//! Alice ships, per inner index `k`, the column mass `‖A_{*,k}‖₁` and one
+//! row index sampled proportionally to the column's values. Bob draws a
+//! witness `k` proportionally to `‖A_{*,k}‖₁ · ‖B_{k,*}‖₁`, then a column
+//! index from `B_{k,*}` proportionally to its values. The produced pair
+//! `(i, j)` is distributed exactly as `C_{i,j} / ‖C‖₁` — an `ℓ1`-sample —
+//! and the witness `k` is a uniformly random join witness for the pair.
+//!
+//! ```
+//! use mpest_comm::Seed;
+//! use mpest_matrix::Workloads;
+//!
+//! let a = Workloads::bernoulli_bits(24, 32, 0.3, 1).to_csr();
+//! let b = Workloads::bernoulli_bits(32, 24, 0.3, 2).to_csr();
+//! let run = mpest_core::l1_sample::run(&a, &b, Seed(5)).unwrap();
+//! let s = run.output.expect("product is nonzero");
+//! // The witness is a genuine join witness: (row, witness) ∈ A, (witness, col) ∈ B.
+//! assert_eq!(a.get(s.row as usize, s.witness), 1);
+//! assert_eq!(b.get(s.witness as usize, s.col), 1);
+//! ```
+
+use crate::config::check_dims;
+use crate::result::{L1Sample, ProtocolRun};
+use mpest_comm::{execute, BitReader, BitWriter, CommError, Seed, Wire};
+use mpest_comm::width_for;
+use mpest_matrix::CsrMatrix;
+use rand::Rng;
+
+/// Per-column summary Alice ships: mass and (for nonzero columns) a
+/// value-proportional sampled row index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ColumnSummaries {
+    row_dim: u64,
+    /// `(mass, sampled_row)` per inner index; `sampled_row` present iff
+    /// `mass > 0`.
+    cols: Vec<(u64, Option<u32>)>,
+}
+
+impl Wire for ColumnSummaries {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.row_dim);
+        w.write_varint(self.cols.len() as u64);
+        let rw = width_for(self.row_dim);
+        for &(mass, row) in &self.cols {
+            w.write_varint(mass);
+            match row {
+                Some(r) => w.write_bits(u64::from(r), rw),
+                None => debug_assert_eq!(mass, 0),
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let row_dim = r.read_varint()?;
+        let n = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("column count overflow"))?;
+        let rw = width_for(row_dim);
+        let mut cols = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let mass = r.read_varint()?;
+            let row = if mass > 0 {
+                Some(
+                    u32::try_from(r.read_bits(rw)?)
+                        .map_err(|_| CommError::decode("row overflow"))?,
+                )
+            } else {
+                None
+            };
+            cols.push((mass, row));
+        }
+        Ok(Self { row_dim, cols })
+    }
+}
+
+/// Samples an index from a discrete distribution given by non-negative
+/// weights (assumes `total > 0`).
+fn weighted_pick(rng: &mut impl Rng, weights: impl Iterator<Item = u64>, total: u128) -> usize {
+    let mut target = rng.gen_range(0..total);
+    for (idx, w) in weights.enumerate() {
+        let w = u128::from(w);
+        if target < w {
+            return idx;
+        }
+        target -= w;
+    }
+    unreachable!("weighted_pick: weights exhausted before total");
+}
+
+/// Runs the `ℓ1`-sampling protocol. Output (at Bob) is `None` iff
+/// `‖AB‖₁ = 0`.
+///
+/// # Errors
+///
+/// Fails on dimension mismatch or negative entries.
+pub fn run(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    seed: Seed,
+) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    if !a.is_nonnegative() || !b.is_nonnegative() {
+        return Err(CommError::protocol(
+            "Remark 3 requires entrywise non-negative matrices".to_string(),
+        ));
+    }
+    let alice_seed = seed.derive("alice");
+    let bob_seed = seed.derive("bob");
+    let outcome = execute(
+        a,
+        b,
+        |link, a: &CsrMatrix| {
+            let at = a.transpose();
+            let mut rng = alice_seed.rng();
+            let cols: Vec<(u64, Option<u32>)> = (0..a.cols())
+                .map(|k| {
+                    let entries = at.row(k).0;
+                    let vals = at.row(k).1;
+                    let mass: u64 = vals.iter().map(|&v| v as u64).sum();
+                    if mass == 0 {
+                        (0, None)
+                    } else {
+                        let pick = weighted_pick(
+                            &mut rng,
+                            vals.iter().map(|&v| v as u64),
+                            u128::from(mass),
+                        );
+                        (mass, Some(entries[pick]))
+                    }
+                })
+                .collect();
+            link.send(
+                0,
+                "l1-column-summaries",
+                &ColumnSummaries {
+                    row_dim: a.rows() as u64,
+                    cols,
+                },
+            )
+        },
+        |link, b: &CsrMatrix| {
+            let summary: ColumnSummaries = link.recv("l1-column-summaries")?;
+            if summary.cols.len() != b.rows() {
+                return Err(CommError::protocol("summary length mismatch".to_string()));
+            }
+            let row_masses: Vec<u64> = b.row_abs_sums().iter().map(|&v| v as u64).collect();
+            let weights: Vec<u128> = summary
+                .cols
+                .iter()
+                .zip(row_masses.iter())
+                .map(|(&(u, _), &v)| u128::from(u) * u128::from(v))
+                .collect();
+            let total: u128 = weights.iter().sum();
+            if total == 0 {
+                return Ok(None);
+            }
+            let mut rng = bob_seed.rng();
+            // Draw the witness k proportionally to u_k * v_k.
+            let mut target = rng.gen_range(0..total);
+            let mut witness = 0usize;
+            for (k, &w) in weights.iter().enumerate() {
+                if target < w {
+                    witness = k;
+                    break;
+                }
+                target -= w;
+            }
+            let row = summary.cols[witness]
+                .1
+                .ok_or_else(|| CommError::protocol("witness without sampled row".to_string()))?;
+            let (b_cols, b_vals) = b.row(witness);
+            let pick = weighted_pick(
+                &mut rng,
+                b_vals.iter().map(|&v| v as u64),
+                u128::from(row_masses[witness]),
+            );
+            Ok(Some(L1Sample {
+                row,
+                col: b_cols[pick],
+                witness: witness as u32,
+            }))
+        },
+    )?;
+    Ok(ProtocolRun {
+        output: outcome.bob,
+        transcript: outcome.transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::Workloads;
+    use std::collections::HashMap;
+
+    #[test]
+    fn one_round_and_witness_valid() {
+        let a = Workloads::bernoulli_bits(16, 24, 0.3, 1).to_csr();
+        let b = Workloads::bernoulli_bits(24, 16, 0.3, 2).to_csr();
+        let run = run(&a, &b, Seed(5)).unwrap();
+        assert_eq!(run.rounds(), 1);
+        let s = run.output.expect("nonzero product");
+        // The witness must be a genuine join witness.
+        assert_eq!(a.get(s.row as usize, s.witness), 1);
+        assert_eq!(b.get(s.witness as usize, s.col), 1);
+    }
+
+    #[test]
+    fn zero_product_returns_none() {
+        let (a, b) = Workloads::disjoint_supports(10, 20, 0.4, 3);
+        let run = run(&a.to_csr(), &b.to_csr(), Seed(1)).unwrap();
+        assert_eq!(run.output, None);
+    }
+
+    #[test]
+    fn distribution_proportional_to_entries() {
+        // Small deterministic instance: C entries have known masses.
+        // A = [2 0; 1 1], B = [1 1; 0 2] (non-negative integers).
+        let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 2), (1, 0, 1), (1, 1, 1)]);
+        let b = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1), (0, 1, 1), (1, 1, 2)]);
+        let c = a.matmul(&b);
+        let l1: i64 = c.triplets().map(|(_, _, v)| v).sum();
+        let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let trials = 4000u64;
+        for t in 0..trials {
+            let out = run(&a, &b, Seed(10_000 + t)).unwrap().output.unwrap();
+            *counts.entry((out.row, out.col)).or_insert(0) += 1;
+        }
+        for (r, cidx, v) in c.triplets() {
+            let expect = trials as f64 * v as f64 / l1 as f64;
+            let got = *counts.get(&(r, cidx)).unwrap_or(&0) as f64;
+            assert!(
+                (got - expect).abs() < 5.0 * expect.sqrt() + 20.0,
+                "entry ({r},{cidx}) value {v}: got {got}, expect {expect}"
+            );
+        }
+        // No samples outside the support.
+        assert_eq!(counts.values().sum::<u64>(), trials);
+        assert!(counts.len() <= c.nnz());
+    }
+
+    #[test]
+    fn communication_budget() {
+        let a = Workloads::bernoulli_bits(64, 128, 0.8, 7).to_csr();
+        let b = Workloads::bernoulli_bits(128, 64, 0.8, 8).to_csr();
+        let run = run(&a, &b, Seed(2)).unwrap();
+        // ~n * (varint mass + log n index) bits.
+        assert!(
+            run.bits() < 128 * 48,
+            "l1-sampling cost {} above O(n log n)",
+            run.bits()
+        );
+    }
+
+    #[test]
+    fn rejects_negative() {
+        let a = Workloads::integer_csr(5, 5, 0.5, 3, true, 9);
+        let b = Workloads::integer_csr(5, 5, 0.5, 3, false, 10);
+        assert!(run(&a, &b, Seed(0)).is_err());
+    }
+}

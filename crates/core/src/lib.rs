@@ -1,0 +1,71 @@
+//! # mpest-core — distributed statistical estimation of matrix products
+//!
+//! Full implementation of the protocols of **Woodruff & Zhang,
+//! "Distributed Statistical Estimation of Matrix Products with
+//! Applications", PODS 2018**: Alice holds `A`, Bob holds `B`, and they
+//! estimate statistics of `C = A·B` with provably little communication.
+//! Every protocol returns a [`ProtocolRun`] carrying a bit-exact
+//! transcript, so tests and benchmarks can check both the answer *and*
+//! the communication/round budget.
+//!
+//! | Module | Paper | Guarantee | Comm | Rounds |
+//! |---|---|---|---|---|
+//! | [`lp_norm`] | Alg. 1, Thm 3.1 | `(1±ε)·‖AB‖_p^p`, `p ∈ [0,2]` | `Õ(n/ε)` | 2 |
+//! | [`lp_baseline`] | \[16\] / §1.3 | `(1±ε)·‖AB‖_p^p` | `Õ(n/ε²)` | 1 |
+//! | [`exact_l1`] | Remark 2 | exact `‖AB‖₁` (non-neg.) | `O(n log n)` | 1 |
+//! | [`l1_sample`] | Remark 3 | `ℓ1`-sample + witness | `O(n log n)` | 1 |
+//! | [`l0_sample`] | Thm 3.2 | `(1±ε)`-uniform support sample | `Õ(n/ε²)` | 1 |
+//! | [`sparse_matmul`] | Lemma 2.5 | shares `C_A+C_B = AB` | `Õ(n√‖AB‖₀)` | 2 |
+//! | [`linf_binary`] | Alg. 2, Thm 4.1 | `(2+ε)·‖AB‖∞`, binary | `Õ(n^{1.5}/ε)` | 3 |
+//! | [`linf_kappa`] | Alg. 3, Thm 4.3 | `κ`-approx, binary | `Õ(n^{1.5}/κ)` | O(1) |
+//! | [`linf_general`] | Thm 4.8(1) | `κ`-approx, integer | `Õ(n²/κ²)` | 1 |
+//! | [`hh_general`] | Alg. 4, Thm 5.1, Cor. 5.2 | `(φ,ε)`-HH, integer | `Õ(√φ/ε·n)` | O(1) |
+//! | [`hh_binary`] | §5.2, Thm 5.3 | `(φ,ε)`-HH, binary | `Õ(n + φ/ε²)` | O(1) |
+//! | [`trivial`] | folklore | everything, exactly | `n²` | 1 |
+//! | [`rect`] | §6 | rectangular variants | see §6 | — |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mpest_comm::Seed;
+//! use mpest_core::lp_norm::{self, LpParams};
+//! use mpest_matrix::{PNorm, Workloads};
+//!
+//! // Two relations as binary matrices: rows of A are Alice's sets,
+//! // columns of B are Bob's sets.
+//! let a = Workloads::bernoulli_bits(64, 96, 0.2, 1).to_csr();
+//! let b = Workloads::bernoulli_bits(96, 64, 0.2, 2).to_csr();
+//!
+//! // 2-round (1+eps) estimate of the set-intersection join size ||AB||_0.
+//! let run = lp_norm::run(&a, &b, &LpParams::new(PNorm::Zero, 0.25), Seed(7)).unwrap();
+//! assert_eq!(run.rounds(), 2);
+//! assert!(run.output > 0.0);
+//! println!("join size ≈ {} using {} bits", run.output, run.bits());
+//! ```
+
+pub mod boost;
+pub mod config;
+pub mod exact_l1;
+mod exchange;
+pub mod hh_binary;
+pub mod hh_general;
+pub mod l0_sample;
+pub mod l1_sample;
+pub mod linf_binary;
+pub mod linf_general;
+pub mod linf_kappa;
+pub mod lp_baseline;
+pub mod lp_norm;
+pub mod rect;
+pub mod result;
+pub mod sparse_matmul;
+pub mod trivial;
+pub mod wire;
+
+pub use config::Constants;
+pub use result::{
+    HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares, ProtocolRun,
+};
+
+// Re-export the substrate types a user needs at the API boundary.
+pub use mpest_comm::{CommError, Seed, Transcript};

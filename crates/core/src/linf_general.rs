@@ -1,0 +1,173 @@
+//! Theorem 4.8(1): `κ`-approximation of `‖AB‖∞` for **general integer
+//! matrices** in one round and `Õ(n²/κ²)` bits.
+//!
+//! For non-binary matrices the binary tricks die (Theorem 4.8(2) shows
+//! `Ω̃(n²/κ²)` is optimal), and the right tool is the block sketch of
+//! \[33\]: partition each column of `C` into blocks of `κ²` coordinates and
+//! AMS-sketch each block; since `‖y‖∞ ≤ ‖y‖₂ ≤ κ·‖y‖∞` on a block, the
+//! max block-`ℓ2` estimate is a `κ`-approximation of the max entry.
+//! Alice ships the sketch of every column of `A` (`Õ(n/κ²)` words each);
+//! Bob finishes the product by linearity and takes the max over all
+//! columns and blocks.
+
+use crate::config::{check_dims, Constants};
+use crate::result::ProtocolRun;
+use crate::wire::WSkMat;
+use mpest_comm::{execute, CommError, Seed};
+use mpest_matrix::CsrMatrix;
+use mpest_sketch::linear::combine_rows;
+use mpest_sketch::{BlockAmsSketch, SkMat};
+
+/// Parameters of the general-matrix `ℓ∞` protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct LinfGeneralParams {
+    /// Approximation target `κ`.
+    pub kappa: usize,
+    /// Protocol constants (AMS repetitions per block).
+    pub consts: Constants,
+}
+
+impl LinfGeneralParams {
+    /// Convenience constructor with default constants.
+    #[must_use]
+    pub fn new(kappa: usize) -> Self {
+        Self {
+            kappa,
+            consts: Constants::default(),
+        }
+    }
+}
+
+/// Runs the one-round block-AMS protocol. Output (at Bob) satisfies
+/// (w.h.p.) `‖AB‖∞ ≲ output ≲ κ·‖AB‖∞`.
+///
+/// # Errors
+///
+/// Fails on dimension mismatch or `κ == 0`.
+pub fn run(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    params: &LinfGeneralParams,
+    seed: Seed,
+) -> Result<ProtocolRun<f64>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    if params.kappa == 0 {
+        return Err(CommError::protocol("kappa must be positive".to_string()));
+    }
+    let pub_seed = seed.derive("public");
+    let sketch = BlockAmsSketch::new(
+        a.rows().max(1),
+        params.kappa,
+        params.consts.sketch_reps,
+        pub_seed.derive("block-ams").0,
+    );
+
+    let outcome = execute(
+        a,
+        b,
+        |link, a: &CsrMatrix| {
+            // Sketch every column of A (= rows of Aᵀ).
+            let at = a.transpose();
+            link.send(0, "blockams-col-sketches", &WSkMat(SkMat::Real(sketch.sketch_rows(&at))))
+        },
+        |link, b: &CsrMatrix| {
+            let ska = match link.recv::<WSkMat>("blockams-col-sketches")?.0 {
+                SkMat::Real(m) => m,
+                SkMat::Field(_) => {
+                    return Err(CommError::protocol("expected real sketch words".to_string()))
+                }
+            };
+            if ska.rows() != b.rows() {
+                return Err(CommError::protocol(
+                    "sketch row count does not match inner dimension".to_string(),
+                ));
+            }
+            let bt = b.transpose();
+            let mut best = 0.0f64;
+            for j in 0..b.cols() {
+                let weights = bt.row_vec(j).entries;
+                if weights.is_empty() {
+                    continue;
+                }
+                let skc = combine_rows(&ska, &weights);
+                best = best.max(sketch.estimate_linf(&skc));
+            }
+            Ok(best)
+        },
+    )?;
+    Ok(ProtocolRun {
+        output: outcome.bob,
+        transcript: outcome.transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::{stats, Workloads};
+
+    #[test]
+    fn one_round_sandwich_bounds() {
+        let a = Workloads::integer_csr(64, 48, 0.2, 8, true, 1);
+        let b = Workloads::integer_csr(48, 64, 0.2, 8, true, 2);
+        let truth = stats::linf_of_product(&a, &b).0 as f64;
+        assert!(truth > 0.0);
+        let kappa = 4usize;
+        let params = LinfGeneralParams::new(kappa);
+        let mut ok = 0;
+        for t in 0..9 {
+            let run = run(&a, &b, &params, Seed(10 + t)).unwrap();
+            assert_eq!(run.rounds(), 1, "Theorem 4.8 protocol is one-round");
+            let est = run.output;
+            if est >= 0.5 * truth && est <= 2.0 * kappa as f64 * truth {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 7, "sandwich failed too often: {ok}/9");
+    }
+
+    #[test]
+    fn cost_shrinks_quadratically_in_kappa() {
+        let a = Workloads::integer_csr(128, 64, 0.2, 5, false, 3);
+        let b = Workloads::integer_csr(64, 128, 0.2, 5, false, 4);
+        let bits2 = run(&a, &b, &LinfGeneralParams::new(2), Seed(1)).unwrap().bits();
+        let bits8 = run(&a, &b, &LinfGeneralParams::new(8), Seed(1)).unwrap().bits();
+        // Blocks shrink by 16x; allow generous slack for headers/rounding.
+        assert!(
+            bits8 * 6 < bits2,
+            "kappa=8 cost {bits8} not ~quadratically below kappa=2 cost {bits2}"
+        );
+    }
+
+    #[test]
+    fn zero_product() {
+        let a = CsrMatrix::zeros(8, 8);
+        let b = CsrMatrix::zeros(8, 8);
+        let run = run(&a, &b, &LinfGeneralParams::new(4), Seed(0)).unwrap();
+        assert_eq!(run.output, 0.0);
+    }
+
+    #[test]
+    fn signed_entries_with_cancellation() {
+        // [1, -1] style cancellations: linf of the product is what the
+        // sketch must see, not the magnitudes of A, B.
+        let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 50), (0, 1, -50), (1, 0, 3)]);
+        let b = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1), (1, 0, 1), (0, 1, 2), (1, 1, 2)]);
+        // C = [[0, 0], [3, 6]]: linf = 6 despite entries of 50 in A.
+        let truth = stats::linf_of_product(&a, &b).0 as f64;
+        assert_eq!(truth, 6.0);
+        let run = run(&a, &b, &LinfGeneralParams::new(2), Seed(5)).unwrap();
+        assert!(
+            run.output <= 4.0 * truth,
+            "cancellation ignored: estimate {}",
+            run.output
+        );
+    }
+
+    #[test]
+    fn rejects_bad_kappa() {
+        let a = CsrMatrix::zeros(4, 4);
+        let b = CsrMatrix::zeros(4, 4);
+        assert!(run(&a, &b, &LinfGeneralParams::new(0), Seed(0)).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Algorithm 3 / Theorem 4.3: `κ`-approximation of `‖AB‖∞` for binary
+//! matrices, `κ ∈ [4, n]`, in `O(1)` rounds and `Õ(n^{1.5}/κ)` bits.
+//!
+//! Two nested sampling stages. First, *universe sampling*: keep each
+//! inner-dimension item (column of `A`) with probability
+//! `q = min(α/κ, 1)`, shrinking both the surviving universe (`Õ(n/κ)`
+//! items) and every product entry (`D_{i,j} ≈ q·C_{i,j}`). Then run the
+//! Algorithm 2 machinery on `D = A'·B` with powers-of-two levels
+//! `p_ℓ = 2^{-ℓ}` and the smaller mass threshold `α·n²/κ`, and rescale by
+//! `1/(q·p_{ℓ*})`. If the universe sample wipes the product out
+//! (`‖D‖₁ = 0`), every entry of `C` is below `≈ κ/4` w.h.p., so
+//! answering `1` (or `0` for a zero product, checked via Remark 2 on the
+//! full `A`) is already a `κ`-approximation.
+
+use crate::config::{check_dims, Constants};
+use crate::exchange::{ExchangeCfg, ItemLists};
+use crate::result::{LinfEstimate, ProtocolRun};
+use crate::wire::WU64Grid;
+use mpest_comm::{execute, CommError, Seed};
+use mpest_matrix::BitMatrix;
+
+/// Parameters of the `κ`-approximation protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct LinfKappaParams {
+    /// Approximation target `κ` (paper range `[4, n]`).
+    pub kappa: f64,
+    /// Protocol constants (`α = alpha_const · ln(cells)`).
+    pub consts: Constants,
+}
+
+impl LinfKappaParams {
+    /// Convenience constructor with default constants.
+    #[must_use]
+    pub fn new(kappa: f64) -> Self {
+        Self {
+            kappa,
+            consts: Constants::default(),
+        }
+    }
+}
+
+/// Nested powers-of-two level for a 1-entry of `A'`.
+fn entry_level2(seed: Seed, key: u64, max_level: u32) -> u32 {
+    let u = seed.unit_at(key).max(f64::MIN_POSITIVE);
+    let lvl = (1.0 / u).log2().floor();
+    if lvl < 0.0 {
+        0
+    } else {
+        (lvl as u32).min(max_level)
+    }
+}
+
+/// Runs Algorithm 3. Output (at Bob) approximates `‖AB‖∞` within a
+/// factor `κ` (paper convention: `output ∈ [truth/β, γ·truth]` with
+/// `βγ ≤ κ(1+o(1))`).
+///
+/// # Errors
+///
+/// Fails on dimension mismatch or `κ < 1`.
+pub fn run(
+    a: &BitMatrix,
+    b: &BitMatrix,
+    params: &LinfKappaParams,
+    seed: Seed,
+) -> Result<ProtocolRun<LinfEstimate>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    if params.kappa < 1.0 {
+        return Err(CommError::protocol(format!(
+            "kappa must be >= 1, got {}",
+            params.kappa
+        )));
+    }
+    let cells = (a.rows() * b.cols()).max(2) as f64;
+    let alpha = params.consts.alpha_const * cells.ln();
+    let q = (alpha / params.kappa).min(1.0);
+    let threshold = alpha * cells / params.kappa;
+    let inner = a.cols();
+    let universe_seed = seed.derive("alice-universe");
+    let level_seed = seed.derive("alice-linf2-levels");
+    let cfg = ExchangeCfg {
+        round: 0,
+        binary: true,
+        out_rows: a.rows(),
+        out_cols: b.cols(),
+        inner_dim: inner,
+    };
+    let max_level = {
+        let ones = a.count_ones().max(1) as f64;
+        ones.log2().ceil() as u32 + 1
+    };
+    let levels = max_level as usize + 1;
+    let items: Vec<u32> = (0..inner as u32).collect();
+
+    let outcome = execute(
+        a,
+        b,
+        |link, a: &BitMatrix| {
+            // Universe sampling (Alice's coins): survive(j) with prob q.
+            let survives = |j: u32| universe_seed.unit_at(u64::from(j)) < q;
+            // Per-column entries of A' with powers-of-two levels.
+            let mut cols: Vec<Vec<(u32, u32)>> = vec![Vec::new(); inner];
+            let mut full_colsums = vec![0u64; inner];
+            for i in 0..a.rows() {
+                for j in a.row_indices(i) {
+                    full_colsums[j as usize] += 1;
+                    if survives(j) {
+                        let key = (i as u64) * (inner as u64) + u64::from(j);
+                        let lvl = entry_level2(level_seed, key, max_level);
+                        cols[j as usize].push((i as u32, lvl));
+                    }
+                }
+            }
+            let mut level_sums = vec![vec![0u64; inner]; levels];
+            for (j, entries) in cols.iter().enumerate() {
+                for &(_, lvl) in entries {
+                    for row in level_sums.iter_mut().take(lvl as usize + 1) {
+                        row[j] += 1;
+                    }
+                }
+            }
+            let keep = level_sums
+                .iter()
+                .position(|row| row.iter().all(|&v| v == 0))
+                .map_or(level_sums.len(), |idx| idx + 1)
+                .max(1);
+            level_sums.truncate(keep);
+            link.send(
+                0,
+                "linf2-colsums",
+                &(WU64Grid(vec![full_colsums]), WU64Grid(level_sums.clone())),
+            )?;
+            let (short_circuit, lstar, v64, bob_lists): (bool, u64, Vec<u64>, ItemLists) =
+                link.recv("linf2-bob-lists")?;
+            if short_circuit {
+                return Ok(());
+            }
+            let lstar = lstar as u32;
+            let v: Vec<u32> = v64.iter().map(|&x| x as u32).collect();
+            if v.len() != inner || (lstar as usize) >= level_sums.len() {
+                return Err(CommError::protocol("round-2 payload out of range".to_string()));
+            }
+            let u: Vec<u32> = level_sums[lstar as usize].iter().map(|&x| x as u32).collect();
+            let col_of = |k: u32| -> Vec<(u32, i64)> {
+                cols[k as usize]
+                    .iter()
+                    .filter(|&&(_, lvl)| lvl >= lstar)
+                    .map(|&(row, _)| (row, 1i64))
+                    .collect()
+            };
+            let ca = bob_lists.accumulate_against(cfg, col_of, true);
+            let max_a = ca.max_abs().0;
+            let mine = ItemLists::build(cfg, a.rows(), &items, &u, &v, |uk, vk| uk <= vk, col_of);
+            link.send(2, "linf2-alice-lists", &(mine, max_a as u64))?;
+            Ok(())
+        },
+        |link, b: &BitMatrix| {
+            let (full_grid, level_grid): (WU64Grid, WU64Grid) = link.recv("linf2-colsums")?;
+            let full_colsums = full_grid.0.into_iter().next().unwrap_or_default();
+            let level_sums = level_grid.0;
+            if full_colsums.len() != inner
+                || level_sums.is_empty()
+                || level_sums[0].len() != inner
+            {
+                return Err(CommError::protocol("column-sum shape mismatch".to_string()));
+            }
+            let v: Vec<u32> = (0..b.rows()).map(|j| b.row_ones(j)).collect();
+            let mass = |lvl: &[u64]| -> f64 {
+                lvl.iter()
+                    .zip(v.iter())
+                    .map(|(&uj, &vj)| uj as f64 * f64::from(vj))
+                    .sum()
+            };
+            let c_l1 = mass(&full_colsums);
+            let d_l1 = mass(&level_sums[0]);
+            if d_l1 == 0.0 {
+                // ‖D‖₁ = 0: all entries of C are below ~κ/4 w.h.p.
+                let estimate = if c_l1 > 0.0 { 1.0 } else { 0.0 };
+                link.send(
+                    1,
+                    "linf2-bob-lists",
+                    &(
+                        true,
+                        0u64,
+                        Vec::<u64>::new(),
+                        ItemLists::build(cfg, b.cols(), &[], &[], &[], |_, _| false, |_| vec![]),
+                    ),
+                )?;
+                return Ok(LinfEstimate {
+                    estimate,
+                    level: None,
+                });
+            }
+            let lstar = level_sums
+                .iter()
+                .position(|lvl| mass(lvl) <= threshold)
+                .unwrap_or(level_sums.len() - 1) as u32;
+            let u: Vec<u32> = level_sums[lstar as usize].iter().map(|&x| x as u32).collect();
+            let row_of = |k: u32| -> Vec<(u32, i64)> {
+                b.row_indices(k as usize).map(|c| (c, 1i64)).collect()
+            };
+            let mine = ItemLists::build(cfg, b.cols(), &items, &u, &v, |uk, vk| vk < uk, row_of);
+            link.send(
+                1,
+                "linf2-bob-lists",
+                &(
+                    false,
+                    u64::from(lstar),
+                    v.iter().map(|&x| u64::from(x)).collect::<Vec<u64>>(),
+                    mine,
+                ),
+            )?;
+            let (alice_lists, max_a): (ItemLists, u64) = link.recv("linf2-alice-lists")?;
+            let cb = alice_lists.accumulate_against(cfg, row_of, false);
+            let max_b = cb.max_abs().0 as u64;
+            let scale = q * 2f64.powi(-(lstar as i32));
+            Ok(LinfEstimate {
+                estimate: max_a.max(max_b) as f64 / scale,
+                level: Some(lstar),
+            })
+        },
+    )?;
+    Ok(ProtocolRun {
+        output: outcome.bob,
+        transcript: outcome.transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::{stats, Workloads};
+
+    #[test]
+    fn constant_rounds_and_within_kappa_on_planted() {
+        // Planted heavy pair well above kappa: estimate must land within
+        // a kappa-factor band of the truth most of the time.
+        let n = 64;
+        let (a, b, _) = Workloads::planted_pairs(n, 96, 0.15, &[(5, 11)], 80, 7);
+        let truth = stats::linf_of_product_binary(&a, &b).0 as f64;
+        let kappa = 8.0;
+        let params = LinfKappaParams::new(kappa);
+        let mut ok = 0;
+        for t in 0..9 {
+            let run = run(&a, &b, &params, Seed(100 + t)).unwrap();
+            assert!(run.rounds() <= 3, "O(1) rounds");
+            let est = run.output.estimate;
+            // kappa-approximation band (with slack for practical consts).
+            if est >= truth / (2.5 * kappa) && est <= 2.5 * kappa * truth {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 6, "kappa-approx failed too often: {ok}/9");
+    }
+
+    #[test]
+    fn zero_product_outputs_zero() {
+        let (a, b) = Workloads::disjoint_supports(16, 32, 0.4, 3);
+        let run = run(&a, &b, &LinfKappaParams::new(8.0), Seed(5)).unwrap();
+        assert_eq!(run.output.estimate, 0.0);
+    }
+
+    #[test]
+    fn wiped_universe_outputs_one() {
+        // Huge kappa -> q tiny -> universe likely wiped; nonzero product
+        // must yield the fallback answer 1.
+        let a = Workloads::bernoulli_bits(16, 24, 0.05, 9);
+        let b = Workloads::bernoulli_bits(24, 16, 0.05, 10);
+        let truth = stats::linf_of_product_binary(&a, &b).0;
+        if truth == 0 {
+            return; // degenerate draw; nothing to assert
+        }
+        let mut consts = Constants::practical();
+        consts.alpha_const = 0.05; // make q truly tiny
+        let params = LinfKappaParams { kappa: 1e6, consts };
+        let mut saw_fallback = false;
+        for t in 0..10 {
+            let run = run(&a, &b, &params, Seed(200 + t)).unwrap();
+            if run.output.level.is_none() {
+                assert_eq!(run.output.estimate, 1.0);
+                saw_fallback = true;
+            }
+        }
+        assert!(saw_fallback, "fallback path never exercised");
+    }
+
+    #[test]
+    fn larger_kappa_costs_less() {
+        let n = 96;
+        let (a, b, _) = Workloads::planted_pairs(n, n, 0.3, &[(1, 2)], 72, 13);
+        let bits_small = run(&a, &b, &LinfKappaParams::new(4.0), Seed(1))
+            .unwrap()
+            .bits();
+        let bits_large = run(&a, &b, &LinfKappaParams::new(32.0), Seed(1))
+            .unwrap()
+            .bits();
+        assert!(
+            bits_large < bits_small,
+            "kappa=32 cost {bits_large} not below kappa=4 cost {bits_small}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_kappa() {
+        let a = BitMatrix::zeros(4, 4);
+        let b = BitMatrix::zeros(4, 4);
+        assert!(run(&a, &b, &LinfKappaParams::new(0.5), Seed(0)).is_err());
+    }
+}

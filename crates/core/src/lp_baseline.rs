@@ -1,0 +1,178 @@
+//! The one-round `Õ(n/ε²)` baseline (\[16\]; discussed in Sections 1.2–1.3).
+//!
+//! Bob ships `ℓp` sketches of the rows of `B` at *full* accuracy `ε`
+//! (`Õ(1/ε²)` words per row); Alice converts them into sketches of the
+//! rows of `C = A·B` by linearity and sums the per-row estimates. One
+//! round, but a factor `1/ε` more communication than Algorithm 1 — this
+//! is the separation Theorem 3.1 establishes (and the `Ω(n/ε²)` one-round
+//! lower bound of \[16\] shows is inherent).
+
+use crate::config::{check_dims, check_eps, Constants};
+use crate::result::ProtocolRun;
+use crate::wire::WSkMat;
+use mpest_comm::{execute, CommError, Link, Seed};
+use mpest_matrix::{CsrMatrix, PNorm};
+use mpest_sketch::NormSketch;
+
+/// Parameters of the one-round baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineParams {
+    /// Which norm to estimate (`p ∈ [0, 2]`).
+    pub p: PNorm,
+    /// Target multiplicative accuracy `ε`.
+    pub eps: f64,
+    /// Protocol constants (sketch repetitions).
+    pub consts: Constants,
+}
+
+impl BaselineParams {
+    /// Convenience constructor with default constants.
+    #[must_use]
+    pub fn new(p: PNorm, eps: f64) -> Self {
+        Self {
+            p,
+            eps,
+            consts: Constants::default(),
+        }
+    }
+}
+
+fn make_sketch(params: &BaselineParams, dim: usize, pub_seed: Seed) -> NormSketch {
+    NormSketch::for_norm(
+        params.p,
+        dim.max(1),
+        params.eps,
+        params.consts.sketch_reps,
+        pub_seed.derive("lp-baseline-sketch").0,
+    )
+}
+
+/// Bob's phase: one message of full-accuracy row sketches.
+pub(crate) fn bob_phase(
+    link: &Link<'_>,
+    round: u16,
+    b: &CsrMatrix,
+    params: &BaselineParams,
+    pub_seed: Seed,
+) -> Result<(), CommError> {
+    let sketch = make_sketch(params, b.cols(), pub_seed);
+    link.send(round, "baseline-row-sketches", &WSkMat(sketch.sketch_rows(b)))
+}
+
+/// Alice's phase: combines and sums per-row estimates.
+pub(crate) fn alice_phase(
+    link: &Link<'_>,
+    a: &CsrMatrix,
+    b_cols: usize,
+    params: &BaselineParams,
+    pub_seed: Seed,
+) -> Result<f64, CommError> {
+    let sketch = make_sketch(params, b_cols, pub_seed);
+    let skb = link.recv::<WSkMat>("baseline-row-sketches")?.0;
+    if skb.rows() != a.cols() {
+        return Err(CommError::protocol(format!(
+            "sketched-rows count {} does not match inner dimension {}",
+            skb.rows(),
+            a.cols()
+        )));
+    }
+    let mut total = 0.0f64;
+    for i in 0..a.rows() {
+        let weights = a.row_vec(i).entries;
+        if weights.is_empty() {
+            continue;
+        }
+        let skc = sketch.combine(&skb, &weights);
+        total += sketch.estimate_pow(&skc).max(0.0);
+    }
+    Ok(total)
+}
+
+/// Runs the baseline. Output (at Alice) estimates `‖AB‖_p^p` within
+/// `(1+ε)`, in exactly one round.
+///
+/// # Errors
+///
+/// Fails on dimension mismatch or invalid parameters.
+pub fn run(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    params: &BaselineParams,
+    seed: Seed,
+) -> Result<ProtocolRun<f64>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    check_eps(params.eps)?;
+    if !params.p.supported_by_lp_protocol() {
+        return Err(CommError::protocol(format!(
+            "baseline supports p in [0, 2], got {:?}",
+            params.p
+        )));
+    }
+    let pub_seed = seed.derive("public");
+    let b_cols = b.cols();
+    let outcome = execute(
+        a,
+        b,
+        |link, a| alice_phase(link, a, b_cols, params, pub_seed),
+        |link, b| bob_phase(link, 0, b, params, pub_seed),
+    )?;
+    Ok(ProtocolRun {
+        output: outcome.alice,
+        transcript: outcome.transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::{stats, Workloads};
+
+    #[test]
+    fn one_round_and_accurate() {
+        let a = Workloads::bernoulli_bits(40, 56, 0.25, 1).to_csr();
+        let b = Workloads::bernoulli_bits(56, 40, 0.25, 2).to_csr();
+        for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO] {
+            let truth = stats::lp_pow_of_product(&a, &b, p);
+            let params = BaselineParams::new(p, 0.3);
+            let mut ok = 0;
+            for t in 0..9 {
+                let run = run(&a, &b, &params, Seed(300 + t)).unwrap();
+                assert_eq!(run.rounds(), 1, "baseline is one-round");
+                if (run.output - truth).abs() <= 0.35 * truth {
+                    ok += 1;
+                }
+            }
+            assert!(ok >= 6, "p={p:?}: baseline accuracy {ok}/9");
+        }
+    }
+
+    #[test]
+    fn costs_more_than_algorithm_1_at_small_eps() {
+        // The whole point: at the same ε, the baseline ships ~1/ε more.
+        let a = Workloads::bernoulli_bits(24, 96, 0.2, 5).to_csr();
+        let b = Workloads::bernoulli_bits(96, 24, 0.2, 6).to_csr();
+        let eps = 0.05;
+        let base = run(&a, &b, &BaselineParams::new(PNorm::Zero, eps), Seed(1)).unwrap();
+        let two_round = crate::lp_norm::run(
+            &a,
+            &b,
+            &crate::lp_norm::LpParams::new(PNorm::Zero, eps),
+            Seed(1),
+        )
+        .unwrap();
+        assert!(
+            base.bits() > 2 * two_round.bits(),
+            "baseline {} bits vs Algorithm 1 {} bits",
+            base.bits(),
+            two_round.bits()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let a = CsrMatrix::zeros(4, 4);
+        let b = CsrMatrix::zeros(4, 4);
+        assert!(run(&a, &b, &BaselineParams::new(PNorm::Inf, 0.5), Seed(0)).is_err());
+        assert!(run(&a, &b, &BaselineParams::new(PNorm::ONE, -0.5), Seed(0)).is_err());
+    }
+}

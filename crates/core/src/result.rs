@@ -1,0 +1,157 @@
+//! Protocol output types.
+
+use mpest_comm::Transcript;
+
+/// The result of running a protocol: the output value plus the bit-exact
+/// transcript of everything that crossed the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolRun<T> {
+    /// The protocol's output (produced at the designated output party).
+    pub output: T,
+    /// Communication record: exact bits per message, rounds.
+    pub transcript: Transcript,
+}
+
+impl<T> ProtocolRun<T> {
+    /// Total bits exchanged.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.transcript.total_bits()
+    }
+
+    /// Rounds used.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.transcript.rounds()
+    }
+}
+
+/// Outcome of a sampling protocol over the product matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixSample {
+    /// A sampled nonzero position and its value.
+    Sampled {
+        /// Row index in `C = A·B`.
+        row: u32,
+        /// Column index in `C = A·B`.
+        col: u32,
+        /// The entry value `C_{row, col}`.
+        value: i64,
+    },
+    /// The product is (w.h.p.) the zero matrix.
+    ZeroMatrix,
+    /// The sampler failed (probability bounded by the sampler's reps).
+    Failed,
+}
+
+/// An `ℓ1`-sample of `C = A·B` together with its join witness (Remark 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Sample {
+    /// Row index (`i` such that `(i, witness) ∈ A`).
+    pub row: u32,
+    /// Column index (`j` such that `(witness, j) ∈ B`).
+    pub col: u32,
+    /// The witness `k ∈ A_i ∩ B_j` through which the sample was drawn.
+    pub witness: u32,
+}
+
+/// A reported heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HhPair {
+    /// Row index in `C`.
+    pub row: u32,
+    /// Column index in `C`.
+    pub col: u32,
+    /// The protocol's estimate of `C_{row,col}` (un-scaled).
+    pub estimate: f64,
+}
+
+/// The output of a heavy-hitter protocol: a set `S` with
+/// `HH_φ ⊆ S ⊆ HH_{φ−ε}` (with the protocol's success probability).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HeavyHitters {
+    /// Reported pairs with value estimates.
+    pub pairs: Vec<HhPair>,
+}
+
+impl HeavyHitters {
+    /// Just the positions, sorted.
+    #[must_use]
+    pub fn positions(&self) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = self.pairs.iter().map(|p| (p.row, p.col)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether a position was reported.
+    #[must_use]
+    pub fn contains(&self, row: u32, col: u32) -> bool {
+        self.pairs.iter().any(|p| p.row == row && p.col == col)
+    }
+}
+
+/// An `ℓ∞` estimate with diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinfEstimate {
+    /// The estimate of `‖AB‖∞` (already rescaled by sampling rates).
+    pub estimate: f64,
+    /// The subsampling level `ℓ*` the protocol settled on (if any).
+    pub level: Option<u32>,
+}
+
+/// Additive shares of a matrix product: `C_A + C_B = A·B` (Lemma 2.5).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProductShares {
+    /// Alice's share, as sorted `(row, col, value)` triplets.
+    pub alice: Vec<(u32, u32, i64)>,
+    /// Bob's share, as sorted `(row, col, value)` triplets.
+    pub bob: Vec<(u32, u32, i64)>,
+}
+
+impl ProductShares {
+    /// Reconstructs the full product (for tests / verification).
+    #[must_use]
+    pub fn reconstruct(&self, rows: usize, cols: usize) -> mpest_matrix::CsrMatrix {
+        let mut triplets = self.alice.clone();
+        triplets.extend_from_slice(&self.bob);
+        mpest_matrix::CsrMatrix::from_triplets(rows, cols, triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hitters_helpers() {
+        let hh = HeavyHitters {
+            pairs: vec![
+                HhPair {
+                    row: 2,
+                    col: 1,
+                    estimate: 10.0,
+                },
+                HhPair {
+                    row: 0,
+                    col: 3,
+                    estimate: 8.0,
+                },
+            ],
+        };
+        assert_eq!(hh.positions(), vec![(0, 3), (2, 1)]);
+        assert!(hh.contains(2, 1));
+        assert!(!hh.contains(1, 2));
+    }
+
+    #[test]
+    fn shares_reconstruct() {
+        let shares = ProductShares {
+            alice: vec![(0, 0, 2), (1, 1, 3)],
+            bob: vec![(0, 0, -2), (0, 1, 5)],
+        };
+        let c = shares.reconstruct(2, 2);
+        assert_eq!(c.get(0, 0), 0);
+        assert_eq!(c.get(0, 1), 5);
+        assert_eq!(c.get(1, 1), 3);
+    }
+}

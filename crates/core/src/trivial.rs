@@ -1,0 +1,167 @@
+//! The trivial baseline: Alice ships her entire matrix; Bob computes any
+//! statistic exactly. `n·m` bits for binary inputs (`Õ(n·m)` for integer
+//! inputs), one round. Every non-trivial bound in the paper is measured
+//! against this.
+
+use crate::config::check_dims;
+use crate::result::ProtocolRun;
+use crate::wire::{WBits, WSparseVec};
+use mpest_comm::{execute, CommError, Seed};
+use mpest_matrix::norms::{dense_linf, dense_lp_pow, PNorm};
+use mpest_matrix::{BitMatrix, CsrMatrix};
+
+/// Exact statistics computed after a full-matrix transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactStats {
+    /// `‖AB‖₀`.
+    pub l0: f64,
+    /// `‖AB‖₁`.
+    pub l1: f64,
+    /// `‖AB‖₂²`.
+    pub l2_sq: f64,
+    /// `‖AB‖∞` with an arg-max position.
+    pub linf: (i64, (u32, u32)),
+}
+
+/// Runs the trivial protocol on binary matrices: Alice ships `A` as a raw
+/// bitmap (`rows·cols` bits exactly).
+///
+/// # Errors
+///
+/// Fails on dimension mismatch.
+pub fn run_binary(
+    a: &BitMatrix,
+    b: &BitMatrix,
+    _seed: Seed,
+) -> Result<ProtocolRun<ExactStats>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    let rows = a.rows();
+    let cols = a.cols();
+    let outcome = execute(
+        a,
+        b,
+        |link, a: &BitMatrix| {
+            let mut bits = Vec::with_capacity(rows * cols);
+            for i in 0..rows {
+                for j in 0..cols {
+                    bits.push(a.get(i, j));
+                }
+            }
+            link.send(0, "trivial-matrix", &WBits(bits))
+        },
+        |link, b: &BitMatrix| {
+            let bits: WBits = link.recv("trivial-matrix")?;
+            if bits.0.len() != rows * cols {
+                return Err(CommError::protocol("matrix payload size mismatch".to_string()));
+            }
+            let mut a = BitMatrix::zeros(rows, cols);
+            for (idx, &bit) in bits.0.iter().enumerate() {
+                if bit {
+                    a.set(idx / cols, idx % cols, true);
+                }
+            }
+            let c = a.matmul(b);
+            let (mx, (i, j)) = dense_linf(&c);
+            Ok(ExactStats {
+                l0: dense_lp_pow(&c, PNorm::Zero),
+                l1: dense_lp_pow(&c, PNorm::ONE),
+                l2_sq: dense_lp_pow(&c, PNorm::TWO),
+                linf: (mx, (i as u32, j as u32)),
+            })
+        },
+    )?;
+    Ok(ProtocolRun {
+        output: outcome.bob,
+        transcript: outcome.transcript,
+    })
+}
+
+/// Runs the trivial protocol on integer matrices: Alice ships `A` as
+/// sparse rows.
+///
+/// # Errors
+///
+/// Fails on dimension mismatch.
+pub fn run_csr(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    _seed: Seed,
+) -> Result<ProtocolRun<ExactStats>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    let rows = a.rows();
+    let cols = a.cols();
+    let outcome = execute(
+        a,
+        b,
+        |link, a: &CsrMatrix| {
+            let payload: Vec<WSparseVec> = (0..rows)
+                .map(|i| WSparseVec {
+                    dim: cols as u64,
+                    entries: a.row_vec(i).entries,
+                })
+                .collect();
+            link.send(0, "trivial-rows", &payload)
+        },
+        |link, b: &CsrMatrix| {
+            let payload: Vec<WSparseVec> = link.recv("trivial-rows")?;
+            if payload.len() != rows {
+                return Err(CommError::protocol("row count mismatch".to_string()));
+            }
+            let triplets = payload
+                .iter()
+                .enumerate()
+                .flat_map(|(i, row)| {
+                    row.entries
+                        .iter()
+                        .map(move |&(j, v)| (i as u32, j, v))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let a = CsrMatrix::from_triplets(rows, cols, triplets);
+            let c = a.matmul(b).to_dense();
+            let (mx, (i, j)) = dense_linf(&c);
+            Ok(ExactStats {
+                l0: dense_lp_pow(&c, PNorm::Zero),
+                l1: dense_lp_pow(&c, PNorm::ONE),
+                l2_sq: dense_lp_pow(&c, PNorm::TWO),
+                linf: (mx, (i as u32, j as u32)),
+            })
+        },
+    )?;
+    Ok(ProtocolRun {
+        output: outcome.bob,
+        transcript: outcome.transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::{stats, Workloads};
+
+    #[test]
+    fn binary_exact_and_bit_cost() {
+        let a = Workloads::bernoulli_bits(20, 30, 0.3, 1);
+        let b = Workloads::bernoulli_bits(30, 20, 0.3, 2);
+        let run = run_binary(&a, &b, Seed(0)).unwrap();
+        assert_eq!(run.output.l0, stats::lp_pow_of_product_binary(&a, &b, PNorm::Zero));
+        assert_eq!(run.output.l1, stats::lp_pow_of_product_binary(&a, &b, PNorm::ONE));
+        assert_eq!(
+            run.output.linf.0,
+            stats::linf_of_product_binary(&a, &b).0
+        );
+        // Exactly rows*cols payload bits plus the tiny length header.
+        assert_eq!(run.bits(), 20 * 30 + 16);
+        assert_eq!(run.rounds(), 1);
+    }
+
+    #[test]
+    fn csr_exact() {
+        let a = Workloads::integer_csr(15, 20, 0.3, 5, true, 3);
+        let b = Workloads::integer_csr(20, 15, 0.3, 5, true, 4);
+        let run = run_csr(&a, &b, Seed(0)).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(run.output.l1, mpest_matrix::norms::csr_lp_pow(&c, PNorm::ONE));
+        assert_eq!(run.output.linf.0, mpest_matrix::norms::csr_linf(&c).0);
+    }
+}

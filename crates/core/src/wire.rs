@@ -1,0 +1,366 @@
+//! Wire encodings for matrix- and sketch-typed messages.
+//!
+//! The `Wire` trait lives in `mpest-comm` and the payload types live in
+//! `mpest-matrix` / `mpest-sketch`, so this crate provides newtype
+//! adapters. Encodings follow the paper's accounting: indices at
+//! `⌈log₂ dim⌉` bits, integer values as zigzag varints, real sketch words
+//! at 64 bits, field words at 61 bits.
+
+use mpest_comm::{width_for, BitReader, BitWriter, CommError, Wire};
+use mpest_matrix::DenseMatrix;
+use mpest_sketch::{M61, SkMat};
+
+/// A sparse integer vector over a known dimension: indices fixed-width,
+/// values zigzag varints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WSparseVec {
+    /// Ambient dimension (determines index width).
+    pub dim: u64,
+    /// `(index, value)` entries.
+    pub entries: Vec<(u32, i64)>,
+}
+
+impl Wire for WSparseVec {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.dim);
+        w.write_varint(self.entries.len() as u64);
+        let width = width_for(self.dim);
+        for &(i, v) in &self.entries {
+            w.write_bits(u64::from(i), width);
+            w.write_zigzag(v);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let dim = r.read_varint()?;
+        let len = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("sparse vec length overflow"))?;
+        let width = width_for(dim);
+        let mut entries = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            let i = u32::try_from(r.read_bits(width)?)
+                .map_err(|_| CommError::decode("index overflow"))?;
+            let v = r.read_zigzag()?;
+            entries.push((i, v));
+        }
+        Ok(Self { dim, entries })
+    }
+}
+
+/// A sparse *binary* vector: indices only (used by the binary protocols,
+/// where shipping unit values would double the cost for nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WIndexVec {
+    /// Ambient dimension (determines index width).
+    pub dim: u64,
+    /// Sorted indices of the ones.
+    pub idx: Vec<u32>,
+}
+
+impl Wire for WIndexVec {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.dim);
+        w.write_varint(self.idx.len() as u64);
+        let width = width_for(self.dim);
+        for &i in &self.idx {
+            w.write_bits(u64::from(i), width);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let dim = r.read_varint()?;
+        let len = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("index vec length overflow"))?;
+        let width = width_for(dim);
+        let mut idx = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            idx.push(
+                u32::try_from(r.read_bits(width)?)
+                    .map_err(|_| CommError::decode("index overflow"))?,
+            );
+        }
+        Ok(Self { dim, idx })
+    }
+}
+
+/// A sketched-rows matrix (one sketch vector per input row), word-type
+/// erased: real words at 64 bits, field words at 61 bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WSkMat(pub SkMat);
+
+impl Wire for WSkMat {
+    fn encode(&self, w: &mut BitWriter) {
+        match &self.0 {
+            SkMat::Real(m) => {
+                w.write_bit(false);
+                w.write_varint(m.rows() as u64);
+                w.write_varint(m.cols() as u64);
+                for &x in m.as_slice() {
+                    w.write_f64(x);
+                }
+            }
+            SkMat::Field(m) => {
+                w.write_bit(true);
+                w.write_varint(m.rows() as u64);
+                w.write_varint(m.cols() as u64);
+                for &x in m.as_slice() {
+                    w.write_bits(x.value(), 61);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let is_field = r.read_bit()?;
+        let rows = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("rows overflow"))?;
+        let cols = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("cols overflow"))?;
+        let len = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CommError::decode("matrix size overflow"))?;
+        if is_field {
+            let mut data = Vec::with_capacity(len.min(1 << 24));
+            for _ in 0..len {
+                data.push(M61::new(r.read_bits(61)?));
+            }
+            Ok(WSkMat(SkMat::Field(DenseMatrix::from_vec(rows, cols, data))))
+        } else {
+            let mut data = Vec::with_capacity(len.min(1 << 24));
+            for _ in 0..len {
+                data.push(r.read_f64()?);
+            }
+            Ok(WSkMat(SkMat::Real(DenseMatrix::from_vec(rows, cols, data))))
+        }
+    }
+}
+
+/// A dense field matrix (the `ℓ0`-sampler sketches of Theorem 3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WFieldMat(pub DenseMatrix<M61>);
+
+impl Wire for WFieldMat {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.0.rows() as u64);
+        w.write_varint(self.0.cols() as u64);
+        for &x in self.0.as_slice() {
+            w.write_bits(x.value(), 61);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let rows = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("rows overflow"))?;
+        let cols = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("cols overflow"))?;
+        let len = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CommError::decode("matrix size overflow"))?;
+        let mut data = Vec::with_capacity(len.min(1 << 24));
+        for _ in 0..len {
+            data.push(M61::new(r.read_bits(61)?));
+        }
+        Ok(WFieldMat(DenseMatrix::from_vec(rows, cols, data)))
+    }
+}
+
+/// A grid of small counts packed at a per-row fixed width (the per-level
+/// column sums of Algorithms 2–3). Each row carries a 6-bit width header
+/// and then `cols` entries at that width — much tighter than varints when
+/// counts shrink level by level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WU64Grid(pub Vec<Vec<u64>>);
+
+impl Wire for WU64Grid {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.0.len() as u64);
+        w.write_varint(self.0.first().map_or(0, Vec::len) as u64);
+        for row in &self.0 {
+            let max = row.iter().copied().max().unwrap_or(0);
+            let width = width_for(max.saturating_add(1)).max(1);
+            w.write_bits(u64::from(width), 6);
+            for &v in row {
+                w.write_bits(v, width);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let rows = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("grid rows overflow"))?;
+        let cols = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("grid cols overflow"))?;
+        let mut out = Vec::with_capacity(rows.min(1 << 16));
+        for _ in 0..rows {
+            let width = r.read_bits(6)? as u32;
+            if width == 0 || width > 64 {
+                return Err(CommError::decode("invalid grid width"));
+            }
+            let mut row = Vec::with_capacity(cols.min(1 << 24));
+            for _ in 0..cols {
+                row.push(r.read_bits(width)?);
+            }
+            out.push(row);
+        }
+        Ok(WU64Grid(out))
+    }
+}
+
+/// Positions `(row, col)` at fixed widths (heavy-hitter candidate sets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WPositions {
+    /// Row dimension (index width).
+    pub rows: u64,
+    /// Column dimension (index width).
+    pub cols: u64,
+    /// The positions.
+    pub pos: Vec<(u32, u32)>,
+}
+
+impl Wire for WPositions {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.rows);
+        w.write_varint(self.cols);
+        w.write_varint(self.pos.len() as u64);
+        let rw = width_for(self.rows);
+        let cw = width_for(self.cols);
+        for &(i, j) in &self.pos {
+            w.write_bits(u64::from(i), rw);
+            w.write_bits(u64::from(j), cw);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let rows = r.read_varint()?;
+        let cols = r.read_varint()?;
+        let len = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("positions length overflow"))?;
+        let rw = width_for(rows);
+        let cw = width_for(cols);
+        let mut pos = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            let i = u32::try_from(r.read_bits(rw)?)
+                .map_err(|_| CommError::decode("row overflow"))?;
+            let j = u32::try_from(r.read_bits(cw)?)
+                .map_err(|_| CommError::decode("col overflow"))?;
+            pos.push((i, j));
+        }
+        Ok(Self { rows, cols, pos })
+    }
+}
+
+/// A packed bit payload (per-candidate coordinate samples in Section 5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WBits(pub Vec<bool>);
+
+impl Wire for WBits {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.0.len() as u64);
+        for &b in &self.0 {
+            w.write_bit(b);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let len = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("bits length overflow"))?;
+        let mut out = Vec::with_capacity(len.min(1 << 24));
+        for _ in 0..len {
+            out.push(r.read_bit()?);
+        }
+        Ok(WBits(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut w = BitWriter::new();
+        v.encode(&mut w);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let back = T::decode(&mut r).expect("decode");
+        assert_eq!(&back, v);
+        assert_eq!(r.bits_read(), bits);
+    }
+
+    #[test]
+    fn sparse_vec_roundtrip_and_cost() {
+        let v = WSparseVec {
+            dim: 1024,
+            entries: vec![(0, 1), (512, -3), (1023, 100)],
+        };
+        roundtrip(&v);
+        // dim varint (16) + len varint (8) + 3 * (10 idx + zigzag).
+        let bits = v.encoded_bits();
+        assert!(bits >= 16 + 8 + 3 * 10, "bits {bits}");
+    }
+
+    #[test]
+    fn index_vec_roundtrip() {
+        roundtrip(&WIndexVec {
+            dim: 256,
+            idx: vec![0, 17, 255],
+        });
+        roundtrip(&WIndexVec {
+            dim: 1,
+            idx: vec![],
+        });
+        // Cost: indices at exactly 8 bits each for dim 256.
+        let v = WIndexVec {
+            dim: 256,
+            idx: vec![1, 2, 3, 4],
+        };
+        assert_eq!(v.encoded_bits(), 16 + 8 + 4 * 8);
+    }
+
+    #[test]
+    fn skmat_real_roundtrip() {
+        let m = DenseMatrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 * 0.5);
+        roundtrip(&WSkMat(SkMat::Real(m.clone())));
+        let w = WSkMat(SkMat::Real(m));
+        assert_eq!(w.encoded_bits(), 1 + 8 + 8 + 12 * 64);
+    }
+
+    #[test]
+    fn skmat_field_roundtrip() {
+        let m = DenseMatrix::from_fn(2, 3, |i, j| M61::new((i * 3 + j) as u64 * 999));
+        roundtrip(&WSkMat(SkMat::Field(m.clone())));
+        let w = WSkMat(SkMat::Field(m));
+        assert_eq!(w.encoded_bits(), 1 + 8 + 8 + 6 * 61);
+    }
+
+    #[test]
+    fn field_mat_roundtrip() {
+        let m = DenseMatrix::from_fn(2, 2, |i, j| M61::new((i + j) as u64));
+        roundtrip(&WFieldMat(m));
+    }
+
+    #[test]
+    fn grid_roundtrip_and_packing() {
+        let g = WU64Grid(vec![vec![5, 0, 63, 2], vec![1, 1, 0, 0], vec![0, 0, 0, 0]]);
+        roundtrip(&g);
+        // Row widths: 6 (max 63), 1 (max 1), 1 (max 0 -> width 1).
+        assert_eq!(g.encoded_bits(), 8 + 8 + (6 + 24) + (6 + 4) + (6 + 4));
+        roundtrip(&WU64Grid(vec![]));
+    }
+
+    #[test]
+    fn positions_roundtrip() {
+        roundtrip(&WPositions {
+            rows: 100,
+            cols: 200,
+            pos: vec![(0, 0), (99, 199)],
+        });
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        roundtrip(&WBits(vec![true, false, true, true, false]));
+        roundtrip(&WBits(vec![]));
+        let b = WBits(vec![true; 100]);
+        assert_eq!(b.encoded_bits(), 8 + 100);
+    }
+}

@@ -1,0 +1,161 @@
+//! Theorem 4.8(2): the Gap-`ℓ∞` embedding for general integer matrices.
+//!
+//! Gap-`ℓ∞` (Lemma 2.4): Alice holds `x ∈ [0,κ]^t`, Bob holds
+//! `y ∈ [0,κ]^t`, promised either `|x_i − y_i| ≤ 1` for all `i`, or
+//! `|x_i − y_i| ≥ κ` for some `i`; deciding which costs `Ω(t/κ²)` bits.
+//! Using the same block identity as Theorem 4.4 with `A′ = reshape(x)`
+//! and `B′ = reshape(−y)`,
+//! `‖AB‖∞ = ‖A′+B′‖∞ = ‖x − y‖∞`, so a κ-approximation of `‖AB‖∞` for
+//! integer matrices decides Gap-`ℓ∞` on `t = n²/4` coordinates — the
+//! `Ω̃(n²/κ²)` bound matching the Theorem 4.8(1) upper bound.
+
+use mpest_matrix::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Gap-`ℓ∞` instance embedded into integer matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GapLinfInstance {
+    /// Half-dimension `n/2` (`t = half²` coordinates).
+    pub half: usize,
+    /// The gap parameter `κ`.
+    pub kappa: i64,
+    /// Alice's vector (entries in `[0, κ]`).
+    pub x: Vec<i64>,
+    /// Bob's vector (entries in `[0, κ]`).
+    pub y: Vec<i64>,
+}
+
+impl GapLinfInstance {
+    /// A "close" instance: `|x_i − y_i| ≤ 1` everywhere (Gap-`ℓ∞` = 0).
+    #[must_use]
+    pub fn close(half: usize, kappa: i64, seed: u64) -> Self {
+        assert!(kappa >= 2, "kappa must be at least 2");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = half * half;
+        let mut x = Vec::with_capacity(t);
+        let mut y = Vec::with_capacity(t);
+        for _ in 0..t {
+            let xv = rng.gen_range(0..=kappa);
+            let dy: i64 = rng.gen_range(-1..=1);
+            x.push(xv);
+            y.push((xv + dy).clamp(0, kappa));
+        }
+        Self {
+            half,
+            kappa,
+            x,
+            y,
+        }
+    }
+
+    /// A "far" instance: one coordinate with `|x_i − y_i| = κ`
+    /// (Gap-`ℓ∞` = 1).
+    #[must_use]
+    pub fn far(half: usize, kappa: i64, seed: u64) -> Self {
+        let mut inst = Self::close(half, kappa, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa12);
+        let pos = rng.gen_range(0..inst.x.len());
+        inst.x[pos] = kappa;
+        inst.y[pos] = 0;
+        inst
+    }
+
+    /// Ground truth `‖x − y‖∞`.
+    #[must_use]
+    pub fn linf_diff(&self) -> i64 {
+        self.x
+            .iter()
+            .zip(self.y.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Ground truth Gap-`ℓ∞` value (true = "far").
+    #[must_use]
+    pub fn gap(&self) -> bool {
+        self.linf_diff() >= self.kappa
+    }
+
+    /// Alice's embedded matrix `A = [[A′, I], [0, 0]]` with
+    /// `A′ = reshape(x)`.
+    #[must_use]
+    pub fn matrix_a(&self) -> CsrMatrix {
+        let h = self.half;
+        let mut triplets = Vec::new();
+        for (idx, &v) in self.x.iter().enumerate() {
+            if v != 0 {
+                triplets.push(((idx / h) as u32, (idx % h) as u32, v));
+            }
+        }
+        for i in 0..h {
+            triplets.push((i as u32, (h + i) as u32, 1));
+        }
+        CsrMatrix::from_triplets(2 * h, 2 * h, triplets)
+    }
+
+    /// Bob's embedded matrix `B = [[I, 0], [B′, 0]]` with
+    /// `B′ = reshape(−y)`.
+    #[must_use]
+    pub fn matrix_b(&self) -> CsrMatrix {
+        let h = self.half;
+        let mut triplets = Vec::new();
+        for i in 0..h {
+            triplets.push((i as u32, i as u32, 1));
+        }
+        for (idx, &v) in self.y.iter().enumerate() {
+            if v != 0 {
+                triplets.push(((h + idx / h) as u32, (idx % h) as u32, -v));
+            }
+        }
+        CsrMatrix::from_triplets(2 * h, 2 * h, triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::stats;
+
+    #[test]
+    fn embedding_computes_linf_difference() {
+        for seed in 0..6 {
+            let inst = if seed % 2 == 0 {
+                GapLinfInstance::close(10, 8, seed)
+            } else {
+                GapLinfInstance::far(10, 8, seed)
+            };
+            let (linf, _) = stats::linf_of_product(&inst.matrix_a(), &inst.matrix_b());
+            assert_eq!(linf, inst.linf_diff(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn promise_cases() {
+        let close = GapLinfInstance::close(12, 10, 3);
+        assert!(close.linf_diff() <= 1);
+        assert!(!close.gap());
+        let far = GapLinfInstance::far(12, 10, 4);
+        assert_eq!(far.linf_diff(), 10);
+        assert!(far.gap());
+    }
+
+    #[test]
+    fn entries_stay_in_range() {
+        let inst = GapLinfInstance::far(8, 6, 9);
+        assert!(inst.x.iter().all(|&v| (0..=6).contains(&v)));
+        assert!(inst.y.iter().all(|&v| (0..=6).contains(&v)));
+    }
+
+    #[test]
+    fn kappa_gap_ratio() {
+        // The two promise cases differ by a factor >= kappa in ||AB||inf,
+        // which is exactly why a kappa-approximation decides the problem.
+        let close = GapLinfInstance::close(10, 12, 5);
+        let far = GapLinfInstance::far(10, 12, 5);
+        let c0 = stats::linf_of_product(&close.matrix_a(), &close.matrix_b()).0;
+        let c1 = stats::linf_of_product(&far.matrix_a(), &far.matrix_b()).0;
+        assert!(c1 >= 12 * c0.max(1) || c0 == 0, "gap ratio violated: {c0} vs {c1}");
+    }
+}

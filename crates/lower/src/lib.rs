@@ -1,0 +1,25 @@
+//! Lower-bound constructions from Woodruff & Zhang (PODS'18, Section 4.2
+//! and Theorem 4.8(2)).
+//!
+//! These are the *hard instances* behind the paper's impossibility
+//! results. They are useful executable artifacts: the reductions are
+//! algebraic identities that tests can verify exactly, and experiments
+//! can run the upper-bound protocols on them to watch the predicted
+//! gap/indistinguishability behaviour.
+//!
+//! * [`disj`] — Theorem 4.4: embedding two-party set-disjointness on
+//!   `n²/4` bits into binary `‖AB‖∞` so that any 2-approximation decides
+//!   DISJ (hence needs `Ω(n²)` bits).
+//! * [`sum_problem`] — Theorems 4.5–4.6: the AND/DISJ/SUM distribution
+//!   hierarchy (`ν₁, µ₁, ν_k, µ_k, φ`) and the block-replicated input
+//!   reduction `ψ` showing `Ω̃(n^{1.5}/κ)` for κ-approximation.
+//! * [`gap_linf`] — Theorem 4.8(2): the Gap-`ℓ∞` embedding showing
+//!   `Ω̃(n²/κ²)` for κ-approximation on general integer matrices.
+
+pub mod disj;
+pub mod gap_linf;
+pub mod sum_problem;
+
+pub use disj::DisjInstance;
+pub use gap_linf::GapLinfInstance;
+pub use sum_problem::{SumInstance, SumParams};

@@ -1,0 +1,257 @@
+//! Adaptive dense/sparse accumulator for sums of outer products.
+//!
+//! Algorithm 2 and the heavy-hitter protocols build matrices of the form
+//! `Σ_k col_k ⊗ row_k` locally at one party. For small shapes a dense
+//! buffer is fastest; for large shapes the result is sparse and a hash map
+//! avoids `O(rows · cols)` memory. [`Accumulator`] picks automatically.
+
+use crate::hashx::FxMap;
+
+/// Above this many cells, accumulate into a hash map instead of a dense
+/// buffer (2²⁴ cells ≈ 128 MiB of `i64`s would be too much; 2²³ = 64 MiB is
+/// the chosen ceiling).
+const DENSE_CELL_LIMIT: usize = 1 << 23;
+
+/// An `i64` matrix accumulator keyed by `(row, col)`.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    /// Dense backing for small shapes.
+    Dense {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// Row-major cells.
+        data: Vec<i64>,
+    },
+    /// Sparse backing for large shapes; keys are `row << 32 | col`.
+    Sparse {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// Nonzero cells.
+        map: FxMap<u64, i64>,
+    },
+}
+
+impl Accumulator {
+    /// Creates an accumulator for the given shape.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        if rows.saturating_mul(cols) <= DENSE_CELL_LIMIT {
+            Accumulator::Dense {
+                rows,
+                cols,
+                data: vec![0i64; rows * cols],
+            }
+        } else {
+            Accumulator::Sparse {
+                rows,
+                cols,
+                map: FxMap::default(),
+            }
+        }
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Accumulator::Dense { rows, cols, .. } | Accumulator::Sparse { rows, cols, .. } => {
+                (*rows, *cols)
+            }
+        }
+    }
+
+    /// Adds `v` at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on out-of-range indices.
+    #[inline]
+    pub fn add(&mut self, i: u32, j: u32, v: i64) {
+        match self {
+            Accumulator::Dense { cols, data, .. } => {
+                debug_assert!((i as usize) * *cols + (j as usize) < data.len());
+                data[(i as usize) * *cols + j as usize] += v;
+            }
+            Accumulator::Sparse { map, .. } => {
+                let key = (u64::from(i) << 32) | u64::from(j);
+                let slot = map.entry(key).or_insert(0);
+                *slot += v;
+                if *slot == 0 {
+                    map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Reads the cell at `(i, j)`.
+    #[must_use]
+    pub fn get(&self, i: u32, j: u32) -> i64 {
+        match self {
+            Accumulator::Dense { cols, data, .. } => data[(i as usize) * *cols + j as usize],
+            Accumulator::Sparse { map, .. } => {
+                *map.get(&((u64::from(i) << 32) | u64::from(j))).unwrap_or(&0)
+            }
+        }
+    }
+
+    /// Maximum absolute value and one position attaining it (`(0, (0,0))`
+    /// for an all-zero accumulator).
+    #[must_use]
+    pub fn max_abs(&self) -> (i64, (u32, u32)) {
+        let mut best = 0i64;
+        let mut pos = (0u32, 0u32);
+        match self {
+            Accumulator::Dense { cols, data, .. } => {
+                for (idx, &v) in data.iter().enumerate() {
+                    if v.abs() > best {
+                        best = v.abs();
+                        pos = ((idx / cols) as u32, (idx % cols) as u32);
+                    }
+                }
+            }
+            Accumulator::Sparse { map, .. } => {
+                for (&key, &v) in map {
+                    if v.abs() > best {
+                        best = v.abs();
+                        pos = ((key >> 32) as u32, (key & 0xffff_ffff) as u32);
+                    }
+                }
+            }
+        }
+        (best, pos)
+    }
+
+    /// All nonzero cells as `(row, col, value)` triplets, sorted.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<(u32, u32, i64)> {
+        let mut out: Vec<(u32, u32, i64)> = match self {
+            Accumulator::Dense { cols, data, .. } => data
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, v)| v != 0)
+                .map(|(idx, v)| ((idx / cols) as u32, (idx % cols) as u32, v))
+                .collect(),
+            Accumulator::Sparse { map, .. } => map
+                .into_iter()
+                .map(|(key, v)| ((key >> 32) as u32, (key & 0xffff_ffff) as u32, v))
+                .collect(),
+        };
+        out.sort_unstable_by_key(|t| (t.0, t.1));
+        out
+    }
+
+    /// Number of nonzero cells.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        match self {
+            Accumulator::Dense { data, .. } => data.iter().filter(|&&v| v != 0).count(),
+            Accumulator::Sparse { map, .. } => map.len(),
+        }
+    }
+
+    /// Sum of absolute values of all cells.
+    #[must_use]
+    pub fn l1(&self) -> i64 {
+        match self {
+            Accumulator::Dense { data, .. } => data.iter().map(|v| v.abs()).sum(),
+            Accumulator::Sparse { map, .. } => map.values().map(|v| v.abs()).sum(),
+        }
+    }
+
+    /// Adds the outer product `col ⊗ row` (each pair `(i, j)` gains
+    /// `col_val · row_val`) — one inner-index term of `C = Σ_k A_{*,k} ⊗ B_{k,*}`.
+    pub fn add_outer(&mut self, col: &[(u32, i64)], row: &[(u32, i64)]) {
+        for &(i, a) in col {
+            for &(j, b) in row {
+                self.add(i, j, a * b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_small_shape() {
+        let mut acc = Accumulator::new(4, 4);
+        assert!(matches!(acc, Accumulator::Dense { .. }));
+        acc.add(1, 2, 5);
+        acc.add(1, 2, -2);
+        assert_eq!(acc.get(1, 2), 3);
+        assert_eq!(acc.nnz(), 1);
+        assert_eq!(acc.l1(), 3);
+    }
+
+    #[test]
+    fn sparse_large_shape() {
+        let big = 1usize << 16;
+        let mut acc = Accumulator::new(big, big);
+        assert!(matches!(acc, Accumulator::Sparse { .. }));
+        acc.add(60_000, 60_000, 7);
+        acc.add(60_000, 60_000, -7);
+        assert_eq!(acc.nnz(), 0, "cancelled cells are evicted");
+        acc.add(3, 4, 2);
+        assert_eq!(acc.get(3, 4), 2);
+        assert_eq!(acc.shape(), (big, big));
+    }
+
+    #[test]
+    fn max_abs_and_entries() {
+        let mut acc = Accumulator::new(3, 3);
+        acc.add(0, 1, 4);
+        acc.add(2, 2, -9);
+        let (m, pos) = acc.max_abs();
+        assert_eq!(m, 9);
+        assert_eq!(pos, (2, 2));
+        let entries = acc.into_entries();
+        assert_eq!(entries, vec![(0, 1, 4), (2, 2, -9)]);
+    }
+
+    #[test]
+    fn outer_product_accumulation_matches_matmul() {
+        use crate::sparse::CsrMatrix;
+        let a = CsrMatrix::from_triplets(3, 2, vec![(0, 0, 1), (1, 0, 2), (2, 1, 3)]);
+        let b = CsrMatrix::from_triplets(2, 3, vec![(0, 1, 4), (1, 0, -1), (1, 2, 5)]);
+        let mut acc = Accumulator::new(3, 3);
+        let bt = b.transpose(); // columns of a via transpose of a? we need cols of a
+        let at = a.transpose();
+        for k in 0..2 {
+            let col: Vec<(u32, i64)> = at.row_vec(k).entries;
+            let row: Vec<(u32, i64)> = b.row_vec(k).entries;
+            acc.add_outer(&col, &row);
+        }
+        let _ = bt;
+        let c = a.matmul(&b);
+        let entries = acc.into_entries();
+        let expect: Vec<(u32, u32, i64)> = c.triplets().collect();
+        assert_eq!(entries, expect);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let mut d = Accumulator::Dense {
+            rows: 8,
+            cols: 8,
+            data: vec![0; 64],
+        };
+        let mut s = Accumulator::Sparse {
+            rows: 8,
+            cols: 8,
+            map: FxMap::default(),
+        };
+        let ops = [(1u32, 1u32, 3i64), (2, 7, -4), (1, 1, 2), (0, 0, 1)];
+        for &(i, j, v) in &ops {
+            d.add(i, j, v);
+            s.add(i, j, v);
+        }
+        assert_eq!(d.max_abs(), s.max_abs());
+        assert_eq!(d.l1(), s.l1());
+        assert_eq!(d.clone().into_entries(), s.clone().into_entries());
+    }
+}

@@ -1,0 +1,402 @@
+//! Bit-packed boolean matrices.
+//!
+//! [`BitMatrix`] stores one bit per entry in 64-bit words, row-major. It is
+//! the canonical input for the paper's binary-matrix protocols (Algorithms
+//! 2–3, Section 5.2) and powers the exact set-join ground truth: the
+//! product entry `C_{i,j} = |A_i ∩ B_j|` is a word-wise AND + popcount.
+
+use crate::dense::DenseMatrix;
+use crate::sparse::CsrMatrix;
+
+/// A `rows × cols` boolean matrix, bit-packed per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        Self {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the bit at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        let w = self.data[i * self.words_per_row + j / 64];
+        (w >> (j % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, bit: bool) {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        let w = &mut self.data[i * self.words_per_row + j / 64];
+        if bit {
+            *w |= 1u64 << (j % 64);
+        } else {
+            *w &= !(1u64 << (j % 64));
+        }
+    }
+
+    /// The packed words of row `i`.
+    #[inline]
+    #[must_use]
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        &self.data[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Number of ones in row `i`.
+    #[must_use]
+    pub fn row_ones(&self, i: usize) -> u32 {
+        self.row_words(i).iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of ones per column.
+    #[must_use]
+    pub fn col_ones(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.cols];
+        for i in 0..self.rows {
+            for j in self.row_indices(i) {
+                out[j as usize] += 1;
+            }
+        }
+        out
+    }
+
+    /// Total number of ones (`‖A‖₁` for a binary matrix).
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        self.data.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// The column indices of the ones in row `i`, ascending.
+    pub fn row_indices(&self, i: usize) -> impl Iterator<Item = u32> + '_ {
+        self.row_words(i).iter().enumerate().flat_map(|(wi, &w)| {
+            let base = (wi * 64) as u32;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Dot product of row `i` with another matrix's row `k` (AND +
+    /// popcount) — `|A_i ∩ B_k|` when both are indicator rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    #[inline]
+    #[must_use]
+    pub fn row_dot(&self, i: usize, other: &BitMatrix, k: usize) -> u32 {
+        assert_eq!(self.cols, other.cols, "row_dot width mismatch");
+        self.row_words(i)
+            .iter()
+            .zip(other.row_words(k).iter())
+            .map(|(&a, &b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in self.row_indices(i) {
+                out.set(j as usize, i, true);
+            }
+        }
+        out
+    }
+
+    /// Exact integer product `self · rhs` via popcount rows: requires
+    /// `rhs` pre-transposed for cache-friendly row access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul_via_transpose(&self, rhs_t: &BitMatrix) -> DenseMatrix<i64> {
+        assert_eq!(
+            self.cols, rhs_t.cols,
+            "matmul inner dimension mismatch ({} vs {})",
+            self.cols, rhs_t.cols
+        );
+        let mut out = DenseMatrix::zeros(self.rows, rhs_t.rows);
+        for i in 0..self.rows {
+            let row = out.row_mut(i);
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = i64::from(self.row_dot(i, rhs_t, j));
+            }
+        }
+        out
+    }
+
+    /// Exact integer product `self · rhs` (transposes internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, rhs: &BitMatrix) -> DenseMatrix<i64> {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+        self.matmul_via_transpose(&rhs.transpose())
+    }
+
+    /// Converts to CSR with unit values.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.count_ones() as usize);
+        for i in 0..self.rows {
+            for j in self.row_indices(i) {
+                triplets.push((i as u32, j, 1i64));
+            }
+        }
+        CsrMatrix::from_triplets(self.rows, self.cols, triplets)
+    }
+
+    /// Builds from a CSR matrix (any nonzero becomes a 1).
+    #[must_use]
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let mut out = Self::zeros(m.rows(), m.cols());
+        for (r, c, _) in m.triplets() {
+            out.set(r as usize, c as usize, true);
+        }
+        out
+    }
+
+    /// Builds a matrix whose row `i` is the indicator vector of `sets[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set element exceeds `cols`.
+    #[must_use]
+    pub fn from_sets(rows: usize, cols: usize, sets: &[Vec<u32>]) -> Self {
+        assert_eq!(sets.len(), rows, "set count mismatch");
+        let mut out = Self::zeros(rows, cols);
+        for (i, set) in sets.iter().enumerate() {
+            for &j in set {
+                out.set(i, j as usize, true);
+            }
+        }
+        out
+    }
+
+    /// The identity matrix of order `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut out = Self::zeros(n, n);
+        for i in 0..n {
+            out.set(i, i, true);
+        }
+        out
+    }
+
+    /// Keeps only entries for which `keep(i, j)` holds.
+    #[must_use]
+    pub fn filter_entries(&self, keep: impl Fn(usize, u32) -> bool) -> Self {
+        let mut out = Self::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for j in self.row_indices(i) {
+                if keep(i, j) {
+                    out.set(i, j as usize, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Keeps only the columns in `keep` (others zeroed).
+    #[must_use]
+    pub fn filter_cols(&self, keep: impl Fn(u32) -> bool) -> Self {
+        self.filter_entries(|_, j| keep(j))
+    }
+
+    /// Places `self` as a block at `(row_off, col_off)` inside a larger
+    /// zero matrix of shape `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    #[must_use]
+    pub fn embed(&self, rows: usize, cols: usize, row_off: usize, col_off: usize) -> Self {
+        assert!(row_off + self.rows <= rows && col_off + self.cols <= cols);
+        let mut out = Self::zeros(rows, cols);
+        for i in 0..self.rows {
+            for j in self.row_indices(i) {
+                out.set(row_off + i, col_off + j as usize, true);
+            }
+        }
+        out
+    }
+
+    /// Entrywise OR of two equal-shaped matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn or(&self, rhs: &BitMatrix) -> Self {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            words_per_row: self.words_per_row,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| a | b)
+                .collect(),
+        }
+    }
+}
+
+/// Iterator over set bits of a single word.
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BitMatrix {
+        let mut m = BitMatrix::zeros(3, 70);
+        m.set(0, 0, true);
+        m.set(0, 69, true);
+        m.set(1, 5, true);
+        m.set(2, 0, true);
+        m.set(2, 5, true);
+        m.set(2, 64, true);
+        m
+    }
+
+    #[test]
+    fn get_set_across_word_boundary() {
+        let m = sample();
+        assert!(m.get(0, 0));
+        assert!(m.get(0, 69));
+        assert!(!m.get(0, 68));
+        assert!(m.get(2, 64));
+        assert_eq!(m.count_ones(), 6);
+    }
+
+    #[test]
+    fn row_indices_sorted() {
+        let m = sample();
+        let idx: Vec<u32> = m.row_indices(2).collect();
+        assert_eq!(idx, vec![0, 5, 64]);
+        assert_eq!(m.row_ones(2), 3);
+    }
+
+    #[test]
+    fn col_ones_counts() {
+        let m = sample();
+        let cols = m.col_ones();
+        assert_eq!(cols[0], 2);
+        assert_eq!(cols[5], 2);
+        assert_eq!(cols[69], 1);
+        assert_eq!(cols[1], 0);
+    }
+
+    #[test]
+    fn row_dot_popcount() {
+        let m = sample();
+        assert_eq!(m.row_dot(0, &m, 2), 1); // share column 0
+        assert_eq!(m.row_dot(1, &m, 2), 1); // share column 5
+        assert_eq!(m.row_dot(0, &m, 1), 0);
+    }
+
+    #[test]
+    fn transpose_and_matmul_match_csr() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 70);
+        assert!(t.get(69, 0));
+
+        let a = BitMatrix::from_sets(2, 4, &[vec![0, 1], vec![2]]);
+        let b = BitMatrix::from_sets(4, 3, &[vec![0], vec![0, 2], vec![1], vec![]]);
+        let c = a.matmul(&b);
+        let expect = a.to_csr().matmul(&b.to_csr()).to_dense();
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn identity_product() {
+        let a = sample();
+        let id = BitMatrix::identity(70);
+        let c = a.matmul(&id);
+        assert_eq!(c, a.to_csr().to_dense());
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let m = sample();
+        assert_eq!(BitMatrix::from_csr(&m.to_csr()), m);
+    }
+
+    #[test]
+    fn embed_blocks() {
+        let small = BitMatrix::from_sets(2, 2, &[vec![0], vec![1]]);
+        let big = small.embed(4, 4, 1, 2);
+        assert!(big.get(1, 2));
+        assert!(big.get(2, 3));
+        assert_eq!(big.count_ones(), 2);
+    }
+
+    #[test]
+    fn or_and_filters() {
+        let a = BitMatrix::from_sets(1, 4, &[vec![0, 1]]);
+        let b = BitMatrix::from_sets(1, 4, &[vec![2]]);
+        let o = a.or(&b);
+        assert_eq!(o.row_indices(0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let filtered = o.filter_cols(|j| j != 1);
+        assert_eq!(filtered.row_indices(0).collect::<Vec<_>>(), vec![0, 2]);
+    }
+}

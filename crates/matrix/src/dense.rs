@@ -1,0 +1,309 @@
+//! Dense row-major matrices over a [`Ring`].
+
+use crate::ring::Ring;
+
+/// A dense `rows × cols` matrix stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<T: Ring> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Ring> DenseMatrix<T> {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        Self {
+            rows,
+            cols,
+            data: vec![T::zero(); len],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to the element at `(i, j)`.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: T) {
+        let idx = i * self.cols + j;
+        self.data[idx] = self.data[idx].add(v);
+    }
+
+    /// A row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(i < self.rows, "row out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// A mutable row slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        assert!(i < self.rows, "row out of range");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Iterates over `(i, j, value)` triples of nonzero entries.
+    pub fn nonzero_entries(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.data.iter().enumerate().filter_map(move |(idx, &v)| {
+            if v.is_zero() {
+                None
+            } else {
+                Some((idx / self.cols, idx % self.cols, v))
+            }
+        })
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Standard matrix product `self · rhs` using an i-k-j loop (cache
+    /// friendly for row-major layouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions mismatch.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a.is_zero() {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = o.add(a.mul(b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Entrywise sum of two matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn add_matrix(&self, rhs: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a.add(b))
+            .collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Number of nonzero entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_zero()).count()
+    }
+}
+
+impl DenseMatrix<i64> {
+    /// The identity matrix of order `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Converts to `f64` entries.
+    #[must_use]
+    pub fn to_f64(&self) -> DenseMatrix<f64> {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v as f64).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_access() {
+        let mut m = DenseMatrix::<i64>::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 0);
+        m.set(1, 2, 5);
+        assert_eq!(m.get(1, 2), 5);
+        m.add_at(1, 2, -2);
+        assert_eq!(m.get(1, 2), 3);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn from_fn_and_rows() {
+        let m = DenseMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as i64);
+        assert_eq!(m.row(1), &[3, 4, 5]);
+        let entries: Vec<_> = m.nonzero_entries().collect();
+        assert_eq!(entries.len(), 8); // all but (0,0)
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_fn(2, 4, |i, j| (i * 10 + j) as i64);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.get(3, 1), 13);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1i64, 2, 3, 4]);
+        let b = DenseMatrix::from_vec(2, 2, vec![5i64, 6, 7, 8]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::from_fn(3, 3, |i, j| (i + 2 * j) as i64);
+        let id = DenseMatrix::identity(3);
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = DenseMatrix::from_vec(1, 3, vec![1i64, 2, 3]);
+        let b = DenseMatrix::from_vec(3, 2, vec![1i64, 0, 0, 1, 1, 1]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.as_slice(), &[4, 5]);
+    }
+
+    #[test]
+    fn add_matrix_works() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1i64, 2, 3, 4]);
+        let b = DenseMatrix::from_vec(2, 2, vec![10i64, 20, 30, 40]);
+        assert_eq!(a.add_matrix(&b).as_slice(), &[11, 22, 33, 44]);
+    }
+
+    #[test]
+    fn f64_matmul() {
+        let a = DenseMatrix::from_vec(2, 2, vec![0.5f64, 1.0, 0.0, 2.0]);
+        let b = DenseMatrix::from_vec(2, 2, vec![2.0f64, 0.0, 1.0, 1.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[2.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_check() {
+        let a = DenseMatrix::<i64>::zeros(2, 3);
+        let b = DenseMatrix::<i64>::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,286 @@
+//! Seeded workload generators.
+//!
+//! Each generator is deterministic in its `seed` argument. The workloads
+//! mirror the regimes the paper's motivation targets: uniform-density
+//! relations, skewed (Zipf) set families as in real join workloads,
+//! planted heavy pairs for the `ℓ∞` / heavy-hitter experiments, and
+//! rectangular shapes for Section 6.
+
+use crate::bitmat::BitMatrix;
+use crate::sparse::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Namespace struct for workload generators.
+#[derive(Debug, Clone, Copy)]
+pub struct Workloads;
+
+impl Workloads {
+    /// A `rows × cols` binary matrix with i.i.d. Bernoulli(`density`)
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is outside `[0, 1]`.
+    #[must_use]
+    pub fn bernoulli_bits(rows: usize, cols: usize, density: f64, seed: u64) -> BitMatrix {
+        assert!((0.0..=1.0).contains(&density), "density out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = BitMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if rng.gen::<f64>() < density {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// A `rows × cols` integer CSR matrix: each cell is nonzero with
+    /// probability `density`, with value uniform in `1..=max_val`
+    /// (optionally signed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is outside `[0, 1]` or `max_val == 0`.
+    #[must_use]
+    pub fn integer_csr(
+        rows: usize,
+        cols: usize,
+        density: f64,
+        max_val: i64,
+        signed: bool,
+        seed: u64,
+    ) -> CsrMatrix {
+        assert!((0.0..=1.0).contains(&density), "density out of range");
+        assert!(max_val > 0, "max_val must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut triplets = Vec::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                if rng.gen::<f64>() < density {
+                    let mut v = rng.gen_range(1..=max_val);
+                    if signed && rng.gen::<bool>() {
+                        v = -v;
+                    }
+                    triplets.push((i as u32, j as u32, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(rows, cols, triplets)
+    }
+
+    /// A family of `n_sets` sets over `universe` where item popularity
+    /// follows a Zipf law with exponent `theta`: each set draws
+    /// `set_size` items (with rejection against duplicates) from the
+    /// skewed item distribution. Models skewed join keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_size > universe` or `theta < 0`.
+    #[must_use]
+    pub fn zipf_sets(
+        n_sets: usize,
+        universe: usize,
+        set_size: usize,
+        theta: f64,
+        seed: u64,
+    ) -> BitMatrix {
+        assert!(set_size <= universe, "set size exceeds universe");
+        assert!(theta >= 0.0, "zipf exponent must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Cumulative popularity table (unnormalized Zipf weights).
+        let mut cum = Vec::with_capacity(universe);
+        let mut total = 0.0f64;
+        for k in 0..universe {
+            total += 1.0 / ((k + 1) as f64).powf(theta);
+            cum.push(total);
+        }
+        let mut m = BitMatrix::zeros(n_sets, universe);
+        for i in 0..n_sets {
+            let mut placed = 0usize;
+            // Rejection sampling against duplicates; bail into a linear
+            // fill if the set is nearly the whole universe.
+            let mut attempts = 0usize;
+            while placed < set_size {
+                attempts += 1;
+                if attempts > 50 * set_size + 100 {
+                    // Densely fill remaining slots deterministically.
+                    for j in 0..universe {
+                        if placed == set_size {
+                            break;
+                        }
+                        if !m.get(i, j) {
+                            m.set(i, j, true);
+                            placed += 1;
+                        }
+                    }
+                    break;
+                }
+                let u = rng.gen::<f64>() * total;
+                let j = cum.partition_point(|&c| c < u).min(universe - 1);
+                if !m.get(i, j) {
+                    m.set(i, j, true);
+                    placed += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// A pair `(A, B)` of binary matrices with background Bernoulli
+    /// density plus `planted` pairs `(i, j)` whose intersection
+    /// `|A_i ∩ B_j|` is forced up to `overlap` shared items. Returns the
+    /// matrices and the planted positions.
+    ///
+    /// `A` is `n × u` (rows are Alice's sets), `B` is `u × n` (columns are
+    /// Bob's sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap > u` or a planted index is out of range.
+    #[must_use]
+    pub fn planted_pairs(
+        n: usize,
+        u: usize,
+        base_density: f64,
+        planted: &[(u32, u32)],
+        overlap: usize,
+        seed: u64,
+    ) -> (BitMatrix, BitMatrix, Vec<(u32, u32)>) {
+        assert!(overlap <= u, "overlap exceeds universe");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Self::bernoulli_bits(n, u, base_density, seed ^ 0x5eed_a11c);
+        let mut bt = Self::bernoulli_bits(n, u, base_density, seed ^ 0xb0b5_eed5);
+        for &(i, j) in planted {
+            assert!((i as usize) < n && (j as usize) < n, "planted index out of range");
+            // Choose `overlap` shared items for this pair.
+            let mut chosen = vec![false; u];
+            let mut placed = 0usize;
+            while placed < overlap {
+                let k = rng.gen_range(0..u);
+                if !chosen[k] {
+                    chosen[k] = true;
+                    a.set(i as usize, k, true);
+                    bt.set(j as usize, k, true);
+                    placed += 1;
+                }
+            }
+        }
+        (a, bt.transpose(), planted.to_vec())
+    }
+
+    /// Sparse binary pair for sparse-product experiments: row/column sets
+    /// of expected size `avg_set`, so `‖AB‖₀` scales with the density.
+    #[must_use]
+    pub fn sparse_pair(n: usize, u: usize, avg_set: f64, seed: u64) -> (BitMatrix, BitMatrix) {
+        let density = (avg_set / u as f64).clamp(0.0, 1.0);
+        let a = Self::bernoulli_bits(n, u, density, seed ^ 0xaaaa);
+        let b = Self::bernoulli_bits(u, n, density, seed ^ 0xbbbb);
+        (a, b)
+    }
+
+    /// Disjoint supports: Alice's sets use items `0..u/2`, Bob's use
+    /// `u/2..u`, so `AB = 0`. Edge-case workload.
+    #[must_use]
+    pub fn disjoint_supports(n: usize, u: usize, density: f64, seed: u64) -> (BitMatrix, BitMatrix) {
+        let half = u / 2;
+        let a = Self::bernoulli_bits(n, u, density, seed ^ 0x1)
+            .filter_cols(|j| (j as usize) < half);
+        let b_t = Self::bernoulli_bits(n, u, density, seed ^ 0x2)
+            .filter_cols(|j| (j as usize) >= half);
+        (a, b_t.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_density_and_determinism() {
+        let m1 = Workloads::bernoulli_bits(100, 100, 0.3, 7);
+        let m2 = Workloads::bernoulli_bits(100, 100, 0.3, 7);
+        assert_eq!(m1, m2);
+        let ones = m1.count_ones() as f64 / 10_000.0;
+        assert!((ones - 0.3).abs() < 0.05, "density {ones}");
+        let m3 = Workloads::bernoulli_bits(100, 100, 0.3, 8);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn integer_csr_ranges() {
+        let m = Workloads::integer_csr(50, 50, 0.2, 10, false, 3);
+        assert!(m.is_nonnegative());
+        for (_, _, v) in m.triplets() {
+            assert!((1..=10).contains(&v));
+        }
+        let s = Workloads::integer_csr(50, 50, 0.2, 10, true, 3);
+        assert!(s.triplets().any(|(_, _, v)| v < 0));
+        assert!(s.triplets().all(|(_, _, v)| v != 0 && v.abs() <= 10));
+    }
+
+    #[test]
+    fn zipf_sets_sizes_and_skew() {
+        let m = Workloads::zipf_sets(200, 500, 20, 1.1, 11);
+        for i in 0..200 {
+            assert_eq!(m.row_ones(i), 20, "every set has the requested size");
+        }
+        // Skew: the most popular item should appear much more often than a
+        // mid-tail item.
+        let cols = m.col_ones();
+        let head = cols[0];
+        let tail = cols[400];
+        assert!(head > tail, "zipf skew absent: head {head} tail {tail}");
+    }
+
+    #[test]
+    fn zipf_full_universe_edge() {
+        let m = Workloads::zipf_sets(3, 10, 10, 1.0, 5);
+        for i in 0..3 {
+            assert_eq!(m.row_ones(i), 10);
+        }
+    }
+
+    #[test]
+    fn planted_pairs_reach_overlap() {
+        let planted = [(3u32, 7u32), (10, 2)];
+        let (a, b, pos) = Workloads::planted_pairs(32, 64, 0.02, &planted, 40, 99);
+        assert_eq!(pos, planted);
+        let c = a.matmul(&b);
+        for &(i, j) in &planted {
+            assert!(
+                c.get(i as usize, j as usize) >= 40,
+                "planted pair ({i},{j}) has overlap {}",
+                c.get(i as usize, j as usize)
+            );
+        }
+        // Background entries stay small.
+        let mut background_max = 0i64;
+        for i in 0..32 {
+            for j in 0..32 {
+                if !planted.contains(&(i as u32, j as u32)) {
+                    background_max = background_max.max(c.get(i, j));
+                }
+            }
+        }
+        assert!(background_max < 40, "background too heavy: {background_max}");
+    }
+
+    #[test]
+    fn disjoint_supports_give_zero_product() {
+        let (a, b) = Workloads::disjoint_supports(20, 40, 0.5, 13);
+        let c = a.matmul(&b);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn sparse_pair_shapes() {
+        let (a, b) = Workloads::sparse_pair(30, 50, 3.0, 21);
+        assert_eq!(a.rows(), 30);
+        assert_eq!(a.cols(), 50);
+        assert_eq!(b.rows(), 50);
+        assert_eq!(b.cols(), 30);
+    }
+}

@@ -1,0 +1,102 @@
+//! A fast non-cryptographic hasher for integer keys.
+//!
+//! The heavy-hitter and `ℓ∞` protocols accumulate outer products into hash
+//! maps keyed by packed `(row, col)` pairs. `std`'s default SipHash is
+//! needlessly slow for such keys (see the performance guide's Hashing
+//! chapter); this is the classic Fx multiply-mix, implemented locally to
+//! avoid an extra dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// FxHash-style hasher specialized for small integer keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`].
+pub type FxBuild = BuildHasherDefault<FxHasher64>;
+
+/// A `HashMap` using the fast integer hasher.
+pub type FxMap<K2, V> = std::collections::HashMap<K2, V, FxBuild>;
+
+/// A `HashSet` using the fast integer hasher.
+pub type FxSet<T> = std::collections::HashSet<T, FxBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        let mut h1 = FxHasher64::default();
+        h1.write_u64(42);
+        let mut h2 = FxHasher64::default();
+        h2.write_u64(42);
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = FxHasher64::default();
+        h3.write_u64(43);
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxMap<u64, i64> = FxMap::default();
+        for i in 0..1000u64 {
+            *m.entry(i % 10).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 10);
+        assert_eq!(m[&3], 100);
+
+        let mut s: FxSet<u64> = FxSet::default();
+        s.insert(1);
+        s.insert(1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sanity check the mixer does not collapse sequential keys into a
+        // few buckets of the low bits (the property HashMap relies on).
+        let mut low3 = [0usize; 8];
+        for i in 0..8000u64 {
+            let mut h = FxHasher64::default();
+            h.write_u64(i);
+            low3[(h.finish() & 7) as usize] += 1;
+        }
+        for &count in &low3 {
+            assert!(count > 500, "bucket skew: {low3:?}");
+        }
+    }
+}

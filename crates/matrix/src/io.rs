@@ -1,0 +1,224 @@
+//! Plain-text matrix I/O in a MatrixMarket-style coordinate format.
+//!
+//! Format (one matrix per file):
+//!
+//! ```text
+//! % any number of comment lines
+//! rows cols nnz
+//! row col value     (1-based indices, one triplet per line)
+//! ```
+//!
+//! Binary matrices may omit the value column (implicitly 1). This is the
+//! interchange format the `mpest` CLI uses, close enough to MatrixMarket
+//! `coordinate integer general` that typical files load unchanged.
+
+use crate::bitmat::BitMatrix;
+use crate::sparse::CsrMatrix;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised while reading a matrix file.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a CSR matrix from the coordinate format.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on I/O failures, malformed headers/triplets, or
+/// out-of-range indices.
+pub fn read_csr(path: &Path) -> Result<CsrMatrix, IoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut header: Option<(usize, usize, usize)> = None;
+    let mut triplets: Vec<(u32, u32, i64)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        match header {
+            None => {
+                if fields.len() != 3 {
+                    return Err(parse_err(line_no, "header must be `rows cols nnz`"));
+                }
+                let rows = fields[0]
+                    .parse::<usize>()
+                    .map_err(|e| parse_err(line_no, format!("bad rows: {e}")))?;
+                let cols = fields[1]
+                    .parse::<usize>()
+                    .map_err(|e| parse_err(line_no, format!("bad cols: {e}")))?;
+                let nnz = fields[2]
+                    .parse::<usize>()
+                    .map_err(|e| parse_err(line_no, format!("bad nnz: {e}")))?;
+                triplets.reserve(nnz);
+                header = Some((rows, cols, nnz));
+            }
+            Some((rows, cols, _)) => {
+                if fields.len() != 2 && fields.len() != 3 {
+                    return Err(parse_err(line_no, "triplet must be `row col [value]`"));
+                }
+                let r = fields[0]
+                    .parse::<u64>()
+                    .map_err(|e| parse_err(line_no, format!("bad row: {e}")))?;
+                let c = fields[1]
+                    .parse::<u64>()
+                    .map_err(|e| parse_err(line_no, format!("bad col: {e}")))?;
+                let v = if fields.len() == 3 {
+                    fields[2]
+                        .parse::<i64>()
+                        .map_err(|e| parse_err(line_no, format!("bad value: {e}")))?
+                } else {
+                    1
+                };
+                if r == 0 || c == 0 || r as usize > rows || c as usize > cols {
+                    return Err(parse_err(
+                        line_no,
+                        format!("index ({r},{c}) outside 1..=({rows},{cols})"),
+                    ));
+                }
+                triplets.push(((r - 1) as u32, (c - 1) as u32, v));
+            }
+        }
+    }
+    let (rows, cols, nnz) = header.ok_or_else(|| parse_err(0, "empty file"))?;
+    if triplets.len() != nnz {
+        return Err(parse_err(
+            0,
+            format!("header promised {nnz} triplets, found {}", triplets.len()),
+        ));
+    }
+    Ok(CsrMatrix::from_triplets(rows, cols, triplets))
+}
+
+/// Reads a binary matrix (any nonzero value becomes a 1).
+///
+/// # Errors
+///
+/// Same failure modes as [`read_csr`].
+pub fn read_bits(path: &Path) -> Result<BitMatrix, IoError> {
+    Ok(BitMatrix::from_csr(&read_csr(path)?))
+}
+
+/// Writes a CSR matrix in the coordinate format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csr(m: &CsrMatrix, path: &Path) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "% mpest coordinate integer matrix")?;
+    writeln!(w, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (r, c, v) in m.triplets() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Workloads;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mpest-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_csr() {
+        let m = Workloads::integer_csr(20, 30, 0.2, 9, true, 1);
+        let path = tmp("roundtrip.mtx");
+        write_csr(&m, &path).unwrap();
+        let back = read_csr(&path).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn binary_values_optional() {
+        let path = tmp("binary.mtx");
+        std::fs::write(&path, "% comment\n2 3 2\n1 1\n2 3\n").unwrap();
+        let m = read_bits(&path).unwrap();
+        assert!(m.get(0, 0));
+        assert!(m.get(1, 2));
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let path = tmp("comments.mtx");
+        std::fs::write(&path, "% a\n# b\n\n2 2 1\n\n% inner\n2 2 -5\n").unwrap();
+        let m = read_csr(&path).unwrap();
+        assert_eq!(m.get(1, 1), -5);
+    }
+
+    #[test]
+    fn error_cases() {
+        let path = tmp("bad-header.mtx");
+        std::fs::write(&path, "2 2\n").unwrap();
+        assert!(matches!(read_csr(&path), Err(IoError::Parse { .. })));
+
+        let path = tmp("bad-index.mtx");
+        std::fs::write(&path, "2 2 1\n3 1 4\n").unwrap();
+        assert!(matches!(read_csr(&path), Err(IoError::Parse { .. })));
+
+        let path = tmp("bad-count.mtx");
+        std::fs::write(&path, "2 2 2\n1 1 1\n").unwrap();
+        assert!(matches!(read_csr(&path), Err(IoError::Parse { .. })));
+
+        let path = tmp("zero-index.mtx");
+        std::fs::write(&path, "2 2 1\n0 1 4\n").unwrap();
+        assert!(matches!(read_csr(&path), Err(IoError::Parse { .. })));
+
+        assert!(matches!(
+            read_csr(std::path::Path::new("/nonexistent/nope.mtx")),
+            Err(IoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = parse_err(3, "boom");
+        assert!(e.to_string().contains("line 3"));
+    }
+}

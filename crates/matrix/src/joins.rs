@@ -1,0 +1,265 @@
+//! The database-join view of matrix products (paper Section 1.1).
+//!
+//! Interpreting row `A_i` of a binary matrix `A` as a set over universe
+//! `[n]` and column `B_j` likewise, the product entry `(AB)_{i,j}` is the
+//! intersection size `|A_i ∩ B_j|`. Then:
+//!
+//! * the **composition / set-intersection join** `A ∘ B` is the set of
+//!   pairs with nonempty intersection, so `|A ∘ B| = ‖AB‖₀`;
+//! * the **natural join** `A ⋈ B` additionally outputs every witness `k`,
+//!   so `|A ⋈ B| = ‖AB‖₁`;
+//! * the pair of maximum overlap realizes `‖AB‖_∞`.
+
+use crate::bitmat::BitMatrix;
+
+/// A family of sets over a common universe — one relation's "projection
+/// sets" (`A_i = {k : (i,k) ∈ A}` or `B_j = {k : (k,j) ∈ B}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetFamily {
+    /// Universe size `n`; elements are `0..n`.
+    pub universe: usize,
+    /// The sets, each a sorted list of distinct elements.
+    pub sets: Vec<Vec<u32>>,
+}
+
+impl SetFamily {
+    /// Builds a family, sorting and deduplicating each set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is outside the universe.
+    #[must_use]
+    pub fn new(universe: usize, sets: Vec<Vec<u32>>) -> Self {
+        let sets = sets
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                assert!(
+                    s.last().is_none_or(|&x| (x as usize) < universe),
+                    "set element outside universe"
+                );
+                s
+            })
+            .collect();
+        Self { universe, sets }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if the family has no sets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Matrix whose **rows** are the indicator vectors (Alice's `A`: the
+    /// `i`-th row indicates `A_i`).
+    #[must_use]
+    pub fn as_row_matrix(&self) -> BitMatrix {
+        BitMatrix::from_sets(self.sets.len(), self.universe, &self.sets)
+    }
+
+    /// Matrix whose **columns** are the indicator vectors (Bob's `B`: the
+    /// `j`-th column indicates `B_j`).
+    #[must_use]
+    pub fn as_col_matrix(&self) -> BitMatrix {
+        self.as_row_matrix().transpose()
+    }
+
+    /// Reads the row-sets of a binary matrix back into a family.
+    #[must_use]
+    pub fn from_row_matrix(m: &BitMatrix) -> Self {
+        let sets = (0..m.rows()).map(|i| m.row_indices(i).collect()).collect();
+        Self {
+            universe: m.cols(),
+            sets,
+        }
+    }
+
+    /// Intersection size of two sorted sets.
+    #[must_use]
+    pub fn intersection_size(x: &[u32], y: &[u32]) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < x.len() && j < y.len() {
+            match x[i].cmp(&y[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Statistics of the join between two set families (Alice's sets vs Bob's
+/// sets), computed exactly via bit-matrix products. This is the ground
+/// truth the protocols estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinStats {
+    /// `|A ∘ B| = ‖AB‖₀`: number of intersecting pairs.
+    pub composition_size: u64,
+    /// `|A ⋈ B| = ‖AB‖₁`: number of `(i, k, j)` witnesses.
+    pub natural_join_size: u64,
+    /// Maximum intersection size `‖AB‖_∞` and a pair attaining it.
+    pub max_overlap: (u64, (u32, u32)),
+}
+
+/// Computes exact join statistics between `alice` (sets = rows of `A`) and
+/// `bob` (sets = columns of `B`).
+///
+/// # Panics
+///
+/// Panics if the universes differ.
+#[must_use]
+pub fn join_stats(alice: &SetFamily, bob: &SetFamily) -> JoinStats {
+    assert_eq!(alice.universe, bob.universe, "universe mismatch");
+    let a = alice.as_row_matrix();
+    // Bob's sets are columns of B; for row-dot products we use them as rows
+    // of Bᵀ, which is exactly `as_row_matrix` on his family.
+    let bt = bob.as_row_matrix();
+    let mut comp = 0u64;
+    let mut nat = 0u64;
+    let mut max_overlap = (0u64, (0u32, 0u32));
+    for i in 0..a.rows() {
+        for j in 0..bt.rows() {
+            let z = u64::from(a.row_dot(i, &bt, j));
+            if z > 0 {
+                comp += 1;
+                nat += z;
+                if z > max_overlap.0 {
+                    max_overlap = (z, (i as u32, j as u32));
+                }
+            }
+        }
+    }
+    JoinStats {
+        composition_size: comp,
+        natural_join_size: nat,
+        max_overlap,
+    }
+}
+
+/// Enumerates the composition `A ∘ B`: all pairs `(i, j)` with
+/// `A_i ∩ B_j ≠ ∅`.
+#[must_use]
+pub fn composition(alice: &SetFamily, bob: &SetFamily) -> Vec<(u32, u32)> {
+    let a = alice.as_row_matrix();
+    let bt = bob.as_row_matrix();
+    let mut out = Vec::new();
+    for i in 0..a.rows() {
+        for j in 0..bt.rows() {
+            if a.row_dot(i, &bt, j) > 0 {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates the natural join `A ⋈ B`: all `(i, k, j)` with
+/// `k ∈ A_i ∩ B_j`.
+#[must_use]
+pub fn natural_join(alice: &SetFamily, bob: &SetFamily) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::new();
+    for (i, ai) in alice.sets.iter().enumerate() {
+        for (j, bj) in bob.sets.iter().enumerate() {
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < ai.len() && y < bj.len() {
+                match ai[x].cmp(&bj[y]) {
+                    std::cmp::Ordering::Less => x += 1,
+                    std::cmp::Ordering::Greater => y += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push((i as u32, ai[x], j as u32));
+                        x += 1;
+                        y += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::{dense_lp_pow, PNorm};
+
+    fn families() -> (SetFamily, SetFamily) {
+        // Applicants' skills and jobs' requirements (intro example).
+        let alice = SetFamily::new(5, vec![vec![0, 1], vec![2], vec![], vec![0, 3, 4], vec![1]]);
+        let bob = SetFamily::new(
+            5,
+            vec![vec![1], vec![2, 3], vec![0, 1, 4], vec![], vec![3, 4]],
+        );
+        (alice, bob)
+    }
+
+    #[test]
+    fn join_stats_match_matrix_norms() {
+        let (alice, bob) = families();
+        let a = alice.as_row_matrix();
+        let b = bob.as_col_matrix();
+        let c = a.matmul(&b);
+        let stats = join_stats(&alice, &bob);
+        assert_eq!(stats.composition_size as f64, dense_lp_pow(&c, PNorm::Zero));
+        assert_eq!(stats.natural_join_size as f64, dense_lp_pow(&c, PNorm::ONE));
+        let (mx, _) = crate::norms::dense_linf(&c);
+        assert_eq!(stats.max_overlap.0 as i64, mx);
+    }
+
+    #[test]
+    fn composition_vs_natural_join() {
+        let (alice, bob) = families();
+        let comp = composition(&alice, &bob);
+        let nat = natural_join(&alice, &bob);
+        let stats = join_stats(&alice, &bob);
+        assert_eq!(comp.len() as u64, stats.composition_size);
+        assert_eq!(nat.len() as u64, stats.natural_join_size);
+        // Every natural-join witness projects to a composition pair.
+        for &(i, _, j) in &nat {
+            assert!(comp.contains(&(i, j)));
+        }
+        // Witnesses are genuine.
+        for &(i, k, j) in &nat {
+            assert!(alice.sets[i as usize].contains(&k));
+            assert!(bob.sets[j as usize].contains(&k));
+        }
+    }
+
+    #[test]
+    fn intersection_size_merge() {
+        assert_eq!(SetFamily::intersection_size(&[1, 3, 5], &[3, 5, 7]), 2);
+        assert_eq!(SetFamily::intersection_size(&[], &[1]), 0);
+        assert_eq!(SetFamily::intersection_size(&[2], &[2]), 1);
+    }
+
+    #[test]
+    fn family_matrix_roundtrip() {
+        let (alice, _) = families();
+        let m = alice.as_row_matrix();
+        assert_eq!(SetFamily::from_row_matrix(&m), alice);
+        // Column matrix has sets as columns.
+        let cm = alice.as_col_matrix();
+        assert_eq!(cm.rows(), 5);
+        assert!(cm.get(0, 0)); // element 0 in set 0
+        assert!(cm.get(3, 3)); // element 3 in set 3
+    }
+
+    #[test]
+    fn dedup_and_sort_on_construction() {
+        let f = SetFamily::new(4, vec![vec![3, 1, 3, 1]]);
+        assert_eq!(f.sets[0], vec![1, 3]);
+        assert_eq!(f.len(), 1);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Matrix and join substrate for distributed matrix-product estimation.
+//!
+//! This crate provides everything the Woodruff–Zhang (PODS'18) protocols
+//! need *locally* at each party, plus exact ground truth for tests and
+//! experiments:
+//!
+//! * [`DenseMatrix`] — generic dense row-major matrices over a [`Ring`]
+//!   (`i64`, `f64`, or the sketch crate's Mersenne-61 field elements);
+//! * [`CsrMatrix`] — compressed sparse row integer matrices, the canonical
+//!   protocol input for general (non-binary) matrices;
+//! * [`BitMatrix`] — bit-packed boolean matrices with popcount products,
+//!   the canonical input for binary protocols and the set-join view;
+//! * [`SetFamily`] — the database-join view of Section 1.1 (rows of `A` as
+//!   sets, columns of `B` as sets; composition = set-intersection join,
+//!   natural join sizes, witnesses);
+//! * [`norms`] — entrywise `ℓp` statistics with the paper's `0⁰ = 0`
+//!   convention, `ℓ∞`, and heavy-hitter sets;
+//! * [`stats`] — exact products and product statistics (the ground truth
+//!   that experiments compare protocol outputs against);
+//! * [`gen`] — seeded workload generators (uniform Bernoulli, Zipf-skewed
+//!   set families, planted heavy pairs, rectangular shapes);
+//! * [`Accumulator`] — a dense/sparse adaptive accumulator for summing
+//!   outer products, used by the `ℓ∞` and heavy-hitter protocols.
+
+pub mod accumulate;
+pub mod bitmat;
+pub mod dense;
+pub mod gen;
+pub mod hashx;
+pub mod io;
+pub mod joins;
+pub mod norms;
+pub mod ring;
+pub mod sparse;
+pub mod stats;
+
+pub use accumulate::Accumulator;
+pub use bitmat::BitMatrix;
+pub use dense::DenseMatrix;
+pub use gen::Workloads;
+pub use joins::SetFamily;
+pub use norms::PNorm;
+pub use ring::Ring;
+pub use sparse::{CsrMatrix, SparseVec};

@@ -1,0 +1,212 @@
+//! Entrywise `ℓp` statistics with the paper's conventions.
+//!
+//! The paper treats a matrix as the flat vector of its entries:
+//! `‖C‖_p = (Σ_{i,j} |C_{i,j}|^p)^{1/p}`, with `0⁰ = 0` so that `‖C‖₀` is
+//! the number of nonzero entries, and `‖C‖_∞ = max |C_{i,j}|`.
+
+use crate::dense::DenseMatrix;
+use crate::sparse::CsrMatrix;
+
+/// Which `ℓp` statistic to compute. The paper's protocols cover
+/// `p ∈ [0, 2]` for norm estimation; `Inf` is handled by dedicated
+/// protocols (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PNorm {
+    /// `p = 0`: number of nonzero entries (distinct-elements analogue).
+    Zero,
+    /// `p ∈ (0, 2]`: the usual entrywise `p`-norm.
+    P(f64),
+    /// `p = ∞`: maximum absolute entry.
+    Inf,
+}
+
+impl PNorm {
+    /// `ℓ1`.
+    pub const ONE: PNorm = PNorm::P(1.0);
+    /// `ℓ2`.
+    pub const TWO: PNorm = PNorm::P(2.0);
+
+    /// `|v|^p` with the `0⁰ = 0` convention (for `Zero`, the indicator of
+    /// `v ≠ 0`; for `Inf`, `|v|` — useful so `max` folds work uniformly).
+    #[inline]
+    #[must_use]
+    pub fn entry_pow(self, v: i64) -> f64 {
+        match self {
+            PNorm::Zero => {
+                if v == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            PNorm::P(p) => {
+                if v == 0 {
+                    0.0
+                } else {
+                    let a = v.unsigned_abs() as f64;
+                    if (p - 1.0).abs() < f64::EPSILON {
+                        a
+                    } else if (p - 2.0).abs() < f64::EPSILON {
+                        a * a
+                    } else {
+                        a.powf(p)
+                    }
+                }
+            }
+            PNorm::Inf => v.unsigned_abs() as f64,
+        }
+    }
+
+    /// The exponent as `f64` (`0.0` for `Zero`; `None` for `Inf`).
+    #[must_use]
+    pub fn exponent(self) -> Option<f64> {
+        match self {
+            PNorm::Zero => Some(0.0),
+            PNorm::P(p) => Some(p),
+            PNorm::Inf => None,
+        }
+    }
+
+    /// Validates that this norm lies in the range Algorithm 1 supports
+    /// (`p ∈ [0, 2]`).
+    #[must_use]
+    pub fn supported_by_lp_protocol(self) -> bool {
+        match self {
+            PNorm::Zero => true,
+            PNorm::P(p) => p > 0.0 && p <= 2.0,
+            PNorm::Inf => false,
+        }
+    }
+}
+
+/// `‖x‖_p^p` of an integer slice (for `Zero`, the nonzero count).
+#[must_use]
+pub fn vec_lp_pow(xs: &[i64], p: PNorm) -> f64 {
+    xs.iter().map(|&v| p.entry_pow(v)).sum()
+}
+
+/// `‖x‖_p^p` of a sparse entry list.
+#[must_use]
+pub fn sparse_lp_pow(entries: &[(u32, i64)], p: PNorm) -> f64 {
+    entries.iter().map(|&(_, v)| p.entry_pow(v)).sum()
+}
+
+/// `‖M‖_p^p` over all entries of a dense matrix.
+#[must_use]
+pub fn dense_lp_pow(m: &DenseMatrix<i64>, p: PNorm) -> f64 {
+    vec_lp_pow(m.as_slice(), p)
+}
+
+/// `‖M‖_p^p` over all entries of a CSR matrix.
+#[must_use]
+pub fn csr_lp_pow(m: &CsrMatrix, p: PNorm) -> f64 {
+    m.triplets().map(|(_, _, v)| p.entry_pow(v)).sum()
+}
+
+/// `‖M‖_∞` and one arg-max position of a dense matrix.
+#[must_use]
+pub fn dense_linf(m: &DenseMatrix<i64>) -> (i64, (usize, usize)) {
+    let mut best = 0i64;
+    let mut pos = (0usize, 0usize);
+    for i in 0..m.rows() {
+        for (j, &v) in m.row(i).iter().enumerate() {
+            if v.abs() > best {
+                best = v.abs();
+                pos = (i, j);
+            }
+        }
+    }
+    (best, pos)
+}
+
+/// `‖M‖_∞` and one arg-max position of a CSR matrix.
+#[must_use]
+pub fn csr_linf(m: &CsrMatrix) -> (i64, (u32, u32)) {
+    let mut best = 0i64;
+    let mut pos = (0u32, 0u32);
+    for (r, c, v) in m.triplets() {
+        if v.abs() > best {
+            best = v.abs();
+            pos = (r, c);
+        }
+    }
+    (best, pos)
+}
+
+/// The exact `ℓp`-(φ) heavy hitter set of a matrix: positions `(i, j)` with
+/// `|M_{i,j}|^p ≥ φ · ‖M‖_p^p`.
+#[must_use]
+pub fn csr_heavy_hitters(m: &CsrMatrix, p: PNorm, phi: f64) -> Vec<(u32, u32)> {
+    let total = csr_lp_pow(m, p);
+    if total == 0.0 {
+        return Vec::new();
+    }
+    let threshold = phi * total;
+    m.triplets()
+        .filter(|&(_, _, v)| p.entry_pow(v) >= threshold)
+        .map(|(r, c, _)| (r, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_pow_conventions() {
+        assert_eq!(PNorm::Zero.entry_pow(0), 0.0);
+        assert_eq!(PNorm::Zero.entry_pow(7), 1.0);
+        assert_eq!(PNorm::Zero.entry_pow(-7), 1.0);
+        assert_eq!(PNorm::ONE.entry_pow(-3), 3.0);
+        assert_eq!(PNorm::TWO.entry_pow(-3), 9.0);
+        assert!((PNorm::P(0.5).entry_pow(4) - 2.0).abs() < 1e-12);
+        assert_eq!(PNorm::Inf.entry_pow(-9), 9.0);
+        assert_eq!(PNorm::P(0.5).entry_pow(0), 0.0);
+    }
+
+    #[test]
+    fn supported_range() {
+        assert!(PNorm::Zero.supported_by_lp_protocol());
+        assert!(PNorm::ONE.supported_by_lp_protocol());
+        assert!(PNorm::TWO.supported_by_lp_protocol());
+        assert!(PNorm::P(0.5).supported_by_lp_protocol());
+        assert!(!PNorm::P(2.5).supported_by_lp_protocol());
+        assert!(!PNorm::P(0.0).supported_by_lp_protocol());
+        assert!(!PNorm::Inf.supported_by_lp_protocol());
+    }
+
+    #[test]
+    fn vector_norms() {
+        let xs = [0i64, 2, -2, 1];
+        assert_eq!(vec_lp_pow(&xs, PNorm::Zero), 3.0);
+        assert_eq!(vec_lp_pow(&xs, PNorm::ONE), 5.0);
+        assert_eq!(vec_lp_pow(&xs, PNorm::TWO), 9.0);
+    }
+
+    #[test]
+    fn matrix_norms_agree_dense_sparse() {
+        let m = CsrMatrix::from_triplets(3, 3, vec![(0, 0, 2), (1, 2, -4), (2, 2, 1)]);
+        let d = m.to_dense();
+        for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO, PNorm::P(1.5)] {
+            assert!((csr_lp_pow(&m, p) - dense_lp_pow(&d, p)).abs() < 1e-9);
+        }
+        let (mx, pos) = csr_linf(&m);
+        assert_eq!(mx, 4);
+        assert_eq!(pos, (1, 2));
+        let (mxd, posd) = dense_linf(&d);
+        assert_eq!(mxd, 4);
+        assert_eq!(posd, (1, 2));
+    }
+
+    #[test]
+    fn heavy_hitters_exact() {
+        // Entries: 8, 1, 1 -> l1 = 10.
+        let m = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 8), (0, 1, 1), (1, 1, 1)]);
+        let hh = csr_heavy_hitters(&m, PNorm::ONE, 0.5);
+        assert_eq!(hh, vec![(0, 0)]);
+        let hh_all = csr_heavy_hitters(&m, PNorm::ONE, 0.05);
+        assert_eq!(hh_all.len(), 3);
+        let empty = CsrMatrix::zeros(2, 2);
+        assert!(csr_heavy_hitters(&empty, PNorm::ONE, 0.5).is_empty());
+    }
+}

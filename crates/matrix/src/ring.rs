@@ -1,0 +1,88 @@
+//! A minimal ring abstraction so dense matrices can hold `i64` counts,
+//! `f64` sketch values, or finite-field elements (implemented downstream by
+//! the sketch crate for its Mersenne-61 type).
+
+/// Types supporting the ring operations dense matrix arithmetic needs.
+///
+/// Implementations must be cheap `Copy` types; matrix kernels call these in
+/// tight loops.
+pub trait Ring: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Ring addition.
+    fn add(self, rhs: Self) -> Self;
+    /// Ring multiplication.
+    fn mul(self, rhs: Self) -> Self;
+    /// Whether this element is the additive identity.
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+}
+
+impl Ring for i64 {
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+    #[inline]
+    fn one() -> Self {
+        1
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+}
+
+impl Ring for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_laws<T: Ring>(a: T, b: T, c: T) {
+        // Additive identity and commutativity.
+        assert_eq!(a.add(T::zero()), a);
+        assert_eq!(a.add(b), b.add(a));
+        // Multiplicative identity.
+        assert_eq!(a.mul(T::one()), a);
+        // Distributivity.
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn i64_ring_laws() {
+        ring_laws(3i64, -7, 11);
+        assert!(0i64.is_zero());
+        assert!(!1i64.is_zero());
+    }
+
+    #[test]
+    fn f64_ring_laws() {
+        ring_laws(1.5f64, 2.0, -0.25);
+        assert!(0.0f64.is_zero());
+    }
+}

@@ -1,0 +1,487 @@
+//! Compressed sparse row (CSR) integer matrices and sparse vectors.
+//!
+//! [`CsrMatrix`] is the canonical protocol input for general integer
+//! matrices (entries assumed polynomially bounded, per the paper's model).
+//! Row indices are `usize`, column indices are stored as `u32` (matrix
+//! dimensions beyond `u32` are far outside laptop scale).
+
+use crate::dense::DenseMatrix;
+
+/// A sparse vector: sorted `(index, value)` pairs over a known dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseVec {
+    /// Dimension of the ambient space.
+    pub dim: usize,
+    /// Nonzero entries, sorted by index, values nonzero.
+    pub entries: Vec<(u32, i64)>,
+}
+
+impl SparseVec {
+    /// Builds from unsorted entries, summing duplicates and dropping zeros.
+    #[must_use]
+    pub fn from_entries(dim: usize, mut entries: Vec<(u32, i64)>) -> Self {
+        entries.sort_unstable_by_key(|e| e.0);
+        let mut out: Vec<(u32, i64)> = Vec::with_capacity(entries.len());
+        for (idx, val) in entries {
+            debug_assert!((idx as usize) < dim, "index out of range");
+            match out.last_mut() {
+                Some(last) if last.0 == idx => last.1 += val,
+                _ => out.push((idx, val)),
+            }
+        }
+        out.retain(|e| e.1 != 0);
+        Self { dim, entries: out }
+    }
+
+    /// Number of nonzero entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sum of absolute values.
+    #[must_use]
+    pub fn l1(&self) -> i64 {
+        self.entries.iter().map(|e| e.1.abs()).sum()
+    }
+
+    /// Value at an index (0 if absent).
+    #[must_use]
+    pub fn get(&self, idx: u32) -> i64 {
+        match self.entries.binary_search_by_key(&idx, |e| e.0) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0,
+        }
+    }
+}
+
+/// A `rows × cols` integer matrix in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<i64>,
+}
+
+impl CsrMatrix {
+    /// Builds from `(row, col, value)` triplets; duplicates are summed and
+    /// exact zeros dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(u32, u32, i64)>) -> Self {
+        for &(r, c, _) in &triplets {
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "triplet ({r},{c}) out of range for {rows}x{cols}"
+            );
+        }
+        triplets.sort_unstable_by_key(|t| (t.0, t.1));
+        // Merge duplicates.
+        let mut merged: Vec<(u32, u32, i64)> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|t| t.2 != 0);
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|t| t.1).collect();
+        let vals = merged.iter().map(|t| t.2).collect();
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// An all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::from_triplets(rows, cols, Vec::new())
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The nonzeros of row `i` as parallel slices `(cols, vals)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> (&[u32], &[i64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Row `i` as a [`SparseVec`].
+    #[must_use]
+    pub fn row_vec(&self, i: usize) -> SparseVec {
+        let (cols, vals) = self.row(i);
+        SparseVec {
+            dim: self.cols,
+            entries: cols.iter().copied().zip(vals.iter().copied()).collect(),
+        }
+    }
+
+    /// Value at `(i, j)` (0 if absent).
+    #[must_use]
+    pub fn get(&self, i: usize, j: u32) -> i64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterates over `(row, col, value)` triplets.
+    pub fn triplets(&self) -> impl Iterator<Item = (u32, u32, i64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals.iter())
+                .map(move |(&c, &v)| (i as u32, c, v))
+        })
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let t: Vec<(u32, u32, i64)> = self.triplets().map(|(r, c, v)| (c, r, v)).collect();
+        Self::from_triplets(self.cols, self.rows, t)
+    }
+
+    /// True if every stored value is 1 (the binary-matrix case).
+    #[must_use]
+    pub fn is_binary(&self) -> bool {
+        self.vals.iter().all(|&v| v == 1)
+    }
+
+    /// True if every stored value is positive.
+    #[must_use]
+    pub fn is_nonnegative(&self) -> bool {
+        self.vals.iter().all(|&v| v > 0)
+    }
+
+    /// Sum of absolute values of all entries.
+    #[must_use]
+    pub fn l1(&self) -> i64 {
+        self.vals.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Per-column count of nonzeros (the weights `u_k` of Lemma 2.5 and
+    /// Algorithm 2).
+    #[must_use]
+    pub fn col_nnz(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.cols];
+        for &c in &self.col_idx {
+            out[c as usize] += 1;
+        }
+        out
+    }
+
+    /// Per-column sums of absolute values (`‖A_{*,j}‖₁`, Remark 2).
+    #[must_use]
+    pub fn col_abs_sums(&self) -> Vec<i64> {
+        let mut out = vec![0i64; self.cols];
+        for (&c, &v) in self.col_idx.iter().zip(self.vals.iter()) {
+            out[c as usize] += v.abs();
+        }
+        out
+    }
+
+    /// Per-row sums of absolute values (`‖B_{j,*}‖₁`).
+    #[must_use]
+    pub fn row_abs_sums(&self) -> Vec<i64> {
+        (0..self.rows)
+            .map(|i| self.row(i).1.iter().map(|v| v.abs()).sum())
+            .collect()
+    }
+
+    /// Per-row nonzero counts.
+    #[must_use]
+    pub fn row_nnz(&self) -> Vec<u32> {
+        (0..self.rows)
+            .map(|i| (self.row_ptr[i + 1] - self.row_ptr[i]) as u32)
+            .collect()
+    }
+
+    /// The nonzeros of column `j` as `(row, value)` pairs. `O(nnz)`; for
+    /// repeated column access, transpose first.
+    #[must_use]
+    pub fn col_entries(&self, j: u32) -> Vec<(u32, i64)> {
+        self.triplets()
+            .filter(|&(_, c, _)| c == j)
+            .map(|(r, _, v)| (r, v))
+            .collect()
+    }
+
+    /// Exact sparse–sparse product `self · rhs` using a per-row dense
+    /// accumulator (SPA).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, rhs: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut acc = vec![0i64; rhs.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut triplets: Vec<(u32, u32, i64)> = Vec::new();
+        for i in 0..self.rows {
+            let (a_cols, a_vals) = self.row(i);
+            for (&k, &a) in a_cols.iter().zip(a_vals.iter()) {
+                let (b_cols, b_vals) = rhs.row(k as usize);
+                for (&j, &b) in b_cols.iter().zip(b_vals.iter()) {
+                    if acc[j as usize] == 0 {
+                        touched.push(j);
+                    }
+                    acc[j as usize] += a * b;
+                }
+            }
+            for &j in &touched {
+                let v = acc[j as usize];
+                if v != 0 {
+                    triplets.push((i as u32, j, v));
+                }
+                acc[j as usize] = 0;
+            }
+            touched.clear();
+        }
+        CsrMatrix::from_triplets(self.rows, rhs.cols, triplets)
+    }
+
+    /// Sparse vector–matrix product `x · self` (used to compute single rows
+    /// of `C = A·B` as `A_{i,*} · B`).
+    #[must_use]
+    pub fn vecmat(&self, x: &SparseVec) -> SparseVec {
+        debug_assert_eq!(x.dim, self.rows, "vecmat dimension mismatch");
+        let mut acc = vec![0i64; self.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        for &(k, a) in &x.entries {
+            let (b_cols, b_vals) = self.row(k as usize);
+            for (&j, &b) in b_cols.iter().zip(b_vals.iter()) {
+                if acc[j as usize] == 0 {
+                    touched.push(j);
+                }
+                acc[j as usize] += a * b;
+            }
+        }
+        // A column may be pushed twice if its partial sum passed through
+        // zero mid-accumulation; dedup before harvesting.
+        touched.sort_unstable();
+        touched.dedup();
+        let entries = touched
+            .into_iter()
+            .filter_map(|j| {
+                let v = acc[j as usize];
+                (v != 0).then_some((j, v))
+            })
+            .collect();
+        SparseVec {
+            dim: self.cols,
+            entries,
+        }
+    }
+
+    /// Densifies (tests / small matrices only).
+    #[must_use]
+    pub fn to_dense(&self) -> DenseMatrix<i64> {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.triplets() {
+            m.set(r as usize, c as usize, v);
+        }
+        m
+    }
+
+    /// Builds from a dense matrix.
+    #[must_use]
+    pub fn from_dense(m: &DenseMatrix<i64>) -> Self {
+        let triplets = m
+            .nonzero_entries()
+            .map(|(i, j, v)| (i as u32, j as u32, v))
+            .collect();
+        Self::from_triplets(m.rows(), m.cols(), triplets)
+    }
+
+    /// Keeps only the rows in `keep` (others zeroed) — Algorithm 1's `A'`.
+    #[must_use]
+    pub fn filter_rows(&self, keep: impl Fn(usize) -> bool) -> Self {
+        let triplets = self
+            .triplets()
+            .filter(|&(r, _, _)| keep(r as usize))
+            .collect();
+        Self::from_triplets(self.rows, self.cols, triplets)
+    }
+
+    /// Keeps only the columns in `keep` (others zeroed) — universe sampling
+    /// in Algorithm 3 and Section 5.2.
+    #[must_use]
+    pub fn filter_cols(&self, keep: impl Fn(u32) -> bool) -> Self {
+        let triplets = self.triplets().filter(|&(_, c, _)| keep(c)).collect();
+        Self::from_triplets(self.rows, self.cols, triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 -1 0]
+        CsrMatrix::from_triplets(3, 3, vec![(0, 0, 1), (0, 2, 2), (2, 0, 3), (2, 1, -1)])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = small();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 2), 2);
+        assert_eq!(m.get(1, 1), 0);
+        assert_eq!(m.get(2, 1), -1);
+        let (cols, vals) = m.row(2);
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(vals, &[3, -1]);
+    }
+
+    #[test]
+    fn duplicate_triplets_sum_and_zeros_drop() {
+        let m = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 2), (0, 0, 3), (1, 1, 5), (1, 1, -5)]);
+        assert_eq!(m.get(0, 0), 5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 3);
+        assert_eq!(t.get(2, 0), 2);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let a = small();
+        let b = CsrMatrix::from_triplets(3, 2, vec![(0, 0, 1), (1, 0, 2), (2, 1, 4)]);
+        let c = a.matmul(&b);
+        let expect = a.to_dense().matmul(&b.to_dense());
+        assert_eq!(c.to_dense(), expect);
+    }
+
+    #[test]
+    fn matmul_cancellation_drops_zero() {
+        // [1 1] · [ 1]  = [0]
+        //         [-1]
+        let a = CsrMatrix::from_triplets(1, 2, vec![(0, 0, 1), (0, 1, 1)]);
+        let b = CsrMatrix::from_triplets(2, 1, vec![(0, 0, 1), (1, 0, -1)]);
+        let c = a.matmul(&b);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn vecmat_cancellation_through_zero() {
+        // Regression (found by proptest): a partial sum passing through
+        // zero must not duplicate the output entry.
+        // x = [1, -1, 1] over rows of b all hitting column 0 with value -1.
+        let b = CsrMatrix::from_triplets(3, 1, vec![(0, 0, -1), (1, 0, 1), (2, 0, -1)]);
+        let x = SparseVec::from_entries(3, vec![(0, 1), (1, 1), (2, 1)]);
+        let y = b.vecmat(&x);
+        assert_eq!(y.entries, vec![(0, -1)]);
+    }
+
+    #[test]
+    fn vecmat_matches_row_of_product() {
+        let a = small();
+        let b = CsrMatrix::from_triplets(3, 3, vec![(0, 1, 2), (1, 2, 1), (2, 0, -1)]);
+        let c = a.matmul(&b);
+        for i in 0..3 {
+            let row = b.vecmat(&a.row_vec(i));
+            assert_eq!(row, c.row_vec(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn column_helpers() {
+        let m = small();
+        assert_eq!(m.col_nnz(), vec![2, 1, 1]);
+        assert_eq!(m.col_abs_sums(), vec![4, 1, 2]);
+        assert_eq!(m.row_abs_sums(), vec![3, 0, 4]);
+        assert_eq!(m.row_nnz(), vec![2, 0, 2]);
+        assert_eq!(m.col_entries(0), vec![(0, 1), (2, 3)]);
+        assert_eq!(m.l1(), 7);
+    }
+
+    #[test]
+    fn binary_and_sign_predicates() {
+        assert!(!small().is_binary());
+        assert!(!small().is_nonnegative());
+        let b = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1), (1, 1, 1)]);
+        assert!(b.is_binary());
+        assert!(b.is_nonnegative());
+    }
+
+    #[test]
+    fn filters() {
+        let m = small();
+        let rows02 = m.filter_rows(|r| r != 2);
+        assert_eq!(rows02.nnz(), 2);
+        let col0 = m.filter_cols(|c| c == 0);
+        assert_eq!(col0.nnz(), 2);
+        assert_eq!(col0.get(2, 0), 3);
+    }
+
+    #[test]
+    fn sparse_vec_basics() {
+        let v = SparseVec::from_entries(10, vec![(5, 2), (1, -1), (5, 3), (7, 0)]);
+        assert_eq!(v.entries, vec![(1, -1), (5, 5)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.l1(), 6);
+        assert_eq!(v.get(5), 5);
+        assert_eq!(v.get(2), 0);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = small();
+        assert_eq!(CsrMatrix::from_dense(&m.to_dense()), m);
+    }
+}

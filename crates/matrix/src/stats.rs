@@ -1,0 +1,135 @@
+//! Exact ground-truth statistics of matrix products.
+//!
+//! Experiments and tests compare protocol outputs against these
+//! centralized computations. All functions compute `C = A · B` exactly
+//! (sparse–sparse or popcount kernels) and then reduce.
+
+use crate::bitmat::BitMatrix;
+use crate::dense::DenseMatrix;
+use crate::norms::{self, PNorm};
+use crate::sparse::CsrMatrix;
+
+/// Exact product of two CSR matrices (alias of [`CsrMatrix::matmul`], here
+/// for discoverability next to the statistics).
+#[must_use]
+pub fn product(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    a.matmul(b)
+}
+
+/// Exact product of two binary matrices as integer counts.
+#[must_use]
+pub fn product_binary(a: &BitMatrix, b: &BitMatrix) -> DenseMatrix<i64> {
+    a.matmul(b)
+}
+
+/// Exact `‖AB‖_p^p` for CSR inputs.
+#[must_use]
+pub fn lp_pow_of_product(a: &CsrMatrix, b: &CsrMatrix, p: PNorm) -> f64 {
+    norms::csr_lp_pow(&a.matmul(b), p)
+}
+
+/// Exact `‖AB‖_p^p` for binary inputs.
+#[must_use]
+pub fn lp_pow_of_product_binary(a: &BitMatrix, b: &BitMatrix, p: PNorm) -> f64 {
+    norms::dense_lp_pow(&a.matmul(b), p)
+}
+
+/// Exact `‖AB‖_∞` with an arg-max position, for CSR inputs.
+#[must_use]
+pub fn linf_of_product(a: &CsrMatrix, b: &CsrMatrix) -> (i64, (u32, u32)) {
+    norms::csr_linf(&a.matmul(b))
+}
+
+/// Exact `‖AB‖_∞` with an arg-max position, for binary inputs.
+#[must_use]
+pub fn linf_of_product_binary(a: &BitMatrix, b: &BitMatrix) -> (i64, (u32, u32)) {
+    let c = a.matmul(b);
+    let (v, (i, j)) = norms::dense_linf(&c);
+    (v, (i as u32, j as u32))
+}
+
+/// Exact `ℓp`-φ heavy hitters of `AB` (positions with
+/// `|C_{i,j}|^p ≥ φ‖C‖_p^p`), for CSR inputs.
+#[must_use]
+pub fn heavy_hitters_of_product(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    p: PNorm,
+    phi: f64,
+) -> Vec<(u32, u32)> {
+    norms::csr_heavy_hitters(&a.matmul(b), p, phi)
+}
+
+/// Exact per-row `‖C_{i,*}‖_p^p` of `C = A·B`, for CSR inputs.
+#[must_use]
+pub fn row_lp_pows(a: &CsrMatrix, b: &CsrMatrix, p: PNorm) -> Vec<f64> {
+    let c = a.matmul(b);
+    (0..c.rows())
+        .map(|i| norms::sparse_lp_pow(&c.row_vec(i).entries, p))
+        .collect()
+}
+
+/// The support of `C = A·B` as sorted `(i, j)` positions, for CSR inputs.
+#[must_use]
+pub fn support_of_product(a: &CsrMatrix, b: &CsrMatrix) -> Vec<(u32, u32)> {
+    a.matmul(b).triplets().map(|(r, c, _)| (r, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Workloads;
+
+    #[test]
+    fn binary_and_csr_paths_agree() {
+        let a = Workloads::bernoulli_bits(20, 30, 0.2, 1);
+        let b = Workloads::bernoulli_bits(30, 20, 0.2, 2);
+        let (ac, bc) = (a.to_csr(), b.to_csr());
+        for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO, PNorm::P(0.7)] {
+            let x = lp_pow_of_product_binary(&a, &b, p);
+            let y = lp_pow_of_product(&ac, &bc, p);
+            assert!((x - y).abs() < 1e-9, "p={p:?}: {x} vs {y}");
+        }
+        assert_eq!(
+            linf_of_product_binary(&a, &b).0,
+            linf_of_product(&ac, &bc).0
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_contains_planted() {
+        let (a, b, planted) =
+            Workloads::planted_pairs(24, 64, 0.03, &[(1, 2), (5, 9)], 50, 77);
+        let (ac, bc) = (a.to_csr(), b.to_csr());
+        let c = ac.matmul(&bc);
+        let l1 = crate::norms::csr_lp_pow(&c, PNorm::ONE);
+        // Pick phi so that the planted entries (>= 50) qualify.
+        let phi = 40.0 / l1;
+        let hh = heavy_hitters_of_product(&ac, &bc, PNorm::ONE, phi);
+        for &(i, j) in &planted {
+            assert!(hh.contains(&(i, j)), "planted ({i},{j}) missing from {hh:?}");
+        }
+    }
+
+    #[test]
+    fn row_lp_pows_sum_to_total() {
+        let a = Workloads::integer_csr(15, 15, 0.3, 5, false, 3);
+        let b = Workloads::integer_csr(15, 15, 0.3, 5, false, 4);
+        for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO] {
+            let rows = row_lp_pows(&a, &b, p);
+            let total: f64 = rows.iter().sum();
+            assert!((total - lp_pow_of_product(&a, &b, p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn support_matches_l0() {
+        let a = Workloads::integer_csr(10, 10, 0.3, 3, true, 5);
+        let b = Workloads::integer_csr(10, 10, 0.3, 3, true, 6);
+        let support = support_of_product(&a, &b);
+        assert_eq!(
+            support.len() as f64,
+            lp_pow_of_product(&a, &b, PNorm::Zero)
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: algebraic invariants of the matrix substrate.
+
+use mpest_matrix::{joins::SetFamily, norms, Accumulator, BitMatrix, CsrMatrix, PNorm};
+use proptest::prelude::*;
+
+fn csr_strategy(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec(((0..r as u32), (0..c as u32), -9i64..=9), 0..=3 * max_dim)
+            .prop_map(move |t| CsrMatrix::from_triplets(r, c, t))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in csr_strategy(16)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_preserves_norms(m in csr_strategy(16)) {
+        let t = m.transpose();
+        for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO] {
+            prop_assert!((norms::csr_lp_pow(&m, p) - norms::csr_lp_pow(&t, p)).abs() < 1e-9);
+        }
+        prop_assert_eq!(norms::csr_linf(&m).0, norms::csr_linf(&t).0);
+    }
+
+    #[test]
+    fn dense_roundtrip(m in csr_strategy(12)) {
+        prop_assert_eq!(CsrMatrix::from_dense(&m.to_dense()), m);
+    }
+
+    #[test]
+    fn matmul_matches_dense(a in csr_strategy(10), b in csr_strategy(10)) {
+        // Make dims compatible by transposing b when needed.
+        let b = if a.cols() == b.rows() { b } else {
+            CsrMatrix::from_triplets(
+                a.cols(), b.cols(),
+                b.triplets().filter(|&(r, _, _)| (r as usize) < a.cols()).collect(),
+            )
+        };
+        let c = a.matmul(&b);
+        let d = a.to_dense().matmul(&b.to_dense());
+        prop_assert_eq!(c.to_dense(), d);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in csr_strategy(8), b in csr_strategy(8)) {
+        // (AB)^T = B^T A^T
+        let b = CsrMatrix::from_triplets(
+            a.cols(), b.cols(),
+            b.triplets().filter(|&(r, _, _)| (r as usize) < a.cols()).collect(),
+        );
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn row_vecmat_consistency(a in csr_strategy(10), b in csr_strategy(10)) {
+        let b = CsrMatrix::from_triplets(
+            a.cols(), b.cols(),
+            b.triplets().filter(|&(r, _, _)| (r as usize) < a.cols()).collect(),
+        );
+        let c = a.matmul(&b);
+        for i in 0..a.rows() {
+            prop_assert_eq!(b.vecmat(&a.row_vec(i)), c.row_vec(i));
+        }
+    }
+
+    #[test]
+    fn accumulator_equals_matmul(a in csr_strategy(8), b in csr_strategy(8)) {
+        let b = CsrMatrix::from_triplets(
+            a.cols(), b.cols(),
+            b.triplets().filter(|&(r, _, _)| (r as usize) < a.cols()).collect(),
+        );
+        let at = a.transpose();
+        let mut acc = Accumulator::new(a.rows(), b.cols());
+        for k in 0..a.cols() {
+            acc.add_outer(&at.row_vec(k).entries, &b.row_vec(k).entries);
+        }
+        let entries = acc.into_entries();
+        let expect: Vec<(u32, u32, i64)> = a.matmul(&b).triplets().collect();
+        prop_assert_eq!(entries, expect);
+    }
+
+    #[test]
+    fn bitmatrix_product_counts_intersections(
+        sets_a in proptest::collection::vec(proptest::collection::vec(0u32..24, 0..8), 1..6),
+        sets_b in proptest::collection::vec(proptest::collection::vec(0u32..24, 0..8), 1..6),
+    ) {
+        let fa = SetFamily::new(24, sets_a);
+        let fb = SetFamily::new(24, sets_b);
+        let a = fa.as_row_matrix();
+        let b = fb.as_col_matrix();
+        let c = a.matmul(&b);
+        for (i, sa) in fa.sets.iter().enumerate() {
+            for (j, sb) in fb.sets.iter().enumerate() {
+                prop_assert_eq!(
+                    c.get(i, j),
+                    SetFamily::intersection_size(sa, sb) as i64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_csr_roundtrip(
+        bits in proptest::collection::vec(any::<bool>(), 1..120),
+        cols in 1usize..12,
+    ) {
+        let rows = bits.len().div_ceil(cols);
+        let mut m = BitMatrix::zeros(rows, cols);
+        for (idx, &b) in bits.iter().enumerate() {
+            if b {
+                m.set(idx / cols, idx % cols, true);
+            }
+        }
+        prop_assert_eq!(BitMatrix::from_csr(&m.to_csr()), m);
+    }
+
+    #[test]
+    fn heavy_hitters_monotone_in_phi(m in csr_strategy(10)) {
+        let hh_big = norms::csr_heavy_hitters(&m, PNorm::ONE, 0.5);
+        let hh_small = norms::csr_heavy_hitters(&m, PNorm::ONE, 0.1);
+        for pos in &hh_big {
+            prop_assert!(hh_small.contains(pos), "HH_0.5 must be inside HH_0.1");
+        }
+    }
+}

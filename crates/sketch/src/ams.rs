@@ -1,0 +1,194 @@
+//! The AMS (tug-of-war) `ℓ2` sketch of Alon, Matias & Szegedy.
+//!
+//! `S[r, i] = σ_r(i) ∈ {±1}` with 4-wise independent signs. Each counter
+//! `y_r = ⟨σ_r, x⟩` satisfies `E[y_r²] = ‖x‖₂²` and `Var[y_r²] ≤ 2‖x‖₂⁴`;
+//! averaging `per_group` counters and taking the median over `groups`
+//! yields a `(1 ± ε)` estimate of `‖x‖₂²` with failure probability
+//! `exp(−Ω(groups))`. This is the Lemma 2.1 instantiation for `p = 2`, and
+//! also the per-block estimator inside the Theorem 4.8 `ℓ∞` sketch.
+
+use crate::hash::{derive, PolyHash};
+use crate::linear;
+use mpest_matrix::{CsrMatrix, DenseMatrix};
+
+/// An AMS sketch of dimension-`dim` integer vectors.
+#[derive(Debug, Clone)]
+pub struct AmsSketch {
+    dim: usize,
+    groups: usize,
+    per_group: usize,
+    signs: Vec<PolyHash>,
+}
+
+impl AmsSketch {
+    /// Creates a sketch achieving roughly `(1 ± accuracy)` estimates of
+    /// `‖x‖₂²` with failure probability `exp(−Ω(reps))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy` is not in `(0, 1]` or `reps == 0`.
+    #[must_use]
+    pub fn new(dim: usize, accuracy: f64, reps: usize, seed: u64) -> Self {
+        assert!(accuracy > 0.0 && accuracy <= 1.0, "accuracy out of range");
+        assert!(reps >= 1, "reps must be positive");
+        let groups = if reps.is_multiple_of(2) { reps + 1 } else { reps };
+        let per_group = ((4.0 / (accuracy * accuracy)).ceil() as usize).max(1);
+        Self::with_shape(dim, groups, per_group, seed)
+    }
+
+    /// Creates a sketch with an explicit `groups × per_group` layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn with_shape(dim: usize, groups: usize, per_group: usize, seed: u64) -> Self {
+        assert!(groups >= 1 && per_group >= 1);
+        let signs = (0..groups * per_group)
+            .map(|r| PolyHash::new(4, derive(seed, 0xa3a5_0000 ^ r as u64)))
+            .collect();
+        Self {
+            dim,
+            groups,
+            per_group,
+            signs,
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Sketch length (number of `f64` counters).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.groups * self.per_group
+    }
+
+    /// Writes the nonzero entries of column `i` of `S` into `buf`.
+    pub fn column(&self, i: u64, buf: &mut Vec<(u32, f64)>) {
+        buf.reserve(self.signs.len());
+        for (r, h) in self.signs.iter().enumerate() {
+            buf.push((r as u32, h.sign(i) as f64));
+        }
+    }
+
+    /// Sketches a sparse vector.
+    #[must_use]
+    pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<f64> {
+        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+    }
+
+    /// Sketches every row of `m` (row `i` of the result is `sk(M_{i,*})`).
+    #[must_use]
+    pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<f64> {
+        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+    }
+
+    /// Estimates `‖x‖₂²` from a sketch vector (median of group means).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from [`AmsSketch::rows`].
+    #[must_use]
+    pub fn estimate_sq(&self, sk: &[f64]) -> f64 {
+        assert_eq!(sk.len(), self.rows(), "sketch length mismatch");
+        let mut means: Vec<f64> = sk
+            .chunks_exact(self.per_group)
+            .map(|chunk| chunk.iter().map(|y| y * y).sum::<f64>() / self.per_group as f64)
+            .collect();
+        linear::median_f64(&mut means)
+    }
+
+    /// Estimates `‖x‖₂` (square root of [`AmsSketch::estimate_sq`]).
+    #[must_use]
+    pub fn estimate_norm(&self, sk: &[f64]) -> f64 {
+        self.estimate_sq(sk).max(0.0).sqrt()
+    }
+}
+
+/// Convenience: sketch a dense integer vector.
+#[must_use]
+pub fn dense_to_entries(x: &[i64]) -> Vec<(u32, i64)> {
+    x.iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != 0)
+        .map(|(i, &v)| (i as u32, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn shape_rounding() {
+        let s = AmsSketch::new(100, 0.5, 4, 1);
+        assert_eq!(s.rows() % s.per_group, 0);
+        assert!(s.rows() >= 5 * 16, "groups made odd and per_group ~ 4/acc²");
+        assert_eq!(s.dim(), 100);
+    }
+
+    #[test]
+    fn exact_on_singleton() {
+        let s = AmsSketch::new(50, 0.5, 3, 2);
+        let sk = s.sketch_entries(&[(7, 3)]);
+        // Every counter is ±3, so every group mean is exactly 9.
+        assert!((s.estimate_sq(&sk) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_statistical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dim = 300;
+        let x: Vec<i64> = (0..dim).map(|_| rng.gen_range(-5i64..=5)).collect();
+        let truth: f64 = x.iter().map(|&v| (v * v) as f64).sum();
+        let entries = dense_to_entries(&x);
+        let mut ok = 0;
+        let trials = 20;
+        for t in 0..trials {
+            let s = AmsSketch::new(dim, 0.2, 5, 1000 + t);
+            let est = s.estimate_sq(&s.sketch_entries(&entries));
+            if (est - truth).abs() <= 0.25 * truth {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 17, "AMS accuracy failing too often: {ok}/{trials}");
+    }
+
+    #[test]
+    fn linearity() {
+        let s = AmsSketch::new(40, 0.5, 3, 9);
+        let x = vec![(1u32, 2i64), (5, -3)];
+        let y = vec![(5u32, 3i64), (9, 1)];
+        let merged = vec![(1u32, 2i64), (9, 1)]; // x + y with cancellation at 5
+        let sx = s.sketch_entries(&x);
+        let sy = s.sketch_entries(&y);
+        let sm = s.sketch_entries(&merged);
+        for r in 0..s.rows() {
+            assert!((sm[r] - (sx[r] + sy[r])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sketch_rows_consistency() {
+        let m = CsrMatrix::from_triplets(3, 10, vec![(0, 1, 4), (1, 2, -2), (1, 7, 1)]);
+        let s = AmsSketch::new(10, 0.5, 3, 5);
+        let rows = s.sketch_rows(&m);
+        for i in 0..3 {
+            assert_eq!(rows.row(i), s.sketch_entries(&m.row_vec(i).entries));
+        }
+    }
+
+    #[test]
+    fn zero_vector_estimates_zero() {
+        let s = AmsSketch::new(10, 0.3, 3, 4);
+        let sk = s.sketch_entries(&[]);
+        assert_eq!(s.estimate_sq(&sk), 0.0);
+        assert_eq!(s.estimate_norm(&sk), 0.0);
+    }
+}

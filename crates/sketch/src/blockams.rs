@@ -1,0 +1,176 @@
+//! The block-AMS `ℓ∞` sketch of Theorem 4.8(1) (general integer matrices).
+//!
+//! Partition a dimension-`n` vector into blocks of size `κ²` and keep an
+//! AMS `ℓ2` estimator per block. For a block `y ∈ Z^{κ²}`,
+//! `‖y‖∞ ≤ ‖y‖₂ ≤ κ‖y‖∞`, so `max_b ‖block_b‖₂` approximates `‖x‖∞`
+//! within a factor `κ·(1+ε)`. The sketch has `O(n/κ²)` counters per
+//! vector, giving the paper's `Õ(n²/κ²)` one-round protocol when applied
+//! to all columns of `C = A·B`.
+
+use crate::hash::{derive, PolyHash};
+use crate::linear::{self};
+use mpest_matrix::{CsrMatrix, DenseMatrix};
+
+/// A block-AMS `ℓ∞` sketch with `reps` counters per block.
+#[derive(Debug, Clone)]
+pub struct BlockAmsSketch {
+    dim: usize,
+    block_size: usize,
+    n_blocks: usize,
+    reps: usize,
+    signs: Vec<PolyHash>,
+}
+
+impl BlockAmsSketch {
+    /// Creates a sketch with blocks of size `kappa²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `kappa == 0`, or `reps == 0`.
+    #[must_use]
+    pub fn new(dim: usize, kappa: usize, reps: usize, seed: u64) -> Self {
+        assert!(dim > 0 && kappa > 0 && reps > 0, "bad block-AMS parameters");
+        let block_size = (kappa * kappa).min(dim).max(1);
+        let n_blocks = dim.div_ceil(block_size);
+        let signs = (0..reps)
+            .map(|r| PolyHash::new(4, derive(seed, 0x80_0000 ^ r as u64)))
+            .collect();
+        Self {
+            dim,
+            block_size,
+            n_blocks,
+            reps,
+            signs,
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Sketch length (`n_blocks · reps` counters) — the `Õ(n/κ²)` payload.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.n_blocks * self.reps
+    }
+
+    /// Block size (`κ²`, clamped to the dimension).
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Writes the nonzero entries of column `i` of `S` into `buf`.
+    pub fn column(&self, i: u64, buf: &mut Vec<(u32, f64)>) {
+        let block = i as usize / self.block_size;
+        for (r, h) in self.signs.iter().enumerate() {
+            buf.push(((block * self.reps + r) as u32, h.sign(i) as f64));
+        }
+    }
+
+    /// Sketches a sparse vector.
+    #[must_use]
+    pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<f64> {
+        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+    }
+
+    /// Sketches every row of `m`.
+    #[must_use]
+    pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<f64> {
+        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+    }
+
+    /// Estimates `‖x‖∞` within a `κ(1+o(1))` factor: the maximum over
+    /// blocks of the AMS `ℓ2` estimate. The returned value satisfies
+    /// (w.h.p.) `‖x‖∞ ≲ est ≲ κ·‖x‖∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from [`BlockAmsSketch::rows`].
+    #[must_use]
+    pub fn estimate_linf(&self, sk: &[f64]) -> f64 {
+        assert_eq!(sk.len(), self.rows(), "sketch length mismatch");
+        let mut best = 0.0f64;
+        for b in 0..self.n_blocks {
+            let counters = &sk[b * self.reps..(b + 1) * self.reps];
+            let mean_sq: f64 =
+                counters.iter().map(|y| y * y).sum::<f64>() / self.reps as f64;
+            best = best.max(mean_sq.sqrt());
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let s = BlockAmsSketch::new(1000, 10, 5, 1);
+        assert_eq!(s.block_size(), 100);
+        assert_eq!(s.rows(), 10 * 5);
+        assert_eq!(s.dim(), 1000);
+    }
+
+    #[test]
+    fn block_clamped_to_dim() {
+        let s = BlockAmsSketch::new(50, 100, 3, 2);
+        assert_eq!(s.block_size(), 50);
+        assert_eq!(s.rows(), 3);
+    }
+
+    #[test]
+    fn singleton_estimated_within_factor() {
+        let s = BlockAmsSketch::new(400, 5, 9, 3);
+        let sk = s.sketch_entries(&[(123, 40)]);
+        let est = s.estimate_linf(&sk);
+        // Single spike: block l2 = 40 exactly; AMS noise only from signs.
+        assert!((est - 40.0).abs() < 1e-9, "estimate {est}");
+    }
+
+    #[test]
+    fn sandwich_bounds_statistical() {
+        // x has a spike of 100 plus small noise; estimate must land in
+        // [~max, ~kappa*max].
+        let kappa = 4;
+        let dim = 256;
+        let mut entries: Vec<(u32, i64)> = (0..dim)
+            .step_by(3)
+            .map(|i| (i as u32, if i % 2 == 0 { 2 } else { -2 }))
+            .collect();
+        entries.push((77, 100));
+        let entries = mpest_matrix::SparseVec::from_entries(dim, entries).entries;
+        let max = entries.iter().map(|&(_, v)| v.abs()).max().unwrap() as f64;
+        let mut ok = 0;
+        for t in 0..10 {
+            let s = BlockAmsSketch::new(dim, kappa, 9, 100 + t);
+            let est = s.estimate_linf(&s.sketch_entries(&entries));
+            if est >= 0.6 * max && est <= 1.6 * kappa as f64 * max {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 8, "block-AMS sandwich failing: {ok}/10");
+    }
+
+    #[test]
+    fn linearity() {
+        let s = BlockAmsSketch::new(100, 3, 5, 7);
+        let x = vec![(0u32, 1i64)];
+        let y = vec![(99u32, -4i64)];
+        let sx = s.sketch_entries(&x);
+        let sy = s.sketch_entries(&y);
+        let sm = s.sketch_entries(&[(0, 1), (99, -4)]);
+        for r in 0..s.rows() {
+            assert!((sm[r] - (sx[r] + sy[r])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_vector() {
+        let s = BlockAmsSketch::new(64, 4, 5, 9);
+        assert_eq!(s.estimate_linf(&s.sketch_entries(&[])), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! CountSketch (Charikar–Chen–Farach-Colton): linear point-query sketch.
+//!
+//! Included for two reasons: it is the natural baseline the paper's
+//! Section 1.3 discusses (Pagh's compressed matrix multiplication applies
+//! CountSketch to `AB`, costing `Θ̃(n/ε²)` communication when distributed),
+//! and it provides candidate verification for heavy-hitter experiments.
+
+use crate::hash::{derive, PolyHash};
+use crate::linear::{self};
+use mpest_matrix::{CsrMatrix, DenseMatrix};
+
+/// A CountSketch with `depth` independent rows of `width` buckets.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    dim: usize,
+    depth: usize,
+    width: usize,
+    buckets: Vec<PolyHash>,
+    signs: Vec<PolyHash>,
+}
+
+impl CountSketch {
+    /// Creates a sketch; point queries have additive error
+    /// `O(‖x‖₂ / √width)` with failure probability `exp(−Ω(depth))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` or `width == 0`.
+    #[must_use]
+    pub fn new(dim: usize, depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth >= 1 && width >= 1, "bad CountSketch shape");
+        let depth = if depth.is_multiple_of(2) { depth + 1 } else { depth };
+        let buckets = (0..depth)
+            .map(|r| PolyHash::new(2, derive(seed, 0x60_0000 ^ r as u64)))
+            .collect();
+        let signs = (0..depth)
+            .map(|r| PolyHash::new(4, derive(seed, 0x70_0000 ^ r as u64)))
+            .collect();
+        Self {
+            dim,
+            depth,
+            width,
+            buckets,
+            signs,
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Sketch length (`depth · width` counters).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.depth * self.width
+    }
+
+    /// Writes the nonzero entries of column `i` of `S` into `buf`.
+    pub fn column(&self, i: u64, buf: &mut Vec<(u32, f64)>) {
+        for r in 0..self.depth {
+            let b = self.buckets[r].bucket(i, self.width);
+            let s = self.signs[r].sign(i) as f64;
+            buf.push(((r * self.width + b) as u32, s));
+        }
+    }
+
+    /// Sketches a sparse vector.
+    #[must_use]
+    pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<f64> {
+        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+    }
+
+    /// Sketches every row of `m`.
+    #[must_use]
+    pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<f64> {
+        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+    }
+
+    /// Point query: estimates `x_i` from a sketch vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from [`CountSketch::rows`].
+    #[must_use]
+    pub fn point_query(&self, sk: &[f64], i: u64) -> f64 {
+        assert_eq!(sk.len(), self.rows(), "sketch length mismatch");
+        let mut ests: Vec<f64> = (0..self.depth)
+            .map(|r| {
+                let b = self.buckets[r].bucket(i, self.width);
+                sk[r * self.width + b] * self.signs[r].sign(i) as f64
+            })
+            .collect();
+        linear::median_f64(&mut ests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn singleton_point_query_exact() {
+        let cs = CountSketch::new(1000, 5, 64, 1);
+        let sk = cs.sketch_entries(&[(123, 42)]);
+        assert_eq!(cs.point_query(&sk, 123), 42.0);
+        assert_eq!(cs.point_query(&sk, 124).abs(), 0.0);
+    }
+
+    #[test]
+    fn heavy_coordinate_recovered_among_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dim = 2000;
+        let mut entries: Vec<(u32, i64)> = (0..300)
+            .map(|_| (rng.gen_range(0..dim as u32), rng.gen_range(-3i64..=3)))
+            .filter(|&(_, v)| v != 0)
+            .collect();
+        entries.push((777, 500));
+        let entries_merged = mpest_matrix::SparseVec::from_entries(dim, entries).entries;
+        let truth = entries_merged
+            .iter()
+            .find(|&&(i, _)| i == 777)
+            .map_or(0, |&(_, v)| v) as f64;
+        let cs = CountSketch::new(dim, 7, 256, 3);
+        let sk = cs.sketch_entries(&entries_merged);
+        let est = cs.point_query(&sk, 777);
+        assert!((est - truth).abs() < 60.0, "point query {est} vs {truth}");
+    }
+
+    #[test]
+    fn linearity() {
+        let cs = CountSketch::new(100, 3, 16, 4);
+        let x = vec![(3u32, 5i64)];
+        let y = vec![(90u32, -2i64)];
+        let sx = cs.sketch_entries(&x);
+        let sy = cs.sketch_entries(&y);
+        let merged = vec![(3u32, 5i64), (90, -2)];
+        let sm = cs.sketch_entries(&merged);
+        for r in 0..cs.rows() {
+            assert!((sm[r] - (sx[r] + sy[r])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sketch_rows_consistency() {
+        let m = CsrMatrix::from_triplets(2, 64, vec![(0, 5, 2), (1, 60, -1)]);
+        let cs = CountSketch::new(64, 3, 8, 5);
+        let rows = cs.sketch_rows(&m);
+        for i in 0..2 {
+            assert_eq!(rows.row(i), cs.sketch_entries(&m.row_vec(i).entries));
+        }
+    }
+}

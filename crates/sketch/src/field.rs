@@ -1,0 +1,236 @@
+//! Arithmetic in the Mersenne-61 prime field `GF(2⁶¹ − 1)`.
+//!
+//! Fingerprints and hash families for the `ℓ0` sketch and `ℓ0` sampler
+//! live in this field: it is large enough that collision/cancellation
+//! probabilities are `≈ 2⁻⁶¹` (polynomially small beyond the paper's
+//! `1/n¹⁰` targets) while multiplication stays a single `u128` product
+//! with cheap Mersenne folding.
+
+use mpest_matrix::Ring;
+
+/// The modulus `2⁶¹ − 1` (a Mersenne prime).
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of `GF(2⁶¹ − 1)`, kept reduced to `[0, MODULUS)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct M61(u64);
+
+#[inline]
+fn fold(x: u64) -> u64 {
+    // x < 2^64; fold the top bits down (works because 2^61 ≡ 1 mod P).
+    let r = (x & MODULUS) + (x >> 61);
+    if r >= MODULUS {
+        r - MODULUS
+    } else {
+        r
+    }
+}
+
+impl M61 {
+    /// Zero element.
+    pub const ZERO: M61 = M61(0);
+    /// One element.
+    pub const ONE: M61 = M61(1);
+
+    /// Builds from a `u64`, reducing mod `P`.
+    #[inline]
+    #[must_use]
+    pub fn new(v: u64) -> Self {
+        M61(fold(v))
+    }
+
+    /// Builds from a signed integer (negative values map to `P - |v| mod P`).
+    #[inline]
+    #[must_use]
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            M61::new(v as u64)
+        } else {
+            -M61::new(v.unsigned_abs())
+        }
+    }
+
+    /// The canonical representative in `[0, P)`.
+    #[inline]
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Interprets the element as a signed integer in
+    /// `(-P/2, P/2]` — inverse of [`M61::from_i64`] for small magnitudes.
+    #[inline]
+    #[must_use]
+    pub fn to_signed(self) -> i64 {
+        if self.0 > MODULUS / 2 {
+            -((MODULUS - self.0) as i64)
+        } else {
+            self.0 as i64
+        }
+    }
+
+    /// Field exponentiation by squaring.
+    #[must_use]
+    pub fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = M61::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    #[must_use]
+    pub fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero");
+        self.pow(MODULUS - 2)
+    }
+
+    /// True for the zero element.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::Add for M61 {
+    type Output = M61;
+    #[inline]
+    fn add(self, rhs: M61) -> M61 {
+        let s = self.0 + rhs.0; // < 2^62, fold handles it
+        M61(fold(s))
+    }
+}
+
+impl std::ops::Sub for M61 {
+    type Output = M61;
+    #[inline]
+    fn sub(self, rhs: M61) -> M61 {
+        M61(fold(self.0 + MODULUS - rhs.0))
+    }
+}
+
+impl std::ops::Neg for M61 {
+    type Output = M61;
+    #[inline]
+    fn neg(self) -> M61 {
+        if self.0 == 0 {
+            self
+        } else {
+            M61(MODULUS - self.0)
+        }
+    }
+}
+
+impl std::ops::Mul for M61 {
+    type Output = M61;
+    #[inline]
+    fn mul(self, rhs: M61) -> M61 {
+        let prod = u128::from(self.0) * u128::from(rhs.0);
+        // prod < 2^122; split at 61 bits and fold.
+        let lo = (prod & u128::from(MODULUS)) as u64;
+        let hi = (prod >> 61) as u64; // < 2^61
+        M61(fold(lo + hi))
+    }
+}
+
+impl Ring for M61 {
+    #[inline]
+    fn zero() -> Self {
+        M61::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        M61::ONE
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_reduction() {
+        assert_eq!(M61::new(MODULUS).value(), 0);
+        assert_eq!(M61::new(MODULUS + 5).value(), 5);
+        assert_eq!(M61::new(u64::MAX).value(), fold(u64::MAX));
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [-1_000_000i64, -1, 0, 1, 42, 1 << 40] {
+            assert_eq!(M61::from_i64(v).to_signed(), v);
+        }
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = M61::new(MODULUS - 1);
+        let b = M61::new(5);
+        assert_eq!((a + b).value(), 4);
+        assert_eq!((b - a).value(), 6);
+        assert_eq!((a + (-a)).value(), 0);
+        assert_eq!((-M61::ZERO).value(), 0);
+    }
+
+    #[test]
+    fn mul_known_values() {
+        let a = M61::new(1 << 40);
+        let b = M61::new(1 << 40);
+        // 2^80 mod (2^61 - 1) = 2^19 (since 2^61 ≡ 1).
+        assert_eq!((a * b).value(), 1 << 19);
+        assert_eq!((M61::new(3) * M61::new(7)).value(), 21);
+    }
+
+    #[test]
+    fn pow_and_inverse() {
+        let a = M61::new(123_456_789);
+        assert_eq!(a.pow(0), M61::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(3), a * a * a);
+        assert_eq!(a * a.inv(), M61::ONE);
+        // Fermat: a^(P-1) = 1.
+        assert_eq!(a.pow(MODULUS - 1), M61::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_has_no_inverse() {
+        let _ = M61::ZERO.inv();
+    }
+
+    #[test]
+    fn ring_trait_matches_ops() {
+        let a = M61::new(99);
+        let b = M61::new(1_000_003);
+        assert_eq!(Ring::add(a, b), a + b);
+        assert_eq!(Ring::mul(a, b), a * b);
+        assert!(Ring::is_zero(M61::ZERO));
+    }
+
+    #[test]
+    fn dense_matrix_over_field() {
+        use mpest_matrix::DenseMatrix;
+        let a = DenseMatrix::from_fn(2, 2, |i, j| M61::new((i * 2 + j + 1) as u64));
+        let id = DenseMatrix::from_fn(2, 2, |i, j| if i == j { M61::ONE } else { M61::ZERO });
+        assert_eq!(a.matmul(&id), a);
+    }
+}

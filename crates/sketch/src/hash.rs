@@ -1,0 +1,190 @@
+//! `k`-wise independent hash families over the Mersenne-61 field.
+//!
+//! A degree-`(k−1)` polynomial with random coefficients in `GF(2⁶¹ − 1)`
+//! evaluated at the key is a `k`-wise independent family — the standard
+//! construction backing the AMS sign hash (4-wise), bucket hashes, and
+//! fingerprint coefficients.
+
+use crate::field::{M61, MODULUS};
+
+/// SplitMix64 mixing; used to derive per-purpose seeds deterministically.
+#[inline]
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives a child seed from `(seed, label)` without allocating.
+#[inline]
+#[must_use]
+pub fn derive(seed: u64, label: u64) -> u64 {
+    mix64(seed ^ mix64(label ^ 0xa076_1d64_78bd_642f))
+}
+
+/// A `k`-wise independent hash `h : u64 → GF(2⁶¹ − 1)` given by a random
+/// polynomial of degree `k − 1`.
+#[derive(Debug, Clone)]
+pub struct PolyHash {
+    /// Coefficients, constant term first.
+    coeffs: Vec<M61>,
+}
+
+impl PolyHash {
+    /// Samples a `k`-wise independent hash from the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "independence parameter must be >= 1");
+        let coeffs = (0..k)
+            .map(|i| {
+                // Rejection-free: mix64 output folded into the field is
+                // within 2^-61 of uniform, ample for our purposes.
+                M61::new(mix64(seed ^ mix64(i as u64 + 1)) & MODULUS)
+            })
+            .collect();
+        Self { coeffs }
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    #[inline]
+    #[must_use]
+    pub fn eval(&self, x: u64) -> M61 {
+        let xf = M61::new(x);
+        let mut acc = M61::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * xf + c;
+        }
+        acc
+    }
+
+    /// Maps the key to a bucket in `[0, m)` (multiply-shift on the field
+    /// value; bias `O(m / 2⁶¹)`).
+    #[inline]
+    #[must_use]
+    pub fn bucket(&self, x: u64, m: usize) -> usize {
+        let h = self.eval(x).value();
+        ((u128::from(h) * m as u128) >> 61) as usize
+    }
+
+    /// A ±1 sign from the low bit of the hash (with `k = 4` this is the
+    /// 4-wise independent sign AMS needs).
+    #[inline]
+    #[must_use]
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.eval(x).value() & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// A uniform `f64` in `[0, 1)` from the hash value.
+    #[inline]
+    #[must_use]
+    pub fn unit(&self, x: u64) -> f64 {
+        (self.eval(x).value() >> 8) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A geometric "level" for subsampling: `level(x) = ℓ` with
+    /// probability `2^{−ℓ−1}` (the number of trailing zeros of a uniform
+    /// word). Items are *nested*: membership at level `ℓ` means
+    /// `level(x) ≥ ℓ`.
+    #[inline]
+    #[must_use]
+    pub fn geometric_level(&self, x: u64) -> u32 {
+        // Use the top 60 bits of the field value as a uniform word.
+        let v = self.eval(x).value();
+        (v | (1 << 60)).trailing_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let h1 = PolyHash::new(4, 99);
+        let h2 = PolyHash::new(4, 99);
+        let h3 = PolyHash::new(4, 100);
+        assert_eq!(h1.eval(12345), h2.eval(12345));
+        assert_ne!(h1.eval(12345), h3.eval(12345));
+    }
+
+    #[test]
+    fn bucket_range_and_balance() {
+        let h = PolyHash::new(2, 7);
+        let m = 16;
+        let mut counts = vec![0usize; m];
+        for x in 0..16_000u64 {
+            let b = h.bucket(x, m);
+            assert!(b < m);
+            counts[b] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..1300).contains(&c),
+                "bucket counts unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn signs_balanced_and_pairwise_spread() {
+        let h = PolyHash::new(4, 1);
+        let mut sum = 0i64;
+        for x in 0..10_000u64 {
+            let s = h.sign(x);
+            assert!(s == 1 || s == -1);
+            sum += s;
+        }
+        assert!(sum.abs() < 400, "sign bias: {sum}");
+    }
+
+    #[test]
+    fn unit_uniformish() {
+        let h = PolyHash::new(2, 3);
+        let n = 20_000u64;
+        let mean: f64 = (0..n).map(|x| h.unit(x)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        for x in 0..n {
+            let u = h.unit(x);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn geometric_levels_halve() {
+        let h = PolyHash::new(2, 5);
+        let n = 64_000u64;
+        let mut counts = [0usize; 8];
+        for x in 0..n {
+            let l = h.geometric_level(x) as usize;
+            if l < 8 {
+                counts[l] += 1;
+            }
+        }
+        // Level ℓ frequency ≈ n · 2^{-ℓ-1}.
+        for (l, &count) in counts.iter().enumerate().take(6) {
+            let expect = n as f64 / 2f64.powi(l as i32 + 1);
+            let got = count as f64;
+            assert!(
+                (got - expect).abs() < 5.0 * expect.sqrt().max(30.0),
+                "level {l}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn derive_distinct() {
+        assert_ne!(derive(1, 2), derive(1, 3));
+        assert_ne!(derive(1, 2), derive(2, 2));
+        assert_eq!(derive(5, 5), derive(5, 5));
+    }
+}

@@ -1,0 +1,258 @@
+//! A linear `(1 ± ε)` `ℓ0` (distinct elements) sketch.
+//!
+//! The Lemma 2.1 instantiation for `p = 0` must be a *linear* map so it can
+//! be pushed through the matrix product, which rules out order-dependent
+//! streaming estimators (KMV, HLL). We use the classic
+//! levels-of-subsampling construction (in the spirit of
+//! Kane–Nelson–Woodruff): for each repetition and each geometric
+//! subsampling level `ℓ`, surviving coordinates are hashed into `K`
+//! fingerprint buckets over `GF(2⁶¹−1)`; a bucket is *occupied* iff its
+//! fingerprint is nonzero (cancellation probability `≈ 2⁻⁶¹`). Inverting
+//! the balls-in-bins occupancy `E[occupied] = K(1 − (1 − 1/K)^d)` at a
+//! level with moderate load estimates the number of distinct survivors,
+//! which scaled by `2^ℓ` estimates `‖x‖₀`; a median over repetitions
+//! drives the failure probability down. Accuracy `ε` needs `K = Θ(1/ε²)`.
+
+use crate::field::{M61, MODULUS};
+use crate::hash::{derive, mix64, PolyHash};
+use crate::linear::{self};
+use mpest_matrix::{CsrMatrix, DenseMatrix};
+
+/// A linear `ℓ0` sketch of dimension-`dim` integer vectors.
+#[derive(Debug, Clone)]
+pub struct L0Sketch {
+    dim: usize,
+    reps: usize,
+    levels: usize,
+    buckets: usize,
+    level_hash: Vec<PolyHash>,
+    bucket_hash: Vec<PolyHash>, // reps × levels, row-major
+    fp_seed: u64,
+}
+
+impl L0Sketch {
+    /// Creates a sketch targeting `(1 ± accuracy)` estimates with failure
+    /// probability `exp(−Ω(reps))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `accuracy ∉ (0, 1]`, or `reps == 0`.
+    #[must_use]
+    pub fn new(dim: usize, accuracy: f64, reps: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(accuracy > 0.0 && accuracy <= 1.0, "accuracy out of range");
+        assert!(reps >= 1, "reps must be positive");
+        let reps = if reps.is_multiple_of(2) { reps + 1 } else { reps };
+        let buckets = ((4.0 / (accuracy * accuracy)).ceil() as usize).max(16);
+        let levels = (usize::BITS - (dim - 1).leading_zeros()) as usize + 1;
+        let level_hash = (0..reps)
+            .map(|r| PolyHash::new(2, derive(seed, 0x10_0000 ^ r as u64)))
+            .collect();
+        let bucket_hash = (0..reps * levels)
+            .map(|rl| PolyHash::new(2, derive(seed, 0x20_0000 ^ rl as u64)))
+            .collect();
+        Self {
+            dim,
+            reps,
+            levels,
+            buckets,
+            level_hash,
+            bucket_hash,
+            fp_seed: derive(seed, 0x30_0000),
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Sketch length in field words (`reps · levels · buckets`).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.reps * self.levels * self.buckets
+    }
+
+    /// Number of independent repetitions.
+    #[must_use]
+    pub fn reps(&self) -> usize {
+        self.reps
+    }
+
+    /// The per-coordinate fingerprint multiplier (pseudo-random field
+    /// element, never zero).
+    #[inline]
+    fn fingerprint(&self, i: u64) -> M61 {
+        let v = mix64(self.fp_seed ^ mix64(i)) & MODULUS;
+        M61::new(v.max(1))
+    }
+
+    /// Writes the nonzero entries of column `i` of `S` into `buf` — one
+    /// bucket per (rep, level) pair the coordinate survives to.
+    pub fn column(&self, i: u64, buf: &mut Vec<(u32, M61)>) {
+        let fp = self.fingerprint(i);
+        for r in 0..self.reps {
+            let max_level = (self.level_hash[r].geometric_level(i) as usize).min(self.levels - 1);
+            for l in 0..=max_level {
+                let b = self.bucket_hash[r * self.levels + l].bucket(i, self.buckets);
+                let row = ((r * self.levels + l) * self.buckets + b) as u32;
+                buf.push((row, fp));
+            }
+        }
+    }
+
+    /// Sketches a sparse vector.
+    #[must_use]
+    pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<M61> {
+        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+    }
+
+    /// Sketches every row of `m`.
+    #[must_use]
+    pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<M61> {
+        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+    }
+
+    /// Estimates `‖x‖₀` from a sketch vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from [`L0Sketch::rows`].
+    #[must_use]
+    pub fn estimate(&self, sk: &[M61]) -> f64 {
+        assert_eq!(sk.len(), self.rows(), "sketch length mismatch");
+        let k = self.buckets as f64;
+        let per_bucket_log = (1.0 - 1.0 / k).ln();
+        let mut per_rep: Vec<f64> = Vec::with_capacity(self.reps);
+        for r in 0..self.reps {
+            let occupied_at = |l: usize| -> usize {
+                let base = (r * self.levels + l) * self.buckets;
+                sk[base..base + self.buckets]
+                    .iter()
+                    .filter(|w| !w.is_zero())
+                    .count()
+            };
+            // Choose the smallest level with moderate occupancy.
+            let mut est = None;
+            for l in 0..self.levels {
+                let t = occupied_at(l);
+                if l == 0 && t == 0 {
+                    est = Some(0.0);
+                    break;
+                }
+                if (t as f64) <= 0.75 * k {
+                    let d = (1.0 - t as f64 / k).ln() / per_bucket_log;
+                    est = Some(d * (1u64 << l) as f64);
+                    break;
+                }
+            }
+            per_rep.push(est.unwrap_or_else(|| {
+                // Saturated even at the top level: clamp to the inversion
+                // of K−1 occupied buckets.
+                let d = (1.0 / k).ln() / per_bucket_log;
+                d * (1u64 << (self.levels - 1)) as f64
+            }));
+        }
+        linear::median_f64(&mut per_rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn support_entries(dim: usize, d: usize, seed: u64) -> Vec<(u32, i64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut picked = std::collections::BTreeSet::new();
+        while picked.len() < d {
+            picked.insert(rng.gen_range(0..dim as u32));
+        }
+        picked
+            .into_iter()
+            .map(|i| (i, rng.gen_range(1i64..=9)))
+            .collect()
+    }
+
+    #[test]
+    fn zero_vector_estimates_zero() {
+        let s = L0Sketch::new(1000, 0.3, 5, 1);
+        let sk = s.sketch_entries(&[]);
+        assert_eq!(s.estimate(&sk), 0.0);
+    }
+
+    #[test]
+    fn small_support_exactish() {
+        let s = L0Sketch::new(4096, 0.2, 7, 2);
+        let entries = support_entries(4096, 10, 3);
+        let est = s.estimate(&s.sketch_entries(&entries));
+        assert!((est - 10.0).abs() <= 4.0, "estimate {est} for d=10");
+    }
+
+    #[test]
+    fn accuracy_statistical() {
+        let dim = 8192;
+        let d = 900;
+        let entries = support_entries(dim, d, 7);
+        let mut ok = 0;
+        let trials = 15;
+        for t in 0..trials {
+            let s = L0Sketch::new(dim, 0.2, 7, 500 + t);
+            let est = s.estimate(&s.sketch_entries(&entries));
+            if (est - d as f64).abs() <= 0.25 * d as f64 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 12, "l0 sketch accuracy: {ok}/{trials}");
+    }
+
+    #[test]
+    fn linearity_and_cancellation() {
+        // x and -x sum to zero: the sketch of the sum must be all-zero,
+        // which is exactly what linear sketches guarantee and streaming
+        // estimators cannot.
+        let s = L0Sketch::new(512, 0.3, 5, 9);
+        let entries = support_entries(512, 50, 11);
+        let neg: Vec<(u32, i64)> = entries.iter().map(|&(i, v)| (i, -v)).collect();
+        let sx = s.sketch_entries(&entries);
+        let sn = s.sketch_entries(&neg);
+        let sum: Vec<M61> = sx.iter().zip(sn.iter()).map(|(&a, &b)| a + b).collect();
+        assert!(sum.iter().all(|w| w.is_zero()));
+        assert_eq!(s.estimate(&sum), 0.0);
+    }
+
+    #[test]
+    fn counts_distinct_not_magnitude() {
+        let s = L0Sketch::new(2048, 0.2, 7, 21);
+        let small: Vec<(u32, i64)> = (0..100).map(|i| (i as u32, 1i64)).collect();
+        let large: Vec<(u32, i64)> = (0..100).map(|i| (i as u32, 1_000_000i64)).collect();
+        let e_small = s.estimate(&s.sketch_entries(&small));
+        let e_large = s.estimate(&s.sketch_entries(&large));
+        assert!((e_small - e_large).abs() < 1e-9, "l0 ignores magnitudes");
+        assert!((e_small - 100.0).abs() < 30.0, "estimate {e_small}");
+    }
+
+    #[test]
+    fn sketch_rows_consistency() {
+        let m = CsrMatrix::from_triplets(2, 64, vec![(0, 1, 1), (0, 5, 2), (1, 60, -3)]);
+        let s = L0Sketch::new(64, 0.4, 3, 4);
+        let rows = s.sketch_rows(&m);
+        for i in 0..2 {
+            assert_eq!(rows.row(i), s.sketch_entries(&m.row_vec(i).entries));
+        }
+    }
+
+    #[test]
+    fn full_dimension_support() {
+        let dim = 256;
+        let s = L0Sketch::new(dim, 0.2, 7, 31);
+        let entries: Vec<(u32, i64)> = (0..dim).map(|i| (i as u32, 1i64)).collect();
+        let est = s.estimate(&s.sketch_entries(&entries));
+        assert!(
+            (est - dim as f64).abs() <= 0.3 * dim as f64,
+            "estimate {est} for full support {dim}"
+        );
+    }
+}

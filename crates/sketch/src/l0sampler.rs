@@ -1,0 +1,276 @@
+//! A linear `ℓ0`-sampler (Lemma 2.6; in the style of
+//! Jowhari–Saglam–Tardos).
+//!
+//! The sampler returns a uniformly random *nonzero* coordinate of `x`
+//! (with its value), from a linear sketch. Construction: per repetition,
+//! assign every coordinate a geometric level; per level keep the 1-sparse
+//! recovery triple over `GF(2⁶¹−1)`
+//!
+//! `(s0, s1, f) = ( Σ x_i,  Σ x_i·(i+1),  Σ x_i·ρ(i) )`.
+//!
+//! At the *topmost occupied* level the expected number of survivors is
+//! constant; if exactly one coordinate `i*` survives, then
+//! `i* + 1 = s1 / s0` and the fingerprint identity `f = s0 · ρ(i*)`
+//! verifies uniqueness (false positives with probability `≈ 2⁻⁶¹`).
+//! Because levels are assigned i.i.d. across coordinates, *conditioned on
+//! the topmost occupied level having a unique survivor, that survivor is
+//! exactly uniform* among nonzero coordinates; repetitions boost the
+//! success probability.
+
+use crate::field::{M61, MODULUS};
+use crate::hash::{derive, mix64, PolyHash};
+use crate::linear::{self};
+use mpest_matrix::{CsrMatrix, DenseMatrix};
+
+/// Result of decoding an `ℓ0`-sampler sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// Sketch is identically zero: the vector is (w.h.p.) zero.
+    ZeroVector,
+    /// All repetitions failed (multiple survivors everywhere).
+    Failed,
+    /// A uniform nonzero coordinate and its value.
+    Sampled {
+        /// Coordinate index.
+        index: u64,
+        /// The value `x_index` (exact for polynomially bounded inputs).
+        value: i64,
+    },
+}
+
+/// A linear `ℓ0`-sampler sketch of dimension-`dim` integer vectors.
+#[derive(Debug, Clone)]
+pub struct L0Sampler {
+    dim: usize,
+    reps: usize,
+    levels: usize,
+    level_hash: Vec<PolyHash>,
+    fp_seed: u64,
+}
+
+impl L0Sampler {
+    /// Creates a sampler with failure probability roughly `0.7^reps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `reps == 0`.
+    #[must_use]
+    pub fn new(dim: usize, reps: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(reps >= 1, "reps must be positive");
+        let levels = (usize::BITS - (dim - 1).leading_zeros()) as usize + 2;
+        let level_hash = (0..reps)
+            .map(|r| PolyHash::new(2, derive(seed, 0x40_0000 ^ r as u64)))
+            .collect();
+        Self {
+            dim,
+            reps,
+            levels,
+            level_hash,
+            fp_seed: derive(seed, 0x50_0000),
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Sketch length in field words (`reps · levels · 3`).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.reps * self.levels * 3
+    }
+
+    #[inline]
+    fn rho(&self, i: u64) -> M61 {
+        M61::new((mix64(self.fp_seed ^ mix64(i ^ 0x9e37)) & MODULUS).max(1))
+    }
+
+    /// Writes the nonzero entries of column `i` of `S` into `buf`.
+    pub fn column(&self, i: u64, buf: &mut Vec<(u32, M61)>) {
+        let rho = self.rho(i);
+        let idx = M61::new(i + 1);
+        for r in 0..self.reps {
+            let max_level = (self.level_hash[r].geometric_level(i) as usize).min(self.levels - 1);
+            for l in 0..=max_level {
+                let base = ((r * self.levels + l) * 3) as u32;
+                buf.push((base, M61::ONE));
+                buf.push((base + 1, idx));
+                buf.push((base + 2, rho));
+            }
+        }
+    }
+
+    /// Sketches a sparse vector.
+    #[must_use]
+    pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<M61> {
+        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+    }
+
+    /// Sketches every row of `m`.
+    #[must_use]
+    pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<M61> {
+        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+    }
+
+    /// Decodes a sample from a sketch vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from [`L0Sampler::rows`].
+    #[must_use]
+    pub fn decode(&self, sk: &[M61]) -> SampleOutcome {
+        assert_eq!(sk.len(), self.rows(), "sketch length mismatch");
+        let mut any_nonzero = false;
+        for r in 0..self.reps {
+            // Find the topmost occupied level of this repetition.
+            let mut top: Option<usize> = None;
+            for l in (0..self.levels).rev() {
+                let base = (r * self.levels + l) * 3;
+                if !(sk[base].is_zero() && sk[base + 1].is_zero() && sk[base + 2].is_zero()) {
+                    top = Some(l);
+                    break;
+                }
+            }
+            let Some(l) = top else {
+                continue; // this repetition saw a zero vector
+            };
+            any_nonzero = true;
+            let base = (r * self.levels + l) * 3;
+            let (s0, s1, f) = (sk[base], sk[base + 1], sk[base + 2]);
+            if s0.is_zero() {
+                continue; // values cancelled: definitely >1 survivor
+            }
+            let idx_plus_one = (s1 * s0.inv()).value();
+            if idx_plus_one == 0 || idx_plus_one > self.dim as u64 {
+                continue;
+            }
+            let index = idx_plus_one - 1;
+            // Fingerprint verification of 1-sparsity.
+            if f != s0 * self.rho(index) {
+                continue;
+            }
+            return SampleOutcome::Sampled {
+                index,
+                value: s0.to_signed(),
+            };
+        }
+        if any_nonzero {
+            SampleOutcome::Failed
+        } else {
+            SampleOutcome::ZeroVector
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn zero_vector_detected() {
+        let s = L0Sampler::new(100, 8, 1);
+        assert_eq!(s.decode(&s.sketch_entries(&[])), SampleOutcome::ZeroVector);
+    }
+
+    #[test]
+    fn singleton_always_recovered() {
+        let s = L0Sampler::new(1000, 8, 2);
+        let sk = s.sketch_entries(&[(345, -7)]);
+        assert_eq!(
+            s.decode(&sk),
+            SampleOutcome::Sampled {
+                index: 345,
+                value: -7
+            }
+        );
+    }
+
+    #[test]
+    fn recovers_valid_coordinates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dim = 500;
+        let entries: Vec<(u32, i64)> = {
+            let mut set = std::collections::BTreeMap::new();
+            while set.len() < 40 {
+                set.insert(rng.gen_range(0..dim as u32), rng.gen_range(1i64..=5));
+            }
+            set.into_iter().collect()
+        };
+        let mut successes = 0;
+        for t in 0..50 {
+            let s = L0Sampler::new(dim, 10, 1000 + t);
+            match s.decode(&s.sketch_entries(&entries)) {
+                SampleOutcome::Sampled { index, value } => {
+                    successes += 1;
+                    let found = entries.iter().find(|&&(i, _)| u64::from(i) == index);
+                    let (_, v) = found.expect("sampled coordinate must be in support");
+                    assert_eq!(*v, value, "recovered value must match");
+                }
+                SampleOutcome::Failed => {}
+                SampleOutcome::ZeroVector => panic!("vector is not zero"),
+            }
+        }
+        assert!(successes >= 45, "sampler success rate too low: {successes}/50");
+    }
+
+    #[test]
+    fn approximately_uniform() {
+        // Sample many times with independent sampler seeds; each nonzero
+        // coordinate should be hit ≈ uniformly.
+        let dim = 64;
+        let support: Vec<(u32, i64)> = (0..16).map(|i| (i * 4, 1 + i64::from(i % 3))).collect();
+        let mut counts = std::collections::BTreeMap::new();
+        let trials = 1600;
+        let mut successes = 0usize;
+        for t in 0..trials {
+            let s = L0Sampler::new(dim, 10, 50_000 + t);
+            if let SampleOutcome::Sampled { index, .. } = s.decode(&s.sketch_entries(&support)) {
+                *counts.entry(index).or_insert(0usize) += 1;
+                successes += 1;
+            }
+        }
+        assert!(successes > trials as usize * 8 / 10, "successes {successes}");
+        let expect = successes as f64 / 16.0;
+        for (&idx, &c) in &counts {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt() + 10.0,
+                "coordinate {idx} count {c}, expected ~{expect}"
+            );
+        }
+        assert_eq!(counts.len(), 16, "every coordinate gets sampled");
+    }
+
+    #[test]
+    fn linearity_distributed_sum() {
+        // sk(x) + sk(y) decodes a sample of x + y.
+        let s = L0Sampler::new(200, 10, 77);
+        let x = vec![(10u32, 5i64), (20, 3)];
+        let y = vec![(10u32, -5i64), (90, 2)]; // cancels coordinate 10
+        let sx = s.sketch_entries(&x);
+        let sy = s.sketch_entries(&y);
+        let sum: Vec<M61> = sx.iter().zip(sy.iter()).map(|(&a, &b)| a + b).collect();
+        match s.decode(&sum) {
+            SampleOutcome::Sampled { index, value } => {
+                assert!(index == 20 || index == 90, "index {index} not in x+y support");
+                let expect = if index == 20 { 3 } else { 2 };
+                assert_eq!(value, expect);
+            }
+            other => panic!("expected a sample from x+y, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sketch_rows_consistency() {
+        let m = CsrMatrix::from_triplets(2, 50, vec![(0, 1, 1), (1, 30, 4), (1, 45, -2)]);
+        let s = L0Sampler::new(50, 6, 5);
+        let rows = s.sketch_rows(&m);
+        for i in 0..2 {
+            assert_eq!(rows.row(i), s.sketch_entries(&m.row_vec(i).entries));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Linear sketch toolbox for distributed matrix-product estimation.
+//!
+//! Implements every sketching primitive the Woodruff–Zhang (PODS'18)
+//! protocols rely on, all as *linear* maps `sk(x) = S·x` so they commute
+//! with matrix multiplication (the key trick of Algorithm 1 and
+//! Theorem 3.2):
+//!
+//! * [`AmsSketch`] — AMS/tug-of-war `ℓ2` sketch (Lemma 2.1, `p = 2`);
+//! * [`StableSketch`] — Indyk `p`-stable `ℓp` sketch (Lemma 2.1,
+//!   `p ∈ (0, 2)`), with CMS sampling and seeded median calibration in
+//!   [`stable`];
+//! * [`L0Sketch`] — linear `(1±ε)` distinct-elements sketch over
+//!   `GF(2⁶¹−1)` (Lemma 2.1, `p = 0`);
+//! * [`L0Sampler`] — linear `ℓ0`-sampler (Lemma 2.6);
+//! * [`CountSketch`] — point-query sketch (the Section 1.3 baseline);
+//! * [`BlockAmsSketch`] — the Theorem 4.8 block `ℓ∞` sketch;
+//! * [`CoordinateSampler`] — public-coin inner-product verification
+//!   (Section 5.2, step 3);
+//! * [`NormSketch`] — `p`-dispatched facade implementing the Lemma 2.1
+//!   interface for `p ∈ [0, 2]`;
+//! * [`M61`] — Mersenne-61 field arithmetic and [`PolyHash`] `k`-wise
+//!   independent hashing underneath it all.
+
+pub mod ams;
+pub mod blockams;
+pub mod countsketch;
+pub mod field;
+pub mod hash;
+pub mod inner;
+pub mod l0;
+pub mod l0sampler;
+pub mod linear;
+pub mod lp;
+pub mod normsketch;
+pub mod stable;
+
+pub use ams::AmsSketch;
+pub use blockams::BlockAmsSketch;
+pub use countsketch::CountSketch;
+pub use field::M61;
+pub use hash::PolyHash;
+pub use inner::CoordinateSampler;
+pub use l0::L0Sketch;
+pub use l0sampler::{L0Sampler, SampleOutcome};
+pub use lp::StableSketch;
+pub use normsketch::{NormSketch, SkMat, SkVec};

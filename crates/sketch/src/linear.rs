@@ -1,0 +1,187 @@
+//! Shared plumbing for linear sketches `sk(x) = S·x`.
+//!
+//! Every sketch in this crate is *linear*: it is described by an implicit
+//! matrix `S` whose column `S[:, i]` is a deterministic function of
+//! `(seed, i)`. Linearity is what lets the protocols push a sketch through
+//! a matrix product — `sk(row_i(A·B)) = Σ_k A_{i,k} · sk(B_{k,*})` — so a
+//! party can sketch its own matrix and let the peer finish the
+//! multiplication locally (paper Algorithm 1, Theorem 3.2).
+//!
+//! The helpers here apply an implicit sketch to sparse vectors and to every
+//! row of a CSR matrix, and linearly combine pre-sketched rows.
+
+use mpest_matrix::{CsrMatrix, DenseMatrix, Ring};
+
+use crate::field::M61;
+
+/// Sketch value types: a [`Ring`] that integer data can be scaled into.
+pub trait SketchWord: Ring {
+    /// `self · v` with an integer scalar.
+    fn scale_i64(self, v: i64) -> Self;
+}
+
+impl SketchWord for f64 {
+    #[inline]
+    fn scale_i64(self, v: i64) -> Self {
+        self * v as f64
+    }
+}
+
+impl SketchWord for M61 {
+    #[inline]
+    fn scale_i64(self, v: i64) -> Self {
+        self * M61::from_i64(v)
+    }
+}
+
+/// Sketches a sparse vector: `out = Σ_{(i,v)} v · S[:, i]`, where
+/// `column(i, buf)` writes the nonzero entries of `S[:, i]` into `buf`.
+#[must_use]
+pub fn sketch_entries<W, F>(k: usize, entries: &[(u32, i64)], mut column: F) -> Vec<W>
+where
+    W: SketchWord,
+    F: FnMut(u64, &mut Vec<(u32, W)>),
+{
+    let mut out = vec![W::zero(); k];
+    let mut buf: Vec<(u32, W)> = Vec::new();
+    for &(i, v) in entries {
+        buf.clear();
+        column(u64::from(i), &mut buf);
+        for &(r, s) in &buf {
+            out[r as usize] = out[r as usize].add(s.scale_i64(v));
+        }
+    }
+    out
+}
+
+/// Sketches every row of `m`: returns an `m.rows() × k` matrix whose row
+/// `i` is `sk(M_{i,*})`.
+#[must_use]
+pub fn sketch_rows<W, F>(k: usize, m: &CsrMatrix, mut column: F) -> DenseMatrix<W>
+where
+    W: SketchWord,
+    F: FnMut(u64, &mut Vec<(u32, W)>),
+{
+    let mut out: DenseMatrix<W> = DenseMatrix::zeros(m.rows(), k);
+    let mut buf: Vec<(u32, W)> = Vec::new();
+    for i in 0..m.rows() {
+        let (cols, vals) = m.row(i);
+        let out_row: &mut [W] = out.row_mut(i);
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            buf.clear();
+            column(u64::from(j), &mut buf);
+            for &(r, s) in &buf {
+                out_row[r as usize] = out_row[r as usize].add(s.scale_i64(v));
+            }
+        }
+    }
+    out
+}
+
+/// Linearly combines pre-sketched rows: `Σ_{(k,v)} v · base[k, :]`.
+///
+/// With `base[k, :] = sk(B_{k,*})` and weights = the sparse row `A_{i,*}`,
+/// this yields `sk(C_{i,*})` for `C = A·B` — the receiving party's half of
+/// the sketch-through-product trick.
+#[must_use]
+pub fn combine_rows<W: SketchWord>(base: &DenseMatrix<W>, weights: &[(u32, i64)]) -> Vec<W> {
+    let mut out = vec![W::zero(); base.cols()];
+    for &(k, v) in weights {
+        for (o, &b) in out.iter_mut().zip(base.row(k as usize).iter()) {
+            *o = o.add(b.scale_i64(v));
+        }
+    }
+    out
+}
+
+/// Median of a slice (averaging convention not needed — callers use odd
+/// counts; for even counts the lower-middle element is returned).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn median_f64(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let mid = (xs.len() - 1) / 2;
+    let (_, m, _) = xs.select_nth_unstable_by(mid, f64::total_cmp);
+    *m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy deterministic "sketch": S[r, i] = ((r + i) % 3) as f64.
+    fn toy_column(i: u64, buf: &mut Vec<(u32, f64)>) {
+        for r in 0..4u32 {
+            let v = ((u64::from(r) + i) % 3) as f64;
+            if v != 0.0 {
+                buf.push((r, v));
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_entries_linear_in_input() {
+        let x = vec![(0u32, 2i64), (3, -1)];
+        let y = vec![(1u32, 5i64), (3, 4)];
+        let sx = sketch_entries::<f64, _>(4, &x, toy_column);
+        let sy = sketch_entries::<f64, _>(4, &y, toy_column);
+        // x + y as merged entries.
+        let xy = vec![(0u32, 2i64), (1, 5), (3, 3)];
+        let sxy = sketch_entries::<f64, _>(4, &xy, toy_column);
+        for r in 0..4 {
+            assert!((sxy[r] - (sx[r] + sy[r])).abs() < 1e-12, "row {r}");
+        }
+    }
+
+    #[test]
+    fn sketch_rows_matches_per_row_sketch() {
+        let m = CsrMatrix::from_triplets(3, 5, vec![(0, 0, 1), (0, 4, 2), (2, 3, -3)]);
+        let all = sketch_rows::<f64, _>(4, &m, toy_column);
+        for i in 0..3 {
+            let row = m.row_vec(i);
+            let single = sketch_entries::<f64, _>(4, &row.entries, toy_column);
+            assert_eq!(all.row(i), single.as_slice(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn combine_rows_equals_sketch_of_product_row() {
+        // B: 4x5, A row: weights over B's rows.
+        let b = CsrMatrix::from_triplets(
+            4,
+            5,
+            vec![(0, 0, 1), (0, 2, 2), (1, 1, 1), (2, 4, -1), (3, 3, 3)],
+        );
+        let skb = sketch_rows::<f64, _>(4, &b, toy_column);
+        let a_row = vec![(0u32, 2i64), (2, 1), (3, -1)];
+        // Direct: compute the product row then sketch it.
+        let a = CsrMatrix::from_triplets(1, 4, a_row.iter().map(|&(k, v)| (0, k, v)).collect());
+        let c = a.matmul(&b);
+        let direct = sketch_entries::<f64, _>(4, &c.row_vec(0).entries, toy_column);
+        // Via linearity.
+        let combined = combine_rows(&skb, &a_row);
+        for r in 0..4 {
+            assert!((combined[r] - direct[r]).abs() < 1e-12, "row {r}");
+        }
+    }
+
+    #[test]
+    fn field_words_scale() {
+        let s = M61::new(10);
+        assert_eq!(s.scale_i64(-2), M61::from_i64(-20));
+        assert_eq!((3.0f64).scale_i64(4), 12.0);
+    }
+
+    #[test]
+    fn median_selects() {
+        let mut xs = [5.0, 1.0, 9.0];
+        assert_eq!(median_f64(&mut xs), 5.0);
+        let mut ys = [2.0, 1.0];
+        assert_eq!(median_f64(&mut ys), 1.0);
+        let mut zs = [7.0];
+        assert_eq!(median_f64(&mut zs), 7.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Indyk's `p`-stable `ℓp` sketch, `p ∈ (0, 2]`.
+//!
+//! `S[r, i] ~ Stable(p)` i.i.d. (pseudo-random from the seed), so each
+//! counter `y_r = ⟨S_r, x⟩` is distributed as `‖x‖_p · Stable(p)`. The
+//! estimator `median_r |y_r| / median|Stable(p)|` is a `(1 ± ε)`
+//! approximation of `‖x‖_p` with `rows = O(ε⁻² log(1/δ))` counters — the
+//! Lemma 2.1 instantiation for fractional `p` (the crate uses AMS for
+//! `p = 2`, where it is cheaper, but `p = 2` works here too).
+
+use crate::hash::{derive, mix64};
+use crate::linear::{self};
+use crate::stable::{median_abs_stable, stable};
+use mpest_matrix::{CsrMatrix, DenseMatrix};
+
+/// A `p`-stable sketch of dimension-`dim` integer vectors.
+#[derive(Debug, Clone)]
+pub struct StableSketch {
+    dim: usize,
+    p: f64,
+    rows: usize,
+    seed: u64,
+    scale: f64,
+}
+
+impl StableSketch {
+    /// Creates a sketch with roughly `(1 ± accuracy)` norm estimates and
+    /// failure probability `exp(−Ω(reps))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 2]`, `accuracy ∉ (0, 1]`, or `reps == 0`.
+    #[must_use]
+    pub fn new(dim: usize, p: f64, accuracy: f64, reps: usize, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 2.0, "p out of range");
+        assert!(accuracy > 0.0 && accuracy <= 1.0, "accuracy out of range");
+        assert!(reps >= 1, "reps must be positive");
+        let base = ((3.0 / (accuracy * accuracy)).ceil() as usize).max(3);
+        let mut rows = base * reps;
+        if rows.is_multiple_of(2) {
+            rows += 1;
+        }
+        Self {
+            dim,
+            p,
+            rows,
+            seed: derive(seed, 0x57ab_1e00 ^ p.to_bits()),
+            scale: median_abs_stable(p),
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The stability index `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Sketch length.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn entry(&self, r: u64, i: u64) -> f64 {
+        // Two pseudo-uniforms keyed by (seed, r, i); dims are < 2^32 so the
+        // packed key is collision-free.
+        let key = (r << 32) | i;
+        let b1 = mix64(self.seed ^ mix64(key));
+        let b2 = mix64(self.seed ^ mix64(key ^ 0x6a09_e667_f3bc_c909));
+        let u1 = (b1 >> 11) as f64 / (1u64 << 53) as f64;
+        let u2 = (b2 >> 11) as f64 / (1u64 << 53) as f64;
+        stable(self.p, u1, u2)
+    }
+
+    /// Writes column `i` of `S` into `buf` (all rows are nonzero).
+    pub fn column(&self, i: u64, buf: &mut Vec<(u32, f64)>) {
+        buf.reserve(self.rows);
+        for r in 0..self.rows {
+            buf.push((r as u32, self.entry(r as u64, i)));
+        }
+    }
+
+    /// Sketches a sparse vector.
+    #[must_use]
+    pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<f64> {
+        linear::sketch_entries(self.rows, entries, |i, buf| self.column(i, buf))
+    }
+
+    /// Sketches every row of `m`.
+    #[must_use]
+    pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<f64> {
+        linear::sketch_rows(self.rows, m, |i, buf| self.column(i, buf))
+    }
+
+    /// Estimates `‖x‖_p` from a sketch vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from [`StableSketch::rows`].
+    #[must_use]
+    pub fn estimate_norm(&self, sk: &[f64]) -> f64 {
+        assert_eq!(sk.len(), self.rows, "sketch length mismatch");
+        let mut abs: Vec<f64> = sk.iter().map(|y| y.abs()).collect();
+        linear::median_f64(&mut abs) / self.scale
+    }
+
+    /// Estimates `‖x‖_p^p`.
+    #[must_use]
+    pub fn estimate_pow(&self, sk: &[f64]) -> f64 {
+        self.estimate_norm(sk).powf(self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::norms::{vec_lp_pow, PNorm};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn entries_of(x: &[i64]) -> Vec<(u32, i64)> {
+        x.iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(i, &v)| (i as u32, v))
+            .collect()
+    }
+
+    #[test]
+    fn singleton_estimates_value() {
+        for p in [0.5, 1.0, 1.5, 2.0] {
+            let s = StableSketch::new(100, p, 0.15, 5, 42);
+            let sk = s.sketch_entries(&[(3, 7)]);
+            let est = s.estimate_norm(&sk);
+            assert!(
+                (est - 7.0).abs() < 7.0 * 0.35,
+                "p={p}: singleton estimate {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_statistical_l1() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dim = 400;
+        let x: Vec<i64> = (0..dim).map(|_| rng.gen_range(-4i64..=4)).collect();
+        let truth = vec_lp_pow(&x, PNorm::ONE);
+        let entries = entries_of(&x);
+        let mut ok = 0;
+        let trials = 20;
+        for t in 0..trials {
+            let s = StableSketch::new(dim, 1.0, 0.15, 5, 9000 + t);
+            let est = s.estimate_pow(&s.sketch_entries(&entries));
+            if (est - truth).abs() <= 0.2 * truth {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 16, "l1 stable sketch failing: {ok}/{trials}");
+    }
+
+    #[test]
+    fn accuracy_statistical_fractional() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dim = 300;
+        let x: Vec<i64> = (0..dim).map(|_| rng.gen_range(0i64..=6)).collect();
+        let p = 0.8;
+        let truth = vec_lp_pow(&x, PNorm::P(p));
+        let entries = entries_of(&x);
+        let mut ok = 0;
+        let trials = 20;
+        for t in 0..trials {
+            let s = StableSketch::new(dim, p, 0.15, 5, 1234 + t);
+            let est = s.estimate_pow(&s.sketch_entries(&entries));
+            if (est - truth).abs() <= 0.25 * truth {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 15, "fractional stable sketch failing: {ok}/{trials}");
+    }
+
+    #[test]
+    fn linearity() {
+        let s = StableSketch::new(50, 1.0, 0.3, 3, 7);
+        let x = vec![(0u32, 1i64), (9, 2)];
+        let y = vec![(9u32, -2i64), (20, 5)];
+        let merged = vec![(0u32, 1i64), (20, 5)];
+        let sx = s.sketch_entries(&x);
+        let sy = s.sketch_entries(&y);
+        let sm = s.sketch_entries(&merged);
+        for r in 0..s.rows() {
+            assert!((sm[r] - (sx[r] + sy[r])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s1 = StableSketch::new(30, 1.3, 0.3, 3, 11);
+        let s2 = StableSketch::new(30, 1.3, 0.3, 3, 11);
+        let e = vec![(2u32, 3i64), (17, -1)];
+        assert_eq!(s1.sketch_entries(&e), s2.sketch_entries(&e));
+    }
+
+    #[test]
+    fn sketch_rows_consistency() {
+        let m = CsrMatrix::from_triplets(2, 30, vec![(0, 3, 2), (1, 20, -1), (1, 29, 4)]);
+        let s = StableSketch::new(30, 1.0, 0.4, 3, 8);
+        let rows = s.sketch_rows(&m);
+        for i in 0..2 {
+            let direct = s.sketch_entries(&m.row_vec(i).entries);
+            for (r, &d) in direct.iter().enumerate() {
+                assert!((rows.get(i, r) - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vector() {
+        let s = StableSketch::new(10, 0.7, 0.3, 3, 2);
+        let sk = s.sketch_entries(&[]);
+        assert_eq!(s.estimate_norm(&sk), 0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Unified `ℓp` norm sketch dispatch (the Lemma 2.1 interface).
+//!
+//! Algorithm 1 is agnostic to which `ℓp` sketch backs it; this module
+//! selects the right one per `p` — the linear `ℓ0` sketch for `p = 0`,
+//! AMS for `p = 2`, and Indyk's `p`-stable sketch for `p ∈ (0, 2)` — and
+//! exposes a single word-type-erased API over real (`f64`, billed 64
+//! bits/word) and field (`M61`, billed 61 bits/word) sketches.
+
+use crate::ams::AmsSketch;
+use crate::field::M61;
+use crate::l0::L0Sketch;
+use crate::linear::combine_rows;
+use crate::lp::StableSketch;
+use mpest_matrix::{CsrMatrix, DenseMatrix, PNorm};
+
+/// A sketched matrix: one sketch vector per row of the input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkMat {
+    /// Real-valued sketch words.
+    Real(DenseMatrix<f64>),
+    /// Field sketch words.
+    Field(DenseMatrix<M61>),
+}
+
+impl SkMat {
+    /// Number of sketched rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        match self {
+            SkMat::Real(m) => m.rows(),
+            SkMat::Field(m) => m.rows(),
+        }
+    }
+
+    /// Sketch width (words per row).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        match self {
+            SkMat::Real(m) => m.cols(),
+            SkMat::Field(m) => m.cols(),
+        }
+    }
+
+    /// Exact wire size in bits (64 bits per real word, 61 per field word).
+    #[must_use]
+    pub fn wire_bits(&self) -> u64 {
+        match self {
+            SkMat::Real(m) => 64 * (m.rows() as u64) * (m.cols() as u64),
+            SkMat::Field(m) => 61 * (m.rows() as u64) * (m.cols() as u64),
+        }
+    }
+}
+
+/// A single sketch vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkVec {
+    /// Real-valued sketch words.
+    Real(Vec<f64>),
+    /// Field sketch words.
+    Field(Vec<M61>),
+}
+
+/// A norm sketch for some `p ∈ [0, 2]`.
+#[derive(Debug, Clone)]
+pub enum NormSketch {
+    /// `p = 0` — linear distinct-elements sketch.
+    L0(L0Sketch),
+    /// `p ∈ (0, 2)` — Indyk p-stable sketch.
+    Stable(StableSketch),
+    /// `p = 2` — AMS sketch.
+    Ams(AmsSketch),
+}
+
+impl NormSketch {
+    /// Builds the appropriate sketch for `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not supported by the `ℓp` protocol (`p ∈ [0, 2]`).
+    #[must_use]
+    pub fn for_norm(p: PNorm, dim: usize, accuracy: f64, reps: usize, seed: u64) -> Self {
+        assert!(
+            p.supported_by_lp_protocol(),
+            "p-norm {p:?} outside [0, 2] — use the l-infinity protocols"
+        );
+        match p {
+            PNorm::Zero => NormSketch::L0(L0Sketch::new(dim, accuracy, reps, seed)),
+            PNorm::P(p) if (p - 2.0).abs() < 1e-12 => {
+                NormSketch::Ams(AmsSketch::new(dim, accuracy, reps, seed))
+            }
+            PNorm::P(p) => NormSketch::Stable(StableSketch::new(dim, p, accuracy, reps, seed)),
+            PNorm::Inf => unreachable!("rejected above"),
+        }
+    }
+
+    /// The norm this sketch estimates.
+    #[must_use]
+    pub fn norm(&self) -> PNorm {
+        match self {
+            NormSketch::L0(_) => PNorm::Zero,
+            NormSketch::Stable(s) => PNorm::P(s.p()),
+            NormSketch::Ams(_) => PNorm::TWO,
+        }
+    }
+
+    /// Sketch length in words.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        match self {
+            NormSketch::L0(s) => s.rows(),
+            NormSketch::Stable(s) => s.rows(),
+            NormSketch::Ams(s) => s.rows(),
+        }
+    }
+
+    /// Wire cost of one sketch vector, in bits.
+    #[must_use]
+    pub fn vector_wire_bits(&self) -> u64 {
+        let per_word = match self {
+            NormSketch::L0(_) => 61,
+            _ => 64,
+        };
+        per_word * self.rows() as u64
+    }
+
+    /// Sketches every row of `m`.
+    #[must_use]
+    pub fn sketch_rows(&self, m: &CsrMatrix) -> SkMat {
+        match self {
+            NormSketch::L0(s) => SkMat::Field(s.sketch_rows(m)),
+            NormSketch::Stable(s) => SkMat::Real(s.sketch_rows(m)),
+            NormSketch::Ams(s) => SkMat::Real(s.sketch_rows(m)),
+        }
+    }
+
+    /// Sketches a single sparse vector.
+    #[must_use]
+    pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> SkVec {
+        match self {
+            NormSketch::L0(s) => SkVec::Field(s.sketch_entries(entries)),
+            NormSketch::Stable(s) => SkVec::Real(s.sketch_entries(entries)),
+            NormSketch::Ams(s) => SkVec::Real(s.sketch_entries(entries)),
+        }
+    }
+
+    /// Linearly combines pre-sketched rows with integer weights —
+    /// `sk(Σ_k w_k · base_k)`, the sketch-through-product step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`'s word type does not match this sketch.
+    #[must_use]
+    pub fn combine(&self, base: &SkMat, weights: &[(u32, i64)]) -> SkVec {
+        match (self, base) {
+            (NormSketch::L0(_), SkMat::Field(m)) => SkVec::Field(combine_rows(m, weights)),
+            (NormSketch::Stable(_) | NormSketch::Ams(_), SkMat::Real(m)) => {
+                SkVec::Real(combine_rows(m, weights))
+            }
+            _ => panic!("sketch/word-type mismatch"),
+        }
+    }
+
+    /// Estimates `‖x‖_p^p` from a sketch vector (for `p = 0`, the number
+    /// of nonzeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's word type does not match this sketch.
+    #[must_use]
+    pub fn estimate_pow(&self, v: &SkVec) -> f64 {
+        match (self, v) {
+            (NormSketch::L0(s), SkVec::Field(w)) => s.estimate(w),
+            (NormSketch::Stable(s), SkVec::Real(w)) => s.estimate_pow(w),
+            (NormSketch::Ams(s), SkVec::Real(w)) => s.estimate_sq(w),
+            _ => panic!("sketch/word-type mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::norms::sparse_lp_pow;
+    use mpest_matrix::Workloads;
+
+    fn check_norm(p: PNorm, tolerance: f64) {
+        let m = Workloads::integer_csr(12, 256, 0.25, 4, false, 9);
+        let sk = NormSketch::for_norm(p, 256, 0.2, 7, 1234);
+        let rows = sk.sketch_rows(&m);
+        assert_eq!(rows.rows(), 12);
+        let mut ok = 0;
+        for i in 0..12 {
+            let entries = m.row_vec(i).entries;
+            let truth = sparse_lp_pow(&entries, p);
+            let est = sk.estimate_pow(&sk.sketch_entries(&entries));
+            if truth == 0.0 {
+                if est < 1.0 {
+                    ok += 1;
+                }
+            } else if (est - truth).abs() <= tolerance * truth {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 10, "p={p:?}: only {ok}/12 rows within tolerance");
+    }
+
+    #[test]
+    fn dispatch_estimates_l0() {
+        check_norm(PNorm::Zero, 0.35);
+    }
+
+    #[test]
+    fn dispatch_estimates_l1() {
+        check_norm(PNorm::ONE, 0.3);
+    }
+
+    #[test]
+    fn dispatch_estimates_l2() {
+        check_norm(PNorm::TWO, 0.3);
+    }
+
+    #[test]
+    fn dispatch_estimates_fractional() {
+        check_norm(PNorm::P(0.5), 0.35);
+    }
+
+    #[test]
+    fn combine_matches_product_row() {
+        // sk(A_{i,*} · B) computed via combine equals sketching the exact row.
+        let a = Workloads::integer_csr(6, 20, 0.4, 3, false, 3);
+        let b = Workloads::integer_csr(20, 24, 0.3, 3, false, 4);
+        let c = a.matmul(&b);
+        for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO] {
+            let sk = NormSketch::for_norm(p, 24, 0.4, 3, 777);
+            let skb = sk.sketch_rows(&b);
+            for i in 0..6 {
+                let via_combine = sk.combine(&skb, &a.row_vec(i).entries);
+                let direct = sk.sketch_entries(&c.row_vec(i).entries);
+                match (via_combine, direct) {
+                    (SkVec::Real(x), SkVec::Real(y)) => {
+                        for (a_, b_) in x.iter().zip(y.iter()) {
+                            assert!((a_ - b_).abs() < 1e-6, "p={p:?}");
+                        }
+                    }
+                    (SkVec::Field(x), SkVec::Field(y)) => assert_eq!(x, y, "p={p:?}"),
+                    _ => panic!("word type mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wire_bits_accounting() {
+        let sk = NormSketch::for_norm(PNorm::Zero, 64, 0.5, 3, 1);
+        let m = Workloads::integer_csr(4, 64, 0.2, 2, false, 2);
+        let rows = sk.sketch_rows(&m);
+        assert_eq!(rows.wire_bits(), 61 * 4 * sk.rows() as u64);
+        assert_eq!(sk.vector_wire_bits(), 61 * sk.rows() as u64);
+
+        let sk2 = NormSketch::for_norm(PNorm::TWO, 64, 0.5, 3, 1);
+        assert_eq!(sk2.vector_wire_bits(), 64 * sk2.rows() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 2]")]
+    fn rejects_linf() {
+        let _ = NormSketch::for_norm(PNorm::Inf, 10, 0.5, 3, 1);
+    }
+}

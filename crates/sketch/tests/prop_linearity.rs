@@ -1,0 +1,125 @@
+//! Property tests: every sketch in the toolbox is a *linear* map — the
+//! property the protocols' sketch-through-product trick depends on — and
+//! the field/hash layers obey their algebraic laws.
+
+use mpest_sketch::{
+    AmsSketch, BlockAmsSketch, CountSketch, L0Sampler, L0Sketch, M61, PolyHash, StableSketch,
+};
+use proptest::prelude::*;
+
+type Entries = Vec<(u32, i64)>;
+
+fn entries_strategy(dim: u32) -> impl Strategy<Value = Entries> {
+    proptest::collection::btree_map(0..dim, -20i64..=20, 0..24)
+        .prop_map(|m| m.into_iter().filter(|&(_, v)| v != 0).collect())
+}
+
+/// x + y as merged sparse entries.
+fn merge(x: &Entries, y: &Entries, dim: usize) -> Entries {
+    let mut all = x.clone();
+    all.extend(y.iter().copied());
+    mpest_matrix::SparseVec::from_entries(dim, all).entries
+}
+
+proptest! {
+    #[test]
+    fn field_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (x, y, z) = (M61::new(a), M61::new(b), M61::new(c));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y) + z, x + (y + z));
+        prop_assert_eq!(x * (y + z), x * y + x * z);
+        prop_assert_eq!(x - x, M61::ZERO);
+        if !x.is_zero() {
+            prop_assert_eq!(x * x.inv(), M61::ONE);
+        }
+        prop_assert_eq!(M61::from_i64(x.to_signed()), x);
+    }
+
+    #[test]
+    fn poly_hash_deterministic(seed in any::<u64>(), x in any::<u64>()) {
+        let h1 = PolyHash::new(4, seed);
+        let h2 = PolyHash::new(4, seed);
+        prop_assert_eq!(h1.eval(x), h2.eval(x));
+        let b = h1.bucket(x, 17);
+        prop_assert!(b < 17);
+        let s = h1.sign(x);
+        prop_assert!(s == 1 || s == -1);
+    }
+
+    #[test]
+    fn ams_linearity(x in entries_strategy(64), y in entries_strategy(64)) {
+        let s = AmsSketch::new(64, 0.5, 3, 42);
+        let sx = s.sketch_entries(&x);
+        let sy = s.sketch_entries(&y);
+        let sm = s.sketch_entries(&merge(&x, &y, 64));
+        for r in 0..s.rows() {
+            prop_assert!((sm[r] - (sx[r] + sy[r])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stable_linearity(x in entries_strategy(64), y in entries_strategy(64)) {
+        let s = StableSketch::new(64, 1.0, 0.5, 3, 43);
+        let sx = s.sketch_entries(&x);
+        let sy = s.sketch_entries(&y);
+        let sm = s.sketch_entries(&merge(&x, &y, 64));
+        for r in 0..s.rows() {
+            prop_assert!((sm[r] - (sx[r] + sy[r])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn l0_linearity_over_field(x in entries_strategy(64), y in entries_strategy(64)) {
+        let s = L0Sketch::new(64, 0.5, 3, 44);
+        let sx = s.sketch_entries(&x);
+        let sy = s.sketch_entries(&y);
+        let sm = s.sketch_entries(&merge(&x, &y, 64));
+        for r in 0..s.rows() {
+            prop_assert_eq!(sm[r], sx[r] + sy[r]);
+        }
+    }
+
+    #[test]
+    fn sampler_linearity_and_membership(x in entries_strategy(64), y in entries_strategy(64)) {
+        let s = L0Sampler::new(64, 8, 45);
+        let sx = s.sketch_entries(&x);
+        let sy = s.sketch_entries(&y);
+        let sum: Vec<M61> = sx.iter().zip(sy.iter()).map(|(&a, &b)| a + b).collect();
+        let merged = merge(&x, &y, 64);
+        prop_assert_eq!(s.sketch_entries(&merged.clone()), sum.clone());
+        match s.decode(&sum) {
+            mpest_sketch::SampleOutcome::Sampled { index, value } => {
+                let found = merged.iter().find(|&&(i, _)| u64::from(i) == index);
+                prop_assert!(found.is_some(), "sampled coordinate not in x+y support");
+                prop_assert_eq!(found.unwrap().1, value);
+            }
+            mpest_sketch::SampleOutcome::ZeroVector => prop_assert!(merged.is_empty()),
+            mpest_sketch::SampleOutcome::Failed => {} // bounded probability
+        }
+    }
+
+    #[test]
+    fn countsketch_and_blockams_linearity(x in entries_strategy(48), y in entries_strategy(48)) {
+        let cs = CountSketch::new(48, 3, 16, 46);
+        let ba = BlockAmsSketch::new(48, 3, 3, 47);
+        let merged = merge(&x, &y, 48);
+        for r in 0..cs.rows() {
+            let direct = cs.sketch_entries(&merged)[r];
+            let sum = cs.sketch_entries(&x)[r] + cs.sketch_entries(&y)[r];
+            prop_assert!((direct - sum).abs() < 1e-9);
+        }
+        for r in 0..ba.rows() {
+            let direct = ba.sketch_entries(&merged)[r];
+            let sum = ba.sketch_entries(&x)[r] + ba.sketch_entries(&y)[r];
+            prop_assert!((direct - sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_estimates_zero(seed in any::<u64>()) {
+        let ams = AmsSketch::new(32, 0.5, 3, seed);
+        prop_assert_eq!(ams.estimate_sq(&ams.sketch_entries(&[])), 0.0);
+        let l0 = L0Sketch::new(32, 0.5, 3, seed);
+        prop_assert_eq!(l0.estimate(&l0.sketch_entries(&[])), 0.0);
+    }
+}

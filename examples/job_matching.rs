@@ -1,0 +1,121 @@
+//! The paper's motivating scenario (Section 1.1): job matching.
+//!
+//! A staffing service (Alice) holds `n` applicants, each with a set of
+//! skills `A_i ⊆ [u]`; a job board (Bob) holds `n` postings, each with a
+//! required-skill set `B_j`. A pair `(i, j)` *matches* when
+//! `A_i ∩ B_j ≠ ∅`; the match is *strong* when the overlap is large.
+//! The two services want market statistics without shipping their
+//! databases to each other:
+//!
+//! * the number of matches = `‖AB‖₀` (set-intersection join size);
+//! * the total skill-overlap mass = `‖AB‖₁` (natural join size);
+//! * the best applicant–job fit = `‖AB‖∞`;
+//! * all strong fits = heavy hitters;
+//! * a uniformly random match (for auditing) = `ℓ0`-sample.
+//!
+//! Run with: `cargo run --release --example job_matching`
+
+use mpest::prelude::*;
+
+fn main() {
+    let applicants = 150;
+    let jobs = 150;
+    let skills = 400; // the shared skill universe
+    let seed = Seed(2024);
+
+    // Skill popularity is heavy-tailed: a few skills (e.g. "SQL") appear
+    // everywhere, most are niche — the classic Zipf workload.
+    let applicant_skills = Workloads::zipf_sets(applicants, skills, 12, 1.1, 7);
+    let mut job_requirements_t = Workloads::zipf_sets(jobs, skills, 8, 1.1, 8);
+    // Plant one outstanding fit: applicant 17 has everything job 42 wants.
+    for s in 0..30 {
+        job_requirements_t.set(42, s * 13 % skills, true);
+    }
+    let mut applicant_skills = applicant_skills;
+    for s in 0..skills {
+        if job_requirements_t.get(42, s) {
+            applicant_skills.set(17, s, true);
+        }
+    }
+
+    let a = applicant_skills; // rows = applicants' skill sets
+    let b = job_requirements_t.transpose(); // columns = jobs' requirement sets
+    let a_csr = a.to_csr();
+    let b_csr = b.to_csr();
+    let c = a_csr.matmul(&b_csr);
+
+    println!("== job matching: {applicants} applicants x {jobs} jobs over {skills} skills ==\n");
+
+    // How many applicant-job pairs match at all? (query-optimizer style
+    // cardinality estimate: 2 rounds, tiny communication)
+    let matches_truth = norms::csr_lp_pow(&c, PNorm::Zero);
+    let run = lp_norm::run(&a_csr, &b_csr, &LpParams::new(PNorm::Zero, 0.2), seed).unwrap();
+    let baseline = lp_baseline::run(
+        &a_csr,
+        &b_csr,
+        &BaselineParams::new(PNorm::Zero, 0.2),
+        seed,
+    )
+    .unwrap();
+    println!(
+        "matching pairs:  ≈{:>8.0}  (truth {:>8.0})  [{} bits; one-round baseline needs {}]",
+        run.output,
+        matches_truth,
+        run.bits(),
+        baseline.bits()
+    );
+
+    // Who is the single best fit? (Algorithm 2, factor 2+eps)
+    let (best_truth, (bi, bj)) = stats::linf_of_product_binary(&a, &b);
+    let run = linf_binary::run(&a, &b, &LinfBinaryParams::new(0.25), seed).unwrap();
+    println!(
+        "best fit:        ≈{:>8.1}  (truth {best_truth} = applicant {bi} for job {bj})  [{} bits]",
+        run.output.estimate,
+        run.bits()
+    );
+
+    // All strong fits: overlap at least ~2/3 of the best.
+    let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
+    let phi = (best_truth as f64 * 0.66) / l1;
+    let run = hh_binary::run(
+        &a,
+        &b,
+        &HhBinaryParams::new(1.0, phi, phi / 2.0),
+        seed,
+    )
+    .unwrap();
+    let mut strong: Vec<(u32, u32)> = run.output.positions();
+    strong.truncate(10);
+    println!(
+        "strong fits:     {:?}{}  [{} bits]",
+        strong,
+        if run.output.pairs.len() > 10 { " ..." } else { "" },
+        run.bits()
+    );
+    assert!(
+        run.output.contains(bi, bj),
+        "the best pair must be among the strong fits"
+    );
+
+    // Audit: draw a uniformly random matching pair.
+    let run = l0_sample::run(&a_csr, &b_csr, &L0SampleParams::new(0.3), seed).unwrap();
+    match run.output {
+        MatrixSample::Sampled { row, col, value } => println!(
+            "random match:    applicant {row} / job {col} (overlap {value})  [{} bits]",
+            run.bits()
+        ),
+        other => println!("random match:    {other:?}"),
+    }
+
+    // And a witness-bearing sample: which shared skill made the match?
+    let run = l1_sample::run(&a_csr, &b_csr, seed).unwrap();
+    if let Some(s) = run.output {
+        println!(
+            "witnessed match: applicant {} / job {} via skill {}  [{} bits]",
+            s.row,
+            s.col,
+            s.witness,
+            run.bits()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Quickstart: estimate every statistic of a distributed matrix product.
+//!
+//! Alice holds `A`, Bob holds `B`; nobody ever materializes both. Each
+//! protocol below reports its answer, the exact ground truth (computed
+//! centrally for comparison only), and the exact number of bits and
+//! rounds the protocol used.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mpest::prelude::*;
+
+fn main() {
+    let n = 128;
+    let seed = Seed(42);
+
+    // A pair of relations with a planted heavy pair (3, 7).
+    let (a_bits, b_bits, _) = Workloads::planted_pairs(n, n, 0.08, &[(3, 7)], 64, 9);
+    let a = a_bits.to_csr();
+    let b = b_bits.to_csr();
+    let c = a.matmul(&b);
+
+    println!("== mpest quickstart: A is {n}x{n} at Alice, B is {n}x{n} at Bob ==\n");
+
+    // --- lp norms, p in [0, 2] (Algorithm 1: 2 rounds, O~(n/eps)) ---
+    for (p, name) in [
+        (PNorm::Zero, "||AB||_0 (set-intersection join size)"),
+        (PNorm::ONE, "||AB||_1 (natural join size)"),
+        (PNorm::TWO, "||AB||_2^2 (Frobenius^2)"),
+    ] {
+        let truth = norms::csr_lp_pow(&c, p);
+        let run = lp_norm::run(&a, &b, &LpParams::new(p, 0.2), seed).unwrap();
+        println!(
+            "{name}\n  estimate {:>12.0}   truth {:>12.0}   error {:>5.1}%   [{} bits, {} rounds]",
+            run.output,
+            truth,
+            100.0 * (run.output - truth).abs() / truth.max(1.0),
+            run.bits(),
+            run.rounds()
+        );
+    }
+
+    // --- exact l1 (Remark 2: 1 round, O(n log n)) ---
+    let run = exact_l1::run(&a, &b, seed).unwrap();
+    println!(
+        "exact ||AB||_1 (Remark 2)\n  value    {:>12}   [{} bits, {} rounds]",
+        run.output,
+        run.bits(),
+        run.rounds()
+    );
+
+    // --- l-infinity (Algorithm 2: 3 rounds, O~(n^1.5/eps), factor 2+eps) ---
+    let (linf_truth, argmax) = stats::linf_of_product_binary(&a_bits, &b_bits);
+    let run = linf_binary::run(&a_bits, &b_bits, &LinfBinaryParams::new(0.25), seed).unwrap();
+    println!(
+        "||AB||_inf (Algorithm 2, 2+eps approx)\n  estimate {:>12.1}   truth {linf_truth} at {argmax:?}   [{} bits, {} rounds]",
+        run.output.estimate,
+        run.bits(),
+        run.rounds()
+    );
+
+    // --- heavy hitters (Theorem 5.3: O(1) rounds, O~(n + phi/eps^2)) ---
+    let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
+    let phi = (linf_truth as f64 - 8.0) / l1;
+    let hh_params = HhBinaryParams::new(1.0, phi, phi / 2.0);
+    let run = hh_binary::run(&a_bits, &b_bits, &hh_params, seed).unwrap();
+    println!(
+        "heavy hitters (phi={phi:.4}, eps={:.4})\n  reported {:?}   [{} bits, {} rounds]",
+        hh_params.eps,
+        run.output.positions(),
+        run.bits(),
+        run.rounds()
+    );
+
+    // --- l0 sampling (Theorem 3.2: 1 round, O~(n/eps^2)) ---
+    let run = l0_sample::run(&a, &b, &L0SampleParams::new(0.3), seed).unwrap();
+    println!(
+        "l0-sample (uniform nonzero of AB)\n  sample   {:?}   [{} bits, {} rounds]",
+        run.output,
+        run.bits(),
+        run.rounds()
+    );
+
+    // --- median boosting (Theorem 3.1's "standard median trick") ---
+    let params = LpParams::new(PNorm::ONE, 0.3);
+    let run = boost::median_boost(5, seed, |s| lp_norm::run(&a, &b, &params, s)).unwrap();
+    let truth = norms::csr_lp_pow(&c, PNorm::ONE);
+    println!(
+        "median of 5 copies (p=1)\n  estimate {:>12.0}   truth {:>12.0}   [{} bits, still {} rounds]",
+        run.output,
+        truth,
+        run.bits(),
+        run.rounds()
+    );
+
+    // --- the trivial baseline for scale ---
+    let run = trivial::run_binary(&a_bits, &b_bits, seed).unwrap();
+    println!(
+        "\ntrivial baseline (ship all of A): {} bits.\n\
+         The l1/linf/HH protocols already beat it at n={n}; the sketch-based\n\
+         lp/l0-sampling protocols pay a fixed O~(1/eps^2)-word-per-row sketch\n\
+         overhead and overtake the n^2 baseline only at larger n — their point\n\
+         here is the *scaling*: O~(n/eps) vs O~(n/eps^2) vs n^2 (see the bench\n\
+         harness for fitted exponents).",
+        run.bits()
+    );
+}

@@ -1,0 +1,305 @@
+//! `mpest` — command-line driver for the distributed matrix-product
+//! estimation protocols.
+//!
+//! ```text
+//! mpest gen --kind bernoulli --rows 256 --cols 256 --density 0.1 --seed 1 --out a.mtx
+//! mpest exact --a a.mtx --b b.mtx
+//! mpest run l0 --a a.mtx --b b.mtx --eps 0.2 --seed 7
+//! mpest run linf-binary --a a.mtx --b b.mtx --eps 0.25
+//! mpest run hh-binary --a a.mtx --b b.mtx --phi 0.01 --hh-eps 0.005
+//! ```
+//!
+//! Matrices use the MatrixMarket-style coordinate format of
+//! `mpest_matrix::io` (1-based `row col [value]` triplets).
+
+use mpest::comm::NetworkModel;
+use mpest::matrix::io;
+use mpest::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mpest gen --kind bernoulli|zipf|integer --rows R --cols C [--density D] [--set-size K]
+            [--max-val V] [--seed S] --out FILE
+  mpest exact --a FILE --b FILE
+  mpest run PROTOCOL --a FILE --b FILE [options]
+
+protocols and their options:
+  l0 | l1 | l2 | lp        --eps E [--p P]        (Algorithm 1, 2 rounds)
+  lp-baseline              --eps E [--p P]        (one-round [16] baseline)
+  exact-l1                                        (Remark 2)
+  l1-sample                                       (Remark 3)
+  l0-sample                --eps E                (Theorem 3.2)
+  sparse-matmul                                   (Lemma 2.5)
+  linf-binary              --eps E                (Algorithm 2)
+  linf-kappa               --kappa K              (Algorithm 3)
+  linf-general             --kappa K              (Theorem 4.8)
+  hh-general               --phi F --hh-eps E [--p P]   (Algorithm 4)
+  hh-binary                --phi F --hh-eps E [--p P]   (Theorem 5.3)
+  trivial                                         (ship A)
+
+common options: --seed S (default 42), --exact (also print ground truth)";
+
+/// Minimal flag parser: `--key value` pairs after the positional words.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+        let mut positional = Vec::new();
+        let mut map = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if key == "exact" {
+                    map.insert(key.to_string(), "true".to_string());
+                } else {
+                    i += 1;
+                    let value = args
+                        .get(i)
+                        .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                    map.insert(key.to_string(), value.clone());
+                }
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok((positional, Flags(map)))
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.str(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.str(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|e| format!("bad --{key}: {e}")),
+        }
+    }
+
+    fn required_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.required(key)?
+            .parse()
+            .map_err(|e| format!("bad --{key}: {e}"))
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = Flags::parse(args)?;
+    match pos.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&flags),
+        Some("exact") => cmd_exact(&flags),
+        Some("run") => {
+            let protocol = pos
+                .get(1)
+                .ok_or_else(|| "run needs a protocol name".to_string())?;
+            cmd_run(protocol, &flags)
+        }
+        _ => Err("expected a subcommand: gen | exact | run".to_string()),
+    }
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let kind = flags.required("kind")?;
+    let rows: usize = flags.required_num("rows")?;
+    let cols: usize = flags.required_num("cols")?;
+    let seed: u64 = flags.num("seed", 42)?;
+    let out = PathBuf::from(flags.required("out")?);
+    let m = match kind {
+        "bernoulli" => {
+            let density: f64 = flags.num("density", 0.1)?;
+            Workloads::bernoulli_bits(rows, cols, density, seed).to_csr()
+        }
+        "zipf" => {
+            let set_size: usize = flags.num("set-size", 12)?;
+            Workloads::zipf_sets(rows, cols, set_size.min(cols), 1.1, seed).to_csr()
+        }
+        "integer" => {
+            let density: f64 = flags.num("density", 0.1)?;
+            let max_val: i64 = flags.num("max-val", 8)?;
+            Workloads::integer_csr(rows, cols, density, max_val, false, seed)
+        }
+        other => return Err(format!("unknown --kind {other}")),
+    };
+    io::write_csr(&m, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}x{} matrix with {} nonzeros to {}",
+        m.rows(),
+        m.cols(),
+        m.nnz(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn load_pair(flags: &Flags) -> Result<(CsrMatrix, CsrMatrix), String> {
+    let a = io::read_csr(Path::new(flags.required("a")?)).map_err(|e| format!("--a: {e}"))?;
+    let b = io::read_csr(Path::new(flags.required("b")?)).map_err(|e| format!("--b: {e}"))?;
+    if a.cols() != b.rows() {
+        return Err(format!(
+            "inner dimensions differ: A is {}x{}, B is {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        ));
+    }
+    Ok((a, b))
+}
+
+fn cmd_exact(flags: &Flags) -> Result<(), String> {
+    let (a, b) = load_pair(flags)?;
+    let c = a.matmul(&b);
+    let (linf, (i, j)) = norms::csr_linf(&c);
+    println!("exact statistics of C = A*B ({}x{}):", c.rows(), c.cols());
+    println!("  ||C||_0   = {}", norms::csr_lp_pow(&c, PNorm::Zero));
+    println!("  ||C||_1   = {}", norms::csr_lp_pow(&c, PNorm::ONE));
+    println!("  ||C||_2^2 = {}", norms::csr_lp_pow(&c, PNorm::TWO));
+    println!("  ||C||_inf = {linf} at ({i}, {j})");
+    Ok(())
+}
+
+fn report<T: std::fmt::Debug>(name: &str, run: &ProtocolRun<T>) {
+    println!("{name}:");
+    println!("  output     = {:?}", run.output);
+    println!("  bits       = {}", run.bits());
+    println!("  rounds     = {}", run.rounds());
+    for (label, model) in [
+        ("datacenter", NetworkModel::datacenter()),
+        ("wan       ", NetworkModel::wan()),
+        ("mobile    ", NetworkModel::mobile()),
+    ] {
+        println!(
+            "  est. time on {label} link: {:.4} s",
+            model.seconds(&run.transcript)
+        );
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
+    let (a, b) = load_pair(flags)?;
+    let seed = Seed(flags.num("seed", 42u64)?);
+    let err = |e: mpest::comm::CommError| e.to_string();
+
+    match protocol {
+        "l0" | "l1" | "l2" | "lp" => {
+            let p = match protocol {
+                "l0" => PNorm::Zero,
+                "l1" => PNorm::ONE,
+                "l2" => PNorm::TWO,
+                _ => PNorm::P(flags.required_num::<f64>("p")?),
+            };
+            let eps: f64 = flags.num("eps", 0.2)?;
+            let run = lp_norm::run(&a, &b, &LpParams::new(p, eps), seed).map_err(err)?;
+            report(&format!("lp-norm (Algorithm 1, p={p:?}, eps={eps})"), &run);
+            if flags.str("exact").is_some() {
+                println!("  exact      = {}", norms::csr_lp_pow(&a.matmul(&b), p));
+            }
+        }
+        "lp-baseline" => {
+            let p = flags
+                .str("p")
+                .map_or(Ok(PNorm::Zero), |s| s.parse::<f64>().map(PNorm::P).map_err(|e| e.to_string()))?;
+            let eps: f64 = flags.num("eps", 0.2)?;
+            let run =
+                lp_baseline::run(&a, &b, &BaselineParams::new(p, eps), seed).map_err(err)?;
+            report("lp-baseline (one-round [16])", &run);
+        }
+        "exact-l1" => {
+            let run = exact_l1::run(&a, &b, seed).map_err(err)?;
+            report("exact-l1 (Remark 2)", &run);
+        }
+        "l1-sample" => {
+            let run = l1_sample::run(&a, &b, seed).map_err(err)?;
+            report("l1-sample (Remark 3)", &run);
+        }
+        "l0-sample" => {
+            let eps: f64 = flags.num("eps", 0.3)?;
+            let run = l0_sample::run(&a, &b, &L0SampleParams::new(eps), seed).map_err(err)?;
+            report("l0-sample (Theorem 3.2)", &run);
+        }
+        "sparse-matmul" => {
+            let run = sparse_matmul::run(&a, &b, seed).map_err(err)?;
+            let nnz = run.output.alice.len() + run.output.bob.len();
+            println!("sparse-matmul (Lemma 2.5): {nnz} shared nonzeros recovered");
+            println!("  bits = {}, rounds = {}", run.bits(), run.rounds());
+        }
+        "linf-binary" => {
+            let eps: f64 = flags.num("eps", 0.25)?;
+            let (ab, bb) = (BitMatrix::from_csr(&a), BitMatrix::from_csr(&b));
+            let run =
+                linf_binary::run(&ab, &bb, &LinfBinaryParams::new(eps), seed).map_err(err)?;
+            report("linf-binary (Algorithm 2)", &run);
+            if flags.str("exact").is_some() {
+                println!("  exact      = {}", norms::csr_linf(&a.matmul(&b)).0);
+            }
+        }
+        "linf-kappa" => {
+            let kappa: f64 = flags.num("kappa", 8.0)?;
+            let (ab, bb) = (BitMatrix::from_csr(&a), BitMatrix::from_csr(&b));
+            let run =
+                linf_kappa::run(&ab, &bb, &LinfKappaParams::new(kappa), seed).map_err(err)?;
+            report("linf-kappa (Algorithm 3)", &run);
+        }
+        "linf-general" => {
+            let kappa: usize = flags.num("kappa", 4)?;
+            let run =
+                linf_general::run(&a, &b, &LinfGeneralParams::new(kappa), seed).map_err(err)?;
+            report("linf-general (Theorem 4.8)", &run);
+            if flags.str("exact").is_some() {
+                println!("  exact      = {}", norms::csr_linf(&a.matmul(&b)).0);
+            }
+        }
+        "hh-general" | "hh-binary" => {
+            let phi: f64 = flags.required_num("phi")?;
+            let hh_eps: f64 = flags.num("hh-eps", phi / 2.0)?;
+            let p: f64 = flags.num("p", 1.0)?;
+            if protocol == "hh-general" {
+                let run =
+                    hh_general::run(&a, &b, &HhGeneralParams::new(p, phi, hh_eps), seed)
+                        .map_err(err)?;
+                println!("hh-general (Algorithm 4): {} pairs", run.output.pairs.len());
+                report("transcript", &run);
+            } else {
+                let (ab, bb) = (BitMatrix::from_csr(&a), BitMatrix::from_csr(&b));
+                let run = hh_binary::run(&ab, &bb, &HhBinaryParams::new(p, phi, hh_eps), seed)
+                    .map_err(err)?;
+                println!("hh-binary (Theorem 5.3): {} pairs", run.output.pairs.len());
+                report("transcript", &run);
+            }
+        }
+        "trivial" => {
+            let run = trivial::run_csr(&a, &b, seed).map_err(err)?;
+            report("trivial (ship A)", &run);
+        }
+        other => return Err(format!("unknown protocol {other}")),
+    }
+    Ok(())
+}

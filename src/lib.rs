@@ -1,0 +1,89 @@
+//! # mpest — distributed statistical estimation of matrix products
+//!
+//! A complete Rust implementation of **Woodruff & Zhang, "Distributed
+//! Statistical Estimation of Matrix Products with Applications"
+//! (PODS 2018)**: two-party communication protocols that estimate
+//! statistics of `C = A·B` — `ℓp` norms (`p ∈ [0, 2]`), `ℓ0`/`ℓ1`
+//! sampling, the maximum entry (`ℓ∞`), and `(φ, ε)` heavy hitters —
+//! where Alice holds `A` and Bob holds `B`, with bit-exact communication
+//! accounting.
+//!
+//! These statistics are the classic database-join quantities: for binary
+//! matrices encoding relations, `‖AB‖₀` is the set-intersection join
+//! (composition) size, `‖AB‖₁` the natural join size, `‖AB‖∞` the most
+//! overlapping pair of sets, and the heavy hitters are the pairs above a
+//! join-size threshold.
+//!
+//! The workspace is organized as:
+//!
+//! * [`comm`] — the two-party communication substrate (bit-level wire
+//!   encodings, transcripts with exact bit/round accounting, a
+//!   two-thread executor so parties only interact through messages);
+//! * [`matrix`] — matrices (dense / CSR / bit-packed), the set-join
+//!   view, exact ground truth, seeded workload generators;
+//! * [`sketch`] — the linear sketch toolbox (AMS, p-stable, linear `ℓ0`,
+//!   `ℓ0`-sampler, CountSketch, block-AMS, Mersenne-61 field);
+//! * [`protocols`] — the paper's protocols (Algorithms 1–4, Remarks 2–3,
+//!   Theorems 3.2, 4.8, 5.3, Lemma 2.5, plus baselines);
+//! * [`lower`] — the paper's lower-bound constructions as runnable hard
+//!   instances (Theorems 4.4–4.6, 4.8(2)).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpest::prelude::*;
+//!
+//! // Alice's relation: rows are her sets. Bob's: columns are his sets.
+//! let a = Workloads::bernoulli_bits(64, 96, 0.2, 1).to_csr();
+//! let b = Workloads::bernoulli_bits(96, 64, 0.2, 2).to_csr();
+//!
+//! // Estimate the set-intersection join size ||AB||_0 within (1+eps)
+//! // using 2 rounds and O~(n/eps) bits (paper Algorithm 1).
+//! let run = lp_norm::run(&a, &b, &LpParams::new(PNorm::Zero, 0.25), Seed(7)).unwrap();
+//! println!(
+//!     "composition size ≈ {:.0} ({} bits, {} rounds)",
+//!     run.output,
+//!     run.bits(),
+//!     run.rounds()
+//! );
+//! ```
+
+pub use mpest_comm as comm;
+pub use mpest_core as protocols;
+pub use mpest_lower as lower;
+pub use mpest_matrix as matrix;
+pub use mpest_sketch as sketch;
+
+/// Convenience re-exports covering the common API surface.
+pub mod prelude {
+    pub use mpest_comm::{Party, Seed, Transcript};
+    pub use mpest_core::hh_binary::{self, HhBinaryParams};
+    pub use mpest_core::hh_general::{self, HhGeneralParams};
+    pub use mpest_core::l0_sample::{self, L0SampleParams};
+    pub use mpest_core::linf_binary::{self, LinfBinaryParams};
+    pub use mpest_core::linf_general::{self, LinfGeneralParams};
+    pub use mpest_core::linf_kappa::{self, LinfKappaParams};
+    pub use mpest_core::lp_baseline::{self, BaselineParams};
+    pub use mpest_core::lp_norm::{self, LpParams};
+    pub use mpest_core::{boost, exact_l1, l1_sample, sparse_matmul, trivial};
+    pub use mpest_core::{
+        Constants, HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares,
+        ProtocolRun,
+    };
+    pub use mpest_matrix::{
+        joins, norms, stats, BitMatrix, CsrMatrix, PNorm, SetFamily, SparseVec, Workloads,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_working_api() {
+        let a = Workloads::bernoulli_bits(16, 24, 0.3, 1).to_csr();
+        let b = Workloads::bernoulli_bits(24, 16, 0.3, 2).to_csr();
+        let run = exact_l1::run(&a, &b, Seed(1)).unwrap();
+        assert!(run.output > 0);
+    }
+}

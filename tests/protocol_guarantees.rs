@@ -1,0 +1,146 @@
+//! Property-based tests: protocol invariants over randomized instances.
+//!
+//! These complement the per-module unit tests with adversarially-shaped
+//! random inputs (arbitrary shapes, densities, values) checking the
+//! *unconditional* invariants: exactness of exact protocols, membership
+//! of samples, reconstruction of shares, validity of transcripts.
+
+use mpest::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random CSR matrix with the given shape bounds.
+fn csr(
+    max_rows: usize,
+    max_cols: usize,
+    max_val: i64,
+) -> impl Strategy<Value = CsrMatrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec(
+            ((0..r as u32), (0..c as u32), 1..=max_val),
+            0..=(r * c / 2).max(1),
+        )
+        .prop_map(move |triplets| CsrMatrix::from_triplets(r, c, triplets))
+    })
+}
+
+/// Strategy: a compatible (A, B) pair.
+fn csr_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (1..=20usize, 1..=24usize, 1..=20usize).prop_flat_map(|(m1, n, m2)| {
+        let a = proptest::collection::vec(((0..m1 as u32), (0..n as u32), 1i64..=5), 0..=60)
+            .prop_map(move |t| CsrMatrix::from_triplets(m1, n, t));
+        let b = proptest::collection::vec(((0..n as u32), (0..m2 as u32), 1i64..=5), 0..=60)
+            .prop_map(move |t| CsrMatrix::from_triplets(n, m2, t));
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_l1_is_exact((a, b) in csr_pair()) {
+        let run = exact_l1::run(&a, &b, Seed(1)).unwrap();
+        let truth = norms::csr_lp_pow(&a.matmul(&b), PNorm::ONE);
+        prop_assert_eq!(run.output as f64, truth);
+        prop_assert_eq!(run.rounds(), 1);
+    }
+
+    #[test]
+    fn sparse_matmul_exact_for_any_inputs((a, b) in csr_pair()) {
+        let run = sparse_matmul::run(&a, &b, Seed(2)).unwrap();
+        prop_assert_eq!(run.output.reconstruct(a.rows(), b.cols()), a.matmul(&b));
+        prop_assert!(run.rounds() <= 2);
+    }
+
+    #[test]
+    fn l1_sample_is_a_join_witness((a, b) in csr_pair()) {
+        let run = l1_sample::run(&a, &b, Seed(3)).unwrap();
+        let c = a.matmul(&b);
+        match run.output {
+            Some(s) => {
+                prop_assert!(a.get(s.row as usize, s.witness) > 0);
+                prop_assert!(b.get(s.witness as usize, s.col) > 0);
+                prop_assert!(c.get(s.row as usize, s.col) > 0);
+            }
+            None => prop_assert_eq!(c.l1(), 0),
+        }
+    }
+
+    #[test]
+    fn l0_sample_value_matches_product((a, b) in csr_pair()) {
+        let run = l0_sample::run(&a, &b, &L0SampleParams::new(0.5), Seed(4)).unwrap();
+        let c = a.matmul(&b);
+        match run.output {
+            MatrixSample::Sampled { row, col, value } => {
+                prop_assert_eq!(c.get(row as usize, col), value);
+                prop_assert!(value != 0);
+            }
+            MatrixSample::ZeroMatrix => prop_assert_eq!(c.nnz(), 0),
+            MatrixSample::Failed => {} // bounded-probability event
+        }
+    }
+
+    #[test]
+    fn lp_estimates_are_nonnegative_and_zero_on_zero(a in csr(16, 16, 4)) {
+        let zero = CsrMatrix::zeros(a.cols(), 8);
+        for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO] {
+            let run = lp_norm::run(&a, &zero, &LpParams::new(p, 0.5), Seed(5)).unwrap();
+            prop_assert!(run.output.abs() < 2.0, "zero product estimated {}", run.output);
+        }
+    }
+
+    #[test]
+    fn transcripts_are_well_formed((a, b) in csr_pair()) {
+        let run = sparse_matmul::run(&a, &b, Seed(6)).unwrap();
+        let t = &run.transcript;
+        // Bits by direction partition the total.
+        prop_assert_eq!(t.total_bits(), t.bits_from(Party::Alice) + t.bits_from(Party::Bob));
+        // Every message has a round below the round count.
+        for rec in &t.records {
+            prop_assert!(u32::from(rec.round) < t.rounds());
+        }
+        // Label aggregation preserves the total.
+        let sum: u64 = t.bits_by_label().values().sum();
+        prop_assert_eq!(sum, t.total_bits());
+    }
+
+    #[test]
+    fn trivial_csr_recovers_all_stats((a, b) in csr_pair()) {
+        let run = trivial::run_csr(&a, &b, Seed(7)).unwrap();
+        let c = a.matmul(&b);
+        prop_assert_eq!(run.output.l0, norms::csr_lp_pow(&c, PNorm::Zero));
+        prop_assert_eq!(run.output.l1, norms::csr_lp_pow(&c, PNorm::ONE));
+        prop_assert_eq!(run.output.linf.0, norms::csr_linf(&c).0);
+    }
+
+    #[test]
+    fn linf_general_never_underestimates_badly((a, b) in csr_pair()) {
+        let truth = norms::csr_linf(&a.matmul(&b)).0 as f64;
+        let run = linf_general::run(&a, &b, &LinfGeneralParams::new(3), Seed(8)).unwrap();
+        if truth == 0.0 {
+            prop_assert!(run.output < 1.0);
+        } else {
+            // Sandwich with generous slack (random small instances).
+            prop_assert!(run.output <= 10.0 * 3.0 * truth);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hh_general_reports_only_nonzero_entries((a, b) in csr_pair()) {
+        let params = HhGeneralParams::new(1.0, 0.3, 0.15);
+        let run = hh_general::run(&a, &b, &params, Seed(9)).unwrap();
+        let c = a.matmul(&b);
+        for p in &run.output.pairs {
+            prop_assert!(
+                c.get(p.row as usize, p.col) > 0,
+                "reported ({}, {}) is zero in C",
+                p.row,
+                p.col
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Section 6: every protocol family on rectangular shapes
+//! (`A ∈ {0,1}^{m1×n}`, `B ∈ {0,1}^{n×m2}`), including degenerate ones.
+
+use mpest::prelude::*;
+
+fn rect_pair(m1: usize, n: usize, m2: usize, d: f64, seed: u64) -> (BitMatrix, BitMatrix) {
+    (
+        Workloads::bernoulli_bits(m1, n, d, seed),
+        Workloads::bernoulli_bits(n, m2, d, seed + 1),
+    )
+}
+
+#[test]
+fn wide_inner_dimension() {
+    // Few sets over a huge universe: m << n.
+    let (a, b) = rect_pair(12, 300, 16, 0.1, 1);
+    let (ac, bc) = (a.to_csr(), b.to_csr());
+    let c = ac.matmul(&bc);
+    let truth = norms::csr_lp_pow(&c, PNorm::Zero);
+    let run = lp_norm::run(&ac, &bc, &LpParams::new(PNorm::Zero, 0.3), Seed(2)).unwrap();
+    assert!((run.output - truth).abs() <= 0.5 * truth.max(4.0));
+    let run = exact_l1::run(&ac, &bc, Seed(2)).unwrap();
+    assert_eq!(run.output as f64, norms::csr_lp_pow(&c, PNorm::ONE));
+}
+
+#[test]
+fn narrow_inner_dimension() {
+    // Many sets over a tiny universe: m >> n, dense product.
+    let (a, b) = rect_pair(200, 12, 180, 0.3, 3);
+    let (ac, bc) = (a.to_csr(), b.to_csr());
+    let c = ac.matmul(&bc);
+    let run = sparse_matmul::run(&ac, &bc, Seed(4)).unwrap();
+    assert_eq!(run.output.reconstruct(200, 180), c);
+    let (truth, _) = norms::csr_linf(&c);
+    let run = linf_binary::run(&a, &b, &LinfBinaryParams::new(0.3), Seed(5)).unwrap();
+    assert!(
+        run.output.estimate >= truth as f64 / 3.0 && run.output.estimate <= 1.8 * truth as f64
+    );
+}
+
+#[test]
+fn single_row_and_column() {
+    // Vector-matrix edge cases.
+    let a = Workloads::bernoulli_bits(1, 64, 0.4, 6).to_csr();
+    let b = Workloads::bernoulli_bits(64, 1, 0.4, 7).to_csr();
+    let c = a.matmul(&b);
+    let run = exact_l1::run(&a, &b, Seed(8)).unwrap();
+    assert_eq!(run.output as f64, norms::csr_lp_pow(&c, PNorm::ONE));
+    let run = sparse_matmul::run(&a, &b, Seed(9)).unwrap();
+    assert_eq!(run.output.reconstruct(1, 1), c);
+}
+
+#[test]
+fn heavy_hitters_on_rectangles() {
+    let m1 = 40;
+    let n = 120;
+    let m2 = 28;
+    let mut a = Workloads::bernoulli_bits(m1, n, 0.05, 10);
+    let mut bt = Workloads::bernoulli_bits(m2, n, 0.05, 11);
+    for k in 0..50 {
+        a.set(7, k, true);
+        bt.set(3, k, true);
+    }
+    let b = bt.transpose();
+    let c = a.to_csr().matmul(&b.to_csr());
+    let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
+    let phi = ((c.get(7, 3) - 5) as f64 / l1).min(0.9);
+    let mut hits = 0;
+    for t in 0..7 {
+        let run = hh_binary::run(
+            &a,
+            &b,
+            &HhBinaryParams::new(1.0, phi, (phi / 2.0).min(0.4)),
+            Seed(100 + t),
+        )
+        .unwrap();
+        if run.output.contains(7, 3) {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 5, "rect HH planted recovery {hits}/7");
+}
+
+#[test]
+fn sampling_on_rectangles() {
+    let (a, b) = rect_pair(30, 90, 24, 0.12, 20);
+    let (ac, bc) = (a.to_csr(), b.to_csr());
+    let c = ac.matmul(&bc);
+    for t in 0..6 {
+        if let MatrixSample::Sampled { row, col, value } =
+            l0_sample::run(&ac, &bc, &L0SampleParams::new(0.4), Seed(30 + t))
+                .unwrap()
+                .output
+        {
+            assert!(row < 30 && col < 24);
+            assert_eq!(c.get(row as usize, col), value);
+        }
+        if let Some(s) = l1_sample::run(&ac, &bc, Seed(40 + t)).unwrap().output {
+            assert!(s.row < 30 && s.col < 24 && s.witness < 90);
+        }
+    }
+}
+
+#[test]
+fn kappa_protocols_on_rectangles() {
+    let (a, b) = rect_pair(64, 150, 48, 0.15, 50);
+    let (ac, bc) = (a.to_csr(), b.to_csr());
+    let truth = norms::csr_linf(&ac.matmul(&bc)).0 as f64;
+    if truth == 0.0 {
+        return;
+    }
+    let run = linf_kappa::run(&a, &b, &LinfKappaParams::new(6.0), Seed(51)).unwrap();
+    assert!(
+        run.output.estimate <= 3.0 * 6.0 * truth,
+        "kappa rect overshoot: {} vs {truth}",
+        run.output.estimate
+    );
+    let run = linf_general::run(&ac, &bc, &LinfGeneralParams::new(4), Seed(52)).unwrap();
+    assert!(run.output <= 8.0 * truth && run.output >= 0.3 * truth);
+}

@@ -1,0 +1,191 @@
+//! Robustness: malformed inputs, degenerate instances, error paths, and
+//! the paper-faithful constants preset.
+
+use mpest::comm::{execute, BitReader, BitWriter, CommError, Wire};
+use mpest::prelude::*;
+
+#[test]
+fn protocols_reject_mismatched_dimensions() {
+    let a = CsrMatrix::zeros(8, 9);
+    let b = CsrMatrix::zeros(8, 8); // inner mismatch: 9 vs 8
+    let ab = BitMatrix::zeros(8, 9);
+    let bb = BitMatrix::zeros(8, 8);
+    assert!(lp_norm::run(&a, &b, &LpParams::new(PNorm::ONE, 0.5), Seed(0)).is_err());
+    assert!(lp_baseline::run(&a, &b, &BaselineParams::new(PNorm::ONE, 0.5), Seed(0)).is_err());
+    assert!(exact_l1::run(&a, &b, Seed(0)).is_err());
+    assert!(l1_sample::run(&a, &b, Seed(0)).is_err());
+    assert!(l0_sample::run(&a, &b, &L0SampleParams::new(0.5), Seed(0)).is_err());
+    assert!(sparse_matmul::run(&a, &b, Seed(0)).is_err());
+    assert!(linf_binary::run(&ab, &bb, &LinfBinaryParams::new(0.5), Seed(0)).is_err());
+    assert!(linf_kappa::run(&ab, &bb, &LinfKappaParams::new(4.0), Seed(0)).is_err());
+    assert!(linf_general::run(&a, &b, &LinfGeneralParams::new(4), Seed(0)).is_err());
+    assert!(hh_general::run(&a, &b, &HhGeneralParams::new(1.0, 0.5, 0.25), Seed(0)).is_err());
+    assert!(hh_binary::run(&ab, &bb, &HhBinaryParams::new(1.0, 0.5, 0.25), Seed(0)).is_err());
+    assert!(trivial::run_binary(&ab, &bb, Seed(0)).is_err());
+}
+
+#[test]
+fn corrupted_payloads_fail_to_decode_not_panic() {
+    // Take a legitimate encoded message, truncate or bit-flip it, and
+    // verify decoding returns an error instead of panicking or looping.
+    let v: Vec<(u32, i64)> = (0..50).map(|i| (i, i64::from(i) * 3 - 20)).collect();
+    let mut w = BitWriter::new();
+    v.encode(&mut w);
+    let (bytes, _) = w.finish();
+
+    // Truncations at every byte boundary.
+    for cut in 0..bytes.len() {
+        let mut r = BitReader::new(&bytes[..cut]);
+        // Must return (Ok with fewer items is impossible — length prefix) or Err.
+        match Vec::<(u32, i64)>::decode(&mut r) {
+            Ok(decoded) => assert_eq!(decoded, v, "only the full buffer can decode"),
+            Err(CommError::Decode(_)) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    // Bit flips in the length prefix region must not cause unbounded
+    // allocation (decode caps reservations) or panics.
+    for flip in 0..16usize {
+        let mut corrupted = bytes.to_vec();
+        corrupted[flip / 8] ^= 1 << (flip % 8);
+        let mut r = BitReader::new(&corrupted);
+        let _ = Vec::<(u32, i64)>::decode(&mut r); // any Result is fine; no panic
+    }
+}
+
+#[test]
+fn out_of_sync_parties_detect_label_mismatch() {
+    let res = execute(
+        (),
+        (),
+        |link, ()| link.send(0, "phase-one", &7u64),
+        |link, ()| link.recv::<u64>("phase-two").map(|_| ()),
+    );
+    assert!(matches!(res, Err(CommError::LabelMismatch { .. })));
+}
+
+#[test]
+fn early_party_abort_surfaces_protocol_error() {
+    let res: Result<_, _> = execute(
+        (),
+        (),
+        |_link, ()| -> Result<(), CommError> { Err(CommError::protocol("alice gave up")) },
+        |link, ()| link.recv::<u64>("never"),
+    );
+    assert_eq!(res.unwrap_err(), CommError::protocol("alice gave up"));
+}
+
+#[test]
+fn degenerate_shapes_run_clean() {
+    // 1x1 everything.
+    let a = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 3)]);
+    let b = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 2)]);
+    assert_eq!(exact_l1::run(&a, &b, Seed(0)).unwrap().output, 6);
+    let run = sparse_matmul::run(&a, &b, Seed(0)).unwrap();
+    assert_eq!(run.output.reconstruct(1, 1).get(0, 0), 6);
+    // Empty (all-zero) matrices through every estimator.
+    let z = CsrMatrix::zeros(4, 4);
+    assert_eq!(exact_l1::run(&z, &z, Seed(0)).unwrap().output, 0);
+    assert_eq!(l1_sample::run(&z, &z, Seed(0)).unwrap().output, None);
+    let run = lp_norm::run(&z, &z, &LpParams::new(PNorm::Zero, 0.5), Seed(0)).unwrap();
+    assert!(run.output.abs() < 1.0);
+}
+
+#[test]
+fn extreme_value_magnitudes() {
+    // Poly-bounded but large entries: products up to ~2^40 must survive
+    // varint encoding and exact accounting.
+    let big = 1i64 << 20;
+    let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, big), (1, 1, big)]);
+    let b = CsrMatrix::from_triplets(2, 2, vec![(0, 0, big), (1, 0, 1)]);
+    let run = exact_l1::run(&a, &b, Seed(0)).unwrap();
+    assert_eq!(run.output, i128::from(big) * i128::from(big) + i128::from(big));
+    let shares = sparse_matmul::run(&a, &b, Seed(0)).unwrap();
+    assert_eq!(shares.output.reconstruct(2, 2), a.matmul(&b));
+}
+
+#[test]
+fn paper_faithful_constants_still_correct() {
+    // With the paper's 10^4-scale constants nothing subsamples at this
+    // size — protocols must degrade to their exact paths and still meet
+    // every guarantee (just with more communication).
+    let consts = Constants::paper_faithful();
+    let (a_bits, b_bits, _) = Workloads::planted_pairs(40, 48, 0.1, &[(3, 5)], 24, 1);
+    let (a, b) = (a_bits.to_csr(), b_bits.to_csr());
+    let c = a.matmul(&b);
+
+    // Algorithm 2: with a huge gamma, lstar = 0 and the output is the
+    // deterministic half-split bound.
+    let truth = norms::csr_linf(&c).0 as f64;
+    let params = LinfBinaryParams { eps: 0.3, consts };
+    let run = linf_binary::run(&a_bits, &b_bits, &params, Seed(2)).unwrap();
+    assert_eq!(run.output.level, Some(0));
+    assert!(run.output.estimate >= truth / 2.0 - 1e-9 && run.output.estimate <= truth + 1e-9);
+
+    // Algorithm 4: beta = 1 (no thinning) -> exact recovery + threshold.
+    let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
+    let phi = ((c.get(3, 5) as f64 - 4.0) / l1).min(0.9);
+    let hh = hh_general::run(
+        &a,
+        &b,
+        &HhGeneralParams {
+            p: 1.0,
+            phi,
+            eps: (phi / 2.0).min(0.4),
+            consts,
+        },
+        Seed(3),
+    )
+    .unwrap();
+    assert!(hh.output.contains(3, 5));
+
+    // Algorithm 1 with paper reps: heavier sketches, accuracy holds.
+    let lp = lp_norm::run(
+        &a,
+        &b,
+        &LpParams {
+            p: PNorm::ONE,
+            eps: 0.3,
+            consts,
+            beta_override: None,
+        },
+        Seed(4),
+    )
+    .unwrap();
+    assert!((lp.output - l1).abs() <= 0.3 * l1);
+}
+
+#[test]
+fn transcript_cost_model_consistency() {
+    use mpest::comm::NetworkModel;
+    let a = Workloads::bernoulli_bits(32, 32, 0.2, 9).to_csr();
+    let b = Workloads::bernoulli_bits(32, 32, 0.2, 10).to_csr();
+    let one_round = lp_baseline::run(&a, &b, &BaselineParams::new(PNorm::TWO, 0.3), Seed(1))
+        .unwrap();
+    let two_round = lp_norm::run(&a, &b, &LpParams::new(PNorm::TWO, 0.3), Seed(1)).unwrap();
+    // On an (absurd) pure-latency link, fewer rounds must win.
+    let latency_only = NetworkModel {
+        round_latency_s: 1.0,
+        bits_per_second: 1e15,
+    };
+    assert!(
+        latency_only.seconds(&one_round.transcript) < latency_only.seconds(&two_round.transcript)
+    );
+    // On a pure-bandwidth link, fewer bits must win.
+    let bandwidth_only = NetworkModel {
+        round_latency_s: 0.0,
+        bits_per_second: 1e6,
+    };
+    let cheaper = if one_round.bits() < two_round.bits() {
+        &one_round
+    } else {
+        &two_round
+    };
+    assert_eq!(
+        bandwidth_only.seconds(&cheaper.transcript),
+        bandwidth_only
+            .seconds(&one_round.transcript)
+            .min(bandwidth_only.seconds(&two_round.transcript))
+    );
+}
