@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpest_comm::Seed;
-use mpest_core::hh_binary::{self, HhBinaryParams};
-use mpest_core::hh_general::{self, HhGeneralParams};
+use mpest_core::hh_binary::HhBinaryParams;
+use mpest_core::hh_general::HhGeneralParams;
+use mpest_core::{HhBinary, HhGeneral, Session};
 use mpest_matrix::{norms, PNorm, Workloads};
 
 fn bench_hh(c: &mut Criterion) {
@@ -15,12 +16,13 @@ fn bench_hh(c: &mut Criterion) {
         let l1 = norms::csr_lp_pow(&cmat, PNorm::ONE);
         let phi = ((cmat.get(3, 7) as f64 - 6.0) / l1).min(0.9);
         let eps = (phi / 2.0).min(0.4);
+        let s = Session::new(ab, bb);
 
         let mut g = c.benchmark_group("hh_general_alg4");
         g.sample_size(10);
         g.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
             let params = HhGeneralParams::new(1.0, phi, eps);
-            bench.iter(|| hh_general::run(&a, &b, &params, Seed(4)).unwrap().output);
+            bench.iter(|| s.run_seeded(&HhGeneral, &params, Seed(4)).unwrap().output);
         });
         g.finish();
 
@@ -28,7 +30,7 @@ fn bench_hh(c: &mut Criterion) {
         g.sample_size(10);
         g.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
             let params = HhBinaryParams::new(1.0, phi, eps);
-            bench.iter(|| hh_binary::run(&ab, &bb, &params, Seed(5)).unwrap().output);
+            bench.iter(|| s.run_seeded(&HhBinary, &params, Seed(5)).unwrap().output);
         });
         g.finish();
     }

@@ -3,9 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpest_comm::Seed;
-use mpest_core::linf_binary::{self, LinfBinaryParams};
-use mpest_core::linf_general::{self, LinfGeneralParams};
-use mpest_core::linf_kappa::{self, LinfKappaParams};
+use mpest_core::linf_binary::LinfBinaryParams;
+use mpest_core::linf_general::LinfGeneralParams;
+use mpest_core::linf_kappa::LinfKappaParams;
+use mpest_core::{LinfBinary, LinfGeneral, LinfKappa, Session};
 use mpest_matrix::Workloads;
 
 fn bench_linf(c: &mut Criterion) {
@@ -13,9 +14,10 @@ fn bench_linf(c: &mut Criterion) {
     g.sample_size(10);
     for n in [64usize, 128] {
         let (a, b, _) = Workloads::planted_pairs(n, n, 0.2, &[(2, 3)], n / 2, 7);
+        let s = Session::new(a, b);
         g.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
             let params = LinfBinaryParams::new(0.3);
-            bench.iter(|| linf_binary::run(&a, &b, &params, Seed(1)).unwrap().output);
+            bench.iter(|| s.run_seeded(&LinfBinary, &params, Seed(1)).unwrap().output);
         });
     }
     g.finish();
@@ -23,13 +25,14 @@ fn bench_linf(c: &mut Criterion) {
     let mut g = c.benchmark_group("linf_kappa_alg3");
     g.sample_size(10);
     let (a, b, _) = Workloads::planted_pairs(128, 128, 0.2, &[(2, 3)], 96, 8);
+    let s = Session::new(a, b);
     for kappa in [4.0f64, 16.0, 64.0] {
         g.bench_with_input(
             BenchmarkId::new("kappa", format!("{kappa}")),
             &kappa,
             |bench, &k| {
                 let params = LinfKappaParams::new(k);
-                bench.iter(|| linf_kappa::run(&a, &b, &params, Seed(2)).unwrap().output);
+                bench.iter(|| s.run_seeded(&LinfKappa, &params, Seed(2)).unwrap().output);
             },
         );
     }
@@ -37,12 +40,14 @@ fn bench_linf(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("linf_general_thm48");
     g.sample_size(10);
-    let a = Workloads::integer_csr(128, 128, 0.15, 8, true, 9);
-    let b = Workloads::integer_csr(128, 128, 0.15, 8, true, 10);
+    let s = Session::new(
+        Workloads::integer_csr(128, 128, 0.15, 8, true, 9),
+        Workloads::integer_csr(128, 128, 0.15, 8, true, 10),
+    );
     for kappa in [2usize, 4, 8] {
         g.bench_with_input(BenchmarkId::new("kappa", kappa), &kappa, |bench, &k| {
             let params = LinfGeneralParams::new(k);
-            bench.iter(|| linf_general::run(&a, &b, &params, Seed(3)).unwrap().output);
+            bench.iter(|| s.run_seeded(&LinfGeneral, &params, Seed(3)).unwrap().output);
         });
     }
     g.finish();

@@ -4,12 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpest_comm::Seed;
-use mpest_core::lp_baseline::{self, BaselineParams};
-use mpest_core::lp_norm::{self, LpParams};
-use mpest_matrix::{CsrMatrix, PNorm, Workloads};
+use mpest_core::lp_baseline::BaselineParams;
+use mpest_core::lp_norm::LpParams;
+use mpest_core::{LpBaseline, LpNorm, Session};
+use mpest_matrix::{PNorm, Workloads};
 
-fn pair(n: usize) -> (CsrMatrix, CsrMatrix) {
-    (
+fn session(n: usize) -> Session {
+    Session::new(
         Workloads::bernoulli_bits(n, n, 0.15, 1).to_csr(),
         Workloads::bernoulli_bits(n, n, 0.15, 2).to_csr(),
     )
@@ -18,29 +19,37 @@ fn pair(n: usize) -> (CsrMatrix, CsrMatrix) {
 fn bench_lp(c: &mut Criterion) {
     let mut g = c.benchmark_group("lp_norm_alg1");
     g.sample_size(10);
-    let (a, b) = pair(96);
+    let s = session(96);
     for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO] {
         g.bench_with_input(BenchmarkId::new("p", format!("{p:?}")), &p, |bench, &p| {
             let params = LpParams::new(p, 0.25);
-            bench.iter(|| lp_norm::run(&a, &b, &params, Seed(3)).unwrap().output);
+            bench.iter(|| s.run_seeded(&LpNorm, &params, Seed(3)).unwrap().output);
         });
     }
     for eps in [0.4, 0.2, 0.1] {
-        g.bench_with_input(BenchmarkId::new("eps", format!("{eps}")), &eps, |bench, &eps| {
-            let params = LpParams::new(PNorm::ONE, eps);
-            bench.iter(|| lp_norm::run(&a, &b, &params, Seed(3)).unwrap().output);
-        });
+        g.bench_with_input(
+            BenchmarkId::new("eps", format!("{eps}")),
+            &eps,
+            |bench, &eps| {
+                let params = LpParams::new(PNorm::ONE, eps);
+                bench.iter(|| s.run_seeded(&LpNorm, &params, Seed(3)).unwrap().output);
+            },
+        );
     }
     g.finish();
 
     let mut g = c.benchmark_group("lp_norm_baseline16");
     g.sample_size(10);
-    let (a, b) = pair(96);
+    let s = session(96);
     for eps in [0.4, 0.2] {
-        g.bench_with_input(BenchmarkId::new("eps", format!("{eps}")), &eps, |bench, &eps| {
-            let params = BaselineParams::new(PNorm::ONE, eps);
-            bench.iter(|| lp_baseline::run(&a, &b, &params, Seed(3)).unwrap().output);
-        });
+        g.bench_with_input(
+            BenchmarkId::new("eps", format!("{eps}")),
+            &eps,
+            |bench, &eps| {
+                let params = BaselineParams::new(PNorm::ONE, eps);
+                bench.iter(|| s.run_seeded(&LpBaseline, &params, Seed(3)).unwrap().output);
+            },
+        );
     }
     g.finish();
 }

@@ -4,23 +4,24 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpest_comm::Seed;
-use mpest_core::linf_binary::{self, LinfBinaryParams};
-use mpest_core::lp_norm::{self, LpParams};
-use mpest_core::exact_l1;
+use mpest_core::linf_binary::LinfBinaryParams;
+use mpest_core::lp_norm::LpParams;
+use mpest_core::{ExactL1, LinfBinary, LpNorm, Session};
 use mpest_matrix::{PNorm, Workloads};
 
 fn bench_rect(c: &mut Criterion) {
     let n = 96; // inner dimension
     for m in [32usize, 128] {
-        let a = Workloads::bernoulli_bits(m, n, 0.15, 1);
-        let b = Workloads::bernoulli_bits(n, m, 0.15, 2);
-        let (ac, bc) = (a.to_csr(), b.to_csr());
+        let s = Session::new(
+            Workloads::bernoulli_bits(m, n, 0.15, 1),
+            Workloads::bernoulli_bits(n, m, 0.15, 2),
+        );
 
         let mut g = c.benchmark_group("rect_lp_p0");
         g.sample_size(10);
         g.bench_with_input(BenchmarkId::new("m", m), &m, |bench, _| {
             let params = LpParams::new(PNorm::Zero, 0.3);
-            bench.iter(|| lp_norm::run(&ac, &bc, &params, Seed(1)).unwrap().output);
+            bench.iter(|| s.run_seeded(&LpNorm, &params, Seed(1)).unwrap().output);
         });
         g.finish();
 
@@ -28,14 +29,14 @@ fn bench_rect(c: &mut Criterion) {
         g.sample_size(10);
         g.bench_with_input(BenchmarkId::new("m", m), &m, |bench, _| {
             let params = LinfBinaryParams::new(0.3);
-            bench.iter(|| linf_binary::run(&a, &b, &params, Seed(2)).unwrap().output);
+            bench.iter(|| s.run_seeded(&LinfBinary, &params, Seed(2)).unwrap().output);
         });
         g.finish();
 
         let mut g = c.benchmark_group("rect_exact_l1");
         g.sample_size(20);
         g.bench_with_input(BenchmarkId::new("m", m), &m, |bench, _| {
-            bench.iter(|| exact_l1::run(&ac, &bc, Seed(3)).unwrap().output);
+            bench.iter(|| s.run_seeded(&ExactL1, &(), Seed(3)).unwrap().output);
         });
         g.finish();
     }

@@ -3,39 +3,45 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpest_comm::Seed;
-use mpest_core::l0_sample::{self, L0SampleParams};
-use mpest_core::{exact_l1, l1_sample};
+use mpest_core::l0_sample::L0SampleParams;
+use mpest_core::{ExactL1, L0Sample, L1Sampling, Session};
 use mpest_matrix::Workloads;
 
 fn bench_sampling(c: &mut Criterion) {
     let mut g = c.benchmark_group("exact_l1_remark2");
     g.sample_size(20);
     for n in [128usize, 512] {
-        let a = Workloads::bernoulli_bits(n, n, 0.2, 1).to_csr();
-        let b = Workloads::bernoulli_bits(n, n, 0.2, 2).to_csr();
+        let s = Session::new(
+            Workloads::bernoulli_bits(n, n, 0.2, 1).to_csr(),
+            Workloads::bernoulli_bits(n, n, 0.2, 2).to_csr(),
+        );
         g.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
-            bench.iter(|| exact_l1::run(&a, &b, Seed(1)).unwrap().output);
+            bench.iter(|| s.run_seeded(&ExactL1, &(), Seed(1)).unwrap().output);
         });
     }
     g.finish();
 
     let mut g = c.benchmark_group("l1_sample_remark3");
     g.sample_size(20);
-    let a = Workloads::bernoulli_bits(256, 256, 0.2, 3).to_csr();
-    let b = Workloads::bernoulli_bits(256, 256, 0.2, 4).to_csr();
+    let s = Session::new(
+        Workloads::bernoulli_bits(256, 256, 0.2, 3).to_csr(),
+        Workloads::bernoulli_bits(256, 256, 0.2, 4).to_csr(),
+    );
     g.bench_function("n=256", |bench| {
-        bench.iter(|| l1_sample::run(&a, &b, Seed(2)).unwrap().output);
+        bench.iter(|| s.run_seeded(&L1Sampling, &(), Seed(2)).unwrap().output);
     });
     g.finish();
 
     let mut g = c.benchmark_group("l0_sample_thm32");
     g.sample_size(10);
     for n in [32usize, 64] {
-        let a = Workloads::bernoulli_bits(n, n, 0.2, 5).to_csr();
-        let b = Workloads::bernoulli_bits(n, n, 0.2, 6).to_csr();
+        let s = Session::new(
+            Workloads::bernoulli_bits(n, n, 0.2, 5).to_csr(),
+            Workloads::bernoulli_bits(n, n, 0.2, 6).to_csr(),
+        );
         g.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
             let params = L0SampleParams::new(0.3);
-            bench.iter(|| l0_sample::run(&a, &b, &params, Seed(3)).unwrap().output);
+            bench.iter(|| s.run_seeded(&L0Sample, &params, Seed(3)).unwrap().output);
         });
     }
     g.finish();

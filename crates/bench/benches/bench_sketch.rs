@@ -55,11 +55,15 @@ fn bench_sketch(c: &mut Criterion) {
         let sk = s.sketch_entries(&vec_entries);
         b.iter(|| s.estimate(&sk));
     });
-    g.bench_with_input(BenchmarkId::new("l0_sampler_decode", 10), &10, |b, &reps| {
-        let s = L0Sampler::new(dim, reps, 5);
-        let sk = s.sketch_entries(&vec_entries);
-        b.iter(|| s.decode(&sk));
-    });
+    g.bench_with_input(
+        BenchmarkId::new("l0_sampler_decode", 10),
+        &10,
+        |b, &reps| {
+            let s = L0Sampler::new(dim, reps, 5);
+            let sk = s.sketch_entries(&vec_entries);
+            b.iter(|| s.decode(&sk));
+        },
+    );
     g.finish();
 }
 

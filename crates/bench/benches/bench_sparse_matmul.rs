@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpest_comm::Seed;
-use mpest_core::sparse_matmul;
+use mpest_core::{Session, SparseMatmul};
 use mpest_matrix::Workloads;
 
 fn bench_sparse_matmul(c: &mut Criterion) {
@@ -13,9 +13,15 @@ fn bench_sparse_matmul(c: &mut Criterion) {
     for avg in [1.0f64, 4.0, 12.0] {
         let (a, b) = Workloads::sparse_pair(n, n, avg, 7);
         let (ac, bc) = (a.to_csr(), b.to_csr());
-        let s = ac.matmul(&bc).nnz();
-        g.bench_with_input(BenchmarkId::new("nnz", s), &s, |bench, _| {
-            bench.iter(|| sparse_matmul::run(&ac, &bc, Seed(1)).unwrap().output);
+        let nnz = ac.matmul(&bc).nnz();
+        let session = Session::new(ac, bc);
+        g.bench_with_input(BenchmarkId::new("nnz", nnz), &nnz, |bench, _| {
+            bench.iter(|| {
+                session
+                    .run_seeded(&SparseMatmul, &(), Seed(1))
+                    .unwrap()
+                    .output
+            });
         });
     }
     g.finish();

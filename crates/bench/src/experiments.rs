@@ -9,22 +9,25 @@
 use crate::fit::{fit_power_law, fraction, median};
 use crate::report::Table;
 use mpest_comm::{NetworkModel, Seed};
-use mpest_core::hh_binary::{self, HhBinaryParams};
-use mpest_core::hh_general::{self, HhGeneralParams};
-use mpest_core::l0_sample::{self, L0SampleParams};
-use mpest_core::linf_binary::{self, LinfBinaryParams};
-use mpest_core::linf_general::{self, LinfGeneralParams};
-use mpest_core::linf_kappa::{self, LinfKappaParams};
-use mpest_core::lp_baseline::{self, BaselineParams};
-use mpest_core::lp_norm::{self, LpParams};
-use mpest_core::{exact_l1, l1_sample, sparse_matmul, trivial, Constants, MatrixSample};
+use mpest_core::hh_binary::HhBinaryParams;
+use mpest_core::hh_general::HhGeneralParams;
+use mpest_core::l0_sample::L0SampleParams;
+use mpest_core::linf_binary::LinfBinaryParams;
+use mpest_core::linf_general::LinfGeneralParams;
+use mpest_core::linf_kappa::LinfKappaParams;
+use mpest_core::lp_baseline::BaselineParams;
+use mpest_core::lp_norm::LpParams;
+use mpest_core::{
+    Constants, ExactL1, HhBinary, HhGeneral, L0Sample, L1Sampling, LinfBinary, LinfGeneral,
+    LinfKappa, LpBaseline, LpNorm, MatrixSample, Session, SparseMatmul, TrivialBinary,
+};
 use mpest_lower::{DisjInstance, GapLinfInstance, SumInstance, SumParams};
 use mpest_matrix::{norms, stats, CsrMatrix, PNorm, Workloads};
 
 /// All experiment IDs in presentation order.
 pub const IDS: &[&str] = &[
-    "t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
-    "f14", "a1", "a2", "a3",
+    "t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14",
+    "a1", "a2", "a3",
 ];
 
 /// Runs one experiment by ID.
@@ -91,9 +94,14 @@ pub fn t1(quick: bool) -> Table {
     let (a, b) = (a_bits.to_csr(), b_bits.to_csr());
     let c = a.matmul(&b);
     let seed = Seed(1234);
+    // One session serves every row of the table: the pair is validated
+    // once and all derived views are shared across the 12 protocols.
+    let session = Session::new(a_bits.clone(), b_bits.clone()).with_seed(seed);
 
     let l0 = norms::csr_lp_pow(&c, PNorm::Zero);
-    let run = lp_norm::run(&a, &b, &LpParams::new(PNorm::Zero, 0.2), seed).unwrap();
+    let run = session
+        .run_seeded(&LpNorm, &LpParams::new(PNorm::Zero, 0.2), seed)
+        .unwrap();
     t.row(vec![
         "lp-norm p=0 (Alg 1)".into(),
         "O~(n/eps)".into(),
@@ -102,7 +110,9 @@ pub fn t1(quick: bool) -> Table {
         format!("{:.3}s", NetworkModel::wan().seconds(&run.transcript)),
         format!("rel.err {:.3}", (run.output - l0).abs() / l0.max(1.0)),
     ]);
-    let run = lp_baseline::run(&a, &b, &BaselineParams::new(PNorm::Zero, 0.2), seed).unwrap();
+    let run = session
+        .run_seeded(&LpBaseline, &BaselineParams::new(PNorm::Zero, 0.2), seed)
+        .unwrap();
     t.row(vec![
         "lp-norm p=0 (1-round [16])".into(),
         "O~(n/eps^2)".into(),
@@ -112,7 +122,7 @@ pub fn t1(quick: bool) -> Table {
         format!("rel.err {:.3}", (run.output - l0).abs() / l0.max(1.0)),
     ]);
     let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
-    let run = exact_l1::run(&a, &b, seed).unwrap();
+    let run = session.run_seeded(&ExactL1, &(), seed).unwrap();
     t.row(vec![
         "exact l1 (Remark 2)".into(),
         "O(n log n)".into(),
@@ -121,7 +131,7 @@ pub fn t1(quick: bool) -> Table {
         format!("{:.3}s", NetworkModel::wan().seconds(&run.transcript)),
         format!("exact ({} = {:.0})", run.output, l1),
     ]);
-    let run = l1_sample::run(&a, &b, seed).unwrap();
+    let run = session.run_seeded(&L1Sampling, &(), seed).unwrap();
     t.row(vec![
         "l1-sample (Remark 3)".into(),
         "O(n log n)".into(),
@@ -130,7 +140,9 @@ pub fn t1(quick: bool) -> Table {
         format!("{:.3}s", NetworkModel::wan().seconds(&run.transcript)),
         format!("witnessed sample {:?}", run.output.map(|s| (s.row, s.col))),
     ]);
-    let run = l0_sample::run(&a, &b, &L0SampleParams::new(0.25), seed).unwrap();
+    let run = session
+        .run_seeded(&L0Sample, &L0SampleParams::new(0.25), seed)
+        .unwrap();
     t.row(vec![
         "l0-sample (Thm 3.2)".into(),
         "O~(n/eps^2)".into(),
@@ -139,7 +151,7 @@ pub fn t1(quick: bool) -> Table {
         format!("{:.3}s", NetworkModel::wan().seconds(&run.transcript)),
         format!("{:?}", run.output),
     ]);
-    let run = sparse_matmul::run(&a, &b, seed).unwrap();
+    let run = session.run_seeded(&SparseMatmul, &(), seed).unwrap();
     let exact = run.output.reconstruct(n, n) == c;
     t.row(vec![
         "sparse matmul (Lemma 2.5)".into(),
@@ -150,25 +162,37 @@ pub fn t1(quick: bool) -> Table {
         format!("shares exact: {exact}"),
     ]);
     let linf = norms::csr_linf(&c).0 as f64;
-    let run = linf_binary::run(&a_bits, &b_bits, &LinfBinaryParams::new(0.25), seed).unwrap();
+    let run = session
+        .run_seeded(&LinfBinary, &LinfBinaryParams::new(0.25), seed)
+        .unwrap();
     t.row(vec![
         "linf binary (Alg 2)".into(),
         "O~(n^1.5/eps)".into(),
         fmt_bits(run.bits()),
         run.rounds().to_string(),
         format!("{:.3}s", NetworkModel::wan().seconds(&run.transcript)),
-        format!("ratio {:.2} (guar. 2+eps)", linf / run.output.estimate.max(1e-9)),
+        format!(
+            "ratio {:.2} (guar. 2+eps)",
+            linf / run.output.estimate.max(1e-9)
+        ),
     ]);
-    let run = linf_kappa::run(&a_bits, &b_bits, &LinfKappaParams::new(8.0), seed).unwrap();
+    let run = session
+        .run_seeded(&LinfKappa, &LinfKappaParams::new(8.0), seed)
+        .unwrap();
     t.row(vec![
         "linf binary kappa=8 (Alg 3)".into(),
         "O~(n^1.5/kappa)".into(),
         fmt_bits(run.bits()),
         run.rounds().to_string(),
         format!("{:.3}s", NetworkModel::wan().seconds(&run.transcript)),
-        format!("ratio {:.2} (guar. 8)", linf / run.output.estimate.max(1e-9)),
+        format!(
+            "ratio {:.2} (guar. 8)",
+            linf / run.output.estimate.max(1e-9)
+        ),
     ]);
-    let run = linf_general::run(&a, &b, &LinfGeneralParams::new(4), seed).unwrap();
+    let run = session
+        .run_seeded(&LinfGeneral, &LinfGeneralParams::new(4), seed)
+        .unwrap();
     t.row(vec![
         "linf integer kappa=4 (Thm 4.8)".into(),
         "O~(n^2/kappa^2)".into(),
@@ -179,7 +203,9 @@ pub fn t1(quick: bool) -> Table {
     ]);
     let phi = ((linf - 6.0) / l1).min(0.9);
     let eps = (phi / 2.0).min(0.4);
-    let run = hh_general::run(&a, &b, &HhGeneralParams::new(1.0, phi, eps), seed).unwrap();
+    let run = session
+        .run_seeded(&HhGeneral, &HhGeneralParams::new(1.0, phi, eps), seed)
+        .unwrap();
     t.row(vec![
         "heavy hitters integer (Alg 4)".into(),
         "O~(sqrt(phi)/eps n)".into(),
@@ -188,7 +214,8 @@ pub fn t1(quick: bool) -> Table {
         format!("{:.3}s", NetworkModel::wan().seconds(&run.transcript)),
         format!("planted found: {}", run.output.contains(3, 7)),
     ]);
-    let run = hh_binary::run(&a_bits, &b_bits, &HhBinaryParams::new(1.0, phi, eps), seed)
+    let run = session
+        .run_seeded(&HhBinary, &HhBinaryParams::new(1.0, phi, eps), seed)
         .unwrap();
     t.row(vec![
         "heavy hitters binary (Thm 5.3)".into(),
@@ -198,7 +225,7 @@ pub fn t1(quick: bool) -> Table {
         format!("{:.3}s", NetworkModel::wan().seconds(&run.transcript)),
         format!("planted found: {}", run.output.contains(3, 7)),
     ]);
-    let run = trivial::run_binary(&a_bits, &b_bits, seed).unwrap();
+    let run = session.run_seeded(&TrivialBinary, &(), seed).unwrap();
     t.row(vec![
         "trivial (ship A)".into(),
         "n^2".into(),
@@ -207,7 +234,10 @@ pub fn t1(quick: bool) -> Table {
         format!("{:.3}s", NetworkModel::wan().seconds(&run.transcript)),
         "exact everything".into(),
     ]);
-    t.note(format!("workload: n={n}, Bernoulli(0.08) + planted pair (3,7) with overlap {}", n / 2));
+    t.note(format!(
+        "workload: n={n}, Bernoulli(0.08) + planted pair (3,7) with overlap {}",
+        n / 2
+    ));
     t
 }
 
@@ -227,12 +257,16 @@ pub fn f1(quick: bool) -> Table {
         &["eps", "Alg1 bits", "baseline bits", "baseline/Alg1"],
     );
     let (a, b) = binary_pair(n, 0.15, 900);
+    let session = Session::new(a, b);
     let mut pts1 = Vec::new();
     let mut pts2 = Vec::new();
     for &eps in eps_list {
-        let two = lp_norm::run(&a, &b, &LpParams::new(PNorm::Zero, eps), Seed(1)).unwrap();
-        let one =
-            lp_baseline::run(&a, &b, &BaselineParams::new(PNorm::Zero, eps), Seed(1)).unwrap();
+        let two = session
+            .run_seeded(&LpNorm, &LpParams::new(PNorm::Zero, eps), Seed(1))
+            .unwrap();
+        let one = session
+            .run_seeded(&LpBaseline, &BaselineParams::new(PNorm::Zero, eps), Seed(1))
+            .unwrap();
         pts1.push((1.0 / eps, two.bits() as f64));
         pts2.push((1.0 / eps, one.bits() as f64));
         t.row(vec![
@@ -276,9 +310,12 @@ pub fn f2(quick: bool) -> Table {
     let mut pts: [Vec<(f64, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for &n in ns {
         let (a, b) = binary_pair(n, 0.15, 1000 + n as u64);
+        let session = Session::new(a, b);
         let mut cells = vec![n.to_string()];
         for (i, p) in [PNorm::Zero, PNorm::ONE, PNorm::TWO].iter().enumerate() {
-            let run = lp_norm::run(&a, &b, &LpParams::new(*p, 0.2), Seed(2)).unwrap();
+            let run = session
+                .run_seeded(&LpNorm, &LpParams::new(*p, 0.2), Seed(2))
+                .unwrap();
             pts[i].push((n as f64, run.bits() as f64));
             cells.push(fmt_bits(run.bits()));
         }
@@ -303,17 +340,25 @@ pub fn f3(quick: bool) -> Table {
         "F3",
         "Algorithm 1 relative-error distribution",
         "estimates fall within (1±eps) of the truth with constant probability (boostable)",
-        &["p", "eps", "median rel.err", "frac within eps", "frac within 2*eps"],
+        &[
+            "p",
+            "eps",
+            "median rel.err",
+            "frac within eps",
+            "frac within 2*eps",
+        ],
     );
     let (a, b) = binary_pair(n, 0.15, 300);
     let c = a.matmul(&b);
+    let session = Session::new(a, b);
     for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO] {
         let truth = norms::csr_lp_pow(&c, p);
         for eps in [0.3, 0.15] {
             let errs: Vec<f64> = (0..trials)
                 .map(|s| {
-                    let run =
-                        lp_norm::run(&a, &b, &LpParams::new(p, eps), Seed(5000 + s)).unwrap();
+                    let run = session
+                        .run_seeded(&LpNorm, &LpParams::new(p, eps), Seed(5000 + s))
+                        .unwrap();
                     (run.output - truth).abs() / truth
                 })
                 .collect();
@@ -342,6 +387,7 @@ pub fn f4(quick: bool) -> Table {
     );
     let (a, b) = binary_pair(12, 0.22, 41);
     let c = a.matmul(&b);
+    let session = Session::new(a, b);
     let support: Vec<(u32, u32)> = c.triplets().map(|(r, cc, _)| (r, cc)).collect();
     let params = L0SampleParams::new(0.3);
     let mut counts = std::collections::BTreeMap::new();
@@ -349,7 +395,9 @@ pub fn f4(quick: bool) -> Table {
     let mut bits = 0u64;
     let mut rounds_ok = true;
     for s in 0..trials {
-        let run = l0_sample::run(&a, &b, &params, Seed(9000 + s)).unwrap();
+        let run = session
+            .run_seeded(&L0Sample, &params, Seed(9000 + s))
+            .unwrap();
         bits = run.bits();
         rounds_ok &= run.rounds() == 1;
         if let MatrixSample::Sampled { row, col, .. } = run.output {
@@ -371,7 +419,10 @@ pub fn f4(quick: bool) -> Table {
             })
             .sum::<f64>();
     let noise_floor = 0.4 * (support.len() as f64 / successes.max(1) as f64).sqrt();
-    t.row(vec!["support size ||C||_0".into(), support.len().to_string()]);
+    t.row(vec![
+        "support size ||C||_0".into(),
+        support.len().to_string(),
+    ]);
     t.row(vec![
         "success rate".into(),
         format!("{:.2}", successes as f64 / trials as f64),
@@ -416,7 +467,9 @@ pub fn f5(quick: bool) -> Table {
     for &n in ns {
         let (a, b, _) = Workloads::planted_pairs(n, n, 0.3, &[(3, 5)], n / 2, 60 + n as u64);
         let truth = stats::linf_of_product_binary(&a, &b).0 as f64;
-        let run = linf_binary::run(&a, &b, &params, Seed(3)).unwrap();
+        let run = Session::new(a, b)
+            .run_seeded(&LinfBinary, &params, Seed(3))
+            .unwrap();
         pts.push((n as f64, run.bits() as f64));
         let ratio = truth / run.output.estimate.max(1e-9);
         ratios.push(ratio);
@@ -462,10 +515,13 @@ pub fn f6(quick: bool) -> Table {
     );
     let (a, b, _) = Workloads::planted_pairs(n, n, 0.2, &[(2, 3)], (3 * n) / 4, 71);
     let truth = stats::linf_of_product_binary(&a, &b).0 as f64;
+    let session = Session::new(a, b);
     let mut pts = Vec::new();
     let mut list_pts = Vec::new();
     for &k in kappas {
-        let run = linf_kappa::run(&a, &b, &LinfKappaParams::new(k), Seed(4)).unwrap();
+        let run = session
+            .run_seeded(&LinfKappa, &LinfKappaParams::new(k), Seed(4))
+            .unwrap();
         pts.push((k, run.bits() as f64));
         // The kappa-dependent term of the bound is the list exchange; the
         // per-level column sums and weights are the additive O~(n) part.
@@ -507,9 +563,12 @@ pub fn f7(quick: bool) -> Table {
     let a = Workloads::integer_csr(n, n, 0.15, 8, true, 81);
     let b = Workloads::integer_csr(n, n, 0.15, 8, true, 82);
     let truth = stats::linf_of_product(&a, &b).0 as f64;
+    let session = Session::new(a, b);
     let mut pts = Vec::new();
     for &k in kappas {
-        let run = linf_general::run(&a, &b, &LinfGeneralParams::new(k), Seed(5)).unwrap();
+        let run = session
+            .run_seeded(&LinfGeneral, &LinfGeneralParams::new(k), Seed(5))
+            .unwrap();
         pts.push((k as f64, run.bits() as f64));
         t.row(vec![
             k.to_string(),
@@ -527,17 +586,14 @@ pub fn f7(quick: bool) -> Table {
     let gap_kappa = 24i64;
     let far = GapLinfInstance::far(n / 4, gap_kappa, 5);
     let close = GapLinfInstance::close(n / 4, gap_kappa, 6);
-    let est_far = linf_general::run(&far.matrix_a(), &far.matrix_b(), &LinfGeneralParams::new(2), Seed(6))
+    let est_far = Session::new(far.matrix_a(), far.matrix_b())
+        .run_seeded(&LinfGeneral, &LinfGeneralParams::new(2), Seed(6))
         .unwrap()
         .output;
-    let est_close = linf_general::run(
-        &close.matrix_a(),
-        &close.matrix_b(),
-        &LinfGeneralParams::new(2),
-        Seed(6),
-    )
-    .unwrap()
-    .output;
+    let est_close = Session::new(close.matrix_a(), close.matrix_b())
+        .run_seeded(&LinfGeneral, &LinfGeneralParams::new(2), Seed(6))
+        .unwrap()
+        .output;
     t.note(format!(
         "Thm 4.8(2) Gap-linf embedding (gap {gap_kappa}): far estimate {est_far:.1} vs close {est_close:.1} — separated: {}",
         est_far > 2.0 * est_close
@@ -565,13 +621,15 @@ pub fn f8(quick: bool) -> Table {
         assert_eq!(yes.exact_linf(), 2);
         assert!(no.exact_linf() <= 1);
         yes_est.push(
-            linf_binary::run(&yes.matrix_a(), &yes.matrix_b(), &params, Seed(s))
+            Session::new(yes.matrix_a(), yes.matrix_b())
+                .run_seeded(&LinfBinary, &params, Seed(s))
                 .unwrap()
                 .output
                 .estimate,
         );
         no_est.push(
-            linf_binary::run(&no.matrix_a(), &no.matrix_b(), &params, Seed(s))
+            Session::new(no.matrix_a(), no.matrix_b())
+                .run_seeded(&LinfBinary, &params, Seed(s))
                 .unwrap()
                 .output
                 .estimate,
@@ -625,7 +683,11 @@ pub fn f9(quick: bool) -> Table {
             format!("med {:.0}", median(v))
         }
     };
-    t.row(vec!["global ||AB||_inf".into(), show(&linf[0]), show(&linf[1])]);
+    t.row(vec![
+        "global ||AB||_inf".into(),
+        show(&linf[0]),
+        show(&linf[1]),
+    ]);
     t.row(vec![
         "diagonal max * (n/k)".into(),
         show(&diag[0]),
@@ -656,6 +718,7 @@ pub fn f10(quick: bool) -> Table {
     let c = a.matmul(&b);
     let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
     let heavy = c.get(3, 7).min(c.get(11, 13)) as f64;
+    let session = Session::new(ab, bb);
     for (phi_mul, eps_frac) in [(0.8, 0.5), (0.8, 0.25), (0.5, 0.5)] {
         let phi = (heavy * phi_mul / l1).min(0.9);
         let eps = (phi * eps_frac).min(0.4);
@@ -663,7 +726,9 @@ pub fn f10(quick: bool) -> Table {
         let mut ok = 0usize;
         let mut bits = Vec::new();
         for s in 0..trials {
-            let run = hh_general::run(&a, &b, &params, Seed(600 + s)).unwrap();
+            let run = session
+                .run_seeded(&HhGeneral, &params, Seed(600 + s))
+                .unwrap();
             bits.push(run.bits() as f64);
             let got = run.output.positions();
             let must = stats::heavy_hitters_of_product(&a, &b, PNorm::ONE, phi);
@@ -685,7 +750,11 @@ pub fn f10(quick: bool) -> Table {
 /// F11 — Theorem 5.3: binary heavy hitters.
 #[must_use]
 pub fn f11(quick: bool) -> Table {
-    let ns: &[usize] = if quick { &[48, 96] } else { &[48, 96, 144, 192] };
+    let ns: &[usize] = if quick {
+        &[48, 96]
+    } else {
+        &[48, 96, 144, 192]
+    };
     let mut t = Table::new(
         "F11",
         "Theorem 5.3 (binary heavy hitters): cost vs n and vs the general protocol",
@@ -700,15 +769,17 @@ pub fn f11(quick: bool) -> Table {
         let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
         let phi = ((c.get(5, 9) as f64 - 6.0) / l1).min(0.9);
         let eps = (phi / 2.0).min(0.4);
-        let run_b =
-            hh_binary::run(&ab, &bb, &HhBinaryParams::new(1.0, phi, eps), Seed(7)).unwrap();
-        let run_g =
-            hh_general::run(&a, &b, &HhGeneralParams::new(1.0, phi, eps), Seed(7)).unwrap();
+        let session = Session::new(ab, bb);
+        let run_b = session
+            .run_seeded(&HhBinary, &HhBinaryParams::new(1.0, phi, eps), Seed(7))
+            .unwrap();
+        let run_g = session
+            .run_seeded(&HhGeneral, &HhGeneralParams::new(1.0, phi, eps), Seed(7))
+            .unwrap();
         let got = run_b.output.positions();
         let must = stats::heavy_hitters_of_product(&a, &b, PNorm::ONE, phi);
         let may = stats::heavy_hitters_of_product(&a, &b, PNorm::ONE, phi - eps);
-        let contained =
-            must.iter().all(|p| got.contains(p)) && got.iter().all(|p| may.contains(p));
+        let contained = must.iter().all(|p| got.contains(p)) && got.iter().all(|p| may.contains(p));
         pts.push((n as f64, run_b.bits() as f64));
         t.row(vec![
             n.to_string(),
@@ -748,7 +819,9 @@ pub fn f12(quick: bool) -> Table {
         let (ac, bc) = (a.to_csr(), b.to_csr());
         let c = ac.matmul(&bc);
         let s = c.nnz().max(1);
-        let run = sparse_matmul::run(&ac, &bc, Seed(8)).unwrap();
+        let run = Session::new(ac, bc)
+            .run_seeded(&SparseMatmul, &(), Seed(8))
+            .unwrap();
         let exact = run.output.reconstruct(n, n) == c;
         pts.push((s as f64, run.bits() as f64));
         let list_bits: u64 = run
@@ -779,15 +852,24 @@ pub fn f13(quick: bool) -> Table {
         "F13",
         "Section 6 (rectangular matrices): cost dependence on the outer dimension m",
         "lp cost stays governed by the inner dimension n; linf cost grows with m",
-        &["m (outer)", "lp p=0 bits", "linf binary bits", "exact l1 bits"],
+        &[
+            "m (outer)",
+            "lp p=0 bits",
+            "linf binary bits",
+            "exact l1 bits",
+        ],
     );
     for &m in ms {
         let a = Workloads::bernoulli_bits(m, n, 0.15, 40 + m as u64);
         let b = Workloads::bernoulli_bits(n, m, 0.15, 41 + m as u64);
-        let (ac, bc) = (a.to_csr(), b.to_csr());
-        let lp = lp_norm::run(&ac, &bc, &LpParams::new(PNorm::Zero, 0.25), Seed(9)).unwrap();
-        let li = linf_binary::run(&a, &b, &LinfBinaryParams::new(0.3), Seed(9)).unwrap();
-        let l1 = exact_l1::run(&ac, &bc, Seed(9)).unwrap();
+        let session = Session::new(a, b);
+        let lp = session
+            .run_seeded(&LpNorm, &LpParams::new(PNorm::Zero, 0.25), Seed(9))
+            .unwrap();
+        let li = session
+            .run_seeded(&LinfBinary, &LinfBinaryParams::new(0.3), Seed(9))
+            .unwrap();
+        let l1 = session.run_seeded(&ExactL1, &(), Seed(9)).unwrap();
         t.row(vec![
             m.to_string(),
             fmt_bits(lp.bits()),
@@ -816,8 +898,9 @@ pub fn f14(quick: bool) -> Table {
     let mut pts = Vec::new();
     for &n in ns {
         let (a, b) = binary_pair(n, 0.3, 50 + n as u64);
-        let r1 = exact_l1::run(&a, &b, Seed(10)).unwrap();
-        let r2 = l1_sample::run(&a, &b, Seed(10)).unwrap();
+        let session = Session::new(a, b);
+        let r1 = session.run_seeded(&ExactL1, &(), Seed(10)).unwrap();
+        let r2 = session.run_seeded(&L1Sampling, &(), Seed(10)).unwrap();
         pts.push((n as f64, r1.bits() as f64));
         let norm = r1.bits() as f64 / (n as f64 * (n as f64).log2());
         t.row(vec![
@@ -854,6 +937,7 @@ pub fn a1(quick: bool) -> Table {
     );
     let (a, b) = binary_pair(n, 0.15, 333);
     let truth = norms::csr_lp_pow(&a.matmul(&b), PNorm::ONE);
+    let session = Session::new(a, b);
     // The paper couples the two stages: rho = Theta(beta^2/eps^2) samples
     // suffice once the sketch has accuracy beta (Section 3 sets
     // rho = 10^4 beta^2/eps^2). Our code parameterizes rho =
@@ -875,7 +959,9 @@ pub fn a1(quick: bool) -> Table {
         let mut bits = 0u64;
         let errs: Vec<f64> = (0..trials)
             .map(|s| {
-                let run = lp_norm::run(&a, &b, &params, Seed(4000 + s)).unwrap();
+                let run = session
+                    .run_seeded(&LpNorm, &params, Seed(4000 + s))
+                    .unwrap();
                 bits = run.bits();
                 (run.output - truth).abs() / truth
             })
@@ -904,7 +990,12 @@ pub fn a2(quick: bool) -> Table {
         "A2",
         "ablation: min-side exchange vs one-sided shipping (Lemma 2.5)",
         "min(u,v) per item beats always-ship-Alice, most dramatically under skew",
-        &["workload", "min-side entries", "alice-side entries", "saving"],
+        &[
+            "workload",
+            "min-side entries",
+            "alice-side entries",
+            "saving",
+        ],
     );
     let workloads: Vec<(&str, CsrMatrix, CsrMatrix)> = vec![
         {
@@ -939,7 +1030,9 @@ pub fn a2(quick: bool) -> Table {
             .map(|(&uk, _)| u64::from(uk))
             .sum();
         // Sanity: the real protocol's list bits track the min-side count.
-        let run = sparse_matmul::run(&a, &b, Seed(5)).unwrap();
+        let run = Session::new(a, b)
+            .run_seeded(&SparseMatmul, &(), Seed(5))
+            .unwrap();
         let _ = run;
         t.row(vec![
             name.into(),
@@ -967,7 +1060,12 @@ pub fn a3(quick: bool) -> Table {
         "A3",
         "ablation: l0-sketch buckets per level vs accuracy",
         "relative error shrinks ~1/sqrt(K); words per sketch grow linearly in K",
-        &["buckets K", "words/sketch", "median rel.err", "err * sqrt(K)"],
+        &[
+            "buckets K",
+            "words/sketch",
+            "median rel.err",
+            "err * sqrt(K)",
+        ],
     );
     // Fixed support to isolate sketch noise.
     let entries: Vec<(u32, i64)> = {

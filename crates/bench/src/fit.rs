@@ -86,10 +86,12 @@ mod tests {
 
     #[test]
     fn exact_power_law_recovered() {
-        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = f64::from(i) * 10.0;
-            (x, 3.0 * x.powf(1.5))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = f64::from(i) * 10.0;
+                (x, 3.0 * x.powf(1.5))
+            })
+            .collect();
         let fit = fit_power_law(&pts);
         assert!((fit.exponent - 1.5).abs() < 1e-9);
         assert!((fit.prefactor - 3.0).abs() < 1e-6);
@@ -106,7 +108,11 @@ mod tests {
             })
             .collect();
         let fit = fit_power_law(&pts);
-        assert!((fit.exponent - 2.0).abs() < 0.15, "exponent {}", fit.exponent);
+        assert!(
+            (fit.exponent - 2.0).abs() < 0.15,
+            "exponent {}",
+            fit.exponent
+        );
         assert!(fit.r2 > 0.98);
     }
 

@@ -1,11 +1,14 @@
 //! Experiment tables: markdown rendering and JSON persistence.
+//!
+//! JSON output is hand-rolled (the build environment has no registry
+//! access for serde); [`Table`] is flat strings, so the writer below is
+//! complete for it.
 
-use serde::Serialize;
 use std::io::Write as _;
 use std::path::Path;
 
 /// One experiment's output table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment ID (T1, F1, ...).
     pub id: String,
@@ -86,6 +89,67 @@ impl Table {
     }
 }
 
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_array(items: &[String], indent: &str, out: &mut String) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n{indent}  \"{}\"", json_escape(item)));
+    }
+    out.push_str(&format!("\n{indent}]"));
+}
+
+fn table_to_json(t: &Table, indent: &str, out: &mut String) {
+    out.push_str("{\n");
+    for (key, value) in [("id", &t.id), ("title", &t.title), ("claim", &t.claim)] {
+        out.push_str(&format!(
+            "{indent}  \"{key}\": \"{}\",\n",
+            json_escape(value)
+        ));
+    }
+    out.push_str(&format!("{indent}  \"columns\": "));
+    json_str_array(&t.columns, &format!("{indent}  "), out);
+    out.push_str(&format!(",\n{indent}  \"rows\": "));
+    if t.rows.is_empty() {
+        out.push_str("[]");
+    } else {
+        out.push('[');
+        for (i, row) in t.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n{indent}    "));
+            json_str_array(row, &format!("{indent}    "), out);
+        }
+        out.push_str(&format!("\n{indent}  ]"));
+    }
+    out.push_str(&format!(",\n{indent}  \"notes\": "));
+    json_str_array(&t.notes, &format!("{indent}  "), out);
+    out.push_str(&format!("\n{indent}}}"));
+}
+
 /// Writes all tables as a single JSON document.
 ///
 /// # Errors
@@ -96,7 +160,15 @@ pub fn save_json(tables: &[Table], path: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(parent)?;
     }
     let mut file = std::fs::File::create(path)?;
-    let json = serde_json::to_string_pretty(tables).expect("tables serialize");
+    let mut json = String::from("[");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str("\n  ");
+        table_to_json(t, "  ", &mut json);
+    }
+    json.push_str("\n]\n");
     file.write_all(json.as_bytes())
 }
 

@@ -188,7 +188,11 @@ impl<'a> BitReader<'a> {
             let avail = 8 - bit_off;
             let take = avail.min(remaining);
             let chunk = (u64::from(byte) >> (avail - take)) & ((1u64 << take) - 1);
-            out = if take == 64 { chunk } else { (out << take) | chunk };
+            out = if take == 64 {
+                chunk
+            } else {
+                (out << take) | chunk
+            };
             self.pos += u64::from(take);
             remaining -= take;
         }

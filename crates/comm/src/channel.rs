@@ -65,7 +65,12 @@ impl<'a> Link<'a> {
     /// # Errors
     ///
     /// Returns [`CommError::ChannelClosed`] if the peer has terminated.
-    pub fn send<T: Wire>(&self, round: u16, label: &'static str, value: &T) -> Result<(), CommError> {
+    pub fn send<T: Wire>(
+        &self,
+        round: u16,
+        label: &'static str,
+        value: &T,
+    ) -> Result<(), CommError> {
         let mut w = BitWriter::new();
         value.encode(&mut w);
         let (payload, bits) = w.finish();
@@ -198,13 +203,22 @@ where
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), Ok(_)) | (Ok(_), Err(e)) => return Err(e),
         (Err(ea), Err(eb)) => {
-            return Err(if ea == CommError::ChannelClosed { eb } else { ea });
+            return Err(if ea == CommError::ChannelClosed {
+                eb
+            } else {
+                ea
+            });
         }
     };
 
-    let transcript = Transcript {
-        records: recorder.records.into_inner(),
-    };
+    // Canonicalize record order: simultaneous messages (both directions
+    // within one round) otherwise land in thread-scheduling order, which
+    // would make transcripts nondeterministic. The stable sort keys on
+    // (round, party) and preserves each sender's own deterministic
+    // in-round order, so equal executions yield equal transcripts.
+    let mut records = recorder.records.into_inner();
+    records.sort_by_key(|r| (r.round, r.from == Party::Bob));
+    let transcript = Transcript { records };
     Ok(ExecutionOutcome {
         alice,
         bob,

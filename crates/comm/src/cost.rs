@@ -65,8 +65,7 @@ impl NetworkModel {
     /// `rounds · latency + total_bits / bandwidth`.
     #[must_use]
     pub fn seconds(&self, t: &Transcript) -> f64 {
-        f64::from(t.rounds()) * self.round_latency_s
-            + t.total_bits() as f64 / self.bits_per_second
+        f64::from(t.rounds()) * self.round_latency_s + t.total_bits() as f64 / self.bits_per_second
     }
 
     /// The bit volume at which one extra round pays for itself: a

@@ -64,6 +64,8 @@ mod tests {
             got: "b".into(),
         };
         assert!(e.to_string().contains("expected"));
-        assert!(CommError::protocol("bad dims").to_string().contains("bad dims"));
+        assert!(CommError::protocol("bad dims")
+            .to_string()
+            .contains("bad dims"));
     }
 }

@@ -40,7 +40,9 @@ impl Seed {
     /// Derives a child seed for the given index (for per-item streams).
     #[must_use]
     pub fn derive_u64(self, index: u64) -> Seed {
-        Seed(splitmix64(self.0 ^ splitmix64(index ^ 0xa076_1d64_78bd_642f)))
+        Seed(splitmix64(
+            self.0 ^ splitmix64(index ^ 0xa076_1d64_78bd_642f),
+        ))
     }
 
     /// Builds a standard RNG seeded from this seed.

@@ -239,7 +239,11 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         let back = T::decode(&mut r).expect("decode");
         assert_eq!(&back, v);
-        assert_eq!(r.bits_read(), bits, "decoder consumed exactly what was written");
+        assert_eq!(
+            r.bits_read(),
+            bits,
+            "decoder consumed exactly what was written"
+        );
     }
 
     #[test]

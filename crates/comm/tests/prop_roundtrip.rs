@@ -12,7 +12,11 @@ fn roundtrip_exact<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
     let mut r = BitReader::new(&bytes);
     let back = T::decode(&mut r).expect("decode");
     assert_eq!(&back, v);
-    assert_eq!(r.bits_read(), bits, "decoder consumed a different bit count");
+    assert_eq!(
+        r.bits_read(),
+        bits,
+        "decoder consumed a different bit count"
+    );
 }
 
 proptest! {

@@ -12,13 +12,15 @@
 //! ```
 //! use mpest_comm::Seed;
 //! use mpest_core::boost::median_boost;
-//! use mpest_core::lp_norm::{self, LpParams};
+//! use mpest_core::lp_norm::LpParams;
+//! use mpest_core::{LpNorm, Session};
 //! use mpest_matrix::{PNorm, Workloads};
 //!
 //! let a = Workloads::bernoulli_bits(32, 48, 0.2, 1).to_csr();
 //! let b = Workloads::bernoulli_bits(48, 32, 0.2, 2).to_csr();
+//! let session = Session::new(a, b);
 //! let params = LpParams::new(PNorm::ONE, 0.3);
-//! let run = median_boost(5, Seed(7), |s| lp_norm::run(&a, &b, &params, s)).unwrap();
+//! let run = median_boost(5, Seed(7), |s| session.run_seeded(&LpNorm, &params, s)).unwrap();
 //! assert_eq!(run.rounds(), 2, "boosting does not add rounds");
 //! ```
 
@@ -40,7 +42,9 @@ where
     F: FnMut(Seed) -> Result<ProtocolRun<f64>, CommError>,
 {
     if copies == 0 {
-        return Err(CommError::protocol("median boosting needs >= 1 copy".to_string()));
+        return Err(CommError::protocol(
+            "median boosting needs >= 1 copy".to_string(),
+        ));
     }
     let mut outputs = Vec::with_capacity(copies);
     let mut transcript = Transcript::default();
@@ -57,6 +61,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use crate::lp_norm::{self, LpParams};
@@ -80,10 +85,8 @@ mod tests {
             if (single.output - truth).abs() > tol * truth {
                 single_fail += 1;
             }
-            let boosted = median_boost(5, Seed(20_000 + t), |s| {
-                lp_norm::run(&a, &b, &params, s)
-            })
-            .unwrap();
+            let boosted =
+                median_boost(5, Seed(20_000 + t), |s| lp_norm::run(&a, &b, &params, s)).unwrap();
             if (boosted.output - truth).abs() > tol * truth {
                 boosted_fail += 1;
             }
@@ -92,7 +95,10 @@ mod tests {
             boosted_fail <= single_fail,
             "boosting made things worse: {boosted_fail} vs {single_fail}"
         );
-        assert!(boosted_fail <= trials / 4, "boosted failure rate {boosted_fail}/{trials}");
+        assert!(
+            boosted_fail <= trials / 4,
+            "boosted failure rate {boosted_fail}/{trials}"
+        );
     }
 
     #[test]

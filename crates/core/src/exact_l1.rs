@@ -13,7 +13,8 @@
 //!
 //! let a = Workloads::bernoulli_bits(32, 48, 0.2, 1).to_csr();
 //! let b = Workloads::bernoulli_bits(48, 32, 0.2, 2).to_csr();
-//! let run = mpest_core::exact_l1::run(&a, &b, Seed(7)).unwrap();
+//! let session = mpest_core::Session::new(a.clone(), b.clone()).with_seed(Seed(7));
+//! let run = session.run(&mpest_core::ExactL1, &()).unwrap();
 //! assert_eq!(run.rounds(), 1);
 //! assert_eq!(
 //!     run.output as f64,
@@ -22,18 +23,42 @@
 //! ```
 
 use crate::config::check_dims;
+use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
+use crate::session::{Reuse, SessionCtx};
 use mpest_comm::{execute, CommError, Link, Seed};
 use mpest_matrix::CsrMatrix;
 
+/// Column sums of `A` as `u64`, reusing a session-cached table if one is
+/// available (the table is a pure function of `A`, so reuse cannot
+/// change the message).
+fn col_sums_u64(a: &CsrMatrix, pre: Option<&[i64]>) -> Vec<u64> {
+    match pre {
+        Some(sums) => sums.iter().map(|&s| s as u64).collect(),
+        None => a.col_abs_sums().iter().map(|&s| s as u64).collect(),
+    }
+}
+
+/// Row sums of `B` as `u64` (same reuse contract as [`col_sums_u64`]).
+fn row_sums_u64(b: &CsrMatrix, pre: Option<&[i64]>) -> Vec<u64> {
+    match pre {
+        Some(sums) => sums.iter().map(|&s| s as u64).collect(),
+        None => b.row_abs_sums().iter().map(|&s| s as u64).collect(),
+    }
+}
+
 /// Alice's phase: ships `‖A_{*,k}‖₁` for every inner index `k`.
-pub(crate) fn alice_phase(link: &Link<'_>, round: u16, a: &CsrMatrix) -> Result<(), CommError> {
-    let sums: Vec<u64> = a.col_abs_sums().iter().map(|&s| s as u64).collect();
-    link.send(round, "l1-col-sums", &sums)
+fn alice_phase_pre(
+    link: &Link<'_>,
+    round: u16,
+    a: &CsrMatrix,
+    pre: Option<&[i64]>,
+) -> Result<(), CommError> {
+    link.send(round, "l1-col-sums", &col_sums_u64(a, pre))
 }
 
 /// Bob's phase: receives the column sums and computes the exact value.
-pub(crate) fn bob_phase(link: &Link<'_>, b: &CsrMatrix) -> Result<i128, CommError> {
+fn bob_phase_pre(link: &Link<'_>, b: &CsrMatrix, pre: Option<&[i64]>) -> Result<i128, CommError> {
     let sums: Vec<u64> = link.recv("l1-col-sums")?;
     if sums.len() != b.rows() {
         return Err(CommError::protocol(format!(
@@ -42,7 +67,7 @@ pub(crate) fn bob_phase(link: &Link<'_>, b: &CsrMatrix) -> Result<i128, CommErro
             b.rows()
         )));
     }
-    let row_sums = b.row_abs_sums();
+    let row_sums = row_sums_u64(b, pre);
     Ok(sums
         .iter()
         .zip(row_sums.iter())
@@ -61,7 +86,9 @@ pub(crate) fn exchange_alice(
     link.send(round, "l1-col-sums", &mine)?;
     let theirs: Vec<u64> = link.recv("l1-row-sums")?;
     if theirs.len() != mine.len() {
-        return Err(CommError::protocol("sum vector length mismatch".to_string()));
+        return Err(CommError::protocol(
+            "sum vector length mismatch".to_string(),
+        ));
     }
     Ok(mine
         .iter()
@@ -71,16 +98,14 @@ pub(crate) fn exchange_alice(
 }
 
 /// Bob's half of [`exchange_alice`].
-pub(crate) fn exchange_bob(
-    link: &Link<'_>,
-    round: u16,
-    b: &CsrMatrix,
-) -> Result<i128, CommError> {
+pub(crate) fn exchange_bob(link: &Link<'_>, round: u16, b: &CsrMatrix) -> Result<i128, CommError> {
     let mine: Vec<u64> = b.row_abs_sums().iter().map(|&s| s as u64).collect();
     link.send(round, "l1-row-sums", &mine)?;
     let theirs: Vec<u64> = link.recv("l1-col-sums")?;
     if theirs.len() != mine.len() {
-        return Err(CommError::protocol("sum vector length mismatch".to_string()));
+        return Err(CommError::protocol(
+            "sum vector length mismatch".to_string(),
+        ));
     }
     Ok(mine
         .iter()
@@ -89,23 +114,60 @@ pub(crate) fn exchange_bob(
         .sum())
 }
 
+/// The Remark 2 protocol as a [`Protocol`]: exact `‖AB‖₁` for
+/// entrywise non-negative matrices, one round, `O(n log n)` bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactL1;
+
+impl Protocol for ExactL1 {
+    type Params = ();
+    type Output = i128;
+
+    fn name(&self) -> &'static str {
+        "exact-l1"
+    }
+
+    fn execute(&self, ctx: &SessionCtx<'_>, (): &()) -> Result<ProtocolRun<i128>, CommError> {
+        let (a, b) = ctx.csr_pair();
+        let reuse = Reuse {
+            a_col_abs: Some(ctx.a_col_abs_sums()),
+            b_row_abs: Some(ctx.b_row_abs_sums()),
+            ..Reuse::default()
+        };
+        run_unchecked(a, b, ctx.seed(), reuse)
+    }
+}
+
 /// Runs the one-round exact `‖AB‖₁` protocol (output lands at Bob).
 ///
 /// # Errors
 ///
 /// Fails on dimension mismatch or if either matrix has negative entries.
-pub fn run(a: &CsrMatrix, b: &CsrMatrix, _seed: Seed) -> Result<ProtocolRun<i128>, CommError> {
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `ExactL1` protocol (or use `Session::estimate`)"
+)]
+pub fn run(a: &CsrMatrix, b: &CsrMatrix, seed: Seed) -> Result<ProtocolRun<i128>, CommError> {
     check_dims(a.cols(), b.rows())?;
+    run_unchecked(a, b, seed, Reuse::default())
+}
+
+pub(crate) fn run_unchecked(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    _seed: Seed,
+    reuse: Reuse<'_>,
+) -> Result<ProtocolRun<i128>, CommError> {
     if !a.is_nonnegative() || !b.is_nonnegative() {
         return Err(CommError::protocol(
             "Remark 2 requires entrywise non-negative matrices (no cancellation)".to_string(),
         ));
     }
     let outcome = execute(
-        a,
-        b,
-        |link, a| alice_phase(link, 0, a),
-        bob_phase,
+        (a, reuse.a_col_abs),
+        (b, reuse.b_row_abs),
+        |link, (a, pre)| alice_phase_pre(link, 0, a, pre),
+        |link, (b, pre)| bob_phase_pre(link, b, pre),
     )?;
     Ok(ProtocolRun {
         output: outcome.bob,
@@ -114,6 +176,7 @@ pub fn run(a: &CsrMatrix, b: &CsrMatrix, _seed: Seed) -> Result<ProtocolRun<i128
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::norms::PNorm;

@@ -74,8 +74,8 @@ impl Wire for ItemLists {
         let cw = width_for(coord_dim);
         let mut items = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
-            let item = u32::try_from(r.read_bits(iw)?)
-                .map_err(|_| CommError::decode("item overflow"))?;
+            let item =
+                u32::try_from(r.read_bits(iw)?).map_err(|_| CommError::decode("item overflow"))?;
             let len = usize::try_from(r.read_varint()?)
                 .map_err(|_| CommError::decode("list length overflow"))?;
             let mut entries = Vec::with_capacity(len.min(1 << 20));
@@ -244,11 +244,11 @@ mod tests {
             (),
             (),
             |link, ()| {
-                exchange_alice(link, cfg, &items, &u, &v, |k| at.row_vec(k as usize).entries)
+                exchange_alice(link, cfg, &items, &u, &v, |k| {
+                    at.row_vec(k as usize).entries
+                })
             },
-            |link, ()| {
-                exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries)
-            },
+            |link, ()| exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries),
         )
         .unwrap();
         // Shares sum to the exact product.
@@ -258,9 +258,7 @@ mod tests {
         assert_eq!(c, a.matmul(b));
         assert_eq!(out.transcript.rounds(), 1, "simultaneous exchange");
         // Cost is bounded by the min-side totals (plus headers).
-        let min_side: u64 = (0..a.cols())
-            .map(|k| u64::from(u[k].min(v[k])))
-            .sum();
+        let min_side: u64 = (0..a.cols()).map(|k| u64::from(u[k].min(v[k]))).sum();
         let header_slack = 200 + 40 * a.cols() as u64;
         assert!(
             out.transcript.total_bits() <= min_side * 64 + header_slack,
@@ -312,11 +310,11 @@ mod tests {
             (),
             (),
             |link, ()| {
-                exchange_alice(link, cfg, &items, &u, &v, |k| at.row_vec(k as usize).entries)
+                exchange_alice(link, cfg, &items, &u, &v, |k| {
+                    at.row_vec(k as usize).entries
+                })
             },
-            |link, ()| {
-                exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries)
-            },
+            |link, ()| exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries),
         )
         .unwrap();
         // All 50 entries of the product live in Alice's share.

@@ -19,14 +19,15 @@
 //!
 //! ```
 //! use mpest_comm::Seed;
-//! use mpest_core::hh_binary::{self, HhBinaryParams};
+//! use mpest_core::hh_binary::HhBinaryParams;
+//! use mpest_core::{HhBinary, Session};
 //! use mpest_matrix::{norms, PNorm, Workloads};
 //!
 //! let (a, b, _) = Workloads::planted_pairs(32, 64, 0.05, &[(3, 7)], 40, 1);
 //! let c = a.to_csr().matmul(&b.to_csr());
 //! let phi = (c.get(3, 7) as f64 - 6.0) / norms::csr_lp_pow(&c, PNorm::ONE);
 //! let params = HhBinaryParams::new(1.0, phi, phi / 2.0);
-//! let run = hh_binary::run(&a, &b, &params, Seed(4)).unwrap();
+//! let run = Session::new(a, b).run_seeded(&HhBinary, &params, Seed(4)).unwrap();
 //! assert!(run.output.contains(3, 7), "the planted heavy pair is reported");
 //! ```
 
@@ -34,7 +35,9 @@ use crate::config::{check_dims, check_phi_eps, Constants};
 use crate::exact_l1;
 use crate::exchange::{exchange_alice, exchange_bob, ExchangeCfg};
 use crate::lp_norm::{self, LpParams};
+use crate::protocol::Protocol;
 use crate::result::{HeavyHitters, HhPair, ProtocolRun};
+use crate::session::{cached_or, Reuse, SessionCtx};
 use crate::wire::{WBits, WPositions};
 use mpest_comm::{execute, CommError, Seed};
 use mpest_matrix::{BitMatrix, PNorm};
@@ -83,7 +86,10 @@ impl HhBinaryParams {
 /// # Errors
 ///
 /// Fails on dimension mismatch or invalid parameters.
-#[allow(clippy::too_many_lines)]
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `HhBinary` protocol (or use `Session::estimate`)"
+)]
 pub fn run(
     a: &BitMatrix,
     b: &BitMatrix,
@@ -91,6 +97,47 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     check_dims(a.cols(), b.rows())?;
+    run_unchecked(a, b, params, seed, Reuse::default())
+}
+
+/// The Section 5.2 / Theorem 5.3 protocol as a [`Protocol`]:
+/// `(φ, ε)`-heavy hitters for binary matrices in `O(1)` rounds and
+/// `Õ(n + φ/ε²)` bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HhBinary;
+
+impl Protocol for HhBinary {
+    type Params = HhBinaryParams;
+    type Output = HeavyHitters;
+
+    fn name(&self) -> &'static str {
+        "hh-binary"
+    }
+
+    fn execute(
+        &self,
+        ctx: &SessionCtx<'_>,
+        params: &HhBinaryParams,
+    ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
+        let (a, b) = ctx.bit_pair()?;
+        let (a_csr, b_csr) = ctx.csr_pair();
+        let reuse = Reuse {
+            a_csr: Some(a_csr),
+            b_csr: Some(b_csr),
+            ..Reuse::default()
+        };
+        run_unchecked(a, b, params, ctx.seed(), reuse)
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_unchecked(
+    a: &BitMatrix,
+    b: &BitMatrix,
+    params: &HhBinaryParams,
+    seed: Seed,
+    reuse: Reuse<'_>,
+) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     params.validate()?;
     let pub_seed = seed.derive("public");
     let alice_seed = seed.derive("alice");
@@ -109,10 +156,8 @@ pub fn run(
     // Alice-side sampling up to Newman; documented in DESIGN.md).
     let universe_seed = pub_seed.derive("hh-universe");
     // Coordinate-sampling verification budget.
-    let t_budget = (params.consts.hh_mean_const
-        * (params.phi / params.eps).powi(2)
-        * cells.ln())
-    .ceil() as usize;
+    let t_budget = (params.consts.hh_mean_const * (params.phi / params.eps).powi(2) * cells.ln())
+        .ceil() as usize;
     let exact_verify = t_budget >= inner;
     let coord = if exact_verify {
         None
@@ -136,12 +181,14 @@ pub fn run(
         inner_dim: inner,
     };
 
-    let a_csr = a.to_csr();
-    let b_csr = b.to_csr();
+    // The CSR views feed the exact-`ℓ1` / Algorithm 1 sub-phases; a
+    // session caches them across queries.
+    let a_csr = cached_or(reuse.a_csr, || a.to_csr());
+    let b_csr = cached_or(reuse.b_csr, || b.to_csr());
 
     let outcome = execute(
-        (a, &a_csr),
-        (b, &b_csr),
+        (a, &*a_csr),
+        (b, &*b_csr),
         |link, (a, a_csr): (&BitMatrix, &mpest_matrix::CsrMatrix)| {
             // Phase 1: 2-approximate Lp.
             let lp_pow: f64 = if exact_p1 {
@@ -234,8 +281,7 @@ pub fn run(
             let lp_pow: f64 = if exact_p1 {
                 exact_l1::exchange_bob(link, 0, b_csr)? as f64
             } else {
-                let est =
-                    lp_norm::bob_phase(link, 0, b_csr, &lp_params, pub_seed.derive("hh-lp"))?;
+                let est = lp_norm::bob_phase(link, 0, b_csr, &lp_params, pub_seed.derive("hh-lp"))?;
                 link.send(2, "hhb-lp-estimate", &est)?;
                 est
             };
@@ -292,7 +338,9 @@ pub fn run(
                 coord.as_ref().map_or(inner, CoordinateSampler::len)
             };
             if bits.0.len() != union.len() * per {
-                return Err(CommError::protocol("verification bits length mismatch".to_string()));
+                return Err(CommError::protocol(
+                    "verification bits length mismatch".to_string(),
+                ));
             }
             // Verify and threshold.
             let tau_out = ((params.phi - params.eps / 2.0).max(0.0) * lp_pow).powf(1.0 / p);
@@ -341,6 +389,10 @@ pub fn run(
 /// # Errors
 ///
 /// Fails on dimension mismatch, `T == 0`, or `slack ∉ (0, 1]`.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `AtLeastTJoin` protocol (or use `Session::estimate`)"
+)]
 pub fn at_least_t_join(
     a: &BitMatrix,
     b: &BitMatrix,
@@ -349,14 +401,68 @@ pub fn at_least_t_join(
     seed: Seed,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     check_dims(a.cols(), b.rows())?;
+    at_least_t_join_unchecked(a, b, &AtLeastTParams { t, slack }, seed, Reuse::default())
+}
+
+/// Parameters of the [`AtLeastTJoin`] protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtLeastTParams {
+    /// Overlap threshold `T` (pairs with `|A_i ∩ B_j| ≥ T` are reported).
+    pub t: u32,
+    /// Tolerance band: pairs in `[T·(1−slack), T)` may also appear.
+    pub slack: f64,
+}
+
+/// The at-least-`T` join as a [`Protocol`] (see [`at_least_t_join`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AtLeastTJoin;
+
+impl Protocol for AtLeastTJoin {
+    type Params = AtLeastTParams;
+    type Output = HeavyHitters;
+
+    fn name(&self) -> &'static str {
+        "at-least-t-join"
+    }
+
+    fn execute(
+        &self,
+        ctx: &SessionCtx<'_>,
+        params: &AtLeastTParams,
+    ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
+        let (a, b) = ctx.bit_pair()?;
+        let (a_csr, b_csr) = ctx.csr_pair();
+        let reuse = Reuse {
+            a_csr: Some(a_csr),
+            b_csr: Some(b_csr),
+            a_col_abs: Some(ctx.a_col_abs_sums()),
+            b_row_abs: Some(ctx.b_row_abs_sums()),
+            ..Reuse::default()
+        };
+        at_least_t_join_unchecked(a, b, params, ctx.seed(), reuse)
+    }
+}
+
+fn at_least_t_join_unchecked(
+    a: &BitMatrix,
+    b: &BitMatrix,
+    params: &AtLeastTParams,
+    seed: Seed,
+    reuse: Reuse<'_>,
+) -> Result<ProtocolRun<HeavyHitters>, CommError> {
+    let AtLeastTParams { t, slack } = *params;
     if t == 0 {
-        return Err(CommError::protocol("threshold T must be positive".to_string()));
+        return Err(CommError::protocol(
+            "threshold T must be positive".to_string(),
+        ));
     }
     if !(slack > 0.0 && slack <= 1.0) {
         return Err(CommError::protocol("slack must lie in (0, 1]".to_string()));
     }
+    let a_csr = cached_or(reuse.a_csr, || a.to_csr());
+    let b_csr = cached_or(reuse.b_csr, || b.to_csr());
     // One extra exact-l1 round prices phi; its transcript is absorbed.
-    let l1_run = crate::exact_l1::run(&a.to_csr(), &b.to_csr(), seed)?;
+    let l1_run = crate::exact_l1::run_unchecked(&a_csr, &b_csr, seed, reuse)?;
     let l1 = l1_run.output as f64;
     if l1 <= 0.0 || f64::from(t) > l1 {
         return Ok(ProtocolRun {
@@ -366,7 +472,17 @@ pub fn at_least_t_join(
     }
     let phi = (f64::from(t) / l1).min(1.0);
     let eps = (phi * slack).min(phi);
-    let mut run = run(a, b, &HhBinaryParams::new(1.0, phi, eps), seed)?;
+    let mut run = run_unchecked(
+        a,
+        b,
+        &HhBinaryParams::new(1.0, phi, eps),
+        seed,
+        Reuse {
+            a_csr: Some(&a_csr),
+            b_csr: Some(&b_csr),
+            ..Reuse::default()
+        },
+    )?;
     let mut transcript = l1_run.transcript;
     transcript.absorb_sequential(run.transcript);
     run.transcript = transcript;
@@ -374,6 +490,7 @@ pub fn at_least_t_join(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{norms, stats, Workloads};
@@ -397,8 +514,7 @@ mod tests {
         let params = HhBinaryParams::new(1.0, phi, (phi / 2.0).min(0.4));
         let (ac, bc) = (a.to_csr(), b.to_csr());
         let must = stats::heavy_hitters_of_product(&ac, &bc, PNorm::ONE, phi);
-        let may =
-            stats::heavy_hitters_of_product(&ac, &bc, PNorm::ONE, phi - params.eps);
+        let may = stats::heavy_hitters_of_product(&ac, &bc, PNorm::ONE, phi - params.eps);
         let mut ok = 0;
         for t in 0..9 {
             let run = run(&a, &b, &params, Seed(100 + t)).unwrap();

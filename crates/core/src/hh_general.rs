@@ -15,7 +15,9 @@
 use crate::config::{check_dims, check_phi_eps, Constants};
 use crate::exact_l1;
 use crate::lp_norm::{self, LpParams};
+use crate::protocol::Protocol;
 use crate::result::{HeavyHitters, HhPair, ProtocolRun};
+use crate::session::SessionCtx;
 use crate::sparse_matmul;
 use mpest_comm::{execute, CommError, Link, Seed};
 use mpest_matrix::{CsrMatrix, PNorm};
@@ -110,6 +112,10 @@ fn binomial(rng: &mut impl Rng, n: i64, q: f64) -> i64 {
 /// # Errors
 ///
 /// Fails on dimension mismatch, invalid parameters, or negative entries.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `HhGeneral` protocol (or use `Session::estimate`)"
+)]
 pub fn run(
     a: &CsrMatrix,
     b: &CsrMatrix,
@@ -117,6 +123,39 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     check_dims(a.cols(), b.rows())?;
+    run_unchecked(a, b, params, seed)
+}
+
+/// The Algorithm 4 / Theorem 5.1 protocol as a [`Protocol`]:
+/// `(φ, ε)`-heavy hitters for non-negative integer matrices in `O(1)`
+/// rounds and `Õ(√φ/ε·n)` bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HhGeneral;
+
+impl Protocol for HhGeneral {
+    type Params = HhGeneralParams;
+    type Output = HeavyHitters;
+
+    fn name(&self) -> &'static str {
+        "hh-general"
+    }
+
+    fn execute(
+        &self,
+        ctx: &SessionCtx<'_>,
+        params: &HhGeneralParams,
+    ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
+        let (a, b) = ctx.csr_pair();
+        run_unchecked(a, b, params, ctx.seed())
+    }
+}
+
+pub(crate) fn run_unchecked(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    params: &HhGeneralParams,
+    seed: Seed,
+) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     params.validate()?;
     if !a.is_nonnegative() || !b.is_nonnegative() {
         return Err(CommError::protocol(
@@ -184,8 +223,7 @@ pub fn run(
             let (lp_pow, mm_base): (f64, u16) = if params.is_exact_l1() {
                 (exact_l1::exchange_bob(link, 0, b)? as f64, 1)
             } else {
-                let est =
-                    lp_norm::bob_phase(link, 0, b, &lp_params, pub_seed.derive("hh-lp"))?;
+                let est = lp_norm::bob_phase(link, 0, b, &lp_params, pub_seed.derive("hh-lp"))?;
                 link.send(2, "hh-lp-estimate", &est)?;
                 (est.max(0.0), 3)
             };
@@ -222,26 +260,18 @@ pub fn run(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{norms, stats, Workloads};
 
     /// Checks the containment HH_phi ⊆ S ⊆ HH_{phi−eps} on a run.
-    fn containment_ok(
-        a: &CsrMatrix,
-        b: &CsrMatrix,
-        params: &HhGeneralParams,
-        seed: Seed,
-    ) -> bool {
+    fn containment_ok(a: &CsrMatrix, b: &CsrMatrix, params: &HhGeneralParams, seed: Seed) -> bool {
         let run = run(a, b, params, seed).unwrap();
         let got = run.output.positions();
         let must = stats::heavy_hitters_of_product(a, b, PNorm::P(params.p), params.phi);
-        let may = stats::heavy_hitters_of_product(
-            a,
-            b,
-            PNorm::P(params.p),
-            params.phi - params.eps,
-        );
+        let may =
+            stats::heavy_hitters_of_product(a, b, PNorm::P(params.p), params.phi - params.eps);
         must.iter().all(|pos| got.contains(pos)) && got.iter().all(|pos| may.contains(pos))
     }
 
@@ -264,8 +294,7 @@ mod tests {
 
     #[test]
     fn planted_pairs_always_reported_p1() {
-        let (abit, bbit, planted) =
-            Workloads::planted_pairs(32, 64, 0.04, &[(5, 5)], 48, 2);
+        let (abit, bbit, planted) = Workloads::planted_pairs(32, 64, 0.04, &[(5, 5)], 48, 2);
         let (a, b) = (abit.to_csr(), bbit.to_csr());
         let c = a.matmul(&b);
         let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
@@ -285,8 +314,7 @@ mod tests {
     #[test]
     fn thinning_path_activates_and_preserves_planted() {
         // Crank the Chernoff constant down so beta < 1 at laptop scale.
-        let (abit, bbit, planted) =
-            Workloads::planted_pairs(40, 96, 0.08, &[(2, 9)], 80, 3);
+        let (abit, bbit, planted) = Workloads::planted_pairs(40, 96, 0.08, &[(2, 9)], 80, 3);
         let (a, b) = (abit.to_csr(), bbit.to_csr());
         let c = a.matmul(&b);
         let l1 = norms::csr_lp_pow(&c, PNorm::ONE);

@@ -14,7 +14,8 @@
 //!
 //! let a = Workloads::bernoulli_bits(24, 32, 0.3, 1).to_csr();
 //! let b = Workloads::bernoulli_bits(32, 24, 0.3, 2).to_csr();
-//! let run = mpest_core::l1_sample::run(&a, &b, Seed(5)).unwrap();
+//! let session = mpest_core::Session::new(a.clone(), b.clone());
+//! let run = session.run_seeded(&mpest_core::L1Sampling, &(), Seed(5)).unwrap();
 //! let s = run.output.expect("product is nonzero");
 //! // The witness is a genuine join witness: (row, witness) ∈ A, (witness, col) ∈ B.
 //! assert_eq!(a.get(s.row as usize, s.witness), 1);
@@ -22,9 +23,11 @@
 //! ```
 
 use crate::config::check_dims;
+use crate::protocol::Protocol;
 use crate::result::{L1Sample, ProtocolRun};
-use mpest_comm::{execute, BitReader, BitWriter, CommError, Seed, Wire};
+use crate::session::{cached_or, Reuse, SessionCtx};
 use mpest_comm::width_for;
+use mpest_comm::{execute, BitReader, BitWriter, CommError, Seed, Wire};
 use mpest_matrix::CsrMatrix;
 use rand::Rng;
 
@@ -94,12 +97,53 @@ fn weighted_pick(rng: &mut impl Rng, weights: impl Iterator<Item = u64>, total: 
 /// # Errors
 ///
 /// Fails on dimension mismatch or negative entries.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `L1Sampling` protocol (or use `Session::estimate`)"
+)]
 pub fn run(
     a: &CsrMatrix,
     b: &CsrMatrix,
     seed: Seed,
 ) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
     check_dims(a.cols(), b.rows())?;
+    run_unchecked(a, b, seed, Reuse::default())
+}
+
+/// The Remark 3 protocol as a [`Protocol`]: an `ℓ1`-sample of `C = A·B`
+/// with its join witness, one round, `O(n log n)` bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1Sampling;
+
+impl Protocol for L1Sampling {
+    type Params = ();
+    type Output = Option<L1Sample>;
+
+    fn name(&self) -> &'static str {
+        "l1-sample"
+    }
+
+    fn execute(
+        &self,
+        ctx: &SessionCtx<'_>,
+        (): &(),
+    ) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
+        let (a, b) = ctx.csr_pair();
+        let reuse = Reuse {
+            a_t: Some(ctx.a_transpose()),
+            b_row_abs: Some(ctx.b_row_abs_sums()),
+            ..Reuse::default()
+        };
+        run_unchecked(a, b, ctx.seed(), reuse)
+    }
+}
+
+pub(crate) fn run_unchecked(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    seed: Seed,
+    reuse: Reuse<'_>,
+) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
     if !a.is_nonnegative() || !b.is_nonnegative() {
         return Err(CommError::protocol(
             "Remark 3 requires entrywise non-negative matrices".to_string(),
@@ -111,7 +155,7 @@ pub fn run(
         a,
         b,
         |link, a: &CsrMatrix| {
-            let at = a.transpose();
+            let at = cached_or(reuse.a_t, || a.transpose());
             let mut rng = alice_seed.rng();
             let cols: Vec<(u64, Option<u32>)> = (0..a.cols())
                 .map(|k| {
@@ -144,7 +188,10 @@ pub fn run(
             if summary.cols.len() != b.rows() {
                 return Err(CommError::protocol("summary length mismatch".to_string()));
             }
-            let row_masses: Vec<u64> = b.row_abs_sums().iter().map(|&v| v as u64).collect();
+            let row_masses: Vec<u64> = match reuse.b_row_abs {
+                Some(sums) => sums.iter().map(|&v| v as u64).collect(),
+                None => b.row_abs_sums().iter().map(|&v| v as u64).collect(),
+            };
             let weights: Vec<u128> = summary
                 .cols
                 .iter()
@@ -189,6 +236,7 @@ pub fn run(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::Workloads;

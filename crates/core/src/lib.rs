@@ -4,31 +4,49 @@
 //! "Distributed Statistical Estimation of Matrix Products with
 //! Applications", PODS 2018**: Alice holds `A`, Bob holds `B`, and they
 //! estimate statistics of `C = A·B` with provably little communication.
-//! Every protocol returns a [`ProtocolRun`] carrying a bit-exact
-//! transcript, so tests and benchmarks can check both the answer *and*
-//! the communication/round budget.
 //!
-//! | Module | Paper | Guarantee | Comm | Rounds |
-//! |---|---|---|---|---|
-//! | [`lp_norm`] | Alg. 1, Thm 3.1 | `(1±ε)·‖AB‖_p^p`, `p ∈ [0,2]` | `Õ(n/ε)` | 2 |
-//! | [`lp_baseline`] | \[16\] / §1.3 | `(1±ε)·‖AB‖_p^p` | `Õ(n/ε²)` | 1 |
-//! | [`exact_l1`] | Remark 2 | exact `‖AB‖₁` (non-neg.) | `O(n log n)` | 1 |
-//! | [`l1_sample`] | Remark 3 | `ℓ1`-sample + witness | `O(n log n)` | 1 |
-//! | [`l0_sample`] | Thm 3.2 | `(1±ε)`-uniform support sample | `Õ(n/ε²)` | 1 |
-//! | [`sparse_matmul`] | Lemma 2.5 | shares `C_A+C_B = AB` | `Õ(n√‖AB‖₀)` | 2 |
-//! | [`linf_binary`] | Alg. 2, Thm 4.1 | `(2+ε)·‖AB‖∞`, binary | `Õ(n^{1.5}/ε)` | 3 |
-//! | [`linf_kappa`] | Alg. 3, Thm 4.3 | `κ`-approx, binary | `Õ(n^{1.5}/κ)` | O(1) |
-//! | [`linf_general`] | Thm 4.8(1) | `κ`-approx, integer | `Õ(n²/κ²)` | 1 |
-//! | [`hh_general`] | Alg. 4, Thm 5.1, Cor. 5.2 | `(φ,ε)`-HH, integer | `Õ(√φ/ε·n)` | O(1) |
-//! | [`hh_binary`] | §5.2, Thm 5.3 | `(φ,ε)`-HH, binary | `Õ(n + φ/ε²)` | O(1) |
-//! | [`trivial`] | folklore | everything, exactly | `n²` | 1 |
-//! | [`rect`] | §6 | rectangular variants | see §6 | — |
+//! The public API is organized around three layers:
+//!
+//! 1. **[`Session`]** — owns one pair `(A, B)`, validates dimensions
+//!    once, derives per-query seeds deterministically, and caches the
+//!    derived state protocols share (CSR/bit views, transposes, row-norm
+//!    and support tables), so repeated queries on the same relations
+//!    stop re-paying setup cost.
+//! 2. **[`Protocol`]** — the unified trait every protocol implements as
+//!    a unit struct; `session.run(&LpNorm, &params)` is the typed entry
+//!    point, and every run returns a [`ProtocolRun`] carrying a
+//!    bit-exact [`Transcript`].
+//! 3. **[`EstimateRequest`] / [`EstimateReport`]** — the uniform
+//!    dynamic-dispatch layer for callers that pick protocols at runtime
+//!    (CLIs, servers, request queues): `session.estimate(&request)`
+//!    returns a type-erased [`AnyOutput`] plus the transcript.
+//!
+//! | Protocol | Module | Paper | Guarantee | Comm | Rounds |
+//! |---|---|---|---|---|---|
+//! | [`LpNorm`] | [`lp_norm`] | Alg. 1, Thm 3.1 | `(1±ε)·‖AB‖_p^p`, `p ∈ [0,2]` | `Õ(n/ε)` | 2 |
+//! | [`LpBaseline`] | [`lp_baseline`] | \[16\] / §1.3 | `(1±ε)·‖AB‖_p^p` | `Õ(n/ε²)` | 1 |
+//! | [`ExactL1`] | [`exact_l1`] | Remark 2 | exact `‖AB‖₁` (non-neg.) | `O(n log n)` | 1 |
+//! | [`L1Sampling`] | [`l1_sample`] | Remark 3 | `ℓ1`-sample + witness | `O(n log n)` | 1 |
+//! | [`L0Sample`] | [`l0_sample`] | Thm 3.2 | `(1±ε)`-uniform support sample | `Õ(n/ε²)` | 1 |
+//! | [`SparseMatmul`] | [`sparse_matmul`] | Lemma 2.5 | shares `C_A+C_B = AB` | `Õ(n√‖AB‖₀)` | 2 |
+//! | [`LinfBinary`] | [`linf_binary`] | Alg. 2, Thm 4.1 | `(2+ε)·‖AB‖∞`, binary | `Õ(n^{1.5}/ε)` | 3 |
+//! | [`LinfKappa`] | [`linf_kappa`] | Alg. 3, Thm 4.3 | `κ`-approx, binary | `Õ(n^{1.5}/κ)` | O(1) |
+//! | [`LinfGeneral`] | [`linf_general`] | Thm 4.8(1) | `κ`-approx, integer | `Õ(n²/κ²)` | 1 |
+//! | [`HhGeneral`] | [`hh_general`] | Alg. 4, Thm 5.1, Cor. 5.2 | `(φ,ε)`-HH, integer | `Õ(√φ/ε·n)` | O(1) |
+//! | [`HhBinary`] | [`hh_binary`] | §5.2, Thm 5.3 | `(φ,ε)`-HH, binary | `Õ(n + φ/ε²)` | O(1) |
+//! | [`AtLeastTJoin`] | [`hh_binary`] | §1.3 | all pairs with overlap `≥ T` | as `hh-binary` | O(1) |
+//! | [`TrivialBinary`] | [`trivial`] | folklore | everything, exactly | `n²` | 1 |
+//! | [`TrivialCsr`] | [`trivial`] | folklore | everything, exactly | `Õ(n²)` | 1 |
+//!
+//! (Plus [`rect`] for the Section 6 rectangular variants and [`boost`]
+//! for median amplification.)
 //!
 //! ## Quick example
 //!
 //! ```
 //! use mpest_comm::Seed;
-//! use mpest_core::lp_norm::{self, LpParams};
+//! use mpest_core::{EstimateRequest, LpNorm, Session};
+//! use mpest_core::lp_norm::LpParams;
 //! use mpest_matrix::{PNorm, Workloads};
 //!
 //! // Two relations as binary matrices: rows of A are Alice's sets,
@@ -36,11 +54,19 @@
 //! let a = Workloads::bernoulli_bits(64, 96, 0.2, 1).to_csr();
 //! let b = Workloads::bernoulli_bits(96, 64, 0.2, 2).to_csr();
 //!
-//! // 2-round (1+eps) estimate of the set-intersection join size ||AB||_0.
-//! let run = lp_norm::run(&a, &b, &LpParams::new(PNorm::Zero, 0.25), Seed(7)).unwrap();
+//! // One session, many queries: dimensions validated once, derived
+//! // state shared, per-query seeds derived deterministically.
+//! let session = Session::new(a, b).with_seed(Seed(7));
+//!
+//! // Typed entry point (static dispatch).
+//! let run = session.run(&LpNorm, &LpParams::new(PNorm::Zero, 0.25)).unwrap();
 //! assert_eq!(run.rounds(), 2);
 //! assert!(run.output > 0.0);
-//! println!("join size ≈ {} using {} bits", run.output, run.bits());
+//!
+//! // Uniform entry point (dynamic dispatch): the same protocols as
+//! // queueable plain data.
+//! let report = session.estimate(&EstimateRequest::ExactL1).unwrap();
+//! println!("‖AB‖₁ = {:?} using {} bits", report.output, report.bits());
 //! ```
 
 pub mod boost;
@@ -56,16 +82,36 @@ pub mod linf_general;
 pub mod linf_kappa;
 pub mod lp_baseline;
 pub mod lp_norm;
+pub mod protocol;
 pub mod rect;
+pub mod request;
 pub mod result;
+pub mod session;
 pub mod sparse_matmul;
 pub mod trivial;
 pub mod wire;
 
 pub use config::Constants;
+pub use protocol::Protocol;
+pub use request::{AnyOutput, EstimateReport, EstimateRequest};
 pub use result::{
     HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares, ProtocolRun,
 };
+pub use session::{Session, SessionCtx, SessionInput};
+
+// The protocol unit structs, one per entry point.
+pub use exact_l1::ExactL1;
+pub use hh_binary::{AtLeastTJoin, AtLeastTParams, HhBinary};
+pub use hh_general::HhGeneral;
+pub use l0_sample::L0Sample;
+pub use l1_sample::L1Sampling;
+pub use linf_binary::LinfBinary;
+pub use linf_general::LinfGeneral;
+pub use linf_kappa::LinfKappa;
+pub use lp_baseline::LpBaseline;
+pub use lp_norm::LpNorm;
+pub use sparse_matmul::SparseMatmul;
+pub use trivial::{TrivialBinary, TrivialCsr};
 
 // Re-export the substrate types a user needs at the API boundary.
 pub use mpest_comm::{CommError, Seed, Transcript};

@@ -20,12 +20,15 @@
 //!
 //! ```
 //! use mpest_comm::Seed;
-//! use mpest_core::linf_binary::{self, LinfBinaryParams};
+//! use mpest_core::linf_binary::LinfBinaryParams;
+//! use mpest_core::{LinfBinary, Session};
 //! use mpest_matrix::Workloads;
 //!
 //! let (a, b, _) = Workloads::planted_pairs(32, 48, 0.1, &[(3, 7)], 24, 1);
 //! let truth = mpest_matrix::stats::linf_of_product_binary(&a, &b).0 as f64;
-//! let run = linf_binary::run(&a, &b, &LinfBinaryParams::new(0.25), Seed(2)).unwrap();
+//! let run = Session::new(a, b)
+//!     .run_seeded(&LinfBinary, &LinfBinaryParams::new(0.25), Seed(2))
+//!     .unwrap();
 //! assert_eq!(run.rounds(), 3);
 //! // (2+eps)-approximation band.
 //! assert!(run.output.estimate >= truth / 3.0 && run.output.estimate <= 1.6 * truth);
@@ -33,7 +36,9 @@
 
 use crate::config::{check_dims, check_eps, Constants};
 use crate::exchange::{ExchangeCfg, ItemLists};
+use crate::protocol::Protocol;
 use crate::result::{LinfEstimate, ProtocolRun};
+use crate::session::SessionCtx;
 use crate::wire::WU64Grid;
 use mpest_comm::{execute, CommError, Seed};
 use mpest_matrix::BitMatrix;
@@ -116,6 +121,10 @@ fn level_col_sums(cols: &[Vec<(u32, u32)>], levels: usize) -> Vec<Vec<u64>> {
 /// # Errors
 ///
 /// Fails on dimension mismatch or invalid `ε`.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `LinfBinary` protocol (or use `Session::estimate`)"
+)]
 pub fn run(
     a: &BitMatrix,
     b: &BitMatrix,
@@ -123,6 +132,38 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_dims(a.cols(), b.rows())?;
+    run_unchecked(a, b, params, seed)
+}
+
+/// The Algorithm 2 / Theorem 4.1 protocol as a [`Protocol`]:
+/// `(2+ε)·‖AB‖∞` for binary matrices, 3 rounds, `Õ(n^1.5/ε)` bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinfBinary;
+
+impl Protocol for LinfBinary {
+    type Params = LinfBinaryParams;
+    type Output = LinfEstimate;
+
+    fn name(&self) -> &'static str {
+        "linf-binary"
+    }
+
+    fn execute(
+        &self,
+        ctx: &SessionCtx<'_>,
+        params: &LinfBinaryParams,
+    ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
+        let (a, b) = ctx.bit_pair()?;
+        run_unchecked(a, b, params, ctx.seed())
+    }
+}
+
+pub(crate) fn run_unchecked(
+    a: &BitMatrix,
+    b: &BitMatrix,
+    params: &LinfBinaryParams,
+    seed: Seed,
+) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_eps(params.eps)?;
     let eps = params.eps;
     let cells = (a.rows() * b.cols()).max(2) as f64;
@@ -156,7 +197,9 @@ pub fn run(
             let lstar = lstar as u32;
             let v: Vec<u32> = v64.iter().map(|&x| x as u32).collect();
             if v.len() != inner || (lstar as usize) >= sums.len() {
-                return Err(CommError::protocol("round-2 payload out of range".to_string()));
+                return Err(CommError::protocol(
+                    "round-2 payload out of range".to_string(),
+                ));
             }
             let u: Vec<u32> = sums[lstar as usize].iter().map(|&x| x as u32).collect();
             let col_of = |k: u32| -> Vec<(u32, i64)> {
@@ -199,7 +242,11 @@ pub fn run(
             link.send(
                 1,
                 "linf-bob-lists",
-                &(u64::from(lstar), v.iter().map(|&x| u64::from(x)).collect::<Vec<u64>>(), mine),
+                &(
+                    u64::from(lstar),
+                    v.iter().map(|&x| u64::from(x)).collect::<Vec<u64>>(),
+                    mine,
+                ),
             )?;
             let (alice_lists, max_a): (ItemLists, u64) = link.recv("linf-alice-lists")?;
             let cb = alice_lists.accumulate_against(cfg, row_of, false);
@@ -218,6 +265,7 @@ pub fn run(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};

@@ -14,7 +14,9 @@
 
 use crate::config::{check_dims, Constants};
 use crate::exchange::{ExchangeCfg, ItemLists};
+use crate::protocol::Protocol;
 use crate::result::{LinfEstimate, ProtocolRun};
+use crate::session::SessionCtx;
 use crate::wire::WU64Grid;
 use mpest_comm::{execute, CommError, Seed};
 use mpest_matrix::BitMatrix;
@@ -57,6 +59,10 @@ fn entry_level2(seed: Seed, key: u64, max_level: u32) -> u32 {
 /// # Errors
 ///
 /// Fails on dimension mismatch or `κ < 1`.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `LinfKappa` protocol (or use `Session::estimate`)"
+)]
 pub fn run(
     a: &BitMatrix,
     b: &BitMatrix,
@@ -64,6 +70,39 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_dims(a.cols(), b.rows())?;
+    run_unchecked(a, b, params, seed)
+}
+
+/// The Algorithm 3 / Theorem 4.3 protocol as a [`Protocol`]:
+/// `κ`-approximate `‖AB‖∞` for binary matrices in `O(1)` rounds and
+/// `Õ(n^1.5/κ)` bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinfKappa;
+
+impl Protocol for LinfKappa {
+    type Params = LinfKappaParams;
+    type Output = LinfEstimate;
+
+    fn name(&self) -> &'static str {
+        "linf-kappa"
+    }
+
+    fn execute(
+        &self,
+        ctx: &SessionCtx<'_>,
+        params: &LinfKappaParams,
+    ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
+        let (a, b) = ctx.bit_pair()?;
+        run_unchecked(a, b, params, ctx.seed())
+    }
+}
+
+pub(crate) fn run_unchecked(
+    a: &BitMatrix,
+    b: &BitMatrix,
+    params: &LinfKappaParams,
+    seed: Seed,
+) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     if params.kappa < 1.0 {
         return Err(CommError::protocol(format!(
             "kappa must be >= 1, got {}",
@@ -137,9 +176,14 @@ pub fn run(
             let lstar = lstar as u32;
             let v: Vec<u32> = v64.iter().map(|&x| x as u32).collect();
             if v.len() != inner || (lstar as usize) >= level_sums.len() {
-                return Err(CommError::protocol("round-2 payload out of range".to_string()));
+                return Err(CommError::protocol(
+                    "round-2 payload out of range".to_string(),
+                ));
             }
-            let u: Vec<u32> = level_sums[lstar as usize].iter().map(|&x| x as u32).collect();
+            let u: Vec<u32> = level_sums[lstar as usize]
+                .iter()
+                .map(|&x| x as u32)
+                .collect();
             let col_of = |k: u32| -> Vec<(u32, i64)> {
                 cols[k as usize]
                     .iter()
@@ -157,9 +201,7 @@ pub fn run(
             let (full_grid, level_grid): (WU64Grid, WU64Grid) = link.recv("linf2-colsums")?;
             let full_colsums = full_grid.0.into_iter().next().unwrap_or_default();
             let level_sums = level_grid.0;
-            if full_colsums.len() != inner
-                || level_sums.is_empty()
-                || level_sums[0].len() != inner
+            if full_colsums.len() != inner || level_sums.is_empty() || level_sums[0].len() != inner
             {
                 return Err(CommError::protocol("column-sum shape mismatch".to_string()));
             }
@@ -194,7 +236,10 @@ pub fn run(
                 .iter()
                 .position(|lvl| mass(lvl) <= threshold)
                 .unwrap_or(level_sums.len() - 1) as u32;
-            let u: Vec<u32> = level_sums[lstar as usize].iter().map(|&x| x as u32).collect();
+            let u: Vec<u32> = level_sums[lstar as usize]
+                .iter()
+                .map(|&x| x as u32)
+                .collect();
             let row_of = |k: u32| -> Vec<(u32, i64)> {
                 b.row_indices(k as usize).map(|c| (c, 1i64)).collect()
             };
@@ -226,6 +271,7 @@ pub fn run(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};

@@ -8,7 +8,9 @@
 //! lower bound of \[16\] shows is inherent).
 
 use crate::config::{check_dims, check_eps, Constants};
+use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
+use crate::session::SessionCtx;
 use crate::wire::WSkMat;
 use mpest_comm::{execute, CommError, Link, Seed};
 use mpest_matrix::{CsrMatrix, PNorm};
@@ -56,7 +58,11 @@ pub(crate) fn bob_phase(
     pub_seed: Seed,
 ) -> Result<(), CommError> {
     let sketch = make_sketch(params, b.cols(), pub_seed);
-    link.send(round, "baseline-row-sketches", &WSkMat(sketch.sketch_rows(b)))
+    link.send(
+        round,
+        "baseline-row-sketches",
+        &WSkMat(sketch.sketch_rows(b)),
+    )
 }
 
 /// Alice's phase: combines and sums per-row estimates.
@@ -94,6 +100,10 @@ pub(crate) fn alice_phase(
 /// # Errors
 ///
 /// Fails on dimension mismatch or invalid parameters.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `LpBaseline` protocol (or use `Session::estimate`)"
+)]
 pub fn run(
     a: &CsrMatrix,
     b: &CsrMatrix,
@@ -101,6 +111,38 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_dims(a.cols(), b.rows())?;
+    run_unchecked(a, b, params, seed)
+}
+
+/// The one-round \[16\]-style baseline as a [`Protocol`]:
+/// `(1±ε)·‖AB‖_p^p` in one round and `Õ(n/ε²)` bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpBaseline;
+
+impl Protocol for LpBaseline {
+    type Params = BaselineParams;
+    type Output = f64;
+
+    fn name(&self) -> &'static str {
+        "lp-baseline"
+    }
+
+    fn execute(
+        &self,
+        ctx: &SessionCtx<'_>,
+        params: &BaselineParams,
+    ) -> Result<ProtocolRun<f64>, CommError> {
+        let (a, b) = ctx.csr_pair();
+        run_unchecked(a, b, params, ctx.seed())
+    }
+}
+
+pub(crate) fn run_unchecked(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    params: &BaselineParams,
+    seed: Seed,
+) -> Result<ProtocolRun<f64>, CommError> {
     check_eps(params.eps)?;
     if !params.p.supported_by_lp_protocol() {
         return Err(CommError::protocol(format!(
@@ -123,6 +165,7 @@ pub fn run(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};

@@ -1,0 +1,54 @@
+//! The unified protocol interface.
+//!
+//! Every estimation protocol in this crate is a unit struct implementing
+//! [`Protocol`]: a name, a params type, an output type, and an `execute`
+//! against a [`SessionCtx`]. This gives callers one shape for all 14
+//! entry points — benches sweep over protocols generically, a
+//! [`Session`](crate::Session) caches shared derived state across
+//! queries, and the [`EstimateRequest`](crate::EstimateRequest) layer
+//! adds uniform dynamic dispatch on top.
+//!
+//! ```
+//! use mpest_core::{ExactL1, Protocol, Session};
+//! use mpest_comm::Seed;
+//! use mpest_matrix::Workloads;
+//!
+//! let a = Workloads::bernoulli_bits(16, 24, 0.3, 1).to_csr();
+//! let b = Workloads::bernoulli_bits(24, 16, 0.3, 2).to_csr();
+//! let session = Session::new(a, b).with_seed(Seed(1));
+//! assert_eq!(ExactL1.name(), "exact-l1");
+//! let run = session.run(&ExactL1, &()).unwrap();
+//! assert!(run.output > 0);
+//! ```
+
+use crate::result::ProtocolRun;
+use crate::session::SessionCtx;
+use mpest_comm::CommError;
+
+/// A two-party estimation protocol over a session's pair `(A, B)`.
+///
+/// Implementations are stateless unit structs (e.g.
+/// [`LpNorm`](crate::LpNorm), [`HhBinary`](crate::HhBinary)); all
+/// per-query inputs travel through `Params` and the [`SessionCtx`].
+pub trait Protocol {
+    /// Query parameters (`()` for parameterless protocols).
+    type Params;
+    /// The protocol's output type.
+    type Output;
+
+    /// Stable kebab-case protocol name (matches the CLI spelling).
+    fn name(&self) -> &'static str;
+
+    /// Runs the protocol on the context's pair under the context's seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid parameters, on a representation mismatch (e.g. a
+    /// binary-only protocol over a non-binary pair), or on any
+    /// communication-layer error.
+    fn execute(
+        &self,
+        ctx: &SessionCtx<'_>,
+        params: &Self::Params,
+    ) -> Result<ProtocolRun<Self::Output>, CommError>;
+}

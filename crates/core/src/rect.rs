@@ -75,6 +75,7 @@ impl RectShape {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use crate::lp_norm::{self, LpParams};
@@ -128,8 +129,8 @@ mod tests {
         let truth = stats::linf_of_product_binary(&a, &b).0 as f64;
         let c = a.matmul(&b);
         assert!(c.get(i as usize, j as usize) >= 48);
-        let run = linf_binary::run(&a, &b, &linf_binary::LinfBinaryParams::new(0.3), Seed(7))
-            .unwrap();
+        let run =
+            linf_binary::run(&a, &b, &linf_binary::LinfBinaryParams::new(0.3), Seed(7)).unwrap();
         assert!(
             run.output.estimate >= truth / 3.0 && run.output.estimate <= 2.0 * truth,
             "rect linf estimate {} vs truth {truth}",

@@ -1,0 +1,429 @@
+//! Reusable multi-query sessions over one matrix pair.
+//!
+//! The paper defines a *family* of protocols over the same pair `(A, B)`.
+//! A [`Session`] owns that pair, validates the inner dimensions once, and
+//! lazily caches the derived state the protocols keep recomputing —
+//! CSR/bit-matrix views of each half, CSR transposes, row/column norm
+//! and support tables — so a second query on the same relations stops
+//! re-paying setup cost. Per-query seeds are derived deterministically
+//! from the session seed, so a session is as reproducible as a sequence
+//! of one-shot runs.
+//!
+//! ```
+//! use mpest_core::{LpNorm, Session};
+//! use mpest_core::lp_norm::LpParams;
+//! use mpest_comm::Seed;
+//! use mpest_matrix::{PNorm, Workloads};
+//!
+//! let a = Workloads::bernoulli_bits(32, 48, 0.2, 1).to_csr();
+//! let b = Workloads::bernoulli_bits(48, 32, 0.2, 2).to_csr();
+//! let session = Session::new(a, b).with_seed(Seed(7));
+//! let run = session.run(&LpNorm, &LpParams::new(PNorm::Zero, 0.25)).unwrap();
+//! assert!(run.output > 0.0);
+//! // A second query reuses the session's cached derived state and gets
+//! // an independent derived seed.
+//! let again = session.run(&LpNorm, &LpParams::new(PNorm::ONE, 0.25)).unwrap();
+//! assert!(again.output > 0.0);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::config::check_dims;
+use crate::protocol::Protocol;
+use crate::result::ProtocolRun;
+use mpest_comm::{CommError, Seed};
+use mpest_matrix::{BitMatrix, CsrMatrix};
+
+/// One party's matrix in whichever representation the caller had.
+#[derive(Debug, Clone)]
+enum Half {
+    /// General integer matrix (CSR).
+    Csr(CsrMatrix),
+    /// Binary matrix (bit-packed).
+    Bits(BitMatrix),
+}
+
+impl Half {
+    fn rows(&self) -> usize {
+        match self {
+            Half::Csr(m) => m.rows(),
+            Half::Bits(m) => m.rows(),
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match self {
+            Half::Csr(m) => m.cols(),
+            Half::Bits(m) => m.cols(),
+        }
+    }
+}
+
+/// Types accepted as one side of a [`Session`] pair.
+pub trait SessionInput {
+    /// Wraps the matrix in its session representation.
+    fn into_half(self) -> SessionHalf;
+}
+
+/// Opaque wrapper for a session input matrix (see [`SessionInput`]).
+#[derive(Debug, Clone)]
+pub struct SessionHalf(Half);
+
+impl SessionInput for CsrMatrix {
+    fn into_half(self) -> SessionHalf {
+        SessionHalf(Half::Csr(self))
+    }
+}
+
+impl SessionInput for BitMatrix {
+    fn into_half(self) -> SessionHalf {
+        SessionHalf(Half::Bits(self))
+    }
+}
+
+/// Lazily cached derived state for one half of the pair.
+#[derive(Debug, Default)]
+struct HalfCache {
+    /// CSR view (filled only when the source is a bit matrix).
+    csr: OnceLock<CsrMatrix>,
+    /// Bit view (`None` when the source has non-binary entries).
+    bits: OnceLock<Option<BitMatrix>>,
+    /// CSR transpose.
+    transpose: OnceLock<CsrMatrix>,
+    /// Per-column sums of absolute values (`Σ_i |M_{i,k}|`).
+    col_abs: OnceLock<Vec<i64>>,
+    /// Per-row sums of absolute values.
+    row_abs: OnceLock<Vec<i64>>,
+    /// Per-column support sizes.
+    col_nnz: OnceLock<Vec<u32>>,
+    /// Per-row support sizes.
+    row_nnz: OnceLock<Vec<u32>>,
+}
+
+/// A reusable two-party estimation session over one pair `(A, B)`.
+///
+/// Alice's matrix is `A` (her relation's rows are her sets), Bob's is
+/// `B`. The session validates `A.cols == B.rows` once at construction;
+/// every query re-surfaces that error instead of panicking, so the
+/// builder chain `Session::new(a, b).with_seed(..)` stays infallible.
+///
+/// Queries run through [`Session::run`] (static dispatch over a
+/// [`Protocol`]) or [`Session::estimate`] (dynamic dispatch over an
+/// [`EstimateRequest`](crate::EstimateRequest)).
+#[derive(Debug)]
+pub struct Session {
+    a: Half,
+    b: Half,
+    seed: Seed,
+    dims: Result<(), CommError>,
+    queries: AtomicU64,
+    a_cache: HalfCache,
+    b_cache: HalfCache,
+}
+
+impl Session {
+    /// Builds a session over `(a, b)`; each side may independently be a
+    /// [`CsrMatrix`] or a [`BitMatrix`]. Dimensions are validated here,
+    /// once; a mismatch is reported by the first query.
+    pub fn new(a: impl SessionInput, b: impl SessionInput) -> Self {
+        let a = a.into_half().0;
+        let b = b.into_half().0;
+        let dims = check_dims(a.cols(), b.rows());
+        Self {
+            a,
+            b,
+            seed: Seed(0),
+            dims,
+            queries: AtomicU64::new(0),
+            a_cache: HalfCache::default(),
+            b_cache: HalfCache::default(),
+        }
+    }
+
+    /// Sets the session seed all per-query seeds derive from.
+    #[must_use]
+    pub fn with_seed(mut self, seed: Seed) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The session seed.
+    #[must_use]
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// Output shape of `C = A·B`.
+    #[must_use]
+    pub fn output_shape(&self) -> (usize, usize) {
+        (self.a.rows(), self.b.cols())
+    }
+
+    /// Number of queries issued so far (each consumed one derived seed).
+    #[must_use]
+    pub fn queries_issued(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The seed the `index`-th query of this session runs under.
+    /// Deterministic in `(session seed, index)` and independent across
+    /// indices, so concurrent or replayed queries never alias.
+    #[must_use]
+    pub fn query_seed(&self, index: u64) -> Seed {
+        self.seed.derive("session-query").derive_u64(index)
+    }
+
+    pub(crate) fn next_query_seed(&self) -> Seed {
+        self.query_seed(self.queries.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Runs `protocol` under the next derived per-query seed.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the session's dimension mismatch (if any) or the
+    /// protocol's own validation/execution errors.
+    pub fn run<P: Protocol>(
+        &self,
+        protocol: &P,
+        params: &P::Params,
+    ) -> Result<ProtocolRun<P::Output>, CommError> {
+        self.run_seeded(protocol, params, self.next_query_seed())
+    }
+
+    /// Runs `protocol` under an explicit seed (replays, equivalence
+    /// tests, external seed schedules). Does not consume a derived seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run`].
+    pub fn run_seeded<P: Protocol>(
+        &self,
+        protocol: &P,
+        params: &P::Params,
+        seed: Seed,
+    ) -> Result<ProtocolRun<P::Output>, CommError> {
+        self.dims.clone()?;
+        protocol.execute(
+            &SessionCtx {
+                session: self,
+                seed,
+            },
+            params,
+        )
+    }
+
+    // --- cached views ----------------------------------------------------
+
+    fn half_csr<'s>(half: &'s Half, cache: &'s HalfCache) -> &'s CsrMatrix {
+        match half {
+            Half::Csr(m) => m,
+            Half::Bits(m) => cache.csr.get_or_init(|| m.to_csr()),
+        }
+    }
+
+    fn half_bits<'s>(
+        half: &'s Half,
+        cache: &'s HalfCache,
+        side: &str,
+    ) -> Result<&'s BitMatrix, CommError> {
+        match half {
+            Half::Bits(m) => Ok(m),
+            Half::Csr(m) => cache
+                .bits
+                .get_or_init(|| m.is_binary().then(|| BitMatrix::from_csr(m)))
+                .as_ref()
+                .ok_or_else(|| {
+                    CommError::protocol(format!(
+                        "binary protocol requested but matrix {side} has non-binary entries"
+                    ))
+                }),
+        }
+    }
+
+    fn a_csr(&self) -> &CsrMatrix {
+        Self::half_csr(&self.a, &self.a_cache)
+    }
+
+    fn b_csr(&self) -> &CsrMatrix {
+        Self::half_csr(&self.b, &self.b_cache)
+    }
+}
+
+/// Per-query execution context handed to [`Protocol::execute`]: the
+/// session's cached views of `(A, B)` plus this query's seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionCtx<'a> {
+    session: &'a Session,
+    seed: Seed,
+}
+
+impl<'a> SessionCtx<'a> {
+    /// This query's seed.
+    #[must_use]
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// The pair as CSR matrices (cached conversion if a side was built
+    /// from bits).
+    #[must_use]
+    pub fn csr_pair(&self) -> (&'a CsrMatrix, &'a CsrMatrix) {
+        (self.session.a_csr(), self.session.b_csr())
+    }
+
+    /// The pair as bit matrices.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either side has non-binary entries.
+    pub fn bit_pair(&self) -> Result<(&'a BitMatrix, &'a BitMatrix), CommError> {
+        let a = Session::half_bits(&self.session.a, &self.session.a_cache, "A")?;
+        let b = Session::half_bits(&self.session.b, &self.session.b_cache, "B")?;
+        Ok((a, b))
+    }
+
+    /// Cached CSR transpose of `A`.
+    #[must_use]
+    pub fn a_transpose(&self) -> &'a CsrMatrix {
+        let s = self.session;
+        s.a_cache.transpose.get_or_init(|| s.a_csr().transpose())
+    }
+
+    /// Cached CSR transpose of `B`.
+    #[must_use]
+    pub fn b_transpose(&self) -> &'a CsrMatrix {
+        let s = self.session;
+        s.b_cache.transpose.get_or_init(|| s.b_csr().transpose())
+    }
+
+    /// Cached per-column absolute sums of `A`.
+    #[must_use]
+    pub fn a_col_abs_sums(&self) -> &'a [i64] {
+        let s = self.session;
+        s.a_cache.col_abs.get_or_init(|| s.a_csr().col_abs_sums())
+    }
+
+    /// Cached per-row absolute sums of `B`.
+    #[must_use]
+    pub fn b_row_abs_sums(&self) -> &'a [i64] {
+        let s = self.session;
+        s.b_cache.row_abs.get_or_init(|| s.b_csr().row_abs_sums())
+    }
+
+    /// Cached per-column support sizes of `A`.
+    #[must_use]
+    pub fn a_col_nnz(&self) -> &'a [u32] {
+        let s = self.session;
+        s.a_cache.col_nnz.get_or_init(|| s.a_csr().col_nnz())
+    }
+
+    /// Cached per-row support sizes of `B`.
+    #[must_use]
+    pub fn b_row_nnz(&self) -> &'a [u32] {
+        let s = self.session;
+        s.b_cache.row_nnz.get_or_init(|| s.b_csr().row_nnz())
+    }
+}
+
+/// Borrows a session-cached view when present, otherwise computes and
+/// owns a local one — the single implementation of the reuse contract
+/// every protocol threads through its phases.
+pub(crate) fn cached_or<'a, T: Clone>(
+    pre: Option<&'a T>,
+    make: impl FnOnce() -> T,
+) -> std::borrow::Cow<'a, T> {
+    match pre {
+        Some(t) => std::borrow::Cow::Borrowed(t),
+        None => std::borrow::Cow::Owned(make()),
+    }
+}
+
+/// Precomputed derived views a protocol may reuse instead of
+/// recomputing. All fields are optional; `Reuse::default()` (the legacy
+/// one-shot path) recomputes everything locally, and each
+/// `Protocol::execute` fills in only the views that protocol actually
+/// reads (so a session never materializes tables no query needs).
+/// Every view is a pure function of the input pair, so reuse never
+/// changes outputs or transcripts.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Reuse<'a> {
+    /// CSR view of `A` (for protocols whose primary input is binary).
+    pub a_csr: Option<&'a CsrMatrix>,
+    /// CSR view of `B`.
+    pub b_csr: Option<&'a CsrMatrix>,
+    /// CSR transpose of `A`.
+    pub a_t: Option<&'a CsrMatrix>,
+    /// CSR transpose of `B`.
+    pub b_t: Option<&'a CsrMatrix>,
+    /// Per-column absolute sums of `A`.
+    pub a_col_abs: Option<&'a [i64]>,
+    /// Per-row absolute sums of `B`.
+    pub b_row_abs: Option<&'a [i64]>,
+    /// Per-column support sizes of `A`.
+    pub a_col_nnz: Option<&'a [u32]>,
+    /// Per-row support sizes of `B`.
+    pub b_row_nnz: Option<&'a [u32]>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::Workloads;
+
+    #[test]
+    fn dimension_mismatch_surfaces_on_query_not_construction() {
+        let a = CsrMatrix::zeros(4, 5);
+        let b = CsrMatrix::zeros(6, 4);
+        let s = Session::new(a, b);
+        let err = s.run(&crate::ExactL1, &()).unwrap_err();
+        assert!(matches!(err, CommError::Protocol(_)));
+    }
+
+    #[test]
+    fn mixed_representations_share_views() {
+        let bits = Workloads::bernoulli_bits(8, 12, 0.4, 1);
+        let csr = Workloads::bernoulli_bits(12, 8, 0.4, 2).to_csr();
+        let s = Session::new(bits.clone(), csr.clone());
+        let ctx = SessionCtx {
+            session: &s,
+            seed: Seed(0),
+        };
+        let (a_csr, b_csr) = ctx.csr_pair();
+        assert_eq!(a_csr, &bits.to_csr());
+        assert_eq!(b_csr, &csr);
+        let (a_bits, b_bits) = ctx.bit_pair().unwrap();
+        assert_eq!(a_bits, &bits);
+        assert_eq!(b_bits, &BitMatrix::from_csr(&csr));
+        // Cached views are pointer-stable across calls.
+        assert!(std::ptr::eq(ctx.a_transpose(), ctx.a_transpose()));
+        assert!(std::ptr::eq(ctx.csr_pair().0, ctx.csr_pair().0));
+    }
+
+    #[test]
+    fn non_binary_half_rejects_bit_view() {
+        let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 3)]);
+        let b = CsrMatrix::from_triplets(2, 2, vec![(1, 1, 1)]);
+        let s = Session::new(a, b);
+        let ctx = SessionCtx {
+            session: &s,
+            seed: Seed(0),
+        };
+        let err = ctx.bit_pair().unwrap_err();
+        assert!(err.to_string().contains("non-binary"));
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_deterministic() {
+        let a = Workloads::bernoulli_bits(4, 4, 0.5, 1).to_csr();
+        let b = Workloads::bernoulli_bits(4, 4, 0.5, 2).to_csr();
+        let s = Session::new(a, b).with_seed(Seed(9));
+        assert_eq!(s.query_seed(0), s.query_seed(0));
+        assert_ne!(s.query_seed(0), s.query_seed(1));
+        assert_eq!(s.queries_issued(), 0);
+        let _ = s.run(&crate::ExactL1, &()).unwrap();
+        let _ = s.run(&crate::ExactL1, &()).unwrap();
+        assert_eq!(s.queries_issued(), 2);
+    }
+}

@@ -17,7 +17,9 @@
 //!
 //! let a = Workloads::integer_csr(16, 20, 0.2, 5, true, 1);
 //! let b = Workloads::integer_csr(20, 16, 0.2, 5, true, 2);
-//! let run = mpest_core::sparse_matmul::run(&a, &b, Seed(3)).unwrap();
+//! let run = mpest_core::Session::new(a.clone(), b.clone())
+//!     .run_seeded(&mpest_core::SparseMatmul, &(), Seed(3))
+//!     .unwrap();
 //! // The additive shares reconstruct A·B exactly.
 //! assert_eq!(run.output.reconstruct(16, 16), a.matmul(&b));
 //! assert_eq!(run.rounds(), 2);
@@ -25,7 +27,9 @@
 
 use crate::config::check_dims;
 use crate::exchange::{exchange_alice, exchange_bob, ExchangeCfg};
+use crate::protocol::Protocol;
 use crate::result::{ProductShares, ProtocolRun};
+use crate::session::{cached_or, Reuse, SessionCtx};
 use mpest_comm::{execute, CommError, Link, Seed};
 use mpest_matrix::{Accumulator, CsrMatrix};
 
@@ -38,14 +42,37 @@ pub(crate) fn alice_phase(
     out_cols: usize,
     binary: bool,
 ) -> Result<Accumulator, CommError> {
-    let u = a.col_nnz();
-    link.send(base_round, "sparse-mm-u", &u.iter().map(|&x| u64::from(x)).collect::<Vec<_>>())?;
+    alice_phase_pre(link, base_round, a, out_cols, binary, None, None)
+}
+
+/// [`alice_phase`] with optional session-cached support table and
+/// transpose (both pure functions of `a`, so reuse is message-neutral).
+fn alice_phase_pre(
+    link: &Link<'_>,
+    base_round: u16,
+    a: &CsrMatrix,
+    out_cols: usize,
+    binary: bool,
+    pre_nnz: Option<&[u32]>,
+    pre_t: Option<&CsrMatrix>,
+) -> Result<Accumulator, CommError> {
+    let u: std::borrow::Cow<'_, [u32]> = match pre_nnz {
+        Some(nnz) => std::borrow::Cow::Borrowed(nnz),
+        None => std::borrow::Cow::Owned(a.col_nnz()),
+    };
+    link.send(
+        base_round,
+        "sparse-mm-u",
+        &u.iter().map(|&x| u64::from(x)).collect::<Vec<_>>(),
+    )?;
     let v64: Vec<u64> = link.recv("sparse-mm-v")?;
     if v64.len() != u.len() {
-        return Err(CommError::protocol("weight vector length mismatch".to_string()));
+        return Err(CommError::protocol(
+            "weight vector length mismatch".to_string(),
+        ));
     }
     let v: Vec<u32> = v64.iter().map(|&x| x as u32).collect();
-    let at = a.transpose();
+    let at = cached_or(pre_t, || a.transpose());
     let items: Vec<u32> = (0..a.cols() as u32).collect();
     exchange_alice(
         link,
@@ -71,11 +98,32 @@ pub(crate) fn bob_phase(
     out_rows: usize,
     binary: bool,
 ) -> Result<Accumulator, CommError> {
-    let v = b.row_nnz();
-    link.send(base_round, "sparse-mm-v", &v.iter().map(|&x| u64::from(x)).collect::<Vec<_>>())?;
+    bob_phase_pre(link, base_round, b, out_rows, binary, None)
+}
+
+/// [`bob_phase`] with an optional session-cached support table.
+fn bob_phase_pre(
+    link: &Link<'_>,
+    base_round: u16,
+    b: &CsrMatrix,
+    out_rows: usize,
+    binary: bool,
+    pre_nnz: Option<&[u32]>,
+) -> Result<Accumulator, CommError> {
+    let v: std::borrow::Cow<'_, [u32]> = match pre_nnz {
+        Some(nnz) => std::borrow::Cow::Borrowed(nnz),
+        None => std::borrow::Cow::Owned(b.row_nnz()),
+    };
+    link.send(
+        base_round,
+        "sparse-mm-v",
+        &v.iter().map(|&x| u64::from(x)).collect::<Vec<_>>(),
+    )?;
     let u64s: Vec<u64> = link.recv("sparse-mm-u")?;
     if u64s.len() != v.len() {
-        return Err(CommError::protocol("weight vector length mismatch".to_string()));
+        return Err(CommError::protocol(
+            "weight vector length mismatch".to_string(),
+        ));
     }
     let u: Vec<u32> = u64s.iter().map(|&x| x as u32).collect();
     let items: Vec<u32> = (0..b.rows() as u32).collect();
@@ -101,12 +149,54 @@ pub(crate) fn bob_phase(
 /// # Errors
 ///
 /// Fails on dimension mismatch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `SparseMatmul` protocol (or use `Session::estimate`)"
+)]
 pub fn run(
     a: &CsrMatrix,
     b: &CsrMatrix,
     seed: Seed,
 ) -> Result<ProtocolRun<ProductShares>, CommError> {
     check_dims(a.cols(), b.rows())?;
+    run_unchecked(a, b, seed, Reuse::default())
+}
+
+/// The Lemma 2.5 protocol as a [`Protocol`]: additive shares
+/// `C_A + C_B = A·B` in 2 rounds and `Õ(n√‖AB‖₀)` bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparseMatmul;
+
+impl Protocol for SparseMatmul {
+    type Params = ();
+    type Output = ProductShares;
+
+    fn name(&self) -> &'static str {
+        "sparse-matmul"
+    }
+
+    fn execute(
+        &self,
+        ctx: &SessionCtx<'_>,
+        (): &(),
+    ) -> Result<ProtocolRun<ProductShares>, CommError> {
+        let (a, b) = ctx.csr_pair();
+        let reuse = Reuse {
+            a_t: Some(ctx.a_transpose()),
+            a_col_nnz: Some(ctx.a_col_nnz()),
+            b_row_nnz: Some(ctx.b_row_nnz()),
+            ..Reuse::default()
+        };
+        run_unchecked(a, b, ctx.seed(), reuse)
+    }
+}
+
+pub(crate) fn run_unchecked(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    seed: Seed,
+    reuse: Reuse<'_>,
+) -> Result<ProtocolRun<ProductShares>, CommError> {
     let _ = seed; // deterministic protocol: no coins needed
     let binary = a.is_binary() && b.is_binary();
     let out_rows = a.rows();
@@ -114,8 +204,8 @@ pub fn run(
     let outcome = execute(
         a,
         b,
-        |link, a| alice_phase(link, 0, a, out_cols, binary),
-        |link, b| bob_phase(link, 0, b, out_rows, binary),
+        |link, a| alice_phase_pre(link, 0, a, out_cols, binary, reuse.a_col_nnz, reuse.a_t),
+        |link, b| bob_phase_pre(link, 0, b, out_rows, binary, reuse.b_row_nnz),
     )?;
     Ok(ProtocolRun {
         output: ProductShares {
@@ -127,6 +217,7 @@ pub fn run(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::Workloads;

@@ -4,7 +4,9 @@
 //! against this.
 
 use crate::config::check_dims;
+use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
+use crate::session::SessionCtx;
 use crate::wire::{WBits, WSparseVec};
 use mpest_comm::{execute, CommError, Seed};
 use mpest_matrix::norms::{dense_linf, dense_lp_pow, PNorm};
@@ -23,18 +25,68 @@ pub struct ExactStats {
     pub linf: (i64, (u32, u32)),
 }
 
+/// The trivial baseline over binary matrices as a [`Protocol`]: Alice
+/// ships `A` as a raw bitmap (`rows·cols` bits exactly), one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrivialBinary;
+
+impl Protocol for TrivialBinary {
+    type Params = ();
+    type Output = ExactStats;
+
+    fn name(&self) -> &'static str {
+        "trivial-binary"
+    }
+
+    fn execute(&self, ctx: &SessionCtx<'_>, (): &()) -> Result<ProtocolRun<ExactStats>, CommError> {
+        let (a, b) = ctx.bit_pair()?;
+        run_binary_unchecked(a, b, ctx.seed())
+    }
+}
+
+/// The trivial baseline over integer matrices as a [`Protocol`]: Alice
+/// ships `A` as sparse rows, one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrivialCsr;
+
+impl Protocol for TrivialCsr {
+    type Params = ();
+    type Output = ExactStats;
+
+    fn name(&self) -> &'static str {
+        "trivial-csr"
+    }
+
+    fn execute(&self, ctx: &SessionCtx<'_>, (): &()) -> Result<ProtocolRun<ExactStats>, CommError> {
+        let (a, b) = ctx.csr_pair();
+        run_csr_unchecked(a, b, ctx.seed())
+    }
+}
+
 /// Runs the trivial protocol on binary matrices: Alice ships `A` as a raw
 /// bitmap (`rows·cols` bits exactly).
 ///
 /// # Errors
 ///
 /// Fails on dimension mismatch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `TrivialBinary` protocol (or use `Session::estimate`)"
+)]
 pub fn run_binary(
+    a: &BitMatrix,
+    b: &BitMatrix,
+    seed: Seed,
+) -> Result<ProtocolRun<ExactStats>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    run_binary_unchecked(a, b, seed)
+}
+
+pub(crate) fn run_binary_unchecked(
     a: &BitMatrix,
     b: &BitMatrix,
     _seed: Seed,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
-    check_dims(a.cols(), b.rows())?;
     let rows = a.rows();
     let cols = a.cols();
     let outcome = execute(
@@ -52,7 +104,9 @@ pub fn run_binary(
         |link, b: &BitMatrix| {
             let bits: WBits = link.recv("trivial-matrix")?;
             if bits.0.len() != rows * cols {
-                return Err(CommError::protocol("matrix payload size mismatch".to_string()));
+                return Err(CommError::protocol(
+                    "matrix payload size mismatch".to_string(),
+                ));
             }
             let mut a = BitMatrix::zeros(rows, cols);
             for (idx, &bit) in bits.0.iter().enumerate() {
@@ -82,12 +136,24 @@ pub fn run_binary(
 /// # Errors
 ///
 /// Fails on dimension mismatch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and run the `TrivialCsr` protocol (or use `Session::estimate`)"
+)]
 pub fn run_csr(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    seed: Seed,
+) -> Result<ProtocolRun<ExactStats>, CommError> {
+    check_dims(a.cols(), b.rows())?;
+    run_csr_unchecked(a, b, seed)
+}
+
+pub(crate) fn run_csr_unchecked(
     a: &CsrMatrix,
     b: &CsrMatrix,
     _seed: Seed,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
-    check_dims(a.cols(), b.rows())?;
     let rows = a.rows();
     let cols = a.cols();
     let outcome = execute(
@@ -135,6 +201,7 @@ pub fn run_csr(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};
@@ -144,12 +211,15 @@ mod tests {
         let a = Workloads::bernoulli_bits(20, 30, 0.3, 1);
         let b = Workloads::bernoulli_bits(30, 20, 0.3, 2);
         let run = run_binary(&a, &b, Seed(0)).unwrap();
-        assert_eq!(run.output.l0, stats::lp_pow_of_product_binary(&a, &b, PNorm::Zero));
-        assert_eq!(run.output.l1, stats::lp_pow_of_product_binary(&a, &b, PNorm::ONE));
         assert_eq!(
-            run.output.linf.0,
-            stats::linf_of_product_binary(&a, &b).0
+            run.output.l0,
+            stats::lp_pow_of_product_binary(&a, &b, PNorm::Zero)
         );
+        assert_eq!(
+            run.output.l1,
+            stats::lp_pow_of_product_binary(&a, &b, PNorm::ONE)
+        );
+        assert_eq!(run.output.linf.0, stats::linf_of_product_binary(&a, &b).0);
         // Exactly rows*cols payload bits plus the tiny length header.
         assert_eq!(run.bits(), 20 * 30 + 16);
         assert_eq!(run.rounds(), 1);
@@ -161,7 +231,10 @@ mod tests {
         let b = Workloads::integer_csr(20, 15, 0.3, 5, true, 4);
         let run = run_csr(&a, &b, Seed(0)).unwrap();
         let c = a.matmul(&b);
-        assert_eq!(run.output.l1, mpest_matrix::norms::csr_lp_pow(&c, PNorm::ONE));
+        assert_eq!(
+            run.output.l1,
+            mpest_matrix::norms::csr_lp_pow(&c, PNorm::ONE)
+        );
         assert_eq!(run.output.linf.0, mpest_matrix::norms::csr_linf(&c).0);
     }
 }

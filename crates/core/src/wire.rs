@@ -8,7 +8,7 @@
 
 use mpest_comm::{width_for, BitReader, BitWriter, CommError, Wire};
 use mpest_matrix::DenseMatrix;
-use mpest_sketch::{M61, SkMat};
+use mpest_sketch::{SkMat, M61};
 
 /// A sparse integer vector over a known dimension: indices fixed-width,
 /// values zigzag varints.
@@ -112,10 +112,10 @@ impl Wire for WSkMat {
 
     fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
         let is_field = r.read_bit()?;
-        let rows = usize::try_from(r.read_varint()?)
-            .map_err(|_| CommError::decode("rows overflow"))?;
-        let cols = usize::try_from(r.read_varint()?)
-            .map_err(|_| CommError::decode("cols overflow"))?;
+        let rows =
+            usize::try_from(r.read_varint()?).map_err(|_| CommError::decode("rows overflow"))?;
+        let cols =
+            usize::try_from(r.read_varint()?).map_err(|_| CommError::decode("cols overflow"))?;
         let len = rows
             .checked_mul(cols)
             .ok_or_else(|| CommError::decode("matrix size overflow"))?;
@@ -124,7 +124,9 @@ impl Wire for WSkMat {
             for _ in 0..len {
                 data.push(M61::new(r.read_bits(61)?));
             }
-            Ok(WSkMat(SkMat::Field(DenseMatrix::from_vec(rows, cols, data))))
+            Ok(WSkMat(SkMat::Field(DenseMatrix::from_vec(
+                rows, cols, data,
+            ))))
         } else {
             let mut data = Vec::with_capacity(len.min(1 << 24));
             for _ in 0..len {
@@ -149,10 +151,10 @@ impl Wire for WFieldMat {
     }
 
     fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
-        let rows = usize::try_from(r.read_varint()?)
-            .map_err(|_| CommError::decode("rows overflow"))?;
-        let cols = usize::try_from(r.read_varint()?)
-            .map_err(|_| CommError::decode("cols overflow"))?;
+        let rows =
+            usize::try_from(r.read_varint()?).map_err(|_| CommError::decode("rows overflow"))?;
+        let cols =
+            usize::try_from(r.read_varint()?).map_err(|_| CommError::decode("cols overflow"))?;
         let len = rows
             .checked_mul(cols)
             .ok_or_else(|| CommError::decode("matrix size overflow"))?;
@@ -239,10 +241,10 @@ impl Wire for WPositions {
         let cw = width_for(cols);
         let mut pos = Vec::with_capacity(len.min(1 << 20));
         for _ in 0..len {
-            let i = u32::try_from(r.read_bits(rw)?)
-                .map_err(|_| CommError::decode("row overflow"))?;
-            let j = u32::try_from(r.read_bits(cw)?)
-                .map_err(|_| CommError::decode("col overflow"))?;
+            let i =
+                u32::try_from(r.read_bits(rw)?).map_err(|_| CommError::decode("row overflow"))?;
+            let j =
+                u32::try_from(r.read_bits(cw)?).map_err(|_| CommError::decode("col overflow"))?;
             pos.push((i, j));
         }
         Ok(Self { rows, cols, pos })

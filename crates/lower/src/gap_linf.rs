@@ -41,12 +41,7 @@ impl GapLinfInstance {
             x.push(xv);
             y.push((xv + dy).clamp(0, kappa));
         }
-        Self {
-            half,
-            kappa,
-            x,
-            y,
-        }
+        Self { half, kappa, x, y }
     }
 
     /// A "far" instance: one coordinate with `|x_i − y_i| = κ`
@@ -156,6 +151,9 @@ mod tests {
         let far = GapLinfInstance::far(10, 12, 5);
         let c0 = stats::linf_of_product(&close.matrix_a(), &close.matrix_b()).0;
         let c1 = stats::linf_of_product(&far.matrix_a(), &far.matrix_b()).0;
-        assert!(c1 >= 12 * c0.max(1) || c0 == 0, "gap ratio violated: {c0} vs {c1}");
+        assert!(
+            c1 >= 12 * c0.max(1) || c0 == 0,
+            "gap ratio violated: {c0} vs {c1}"
+        );
     }
 }

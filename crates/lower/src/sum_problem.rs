@@ -230,10 +230,7 @@ mod tests {
         let k = p.k();
         assert!((1..=256).contains(&k));
         // Larger kappa -> smaller k.
-        let p4 = SumParams {
-            kappa: 8.0,
-            ..p
-        };
+        let p4 = SumParams { kappa: 8.0, ..p };
         assert!(p4.k() <= k);
         // Paper parameters exist even if clamped at small n.
         let paper = SumParams::paper(64, 2.0);
@@ -286,8 +283,7 @@ mod tests {
             saw[s] = true;
             if s == 1 {
                 assert!(inst.diag_max() >= 1);
-                let (linf, _) =
-                    stats::linf_of_product_binary(&inst.matrix_a(), &inst.matrix_b());
+                let (linf, _) = stats::linf_of_product_binary(&inst.matrix_a(), &inst.matrix_b());
                 assert!(linf >= inst.replication() as i64, "SUM=1 linf below n/k");
             } else {
                 assert_eq!(inst.diag_max(), 0, "SUM=0 diagonal must vanish");
@@ -308,8 +304,7 @@ mod tests {
             let inst = SumInstance::sample(&params, seed);
             if inst.sum() == 0 {
                 zeros += 1;
-                let (linf, _) =
-                    stats::linf_of_product_binary(&inst.matrix_a(), &inst.matrix_b());
+                let (linf, _) = stats::linf_of_product_binary(&inst.matrix_a(), &inst.matrix_b());
                 if linf >= inst.replication() as i64 {
                     contaminated += 1;
                 }

@@ -92,9 +92,9 @@ impl Accumulator {
     pub fn get(&self, i: u32, j: u32) -> i64 {
         match self {
             Accumulator::Dense { cols, data, .. } => data[(i as usize) * *cols + j as usize],
-            Accumulator::Sparse { map, .. } => {
-                *map.get(&((u64::from(i) << 32) | u64::from(j))).unwrap_or(&0)
-            }
+            Accumulator::Sparse { map, .. } => *map
+                .get(&((u64::from(i) << 32) | u64::from(j)))
+                .unwrap_or(&0),
         }
     }
 

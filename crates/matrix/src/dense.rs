@@ -181,7 +181,11 @@ impl<T: Ring> DenseMatrix<T> {
     /// Panics on shape mismatch.
     #[must_use]
     pub fn add_matrix(&self, rhs: &Self) -> Self {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .iter()

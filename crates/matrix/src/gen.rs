@@ -154,7 +154,10 @@ impl Workloads {
         let mut a = Self::bernoulli_bits(n, u, base_density, seed ^ 0x5eed_a11c);
         let mut bt = Self::bernoulli_bits(n, u, base_density, seed ^ 0xb0b5_eed5);
         for &(i, j) in planted {
-            assert!((i as usize) < n && (j as usize) < n, "planted index out of range");
+            assert!(
+                (i as usize) < n && (j as usize) < n,
+                "planted index out of range"
+            );
             // Choose `overlap` shared items for this pair.
             let mut chosen = vec![false; u];
             let mut placed = 0usize;
@@ -184,12 +187,17 @@ impl Workloads {
     /// Disjoint supports: Alice's sets use items `0..u/2`, Bob's use
     /// `u/2..u`, so `AB = 0`. Edge-case workload.
     #[must_use]
-    pub fn disjoint_supports(n: usize, u: usize, density: f64, seed: u64) -> (BitMatrix, BitMatrix) {
+    pub fn disjoint_supports(
+        n: usize,
+        u: usize,
+        density: f64,
+        seed: u64,
+    ) -> (BitMatrix, BitMatrix) {
         let half = u / 2;
-        let a = Self::bernoulli_bits(n, u, density, seed ^ 0x1)
-            .filter_cols(|j| (j as usize) < half);
-        let b_t = Self::bernoulli_bits(n, u, density, seed ^ 0x2)
-            .filter_cols(|j| (j as usize) >= half);
+        let a =
+            Self::bernoulli_bits(n, u, density, seed ^ 0x1).filter_cols(|j| (j as usize) < half);
+        let b_t =
+            Self::bernoulli_bits(n, u, density, seed ^ 0x2).filter_cols(|j| (j as usize) >= half);
         (a, b_t.transpose())
     }
 }
@@ -265,7 +273,10 @@ mod tests {
                 }
             }
         }
-        assert!(background_max < 40, "background too heavy: {background_max}");
+        assert!(
+            background_max < 40,
+            "background too heavy: {background_max}"
+        );
     }
 
     #[test]

@@ -98,8 +98,7 @@ mod tests {
 
     #[test]
     fn heavy_hitters_contains_planted() {
-        let (a, b, planted) =
-            Workloads::planted_pairs(24, 64, 0.03, &[(1, 2), (5, 9)], 50, 77);
+        let (a, b, planted) = Workloads::planted_pairs(24, 64, 0.03, &[(1, 2), (5, 9)], 50, 77);
         let (ac, bc) = (a.to_csr(), b.to_csr());
         let c = ac.matmul(&bc);
         let l1 = crate::norms::csr_lp_pow(&c, PNorm::ONE);
@@ -107,7 +106,10 @@ mod tests {
         let phi = 40.0 / l1;
         let hh = heavy_hitters_of_product(&ac, &bc, PNorm::ONE, phi);
         for &(i, j) in &planted {
-            assert!(hh.contains(&(i, j)), "planted ({i},{j}) missing from {hh:?}");
+            assert!(
+                hh.contains(&(i, j)),
+                "planted ({i},{j}) missing from {hh:?}"
+            );
         }
     }
 
@@ -127,9 +129,6 @@ mod tests {
         let a = Workloads::integer_csr(10, 10, 0.3, 3, true, 5);
         let b = Workloads::integer_csr(10, 10, 0.3, 3, true, 6);
         let support = support_of_product(&a, &b);
-        assert_eq!(
-            support.len() as f64,
-            lp_pow_of_product(&a, &b, PNorm::Zero)
-        );
+        assert_eq!(support.len() as f64, lp_pow_of_product(&a, &b, PNorm::Zero));
     }
 }

@@ -1,0 +1,207 @@
+//! Minimal offline stand-in for the `criterion` crate (see
+//! `crates/shims/`).
+//!
+//! Supports the benchmark surface this workspace uses — `Criterion`,
+//! `benchmark_group` / `sample_size` / `finish`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs each benchmark for a small fixed number
+//! of samples and prints the mean wall-clock time per iteration; good
+//! enough to spot order-of-magnitude regressions offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Measurement loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up iteration, then timed ones.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.timed_iters += self.iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.timed_iters == 0 {
+            println!("bench {name:<48} (no measurements)");
+        } else {
+            let mean = self.total_nanos / u128::from(self.timed_iters);
+            println!("bench {name:<48} {mean:>12} ns/iter");
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, iters: u64, mut f: F) {
+    let mut b = Bencher {
+        iters,
+        total_nanos: 0,
+        timed_iters: 0,
+    };
+    f(&mut b);
+    b.report(name);
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&name.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Runs a standalone benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&id.to_string(), self.sample_size, |b| f(b, input));
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 40 + 2));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+}

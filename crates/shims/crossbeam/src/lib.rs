@@ -1,0 +1,86 @@
+//! Minimal offline stand-in for the `crossbeam` crate (see
+//! `crates/shims/`): just the unbounded channel surface the
+//! communication substrate uses, implemented over `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving half has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending half has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only if the receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back inside [`SendError`] when disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; fails only if all senders are gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when disconnected and drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when empty or disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..10 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                for i in 0..10 {
+                    assert_eq!(rx.recv().unwrap(), i);
+                }
+            });
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

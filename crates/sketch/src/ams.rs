@@ -31,7 +31,11 @@ impl AmsSketch {
     pub fn new(dim: usize, accuracy: f64, reps: usize, seed: u64) -> Self {
         assert!(accuracy > 0.0 && accuracy <= 1.0, "accuracy out of range");
         assert!(reps >= 1, "reps must be positive");
-        let groups = if reps.is_multiple_of(2) { reps + 1 } else { reps };
+        let groups = if reps.is_multiple_of(2) {
+            reps + 1
+        } else {
+            reps
+        };
         let per_group = ((4.0 / (accuracy * accuracy)).ceil() as usize).max(1);
         Self::with_shape(dim, groups, per_group, seed)
     }

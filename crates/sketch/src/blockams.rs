@@ -95,8 +95,7 @@ impl BlockAmsSketch {
         let mut best = 0.0f64;
         for b in 0..self.n_blocks {
             let counters = &sk[b * self.reps..(b + 1) * self.reps];
-            let mean_sq: f64 =
-                counters.iter().map(|y| y * y).sum::<f64>() / self.reps as f64;
+            let mean_sq: f64 = counters.iter().map(|y| y * y).sum::<f64>() / self.reps as f64;
             best = best.max(mean_sq.sqrt());
         }
         best

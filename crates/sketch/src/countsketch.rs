@@ -29,7 +29,11 @@ impl CountSketch {
     #[must_use]
     pub fn new(dim: usize, depth: usize, width: usize, seed: u64) -> Self {
         assert!(depth >= 1 && width >= 1, "bad CountSketch shape");
-        let depth = if depth.is_multiple_of(2) { depth + 1 } else { depth };
+        let depth = if depth.is_multiple_of(2) {
+            depth + 1
+        } else {
+            depth
+        };
         let buckets = (0..depth)
             .map(|r| PolyHash::new(2, derive(seed, 0x60_0000 ^ r as u64)))
             .collect();

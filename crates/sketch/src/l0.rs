@@ -42,7 +42,11 @@ impl L0Sketch {
         assert!(dim > 0, "dimension must be positive");
         assert!(accuracy > 0.0 && accuracy <= 1.0, "accuracy out of range");
         assert!(reps >= 1, "reps must be positive");
-        let reps = if reps.is_multiple_of(2) { reps + 1 } else { reps };
+        let reps = if reps.is_multiple_of(2) {
+            reps + 1
+        } else {
+            reps
+        };
         let buckets = ((4.0 / (accuracy * accuracy)).ceil() as usize).max(16);
         let levels = (usize::BITS - (dim - 1).leading_zeros()) as usize + 1;
         let level_hash = (0..reps)

@@ -215,7 +215,10 @@ mod tests {
                 SampleOutcome::ZeroVector => panic!("vector is not zero"),
             }
         }
-        assert!(successes >= 45, "sampler success rate too low: {successes}/50");
+        assert!(
+            successes >= 45,
+            "sampler success rate too low: {successes}/50"
+        );
     }
 
     #[test]
@@ -234,7 +237,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes > trials as usize * 8 / 10, "successes {successes}");
+        assert!(
+            successes > trials as usize * 8 / 10,
+            "successes {successes}"
+        );
         let expect = successes as f64 / 16.0;
         for (&idx, &c) in &counts {
             assert!(
@@ -256,7 +262,10 @@ mod tests {
         let sum: Vec<M61> = sx.iter().zip(sy.iter()).map(|(&a, &b)| a + b).collect();
         match s.decode(&sum) {
             SampleOutcome::Sampled { index, value } => {
-                assert!(index == 20 || index == 90, "index {index} not in x+y support");
+                assert!(
+                    index == 20 || index == 90,
+                    "index {index} not in x+y support"
+                );
                 let expect = if index == 20 { 3 } else { 2 };
                 assert_eq!(value, expect);
             }

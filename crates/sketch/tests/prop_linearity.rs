@@ -3,7 +3,7 @@
 //! the field/hash layers obey their algebraic laws.
 
 use mpest_sketch::{
-    AmsSketch, BlockAmsSketch, CountSketch, L0Sampler, L0Sketch, M61, PolyHash, StableSketch,
+    AmsSketch, BlockAmsSketch, CountSketch, L0Sampler, L0Sketch, PolyHash, StableSketch, M61,
 };
 use proptest::prelude::*;
 

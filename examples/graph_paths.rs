@@ -12,6 +12,8 @@
 //! * sample a random two-hop path *with its midpoint* — `ℓ1`-sampling
 //!   (Remark 3), whose witness is exactly the midpoint `k`.
 //!
+//! All queries flow through one [`Session`] over the two layers.
+//!
 //! Run with: `cargo run --release --example graph_paths`
 
 use mpest::prelude::*;
@@ -31,11 +33,14 @@ fn main() {
     }
     let (ac, bc) = (a.to_csr(), b.to_csr());
     let c = ac.matmul(&bc);
+    let session = Session::new(ac, bc).with_seed(seed);
 
     println!("== two-hop analytics over a federated {n}-vertex graph ==\n");
 
     let pairs_truth = norms::csr_lp_pow(&c, PNorm::Zero);
-    let run = lp_norm::run(&ac, &bc, &LpParams::new(PNorm::Zero, 0.2), seed).unwrap();
+    let run = session
+        .run(&LpNorm, &LpParams::new(PNorm::Zero, 0.2))
+        .unwrap();
     println!(
         "two-hop connected pairs: ≈{:>9.0} (truth {pairs_truth:.0})  [{} bits, {} rounds]",
         run.output,
@@ -43,7 +48,7 @@ fn main() {
         run.rounds()
     );
 
-    let run = exact_l1::run(&ac, &bc, seed).unwrap();
+    let run = session.run(&ExactL1, &()).unwrap();
     println!(
         "total two-hop paths:      {:>9}  (exact)          [{} bits, 1 round]",
         run.output,
@@ -51,7 +56,9 @@ fn main() {
     );
 
     let (most_truth, (pi, pj)) = stats::linf_of_product_binary(&a, &b);
-    let run = linf_binary::run(&a, &b, &LinfBinaryParams::new(0.3), seed).unwrap();
+    let run = session
+        .run(&LinfBinary, &LinfBinaryParams::new(0.3))
+        .unwrap();
     println!(
         "most parallel routes:    ≈{:>9.1} (truth {most_truth} for {pi}→·→{pj})  [{} bits]",
         run.output.estimate,
@@ -59,7 +66,7 @@ fn main() {
     );
 
     // A random path with its midpoint, in one round.
-    let run = l1_sample::run(&ac, &bc, seed).unwrap();
+    let run = session.run(&L1Sampling, &()).unwrap();
     match run.output {
         Some(s) => println!(
             "random two-hop path:      {} → {} → {}   [{} bits, 1 round]",
@@ -76,14 +83,18 @@ fn main() {
     let mut hub_hits = 0u32;
     let trials = 300;
     for t in 0..trials {
-        if let Some(s) = l1_sample::run(&ac, &bc, Seed(1000 + t)).unwrap().output {
+        if let Some(s) = session
+            .run_seeded(&L1Sampling, &(), Seed(1000 + t))
+            .unwrap()
+            .output
+        {
             if s.col == 5 {
                 hub_hits += 1;
             }
         }
     }
-    let hub_mass = (0..n).map(|i| c.get(i, 5) as f64).sum::<f64>()
-        / norms::csr_lp_pow(&c, PNorm::ONE);
+    let hub_mass =
+        (0..n).map(|i| c.get(i, 5) as f64).sum::<f64>() / norms::csr_lp_pow(&c, PNorm::ONE);
     println!(
         "\nhub check: vertex 5 drew {hub_hits}/{trials} samples (its true path mass is {:.1}%)",
         100.0 * hub_mass

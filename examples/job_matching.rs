@@ -13,6 +13,8 @@
 //! * all strong fits = heavy hitters;
 //! * a uniformly random match (for auditing) = `ℓ0`-sample.
 //!
+//! One [`Session`] over the two relations serves every market query.
+//!
 //! Run with: `cargo run --release --example job_matching`
 
 use mpest::prelude::*;
@@ -43,20 +45,19 @@ fn main() {
     let a_csr = a.to_csr();
     let b_csr = b.to_csr();
     let c = a_csr.matmul(&b_csr);
+    let session = Session::new(a.clone(), b.clone()).with_seed(seed);
 
     println!("== job matching: {applicants} applicants x {jobs} jobs over {skills} skills ==\n");
 
     // How many applicant-job pairs match at all? (query-optimizer style
     // cardinality estimate: 2 rounds, tiny communication)
     let matches_truth = norms::csr_lp_pow(&c, PNorm::Zero);
-    let run = lp_norm::run(&a_csr, &b_csr, &LpParams::new(PNorm::Zero, 0.2), seed).unwrap();
-    let baseline = lp_baseline::run(
-        &a_csr,
-        &b_csr,
-        &BaselineParams::new(PNorm::Zero, 0.2),
-        seed,
-    )
-    .unwrap();
+    let run = session
+        .run_seeded(&LpNorm, &LpParams::new(PNorm::Zero, 0.2), seed)
+        .unwrap();
+    let baseline = session
+        .run_seeded(&LpBaseline, &BaselineParams::new(PNorm::Zero, 0.2), seed)
+        .unwrap();
     println!(
         "matching pairs:  ≈{:>8.0}  (truth {:>8.0})  [{} bits; one-round baseline needs {}]",
         run.output,
@@ -67,7 +68,9 @@ fn main() {
 
     // Who is the single best fit? (Algorithm 2, factor 2+eps)
     let (best_truth, (bi, bj)) = stats::linf_of_product_binary(&a, &b);
-    let run = linf_binary::run(&a, &b, &LinfBinaryParams::new(0.25), seed).unwrap();
+    let run = session
+        .run_seeded(&LinfBinary, &LinfBinaryParams::new(0.25), seed)
+        .unwrap();
     println!(
         "best fit:        ≈{:>8.1}  (truth {best_truth} = applicant {bi} for job {bj})  [{} bits]",
         run.output.estimate,
@@ -77,19 +80,19 @@ fn main() {
     // All strong fits: overlap at least ~2/3 of the best.
     let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
     let phi = (best_truth as f64 * 0.66) / l1;
-    let run = hh_binary::run(
-        &a,
-        &b,
-        &HhBinaryParams::new(1.0, phi, phi / 2.0),
-        seed,
-    )
-    .unwrap();
+    let run = session
+        .run_seeded(&HhBinary, &HhBinaryParams::new(1.0, phi, phi / 2.0), seed)
+        .unwrap();
     let mut strong: Vec<(u32, u32)> = run.output.positions();
     strong.truncate(10);
     println!(
         "strong fits:     {:?}{}  [{} bits]",
         strong,
-        if run.output.pairs.len() > 10 { " ..." } else { "" },
+        if run.output.pairs.len() > 10 {
+            " ..."
+        } else {
+            ""
+        },
         run.bits()
     );
     assert!(
@@ -98,7 +101,9 @@ fn main() {
     );
 
     // Audit: draw a uniformly random matching pair.
-    let run = l0_sample::run(&a_csr, &b_csr, &L0SampleParams::new(0.3), seed).unwrap();
+    let run = session
+        .run_seeded(&L0Sample, &L0SampleParams::new(0.3), seed)
+        .unwrap();
     match run.output {
         MatrixSample::Sampled { row, col, value } => println!(
             "random match:    applicant {row} / job {col} (overlap {value})  [{} bits]",
@@ -108,7 +113,7 @@ fn main() {
     }
 
     // And a witness-bearing sample: which shared skill made the match?
-    let run = l1_sample::run(&a_csr, &b_csr, seed).unwrap();
+    let run = session.run_seeded(&L1Sampling, &(), seed).unwrap();
     if let Some(s) = run.output {
         println!(
             "witnessed match: applicant {} / job {} via skill {}  [{} bits]",

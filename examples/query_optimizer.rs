@@ -8,6 +8,10 @@
 //! and the composition (distinct result pairs) is `‖R·S‖₀` — both
 //! estimable in 1–2 rounds and `Õ(n)` bits instead of shipping `R`.
 //!
+//! Each candidate join gets its own [`Session`]; the optimizer issues
+//! several queries per session (cardinality, skew) without re-paying
+//! setup.
+//!
 //! Run with: `cargo run --release --example query_optimizer`
 
 use mpest::prelude::*;
@@ -22,6 +26,8 @@ fn main() {
     let t = Workloads::bernoulli_bits(n, n, 0.01, 3); // Z -> set of W
 
     let (rc, sc, tc) = (r.to_csr(), s.to_csr(), t.to_csr());
+    let rs_session = Session::new(r.clone(), s.clone()).with_seed(seed);
+    let st_session = Session::new(s.clone(), t.clone()).with_seed(seed);
 
     println!("== federated join-order selection: R ⋈ S ⋈ T over domains of size {n} ==\n");
 
@@ -30,10 +36,10 @@ fn main() {
     let st_truth = norms::csr_lp_pow(&sc.matmul(&tc), PNorm::ONE);
 
     // Cheap exact |R join S| via Remark 2 (1 round, O(n log n) bits):
-    let rs = exact_l1::run(&rc, &sc, seed).unwrap();
+    let rs = rs_session.run_seeded(&ExactL1, &(), seed).unwrap();
     // |S join T| both live at Bob in this story, but the same protocol
     // prices a cross-site estimate; run it distributed anyway.
-    let st = exact_l1::run(&sc, &tc, seed).unwrap();
+    let st = st_session.run_seeded(&ExactL1, &(), seed).unwrap();
     println!(
         "|R ⋈ S| = {:>9}  (truth {rs_truth:>9.0})  [{} bits, 1 round]",
         rs.output,
@@ -63,8 +69,11 @@ fn main() {
     // ||RS||_0 within (1+eps) via Algorithm 1 at a fraction of the cost
     // of the one-round baseline at the same accuracy.
     let eps = 0.1;
-    let two_round = lp_norm::run(&rc, &sc, &LpParams::new(PNorm::Zero, eps), seed).unwrap();
-    let one_round = lp_baseline::run(&rc, &sc, &BaselineParams::new(PNorm::Zero, eps), seed)
+    let two_round = rs_session
+        .run_seeded(&LpNorm, &LpParams::new(PNorm::Zero, eps), seed)
+        .unwrap();
+    let one_round = rs_session
+        .run_seeded(&LpBaseline, &BaselineParams::new(PNorm::Zero, eps), seed)
         .unwrap();
     let l0_truth = norms::csr_lp_pow(&rc.matmul(&sc), PNorm::Zero);
     println!(
@@ -78,7 +87,9 @@ fn main() {
 
     // Selectivity of the most frequent join key pair — is the join
     // skew-dominated? (l-infinity, factor 2+eps.)
-    let linf = linf_binary::run(&r, &s, &LinfBinaryParams::new(0.3), seed).unwrap();
+    let linf = rs_session
+        .run_seeded(&LinfBinary, &LinfBinaryParams::new(0.3), seed)
+        .unwrap();
     let (linf_truth, _) = stats::linf_of_product_binary(&r, &s);
     println!(
         "\nmax pair multiplicity in R·S: ≈{:.0} (truth {linf_truth}) — {}",

@@ -1,9 +1,12 @@
 //! Quickstart: estimate every statistic of a distributed matrix product.
 //!
-//! Alice holds `A`, Bob holds `B`; nobody ever materializes both. Each
-//! protocol below reports its answer, the exact ground truth (computed
-//! centrally for comparison only), and the exact number of bits and
-//! rounds the protocol used.
+//! Alice holds `A`, Bob holds `B`; nobody ever materializes both. One
+//! [`Session`] owns the pair and serves every query below — dimensions
+//! are validated once, derived state (CSR/bit views, transposes, norm
+//! tables) is cached across queries, and each query gets its own
+//! deterministically derived seed. Each protocol reports its answer, the
+//! exact ground truth (computed centrally for comparison only), and the
+//! exact number of bits and rounds it used.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -11,13 +14,13 @@ use mpest::prelude::*;
 
 fn main() {
     let n = 128;
-    let seed = Seed(42);
 
     // A pair of relations with a planted heavy pair (3, 7).
     let (a_bits, b_bits, _) = Workloads::planted_pairs(n, n, 0.08, &[(3, 7)], 64, 9);
-    let a = a_bits.to_csr();
-    let b = b_bits.to_csr();
-    let c = a.matmul(&b);
+    let c = a_bits.to_csr().matmul(&b_bits.to_csr());
+
+    // The session: one pair, many queries, seeds derived from Seed(42).
+    let session = Session::new(a_bits.clone(), b_bits.clone()).with_seed(Seed(42));
 
     println!("== mpest quickstart: A is {n}x{n} at Alice, B is {n}x{n} at Bob ==\n");
 
@@ -28,7 +31,7 @@ fn main() {
         (PNorm::TWO, "||AB||_2^2 (Frobenius^2)"),
     ] {
         let truth = norms::csr_lp_pow(&c, p);
-        let run = lp_norm::run(&a, &b, &LpParams::new(p, 0.2), seed).unwrap();
+        let run = session.run(&LpNorm, &LpParams::new(p, 0.2)).unwrap();
         println!(
             "{name}\n  estimate {:>12.0}   truth {:>12.0}   error {:>5.1}%   [{} bits, {} rounds]",
             run.output,
@@ -40,7 +43,7 @@ fn main() {
     }
 
     // --- exact l1 (Remark 2: 1 round, O(n log n)) ---
-    let run = exact_l1::run(&a, &b, seed).unwrap();
+    let run = session.run(&ExactL1, &()).unwrap();
     println!(
         "exact ||AB||_1 (Remark 2)\n  value    {:>12}   [{} bits, {} rounds]",
         run.output,
@@ -50,7 +53,9 @@ fn main() {
 
     // --- l-infinity (Algorithm 2: 3 rounds, O~(n^1.5/eps), factor 2+eps) ---
     let (linf_truth, argmax) = stats::linf_of_product_binary(&a_bits, &b_bits);
-    let run = linf_binary::run(&a_bits, &b_bits, &LinfBinaryParams::new(0.25), seed).unwrap();
+    let run = session
+        .run(&LinfBinary, &LinfBinaryParams::new(0.25))
+        .unwrap();
     println!(
         "||AB||_inf (Algorithm 2, 2+eps approx)\n  estimate {:>12.1}   truth {linf_truth} at {argmax:?}   [{} bits, {} rounds]",
         run.output.estimate,
@@ -62,7 +67,7 @@ fn main() {
     let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
     let phi = (linf_truth as f64 - 8.0) / l1;
     let hh_params = HhBinaryParams::new(1.0, phi, phi / 2.0);
-    let run = hh_binary::run(&a_bits, &b_bits, &hh_params, seed).unwrap();
+    let run = session.run(&HhBinary, &hh_params).unwrap();
     println!(
         "heavy hitters (phi={phi:.4}, eps={:.4})\n  reported {:?}   [{} bits, {} rounds]",
         hh_params.eps,
@@ -72,7 +77,7 @@ fn main() {
     );
 
     // --- l0 sampling (Theorem 3.2: 1 round, O~(n/eps^2)) ---
-    let run = l0_sample::run(&a, &b, &L0SampleParams::new(0.3), seed).unwrap();
+    let run = session.run(&L0Sample, &L0SampleParams::new(0.3)).unwrap();
     println!(
         "l0-sample (uniform nonzero of AB)\n  sample   {:?}   [{} bits, {} rounds]",
         run.output,
@@ -82,7 +87,8 @@ fn main() {
 
     // --- median boosting (Theorem 3.1's "standard median trick") ---
     let params = LpParams::new(PNorm::ONE, 0.3);
-    let run = boost::median_boost(5, seed, |s| lp_norm::run(&a, &b, &params, s)).unwrap();
+    let run =
+        boost::median_boost(5, Seed(42), |s| session.run_seeded(&LpNorm, &params, s)).unwrap();
     let truth = norms::csr_lp_pow(&c, PNorm::ONE);
     println!(
         "median of 5 copies (p=1)\n  estimate {:>12.0}   truth {:>12.0}   [{} bits, still {} rounds]",
@@ -92,8 +98,23 @@ fn main() {
         run.rounds()
     );
 
+    // --- the same protocols as plain-data requests (dynamic dispatch) ---
+    let report = session
+        .estimate(&EstimateRequest::LpNorm {
+            p: PNorm::Zero,
+            eps: 0.2,
+        })
+        .unwrap();
+    println!(
+        "as a queued request: {} -> {:.0}   [{} bits, {} rounds]",
+        report.protocol,
+        report.output.as_scalar().unwrap_or(f64::NAN),
+        report.bits(),
+        report.rounds()
+    );
+
     // --- the trivial baseline for scale ---
-    let run = trivial::run_binary(&a_bits, &b_bits, seed).unwrap();
+    let run = session.run(&TrivialBinary, &()).unwrap();
     println!(
         "\ntrivial baseline (ship all of A): {} bits.\n\
          The l1/linf/HH protocols already beat it at n={n}; the sketch-based\n\

@@ -13,6 +13,8 @@
 //!   `AB` (Algorithm 4);
 //! * the total interaction mass `‖AB‖₁` for normalization (Remark 2).
 //!
+//! One [`Session`] serves the whole workload.
+//!
 //! Run with: `cargo run --release --example similarity_join`
 
 use mpest::prelude::*;
@@ -37,11 +39,12 @@ fn main() {
         b = CsrMatrix::from_triplets(dims, n, tb);
     }
     let c = a.matmul(&b);
+    let session = Session::new(a.clone(), b.clone()).with_seed(seed);
 
     println!("== similarity join: {n} users x {n} items over {dims} features ==\n");
 
     // Total mass for normalization (exact, 1 round).
-    let mass = exact_l1::run(&a, &b, seed).unwrap();
+    let mass = session.run(&ExactL1, &()).unwrap();
     println!(
         "total interaction mass ||AB||_1 = {}  [{} bits]",
         mass.output,
@@ -51,7 +54,9 @@ fn main() {
     // Hottest pair within a factor kappa (one round).
     let (linf_truth, (ti, tj)) = stats::linf_of_product(&a, &b);
     for kappa in [2usize, 4, 8] {
-        let run = linf_general::run(&a, &b, &LinfGeneralParams::new(kappa), seed).unwrap();
+        let run = session
+            .run(&LinfGeneral, &LinfGeneralParams::new(kappa))
+            .unwrap();
         println!(
             "max similarity, kappa={kappa}:  estimate in [{:.0}] (truth {linf_truth} at user {ti}, item {tj})  [{} bits]",
             run.output,
@@ -64,7 +69,8 @@ fn main() {
     let l2 = norms::csr_lp_pow(&c, PNorm::TWO);
     let phi = ((linf_truth * linf_truth) as f64 * 0.5) / l2;
     let params = HhGeneralParams::new(2.0, phi.min(0.9), (phi / 2.0).min(0.4));
-    let run = hh_general::run(&a, &b, &params, seed).unwrap();
+    // Seeded explicitly: the assertion below relies on this exact run.
+    let run = session.run_seeded(&HhGeneral, &params, seed).unwrap();
     println!(
         "\nthreshold join (p=2, phi={phi:.4}): {} pairs  [{} bits]",
         run.output.pairs.len(),
@@ -92,13 +98,10 @@ fn main() {
     let (bt, _) = norms::csr_linf(&cb);
     let l1b = norms::csr_lp_pow(&cb, PNorm::ONE);
     let phib = (bt as f64 * 0.7) / l1b;
-    let run_b = hh_binary::run(
-        &a_bin,
-        &b_bin,
-        &HhBinaryParams::new(1.0, phib, phib / 2.0),
-        seed,
-    )
-    .unwrap();
+    let binary_session = Session::new(a_bin, b_bin).with_seed(seed);
+    let run_b = binary_session
+        .run(&HhBinary, &HhBinaryParams::new(1.0, phib, phib / 2.0))
+        .unwrap();
     println!(
         "\nbinary-profile variant: {} pairs at [{} bits] (Theorem 5.3's structural discount)",
         run_b.output.pairs.len(),

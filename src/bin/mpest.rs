@@ -50,7 +50,8 @@ protocols and their options:
   linf-general             --kappa K              (Theorem 4.8)
   hh-general               --phi F --hh-eps E [--p P]   (Algorithm 4)
   hh-binary                --phi F --hh-eps E [--p P]   (Theorem 5.3)
-  trivial                                         (ship A)
+  at-least-t               --t T [--slack S]      (>= T overlap join)
+  trivial | trivial-binary                        (ship A)
 
 common options: --seed S (default 42), --exact (also print ground truth)";
 
@@ -185,30 +186,9 @@ fn cmd_exact(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn report<T: std::fmt::Debug>(name: &str, run: &ProtocolRun<T>) {
-    println!("{name}:");
-    println!("  output     = {:?}", run.output);
-    println!("  bits       = {}", run.bits());
-    println!("  rounds     = {}", run.rounds());
-    for (label, model) in [
-        ("datacenter", NetworkModel::datacenter()),
-        ("wan       ", NetworkModel::wan()),
-        ("mobile    ", NetworkModel::mobile()),
-    ] {
-        println!(
-            "  est. time on {label} link: {:.4} s",
-            model.seconds(&run.transcript)
-        );
-    }
-}
-
-#[allow(clippy::too_many_lines)]
-fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
-    let (a, b) = load_pair(flags)?;
-    let seed = Seed(flags.num("seed", 42u64)?);
-    let err = |e: mpest::comm::CommError| e.to_string();
-
-    match protocol {
+/// Parses a protocol word plus its flags into the uniform request shape.
+fn parse_request(protocol: &str, flags: &Flags) -> Result<EstimateRequest, String> {
+    Ok(match protocol {
         "l0" | "l1" | "l2" | "lp" => {
             let p = match protocol {
                 "l0" => PNorm::Zero,
@@ -216,90 +196,153 @@ fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
                 "l2" => PNorm::TWO,
                 _ => PNorm::P(flags.required_num::<f64>("p")?),
             };
-            let eps: f64 = flags.num("eps", 0.2)?;
-            let run = lp_norm::run(&a, &b, &LpParams::new(p, eps), seed).map_err(err)?;
-            report(&format!("lp-norm (Algorithm 1, p={p:?}, eps={eps})"), &run);
-            if flags.str("exact").is_some() {
-                println!("  exact      = {}", norms::csr_lp_pow(&a.matmul(&b), p));
+            EstimateRequest::LpNorm {
+                p,
+                eps: flags.num("eps", 0.2)?,
             }
         }
         "lp-baseline" => {
-            let p = flags
-                .str("p")
-                .map_or(Ok(PNorm::Zero), |s| s.parse::<f64>().map(PNorm::P).map_err(|e| e.to_string()))?;
-            let eps: f64 = flags.num("eps", 0.2)?;
-            let run =
-                lp_baseline::run(&a, &b, &BaselineParams::new(p, eps), seed).map_err(err)?;
-            report("lp-baseline (one-round [16])", &run);
-        }
-        "exact-l1" => {
-            let run = exact_l1::run(&a, &b, seed).map_err(err)?;
-            report("exact-l1 (Remark 2)", &run);
-        }
-        "l1-sample" => {
-            let run = l1_sample::run(&a, &b, seed).map_err(err)?;
-            report("l1-sample (Remark 3)", &run);
-        }
-        "l0-sample" => {
-            let eps: f64 = flags.num("eps", 0.3)?;
-            let run = l0_sample::run(&a, &b, &L0SampleParams::new(eps), seed).map_err(err)?;
-            report("l0-sample (Theorem 3.2)", &run);
-        }
-        "sparse-matmul" => {
-            let run = sparse_matmul::run(&a, &b, seed).map_err(err)?;
-            let nnz = run.output.alice.len() + run.output.bob.len();
-            println!("sparse-matmul (Lemma 2.5): {nnz} shared nonzeros recovered");
-            println!("  bits = {}, rounds = {}", run.bits(), run.rounds());
-        }
-        "linf-binary" => {
-            let eps: f64 = flags.num("eps", 0.25)?;
-            let (ab, bb) = (BitMatrix::from_csr(&a), BitMatrix::from_csr(&b));
-            let run =
-                linf_binary::run(&ab, &bb, &LinfBinaryParams::new(eps), seed).map_err(err)?;
-            report("linf-binary (Algorithm 2)", &run);
-            if flags.str("exact").is_some() {
-                println!("  exact      = {}", norms::csr_linf(&a.matmul(&b)).0);
+            let p = flags.str("p").map_or(Ok(PNorm::Zero), |s| {
+                s.parse::<f64>().map(PNorm::P).map_err(|e| e.to_string())
+            })?;
+            EstimateRequest::LpBaseline {
+                p,
+                eps: flags.num("eps", 0.2)?,
             }
         }
-        "linf-kappa" => {
-            let kappa: f64 = flags.num("kappa", 8.0)?;
-            let (ab, bb) = (BitMatrix::from_csr(&a), BitMatrix::from_csr(&b));
-            let run =
-                linf_kappa::run(&ab, &bb, &LinfKappaParams::new(kappa), seed).map_err(err)?;
-            report("linf-kappa (Algorithm 3)", &run);
-        }
-        "linf-general" => {
-            let kappa: usize = flags.num("kappa", 4)?;
-            let run =
-                linf_general::run(&a, &b, &LinfGeneralParams::new(kappa), seed).map_err(err)?;
-            report("linf-general (Theorem 4.8)", &run);
-            if flags.str("exact").is_some() {
-                println!("  exact      = {}", norms::csr_linf(&a.matmul(&b)).0);
-            }
-        }
+        "exact-l1" => EstimateRequest::ExactL1,
+        "l1-sample" => EstimateRequest::L1Sample,
+        "l0-sample" => EstimateRequest::L0Sample {
+            eps: flags.num("eps", 0.3)?,
+        },
+        "sparse-matmul" => EstimateRequest::SparseMatmul,
+        "linf-binary" => EstimateRequest::LinfBinary {
+            eps: flags.num("eps", 0.25)?,
+        },
+        "linf-kappa" => EstimateRequest::LinfKappa {
+            kappa: flags.num("kappa", 8.0)?,
+        },
+        "linf-general" => EstimateRequest::LinfGeneral {
+            kappa: flags.num("kappa", 4)?,
+        },
         "hh-general" | "hh-binary" => {
             let phi: f64 = flags.required_num("phi")?;
-            let hh_eps: f64 = flags.num("hh-eps", phi / 2.0)?;
+            let eps: f64 = flags.num("hh-eps", phi / 2.0)?;
             let p: f64 = flags.num("p", 1.0)?;
             if protocol == "hh-general" {
-                let run =
-                    hh_general::run(&a, &b, &HhGeneralParams::new(p, phi, hh_eps), seed)
-                        .map_err(err)?;
-                println!("hh-general (Algorithm 4): {} pairs", run.output.pairs.len());
-                report("transcript", &run);
+                EstimateRequest::HhGeneral { p, phi, eps }
             } else {
-                let (ab, bb) = (BitMatrix::from_csr(&a), BitMatrix::from_csr(&b));
-                let run = hh_binary::run(&ab, &bb, &HhBinaryParams::new(p, phi, hh_eps), seed)
-                    .map_err(err)?;
-                println!("hh-binary (Theorem 5.3): {} pairs", run.output.pairs.len());
-                report("transcript", &run);
+                EstimateRequest::HhBinary { p, phi, eps }
             }
         }
-        "trivial" => {
-            let run = trivial::run_csr(&a, &b, seed).map_err(err)?;
-            report("trivial (ship A)", &run);
-        }
+        "at-least-t" => EstimateRequest::AtLeastTJoin {
+            t: flags.required_num("t")?,
+            slack: flags.num("slack", 0.5)?,
+        },
+        "trivial" => EstimateRequest::TrivialCsr,
+        "trivial-binary" => EstimateRequest::TrivialBinary,
         other => return Err(format!("unknown protocol {other}")),
+    })
+}
+
+/// Prints the uniform report: type-erased output, exact bits/rounds, and
+/// estimated wall-clock on reference links.
+fn print_report(report: &EstimateReport) {
+    println!("{}:", report.protocol);
+    match &report.output {
+        AnyOutput::Scalar(v) => println!("  output     = {v}"),
+        AnyOutput::Count(v) => println!("  output     = {v}"),
+        AnyOutput::Sample(s) => println!("  output     = {s:?}"),
+        AnyOutput::L1Sample(s) => println!("  output     = {s:?}"),
+        AnyOutput::Linf(e) => println!("  output     = {e:?}"),
+        AnyOutput::HeavyHitters(hh) => {
+            println!(
+                "  output     = {} pairs {:?}",
+                hh.pairs.len(),
+                hh.positions()
+            );
+        }
+        AnyOutput::Shares(sh) => println!(
+            "  output     = shares with {} nonzeros recovered",
+            sh.alice.len() + sh.bob.len()
+        ),
+        AnyOutput::Exact(stats) => println!("  output     = {stats:?}"),
+    }
+    println!("  bits       = {}", report.bits());
+    println!("  rounds     = {}", report.rounds());
+    for (label, model) in [
+        ("datacenter", NetworkModel::datacenter()),
+        ("wan       ", NetworkModel::wan()),
+        ("mobile    ", NetworkModel::mobile()),
+    ] {
+        println!(
+            "  est. time on {label} link: {:.4} s",
+            model.seconds(&report.transcript)
+        );
+    }
+}
+
+/// Whether `--exact` has a ground truth to print for this request (the
+/// centralized product is only computed when it will be shown).
+fn has_exact_line(request: &EstimateRequest) -> bool {
+    matches!(
+        request,
+        EstimateRequest::LpNorm { .. }
+            | EstimateRequest::LpBaseline { .. }
+            | EstimateRequest::LinfBinary { .. }
+            | EstimateRequest::LinfKappa { .. }
+            | EstimateRequest::LinfGeneral { .. }
+            | EstimateRequest::ExactL1
+    )
+}
+
+/// Requests that run over the bit-matrix view of the pair.
+fn is_binary_request(request: &EstimateRequest) -> bool {
+    matches!(
+        request,
+        EstimateRequest::LinfBinary { .. }
+            | EstimateRequest::LinfKappa { .. }
+            | EstimateRequest::HhBinary { .. }
+            | EstimateRequest::AtLeastTJoin { .. }
+            | EstimateRequest::TrivialBinary
+    )
+}
+
+fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
+    let (a, b) = load_pair(flags)?;
+    let seed = Seed(flags.num("seed", 42u64)?);
+    let request = parse_request(protocol, flags)?;
+    let exact = (flags.str("exact").is_some() && has_exact_line(&request)).then(|| a.matmul(&b));
+
+    // Binary protocols historically accept integer inputs by coercing
+    // nonzeros to 1 (the support view); keep that CLI behavior.
+    let session = if is_binary_request(&request) && !(a.is_binary() && b.is_binary()) {
+        eprintln!("note: binarizing integer inputs (nonzero -> 1) for {protocol}");
+        Session::new(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
+    } else {
+        Session::new(a, b)
+    }
+    .with_seed(seed);
+    let report = session
+        .estimate_seeded(&request, seed)
+        .map_err(|e| e.to_string())?;
+    print_report(&report);
+
+    if let Some(c) = exact {
+        match &request {
+            EstimateRequest::LpNorm { p, .. } | EstimateRequest::LpBaseline { p, .. } => {
+                println!("  exact      = {}", norms::csr_lp_pow(&c, *p));
+            }
+            EstimateRequest::LinfBinary { .. }
+            | EstimateRequest::LinfKappa { .. }
+            | EstimateRequest::LinfGeneral { .. } => {
+                println!("  exact      = {}", norms::csr_linf(&c).0);
+            }
+            EstimateRequest::ExactL1 => {
+                println!("  exact      = {}", norms::csr_lp_pow(&c, PNorm::ONE));
+            }
+            _ => {}
+        }
     }
     Ok(())
 }

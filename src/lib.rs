@@ -14,19 +14,22 @@
 //! overlapping pair of sets, and the heavy hitters are the pairs above a
 //! join-size threshold.
 //!
-//! The workspace is organized as:
+//! ## The Session / Protocol API
 //!
-//! * [`comm`] — the two-party communication substrate (bit-level wire
-//!   encodings, transcripts with exact bit/round accounting, a
-//!   two-thread executor so parties only interact through messages);
-//! * [`matrix`] — matrices (dense / CSR / bit-packed), the set-join
-//!   view, exact ground truth, seeded workload generators;
-//! * [`sketch`] — the linear sketch toolbox (AMS, p-stable, linear `ℓ0`,
-//!   `ℓ0`-sampler, CountSketch, block-AMS, Mersenne-61 field);
-//! * [`protocols`] — the paper's protocols (Algorithms 1–4, Remarks 2–3,
-//!   Theorems 3.2, 4.8, 5.3, Lemma 2.5, plus baselines);
-//! * [`lower`] — the paper's lower-bound constructions as runnable hard
-//!   instances (Theorems 4.4–4.6, 4.8(2)).
+//! The paper defines a *family* of protocols over the same pair
+//! `(A, B)`, and real workloads ask several questions of the same
+//! relations. The API mirrors that:
+//!
+//! * [`Session`](protocols::Session) owns the pair, validates dimensions
+//!   once, caches shared derived state (CSR/bit views, transposes,
+//!   norm/support tables), and derives independent per-query seeds;
+//! * every protocol is a unit struct implementing
+//!   [`Protocol`](protocols::Protocol) — `session.run(&LpNorm, &params)`
+//!   is the typed entry point;
+//! * [`EstimateRequest`](protocols::EstimateRequest) →
+//!   [`EstimateReport`](protocols::EstimateReport) is the uniform
+//!   dynamic-dispatch layer: a request is plain data that can be parsed,
+//!   queued, and routed to whichever shard holds the session.
 //!
 //! ## Quickstart
 //!
@@ -37,16 +40,38 @@
 //! let a = Workloads::bernoulli_bits(64, 96, 0.2, 1).to_csr();
 //! let b = Workloads::bernoulli_bits(96, 64, 0.2, 2).to_csr();
 //!
+//! // One session, many queries over the same pair.
+//! let session = Session::new(a, b).with_seed(Seed(7));
+//!
 //! // Estimate the set-intersection join size ||AB||_0 within (1+eps)
 //! // using 2 rounds and O~(n/eps) bits (paper Algorithm 1).
-//! let run = lp_norm::run(&a, &b, &LpParams::new(PNorm::Zero, 0.25), Seed(7)).unwrap();
+//! let run = session.run(&LpNorm, &LpParams::new(PNorm::Zero, 0.25)).unwrap();
 //! println!(
 //!     "composition size ≈ {:.0} ({} bits, {} rounds)",
 //!     run.output,
 //!     run.bits(),
 //!     run.rounds()
 //! );
+//!
+//! // The same protocols as queueable plain data (dynamic dispatch).
+//! let report = session.estimate(&EstimateRequest::ExactL1).unwrap();
+//! println!("natural join size = {:?} ({} bits)", report.output, report.bits());
 //! ```
+//!
+//! ## Workspace layout
+//!
+//! * [`comm`] — the two-party communication substrate (bit-level wire
+//!   encodings, transcripts with exact bit/round accounting, a
+//!   two-thread executor so parties only interact through messages);
+//! * [`matrix`] — matrices (dense / CSR / bit-packed), the set-join
+//!   view, exact ground truth, seeded workload generators;
+//! * [`sketch`] — the linear sketch toolbox (AMS, p-stable, linear `ℓ0`,
+//!   `ℓ0`-sampler, CountSketch, block-AMS, Mersenne-61 field);
+//! * [`protocols`] — the paper's protocols (Algorithms 1–4, Remarks 2–3,
+//!   Theorems 3.2, 4.8, 5.3, Lemma 2.5, plus baselines) behind the
+//!   `Session` / `Protocol` / `EstimateRequest` API;
+//! * [`lower`] — the paper's lower-bound constructions as runnable hard
+//!   instances (Theorems 4.4–4.6, 4.8(2)).
 
 pub use mpest_comm as comm;
 pub use mpest_core as protocols;
@@ -56,16 +81,33 @@ pub use mpest_sketch as sketch;
 
 /// Convenience re-exports covering the common API surface.
 pub mod prelude {
+    // The session-first API: start here.
+    pub use mpest_core::{
+        AnyOutput, EstimateReport, EstimateRequest, Protocol, Session, SessionCtx, SessionInput,
+    };
+    // Protocol unit structs.
+    pub use mpest_core::{
+        AtLeastTJoin, AtLeastTParams, ExactL1, HhBinary, HhGeneral, L0Sample, L1Sampling,
+        LinfBinary, LinfGeneral, LinfKappa, LpBaseline, LpNorm, SparseMatmul, TrivialBinary,
+        TrivialCsr,
+    };
+    // Parameter types (kept at their module paths too).
+    pub use mpest_core::hh_binary::HhBinaryParams;
+    pub use mpest_core::hh_general::HhGeneralParams;
+    pub use mpest_core::l0_sample::L0SampleParams;
+    pub use mpest_core::linf_binary::LinfBinaryParams;
+    pub use mpest_core::linf_general::LinfGeneralParams;
+    pub use mpest_core::linf_kappa::LinfKappaParams;
+    pub use mpest_core::lp_baseline::BaselineParams;
+    pub use mpest_core::lp_norm::LpParams;
+    // Legacy one-shot modules (their free `run` functions are deprecated
+    // wrappers around the protocols above).
+    pub use mpest_core::{
+        boost, exact_l1, hh_binary, hh_general, l0_sample, l1_sample, linf_binary, linf_general,
+        linf_kappa, lp_baseline, lp_norm, sparse_matmul, trivial,
+    };
+    // Output and substrate types.
     pub use mpest_comm::{Party, Seed, Transcript};
-    pub use mpest_core::hh_binary::{self, HhBinaryParams};
-    pub use mpest_core::hh_general::{self, HhGeneralParams};
-    pub use mpest_core::l0_sample::{self, L0SampleParams};
-    pub use mpest_core::linf_binary::{self, LinfBinaryParams};
-    pub use mpest_core::linf_general::{self, LinfGeneralParams};
-    pub use mpest_core::linf_kappa::{self, LinfKappaParams};
-    pub use mpest_core::lp_baseline::{self, BaselineParams};
-    pub use mpest_core::lp_norm::{self, LpParams};
-    pub use mpest_core::{boost, exact_l1, l1_sample, sparse_matmul, trivial};
     pub use mpest_core::{
         Constants, HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares,
         ProtocolRun,
@@ -83,7 +125,10 @@ mod tests {
     fn facade_exposes_working_api() {
         let a = Workloads::bernoulli_bits(16, 24, 0.3, 1).to_csr();
         let b = Workloads::bernoulli_bits(24, 16, 0.3, 2).to_csr();
-        let run = exact_l1::run(&a, &b, Seed(1)).unwrap();
+        let session = Session::new(a, b).with_seed(Seed(1));
+        let run = session.run(&ExactL1, &()).unwrap();
         assert!(run.output > 0);
+        let report = session.estimate(&EstimateRequest::ExactL1).unwrap();
+        assert_eq!(report.protocol, "exact-l1");
     }
 }

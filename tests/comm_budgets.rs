@@ -4,20 +4,22 @@
 //! derived from its construction (sketch words × width + payload terms).
 //! These are regression guards: if an implementation change silently
 //! inflates a message, these fail before the bench harness ever runs.
+//! All queries go through one [`Session`] per workload — the budgets
+//! must hold on the cached path too.
 
 use mpest::prelude::*;
 
-fn workload(n: usize) -> (BitMatrix, BitMatrix, CsrMatrix, CsrMatrix) {
+fn workload(n: usize) -> (Session, CsrMatrix, CsrMatrix) {
     let a = Workloads::bernoulli_bits(n, n, 0.1, 11);
     let b = Workloads::bernoulli_bits(n, n, 0.1, 12);
     let (ac, bc) = (a.to_csr(), b.to_csr());
-    (a, b, ac, bc)
+    (Session::new(a, b), ac, bc)
 }
 
 #[test]
 fn exact_l1_budget() {
-    let (_, _, ac, bc) = workload(128);
-    let run = exact_l1::run(&ac, &bc, Seed(1)).unwrap();
+    let (session, _, _) = workload(128);
+    let run = session.run_seeded(&ExactL1, &(), Seed(1)).unwrap();
     // n varints of small counts: at most 16 bits each plus header.
     assert!(run.bits() <= 128 * 16 + 64, "l1 bits {}", run.bits());
     assert_eq!(run.rounds(), 1);
@@ -25,8 +27,8 @@ fn exact_l1_budget() {
 
 #[test]
 fn l1_sample_budget() {
-    let (_, _, ac, bc) = workload(128);
-    let run = l1_sample::run(&ac, &bc, Seed(2)).unwrap();
+    let (session, _, _) = workload(128);
+    let run = session.run_seeded(&L1Sampling, &(), Seed(2)).unwrap();
     // n * (mass varint + index) <= n * (16 + 7) plus header.
     assert!(run.bits() <= 128 * 24 + 64, "l1-sample bits {}", run.bits());
     assert_eq!(run.rounds(), 1);
@@ -34,9 +36,9 @@ fn l1_sample_budget() {
 
 #[test]
 fn lp_norm_budget_matches_sketch_size() {
-    let (_, _, ac, bc) = workload(96);
+    let (session, _, _) = workload(96);
     let params = LpParams::new(PNorm::TWO, 0.2);
-    let run = lp_norm::run(&ac, &bc, &params, Seed(3)).unwrap();
+    let run = session.run_seeded(&LpNorm, &params, Seed(3)).unwrap();
     // Round 1: n rows x sketch words x 64 bits; round 2: sampled rows.
     // With beta = sqrt(0.2) the AMS sketch has 5 groups x ceil(4/0.2)=20
     // counters = 100 words.
@@ -55,11 +57,14 @@ fn lp_norm_budget_matches_sketch_size() {
 
 #[test]
 fn baseline_pays_the_eps_factor() {
-    let (_, _, ac, bc) = workload(64);
+    let (session, _, _) = workload(64);
     for (eps, min_ratio) in [(0.2, 2.0), (0.1, 5.0)] {
-        let two = lp_norm::run(&ac, &bc, &LpParams::new(PNorm::TWO, eps), Seed(4)).unwrap();
-        let one =
-            lp_baseline::run(&ac, &bc, &BaselineParams::new(PNorm::TWO, eps), Seed(4)).unwrap();
+        let two = session
+            .run_seeded(&LpNorm, &LpParams::new(PNorm::TWO, eps), Seed(4))
+            .unwrap();
+        let one = session
+            .run_seeded(&LpBaseline, &BaselineParams::new(PNorm::TWO, eps), Seed(4))
+            .unwrap();
         let ratio = one.bits() as f64 / two.bits() as f64;
         assert!(
             ratio >= min_ratio,
@@ -70,8 +75,8 @@ fn baseline_pays_the_eps_factor() {
 
 #[test]
 fn sparse_matmul_budget() {
-    let (_, _, ac, bc) = workload(128);
-    let run = sparse_matmul::run(&ac, &bc, Seed(5)).unwrap();
+    let (session, ac, bc) = workload(128);
+    let run = session.run_seeded(&SparseMatmul, &(), Seed(5)).unwrap();
     // Weights: 2n varints; lists: min-side entries at ~(16+7+8) bits.
     let min_side: u64 = ac
         .col_nnz()
@@ -90,77 +95,73 @@ fn sparse_matmul_budget() {
 
 #[test]
 fn round_counts_match_paper() {
-    let (a, b, ac, bc) = workload(64);
+    let (session, _, _) = workload(64);
+    let seeded = |req: &EstimateRequest| session.estimate_seeded(req, Seed(6)).unwrap().rounds();
     assert_eq!(
-        lp_norm::run(&ac, &bc, &LpParams::new(PNorm::Zero, 0.3), Seed(6))
-            .unwrap()
-            .rounds(),
+        seeded(&EstimateRequest::LpNorm {
+            p: PNorm::Zero,
+            eps: 0.3
+        }),
         2,
         "Algorithm 1: 2 rounds"
     );
     assert_eq!(
-        lp_baseline::run(&ac, &bc, &BaselineParams::new(PNorm::Zero, 0.3), Seed(6))
-            .unwrap()
-            .rounds(),
+        seeded(&EstimateRequest::LpBaseline {
+            p: PNorm::Zero,
+            eps: 0.3
+        }),
         1,
         "baseline: 1 round"
     );
     assert_eq!(
-        l0_sample::run(&ac, &bc, &L0SampleParams::new(0.4), Seed(6))
-            .unwrap()
-            .rounds(),
+        seeded(&EstimateRequest::L0Sample { eps: 0.4 }),
         1,
         "Theorem 3.2: 1 round"
     );
     assert_eq!(
-        linf_binary::run(&a, &b, &LinfBinaryParams::new(0.3), Seed(6))
-            .unwrap()
-            .rounds(),
+        seeded(&EstimateRequest::LinfBinary { eps: 0.3 }),
         3,
         "Algorithm 2: 3 rounds"
     );
     assert!(
-        linf_kappa::run(&a, &b, &LinfKappaParams::new(8.0), Seed(6))
-            .unwrap()
-            .rounds()
-            <= 3,
+        seeded(&EstimateRequest::LinfKappa { kappa: 8.0 }) <= 3,
         "Algorithm 3: O(1) rounds"
     );
     assert_eq!(
-        linf_general::run(&ac, &bc, &LinfGeneralParams::new(4), Seed(6))
-            .unwrap()
-            .rounds(),
+        seeded(&EstimateRequest::LinfGeneral { kappa: 4 }),
         1,
         "Theorem 4.8: 1 round"
     );
     assert!(
-        hh_general::run(&ac, &bc, &HhGeneralParams::new(1.0, 0.2, 0.1), Seed(6))
-            .unwrap()
-            .rounds()
-            <= 4,
+        seeded(&EstimateRequest::HhGeneral {
+            p: 1.0,
+            phi: 0.2,
+            eps: 0.1
+        }) <= 4,
         "Algorithm 4: O(1) rounds"
     );
     assert!(
-        hh_binary::run(&a, &b, &HhBinaryParams::new(1.0, 0.2, 0.1), Seed(6))
-            .unwrap()
-            .rounds()
-            <= 6,
+        seeded(&EstimateRequest::HhBinary {
+            p: 1.0,
+            phi: 0.2,
+            eps: 0.1
+        }) <= 6,
         "Theorem 5.3: O(1) rounds"
     );
 }
 
 #[test]
 fn linf_general_quadratic_in_inverse_kappa() {
-    let (_, _, ac, bc) = workload(128);
-    let b2 = linf_general::run(&ac, &bc, &LinfGeneralParams::new(2), Seed(7))
-        .unwrap()
-        .bits();
-    let b4 = linf_general::run(&ac, &bc, &LinfGeneralParams::new(4), Seed(7))
-        .unwrap()
-        .bits();
-    let b8 = linf_general::run(&ac, &bc, &LinfGeneralParams::new(8), Seed(7))
-        .unwrap()
-        .bits();
+    let (session, _, _) = workload(128);
+    let bits_at = |kappa: usize| {
+        session
+            .run_seeded(&LinfGeneral, &LinfGeneralParams::new(kappa), Seed(7))
+            .unwrap()
+            .bits()
+    };
+    let b2 = bits_at(2);
+    let b4 = bits_at(4);
+    let b8 = bits_at(8);
     // Block count shrinks ~4x per kappa doubling.
     assert!(b4 * 3 <= b2, "kappa 2->4: {b2} -> {b4}");
     assert!(b8 * 3 <= b4, "kappa 4->8: {b4} -> {b8}");
@@ -170,10 +171,12 @@ fn linf_general_quadratic_in_inverse_kappa() {
 fn kappa_linf_decreases_in_kappa() {
     let n = 96;
     let (a, b, _) = Workloads::planted_pairs(n, n, 0.25, &[(2, 3)], 64, 17);
+    let session = Session::new(a, b);
     let bits: Vec<u64> = [4.0, 8.0, 16.0]
         .iter()
         .map(|&k| {
-            linf_kappa::run(&a, &b, &LinfKappaParams::new(k), Seed(8))
+            session
+                .run_seeded(&LinfKappa, &LinfKappaParams::new(k), Seed(8))
                 .unwrap()
                 .bits()
         })

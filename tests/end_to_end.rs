@@ -1,11 +1,13 @@
-//! End-to-end integration: every protocol on one shared workload, with
-//! cross-protocol consistency checks.
+//! End-to-end integration: every protocol on one shared workload through
+//! one reusable [`Session`], with cross-protocol consistency checks.
 
 use mpest::prelude::*;
 
 /// One workload shared by all the tests below: a pair of relations with
-/// a planted heavy pair, plus its exact product statistics.
+/// a planted heavy pair, a session over it, plus its exact product
+/// statistics.
 struct World {
+    session: Session,
     a_bits: BitMatrix,
     b_bits: BitMatrix,
     a: CsrMatrix,
@@ -19,6 +21,7 @@ fn world() -> World {
     let b = b_bits.to_csr();
     let c = a.matmul(&b);
     World {
+        session: Session::new(a_bits.clone(), b_bits.clone()).with_seed(Seed(404)),
         a_bits,
         b_bits,
         a,
@@ -34,7 +37,10 @@ fn lp_norm_all_p_agree_with_ground_truth() {
         let truth = norms::csr_lp_pow(&w.c, p);
         let mut ok = 0;
         for t in 0..9 {
-            let run = lp_norm::run(&w.a, &w.b, &LpParams::new(p, 0.25), Seed(t)).unwrap();
+            let run = w
+                .session
+                .run_seeded(&LpNorm, &LpParams::new(p, 0.25), Seed(t))
+                .unwrap();
             assert_eq!(run.rounds(), 2);
             if (run.output - truth).abs() <= 0.3 * truth {
                 ok += 1;
@@ -47,12 +53,14 @@ fn lp_norm_all_p_agree_with_ground_truth() {
 #[test]
 fn exact_l1_matches_lp_protocol_in_expectation() {
     let w = world();
-    let exact = exact_l1::run(&w.a, &w.b, Seed(0)).unwrap().output as f64;
+    let exact = w.session.run_seeded(&ExactL1, &(), Seed(0)).unwrap().output as f64;
     assert_eq!(exact, norms::csr_lp_pow(&w.c, PNorm::ONE));
     // Algorithm 1 at p=1 should bracket the exact value.
     let mut sum = 0.0;
     for t in 0..12 {
-        sum += lp_norm::run(&w.a, &w.b, &LpParams::new(PNorm::ONE, 0.3), Seed(100 + t))
+        sum += w
+            .session
+            .run_seeded(&LpNorm, &LpParams::new(PNorm::ONE, 0.3), Seed(100 + t))
             .unwrap()
             .output;
     }
@@ -66,7 +74,7 @@ fn exact_l1_matches_lp_protocol_in_expectation() {
 #[test]
 fn trivial_protocol_is_the_exact_reference() {
     let w = world();
-    let run = trivial::run_binary(&w.a_bits, &w.b_bits, Seed(0)).unwrap();
+    let run = w.session.run_seeded(&TrivialBinary, &(), Seed(0)).unwrap();
     assert_eq!(run.output.l0, norms::csr_lp_pow(&w.c, PNorm::Zero));
     assert_eq!(run.output.l1, norms::csr_lp_pow(&w.c, PNorm::ONE));
     assert_eq!(run.output.l2_sq, norms::csr_lp_pow(&w.c, PNorm::TWO));
@@ -76,7 +84,7 @@ fn trivial_protocol_is_the_exact_reference() {
 #[test]
 fn sparse_matmul_reconstructs_product() {
     let w = world();
-    let run = sparse_matmul::run(&w.a, &w.b, Seed(3)).unwrap();
+    let run = w.session.run_seeded(&SparseMatmul, &(), Seed(3)).unwrap();
     assert_eq!(run.output.reconstruct(w.a.rows(), w.b.cols()), w.c);
     assert_eq!(run.rounds(), 2);
 }
@@ -86,12 +94,16 @@ fn linf_protocols_bracket_truth() {
     let w = world();
     let truth = norms::csr_linf(&w.c).0 as f64;
     // Algorithm 2: 2+eps.
-    let run = linf_binary::run(&w.a_bits, &w.b_bits, &LinfBinaryParams::new(0.25), Seed(4))
+    let run = w
+        .session
+        .run_seeded(&LinfBinary, &LinfBinaryParams::new(0.25), Seed(4))
         .unwrap();
     assert!(run.output.estimate >= truth / 3.0 && run.output.estimate <= 1.8 * truth);
     // Algorithm 3: kappa.
     let kappa = 6.0;
-    let run = linf_kappa::run(&w.a_bits, &w.b_bits, &LinfKappaParams::new(kappa), Seed(5))
+    let run = w
+        .session
+        .run_seeded(&LinfKappa, &LinfKappaParams::new(kappa), Seed(5))
         .unwrap();
     assert!(
         run.output.estimate >= truth / (3.0 * kappa) && run.output.estimate <= 3.0 * kappa * truth,
@@ -99,7 +111,10 @@ fn linf_protocols_bracket_truth() {
         run.output.estimate
     );
     // Theorem 4.8 on the integer view.
-    let run = linf_general::run(&w.a, &w.b, &LinfGeneralParams::new(4), Seed(6)).unwrap();
+    let run = w
+        .session
+        .run_seeded(&LinfGeneral, &LinfGeneralParams::new(4), Seed(6))
+        .unwrap();
     assert!(run.output >= 0.4 * truth && run.output <= 8.0 * truth);
 }
 
@@ -113,36 +128,39 @@ fn heavy_hitter_protocols_find_planted_pair() {
     let mut bin_hits = 0;
     let mut gen_hits = 0;
     for t in 0..7 {
-        let run = hh_binary::run(
-            &w.a_bits,
-            &w.b_bits,
-            &HhBinaryParams::new(1.0, phi, eps),
-            Seed(70 + t),
-        )
-        .unwrap();
+        let run = w
+            .session
+            .run_seeded(&HhBinary, &HhBinaryParams::new(1.0, phi, eps), Seed(70 + t))
+            .unwrap();
         if run.output.contains(5, 9) {
             bin_hits += 1;
         }
-        let run = hh_general::run(
-            &w.a,
-            &w.b,
-            &HhGeneralParams::new(1.0, phi, eps),
-            Seed(70 + t),
-        )
-        .unwrap();
+        let run = w
+            .session
+            .run_seeded(
+                &HhGeneral,
+                &HhGeneralParams::new(1.0, phi, eps),
+                Seed(70 + t),
+            )
+            .unwrap();
         if run.output.contains(5, 9) {
             gen_hits += 1;
         }
     }
     assert!(bin_hits >= 5, "binary HH missed planted pair: {bin_hits}/7");
-    assert!(gen_hits >= 5, "general HH missed planted pair: {gen_hits}/7");
+    assert!(
+        gen_hits >= 5,
+        "general HH missed planted pair: {gen_hits}/7"
+    );
 }
 
 #[test]
 fn samples_come_from_the_support() {
     let w = world();
     for t in 0..10 {
-        match l0_sample::run(&w.a, &w.b, &L0SampleParams::new(0.3), Seed(200 + t))
+        match w
+            .session
+            .run_seeded(&L0Sample, &L0SampleParams::new(0.3), Seed(200 + t))
             .unwrap()
             .output
         {
@@ -153,7 +171,12 @@ fn samples_come_from_the_support() {
             MatrixSample::Failed => {}
             MatrixSample::ZeroMatrix => panic!("product is not zero"),
         }
-        if let Some(s) = l1_sample::run(&w.a, &w.b, Seed(300 + t)).unwrap().output {
+        if let Some(s) = w
+            .session
+            .run_seeded(&L1Sampling, &(), Seed(300 + t))
+            .unwrap()
+            .output
+        {
             assert_eq!(w.a.get(s.row as usize, s.witness), 1);
             assert_eq!(w.b.get(s.witness as usize, s.col), 1);
         }
@@ -187,25 +210,20 @@ fn runs_are_reproducible_from_seeds() {
     // contract every experiment in EXPERIMENTS.md relies on.
     let w = world();
     let params = LpParams::new(PNorm::ONE, 0.3);
-    let r1 = lp_norm::run(&w.a, &w.b, &params, Seed(777)).unwrap();
-    let r2 = lp_norm::run(&w.a, &w.b, &params, Seed(777)).unwrap();
+    let r1 = w.session.run_seeded(&LpNorm, &params, Seed(777)).unwrap();
+    let r2 = w.session.run_seeded(&LpNorm, &params, Seed(777)).unwrap();
     assert_eq!(r1.output.to_bits(), r2.output.to_bits());
     assert_eq!(r1.transcript, r2.transcript);
 
-    let h1 = hh_binary::run(
-        &w.a_bits,
-        &w.b_bits,
-        &HhBinaryParams::new(1.0, 0.01, 0.005),
-        Seed(88),
-    )
-    .unwrap();
-    let h2 = hh_binary::run(
-        &w.a_bits,
-        &w.b_bits,
-        &HhBinaryParams::new(1.0, 0.01, 0.005),
-        Seed(88),
-    )
-    .unwrap();
+    let hh_params = HhBinaryParams::new(1.0, 0.01, 0.005);
+    let h1 = w
+        .session
+        .run_seeded(&HhBinary, &hh_params, Seed(88))
+        .unwrap();
+    let h2 = w
+        .session
+        .run_seeded(&HhBinary, &hh_params, Seed(88))
+        .unwrap();
     assert_eq!(h1.output.positions(), h2.output.positions());
     assert_eq!(h1.bits(), h2.bits());
 }
@@ -216,10 +234,20 @@ fn baseline_vs_algorithm1_separation() {
     // a factor ~1/eps in bits.
     let w = world();
     let eps = 0.05;
-    let two = lp_norm::run(&w.a, &w.b, &LpParams::new(PNorm::Zero, eps), Seed(1)).unwrap();
-    let one = lp_baseline::run(&w.a, &w.b, &BaselineParams::new(PNorm::Zero, eps), Seed(1))
+    let two = w
+        .session
+        .run_seeded(&LpNorm, &LpParams::new(PNorm::Zero, eps), Seed(1))
         .unwrap();
-    assert!(one.bits() > 3 * two.bits(), "{} vs {}", one.bits(), two.bits());
+    let one = w
+        .session
+        .run_seeded(&LpBaseline, &BaselineParams::new(PNorm::Zero, eps), Seed(1))
+        .unwrap();
+    assert!(
+        one.bits() > 3 * two.bits(),
+        "{} vs {}",
+        one.bits(),
+        two.bits()
+    );
     assert_eq!(one.rounds(), 1);
     assert_eq!(two.rounds(), 2);
 }

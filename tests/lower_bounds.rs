@@ -20,10 +20,12 @@ fn disj_embedding_runs_through_linf_binary() {
     for seed in 0..6 {
         let yes = DisjInstance::intersecting(16, 0.15, seed);
         let no = DisjInstance::disjoint(16, 0.15, seed + 100);
-        let run_yes =
-            linf_binary::run(&yes.matrix_a(), &yes.matrix_b(), &params, Seed(seed)).unwrap();
-        let run_no =
-            linf_binary::run(&no.matrix_a(), &no.matrix_b(), &params, Seed(seed)).unwrap();
+        let run_yes = Session::new(yes.matrix_a(), yes.matrix_b())
+            .run_seeded(&LinfBinary, &params, Seed(seed))
+            .unwrap();
+        let run_no = Session::new(no.matrix_a(), no.matrix_b())
+            .run_seeded(&LinfBinary, &params, Seed(seed))
+            .unwrap();
         assert!(
             run_yes.output.estimate >= 2.0 / 2.5 && run_yes.output.estimate <= 2.5,
             "yes-instance estimate {} outside (2+eps) band",
@@ -44,9 +46,12 @@ fn trivial_protocol_decides_disj_exactly() {
     for seed in 0..6 {
         let yes = DisjInstance::intersecting(12, 0.2, seed);
         let no = DisjInstance::disjoint(12, 0.2, seed + 50);
-        let run_yes =
-            trivial::run_binary(&yes.matrix_a(), &yes.matrix_b(), Seed(0)).unwrap();
-        let run_no = trivial::run_binary(&no.matrix_a(), &no.matrix_b(), Seed(0)).unwrap();
+        let run_yes = Session::new(yes.matrix_a(), yes.matrix_b())
+            .run_seeded(&TrivialBinary, &(), Seed(0))
+            .unwrap();
+        let run_no = Session::new(no.matrix_a(), no.matrix_b())
+            .run_seeded(&TrivialBinary, &(), Seed(0))
+            .unwrap();
         assert_eq!(run_yes.output.linf.0, 2);
         assert!(run_no.output.linf.0 <= 1);
         assert!(DisjInstance::decide(run_yes.output.linf.0 as f64));
@@ -66,16 +71,12 @@ fn gap_linf_embedding_through_block_ams() {
         let far = GapLinfInstance::far(12, kappa_gap, seed);
         let close = GapLinfInstance::close(12, kappa_gap, seed + 30);
         // kappa=2 approximation: factor-2 uncertainty, gap is 24.
-        let pf =
-            linf_general::run(&far.matrix_a(), &far.matrix_b(), &LinfGeneralParams::new(2), Seed(seed))
-                .unwrap();
-        let pc = linf_general::run(
-            &close.matrix_a(),
-            &close.matrix_b(),
-            &LinfGeneralParams::new(2),
-            Seed(seed),
-        )
-        .unwrap();
+        let pf = Session::new(far.matrix_a(), far.matrix_b())
+            .run_seeded(&LinfGeneral, &LinfGeneralParams::new(2), Seed(seed))
+            .unwrap();
+        let pc = Session::new(close.matrix_a(), close.matrix_b())
+            .run_seeded(&LinfGeneral, &LinfGeneralParams::new(2), Seed(seed))
+            .unwrap();
         far_ests.push(pf.output);
         close_ests.push(pc.output);
     }
@@ -101,8 +102,9 @@ fn sum_construction_diagonal_gap_and_linf_protocol() {
             // (2+eps) protocol sees a value of that order.
             let truth = stats::linf_of_product_binary(&a, &b).0 as f64;
             assert!(truth >= inst.replication() as f64);
-            let run =
-                linf_binary::run(&a, &b, &LinfBinaryParams::new(0.3), Seed(seed)).unwrap();
+            let run = Session::new(a.clone(), b.clone())
+                .run_seeded(&LinfBinary, &LinfBinaryParams::new(0.3), Seed(seed))
+                .unwrap();
             assert!(
                 run.output.estimate >= truth / 3.0,
                 "protocol lost the planted signal: {} vs {truth}",

@@ -3,17 +3,14 @@
 //! These complement the per-module unit tests with adversarially-shaped
 //! random inputs (arbitrary shapes, densities, values) checking the
 //! *unconditional* invariants: exactness of exact protocols, membership
-//! of samples, reconstruction of shares, validity of transcripts.
+//! of samples, reconstruction of shares, validity of transcripts. Every
+//! query runs through a [`Session`] over the generated pair.
 
 use mpest::prelude::*;
 use proptest::prelude::*;
 
 /// Strategy: a small random CSR matrix with the given shape bounds.
-fn csr(
-    max_rows: usize,
-    max_cols: usize,
-    max_val: i64,
-) -> impl Strategy<Value = CsrMatrix> {
+fn csr(max_rows: usize, max_cols: usize, max_val: i64) -> impl Strategy<Value = CsrMatrix> {
     (1..=max_rows, 1..=max_cols).prop_flat_map(move |(r, c)| {
         proptest::collection::vec(
             ((0..r as u32), (0..c as u32), 1..=max_val),
@@ -39,7 +36,8 @@ proptest! {
 
     #[test]
     fn exact_l1_is_exact((a, b) in csr_pair()) {
-        let run = exact_l1::run(&a, &b, Seed(1)).unwrap();
+        let session = Session::new(a.clone(), b.clone());
+        let run = session.run_seeded(&ExactL1, &(), Seed(1)).unwrap();
         let truth = norms::csr_lp_pow(&a.matmul(&b), PNorm::ONE);
         prop_assert_eq!(run.output as f64, truth);
         prop_assert_eq!(run.rounds(), 1);
@@ -47,14 +45,16 @@ proptest! {
 
     #[test]
     fn sparse_matmul_exact_for_any_inputs((a, b) in csr_pair()) {
-        let run = sparse_matmul::run(&a, &b, Seed(2)).unwrap();
+        let session = Session::new(a.clone(), b.clone());
+        let run = session.run_seeded(&SparseMatmul, &(), Seed(2)).unwrap();
         prop_assert_eq!(run.output.reconstruct(a.rows(), b.cols()), a.matmul(&b));
         prop_assert!(run.rounds() <= 2);
     }
 
     #[test]
     fn l1_sample_is_a_join_witness((a, b) in csr_pair()) {
-        let run = l1_sample::run(&a, &b, Seed(3)).unwrap();
+        let session = Session::new(a.clone(), b.clone());
+        let run = session.run_seeded(&L1Sampling, &(), Seed(3)).unwrap();
         let c = a.matmul(&b);
         match run.output {
             Some(s) => {
@@ -68,7 +68,10 @@ proptest! {
 
     #[test]
     fn l0_sample_value_matches_product((a, b) in csr_pair()) {
-        let run = l0_sample::run(&a, &b, &L0SampleParams::new(0.5), Seed(4)).unwrap();
+        let session = Session::new(a.clone(), b.clone());
+        let run = session
+            .run_seeded(&L0Sample, &L0SampleParams::new(0.5), Seed(4))
+            .unwrap();
         let c = a.matmul(&b);
         match run.output {
             MatrixSample::Sampled { row, col, value } => {
@@ -83,15 +86,18 @@ proptest! {
     #[test]
     fn lp_estimates_are_nonnegative_and_zero_on_zero(a in csr(16, 16, 4)) {
         let zero = CsrMatrix::zeros(a.cols(), 8);
+        let session = Session::new(a, zero);
         for p in [PNorm::Zero, PNorm::ONE, PNorm::TWO] {
-            let run = lp_norm::run(&a, &zero, &LpParams::new(p, 0.5), Seed(5)).unwrap();
+            let run = session
+                .run_seeded(&LpNorm, &LpParams::new(p, 0.5), Seed(5))
+                .unwrap();
             prop_assert!(run.output.abs() < 2.0, "zero product estimated {}", run.output);
         }
     }
 
     #[test]
     fn transcripts_are_well_formed((a, b) in csr_pair()) {
-        let run = sparse_matmul::run(&a, &b, Seed(6)).unwrap();
+        let run = Session::new(a, b).run_seeded(&SparseMatmul, &(), Seed(6)).unwrap();
         let t = &run.transcript;
         // Bits by direction partition the total.
         prop_assert_eq!(t.total_bits(), t.bits_from(Party::Alice) + t.bits_from(Party::Bob));
@@ -106,7 +112,8 @@ proptest! {
 
     #[test]
     fn trivial_csr_recovers_all_stats((a, b) in csr_pair()) {
-        let run = trivial::run_csr(&a, &b, Seed(7)).unwrap();
+        let session = Session::new(a.clone(), b.clone());
+        let run = session.run_seeded(&TrivialCsr, &(), Seed(7)).unwrap();
         let c = a.matmul(&b);
         prop_assert_eq!(run.output.l0, norms::csr_lp_pow(&c, PNorm::Zero));
         prop_assert_eq!(run.output.l1, norms::csr_lp_pow(&c, PNorm::ONE));
@@ -116,7 +123,9 @@ proptest! {
     #[test]
     fn linf_general_never_underestimates_badly((a, b) in csr_pair()) {
         let truth = norms::csr_linf(&a.matmul(&b)).0 as f64;
-        let run = linf_general::run(&a, &b, &LinfGeneralParams::new(3), Seed(8)).unwrap();
+        let run = Session::new(a, b)
+            .run_seeded(&LinfGeneral, &LinfGeneralParams::new(3), Seed(8))
+            .unwrap();
         if truth == 0.0 {
             prop_assert!(run.output < 1.0);
         } else {
@@ -132,7 +141,8 @@ proptest! {
     #[test]
     fn hh_general_reports_only_nonzero_entries((a, b) in csr_pair()) {
         let params = HhGeneralParams::new(1.0, 0.3, 0.15);
-        let run = hh_general::run(&a, &b, &params, Seed(9)).unwrap();
+        let session = Session::new(a.clone(), b.clone());
+        let run = session.run_seeded(&HhGeneral, &params, Seed(9)).unwrap();
         let c = a.matmul(&b);
         for p in &run.output.pairs {
             prop_assert!(

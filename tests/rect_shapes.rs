@@ -1,5 +1,6 @@
 //! Section 6: every protocol family on rectangular shapes
-//! (`A ∈ {0,1}^{m1×n}`, `B ∈ {0,1}^{n×m2}`), including degenerate ones.
+//! (`A ∈ {0,1}^{m1×n}`, `B ∈ {0,1}^{n×m2}`), including degenerate ones,
+//! each shape served by one multi-query [`Session`].
 
 use mpest::prelude::*;
 
@@ -16,10 +17,13 @@ fn wide_inner_dimension() {
     let (a, b) = rect_pair(12, 300, 16, 0.1, 1);
     let (ac, bc) = (a.to_csr(), b.to_csr());
     let c = ac.matmul(&bc);
+    let session = Session::new(a, b);
     let truth = norms::csr_lp_pow(&c, PNorm::Zero);
-    let run = lp_norm::run(&ac, &bc, &LpParams::new(PNorm::Zero, 0.3), Seed(2)).unwrap();
+    let run = session
+        .run_seeded(&LpNorm, &LpParams::new(PNorm::Zero, 0.3), Seed(2))
+        .unwrap();
     assert!((run.output - truth).abs() <= 0.5 * truth.max(4.0));
-    let run = exact_l1::run(&ac, &bc, Seed(2)).unwrap();
+    let run = session.run_seeded(&ExactL1, &(), Seed(2)).unwrap();
     assert_eq!(run.output as f64, norms::csr_lp_pow(&c, PNorm::ONE));
 }
 
@@ -27,15 +31,15 @@ fn wide_inner_dimension() {
 fn narrow_inner_dimension() {
     // Many sets over a tiny universe: m >> n, dense product.
     let (a, b) = rect_pair(200, 12, 180, 0.3, 3);
-    let (ac, bc) = (a.to_csr(), b.to_csr());
-    let c = ac.matmul(&bc);
-    let run = sparse_matmul::run(&ac, &bc, Seed(4)).unwrap();
+    let c = a.to_csr().matmul(&b.to_csr());
+    let session = Session::new(a, b);
+    let run = session.run_seeded(&SparseMatmul, &(), Seed(4)).unwrap();
     assert_eq!(run.output.reconstruct(200, 180), c);
     let (truth, _) = norms::csr_linf(&c);
-    let run = linf_binary::run(&a, &b, &LinfBinaryParams::new(0.3), Seed(5)).unwrap();
-    assert!(
-        run.output.estimate >= truth as f64 / 3.0 && run.output.estimate <= 1.8 * truth as f64
-    );
+    let run = session
+        .run_seeded(&LinfBinary, &LinfBinaryParams::new(0.3), Seed(5))
+        .unwrap();
+    assert!(run.output.estimate >= truth as f64 / 3.0 && run.output.estimate <= 1.8 * truth as f64);
 }
 
 #[test]
@@ -44,9 +48,10 @@ fn single_row_and_column() {
     let a = Workloads::bernoulli_bits(1, 64, 0.4, 6).to_csr();
     let b = Workloads::bernoulli_bits(64, 1, 0.4, 7).to_csr();
     let c = a.matmul(&b);
-    let run = exact_l1::run(&a, &b, Seed(8)).unwrap();
+    let session = Session::new(a, b);
+    let run = session.run_seeded(&ExactL1, &(), Seed(8)).unwrap();
     assert_eq!(run.output as f64, norms::csr_lp_pow(&c, PNorm::ONE));
-    let run = sparse_matmul::run(&a, &b, Seed(9)).unwrap();
+    let run = session.run_seeded(&SparseMatmul, &(), Seed(9)).unwrap();
     assert_eq!(run.output.reconstruct(1, 1), c);
 }
 
@@ -65,15 +70,16 @@ fn heavy_hitters_on_rectangles() {
     let c = a.to_csr().matmul(&b.to_csr());
     let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
     let phi = ((c.get(7, 3) - 5) as f64 / l1).min(0.9);
+    let session = Session::new(a, b);
     let mut hits = 0;
     for t in 0..7 {
-        let run = hh_binary::run(
-            &a,
-            &b,
-            &HhBinaryParams::new(1.0, phi, (phi / 2.0).min(0.4)),
-            Seed(100 + t),
-        )
-        .unwrap();
+        let run = session
+            .run_seeded(
+                &HhBinary,
+                &HhBinaryParams::new(1.0, phi, (phi / 2.0).min(0.4)),
+                Seed(100 + t),
+            )
+            .unwrap();
         if run.output.contains(7, 3) {
             hits += 1;
         }
@@ -84,18 +90,22 @@ fn heavy_hitters_on_rectangles() {
 #[test]
 fn sampling_on_rectangles() {
     let (a, b) = rect_pair(30, 90, 24, 0.12, 20);
-    let (ac, bc) = (a.to_csr(), b.to_csr());
-    let c = ac.matmul(&bc);
+    let c = a.to_csr().matmul(&b.to_csr());
+    let session = Session::new(a, b);
     for t in 0..6 {
-        if let MatrixSample::Sampled { row, col, value } =
-            l0_sample::run(&ac, &bc, &L0SampleParams::new(0.4), Seed(30 + t))
-                .unwrap()
-                .output
+        if let MatrixSample::Sampled { row, col, value } = session
+            .run_seeded(&L0Sample, &L0SampleParams::new(0.4), Seed(30 + t))
+            .unwrap()
+            .output
         {
             assert!(row < 30 && col < 24);
             assert_eq!(c.get(row as usize, col), value);
         }
-        if let Some(s) = l1_sample::run(&ac, &bc, Seed(40 + t)).unwrap().output {
+        if let Some(s) = session
+            .run_seeded(&L1Sampling, &(), Seed(40 + t))
+            .unwrap()
+            .output
+        {
             assert!(s.row < 30 && s.col < 24 && s.witness < 90);
         }
     }
@@ -104,17 +114,21 @@ fn sampling_on_rectangles() {
 #[test]
 fn kappa_protocols_on_rectangles() {
     let (a, b) = rect_pair(64, 150, 48, 0.15, 50);
-    let (ac, bc) = (a.to_csr(), b.to_csr());
-    let truth = norms::csr_linf(&ac.matmul(&bc)).0 as f64;
+    let truth = norms::csr_linf(&a.to_csr().matmul(&b.to_csr())).0 as f64;
     if truth == 0.0 {
         return;
     }
-    let run = linf_kappa::run(&a, &b, &LinfKappaParams::new(6.0), Seed(51)).unwrap();
+    let session = Session::new(a, b);
+    let run = session
+        .run_seeded(&LinfKappa, &LinfKappaParams::new(6.0), Seed(51))
+        .unwrap();
     assert!(
         run.output.estimate <= 3.0 * 6.0 * truth,
         "kappa rect overshoot: {} vs {truth}",
         run.output.estimate
     );
-    let run = linf_general::run(&ac, &bc, &LinfGeneralParams::new(4), Seed(52)).unwrap();
+    let run = session
+        .run_seeded(&LinfGeneral, &LinfGeneralParams::new(4), Seed(52))
+        .unwrap();
     assert!(run.output <= 8.0 * truth && run.output >= 0.3 * truth);
 }

@@ -1,27 +1,90 @@
 //! Robustness: malformed inputs, degenerate instances, error paths, and
-//! the paper-faithful constants preset.
+//! the paper-faithful constants preset — all through the Session API.
 
 use mpest::comm::{execute, BitReader, BitWriter, CommError, Wire};
 use mpest::prelude::*;
 
 #[test]
 fn protocols_reject_mismatched_dimensions() {
-    let a = CsrMatrix::zeros(8, 9);
-    let b = CsrMatrix::zeros(8, 8); // inner mismatch: 9 vs 8
-    let ab = BitMatrix::zeros(8, 9);
-    let bb = BitMatrix::zeros(8, 8);
-    assert!(lp_norm::run(&a, &b, &LpParams::new(PNorm::ONE, 0.5), Seed(0)).is_err());
-    assert!(lp_baseline::run(&a, &b, &BaselineParams::new(PNorm::ONE, 0.5), Seed(0)).is_err());
-    assert!(exact_l1::run(&a, &b, Seed(0)).is_err());
-    assert!(l1_sample::run(&a, &b, Seed(0)).is_err());
-    assert!(l0_sample::run(&a, &b, &L0SampleParams::new(0.5), Seed(0)).is_err());
-    assert!(sparse_matmul::run(&a, &b, Seed(0)).is_err());
-    assert!(linf_binary::run(&ab, &bb, &LinfBinaryParams::new(0.5), Seed(0)).is_err());
-    assert!(linf_kappa::run(&ab, &bb, &LinfKappaParams::new(4.0), Seed(0)).is_err());
-    assert!(linf_general::run(&a, &b, &LinfGeneralParams::new(4), Seed(0)).is_err());
-    assert!(hh_general::run(&a, &b, &HhGeneralParams::new(1.0, 0.5, 0.25), Seed(0)).is_err());
-    assert!(hh_binary::run(&ab, &bb, &HhBinaryParams::new(1.0, 0.5, 0.25), Seed(0)).is_err());
-    assert!(trivial::run_binary(&ab, &bb, Seed(0)).is_err());
+    // One mismatched session; every protocol must surface the dimension
+    // error the session recorded at construction.
+    let session = Session::new(CsrMatrix::zeros(8, 9), CsrMatrix::zeros(8, 8));
+    let requests = [
+        EstimateRequest::LpNorm {
+            p: PNorm::ONE,
+            eps: 0.5,
+        },
+        EstimateRequest::LpBaseline {
+            p: PNorm::ONE,
+            eps: 0.5,
+        },
+        EstimateRequest::ExactL1,
+        EstimateRequest::L1Sample,
+        EstimateRequest::L0Sample { eps: 0.5 },
+        EstimateRequest::SparseMatmul,
+        EstimateRequest::LinfBinary { eps: 0.5 },
+        EstimateRequest::LinfKappa { kappa: 4.0 },
+        EstimateRequest::LinfGeneral { kappa: 4 },
+        EstimateRequest::HhGeneral {
+            p: 1.0,
+            phi: 0.5,
+            eps: 0.25,
+        },
+        EstimateRequest::HhBinary {
+            p: 1.0,
+            phi: 0.5,
+            eps: 0.25,
+        },
+        EstimateRequest::AtLeastTJoin { t: 1, slack: 0.5 },
+        EstimateRequest::TrivialBinary,
+        EstimateRequest::TrivialCsr,
+    ];
+    for req in &requests {
+        let err = session.estimate(req).unwrap_err();
+        assert!(
+            matches!(err, CommError::Protocol(_)),
+            "{}: expected protocol error, got {err:?}",
+            req.name()
+        );
+    }
+    // The deprecated one-shot wrappers keep the same contract.
+    #[allow(deprecated)]
+    {
+        let a = CsrMatrix::zeros(8, 9);
+        let b = CsrMatrix::zeros(8, 8);
+        assert!(lp_norm::run(&a, &b, &LpParams::new(PNorm::ONE, 0.5), Seed(0)).is_err());
+        assert!(exact_l1::run(&a, &b, Seed(0)).is_err());
+    }
+}
+
+#[test]
+fn invalid_parameters_are_rejected_per_query() {
+    let a = Workloads::bernoulli_bits(8, 8, 0.4, 1);
+    let b = Workloads::bernoulli_bits(8, 8, 0.4, 2);
+    let session = Session::new(a, b);
+    for req in [
+        EstimateRequest::LpNorm {
+            p: PNorm::ONE,
+            eps: 0.0,
+        },
+        EstimateRequest::L0Sample { eps: 1.5 },
+        EstimateRequest::LinfKappa { kappa: 0.5 },
+        EstimateRequest::LinfGeneral { kappa: 0 },
+        EstimateRequest::HhBinary {
+            p: 1.0,
+            phi: 0.1,
+            eps: 0.5,
+        },
+        EstimateRequest::AtLeastTJoin { t: 0, slack: 0.5 },
+    ] {
+        assert!(
+            session.estimate(&req).is_err(),
+            "{}: invalid parameters must be rejected",
+            req.name()
+        );
+    }
+    // A bad query must not poison the session for good queries.
+    assert!(session.estimate(&EstimateRequest::ExactL1).is_ok());
 }
 
 #[test]
@@ -79,16 +142,26 @@ fn early_party_abort_surfaces_protocol_error() {
 #[test]
 fn degenerate_shapes_run_clean() {
     // 1x1 everything.
-    let a = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 3)]);
-    let b = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 2)]);
-    assert_eq!(exact_l1::run(&a, &b, Seed(0)).unwrap().output, 6);
-    let run = sparse_matmul::run(&a, &b, Seed(0)).unwrap();
+    let session = Session::new(
+        CsrMatrix::from_triplets(1, 1, vec![(0, 0, 3)]),
+        CsrMatrix::from_triplets(1, 1, vec![(0, 0, 2)]),
+    );
+    assert_eq!(
+        session.run_seeded(&ExactL1, &(), Seed(0)).unwrap().output,
+        6
+    );
+    let run = session.run_seeded(&SparseMatmul, &(), Seed(0)).unwrap();
     assert_eq!(run.output.reconstruct(1, 1).get(0, 0), 6);
     // Empty (all-zero) matrices through every estimator.
-    let z = CsrMatrix::zeros(4, 4);
-    assert_eq!(exact_l1::run(&z, &z, Seed(0)).unwrap().output, 0);
-    assert_eq!(l1_sample::run(&z, &z, Seed(0)).unwrap().output, None);
-    let run = lp_norm::run(&z, &z, &LpParams::new(PNorm::Zero, 0.5), Seed(0)).unwrap();
+    let zeros = Session::new(CsrMatrix::zeros(4, 4), CsrMatrix::zeros(4, 4));
+    assert_eq!(zeros.run_seeded(&ExactL1, &(), Seed(0)).unwrap().output, 0);
+    assert_eq!(
+        zeros.run_seeded(&L1Sampling, &(), Seed(0)).unwrap().output,
+        None
+    );
+    let run = zeros
+        .run_seeded(&LpNorm, &LpParams::new(PNorm::Zero, 0.5), Seed(0))
+        .unwrap();
     assert!(run.output.abs() < 1.0);
 }
 
@@ -99,9 +172,13 @@ fn extreme_value_magnitudes() {
     let big = 1i64 << 20;
     let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, big), (1, 1, big)]);
     let b = CsrMatrix::from_triplets(2, 2, vec![(0, 0, big), (1, 0, 1)]);
-    let run = exact_l1::run(&a, &b, Seed(0)).unwrap();
-    assert_eq!(run.output, i128::from(big) * i128::from(big) + i128::from(big));
-    let shares = sparse_matmul::run(&a, &b, Seed(0)).unwrap();
+    let session = Session::new(a.clone(), b.clone());
+    let run = session.run_seeded(&ExactL1, &(), Seed(0)).unwrap();
+    assert_eq!(
+        run.output,
+        i128::from(big) * i128::from(big) + i128::from(big)
+    );
+    let shares = session.run_seeded(&SparseMatmul, &(), Seed(0)).unwrap();
     assert_eq!(shares.output.reconstruct(2, 2), a.matmul(&b));
 }
 
@@ -109,50 +186,51 @@ fn extreme_value_magnitudes() {
 fn paper_faithful_constants_still_correct() {
     // With the paper's 10^4-scale constants nothing subsamples at this
     // size — protocols must degrade to their exact paths and still meet
-    // every guarantee (just with more communication).
+    // every guarantee (just with more communication). Custom constants
+    // travel through the typed params, so the Session path covers them.
     let consts = Constants::paper_faithful();
     let (a_bits, b_bits, _) = Workloads::planted_pairs(40, 48, 0.1, &[(3, 5)], 24, 1);
-    let (a, b) = (a_bits.to_csr(), b_bits.to_csr());
-    let c = a.matmul(&b);
+    let session = Session::new(a_bits.clone(), b_bits.clone());
+    let c = a_bits.to_csr().matmul(&b_bits.to_csr());
 
     // Algorithm 2: with a huge gamma, lstar = 0 and the output is the
     // deterministic half-split bound.
     let truth = norms::csr_linf(&c).0 as f64;
     let params = LinfBinaryParams { eps: 0.3, consts };
-    let run = linf_binary::run(&a_bits, &b_bits, &params, Seed(2)).unwrap();
+    let run = session.run_seeded(&LinfBinary, &params, Seed(2)).unwrap();
     assert_eq!(run.output.level, Some(0));
     assert!(run.output.estimate >= truth / 2.0 - 1e-9 && run.output.estimate <= truth + 1e-9);
 
     // Algorithm 4: beta = 1 (no thinning) -> exact recovery + threshold.
     let l1 = norms::csr_lp_pow(&c, PNorm::ONE);
     let phi = ((c.get(3, 5) as f64 - 4.0) / l1).min(0.9);
-    let hh = hh_general::run(
-        &a,
-        &b,
-        &HhGeneralParams {
-            p: 1.0,
-            phi,
-            eps: (phi / 2.0).min(0.4),
-            consts,
-        },
-        Seed(3),
-    )
-    .unwrap();
+    let hh = session
+        .run_seeded(
+            &HhGeneral,
+            &HhGeneralParams {
+                p: 1.0,
+                phi,
+                eps: (phi / 2.0).min(0.4),
+                consts,
+            },
+            Seed(3),
+        )
+        .unwrap();
     assert!(hh.output.contains(3, 5));
 
     // Algorithm 1 with paper reps: heavier sketches, accuracy holds.
-    let lp = lp_norm::run(
-        &a,
-        &b,
-        &LpParams {
-            p: PNorm::ONE,
-            eps: 0.3,
-            consts,
-            beta_override: None,
-        },
-        Seed(4),
-    )
-    .unwrap();
+    let lp = session
+        .run_seeded(
+            &LpNorm,
+            &LpParams {
+                p: PNorm::ONE,
+                eps: 0.3,
+                consts,
+                beta_override: None,
+            },
+            Seed(4),
+        )
+        .unwrap();
     assert!((lp.output - l1).abs() <= 0.3 * l1);
 }
 
@@ -161,9 +239,13 @@ fn transcript_cost_model_consistency() {
     use mpest::comm::NetworkModel;
     let a = Workloads::bernoulli_bits(32, 32, 0.2, 9).to_csr();
     let b = Workloads::bernoulli_bits(32, 32, 0.2, 10).to_csr();
-    let one_round = lp_baseline::run(&a, &b, &BaselineParams::new(PNorm::TWO, 0.3), Seed(1))
+    let session = Session::new(a, b);
+    let one_round = session
+        .run_seeded(&LpBaseline, &BaselineParams::new(PNorm::TWO, 0.3), Seed(1))
         .unwrap();
-    let two_round = lp_norm::run(&a, &b, &LpParams::new(PNorm::TWO, 0.3), Seed(1)).unwrap();
+    let two_round = session
+        .run_seeded(&LpNorm, &LpParams::new(PNorm::TWO, 0.3), Seed(1))
+        .unwrap();
     // On an (absurd) pure-latency link, fewer rounds must win.
     let latency_only = NetworkModel {
         round_latency_s: 1.0,
