@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_hh-3c78e3257eb94776.d: crates/bench/benches/bench_hh.rs
+
+/root/repo/target/debug/deps/bench_hh-3c78e3257eb94776: crates/bench/benches/bench_hh.rs
+
+crates/bench/benches/bench_hh.rs:

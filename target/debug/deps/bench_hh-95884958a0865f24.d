@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_hh-95884958a0865f24.d: crates/bench/benches/bench_hh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_hh-95884958a0865f24.rmeta: crates/bench/benches/bench_hh.rs Cargo.toml
+
+crates/bench/benches/bench_hh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

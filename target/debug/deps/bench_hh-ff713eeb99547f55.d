@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_hh-ff713eeb99547f55.d: crates/bench/benches/bench_hh.rs
+
+/root/repo/target/debug/deps/libbench_hh-ff713eeb99547f55.rmeta: crates/bench/benches/bench_hh.rs
+
+crates/bench/benches/bench_hh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_linf-028f4f4a9a907c59.d: crates/bench/benches/bench_linf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_linf-028f4f4a9a907c59.rmeta: crates/bench/benches/bench_linf.rs Cargo.toml
+
+crates/bench/benches/bench_linf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

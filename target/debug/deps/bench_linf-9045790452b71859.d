@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_linf-9045790452b71859.d: crates/bench/benches/bench_linf.rs
+
+/root/repo/target/debug/deps/libbench_linf-9045790452b71859.rmeta: crates/bench/benches/bench_linf.rs
+
+crates/bench/benches/bench_linf.rs:

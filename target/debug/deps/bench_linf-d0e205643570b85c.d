@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_linf-d0e205643570b85c.d: crates/bench/benches/bench_linf.rs
+
+/root/repo/target/debug/deps/bench_linf-d0e205643570b85c: crates/bench/benches/bench_linf.rs
+
+crates/bench/benches/bench_linf.rs:

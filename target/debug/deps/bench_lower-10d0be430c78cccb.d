@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_lower-10d0be430c78cccb.d: crates/bench/benches/bench_lower.rs
+
+/root/repo/target/debug/deps/libbench_lower-10d0be430c78cccb.rmeta: crates/bench/benches/bench_lower.rs
+
+crates/bench/benches/bench_lower.rs:

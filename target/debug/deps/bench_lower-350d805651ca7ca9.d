@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_lower-350d805651ca7ca9.d: crates/bench/benches/bench_lower.rs
+
+/root/repo/target/debug/deps/bench_lower-350d805651ca7ca9: crates/bench/benches/bench_lower.rs
+
+crates/bench/benches/bench_lower.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_lower-68370e32c8a6dd9f.d: crates/bench/benches/bench_lower.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_lower-68370e32c8a6dd9f.rmeta: crates/bench/benches/bench_lower.rs Cargo.toml
+
+crates/bench/benches/bench_lower.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

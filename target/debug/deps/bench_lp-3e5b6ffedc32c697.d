@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_lp-3e5b6ffedc32c697.d: crates/bench/benches/bench_lp.rs
+
+/root/repo/target/debug/deps/libbench_lp-3e5b6ffedc32c697.rmeta: crates/bench/benches/bench_lp.rs
+
+crates/bench/benches/bench_lp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_lp-7b8d8c9311fa72d8.d: crates/bench/benches/bench_lp.rs
+
+/root/repo/target/debug/deps/bench_lp-7b8d8c9311fa72d8: crates/bench/benches/bench_lp.rs
+
+crates/bench/benches/bench_lp.rs:

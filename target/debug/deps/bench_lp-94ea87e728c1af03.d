@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_lp-94ea87e728c1af03.d: crates/bench/benches/bench_lp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_lp-94ea87e728c1af03.rmeta: crates/bench/benches/bench_lp.rs Cargo.toml
+
+crates/bench/benches/bench_lp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_rect-8a07d90a29c29683.d: crates/bench/benches/bench_rect.rs
+
+/root/repo/target/debug/deps/bench_rect-8a07d90a29c29683: crates/bench/benches/bench_rect.rs
+
+crates/bench/benches/bench_rect.rs:

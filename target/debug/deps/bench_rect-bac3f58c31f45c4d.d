@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_rect-bac3f58c31f45c4d.d: crates/bench/benches/bench_rect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_rect-bac3f58c31f45c4d.rmeta: crates/bench/benches/bench_rect.rs Cargo.toml
+
+crates/bench/benches/bench_rect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_rect-d0a73f82d97fcdd6.d: crates/bench/benches/bench_rect.rs
+
+/root/repo/target/debug/deps/libbench_rect-d0a73f82d97fcdd6.rmeta: crates/bench/benches/bench_rect.rs
+
+crates/bench/benches/bench_rect.rs:

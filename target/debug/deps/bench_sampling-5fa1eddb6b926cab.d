@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sampling-5fa1eddb6b926cab.d: crates/bench/benches/bench_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sampling-5fa1eddb6b926cab.rmeta: crates/bench/benches/bench_sampling.rs Cargo.toml
+
+crates/bench/benches/bench_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

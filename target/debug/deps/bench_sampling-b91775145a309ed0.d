@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sampling-b91775145a309ed0.d: crates/bench/benches/bench_sampling.rs
+
+/root/repo/target/debug/deps/bench_sampling-b91775145a309ed0: crates/bench/benches/bench_sampling.rs
+
+crates/bench/benches/bench_sampling.rs:

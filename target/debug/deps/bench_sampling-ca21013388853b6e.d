@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sampling-ca21013388853b6e.d: crates/bench/benches/bench_sampling.rs
+
+/root/repo/target/debug/deps/libbench_sampling-ca21013388853b6e.rmeta: crates/bench/benches/bench_sampling.rs
+
+crates/bench/benches/bench_sampling.rs:

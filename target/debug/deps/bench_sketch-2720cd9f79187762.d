@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sketch-2720cd9f79187762.d: crates/bench/benches/bench_sketch.rs
+
+/root/repo/target/debug/deps/libbench_sketch-2720cd9f79187762.rmeta: crates/bench/benches/bench_sketch.rs
+
+crates/bench/benches/bench_sketch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sketch-5370fb0d77c0b41f.d: crates/bench/benches/bench_sketch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sketch-5370fb0d77c0b41f.rmeta: crates/bench/benches/bench_sketch.rs Cargo.toml
+
+crates/bench/benches/bench_sketch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sketch-796c9f5f56ce651a.d: crates/bench/benches/bench_sketch.rs
+
+/root/repo/target/debug/deps/bench_sketch-796c9f5f56ce651a: crates/bench/benches/bench_sketch.rs
+
+crates/bench/benches/bench_sketch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sparse_matmul-22ae5bb96371bb64.d: crates/bench/benches/bench_sparse_matmul.rs
+
+/root/repo/target/debug/deps/libbench_sparse_matmul-22ae5bb96371bb64.rmeta: crates/bench/benches/bench_sparse_matmul.rs
+
+crates/bench/benches/bench_sparse_matmul.rs:

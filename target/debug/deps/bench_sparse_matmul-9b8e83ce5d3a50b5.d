@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sparse_matmul-9b8e83ce5d3a50b5.d: crates/bench/benches/bench_sparse_matmul.rs
+
+/root/repo/target/debug/deps/bench_sparse_matmul-9b8e83ce5d3a50b5: crates/bench/benches/bench_sparse_matmul.rs
+
+crates/bench/benches/bench_sparse_matmul.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sparse_matmul-a61350298170cca4.d: crates/bench/benches/bench_sparse_matmul.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sparse_matmul-a61350298170cca4.rmeta: crates/bench/benches/bench_sparse_matmul.rs Cargo.toml
+
+crates/bench/benches/bench_sparse_matmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

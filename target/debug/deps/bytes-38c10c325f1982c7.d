@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-38c10c325f1982c7.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-38c10c325f1982c7: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-3c11ab72445957de.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3c11ab72445957de.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

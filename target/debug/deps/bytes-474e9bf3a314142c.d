@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-474e9bf3a314142c.d: crates/shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-474e9bf3a314142c.rmeta: crates/shims/bytes/src/lib.rs Cargo.toml
+
+crates/shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

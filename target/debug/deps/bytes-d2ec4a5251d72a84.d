@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-d2ec4a5251d72a84.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d2ec4a5251d72a84.rlib: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d2ec4a5251d72a84.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-f22a391ec009b6f5.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-f22a391ec009b6f5.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

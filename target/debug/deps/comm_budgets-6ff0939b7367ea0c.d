@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_budgets-6ff0939b7367ea0c.d: tests/comm_budgets.rs
+
+/root/repo/target/debug/deps/libcomm_budgets-6ff0939b7367ea0c.rmeta: tests/comm_budgets.rs
+
+tests/comm_budgets.rs:

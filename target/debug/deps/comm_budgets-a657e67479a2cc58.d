@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comm_budgets-a657e67479a2cc58.d: tests/comm_budgets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomm_budgets-a657e67479a2cc58.rmeta: tests/comm_budgets.rs Cargo.toml
+
+tests/comm_budgets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

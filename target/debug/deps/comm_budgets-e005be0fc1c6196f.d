@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_budgets-e005be0fc1c6196f.d: tests/comm_budgets.rs
+
+/root/repo/target/debug/deps/comm_budgets-e005be0fc1c6196f: tests/comm_budgets.rs
+
+tests/comm_budgets.rs:

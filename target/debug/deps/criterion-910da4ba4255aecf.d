@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-910da4ba4255aecf.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-910da4ba4255aecf.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-910da4ba4255aecf.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

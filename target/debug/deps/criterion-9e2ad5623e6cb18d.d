@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-9e2ad5623e6cb18d.d: crates/shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-9e2ad5623e6cb18d.rmeta: crates/shims/criterion/src/lib.rs Cargo.toml
+
+crates/shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

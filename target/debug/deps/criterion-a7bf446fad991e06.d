@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a7bf446fad991e06.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-a7bf446fad991e06: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

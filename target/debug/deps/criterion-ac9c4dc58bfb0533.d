@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-ac9c4dc58bfb0533.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ac9c4dc58bfb0533.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

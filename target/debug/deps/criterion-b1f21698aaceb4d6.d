@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b1f21698aaceb4d6.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b1f21698aaceb4d6.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

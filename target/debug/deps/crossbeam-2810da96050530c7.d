@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-2810da96050530c7.d: crates/shims/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-2810da96050530c7.rmeta: crates/shims/crossbeam/src/lib.rs Cargo.toml
+
+crates/shims/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-530fff2cda3dbeae.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-530fff2cda3dbeae.rmeta: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-9e9ac53c1e616dda.d: crates/shims/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-9e9ac53c1e616dda.rmeta: crates/shims/crossbeam/src/lib.rs Cargo.toml
+
+crates/shims/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-a8e5e15c40e63711.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a8e5e15c40e63711.rlib: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a8e5e15c40e63711.rmeta: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-e0a82968431a6e97.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e0a82968431a6e97.rmeta: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

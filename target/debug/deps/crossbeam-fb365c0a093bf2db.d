@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-fb365c0a093bf2db.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-fb365c0a093bf2db: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a33e13aa98d75002.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a33e13aa98d75002: tests/end_to_end.rs
+
+tests/end_to_end.rs:

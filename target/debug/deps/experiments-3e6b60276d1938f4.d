@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-3e6b60276d1938f4.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-3e6b60276d1938f4: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a68a78431d650477.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-a68a78431d650477.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-b46258ca0b87a472.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-b46258ca0b87a472: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

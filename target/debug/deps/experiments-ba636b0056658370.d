@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-ba636b0056658370.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-ba636b0056658370.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

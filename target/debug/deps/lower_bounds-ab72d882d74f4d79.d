@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lower_bounds-ab72d882d74f4d79.d: tests/lower_bounds.rs
+
+/root/repo/target/debug/deps/lower_bounds-ab72d882d74f4d79: tests/lower_bounds.rs
+
+tests/lower_bounds.rs:

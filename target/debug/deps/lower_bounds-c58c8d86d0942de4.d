@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lower_bounds-c58c8d86d0942de4.d: tests/lower_bounds.rs
+
+/root/repo/target/debug/deps/liblower_bounds-c58c8d86d0942de4.rmeta: tests/lower_bounds.rs
+
+tests/lower_bounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lower_bounds-ee2ed7801b5ee18e.d: tests/lower_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblower_bounds-ee2ed7801b5ee18e.rmeta: tests/lower_bounds.rs Cargo.toml
+
+tests/lower_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

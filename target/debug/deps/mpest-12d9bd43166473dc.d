@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpest-12d9bd43166473dc.d: src/bin/mpest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpest-12d9bd43166473dc.rmeta: src/bin/mpest.rs Cargo.toml
+
+src/bin/mpest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

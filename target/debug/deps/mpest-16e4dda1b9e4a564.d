@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpest-16e4dda1b9e4a564.d: src/bin/mpest.rs
+
+/root/repo/target/debug/deps/mpest-16e4dda1b9e4a564: src/bin/mpest.rs
+
+src/bin/mpest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpest-2fd7e5dd8bef75c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/mpest-2fd7e5dd8bef75c3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpest-3e6f13f4aeb3988d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpest-3e6f13f4aeb3988d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmpest-3e6f13f4aeb3988d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpest-466a5855d660cde3.d: src/bin/mpest.rs
+
+/root/repo/target/debug/deps/libmpest-466a5855d660cde3.rmeta: src/bin/mpest.rs
+
+src/bin/mpest.rs:

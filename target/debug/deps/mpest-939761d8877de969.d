@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpest-939761d8877de969.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpest-939761d8877de969.rmeta: src/lib.rs
+
+src/lib.rs:

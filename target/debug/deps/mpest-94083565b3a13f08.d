@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpest-94083565b3a13f08.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpest-94083565b3a13f08.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpest-c00743fc7be94095.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpest-c00743fc7be94095.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpest-c3ad56befe4ff87a.d: src/bin/mpest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpest-c3ad56befe4ff87a.rmeta: src/bin/mpest.rs Cargo.toml
+
+src/bin/mpest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

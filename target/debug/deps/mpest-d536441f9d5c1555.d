@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpest-d536441f9d5c1555.d: src/bin/mpest.rs
+
+/root/repo/target/debug/deps/mpest-d536441f9d5c1555: src/bin/mpest.rs
+
+src/bin/mpest.rs:

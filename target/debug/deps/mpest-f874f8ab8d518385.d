@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpest-f874f8ab8d518385.d: src/bin/mpest.rs
+
+/root/repo/target/debug/deps/libmpest-f874f8ab8d518385.rmeta: src/bin/mpest.rs
+
+src/bin/mpest.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpest_bench-8f7d9f3668f7d7f2.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpest_bench-8f7d9f3668f7d7f2.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fit.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpest_bench-acdd8f6faaa49624.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmpest_bench-acdd8f6faaa49624.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmpest_bench-acdd8f6faaa49624.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fit.rs:
+crates/bench/src/report.rs:

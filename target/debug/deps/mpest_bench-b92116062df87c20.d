@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpest_bench-b92116062df87c20.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmpest_bench-b92116062df87c20.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fit.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpest_bench-d0216dc20e252e15.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/mpest_bench-d0216dc20e252e15: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fit.rs:
+crates/bench/src/report.rs:

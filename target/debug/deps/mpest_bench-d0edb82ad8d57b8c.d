@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpest_bench-d0edb82ad8d57b8c.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmpest_bench-d0edb82ad8d57b8c.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmpest_bench-d0edb82ad8d57b8c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fit.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mpest_comm-66259cc863b0b2c7.d: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpest_comm-66259cc863b0b2c7.rmeta: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/bits.rs:
+crates/comm/src/channel.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/error.rs:
+crates/comm/src/seed.rs:
+crates/comm/src/transcript.rs:
+crates/comm/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpest_comm-7db4f554e2f679dd.d: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+/root/repo/target/debug/deps/mpest_comm-7db4f554e2f679dd: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/bits.rs:
+crates/comm/src/channel.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/error.rs:
+crates/comm/src/seed.rs:
+crates/comm/src/transcript.rs:
+crates/comm/src/wire.rs:

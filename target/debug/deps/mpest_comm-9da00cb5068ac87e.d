@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpest_comm-9da00cb5068ac87e.d: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+/root/repo/target/debug/deps/libmpest_comm-9da00cb5068ac87e.rlib: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+/root/repo/target/debug/deps/libmpest_comm-9da00cb5068ac87e.rmeta: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/bits.rs:
+crates/comm/src/channel.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/error.rs:
+crates/comm/src/seed.rs:
+crates/comm/src/transcript.rs:
+crates/comm/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpest_comm-f6985e539b31f4dc.d: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+/root/repo/target/debug/deps/libmpest_comm-f6985e539b31f4dc.rmeta: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/bits.rs:
+crates/comm/src/channel.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/error.rs:
+crates/comm/src/seed.rs:
+crates/comm/src/transcript.rs:
+crates/comm/src/wire.rs:

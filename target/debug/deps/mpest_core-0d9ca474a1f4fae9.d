@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/mpest_core-0d9ca474a1f4fae9.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/config.rs crates/core/src/exact_l1.rs crates/core/src/exchange.rs crates/core/src/hh_binary.rs crates/core/src/hh_general.rs crates/core/src/l0_sample.rs crates/core/src/l1_sample.rs crates/core/src/linf_binary.rs crates/core/src/linf_general.rs crates/core/src/linf_kappa.rs crates/core/src/lp_baseline.rs crates/core/src/lp_norm.rs crates/core/src/protocol.rs crates/core/src/rect.rs crates/core/src/request.rs crates/core/src/result.rs crates/core/src/session.rs crates/core/src/sparse_matmul.rs crates/core/src/trivial.rs crates/core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpest_core-0d9ca474a1f4fae9.rmeta: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/config.rs crates/core/src/exact_l1.rs crates/core/src/exchange.rs crates/core/src/hh_binary.rs crates/core/src/hh_general.rs crates/core/src/l0_sample.rs crates/core/src/l1_sample.rs crates/core/src/linf_binary.rs crates/core/src/linf_general.rs crates/core/src/linf_kappa.rs crates/core/src/lp_baseline.rs crates/core/src/lp_norm.rs crates/core/src/protocol.rs crates/core/src/rect.rs crates/core/src/request.rs crates/core/src/result.rs crates/core/src/session.rs crates/core/src/sparse_matmul.rs crates/core/src/trivial.rs crates/core/src/wire.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/boost.rs:
+crates/core/src/config.rs:
+crates/core/src/exact_l1.rs:
+crates/core/src/exchange.rs:
+crates/core/src/hh_binary.rs:
+crates/core/src/hh_general.rs:
+crates/core/src/l0_sample.rs:
+crates/core/src/l1_sample.rs:
+crates/core/src/linf_binary.rs:
+crates/core/src/linf_general.rs:
+crates/core/src/linf_kappa.rs:
+crates/core/src/lp_baseline.rs:
+crates/core/src/lp_norm.rs:
+crates/core/src/protocol.rs:
+crates/core/src/rect.rs:
+crates/core/src/request.rs:
+crates/core/src/result.rs:
+crates/core/src/session.rs:
+crates/core/src/sparse_matmul.rs:
+crates/core/src/trivial.rs:
+crates/core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpest_lower-43f97a0567515d8e.d: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+/root/repo/target/debug/deps/libmpest_lower-43f97a0567515d8e.rlib: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+/root/repo/target/debug/deps/libmpest_lower-43f97a0567515d8e.rmeta: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+crates/lower/src/lib.rs:
+crates/lower/src/disj.rs:
+crates/lower/src/gap_linf.rs:
+crates/lower/src/sum_problem.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpest_lower-5989ccfd24d7eada.d: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+/root/repo/target/debug/deps/libmpest_lower-5989ccfd24d7eada.rmeta: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+crates/lower/src/lib.rs:
+crates/lower/src/disj.rs:
+crates/lower/src/gap_linf.rs:
+crates/lower/src/sum_problem.rs:

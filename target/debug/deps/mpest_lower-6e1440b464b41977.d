@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpest_lower-6e1440b464b41977.d: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+/root/repo/target/debug/deps/mpest_lower-6e1440b464b41977: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+crates/lower/src/lib.rs:
+crates/lower/src/disj.rs:
+crates/lower/src/gap_linf.rs:
+crates/lower/src/sum_problem.rs:

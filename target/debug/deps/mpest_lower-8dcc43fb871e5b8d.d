@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpest_lower-8dcc43fb871e5b8d.d: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+/root/repo/target/debug/deps/libmpest_lower-8dcc43fb871e5b8d.rmeta: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+crates/lower/src/lib.rs:
+crates/lower/src/disj.rs:
+crates/lower/src/gap_linf.rs:
+crates/lower/src/sum_problem.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpest_lower-a0430fd1d1767061.d: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpest_lower-a0430fd1d1767061.rmeta: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs Cargo.toml
+
+crates/lower/src/lib.rs:
+crates/lower/src/disj.rs:
+crates/lower/src/gap_linf.rs:
+crates/lower/src/sum_problem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

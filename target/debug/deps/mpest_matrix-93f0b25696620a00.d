@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mpest_matrix-93f0b25696620a00.d: crates/matrix/src/lib.rs crates/matrix/src/accumulate.rs crates/matrix/src/bitmat.rs crates/matrix/src/dense.rs crates/matrix/src/gen.rs crates/matrix/src/hashx.rs crates/matrix/src/io.rs crates/matrix/src/joins.rs crates/matrix/src/norms.rs crates/matrix/src/ring.rs crates/matrix/src/sparse.rs crates/matrix/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpest_matrix-93f0b25696620a00.rmeta: crates/matrix/src/lib.rs crates/matrix/src/accumulate.rs crates/matrix/src/bitmat.rs crates/matrix/src/dense.rs crates/matrix/src/gen.rs crates/matrix/src/hashx.rs crates/matrix/src/io.rs crates/matrix/src/joins.rs crates/matrix/src/norms.rs crates/matrix/src/ring.rs crates/matrix/src/sparse.rs crates/matrix/src/stats.rs Cargo.toml
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/accumulate.rs:
+crates/matrix/src/bitmat.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/gen.rs:
+crates/matrix/src/hashx.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/joins.rs:
+crates/matrix/src/norms.rs:
+crates/matrix/src/ring.rs:
+crates/matrix/src/sparse.rs:
+crates/matrix/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

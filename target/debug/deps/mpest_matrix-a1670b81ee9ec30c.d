@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mpest_matrix-a1670b81ee9ec30c.d: crates/matrix/src/lib.rs crates/matrix/src/accumulate.rs crates/matrix/src/bitmat.rs crates/matrix/src/dense.rs crates/matrix/src/gen.rs crates/matrix/src/hashx.rs crates/matrix/src/io.rs crates/matrix/src/joins.rs crates/matrix/src/norms.rs crates/matrix/src/ring.rs crates/matrix/src/sparse.rs crates/matrix/src/stats.rs
+
+/root/repo/target/debug/deps/libmpest_matrix-a1670b81ee9ec30c.rmeta: crates/matrix/src/lib.rs crates/matrix/src/accumulate.rs crates/matrix/src/bitmat.rs crates/matrix/src/dense.rs crates/matrix/src/gen.rs crates/matrix/src/hashx.rs crates/matrix/src/io.rs crates/matrix/src/joins.rs crates/matrix/src/norms.rs crates/matrix/src/ring.rs crates/matrix/src/sparse.rs crates/matrix/src/stats.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/accumulate.rs:
+crates/matrix/src/bitmat.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/gen.rs:
+crates/matrix/src/hashx.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/joins.rs:
+crates/matrix/src/norms.rs:
+crates/matrix/src/ring.rs:
+crates/matrix/src/sparse.rs:
+crates/matrix/src/stats.rs:

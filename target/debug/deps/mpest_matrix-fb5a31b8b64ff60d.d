@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mpest_matrix-fb5a31b8b64ff60d.d: crates/matrix/src/lib.rs crates/matrix/src/accumulate.rs crates/matrix/src/bitmat.rs crates/matrix/src/dense.rs crates/matrix/src/gen.rs crates/matrix/src/hashx.rs crates/matrix/src/io.rs crates/matrix/src/joins.rs crates/matrix/src/norms.rs crates/matrix/src/ring.rs crates/matrix/src/sparse.rs crates/matrix/src/stats.rs
+
+/root/repo/target/debug/deps/mpest_matrix-fb5a31b8b64ff60d: crates/matrix/src/lib.rs crates/matrix/src/accumulate.rs crates/matrix/src/bitmat.rs crates/matrix/src/dense.rs crates/matrix/src/gen.rs crates/matrix/src/hashx.rs crates/matrix/src/io.rs crates/matrix/src/joins.rs crates/matrix/src/norms.rs crates/matrix/src/ring.rs crates/matrix/src/sparse.rs crates/matrix/src/stats.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/accumulate.rs:
+crates/matrix/src/bitmat.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/gen.rs:
+crates/matrix/src/hashx.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/joins.rs:
+crates/matrix/src/norms.rs:
+crates/matrix/src/ring.rs:
+crates/matrix/src/sparse.rs:
+crates/matrix/src/stats.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mpest_sketch-573104a9ef994779.d: crates/sketch/src/lib.rs crates/sketch/src/ams.rs crates/sketch/src/blockams.rs crates/sketch/src/countsketch.rs crates/sketch/src/field.rs crates/sketch/src/hash.rs crates/sketch/src/inner.rs crates/sketch/src/l0.rs crates/sketch/src/l0sampler.rs crates/sketch/src/linear.rs crates/sketch/src/lp.rs crates/sketch/src/normsketch.rs crates/sketch/src/stable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpest_sketch-573104a9ef994779.rmeta: crates/sketch/src/lib.rs crates/sketch/src/ams.rs crates/sketch/src/blockams.rs crates/sketch/src/countsketch.rs crates/sketch/src/field.rs crates/sketch/src/hash.rs crates/sketch/src/inner.rs crates/sketch/src/l0.rs crates/sketch/src/l0sampler.rs crates/sketch/src/linear.rs crates/sketch/src/lp.rs crates/sketch/src/normsketch.rs crates/sketch/src/stable.rs Cargo.toml
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/ams.rs:
+crates/sketch/src/blockams.rs:
+crates/sketch/src/countsketch.rs:
+crates/sketch/src/field.rs:
+crates/sketch/src/hash.rs:
+crates/sketch/src/inner.rs:
+crates/sketch/src/l0.rs:
+crates/sketch/src/l0sampler.rs:
+crates/sketch/src/linear.rs:
+crates/sketch/src/lp.rs:
+crates/sketch/src/normsketch.rs:
+crates/sketch/src/stable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-53641308a9d9d8b6.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-53641308a9d9d8b6.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

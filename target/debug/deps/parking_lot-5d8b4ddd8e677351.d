@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-5d8b4ddd8e677351.d: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-5d8b4ddd8e677351.rmeta: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+crates/shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-75158a5d55810b6b.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-75158a5d55810b6b.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-75158a5d55810b6b.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-92c18becb5e42b3d.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-92c18becb5e42b3d.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-fe2fda0d6b4517b5.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-fe2fda0d6b4517b5: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

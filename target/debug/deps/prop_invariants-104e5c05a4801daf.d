@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-104e5c05a4801daf.d: crates/matrix/tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/libprop_invariants-104e5c05a4801daf.rmeta: crates/matrix/tests/prop_invariants.rs
+
+crates/matrix/tests/prop_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_invariants-b5c657a8a097fee5.d: crates/matrix/tests/prop_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_invariants-b5c657a8a097fee5.rmeta: crates/matrix/tests/prop_invariants.rs Cargo.toml
+
+crates/matrix/tests/prop_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-eb97381edad6f69b.d: crates/matrix/tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-eb97381edad6f69b: crates/matrix/tests/prop_invariants.rs
+
+crates/matrix/tests/prop_invariants.rs:

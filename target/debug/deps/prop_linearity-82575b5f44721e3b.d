@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_linearity-82575b5f44721e3b.d: crates/sketch/tests/prop_linearity.rs
+
+/root/repo/target/debug/deps/prop_linearity-82575b5f44721e3b: crates/sketch/tests/prop_linearity.rs
+
+crates/sketch/tests/prop_linearity.rs:

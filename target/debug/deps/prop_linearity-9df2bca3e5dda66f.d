@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_linearity-9df2bca3e5dda66f.d: crates/sketch/tests/prop_linearity.rs
+
+/root/repo/target/debug/deps/libprop_linearity-9df2bca3e5dda66f.rmeta: crates/sketch/tests/prop_linearity.rs
+
+crates/sketch/tests/prop_linearity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_linearity-b685f534866f1327.d: crates/sketch/tests/prop_linearity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_linearity-b685f534866f1327.rmeta: crates/sketch/tests/prop_linearity.rs Cargo.toml
+
+crates/sketch/tests/prop_linearity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-0013d24dd6b00ea6.d: crates/comm/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-0013d24dd6b00ea6.rmeta: crates/comm/tests/prop_roundtrip.rs Cargo.toml
+
+crates/comm/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

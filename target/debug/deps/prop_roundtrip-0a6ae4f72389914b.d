@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-0a6ae4f72389914b.d: crates/comm/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-0a6ae4f72389914b: crates/comm/tests/prop_roundtrip.rs
+
+crates/comm/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-5a6df7c04bec4a17.d: crates/comm/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/libprop_roundtrip-5a6df7c04bec4a17.rmeta: crates/comm/tests/prop_roundtrip.rs
+
+crates/comm/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0597c90a7be39007.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-0597c90a7be39007: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

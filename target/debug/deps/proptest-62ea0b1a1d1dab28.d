@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-62ea0b1a1d1dab28.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-62ea0b1a1d1dab28.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

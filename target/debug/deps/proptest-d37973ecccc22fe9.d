@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d37973ecccc22fe9.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d37973ecccc22fe9.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ece671557bd270ae.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ece671557bd270ae.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ece671557bd270ae.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

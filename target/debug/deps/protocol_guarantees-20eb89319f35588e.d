@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_guarantees-20eb89319f35588e.d: tests/protocol_guarantees.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_guarantees-20eb89319f35588e.rmeta: tests/protocol_guarantees.rs Cargo.toml
+
+tests/protocol_guarantees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_guarantees-b5e5e1e1319c5576.d: tests/protocol_guarantees.rs
+
+/root/repo/target/debug/deps/protocol_guarantees-b5e5e1e1319c5576: tests/protocol_guarantees.rs
+
+tests/protocol_guarantees.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_guarantees-d0de55f153497081.d: tests/protocol_guarantees.rs
+
+/root/repo/target/debug/deps/libprotocol_guarantees-d0de55f153497081.rmeta: tests/protocol_guarantees.rs
+
+tests/protocol_guarantees.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-05bda4df68b811b1.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-05bda4df68b811b1.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-0ea4f7139c79499e.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0ea4f7139c79499e.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0ea4f7139c79499e.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

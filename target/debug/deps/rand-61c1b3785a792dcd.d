@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-61c1b3785a792dcd.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-61c1b3785a792dcd: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-c4e3fa160e851999.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-c4e3fa160e851999.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

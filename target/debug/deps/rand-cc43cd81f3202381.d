@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-cc43cd81f3202381.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-cc43cd81f3202381.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rect_shapes-02e7a7ae5b80d2f4.d: tests/rect_shapes.rs
+
+/root/repo/target/debug/deps/rect_shapes-02e7a7ae5b80d2f4: tests/rect_shapes.rs
+
+tests/rect_shapes.rs:

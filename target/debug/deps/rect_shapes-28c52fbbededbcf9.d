@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rect_shapes-28c52fbbededbcf9.d: tests/rect_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/librect_shapes-28c52fbbededbcf9.rmeta: tests/rect_shapes.rs Cargo.toml
+
+tests/rect_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rect_shapes-a66b0da7d5e39663.d: tests/rect_shapes.rs
+
+/root/repo/target/debug/deps/librect_shapes-a66b0da7d5e39663.rmeta: tests/rect_shapes.rs
+
+tests/rect_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-317436de0b2af7e7.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-317436de0b2af7e7: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-bed7b24795172c74.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-bed7b24795172c74.rmeta: tests/robustness.rs
+
+tests/robustness.rs:

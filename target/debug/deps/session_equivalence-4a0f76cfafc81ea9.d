@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_equivalence-4a0f76cfafc81ea9.d: tests/session_equivalence.rs
+
+/root/repo/target/debug/deps/libsession_equivalence-4a0f76cfafc81ea9.rmeta: tests/session_equivalence.rs
+
+tests/session_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_equivalence-7bfe6cf252eb1948.d: tests/session_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_equivalence-7bfe6cf252eb1948.rmeta: tests/session_equivalence.rs Cargo.toml
+
+tests/session_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

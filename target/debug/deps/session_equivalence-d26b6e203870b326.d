@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_equivalence-d26b6e203870b326.d: tests/session_equivalence.rs
+
+/root/repo/target/debug/deps/session_equivalence-d26b6e203870b326: tests/session_equivalence.rs
+
+tests/session_equivalence.rs:

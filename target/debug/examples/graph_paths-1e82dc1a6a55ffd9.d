@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_paths-1e82dc1a6a55ffd9.d: examples/graph_paths.rs
+
+/root/repo/target/debug/examples/graph_paths-1e82dc1a6a55ffd9: examples/graph_paths.rs
+
+examples/graph_paths.rs:

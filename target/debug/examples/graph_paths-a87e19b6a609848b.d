@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graph_paths-a87e19b6a609848b.d: examples/graph_paths.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraph_paths-a87e19b6a609848b.rmeta: examples/graph_paths.rs Cargo.toml
+
+examples/graph_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

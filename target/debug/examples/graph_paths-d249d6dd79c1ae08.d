@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_paths-d249d6dd79c1ae08.d: examples/graph_paths.rs
+
+/root/repo/target/debug/examples/libgraph_paths-d249d6dd79c1ae08.rmeta: examples/graph_paths.rs
+
+examples/graph_paths.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/job_matching-90e559550acdf051.d: examples/job_matching.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjob_matching-90e559550acdf051.rmeta: examples/job_matching.rs Cargo.toml
+
+examples/job_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

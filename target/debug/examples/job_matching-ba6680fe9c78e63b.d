@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/job_matching-ba6680fe9c78e63b.d: examples/job_matching.rs
+
+/root/repo/target/debug/examples/libjob_matching-ba6680fe9c78e63b.rmeta: examples/job_matching.rs
+
+examples/job_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/job_matching-ca22b471c08ac95b.d: examples/job_matching.rs
+
+/root/repo/target/debug/examples/job_matching-ca22b471c08ac95b: examples/job_matching.rs
+
+examples/job_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_optimizer-69632868603fa5c7.d: examples/query_optimizer.rs
+
+/root/repo/target/debug/examples/libquery_optimizer-69632868603fa5c7.rmeta: examples/query_optimizer.rs
+
+examples/query_optimizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_optimizer-b6b5f77017fb5bc5.d: examples/query_optimizer.rs
+
+/root/repo/target/debug/examples/query_optimizer-b6b5f77017fb5bc5: examples/query_optimizer.rs
+
+examples/query_optimizer.rs:

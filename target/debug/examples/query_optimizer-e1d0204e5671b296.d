@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/query_optimizer-e1d0204e5671b296.d: examples/query_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquery_optimizer-e1d0204e5671b296.rmeta: examples/query_optimizer.rs Cargo.toml
+
+examples/query_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-32ad8834d42d7123.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-32ad8834d42d7123: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8a0d7eeffc2dbb57.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-8a0d7eeffc2dbb57.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/similarity_join-64d9a339897c84a7.d: examples/similarity_join.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsimilarity_join-64d9a339897c84a7.rmeta: examples/similarity_join.rs Cargo.toml
+
+examples/similarity_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

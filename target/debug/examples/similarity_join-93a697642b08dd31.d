@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/similarity_join-93a697642b08dd31.d: examples/similarity_join.rs
+
+/root/repo/target/debug/examples/libsimilarity_join-93a697642b08dd31.rmeta: examples/similarity_join.rs
+
+examples/similarity_join.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/similarity_join-d5c5ca01e96d1b7c.d: examples/similarity_join.rs
+
+/root/repo/target/debug/examples/similarity_join-d5c5ca01e96d1b7c: examples/similarity_join.rs
+
+examples/similarity_join.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcrossbeam.rlib: /root/repo/crates/shims/crossbeam/src/lib.rs

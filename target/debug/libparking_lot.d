@@ -1,0 +1,1 @@
+/root/repo/target/debug/libparking_lot.rlib: /root/repo/crates/shims/parking_lot/src/lib.rs

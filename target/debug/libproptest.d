@@ -1,0 +1,1 @@
+/root/repo/target/debug/libproptest.rlib: /root/repo/crates/shims/proptest/src/lib.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-e8c6298eb22e0de4.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-e8c6298eb22e0de4.rlib: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-e8c6298eb22e0de4.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

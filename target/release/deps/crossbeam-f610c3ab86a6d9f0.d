@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f610c3ab86a6d9f0.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f610c3ab86a6d9f0.rlib: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f610c3ab86a6d9f0.rmeta: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

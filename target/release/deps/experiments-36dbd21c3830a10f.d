@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-36dbd21c3830a10f.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-36dbd21c3830a10f: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpest-37dbf6cbaff1066b.d: src/lib.rs
+
+/root/repo/target/release/deps/libmpest-37dbf6cbaff1066b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmpest-37dbf6cbaff1066b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpest-c2f824fd1e8ef806.d: src/bin/mpest.rs
+
+/root/repo/target/release/deps/mpest-c2f824fd1e8ef806: src/bin/mpest.rs
+
+src/bin/mpest.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpest_bench-4ff75293e0b285d5.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmpest_bench-4ff75293e0b285d5.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmpest_bench-4ff75293e0b285d5.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fit.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fit.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mpest_comm-42dbcfbc2638fc18.d: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+/root/repo/target/release/deps/libmpest_comm-42dbcfbc2638fc18.rlib: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+/root/repo/target/release/deps/libmpest_comm-42dbcfbc2638fc18.rmeta: crates/comm/src/lib.rs crates/comm/src/bits.rs crates/comm/src/channel.rs crates/comm/src/cost.rs crates/comm/src/error.rs crates/comm/src/seed.rs crates/comm/src/transcript.rs crates/comm/src/wire.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/bits.rs:
+crates/comm/src/channel.rs:
+crates/comm/src/cost.rs:
+crates/comm/src/error.rs:
+crates/comm/src/seed.rs:
+crates/comm/src/transcript.rs:
+crates/comm/src/wire.rs:

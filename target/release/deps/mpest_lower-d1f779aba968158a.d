@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpest_lower-d1f779aba968158a.d: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+/root/repo/target/release/deps/libmpest_lower-d1f779aba968158a.rlib: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+/root/repo/target/release/deps/libmpest_lower-d1f779aba968158a.rmeta: crates/lower/src/lib.rs crates/lower/src/disj.rs crates/lower/src/gap_linf.rs crates/lower/src/sum_problem.rs
+
+crates/lower/src/lib.rs:
+crates/lower/src/disj.rs:
+crates/lower/src/gap_linf.rs:
+crates/lower/src/sum_problem.rs:

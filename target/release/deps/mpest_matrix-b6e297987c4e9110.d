@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/mpest_matrix-b6e297987c4e9110.d: crates/matrix/src/lib.rs crates/matrix/src/accumulate.rs crates/matrix/src/bitmat.rs crates/matrix/src/dense.rs crates/matrix/src/gen.rs crates/matrix/src/hashx.rs crates/matrix/src/io.rs crates/matrix/src/joins.rs crates/matrix/src/norms.rs crates/matrix/src/ring.rs crates/matrix/src/sparse.rs crates/matrix/src/stats.rs
+
+/root/repo/target/release/deps/libmpest_matrix-b6e297987c4e9110.rlib: crates/matrix/src/lib.rs crates/matrix/src/accumulate.rs crates/matrix/src/bitmat.rs crates/matrix/src/dense.rs crates/matrix/src/gen.rs crates/matrix/src/hashx.rs crates/matrix/src/io.rs crates/matrix/src/joins.rs crates/matrix/src/norms.rs crates/matrix/src/ring.rs crates/matrix/src/sparse.rs crates/matrix/src/stats.rs
+
+/root/repo/target/release/deps/libmpest_matrix-b6e297987c4e9110.rmeta: crates/matrix/src/lib.rs crates/matrix/src/accumulate.rs crates/matrix/src/bitmat.rs crates/matrix/src/dense.rs crates/matrix/src/gen.rs crates/matrix/src/hashx.rs crates/matrix/src/io.rs crates/matrix/src/joins.rs crates/matrix/src/norms.rs crates/matrix/src/ring.rs crates/matrix/src/sparse.rs crates/matrix/src/stats.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/accumulate.rs:
+crates/matrix/src/bitmat.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/gen.rs:
+crates/matrix/src/hashx.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/joins.rs:
+crates/matrix/src/norms.rs:
+crates/matrix/src/ring.rs:
+crates/matrix/src/sparse.rs:
+crates/matrix/src/stats.rs:

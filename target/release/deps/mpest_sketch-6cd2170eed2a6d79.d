@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/mpest_sketch-6cd2170eed2a6d79.d: crates/sketch/src/lib.rs crates/sketch/src/ams.rs crates/sketch/src/blockams.rs crates/sketch/src/countsketch.rs crates/sketch/src/field.rs crates/sketch/src/hash.rs crates/sketch/src/inner.rs crates/sketch/src/l0.rs crates/sketch/src/l0sampler.rs crates/sketch/src/linear.rs crates/sketch/src/lp.rs crates/sketch/src/normsketch.rs crates/sketch/src/stable.rs
+
+/root/repo/target/release/deps/libmpest_sketch-6cd2170eed2a6d79.rlib: crates/sketch/src/lib.rs crates/sketch/src/ams.rs crates/sketch/src/blockams.rs crates/sketch/src/countsketch.rs crates/sketch/src/field.rs crates/sketch/src/hash.rs crates/sketch/src/inner.rs crates/sketch/src/l0.rs crates/sketch/src/l0sampler.rs crates/sketch/src/linear.rs crates/sketch/src/lp.rs crates/sketch/src/normsketch.rs crates/sketch/src/stable.rs
+
+/root/repo/target/release/deps/libmpest_sketch-6cd2170eed2a6d79.rmeta: crates/sketch/src/lib.rs crates/sketch/src/ams.rs crates/sketch/src/blockams.rs crates/sketch/src/countsketch.rs crates/sketch/src/field.rs crates/sketch/src/hash.rs crates/sketch/src/inner.rs crates/sketch/src/l0.rs crates/sketch/src/l0sampler.rs crates/sketch/src/linear.rs crates/sketch/src/lp.rs crates/sketch/src/normsketch.rs crates/sketch/src/stable.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/ams.rs:
+crates/sketch/src/blockams.rs:
+crates/sketch/src/countsketch.rs:
+crates/sketch/src/field.rs:
+crates/sketch/src/hash.rs:
+crates/sketch/src/inner.rs:
+crates/sketch/src/l0.rs:
+crates/sketch/src/l0sampler.rs:
+crates/sketch/src/linear.rs:
+crates/sketch/src/lp.rs:
+crates/sketch/src/normsketch.rs:
+crates/sketch/src/stable.rs:

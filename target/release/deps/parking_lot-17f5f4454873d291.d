@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-17f5f4454873d291.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-17f5f4454873d291.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-17f5f4454873d291.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

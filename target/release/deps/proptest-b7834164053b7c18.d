@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-b7834164053b7c18.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-b7834164053b7c18.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-b7834164053b7c18.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2a83443ff269c59d.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2a83443ff269c59d.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2a83443ff269c59d.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/graph_paths-c364e8e8566d376b.d: examples/graph_paths.rs
+
+/root/repo/target/release/examples/graph_paths-c364e8e8566d376b: examples/graph_paths.rs
+
+examples/graph_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/job_matching-3760aaa4ba09927e.d: examples/job_matching.rs
+
+/root/repo/target/release/examples/job_matching-3760aaa4ba09927e: examples/job_matching.rs
+
+examples/job_matching.rs:

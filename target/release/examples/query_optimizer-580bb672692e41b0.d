@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/query_optimizer-580bb672692e41b0.d: examples/query_optimizer.rs
+
+/root/repo/target/release/examples/query_optimizer-580bb672692e41b0: examples/query_optimizer.rs
+
+examples/query_optimizer.rs:

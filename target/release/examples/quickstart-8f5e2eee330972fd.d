@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8f5e2eee330972fd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8f5e2eee330972fd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/similarity_join-9cf357d94c2cf0a1.d: examples/similarity_join.rs
+
+/root/repo/target/release/examples/similarity_join-9cf357d94c2cf0a1: examples/similarity_join.rs
+
+examples/similarity_join.rs:
