@@ -1,0 +1,66 @@
+//! Wall-clock throughput of the parallel batch [`Engine`] vs sequential
+//! `Session` queries: the same mixed-protocol workload swept across
+//! worker counts, plus the marginal cost of the prewarm pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpest_bench::batch::mixed_requests;
+use mpest_comm::Seed;
+use mpest_core::{BatchPlan, Engine, Session};
+use mpest_matrix::Workloads;
+
+fn engine(n: usize) -> Engine {
+    Engine::new(
+        Session::new(
+            Workloads::bernoulli_bits(n, n, 0.15, 21),
+            Workloads::bernoulli_bits(n, n, 0.15, 22),
+        )
+        .with_seed(Seed(77)),
+    )
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_throughput");
+    g.sample_size(5);
+    let e = engine(96);
+    let requests = mixed_requests(32);
+
+    g.bench_function("sequential_session", |bench| {
+        bench.iter(|| {
+            let session = e.session();
+            requests
+                .iter()
+                .enumerate()
+                .map(|(i, req)| {
+                    session
+                        .estimate_seeded(req, session.query_seed(i as u64))
+                        .unwrap()
+                        .bits()
+                })
+                .sum::<u64>()
+        });
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        let plan = BatchPlan::default().with_workers(workers).at_index(0);
+        g.bench_with_input(
+            BenchmarkId::new("engine_workers", workers),
+            &plan,
+            |bench, plan| {
+                bench.iter(|| e.run_batch(&requests, plan).unwrap().accounting.total_bits);
+            },
+        );
+    }
+
+    let cold = BatchPlan::default().with_workers(4).with_prewarm(false);
+    g.bench_with_input(
+        BenchmarkId::new("engine_no_prewarm", 4),
+        &cold.at_index(0),
+        |bench, plan| {
+            bench.iter(|| e.run_batch(&requests, plan).unwrap().accounting.total_bits);
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -3,8 +3,14 @@
 //! Usage:
 //!   experiments                 # run everything (a few minutes)
 //!   experiments --quick         # shrunken sweeps (smoke run)
-//!   experiments --only f1,f5    # a subset
+//!   experiments --only f1,f5    # a subset (use `--only none` for none)
 //!   experiments --json PATH     # also write machine-readable tables
+//!   experiments --batch-bench PATH
+//!                               # also run the batch-engine throughput
+//!                               # trajectory, write it to PATH
+//!                               # (BENCH_batch.json), and exit nonzero
+//!                               # if batch output diverges from the
+//!                               # sequential seeded run
 //!
 //! The output of a full run is recorded in EXPERIMENTS.md.
 
@@ -17,6 +23,7 @@ fn main() {
     let mut quick = false;
     let mut only: Option<Vec<String>> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut batch_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,15 +37,33 @@ fn main() {
                 i += 1;
                 json_path = Some(PathBuf::from(args.get(i).expect("--json needs a path")));
             }
+            "--batch-bench" => {
+                i += 1;
+                batch_path = Some(PathBuf::from(
+                    args.get(i).expect("--batch-bench needs a path"),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: experiments [--quick] [--only t1,f1,...] [--json PATH]");
+                eprintln!(
+                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
 
+    // Every requested id must be known (or the explicit sentinel
+    // "none"), so a typo can't silently run zero experiments.
+    if let Some(ids) = &only {
+        for id in ids {
+            if id != "none" && !IDS.contains(&id.as_str()) {
+                eprintln!("unknown experiment id {id:?}; known ids: {IDS:?} (or \"none\")");
+                std::process::exit(2);
+            }
+        }
+    }
     let selected: Vec<&str> = match &only {
         Some(ids) => IDS
             .iter()
@@ -47,7 +72,7 @@ fn main() {
             .collect(),
         None => IDS.to_vec(),
     };
-    if selected.is_empty() {
+    if selected.is_empty() && batch_path.is_none() {
         eprintln!("no experiments selected; known ids: {IDS:?}");
         std::process::exit(2);
     }
@@ -72,5 +97,23 @@ fn main() {
     if let Some(path) = json_path {
         save_json(&tables, &path).expect("write json");
         println!("# tables written to {}", path.display());
+    }
+
+    if let Some(path) = batch_path {
+        println!("# batch-engine throughput trajectory ({} mode)", {
+            if quick {
+                "quick"
+            } else {
+                "full"
+            }
+        });
+        let bench = mpest_bench::batch::run(quick);
+        print!("{}", bench.summary());
+        bench.save_json(&path).expect("write batch bench json");
+        println!("# batch trajectory written to {}", path.display());
+        if !bench.all_match {
+            eprintln!("FAIL: batch output diverged from the sequential seeded run");
+            std::process::exit(1);
+        }
     }
 }

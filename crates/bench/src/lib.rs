@@ -9,13 +9,17 @@
 //!   DESIGN.md §3) producing a [`report::Table`] of measured bits,
 //!   rounds, approximation quality, and fitted scaling exponents;
 //! * [`fit`] — log-log power-law fitting for the scaling claims;
-//! * [`report`] — markdown + JSON table output.
+//! * [`report`] — markdown + JSON table output;
+//! * [`batch`] — the batch-engine throughput trajectory behind the CI
+//!   bench-smoke job (`BENCH_batch.json`), which also gates on batch
+//!   output being bit-identical to sequential execution.
 //!
 //! `cargo run --release -p mpest-bench --bin experiments` regenerates
 //! everything (the output recorded in EXPERIMENTS.md); the Criterion
 //! benches under `benches/` measure wall-clock cost of the same
 //! protocols and substrates.
 
+pub mod batch;
 pub mod experiments;
 pub mod fit;
 pub mod report;

@@ -89,8 +89,13 @@ impl Table {
     }
 }
 
-/// Escapes a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
+/// Escapes a string for inclusion in a JSON string literal: `"` and
+/// `\` are backslash-escaped, control characters become `\n`/`\r`/`\t`
+/// or `\uXXXX`. Shared by every hand-rolled JSON writer in this crate
+/// (the build environment has no serde), so labels containing quotes or
+/// backslashes always serialize to valid JSON.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -187,6 +192,61 @@ mod tests {
         assert!(md.contains("| a   | bb |"));
         assert!(md.contains("| 333 | 4  |"));
         assert!(md.contains("> verdict: fine"));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(json_escape(r"a\b"), r"a\\b");
+        assert_eq!(json_escape("line1\nline2"), r"line1\nline2");
+        assert_eq!(json_escape("tab\there"), r"tab\there");
+        assert_eq!(json_escape("cr\rend"), r"cr\rend");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        // Escaping is idempotent-safe for already-escaped-looking input:
+        // the writer escapes the *source* backslash, not the sequence.
+        assert_eq!(json_escape(r"\n"), r"\\n");
+        // Non-ASCII passes through unescaped (JSON strings are UTF-8).
+        assert_eq!(json_escape("ℓ∞ κ=8"), "ℓ∞ κ=8");
+    }
+
+    #[test]
+    fn saved_json_with_hostile_labels_stays_valid() {
+        // A table whose title, claim, cells, and notes all contain JSON
+        // metacharacters must still produce a parseable document.
+        let mut t = Table::new(
+            "Q1",
+            r#"protocol "linf\kappa""#,
+            "claim with \"quotes\" and \\backslashes\\",
+            &[r#"col "a""#, "col\tb"],
+        );
+        t.row(vec![r#"va"l"#.into(), r"v\al".into()]);
+        t.note("note with \"both\" \\ kinds\n(and a newline)");
+        let dir = std::env::temp_dir().join("mpest-report-escape-test");
+        let path = dir.join("tables.json");
+        save_json(&[t], &path).unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        // Raw metacharacters must not survive unescaped inside string
+        // literals: strip legal escape pairs, then check balance.
+        let unescaped: String = {
+            let mut out = String::new();
+            let mut chars = data.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    chars.next(); // the escaped char, whatever it is
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        };
+        // After removing escape pairs, quotes must come in matched pairs
+        // (delimiters only) and no raw control chars remain in strings.
+        assert_eq!(unescaped.matches('"').count() % 2, 0);
+        assert!(data.contains(r#"\"quotes\""#));
+        assert!(data.contains(r"\\backslashes\\"));
+        assert!(data.contains(r#"va\"l"#));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -56,5 +56,5 @@ pub use channel::{execute, ExecutionOutcome, Link};
 pub use cost::NetworkModel;
 pub use error::CommError;
 pub use seed::Seed;
-pub use transcript::{MsgRecord, Party, Transcript, TranscriptSummary};
+pub use transcript::{BatchAccounting, MsgRecord, Party, Transcript, TranscriptSummary};
 pub use wire::{FixedU64s, Wire};

@@ -167,6 +167,91 @@ pub struct TranscriptSummary {
     pub messages: usize,
 }
 
+/// Aggregate communication accounting across many protocol executions.
+///
+/// A [`Transcript`] records one query; a batch (or a whole serving
+/// session) runs many. `BatchAccounting` folds transcripts into running
+/// totals — bits by direction, rounds, messages, and a per-label
+/// breakdown — without retaining the individual records, so it stays
+/// `O(#labels)` no matter how many queries it absorbs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchAccounting {
+    /// Number of transcripts absorbed.
+    pub queries: u64,
+    /// Total bits across all queries, both directions.
+    pub total_bits: u64,
+    /// Bits sent by Alice across all queries.
+    pub alice_bits: u64,
+    /// Bits sent by Bob across all queries.
+    pub bob_bits: u64,
+    /// Sum of per-query round counts (queries in a batch run
+    /// concurrently, so this is a cost aggregate, not wall-clock depth).
+    pub total_rounds: u64,
+    /// Largest round count of any single query (the batch's critical
+    /// path when every query runs in parallel).
+    pub max_rounds: u32,
+    /// Total messages across all queries.
+    pub messages: u64,
+    /// Bits aggregated by message label across all queries.
+    pub bits_by_label: BTreeMap<&'static str, u64>,
+}
+
+impl BatchAccounting {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one transcript into the totals.
+    pub fn absorb(&mut self, t: &Transcript) {
+        self.queries += 1;
+        self.total_bits += t.total_bits();
+        self.alice_bits += t.bits_from(Party::Alice);
+        self.bob_bits += t.bits_from(Party::Bob);
+        self.total_rounds += u64::from(t.rounds());
+        self.max_rounds = self.max_rounds.max(t.rounds());
+        self.messages += t.messages() as u64;
+        for (label, bits) in t.bits_by_label() {
+            *self.bits_by_label.entry(label).or_insert(0) += bits;
+        }
+    }
+
+    /// Merges another ledger into this one (e.g. per-worker ledgers).
+    pub fn merge(&mut self, other: &BatchAccounting) {
+        self.queries += other.queries;
+        self.total_bits += other.total_bits;
+        self.alice_bits += other.alice_bits;
+        self.bob_bits += other.bob_bits;
+        self.total_rounds += other.total_rounds;
+        self.max_rounds = self.max_rounds.max(other.max_rounds);
+        self.messages += other.messages;
+        for (label, bits) in &other.bits_by_label {
+            *self.bits_by_label.entry(label).or_insert(0) += bits;
+        }
+    }
+
+    /// Mean bits per absorbed query (0.0 when empty).
+    #[must_use]
+    pub fn mean_bits(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.queries as f64
+        }
+    }
+}
+
+impl fmt::Display for BatchAccounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queries, {} bits total ({} from Alice, {} from Bob), {} message(s), max {} round(s)",
+            self.queries, self.total_bits, self.alice_bits, self.bob_bits, self.messages, self.max_rounds
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +341,42 @@ mod tests {
         t1.absorb_parallel(t2);
         assert_eq!(t1.rounds(), 2, "parallel copies share rounds");
         assert_eq!(t1.total_bits(), 100);
+    }
+
+    #[test]
+    fn batch_accounting_absorbs_and_merges() {
+        let t1 = Transcript {
+            records: vec![
+                rec(Party::Alice, 0, "sketch", 100),
+                rec(Party::Bob, 1, "rows", 40),
+            ],
+        };
+        let t2 = Transcript {
+            records: vec![rec(Party::Alice, 0, "sketch", 60)],
+        };
+        let mut acc = BatchAccounting::new();
+        acc.absorb(&t1);
+        acc.absorb(&t2);
+        assert_eq!(acc.queries, 2);
+        assert_eq!(acc.total_bits, 200);
+        assert_eq!(acc.alice_bits, 160);
+        assert_eq!(acc.bob_bits, 40);
+        assert_eq!(acc.total_rounds, 3);
+        assert_eq!(acc.max_rounds, 2);
+        assert_eq!(acc.messages, 3);
+        assert_eq!(acc.bits_by_label["sketch"], 160);
+        assert!((acc.mean_bits() - 100.0).abs() < 1e-12);
+
+        let mut other = BatchAccounting::new();
+        other.absorb(&t2);
+        let mut merged = acc.clone();
+        merged.merge(&other);
+        assert_eq!(merged.queries, 3);
+        assert_eq!(merged.total_bits, 260);
+        assert_eq!(merged.max_rounds, 2);
+        assert_eq!(merged.bits_by_label["sketch"], 220);
+        assert!(merged.to_string().contains("3 queries"));
+        assert_eq!(BatchAccounting::new().mean_bits(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! Parallel batched query execution over a shared [`Session`].
+//!
+//! A [`Session`] answers one query at a time; real deployments face a
+//! *stream* of heterogeneous queries against the same matrix pair. The
+//! [`Engine`] accepts a whole `Vec<EstimateRequest>` and executes it
+//! across a worker pool, sharing the session's cached derived views
+//! (CSR/bit conversions, transposes, norm and support tables) across
+//! threads through an [`Arc`] instead of recomputing them per worker.
+//!
+//! Determinism is the load-bearing contract: query `i` of a batch runs
+//! under `session.query_seed(first + i)`, exactly the seed it would have
+//! drawn as the `(first + i)`-th sequential query, and every derived
+//! view is a pure function of the pair. A batch run is therefore
+//! **bit-identical** — outputs and transcripts — to the equivalent
+//! sequence of [`Session::run_seeded`] calls, for any worker count.
+//!
+//! ```
+//! use mpest_core::{BatchPlan, Engine, EstimateRequest, Session};
+//! use mpest_comm::Seed;
+//! use mpest_matrix::{PNorm, Workloads};
+//!
+//! let a = Workloads::bernoulli_bits(24, 32, 0.3, 1);
+//! let b = Workloads::bernoulli_bits(32, 24, 0.3, 2);
+//! let engine = Engine::new(Session::new(a, b).with_seed(Seed(7)));
+//! let requests = vec![
+//!     EstimateRequest::LpNorm { p: PNorm::Zero, eps: 0.3 },
+//!     EstimateRequest::ExactL1,
+//!     EstimateRequest::LinfBinary { eps: 0.3 },
+//! ];
+//! let batch = engine
+//!     .run_batch(&requests, &BatchPlan::default().with_workers(2))
+//!     .unwrap();
+//! assert_eq!(batch.reports.len(), 3);
+//! assert_eq!(batch.accounting.queries, 3);
+//! assert!(batch.accounting.total_bits > 0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::request::{EstimateReport, EstimateRequest};
+use crate::session::Session;
+use mpest_comm::{BatchAccounting, CommError, Seed};
+
+/// Where a batch's per-query seeds come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedSchedule {
+    /// Reserve the next contiguous block of the session's query counter
+    /// (the default): the batch is interchangeable with issuing the same
+    /// requests through [`Session::estimate`] one by one.
+    #[default]
+    SessionCounter,
+    /// Run at a fixed first query index without consuming the counter —
+    /// replays and equivalence tests.
+    AtIndex(u64),
+}
+
+/// Execution plan for one batch: worker count, seed derivation, and
+/// whether to deduplicate shared derived-view construction up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Worker threads to fan out over; `0` means one per available core.
+    /// Clamped to the batch size. The results never depend on it.
+    pub workers: usize,
+    /// Materialize every derived view the batch's protocols will read
+    /// *before* spawning workers (default `true`). The views live in
+    /// `OnceLock`s, so correctness never depends on this — prewarming
+    /// only prevents the whole pool from convoying on the first query's
+    /// one-time conversions.
+    pub prewarm: bool,
+    /// Per-query seed derivation (see [`SeedSchedule`]).
+    pub seeds: SeedSchedule,
+}
+
+impl Default for BatchPlan {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            prewarm: true,
+            seeds: SeedSchedule::SessionCounter,
+        }
+    }
+}
+
+impl BatchPlan {
+    /// Sets the worker count (`0` = one per available core).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables derived-view prewarming.
+    #[must_use]
+    pub fn with_prewarm(mut self, prewarm: bool) -> Self {
+        self.prewarm = prewarm;
+        self
+    }
+
+    /// Pins the batch to query indices `[first, first + len)` without
+    /// consuming the session counter.
+    #[must_use]
+    pub fn at_index(mut self, first: u64) -> Self {
+        self.seeds = SeedSchedule::AtIndex(first);
+        self
+    }
+
+    /// The worker count a batch of `batch_len` requests actually runs
+    /// with: `workers` (or one per available core when `0`), clamped to
+    /// the batch size and at least 1.
+    #[must_use]
+    pub fn effective_workers(&self, batch_len: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        };
+        requested.clamp(1, batch_len.max(1))
+    }
+}
+
+/// The ordered result of a batch: one [`EstimateReport`] per request
+/// (same order), plus aggregate communication accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Per-request reports, in request order.
+    pub reports: Vec<EstimateReport>,
+    /// The query index the batch started at: request `i` ran under
+    /// `session.query_seed(first_query_index + i)`.
+    pub first_query_index: u64,
+    /// Bits/rounds/messages folded across the whole batch.
+    pub accounting: BatchAccounting,
+}
+
+/// A parallel batched query engine over one shared [`Session`].
+///
+/// Use a bare `Session` for interactive, one-at-a-time querying; wrap it
+/// in an `Engine` when requests arrive in batches and throughput
+/// matters. The engine adds no randomness and no state of its own — it
+/// is a scheduler around the session's deterministic seed schedule.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    session: Arc<Session>,
+}
+
+impl Engine {
+    /// Wraps a session for batched execution.
+    #[must_use]
+    pub fn new(session: Session) -> Self {
+        Self {
+            session: Arc::new(session),
+        }
+    }
+
+    /// Builds an engine over an already-shared session.
+    #[must_use]
+    pub fn from_arc(session: Arc<Session>) -> Self {
+        Self { session }
+    }
+
+    /// The underlying session.
+    #[must_use]
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Executes `requests` across the plan's worker pool and returns the
+    /// reports in request order with aggregate accounting.
+    ///
+    /// Bit-identical to running the same requests sequentially through
+    /// [`Session::estimate_seeded`] under seeds
+    /// `query_seed(first + i)`, regardless of worker count.
+    ///
+    /// # Errors
+    ///
+    /// If any request fails, returns the error of the *lowest-index*
+    /// failing request — the same error the sequential run would have
+    /// hit first — so error reporting is deterministic too.
+    pub fn run_batch(
+        &self,
+        requests: &[EstimateRequest],
+        plan: &BatchPlan,
+    ) -> Result<BatchReport, CommError> {
+        let n = requests.len();
+        let first = match plan.seeds {
+            SeedSchedule::SessionCounter => self.session.reserve_query_indices(n as u64),
+            SeedSchedule::AtIndex(i) => i,
+        };
+        if plan.prewarm {
+            prewarm(&self.session, requests);
+        }
+        let workers = plan.effective_workers(n);
+        let results = if workers <= 1 {
+            requests
+                .iter()
+                .enumerate()
+                .map(|(i, req)| {
+                    self.session
+                        .estimate_seeded(req, self.session.query_seed(first + i as u64))
+                })
+                .collect()
+        } else {
+            run_pool(&self.session, requests, first, workers)
+        };
+
+        let mut reports = Vec::with_capacity(n);
+        let mut accounting = BatchAccounting::new();
+        for result in results {
+            let report = result?;
+            accounting.absorb(&report.transcript);
+            reports.push(report);
+        }
+        Ok(BatchReport {
+            reports,
+            first_query_index: first,
+            accounting,
+        })
+    }
+}
+
+/// Fans the batch out over `workers` threads. Workers claim indices from
+/// a shared counter (dynamic load balancing — queries vary wildly in
+/// cost) and stream `(index, result)` pairs back over a channel; the
+/// collector reorders them into request order.
+fn run_pool(
+    session: &Session,
+    requests: &[EstimateRequest],
+    first: u64,
+    workers: usize,
+) -> Vec<Result<EstimateReport, CommError>> {
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests.len() {
+                    break;
+                }
+                let seed = session.query_seed(first + i as u64);
+                let result = session.estimate_seeded(&requests[i], seed);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Result<EstimateReport, CommError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        while let Ok((i, result)) = rx.recv() {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every claimed index reports back"))
+            .collect()
+    })
+}
+
+/// Materializes every session-cached view the batch's protocols read, so
+/// concurrent workers never convoy on a one-time conversion. Purely an
+/// ordering optimization: the views are pure functions of the pair, and
+/// a failed bit-view (non-binary pair) is ignored here so the affected
+/// requests fail with exactly the error the sequential run reports.
+fn prewarm(session: &Session, requests: &[EstimateRequest]) {
+    use EstimateRequest as R;
+    let (mut bits, mut csr, mut a_t, mut b_t, mut abs, mut nnz) =
+        (false, false, false, false, false, false);
+    for request in requests {
+        match request {
+            R::LpNorm { .. } | R::LpBaseline { .. } | R::HhGeneral { .. } | R::TrivialCsr => {
+                csr = true;
+            }
+            R::ExactL1 => {
+                csr = true;
+                abs = true;
+            }
+            R::L1Sample => {
+                csr = true;
+                a_t = true;
+                abs = true;
+            }
+            R::L0Sample { .. } | R::LinfGeneral { .. } => {
+                csr = true;
+                a_t = true;
+                b_t = true;
+            }
+            R::SparseMatmul => {
+                csr = true;
+                a_t = true;
+                nnz = true;
+            }
+            R::LinfBinary { .. } | R::LinfKappa { .. } | R::TrivialBinary => bits = true,
+            R::HhBinary { .. } | R::AtLeastTJoin { .. } => {
+                bits = true;
+                csr = true;
+                abs = true;
+            }
+        }
+    }
+    let ctx = session.ctx(Seed(0));
+    if bits {
+        let _ = ctx.bit_pair();
+    }
+    if csr {
+        let _ = ctx.csr_pair();
+    }
+    if a_t {
+        let _ = ctx.a_transpose();
+    }
+    if b_t {
+        let _ = ctx.b_transpose();
+    }
+    if abs {
+        let _ = ctx.a_col_abs_sums();
+        let _ = ctx.b_row_abs_sums();
+    }
+    if nnz {
+        let _ = ctx.a_col_nnz();
+        let _ = ctx.b_row_nnz();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::{PNorm, Workloads};
+
+    fn engine() -> Engine {
+        let a = Workloads::bernoulli_bits(20, 28, 0.3, 1);
+        let b = Workloads::bernoulli_bits(28, 20, 0.3, 2);
+        Engine::new(Session::new(a, b).with_seed(Seed(11)))
+    }
+
+    fn mixed_requests() -> Vec<EstimateRequest> {
+        vec![
+            EstimateRequest::LpNorm {
+                p: PNorm::Zero,
+                eps: 0.3,
+            },
+            EstimateRequest::ExactL1,
+            EstimateRequest::LinfBinary { eps: 0.3 },
+            EstimateRequest::HhBinary {
+                p: 1.0,
+                phi: 0.05,
+                eps: 0.02,
+            },
+            EstimateRequest::SparseMatmul,
+            EstimateRequest::L0Sample { eps: 0.3 },
+        ]
+    }
+
+    #[test]
+    fn batch_consumes_the_session_counter_like_sequential_queries() {
+        let engine = engine();
+        let requests = mixed_requests();
+        let batch = engine
+            .run_batch(&requests, &BatchPlan::default().with_workers(3))
+            .unwrap();
+        assert_eq!(batch.first_query_index, 0);
+        assert_eq!(engine.session().queries_issued(), requests.len() as u64);
+        // A follow-up single query continues the schedule.
+        let next = engine
+            .session()
+            .estimate(&EstimateRequest::ExactL1)
+            .unwrap();
+        assert_eq!(engine.session().queries_issued(), requests.len() as u64 + 1);
+        let replay = engine
+            .session()
+            .estimate_seeded(
+                &EstimateRequest::ExactL1,
+                engine.session().query_seed(requests.len() as u64),
+            )
+            .unwrap();
+        assert_eq!(next, replay);
+    }
+
+    #[test]
+    fn at_index_replays_without_consuming() {
+        let engine = engine();
+        let requests = mixed_requests();
+        let plan = BatchPlan::default().with_workers(2).at_index(5);
+        let b1 = engine.run_batch(&requests, &plan).unwrap();
+        let b2 = engine.run_batch(&requests, &plan).unwrap();
+        assert_eq!(b1, b2, "pinned batches replay bit-identically");
+        assert_eq!(b1.first_query_index, 5);
+        assert_eq!(engine.session().queries_issued(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = engine();
+        let batch = engine.run_batch(&[], &BatchPlan::default()).unwrap();
+        assert!(batch.reports.is_empty());
+        assert_eq!(batch.accounting, BatchAccounting::new());
+        assert_eq!(engine.session().queries_issued(), 0);
+    }
+
+    #[test]
+    fn accounting_matches_per_report_totals() {
+        let engine = engine();
+        let requests = mixed_requests();
+        let batch = engine
+            .run_batch(&requests, &BatchPlan::default().with_workers(4))
+            .unwrap();
+        let bits: u64 = batch.reports.iter().map(EstimateReport::bits).sum();
+        let max_rounds = batch.reports.iter().map(EstimateReport::rounds).max();
+        assert_eq!(batch.accounting.total_bits, bits);
+        assert_eq!(batch.accounting.queries, requests.len() as u64);
+        assert_eq!(Some(batch.accounting.max_rounds), max_rounds);
+        assert_eq!(
+            batch.accounting.alice_bits + batch.accounting.bob_bits,
+            bits
+        );
+    }
+
+    #[test]
+    fn lowest_index_error_wins_deterministically() {
+        // Non-binary pair: binary protocols fail, CSR protocols succeed.
+        let a = mpest_matrix::CsrMatrix::from_triplets(4, 4, vec![(0, 0, 3), (1, 2, 2)]);
+        let b = mpest_matrix::CsrMatrix::from_triplets(4, 4, vec![(2, 1, 5)]);
+        let engine = Engine::new(Session::new(a, b));
+        let requests = vec![
+            EstimateRequest::SparseMatmul,
+            EstimateRequest::LinfBinary { eps: 0.3 }, // first failure
+            EstimateRequest::TrivialBinary,           // also fails
+        ];
+        let sequential_err = engine
+            .session()
+            .estimate_seeded(&requests[1], engine.session().query_seed(1))
+            .unwrap_err();
+        for workers in [1, 2, 8] {
+            let err = engine
+                .run_batch(
+                    &requests,
+                    &BatchPlan::default().with_workers(workers).at_index(0),
+                )
+                .unwrap_err();
+            assert_eq!(err, sequential_err, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn prewarm_toggle_never_changes_results() {
+        let engine = engine();
+        let requests = mixed_requests();
+        let warm = engine
+            .run_batch(&requests, &BatchPlan::default().at_index(0))
+            .unwrap();
+        let cold = engine
+            .run_batch(
+                &requests,
+                &BatchPlan::default().with_prewarm(false).at_index(0),
+            )
+            .unwrap();
+        assert_eq!(warm, cold);
+    }
+}

@@ -20,6 +20,11 @@
 //!    dynamic-dispatch layer for callers that pick protocols at runtime
 //!    (CLIs, servers, request queues): `session.estimate(&request)`
 //!    returns a type-erased [`AnyOutput`] plus the transcript.
+//! 4. **[`Engine`]** — parallel batched execution: hand a whole
+//!    `Vec<EstimateRequest>` to `engine.run_batch(&requests, &plan)` and
+//!    it fans out over a worker pool sharing the session's caches,
+//!    returning ordered reports plus aggregate [`BatchAccounting`] —
+//!    bit-identical to the sequential run for any worker count.
 //!
 //! | Protocol | Module | Paper | Guarantee | Comm | Rounds |
 //! |---|---|---|---|---|---|
@@ -71,6 +76,7 @@
 
 pub mod boost;
 pub mod config;
+pub mod engine;
 pub mod exact_l1;
 mod exchange;
 pub mod hh_binary;
@@ -92,6 +98,7 @@ pub mod trivial;
 pub mod wire;
 
 pub use config::Constants;
+pub use engine::{BatchPlan, BatchReport, Engine, SeedSchedule};
 pub use protocol::Protocol;
 pub use request::{AnyOutput, EstimateReport, EstimateRequest};
 pub use result::{
@@ -114,4 +121,4 @@ pub use sparse_matmul::SparseMatmul;
 pub use trivial::{TrivialBinary, TrivialCsr};
 
 // Re-export the substrate types a user needs at the API boundary.
-pub use mpest_comm::{CommError, Seed, Transcript};
+pub use mpest_comm::{BatchAccounting, CommError, Seed, Transcript};

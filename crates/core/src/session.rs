@@ -178,6 +178,23 @@ impl Session {
         self.query_seed(self.queries.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Atomically reserves a contiguous block of `n` query indices and
+    /// returns the first. A batch over indices `[first, first + n)` uses
+    /// exactly the seeds the same queries would have drawn sequentially.
+    pub(crate) fn reserve_query_indices(&self, n: u64) -> u64 {
+        self.queries.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Builds the per-query execution context (crate-internal: protocols
+    /// receive one from `run_seeded`; the batch engine uses it to warm
+    /// shared derived views before fanning out).
+    pub(crate) fn ctx(&self, seed: Seed) -> SessionCtx<'_> {
+        SessionCtx {
+            session: self,
+            seed,
+        }
+    }
+
     /// Runs `protocol` under the next derived per-query seed.
     ///
     /// # Errors

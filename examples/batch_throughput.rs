@@ -1,0 +1,96 @@
+//! Batch throughput: serve a mixed-protocol query stream with the
+//! parallel [`Engine`] instead of one [`Session`] query at a time.
+//!
+//! One matrix pair, many heterogeneous queries — norm estimates, heavy
+//! hitters, and support/`ℓ1` samples interleaved, the shape of a
+//! production query log. The engine fans the batch out over a worker
+//! pool; every worker shares the session's cached derived views, and
+//! the results are *bit-identical* to running the queries sequentially
+//! (same seeds, same transcripts), so parallelism is purely a
+//! throughput knob.
+//!
+//! Run with: `cargo run --release --example batch_throughput`
+
+use mpest::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = 128;
+    let a = Workloads::bernoulli_bits(n, n, 0.12, 31);
+    let b = Workloads::bernoulli_bits(n, n, 0.12, 32);
+
+    // The query mix: every protocol family, interleaved.
+    let mix = [
+        EstimateRequest::LpNorm {
+            p: PNorm::Zero,
+            eps: 0.25,
+        },
+        EstimateRequest::HhBinary {
+            p: 1.0,
+            phi: 0.05,
+            eps: 0.02,
+        },
+        EstimateRequest::L0Sample { eps: 0.3 },
+        EstimateRequest::LpNorm {
+            p: PNorm::ONE,
+            eps: 0.25,
+        },
+        EstimateRequest::ExactL1,
+        EstimateRequest::L1Sample,
+        EstimateRequest::LinfBinary { eps: 0.3 },
+        EstimateRequest::SparseMatmul,
+    ];
+    let requests: Vec<EstimateRequest> = (0..64).map(|i| mix[i % mix.len()].clone()).collect();
+
+    println!(
+        "== batch of {} mixed queries over one {n}x{n} pair ==\n",
+        requests.len()
+    );
+
+    // Sequential baseline: one session, one query at a time.
+    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(7));
+    let start = Instant::now();
+    let sequential: Vec<EstimateReport> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, req)| {
+            session
+                .estimate_seeded(req, session.query_seed(i as u64))
+                .unwrap()
+        })
+        .collect();
+    let seq_secs = start.elapsed().as_secs_f64();
+    println!(
+        "sequential session : {seq_secs:.3}s  ({:.1} queries/s)",
+        requests.len() as f64 / seq_secs
+    );
+
+    // The engine: same session semantics, fanned out over workers.
+    let engine = Engine::new(Session::new(a, b).with_seed(Seed(7)));
+    for workers in [1, 2, 4, 8] {
+        let plan = BatchPlan::default().with_workers(workers).at_index(0);
+        let start = Instant::now();
+        let batch = engine.run_batch(&requests, &plan).unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "engine, {workers} worker(s): {secs:.3}s  ({:.1} queries/s, {:.2}x)  bit-identical: {}",
+            requests.len() as f64 / secs,
+            seq_secs / secs,
+            batch.reports == sequential
+        );
+    }
+
+    // Aggregate accounting comes with the batch.
+    let batch = engine
+        .run_batch(&requests, &BatchPlan::default().at_index(0))
+        .unwrap();
+    let acc = &batch.accounting;
+    println!("\naggregate: {acc}");
+    println!("mean bits/query: {:.0}", acc.mean_bits());
+    let mut by_label: Vec<_> = acc.bits_by_label.iter().collect();
+    by_label.sort_by_key(|(_, &bits)| std::cmp::Reverse(bits));
+    println!("top message labels by volume:");
+    for (label, bits) in by_label.into_iter().take(5) {
+        println!("  {bits:>12} bits  {label}");
+    }
+}

@@ -37,6 +37,13 @@ const USAGE: &str = "usage:
             [--max-val V] [--seed S] --out FILE
   mpest exact --a FILE --b FILE
   mpest run PROTOCOL --a FILE --b FILE [options]
+  mpest batch --a FILE --b FILE --requests FILE.jsonl [--workers N] [--seed S]
+
+batch requests file: one JSON object per line, {\"protocol\": NAME, ...flags},
+e.g. {\"protocol\": \"l0\", \"eps\": 0.2} — keys match the run flags
+below ('#' lines and blank lines are skipped). The batch executes across a
+worker pool (--workers 0 = one per core) and is bit-identical to running
+the requests sequentially in file order.
 
 protocols and their options:
   l0 | l1 | l2 | lp        --eps E [--p P]        (Algorithm 1, 2 rounds)
@@ -122,7 +129,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| "run needs a protocol name".to_string())?;
             cmd_run(protocol, &flags)
         }
-        _ => Err("expected a subcommand: gen | exact | run".to_string()),
+        Some("batch") => cmd_batch(&flags),
+        _ => Err("expected a subcommand: gen | exact | run | batch".to_string()),
     }
 }
 
@@ -245,29 +253,31 @@ fn parse_request(protocol: &str, flags: &Flags) -> Result<EstimateRequest, Strin
     })
 }
 
+/// One-line rendering of a type-erased output; `compact` trades detail
+/// for width (batch listings print one query per line).
+fn output_summary(output: &AnyOutput, compact: bool) -> String {
+    match output {
+        AnyOutput::Scalar(v) => format!("{v}"),
+        AnyOutput::Count(v) => format!("{v}"),
+        AnyOutput::Sample(s) => format!("{s:?}"),
+        AnyOutput::L1Sample(s) => format!("{s:?}"),
+        AnyOutput::Linf(e) if compact => format!("{:.2}", e.estimate),
+        AnyOutput::Linf(e) => format!("{e:?}"),
+        AnyOutput::HeavyHitters(hh) if compact => format!("{} pairs", hh.pairs.len()),
+        AnyOutput::HeavyHitters(hh) => format!("{} pairs {:?}", hh.pairs.len(), hh.positions()),
+        AnyOutput::Shares(sh) => format!(
+            "shares with {} nonzeros recovered",
+            sh.alice.len() + sh.bob.len()
+        ),
+        AnyOutput::Exact(stats) => format!("{stats:?}"),
+    }
+}
+
 /// Prints the uniform report: type-erased output, exact bits/rounds, and
 /// estimated wall-clock on reference links.
 fn print_report(report: &EstimateReport) {
     println!("{}:", report.protocol);
-    match &report.output {
-        AnyOutput::Scalar(v) => println!("  output     = {v}"),
-        AnyOutput::Count(v) => println!("  output     = {v}"),
-        AnyOutput::Sample(s) => println!("  output     = {s:?}"),
-        AnyOutput::L1Sample(s) => println!("  output     = {s:?}"),
-        AnyOutput::Linf(e) => println!("  output     = {e:?}"),
-        AnyOutput::HeavyHitters(hh) => {
-            println!(
-                "  output     = {} pairs {:?}",
-                hh.pairs.len(),
-                hh.positions()
-            );
-        }
-        AnyOutput::Shares(sh) => println!(
-            "  output     = shares with {} nonzeros recovered",
-            sh.alice.len() + sh.bob.len()
-        ),
-        AnyOutput::Exact(stats) => println!("  output     = {stats:?}"),
-    }
+    println!("  output     = {}", output_summary(&report.output, false));
     println!("  bits       = {}", report.bits());
     println!("  rounds     = {}", report.rounds());
     for (label, model) in [
@@ -308,6 +318,322 @@ fn is_binary_request(request: &EstimateRequest) -> bool {
     )
 }
 
+/// Whether `token` is a number by the JSON grammar (RFC 8259 §6):
+/// optional minus, integer part without leading zeros, optional
+/// fraction, optional exponent. Stricter than `f64::from_str`, which
+/// would also accept `inf`, `nan`, and `+1`.
+fn is_json_number(token: &str) -> bool {
+    let b = token.as_bytes();
+    let mut i = 0;
+    if b.first() == Some(&b'-') {
+        i += 1;
+    }
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(b.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        let frac_start = i;
+        while matches!(b.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+        if i == frac_start {
+            return false;
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        let exp_start = i;
+        while matches!(b.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+        if i == exp_start {
+            return false;
+        }
+    }
+    i == b.len()
+}
+
+/// Reads the four hex digits of a `\uXXXX` escape. On entry `*i` is the
+/// index of the `u`; on success `*i` is the index of the last hex digit
+/// (the caller's loop step then moves past it). Strict: exactly four
+/// ASCII hex digits, no signs or whitespace (`u32::from_str_radix`
+/// alone would accept `+06c`).
+fn parse_u_escape(line: &str, i: &mut usize) -> Result<u32, String> {
+    let hex = line
+        .get(*i + 1..*i + 5)
+        .filter(|h| h.bytes().all(|b| b.is_ascii_hexdigit()))
+        .ok_or_else(|| "bad \\u escape: expected exactly four hex digits".to_string())?;
+    *i += 4;
+    Ok(u32::from_str_radix(hex, 16).expect("four hex digits"))
+}
+
+/// Minimal JSON-object parser for the batch request file: one flat
+/// `{"key": value, ...}` per line, values being strings, numbers,
+/// booleans, or null. Everything is surfaced as strings so request
+/// parsing reuses the exact flag-parsing path of `mpest run`.
+fn parse_jsonl_object(line: &str) -> Result<HashMap<String, String>, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |i: &mut usize| -> Result<String, String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {i}", i = *i));
+        }
+        *i += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match bytes.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = parse_u_escape(line, i)?;
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: JSON encodes non-BMP
+                                // chars as a \uXXXX\uXXXX pair.
+                                *i += 1;
+                                if bytes.get(*i) != Some(&b'\\') || bytes.get(*i + 1) != Some(&b'u')
+                                {
+                                    return Err(format!(
+                                        "high surrogate \\u{code:04x} not followed by a \\u low surrogate"
+                                    ));
+                                }
+                                *i += 1;
+                                let low = parse_u_escape(line, i)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "expected a low surrogate after \\u{code:04x}, got \\u{low:04x}"
+                                    ));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(combined).expect("valid surrogate pair"));
+                            } else {
+                                out.push(char::from_u32(code).ok_or_else(|| {
+                                    format!("invalid codepoint \\u{code:04x} (lone low surrogate)")
+                                })?);
+                            }
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = &line[*i..];
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    *i += ch.len_utf8();
+                }
+            }
+        }
+    };
+    let parse_scalar = |i: &mut usize| -> Result<String, String> {
+        let start = *i;
+        while *i < bytes.len()
+            && matches!(bytes[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' | b'a'..=b'z')
+        {
+            *i += 1;
+        }
+        let token = &line[start..*i];
+        match token {
+            "" => Err(format!("expected a value at byte {start}")),
+            "null" => Ok(String::new()),
+            "true" | "false" => Ok(token.to_string()),
+            _ if is_json_number(token) => Ok(token.to_string()),
+            _ => Err(format!("unsupported JSON value {token:?}")),
+        }
+    };
+
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return Err("request line must be a JSON object".into());
+    }
+    i += 1;
+    let mut map = HashMap::new();
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&b'}') {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(&mut i);
+            let key = parse_string(&mut i)?;
+            skip_ws(&mut i);
+            if bytes.get(i) != Some(&b':') {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            i += 1;
+            skip_ws(&mut i);
+            let value = if bytes.get(i) == Some(&b'"') {
+                parse_string(&mut i)?
+            } else {
+                parse_scalar(&mut i)?
+            };
+            map.insert(key, value);
+            skip_ws(&mut i);
+            match bytes.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err("expected ',' or '}' in object".into()),
+            }
+        }
+    }
+    skip_ws(&mut i);
+    if i != bytes.len() {
+        return Err(format!("trailing content after object: {:?}", &line[i..]));
+    }
+    Ok(map)
+}
+
+/// Every key a batch request line may carry: `protocol` plus the
+/// per-protocol flags of `mpest run`. Unknown keys are rejected so a
+/// typo (`"hheps"`) can't silently fall back to a default.
+const REQUEST_KEYS: &[&str] = &[
+    "protocol", "eps", "p", "kappa", "phi", "hh-eps", "t", "slack",
+];
+
+/// Parses one already-decoded request object into the uniform shape.
+fn request_from_map(map: HashMap<String, String>) -> Result<EstimateRequest, String> {
+    for key in map.keys() {
+        if !REQUEST_KEYS.contains(&key.as_str()) {
+            return Err(if key == "seed" {
+                "per-request \"seed\" is not supported; seeds derive from the batch --seed in file order".to_string()
+            } else {
+                format!("unknown request key {key:?} (expected one of {REQUEST_KEYS:?})")
+            });
+        }
+    }
+    let protocol = map
+        .get("protocol")
+        .cloned()
+        .ok_or_else(|| "missing \"protocol\" key".to_string())?;
+    parse_request(&protocol, &Flags(map))
+}
+
+/// Reads a JSONL request file into the uniform request shape, reusing
+/// the `mpest run` flag vocabulary for per-protocol parameters.
+fn load_requests(path: &Path) -> Result<Vec<EstimateRequest>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("--requests {}: {e}", path.display()))?;
+    let mut requests = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let context = |e: String| format!("{}:{}: {e}", path.display(), lineno + 1);
+        let map = parse_jsonl_object(trimmed).map_err(context)?;
+        requests.push(request_from_map(map).map_err(context)?);
+    }
+    if requests.is_empty() {
+        return Err(format!("{}: no requests", path.display()));
+    }
+    Ok(requests)
+}
+
+fn cmd_batch(flags: &Flags) -> Result<(), String> {
+    let (a, b) = load_pair(flags)?;
+    let seed = Seed(flags.num("seed", 42u64)?);
+    let workers: usize = flags.num("workers", 0)?;
+    let requests = load_requests(Path::new(flags.required("requests")?))?;
+
+    // `mpest run` coerces integer inputs to their binary support view
+    // when the (single) request is binary. A batch may only apply that
+    // coercion when *every* request is binary — binarizing the pair for
+    // a mixed batch would silently change the non-binary requests'
+    // answers relative to running them alone, so that case is an error.
+    let any_binary = requests.iter().any(is_binary_request);
+    let all_binary = requests.iter().all(is_binary_request);
+    let inputs_binary = a.is_binary() && b.is_binary();
+    if any_binary && !all_binary && !inputs_binary {
+        return Err(
+            "batch mixes binary and general protocols over non-binary inputs; \
+             binarizing would change the general protocols' answers — split the \
+             batch or pre-binarize the matrices with `mpest gen`"
+                .to_string(),
+        );
+    }
+    let session = if all_binary && !inputs_binary {
+        eprintln!(
+            "note: binarizing integer inputs (nonzero -> 1) for an all-binary-protocol batch"
+        );
+        Session::new(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
+    } else {
+        Session::new(a, b)
+    }
+    .with_seed(seed);
+
+    let engine = Engine::new(session);
+    let plan = BatchPlan::default().with_workers(workers);
+    let start = std::time::Instant::now();
+    let batch = engine
+        .run_batch(&requests, &plan)
+        .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64();
+
+    println!(
+        "batch of {} requests over {} worker(s):",
+        batch.reports.len(),
+        plan.effective_workers(requests.len()),
+    );
+    for (i, report) in batch.reports.iter().enumerate() {
+        println!(
+            "  [{i:>3}] {:<16} {:>10} bits  {} round(s)  {}",
+            report.protocol,
+            report.bits(),
+            report.rounds(),
+            output_summary(&report.output, true)
+        );
+    }
+    let acc = &batch.accounting;
+    println!("aggregate: {acc}");
+    println!(
+        "           {:.3}s wall, {:.1} queries/s, mean {:.0} bits/query",
+        secs,
+        batch.reports.len() as f64 / secs.max(1e-9),
+        acc.mean_bits()
+    );
+    for (label, model) in [
+        ("datacenter", NetworkModel::datacenter()),
+        ("wan       ", NetworkModel::wan()),
+    ] {
+        let est: f64 = batch
+            .reports
+            .iter()
+            .map(|r| model.seconds(&r.transcript))
+            .sum();
+        println!("           est. serial time on {label} link: {est:.4} s");
+    }
+    Ok(())
+}
+
 fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
     let (a, b) = load_pair(flags)?;
     let seed = Seed(flags.num("seed", 42u64)?);
@@ -345,4 +671,101 @@ fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_object_parses_strings_numbers_bools_null() {
+        let map = parse_jsonl_object(
+            r#"{"protocol": "hh-binary", "phi": 0.05, "t": 3, "neg": -1.5e-2, "flag": true, "off": false, "none": null}"#,
+        )
+        .unwrap();
+        assert_eq!(map["protocol"], "hh-binary");
+        assert_eq!(map["phi"], "0.05");
+        assert_eq!(map["t"], "3");
+        assert_eq!(map["neg"], "-1.5e-2");
+        assert_eq!(map["flag"], "true");
+        assert_eq!(map["off"], "false");
+        assert_eq!(map["none"], "");
+        assert!(parse_jsonl_object("{}").unwrap().is_empty());
+        assert!(parse_jsonl_object("  { }  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn jsonl_object_decodes_string_escapes() {
+        let map = parse_jsonl_object(
+            r#"{"a": "q\"uote", "b": "back\\slash", "c": "tab\there", "d": "Aé"}"#,
+        )
+        .unwrap();
+        assert_eq!(map["a"], "q\"uote");
+        assert_eq!(map["b"], "back\\slash");
+        assert_eq!(map["c"], "tab\there");
+        assert_eq!(map["d"], "Aé");
+        // \u escapes: BMP directly, non-BMP as a surrogate pair.
+        let map =
+            parse_jsonl_object(r#"{"bmp": "\u006c\u00e9", "emoji": "\ud83d\ude00"}"#).unwrap();
+        assert_eq!(map["bmp"], "lé");
+        assert_eq!(map["emoji"], "😀");
+    }
+
+    #[test]
+    fn jsonl_object_rejects_malformed_input() {
+        for bad in [
+            "not json",
+            "[1, 2]",
+            r#"{"unterminated": "x"#,
+            r#"{"key" "missing-colon"}"#,
+            r#"{"trailing": 1} extra"#,
+            r#"{"bad": inf}"#,
+            r#"{"bad": nan}"#,
+            r#"{"bad": +1}"#,
+            r#"{"bad": 01}"#,
+            r#"{"bad": 1.}"#,
+            r#"{"bad": 1e}"#,
+            r#"{"bad": .5}"#,
+            r#"{"bad": \n}"#,
+            r#"{"lone-surrogate": "\ud800"}"#,
+            r#"{"lone-low-surrogate": "\udc00"}"#,
+            r#"{"swapped-pair": "\ude00\ud83d"}"#,
+            r#"{"signed-hex": "\u+06c"}"#,
+            r#"{"short-hex": "\u06"}"#,
+        ] {
+            assert!(parse_jsonl_object(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn json_numbers_follow_the_rfc_grammar() {
+        for good in [
+            "0", "-0", "3", "42", "0.5", "-1.25", "1e3", "1E-3", "2.5e+10",
+        ] {
+            assert!(is_json_number(good), "rejected: {good}");
+        }
+        for bad in [
+            "", "-", "+1", "01", "1.", ".5", "1e", "1e+", "inf", "nan", "0x1", "1_000",
+        ] {
+            assert!(!is_json_number(bad), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn request_from_map_rejects_unknown_and_per_request_seed_keys() {
+        let line = |s: &str| parse_jsonl_object(s).unwrap();
+        assert!(matches!(
+            request_from_map(line(r#"{"protocol": "l0", "eps": 0.25}"#)),
+            Ok(EstimateRequest::LpNorm { .. })
+        ));
+        let err = request_from_map(line(
+            r#"{"protocol": "hh-binary", "phi": 0.05, "hheps": 0.005}"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown request key \"hheps\""), "got: {err}");
+        let err = request_from_map(line(r#"{"protocol": "l0", "seed": 7}"#)).unwrap_err();
+        assert!(err.contains("per-request \"seed\""), "got: {err}");
+        let err = request_from_map(line(r#"{"eps": 0.2}"#)).unwrap_err();
+        assert!(err.contains("protocol"), "got: {err}");
+    }
 }

@@ -29,7 +29,11 @@
 //! * [`EstimateRequest`](protocols::EstimateRequest) →
 //!   [`EstimateReport`](protocols::EstimateReport) is the uniform
 //!   dynamic-dispatch layer: a request is plain data that can be parsed,
-//!   queued, and routed to whichever shard holds the session.
+//!   queued, and routed to whichever shard holds the session;
+//! * [`Engine`](protocols::Engine) executes whole request batches
+//!   across a worker pool sharing one session's caches —
+//!   bit-identical to the sequential run for any worker count, with
+//!   aggregate [`BatchAccounting`](comm::BatchAccounting).
 //!
 //! ## Quickstart
 //!
@@ -85,6 +89,8 @@ pub mod prelude {
     pub use mpest_core::{
         AnyOutput, EstimateReport, EstimateRequest, Protocol, Session, SessionCtx, SessionInput,
     };
+    // Parallel batched execution over one session.
+    pub use mpest_core::{BatchPlan, BatchReport, Engine, SeedSchedule};
     // Protocol unit structs.
     pub use mpest_core::{
         AtLeastTJoin, AtLeastTParams, ExactL1, HhBinary, HhGeneral, L0Sample, L1Sampling,
@@ -107,7 +113,7 @@ pub mod prelude {
         linf_kappa, lp_baseline, lp_norm, sparse_matmul, trivial,
     };
     // Output and substrate types.
-    pub use mpest_comm::{Party, Seed, Transcript};
+    pub use mpest_comm::{BatchAccounting, Party, Seed, Transcript};
     pub use mpest_core::{
         Constants, HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares,
         ProtocolRun,

@@ -1,0 +1,247 @@
+//! The batch-engine contract: executing a `Vec<EstimateRequest>`
+//! through [`Engine::run_batch`] is **bit-identical** — outputs *and*
+//! transcripts — to the equivalent sequence of seeded `Session` runs,
+//! for every protocol and every worker count, and the per-query seed
+//! schedule is exactly [`Session::query_seed`].
+
+use mpest::prelude::*;
+
+fn pair() -> (BitMatrix, BitMatrix) {
+    (
+        Workloads::bernoulli_bits(20, 28, 0.3, 1),
+        Workloads::bernoulli_bits(28, 20, 0.3, 2),
+    )
+}
+
+/// One request per protocol — all 14 entry points.
+fn all_protocol_requests() -> Vec<EstimateRequest> {
+    vec![
+        EstimateRequest::LpNorm {
+            p: PNorm::Zero,
+            eps: 0.3,
+        },
+        EstimateRequest::LpBaseline {
+            p: PNorm::ONE,
+            eps: 0.4,
+        },
+        EstimateRequest::ExactL1,
+        EstimateRequest::L1Sample,
+        EstimateRequest::L0Sample { eps: 0.3 },
+        EstimateRequest::SparseMatmul,
+        EstimateRequest::LinfBinary { eps: 0.3 },
+        EstimateRequest::LinfKappa { kappa: 4.0 },
+        EstimateRequest::LinfGeneral { kappa: 4 },
+        EstimateRequest::HhGeneral {
+            p: 1.0,
+            phi: 0.05,
+            eps: 0.02,
+        },
+        EstimateRequest::HhBinary {
+            p: 1.0,
+            phi: 0.05,
+            eps: 0.02,
+        },
+        EstimateRequest::AtLeastTJoin { t: 2, slack: 0.5 },
+        EstimateRequest::TrivialBinary,
+        EstimateRequest::TrivialCsr,
+    ]
+}
+
+/// (a) Batch == sequential `run_seeded`-equivalent execution,
+/// bit-for-bit, for every protocol: the report of batch query `i` must
+/// equal the report of `estimate_seeded(request, query_seed(i))` —
+/// which `tests/session_equivalence.rs` already ties to the typed
+/// `run_seeded` path and the legacy one-shot runs.
+#[test]
+fn batch_matches_sequential_seeded_runs_for_every_protocol() {
+    let (a, b) = pair();
+    let requests = all_protocol_requests();
+    assert_eq!(requests.len(), 14, "one request per protocol");
+
+    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(42));
+    let sequential: Vec<EstimateReport> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, req)| {
+            session
+                .estimate_seeded(req, session.query_seed(i as u64))
+                .unwrap_or_else(|e| panic!("{} failed: {e}", req.name()))
+        })
+        .collect();
+
+    let engine = Engine::new(Session::new(a, b).with_seed(Seed(42)));
+    let batch = engine
+        .run_batch(&requests, &BatchPlan::default().with_workers(4).at_index(0))
+        .unwrap();
+
+    assert_eq!(batch.reports.len(), sequential.len());
+    for ((req, batched), sequential) in requests.iter().zip(&batch.reports).zip(&sequential) {
+        assert_eq!(
+            batched.output,
+            sequential.output,
+            "{}: batch output differs from sequential seeded run",
+            req.name()
+        );
+        assert_eq!(
+            batched.transcript,
+            sequential.transcript,
+            "{}: batch transcript differs from sequential seeded run",
+            req.name()
+        );
+    }
+    // Aggregate accounting is exactly the fold of the per-query
+    // transcripts.
+    let mut expected = BatchAccounting::new();
+    for report in &sequential {
+        expected.absorb(&report.transcript);
+    }
+    assert_eq!(batch.accounting, expected);
+}
+
+/// (a') The typed path too: a batch report carries the very same
+/// transcript as `Session::run_seeded` with the matching params.
+#[test]
+fn batch_matches_typed_run_seeded() {
+    let (a, b) = pair();
+    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(9));
+    let engine = Engine::new(Session::new(a, b).with_seed(Seed(9)));
+    let requests = vec![
+        EstimateRequest::LpNorm {
+            p: PNorm::ONE,
+            eps: 0.25,
+        },
+        EstimateRequest::ExactL1,
+        EstimateRequest::LinfBinary { eps: 0.3 },
+    ];
+    let batch = engine
+        .run_batch(&requests, &BatchPlan::default().with_workers(2).at_index(0))
+        .unwrap();
+
+    let lp = session
+        .run_seeded(
+            &LpNorm,
+            &LpParams::new(PNorm::ONE, 0.25),
+            session.query_seed(0),
+        )
+        .unwrap();
+    assert_eq!(batch.reports[0].output, AnyOutput::Scalar(lp.output));
+    assert_eq!(batch.reports[0].transcript, lp.transcript);
+
+    let l1 = session
+        .run_seeded(&ExactL1, &(), session.query_seed(1))
+        .unwrap();
+    assert_eq!(batch.reports[1].output, AnyOutput::Count(l1.output));
+    assert_eq!(batch.reports[1].transcript, l1.transcript);
+
+    let linf = session
+        .run_seeded(
+            &LinfBinary,
+            &LinfBinaryParams::new(0.3),
+            session.query_seed(2),
+        )
+        .unwrap();
+    assert_eq!(batch.reports[2].output, AnyOutput::Linf(linf.output));
+    assert_eq!(batch.reports[2].transcript, linf.transcript);
+}
+
+/// (b) Worker-count invariance: 1, 2, and 8 workers (and prewarm
+/// on/off) produce identical `BatchReport`s.
+#[test]
+fn batch_results_are_invariant_under_worker_count() {
+    let (a, b) = pair();
+    let engine = Engine::new(Session::new(a, b).with_seed(Seed(1234)));
+    // A batch longer than the protocol list, so workers interleave.
+    let requests: Vec<EstimateRequest> = all_protocol_requests()
+        .into_iter()
+        .cycle()
+        .take(30)
+        .collect();
+
+    let baseline = engine
+        .run_batch(&requests, &BatchPlan::default().with_workers(1).at_index(0))
+        .unwrap();
+    for workers in [2usize, 8] {
+        let run = engine
+            .run_batch(
+                &requests,
+                &BatchPlan::default().with_workers(workers).at_index(0),
+            )
+            .unwrap();
+        assert_eq!(
+            run, baseline,
+            "batch with {workers} workers diverged from 1-worker run"
+        );
+    }
+    let cold = engine
+        .run_batch(
+            &requests,
+            &BatchPlan::default()
+                .with_workers(8)
+                .with_prewarm(false)
+                .at_index(0),
+        )
+        .unwrap();
+    assert_eq!(cold, baseline, "prewarm=false changed batch results");
+}
+
+/// (c) Seed derivation: batches consume the session's query counter in
+/// file order, so batch query `i` runs under exactly
+/// `Session::query_seed(first + i)` — interleaving single queries and
+/// batches never aliases or skips seeds.
+#[test]
+fn batch_seed_derivation_matches_session_query_seed() {
+    let (a, b) = pair();
+    let requests = vec![
+        EstimateRequest::L1Sample,
+        EstimateRequest::L0Sample { eps: 0.3 },
+        EstimateRequest::LpNorm {
+            p: PNorm::Zero,
+            eps: 0.3,
+        },
+    ];
+
+    // Reference: a pure-session interleaving — one single query, then
+    // the three "batch" queries sequentially, then another single.
+    let reference = Session::new(a.clone(), b.clone()).with_seed(Seed(5));
+    let single_before = reference.estimate(&EstimateRequest::ExactL1).unwrap();
+    let sequential: Vec<EstimateReport> = requests
+        .iter()
+        .map(|req| reference.estimate(req).unwrap())
+        .collect();
+    let single_after = reference.estimate(&EstimateRequest::ExactL1).unwrap();
+
+    // Same schedule through the engine.
+    let engine = Engine::new(Session::new(a, b).with_seed(Seed(5)));
+    let before = engine
+        .session()
+        .estimate(&EstimateRequest::ExactL1)
+        .unwrap();
+    let batch = engine
+        .run_batch(&requests, &BatchPlan::default().with_workers(2))
+        .unwrap();
+    let after = engine
+        .session()
+        .estimate(&EstimateRequest::ExactL1)
+        .unwrap();
+
+    assert_eq!(before, single_before);
+    assert_eq!(batch.reports, sequential);
+    assert_eq!(after, single_after, "batch skipped or aliased seed indices");
+    assert_eq!(batch.first_query_index, 1);
+    assert_eq!(engine.session().queries_issued(), 5);
+
+    // And the indices map to query_seed exactly: replaying with
+    // explicit seeds reproduces the batch bit-for-bit.
+    for (i, report) in batch.reports.iter().enumerate() {
+        let replay = engine
+            .session()
+            .estimate_seeded(
+                &requests[i],
+                engine
+                    .session()
+                    .query_seed(batch.first_query_index + i as u64),
+            )
+            .unwrap();
+        assert_eq!(&replay, report, "query {i} ran off-schedule");
+    }
+}
