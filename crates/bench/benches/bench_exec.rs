@@ -1,0 +1,61 @@
+//! Per-query executor hot-path latency: fused vs threaded on the
+//! smallest protocol (`exact-l1`, one message, one round), plus the raw
+//! substrate cost of a minimal one-message `execute_with` — the numbers
+//! that regress first if the hot path grows threads, locks, or
+//! allocations again.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpest_comm::{execute_with, ExecBackend, Seed};
+use mpest_core::{EstimateRequest, ExactL1, Session};
+use mpest_matrix::Workloads;
+
+fn session(n: usize) -> Session {
+    Session::new(
+        Workloads::bernoulli_bits(n, n, 0.15, 21),
+        Workloads::bernoulli_bits(n, n, 0.15, 22),
+    )
+    .with_seed(Seed(77))
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_hot_path");
+    g.sample_size(200);
+
+    // Raw substrate: one u64 message, no protocol work at all.
+    for exec in ExecBackend::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("one_message", exec),
+            &exec,
+            |bench, &exec| {
+                bench.iter(|| {
+                    execute_with(
+                        exec,
+                        7u64,
+                        0u64,
+                        |link, a| link.send(0, "v", &a).map(|()| a),
+                        |link, b| link.recv::<u64>("v").map(|a| a + b),
+                    )
+                    .unwrap()
+                    .bob
+                });
+            },
+        );
+    }
+
+    // Smallest real protocol, typed and dynamic entry points.
+    let s = session(32);
+    let _ = s.run_seeded(&ExactL1, &(), Seed(0)).unwrap(); // warm caches
+    for exec in ExecBackend::ALL {
+        g.bench_with_input(BenchmarkId::new("exact_l1", exec), &exec, |bench, &exec| {
+            bench.iter(|| {
+                s.estimate_seeded_on(&EstimateRequest::ExactL1, Seed(1), exec)
+                    .unwrap()
+                    .bits()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

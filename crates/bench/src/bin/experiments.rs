@@ -11,6 +11,11 @@
 //!                               # (BENCH_batch.json), and exit nonzero
 //!                               # if batch output diverges from the
 //!                               # sequential seeded run
+//!   experiments --exec-bench PATH
+//!                               # also run the fused-vs-threaded
+//!                               # executor trajectory, write it to PATH
+//!                               # (BENCH_exec.json), and exit nonzero
+//!                               # if the backends diverge bit-for-bit
 //!
 //! The output of a full run is recorded in EXPERIMENTS.md.
 
@@ -24,6 +29,7 @@ fn main() {
     let mut only: Option<Vec<String>> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut batch_path: Option<PathBuf> = None;
+    let mut exec_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,10 +49,16 @@ fn main() {
                     args.get(i).expect("--batch-bench needs a path"),
                 ));
             }
+            "--exec-bench" => {
+                i += 1;
+                exec_path = Some(PathBuf::from(
+                    args.get(i).expect("--exec-bench needs a path"),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH]"
+                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH]"
                 );
                 std::process::exit(2);
             }
@@ -72,7 +84,7 @@ fn main() {
             .collect(),
         None => IDS.to_vec(),
     };
-    if selected.is_empty() && batch_path.is_none() {
+    if selected.is_empty() && batch_path.is_none() && exec_path.is_none() {
         eprintln!("no experiments selected; known ids: {IDS:?}");
         std::process::exit(2);
     }
@@ -113,6 +125,24 @@ fn main() {
         println!("# batch trajectory written to {}", path.display());
         if !bench.all_match {
             eprintln!("FAIL: batch output diverged from the sequential seeded run");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = exec_path {
+        println!("# executor trajectory: fused vs threaded ({} mode)", {
+            if quick {
+                "quick"
+            } else {
+                "full"
+            }
+        });
+        let bench = mpest_bench::exec::run(quick);
+        print!("{}", bench.summary());
+        bench.save_json(&path).expect("write exec bench json");
+        println!("# executor trajectory written to {}", path.display());
+        if !bench.all_match {
+            eprintln!("FAIL: fused and threaded executors diverged bit-for-bit");
             std::process::exit(1);
         }
     }

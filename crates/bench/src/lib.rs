@@ -12,7 +12,10 @@
 //! * [`report`] — markdown + JSON table output;
 //! * [`batch`] — the batch-engine throughput trajectory behind the CI
 //!   bench-smoke job (`BENCH_batch.json`), which also gates on batch
-//!   output being bit-identical to sequential execution.
+//!   output being bit-identical to sequential execution;
+//! * [`exec`] — the executor trajectory (`BENCH_exec.json`): fused vs
+//!   threaded per-protocol latency and wire-bound throughput, gating on
+//!   the two backends being bit-identical.
 //!
 //! `cargo run --release -p mpest-bench --bin experiments` regenerates
 //! everything (the output recorded in EXPERIMENTS.md); the Criterion
@@ -20,6 +23,7 @@
 //! protocols and substrates.
 
 pub mod batch;
+pub mod exec;
 pub mod experiments;
 pub mod fit;
 pub mod report;

@@ -59,6 +59,19 @@ impl BitWriter {
         }
     }
 
+    /// Creates a writer over a recycled scratch buffer: the buffer is
+    /// cleared but keeps its allocation, so a pooled caller (the fused
+    /// executor) encodes without touching the allocator. The produced
+    /// bytes are identical to a fresh writer's.
+    #[must_use]
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self {
+            buf,
+            ..Self::default()
+        }
+    }
+
     /// Total number of bits written so far.
     #[must_use]
     pub fn bits_written(&self) -> u64 {
@@ -135,11 +148,22 @@ impl BitWriter {
     /// of payload bits (the final byte may contain padding zeros that are
     /// *not* billed).
     #[must_use]
-    pub fn finish(mut self) -> (Bytes, u64) {
+    pub fn finish(self) -> (Bytes, u64) {
+        let (buf, bits) = self.finish_vec();
+        (Bytes::from(buf), bits)
+    }
+
+    /// Like [`BitWriter::finish`], but returns the raw byte buffer
+    /// without wrapping it in a shared [`Bytes`] handle (which copies
+    /// into a fresh reference-counted allocation). The wire path of the
+    /// fused executor moves these buffers between a scratch pool, the
+    /// in-memory queues, and back — no copies, no refcounts.
+    #[must_use]
+    pub fn finish_vec(mut self) -> (Vec<u8>, u64) {
         if self.cur_bits > 0 {
             self.buf.push(self.cur);
         }
-        (Bytes::from(self.buf), self.total_bits)
+        (self.buf, self.total_bits)
     }
 }
 
@@ -333,6 +357,26 @@ mod tests {
         for &v in &vals {
             assert_eq!(r.read_f64().unwrap().to_bits(), v.to_bits());
         }
+    }
+
+    #[test]
+    fn recycled_buffer_produces_identical_bytes() {
+        let mut fresh = BitWriter::new();
+        fresh.write_varint(12345);
+        fresh.write_bits(0b1011, 4);
+        let (expected, expected_bits) = fresh.finish_vec();
+
+        // A dirty recycled buffer must not leak into the stream, and the
+        // allocation must survive the round trip.
+        let dirty = vec![0xffu8; 64];
+        let capacity = dirty.capacity();
+        let mut w = BitWriter::with_buf(dirty);
+        w.write_varint(12345);
+        w.write_bits(0b1011, 4);
+        let (got, bits) = w.finish_vec();
+        assert_eq!(got, expected);
+        assert_eq!(bits, expected_bits);
+        assert_eq!(got.capacity(), capacity, "allocation was reused");
     }
 
     #[test]

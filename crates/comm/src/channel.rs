@@ -1,34 +1,70 @@
-//! Protocol execution: two party functions on two threads, linked by
-//! byte-level channels, with a shared transcript recorder.
+//! Protocol execution substrate: the party-facing [`Link`] handle and the
+//! reference [`Threaded`](crate::ExecBackend::Threaded) executor.
 //!
-//! [`execute`] spawns Alice and Bob as scoped threads. Each receives a
-//! [`Link`] through which *all* interaction flows: [`Link::send`] encodes a
-//! [`Wire`] value into a byte frame, records its exact bit count in the
-//! transcript, and pushes it to the peer; [`Link::recv`] blocks for the
-//! next frame, verifies the expected label, and decodes. Messages within
-//! the same annotated round may flow in both directions (simultaneous
-//! messages), matching the round convention of communication complexity.
+//! A [`Link`] is one party's handle to the conversation: [`Link::send`]
+//! encodes a [`Wire`] value into a byte frame, records its exact bit
+//! count in the transcript, and delivers it to the peer; [`Link::recv`]
+//! obtains the next frame, verifies the expected label, and decodes.
+//! Messages within the same annotated round may flow in both directions
+//! (simultaneous messages), matching the round convention of
+//! communication complexity.
+//!
+//! How frames actually move depends on the executor backend (see
+//! [`crate::exec`]): the *threaded* backend in this module runs Alice and
+//! Bob as scoped threads linked by channels (the reference
+//! implementation), while the *fused* backend runs both parties
+//! cooperatively on the calling thread. Protocol code is written against
+//! `Link` only and cannot observe the difference: outputs and transcripts
+//! are bit-identical across backends.
 
 use crate::bits::{BitReader, BitWriter};
 use crate::error::CommError;
+use crate::exec::FusedCore;
 use crate::transcript::{MsgRecord, Party, Transcript};
 use crate::wire::Wire;
-use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 /// A frame on the wire: label + packed payload. The round annotation lives
 /// only in the transcript (it is bookkeeping, not information sent).
 #[derive(Debug)]
-struct Frame {
-    label: &'static str,
-    bits: u64,
-    payload: Bytes,
+pub(crate) struct Frame {
+    pub(crate) label: &'static str,
+    pub(crate) bits: u64,
+    pub(crate) payload: Vec<u8>,
 }
 
-/// Shared transcript recorder. Messages are recorded in global send order;
-/// the protocols in this workspace have a deterministic message order, so
-/// transcripts are reproducible.
+/// Verifies a frame's label and decodes its payload — the one decode path
+/// shared by every backend (and by replayed receives in the fused one).
+pub(crate) fn decode_frame<T: Wire>(frame: &Frame, expect: &'static str) -> Result<T, CommError> {
+    if frame.label != expect {
+        return Err(CommError::LabelMismatch {
+            expected: expect,
+            got: frame.label,
+        });
+    }
+    let mut r = BitReader::new(&frame.payload);
+    let value = T::decode(&mut r)?;
+    debug_assert!(
+        r.bits_read() == frame.bits,
+        "decoder for {expect:?} consumed {} of {} bits",
+        r.bits_read(),
+        frame.bits
+    );
+    Ok(value)
+}
+
+/// Canonicalizes transcript record order: simultaneous messages (both
+/// directions within one round) would otherwise land in scheduling order.
+/// The stable sort keys on (round, party) and preserves each sender's own
+/// deterministic in-round order, so equal executions — on *any* backend —
+/// yield equal transcripts.
+pub(crate) fn canonicalize(records: &mut [MsgRecord]) {
+    records.sort_by_key(|r| (r.round, r.from == Party::Bob));
+}
+
+/// Shared transcript recorder for the threaded backend. Messages are
+/// recorded in global send order and canonicalized afterwards.
 #[derive(Debug, Default)]
 struct Recorder {
     records: Mutex<Vec<MsgRecord>>,
@@ -48,12 +84,41 @@ impl Recorder {
 /// One party's handle to the conversation.
 pub struct Link<'a> {
     side: Party,
-    tx: Sender<Frame>,
-    rx: Receiver<Frame>,
-    recorder: &'a Recorder,
+    inner: LinkInner<'a>,
+}
+
+/// Backend-specific frame transport behind a [`Link`].
+enum LinkInner<'a> {
+    /// Crossbeam channels to a peer thread plus the shared recorder.
+    Threaded {
+        tx: Sender<Frame>,
+        rx: Receiver<Frame>,
+        recorder: &'a Recorder,
+    },
+    /// Single-thread cooperative state shared with the peer.
+    Fused { core: &'a FusedCore },
 }
 
 impl<'a> Link<'a> {
+    fn threaded(
+        side: Party,
+        tx: Sender<Frame>,
+        rx: Receiver<Frame>,
+        recorder: &'a Recorder,
+    ) -> Self {
+        Self {
+            side,
+            inner: LinkInner::Threaded { tx, rx, recorder },
+        }
+    }
+
+    pub(crate) fn fused(side: Party, core: &'a FusedCore) -> Self {
+        Self {
+            side,
+            inner: LinkInner::Fused { core },
+        }
+    }
+
     /// The identity of the party holding this link.
     #[must_use]
     pub fn side(&self) -> Party {
@@ -71,17 +136,21 @@ impl<'a> Link<'a> {
         label: &'static str,
         value: &T,
     ) -> Result<(), CommError> {
-        let mut w = BitWriter::new();
-        value.encode(&mut w);
-        let (payload, bits) = w.finish();
-        self.recorder.record(self.side, round, label, bits);
-        self.tx
-            .send(Frame {
-                label,
-                bits,
-                payload,
-            })
-            .map_err(|_| CommError::ChannelClosed)
+        match &self.inner {
+            LinkInner::Threaded { tx, recorder, .. } => {
+                let mut w = BitWriter::new();
+                value.encode(&mut w);
+                let (payload, bits) = w.finish_vec();
+                recorder.record(self.side, round, label, bits);
+                tx.send(Frame {
+                    label,
+                    bits,
+                    payload,
+                })
+                .map_err(|_| CommError::ChannelClosed)
+            }
+            LinkInner::Fused { core } => core.send(self.side, round, label, value),
+        }
     }
 
     /// Receives and decodes the next message, verifying its label.
@@ -92,22 +161,13 @@ impl<'a> Link<'a> {
     /// [`CommError::LabelMismatch`] if the protocol state machines are out
     /// of sync, or [`CommError::Decode`] on a malformed payload.
     pub fn recv<T: Wire>(&self, expect_label: &'static str) -> Result<T, CommError> {
-        let frame = self.rx.recv().map_err(|_| CommError::ChannelClosed)?;
-        if frame.label != expect_label {
-            return Err(CommError::LabelMismatch {
-                expected: expect_label.to_string(),
-                got: frame.label.to_string(),
-            });
+        match &self.inner {
+            LinkInner::Threaded { rx, .. } => {
+                let frame = rx.recv().map_err(|_| CommError::ChannelClosed)?;
+                decode_frame(&frame, expect_label)
+            }
+            LinkInner::Fused { core } => core.recv(self.side, expect_label),
         }
-        let mut r = BitReader::new(&frame.payload);
-        let value = T::decode(&mut r)?;
-        debug_assert!(
-            r.bits_read() == frame.bits,
-            "decoder for {expect_label:?} consumed {} of {} bits",
-            r.bits_read(),
-            frame.bits
-        );
-        Ok(value)
     }
 
     /// Sends `value` and receives the peer's message under the same label —
@@ -140,8 +200,27 @@ pub struct ExecutionOutcome<AOut, BOut> {
     pub transcript: Transcript,
 }
 
-/// Runs a two-party protocol. `alice_fn` and `bob_fn` execute on separate
-/// threads and may only interact through their [`Link`]s.
+/// Resolves the two parties' results the way the caller sees them: a
+/// "real" error is preferred over the [`CommError::ChannelClosed`] echo
+/// the peer observes when its counterpart aborts.
+pub(crate) fn resolve_party_results<AOut, BOut>(
+    a_res: Result<AOut, CommError>,
+    b_res: Result<BOut, CommError>,
+) -> Result<(AOut, BOut), CommError> {
+    match (a_res, b_res) {
+        (Ok(a), Ok(b)) => Ok((a, b)),
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
+        (Err(ea), Err(eb)) => Err(if ea == CommError::ChannelClosed {
+            eb
+        } else {
+            ea
+        }),
+    }
+}
+
+/// Runs a two-party protocol on the reference threaded backend:
+/// `alice_fn` and `bob_fn` execute on separate scoped threads and may
+/// only interact through their [`Link`]s.
 ///
 /// # Errors
 ///
@@ -152,7 +231,7 @@ pub struct ExecutionOutcome<AOut, BOut> {
 /// # Panics
 ///
 /// Panics if a party function panics (the panic is propagated).
-pub fn execute<AIn, BIn, AOut, BOut, FA, FB>(
+pub(crate) fn execute_threaded<AIn, BIn, AOut, BOut, FA, FB>(
     alice_in: AIn,
     bob_in: BIn,
     alice_fn: FA,
@@ -170,26 +249,14 @@ where
     let (a_tx, b_rx) = unbounded::<Frame>();
     let (b_tx, a_rx) = unbounded::<Frame>();
 
-    let alice_link = Link {
-        side: Party::Alice,
-        tx: a_tx,
-        rx: a_rx,
-        recorder: &recorder,
-    };
-    let bob_link = Link {
-        side: Party::Bob,
-        tx: b_tx,
-        rx: b_rx,
-        recorder: &recorder,
-    };
-
     let (a_res, b_res) = std::thread::scope(|scope| {
-        let a_handle = scope.spawn(|| {
-            let link = alice_link;
+        let rec = &recorder;
+        let a_handle = scope.spawn(move || {
+            let link = Link::threaded(Party::Alice, a_tx, a_rx, rec);
             alice_fn(&link, alice_in)
         });
-        let b_handle = scope.spawn(|| {
-            let link = bob_link;
+        let b_handle = scope.spawn(move || {
+            let link = Link::threaded(Party::Bob, b_tx, b_rx, rec);
             bob_fn(&link, bob_in)
         });
         (
@@ -198,174 +265,211 @@ where
         )
     });
 
-    // Prefer a "real" error over the ChannelClosed echo the peer sees.
-    let (alice, bob) = match (a_res, b_res) {
-        (Ok(a), Ok(b)) => (a, b),
-        (Err(e), Ok(_)) | (Ok(_), Err(e)) => return Err(e),
-        (Err(ea), Err(eb)) => {
-            return Err(if ea == CommError::ChannelClosed {
-                eb
-            } else {
-                ea
-            });
-        }
-    };
-
-    // Canonicalize record order: simultaneous messages (both directions
-    // within one round) otherwise land in thread-scheduling order, which
-    // would make transcripts nondeterministic. The stable sort keys on
-    // (round, party) and preserves each sender's own deterministic
-    // in-round order, so equal executions yield equal transcripts.
+    let (alice, bob) = resolve_party_results(a_res, b_res)?;
     let mut records = recorder.records.into_inner();
-    records.sort_by_key(|r| (r.round, r.from == Party::Bob));
-    let transcript = Transcript { records };
+    canonicalize(&mut records);
     Ok(ExecutionOutcome {
         alice,
         bob,
-        transcript,
+        transcript: Transcript { records },
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{execute, execute_with, ExecBackend};
     use crate::wire::FixedU64s;
 
-    #[test]
-    fn one_round_protocol() {
-        let out = execute(
-            10u64,
-            32u64,
-            |link, a| {
-                link.send(0, "value", &a)?;
-                Ok(a)
-            },
-            |link, b| {
-                let a: u64 = link.recv("value")?;
-                Ok(a + b)
-            },
-        )
-        .unwrap();
-        assert_eq!(out.bob, 42);
-        assert_eq!(out.transcript.rounds(), 1);
-        assert_eq!(out.transcript.messages(), 1);
-        assert_eq!(out.transcript.bits_from(Party::Alice), 8);
-        assert_eq!(out.transcript.bits_from(Party::Bob), 0);
-    }
-
-    #[test]
-    fn multi_round_alternation() {
-        let out = execute(
-            (),
-            (),
-            |link, ()| {
-                link.send(0, "ping", &1u64)?;
-                let pong: u64 = link.recv("pong")?;
-                link.send(2, "done", &(pong + 1))?;
-                Ok(pong)
-            },
-            |link, ()| {
-                let ping: u64 = link.recv("ping")?;
-                link.send(1, "pong", &(ping * 10))?;
-                let done: u64 = link.recv("done")?;
-                Ok(done)
-            },
-        )
-        .unwrap();
-        assert_eq!(out.alice, 10);
-        assert_eq!(out.bob, 11);
-        assert_eq!(out.transcript.rounds(), 3);
-    }
-
-    #[test]
-    fn simultaneous_exchange_is_one_round() {
-        let out = execute(
-            vec![1u64, 2, 3],
-            vec![9u64],
-            |link, mine| link.exchange(0, "weights", &mine),
-            |link, mine| link.exchange(0, "weights", &mine),
-        )
-        .unwrap();
-        assert_eq!(out.alice, vec![9]);
-        assert_eq!(out.bob, vec![1, 2, 3]);
-        assert_eq!(out.transcript.rounds(), 1);
-        assert_eq!(out.transcript.messages(), 2);
-    }
-
-    #[test]
-    fn label_mismatch_detected() {
-        let res = execute(
-            (),
-            (),
-            |link, ()| link.send(0, "alpha", &1u64),
-            |link, ()| {
-                let _: u64 = link.recv("beta")?;
-                Ok(())
-            },
-        );
-        match res {
-            Err(CommError::LabelMismatch { expected, got }) => {
-                assert_eq!(expected, "beta");
-                assert_eq!(got, "alpha");
-            }
-            other => panic!("expected label mismatch, got {other:?}"),
+    /// Every behavioral test below runs on both backends: the executor is
+    /// part of the contract, not an implementation detail.
+    fn on_both(check: impl Fn(ExecBackend)) {
+        for backend in ExecBackend::ALL {
+            check(backend);
         }
     }
 
     #[test]
+    fn one_round_protocol() {
+        on_both(|backend| {
+            let out = execute_with(
+                backend,
+                10u64,
+                32u64,
+                |link, a| {
+                    link.send(0, "value", &a)?;
+                    Ok(a)
+                },
+                |link, b| {
+                    let a: u64 = link.recv("value")?;
+                    Ok(a + b)
+                },
+            )
+            .unwrap();
+            assert_eq!(out.bob, 42);
+            assert_eq!(out.transcript.rounds(), 1);
+            assert_eq!(out.transcript.messages(), 1);
+            assert_eq!(out.transcript.bits_from(Party::Alice), 8);
+            assert_eq!(out.transcript.bits_from(Party::Bob), 0);
+        });
+    }
+
+    #[test]
+    fn multi_round_alternation() {
+        on_both(|backend| {
+            let out = execute_with(
+                backend,
+                (),
+                (),
+                |link, ()| {
+                    link.send(0, "ping", &1u64)?;
+                    let pong: u64 = link.recv("pong")?;
+                    link.send(2, "done", &(pong + 1))?;
+                    Ok(pong)
+                },
+                |link, ()| {
+                    let ping: u64 = link.recv("ping")?;
+                    link.send(1, "pong", &(ping * 10))?;
+                    let done: u64 = link.recv("done")?;
+                    Ok(done)
+                },
+            )
+            .unwrap();
+            assert_eq!(out.alice, 10);
+            assert_eq!(out.bob, 11);
+            assert_eq!(out.transcript.rounds(), 3);
+        });
+    }
+
+    #[test]
+    fn simultaneous_exchange_is_one_round() {
+        on_both(|backend| {
+            let out = execute_with(
+                backend,
+                vec![1u64, 2, 3],
+                vec![9u64],
+                |link, mine| link.exchange(0, "weights", &mine),
+                |link, mine| link.exchange(0, "weights", &mine),
+            )
+            .unwrap();
+            assert_eq!(out.alice, vec![9]);
+            assert_eq!(out.bob, vec![1, 2, 3]);
+            assert_eq!(out.transcript.rounds(), 1);
+            assert_eq!(out.transcript.messages(), 2);
+        });
+    }
+
+    #[test]
+    fn label_mismatch_detected() {
+        on_both(|backend| {
+            let res = execute_with(
+                backend,
+                (),
+                (),
+                |link, ()| link.send(0, "alpha", &1u64),
+                |link, ()| {
+                    let _: u64 = link.recv("beta")?;
+                    Ok(())
+                },
+            );
+            match res {
+                Err(CommError::LabelMismatch { expected, got }) => {
+                    assert_eq!(expected, "beta");
+                    assert_eq!(got, "alpha");
+                }
+                other => panic!("expected label mismatch, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
     fn protocol_error_propagates() {
-        let res: Result<ExecutionOutcome<(), ()>, _> = execute(
-            (),
-            (),
-            |_link, ()| Err(CommError::protocol("alice aborted")),
-            |link, ()| {
-                // Bob waits forever -> observes channel closed; the
-                // orchestrator should surface Alice's real error.
-                let _: u64 = link.recv("never")?;
-                Ok(())
-            },
-        );
-        assert_eq!(res.unwrap_err(), CommError::protocol("alice aborted"));
+        on_both(|backend| {
+            let res: Result<ExecutionOutcome<(), ()>, _> = execute_with(
+                backend,
+                (),
+                (),
+                |_link, ()| Err(CommError::protocol("alice aborted")),
+                |link, ()| {
+                    // Bob waits forever -> observes channel closed; the
+                    // orchestrator should surface Alice's real error.
+                    let _: u64 = link.recv("never")?;
+                    Ok(())
+                },
+            );
+            assert_eq!(res.unwrap_err(), CommError::protocol("alice aborted"));
+        });
     }
 
     #[test]
     fn transcript_bits_match_payload_encoding() {
         let ids = FixedU64s::for_dim(256, vec![1, 2, 3, 4, 5]);
         let expected_bits = ids.encoded_bits();
-        let out = execute(
-            ids.clone(),
-            (),
-            |link, v| link.send(0, "ids", &v),
-            |link, ()| {
-                let v: FixedU64s = link.recv("ids")?;
-                Ok(v)
-            },
-        )
-        .unwrap();
-        assert_eq!(out.bob, ids);
-        assert_eq!(out.transcript.total_bits(), expected_bits);
+        on_both(|backend| {
+            let out = execute_with(
+                backend,
+                ids.clone(),
+                (),
+                |link, v| link.send(0, "ids", &v),
+                |link, ()| {
+                    let v: FixedU64s = link.recv("ids")?;
+                    Ok(v)
+                },
+            )
+            .unwrap();
+            assert_eq!(out.bob, ids);
+            assert_eq!(out.transcript.total_bits(), expected_bits);
+        });
     }
 
     #[test]
     fn many_messages_ordering_per_direction() {
-        let out = execute(
-            (),
-            (),
-            |link, ()| {
-                for i in 0..100u64 {
-                    link.send(0, "seq", &i)?;
-                }
-                Ok(())
-            },
-            |link, ()| {
-                let mut got = Vec::new();
-                for _ in 0..100 {
-                    got.push(link.recv::<u64>("seq")?);
-                }
-                Ok(got)
-            },
-        )
-        .unwrap();
-        assert_eq!(out.bob, (0..100).collect::<Vec<_>>());
+        on_both(|backend| {
+            let out = execute_with(
+                backend,
+                (),
+                (),
+                |link, ()| {
+                    for i in 0..100u64 {
+                        link.send(0, "seq", &i)?;
+                    }
+                    Ok(())
+                },
+                |link, ()| {
+                    let mut got = Vec::new();
+                    for _ in 0..100 {
+                        got.push(link.recv::<u64>("seq")?);
+                    }
+                    Ok(got)
+                },
+            )
+            .unwrap();
+            assert_eq!(out.bob, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn default_execute_is_fused() {
+        // The plain `execute` entry point runs on the default backend and
+        // must agree with an explicit threaded run bit-for-bit.
+        let run = |backend: Option<ExecBackend>| {
+            let alice = |link: &Link<'_>, a: u64| {
+                link.send(0, "a", &a)?;
+                let b: u64 = link.recv("b")?;
+                Ok(a + b)
+            };
+            let bob = |link: &Link<'_>, b: u64| {
+                let a: u64 = link.recv("a")?;
+                link.send(1, "b", &(b * a))?;
+                Ok(b)
+            };
+            match backend {
+                None => execute(3u64, 5u64, alice, bob).unwrap(),
+                Some(be) => execute_with(be, 3u64, 5u64, alice, bob).unwrap(),
+            }
+        };
+        let default = run(None);
+        assert_eq!(default, run(Some(ExecBackend::Fused)));
+        assert_eq!(default, run(Some(ExecBackend::Threaded)));
     }
 }

@@ -9,17 +9,28 @@ pub enum CommError {
     Decode(String),
     /// A party received a message whose label differs from what its state
     /// machine expected — the two party implementations are out of sync.
+    ///
+    /// Labels are the `&'static str` message names protocols annotate
+    /// their sends with, so the error carries them by reference: building
+    /// one costs nothing on the hot path.
     LabelMismatch {
         /// Label the receiver expected.
-        expected: String,
+        expected: &'static str,
         /// Label actually carried by the incoming frame.
-        got: String,
+        got: &'static str,
     },
     /// The peer hung up before sending an expected message.
     ChannelClosed,
     /// A protocol-level invariant was violated (bad input dimensions,
     /// parameter out of range, ...).
     Protocol(String),
+    /// Internal control-flow signal of the fused executor: a `recv` found
+    /// the inbox empty and the party must yield to its peer. Propagated
+    /// through the party function's `?` chain and intercepted by the
+    /// scheduler; it never escapes [`execute`](crate::execute) /
+    /// [`execute_with`](crate::execute_with). Protocol code must not
+    /// construct, swallow, or match on this variant.
+    WouldBlock,
 }
 
 impl CommError {
@@ -45,6 +56,7 @@ impl fmt::Display for CommError {
             }
             Self::ChannelClosed => write!(f, "channel closed by peer"),
             Self::Protocol(m) => write!(f, "protocol error: {m}"),
+            Self::WouldBlock => write!(f, "party would block (internal executor signal)"),
         }
     }
 }
@@ -60,12 +72,13 @@ mod tests {
         assert!(CommError::decode("oops").to_string().contains("oops"));
         assert!(CommError::ChannelClosed.to_string().contains("closed"));
         let e = CommError::LabelMismatch {
-            expected: "a".into(),
-            got: "b".into(),
+            expected: "a",
+            got: "b",
         };
         assert!(e.to_string().contains("expected"));
         assert!(CommError::protocol("bad dims")
             .to_string()
             .contains("bad dims"));
+        assert!(CommError::WouldBlock.to_string().contains("block"));
     }
 }

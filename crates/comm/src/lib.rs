@@ -12,13 +12,18 @@
 //!   round index; a round may contain simultaneous messages in both
 //!   directions, the standard convention in communication complexity).
 //!
-//! Protocols are written as two party functions that run on separate
-//! threads and can only interact through [`Link::send`] / [`Link::recv`].
-//! This keeps implementations honest: no data can leak between parties
-//! except through the billed transcript. Shared (public) randomness is
-//! modeled by [`Seed`] values handed to both parties, following the
-//! public-coin convention (by Newman's theorem this differs from private
-//! coins by at most an additive `O(log n)` bits).
+//! Protocols are written as two party functions that can only interact
+//! through [`Link::send`] / [`Link::recv`]. This keeps implementations
+//! honest: no data can leak between parties except through the billed
+//! transcript. How the two functions are scheduled is an executor choice
+//! (see [`ExecBackend`]): the default *fused* backend runs both
+//! cooperatively on the calling thread (microsecond queries, zero-alloc
+//! wire path), while the reference *threaded* backend runs them as
+//! scoped OS threads linked by channels; outcomes are bit-identical.
+//! Shared (public) randomness is modeled by [`Seed`] values handed to
+//! both party closures, following the public-coin convention (by
+//! Newman's theorem this differs from private coins by at most an
+//! additive `O(log n)` bits).
 //!
 //! # Example
 //!
@@ -47,14 +52,16 @@ pub mod bits;
 pub mod channel;
 pub mod cost;
 pub mod error;
+pub mod exec;
 pub mod seed;
 pub mod transcript;
 pub mod wire;
 
 pub use bits::{width_for, BitReader, BitWriter};
-pub use channel::{execute, ExecutionOutcome, Link};
+pub use channel::{ExecutionOutcome, Link};
 pub use cost::NetworkModel;
 pub use error::CommError;
+pub use exec::{execute, execute_with, ExecBackend};
 pub use seed::Seed;
 pub use transcript::{BatchAccounting, MsgRecord, Party, Transcript, TranscriptSummary};
 pub use wire::{FixedU64s, Wire};

@@ -40,7 +40,7 @@ use std::sync::Arc;
 
 use crate::request::{EstimateReport, EstimateRequest};
 use crate::session::Session;
-use mpest_comm::{BatchAccounting, CommError, Seed};
+use mpest_comm::{BatchAccounting, CommError, ExecBackend, Seed};
 
 /// Where a batch's per-query seeds come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +70,12 @@ pub struct BatchPlan {
     pub prewarm: bool,
     /// Per-query seed derivation (see [`SeedSchedule`]).
     pub seeds: SeedSchedule,
+    /// Executor backend queries run on: `None` (the default) inherits
+    /// the session's choice — [`ExecBackend::Fused`] unless the session
+    /// was built otherwise — so engine workers pay zero spawn cost *per
+    /// query* while still parallelizing *across* queries. Results never
+    /// depend on it.
+    pub executor: Option<ExecBackend>,
 }
 
 impl Default for BatchPlan {
@@ -78,6 +84,7 @@ impl Default for BatchPlan {
             workers: 0,
             prewarm: true,
             seeds: SeedSchedule::SessionCounter,
+            executor: None,
         }
     }
 }
@@ -103,6 +110,20 @@ impl BatchPlan {
     pub fn at_index(mut self, first: u64) -> Self {
         self.seeds = SeedSchedule::AtIndex(first);
         self
+    }
+
+    /// Overrides the executor backend for this batch (the default
+    /// inherits the session's).
+    #[must_use]
+    pub fn with_executor(mut self, exec: ExecBackend) -> Self {
+        self.executor = Some(exec);
+        self
+    }
+
+    /// The backend this plan's queries run on over `session`.
+    #[must_use]
+    pub fn effective_executor(&self, session: &Session) -> ExecBackend {
+        self.executor.unwrap_or_else(|| session.executor())
     }
 
     /// The worker count a batch of `batch_len` requests actually runs
@@ -190,17 +211,21 @@ impl Engine {
             prewarm(&self.session, requests);
         }
         let workers = plan.effective_workers(n);
+        let exec = plan.effective_executor(&self.session);
         let results = if workers <= 1 {
             requests
                 .iter()
                 .enumerate()
                 .map(|(i, req)| {
-                    self.session
-                        .estimate_seeded(req, self.session.query_seed(first + i as u64))
+                    self.session.estimate_seeded_on(
+                        req,
+                        self.session.query_seed(first + i as u64),
+                        exec,
+                    )
                 })
                 .collect()
         } else {
-            run_pool(&self.session, requests, first, workers)
+            run_pool(&self.session, requests, first, workers, exec)
         };
 
         let mut reports = Vec::with_capacity(n);
@@ -227,6 +252,7 @@ fn run_pool(
     requests: &[EstimateRequest],
     first: u64,
     workers: usize,
+    exec: ExecBackend,
 ) -> Vec<Result<EstimateReport, CommError>> {
     let next = AtomicUsize::new(0);
     let (tx, rx) = crossbeam::channel::unbounded();
@@ -240,7 +266,7 @@ fn run_pool(
                     break;
                 }
                 let seed = session.query_seed(first + i as u64);
-                let result = session.estimate_seeded(&requests[i], seed);
+                let result = session.estimate_seeded_on(&requests[i], seed, exec);
                 if tx.send((i, result)).is_err() {
                     break;
                 }

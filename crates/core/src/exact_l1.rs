@@ -26,7 +26,7 @@ use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::{Reuse, SessionCtx};
-use mpest_comm::{execute, CommError, Link, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
 use mpest_matrix::CsrMatrix;
 
 /// Column sums of `A` as `u64`, reusing a session-cached table if one is
@@ -134,7 +134,7 @@ impl Protocol for ExactL1 {
             b_row_abs: Some(ctx.b_row_abs_sums()),
             ..Reuse::default()
         };
-        run_unchecked(a, b, ctx.seed(), reuse)
+        run_unchecked(a, b, ctx.seed(), reuse, ctx.executor())
     }
 }
 
@@ -149,7 +149,7 @@ impl Protocol for ExactL1 {
 )]
 pub fn run(a: &CsrMatrix, b: &CsrMatrix, seed: Seed) -> Result<ProtocolRun<i128>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, seed, Reuse::default())
+    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default())
 }
 
 pub(crate) fn run_unchecked(
@@ -157,13 +157,15 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     _seed: Seed,
     reuse: Reuse<'_>,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<i128>, CommError> {
     if !a.is_nonnegative() || !b.is_nonnegative() {
         return Err(CommError::protocol(
             "Remark 2 requires entrywise non-negative matrices (no cancellation)".to_string(),
         ));
     }
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         (a, reuse.a_col_abs),
         (b, reuse.b_row_abs),
         |link, (a, pre)| alice_phase_pre(link, 0, a, pre),
@@ -240,7 +242,7 @@ mod tests {
         let a = Workloads::integer_csr(12, 16, 0.3, 4, false, 11);
         let b = Workloads::integer_csr(16, 12, 0.3, 4, false, 12);
         let truth = stats::lp_pow_of_product(&a, &b, PNorm::ONE);
-        let out = execute(
+        let out = mpest_comm::execute(
             &a,
             &b,
             |link, a| exchange_alice(link, 0, a),

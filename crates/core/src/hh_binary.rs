@@ -39,7 +39,7 @@ use crate::protocol::Protocol;
 use crate::result::{HeavyHitters, HhPair, ProtocolRun};
 use crate::session::{cached_or, Reuse, SessionCtx};
 use crate::wire::{WBits, WPositions};
-use mpest_comm::{execute, CommError, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
 use mpest_matrix::{BitMatrix, PNorm};
 use mpest_sketch::CoordinateSampler;
 
@@ -97,7 +97,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, Reuse::default())
+    run_unchecked(a, b, params, seed, Reuse::default(), ExecBackend::default())
 }
 
 /// The Section 5.2 / Theorem 5.3 protocol as a [`Protocol`]:
@@ -126,7 +126,7 @@ impl Protocol for HhBinary {
             b_csr: Some(b_csr),
             ..Reuse::default()
         };
-        run_unchecked(a, b, params, ctx.seed(), reuse)
+        run_unchecked(a, b, params, ctx.seed(), reuse, ctx.executor())
     }
 }
 
@@ -137,6 +137,7 @@ pub(crate) fn run_unchecked(
     params: &HhBinaryParams,
     seed: Seed,
     reuse: Reuse<'_>,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     params.validate()?;
     let pub_seed = seed.derive("public");
@@ -186,7 +187,8 @@ pub(crate) fn run_unchecked(
     let a_csr = cached_or(reuse.a_csr, || a.to_csr());
     let b_csr = cached_or(reuse.b_csr, || b.to_csr());
 
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         (a, &*a_csr),
         (b, &*b_csr),
         |link, (a, a_csr): (&BitMatrix, &mpest_matrix::CsrMatrix)| {
@@ -401,7 +403,14 @@ pub fn at_least_t_join(
     seed: Seed,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    at_least_t_join_unchecked(a, b, &AtLeastTParams { t, slack }, seed, Reuse::default())
+    at_least_t_join_unchecked(
+        a,
+        b,
+        &AtLeastTParams { t, slack },
+        seed,
+        Reuse::default(),
+        ExecBackend::default(),
+    )
 }
 
 /// Parameters of the [`AtLeastTJoin`] protocol.
@@ -439,7 +448,7 @@ impl Protocol for AtLeastTJoin {
             b_row_abs: Some(ctx.b_row_abs_sums()),
             ..Reuse::default()
         };
-        at_least_t_join_unchecked(a, b, params, ctx.seed(), reuse)
+        at_least_t_join_unchecked(a, b, params, ctx.seed(), reuse, ctx.executor())
     }
 }
 
@@ -449,6 +458,7 @@ fn at_least_t_join_unchecked(
     params: &AtLeastTParams,
     seed: Seed,
     reuse: Reuse<'_>,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     let AtLeastTParams { t, slack } = *params;
     if t == 0 {
@@ -462,7 +472,7 @@ fn at_least_t_join_unchecked(
     let a_csr = cached_or(reuse.a_csr, || a.to_csr());
     let b_csr = cached_or(reuse.b_csr, || b.to_csr());
     // One extra exact-l1 round prices phi; its transcript is absorbed.
-    let l1_run = crate::exact_l1::run_unchecked(&a_csr, &b_csr, seed, reuse)?;
+    let l1_run = crate::exact_l1::run_unchecked(&a_csr, &b_csr, seed, reuse, exec)?;
     let l1 = l1_run.output as f64;
     if l1 <= 0.0 || f64::from(t) > l1 {
         return Ok(ProtocolRun {
@@ -482,6 +492,7 @@ fn at_least_t_join_unchecked(
             b_csr: Some(&b_csr),
             ..Reuse::default()
         },
+        exec,
     )?;
     let mut transcript = l1_run.transcript;
     transcript.absorb_sequential(run.transcript);

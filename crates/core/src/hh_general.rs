@@ -19,7 +19,7 @@ use crate::protocol::Protocol;
 use crate::result::{HeavyHitters, HhPair, ProtocolRun};
 use crate::session::SessionCtx;
 use crate::sparse_matmul;
-use mpest_comm::{execute, CommError, Link, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
 use mpest_matrix::{CsrMatrix, PNorm};
 use rand::Rng;
 
@@ -123,7 +123,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed)
+    run_unchecked(a, b, params, seed, ExecBackend::default())
 }
 
 /// The Algorithm 4 / Theorem 5.1 protocol as a [`Protocol`]:
@@ -146,7 +146,7 @@ impl Protocol for HhGeneral {
         params: &HhGeneralParams,
     ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
         let (a, b) = ctx.csr_pair();
-        run_unchecked(a, b, params, ctx.seed())
+        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
     }
 }
 
@@ -155,6 +155,7 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     params: &HhGeneralParams,
     seed: Seed,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     params.validate()?;
     if !a.is_nonnegative() || !b.is_nonnegative() {
@@ -176,7 +177,8 @@ pub(crate) fn run_unchecked(
         beta_override: None,
     };
 
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link: &Link<'_>, a: &CsrMatrix| {

@@ -37,7 +37,7 @@ use crate::protocol::Protocol;
 use crate::result::{MatrixSample, ProtocolRun};
 use crate::session::{cached_or, Reuse, SessionCtx};
 use crate::wire::WFieldMat;
-use mpest_comm::{execute, CommError, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 use mpest_sketch::linear::combine_rows;
 use mpest_sketch::{L0Sampler, L0Sketch, SampleOutcome, M61};
@@ -80,7 +80,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<MatrixSample>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, Reuse::default())
+    run_unchecked(a, b, params, seed, Reuse::default(), ExecBackend::default())
 }
 
 /// The Theorem 3.2 protocol as a [`Protocol`]: a `(1±ε)`-uniform sample
@@ -107,7 +107,7 @@ impl Protocol for L0Sample {
             b_t: Some(ctx.b_transpose()),
             ..Reuse::default()
         };
-        run_unchecked(a, b, params, ctx.seed(), reuse)
+        run_unchecked(a, b, params, ctx.seed(), reuse, ctx.executor())
     }
 }
 
@@ -117,6 +117,7 @@ pub(crate) fn run_unchecked(
     params: &L0SampleParams,
     seed: Seed,
     reuse: Reuse<'_>,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<MatrixSample>, CommError> {
     check_eps(params.eps)?;
     let pub_seed = seed.derive("public");
@@ -134,7 +135,8 @@ pub(crate) fn run_unchecked(
         pub_seed.derive("l0s-sampler").0,
     );
 
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a: &CsrMatrix| {

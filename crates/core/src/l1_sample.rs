@@ -27,7 +27,7 @@ use crate::protocol::Protocol;
 use crate::result::{L1Sample, ProtocolRun};
 use crate::session::{cached_or, Reuse, SessionCtx};
 use mpest_comm::width_for;
-use mpest_comm::{execute, BitReader, BitWriter, CommError, Seed, Wire};
+use mpest_comm::{execute_with, BitReader, BitWriter, CommError, ExecBackend, Seed, Wire};
 use mpest_matrix::CsrMatrix;
 use rand::Rng;
 
@@ -107,7 +107,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, seed, Reuse::default())
+    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default())
 }
 
 /// The Remark 3 protocol as a [`Protocol`]: an `ℓ1`-sample of `C = A·B`
@@ -134,7 +134,7 @@ impl Protocol for L1Sampling {
             b_row_abs: Some(ctx.b_row_abs_sums()),
             ..Reuse::default()
         };
-        run_unchecked(a, b, ctx.seed(), reuse)
+        run_unchecked(a, b, ctx.seed(), reuse, ctx.executor())
     }
 }
 
@@ -143,6 +143,7 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     seed: Seed,
     reuse: Reuse<'_>,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
     if !a.is_nonnegative() || !b.is_nonnegative() {
         return Err(CommError::protocol(
@@ -151,7 +152,8 @@ pub(crate) fn run_unchecked(
     }
     let alice_seed = seed.derive("alice");
     let bob_seed = seed.derive("bob");
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a: &CsrMatrix| {

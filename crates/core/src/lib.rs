@@ -121,4 +121,4 @@ pub use sparse_matmul::SparseMatmul;
 pub use trivial::{TrivialBinary, TrivialCsr};
 
 // Re-export the substrate types a user needs at the API boundary.
-pub use mpest_comm::{BatchAccounting, CommError, Seed, Transcript};
+pub use mpest_comm::{BatchAccounting, CommError, ExecBackend, Seed, Transcript};

@@ -40,7 +40,7 @@ use crate::protocol::Protocol;
 use crate::result::{LinfEstimate, ProtocolRun};
 use crate::session::SessionCtx;
 use crate::wire::WU64Grid;
-use mpest_comm::{execute, CommError, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
 use mpest_matrix::BitMatrix;
 
 /// Parameters of the binary `ℓ∞` protocol.
@@ -132,7 +132,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed)
+    run_unchecked(a, b, params, seed, ExecBackend::default())
 }
 
 /// The Algorithm 2 / Theorem 4.1 protocol as a [`Protocol`]:
@@ -154,7 +154,7 @@ impl Protocol for LinfBinary {
         params: &LinfBinaryParams,
     ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
         let (a, b) = ctx.bit_pair()?;
-        run_unchecked(a, b, params, ctx.seed())
+        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
     }
 }
 
@@ -163,6 +163,7 @@ pub(crate) fn run_unchecked(
     b: &BitMatrix,
     params: &LinfBinaryParams,
     seed: Seed,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_eps(params.eps)?;
     let eps = params.eps;
@@ -185,7 +186,8 @@ pub(crate) fn run_unchecked(
     let levels = max_level as usize + 1;
     let items: Vec<u32> = (0..inner as u32).collect();
 
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a: &BitMatrix| {

@@ -15,7 +15,7 @@ use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::{cached_or, Reuse, SessionCtx};
 use crate::wire::WSkMat;
-use mpest_comm::{execute, CommError, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
 use mpest_matrix::CsrMatrix;
 use mpest_sketch::linear::combine_rows;
 use mpest_sketch::{BlockAmsSketch, SkMat};
@@ -57,7 +57,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, Reuse::default())
+    run_unchecked(a, b, params, seed, Reuse::default(), ExecBackend::default())
 }
 
 /// The Theorem 4.8(1) protocol as a [`Protocol`]: `κ`-approximate
@@ -85,7 +85,7 @@ impl Protocol for LinfGeneral {
             b_t: Some(ctx.b_transpose()),
             ..Reuse::default()
         };
-        run_unchecked(a, b, params, ctx.seed(), reuse)
+        run_unchecked(a, b, params, ctx.seed(), reuse, ctx.executor())
     }
 }
 
@@ -95,6 +95,7 @@ pub(crate) fn run_unchecked(
     params: &LinfGeneralParams,
     seed: Seed,
     reuse: Reuse<'_>,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<f64>, CommError> {
     if params.kappa == 0 {
         return Err(CommError::protocol("kappa must be positive".to_string()));
@@ -107,7 +108,8 @@ pub(crate) fn run_unchecked(
         pub_seed.derive("block-ams").0,
     );
 
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a: &CsrMatrix| {

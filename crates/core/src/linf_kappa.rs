@@ -18,7 +18,7 @@ use crate::protocol::Protocol;
 use crate::result::{LinfEstimate, ProtocolRun};
 use crate::session::SessionCtx;
 use crate::wire::WU64Grid;
-use mpest_comm::{execute, CommError, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
 use mpest_matrix::BitMatrix;
 
 /// Parameters of the `κ`-approximation protocol.
@@ -70,7 +70,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed)
+    run_unchecked(a, b, params, seed, ExecBackend::default())
 }
 
 /// The Algorithm 3 / Theorem 4.3 protocol as a [`Protocol`]:
@@ -93,7 +93,7 @@ impl Protocol for LinfKappa {
         params: &LinfKappaParams,
     ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
         let (a, b) = ctx.bit_pair()?;
-        run_unchecked(a, b, params, ctx.seed())
+        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
     }
 }
 
@@ -102,6 +102,7 @@ pub(crate) fn run_unchecked(
     b: &BitMatrix,
     params: &LinfKappaParams,
     seed: Seed,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     if params.kappa < 1.0 {
         return Err(CommError::protocol(format!(
@@ -130,7 +131,8 @@ pub(crate) fn run_unchecked(
     let levels = max_level as usize + 1;
     let items: Vec<u32> = (0..inner as u32).collect();
 
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a: &BitMatrix| {

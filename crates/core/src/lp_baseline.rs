@@ -12,7 +12,7 @@ use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::SessionCtx;
 use crate::wire::WSkMat;
-use mpest_comm::{execute, CommError, Link, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
 use mpest_matrix::{CsrMatrix, PNorm};
 use mpest_sketch::NormSketch;
 
@@ -111,7 +111,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed)
+    run_unchecked(a, b, params, seed, ExecBackend::default())
 }
 
 /// The one-round \[16\]-style baseline as a [`Protocol`]:
@@ -133,7 +133,7 @@ impl Protocol for LpBaseline {
         params: &BaselineParams,
     ) -> Result<ProtocolRun<f64>, CommError> {
         let (a, b) = ctx.csr_pair();
-        run_unchecked(a, b, params, ctx.seed())
+        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
     }
 }
 
@@ -142,6 +142,7 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     params: &BaselineParams,
     seed: Seed,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_eps(params.eps)?;
     if !params.p.supported_by_lp_protocol() {
@@ -152,7 +153,8 @@ pub(crate) fn run_unchecked(
     }
     let pub_seed = seed.derive("public");
     let b_cols = b.cols();
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a| alice_phase(link, a, b_cols, params, pub_seed),

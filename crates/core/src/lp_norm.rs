@@ -26,7 +26,7 @@ use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::SessionCtx;
 use crate::wire::{WSkMat, WSparseVec};
-use mpest_comm::{execute, CommError, Link, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
 use mpest_matrix::norms::sparse_lp_pow;
 use mpest_matrix::{CsrMatrix, PNorm, SparseVec};
 use mpest_sketch::NormSketch;
@@ -219,7 +219,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed)
+    run_unchecked(a, b, params, seed, ExecBackend::default())
 }
 
 /// The Algorithm 1 / Theorem 3.1 protocol as a [`Protocol`]:
@@ -241,7 +241,7 @@ impl Protocol for LpNorm {
         params: &LpParams,
     ) -> Result<ProtocolRun<f64>, CommError> {
         let (a, b) = ctx.csr_pair();
-        run_unchecked(a, b, params, ctx.seed())
+        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
     }
 }
 
@@ -250,12 +250,14 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     params: &LpParams,
     seed: Seed,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<f64>, CommError> {
     params.validate()?;
     let pub_seed = seed.derive("public");
     let alice_seed = seed.derive("alice");
     let b_cols = b.cols();
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a| alice_phase(link, 0, a, b_cols, params, pub_seed, alice_seed),

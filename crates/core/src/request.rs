@@ -36,7 +36,7 @@ use crate::result::{
 use crate::session::Session;
 use crate::trivial::{ExactStats, TrivialBinary, TrivialCsr};
 use crate::{exact_l1::ExactL1, sparse_matmul::SparseMatmul};
-use mpest_comm::{CommError, Seed, Transcript};
+use mpest_comm::{CommError, ExecBackend, Seed, Transcript};
 use mpest_matrix::PNorm;
 
 /// A protocol invocation as plain data (dynamic-dispatch counterpart of
@@ -117,6 +117,46 @@ pub enum EstimateRequest {
 }
 
 impl EstimateRequest {
+    /// One representative invocation of every protocol — all 14 entry
+    /// points with moderate parameters. The single source the
+    /// equivalence suites (`tests/batch_equivalence.rs`,
+    /// `tests/executor_equivalence.rs`) and the executor trajectory
+    /// bench sweep, so a new protocol is added to full coverage in one
+    /// place.
+    #[must_use]
+    pub fn catalog() -> Vec<EstimateRequest> {
+        vec![
+            EstimateRequest::LpNorm {
+                p: PNorm::Zero,
+                eps: 0.3,
+            },
+            EstimateRequest::LpBaseline {
+                p: PNorm::ONE,
+                eps: 0.4,
+            },
+            EstimateRequest::ExactL1,
+            EstimateRequest::L1Sample,
+            EstimateRequest::L0Sample { eps: 0.3 },
+            EstimateRequest::SparseMatmul,
+            EstimateRequest::LinfBinary { eps: 0.3 },
+            EstimateRequest::LinfKappa { kappa: 4.0 },
+            EstimateRequest::LinfGeneral { kappa: 4 },
+            EstimateRequest::HhGeneral {
+                p: 1.0,
+                phi: 0.05,
+                eps: 0.02,
+            },
+            EstimateRequest::HhBinary {
+                p: 1.0,
+                phi: 0.05,
+                eps: 0.02,
+            },
+            EstimateRequest::AtLeastTJoin { t: 2, slack: 0.5 },
+            EstimateRequest::TrivialBinary,
+            EstimateRequest::TrivialCsr,
+        ]
+    }
+
     /// The protocol's stable kebab-case name.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -241,76 +281,93 @@ impl Session {
         request: &EstimateRequest,
         seed: Seed,
     ) -> Result<EstimateReport, CommError> {
+        self.estimate_seeded_on(request, seed, self.executor())
+    }
+
+    /// Executes a dynamically dispatched request under an explicit seed
+    /// *and* executor backend, overriding the session default for this
+    /// query only. Outputs and transcripts are independent of the
+    /// backend; only wall-clock differs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::run`].
+    pub fn estimate_seeded_on(
+        &self,
+        request: &EstimateRequest,
+        seed: Seed,
+        exec: ExecBackend,
+    ) -> Result<EstimateReport, CommError> {
         let name = request.name();
         Ok(match *request {
             EstimateRequest::LpNorm { p, eps } => report(
                 name,
-                self.run_seeded(&LpNorm, &LpParams::new(p, eps), seed)?,
+                self.run_seeded_on(&LpNorm, &LpParams::new(p, eps), seed, exec)?,
                 AnyOutput::Scalar,
             ),
             EstimateRequest::LpBaseline { p, eps } => report(
                 name,
-                self.run_seeded(&LpBaseline, &BaselineParams::new(p, eps), seed)?,
+                self.run_seeded_on(&LpBaseline, &BaselineParams::new(p, eps), seed, exec)?,
                 AnyOutput::Scalar,
             ),
             EstimateRequest::ExactL1 => report(
                 name,
-                self.run_seeded(&ExactL1, &(), seed)?,
+                self.run_seeded_on(&ExactL1, &(), seed, exec)?,
                 AnyOutput::Count,
             ),
             EstimateRequest::L1Sample => report(
                 name,
-                self.run_seeded(&L1Sampling, &(), seed)?,
+                self.run_seeded_on(&L1Sampling, &(), seed, exec)?,
                 AnyOutput::L1Sample,
             ),
             EstimateRequest::L0Sample { eps } => report(
                 name,
-                self.run_seeded(&L0Sample, &L0SampleParams::new(eps), seed)?,
+                self.run_seeded_on(&L0Sample, &L0SampleParams::new(eps), seed, exec)?,
                 AnyOutput::Sample,
             ),
             EstimateRequest::SparseMatmul => report(
                 name,
-                self.run_seeded(&SparseMatmul, &(), seed)?,
+                self.run_seeded_on(&SparseMatmul, &(), seed, exec)?,
                 AnyOutput::Shares,
             ),
             EstimateRequest::LinfBinary { eps } => report(
                 name,
-                self.run_seeded(&LinfBinary, &LinfBinaryParams::new(eps), seed)?,
+                self.run_seeded_on(&LinfBinary, &LinfBinaryParams::new(eps), seed, exec)?,
                 AnyOutput::Linf,
             ),
             EstimateRequest::LinfKappa { kappa } => report(
                 name,
-                self.run_seeded(&LinfKappa, &LinfKappaParams::new(kappa), seed)?,
+                self.run_seeded_on(&LinfKappa, &LinfKappaParams::new(kappa), seed, exec)?,
                 AnyOutput::Linf,
             ),
             EstimateRequest::LinfGeneral { kappa } => report(
                 name,
-                self.run_seeded(&LinfGeneral, &LinfGeneralParams::new(kappa), seed)?,
+                self.run_seeded_on(&LinfGeneral, &LinfGeneralParams::new(kappa), seed, exec)?,
                 AnyOutput::Scalar,
             ),
             EstimateRequest::HhGeneral { p, phi, eps } => report(
                 name,
-                self.run_seeded(&HhGeneral, &HhGeneralParams::new(p, phi, eps), seed)?,
+                self.run_seeded_on(&HhGeneral, &HhGeneralParams::new(p, phi, eps), seed, exec)?,
                 AnyOutput::HeavyHitters,
             ),
             EstimateRequest::HhBinary { p, phi, eps } => report(
                 name,
-                self.run_seeded(&HhBinary, &HhBinaryParams::new(p, phi, eps), seed)?,
+                self.run_seeded_on(&HhBinary, &HhBinaryParams::new(p, phi, eps), seed, exec)?,
                 AnyOutput::HeavyHitters,
             ),
             EstimateRequest::AtLeastTJoin { t, slack } => report(
                 name,
-                self.run_seeded(&AtLeastTJoin, &AtLeastTParams { t, slack }, seed)?,
+                self.run_seeded_on(&AtLeastTJoin, &AtLeastTParams { t, slack }, seed, exec)?,
                 AnyOutput::HeavyHitters,
             ),
             EstimateRequest::TrivialBinary => report(
                 name,
-                self.run_seeded(&TrivialBinary, &(), seed)?,
+                self.run_seeded_on(&TrivialBinary, &(), seed, exec)?,
                 AnyOutput::Exact,
             ),
             EstimateRequest::TrivialCsr => report(
                 name,
-                self.run_seeded(&TrivialCsr, &(), seed)?,
+                self.run_seeded_on(&TrivialCsr, &(), seed, exec)?,
                 AnyOutput::Exact,
             ),
         })

@@ -32,7 +32,7 @@ use std::sync::OnceLock;
 use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
-use mpest_comm::{CommError, Seed};
+use mpest_comm::{CommError, ExecBackend, Seed};
 use mpest_matrix::{BitMatrix, CsrMatrix};
 
 /// One party's matrix in whichever representation the caller had.
@@ -116,6 +116,7 @@ pub struct Session {
     a: Half,
     b: Half,
     seed: Seed,
+    exec: ExecBackend,
     dims: Result<(), CommError>,
     queries: AtomicU64,
     a_cache: HalfCache,
@@ -134,6 +135,7 @@ impl Session {
             a,
             b,
             seed: Seed(0),
+            exec: ExecBackend::default(),
             dims,
             queries: AtomicU64::new(0),
             a_cache: HalfCache::default(),
@@ -152,6 +154,21 @@ impl Session {
     #[must_use]
     pub fn seed(&self) -> Seed {
         self.seed
+    }
+
+    /// Selects the executor backend queries run on (default
+    /// [`ExecBackend::Fused`]). Backends are bit-identical — outputs and
+    /// transcripts never depend on this choice, only wall-clock does.
+    #[must_use]
+    pub fn with_executor(mut self, exec: ExecBackend) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The executor backend this session's queries run on.
+    #[must_use]
+    pub fn executor(&self) -> ExecBackend {
+        self.exec
     }
 
     /// Output shape of `C = A·B`.
@@ -192,6 +209,7 @@ impl Session {
         SessionCtx {
             session: self,
             seed,
+            exec: self.exec,
         }
     }
 
@@ -221,11 +239,29 @@ impl Session {
         params: &P::Params,
         seed: Seed,
     ) -> Result<ProtocolRun<P::Output>, CommError> {
+        self.run_seeded_on(protocol, params, seed, self.exec)
+    }
+
+    /// Runs `protocol` under an explicit seed *and* executor backend,
+    /// overriding the session default for this query only (batch plans,
+    /// equivalence tests, benches).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run`].
+    pub fn run_seeded_on<P: Protocol>(
+        &self,
+        protocol: &P,
+        params: &P::Params,
+        seed: Seed,
+        exec: ExecBackend,
+    ) -> Result<ProtocolRun<P::Output>, CommError> {
         self.dims.clone()?;
         protocol.execute(
             &SessionCtx {
                 session: self,
                 seed,
+                exec,
             },
             params,
         )
@@ -274,6 +310,7 @@ impl Session {
 pub struct SessionCtx<'a> {
     session: &'a Session,
     seed: Seed,
+    exec: ExecBackend,
 }
 
 impl<'a> SessionCtx<'a> {
@@ -281,6 +318,12 @@ impl<'a> SessionCtx<'a> {
     #[must_use]
     pub fn seed(&self) -> Seed {
         self.seed
+    }
+
+    /// The executor backend this query runs on.
+    #[must_use]
+    pub fn executor(&self) -> ExecBackend {
+        self.exec
     }
 
     /// The pair as CSR matrices (cached conversion if a side was built
@@ -406,6 +449,7 @@ mod tests {
         let ctx = SessionCtx {
             session: &s,
             seed: Seed(0),
+            exec: ExecBackend::default(),
         };
         let (a_csr, b_csr) = ctx.csr_pair();
         assert_eq!(a_csr, &bits.to_csr());
@@ -426,6 +470,7 @@ mod tests {
         let ctx = SessionCtx {
             session: &s,
             seed: Seed(0),
+            exec: ExecBackend::default(),
         };
         let err = ctx.bit_pair().unwrap_err();
         assert!(err.to_string().contains("non-binary"));

@@ -30,7 +30,7 @@ use crate::exchange::{exchange_alice, exchange_bob, ExchangeCfg};
 use crate::protocol::Protocol;
 use crate::result::{ProductShares, ProtocolRun};
 use crate::session::{cached_or, Reuse, SessionCtx};
-use mpest_comm::{execute, CommError, Link, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
 use mpest_matrix::{Accumulator, CsrMatrix};
 
 /// Alice's phases (rounds `base_round` and `base_round + 1`); returns her
@@ -159,7 +159,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<ProductShares>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, seed, Reuse::default())
+    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default())
 }
 
 /// The Lemma 2.5 protocol as a [`Protocol`]: additive shares
@@ -187,7 +187,7 @@ impl Protocol for SparseMatmul {
             b_row_nnz: Some(ctx.b_row_nnz()),
             ..Reuse::default()
         };
-        run_unchecked(a, b, ctx.seed(), reuse)
+        run_unchecked(a, b, ctx.seed(), reuse, ctx.executor())
     }
 }
 
@@ -196,12 +196,14 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     seed: Seed,
     reuse: Reuse<'_>,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<ProductShares>, CommError> {
     let _ = seed; // deterministic protocol: no coins needed
     let binary = a.is_binary() && b.is_binary();
     let out_rows = a.rows();
     let out_cols = b.cols();
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a| alice_phase_pre(link, 0, a, out_cols, binary, reuse.a_col_nnz, reuse.a_t),

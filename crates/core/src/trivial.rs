@@ -8,7 +8,7 @@ use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::SessionCtx;
 use crate::wire::{WBits, WSparseVec};
-use mpest_comm::{execute, CommError, Seed};
+use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
 use mpest_matrix::norms::{dense_linf, dense_lp_pow, PNorm};
 use mpest_matrix::{BitMatrix, CsrMatrix};
 
@@ -40,7 +40,7 @@ impl Protocol for TrivialBinary {
 
     fn execute(&self, ctx: &SessionCtx<'_>, (): &()) -> Result<ProtocolRun<ExactStats>, CommError> {
         let (a, b) = ctx.bit_pair()?;
-        run_binary_unchecked(a, b, ctx.seed())
+        run_binary_unchecked(a, b, ctx.seed(), ctx.executor())
     }
 }
 
@@ -59,7 +59,7 @@ impl Protocol for TrivialCsr {
 
     fn execute(&self, ctx: &SessionCtx<'_>, (): &()) -> Result<ProtocolRun<ExactStats>, CommError> {
         let (a, b) = ctx.csr_pair();
-        run_csr_unchecked(a, b, ctx.seed())
+        run_csr_unchecked(a, b, ctx.seed(), ctx.executor())
     }
 }
 
@@ -79,17 +79,19 @@ pub fn run_binary(
     seed: Seed,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_binary_unchecked(a, b, seed)
+    run_binary_unchecked(a, b, seed, ExecBackend::default())
 }
 
 pub(crate) fn run_binary_unchecked(
     a: &BitMatrix,
     b: &BitMatrix,
     _seed: Seed,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
     let rows = a.rows();
     let cols = a.cols();
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a: &BitMatrix| {
@@ -146,17 +148,19 @@ pub fn run_csr(
     seed: Seed,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_csr_unchecked(a, b, seed)
+    run_csr_unchecked(a, b, seed, ExecBackend::default())
 }
 
 pub(crate) fn run_csr_unchecked(
     a: &CsrMatrix,
     b: &CsrMatrix,
     _seed: Seed,
+    exec: ExecBackend,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
     let rows = a.rows();
     let cols = a.cols();
-    let outcome = execute(
+    let outcome = execute_with(
+        exec,
         a,
         b,
         |link, a: &CsrMatrix| {

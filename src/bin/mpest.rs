@@ -38,6 +38,7 @@ const USAGE: &str = "usage:
   mpest exact --a FILE --b FILE
   mpest run PROTOCOL --a FILE --b FILE [options]
   mpest batch --a FILE --b FILE --requests FILE.jsonl [--workers N] [--seed S]
+            [--executor fused|threaded]
 
 batch requests file: one JSON object per line, {\"protocol\": NAME, ...flags},
 e.g. {\"protocol\": \"l0\", \"eps\": 0.2} — keys match the run flags
@@ -60,7 +61,9 @@ protocols and their options:
   at-least-t               --t T [--slack S]      (>= T overlap join)
   trivial | trivial-binary                        (ship A)
 
-common options: --seed S (default 42), --exact (also print ground truth)";
+common options: --seed S (default 42), --exact (also print ground truth),
+  --executor fused|threaded (default fused; bit-identical results, the fused
+  single-thread executor skips the per-query thread-spawn/channel overhead)";
 
 /// Minimal flag parser: `--key value` pairs after the positional words.
 struct Flags(HashMap<String, String>);
@@ -165,6 +168,16 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
         out.display()
     );
     Ok(())
+}
+
+/// Parses the `--executor` flag (default: fused).
+fn parse_executor(flags: &Flags) -> Result<ExecBackend, String> {
+    match flags.str("executor") {
+        None => Ok(ExecBackend::default()),
+        Some(s) => s
+            .parse::<ExecBackend>()
+            .map_err(|e| format!("--executor: {e}")),
+    }
 }
 
 fn load_pair(flags: &Flags) -> Result<(CsrMatrix, CsrMatrix), String> {
@@ -562,6 +575,7 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
     let (a, b) = load_pair(flags)?;
     let seed = Seed(flags.num("seed", 42u64)?);
     let workers: usize = flags.num("workers", 0)?;
+    let executor = parse_executor(flags)?;
     let requests = load_requests(Path::new(flags.required("requests")?))?;
 
     // `mpest run` coerces integer inputs to their binary support view
@@ -588,7 +602,8 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
     } else {
         Session::new(a, b)
     }
-    .with_seed(seed);
+    .with_seed(seed)
+    .with_executor(executor);
 
     let engine = Engine::new(session);
     let plan = BatchPlan::default().with_workers(workers);
@@ -599,9 +614,10 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
     let secs = start.elapsed().as_secs_f64();
 
     println!(
-        "batch of {} requests over {} worker(s):",
+        "batch of {} requests over {} worker(s), {} executor:",
         batch.reports.len(),
         plan.effective_workers(requests.len()),
+        executor,
     );
     for (i, report) in batch.reports.iter().enumerate() {
         println!(
@@ -637,6 +653,7 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
 fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
     let (a, b) = load_pair(flags)?;
     let seed = Seed(flags.num("seed", 42u64)?);
+    let executor = parse_executor(flags)?;
     let request = parse_request(protocol, flags)?;
     let exact = (flags.str("exact").is_some() && has_exact_line(&request)).then(|| a.matmul(&b));
 
@@ -648,7 +665,8 @@ fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
     } else {
         Session::new(a, b)
     }
-    .with_seed(seed);
+    .with_seed(seed)
+    .with_executor(executor);
     let report = session
         .estimate_seeded(&request, seed)
         .map_err(|e| e.to_string())?;

@@ -65,8 +65,10 @@
 //! ## Workspace layout
 //!
 //! * [`comm`] — the two-party communication substrate (bit-level wire
-//!   encodings, transcripts with exact bit/round accounting, a
-//!   two-thread executor so parties only interact through messages);
+//!   encodings, transcripts with exact bit/round accounting, and the
+//!   executor backends — a fused single-thread scheduler and a
+//!   reference two-thread one — so parties only interact through
+//!   messages);
 //! * [`matrix`] — matrices (dense / CSR / bit-packed), the set-join
 //!   view, exact ground truth, seeded workload generators;
 //! * [`sketch`] — the linear sketch toolbox (AMS, p-stable, linear `ℓ0`,
@@ -113,7 +115,7 @@ pub mod prelude {
         linf_kappa, lp_baseline, lp_norm, sparse_matmul, trivial,
     };
     // Output and substrate types.
-    pub use mpest_comm::{BatchAccounting, Party, Seed, Transcript};
+    pub use mpest_comm::{BatchAccounting, ExecBackend, Party, Seed, Transcript};
     pub use mpest_core::{
         Constants, HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares,
         ProtocolRun,

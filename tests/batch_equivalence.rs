@@ -13,40 +13,6 @@ fn pair() -> (BitMatrix, BitMatrix) {
     )
 }
 
-/// One request per protocol — all 14 entry points.
-fn all_protocol_requests() -> Vec<EstimateRequest> {
-    vec![
-        EstimateRequest::LpNorm {
-            p: PNorm::Zero,
-            eps: 0.3,
-        },
-        EstimateRequest::LpBaseline {
-            p: PNorm::ONE,
-            eps: 0.4,
-        },
-        EstimateRequest::ExactL1,
-        EstimateRequest::L1Sample,
-        EstimateRequest::L0Sample { eps: 0.3 },
-        EstimateRequest::SparseMatmul,
-        EstimateRequest::LinfBinary { eps: 0.3 },
-        EstimateRequest::LinfKappa { kappa: 4.0 },
-        EstimateRequest::LinfGeneral { kappa: 4 },
-        EstimateRequest::HhGeneral {
-            p: 1.0,
-            phi: 0.05,
-            eps: 0.02,
-        },
-        EstimateRequest::HhBinary {
-            p: 1.0,
-            phi: 0.05,
-            eps: 0.02,
-        },
-        EstimateRequest::AtLeastTJoin { t: 2, slack: 0.5 },
-        EstimateRequest::TrivialBinary,
-        EstimateRequest::TrivialCsr,
-    ]
-}
-
 /// (a) Batch == sequential `run_seeded`-equivalent execution,
 /// bit-for-bit, for every protocol: the report of batch query `i` must
 /// equal the report of `estimate_seeded(request, query_seed(i))` —
@@ -55,7 +21,7 @@ fn all_protocol_requests() -> Vec<EstimateRequest> {
 #[test]
 fn batch_matches_sequential_seeded_runs_for_every_protocol() {
     let (a, b) = pair();
-    let requests = all_protocol_requests();
+    let requests = EstimateRequest::catalog();
     assert_eq!(requests.len(), 14, "one request per protocol");
 
     let session = Session::new(a.clone(), b.clone()).with_seed(Seed(42));
@@ -151,7 +117,7 @@ fn batch_results_are_invariant_under_worker_count() {
     let (a, b) = pair();
     let engine = Engine::new(Session::new(a, b).with_seed(Seed(1234)));
     // A batch longer than the protocol list, so workers interleave.
-    let requests: Vec<EstimateRequest> = all_protocol_requests()
+    let requests: Vec<EstimateRequest> = EstimateRequest::catalog()
         .into_iter()
         .cycle()
         .take(30)

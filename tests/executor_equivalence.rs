@@ -1,0 +1,155 @@
+//! The executor contract: the fused single-thread backend and the
+//! reference threaded backend are **bit-identical** — outputs *and*
+//! transcripts — for every protocol, every seed, and every way of
+//! selecting a backend (session default, per-query override, batch
+//! plan). The fused executor re-runs yielded parties from scratch
+//! (restart-based cooperative scheduling), so these tests are also the
+//! determinism proof for that replay machinery over the real protocols.
+
+use mpest::prelude::*;
+
+fn pair() -> (BitMatrix, BitMatrix) {
+    (
+        Workloads::bernoulli_bits(20, 28, 0.3, 1),
+        Workloads::bernoulli_bits(28, 20, 0.3, 2),
+    )
+}
+
+/// Fused == threaded for all 14 protocols across 3 session seeds:
+/// identical type-erased outputs and identical transcripts (record by
+/// record — sender, round, label, and exact bit count).
+#[test]
+fn fused_matches_threaded_for_every_protocol_and_seed() {
+    let (a, b) = pair();
+    let requests = EstimateRequest::catalog();
+    assert_eq!(requests.len(), 14, "one request per protocol");
+    for session_seed in [3u64, 77, 1_000_003] {
+        let session = Session::new(a.clone(), b.clone()).with_seed(Seed(session_seed));
+        for (i, request) in requests.iter().enumerate() {
+            let seed = session.query_seed(i as u64);
+            let fused = session
+                .estimate_seeded_on(request, seed, ExecBackend::Fused)
+                .unwrap_or_else(|e| panic!("{} (fused, seed {session_seed}): {e}", request.name()));
+            let threaded = session
+                .estimate_seeded_on(request, seed, ExecBackend::Threaded)
+                .unwrap_or_else(|e| {
+                    panic!("{} (threaded, seed {session_seed}): {e}", request.name())
+                });
+            assert_eq!(
+                fused.output,
+                threaded.output,
+                "{} output diverged under seed {session_seed}",
+                request.name()
+            );
+            assert_eq!(
+                fused.transcript.records,
+                threaded.transcript.records,
+                "{} transcript diverged under seed {session_seed}",
+                request.name()
+            );
+        }
+    }
+}
+
+/// The session-level default (fused) answers exactly like an explicitly
+/// threaded session for the typed `run_seeded` path too.
+#[test]
+fn session_executor_choice_never_changes_results() {
+    let (a, b) = pair();
+    let fused_session = Session::new(a.clone(), b.clone()).with_seed(Seed(9));
+    assert_eq!(fused_session.executor(), ExecBackend::Fused);
+    let threaded_session = Session::new(a, b)
+        .with_seed(Seed(9))
+        .with_executor(ExecBackend::Threaded);
+    assert_eq!(threaded_session.executor(), ExecBackend::Threaded);
+    let params = LpParams::new(PNorm::Zero, 0.25);
+    let fused = fused_session.run_seeded(&LpNorm, &params, Seed(5)).unwrap();
+    let threaded = threaded_session
+        .run_seeded(&LpNorm, &params, Seed(5))
+        .unwrap();
+    assert_eq!(fused.output.to_bits(), threaded.output.to_bits());
+    assert_eq!(fused.transcript, threaded.transcript);
+}
+
+/// Fused under the engine: a batch pinned to a fused plan is
+/// bit-identical at 1, 2, and 8 workers, and also identical to the
+/// threaded engine run — per-query executors and cross-query
+/// parallelism compose without touching determinism.
+#[test]
+fn fused_engine_is_deterministic_across_worker_counts() {
+    let (a, b) = pair();
+    let engine = Engine::new(Session::new(a, b).with_seed(Seed(41)));
+    // Two rounds of the full mix so workers genuinely interleave.
+    let requests: Vec<EstimateRequest> = EstimateRequest::catalog()
+        .into_iter()
+        .cycle()
+        .take(28)
+        .collect();
+    let reference = engine
+        .run_batch(
+            &requests,
+            &BatchPlan::default()
+                .with_workers(1)
+                .with_executor(ExecBackend::Fused)
+                .at_index(0),
+        )
+        .unwrap();
+    for workers in [2usize, 8] {
+        let batch = engine
+            .run_batch(
+                &requests,
+                &BatchPlan::default()
+                    .with_workers(workers)
+                    .with_executor(ExecBackend::Fused)
+                    .at_index(0),
+            )
+            .unwrap();
+        assert_eq!(
+            batch, reference,
+            "fused batch diverged at {workers} workers"
+        );
+    }
+    let threaded = engine
+        .run_batch(
+            &requests,
+            &BatchPlan::default()
+                .with_workers(2)
+                .with_executor(ExecBackend::Threaded)
+                .at_index(0),
+        )
+        .unwrap();
+    assert_eq!(threaded, reference, "threaded batch diverged from fused");
+}
+
+/// A plan without an explicit executor inherits the session's choice.
+#[test]
+fn batch_plan_inherits_session_executor_by_default() {
+    let (a, b) = pair();
+    let session = Session::new(a, b)
+        .with_seed(Seed(13))
+        .with_executor(ExecBackend::Threaded);
+    let plan = BatchPlan::default();
+    assert_eq!(plan.effective_executor(&session), ExecBackend::Threaded);
+    assert_eq!(
+        plan.with_executor(ExecBackend::Fused)
+            .effective_executor(&session),
+        ExecBackend::Fused
+    );
+}
+
+/// Error reporting is backend-independent: a protocol-level validation
+/// error (binary protocol over a non-binary pair) surfaces identically.
+#[test]
+fn errors_match_across_backends() {
+    let a = CsrMatrix::from_triplets(4, 4, vec![(0, 0, 3), (1, 2, 2)]);
+    let b = CsrMatrix::from_triplets(4, 4, vec![(2, 1, 5)]);
+    let session = Session::new(a, b);
+    let request = EstimateRequest::LinfBinary { eps: 0.3 };
+    let fused = session
+        .estimate_seeded_on(&request, Seed(1), ExecBackend::Fused)
+        .unwrap_err();
+    let threaded = session
+        .estimate_seeded_on(&request, Seed(1), ExecBackend::Threaded)
+        .unwrap_err();
+    assert_eq!(fused, threaded);
+}
