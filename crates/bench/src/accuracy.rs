@@ -1,0 +1,187 @@
+//! The accuracy trajectory (`BENCH_accuracy.json`): the Monte-Carlo
+//! statistical-guarantee sweep of `mpest-verify`, rendered as the CI
+//! artifact the `accuracy-smoke` job uploads and gates on.
+//!
+//! The sweep itself is a pure function of its seed (see
+//! [`mpest_verify::VerifyConfig`]), and this module's JSON rendering
+//! adds nothing non-deterministic — no wall-clock, no map iteration —
+//! so the emitted file is byte-identical across runs with the same
+//! configuration. `tests/statistical_guarantees.rs` regression-tests
+//! exactly that.
+
+use crate::report::json_escape;
+use mpest_verify::{verify, VerifyConfig, VerifyReport};
+use std::io::Write as _;
+use std::path::Path;
+
+/// The accuracy sweep plus its rendering mode.
+#[derive(Debug, Clone)]
+pub struct AccuracyBench {
+    /// The underlying verification report.
+    pub report: VerifyReport,
+}
+
+/// Runs the accuracy trajectory. `quick` is the reduced CI-smoke
+/// configuration; full is what the README's observed quantiles cite.
+#[must_use]
+pub fn run(quick: bool) -> AccuracyBench {
+    run_seeded(quick, VerifyConfig::quick().seed)
+}
+
+/// Runs the accuracy trajectory under an explicit master seed (the
+/// seed-sweep determinism regression uses this).
+#[must_use]
+pub fn run_seeded(quick: bool, seed: u64) -> AccuracyBench {
+    let config = if quick {
+        VerifyConfig::quick()
+    } else {
+        VerifyConfig::full()
+    }
+    .with_seed(seed);
+    AccuracyBench {
+        report: verify(&config),
+    }
+}
+
+/// `Some(v)` → `v` with six decimals, `None` → `null`.
+fn opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| format!("{v:.6}"))
+}
+
+impl AccuracyBench {
+    /// Whether every protocol honored its contract.
+    #[must_use]
+    pub fn all_pass(&self) -> bool {
+        self.report.all_pass()
+    }
+
+    /// Renders the trajectory as a JSON document (deterministic for a
+    /// given configuration — byte-identical across runs).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"accuracy\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&r.mode)));
+        out.push_str(&format!("  \"seed\": {},\n", r.seed));
+        out.push_str(&format!("  \"trials_per_cell\": {},\n", r.trials));
+        out.push_str("  \"protocols\": [");
+        for (i, v) in r.verdicts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"protocol\": \"{}\", \"workload\": \"{}\", \"trials\": {}, \"failures\": {}, \"failure_rate\": {:.6}, \"delta\": {:.6}, ",
+                json_escape(&v.protocol),
+                json_escape(&v.workload),
+                v.trials,
+                v.failures,
+                v.failure_rate,
+                v.delta,
+            ));
+            match v.rel_error {
+                Some(q) => out.push_str(&format!(
+                    "\"rel_error\": {{\"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6}, \"max\": {:.6}}}, ",
+                    q.p50, q.p90, q.p99, q.max
+                )),
+                None => out.push_str("\"rel_error\": null, "),
+            }
+            out.push_str(&format!(
+                "\"precision\": {}, \"recall\": {}, ",
+                opt(v.set_quality.map(|s| s.precision)),
+                opt(v.set_quality.map(|s| s.recall)),
+            ));
+            out.push_str(&format!(
+                "\"tv\": {}, \"tv_budget\": {}, ",
+                opt(v.tv),
+                opt(v.tv_budget)
+            ));
+            out.push_str(&format!(
+                "\"mean_bits\": {:.1}, \"max_rounds\": {}, \"pass\": {}}}",
+                v.mean_bits, v.max_rounds, v.pass
+            ));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"comm_vs_accuracy\": [");
+        for (i, c) in r.curves.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"protocol\": \"{}\", \"detail\": \"{}\", \"eps\": {:.6}, \"trials\": {}, \"mean_bits\": {:.1}, \"p50_rel_error\": {:.6}, \"p90_rel_error\": {:.6}}}",
+                json_escape(&c.protocol),
+                json_escape(&c.detail),
+                c.eps,
+                c.trials,
+                c.mean_bits,
+                c.p50_rel_error,
+                c.p90_rel_error
+            ));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str(&format!("  \"all_pass\": {}\n", self.all_pass()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the trajectory JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())
+    }
+
+    /// Human-readable summary (the per-cell verdict table).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        self.report.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_verify::VerifyConfig;
+
+    /// A tiny sweep that still exercises scalar, set-valued, and exact
+    /// scoring paths (full quick runs live in
+    /// `tests/statistical_guarantees.rs`).
+    fn tiny() -> AccuracyBench {
+        let config = VerifyConfig::quick().with_trials(6).with_protocols(vec![
+            "exact-l1".into(),
+            "hh-binary".into(),
+            "lp".into(),
+        ]);
+        AccuracyBench {
+            report: verify(&config),
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let bench = tiny();
+        let json = bench.to_json();
+        assert!(json.contains("\"bench\": \"accuracy\""));
+        assert!(json.contains("\"protocol\": \"exact-l1\""));
+        assert!(json.contains("\"protocol\": \"hh-binary\""));
+        assert!(json.contains("\"comm_vs_accuracy\""));
+        assert!(json.contains("\"rel_error\": {\"p50\""));
+        assert!(json.contains("\"precision\": 1.000000"));
+        // Balanced braces/brackets — cheap structural validity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn same_seed_renders_byte_identical_json() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -16,6 +16,13 @@
 //!                               # executor trajectory, write it to PATH
 //!                               # (BENCH_exec.json), and exit nonzero
 //!                               # if the backends diverge bit-for-bit
+//!   experiments --accuracy-bench PATH
+//!                               # also run the Monte-Carlo
+//!                               # statistical-guarantee sweep, write
+//!                               # its trajectory to PATH
+//!                               # (BENCH_accuracy.json), and exit
+//!                               # nonzero if any protocol violates its
+//!                               # (ε, δ) contract
 //!
 //! The output of a full run is recorded in EXPERIMENTS.md.
 
@@ -30,6 +37,7 @@ fn main() {
     let mut json_path: Option<PathBuf> = None;
     let mut batch_path: Option<PathBuf> = None;
     let mut exec_path: Option<PathBuf> = None;
+    let mut accuracy_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -55,10 +63,16 @@ fn main() {
                     args.get(i).expect("--exec-bench needs a path"),
                 ));
             }
+            "--accuracy-bench" => {
+                i += 1;
+                accuracy_path = Some(PathBuf::from(
+                    args.get(i).expect("--accuracy-bench needs a path"),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH]"
+                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH] [--accuracy-bench PATH]"
                 );
                 std::process::exit(2);
             }
@@ -84,7 +98,8 @@ fn main() {
             .collect(),
         None => IDS.to_vec(),
     };
-    if selected.is_empty() && batch_path.is_none() && exec_path.is_none() {
+    if selected.is_empty() && batch_path.is_none() && exec_path.is_none() && accuracy_path.is_none()
+    {
         eprintln!("no experiments selected; known ids: {IDS:?}");
         std::process::exit(2);
     }
@@ -143,6 +158,24 @@ fn main() {
         println!("# executor trajectory written to {}", path.display());
         if !bench.all_match {
             eprintln!("FAIL: fused and threaded executors diverged bit-for-bit");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = accuracy_path {
+        println!("# statistical-guarantee trajectory ({} mode)", {
+            if quick {
+                "quick"
+            } else {
+                "full"
+            }
+        });
+        let bench = mpest_bench::accuracy::run(quick);
+        print!("{}", bench.summary());
+        bench.save_json(&path).expect("write accuracy bench json");
+        println!("# accuracy trajectory written to {}", path.display());
+        if !bench.all_pass() {
+            eprintln!("FAIL: a protocol violated its statistical-guarantee contract");
             std::process::exit(1);
         }
     }

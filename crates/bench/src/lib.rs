@@ -15,13 +15,19 @@
 //!   output being bit-identical to sequential execution;
 //! * [`exec`] — the executor trajectory (`BENCH_exec.json`): fused vs
 //!   threaded per-protocol latency and wire-bound throughput, gating on
-//!   the two backends being bit-identical.
+//!   the two backends being bit-identical;
+//! * [`accuracy`] — the statistical-guarantee trajectory
+//!   (`BENCH_accuracy.json`): the `mpest-verify` Monte-Carlo sweep's
+//!   per-protocol error quantiles, failure rates, and
+//!   communication-vs-accuracy curves, gating on every protocol
+//!   honoring its [`GuaranteeSpec`](mpest_core::GuaranteeSpec).
 //!
 //! `cargo run --release -p mpest-bench --bin experiments` regenerates
 //! everything (the output recorded in EXPERIMENTS.md); the Criterion
 //! benches under `benches/` measure wall-clock cost of the same
 //! protocols and substrates.
 
+pub mod accuracy;
 pub mod batch;
 pub mod exec;
 pub mod experiments;

@@ -1,0 +1,253 @@
+//! Per-protocol statistical contracts as data: [`GuaranteeSpec`].
+//!
+//! Every protocol in the paper comes with an (ε, δ)-style guarantee —
+//! "a `(1±ε)` estimate with constant probability", "a set `S` with
+//! `HH_φ ⊆ S ⊆ HH_{φ−ε}`", "a `(1±ε)`-uniform support sample". The code
+//! historically knew these contracts only implicitly, inside test
+//! assertions. This module turns them into *data*: each
+//! [`EstimateRequest`] maps to a [`GuaranteeSpec`] describing what the
+//! output promises ([`GuaranteeKind`]) and with what failure budget
+//! (`delta`), so a Monte-Carlo harness (the `mpest-verify` crate) can
+//! score observed outputs against exact references and gate the
+//! empirical failure rate in CI.
+//!
+//! The `delta` values are *empirical contracts*, not the paper's
+//! asymptotic ones: the default [`Constants`](crate::Constants) are the
+//! laptop-scale `practical()` preset, whose constant success probability
+//! is real but far from the `1 − 1/n¹⁰` the paper gets with `10⁴ log n`
+//! multipliers. Each `delta` below is chosen so that measured failure
+//! rates over many seeded trials sit comfortably inside it while a
+//! genuine regression (a broken estimator, a biased sampler) still
+//! trips it.
+
+use crate::request::EstimateRequest;
+
+/// What shape of promise a protocol's output makes relative to the
+/// exact statistic of `C = A·B`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuaranteeKind {
+    /// The output equals the exact reference (no randomness budget).
+    Exact,
+    /// A scalar estimate within `(1 ± eps)` of the true statistic.
+    RelativeError {
+        /// Multiplicative accuracy.
+        eps: f64,
+    },
+    /// A scalar estimate sandwiched as
+    /// `truth / under ≤ estimate ≤ over · truth` (a zero truth demands
+    /// an estimate below 1).
+    ApproxFactor {
+        /// Largest tolerated underestimation factor.
+        under: f64,
+        /// Largest tolerated overestimation factor.
+        over: f64,
+    },
+    /// A heavy-hitter set `S` with `HH_φ ⊆ S ⊆ HH_{φ−ε}` in `ℓp` mass.
+    HeavyHitters {
+        /// Norm exponent.
+        p: f64,
+        /// Heavy-hitter threshold.
+        phi: f64,
+        /// Tolerance band width.
+        eps: f64,
+    },
+    /// All pairs with overlap `≥ T`, plus possibly pairs in the
+    /// `[T·(1−slack), T)` band.
+    OverlapJoin {
+        /// Overlap threshold.
+        t: u32,
+        /// Tolerance band fraction.
+        slack: f64,
+    },
+    /// A `(1±eps)`-uniform sample from the support of `C`; sampled
+    /// values must be exact, and outright failure is a bounded-`delta`
+    /// event.
+    SupportSample {
+        /// Marginal accuracy of the underlying size estimates.
+        eps: f64,
+    },
+    /// An `ℓ1`-sample: position drawn with probability `∝ |C_{i,j}|`,
+    /// delivered with a valid join witness (`None` only for `‖C‖₁ = 0`).
+    L1Sample,
+    /// Additive shares that reconstruct `A·B` exactly.
+    ExactShares,
+}
+
+/// The statistical contract of one protocol invocation: what the output
+/// promises, with what per-trial failure budget, and where the paper
+/// says so.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuaranteeSpec {
+    /// The protocol's stable name (see [`EstimateRequest::name`]).
+    pub protocol: &'static str,
+    /// The shape of the promise.
+    pub kind: GuaranteeKind,
+    /// Allowed per-trial failure probability: the empirical failure
+    /// rate over many seeded trials must stay at or below this. `0.0`
+    /// for exact protocols.
+    pub delta: f64,
+    /// Human-readable statement of the contract (paper reference
+    /// included), for reports and documentation tables.
+    pub contract: &'static str,
+}
+
+impl EstimateRequest {
+    /// The statistical contract this request's protocol makes under the
+    /// default [`Constants`](crate::Constants). The Monte-Carlo harness
+    /// (`mpest-verify`) scores every trial against this spec.
+    #[must_use]
+    pub fn guarantee(&self) -> GuaranteeSpec {
+        let protocol = self.name();
+        match *self {
+            EstimateRequest::LpNorm { eps, .. } => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::RelativeError { eps },
+                delta: 0.40,
+                contract: "Alg. 1 / Thm 3.1: (1±ε)·‖AB‖_p^p, p ∈ [0,2], constant success probability",
+            },
+            EstimateRequest::LpBaseline { eps, .. } => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::RelativeError { eps },
+                delta: 0.40,
+                contract: "[16] / §1.3 one-round baseline: (1±ε)·‖AB‖_p^p, constant success probability",
+            },
+            EstimateRequest::ExactL1 => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::Exact,
+                delta: 0.0,
+                contract: "Remark 2: exact ‖AB‖₁ for non-negative inputs, always",
+            },
+            EstimateRequest::L1Sample => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::L1Sample,
+                delta: 0.0,
+                contract: "Remark 3: ℓ1-sample with a valid join witness; position drawn ∝ C_{ij}",
+            },
+            EstimateRequest::L0Sample { eps } => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::SupportSample { eps },
+                delta: 0.25,
+                contract: "Thm 3.2: (1±ε)-uniform support sample with exact value; bounded failure probability",
+            },
+            EstimateRequest::SparseMatmul => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::ExactShares,
+                delta: 0.0,
+                contract: "Lemma 2.5: additive shares with C_A + C_B = AB exactly, always",
+            },
+            EstimateRequest::LinfBinary { eps } => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::ApproxFactor {
+                    under: 2.0 + eps,
+                    over: 2.0,
+                },
+                delta: 0.30,
+                contract: "Alg. 2 / Thm 4.1: (2+ε)-approximation of ‖AB‖∞ for binary inputs",
+            },
+            EstimateRequest::LinfKappa { kappa } => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::ApproxFactor {
+                    under: 3.0 * kappa,
+                    over: 3.0 * kappa,
+                },
+                delta: 0.25,
+                contract: "Alg. 3 / Thm 4.3: κ-approximation of ‖AB‖∞ for binary inputs, O(1) rounds",
+            },
+            EstimateRequest::LinfGeneral { kappa } => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::ApproxFactor {
+                    under: 2.5 * kappa as f64,
+                    over: 2.5 * kappa as f64,
+                },
+                delta: 0.25,
+                contract: "Thm 4.8(1): κ-approximation of ‖AB‖∞ for integer inputs, one round",
+            },
+            EstimateRequest::HhGeneral { p, phi, eps } => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::HeavyHitters { p, phi, eps },
+                delta: 0.35,
+                contract: "Alg. 4 / Thm 5.1: set S with HH_φ ⊆ S ⊆ HH_{φ−ε} in ℓp mass, integer inputs",
+            },
+            EstimateRequest::HhBinary { p, phi, eps } => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::HeavyHitters { p, phi, eps },
+                delta: 0.35,
+                contract: "§5.2 / Thm 5.3: set S with HH_φ ⊆ S ⊆ HH_{φ−ε} in ℓp mass, binary inputs",
+            },
+            EstimateRequest::AtLeastTJoin { t, slack } => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::OverlapJoin { t, slack },
+                delta: 0.35,
+                contract: "§1.3: all pairs with |A_i ∩ B_j| ≥ T; band [T(1−slack), T) may also appear",
+            },
+            EstimateRequest::TrivialBinary | EstimateRequest::TrivialCsr => GuaranteeSpec {
+                protocol,
+                kind: GuaranteeKind::Exact,
+                delta: 0.0,
+                contract: "folklore baseline: ship A, compute every statistic exactly, always",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_protocol_has_a_spec_with_sane_budget() {
+        for req in EstimateRequest::catalog() {
+            let spec = req.guarantee();
+            assert_eq!(spec.protocol, req.name());
+            assert!(
+                (0.0..1.0).contains(&spec.delta),
+                "{}: delta {} out of range",
+                spec.protocol,
+                spec.delta
+            );
+            assert!(!spec.contract.is_empty());
+            if matches!(
+                spec.kind,
+                GuaranteeKind::Exact | GuaranteeKind::ExactShares | GuaranteeKind::L1Sample
+            ) {
+                assert_eq!(
+                    spec.delta, 0.0,
+                    "{}: exact kinds get no budget",
+                    spec.protocol
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn specs_inherit_request_parameters() {
+        let spec = EstimateRequest::LpNorm {
+            p: mpest_matrix::PNorm::ONE,
+            eps: 0.125,
+        }
+        .guarantee();
+        assert_eq!(spec.kind, GuaranteeKind::RelativeError { eps: 0.125 });
+        let spec = EstimateRequest::HhBinary {
+            p: 2.0,
+            phi: 0.1,
+            eps: 0.05,
+        }
+        .guarantee();
+        assert_eq!(
+            spec.kind,
+            GuaranteeKind::HeavyHitters {
+                p: 2.0,
+                phi: 0.1,
+                eps: 0.05
+            }
+        );
+        let spec = EstimateRequest::LinfBinary { eps: 0.5 }.guarantee();
+        assert_eq!(
+            spec.kind,
+            GuaranteeKind::ApproxFactor {
+                under: 2.5,
+                over: 2.0
+            }
+        );
+    }
+}

@@ -130,6 +130,44 @@ impl Protocol for HhBinary {
     }
 }
 
+/// The phase-4 verification sampler, or `None` to verify exactly.
+///
+/// Coordinate sampling estimates a candidate's overlap as
+/// `hits · inner / t`, so its *resolution* is `inner / t`. The Chernoff
+/// mean target `hh_mean_const · (φ/ε)² · ln(cells)` alone is blind to
+/// that: a threshold-sized entry carries `τ = (φ·L_p^p)^{1/p}` surviving
+/// witnesses, and a budget `t` only sees `t·τ/inner` of them in
+/// expectation. When `τ` is small (an at-least-`T` join with tiny `T`,
+/// say), a budget below `inner/τ · mean-target` has granularity coarser
+/// than the `[φ−ε, φ]` acceptance gap and mandatory pairs get dropped
+/// wholesale — the statistical-guarantee harness caught exactly that
+/// regression shape. Scaling the budget by `inner/τ` restores the
+/// mean-hits target; once it reaches `inner`, exact verification is
+/// cheaper anyway.
+///
+/// Both parties call this with the same public-coin seed and the same
+/// phase-1 estimate, so they construct identical samplers.
+fn verification_sampler(
+    inner: usize,
+    cells: f64,
+    params: &HhBinaryParams,
+    lp_pow: f64,
+    coord_seed: u64,
+) -> Option<CoordinateSampler> {
+    let mean_target = params.consts.hh_mean_const * (params.phi / params.eps).powi(2) * cells.ln();
+    let tau = (params.phi * lp_pow.max(0.0)).powf(1.0 / params.p).max(1.0);
+    let t_budget = (mean_target * inner as f64 / tau).ceil();
+    if t_budget >= inner as f64 {
+        None
+    } else {
+        Some(CoordinateSampler::new(
+            inner,
+            (t_budget as usize).max(1),
+            coord_seed,
+        ))
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 pub(crate) fn run_unchecked(
     a: &BitMatrix,
@@ -156,19 +194,10 @@ pub(crate) fn run_unchecked(
     // Universe sampling is public-coin (equivalent to the paper's
     // Alice-side sampling up to Newman; documented in DESIGN.md).
     let universe_seed = pub_seed.derive("hh-universe");
-    // Coordinate-sampling verification budget.
-    let t_budget = (params.consts.hh_mean_const * (params.phi / params.eps).powi(2) * cells.ln())
-        .ceil() as usize;
-    let exact_verify = t_budget >= inner;
-    let coord = if exact_verify {
-        None
-    } else {
-        Some(CoordinateSampler::new(
-            inner,
-            t_budget.max(1),
-            pub_seed.derive("hh-coords").0,
-        ))
-    };
+    // The verification sampler is public-coin too, but its budget
+    // depends on the phase-1 `Lp` estimate, so each party constructs it
+    // (identically) once that estimate is known.
+    let coord_seed = pub_seed.derive("hh-coords").0;
     // For p = 1 the 2-approximation of step 1 comes for free from the
     // exact Remark 2 exchange (binary matrices are non-negative); other p
     // use an Algorithm 1 sub-phase at accuracy 1/3.
@@ -207,6 +236,7 @@ pub(crate) fn run_unchecked(
                 )?;
                 link.recv("hhb-lp-estimate")?
             };
+            let coord = verification_sampler(inner, cells, params, lp_pow, coord_seed);
             let lp_norm_est = lp_pow.max(0.0).powf(1.0 / p);
             let beta = if lp_norm_est <= 0.0 {
                 1.0
@@ -287,6 +317,7 @@ pub(crate) fn run_unchecked(
                 link.send(2, "hhb-lp-estimate", &est)?;
                 est
             };
+            let coord = verification_sampler(inner, cells, params, lp_pow, coord_seed);
             let lp_norm_est = lp_pow.max(0.0).powf(1.0 / p);
             let beta = if lp_norm_est <= 0.0 {
                 1.0
@@ -334,11 +365,7 @@ pub(crate) fn run_unchecked(
                 },
             )?;
             let bits: WBits = link.recv("hhb-verify-bits")?;
-            let per = if exact_verify {
-                inner
-            } else {
-                coord.as_ref().map_or(inner, CoordinateSampler::len)
-            };
+            let per = coord.as_ref().map_or(inner, CoordinateSampler::len);
             if bits.0.len() != union.len() * per {
                 return Err(CommError::protocol(
                     "verification bits length mismatch".to_string(),

@@ -79,6 +79,7 @@ pub mod config;
 pub mod engine;
 pub mod exact_l1;
 mod exchange;
+pub mod guarantee;
 pub mod hh_binary;
 pub mod hh_general;
 pub mod l0_sample;
@@ -99,6 +100,7 @@ pub mod wire;
 
 pub use config::Constants;
 pub use engine::{BatchPlan, BatchReport, Engine, SeedSchedule};
+pub use guarantee::{GuaranteeKind, GuaranteeSpec};
 pub use protocol::Protocol;
 pub use request::{AnyOutput, EstimateReport, EstimateRequest};
 pub use result::{

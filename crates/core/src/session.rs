@@ -121,6 +121,7 @@ pub struct Session {
     queries: AtomicU64,
     a_cache: HalfCache,
     b_cache: HalfCache,
+    exact: OnceLock<CsrMatrix>,
 }
 
 impl Session {
@@ -140,6 +141,7 @@ impl Session {
             queries: AtomicU64::new(0),
             a_cache: HalfCache::default(),
             b_cache: HalfCache::default(),
+            exact: OnceLock::new(),
         }
     }
 
@@ -301,6 +303,58 @@ impl Session {
 
     fn b_csr(&self) -> &CsrMatrix {
         Self::half_csr(&self.b, &self.b_cache)
+    }
+
+    // --- exact references -------------------------------------------------
+    //
+    // Centralized ground truth over the session's own pair, for
+    // verification harnesses and experiments that score protocol
+    // outputs. The product is computed once (it is the expensive part)
+    // and cached alongside the derived views; protocols themselves
+    // never read it — the whole point of the paper is to avoid it.
+
+    /// The exact product `C = A·B`, computed centrally and cached.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the session's dimension mismatch (if any).
+    pub fn exact_product(&self) -> Result<&CsrMatrix, CommError> {
+        self.dims.clone()?;
+        Ok(self.exact.get_or_init(|| self.a_csr().matmul(self.b_csr())))
+    }
+
+    /// Exact `‖AB‖_p^p` (for [`PNorm::Zero`](mpest_matrix::PNorm::Zero),
+    /// the support size).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the session's dimension mismatch (if any).
+    pub fn exact_lp_pow(&self, p: mpest_matrix::PNorm) -> Result<f64, CommError> {
+        Ok(mpest_matrix::norms::csr_lp_pow(self.exact_product()?, p))
+    }
+
+    /// Exact `‖AB‖_∞` with one arg-max position.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the session's dimension mismatch (if any).
+    pub fn exact_linf(&self) -> Result<(i64, (u32, u32)), CommError> {
+        Ok(mpest_matrix::norms::csr_linf(self.exact_product()?))
+    }
+
+    /// The exact `ℓp`-(φ) heavy-hitter positions of `AB`, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the session's dimension mismatch (if any).
+    pub fn exact_heavy_hitters(
+        &self,
+        p: mpest_matrix::PNorm,
+        phi: f64,
+    ) -> Result<Vec<(u32, u32)>, CommError> {
+        let mut hh = mpest_matrix::norms::csr_heavy_hitters(self.exact_product()?, p, phi);
+        hh.sort_unstable();
+        Ok(hh)
     }
 }
 
@@ -474,6 +528,39 @@ mod tests {
         };
         let err = ctx.bit_pair().unwrap_err();
         assert!(err.to_string().contains("non-binary"));
+    }
+
+    #[test]
+    fn exact_references_match_centralized_ground_truth() {
+        let a = Workloads::bernoulli_bits(12, 16, 0.3, 5);
+        let b = Workloads::bernoulli_bits(16, 12, 0.3, 6);
+        let c = a.to_csr().matmul(&b.to_csr());
+        let s = Session::new(a, b);
+        assert_eq!(s.exact_product().unwrap(), &c);
+        // Cached: pointer-stable across calls.
+        assert!(std::ptr::eq(
+            s.exact_product().unwrap(),
+            s.exact_product().unwrap()
+        ));
+        for p in [
+            mpest_matrix::PNorm::Zero,
+            mpest_matrix::PNorm::ONE,
+            mpest_matrix::PNorm::TWO,
+        ] {
+            assert_eq!(
+                s.exact_lp_pow(p).unwrap(),
+                mpest_matrix::norms::csr_lp_pow(&c, p)
+            );
+        }
+        assert_eq!(s.exact_linf().unwrap(), mpest_matrix::norms::csr_linf(&c));
+        let hh = s
+            .exact_heavy_hitters(mpest_matrix::PNorm::ONE, 0.01)
+            .unwrap();
+        assert!(hh.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+
+        // A dimension mismatch surfaces instead of panicking.
+        let bad = Session::new(CsrMatrix::zeros(3, 4), CsrMatrix::zeros(5, 3));
+        assert!(bad.exact_product().is_err());
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Property tests: invariants of the seeded workload generators the
+//! Monte-Carlo harness (`mpest-verify`) builds its ground truth on.
+//!
+//! The harness scores protocols against exact products of generated
+//! matrices, so these invariants are load-bearing: the power-law
+//! generator must respect its nnz bounds (or heavy-hitter oracles shift),
+//! and the sparse/bit/dense product paths must agree exactly (or the
+//! "exact reference" isn't).
+
+use mpest_matrix::{BitMatrix, CsrMatrix, Workloads};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Power-law (Zipf) set families: every set has *exactly* the
+    /// requested size, for any exponent — so `nnz = n_sets · set_size`
+    /// always, including the rejection-sampling bail-out path.
+    #[test]
+    fn zipf_sets_respect_nnz_bounds(
+        n_sets in 1usize..24,
+        universe in 1usize..64,
+        size_frac in 0.0f64..=1.0,
+        theta in 0.0f64..2.5,
+        seed in 0u64..1000,
+    ) {
+        let set_size = ((universe as f64 * size_frac) as usize).min(universe);
+        let m = Workloads::zipf_sets(n_sets, universe, set_size, theta, seed);
+        prop_assert_eq!(m.rows(), n_sets);
+        prop_assert_eq!(m.cols(), universe);
+        for i in 0..n_sets {
+            prop_assert_eq!(
+                m.row_ones(i) as usize,
+                set_size,
+                "row {} of a zipf family has the wrong size",
+                i
+            );
+        }
+        prop_assert_eq!(m.count_ones() as usize, n_sets * set_size);
+        // Same seed, same family — the harness's determinism contract.
+        prop_assert_eq!(m, Workloads::zipf_sets(n_sets, universe, set_size, theta, seed));
+    }
+
+    /// Bernoulli binary workloads: nnz bounded by the cell count and the
+    /// bit-matrix / CSR views round-trip losslessly.
+    #[test]
+    fn bernoulli_roundtrips_between_views(
+        rows in 1usize..32,
+        cols in 1usize..32,
+        density in 0.0f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        let m = Workloads::bernoulli_bits(rows, cols, density, seed);
+        prop_assert!(m.count_ones() as usize <= rows * cols);
+        let csr = m.to_csr();
+        prop_assert!(csr.is_binary());
+        prop_assert_eq!(csr.nnz() as u64, m.count_ones());
+        prop_assert_eq!(BitMatrix::from_csr(&csr), m);
+    }
+
+    /// Integer workloads: values stay in `[1, max_val]` (absolute value
+    /// when signed, with no zeros stored), so the non-negativity
+    /// assumptions of `exact-l1`/`hh-general` oracles hold by
+    /// construction.
+    #[test]
+    fn integer_csr_value_ranges(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        density in 0.0f64..=0.8,
+        max_val in 1i64..12,
+        signed in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let m = Workloads::integer_csr(rows, cols, density, max_val, signed, seed);
+        prop_assert!(m.nnz() <= rows * cols);
+        prop_assert_eq!(m.is_nonnegative(), !signed || m.triplets().all(|(_, _, v)| v > 0));
+        for (_, _, v) in m.triplets() {
+            prop_assert!(v != 0 && v.abs() <= max_val, "value {} out of range", v);
+        }
+        if !signed {
+            prop_assert!(m.is_nonnegative());
+        }
+    }
+
+    /// The three product paths the harness treats as interchangeable
+    /// oracles — bit-packed popcount, sparse CSR, and dense — agree
+    /// exactly on generated binary pairs.
+    #[test]
+    fn product_paths_agree_on_generated_pairs(
+        n in 1usize..20,
+        u in 1usize..40,
+        avg_set in 0.0f64..6.0,
+        seed in 0u64..1000,
+    ) {
+        let (a, b) = Workloads::sparse_pair(n, u, avg_set, seed);
+        let via_bits = a.matmul(&b);
+        let via_csr = a.to_csr().matmul(&b.to_csr());
+        prop_assert_eq!(via_csr.to_dense(), via_bits.clone());
+        prop_assert_eq!(CsrMatrix::from_dense(&via_bits), via_csr);
+    }
+
+    /// Planted pairs really are planted: the product carries at least
+    /// the requested overlap at every planted position, so heavy-hitter
+    /// recall oracles built on them are sound.
+    #[test]
+    fn planted_pairs_reach_their_overlap(
+        n in 4usize..24,
+        u in 8usize..64,
+        density in 0.0f64..=0.1,
+        overlap_frac in 0.1f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        let overlap = ((u as f64 * overlap_frac) as usize).clamp(1, u);
+        let planted = [(0u32, (n - 1) as u32), ((n / 2) as u32, 0u32)];
+        let (a, b, pos) = Workloads::planted_pairs(n, u, density, &planted, overlap, seed);
+        prop_assert_eq!(pos.as_slice(), planted.as_slice());
+        let c = a.matmul(&b);
+        for &(i, j) in &planted {
+            prop_assert!(
+                c.get(i as usize, j as usize) >= overlap as i64,
+                "planted ({}, {}) has overlap {} < {}",
+                i, j, c.get(i as usize, j as usize), overlap
+            );
+        }
+    }
+
+    /// Disjoint supports give an exactly-zero product for any density —
+    /// the zero-matrix edge case workload.
+    #[test]
+    fn disjoint_supports_product_is_zero(
+        n in 1usize..20,
+        u in 2usize..48,
+        density in 0.0f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        let (a, b) = Workloads::disjoint_supports(n, u, density, seed);
+        prop_assert_eq!(a.matmul(&b).nnz(), 0);
+    }
+}

@@ -179,6 +179,43 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // A unit draw in [0, 1) with 53 random mantissa bits.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + unit * (self.end as f64 - self.start as f64);
+                // Rounding can land exactly on `end`; nudge back inside.
+                if v as $t >= self.end { self.start } else { v as $t }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Upstream's `proptest::bool` module: the full-domain `bool` strategy
+/// as a constant.
+pub mod bool {
+    /// Either boolean with equal probability.
+    pub const ANY: crate::Any<::core::primitive::bool> = crate::Any(std::marker::PhantomData);
+}
+
 /// Marker returned by [`any`]: full-domain strategy for `T`.
 #[derive(Debug, Clone, Copy)]
 pub struct Any<T>(std::marker::PhantomData<T>);
@@ -476,6 +513,34 @@ mod tests {
         fn flat_map_dependent((n, k) in (1usize..10).prop_flat_map(|n| (Just(n), 0..n))) {
             prop_assert!(k < n);
         }
+
+        #[test]
+        fn float_ranges_in_bounds(x in 0.25f64..0.75, y in 0.0f64..=1.0, z in -2.0f32..=2.0) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!((-2.0..=2.0).contains(&z));
+        }
+
+        #[test]
+        fn bool_any_strategy(b in crate::bool::ANY) {
+            let _: bool = b;
+        }
+    }
+
+    #[test]
+    fn float_inclusive_range_covers_endpoints_region() {
+        // Over many draws the unit interval strategy must span close to
+        // its full width (a constant generator would pass the bounds
+        // check above but break callers scaling by the draw).
+        let mut rng = crate::TestRng::for_case("float-span", 0);
+        let strat = 0.0f64..=1.0;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for _ in 0..512 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.1 && hi > 0.9, "span [{lo}, {hi}] too narrow");
     }
 
     proptest! {

@@ -1,0 +1,154 @@
+//! Deterministic aggregation of per-trial scores: error quantiles,
+//! empirical failure rates, heavy-hitter precision/recall, and
+//! total-variation distance of sampling distributions.
+
+use std::collections::BTreeMap;
+
+/// Empirical quantiles of a (relative-error) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Order statistics of `values` (nearest-rank; deterministic for a
+/// deterministic input order). Returns `None` on an empty input.
+#[must_use]
+pub fn quantiles(values: &[f64]) -> Option<Quantiles> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let at = |q: f64| {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    };
+    Some(Quantiles {
+        p50: at(0.50),
+        p90: at(0.90),
+        p99: at(0.99),
+        max: sorted[sorted.len() - 1],
+    })
+}
+
+/// Micro-averaged heavy-hitter set quality over a trial sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetQuality {
+    /// `Σ in-band reports / Σ reports` (1 when nothing was reported).
+    pub precision: f64,
+    /// `Σ mandatory hits / Σ mandatory` (1 when nothing was mandatory).
+    pub recall: f64,
+}
+
+/// Folds per-trial [`HhCounts`](crate::score::HhCounts) into
+/// micro-averaged precision/recall.
+#[must_use]
+pub fn set_quality(counts: &[crate::score::HhCounts]) -> Option<SetQuality> {
+    if counts.is_empty() {
+        return None;
+    }
+    let reported: usize = counts.iter().map(|c| c.reported).sum();
+    let in_band: usize = counts.iter().map(|c| c.in_band).sum();
+    let must: usize = counts.iter().map(|c| c.must_total).sum();
+    let hit: usize = counts.iter().map(|c| c.must_hit).sum();
+    Some(SetQuality {
+        precision: if reported == 0 {
+            1.0
+        } else {
+            in_band as f64 / reported as f64
+        },
+        recall: if must == 0 {
+            1.0
+        } else {
+            hit as f64 / must as f64
+        },
+    })
+}
+
+/// Total-variation distance between the empirical distribution of
+/// `draws` and an exact distribution given as (position, probability)
+/// pairs: `½ Σ |p̂(x) − p(x)|` over the union of supports.
+#[must_use]
+pub fn tv_distance(draws: &[(u32, u32)], exact: &[((u32, u32), f64)]) -> Option<f64> {
+    if draws.is_empty() {
+        return None;
+    }
+    let n = draws.len() as f64;
+    let mut counts: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    for &pos in draws {
+        *counts.entry(pos).or_insert(0) += 1;
+    }
+    let mut tv = 0.0f64;
+    let mut seen = 0u64;
+    for &(pos, p) in exact {
+        let observed = counts.get(&pos).copied().unwrap_or(0);
+        seen += observed;
+        tv += (observed as f64 / n - p).abs();
+    }
+    // Mass drawn outside the exact support (each such draw is also a
+    // correctness failure, but it must count against TV too).
+    tv += (n - seen as f64) / n;
+    Some(tv / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::HhCounts;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let q = quantiles(&[0.4, 0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(q.p50, 0.2);
+        assert_eq!(q.p90, 0.4);
+        assert_eq!(q.p99, 0.4);
+        assert_eq!(q.max, 0.4);
+        assert!(quantiles(&[]).is_none());
+        let single = quantiles(&[7.0]).unwrap();
+        assert_eq!(single.p50, 7.0);
+        assert_eq!(single.max, 7.0);
+    }
+
+    #[test]
+    fn set_quality_micro_averages() {
+        let q = set_quality(&[
+            HhCounts {
+                reported: 3,
+                in_band: 3,
+                must_total: 2,
+                must_hit: 2,
+            },
+            HhCounts {
+                reported: 1,
+                in_band: 0,
+                must_total: 2,
+                must_hit: 1,
+            },
+        ])
+        .unwrap();
+        assert_eq!(q.precision, 0.75);
+        assert_eq!(q.recall, 0.75);
+        let empty = set_quality(&[HhCounts::default()]).unwrap();
+        assert_eq!(empty.precision, 1.0);
+        assert_eq!(empty.recall, 1.0);
+    }
+
+    #[test]
+    fn tv_distance_basics() {
+        let exact = [((0, 0), 0.5), ((1, 1), 0.5)];
+        // Perfectly balanced draws: zero distance.
+        assert_eq!(tv_distance(&[(0, 0), (1, 1)], &exact), Some(0.0));
+        // All mass on one of two: distance 1/2.
+        assert_eq!(tv_distance(&[(0, 0), (0, 0)], &exact), Some(0.5));
+        // Mass entirely outside the support: distance 1.
+        assert_eq!(tv_distance(&[(9, 9)], &exact), Some(1.0));
+        assert_eq!(tv_distance(&[], &exact), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! # mpest-verify — Monte-Carlo statistical-guarantee harness
+//!
+//! The paper's contribution is a catalog of (ε, δ)-style
+//! accuracy/communication tradeoffs; the rest of this workspace proves
+//! *determinism* (session/batch/executor bit-equivalence) but nothing
+//! empirically checked that `hh-binary` actually recovers φ-heavy
+//! entries or that `lp` lands within `(1±ε)` at the claimed failure
+//! rate. This crate closes that gap:
+//!
+//! * [`Workload`] — diverse ground-truth workloads (dense, sparse,
+//!   power-law, adversarially skewed, integer, rectangular shapes) with
+//!   exact products as oracles;
+//! * [`score`] — estimator-vs-oracle scoring of one trial's output
+//!   against the protocol's [`GuaranteeSpec`](mpest_core::GuaranteeSpec);
+//! * [`aggregate`] — deterministic error quantiles,
+//!   failure rates, heavy-hitter precision/recall, and sampler
+//!   total-variation distances;
+//! * [`verify`] — the trial runner: every protocol × every workload ×
+//!   many seeded trials through the [`Engine`](mpest_core::Engine)
+//!   batch layer on the fused executor, plus
+//!   communication-vs-accuracy curves from transcript accounting.
+//!
+//! The whole sweep is a pure function of its [`VerifyConfig`], so the
+//! resulting [`VerifyReport`] (and the `BENCH_accuracy.json` that
+//! `mpest-bench` renders from it) is byte-deterministic per seed —
+//! which is what lets CI gate on it without flakes.
+//!
+//! ```
+//! use mpest_verify::{verify, VerifyConfig};
+//!
+//! let config = VerifyConfig::quick()
+//!     .with_trials(8)
+//!     .with_protocols(vec!["exact-l1".into(), "sparse-matmul".into()]);
+//! let report = verify(&config);
+//! assert!(report.all_pass(), "{}", report.summary());
+//! ```
+
+pub mod aggregate;
+pub mod runner;
+pub mod score;
+pub mod workload;
+
+pub use aggregate::{Quantiles, SetQuality};
+pub use runner::{verify, CurvePoint, ProtocolVerdict, VerifyConfig, VerifyReport};
+pub use workload::{BuiltWorkload, Workload};

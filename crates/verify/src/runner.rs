@@ -1,0 +1,501 @@
+//! The Monte-Carlo trial runner: every protocol × every workload ×
+//! many seeded trials, executed through the [`Engine`] batch layer on
+//! the fused executor, scored against exact references, and aggregated
+//! into per-protocol verdicts plus communication-vs-accuracy curves.
+//!
+//! Everything is a pure function of [`VerifyConfig`]: workload
+//! generation, per-trial seeds (the session's deterministic
+//! `query_seed` schedule pinned per protocol), scoring, and
+//! aggregation. Two runs with the same config produce byte-identical
+//! reports — the seed-sweep regression test in
+//! `tests/statistical_guarantees.rs` holds the harness to that.
+
+use crate::aggregate::{quantiles, set_quality, tv_distance, Quantiles, SetQuality};
+use crate::score::{reference, score, HhCounts};
+use crate::workload::{BuiltWorkload, Workload};
+use mpest_comm::Seed;
+use mpest_core::guarantee::GuaranteeSpec;
+use mpest_core::{BatchPlan, Engine, EstimateRequest};
+use mpest_matrix::PNorm;
+
+/// Configuration of one verification sweep.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Trials per (protocol, workload) cell.
+    pub trials: usize,
+    /// Trials for the samplers on the total-variation workload (needs
+    /// many more draws than contract checking does).
+    pub sampler_trials: usize,
+    /// Trials per communication-vs-accuracy curve point.
+    pub curve_trials: usize,
+    /// Accuracy sweep for the curves (ε values, descending).
+    pub curve_eps: Vec<f64>,
+    /// Master seed: workload generation and every per-trial seed derive
+    /// from it.
+    pub seed: u64,
+    /// Quick mode shrinks the workload matrices.
+    pub quick: bool,
+    /// Restrict to these protocol names (canonical
+    /// [`EstimateRequest::name`] values); `None` runs all 14.
+    pub protocols: Option<Vec<String>>,
+}
+
+impl VerifyConfig {
+    /// The reduced configuration CI and the tier-1 suite run: small
+    /// matrices, enough trials for the failure-rate gates to be
+    /// meaningful, a two-point accuracy curve.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            trials: 48,
+            sampler_trials: 480,
+            curve_trials: 24,
+            curve_eps: vec![0.4, 0.2],
+            seed: 0x5eed_acc1,
+            quick: true,
+            protocols: None,
+        }
+    }
+
+    /// The full local configuration: larger matrices, more trials,
+    /// a four-point accuracy curve. This is what the README's observed
+    /// quantiles come from.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            trials: 160,
+            sampler_trials: 1600,
+            curve_trials: 64,
+            curve_eps: vec![0.4, 0.3, 0.2, 0.1],
+            quick: false,
+            ..Self::quick()
+        }
+    }
+
+    /// Overrides the per-cell trial count (scales the sampler trials
+    /// proportionally).
+    #[must_use]
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        let trials = trials.max(1);
+        self.sampler_trials = trials * 10;
+        self.trials = trials;
+        self
+    }
+
+    /// Overrides the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restricts the sweep to one protocol (canonical name).
+    #[must_use]
+    pub fn with_protocols(mut self, protocols: Vec<String>) -> Self {
+        self.protocols = Some(protocols);
+        self
+    }
+}
+
+/// The aggregated outcome of one (protocol, workload) cell.
+#[derive(Debug, Clone)]
+pub struct ProtocolVerdict {
+    /// Canonical protocol name.
+    pub protocol: String,
+    /// Workload name.
+    pub workload: String,
+    /// The contract being checked (see
+    /// [`GuaranteeSpec::contract`]).
+    pub contract: &'static str,
+    /// Allowed per-trial failure probability.
+    pub delta: f64,
+    /// Trials run.
+    pub trials: usize,
+    /// Trials that violated the contract.
+    pub failures: usize,
+    /// `failures / trials`.
+    pub failure_rate: f64,
+    /// Relative-error quantiles (scalar protocols only).
+    pub rel_error: Option<Quantiles>,
+    /// Micro-averaged precision/recall (set-valued protocols only).
+    pub set_quality: Option<SetQuality>,
+    /// Total-variation distance to the exact sampling distribution
+    /// (samplers on the TV workload only).
+    pub tv: Option<f64>,
+    /// Budget the TV distance is gated against.
+    pub tv_budget: Option<f64>,
+    /// Mean bits exchanged per trial.
+    pub mean_bits: f64,
+    /// Largest round count observed.
+    pub max_rounds: u32,
+    /// Did this cell satisfy every gate?
+    pub pass: bool,
+    /// The first contract violation's description, if any trial failed.
+    pub first_failure: Option<String>,
+}
+
+/// One point of a communication-vs-accuracy curve.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Canonical protocol name.
+    pub protocol: String,
+    /// Parameter detail (e.g. `p=0`).
+    pub detail: String,
+    /// The ε the protocol was asked for.
+    pub eps: f64,
+    /// Trials behind this point.
+    pub trials: usize,
+    /// Mean bits exchanged per trial (transcript accounting).
+    pub mean_bits: f64,
+    /// Median observed relative error.
+    pub p50_rel_error: f64,
+    /// 90th-percentile observed relative error.
+    pub p90_rel_error: f64,
+}
+
+/// The full result of a verification sweep.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// The master seed everything derived from.
+    pub seed: u64,
+    /// Trials per cell the sweep used.
+    pub trials: usize,
+    /// Per-(protocol, workload) verdicts, in sweep order.
+    pub verdicts: Vec<ProtocolVerdict>,
+    /// Communication-vs-accuracy curve points.
+    pub curves: Vec<CurvePoint>,
+}
+
+impl VerifyReport {
+    /// Whether every verdict passed.
+    #[must_use]
+    pub fn all_pass(&self) -> bool {
+        self.verdicts.iter().all(|v| v.pass)
+    }
+
+    /// The verdicts that failed.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&ProtocolVerdict> {
+        self.verdicts.iter().filter(|v| !v.pass).collect()
+    }
+
+    /// Human-readable per-cell summary table.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "statistical guarantees ({} mode, seed {:#x}, {} trials/cell):\n",
+            self.mode, self.seed, self.trials
+        );
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "  {:<16} {:<16} fail {:>5.1}% (δ ≤ {:>4.1}%)",
+                v.protocol,
+                v.workload,
+                100.0 * v.failure_rate,
+                100.0 * v.delta
+            ));
+            if let Some(q) = v.rel_error {
+                out.push_str(&format!(
+                    "  rel p50 {:.3} p90 {:.3} max {:.3}",
+                    q.p50, q.p90, q.max
+                ));
+            }
+            if let Some(sq) = v.set_quality {
+                out.push_str(&format!(
+                    "  precision {:.3} recall {:.3}",
+                    sq.precision, sq.recall
+                ));
+            }
+            if let (Some(tv), Some(budget)) = (v.tv, v.tv_budget) {
+                out.push_str(&format!("  tv {tv:.3} (≤ {budget:.3})"));
+            }
+            out.push_str(&format!(
+                "  {:>9.0} bits/query  {}\n",
+                v.mean_bits,
+                if v.pass { "PASS" } else { "FAIL" }
+            ));
+            if !v.pass {
+                if let Some(why) = &v.first_failure {
+                    out.push_str(&format!("      first violation: {why}\n"));
+                }
+            }
+        }
+        if !self.curves.is_empty() {
+            out.push_str("communication vs accuracy:\n");
+            for c in &self.curves {
+                out.push_str(&format!(
+                    "  {:<12} {:<6} ε={:<4}  {:>9.0} bits/query  rel p50 {:.3} p90 {:.3}\n",
+                    c.protocol, c.detail, c.eps, c.mean_bits, c.p50_rel_error, c.p90_rel_error
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Which protocols a workload can serve: binary workloads serve all,
+/// integer ones only the general-matrix protocols.
+fn runs_on(req: &EstimateRequest, workload: Workload) -> bool {
+    workload.is_binary()
+        || !matches!(
+            req,
+            EstimateRequest::LinfBinary { .. }
+                | EstimateRequest::LinfKappa { .. }
+                | EstimateRequest::HhBinary { .. }
+                | EstimateRequest::AtLeastTJoin { .. }
+                | EstimateRequest::TrivialBinary
+        )
+}
+
+/// Runs `trials` seeded trials of `req` over `built` through the batch
+/// engine and returns the aggregated verdict.
+fn run_cell(
+    built: &BuiltWorkload,
+    req: &EstimateRequest,
+    spec: &GuaranteeSpec,
+    trials: usize,
+    base_index: u64,
+    check_tv: bool,
+) -> ProtocolVerdict {
+    let engine = Engine::from_arc(built.session.clone());
+    let requests = vec![req.clone(); trials];
+    let plan = BatchPlan::default().at_index(base_index);
+    let batch = engine
+        .run_batch(&requests, &plan)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", req.name(), built.workload.name()));
+
+    let reference = reference(req, built);
+    let mut failures = 0usize;
+    let mut first_failure = None;
+    let mut rel_errors: Vec<f64> = Vec::new();
+    let mut hh_counts: Vec<HhCounts> = Vec::new();
+    let mut draws: Vec<(u32, u32)> = Vec::new();
+    let mut max_rounds = 0u32;
+    for report in &batch.reports {
+        let outcome = score(spec, &reference, built, &report.output);
+        if !outcome.ok {
+            failures += 1;
+            if first_failure.is_none() {
+                first_failure = outcome.note.clone();
+            }
+        }
+        if let Some(err) = outcome.rel_error {
+            rel_errors.push(err);
+        }
+        if let Some(counts) = outcome.hh {
+            hh_counts.push(counts);
+        }
+        if let Some(pos) = outcome.sampled {
+            draws.push(pos);
+        }
+        max_rounds = max_rounds.max(report.rounds());
+    }
+
+    type ExactDistribution = Vec<((u32, u32), f64)>;
+    let (tv, tv_budget) = if check_tv {
+        let c = built.session.exact_product().expect("workload dims agree");
+        let (exact, budget): (ExactDistribution, f64) = match *req {
+            EstimateRequest::L0Sample { eps } => {
+                let support = c.nnz() as f64;
+                (
+                    c.triplets()
+                        .map(|(i, j, _)| ((i, j), 1.0 / support))
+                        .collect(),
+                    eps + 0.25,
+                )
+            }
+            EstimateRequest::L1Sample => {
+                let l1 = c.l1() as f64;
+                (
+                    c.triplets()
+                        .map(|(i, j, v)| ((i, j), v.unsigned_abs() as f64 / l1))
+                        .collect(),
+                    0.25,
+                )
+            }
+            _ => (Vec::new(), 0.0),
+        };
+        if exact.is_empty() {
+            (None, None)
+        } else {
+            (tv_distance(&draws, &exact), Some(budget))
+        }
+    } else {
+        (None, None)
+    };
+
+    let failure_rate = failures as f64 / trials.max(1) as f64;
+    let pass = failure_rate <= spec.delta && !tv.zip(tv_budget).is_some_and(|(d, b)| d > b);
+    ProtocolVerdict {
+        protocol: req.name().to_string(),
+        workload: built.workload.name().to_string(),
+        contract: spec.contract,
+        delta: spec.delta,
+        trials,
+        failures,
+        failure_rate,
+        rel_error: quantiles(&rel_errors),
+        set_quality: set_quality(&hh_counts),
+        tv,
+        tv_budget,
+        mean_bits: batch.accounting.total_bits as f64 / trials.max(1) as f64,
+        max_rounds,
+        pass,
+        first_failure,
+    }
+}
+
+/// Runs the full verification sweep described by `config`.
+#[must_use]
+pub fn verify(config: &VerifyConfig) -> VerifyReport {
+    let catalog: Vec<EstimateRequest> = EstimateRequest::catalog()
+        .into_iter()
+        .filter(|req| match &config.protocols {
+            Some(names) => names.iter().any(|n| n == req.name()),
+            None => true,
+        })
+        .collect();
+
+    let mut verdicts = Vec::new();
+    for (widx, workload) in Workload::SWEEP.into_iter().enumerate() {
+        let built = workload.build(
+            config.quick,
+            config.seed,
+            Seed(config.seed)
+                .derive("verify-workload")
+                .derive_u64(widx as u64),
+        );
+        for (pidx, req) in catalog.iter().enumerate() {
+            if !runs_on(req, workload) {
+                continue;
+            }
+            let spec = req.guarantee();
+            verdicts.push(run_cell(
+                &built,
+                req,
+                &spec,
+                config.trials,
+                (pidx as u64) << 32,
+                false,
+            ));
+        }
+    }
+
+    // The samplers additionally sweep the tiny-support workload where
+    // their *distributions* (not just per-draw validity) are checked.
+    // Built lazily: a filtered sweep without samplers skips the pair.
+    let samplers: Vec<(usize, EstimateRequest)> = [
+        EstimateRequest::L0Sample { eps: 0.3 },
+        EstimateRequest::L1Sample,
+    ]
+    .into_iter()
+    .enumerate()
+    .filter(|(_, req)| catalog.iter().any(|r| r.name() == req.name()))
+    .collect();
+    if !samplers.is_empty() {
+        let tv_workload = Workload::TinySampler.build(
+            config.quick,
+            config.seed,
+            Seed(config.seed).derive("verify-workload").derive("tv"),
+        );
+        for (pidx, req) in &samplers {
+            let spec = req.guarantee();
+            verdicts.push(run_cell(
+                &tv_workload,
+                req,
+                &spec,
+                config.sampler_trials,
+                (100 + *pidx as u64) << 32,
+                true,
+            ));
+        }
+    }
+
+    // Communication-vs-accuracy curves from transcript accounting:
+    // scalar-estimate protocols swept over ε on the dense workload
+    // (also built lazily under a protocol filter).
+    let mut curves = Vec::new();
+    let all_sweeps: Vec<(EstimateRequest, String)> = vec![
+        (
+            EstimateRequest::LpNorm {
+                p: PNorm::Zero,
+                eps: 0.0,
+            },
+            "p=0".to_string(),
+        ),
+        (
+            EstimateRequest::LpNorm {
+                p: PNorm::ONE,
+                eps: 0.0,
+            },
+            "p=1".to_string(),
+        ),
+        (
+            EstimateRequest::LpBaseline {
+                p: PNorm::ONE,
+                eps: 0.0,
+            },
+            "p=1".to_string(),
+        ),
+        (
+            EstimateRequest::LinfBinary { eps: 0.0 },
+            "binary".to_string(),
+        ),
+    ];
+    let sweeps: Vec<(usize, (EstimateRequest, String))> = all_sweeps
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (template, _))| catalog.iter().any(|r| r.name() == template.name()))
+        .collect();
+    let curve_workload = (!sweeps.is_empty()).then(|| {
+        Workload::DenseSquare.build(
+            config.quick,
+            config.seed,
+            Seed(config.seed).derive("verify-workload").derive("curve"),
+        )
+    });
+    for (sidx, (template, detail)) in sweeps {
+        let curve_workload = curve_workload.as_ref().expect("built when sweeps exist");
+        for (eidx, &eps) in config.curve_eps.iter().enumerate() {
+            let req = match template {
+                EstimateRequest::LpNorm { p, .. } => EstimateRequest::LpNorm { p, eps },
+                EstimateRequest::LpBaseline { p, .. } => EstimateRequest::LpBaseline { p, eps },
+                EstimateRequest::LinfBinary { .. } => EstimateRequest::LinfBinary { eps },
+                ref other => other.clone(),
+            };
+            let engine = Engine::from_arc(curve_workload.session.clone());
+            let requests = vec![req.clone(); config.curve_trials];
+            let plan = BatchPlan::default().at_index((200 + sidx as u64 * 8 + eidx as u64) << 32);
+            let batch = engine
+                .run_batch(&requests, &plan)
+                .unwrap_or_else(|e| panic!("curve {}: {e}", req.name()));
+            let reference = reference(&req, curve_workload);
+            let spec = req.guarantee();
+            let errors: Vec<f64> = batch
+                .reports
+                .iter()
+                .filter_map(|r| score(&spec, &reference, curve_workload, &r.output).rel_error)
+                .collect();
+            let q = quantiles(&errors).expect("curve trials produce errors");
+            curves.push(CurvePoint {
+                protocol: req.name().to_string(),
+                detail: detail.clone(),
+                eps,
+                trials: config.curve_trials,
+                mean_bits: batch.accounting.total_bits as f64 / config.curve_trials as f64,
+                p50_rel_error: q.p50,
+                p90_rel_error: q.p90,
+            });
+        }
+    }
+
+    VerifyReport {
+        mode: if config.quick { "quick" } else { "full" }.to_string(),
+        seed: config.seed,
+        trials: config.trials,
+        verdicts,
+        curves,
+    }
+}

@@ -1,0 +1,343 @@
+//! Estimator-vs-oracle scoring: one trial's output against the exact
+//! reference demanded by its [`GuaranteeSpec`].
+
+use crate::workload::BuiltWorkload;
+use mpest_core::guarantee::{GuaranteeKind, GuaranteeSpec};
+use mpest_core::{AnyOutput, EstimateRequest, MatrixSample};
+use mpest_matrix::{norms, PNorm};
+
+/// The exact reference a request is scored against, computed once per
+/// (workload, protocol) before the trial loop.
+#[derive(Debug, Clone)]
+pub enum Reference {
+    /// True scalar statistic (`‖AB‖_p^p`, `‖AB‖₁`, `‖AB‖∞`).
+    Scalar {
+        /// The exact value.
+        truth: f64,
+    },
+    /// Exact containment sandwich for set-valued outputs: every `must`
+    /// position has to be reported, every reported position has to be
+    /// in `may`. Both sorted.
+    Containment {
+        /// `HH_φ` (or the `≥ T` pairs).
+        must: Vec<(u32, u32)>,
+        /// `HH_{φ−ε}` (or the `≥ T(1−slack)` pairs).
+        may: Vec<(u32, u32)>,
+    },
+    /// Exact per-statistic reference for the trivial protocols.
+    Stats {
+        /// `‖AB‖₀`.
+        l0: f64,
+        /// `‖AB‖₁`.
+        l1: f64,
+        /// `‖AB‖₂²`.
+        l2_sq: f64,
+        /// `‖AB‖∞`.
+        linf: i64,
+    },
+    /// Sampling and exact-output protocols score directly against the
+    /// cached product.
+    Product,
+}
+
+/// Builds the reference for one request over one workload.
+#[must_use]
+pub fn reference(req: &EstimateRequest, w: &BuiltWorkload) -> Reference {
+    let c = w.session.exact_product().expect("workload dims agree");
+    match *req {
+        EstimateRequest::LpNorm { p, .. } | EstimateRequest::LpBaseline { p, .. } => {
+            Reference::Scalar {
+                truth: norms::csr_lp_pow(c, p),
+            }
+        }
+        EstimateRequest::ExactL1 => Reference::Scalar {
+            truth: norms::csr_lp_pow(c, PNorm::ONE),
+        },
+        EstimateRequest::LinfBinary { .. }
+        | EstimateRequest::LinfKappa { .. }
+        | EstimateRequest::LinfGeneral { .. } => Reference::Scalar {
+            truth: norms::csr_linf(c).0 as f64,
+        },
+        EstimateRequest::HhGeneral { p, phi, eps } | EstimateRequest::HhBinary { p, phi, eps } => {
+            let p = PNorm::P(p);
+            let mut must = norms::csr_heavy_hitters(c, p, phi);
+            must.sort_unstable();
+            let mut may = norms::csr_heavy_hitters(c, p, (phi - eps).max(f64::MIN_POSITIVE));
+            may.sort_unstable();
+            Reference::Containment { must, may }
+        }
+        EstimateRequest::AtLeastTJoin { t, slack } => {
+            let lo = f64::from(t) * (1.0 - slack);
+            let mut must = Vec::new();
+            let mut may = Vec::new();
+            for (i, j, v) in c.triplets() {
+                let v = v as f64;
+                if v >= f64::from(t) {
+                    must.push((i, j));
+                }
+                if v >= lo {
+                    may.push((i, j));
+                }
+            }
+            must.sort_unstable();
+            may.sort_unstable();
+            Reference::Containment { must, may }
+        }
+        EstimateRequest::TrivialBinary | EstimateRequest::TrivialCsr => Reference::Stats {
+            l0: norms::csr_lp_pow(c, PNorm::Zero),
+            l1: norms::csr_lp_pow(c, PNorm::ONE),
+            l2_sq: norms::csr_lp_pow(c, PNorm::TWO),
+            linf: norms::csr_linf(c).0,
+        },
+        EstimateRequest::L1Sample
+        | EstimateRequest::L0Sample { .. }
+        | EstimateRequest::SparseMatmul => Reference::Product,
+    }
+}
+
+/// Per-trial heavy-hitter set counts (micro-averaged into
+/// precision/recall by the aggregator).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HhCounts {
+    /// Positions the protocol reported.
+    pub reported: usize,
+    /// Reported positions inside the tolerance band (`may`).
+    pub in_band: usize,
+    /// Mandatory positions (`must`).
+    pub must_total: usize,
+    /// Mandatory positions actually reported.
+    pub must_hit: usize,
+}
+
+/// The outcome of scoring one trial.
+#[derive(Debug, Clone)]
+pub struct TrialScore {
+    /// Did the output honor the contract?
+    pub ok: bool,
+    /// Relative error for scalar-valued protocols (`|est − truth| /
+    /// truth`; absolute value when the truth is zero).
+    pub rel_error: Option<f64>,
+    /// Sampled position, for the samplers' total-variation aggregation
+    /// (`None` on failed draws).
+    pub sampled: Option<(u32, u32)>,
+    /// Heavy-hitter set counts, for precision/recall aggregation.
+    pub hh: Option<HhCounts>,
+    /// Human-readable reason for the first contract violation.
+    pub note: Option<String>,
+}
+
+impl TrialScore {
+    fn pass() -> Self {
+        Self {
+            ok: true,
+            rel_error: None,
+            sampled: None,
+            hh: None,
+            note: None,
+        }
+    }
+
+    fn fail(note: String) -> Self {
+        Self {
+            ok: false,
+            rel_error: None,
+            sampled: None,
+            hh: None,
+            note: Some(note),
+        }
+    }
+}
+
+fn scalar_estimate(output: &AnyOutput) -> Option<f64> {
+    output.as_scalar()
+}
+
+fn rel_error(est: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        est.abs()
+    } else {
+        (est - truth).abs() / truth
+    }
+}
+
+/// Scores one trial's output against its spec and reference.
+#[must_use]
+pub fn score(
+    spec: &GuaranteeSpec,
+    reference: &Reference,
+    w: &BuiltWorkload,
+    output: &AnyOutput,
+) -> TrialScore {
+    let c = w.session.exact_product().expect("workload dims agree");
+    match (spec.kind, reference) {
+        (GuaranteeKind::Exact, Reference::Scalar { truth }) => {
+            let est = scalar_estimate(output).unwrap_or(f64::NAN);
+            let err = rel_error(est, *truth);
+            TrialScore {
+                ok: est == *truth,
+                rel_error: Some(err),
+                note: (est != *truth)
+                    .then(|| format!("exact protocol returned {est}, truth {truth}")),
+                ..TrialScore::pass()
+            }
+        }
+        (
+            GuaranteeKind::Exact,
+            Reference::Stats {
+                l0,
+                l1,
+                l2_sq,
+                linf,
+            },
+        ) => {
+            // Trivial protocols: every statistic must be exact.
+            let AnyOutput::Exact(stats) = output else {
+                return TrialScore::fail("unexpected output shape".into());
+            };
+            let ok = stats.l0 == *l0
+                && stats.l1 == *l1
+                && stats.l2_sq == *l2_sq
+                && stats.linf.0 == *linf;
+            TrialScore {
+                ok,
+                rel_error: Some(0.0),
+                note: (!ok).then(|| "trivial stats diverge from ground truth".to_string()),
+                ..TrialScore::pass()
+            }
+        }
+        (GuaranteeKind::RelativeError { eps }, Reference::Scalar { truth }) => {
+            let est = scalar_estimate(output).unwrap_or(f64::NAN);
+            let err = rel_error(est, *truth);
+            let ok = if *truth == 0.0 {
+                est.abs() < 1.0
+            } else {
+                err <= eps
+            };
+            TrialScore {
+                ok,
+                rel_error: Some(err),
+                note: (!ok)
+                    .then(|| format!("estimate {est} vs truth {truth} (rel {err:.3} > ε {eps})")),
+                ..TrialScore::pass()
+            }
+        }
+        (GuaranteeKind::ApproxFactor { under, over }, Reference::Scalar { truth }) => {
+            let est = scalar_estimate(output).unwrap_or(f64::NAN);
+            let err = rel_error(est, *truth);
+            let ok = if *truth == 0.0 {
+                est.abs() < 1.0
+            } else {
+                est >= truth / under && est <= over * truth
+            };
+            TrialScore {
+                ok,
+                rel_error: Some(err),
+                note: (!ok).then(|| {
+                    format!(
+                        "estimate {est} outside [truth/{under:.2}, {over:.2}·truth], truth {truth}"
+                    )
+                }),
+                ..TrialScore::pass()
+            }
+        }
+        (
+            GuaranteeKind::HeavyHitters { .. } | GuaranteeKind::OverlapJoin { .. },
+            Reference::Containment { must, may },
+        ) => {
+            let Some(hh) = output.as_heavy_hitters() else {
+                return TrialScore::fail("unexpected output shape".into());
+            };
+            let reported = hh.positions();
+            let in_band = reported
+                .iter()
+                .filter(|pos| may.binary_search(pos).is_ok())
+                .count();
+            let must_hit = must
+                .iter()
+                .filter(|pos| reported.binary_search(pos).is_ok())
+                .count();
+            let counts = HhCounts {
+                reported: reported.len(),
+                in_band,
+                must_total: must.len(),
+                must_hit,
+            };
+            let ok = in_band == reported.len() && must_hit == must.len();
+            TrialScore {
+                ok,
+                hh: Some(counts),
+                note: (!ok).then(|| {
+                    format!(
+                        "containment violated: {}/{} mandatory reported, {}/{} reports in band",
+                        must_hit,
+                        must.len(),
+                        in_band,
+                        reported.len()
+                    )
+                }),
+                ..TrialScore::pass()
+            }
+        }
+        (GuaranteeKind::SupportSample { .. }, Reference::Product) => match output {
+            AnyOutput::Sample(MatrixSample::Sampled { row, col, value }) => {
+                let truth = c.get(*row as usize, *col);
+                let ok = truth == *value && *value != 0;
+                TrialScore {
+                    ok,
+                    sampled: ok.then_some((*row, *col)),
+                    note: (!ok)
+                        .then(|| format!("sampled ({row},{col}) value {value}, truth {truth}")),
+                    ..TrialScore::pass()
+                }
+            }
+            AnyOutput::Sample(MatrixSample::ZeroMatrix) => TrialScore {
+                ok: c.nnz() == 0,
+                note: (c.nnz() != 0)
+                    .then(|| "claimed zero matrix on a nonzero product".to_string()),
+                ..TrialScore::pass()
+            },
+            AnyOutput::Sample(MatrixSample::Failed) => {
+                TrialScore::fail("sampler failed (bounded-probability event)".into())
+            }
+            _ => TrialScore::fail("unexpected output shape".into()),
+        },
+        (GuaranteeKind::L1Sample, Reference::Product) => match output {
+            AnyOutput::L1Sample(Some(s)) => {
+                let ok = w.a.get(s.row as usize, s.witness) != 0
+                    && w.b.get(s.witness as usize, s.col) != 0
+                    && c.get(s.row as usize, s.col) != 0;
+                TrialScore {
+                    ok,
+                    sampled: ok.then_some((s.row, s.col)),
+                    note: (!ok).then(|| {
+                        format!(
+                            "({}, {}) via witness {} is not a join result",
+                            s.row, s.col, s.witness
+                        )
+                    }),
+                    ..TrialScore::pass()
+                }
+            }
+            AnyOutput::L1Sample(None) => TrialScore {
+                ok: c.l1() == 0,
+                note: (c.l1() != 0).then(|| "no sample from a nonzero product".to_string()),
+                ..TrialScore::pass()
+            },
+            _ => TrialScore::fail("unexpected output shape".into()),
+        },
+        (GuaranteeKind::ExactShares, Reference::Product) => {
+            let AnyOutput::Shares(shares) = output else {
+                return TrialScore::fail("unexpected output shape".into());
+            };
+            let ok = &shares.reconstruct(c.rows(), c.cols()) == c;
+            TrialScore {
+                ok,
+                note: (!ok).then(|| "shares do not reconstruct A·B".to_string()),
+                ..TrialScore::pass()
+            }
+        }
+        (kind, _) => TrialScore::fail(format!(
+            "no scoring rule for {kind:?} against this reference (harness bug)"
+        )),
+    }
+}

@@ -1,0 +1,220 @@
+//! Ground-truth workload generation for the Monte-Carlo harness.
+//!
+//! Each [`Workload`] names a regime the paper's motivation targets —
+//! uniform dense relations, sparse rectangular pairs, power-law (Zipf)
+//! set families, adversarially skewed instances with planted heavy
+//! entries, and general integer matrices — and builds a reusable
+//! [`BuiltWorkload`]: a seeded [`Session`] over the pair plus the CSR
+//! copies the exact oracles score against. Shapes are deliberately
+//! rectangular where the regime allows it, so the harness exercises the
+//! Section 6 non-square paths too.
+
+use std::sync::Arc;
+
+use mpest_comm::Seed;
+use mpest_core::Session;
+use mpest_matrix::{BitMatrix, CsrMatrix, Workloads};
+
+/// A named workload regime at one of two scales (`quick` for CI smoke
+/// and the tier-1 suite, full otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Uniform Bernoulli binary pair, square shape.
+    DenseSquare,
+    /// Sparse binary pair with a wide inner dimension (`n × 3n · 3n × n`).
+    SparseWide,
+    /// Power-law (Zipf, θ = 1.2) set families over a `2n` universe.
+    PowerLaw,
+    /// Low background density with planted heavy pairs — the skewed
+    /// instances the `ℓ∞`/heavy-hitter protocols are designed for.
+    AdversarialSkew,
+    /// General non-negative integer pair, tall-rectangular shape.
+    IntegerRect,
+    /// A deliberately tiny sparse pair whose product support is small
+    /// enough that empirical sampling distributions converge — the
+    /// total-variation workload for the samplers.
+    TinySampler,
+}
+
+impl Workload {
+    /// The workloads every protocol sweeps (the sampler TV workload is
+    /// extra and only used by the sampling protocols).
+    pub const SWEEP: [Workload; 5] = [
+        Workload::DenseSquare,
+        Workload::SparseWide,
+        Workload::PowerLaw,
+        Workload::AdversarialSkew,
+        Workload::IntegerRect,
+    ];
+
+    /// Stable kebab-case name (JSON key, report label).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::DenseSquare => "dense-square",
+            Workload::SparseWide => "sparse-wide",
+            Workload::PowerLaw => "power-law",
+            Workload::AdversarialSkew => "adversarial-skew",
+            Workload::IntegerRect => "integer-rect",
+            Workload::TinySampler => "tiny-sampler",
+        }
+    }
+
+    /// Whether the pair is binary (binary workloads serve all 14
+    /// protocols; integer ones only the general-matrix protocols).
+    #[must_use]
+    pub fn is_binary(self) -> bool {
+        !matches!(self, Workload::IntegerRect)
+    }
+
+    /// Heavy entries planted by construction (positions the
+    /// heavy-hitter oracles expect to dominate), if any.
+    #[must_use]
+    pub fn planted(self) -> &'static [(u32, u32)] {
+        match self {
+            Workload::AdversarialSkew => &[(3, 7), (11, 2)],
+            _ => &[],
+        }
+    }
+
+    /// Builds the workload at the given scale under a deterministic
+    /// generator seed, wrapping the pair in a [`Session`] seeded from
+    /// `session_seed`.
+    #[must_use]
+    pub fn build(self, quick: bool, gen_seed: u64, session_seed: Seed) -> BuiltWorkload {
+        let n = if quick { 36 } else { 88 };
+        let (a, b): (CsrMatrix, CsrMatrix) = match self {
+            Workload::DenseSquare => (
+                Workloads::bernoulli_bits(n, n, 0.25, gen_seed ^ 0xd1).to_csr(),
+                Workloads::bernoulli_bits(n, n, 0.25, gen_seed ^ 0xd2).to_csr(),
+            ),
+            Workload::SparseWide => {
+                let (a, b) = Workloads::sparse_pair(n, 3 * n, 4.0, gen_seed ^ 0x51);
+                (a.to_csr(), b.to_csr())
+            }
+            Workload::PowerLaw => {
+                let u = 2 * n;
+                let k = (n / 4).max(4);
+                let a = Workloads::zipf_sets(n, u, k, 1.2, gen_seed ^ 0x21);
+                let bt = Workloads::zipf_sets(n, u, k, 1.2, gen_seed ^ 0x22);
+                (a.to_csr(), bt.transpose().to_csr())
+            }
+            Workload::AdversarialSkew => {
+                let overlap = if quick { 30 } else { 64 };
+                let (a, b, _) = Workloads::planted_pairs(
+                    n,
+                    2 * n,
+                    0.03,
+                    self.planted(),
+                    overlap,
+                    gen_seed ^ 0xad,
+                );
+                (a.to_csr(), b.to_csr())
+            }
+            Workload::IntegerRect => (
+                Workloads::integer_csr(n, n / 2, 0.20, 6, false, gen_seed ^ 0x17),
+                Workloads::integer_csr(n / 2, n, 0.20, 6, false, gen_seed ^ 0x18),
+            ),
+            Workload::TinySampler => {
+                let (a, b) = Workloads::sparse_pair(16, 32, 2.5, gen_seed ^ 0x7a);
+                (a.to_csr(), b.to_csr())
+            }
+        };
+        let session = if self.is_binary() {
+            Session::new(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
+        } else {
+            Session::new(a.clone(), b.clone())
+        }
+        .with_seed(session_seed);
+        BuiltWorkload {
+            workload: self,
+            a,
+            b,
+            session: Arc::new(session),
+        }
+    }
+}
+
+/// A materialized workload: the pair (as CSR, for the oracles), and a
+/// seeded session over it (built from the bit view when binary, so the
+/// binary protocols accept it).
+#[derive(Debug)]
+pub struct BuiltWorkload {
+    /// Which regime this is.
+    pub workload: Workload,
+    /// Alice's matrix.
+    pub a: CsrMatrix,
+    /// Bob's matrix.
+    pub b: CsrMatrix,
+    /// The session trials run through (shared with the batch engine).
+    pub session: Arc<Session>,
+}
+
+impl BuiltWorkload {
+    /// `rows × inner × cols` of the product setting.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.a.rows(), self.a.cols(), self.b.cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_deterministically_and_nontrivially() {
+        for wl in Workload::SWEEP.into_iter().chain([Workload::TinySampler]) {
+            let w1 = wl.build(true, 7, Seed(1));
+            let w2 = wl.build(true, 7, Seed(1));
+            assert_eq!(w1.a, w2.a, "{}: A differs across builds", wl.name());
+            assert_eq!(w1.b, w2.b, "{}: B differs across builds", wl.name());
+            assert!(
+                w1.a.nnz() > 0 && w1.b.nnz() > 0,
+                "{}: empty half",
+                wl.name()
+            );
+            assert_eq!(w1.a.cols(), w1.b.rows(), "{}: dims", wl.name());
+            assert_eq!(
+                w1.a.is_binary() && w1.b.is_binary(),
+                wl.is_binary(),
+                "{}: binary flag",
+                wl.name()
+            );
+            let c = w1.session.exact_product().unwrap();
+            assert!(c.nnz() > 0, "{}: zero product", wl.name());
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes_are_actually_rectangular() {
+        let wide = Workload::SparseWide.build(true, 3, Seed(0));
+        let (r, inner, c) = wide.shape();
+        assert!(inner > r && inner > c);
+        let int = Workload::IntegerRect.build(true, 3, Seed(0));
+        let (r, inner, c) = int.shape();
+        assert!(inner < r && inner < c);
+    }
+
+    #[test]
+    fn planted_pairs_dominate_the_skewed_workload() {
+        let w = Workload::AdversarialSkew.build(true, 11, Seed(0));
+        let c = w.session.exact_product().unwrap();
+        let l1 = mpest_matrix::norms::csr_lp_pow(c, mpest_matrix::PNorm::ONE);
+        for &(i, j) in Workload::AdversarialSkew.planted() {
+            let share = c.get(i as usize, j) as f64 / l1;
+            assert!(share > 0.05, "planted ({i},{j}) share {share}");
+        }
+    }
+
+    #[test]
+    fn tiny_sampler_support_is_small() {
+        let w = Workload::TinySampler.build(true, 5, Seed(0));
+        let c = w.session.exact_product().unwrap();
+        assert!(
+            (5..80).contains(&c.nnz()),
+            "support {} won't converge",
+            c.nnz()
+        );
+    }
+}

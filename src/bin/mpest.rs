@@ -39,6 +39,14 @@ const USAGE: &str = "usage:
   mpest run PROTOCOL --a FILE --b FILE [options]
   mpest batch --a FILE --b FILE --requests FILE.jsonl [--workers N] [--seed S]
             [--executor fused|threaded]
+  mpest verify [--protocol NAME] [--trials N] [--quick] [--seed S]
+
+verify runs the Monte-Carlo statistical-guarantee sweep: every protocol
+(or just --protocol NAME) over generated dense/sparse/power-law/skewed/
+integer workloads, N seeded trials each through the batch engine, scored
+against exact references and gated on each protocol's (eps, delta)
+contract. Exits nonzero on any contract violation. --quick shrinks the
+matrices and trial counts to the CI-smoke scale.
 
 batch requests file: one JSON object per line, {\"protocol\": NAME, ...flags},
 e.g. {\"protocol\": \"l0\", \"eps\": 0.2} — keys match the run flags
@@ -76,7 +84,7 @@ impl Flags {
         while i < args.len() {
             let a = &args[i];
             if let Some(key) = a.strip_prefix("--") {
-                if key == "exact" {
+                if key == "exact" || key == "quick" {
                     map.insert(key.to_string(), "true".to_string());
                 } else {
                     i += 1;
@@ -133,7 +141,16 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             cmd_run(protocol, &flags)
         }
         Some("batch") => cmd_batch(&flags),
-        _ => Err("expected a subcommand: gen | exact | run | batch".to_string()),
+        Some("verify") => {
+            if let Some(extra) = pos.get(1) {
+                return Err(format!(
+                    "verify takes no positional arguments (got {extra:?}); \
+                     use --protocol {extra} to restrict the sweep"
+                ));
+            }
+            cmd_verify(&flags)
+        }
+        _ => Err("expected a subcommand: gen | exact | run | batch | verify".to_string()),
     }
 }
 
@@ -207,6 +224,43 @@ fn cmd_exact(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The canonical protocol names, from the catalog — the single source
+/// of truth for "which protocols exist" in error messages and the
+/// verify filter.
+fn catalog_names() -> Vec<&'static str> {
+    EstimateRequest::catalog()
+        .iter()
+        .map(EstimateRequest::name)
+        .collect()
+}
+
+/// The "unknown protocol" error: names every valid protocol (from
+/// [`EstimateRequest::catalog`]) plus the CLI aliases, instead of a
+/// bare "unknown protocol X".
+fn unknown_protocol(name: &str) -> String {
+    format!(
+        "unknown protocol {name:?}; valid protocols: {} \
+         (aliases: l0 | l1 | l2 for lp at p = 0/1/2, trivial for trivial-csr, \
+         at-least-t for at-least-t-join)",
+        catalog_names().join(", ")
+    )
+}
+
+/// Resolves a protocol word (canonical name or CLI alias) to its
+/// canonical catalog name.
+fn canonical_protocol(name: &str) -> Result<&'static str, String> {
+    let target = match name {
+        "l0" | "l1" | "l2" => "lp",
+        "trivial" => "trivial-csr",
+        "at-least-t" => "at-least-t-join",
+        other => other,
+    };
+    catalog_names()
+        .into_iter()
+        .find(|n| *n == target)
+        .ok_or_else(|| unknown_protocol(name))
+}
+
 /// Parses a protocol word plus its flags into the uniform request shape.
 fn parse_request(protocol: &str, flags: &Flags) -> Result<EstimateRequest, String> {
     Ok(match protocol {
@@ -256,13 +310,13 @@ fn parse_request(protocol: &str, flags: &Flags) -> Result<EstimateRequest, Strin
                 EstimateRequest::HhBinary { p, phi, eps }
             }
         }
-        "at-least-t" => EstimateRequest::AtLeastTJoin {
+        "at-least-t" | "at-least-t-join" => EstimateRequest::AtLeastTJoin {
             t: flags.required_num("t")?,
             slack: flags.num("slack", 0.5)?,
         },
-        "trivial" => EstimateRequest::TrivialCsr,
+        "trivial" | "trivial-csr" => EstimateRequest::TrivialCsr,
         "trivial-binary" => EstimateRequest::TrivialBinary,
-        other => return Err(format!("unknown protocol {other}")),
+        other => return Err(unknown_protocol(other)),
     })
 }
 
@@ -650,11 +704,64 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `mpest verify`: the Monte-Carlo statistical-guarantee sweep over
+/// generated workloads, exiting nonzero on any contract violation.
+fn cmd_verify(flags: &Flags) -> Result<(), String> {
+    use mpest::verify::VerifyConfig;
+    let mut config = if flags.str("quick").is_some() {
+        VerifyConfig::quick()
+    } else {
+        VerifyConfig::full()
+    };
+    if let Some(trials) = flags.str("trials") {
+        let trials: usize = trials.parse().map_err(|e| format!("bad --trials: {e}"))?;
+        if trials == 0 {
+            return Err("--trials must be positive".to_string());
+        }
+        config = config.with_trials(trials);
+    }
+    let seed = flags.num("seed", config.seed)?;
+    config = config.with_seed(seed);
+    if let Some(name) = flags.str("protocol") {
+        config = config.with_protocols(vec![canonical_protocol(name)?.to_string()]);
+    }
+
+    let start = std::time::Instant::now();
+    let report = mpest::verify::verify(&config);
+    print!("{}", report.summary());
+    println!(
+        "{} cells verified in {:.2}s",
+        report.verdicts.len(),
+        start.elapsed().as_secs_f64()
+    );
+    if report.all_pass() {
+        println!("all statistical guarantees hold");
+        Ok(())
+    } else {
+        // Not a usage error: report the violations and exit 1 without
+        // the usage banner.
+        for v in report.failures() {
+            eprintln!(
+                "VIOLATION: {} on {} failed {}/{} trials (allowed {:.0}%): {}",
+                v.protocol,
+                v.workload,
+                v.failures,
+                v.trials,
+                100.0 * v.delta,
+                v.first_failure.as_deref().unwrap_or("see summary")
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
 fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
+    // Parse the request before touching the filesystem, so an unknown
+    // protocol name is reported even when the matrix files are bad too.
+    let request = parse_request(protocol, flags)?;
     let (a, b) = load_pair(flags)?;
     let seed = Seed(flags.num("seed", 42u64)?);
     let executor = parse_executor(flags)?;
-    let request = parse_request(protocol, flags)?;
     let exact = (flags.str("exact").is_some() && has_exact_line(&request)).then(|| a.matmul(&b));
 
     // Binary protocols historically accept integer inputs by coercing
@@ -767,6 +874,90 @@ mod tests {
         ] {
             assert!(!is_json_number(bad), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn load_requests_reports_file_and_line_context() {
+        let dir = std::env::temp_dir().join(format!("mpest-jsonl-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            path
+        };
+
+        // Comments and blank lines are skipped; order is preserved.
+        let good = write(
+            "good.jsonl",
+            "# heavy hitters then a norm\n\n{\"protocol\": \"hh-binary\", \"phi\": 0.05}\n{\"protocol\": \"l0\", \"eps\": 0.2}\n",
+        );
+        let requests = load_requests(&good).unwrap();
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[0].name(), "hh-binary");
+        assert_eq!(requests[1].name(), "lp");
+
+        // A malformed object points at its file and (1-based) line.
+        let bad = write("bad.jsonl", "{\"protocol\": \"l0\"}\n{not json}\n");
+        let err = load_requests(&bad).unwrap_err();
+        assert!(err.contains("bad.jsonl:2:"), "got: {err}");
+
+        // A well-formed object with a bad number value surfaces the
+        // flag-parse error, still with line context.
+        let badnum = write(
+            "badnum.jsonl",
+            "{\"protocol\": \"l0\", \"eps\": \"lots\"}\n",
+        );
+        let err = load_requests(&badnum).unwrap_err();
+        assert!(
+            err.contains("badnum.jsonl:1:") && err.contains("bad --eps"),
+            "got: {err}"
+        );
+
+        // Unknown protocol inside the file names the valid set.
+        let badproto = write("badproto.jsonl", "{\"protocol\": \"l7\"}\n");
+        let err = load_requests(&badproto).unwrap_err();
+        assert!(
+            err.contains("badproto.jsonl:1:") && err.contains("valid protocols"),
+            "got: {err}"
+        );
+
+        // A required flag missing for the chosen protocol.
+        let missing = write("missing.jsonl", "{\"protocol\": \"at-least-t\"}\n");
+        let err = load_requests(&missing).unwrap_err();
+        assert!(err.contains("missing --t"), "got: {err}");
+
+        // All-comment and empty files are "no requests", and a missing
+        // file reports the I/O failure.
+        let empty = write("empty.jsonl", "# nothing\n\n");
+        assert!(load_requests(&empty).unwrap_err().contains("no requests"));
+        let gone = dir.join("does-not-exist.jsonl");
+        assert!(load_requests(&gone).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_protocols_list_the_catalog() {
+        let flags = Flags(HashMap::new());
+        let err = parse_request("l7", &flags).unwrap_err();
+        for req in EstimateRequest::catalog() {
+            assert!(
+                err.contains(req.name()),
+                "error does not name {}: {err}",
+                req.name()
+            );
+        }
+        assert!(err.contains("aliases"), "got: {err}");
+
+        // Canonical names and CLI aliases both resolve.
+        assert_eq!(canonical_protocol("l0").unwrap(), "lp");
+        assert_eq!(canonical_protocol("lp").unwrap(), "lp");
+        assert_eq!(canonical_protocol("trivial").unwrap(), "trivial-csr");
+        assert_eq!(canonical_protocol("at-least-t").unwrap(), "at-least-t-join");
+        assert_eq!(canonical_protocol("hh-binary").unwrap(), "hh-binary");
+        assert!(canonical_protocol("nope")
+            .unwrap_err()
+            .contains("valid protocols"));
     }
 
     #[test]

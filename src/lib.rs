@@ -84,6 +84,7 @@ pub use mpest_core as protocols;
 pub use mpest_lower as lower;
 pub use mpest_matrix as matrix;
 pub use mpest_sketch as sketch;
+pub use mpest_verify as verify;
 
 /// Convenience re-exports covering the common API surface.
 pub mod prelude {
@@ -120,9 +121,12 @@ pub mod prelude {
         Constants, HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares,
         ProtocolRun,
     };
+    // Statistical contracts and the Monte-Carlo verification harness.
+    pub use mpest_core::{GuaranteeKind, GuaranteeSpec};
     pub use mpest_matrix::{
         joins, norms, stats, BitMatrix, CsrMatrix, PNorm, SetFamily, SparseVec, Workloads,
     };
+    pub use mpest_verify::{VerifyConfig, VerifyReport};
 }
 
 #[cfg(test)]

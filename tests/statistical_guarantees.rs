@@ -1,0 +1,200 @@
+//! Tier-1 statistical-guarantee suite: the Monte-Carlo harness
+//! (`mpest-verify`) at a reduced trial count, gating every protocol's
+//! empirical failure rate, error quantiles, heavy-hitter
+//! precision/recall, and sampler total-variation distance against its
+//! [`GuaranteeSpec`] — plus the byte-determinism regression for the
+//! `BENCH_accuracy.json` aggregation.
+//!
+//! Everything here is seeded and deterministic: a failure is a real
+//! regression (an estimator drifted, a sampler got biased, a contract
+//! got broken), never a flake.
+
+use mpest::prelude::*;
+use mpest_bench::accuracy::AccuracyBench;
+
+/// The reduced-trial configuration: quick-scale matrices, enough trials
+/// per cell that the failure-rate gates mean something, small enough
+/// that the suite stays fast in debug builds.
+fn reduced() -> VerifyConfig {
+    VerifyConfig::quick().with_trials(24)
+}
+
+/// The reduced sweep, run once and shared by the tests in this binary
+/// (it is deterministic, so sharing loses nothing).
+fn reduced_report() -> &'static VerifyReport {
+    static REPORT: std::sync::OnceLock<VerifyReport> = std::sync::OnceLock::new();
+    REPORT.get_or_init(|| mpest::verify::verify(&reduced()))
+}
+
+#[test]
+fn every_protocol_satisfies_its_guarantee_spec() {
+    let report = reduced_report();
+    // All 14 protocols appear (across the workloads each can serve).
+    let covered: std::collections::BTreeSet<&str> = report
+        .verdicts
+        .iter()
+        .map(|v| v.protocol.as_str())
+        .collect();
+    for req in EstimateRequest::catalog() {
+        assert!(
+            covered.contains(req.name()),
+            "protocol {} never verified",
+            req.name()
+        );
+    }
+    assert!(
+        report.all_pass(),
+        "statistical-guarantee violations:\n{}",
+        report.summary()
+    );
+    // Exact protocols must be *perfect*, not just within delta.
+    for v in &report.verdicts {
+        if v.delta == 0.0 {
+            assert_eq!(
+                v.failures, 0,
+                "{} on {} is contracted exact but failed trials",
+                v.protocol, v.workload
+            );
+        }
+    }
+    // The samplers' distributional checks actually ran.
+    assert!(
+        report
+            .verdicts
+            .iter()
+            .any(|v| v.workload == "tiny-sampler" && v.tv.is_some()),
+        "total-variation cells missing"
+    );
+}
+
+#[test]
+fn scalar_protocols_report_error_quantiles() {
+    let report = reduced_report();
+    for v in &report.verdicts {
+        let scalar = matches!(
+            v.protocol.as_str(),
+            "lp" | "lp-baseline"
+                | "exact-l1"
+                | "linf-binary"
+                | "linf-kappa"
+                | "linf-general"
+                | "trivial-binary"
+                | "trivial-csr"
+        );
+        if scalar {
+            let q = v
+                .rel_error
+                .unwrap_or_else(|| panic!("{} on {} lacks quantiles", v.protocol, v.workload));
+            assert!(
+                q.p50 <= q.p90 && q.p90 <= q.p99 && q.p99 <= q.max,
+                "{} on {}: quantiles not monotone",
+                v.protocol,
+                v.workload
+            );
+        }
+        let set_valued = matches!(
+            v.protocol.as_str(),
+            "hh-general" | "hh-binary" | "at-least-t-join"
+        );
+        if set_valued {
+            let sq = v.set_quality.unwrap_or_else(|| {
+                panic!("{} on {} lacks precision/recall", v.protocol, v.workload)
+            });
+            assert!((0.0..=1.0).contains(&sq.precision));
+            assert!((0.0..=1.0).contains(&sq.recall));
+        }
+        assert!(
+            v.mean_bits > 0.0,
+            "{} on {}: no bits",
+            v.protocol,
+            v.workload
+        );
+        assert!(v.max_rounds >= 1);
+    }
+}
+
+#[test]
+fn accuracy_bench_json_is_well_formed() {
+    let bench = AccuracyBench {
+        report: reduced_report().clone(),
+    };
+    assert!(bench.all_pass(), "{}", bench.summary());
+    let json = bench.to_json();
+    // Structural validity: balanced nesting, the sections the CI
+    // artifact consumers rely on, per-protocol quantiles, and
+    // communication-vs-accuracy points.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(json.contains("\"bench\": \"accuracy\""));
+    assert!(json.contains("\"all_pass\": true"));
+    assert!(json.contains("\"rel_error\": {\"p50\""));
+    assert!(json.contains("\"comm_vs_accuracy\": ["));
+    assert!(json.contains("\"p90_rel_error\""));
+    for req in EstimateRequest::catalog() {
+        assert!(
+            json.contains(&format!("\"protocol\": \"{}\"", req.name())),
+            "{} missing from the JSON",
+            req.name()
+        );
+    }
+    for workload in [
+        "dense-square",
+        "sparse-wide",
+        "power-law",
+        "adversarial-skew",
+        "integer-rect",
+        "tiny-sampler",
+    ] {
+        assert!(
+            json.contains(&format!("\"workload\": \"{workload}\"")),
+            "{workload} missing from the JSON"
+        );
+    }
+}
+
+#[test]
+fn seed_sweep_aggregation_is_byte_deterministic() {
+    // The regression the CI artifact depends on: for any fixed trial
+    // seed, two full runs of the sweep + aggregation + JSON rendering
+    // produce identical bytes — on disk, not just in memory.
+    let small = |seed: u64| {
+        VerifyConfig::quick()
+            .with_trials(6)
+            .with_seed(seed)
+            .with_protocols(vec![
+                "lp".into(),
+                "exact-l1".into(),
+                "hh-binary".into(),
+                "l0-sample".into(),
+            ])
+    };
+    // Per-process-unique directory: concurrent test runs must not race
+    // on each other's files.
+    let dir = std::env::temp_dir().join(format!("mpest-seed-sweep-{}", std::process::id()));
+    let mut jsons = Vec::new();
+    for seed in [1u64, 42, 0x5eed_acc1] {
+        let first = AccuracyBench {
+            report: mpest::verify::verify(&small(seed)),
+        };
+        let second = AccuracyBench {
+            report: mpest::verify::verify(&small(seed)),
+        };
+        let p1 = dir.join(format!("run1-{seed}.json"));
+        let p2 = dir.join(format!("run2-{seed}.json"));
+        first.save_json(&p1).unwrap();
+        second.save_json(&p2).unwrap();
+        let b1 = std::fs::read(&p1).unwrap();
+        let b2 = std::fs::read(&p2).unwrap();
+        assert_eq!(b1, b2, "seed {seed}: file bytes differ across runs");
+        assert!(!b1.is_empty());
+        jsons.push(String::from_utf8(b1).unwrap());
+    }
+    // Different seeds draw different trials; the trajectories must not
+    // be accidentally seed-independent (that would mean the seed is
+    // ignored and the sweep isn't actually Monte-Carlo).
+    assert!(
+        jsons[0] != jsons[1] || jsons[1] != jsons[2],
+        "three different seeds produced identical trajectories"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
