@@ -23,6 +23,14 @@
 //!                               # (BENCH_accuracy.json), and exit
 //!                               # nonzero if any protocol violates its
 //!                               # (ε, δ) contract
+//!   experiments --serve-bench PATH
+//!                               # also run the serving trajectory —
+//!                               # all 14 protocols over a loopback
+//!                               # socket plus serve-daemon throughput —
+//!                               # write it to PATH (BENCH_serve.json),
+//!                               # and exit nonzero on any remote-vs-
+//!                               # local divergence or if real wire
+//!                               # bytes fall below logical bits/8
 //!
 //! The output of a full run is recorded in EXPERIMENTS.md.
 
@@ -38,6 +46,7 @@ fn main() {
     let mut batch_path: Option<PathBuf> = None;
     let mut exec_path: Option<PathBuf> = None;
     let mut accuracy_path: Option<PathBuf> = None;
+    let mut serve_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,10 +78,16 @@ fn main() {
                     args.get(i).expect("--accuracy-bench needs a path"),
                 ));
             }
+            "--serve-bench" => {
+                i += 1;
+                serve_path = Some(PathBuf::from(
+                    args.get(i).expect("--serve-bench needs a path"),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH] [--accuracy-bench PATH]"
+                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH] [--accuracy-bench PATH] [--serve-bench PATH]"
                 );
                 std::process::exit(2);
             }
@@ -98,7 +113,11 @@ fn main() {
             .collect(),
         None => IDS.to_vec(),
     };
-    if selected.is_empty() && batch_path.is_none() && exec_path.is_none() && accuracy_path.is_none()
+    if selected.is_empty()
+        && batch_path.is_none()
+        && exec_path.is_none()
+        && accuracy_path.is_none()
+        && serve_path.is_none()
     {
         eprintln!("no experiments selected; known ids: {IDS:?}");
         std::process::exit(2);
@@ -158,6 +177,30 @@ fn main() {
         println!("# executor trajectory written to {}", path.display());
         if !bench.all_match {
             eprintln!("FAIL: fused and threaded executors diverged bit-for-bit");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = serve_path {
+        println!(
+            "# serving trajectory: remote sockets vs in-process ({} mode)",
+            {
+                if quick {
+                    "quick"
+                } else {
+                    "full"
+                }
+            }
+        );
+        let bench = mpest_bench::serve::run(quick);
+        print!("{}", bench.summary());
+        bench.save_json(&path).expect("write serve bench json");
+        println!("# serving trajectory written to {}", path.display());
+        if !bench.all_match {
+            eprintln!(
+                "FAIL: remote execution diverged from the fused in-process run \
+                 (or wire bytes fell below logical bits/8)"
+            );
             std::process::exit(1);
         }
     }

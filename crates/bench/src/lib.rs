@@ -20,7 +20,11 @@
 //!   (`BENCH_accuracy.json`): the `mpest-verify` Monte-Carlo sweep's
 //!   per-protocol error quantiles, failure rates, and
 //!   communication-vs-accuracy curves, gating on every protocol
-//!   honoring its [`GuaranteeSpec`](mpest_core::GuaranteeSpec).
+//!   honoring its [`GuaranteeSpec`](mpest_core::GuaranteeSpec);
+//! * [`serve`] — the serving trajectory (`BENCH_serve.json`): all 14
+//!   protocols over a real loopback socket (remote party) plus
+//!   serve-daemon round-trip throughput, gating on remote == local
+//!   bit-identity and on real wire bytes dominating logical bits.
 //!
 //! `cargo run --release -p mpest-bench --bin experiments` regenerates
 //! everything (the output recorded in EXPERIMENTS.md); the Criterion
@@ -33,3 +37,4 @@ pub mod exec;
 pub mod experiments;
 pub mod fit;
 pub mod report;
+pub mod serve;

@@ -1,0 +1,285 @@
+//! Serving trajectory: the real-socket layer measured against the fused
+//! in-process baseline (the `BENCH_serve.json` CI artifact).
+//!
+//! Everything below `mpest-net` bills communication logically; this
+//! trajectory pays it on a loopback wire and reports what that costs:
+//!
+//! 1. **Per-protocol remote runs** — all 14 protocols through a
+//!    loopback [`PartyHost`] (Alice in the caller, Bob behind a real
+//!    TCP socket), each gated on bit-identity against the fused
+//!    in-process run and on the physical-dominance invariant
+//!    `wire_bytes ≥ ⌈logical_bits / 8⌉` (payloads cross the wire
+//!    verbatim; headers are overhead, so the ratio is the codec's
+//!    framing tax). Wire bytes are deterministic — same pair, same
+//!    seed, same frames — and reported per protocol.
+//! 2. **Serve-daemon throughput** — a catalog sweep through a loopback
+//!    [`Server`] + [`ServeClient`] (one upload, then fingerprint-cache
+//!    hits), reported as queries/s against the same sweep run directly
+//!    on the in-process session: the price of a socket round-trip per
+//!    query.
+//!
+//! The CI `serve-smoke` job runs this in `--quick` mode and fails on
+//! any remote-vs-local divergence.
+
+use crate::report::json_escape;
+use mpest_comm::{Party, Seed};
+use mpest_core::{EstimateReport, EstimateRequest, Session};
+use mpest_matrix::Workloads;
+use mpest_net::{run_with_party, PartyHost, ServeClient, Server};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One protocol's remote-run measurement.
+#[derive(Debug, Clone)]
+pub struct ProtocolWire {
+    /// Protocol name.
+    pub protocol: String,
+    /// Logical transcript bits (identical local and remote).
+    pub logical_bits: u64,
+    /// Real bytes this run moved over the loopback socket, both
+    /// directions, protocol frames + end exchange + output exchange.
+    pub wire_bytes: u64,
+    /// `wire_bytes / ⌈logical_bits/8⌉` — the framing tax.
+    pub overhead_ratio: f64,
+    /// Remote report == fused in-process report (output + transcript).
+    pub matches_local: bool,
+    /// The physical-dominance invariant `wire_bytes ≥ ⌈bits/8⌉`.
+    pub wire_covers_logical: bool,
+}
+
+/// The full serving trajectory.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// `"quick"` (smoke) or `"full"`.
+    pub mode: String,
+    /// Square matrix dimension of the workload pair.
+    pub n: usize,
+    /// Remote-run measurements, one per protocol.
+    pub per_protocol: Vec<ProtocolWire>,
+    /// Queries in the daemon throughput sweep.
+    pub serve_queries: usize,
+    /// Daemon sweep wall-clock seconds.
+    pub serve_secs: f64,
+    /// Daemon queries per second (loopback round-trips).
+    pub serve_qps: f64,
+    /// The same sweep run directly in-process (fused), seconds.
+    pub local_secs: f64,
+    /// In-process queries per second.
+    pub local_qps: f64,
+    /// Whether every served report was bit-identical to the local run.
+    pub serve_matches: bool,
+    /// Whether the daemon's session cache hit after the first upload.
+    pub cache_hit: bool,
+    /// The CI gate: every per-protocol and serve comparison passed.
+    pub all_match: bool,
+}
+
+fn pair(n: usize) -> (mpest_matrix::BitMatrix, mpest_matrix::BitMatrix) {
+    (
+        Workloads::bernoulli_bits(n, n, 0.15, 31),
+        Workloads::bernoulli_bits(n, n, 0.15, 32),
+    )
+}
+
+/// Runs the trajectory. `quick` sizes it for the CI smoke job.
+///
+/// # Panics
+///
+/// Panics if the loopback daemons cannot bind (no loopback network).
+#[must_use]
+pub fn run(quick: bool) -> ServeBench {
+    let (n, serve_queries) = if quick { (24, 56) } else { (48, 224) };
+    let (a, b) = pair(n);
+    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(77));
+    let catalog = EstimateRequest::catalog();
+
+    // 1. Per-protocol remote runs over a loopback party host.
+    let host = PartyHost::spawn(
+        "127.0.0.1:0",
+        Arc::new(Session::new(a.clone(), b.clone()).with_seed(Seed(77))),
+        Party::Bob,
+    )
+    .expect("bind loopback party host");
+    let host_addr = host.addr().to_string();
+    let mut per_protocol = Vec::new();
+    for request in &catalog {
+        let seed = Seed(1000 + per_protocol.len() as u64);
+        let local = session
+            .estimate_seeded(request, seed)
+            .expect("local baseline");
+        let (remote, out, inn) =
+            run_with_party(&host_addr, &session, Party::Alice, request, seed).expect("remote run");
+        let logical_bits = local.bits();
+        let wire_bytes = out + inn;
+        let logical_bytes = logical_bits.div_ceil(8).max(1);
+        per_protocol.push(ProtocolWire {
+            protocol: request.name().to_string(),
+            logical_bits,
+            wire_bytes,
+            overhead_ratio: wire_bytes as f64 / logical_bytes as f64,
+            matches_local: remote == local,
+            wire_covers_logical: wire_bytes >= logical_bits.div_ceil(8),
+        });
+    }
+    host.shutdown();
+
+    // 2. Serve-daemon throughput vs the in-process baseline.
+    let sweep: Vec<(u64, EstimateRequest)> = (0..serve_queries)
+        .map(|i| (2000 + i as u64, catalog[i % catalog.len()].clone()))
+        .collect();
+    let a_csr = a.to_csr();
+    let b_csr = b.to_csr();
+
+    let local_session = Session::new(a_csr.clone(), b_csr.clone()).with_seed(Seed(77));
+    let start = Instant::now();
+    let local_reports: Vec<EstimateReport> = sweep
+        .iter()
+        .map(|(seed, request)| {
+            local_session
+                .estimate_seeded(request, Seed(*seed))
+                .expect("local sweep")
+        })
+        .collect();
+    let local_secs = start.elapsed().as_secs_f64();
+
+    let server = Server::spawn("127.0.0.1:0", 1).expect("bind loopback server");
+    let mut client = ServeClient::connect(&server.addr().to_string()).expect("connect");
+    // Warm the cache (the upload is a one-time cost, not throughput).
+    let warm = client
+        .query(&a_csr, &b_csr, &[sweep[0].clone()])
+        .expect("warmup query");
+    assert!(warm.uploaded, "first query uploads the pair");
+    let start = Instant::now();
+    let mut serve_matches = true;
+    let mut cache_hit = true;
+    for (query, local) in sweep.iter().zip(&local_reports) {
+        let outcome = client
+            .query(&a_csr, &b_csr, std::slice::from_ref(query))
+            .expect("served query");
+        serve_matches &= outcome.reports.reports[0] == *local;
+        cache_hit &= outcome.reports.cache_hit;
+    }
+    let serve_secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let all_match = serve_matches
+        && cache_hit
+        && per_protocol
+            .iter()
+            .all(|p| p.matches_local && p.wire_covers_logical);
+    ServeBench {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        n,
+        per_protocol,
+        serve_queries,
+        serve_secs,
+        serve_qps: serve_queries as f64 / serve_secs.max(1e-9),
+        local_secs,
+        local_qps: serve_queries as f64 / local_secs.max(1e-9),
+        serve_matches,
+        cache_hit,
+        all_match,
+    }
+}
+
+impl ServeBench {
+    /// Renders the trajectory as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"serve\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
+        out.push_str(&format!("  \"n\": {},\n", self.n));
+        out.push_str("  \"per_protocol\": [");
+        for (i, p) in self.per_protocol.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"protocol\": \"{}\", \"logical_bits\": {}, \"wire_bytes\": {}, \
+                 \"overhead_ratio\": {:.4}, \"matches_local\": {}, \"wire_covers_logical\": {}}}",
+                json_escape(&p.protocol),
+                p.logical_bits,
+                p.wire_bytes,
+                p.overhead_ratio,
+                p.matches_local,
+                p.wire_covers_logical
+            ));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str(&format!("  \"serve_queries\": {},\n", self.serve_queries));
+        out.push_str(&format!("  \"serve_secs\": {:.6},\n", self.serve_secs));
+        out.push_str(&format!("  \"serve_qps\": {:.2},\n", self.serve_qps));
+        out.push_str(&format!("  \"local_secs\": {:.6},\n", self.local_secs));
+        out.push_str(&format!("  \"local_qps\": {:.2},\n", self.local_qps));
+        out.push_str(&format!("  \"serve_matches\": {},\n", self.serve_matches));
+        out.push_str(&format!("  \"cache_hit\": {},\n", self.cache_hit));
+        out.push_str(&format!("  \"all_match\": {}\n", self.all_match));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the trajectory JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())
+    }
+
+    /// Human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "serving layer (n={}, loopback):\n  \
+             daemon {:.1} q/s vs in-process {:.1} q/s over {} queries \
+             (bit-identical: {}, cache hits: {})\n",
+            self.n,
+            self.serve_qps,
+            self.local_qps,
+            self.serve_queries,
+            self.serve_matches,
+            self.cache_hit
+        );
+        for p in &self.per_protocol {
+            out.push_str(&format!(
+                "  {:<16} {:>10} logical bits  {:>10} wire bytes  {:>6.3}x overhead  \
+                 remote==local: {}\n",
+                p.protocol, p.logical_bits, p.wire_bytes, p.overhead_ratio, p.matches_local
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trajectory_matches_and_serializes() {
+        let bench = run(true);
+        assert!(bench.all_match, "remote diverged from local");
+        assert_eq!(bench.per_protocol.len(), 14);
+        for p in &bench.per_protocol {
+            assert!(
+                p.wire_covers_logical,
+                "{}: wire bytes {} below logical bytes {}",
+                p.protocol,
+                p.wire_bytes,
+                p.logical_bits.div_ceil(8)
+            );
+        }
+        let json = bench.to_json();
+        assert!(json.contains("\"bench\": \"serve\""));
+        assert!(json.contains("\"all_match\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -20,6 +20,7 @@
 use crate::bits::{BitReader, BitWriter};
 use crate::error::CommError;
 use crate::exec::FusedCore;
+use crate::remote::{decode_remote, encode_and_send, RemoteEndpoint};
 use crate::transcript::{MsgRecord, Party, Transcript};
 use crate::wire::Wire;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -97,6 +98,9 @@ enum LinkInner<'a> {
     },
     /// Single-thread cooperative state shared with the peer.
     Fused { core: &'a FusedCore },
+    /// This party runs alone in this process; the peer is behind a framed
+    /// byte transport in another process (see [`crate::remote`]).
+    Remote { ep: &'a dyn RemoteEndpoint },
 }
 
 impl<'a> Link<'a> {
@@ -116,6 +120,13 @@ impl<'a> Link<'a> {
         Self {
             side,
             inner: LinkInner::Fused { core },
+        }
+    }
+
+    pub(crate) fn remote(ep: &'a dyn RemoteEndpoint) -> Self {
+        Self {
+            side: ep.side(),
+            inner: LinkInner::Remote { ep },
         }
     }
 
@@ -150,6 +161,7 @@ impl<'a> Link<'a> {
                 .map_err(|_| CommError::ChannelClosed)
             }
             LinkInner::Fused { core } => core.send(self.side, round, label, value),
+            LinkInner::Remote { ep } => encode_and_send(*ep, round, label, value),
         }
     }
 
@@ -167,6 +179,10 @@ impl<'a> Link<'a> {
                 decode_frame(&frame, expect_label)
             }
             LinkInner::Fused { core } => core.recv(self.side, expect_label),
+            LinkInner::Remote { ep } => {
+                let frame = ep.recv_expect(expect_label)?;
+                decode_remote(&frame)
+            }
         }
     }
 

@@ -24,6 +24,18 @@ pub enum CommError {
     /// A protocol-level invariant was violated (bad input dimensions,
     /// parameter out of range, ...).
     Protocol(String),
+    /// A framed network message could not be read or written: truncated
+    /// mid-frame, oversized, bad magic/version, or an I/O failure. Carries
+    /// the label of the offending frame (or the best-known context when
+    /// the stream died before the label itself was readable), so a
+    /// partial frame is always attributable — never a panic or a hang.
+    Frame {
+        /// Label of the frame being processed (or a phase marker such as
+        /// `"frame-header"` / `"handshake"` when the label never arrived).
+        label: String,
+        /// What went wrong.
+        reason: String,
+    },
     /// Internal control-flow signal of the fused executor: a `recv` found
     /// the inbox empty and the party must yield to its peer. Propagated
     /// through the party function's `?` chain and intercepted by the
@@ -45,6 +57,15 @@ impl CommError {
     pub fn protocol(msg: impl Into<String>) -> Self {
         Self::Protocol(msg.into())
     }
+
+    /// Convenience constructor for [`CommError::Frame`].
+    #[must_use]
+    pub fn frame(label: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self::Frame {
+            label: label.into(),
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for CommError {
@@ -56,6 +77,9 @@ impl fmt::Display for CommError {
             }
             Self::ChannelClosed => write!(f, "channel closed by peer"),
             Self::Protocol(m) => write!(f, "protocol error: {m}"),
+            Self::Frame { label, reason } => {
+                write!(f, "frame error on {label:?}: {reason}")
+            }
             Self::WouldBlock => write!(f, "party would block (internal executor signal)"),
         }
     }

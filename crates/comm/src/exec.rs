@@ -57,6 +57,7 @@ use crate::channel::{
     Link,
 };
 use crate::error::CommError;
+use crate::remote::{execute_remote, RemoteCtx};
 use crate::transcript::{MsgRecord, Party, Transcript};
 use crate::wire::Wire;
 use std::cell::{Cell, RefCell};
@@ -109,6 +110,47 @@ impl FromStr for ExecBackend {
             other => Err(format!(
                 "unknown executor {other:?} (expected \"fused\" or \"threaded\")"
             )),
+        }
+    }
+}
+
+/// How a protocol execution actually runs: on an in-process
+/// [`ExecBackend`], or as one party of a *remote* pair linked to a peer
+/// process through a [`RemoteCtx`]. This is the type protocol
+/// implementations thread through to [`execute_with`]; a plain
+/// [`ExecBackend`] converts into it, so in-process callers never mention
+/// it.
+#[derive(Clone, Copy)]
+pub enum Exec<'r> {
+    /// Both parties in this process, on the given backend.
+    Backend(ExecBackend),
+    /// This process runs `ctx.side()` only; the peer party lives in
+    /// another process behind `ctx`'s framed transport.
+    Remote(&'r RemoteCtx<'r>),
+}
+
+impl fmt::Debug for Exec<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exec::Backend(b) => write!(f, "Exec::Backend({b})"),
+            Exec::Remote(rc) => write!(f, "Exec::Remote({:?})", rc.side()),
+        }
+    }
+}
+
+impl From<ExecBackend> for Exec<'_> {
+    fn from(backend: ExecBackend) -> Self {
+        Exec::Backend(backend)
+    }
+}
+
+impl Exec<'_> {
+    /// The in-process backend, if this is one.
+    #[must_use]
+    pub fn backend(self) -> Option<ExecBackend> {
+        match self {
+            Exec::Backend(b) => Some(b),
+            Exec::Remote(_) => None,
         }
     }
 }
@@ -358,15 +400,21 @@ where
     })
 }
 
-/// Runs a two-party protocol on the chosen backend. `alice_fn` and
+/// Runs a two-party protocol on the chosen executor. `alice_fn` and
 /// `bob_fn` may only interact through their [`Link`]s; inputs must be
 /// `Clone` (pass references — a re-run of a yielded party receives a
 /// fresh clone) and the functions must be deterministic given their
 /// input and received messages, which every protocol in this workspace
 /// is by construction (explicit seeds).
 ///
-/// Outcomes — outputs *and* transcripts — are bit-identical across
-/// backends.
+/// `exec` is anything convertible into an [`Exec`]: a plain
+/// [`ExecBackend`] runs both parties in this process, while
+/// [`Exec::Remote`] runs only that context's party against a peer
+/// process (see [`crate::remote`]). Outcomes — outputs *and*
+/// transcripts — are bit-identical across all executors: the remote
+/// path reconstructs the peer's transcript records from frame headers
+/// and completes both output slots via its post-protocol output
+/// exchange (which is why party outputs are [`Wire`] data).
 ///
 /// # Errors
 ///
@@ -377,8 +425,8 @@ where
 /// # Panics
 ///
 /// Panics if a party function panics (the panic is propagated).
-pub fn execute_with<AIn, BIn, AOut, BOut, FA, FB>(
-    backend: ExecBackend,
+pub fn execute_with<'r, AIn, BIn, AOut, BOut, FA, FB>(
+    exec: impl Into<Exec<'r>>,
     alice_in: AIn,
     bob_in: BIn,
     alice_fn: FA,
@@ -387,14 +435,17 @@ pub fn execute_with<AIn, BIn, AOut, BOut, FA, FB>(
 where
     AIn: Send + Clone,
     BIn: Send + Clone,
-    AOut: Send,
-    BOut: Send,
+    AOut: Send + Wire,
+    BOut: Send + Wire,
     FA: Fn(&Link<'_>, AIn) -> Result<AOut, CommError> + Send,
     FB: Fn(&Link<'_>, BIn) -> Result<BOut, CommError> + Send,
 {
-    match backend {
-        ExecBackend::Fused => execute_fused(alice_in, bob_in, alice_fn, bob_fn),
-        ExecBackend::Threaded => execute_threaded(alice_in, bob_in, alice_fn, bob_fn),
+    match exec.into() {
+        Exec::Backend(ExecBackend::Fused) => execute_fused(alice_in, bob_in, alice_fn, bob_fn),
+        Exec::Backend(ExecBackend::Threaded) => {
+            execute_threaded(alice_in, bob_in, alice_fn, bob_fn)
+        }
+        Exec::Remote(rc) => execute_remote(rc, alice_in, bob_in, alice_fn, bob_fn),
     }
 }
 
@@ -413,8 +464,8 @@ pub fn execute<AIn, BIn, AOut, BOut, FA, FB>(
 where
     AIn: Send + Clone,
     BIn: Send + Clone,
-    AOut: Send,
-    BOut: Send,
+    AOut: Send + Wire,
+    BOut: Send + Wire,
     FA: Fn(&Link<'_>, AIn) -> Result<AOut, CommError> + Send,
     FB: Fn(&Link<'_>, BIn) -> Result<BOut, CommError> + Send,
 {

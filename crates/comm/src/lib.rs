@@ -53,6 +53,7 @@ pub mod channel;
 pub mod cost;
 pub mod error;
 pub mod exec;
+pub mod remote;
 pub mod seed;
 pub mod transcript;
 pub mod wire;
@@ -61,7 +62,8 @@ pub use bits::{width_for, BitReader, BitWriter};
 pub use channel::{ExecutionOutcome, Link};
 pub use cost::NetworkModel;
 pub use error::CommError;
-pub use exec::{execute, execute_with, ExecBackend};
+pub use exec::{execute, execute_with, Exec, ExecBackend};
+pub use remote::{intern_label, FrameIo, RemoteCtx, RemoteEvent, RemoteFrame};
 pub use seed::Seed;
 pub use transcript::{BatchAccounting, MsgRecord, Party, Transcript, TranscriptSummary};
 pub use wire::{FixedU64s, Wire};

@@ -9,6 +9,8 @@
 
 use crate::bits::{width_for, BitReader, BitWriter};
 use crate::error::CommError;
+use crate::remote::intern_label;
+use crate::transcript::{BatchAccounting, MsgRecord, Party, Transcript};
 
 /// A value that can cross the wire.
 pub trait Wire: Sized {
@@ -81,6 +83,130 @@ impl Wire for f64 {
     }
     fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
         r.read_f64()
+    }
+}
+
+impl Wire for i128 {
+    fn encode(&self, w: &mut BitWriter) {
+        // Zigzag into u128, then two u64 varints (low word first) — small
+        // magnitudes cost the same as an i64 zigzag plus one byte.
+        let mapped = ((self << 1) ^ (self >> 127)) as u128;
+        w.write_varint(mapped as u64);
+        w.write_varint((mapped >> 64) as u64);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let low = u128::from(r.read_varint()?);
+        let high = u128::from(r.read_varint()?);
+        let mapped = (high << 64) | low;
+        Ok(((mapped >> 1) as i128) ^ -((mapped & 1) as i128))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.len() as u64);
+        for &b in self.as_bytes() {
+            w.write_bits(u64::from(b), 8);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let len = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("string length overflow"))?;
+        let mut bytes = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            bytes.push(r.read_bits(8)? as u8);
+        }
+        String::from_utf8(bytes).map_err(|_| CommError::decode("string is not UTF-8"))
+    }
+}
+
+impl Wire for Party {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_bit(matches!(self, Party::Bob));
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(if r.read_bit()? {
+            Party::Bob
+        } else {
+            Party::Alice
+        })
+    }
+}
+
+impl Wire for MsgRecord {
+    fn encode(&self, w: &mut BitWriter) {
+        self.from.encode(w);
+        w.write_varint(u64::from(self.round));
+        self.label.to_owned().encode(w);
+        w.write_varint(self.bits);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let from = Party::decode(r)?;
+        let round = u16::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("round overflows u16"))?;
+        let label = intern_label(&String::decode(r)?)?;
+        let bits = r.read_varint()?;
+        Ok(Self {
+            from,
+            round,
+            label,
+            bits,
+        })
+    }
+}
+
+impl Wire for Transcript {
+    fn encode(&self, w: &mut BitWriter) {
+        self.records.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(Self {
+            records: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for BatchAccounting {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.queries);
+        w.write_varint(self.total_bits);
+        w.write_varint(self.alice_bits);
+        w.write_varint(self.bob_bits);
+        w.write_varint(self.total_rounds);
+        w.write_varint(u64::from(self.max_rounds));
+        w.write_varint(self.messages);
+        w.write_varint(self.bits_by_label.len() as u64);
+        for (label, bits) in &self.bits_by_label {
+            (*label).to_owned().encode(w);
+            w.write_varint(*bits);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let queries = r.read_varint()?;
+        let total_bits = r.read_varint()?;
+        let alice_bits = r.read_varint()?;
+        let bob_bits = r.read_varint()?;
+        let total_rounds = r.read_varint()?;
+        let max_rounds = u32::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("max_rounds overflows u32"))?;
+        let messages = r.read_varint()?;
+        let labels = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("label count overflow"))?;
+        let mut bits_by_label = std::collections::BTreeMap::new();
+        for _ in 0..labels {
+            let label = intern_label(&String::decode(r)?)?;
+            bits_by_label.insert(label, r.read_varint()?);
+        }
+        Ok(Self {
+            queries,
+            total_bits,
+            alice_bits,
+            bob_bits,
+            total_rounds,
+            max_rounds,
+            messages,
+            bits_by_label,
+        })
     }
 }
 

@@ -225,7 +225,13 @@ impl Engine {
                 })
                 .collect()
         } else {
-            run_pool(&self.session, requests, first, workers, exec)
+            run_pool(
+                &self.session,
+                requests.len(),
+                |i| (self.session.query_seed(first + i as u64), &requests[i]),
+                workers,
+                exec,
+            )
         };
 
         let mut reports = Vec::with_capacity(n);
@@ -241,32 +247,81 @@ impl Engine {
             accounting,
         })
     }
+
+    /// Executes `(seed, request)` pairs across a worker pool, each query
+    /// under its *explicit* seed — the serving path, where clients pin
+    /// seeds so a cached session answers reproducibly no matter which
+    /// queries other clients interleave. Consumes no session counter.
+    ///
+    /// Bit-identical to calling [`Session::estimate_seeded`] for each
+    /// pair in order, for any worker count; on failure returns the
+    /// lowest-index error, like [`Engine::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::run_batch`].
+    pub fn run_seeded_queries(
+        &self,
+        queries: &[(Seed, EstimateRequest)],
+        workers: usize,
+    ) -> Result<(Vec<EstimateReport>, BatchAccounting), CommError> {
+        let requests: Vec<EstimateRequest> = queries.iter().map(|(_, r)| r.clone()).collect();
+        prewarm(&self.session, &requests);
+        let workers = BatchPlan::default()
+            .with_workers(workers)
+            .effective_workers(queries.len());
+        let exec = self.session.executor();
+        let results = if workers <= 1 {
+            queries
+                .iter()
+                .map(|(seed, req)| self.session.estimate_seeded_on(req, *seed, exec))
+                .collect()
+        } else {
+            run_pool(
+                &self.session,
+                queries.len(),
+                |i| (queries[i].0, &queries[i].1),
+                workers,
+                exec,
+            )
+        };
+        let mut reports = Vec::with_capacity(queries.len());
+        let mut accounting = BatchAccounting::new();
+        for result in results {
+            let report = result?;
+            accounting.absorb(&report.transcript);
+            reports.push(report);
+        }
+        Ok((reports, accounting))
+    }
 }
 
-/// Fans the batch out over `workers` threads. Workers claim indices from
-/// a shared counter (dynamic load balancing — queries vary wildly in
-/// cost) and stream `(index, result)` pairs back over a channel; the
-/// collector reorders them into request order.
-fn run_pool(
+/// Fans `count` queries out over `workers` threads. Workers claim
+/// indices from a shared counter (dynamic load balancing — queries vary
+/// wildly in cost), run `query_at(i)` — the index's `(seed, request)`
+/// per the caller's schedule — and stream `(index, result)` pairs back
+/// over a channel; the collector reorders them into request order.
+fn run_pool<'q>(
     session: &Session,
-    requests: &[EstimateRequest],
-    first: u64,
+    count: usize,
+    query_at: impl Fn(usize) -> (Seed, &'q EstimateRequest) + Sync,
     workers: usize,
     exec: ExecBackend,
 ) -> Vec<Result<EstimateReport, CommError>> {
     let next = AtomicUsize::new(0);
     let (tx, rx) = crossbeam::channel::unbounded();
+    let query_at = &query_at;
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= requests.len() {
+                if i >= count {
                     break;
                 }
-                let seed = session.query_seed(first + i as u64);
-                let result = session.estimate_seeded_on(&requests[i], seed, exec);
+                let (seed, request) = query_at(i);
+                let result = session.estimate_seeded_on(request, seed, exec);
                 if tx.send((i, result)).is_err() {
                     break;
                 }
@@ -274,7 +329,7 @@ fn run_pool(
         }
         drop(tx);
         let mut slots: Vec<Option<Result<EstimateReport, CommError>>> =
-            (0..requests.len()).map(|_| None).collect();
+            (0..count).map(|_| None).collect();
         while let Ok((i, result)) = rx.recv() {
             slots[i] = Some(result);
         }

@@ -26,7 +26,7 @@ use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::{Reuse, SessionCtx};
-use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
 use mpest_matrix::CsrMatrix;
 
 /// Column sums of `A` as `u64`, reusing a session-cached table if one is
@@ -149,7 +149,7 @@ impl Protocol for ExactL1 {
 )]
 pub fn run(a: &CsrMatrix, b: &CsrMatrix, seed: Seed) -> Result<ProtocolRun<i128>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default())
+    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default().into())
 }
 
 pub(crate) fn run_unchecked(
@@ -157,7 +157,7 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     _seed: Seed,
     reuse: Reuse<'_>,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<i128>, CommError> {
     if !a.is_nonnegative() || !b.is_nonnegative() {
         return Err(CommError::protocol(

@@ -247,13 +247,17 @@ mod tests {
                 exchange_alice(link, cfg, &items, &u, &v, |k| {
                     at.row_vec(k as usize).entries
                 })
+                .map(crate::wire::WAccum)
             },
-            |link, ()| exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries),
+            |link, ()| {
+                exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries)
+                    .map(crate::wire::WAccum)
+            },
         )
         .unwrap();
         // Shares sum to the exact product.
-        let mut triplets = out.alice.into_entries();
-        triplets.extend(out.bob.into_entries());
+        let mut triplets = out.alice.0.into_entries();
+        triplets.extend(out.bob.0.into_entries());
         let c = CsrMatrix::from_triplets(a.rows(), b.cols(), triplets);
         assert_eq!(c, a.matmul(b));
         assert_eq!(out.transcript.rounds(), 1, "simultaneous exchange");
@@ -313,13 +317,17 @@ mod tests {
                 exchange_alice(link, cfg, &items, &u, &v, |k| {
                     at.row_vec(k as usize).entries
                 })
+                .map(crate::wire::WAccum)
             },
-            |link, ()| exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries),
+            |link, ()| {
+                exchange_bob(link, cfg, &items, &u, &v, |k| b.row_vec(k as usize).entries)
+                    .map(crate::wire::WAccum)
+            },
         )
         .unwrap();
         // All 50 entries of the product live in Alice's share.
-        assert_eq!(out.alice.nnz(), 50);
-        assert_eq!(out.bob.nnz(), 0);
+        assert_eq!(out.alice.0.nnz(), 50);
+        assert_eq!(out.bob.0.nnz(), 0);
         // Bob shipped 1 entry, Alice shipped nothing.
         assert!(out.transcript.bits_from(mpest_comm::Party::Bob) < 100);
     }

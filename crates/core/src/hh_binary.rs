@@ -39,7 +39,7 @@ use crate::protocol::Protocol;
 use crate::result::{HeavyHitters, HhPair, ProtocolRun};
 use crate::session::{cached_or, Reuse, SessionCtx};
 use crate::wire::{WBits, WPositions};
-use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
 use mpest_matrix::{BitMatrix, PNorm};
 use mpest_sketch::CoordinateSampler;
 
@@ -97,7 +97,14 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, Reuse::default(), ExecBackend::default())
+    run_unchecked(
+        a,
+        b,
+        params,
+        seed,
+        Reuse::default(),
+        ExecBackend::default().into(),
+    )
 }
 
 /// The Section 5.2 / Theorem 5.3 protocol as a [`Protocol`]:
@@ -175,7 +182,7 @@ pub(crate) fn run_unchecked(
     params: &HhBinaryParams,
     seed: Seed,
     reuse: Reuse<'_>,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     params.validate()?;
     let pub_seed = seed.derive("public");
@@ -436,7 +443,7 @@ pub fn at_least_t_join(
         &AtLeastTParams { t, slack },
         seed,
         Reuse::default(),
-        ExecBackend::default(),
+        ExecBackend::default().into(),
     )
 }
 
@@ -485,7 +492,7 @@ fn at_least_t_join_unchecked(
     params: &AtLeastTParams,
     seed: Seed,
     reuse: Reuse<'_>,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     let AtLeastTParams { t, slack } = *params;
     if t == 0 {

@@ -19,7 +19,7 @@ use crate::protocol::Protocol;
 use crate::result::{HeavyHitters, HhPair, ProtocolRun};
 use crate::session::SessionCtx;
 use crate::sparse_matmul;
-use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
 use mpest_matrix::{CsrMatrix, PNorm};
 use rand::Rng;
 
@@ -123,7 +123,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default())
+    run_unchecked(a, b, params, seed, ExecBackend::default().into())
 }
 
 /// The Algorithm 4 / Theorem 5.1 protocol as a [`Protocol`]:
@@ -155,7 +155,7 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     params: &HhGeneralParams,
     seed: Seed,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     params.validate()?;
     if !a.is_nonnegative() || !b.is_nonnegative() {

@@ -37,7 +37,7 @@ use crate::protocol::Protocol;
 use crate::result::{MatrixSample, ProtocolRun};
 use crate::session::{cached_or, Reuse, SessionCtx};
 use crate::wire::WFieldMat;
-use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 use mpest_sketch::linear::combine_rows;
 use mpest_sketch::{L0Sampler, L0Sketch, SampleOutcome, M61};
@@ -80,7 +80,14 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<MatrixSample>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, Reuse::default(), ExecBackend::default())
+    run_unchecked(
+        a,
+        b,
+        params,
+        seed,
+        Reuse::default(),
+        ExecBackend::default().into(),
+    )
 }
 
 /// The Theorem 3.2 protocol as a [`Protocol`]: a `(1±ε)`-uniform sample
@@ -117,7 +124,7 @@ pub(crate) fn run_unchecked(
     params: &L0SampleParams,
     seed: Seed,
     reuse: Reuse<'_>,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<MatrixSample>, CommError> {
     check_eps(params.eps)?;
     let pub_seed = seed.derive("public");

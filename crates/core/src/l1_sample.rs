@@ -27,7 +27,7 @@ use crate::protocol::Protocol;
 use crate::result::{L1Sample, ProtocolRun};
 use crate::session::{cached_or, Reuse, SessionCtx};
 use mpest_comm::width_for;
-use mpest_comm::{execute_with, BitReader, BitWriter, CommError, ExecBackend, Seed, Wire};
+use mpest_comm::{execute_with, BitReader, BitWriter, CommError, Exec, ExecBackend, Seed, Wire};
 use mpest_matrix::CsrMatrix;
 use rand::Rng;
 
@@ -107,7 +107,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default())
+    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default().into())
 }
 
 /// The Remark 3 protocol as a [`Protocol`]: an `ℓ1`-sample of `C = A·B`
@@ -143,7 +143,7 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     seed: Seed,
     reuse: Reuse<'_>,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
     if !a.is_nonnegative() || !b.is_nonnegative() {
         return Err(CommError::protocol(

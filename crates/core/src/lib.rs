@@ -102,7 +102,7 @@ pub use config::Constants;
 pub use engine::{BatchPlan, BatchReport, Engine, SeedSchedule};
 pub use guarantee::{GuaranteeKind, GuaranteeSpec};
 pub use protocol::Protocol;
-pub use request::{AnyOutput, EstimateReport, EstimateRequest};
+pub use request::{AnyOutput, EstimateReport, EstimateRequest, OutputParty};
 pub use result::{
     HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares, ProtocolRun,
 };
@@ -123,4 +123,4 @@ pub use sparse_matmul::SparseMatmul;
 pub use trivial::{TrivialBinary, TrivialCsr};
 
 // Re-export the substrate types a user needs at the API boundary.
-pub use mpest_comm::{BatchAccounting, CommError, ExecBackend, Seed, Transcript};
+pub use mpest_comm::{BatchAccounting, CommError, Exec, ExecBackend, Party, Seed, Transcript};

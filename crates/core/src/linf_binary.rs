@@ -40,7 +40,7 @@ use crate::protocol::Protocol;
 use crate::result::{LinfEstimate, ProtocolRun};
 use crate::session::SessionCtx;
 use crate::wire::WU64Grid;
-use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
 use mpest_matrix::BitMatrix;
 
 /// Parameters of the binary `ℓ∞` protocol.
@@ -132,7 +132,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default())
+    run_unchecked(a, b, params, seed, ExecBackend::default().into())
 }
 
 /// The Algorithm 2 / Theorem 4.1 protocol as a [`Protocol`]:
@@ -163,7 +163,7 @@ pub(crate) fn run_unchecked(
     b: &BitMatrix,
     params: &LinfBinaryParams,
     seed: Seed,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_eps(params.eps)?;
     let eps = params.eps;

@@ -15,7 +15,7 @@ use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::{cached_or, Reuse, SessionCtx};
 use crate::wire::WSkMat;
-use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
 use mpest_matrix::CsrMatrix;
 use mpest_sketch::linear::combine_rows;
 use mpest_sketch::{BlockAmsSketch, SkMat};
@@ -57,7 +57,14 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, Reuse::default(), ExecBackend::default())
+    run_unchecked(
+        a,
+        b,
+        params,
+        seed,
+        Reuse::default(),
+        ExecBackend::default().into(),
+    )
 }
 
 /// The Theorem 4.8(1) protocol as a [`Protocol`]: `κ`-approximate
@@ -95,7 +102,7 @@ pub(crate) fn run_unchecked(
     params: &LinfGeneralParams,
     seed: Seed,
     reuse: Reuse<'_>,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<f64>, CommError> {
     if params.kappa == 0 {
         return Err(CommError::protocol("kappa must be positive".to_string()));

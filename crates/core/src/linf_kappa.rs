@@ -18,7 +18,7 @@ use crate::protocol::Protocol;
 use crate::result::{LinfEstimate, ProtocolRun};
 use crate::session::SessionCtx;
 use crate::wire::WU64Grid;
-use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
 use mpest_matrix::BitMatrix;
 
 /// Parameters of the `κ`-approximation protocol.
@@ -70,7 +70,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default())
+    run_unchecked(a, b, params, seed, ExecBackend::default().into())
 }
 
 /// The Algorithm 3 / Theorem 4.3 protocol as a [`Protocol`]:
@@ -102,7 +102,7 @@ pub(crate) fn run_unchecked(
     b: &BitMatrix,
     params: &LinfKappaParams,
     seed: Seed,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     if params.kappa < 1.0 {
         return Err(CommError::protocol(format!(

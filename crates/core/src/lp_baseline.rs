@@ -12,7 +12,7 @@ use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::SessionCtx;
 use crate::wire::WSkMat;
-use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
 use mpest_matrix::{CsrMatrix, PNorm};
 use mpest_sketch::NormSketch;
 
@@ -111,7 +111,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default())
+    run_unchecked(a, b, params, seed, ExecBackend::default().into())
 }
 
 /// The one-round \[16\]-style baseline as a [`Protocol`]:
@@ -142,7 +142,7 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     params: &BaselineParams,
     seed: Seed,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_eps(params.eps)?;
     if !params.p.supported_by_lp_protocol() {

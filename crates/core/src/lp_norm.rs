@@ -26,7 +26,7 @@ use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::SessionCtx;
 use crate::wire::{WSkMat, WSparseVec};
-use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
 use mpest_matrix::norms::sparse_lp_pow;
 use mpest_matrix::{CsrMatrix, PNorm, SparseVec};
 use mpest_sketch::NormSketch;
@@ -219,7 +219,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default())
+    run_unchecked(a, b, params, seed, ExecBackend::default().into())
 }
 
 /// The Algorithm 1 / Theorem 3.1 protocol as a [`Protocol`]:
@@ -250,7 +250,7 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     params: &LpParams,
     seed: Seed,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<f64>, CommError> {
     params.validate()?;
     let pub_seed = seed.derive("public");

@@ -36,7 +36,8 @@ use crate::result::{
 use crate::session::Session;
 use crate::trivial::{ExactStats, TrivialBinary, TrivialCsr};
 use crate::{exact_l1::ExactL1, sparse_matmul::SparseMatmul};
-use mpest_comm::{CommError, ExecBackend, Seed, Transcript};
+use mpest_comm::remote::{FrameIo, RemoteCtx};
+use mpest_comm::{CommError, Exec, ExecBackend, Party, Seed, Transcript};
 use mpest_matrix::PNorm;
 
 /// A protocol invocation as plain data (dynamic-dispatch counterpart of
@@ -157,6 +158,24 @@ impl EstimateRequest {
         ]
     }
 
+    /// Which party's function *produces* the protocol's output.
+    ///
+    /// Pure metadata about where the answer physically materializes
+    /// in-protocol: `lp-baseline` decodes at Alice, `sparse-matmul`
+    /// yields one additive share per party, everything else lands at
+    /// Bob. Callers never have to care — every executor (including the
+    /// remote one, via its post-protocol output exchange) returns the
+    /// complete result — but deployments placing the output near its
+    /// consumer, and cost analyses of that final hop, read it here.
+    #[must_use]
+    pub fn output_party(&self) -> OutputParty {
+        match self {
+            Self::LpBaseline { .. } => OutputParty::Alice,
+            Self::SparseMatmul => OutputParty::Both,
+            _ => OutputParty::Bob,
+        }
+    }
+
     /// The protocol's stable kebab-case name.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -175,6 +194,30 @@ impl EstimateRequest {
             Self::AtLeastTJoin { .. } => "at-least-t-join",
             Self::TrivialBinary => "trivial-binary",
             Self::TrivialCsr => "trivial-csr",
+        }
+    }
+}
+
+/// Where a protocol's output lands (see
+/// [`EstimateRequest::output_party`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputParty {
+    /// The output is produced at Alice.
+    Alice,
+    /// The output is produced at Bob.
+    Bob,
+    /// Each party produces its own half (additive shares).
+    Both,
+}
+
+impl OutputParty {
+    /// Whether the process playing `side` holds (part of) the output.
+    #[must_use]
+    pub fn includes(self, side: Party) -> bool {
+        match self {
+            OutputParty::Alice => side == Party::Alice,
+            OutputParty::Bob => side == Party::Bob,
+            OutputParty::Both => true,
         }
     }
 }
@@ -298,76 +341,113 @@ impl Session {
         seed: Seed,
         exec: ExecBackend,
     ) -> Result<EstimateReport, CommError> {
+        self.estimate_with_exec(request, seed, Exec::Backend(exec))
+    }
+
+    /// Executes a dynamically dispatched request as **one party of a
+    /// remote pair**: this process runs `side` only, and every message
+    /// crosses the framed transport `io` to the peer process, which must
+    /// call the same method for the complementary side with the same
+    /// request and seed. The report is bit-identical to the in-process
+    /// executors' on **both** processes — transcripts are reconstructed
+    /// from frame headers, and the remote executor's post-protocol
+    /// output exchange ships each party's output to its peer (outputs
+    /// are `Wire` data; the exchange is billed to the transport's byte
+    /// counters, never to the logical transcript).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::run`], plus transport-level
+    /// [`CommError::Frame`] errors.
+    pub fn estimate_remote(
+        &self,
+        request: &EstimateRequest,
+        seed: Seed,
+        side: Party,
+        io: &mut dyn FrameIo,
+    ) -> Result<EstimateReport, CommError> {
+        let rc = RemoteCtx::new(side, io);
+        self.estimate_with_exec(request, seed, Exec::Remote(&rc))
+    }
+
+    /// The one dispatch point behind [`Session::estimate_seeded_on`] and
+    /// [`Session::estimate_remote`].
+    fn estimate_with_exec<'r>(
+        &'r self,
+        request: &EstimateRequest,
+        seed: Seed,
+        exec: Exec<'r>,
+    ) -> Result<EstimateReport, CommError> {
         let name = request.name();
         Ok(match *request {
             EstimateRequest::LpNorm { p, eps } => report(
                 name,
-                self.run_seeded_on(&LpNorm, &LpParams::new(p, eps), seed, exec)?,
+                self.run_seeded_exec(&LpNorm, &LpParams::new(p, eps), seed, exec)?,
                 AnyOutput::Scalar,
             ),
             EstimateRequest::LpBaseline { p, eps } => report(
                 name,
-                self.run_seeded_on(&LpBaseline, &BaselineParams::new(p, eps), seed, exec)?,
+                self.run_seeded_exec(&LpBaseline, &BaselineParams::new(p, eps), seed, exec)?,
                 AnyOutput::Scalar,
             ),
             EstimateRequest::ExactL1 => report(
                 name,
-                self.run_seeded_on(&ExactL1, &(), seed, exec)?,
+                self.run_seeded_exec(&ExactL1, &(), seed, exec)?,
                 AnyOutput::Count,
             ),
             EstimateRequest::L1Sample => report(
                 name,
-                self.run_seeded_on(&L1Sampling, &(), seed, exec)?,
+                self.run_seeded_exec(&L1Sampling, &(), seed, exec)?,
                 AnyOutput::L1Sample,
             ),
             EstimateRequest::L0Sample { eps } => report(
                 name,
-                self.run_seeded_on(&L0Sample, &L0SampleParams::new(eps), seed, exec)?,
+                self.run_seeded_exec(&L0Sample, &L0SampleParams::new(eps), seed, exec)?,
                 AnyOutput::Sample,
             ),
             EstimateRequest::SparseMatmul => report(
                 name,
-                self.run_seeded_on(&SparseMatmul, &(), seed, exec)?,
+                self.run_seeded_exec(&SparseMatmul, &(), seed, exec)?,
                 AnyOutput::Shares,
             ),
             EstimateRequest::LinfBinary { eps } => report(
                 name,
-                self.run_seeded_on(&LinfBinary, &LinfBinaryParams::new(eps), seed, exec)?,
+                self.run_seeded_exec(&LinfBinary, &LinfBinaryParams::new(eps), seed, exec)?,
                 AnyOutput::Linf,
             ),
             EstimateRequest::LinfKappa { kappa } => report(
                 name,
-                self.run_seeded_on(&LinfKappa, &LinfKappaParams::new(kappa), seed, exec)?,
+                self.run_seeded_exec(&LinfKappa, &LinfKappaParams::new(kappa), seed, exec)?,
                 AnyOutput::Linf,
             ),
             EstimateRequest::LinfGeneral { kappa } => report(
                 name,
-                self.run_seeded_on(&LinfGeneral, &LinfGeneralParams::new(kappa), seed, exec)?,
+                self.run_seeded_exec(&LinfGeneral, &LinfGeneralParams::new(kappa), seed, exec)?,
                 AnyOutput::Scalar,
             ),
             EstimateRequest::HhGeneral { p, phi, eps } => report(
                 name,
-                self.run_seeded_on(&HhGeneral, &HhGeneralParams::new(p, phi, eps), seed, exec)?,
+                self.run_seeded_exec(&HhGeneral, &HhGeneralParams::new(p, phi, eps), seed, exec)?,
                 AnyOutput::HeavyHitters,
             ),
             EstimateRequest::HhBinary { p, phi, eps } => report(
                 name,
-                self.run_seeded_on(&HhBinary, &HhBinaryParams::new(p, phi, eps), seed, exec)?,
+                self.run_seeded_exec(&HhBinary, &HhBinaryParams::new(p, phi, eps), seed, exec)?,
                 AnyOutput::HeavyHitters,
             ),
             EstimateRequest::AtLeastTJoin { t, slack } => report(
                 name,
-                self.run_seeded_on(&AtLeastTJoin, &AtLeastTParams { t, slack }, seed, exec)?,
+                self.run_seeded_exec(&AtLeastTJoin, &AtLeastTParams { t, slack }, seed, exec)?,
                 AnyOutput::HeavyHitters,
             ),
             EstimateRequest::TrivialBinary => report(
                 name,
-                self.run_seeded_on(&TrivialBinary, &(), seed, exec)?,
+                self.run_seeded_exec(&TrivialBinary, &(), seed, exec)?,
                 AnyOutput::Exact,
             ),
             EstimateRequest::TrivialCsr => report(
                 name,
-                self.run_seeded_on(&TrivialCsr, &(), seed, exec)?,
+                self.run_seeded_exec(&TrivialCsr, &(), seed, exec)?,
                 AnyOutput::Exact,
             ),
         })

@@ -32,7 +32,7 @@ use std::sync::OnceLock;
 use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
-use mpest_comm::{CommError, ExecBackend, Seed};
+use mpest_comm::{CommError, Exec, ExecBackend, Seed};
 use mpest_matrix::{BitMatrix, CsrMatrix};
 
 /// One party's matrix in whichever representation the caller had.
@@ -211,7 +211,7 @@ impl Session {
         SessionCtx {
             session: self,
             seed,
-            exec: self.exec,
+            exec: Exec::Backend(self.exec),
         }
     }
 
@@ -257,6 +257,25 @@ impl Session {
         params: &P::Params,
         seed: Seed,
         exec: ExecBackend,
+    ) -> Result<ProtocolRun<P::Output>, CommError> {
+        self.run_seeded_exec(protocol, params, seed, Exec::Backend(exec))
+    }
+
+    /// Runs `protocol` under an explicit seed and a fully general
+    /// executor handle — in-process backends *or* one party of a remote
+    /// pair ([`Exec::Remote`]). The request layer's
+    /// [`Session::estimate_remote`](crate::EstimateRequest) path is the
+    /// usual entry point for remote runs; this is the typed equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run`].
+    pub fn run_seeded_exec<'r, P: Protocol>(
+        &'r self,
+        protocol: &P,
+        params: &P::Params,
+        seed: Seed,
+        exec: Exec<'r>,
     ) -> Result<ProtocolRun<P::Output>, CommError> {
         self.dims.clone()?;
         protocol.execute(
@@ -364,7 +383,7 @@ impl Session {
 pub struct SessionCtx<'a> {
     session: &'a Session,
     seed: Seed,
-    exec: ExecBackend,
+    exec: Exec<'a>,
 }
 
 impl<'a> SessionCtx<'a> {
@@ -374,9 +393,10 @@ impl<'a> SessionCtx<'a> {
         self.seed
     }
 
-    /// The executor backend this query runs on.
+    /// The executor handle this query runs on: an in-process backend, or
+    /// one party of a remote pair (see [`mpest_comm::remote`]).
     #[must_use]
-    pub fn executor(&self) -> ExecBackend {
+    pub fn executor(&self) -> Exec<'a> {
         self.exec
     }
 
@@ -503,7 +523,7 @@ mod tests {
         let ctx = SessionCtx {
             session: &s,
             seed: Seed(0),
-            exec: ExecBackend::default(),
+            exec: Exec::Backend(ExecBackend::default()),
         };
         let (a_csr, b_csr) = ctx.csr_pair();
         assert_eq!(a_csr, &bits.to_csr());
@@ -524,7 +544,7 @@ mod tests {
         let ctx = SessionCtx {
             session: &s,
             seed: Seed(0),
-            exec: ExecBackend::default(),
+            exec: Exec::Backend(ExecBackend::default()),
         };
         let err = ctx.bit_pair().unwrap_err();
         assert!(err.to_string().contains("non-binary"));

@@ -30,7 +30,7 @@ use crate::exchange::{exchange_alice, exchange_bob, ExchangeCfg};
 use crate::protocol::Protocol;
 use crate::result::{ProductShares, ProtocolRun};
 use crate::session::{cached_or, Reuse, SessionCtx};
-use mpest_comm::{execute_with, CommError, ExecBackend, Link, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
 use mpest_matrix::{Accumulator, CsrMatrix};
 
 /// Alice's phases (rounds `base_round` and `base_round + 1`); returns her
@@ -159,7 +159,7 @@ pub fn run(
     seed: Seed,
 ) -> Result<ProtocolRun<ProductShares>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default())
+    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default().into())
 }
 
 /// The Lemma 2.5 protocol as a [`Protocol`]: additive shares
@@ -196,7 +196,7 @@ pub(crate) fn run_unchecked(
     b: &CsrMatrix,
     seed: Seed,
     reuse: Reuse<'_>,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<ProductShares>, CommError> {
     let _ = seed; // deterministic protocol: no coins needed
     let binary = a.is_binary() && b.is_binary();
@@ -206,13 +206,18 @@ pub(crate) fn run_unchecked(
         exec,
         a,
         b,
-        |link, a| alice_phase_pre(link, 0, a, out_cols, binary, reuse.a_col_nnz, reuse.a_t),
-        |link, b| bob_phase_pre(link, 0, b, out_rows, binary, reuse.b_row_nnz),
+        |link, a| {
+            alice_phase_pre(link, 0, a, out_cols, binary, reuse.a_col_nnz, reuse.a_t)
+                .map(crate::wire::WAccum)
+        },
+        |link, b| {
+            bob_phase_pre(link, 0, b, out_rows, binary, reuse.b_row_nnz).map(crate::wire::WAccum)
+        },
     )?;
     Ok(ProtocolRun {
         output: ProductShares {
-            alice: outcome.alice.into_entries(),
-            bob: outcome.bob.into_entries(),
+            alice: outcome.alice.0.into_entries(),
+            bob: outcome.bob.0.into_entries(),
         },
         transcript: outcome.transcript,
     })

@@ -8,7 +8,7 @@ use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::SessionCtx;
 use crate::wire::{WBits, WSparseVec};
-use mpest_comm::{execute_with, CommError, ExecBackend, Seed};
+use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
 use mpest_matrix::norms::{dense_linf, dense_lp_pow, PNorm};
 use mpest_matrix::{BitMatrix, CsrMatrix};
 
@@ -79,14 +79,14 @@ pub fn run_binary(
     seed: Seed,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_binary_unchecked(a, b, seed, ExecBackend::default())
+    run_binary_unchecked(a, b, seed, ExecBackend::default().into())
 }
 
 pub(crate) fn run_binary_unchecked(
     a: &BitMatrix,
     b: &BitMatrix,
     _seed: Seed,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
     let rows = a.rows();
     let cols = a.cols();
@@ -148,14 +148,14 @@ pub fn run_csr(
     seed: Seed,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
     check_dims(a.cols(), b.rows())?;
-    run_csr_unchecked(a, b, seed, ExecBackend::default())
+    run_csr_unchecked(a, b, seed, ExecBackend::default().into())
 }
 
 pub(crate) fn run_csr_unchecked(
     a: &CsrMatrix,
     b: &CsrMatrix,
     _seed: Seed,
-    exec: ExecBackend,
+    exec: Exec<'_>,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
     let rows = a.rows();
     let cols = a.cols();

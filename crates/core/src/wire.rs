@@ -6,8 +6,11 @@
 //! `⌈log₂ dim⌉` bits, integer values as zigzag varints, real sketch words
 //! at 64 bits, field words at 61 bits.
 
+use crate::request::{AnyOutput, EstimateReport, EstimateRequest};
+use crate::result::{HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares};
+use crate::trivial::ExactStats;
 use mpest_comm::{width_for, BitReader, BitWriter, CommError, Wire};
-use mpest_matrix::DenseMatrix;
+use mpest_matrix::{DenseMatrix, PNorm};
 use mpest_sketch::{SkMat, M61};
 
 /// A sparse integer vector over a known dimension: indices fixed-width,
@@ -251,6 +254,37 @@ impl Wire for WPositions {
     }
 }
 
+/// A party's additive-share accumulator as wire data (shape plus sorted
+/// nonzero triplets). The sparse-matmul party functions return these:
+/// party outputs must be [`Wire`] so the remote executor's output
+/// exchange can complete the outcome on both processes.
+#[derive(Debug, Clone)]
+pub struct WAccum(pub mpest_matrix::Accumulator);
+
+impl Wire for WAccum {
+    fn encode(&self, w: &mut BitWriter) {
+        let (rows, cols) = self.0.shape();
+        w.write_varint(rows as u64);
+        w.write_varint(cols as u64);
+        self.0.entries().encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let rows = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("accumulator rows overflow"))?;
+        let cols = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("accumulator cols overflow"))?;
+        let entries: Vec<(u32, u32, i64)> = Vec::decode(r)?;
+        let mut acc = mpest_matrix::Accumulator::new(rows, cols);
+        for (i, j, v) in entries {
+            if i as usize >= rows || j as usize >= cols {
+                return Err(CommError::decode("accumulator entry out of range"));
+            }
+            acc.add(i, j, v);
+        }
+        Ok(Self(acc))
+    }
+}
+
 /// A packed bit payload (per-candidate coordinate samples in Section 5.2).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WBits(pub Vec<bool>);
@@ -271,6 +305,347 @@ impl Wire for WBits {
             out.push(r.read_bit()?);
         }
         Ok(WBits(out))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request / report encodings — the serve layer's payloads.
+//
+// `mpest-net` ships `EstimateRequest`s to a daemon and `EstimateReport`s
+// (type-erased outputs plus full transcripts) back, so every one of
+// these types has a pinned wire format. Tags are 4-bit (8 output shapes,
+// 14 request variants); adding a variant appends a tag, never renumbers
+// — the golden-byte tests in `tests/` pin this.
+// ---------------------------------------------------------------------------
+
+fn encode_pnorm(w: &mut BitWriter, p: PNorm) {
+    match p {
+        PNorm::Zero => w.write_bits(0, 2),
+        PNorm::P(v) => {
+            w.write_bits(1, 2);
+            w.write_f64(v);
+        }
+        PNorm::Inf => w.write_bits(2, 2),
+    }
+}
+
+fn decode_pnorm(r: &mut BitReader<'_>) -> Result<PNorm, CommError> {
+    match r.read_bits(2)? {
+        0 => Ok(PNorm::Zero),
+        1 => Ok(PNorm::P(r.read_f64()?)),
+        2 => Ok(PNorm::Inf),
+        tag => Err(CommError::decode(format!("unknown PNorm tag {tag}"))),
+    }
+}
+
+/// Maps a wire-carried protocol name back to the `&'static str` the
+/// report layer uses. Only the 14 catalog names decode; anything else is
+/// a stream from an incompatible build.
+///
+/// # Errors
+///
+/// Returns [`CommError::Decode`] for an unknown name.
+pub fn protocol_static_name(name: &str) -> Result<&'static str, CommError> {
+    const NAMES: [&str; 14] = [
+        "lp",
+        "lp-baseline",
+        "exact-l1",
+        "l1-sample",
+        "l0-sample",
+        "sparse-matmul",
+        "linf-binary",
+        "linf-kappa",
+        "linf-general",
+        "hh-general",
+        "hh-binary",
+        "at-least-t-join",
+        "trivial-binary",
+        "trivial-csr",
+    ];
+    NAMES
+        .iter()
+        .find(|&&n| n == name)
+        .copied()
+        .ok_or_else(|| CommError::decode(format!("unknown protocol name {name:?}")))
+}
+
+impl Wire for MatrixSample {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            MatrixSample::Sampled { row, col, value } => {
+                w.write_bits(0, 2);
+                w.write_varint(u64::from(*row));
+                w.write_varint(u64::from(*col));
+                w.write_zigzag(*value);
+            }
+            MatrixSample::ZeroMatrix => w.write_bits(1, 2),
+            MatrixSample::Failed => w.write_bits(2, 2),
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        match r.read_bits(2)? {
+            0 => Ok(MatrixSample::Sampled {
+                row: u32::try_from(r.read_varint()?)
+                    .map_err(|_| CommError::decode("row overflow"))?,
+                col: u32::try_from(r.read_varint()?)
+                    .map_err(|_| CommError::decode("col overflow"))?,
+                value: r.read_zigzag()?,
+            }),
+            1 => Ok(MatrixSample::ZeroMatrix),
+            2 => Ok(MatrixSample::Failed),
+            tag => Err(CommError::decode(format!("unknown sample tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for L1Sample {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(u64::from(self.row));
+        w.write_varint(u64::from(self.col));
+        w.write_varint(u64::from(self.witness));
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let field = |r: &mut BitReader<'_>, what| {
+            u32::try_from(r.read_varint()?)
+                .map_err(|_| CommError::decode(format!("{what} overflow")))
+        };
+        Ok(Self {
+            row: field(r, "row")?,
+            col: field(r, "col")?,
+            witness: field(r, "witness")?,
+        })
+    }
+}
+
+impl Wire for HhPair {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(u64::from(self.row));
+        w.write_varint(u64::from(self.col));
+        w.write_f64(self.estimate);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(Self {
+            row: u32::try_from(r.read_varint()?).map_err(|_| CommError::decode("row overflow"))?,
+            col: u32::try_from(r.read_varint()?).map_err(|_| CommError::decode("col overflow"))?,
+            estimate: r.read_f64()?,
+        })
+    }
+}
+
+impl Wire for HeavyHitters {
+    fn encode(&self, w: &mut BitWriter) {
+        self.pairs.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(Self {
+            pairs: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for LinfEstimate {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_f64(self.estimate);
+        self.level.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(Self {
+            estimate: r.read_f64()?,
+            level: Option::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ProductShares {
+    fn encode(&self, w: &mut BitWriter) {
+        self.alice.encode(w);
+        self.bob.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(Self {
+            alice: Vec::decode(r)?,
+            bob: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ExactStats {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_f64(self.l0);
+        w.write_f64(self.l1);
+        w.write_f64(self.l2_sq);
+        self.linf.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(Self {
+            l0: r.read_f64()?,
+            l1: r.read_f64()?,
+            l2_sq: r.read_f64()?,
+            linf: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for AnyOutput {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            AnyOutput::Scalar(v) => {
+                w.write_bits(0, 4);
+                w.write_f64(*v);
+            }
+            AnyOutput::Count(v) => {
+                w.write_bits(1, 4);
+                v.encode(w);
+            }
+            AnyOutput::Sample(s) => {
+                w.write_bits(2, 4);
+                s.encode(w);
+            }
+            AnyOutput::L1Sample(s) => {
+                w.write_bits(3, 4);
+                s.encode(w);
+            }
+            AnyOutput::Linf(e) => {
+                w.write_bits(4, 4);
+                e.encode(w);
+            }
+            AnyOutput::HeavyHitters(hh) => {
+                w.write_bits(5, 4);
+                hh.encode(w);
+            }
+            AnyOutput::Shares(sh) => {
+                w.write_bits(6, 4);
+                sh.encode(w);
+            }
+            AnyOutput::Exact(st) => {
+                w.write_bits(7, 4);
+                st.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(match r.read_bits(4)? {
+            0 => AnyOutput::Scalar(r.read_f64()?),
+            1 => AnyOutput::Count(i128::decode(r)?),
+            2 => AnyOutput::Sample(MatrixSample::decode(r)?),
+            3 => AnyOutput::L1Sample(Option::decode(r)?),
+            4 => AnyOutput::Linf(LinfEstimate::decode(r)?),
+            5 => AnyOutput::HeavyHitters(HeavyHitters::decode(r)?),
+            6 => AnyOutput::Shares(ProductShares::decode(r)?),
+            7 => AnyOutput::Exact(ExactStats::decode(r)?),
+            tag => return Err(CommError::decode(format!("unknown output tag {tag}"))),
+        })
+    }
+}
+
+impl Wire for EstimateReport {
+    fn encode(&self, w: &mut BitWriter) {
+        self.protocol.to_owned().encode(w);
+        self.output.encode(w);
+        self.transcript.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(Self {
+            protocol: protocol_static_name(&String::decode(r)?)?,
+            output: AnyOutput::decode(r)?,
+            transcript: mpest_comm::Transcript::decode(r)?,
+        })
+    }
+}
+
+impl Wire for EstimateRequest {
+    fn encode(&self, w: &mut BitWriter) {
+        match *self {
+            EstimateRequest::LpNorm { p, eps } => {
+                w.write_bits(0, 4);
+                encode_pnorm(w, p);
+                w.write_f64(eps);
+            }
+            EstimateRequest::LpBaseline { p, eps } => {
+                w.write_bits(1, 4);
+                encode_pnorm(w, p);
+                w.write_f64(eps);
+            }
+            EstimateRequest::ExactL1 => w.write_bits(2, 4),
+            EstimateRequest::L1Sample => w.write_bits(3, 4),
+            EstimateRequest::L0Sample { eps } => {
+                w.write_bits(4, 4);
+                w.write_f64(eps);
+            }
+            EstimateRequest::SparseMatmul => w.write_bits(5, 4),
+            EstimateRequest::LinfBinary { eps } => {
+                w.write_bits(6, 4);
+                w.write_f64(eps);
+            }
+            EstimateRequest::LinfKappa { kappa } => {
+                w.write_bits(7, 4);
+                w.write_f64(kappa);
+            }
+            EstimateRequest::LinfGeneral { kappa } => {
+                w.write_bits(8, 4);
+                w.write_varint(kappa as u64);
+            }
+            EstimateRequest::HhGeneral { p, phi, eps } => {
+                w.write_bits(9, 4);
+                w.write_f64(p);
+                w.write_f64(phi);
+                w.write_f64(eps);
+            }
+            EstimateRequest::HhBinary { p, phi, eps } => {
+                w.write_bits(10, 4);
+                w.write_f64(p);
+                w.write_f64(phi);
+                w.write_f64(eps);
+            }
+            EstimateRequest::AtLeastTJoin { t, slack } => {
+                w.write_bits(11, 4);
+                w.write_varint(u64::from(t));
+                w.write_f64(slack);
+            }
+            EstimateRequest::TrivialBinary => w.write_bits(12, 4),
+            EstimateRequest::TrivialCsr => w.write_bits(13, 4),
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(match r.read_bits(4)? {
+            0 => EstimateRequest::LpNorm {
+                p: decode_pnorm(r)?,
+                eps: r.read_f64()?,
+            },
+            1 => EstimateRequest::LpBaseline {
+                p: decode_pnorm(r)?,
+                eps: r.read_f64()?,
+            },
+            2 => EstimateRequest::ExactL1,
+            3 => EstimateRequest::L1Sample,
+            4 => EstimateRequest::L0Sample { eps: r.read_f64()? },
+            5 => EstimateRequest::SparseMatmul,
+            6 => EstimateRequest::LinfBinary { eps: r.read_f64()? },
+            7 => EstimateRequest::LinfKappa {
+                kappa: r.read_f64()?,
+            },
+            8 => EstimateRequest::LinfGeneral {
+                kappa: usize::try_from(r.read_varint()?)
+                    .map_err(|_| CommError::decode("kappa overflow"))?,
+            },
+            9 => EstimateRequest::HhGeneral {
+                p: r.read_f64()?,
+                phi: r.read_f64()?,
+                eps: r.read_f64()?,
+            },
+            10 => EstimateRequest::HhBinary {
+                p: r.read_f64()?,
+                phi: r.read_f64()?,
+                eps: r.read_f64()?,
+            },
+            11 => EstimateRequest::AtLeastTJoin {
+                t: u32::try_from(r.read_varint()?).map_err(|_| CommError::decode("t overflow"))?,
+                slack: r.read_f64()?,
+            },
+            12 => EstimateRequest::TrivialBinary,
+            13 => EstimateRequest::TrivialCsr,
+            tag => return Err(CommError::decode(format!("unknown request tag {tag}"))),
+        })
     }
 }
 

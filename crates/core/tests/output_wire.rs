@@ -1,0 +1,312 @@
+//! Wire-format pinning for the serve layer's payloads: every
+//! [`AnyOutput`] variant, [`EstimateReport`], and [`EstimateRequest`].
+//!
+//! The `mpest serve` daemon and its clients exchange these encodings
+//! across builds, so the byte layout is a compatibility contract:
+//! golden-byte tests pin it exactly (a change here is a codec version
+//! bump, not a refactor), and generative roundtrips cover the value
+//! space the goldens cannot.
+
+use mpest_comm::{BitReader, BitWriter, MsgRecord, Party, Transcript, Wire};
+use mpest_core::{
+    AnyOutput, EstimateReport, EstimateRequest, HeavyHitters, HhPair, L1Sample, LinfEstimate,
+    MatrixSample, ProductShares,
+};
+use mpest_matrix::PNorm;
+use proptest::prelude::*;
+
+fn encode<T: Wire>(v: &T) -> (Vec<u8>, u64) {
+    let mut w = BitWriter::new();
+    v.encode(&mut w);
+    w.finish_vec()
+}
+
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    let (bytes, bits) = encode(v);
+    let mut r = BitReader::new(&bytes);
+    let back = T::decode(&mut r).expect("decode");
+    assert_eq!(&back, v);
+    assert_eq!(r.bits_read(), bits, "decoder consumed exactly the encoding");
+}
+
+/// Every `AnyOutput` variant roundtrips (one representative per shape,
+/// edge values included).
+#[test]
+fn every_output_variant_roundtrips() {
+    let outputs = vec![
+        AnyOutput::Scalar(0.0),
+        AnyOutput::Scalar(-1.5e300),
+        AnyOutput::Count(0),
+        AnyOutput::Count(i128::MAX),
+        AnyOutput::Count(i128::MIN + 1),
+        AnyOutput::Sample(MatrixSample::Sampled {
+            row: 7,
+            col: u32::MAX,
+            value: -42,
+        }),
+        AnyOutput::Sample(MatrixSample::ZeroMatrix),
+        AnyOutput::Sample(MatrixSample::Failed),
+        AnyOutput::L1Sample(None),
+        AnyOutput::L1Sample(Some(L1Sample {
+            row: 1,
+            col: 2,
+            witness: 3,
+        })),
+        AnyOutput::Linf(LinfEstimate {
+            estimate: 12.5,
+            level: Some(4),
+        }),
+        AnyOutput::Linf(LinfEstimate {
+            estimate: 0.0,
+            level: None,
+        }),
+        AnyOutput::HeavyHitters(HeavyHitters::default()),
+        AnyOutput::HeavyHitters(HeavyHitters {
+            pairs: vec![
+                HhPair {
+                    row: 0,
+                    col: 9,
+                    estimate: 3.25,
+                },
+                HhPair {
+                    row: 8,
+                    col: 1,
+                    estimate: -0.5,
+                },
+            ],
+        }),
+        AnyOutput::Shares(ProductShares::default()),
+        AnyOutput::Shares(ProductShares {
+            alice: vec![(0, 0, 5), (1, 3, -2)],
+            bob: vec![(2, 2, 7)],
+        }),
+        AnyOutput::Exact(mpest_core::trivial::ExactStats {
+            l0: 3.0,
+            l1: 10.0,
+            l2_sq: 38.0,
+            linf: (-6, (2, 4)),
+        }),
+    ];
+    for output in &outputs {
+        roundtrip(output);
+    }
+}
+
+/// A full `EstimateReport` — protocol name, type-erased output, and
+/// transcript records (labels interned on decode) — roundtrips.
+#[test]
+fn estimate_report_roundtrips() {
+    let report = EstimateReport {
+        protocol: "exact-l1",
+        output: AnyOutput::Count(123_456_789_012_345),
+        transcript: Transcript {
+            records: vec![
+                MsgRecord {
+                    from: Party::Alice,
+                    round: 0,
+                    label: "l1-col-sums",
+                    bits: 987,
+                },
+                MsgRecord {
+                    from: Party::Bob,
+                    round: 1,
+                    label: "ack",
+                    bits: 1,
+                },
+            ],
+        },
+    };
+    roundtrip(&report);
+
+    // Unknown protocol names are a typed decode error, not a panic.
+    let (bytes, _) = encode(&report);
+    let mut mangled = report.clone();
+    mangled.protocol = "exact-l1";
+    let mut w = BitWriter::new();
+    "no-such-protocol".to_string().encode(&mut w);
+    mangled.output.encode(&mut w);
+    mangled.transcript.encode(&mut w);
+    let (bad, _) = w.finish_vec();
+    assert!(EstimateReport::decode(&mut BitReader::new(&bad)).is_err());
+    assert!(EstimateReport::decode(&mut BitReader::new(&bytes[..bytes.len() - 1])).is_err());
+}
+
+/// Every catalog request roundtrips, and every request's parameters
+/// survive exactly (f64 bit patterns included).
+#[test]
+fn every_request_variant_roundtrips() {
+    for request in EstimateRequest::catalog() {
+        roundtrip(&request);
+    }
+    roundtrip(&EstimateRequest::LpNorm {
+        p: PNorm::P(1.7),
+        eps: 0.125,
+    });
+    roundtrip(&EstimateRequest::LpBaseline {
+        p: PNorm::Inf,
+        eps: 1.0,
+    });
+}
+
+// --- golden bytes -----------------------------------------------------------
+//
+// These pin the exact encodings. If one of these assertions fails, the
+// wire format changed: bump `mpest_net::codec::VERSION` and regenerate.
+
+#[test]
+fn golden_bytes_scalar_output() {
+    // Tag 0 (4 bits) then IEEE-754 1.5 = 0x3FF8000000000000, MSB-first,
+    // shifted 4 bits into the stream.
+    let (bytes, bits) = encode(&AnyOutput::Scalar(1.5));
+    assert_eq!(bits, 4 + 64);
+    assert_eq!(
+        bytes,
+        vec![0x03, 0xFF, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00]
+    );
+}
+
+#[test]
+fn golden_bytes_count_output() {
+    // Tag 1, then zigzag(-3) = 5 as two u64 varints (low = 5, high = 0):
+    // varint bytes are [cont=0][7-bit group].
+    let (bytes, bits) = encode(&AnyOutput::Count(-3));
+    assert_eq!(bits, 4 + 8 + 8);
+    assert_eq!(bytes, vec![0x10, 0x50, 0x00]);
+}
+
+#[test]
+fn golden_bytes_exact_l1_request() {
+    // Tag 2 (4 bits), no parameters; the padding zeros are unbilled.
+    let (bytes, bits) = encode(&EstimateRequest::ExactL1);
+    assert_eq!(bits, 4);
+    assert_eq!(bytes, vec![0x20]);
+}
+
+#[test]
+fn golden_bytes_lp_request() {
+    // Tag 0, PNorm::Zero tag 0 (2 bits), eps = 0.25 (0x3FD0000000000000).
+    let (bytes, bits) = encode(&EstimateRequest::LpNorm {
+        p: PNorm::Zero,
+        eps: 0.25,
+    });
+    assert_eq!(bits, 4 + 2 + 64);
+    assert_eq!(
+        bytes,
+        vec![0x00, 0xFF, 0x40, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00]
+    );
+}
+
+#[test]
+fn golden_bytes_heavy_hitter_output() {
+    // Tag 5, vec len varint 1, row varint 2, col varint 3, estimate 2.0.
+    let (bytes, bits) = encode(&AnyOutput::HeavyHitters(HeavyHitters {
+        pairs: vec![HhPair {
+            row: 2,
+            col: 3,
+            estimate: 2.0,
+        }],
+    }));
+    assert_eq!(bits, 4 + 8 + 8 + 8 + 64);
+    assert_eq!(
+        bytes,
+        vec![0x50, 0x10, 0x20, 0x34, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00]
+    );
+}
+
+#[test]
+fn golden_bytes_report() {
+    // "lp" (len varint 2 then 'l','p'), Scalar(0.0), empty transcript.
+    let report = EstimateReport {
+        protocol: "lp",
+        output: AnyOutput::Scalar(0.0),
+        transcript: Transcript::default(),
+    };
+    let (bytes, bits) = encode(&report);
+    assert_eq!(bits, 8 + 16 + (4 + 64) + 8);
+    assert_eq!(
+        bytes,
+        vec![0x02, 0x6C, 0x70, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00]
+    );
+}
+
+// --- generative coverage ----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Heavy-hitter sets of arbitrary size and content roundtrip.
+    #[test]
+    fn prop_heavy_hitters_roundtrip(
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>(), -1e12f64..1e12), 0..40)
+    ) {
+        let hh = HeavyHitters {
+            pairs: pairs
+                .iter()
+                .map(|&(row, col, estimate)| HhPair { row, col, estimate })
+                .collect(),
+        };
+        roundtrip(&AnyOutput::HeavyHitters(hh));
+    }
+
+    /// Product shares with arbitrary triplets roundtrip.
+    #[test]
+    fn prop_shares_roundtrip(
+        alice in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<i64>()), 0..30),
+        bob in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<i64>()), 0..30),
+    ) {
+        roundtrip(&AnyOutput::Shares(ProductShares { alice, bob }));
+    }
+
+    /// Counts across the i128 range roundtrip (two-varint zigzag).
+    #[test]
+    fn prop_counts_roundtrip(low in any::<u64>(), high in any::<u64>(), neg in proptest::bool::ANY) {
+        let magnitude = (i128::from(high >> 1) << 64) | i128::from(low);
+        let value = if neg { -magnitude } else { magnitude };
+        roundtrip(&AnyOutput::Count(value));
+    }
+
+    /// Transcripts with arbitrary record shapes roundtrip; labels come
+    /// back pointer-interned but value-equal.
+    #[test]
+    fn prop_transcripts_roundtrip(
+        records in proptest::collection::vec(
+            (proptest::bool::ANY, any::<u16>(), 0u64..1u64 << 40, 0usize..4),
+            0..20,
+        )
+    ) {
+        const LABELS: [&str; 4] = ["sketch", "rows", "l1-col-sums", "x"];
+        let transcript = Transcript {
+            records: records
+                .iter()
+                .map(|&(bob, round, bits, label)| MsgRecord {
+                    from: if bob { Party::Bob } else { Party::Alice },
+                    round,
+                    label: LABELS[label],
+                    bits,
+                })
+                .collect(),
+        };
+        roundtrip(&transcript);
+    }
+
+    /// Requests with arbitrary parameters roundtrip.
+    #[test]
+    fn prop_requests_roundtrip(
+        eps in 1e-6f64..1.0,
+        p in 0.0f64..2.0,
+        phi in 1e-6f64..0.5,
+        kappa in 1usize..100,
+        t in 1u32..1000,
+        variant in 0usize..6,
+    ) {
+        let request = match variant {
+            0 => EstimateRequest::LpNorm { p: PNorm::P(p), eps },
+            1 => EstimateRequest::LpBaseline { p: PNorm::Zero, eps },
+            2 => EstimateRequest::L0Sample { eps },
+            3 => EstimateRequest::HhBinary { p, phi, eps: phi / 2.0 },
+            4 => EstimateRequest::LinfGeneral { kappa },
+            _ => EstimateRequest::AtLeastTJoin { t, slack: eps },
+        };
+        roundtrip(&request);
+    }
+}

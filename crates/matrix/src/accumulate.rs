@@ -125,6 +125,28 @@ impl Accumulator {
         (best, pos)
     }
 
+    /// All nonzero cells as `(row, col, value)` triplets, sorted —
+    /// non-consuming counterpart of [`Accumulator::into_entries`] (the
+    /// wire encoding of a party's share uses it). Allocates only the
+    /// triplet vector, never a copy of the backing storage.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u32, u32, i64)> {
+        let mut out: Vec<(u32, u32, i64)> = match self {
+            Accumulator::Dense { cols, data, .. } => data
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0)
+                .map(|(idx, &v)| ((idx / cols) as u32, (idx % cols) as u32, v))
+                .collect(),
+            Accumulator::Sparse { map, .. } => map
+                .iter()
+                .map(|(&key, &v)| ((key >> 32) as u32, (key & 0xffff_ffff) as u32, v))
+                .collect(),
+        };
+        out.sort_unstable_by_key(|t| (t.0, t.1));
+        out
+    }
+
     /// All nonzero cells as `(row, col, value)` triplets, sorted.
     #[must_use]
     pub fn into_entries(self) -> Vec<(u32, u32, i64)> {

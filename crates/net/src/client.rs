@@ -1,0 +1,128 @@
+//! Client for the `mpest serve` daemon.
+//!
+//! A [`ServeClient`] holds one framed connection. [`ServeClient::query`]
+//! fingerprints the pair locally, sends only the digests, and uploads
+//! the matrices exactly once per daemon (when the cache misses); every
+//! response carries the reports, the logical accounting, and the real
+//! socket byte counts.
+
+use crate::codec::FramedConn;
+use crate::fingerprint::fingerprint;
+use crate::msg::{QueryMsg, ReportsMsg, ServiceMsg, StatsMsg, WCsr};
+use mpest_comm::CommError;
+use mpest_core::EstimateRequest;
+use mpest_matrix::CsrMatrix;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client connection to a serve daemon.
+pub struct ServeClient {
+    conn: FramedConn<TcpStream>,
+}
+
+/// One query's complete result as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The daemon's reply (reports + logical accounting + server-side
+    /// byte counters).
+    pub reports: ReportsMsg,
+    /// Whether this query had to upload the matrices (cache miss).
+    pub uploaded: bool,
+    /// Client-side bytes written for this query (request + upload).
+    pub bytes_out: u64,
+    /// Client-side bytes read for this query (reply).
+    pub bytes_in: u64,
+}
+
+impl ServeClient {
+    /// Connects and handshakes.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failure.
+    pub fn connect(addr: &str) -> Result<Self, CommError> {
+        let mut conn = FramedConn::connect(addr)?;
+        conn.set_timeouts(Some(Duration::from_secs(30)))?;
+        Ok(Self { conn })
+    }
+
+    /// Cumulative `(bytes_out, bytes_in)` on this connection.
+    #[must_use]
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        (self.conn.bytes_out(), self.conn.bytes_in())
+    }
+
+    /// Runs `(seed, request)` pairs against the daemon over `(a, b)`,
+    /// uploading the pair if the daemon has not seen it.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a service-level [`CommError::Protocol`]
+    /// carrying the daemon's error message.
+    pub fn query(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        queries: &[(u64, EstimateRequest)],
+    ) -> Result<QueryOutcome, CommError> {
+        let (out0, in0) = self.wire_bytes();
+        self.conn.send_msg(&ServiceMsg::Query(QueryMsg {
+            fp_a: fingerprint(a),
+            fp_b: fingerprint(b),
+            queries: queries.to_vec(),
+        }))?;
+        let mut uploaded = false;
+        let reports = loop {
+            match self.conn.recv_msg_required()? {
+                ServiceMsg::NeedMatrices => {
+                    uploaded = true;
+                    self.conn.send_msg(&ServiceMsg::Matrices {
+                        a: WCsr(a.clone()),
+                        b: WCsr(b.clone()),
+                    })?;
+                }
+                ServiceMsg::Reports(reports) => break reports,
+                ServiceMsg::Error(msg) => {
+                    return Err(CommError::protocol(format!("server error: {msg}")))
+                }
+                other => return Err(CommError::frame(other.name(), "unexpected reply to query")),
+            }
+        };
+        let (out1, in1) = self.wire_bytes();
+        Ok(QueryOutcome {
+            reports,
+            uploaded,
+            bytes_out: out1 - out0,
+            bytes_in: in1 - in0,
+        })
+    }
+
+    /// Fetches the daemon-wide statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or an unexpected reply.
+    pub fn stats(&mut self) -> Result<StatsMsg, CommError> {
+        self.conn.send_msg(&ServiceMsg::Stats)?;
+        match self.conn.recv_msg_required()? {
+            ServiceMsg::StatsReport(stats) => Ok(stats),
+            other => Err(CommError::frame(other.name(), "unexpected reply to stats")),
+        }
+    }
+
+    /// Asks the daemon to stop accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or an unexpected reply.
+    pub fn shutdown(&mut self) -> Result<(), CommError> {
+        self.conn.send_msg(&ServiceMsg::Shutdown)?;
+        match self.conn.recv_msg_required()? {
+            ServiceMsg::Ok => Ok(()),
+            other => Err(CommError::frame(
+                other.name(),
+                "unexpected reply to shutdown",
+            )),
+        }
+    }
+}

@@ -1,0 +1,702 @@
+//! The length-prefixed framed codec: how protocol messages, end
+//! markers, and service messages travel over a real byte stream.
+//!
+//! # Connection preamble
+//!
+//! Each direction starts with an 8-byte preamble — magic `b"MPST"`, a
+//! big-endian `u16` codec version, and two reserved bytes — exchanged by
+//! [`FramedConn::establish`]. A version bump changes exactly one number;
+//! peers reject mismatches with a typed [`CommError::Frame`] instead of
+//! desynchronizing mid-stream.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     kind        (1 = protocol message, 2 = end marker, 3 = service message)
+//! 1       1     label_len   (≤ 255)
+//! 2       2     round       (big-endian u16; sender's round annotation)
+//! 4       8     bits        (big-endian u64; exact logical payload bits)
+//! 12      4     payload_len (big-endian u32; ≤ MAX_PAYLOAD_BYTES)
+//! 16      l     label       (UTF-8)
+//! 16+l    p     payload     (bit-packed, produced by mpest-comm's BitWriter)
+//! ```
+//!
+//! Payloads are the *same bytes* the in-process executors move between
+//! queues — encoded by [`mpest_comm::BitWriter`], decoded by
+//! [`mpest_comm::BitReader`] — so logical bit accounting is identical to
+//! a local run. The 16-byte header plus label are physical overhead,
+//! billed only to the connection's byte counters.
+//!
+//! # Failure discipline
+//!
+//! A truncated, oversized, or malformed frame always surfaces as a typed
+//! [`CommError::Frame`] naming the offending label (or the phase, when
+//! the stream died before the label arrived): never a panic, never a
+//! hang, never a partial read silently treated as data. A clean EOF
+//! *between* frames is [`CommError::ChannelClosed`] — the remote
+//! equivalent of the peer dropping its channel sender.
+
+use mpest_comm::remote::{FrameIo, RemoteEvent, RemoteFrame};
+use mpest_comm::{intern_label, CommError};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Connection magic: the first four bytes of every direction.
+pub const MAGIC: [u8; 4] = *b"MPST";
+/// Codec version carried in the preamble. Bump on any layout change.
+pub const VERSION: u16 = 1;
+/// Hard cap on one frame's payload (64 MiB): a corrupt or hostile length
+/// prefix fails typed instead of allocating unboundedly.
+pub const MAX_PAYLOAD_BYTES: u32 = 64 << 20;
+/// Byte length of the fixed frame header.
+pub const HEADER_LEN: usize = 16;
+
+/// Frame kind: a protocol message between parties.
+pub const KIND_PROTO: u8 = 1;
+/// Frame kind: end-of-protocol marker carrying the sender's status.
+pub const KIND_END: u8 = 2;
+/// Frame kind: a service-layer message (queries, reports, control).
+pub const KIND_SERVICE: u8 = 3;
+/// Frame kind: a party's encoded output (the post-protocol output
+/// exchange; physical bytes only, never in the logical transcript).
+pub const KIND_OUTPUT: u8 = 4;
+
+/// A framed, byte-counting connection over any `Read + Write` stream —
+/// [`TcpStream`] in deployments, in-memory pipes in tests.
+#[derive(Debug)]
+pub struct FramedConn<S> {
+    stream: S,
+    bytes_out: u64,
+    bytes_in: u64,
+}
+
+/// One decoded frame, header fields included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    /// [`KIND_PROTO`], [`KIND_END`], or [`KIND_SERVICE`].
+    pub kind: u8,
+    /// Sender's round annotation (0 for non-protocol frames).
+    pub round: u16,
+    /// Frame label (protocol message label or service message name).
+    pub label: String,
+    /// Exact logical payload bits (what the transcript bills).
+    pub bits: u64,
+    /// The packed payload.
+    pub payload: Vec<u8>,
+}
+
+impl<S: Read + Write> FramedConn<S> {
+    /// Wraps a raw stream *without* exchanging the preamble (tests that
+    /// feed hand-built bytes use this; real connections use
+    /// [`FramedConn::establish`]).
+    pub fn new(stream: S) -> Self {
+        Self {
+            stream,
+            bytes_out: 0,
+            bytes_in: 0,
+        }
+    }
+
+    /// Wraps a stream and performs the version handshake: writes this
+    /// side's preamble, then reads and verifies the peer's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Frame`] with label `"handshake"` on a
+    /// truncated preamble, wrong magic, or version mismatch.
+    pub fn establish(stream: S) -> Result<Self, CommError> {
+        let mut conn = Self::new(stream);
+        let mut preamble = [0u8; 8];
+        preamble[..4].copy_from_slice(&MAGIC);
+        preamble[4..6].copy_from_slice(&VERSION.to_be_bytes());
+        conn.write_all("handshake", &preamble)?;
+        conn.flush("handshake")?;
+        let mut peer = [0u8; 8];
+        conn.read_exact_ctx("handshake", &mut peer)?;
+        if peer[..4] != MAGIC {
+            return Err(CommError::frame(
+                "handshake",
+                format!("bad magic {:?} (expected {MAGIC:?})", &peer[..4]),
+            ));
+        }
+        let peer_version = u16::from_be_bytes([peer[4], peer[5]]);
+        if peer_version != VERSION {
+            return Err(CommError::frame(
+                "handshake",
+                format!(
+                    "codec version mismatch: peer speaks v{peer_version}, this build v{VERSION}"
+                ),
+            ));
+        }
+        Ok(conn)
+    }
+
+    /// Total bytes written to the stream so far (headers + payloads +
+    /// preamble) — the *real* cost of the conversation.
+    #[must_use]
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+
+    /// Total bytes read from the stream so far.
+    #[must_use]
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// The underlying stream (e.g. to clone a [`TcpStream`] handle).
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    fn write_all(&mut self, label: &str, bytes: &[u8]) -> Result<(), CommError> {
+        self.stream
+            .write_all(bytes)
+            .map_err(|e| io_to_comm(label, "write failed", &e))?;
+        self.bytes_out += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn flush(&mut self, label: &str) -> Result<(), CommError> {
+        self.stream
+            .flush()
+            .map_err(|e| io_to_comm(label, "flush failed", &e))
+    }
+
+    fn read_exact_ctx(&mut self, label: &str, buf: &mut [u8]) -> Result<(), CommError> {
+        self.stream.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                CommError::frame(
+                    label,
+                    format!("stream truncated while reading {} byte(s)", buf.len()),
+                )
+            } else {
+                io_to_comm(label, "read failed", &e)
+            }
+        })?;
+        self.bytes_in += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Frame`] if the label or payload exceeds the
+    /// codec caps, or on any stream failure.
+    pub fn send_raw(
+        &mut self,
+        kind: u8,
+        round: u16,
+        label: &str,
+        bits: u64,
+        payload: &[u8],
+    ) -> Result<(), CommError> {
+        let label_len = u8::try_from(label.len())
+            .map_err(|_| CommError::frame(label, format!("label of {} bytes", label.len())))?;
+        let payload_len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&len| len <= MAX_PAYLOAD_BYTES)
+            .ok_or_else(|| {
+                CommError::frame(label, format!("payload of {} bytes", payload.len()))
+            })?;
+        let mut header = [0u8; HEADER_LEN];
+        header[0] = kind;
+        header[1] = label_len;
+        header[2..4].copy_from_slice(&round.to_be_bytes());
+        header[4..12].copy_from_slice(&bits.to_be_bytes());
+        header[12..16].copy_from_slice(&payload_len.to_be_bytes());
+        self.write_all(label, &header)?;
+        self.write_all(label, label.as_bytes())?;
+        self.write_all(label, payload)?;
+        self.flush(label)
+    }
+
+    /// Receives one frame; `Ok(None)` is a clean EOF *before* any header
+    /// byte (the peer closed between frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Frame`] on truncation at any boundary
+    /// (mid-header, mid-label, mid-payload), an unknown kind, an
+    /// oversized payload, or a non-UTF-8 label — always naming the
+    /// offending label or the best-known phase.
+    pub fn recv_raw(&mut self) -> Result<Option<RawFrame>, CommError> {
+        let mut header = [0u8; HEADER_LEN];
+        // A clean close before any header byte is a normal end of
+        // conversation; truncation *inside* the header is not.
+        match self.stream.read(&mut header) {
+            Ok(0) => return Ok(None),
+            Ok(n) => {
+                self.bytes_in += n as u64;
+                if n < HEADER_LEN {
+                    let mut rest = header;
+                    self.read_exact_ctx("frame-header", &mut rest[n..])?;
+                    header = rest;
+                }
+            }
+            Err(e) => return Err(io_to_comm("frame-header", "read failed", &e)),
+        }
+        let kind = header[0];
+        if !matches!(kind, KIND_PROTO | KIND_END | KIND_SERVICE | KIND_OUTPUT) {
+            return Err(CommError::frame(
+                "frame-header",
+                format!("unknown frame kind {kind}"),
+            ));
+        }
+        let label_len = usize::from(header[1]);
+        let round = u16::from_be_bytes([header[2], header[3]]);
+        let bits = u64::from_be_bytes(header[4..12].try_into().expect("8 bytes"));
+        let payload_len = u32::from_be_bytes(header[12..16].try_into().expect("4 bytes"));
+        if payload_len > MAX_PAYLOAD_BYTES {
+            return Err(CommError::frame(
+                "frame-header",
+                format!("payload length {payload_len} exceeds the {MAX_PAYLOAD_BYTES}-byte cap"),
+            ));
+        }
+        let mut label_bytes = vec![0u8; label_len];
+        self.read_exact_ctx("frame-label", &mut label_bytes)?;
+        let label = String::from_utf8(label_bytes)
+            .map_err(|_| CommError::frame("frame-label", "label is not UTF-8"))?;
+        // The logical bit count must fit in the payload that carries it;
+        // a mismatch means the stream is corrupt or lying.
+        if bits.div_ceil(8) != payload_len as u64 {
+            return Err(CommError::frame(
+                &label,
+                format!("{bits} logical bits do not pack into {payload_len} payload byte(s)"),
+            ));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        self.read_exact_ctx(&label, &mut payload)?;
+        Ok(Some(RawFrame {
+            kind,
+            round,
+            label,
+            bits,
+            payload,
+        }))
+    }
+
+    /// Like [`FramedConn::recv_raw`], but treats a clean EOF as
+    /// [`CommError::ChannelClosed`] (for callers that still expect data).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FramedConn::recv_raw`], plus `ChannelClosed` on EOF.
+    pub fn recv_required(&mut self) -> Result<RawFrame, CommError> {
+        self.recv_raw()?.ok_or(CommError::ChannelClosed)
+    }
+}
+
+impl FramedConn<TcpStream> {
+    /// Connects to `addr`, disables Nagle (frames are latency-bound), and
+    /// performs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Frame`] on connection or handshake failure.
+    pub fn connect(addr: &str) -> Result<Self, CommError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| io_to_comm("connect", &format!("cannot connect to {addr}"), &e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_to_comm("connect", "set_nodelay failed", &e))?;
+        Self::establish(stream)
+    }
+
+    /// Accept-side handshake over an already-accepted stream.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FramedConn::establish`].
+    pub fn accept(stream: TcpStream) -> Result<Self, CommError> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_to_comm("accept", "set_nodelay failed", &e))?;
+        Self::establish(stream)
+    }
+
+    /// Bounds every blocking read so a dead peer surfaces as a typed
+    /// error instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Frame`] if the socket rejects the option.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), CommError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| io_to_comm("socket", "set_read_timeout failed", &e))
+    }
+
+    /// Bounds every blocking write the same way. Protocol execution over
+    /// a blocking socket writes before it reads, so a *simultaneous*
+    /// round in which both parties ship payloads larger than the kernel
+    /// socket buffers would otherwise deadlock with both sides stuck in
+    /// `write` (where the read timeout can never fire). The write
+    /// timeout converts that into a typed [`CommError::Frame`]; true
+    /// full-duplex spooling for huge simultaneous rounds is the async
+    /// backend on the roadmap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Frame`] if the socket rejects the option.
+    pub fn set_write_timeout(&mut self, timeout: Option<Duration>) -> Result<(), CommError> {
+        self.stream
+            .set_write_timeout(timeout)
+            .map_err(|e| io_to_comm("socket", "set_write_timeout failed", &e))
+    }
+
+    /// Applies both directions' timeouts (the standard connection setup
+    /// of the party/serve layers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Frame`] if the socket rejects the options.
+    pub fn set_timeouts(&mut self, timeout: Option<Duration>) -> Result<(), CommError> {
+        self.set_read_timeout(timeout)?;
+        self.set_write_timeout(timeout)
+    }
+}
+
+fn io_to_comm(label: &str, what: &str, e: &std::io::Error) -> CommError {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ) {
+        CommError::frame(label, format!("{what}: timed out waiting for the peer"))
+    } else {
+        CommError::frame(label, format!("{what}: {e}"))
+    }
+}
+
+// --- end-marker status encoding --------------------------------------------
+
+/// Encodes an end-of-protocol status (`Ok` or a party's [`CommError`])
+/// into an end frame's payload.
+#[must_use]
+pub fn encode_status(status: Result<(), &CommError>) -> Vec<u8> {
+    fn push_str(out: &mut Vec<u8>, s: &str) {
+        let bytes = &s.as_bytes()[..s.len().min(u16::MAX as usize)];
+        out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+        out.extend_from_slice(bytes);
+    }
+    let mut out = Vec::new();
+    match status {
+        Ok(()) => out.push(0),
+        Err(CommError::Decode(m)) => {
+            out.push(1);
+            push_str(&mut out, m);
+        }
+        Err(CommError::LabelMismatch { expected, got }) => {
+            out.push(2);
+            push_str(&mut out, expected);
+            push_str(&mut out, got);
+        }
+        Err(CommError::ChannelClosed) => out.push(3),
+        Err(CommError::Protocol(m)) => {
+            out.push(4);
+            push_str(&mut out, m);
+        }
+        Err(CommError::Frame { label, reason }) => {
+            out.push(5);
+            push_str(&mut out, label);
+            push_str(&mut out, reason);
+        }
+        // The internal fused-executor signal never crosses a process
+        // boundary; encode it as a generic protocol error if it somehow
+        // reaches here.
+        Err(CommError::WouldBlock) => {
+            out.push(4);
+            push_str(&mut out, "internal WouldBlock signal escaped");
+        }
+    }
+    out
+}
+
+/// Decodes an end frame's payload back into a status.
+///
+/// # Errors
+///
+/// Returns [`CommError::Frame`] on a malformed status payload.
+pub fn decode_status(payload: &[u8]) -> Result<Result<(), CommError>, CommError> {
+    fn take_str<'a>(buf: &mut &'a [u8]) -> Result<&'a str, CommError> {
+        if buf.len() < 2 {
+            return Err(CommError::frame("end", "truncated status string length"));
+        }
+        let len = usize::from(u16::from_be_bytes([buf[0], buf[1]]));
+        if buf.len() < 2 + len {
+            return Err(CommError::frame("end", "truncated status string"));
+        }
+        let s = std::str::from_utf8(&buf[2..2 + len])
+            .map_err(|_| CommError::frame("end", "status string is not UTF-8"))?;
+        *buf = &buf[2 + len..];
+        Ok(s)
+    }
+    let Some((&tag, mut rest)) = payload.split_first() else {
+        return Err(CommError::frame("end", "empty status payload"));
+    };
+    Ok(match tag {
+        0 => Ok(()),
+        1 => Err(CommError::decode(take_str(&mut rest)?.to_owned())),
+        2 => {
+            let expected = intern_label(take_str(&mut rest)?)?;
+            let got = intern_label(take_str(&mut rest)?)?;
+            Err(CommError::LabelMismatch { expected, got })
+        }
+        3 => Err(CommError::ChannelClosed),
+        4 => Err(CommError::protocol(take_str(&mut rest)?.to_owned())),
+        5 => {
+            let label = take_str(&mut rest)?.to_owned();
+            let reason = take_str(&mut rest)?.to_owned();
+            Err(CommError::Frame { label, reason })
+        }
+        other => {
+            return Err(CommError::frame(
+                "end",
+                format!("unknown status tag {other}"),
+            ))
+        }
+    })
+}
+
+impl<S: Read + Write> FrameIo for FramedConn<S> {
+    fn send_frame(
+        &mut self,
+        round: u16,
+        label: &str,
+        bits: u64,
+        payload: &[u8],
+    ) -> Result<(), CommError> {
+        debug_assert_eq!(
+            bits.div_ceil(8),
+            payload.len() as u64,
+            "logical bits must pack exactly into the payload"
+        );
+        self.send_raw(KIND_PROTO, round, label, bits, payload)
+    }
+
+    fn send_end(&mut self, status: Result<(), &CommError>) -> Result<(), CommError> {
+        let payload = encode_status(status);
+        self.send_raw(KIND_END, 0, "end", (payload.len() as u64) * 8, &payload)
+    }
+
+    fn send_output(&mut self, payload: &[u8]) -> Result<(), CommError> {
+        self.send_raw(
+            KIND_OUTPUT,
+            0,
+            "output",
+            (payload.len() as u64) * 8,
+            payload,
+        )
+    }
+
+    fn recv_event(&mut self) -> Result<RemoteEvent, CommError> {
+        let frame = self.recv_required()?;
+        match frame.kind {
+            KIND_PROTO => Ok(RemoteEvent::Frame(RemoteFrame {
+                round: frame.round,
+                label: frame.label,
+                bits: frame.bits,
+                payload: frame.payload,
+            })),
+            KIND_END => Ok(RemoteEvent::End(decode_status(&frame.payload)?)),
+            KIND_OUTPUT => Ok(RemoteEvent::Output(frame.payload)),
+            _ => Err(CommError::frame(
+                &frame.label,
+                "service frame arrived mid-protocol",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A loopback stream: writes append to an owned buffer, reads
+    /// consume a separate pre-seeded buffer.
+    #[derive(Debug)]
+    struct Loopback {
+        input: Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Loopback {
+        fn reading(bytes: Vec<u8>) -> Self {
+            Self {
+                input: Cursor::new(bytes),
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Loopback {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Loopback {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Encodes one protocol frame to raw bytes.
+    fn frame_bytes(round: u16, label: &str, bits: u64, payload: &[u8]) -> Vec<u8> {
+        let mut conn = FramedConn::new(Loopback::reading(Vec::new()));
+        conn.send_raw(KIND_PROTO, round, label, bits, payload)
+            .unwrap();
+        conn.stream.output.clone()
+    }
+
+    #[test]
+    fn frame_roundtrip_counts_bytes() {
+        let bytes = frame_bytes(3, "sketch", 12, &[0xAB, 0xC0]);
+        assert_eq!(bytes.len(), HEADER_LEN + "sketch".len() + 2);
+        let mut conn = FramedConn::new(Loopback::reading(bytes.clone()));
+        let frame = conn.recv_raw().unwrap().unwrap();
+        assert_eq!(frame.kind, KIND_PROTO);
+        assert_eq!(frame.round, 3);
+        assert_eq!(frame.label, "sketch");
+        assert_eq!(frame.bits, 12);
+        assert_eq!(frame.payload, vec![0xAB, 0xC0]);
+        assert_eq!(conn.bytes_in(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_none() {
+        let mut conn = FramedConn::new(Loopback::reading(Vec::new()));
+        assert!(conn.recv_raw().unwrap().is_none());
+    }
+
+    /// The satellite contract: truncation at *every* byte boundary of a
+    /// frame surfaces a typed `CommError::Frame` with the best-known
+    /// label — never a panic, never an `Ok`.
+    #[test]
+    fn truncation_at_every_boundary_is_typed() {
+        let full = frame_bytes(1, "col-sums", 20, &[1, 2, 3]);
+        for cut in 1..full.len() {
+            let mut conn = FramedConn::new(Loopback::reading(full[..cut].to_vec()));
+            let err = conn.recv_raw().expect_err(&format!("cut at {cut}"));
+            let CommError::Frame { label, reason } = &err else {
+                panic!("cut at {cut}: expected Frame error, got {err:?}");
+            };
+            assert!(
+                reason.contains("truncated"),
+                "cut at {cut}: reason {reason:?}"
+            );
+            // Once the label bytes are in, the error names the label; any
+            // earlier it names the phase that died.
+            if cut >= HEADER_LEN + "col-sums".len() {
+                assert_eq!(label, "col-sums", "cut at {cut}");
+            } else {
+                assert!(
+                    label == "frame-header" || label == "frame-label",
+                    "cut at {cut}: label {label:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_without_allocating() {
+        let mut bytes = frame_bytes(0, "big", 8, &[0xFF]);
+        // Corrupt the payload length to 1 GiB.
+        bytes[12..16].copy_from_slice(&(1u32 << 30).to_be_bytes());
+        let mut conn = FramedConn::new(Loopback::reading(bytes));
+        let err = conn.recv_raw().unwrap_err();
+        assert!(
+            matches!(&err, CommError::Frame { label, reason }
+                if label == "frame-header" && reason.contains("exceeds")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn bits_payload_mismatch_is_rejected() {
+        // 9 logical bits cannot pack into 1 byte.
+        let mut bytes = frame_bytes(0, "lie", 8, &[0xFF]);
+        bytes[4..12].copy_from_slice(&9u64.to_be_bytes());
+        let mut conn = FramedConn::new(Loopback::reading(bytes));
+        let err = conn.recv_raw().unwrap_err();
+        assert!(
+            matches!(&err, CommError::Frame { label, .. } if label == "lie"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut bytes = frame_bytes(0, "x", 8, &[1]);
+        bytes[0] = 99;
+        let mut conn = FramedConn::new(Loopback::reading(bytes));
+        assert!(matches!(
+            conn.recv_raw().unwrap_err(),
+            CommError::Frame { .. }
+        ));
+    }
+
+    #[test]
+    fn handshake_rejects_bad_magic_and_version() {
+        // Peer preamble with wrong magic.
+        let mut peer = Vec::new();
+        peer.extend_from_slice(b"NOPE");
+        peer.extend_from_slice(&VERSION.to_be_bytes());
+        peer.extend_from_slice(&[0, 0]);
+        let err = FramedConn::establish(Loopback::reading(peer)).unwrap_err();
+        assert!(
+            matches!(&err, CommError::Frame { label, reason }
+                if label == "handshake" && reason.contains("magic")),
+            "got {err:?}"
+        );
+
+        // Right magic, wrong version.
+        let mut peer = Vec::new();
+        peer.extend_from_slice(&MAGIC);
+        peer.extend_from_slice(&(VERSION + 1).to_be_bytes());
+        peer.extend_from_slice(&[0, 0]);
+        let err = FramedConn::establish(Loopback::reading(peer)).unwrap_err();
+        assert!(
+            matches!(&err, CommError::Frame { label, reason }
+                if label == "handshake" && reason.contains("version")),
+            "got {err:?}"
+        );
+
+        // Truncated preamble.
+        let err = FramedConn::establish(Loopback::reading(MAGIC.to_vec())).unwrap_err();
+        assert!(
+            matches!(&err, CommError::Frame { label, .. } if label == "handshake"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn status_roundtrips() {
+        let statuses: Vec<Result<(), CommError>> = vec![
+            Ok(()),
+            Err(CommError::decode("bad varint")),
+            Err(CommError::LabelMismatch {
+                expected: "a",
+                got: "b",
+            }),
+            Err(CommError::ChannelClosed),
+            Err(CommError::protocol("dims")),
+            Err(CommError::frame("lbl", "truncated")),
+        ];
+        for status in &statuses {
+            let bytes = encode_status(status.as_ref().copied());
+            assert_eq!(&decode_status(&bytes).unwrap(), status);
+        }
+        assert!(decode_status(&[]).is_err());
+        assert!(decode_status(&[9]).is_err());
+        assert!(decode_status(&[1, 0]).is_err(), "truncated string length");
+    }
+}

@@ -1,0 +1,61 @@
+//! Matrix fingerprints: the session-cache key of the serve daemon.
+//!
+//! A fingerprint is a deterministic 64-bit digest of a matrix's shape
+//! and exact triplet content. Clients fingerprint their inputs locally
+//! and send only the digests with each query; the daemon keys its
+//! session cache on the `(fp_A, fp_B)` pair and asks for the matrices
+//! only on a miss — so a fleet of clients querying the same relations
+//! uploads them once. The mixer is SplitMix64-style finalization over
+//! the triplet stream (not cryptographic; the cache trusts its clients,
+//! like the rest of this research system).
+
+use mpest_matrix::CsrMatrix;
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Digest of shape + exact triplet content. Two matrices collide only if
+/// they agree on dimensions and every nonzero (up to 64-bit mixing).
+#[must_use]
+pub fn fingerprint(m: &CsrMatrix) -> u64 {
+    let mut h = mix(0x6d70_6573_745f_6670 ^ (m.rows() as u64));
+    h = mix(h ^ (m.cols() as u64));
+    for (i, j, v) in m.triplets() {
+        h = mix(h ^ u64::from(i));
+        h = mix(h ^ u64::from(j));
+        h = mix(h ^ (v as u64));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let a = CsrMatrix::from_triplets(3, 4, vec![(0, 1, 2), (2, 3, -1)]);
+        let same = CsrMatrix::from_triplets(3, 4, vec![(2, 3, -1), (0, 1, 2)]);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&same),
+            "triplet order is canonical in CSR"
+        );
+        let value = CsrMatrix::from_triplets(3, 4, vec![(0, 1, 3), (2, 3, -1)]);
+        let position = CsrMatrix::from_triplets(3, 4, vec![(0, 2, 2), (2, 3, -1)]);
+        let shape = CsrMatrix::from_triplets(4, 4, vec![(0, 1, 2), (2, 3, -1)]);
+        assert_ne!(fingerprint(&a), fingerprint(&value));
+        assert_ne!(fingerprint(&a), fingerprint(&position));
+        assert_ne!(fingerprint(&a), fingerprint(&shape));
+        // Empty matrices of different shapes still differ.
+        assert_ne!(
+            fingerprint(&CsrMatrix::zeros(2, 3)),
+            fingerprint(&CsrMatrix::zeros(3, 2))
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! # mpest-net — estimation-as-a-service over real sockets
+//!
+//! Everything below `mpest-net` accounts communication *logically*: the
+//! transcripts bill exact bits, but the bytes move over in-process
+//! queues. This crate is where the system's "distributed" claim becomes
+//! physically true — a hand-rolled, dependency-free (`std::net`) network
+//! subsystem with three layers:
+//!
+//! 1. **[`codec`]** — a length-prefixed, versioned framed codec over any
+//!    byte stream. Payloads are the same `BitWriter`-packed bytes the
+//!    in-process executors move, so logical accounting is unchanged;
+//!    headers and the preamble are physical overhead, billed to
+//!    per-connection byte counters. Truncated/oversized/malformed frames
+//!    surface as typed [`CommError::Frame`](mpest_comm::CommError)
+//!    errors naming the offending label — never a panic or a hang.
+//! 2. **[`party`]** — remote two-party execution: a [`PartyHost`]
+//!    process plays one side of the pair and an initiator
+//!    ([`run_with_party`]) plays the other, with every protocol message
+//!    a framed socket write. Outputs and transcripts are bit-identical
+//!    to the fused in-process executor (`tests/remote_equivalence.rs`
+//!    proves it for all 14 protocols).
+//! 3. **[`server`] / [`client`]** — the `mpest serve` daemon:
+//!    thread-per-connection over a shared
+//!    [`Engine`](mpest_core::Engine)-wrapped session cache keyed by
+//!    matrix [`fingerprint()`]s, serving
+//!    [`EstimateRequest`](mpest_core::EstimateRequest)s from many
+//!    concurrent clients with real-socket byte accounting alongside the
+//!    logical [`BatchAccounting`](mpest_comm::BatchAccounting) ledger.
+//!
+//! ```no_run
+//! use mpest_core::EstimateRequest;
+//! use mpest_matrix::Workloads;
+//! use mpest_net::{Server, ServeClient};
+//!
+//! let a = Workloads::bernoulli_bits(64, 96, 0.2, 1).to_csr();
+//! let b = Workloads::bernoulli_bits(96, 64, 0.2, 2).to_csr();
+//! let server = Server::spawn("127.0.0.1:0", 0).unwrap();
+//! let mut client = ServeClient::connect(&server.addr().to_string()).unwrap();
+//! let outcome = client
+//!     .query(&a, &b, &[(42, EstimateRequest::ExactL1)])
+//!     .unwrap();
+//! println!(
+//!     "||AB||_1 = {:?} ({} logical bits, {} real bytes down)",
+//!     outcome.reports.reports[0].output,
+//!     outcome.reports.reports[0].bits(),
+//!     outcome.bytes_in,
+//! );
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod fingerprint;
+pub mod msg;
+pub mod party;
+pub mod server;
+
+pub use client::{QueryOutcome, ServeClient};
+pub use codec::{FramedConn, MAX_PAYLOAD_BYTES, VERSION};
+pub use fingerprint::fingerprint;
+pub use msg::{QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg, WCsr};
+pub use party::{run_over_conn, run_with_party, PartyHost};
+pub use server::{serve_on, Server, ServerState};

@@ -1,0 +1,391 @@
+//! Service-layer messages: what clients, the serve daemon, and party
+//! hosts say to each other between (and around) protocol runs.
+//!
+//! Every message is one [`KIND_SERVICE`](crate::codec::KIND_SERVICE)
+//! frame whose label is the message name and whose payload is the
+//! message body through the same [`Wire`] bit-packing the protocols use
+//! — the serve layer has no second serialization system.
+
+use crate::codec::FramedConn;
+use mpest_comm::{BatchAccounting, BitReader, BitWriter, CommError, Party, Wire};
+use mpest_core::{EstimateReport, EstimateRequest};
+use mpest_matrix::CsrMatrix;
+use std::io::{Read, Write};
+
+/// Wire wrapper for a CSR matrix: shape + exact triplets. Used by the
+/// one-time upload when the daemon's session cache misses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WCsr(pub CsrMatrix);
+
+impl Wire for WCsr {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_varint(self.0.rows() as u64);
+        w.write_varint(self.0.cols() as u64);
+        let triplets: Vec<(u32, u32, i64)> = self.0.triplets().collect();
+        triplets.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        let rows = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("matrix rows overflow"))?;
+        let cols = usize::try_from(r.read_varint()?)
+            .map_err(|_| CommError::decode("matrix cols overflow"))?;
+        let triplets: Vec<(u32, u32, i64)> = Vec::decode(r)?;
+        for &(i, j, _) in &triplets {
+            if i as usize >= rows || j as usize >= cols {
+                return Err(CommError::decode(format!(
+                    "triplet ({i}, {j}) outside {rows}x{cols} matrix"
+                )));
+            }
+        }
+        Ok(Self(CsrMatrix::from_triplets(rows, cols, triplets)))
+    }
+}
+
+/// One client query: explicit per-request seeds, so a cached session
+/// answers reproducibly no matter how other clients interleave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMsg {
+    /// Fingerprint of Alice's matrix (see [`crate::fingerprint()`]).
+    pub fp_a: u64,
+    /// Fingerprint of Bob's matrix.
+    pub fp_b: u64,
+    /// `(seed, request)` pairs; request `i` runs under `Seed(seeds[i])`.
+    pub queries: Vec<(u64, EstimateRequest)>,
+}
+
+/// The daemon's answer to a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportsMsg {
+    /// One report per request, in request order — output, logical
+    /// transcript, bit/round accounting, all bit-identical to a local
+    /// in-process run under the same seeds.
+    pub reports: Vec<EstimateReport>,
+    /// Aggregate logical accounting for this query batch.
+    pub accounting: BatchAccounting,
+    /// Whether the session came from the fingerprint cache.
+    pub cache_hit: bool,
+    /// Real bytes the server has read on this connection so far.
+    pub wire_in: u64,
+    /// Real bytes the server has written on this connection so far
+    /// (through the previous message; this reply is still in flight).
+    pub wire_out: u64,
+}
+
+/// A daemon-wide statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsMsg {
+    /// Logical ledger folded over every query the daemon ever served.
+    pub accounting: BatchAccounting,
+    /// Cached sessions.
+    pub sessions: u64,
+    /// Total requests served.
+    pub queries: u64,
+    /// Real bytes read across all closed + current connections.
+    pub wire_in: u64,
+    /// Real bytes written across all closed + current connections.
+    pub wire_out: u64,
+}
+
+/// Run negotiation sent by the initiator of a remote two-party run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpecMsg {
+    /// Which party the *initiator* plays (the host plays the peer).
+    pub initiator_side: Party,
+    /// The query seed both processes must use.
+    pub seed: u64,
+    /// The protocol invocation.
+    pub request: EstimateRequest,
+}
+
+/// Post-run acknowledgement for a remote two-party run: the protocol's
+/// outputs already crossed the wire inside the remote executor's output
+/// exchange, so this is a resynchronization barrier that carries only
+/// the sender's failure (if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResultMsg {
+    /// The sender's failure, if its run failed.
+    pub error: Option<String>,
+}
+
+/// Every service-layer message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceMsg {
+    /// Client → daemon: run these requests.
+    Query(QueryMsg),
+    /// Daemon → client: the session cache missed — upload the pair.
+    NeedMatrices,
+    /// Client → daemon: the matrix pair for the query's fingerprints.
+    Matrices {
+        /// Alice's matrix.
+        a: WCsr,
+        /// Bob's matrix.
+        b: WCsr,
+    },
+    /// Daemon → client: the query's reports.
+    Reports(ReportsMsg),
+    /// Client → daemon: report daemon-wide statistics.
+    Stats,
+    /// Daemon → client: the statistics snapshot.
+    StatsReport(StatsMsg),
+    /// Client → daemon: stop accepting connections (graceful shutdown).
+    Shutdown,
+    /// Generic acknowledgement.
+    Ok,
+    /// A service-level failure (bad request, failed run, ...).
+    Error(String),
+    /// Initiator → party host: negotiate a remote two-party run.
+    RunSpec(RunSpecMsg),
+    /// Both directions after a remote run: output / error exchange.
+    RunResult(RunResultMsg),
+}
+
+impl ServiceMsg {
+    /// The message's frame label.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Query(_) => "query",
+            Self::NeedMatrices => "need-matrices",
+            Self::Matrices { .. } => "matrices",
+            Self::Reports(_) => "reports",
+            Self::Stats => "stats",
+            Self::StatsReport(_) => "stats-report",
+            Self::Shutdown => "shutdown",
+            Self::Ok => "ok",
+            Self::Error(_) => "error",
+            Self::RunSpec(_) => "run-spec",
+            Self::RunResult(_) => "run-result",
+        }
+    }
+
+    fn encode_body(&self, w: &mut BitWriter) {
+        match self {
+            Self::Query(q) => {
+                w.write_varint(q.fp_a);
+                w.write_varint(q.fp_b);
+                q.queries.encode(w);
+            }
+            Self::NeedMatrices | Self::Stats | Self::Shutdown | Self::Ok => {}
+            Self::Matrices { a, b } => {
+                a.encode(w);
+                b.encode(w);
+            }
+            Self::Reports(rep) => {
+                rep.reports.encode(w);
+                rep.accounting.encode(w);
+                w.write_bit(rep.cache_hit);
+                w.write_varint(rep.wire_in);
+                w.write_varint(rep.wire_out);
+            }
+            Self::StatsReport(s) => {
+                s.accounting.encode(w);
+                w.write_varint(s.sessions);
+                w.write_varint(s.queries);
+                w.write_varint(s.wire_in);
+                w.write_varint(s.wire_out);
+            }
+            Self::Error(msg) => msg.clone().encode(w),
+            Self::RunSpec(spec) => {
+                spec.initiator_side.encode(w);
+                w.write_varint(spec.seed);
+                spec.request.encode(w);
+            }
+            Self::RunResult(res) => res.error.clone().encode(w),
+        }
+    }
+
+    fn decode_body(name: &str, r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        Ok(match name {
+            "query" => Self::Query(QueryMsg {
+                fp_a: r.read_varint()?,
+                fp_b: r.read_varint()?,
+                queries: Vec::decode(r)?,
+            }),
+            "need-matrices" => Self::NeedMatrices,
+            "matrices" => Self::Matrices {
+                a: WCsr::decode(r)?,
+                b: WCsr::decode(r)?,
+            },
+            "reports" => Self::Reports(ReportsMsg {
+                reports: Vec::decode(r)?,
+                accounting: BatchAccounting::decode(r)?,
+                cache_hit: r.read_bit()?,
+                wire_in: r.read_varint()?,
+                wire_out: r.read_varint()?,
+            }),
+            "stats" => Self::Stats,
+            "stats-report" => Self::StatsReport(StatsMsg {
+                accounting: BatchAccounting::decode(r)?,
+                sessions: r.read_varint()?,
+                queries: r.read_varint()?,
+                wire_in: r.read_varint()?,
+                wire_out: r.read_varint()?,
+            }),
+            "shutdown" => Self::Shutdown,
+            "ok" => Self::Ok,
+            "error" => Self::Error(String::decode(r)?),
+            "run-spec" => Self::RunSpec(RunSpecMsg {
+                initiator_side: Party::decode(r)?,
+                seed: r.read_varint()?,
+                request: EstimateRequest::decode(r)?,
+            }),
+            "run-result" => Self::RunResult(RunResultMsg {
+                error: Option::decode(r)?,
+            }),
+            other => {
+                return Err(CommError::frame(
+                    other,
+                    "unknown service message".to_string(),
+                ))
+            }
+        })
+    }
+}
+
+impl<S: Read + Write> FramedConn<S> {
+    /// Sends one service message as a service frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec/transport errors.
+    pub fn send_msg(&mut self, msg: &ServiceMsg) -> Result<(), CommError> {
+        let mut w = BitWriter::new();
+        msg.encode_body(&mut w);
+        let (payload, bits) = w.finish_vec();
+        self.send_raw(crate::codec::KIND_SERVICE, 0, msg.name(), bits, &payload)
+    }
+
+    /// Receives the next service message; `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error on malformed frames or if a protocol frame
+    /// arrives where a service message was expected.
+    pub fn recv_msg(&mut self) -> Result<Option<ServiceMsg>, CommError> {
+        let Some(frame) = self.recv_raw()? else {
+            return Ok(None);
+        };
+        if frame.kind != crate::codec::KIND_SERVICE {
+            return Err(CommError::frame(
+                &frame.label,
+                "expected a service message, got a protocol frame",
+            ));
+        }
+        let mut r = BitReader::new(&frame.payload);
+        ServiceMsg::decode_body(&frame.label, &mut r).map(Some)
+    }
+
+    /// Receives a service message, treating EOF as a closed channel.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FramedConn::recv_msg`] plus
+    /// [`CommError::ChannelClosed`] on EOF.
+    pub fn recv_msg_required(&mut self) -> Result<ServiceMsg, CommError> {
+        self.recv_msg()?.ok_or(CommError::ChannelClosed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::PNorm;
+    use std::io::Cursor;
+
+    fn roundtrip(msg: &ServiceMsg) {
+        // Encode into a pipe, then decode from it.
+        struct Buf(Cursor<Vec<u8>>);
+        impl Read for Buf {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.0.read(buf)
+            }
+        }
+        impl Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.get_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new())));
+        conn.send_msg(msg).unwrap();
+        let back = conn.recv_msg().unwrap().unwrap();
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn service_messages_roundtrip() {
+        let m = CsrMatrix::from_triplets(3, 4, vec![(0, 1, 2), (2, 3, -5)]);
+        let mut accounting = BatchAccounting::new();
+        accounting.absorb(&mpest_comm::Transcript {
+            records: vec![mpest_comm::MsgRecord {
+                from: Party::Alice,
+                round: 0,
+                label: "x",
+                bits: 9,
+            }],
+        });
+        for msg in [
+            ServiceMsg::Query(QueryMsg {
+                fp_a: 1,
+                fp_b: 2,
+                queries: vec![
+                    (42, EstimateRequest::ExactL1),
+                    (
+                        43,
+                        EstimateRequest::LpNorm {
+                            p: PNorm::Zero,
+                            eps: 0.25,
+                        },
+                    ),
+                ],
+            }),
+            ServiceMsg::NeedMatrices,
+            ServiceMsg::Matrices {
+                a: WCsr(m.clone()),
+                b: WCsr(m.transpose()),
+            },
+            ServiceMsg::Reports(ReportsMsg {
+                reports: Vec::new(),
+                accounting: accounting.clone(),
+                cache_hit: true,
+                wire_in: 100,
+                wire_out: 50,
+            }),
+            ServiceMsg::Stats,
+            ServiceMsg::StatsReport(StatsMsg {
+                accounting,
+                sessions: 2,
+                queries: 9,
+                wire_in: 1,
+                wire_out: 2,
+            }),
+            ServiceMsg::Shutdown,
+            ServiceMsg::Ok,
+            ServiceMsg::Error("nope".into()),
+            ServiceMsg::RunSpec(RunSpecMsg {
+                initiator_side: Party::Alice,
+                seed: 7,
+                request: EstimateRequest::LinfBinary { eps: 0.3 },
+            }),
+            ServiceMsg::RunResult(RunResultMsg {
+                error: Some("boom".into()),
+            }),
+        ] {
+            roundtrip(&msg);
+        }
+    }
+
+    #[test]
+    fn wcsr_rejects_out_of_range_triplets() {
+        let mut w = BitWriter::new();
+        w.write_varint(2);
+        w.write_varint(2);
+        vec![(5u32, 0u32, 1i64)].encode(&mut w);
+        let (bytes, _) = w.finish_vec();
+        let mut r = BitReader::new(&bytes);
+        assert!(WCsr::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Remote parties: running one side of a two-party protocol in its own
+//! process, with the peer across a TCP connection.
+//!
+//! A **party host** ([`PartyHost`]) listens on an address and plays one
+//! fixed side (Alice or Bob) of its session's pair. An **initiator**
+//! ([`run_with_party`]) connects, negotiates `(side, seed, request)`
+//! via a [`RunSpecMsg`], and then both processes execute the protocol
+//! through [`Session::estimate_remote`] — every message a real framed
+//! write on the socket. The remote executor's end-and-output exchange
+//! leaves *both* sides with the complete [`EstimateReport`] (transcript
+//! reconstructed from frame headers, outputs shipped once the protocol
+//! succeeds), so the closing [`RunResultMsg`] exchange is a
+//! resynchronization barrier that also surfaces asymmetric failures
+//! (e.g. one side rejecting its inputs before any frame moved).
+//!
+//! The data split is role-wise, not storage-wise: each process holds the
+//! session pair (the protocols' entry points validate against both
+//! halves), but a party function only ever reads its own side's matrix,
+//! and every cross-party byte is paid on the wire. Enforcing a storage
+//! split (each process holding only its matrix) is the "sharded
+//! multi-party" item on the roadmap.
+
+use crate::codec::FramedConn;
+use crate::msg::{RunResultMsg, RunSpecMsg, ServiceMsg};
+use mpest_comm::{CommError, Party, Seed};
+use mpest_core::{EstimateReport, EstimateRequest, Session};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// I/O timeout (both directions) for party connections: a vanished or
+/// wedged peer surfaces as a typed error, not a hang.
+pub const PARTY_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Runs `request` as `my_side` over an established connection whose peer
+/// runs the complementary side (the shared core of the initiator and the
+/// host). Returns the complete report, bit-identical to an in-process
+/// run under the same session pair and seed.
+///
+/// # Errors
+///
+/// Protocol/validation errors from either side, or transport errors.
+pub fn run_over_conn(
+    conn: &mut FramedConn<TcpStream>,
+    session: &Session,
+    my_side: Party,
+    request: &EstimateRequest,
+    seed: Seed,
+) -> Result<EstimateReport, CommError> {
+    let local = session.estimate_remote(request, seed, my_side, conn);
+    // A local failure is the primary diagnosis (the peer usually echoes
+    // it), so the closing result exchange is best-effort in that case —
+    // a dead connection must not replace the real error with a generic
+    // transport one (or block another read-timeout interval waiting for
+    // a reply that will never come).
+    let result_msg = ServiceMsg::RunResult(RunResultMsg {
+        error: local.as_ref().err().map(ToString::to_string),
+    });
+    if local.is_err() {
+        // Only resynchronize when the connection itself still works; a
+        // transport-level failure means the stream is gone.
+        if !matches!(
+            local,
+            Err(CommError::Frame { .. } | CommError::ChannelClosed)
+        ) {
+            let _ = conn.send_msg(&result_msg);
+            let _ = conn.recv_msg();
+        }
+        return local;
+    }
+    conn.send_msg(&result_msg)?;
+    let peer = match conn.recv_msg_required()? {
+        ServiceMsg::RunResult(res) => res,
+        other => {
+            return Err(CommError::frame(
+                other.name(),
+                "expected run-result after the protocol",
+            ))
+        }
+    };
+    if let Some(err) = peer.error {
+        // The peer failed where this side succeeded (e.g. it rejected
+        // its inputs before any frame moved).
+        return Err(CommError::protocol(format!("remote party failed: {err}")));
+    }
+    local
+}
+
+/// Connects to a party host at `addr` and runs `request` with this
+/// process playing `my_side`; the host must be serving the
+/// complementary side over the same logical pair.
+///
+/// Returns the report plus `(bytes_out, bytes_in)` — the real socket
+/// cost of the run as seen from this end.
+///
+/// # Errors
+///
+/// Connection/handshake failures, side mismatches, and any error
+/// [`run_over_conn`] surfaces.
+pub fn run_with_party(
+    addr: &str,
+    session: &Session,
+    my_side: Party,
+    request: &EstimateRequest,
+    seed: Seed,
+) -> Result<(EstimateReport, u64, u64), CommError> {
+    let mut conn = FramedConn::connect(addr)?;
+    conn.set_timeouts(Some(PARTY_IO_TIMEOUT))?;
+    conn.send_msg(&ServiceMsg::RunSpec(RunSpecMsg {
+        initiator_side: my_side,
+        seed: seed.0,
+        request: request.clone(),
+    }))?;
+    match conn.recv_msg_required()? {
+        ServiceMsg::Ok => {}
+        ServiceMsg::Error(msg) => {
+            return Err(CommError::protocol(format!(
+                "party rejected the run: {msg}"
+            )))
+        }
+        other => {
+            return Err(CommError::frame(
+                other.name(),
+                "expected ok/error in reply to run-spec",
+            ))
+        }
+    }
+    let report = run_over_conn(&mut conn, session, my_side, request, seed)?;
+    Ok((report, conn.bytes_out(), conn.bytes_in()))
+}
+
+/// A listening party host: accepts connections and plays `side` of its
+/// session for every [`RunSpecMsg`] an initiator sends (several runs may
+/// share one connection).
+pub struct PartyHost {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PartyHost {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves in background
+    /// threads — one accept loop, one thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn(addr: &str, session: Arc<Session>, side: Party) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            accept_loop(&listener, &stop_accept, move |stream| {
+                let session = Arc::clone(&session);
+                std::thread::spawn(move || {
+                    let _ = serve_party_conn(stream, &session, side);
+                });
+            });
+        });
+        Ok(Self {
+            addr: local,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the accept loop exits (the foreground CLI path; the
+    /// loop exits when another actor calls [`PartyHost::shutdown`] or
+    /// the process dies).
+    pub fn wait(mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for PartyHost {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Shared accept loop: hand every connection to `handle` until `stop`.
+pub(crate) fn accept_loop(listener: &TcpListener, stop: &AtomicBool, handle: impl Fn(TcpStream)) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => handle(stream),
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Serves one initiator connection: a sequence of run-specs.
+fn serve_party_conn(stream: TcpStream, session: &Session, side: Party) -> Result<(), CommError> {
+    let mut conn = FramedConn::accept(stream)?;
+    conn.set_timeouts(Some(PARTY_IO_TIMEOUT))?;
+    loop {
+        let Some(msg) = conn.recv_msg()? else {
+            return Ok(()); // initiator hung up cleanly
+        };
+        let spec = match msg {
+            ServiceMsg::RunSpec(spec) => spec,
+            other => {
+                conn.send_msg(&ServiceMsg::Error(format!(
+                    "expected run-spec, got {}",
+                    other.name()
+                )))?;
+                continue;
+            }
+        };
+        if spec.initiator_side == side {
+            conn.send_msg(&ServiceMsg::Error(format!(
+                "initiator claims side {side}, but this host already plays it"
+            )))?;
+            continue;
+        }
+        conn.send_msg(&ServiceMsg::Ok)?;
+        // Errors are shipped to the initiator inside run_over_conn's
+        // result exchange; a transport error tears the connection down.
+        match run_over_conn(&mut conn, session, side, &spec.request, Seed(spec.seed)) {
+            Ok(_) | Err(CommError::Protocol(_) | CommError::LabelMismatch { .. }) => {}
+            Err(e @ (CommError::Frame { .. } | CommError::ChannelClosed)) => return Err(e),
+            Err(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpest_matrix::Workloads;
+
+    fn session() -> Session {
+        let a = Workloads::bernoulli_bits(12, 16, 0.3, 1);
+        let b = Workloads::bernoulli_bits(16, 12, 0.3, 2);
+        Session::new(a, b).with_seed(Seed(5))
+    }
+
+    #[test]
+    fn loopback_run_matches_local_for_both_initiator_sides() {
+        let host_session = Arc::new(session());
+        let local_session = session();
+        for (host_side, my_side) in [(Party::Bob, Party::Alice), (Party::Alice, Party::Bob)] {
+            let host =
+                PartyHost::spawn("127.0.0.1:0", Arc::clone(&host_session), host_side).unwrap();
+            let addr = host.addr().to_string();
+            let request = EstimateRequest::ExactL1;
+            let local = local_session.estimate_seeded(&request, Seed(9)).unwrap();
+            let (remote, out, inn) =
+                run_with_party(&addr, &local_session, my_side, &request, Seed(9)).unwrap();
+            assert_eq!(remote, local, "initiator playing {my_side}");
+            // Real bytes always dominate the logical bits this side sent.
+            assert!(out > 0 && inn > 0);
+            host.shutdown();
+        }
+    }
+
+    #[test]
+    fn side_collision_is_rejected() {
+        let host = PartyHost::spawn("127.0.0.1:0", Arc::new(session()), Party::Bob).unwrap();
+        let err = run_with_party(
+            &host.addr().to_string(),
+            &session(),
+            Party::Bob,
+            &EstimateRequest::ExactL1,
+            Seed(1),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("already plays"), "got {err}");
+        host.shutdown();
+    }
+}

@@ -1,0 +1,268 @@
+//! The `mpest serve` daemon: estimation-as-a-service over TCP.
+//!
+//! Thread-per-connection around a shared [`ServerState`]: a
+//! fingerprint-keyed cache of [`Arc<Session>`]s (each wrapped in an
+//! [`Engine`] so one query's requests fan out over workers), a global
+//! logical [`BatchAccounting`] ledger, and real-socket byte counters.
+//! Clients speak the service messages of [`crate::msg`]: a `query`
+//! carries matrix fingerprints plus `(seed, request)` pairs; on a cache
+//! miss the daemon answers `need-matrices` and the client uploads the
+//! pair once — after which every client querying the same relations
+//! shares the session's cached derived views (CSR/bit conversions,
+//! transposes, norm tables).
+//!
+//! Every query runs under its explicit client-pinned seed, so a served
+//! answer is bit-identical — output *and* transcript — to a local
+//! `Session::estimate_seeded` call on the same pair, no matter how many
+//! clients interleave.
+
+use crate::codec::FramedConn;
+use crate::fingerprint::fingerprint;
+use crate::msg::{QueryMsg, ReportsMsg, ServiceMsg, StatsMsg, WCsr};
+use crate::party::accept_loop;
+use mpest_comm::{BatchAccounting, CommError, Seed};
+use mpest_core::{Engine, Session};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// I/O timeout (both directions) for serve connections.
+pub const SERVE_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Shared daemon state.
+pub struct ServerState {
+    /// Session cache keyed by `(fingerprint(A), fingerprint(B))`.
+    sessions: Mutex<HashMap<(u64, u64), Engine>>,
+    /// Logical ledger folded over every served query.
+    ledger: Mutex<BatchAccounting>,
+    /// Real bytes read/written over all connections (closed + live
+    /// deltas folded in per query).
+    wire_in: AtomicU64,
+    wire_out: AtomicU64,
+    /// Total requests served.
+    queries: AtomicU64,
+    /// Worker threads per query batch (0 = one per core).
+    workers: usize,
+    stop: AtomicBool,
+}
+
+impl ServerState {
+    /// Fresh state; `workers` is the per-query engine fan-out (0 = one
+    /// per core).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            sessions: Mutex::new(HashMap::new()),
+            ledger: Mutex::new(BatchAccounting::new()),
+            wire_in: AtomicU64::new(0),
+            wire_out: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            workers,
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Snapshot for `stats` replies.
+    #[must_use]
+    pub fn stats(&self) -> StatsMsg {
+        StatsMsg {
+            accounting: self.ledger.lock().expect("ledger").clone(),
+            sessions: self.sessions.lock().expect("sessions").len() as u64,
+            queries: self.queries.load(Ordering::Relaxed),
+            wire_in: self.wire_in.load(Ordering::Relaxed),
+            wire_out: self.wire_out.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lookup(&self, key: (u64, u64)) -> Option<Engine> {
+        self.sessions.lock().expect("sessions").get(&key).cloned()
+    }
+
+    fn insert(&self, key: (u64, u64), a: WCsr, b: WCsr) -> Result<Engine, CommError> {
+        let (got_a, got_b) = (fingerprint(&a.0), fingerprint(&b.0));
+        if (got_a, got_b) != key {
+            return Err(CommError::protocol(format!(
+                "uploaded matrices fingerprint to ({got_a:#x}, {got_b:#x}), \
+                 query claimed ({:#x}, {:#x})",
+                key.0, key.1
+            )));
+        }
+        let engine = Engine::new(Session::new(a.0, b.0));
+        let mut sessions = self.sessions.lock().expect("sessions");
+        // Two clients may race the same upload; first one wins, both use it.
+        Ok(sessions.entry(key).or_insert(engine).clone())
+    }
+}
+
+/// A running daemon handle.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and serves in background threads.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn(addr: &str, workers: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(ServerState::new(workers));
+        let accept_state = Arc::clone(&state);
+        let join = std::thread::spawn(move || {
+            serve_on(&listener, &accept_state);
+        });
+        Ok(Self {
+            addr: local,
+            state,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (for stats in tests and benches).
+    #[must_use]
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops the accept loop and joins it (live connections finish their
+    /// current message and then drop).
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Blocking accept loop over an already-bound listener (the CLI's
+/// foreground path; [`Server::spawn`] wraps it in a thread).
+pub fn serve_on(listener: &TcpListener, state: &Arc<ServerState>) {
+    accept_loop(listener, &state.stop, |stream| {
+        let state = Arc::clone(state);
+        std::thread::spawn(move || {
+            let _ = serve_conn(stream, &state);
+        });
+    });
+}
+
+/// Serves one client connection until EOF or shutdown.
+fn serve_conn(stream: TcpStream, state: &Arc<ServerState>) -> Result<(), CommError> {
+    let mut conn = FramedConn::accept(stream)?;
+    conn.set_timeouts(Some(SERVE_IO_TIMEOUT))?;
+    // Byte deltas already folded into the state's global counters.
+    let (mut folded_in, mut folded_out) = (0u64, 0u64);
+    let fold = |conn: &FramedConn<TcpStream>, folded_in: &mut u64, folded_out: &mut u64| {
+        state
+            .wire_in
+            .fetch_add(conn.bytes_in() - *folded_in, Ordering::Relaxed);
+        state
+            .wire_out
+            .fetch_add(conn.bytes_out() - *folded_out, Ordering::Relaxed);
+        *folded_in = conn.bytes_in();
+        *folded_out = conn.bytes_out();
+    };
+    loop {
+        let Some(msg) = conn.recv_msg()? else {
+            fold(&conn, &mut folded_in, &mut folded_out);
+            return Ok(());
+        };
+        match msg {
+            ServiceMsg::Query(query) => {
+                let reply = handle_query(&mut conn, state, query)?;
+                conn.send_msg(&reply)?;
+            }
+            ServiceMsg::Stats => {
+                conn.send_msg(&ServiceMsg::StatsReport(state.stats()))?;
+            }
+            ServiceMsg::Shutdown => {
+                state.stop.store(true, Ordering::SeqCst);
+                conn.send_msg(&ServiceMsg::Ok)?;
+                fold(&conn, &mut folded_in, &mut folded_out);
+                // Wake the accept loop so the flag is observed.
+                let _ = TcpStream::connect(conn.stream().local_addr().map_err(|e| {
+                    CommError::frame("shutdown", format!("local_addr failed: {e}"))
+                })?);
+                return Ok(());
+            }
+            other => {
+                conn.send_msg(&ServiceMsg::Error(format!(
+                    "unexpected message {}",
+                    other.name()
+                )))?;
+            }
+        }
+        fold(&conn, &mut folded_in, &mut folded_out);
+    }
+}
+
+/// Resolves the session (asking the client to upload on a cache miss)
+/// and runs the query's requests through the engine.
+fn handle_query(
+    conn: &mut FramedConn<TcpStream>,
+    state: &Arc<ServerState>,
+    query: QueryMsg,
+) -> Result<ServiceMsg, CommError> {
+    let key = (query.fp_a, query.fp_b);
+    let (engine, cache_hit) = match state.lookup(key) {
+        Some(engine) => (engine, true),
+        None => {
+            conn.send_msg(&ServiceMsg::NeedMatrices)?;
+            match conn.recv_msg_required()? {
+                ServiceMsg::Matrices { a, b } => match state.insert(key, a, b) {
+                    Ok(engine) => (engine, false),
+                    Err(e) => return Ok(ServiceMsg::Error(e.to_string())),
+                },
+                other => {
+                    return Ok(ServiceMsg::Error(format!(
+                        "expected matrices after need-matrices, got {}",
+                        other.name()
+                    )))
+                }
+            }
+        }
+    };
+    let queries: Vec<(Seed, mpest_core::EstimateRequest)> = query
+        .queries
+        .into_iter()
+        .map(|(seed, request)| (Seed(seed), request))
+        .collect();
+    match engine.run_seeded_queries(&queries, state.workers) {
+        Ok((reports, accounting)) => {
+            state
+                .queries
+                .fetch_add(reports.len() as u64, Ordering::Relaxed);
+            state.ledger.lock().expect("ledger").merge(&accounting);
+            Ok(ServiceMsg::Reports(ReportsMsg {
+                reports,
+                accounting,
+                cache_hit,
+                wire_in: conn.bytes_in(),
+                wire_out: conn.bytes_out(),
+            }))
+        }
+        Err(e) => Ok(ServiceMsg::Error(e.to_string())),
+    }
+}

@@ -36,10 +36,14 @@ const USAGE: &str = "usage:
   mpest gen --kind bernoulli|zipf|integer --rows R --cols C [--density D] [--set-size K]
             [--max-val V] [--seed S] --out FILE
   mpest exact --a FILE --b FILE
-  mpest run PROTOCOL --a FILE --b FILE [options]
+  mpest run PROTOCOL --a FILE --b FILE [options] [--format text|json]
   mpest batch --a FILE --b FILE --requests FILE.jsonl [--workers N] [--seed S]
             [--executor fused|threaded]
   mpest verify [--protocol NAME] [--trials N] [--quick] [--seed S]
+  mpest serve --listen ADDR [--workers N]
+  mpest party --listen ADDR --a FILE --b FILE [--side alice|bob]
+  mpest query PROTOCOL (--connect ADDR | --party ADDR) --a FILE --b FILE
+            [options] [--side alice|bob] [--format text|json]
 
 verify runs the Monte-Carlo statistical-guarantee sweep: every protocol
 (or just --protocol NAME) over generated dense/sparse/power-law/skewed/
@@ -47,6 +51,14 @@ integer workloads, N seeded trials each through the batch engine, scored
 against exact references and gated on each protocol's (eps, delta)
 contract. Exits nonzero on any contract violation. --quick shrinks the
 matrices and trial counts to the CI-smoke scale.
+
+serve runs the estimation daemon: clients send requests plus matrix
+fingerprints, upload each matrix pair once (fingerprint-keyed session
+cache), and get back outputs + transcripts bit-identical to a local run
+under the same seed, with real-socket byte accounting. query --connect
+talks to it. party hosts one side (default bob) of a remote two-party
+run; query --party plays the other side so every protocol message
+crosses the socket.
 
 batch requests file: one JSON object per line, {\"protocol\": NAME, ...flags},
 e.g. {\"protocol\": \"l0\", \"eps\": 0.2} — keys match the run flags
@@ -150,7 +162,18 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             }
             cmd_verify(&flags)
         }
-        _ => Err("expected a subcommand: gen | exact | run | batch | verify".to_string()),
+        Some("serve") => cmd_serve(&flags),
+        Some("party") => cmd_party(&flags),
+        Some("query") => {
+            let protocol = pos
+                .get(1)
+                .ok_or_else(|| "query needs a protocol name".to_string())?;
+            cmd_query(protocol, &flags)
+        }
+        _ => Err(
+            "expected a subcommand: gen | exact | run | batch | verify | serve | party | query"
+                .to_string(),
+        ),
     }
 }
 
@@ -318,6 +341,102 @@ fn parse_request(protocol: &str, flags: &Flags) -> Result<EstimateRequest, Strin
         "trivial-binary" => EstimateRequest::TrivialBinary,
         other => return Err(unknown_protocol(other)),
     })
+}
+
+/// Output format of `run` and `query` (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_format(flags: &Flags) -> Result<Format, String> {
+    match flags.str("format") {
+        None | Some("text") => Ok(Format::Text),
+        Some("json") => Ok(Format::Json),
+        Some(other) => Err(format!(
+            "unknown --format {other:?} (expected \"text\" or \"json\")"
+        )),
+    }
+}
+
+/// Renders a type-erased output as a JSON value (all fields numeric, so
+/// no escaping is needed here; string-valued fields go through the
+/// shared `mpest-bench` `json_escape` in [`report_json`]).
+fn output_json(output: &AnyOutput) -> String {
+    let pairs_json = |pairs: &[HhPair]| {
+        let body: Vec<String> = pairs
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"row\": {}, \"col\": {}, \"estimate\": {}}}",
+                    p.row, p.col, p.estimate
+                )
+            })
+            .collect();
+        format!("[{}]", body.join(", "))
+    };
+    let triplets_json = |triplets: &[(u32, u32, i64)]| {
+        let body: Vec<String> = triplets
+            .iter()
+            .map(|&(i, j, v)| format!("[{i}, {j}, {v}]"))
+            .collect();
+        format!("[{}]", body.join(", "))
+    };
+    match output {
+        AnyOutput::Scalar(v) => format!("{{\"kind\": \"scalar\", \"value\": {v}}}"),
+        AnyOutput::Count(v) => format!("{{\"kind\": \"count\", \"value\": {v}}}"),
+        AnyOutput::Sample(MatrixSample::Sampled { row, col, value }) => {
+            format!("{{\"kind\": \"sample\", \"row\": {row}, \"col\": {col}, \"value\": {value}}}")
+        }
+        AnyOutput::Sample(MatrixSample::ZeroMatrix) => {
+            "{\"kind\": \"sample\", \"zero_matrix\": true}".to_string()
+        }
+        AnyOutput::Sample(MatrixSample::Failed) => {
+            "{\"kind\": \"sample\", \"failed\": true}".to_string()
+        }
+        AnyOutput::L1Sample(None) => "{\"kind\": \"l1-sample\", \"empty\": true}".to_string(),
+        AnyOutput::L1Sample(Some(s)) => format!(
+            "{{\"kind\": \"l1-sample\", \"row\": {}, \"col\": {}, \"witness\": {}}}",
+            s.row, s.col, s.witness
+        ),
+        AnyOutput::Linf(e) => format!(
+            "{{\"kind\": \"linf\", \"estimate\": {}, \"level\": {}}}",
+            e.estimate,
+            e.level.map_or("null".to_string(), |l| l.to_string())
+        ),
+        AnyOutput::HeavyHitters(hh) => format!(
+            "{{\"kind\": \"heavy-hitters\", \"count\": {}, \"pairs\": {}}}",
+            hh.pairs.len(),
+            pairs_json(&hh.pairs)
+        ),
+        AnyOutput::Shares(sh) => format!(
+            "{{\"kind\": \"shares\", \"alice\": {}, \"bob\": {}}}",
+            triplets_json(&sh.alice),
+            triplets_json(&sh.bob)
+        ),
+        AnyOutput::Exact(st) => format!(
+            "{{\"kind\": \"exact\", \"l0\": {}, \"l1\": {}, \"l2_sq\": {}, \"linf\": {}, \
+             \"argmax\": [{}, {}]}}",
+            st.l0, st.l1, st.l2_sq, st.linf.0, st.linf.1 .0, st.linf.1 .1
+        ),
+    }
+}
+
+/// Renders a report as one JSON object. `extra` is injected verbatim
+/// after the standard fields (callers pass pre-rendered key/value pairs,
+/// e.g. wire-byte accounting for `query`).
+fn report_json(report: &EstimateReport, extra: &[String]) -> String {
+    use mpest_bench::report::json_escape;
+    let mut fields = vec![
+        format!("\"protocol\": \"{}\"", json_escape(report.protocol)),
+        format!("\"output\": {}", output_json(&report.output)),
+        format!("\"bits\": {}", report.bits()),
+        format!("\"rounds\": {}", report.rounds()),
+        format!("\"messages\": {}", report.transcript.messages()),
+    ];
+    fields.extend_from_slice(extra);
+    format!("{{{}}}", fields.join(", "))
 }
 
 /// One-line rendering of a type-erased output; `compact` trades detail
@@ -755,10 +874,25 @@ fn cmd_verify(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// The ground-truth value `--exact` prints for this request, if any.
+fn exact_value(request: &EstimateRequest, c: &CsrMatrix) -> Option<f64> {
+    match request {
+        EstimateRequest::LpNorm { p, .. } | EstimateRequest::LpBaseline { p, .. } => {
+            Some(norms::csr_lp_pow(c, *p))
+        }
+        EstimateRequest::LinfBinary { .. }
+        | EstimateRequest::LinfKappa { .. }
+        | EstimateRequest::LinfGeneral { .. } => Some(norms::csr_linf(c).0 as f64),
+        EstimateRequest::ExactL1 => Some(norms::csr_lp_pow(c, PNorm::ONE)),
+        _ => None,
+    }
+}
+
 fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
     // Parse the request before touching the filesystem, so an unknown
     // protocol name is reported even when the matrix files are bad too.
     let request = parse_request(protocol, flags)?;
+    let format = parse_format(flags)?;
     let (a, b) = load_pair(flags)?;
     let seed = Seed(flags.num("seed", 42u64)?);
     let executor = parse_executor(flags)?;
@@ -777,25 +911,183 @@ fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
     let report = session
         .estimate_seeded(&request, seed)
         .map_err(|e| e.to_string())?;
-    print_report(&report);
+    let exact = exact.and_then(|c| exact_value(&request, &c));
 
-    if let Some(c) = exact {
-        match &request {
-            EstimateRequest::LpNorm { p, .. } | EstimateRequest::LpBaseline { p, .. } => {
-                println!("  exact      = {}", norms::csr_lp_pow(&c, *p));
+    match format {
+        Format::Json => {
+            let mut extra = vec![format!("\"seed\": {}", seed.0)];
+            if let Some(v) = exact {
+                extra.push(format!("\"exact\": {v}"));
             }
-            EstimateRequest::LinfBinary { .. }
-            | EstimateRequest::LinfKappa { .. }
-            | EstimateRequest::LinfGeneral { .. } => {
-                println!("  exact      = {}", norms::csr_linf(&c).0);
+            println!("{}", report_json(&report, &extra));
+        }
+        Format::Text => {
+            print_report(&report);
+            if let Some(v) = exact {
+                println!("  exact      = {v}");
             }
-            EstimateRequest::ExactL1 => {
-                println!("  exact      = {}", norms::csr_lp_pow(&c, PNorm::ONE));
-            }
-            _ => {}
         }
     }
     Ok(())
+}
+
+/// `mpest serve`: the estimation daemon (blocks until a client sends
+/// `shutdown`).
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use mpest::net::{serve_on, ServerState};
+    let addr = flags.str("listen").unwrap_or("127.0.0.1:7117");
+    let workers: usize = flags.num("workers", 0)?;
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("mpest serve: listening on {local} ({workers} worker(s) per query, 0 = per-core)");
+    println!("  clients: mpest query PROTOCOL --connect {local} --a A.mtx --b B.mtx [...]");
+    let state = std::sync::Arc::new(ServerState::new(workers));
+    serve_on(&listener, &state);
+    let stats = state.stats();
+    println!(
+        "mpest serve: shut down after {} request(s), {} cached session(s), \
+         {} logical bits served, {} bytes in / {} bytes out on the wire",
+        stats.queries, stats.sessions, stats.accounting.total_bits, stats.wire_in, stats.wire_out
+    );
+    Ok(())
+}
+
+/// Parses `--side alice|bob` (with a per-command default).
+fn parse_side(flags: &Flags, default: Party) -> Result<Party, String> {
+    match flags.str("side") {
+        None => Ok(default),
+        Some("alice") => Ok(Party::Alice),
+        Some("bob") => Ok(Party::Bob),
+        Some(other) => Err(format!(
+            "unknown --side {other:?} (expected \"alice\" or \"bob\")"
+        )),
+    }
+}
+
+/// `mpest party`: host one side of remote two-party runs (blocks).
+fn cmd_party(flags: &Flags) -> Result<(), String> {
+    use mpest::net::PartyHost;
+    let addr = flags.str("listen").unwrap_or("127.0.0.1:7118");
+    let side = parse_side(flags, Party::Bob)?;
+    let (a, b) = load_pair(flags)?;
+    let session = std::sync::Arc::new(Session::new(a, b));
+    let host =
+        PartyHost::spawn(addr, session, side).map_err(|e| format!("--listen {addr}: {e}"))?;
+    println!(
+        "mpest party: playing {side} on {} — initiators run \
+         `mpest query PROTOCOL --party {} --side {} ...` with the same matrices",
+        host.addr(),
+        host.addr(),
+        match side {
+            Party::Alice => "bob",
+            Party::Bob => "alice",
+        },
+    );
+    host.wait();
+    Ok(())
+}
+
+/// `mpest query`: run a request against a serve daemon (`--connect`) or
+/// as the initiating side of a remote two-party run (`--party`).
+fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
+    let request = parse_request(protocol, flags)?;
+    let format = parse_format(flags)?;
+    let seed: u64 = flags.num("seed", 42u64)?;
+    let (a, b) = load_pair(flags)?;
+    let binarize = is_binary_request(&request) && !(a.is_binary() && b.is_binary());
+    if binarize {
+        eprintln!("note: binarizing integer inputs (nonzero -> 1) for {protocol}");
+    }
+    let as_binary = |m: &CsrMatrix| BitMatrix::from_csr(m).to_csr();
+
+    match (flags.str("connect"), flags.str("party")) {
+        (Some(addr), None) => {
+            use mpest::net::ServeClient;
+            let (qa, qb) = if binarize {
+                (as_binary(&a), as_binary(&b))
+            } else {
+                (a, b)
+            };
+            let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+            let outcome = client
+                .query(&qa, &qb, &[(seed, request)])
+                .map_err(|e| e.to_string())?;
+            let report = outcome
+                .reports
+                .reports
+                .first()
+                .ok_or("server returned no reports for a one-request query")?;
+            match format {
+                Format::Json => {
+                    let extra = vec![
+                        format!("\"seed\": {seed}"),
+                        format!("\"cache_hit\": {}", outcome.reports.cache_hit),
+                        format!("\"uploaded\": {}", outcome.uploaded),
+                        format!("\"wire_bytes_out\": {}", outcome.bytes_out),
+                        format!("\"wire_bytes_in\": {}", outcome.bytes_in),
+                    ];
+                    println!("{}", report_json(report, &extra));
+                }
+                Format::Text => {
+                    print_report(report);
+                    println!(
+                        "  served by  {addr} (session cache {}{})",
+                        if outcome.reports.cache_hit {
+                            "hit"
+                        } else {
+                            "miss"
+                        },
+                        if outcome.uploaded {
+                            ", pair uploaded"
+                        } else {
+                            ""
+                        },
+                    );
+                    println!(
+                        "  real wire  = {} bytes out, {} bytes in ({} logical payload bytes)",
+                        outcome.bytes_out,
+                        outcome.bytes_in,
+                        report.bits().div_ceil(8),
+                    );
+                }
+            }
+            Ok(())
+        }
+        (None, Some(addr)) => {
+            use mpest::net::run_with_party;
+            let side = parse_side(flags, Party::Alice)?;
+            let session = if binarize {
+                Session::new(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
+            } else {
+                Session::new(a, b)
+            };
+            let (report, out, inn) = run_with_party(addr, &session, side, &request, Seed(seed))
+                .map_err(|e| e.to_string())?;
+            match format {
+                Format::Json => {
+                    let extra = vec![
+                        format!("\"seed\": {seed}"),
+                        format!("\"side\": \"{}\"", side.to_string().to_lowercase()),
+                        format!("\"wire_bytes_out\": {out}"),
+                        format!("\"wire_bytes_in\": {inn}"),
+                    ];
+                    println!("{}", report_json(&report, &extra));
+                }
+                Format::Text => {
+                    print_report(&report);
+                    println!("  remote run playing {side} against {addr}");
+                    println!(
+                        "  real wire  = {out} bytes out, {inn} bytes in ({} logical payload bytes)",
+                        report.bits().div_ceil(8),
+                    );
+                }
+            }
+            Ok(())
+        }
+        (Some(_), Some(_)) => Err("--connect and --party are mutually exclusive".to_string()),
+        (None, None) => Err("query needs --connect ADDR or --party ADDR".to_string()),
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,7 @@ pub use mpest_comm as comm;
 pub use mpest_core as protocols;
 pub use mpest_lower as lower;
 pub use mpest_matrix as matrix;
+pub use mpest_net as net;
 pub use mpest_sketch as sketch;
 pub use mpest_verify as verify;
 
@@ -121,6 +122,8 @@ pub mod prelude {
         Constants, HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares,
         ProtocolRun,
     };
+    // The serving layer: real sockets, remote parties, session cache.
+    pub use mpest_net::{PartyHost, ServeClient, Server};
     // Statistical contracts and the Monte-Carlo verification harness.
     pub use mpest_core::{GuaranteeKind, GuaranteeSpec};
     pub use mpest_matrix::{
