@@ -36,12 +36,18 @@ pub enum CommError {
         /// What went wrong.
         reason: String,
     },
-    /// Internal control-flow signal of the fused executor: a `recv` found
-    /// the inbox empty and the party must yield to its peer. Propagated
+    /// Retryable "nothing arrived yet" signal, used in two places:
+    /// (1) internal control flow of the fused executor — a `recv` found
+    /// the inbox empty and the party must yield to its peer; propagated
     /// through the party function's `?` chain and intercepted by the
-    /// scheduler; it never escapes [`execute`](crate::execute) /
-    /// [`execute_with`](crate::execute_with). Protocol code must not
-    /// construct, swallow, or match on this variant.
+    /// scheduler, it never escapes [`execute`](crate::execute) /
+    /// [`execute_with`](crate::execute_with), and protocol code must not
+    /// construct, swallow, or match on it; (2) the network layer's
+    /// patient receives (`mpest-net`'s `recv_raw_patient` /
+    /// `recv_msg_patient`) return it when an idle window elapses with no
+    /// frame started — callers there are expected to match on it and
+    /// retry (e.g. after checking a stop flag) rather than treat it as
+    /// fatal.
     WouldBlock,
 }
 

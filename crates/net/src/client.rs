@@ -15,9 +15,26 @@ use mpest_matrix::CsrMatrix;
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Default mid-frame/write deadline for client connections.
+pub const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default deadline for a reply to *start*: generous enough for heavy
+/// server-side query batches (minutes, not the 30 s frame deadline),
+/// but still bounded so a half-open connection (server host vanished
+/// without a FIN/RST) surfaces as a typed error instead of hanging
+/// forever. Pass `None` to [`ServeClient::connect_with`] to wait
+/// without bound.
+pub const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(600);
+
 /// A client connection to a serve daemon.
 pub struct ServeClient {
     conn: FramedConn<TcpStream>,
+    /// Deadline while waiting for the server to *start* a reply
+    /// (`None` = wait as long as the server computes — a heavy query
+    /// batch may legitimately take minutes).
+    reply_timeout: Option<Duration>,
+    /// Deadline for mid-frame reads and all writes.
+    io_timeout: Option<Duration>,
 }
 
 /// One query's complete result as seen by the client.
@@ -35,15 +52,53 @@ pub struct QueryOutcome {
 }
 
 impl ServeClient {
-    /// Connects and handshakes.
+    /// Connects and handshakes with the default deadlines: replies may
+    /// take up to [`DEFAULT_REPLY_TIMEOUT`] to start (heavy batches
+    /// compute for minutes), in-flight frames and writes are bounded by
+    /// [`CLIENT_IO_TIMEOUT`].
     ///
     /// # Errors
     ///
     /// Connection or handshake failure.
     pub fn connect(addr: &str) -> Result<Self, CommError> {
-        let mut conn = FramedConn::connect(addr)?;
-        conn.set_timeouts(Some(Duration::from_secs(30)))?;
-        Ok(Self { conn })
+        Self::connect_with(addr, Some(DEFAULT_REPLY_TIMEOUT), Some(CLIENT_IO_TIMEOUT))
+    }
+
+    /// Connects with explicit deadlines: `reply_timeout` bounds the
+    /// wait for a reply to *start* (`None` = wait forever, for queries
+    /// whose server-side compute is unbounded), `io_timeout` bounds
+    /// mid-frame reads and all writes.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failure.
+    pub fn connect_with(
+        addr: &str,
+        reply_timeout: Option<Duration>,
+        io_timeout: Option<Duration>,
+    ) -> Result<Self, CommError> {
+        let conn = FramedConn::connect(addr, io_timeout)?;
+        Ok(Self {
+            conn,
+            reply_timeout,
+            io_timeout,
+        })
+    }
+
+    /// Receives the next reply with the patient two-phase deadline.
+    fn recv_reply(&mut self) -> Result<ServiceMsg, CommError> {
+        match self
+            .conn
+            .recv_msg_patient(self.reply_timeout, self.io_timeout)
+        {
+            Ok(Some(msg)) => Ok(msg),
+            Ok(None) => Err(CommError::ChannelClosed),
+            Err(CommError::WouldBlock) => Err(CommError::frame(
+                "reply",
+                "timed out waiting for the server's reply",
+            )),
+            Err(e) => Err(e),
+        }
     }
 
     /// Cumulative `(bytes_out, bytes_in)` on this connection.
@@ -73,7 +128,7 @@ impl ServeClient {
         }))?;
         let mut uploaded = false;
         let reports = loop {
-            match self.conn.recv_msg_required()? {
+            match self.recv_reply()? {
                 ServiceMsg::NeedMatrices => {
                     uploaded = true;
                     self.conn.send_msg(&ServiceMsg::Matrices {
@@ -104,7 +159,7 @@ impl ServeClient {
     /// Transport errors or an unexpected reply.
     pub fn stats(&mut self) -> Result<StatsMsg, CommError> {
         self.conn.send_msg(&ServiceMsg::Stats)?;
-        match self.conn.recv_msg_required()? {
+        match self.recv_reply()? {
             ServiceMsg::StatsReport(stats) => Ok(stats),
             other => Err(CommError::frame(other.name(), "unexpected reply to stats")),
         }
@@ -117,7 +172,7 @@ impl ServeClient {
     /// Transport errors or an unexpected reply.
     pub fn shutdown(&mut self) -> Result<(), CommError> {
         self.conn.send_msg(&ServiceMsg::Shutdown)?;
-        match self.conn.recv_msg_required()? {
+        match self.recv_reply()? {
             ServiceMsg::Ok => Ok(()),
             other => Err(CommError::frame(
                 other.name(),

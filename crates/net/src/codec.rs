@@ -13,7 +13,8 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       1     kind        (1 = protocol message, 2 = end marker, 3 = service message)
+//! 0       1     kind        (1 = protocol message, 2 = end marker, 3 = service message,
+//!                            4 = output exchange)
 //! 1       1     label_len   (≤ 255)
 //! 2       2     round       (big-endian u16; sender's round annotation)
 //! 4       8     bits        (big-endian u64; exact logical payload bits)
@@ -46,7 +47,9 @@ use std::time::Duration;
 /// Connection magic: the first four bytes of every direction.
 pub const MAGIC: [u8; 4] = *b"MPST";
 /// Codec version carried in the preamble. Bump on any layout change.
-pub const VERSION: u16 = 1;
+/// v2: `stats-report` gained a trailing `evictions` varint; `run-spec`
+/// gained an `io_timeout_secs` varint between seed and request.
+pub const VERSION: u16 = 2;
 /// Hard cap on one frame's payload (64 MiB): a corrupt or hostile length
 /// prefix fails typed instead of allocating unboundedly.
 pub const MAX_PAYLOAD_BYTES: u32 = 64 << 20;
@@ -75,7 +78,8 @@ pub struct FramedConn<S> {
 /// One decoded frame, header fields included.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawFrame {
-    /// [`KIND_PROTO`], [`KIND_END`], or [`KIND_SERVICE`].
+    /// [`KIND_PROTO`], [`KIND_END`], [`KIND_SERVICE`], or
+    /// [`KIND_OUTPUT`].
     pub kind: u8,
     /// Sender's round annotation (0 for non-protocol frames).
     pub round: u16,
@@ -228,16 +232,25 @@ impl<S: Read + Write> FramedConn<S> {
         // A clean close before any header byte is a normal end of
         // conversation; truncation *inside* the header is not.
         match self.stream.read(&mut header) {
-            Ok(0) => return Ok(None),
+            Ok(0) => Ok(None),
             Ok(n) => {
                 self.bytes_in += n as u64;
-                if n < HEADER_LEN {
-                    let mut rest = header;
-                    self.read_exact_ctx("frame-header", &mut rest[n..])?;
-                    header = rest;
-                }
+                self.finish_frame(header, n).map(Some)
             }
-            Err(e) => return Err(io_to_comm("frame-header", "read failed", &e)),
+            Err(e) => Err(io_to_comm("frame-header", "read failed", &e)),
+        }
+    }
+
+    /// Reads the rest of a frame whose header's first `got` bytes are
+    /// already in `header` (the shared tail of [`FramedConn::recv_raw`]
+    /// and the two-phase-deadline variant).
+    fn finish_frame(
+        &mut self,
+        mut header: [u8; HEADER_LEN],
+        got: usize,
+    ) -> Result<RawFrame, CommError> {
+        if got < HEADER_LEN {
+            self.read_exact_ctx("frame-header", &mut header[got..])?;
         }
         let kind = header[0];
         if !matches!(kind, KIND_PROTO | KIND_END | KIND_SERVICE | KIND_OUTPUT) {
@@ -270,13 +283,13 @@ impl<S: Read + Write> FramedConn<S> {
         }
         let mut payload = vec![0u8; payload_len as usize];
         self.read_exact_ctx(&label, &mut payload)?;
-        Ok(Some(RawFrame {
+        Ok(RawFrame {
             kind,
             round,
             label,
             bits,
             payload,
-        }))
+        })
     }
 
     /// Like [`FramedConn::recv_raw`], but treats a clean EOF as
@@ -291,18 +304,25 @@ impl<S: Read + Write> FramedConn<S> {
 }
 
 impl FramedConn<TcpStream> {
-    /// Connects to `addr`, disables Nagle (frames are latency-bound), and
-    /// performs the version handshake.
+    /// Connects to `addr`, disables Nagle (frames are latency-bound),
+    /// applies `io_timeout` to both directions *before* the handshake —
+    /// a peer that accepts but never writes its preamble (wrong service,
+    /// wedged host) surfaces as a typed error, not a hang — and performs
+    /// the version handshake.
     ///
     /// # Errors
     ///
     /// Returns [`CommError::Frame`] on connection or handshake failure.
-    pub fn connect(addr: &str) -> Result<Self, CommError> {
+    pub fn connect(addr: &str, io_timeout: Option<Duration>) -> Result<Self, CommError> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| io_to_comm("connect", &format!("cannot connect to {addr}"), &e))?;
         stream
             .set_nodelay(true)
             .map_err(|e| io_to_comm("connect", "set_nodelay failed", &e))?;
+        stream
+            .set_read_timeout(io_timeout)
+            .and_then(|()| stream.set_write_timeout(io_timeout))
+            .map_err(|e| io_to_comm("connect", "socket options failed", &e))?;
         Self::establish(stream)
     }
 
@@ -358,6 +378,50 @@ impl FramedConn<TcpStream> {
         self.set_read_timeout(timeout)?;
         self.set_write_timeout(timeout)
     }
+
+    /// Receives one frame like [`FramedConn::recv_raw`], but with a
+    /// two-phase read deadline: while *waiting* for the frame's first
+    /// bytes the socket uses `idle` (`None` = block indefinitely — a
+    /// client parked between queries, or a server still computing a
+    /// reply, is not an error), and once the first header bytes arrive
+    /// the rest of the frame is bounded by `frame_timeout` (a peer that
+    /// starts a frame must keep the bytes coming).
+    ///
+    /// The socket's read timeout is left at `frame_timeout` on return;
+    /// each call re-applies its own `idle` deadline first.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FramedConn::recv_raw`], plus socket-option failures.
+    /// An elapsed `idle` window with *no* frame started surfaces as
+    /// [`CommError::WouldBlock`] — a retryable "nothing arrived yet"
+    /// signal, so serve loops can poll a stop flag between slices —
+    /// while a timeout *mid-frame* stays a typed [`CommError::Frame`].
+    pub fn recv_raw_patient(
+        &mut self,
+        idle: Option<Duration>,
+        frame_timeout: Option<Duration>,
+    ) -> Result<Option<RawFrame>, CommError> {
+        self.set_read_timeout(idle)?;
+        let mut header = [0u8; HEADER_LEN];
+        match self.stream.read(&mut header) {
+            Ok(0) => Ok(None),
+            Ok(n) => {
+                self.bytes_in += n as u64;
+                self.set_read_timeout(frame_timeout)?;
+                self.finish_frame(header, n).map(Some)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(CommError::WouldBlock)
+            }
+            Err(e) => Err(io_to_comm("frame-header", "read failed", &e)),
+        }
+    }
 }
 
 fn io_to_comm(label: &str, what: &str, e: &std::io::Error) -> CommError {
@@ -378,7 +442,14 @@ fn io_to_comm(label: &str, what: &str, e: &std::io::Error) -> CommError {
 #[must_use]
 pub fn encode_status(status: Result<(), &CommError>) -> Vec<u8> {
     fn push_str(out: &mut Vec<u8>, s: &str) {
-        let bytes = &s.as_bytes()[..s.len().min(u16::MAX as usize)];
+        // Truncate on a char boundary: a raw byte slice could split a
+        // multi-byte character and make the receiver reject the whole
+        // status as non-UTF-8, replacing the real error with a frame one.
+        let mut end = s.len().min(u16::MAX as usize);
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let bytes = &s.as_bytes()[..end];
         out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
         out.extend_from_slice(bytes);
     }
@@ -503,10 +574,32 @@ impl<S: Read + Write> FrameIo for FramedConn<S> {
             })),
             KIND_END => Ok(RemoteEvent::End(decode_status(&frame.payload)?)),
             KIND_OUTPUT => Ok(RemoteEvent::Output(frame.payload)),
-            _ => Err(CommError::frame(
-                &frame.label,
-                "service frame arrived mid-protocol",
-            )),
+            _ => {
+                // A peer that failed *before* its executor started (e.g.
+                // input validation) never sends an end marker — it ships
+                // its error as a run-result service message instead.
+                // Surface that real failure rather than a generic
+                // mid-protocol frame error.
+                if frame.label == "run-result" {
+                    let mut r = mpest_comm::BitReader::new(&frame.payload);
+                    if let Ok(crate::msg::ServiceMsg::RunResult(res)) =
+                        crate::msg::ServiceMsg::decode_body(&frame.label, &mut r)
+                    {
+                        return Err(match res.error {
+                            Some(err) => CommError::protocol(format!(
+                                "remote party failed before the protocol started: {err}"
+                            )),
+                            None => {
+                                CommError::frame("run-result", "peer ended the run mid-protocol")
+                            }
+                        });
+                    }
+                }
+                Err(CommError::frame(
+                    &frame.label,
+                    "service frame arrived mid-protocol",
+                ))
+            }
         }
     }
 }
@@ -698,5 +791,19 @@ mod tests {
         assert!(decode_status(&[]).is_err());
         assert!(decode_status(&[9]).is_err());
         assert!(decode_status(&[1, 0]).is_err(), "truncated string length");
+    }
+
+    #[test]
+    fn oversized_status_truncates_on_a_char_boundary() {
+        // A status string beyond the u16 length cap whose cut point
+        // lands mid-character: the encoded form must still decode as
+        // valid UTF-8 (a shortened real message, not a frame error).
+        let long = "é".repeat(40_000); // 2 bytes each; 80_000 > u16::MAX (odd cut)
+        let status: Result<(), CommError> = Err(CommError::protocol(long.clone()));
+        let bytes = encode_status(status.as_ref().copied());
+        let decoded = decode_status(&bytes).unwrap().unwrap_err();
+        let msg = decoded.to_string();
+        assert!(msg.contains('é'), "truncated message kept its content");
+        assert!(msg.len() < long.len(), "message was truncated");
     }
 }

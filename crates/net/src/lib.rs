@@ -54,9 +54,13 @@ pub mod msg;
 pub mod party;
 pub mod server;
 
-pub use client::{QueryOutcome, ServeClient};
+pub use client::{QueryOutcome, ServeClient, CLIENT_IO_TIMEOUT, DEFAULT_REPLY_TIMEOUT};
 pub use codec::{FramedConn, MAX_PAYLOAD_BYTES, VERSION};
 pub use fingerprint::fingerprint;
-pub use msg::{QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg, WCsr};
-pub use party::{run_over_conn, run_with_party, PartyHost};
-pub use server::{serve_on, Server, ServerState};
+pub use msg::{
+    QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg, WCsr, MAX_WIRE_MATRIX_DIM,
+};
+pub use party::{
+    run_over_conn, run_with_party, run_with_party_with, PartyHost, PARTY_RUN_TIMEOUT_MAX,
+};
+pub use server::{serve_on, ServeConfig, Server, ServerState, DEFAULT_MAX_SESSIONS};

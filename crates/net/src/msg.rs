@@ -6,16 +6,39 @@
 //! message body through the same [`Wire`] bit-packing the protocols use
 //! — the serve layer has no second serialization system.
 
-use crate::codec::FramedConn;
+use crate::codec::{FramedConn, RawFrame};
 use mpest_comm::{BatchAccounting, BitReader, BitWriter, CommError, Party, Wire};
 use mpest_core::{EstimateReport, EstimateRequest};
 use mpest_matrix::CsrMatrix;
 use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard cap on a wire matrix's row/column count. Triplet indices are
+/// `u32`, so nothing wider is addressable anyway; more importantly,
+/// building the matrix allocates a `rows + 1` row-pointer table *before*
+/// any triplet is checked, so a hostile upload claiming astronomical
+/// dimensions in a few varint bytes (well under the payload cap) must
+/// fail typed here instead of aborting the daemon on a multi-TiB
+/// allocation. 2^24 bounds that table at 128 MiB, in line with the
+/// 64 MiB frame payload cap.
+pub const MAX_WIRE_MATRIX_DIM: u64 = 1 << 24;
 
 /// Wire wrapper for a CSR matrix: shape + exact triplets. Used by the
 /// one-time upload when the daemon's session cache misses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WCsr(pub CsrMatrix);
+
+/// Decodes one matrix dimension, enforcing [`MAX_WIRE_MATRIX_DIM`].
+fn read_dim(r: &mut BitReader<'_>, what: &str) -> Result<usize, CommError> {
+    let dim = r.read_varint()?;
+    if dim > MAX_WIRE_MATRIX_DIM {
+        return Err(CommError::decode(format!(
+            "matrix {what} count {dim} exceeds the {MAX_WIRE_MATRIX_DIM} wire cap"
+        )));
+    }
+    usize::try_from(dim).map_err(|_| CommError::decode(format!("matrix {what} overflow")))
+}
 
 impl Wire for WCsr {
     fn encode(&self, w: &mut BitWriter) {
@@ -25,10 +48,8 @@ impl Wire for WCsr {
         triplets.encode(w);
     }
     fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
-        let rows = usize::try_from(r.read_varint()?)
-            .map_err(|_| CommError::decode("matrix rows overflow"))?;
-        let cols = usize::try_from(r.read_varint()?)
-            .map_err(|_| CommError::decode("matrix cols overflow"))?;
+        let rows = read_dim(r, "rows")?;
+        let cols = read_dim(r, "cols")?;
         let triplets: Vec<(u32, u32, i64)> = Vec::decode(r)?;
         for &(i, j, _) in &triplets {
             if i as usize >= rows || j as usize >= cols {
@@ -84,6 +105,9 @@ pub struct StatsMsg {
     pub wire_in: u64,
     /// Real bytes written across all closed + current connections.
     pub wire_out: u64,
+    /// Sessions evicted from the cache (least-recently-used first) to
+    /// stay under the daemon's `max_sessions` cap.
+    pub evictions: u64,
 }
 
 /// Run negotiation sent by the initiator of a remote two-party run.
@@ -93,6 +117,11 @@ pub struct RunSpecMsg {
     pub initiator_side: Party,
     /// The query seed both processes must use.
     pub seed: u64,
+    /// The per-read/write deadline (seconds, 0 = none) *both* sides
+    /// apply for this run, so an initiator that relaxed its own
+    /// deadline for heavy per-round compute is not dropped by the
+    /// host's stricter default mid-run.
+    pub io_timeout_secs: u64,
     /// The protocol invocation.
     pub request: EstimateRequest,
 }
@@ -183,18 +212,20 @@ impl ServiceMsg {
                 w.write_varint(s.queries);
                 w.write_varint(s.wire_in);
                 w.write_varint(s.wire_out);
+                w.write_varint(s.evictions);
             }
             Self::Error(msg) => msg.clone().encode(w),
             Self::RunSpec(spec) => {
                 spec.initiator_side.encode(w);
                 w.write_varint(spec.seed);
+                w.write_varint(spec.io_timeout_secs);
                 spec.request.encode(w);
             }
             Self::RunResult(res) => res.error.clone().encode(w),
         }
     }
 
-    fn decode_body(name: &str, r: &mut BitReader<'_>) -> Result<Self, CommError> {
+    pub(crate) fn decode_body(name: &str, r: &mut BitReader<'_>) -> Result<Self, CommError> {
         Ok(match name {
             "query" => Self::Query(QueryMsg {
                 fp_a: r.read_varint()?,
@@ -220,6 +251,7 @@ impl ServiceMsg {
                 queries: r.read_varint()?,
                 wire_in: r.read_varint()?,
                 wire_out: r.read_varint()?,
+                evictions: r.read_varint()?,
             }),
             "shutdown" => Self::Shutdown,
             "ok" => Self::Ok,
@@ -227,6 +259,7 @@ impl ServiceMsg {
             "run-spec" => Self::RunSpec(RunSpecMsg {
                 initiator_side: Party::decode(r)?,
                 seed: r.read_varint()?,
+                io_timeout_secs: r.read_varint()?,
                 request: EstimateRequest::decode(r)?,
             }),
             "run-result" => Self::RunResult(RunResultMsg {
@@ -265,14 +298,7 @@ impl<S: Read + Write> FramedConn<S> {
         let Some(frame) = self.recv_raw()? else {
             return Ok(None);
         };
-        if frame.kind != crate::codec::KIND_SERVICE {
-            return Err(CommError::frame(
-                &frame.label,
-                "expected a service message, got a protocol frame",
-            ));
-        }
-        let mut r = BitReader::new(&frame.payload);
-        ServiceMsg::decode_body(&frame.label, &mut r).map(Some)
+        decode_service_frame(&frame).map(Some)
     }
 
     /// Receives a service message, treating EOF as a closed channel.
@@ -283,6 +309,40 @@ impl<S: Read + Write> FramedConn<S> {
     /// [`CommError::ChannelClosed`] on EOF.
     pub fn recv_msg_required(&mut self) -> Result<ServiceMsg, CommError> {
         self.recv_msg()?.ok_or(CommError::ChannelClosed)
+    }
+}
+
+/// Checks the frame kind and decodes the service-message body.
+fn decode_service_frame(frame: &RawFrame) -> Result<ServiceMsg, CommError> {
+    if frame.kind != crate::codec::KIND_SERVICE {
+        return Err(CommError::frame(
+            &frame.label,
+            "expected a service message, got a protocol frame",
+        ));
+    }
+    let mut r = BitReader::new(&frame.payload);
+    ServiceMsg::decode_body(&frame.label, &mut r)
+}
+
+impl FramedConn<TcpStream> {
+    /// Like [`FramedConn::recv_msg`], with the two-phase read deadline
+    /// of [`FramedConn::recv_raw_patient`]: wait up to `idle` (`None` =
+    /// forever) for a message to *start*, then bound the rest of its
+    /// frame by `frame_timeout`. This is how the serve loops wait
+    /// between messages without disconnecting parked-but-healthy peers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FramedConn::recv_msg`], plus socket-option failures.
+    pub fn recv_msg_patient(
+        &mut self,
+        idle: Option<Duration>,
+        frame_timeout: Option<Duration>,
+    ) -> Result<Option<ServiceMsg>, CommError> {
+        let Some(frame) = self.recv_raw_patient(idle, frame_timeout)? else {
+            return Ok(None);
+        };
+        decode_service_frame(&frame).map(Some)
     }
 }
 
@@ -361,6 +421,7 @@ mod tests {
                 queries: 9,
                 wire_in: 1,
                 wire_out: 2,
+                evictions: 3,
             }),
             ServiceMsg::Shutdown,
             ServiceMsg::Ok,
@@ -368,6 +429,7 @@ mod tests {
             ServiceMsg::RunSpec(RunSpecMsg {
                 initiator_side: Party::Alice,
                 seed: 7,
+                io_timeout_secs: 45,
                 request: EstimateRequest::LinfBinary { eps: 0.3 },
             }),
             ServiceMsg::RunResult(RunResultMsg {
@@ -376,6 +438,29 @@ mod tests {
         ] {
             roundtrip(&msg);
         }
+    }
+
+    #[test]
+    fn wcsr_rejects_hostile_dims_before_allocating() {
+        // A few varint bytes claiming 2^40 rows must fail typed instead
+        // of reaching the rows + 1 row-pointer allocation (multi-TiB).
+        let mut w = BitWriter::new();
+        w.write_varint(1u64 << 40);
+        w.write_varint(2);
+        Vec::<(u32, u32, i64)>::new().encode(&mut w);
+        let (bytes, _) = w.finish_vec();
+        let mut r = BitReader::new(&bytes);
+        let err = WCsr::decode(&mut r).unwrap_err();
+        assert!(err.to_string().contains("wire cap"), "got {err}");
+
+        // usize::MAX would additionally overflow rows + 1.
+        let mut w = BitWriter::new();
+        w.write_varint(u64::MAX);
+        w.write_varint(2);
+        Vec::<(u32, u32, i64)>::new().encode(&mut w);
+        let (bytes, _) = w.finish_vec();
+        let mut r = BitReader::new(&bytes);
+        assert!(WCsr::decode(&mut r).is_err());
     }
 
     #[test]

@@ -33,6 +33,16 @@ use std::time::Duration;
 /// wedged peer surfaces as a typed error, not a hang.
 pub const PARTY_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// How often an idle serve/party connection wakes to check its host's
+/// stop flag while waiting for the next message.
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(500);
+
+/// Hard ceiling on the per-read/write run deadline a party host accepts
+/// from an initiator's run-spec (a request for "no deadline" clamps
+/// here too): a remote peer must never be able to pin a host thread in
+/// an unbounded socket read.
+pub const PARTY_RUN_TIMEOUT_MAX: Duration = Duration::from_secs(600);
+
 /// Runs `request` as `my_side` over an established connection whose peer
 /// runs the complementary side (the shared core of the initiator and the
 /// host). Returns the complete report, bit-identical to an in-process
@@ -105,11 +115,42 @@ pub fn run_with_party(
     request: &EstimateRequest,
     seed: Seed,
 ) -> Result<(EstimateReport, u64, u64), CommError> {
-    let mut conn = FramedConn::connect(addr)?;
-    conn.set_timeouts(Some(PARTY_IO_TIMEOUT))?;
+    run_with_party_with(
+        addr,
+        session,
+        my_side,
+        request,
+        seed,
+        Some(PARTY_IO_TIMEOUT),
+    )
+}
+
+/// [`run_with_party`] with an explicit per-read/write deadline
+/// (`None` = no deadline — e.g. slow links or heavy per-round compute
+/// where the default [`PARTY_IO_TIMEOUT`] is too tight). The deadline
+/// is carried in the run-spec (rounded up to whole seconds), so the
+/// host applies the same one for the run instead of dropping a
+/// slow-but-healthy initiator at its default — clamped host-side at
+/// [`PARTY_RUN_TIMEOUT_MAX`].
+///
+/// # Errors
+///
+/// Same as [`run_with_party`].
+pub fn run_with_party_with(
+    addr: &str,
+    session: &Session,
+    my_side: Party,
+    request: &EstimateRequest,
+    seed: Seed,
+    io_timeout: Option<Duration>,
+) -> Result<(EstimateReport, u64, u64), CommError> {
+    let mut conn = FramedConn::connect(addr, io_timeout)?;
     conn.send_msg(&ServiceMsg::RunSpec(RunSpecMsg {
         initiator_side: my_side,
         seed: seed.0,
+        io_timeout_secs: io_timeout.map_or(0, |t| {
+            (t.as_secs() + u64::from(t.subsec_nanos() != 0)).max(1)
+        }),
         request: request.clone(),
     }))?;
     match conn.recv_msg_required()? {
@@ -152,10 +193,12 @@ impl PartyHost {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
         let join = std::thread::spawn(move || {
+            let stop_conn = Arc::clone(&stop_accept);
             accept_loop(&listener, &stop_accept, move |stream| {
                 let session = Arc::clone(&session);
+                let stop = Arc::clone(&stop_conn);
                 std::thread::spawn(move || {
-                    let _ = serve_party_conn(stream, &session, side);
+                    let _ = serve_party_conn(stream, &session, side, &stop);
                 });
             });
         });
@@ -216,12 +259,31 @@ pub(crate) fn accept_loop(listener: &TcpListener, stop: &AtomicBool, handle: imp
 }
 
 /// Serves one initiator connection: a sequence of run-specs.
-fn serve_party_conn(stream: TcpStream, session: &Session, side: Party) -> Result<(), CommError> {
+fn serve_party_conn(
+    stream: TcpStream,
+    session: &Session,
+    side: Party,
+    stop: &AtomicBool,
+) -> Result<(), CommError> {
+    // Bound the handshake too: a peer that connects and never speaks
+    // must not pin this thread forever.
+    stream
+        .set_read_timeout(Some(PARTY_IO_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(PARTY_IO_TIMEOUT)))
+        .map_err(|e| CommError::frame("accept", format!("socket options failed: {e}")))?;
     let mut conn = FramedConn::accept(stream)?;
-    conn.set_timeouts(Some(PARTY_IO_TIMEOUT))?;
     loop {
-        let Some(msg) = conn.recv_msg()? else {
-            return Ok(()); // initiator hung up cleanly
+        // Patient between runs (an initiator may park the connection
+        // indefinitely), strict once a frame starts arriving; the wait
+        // polls the host's stop flag so shutdown reaps this thread.
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let msg = match conn.recv_msg_patient(Some(IDLE_POLL), Some(PARTY_IO_TIMEOUT)) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return Ok(()), // initiator hung up cleanly
+            Err(CommError::WouldBlock) => continue,
+            Err(e) => return Err(e),
         };
         let spec = match msg {
             ServiceMsg::RunSpec(spec) => spec,
@@ -240,9 +302,20 @@ fn serve_party_conn(stream: TcpStream, session: &Session, side: Party) -> Result
             continue;
         }
         conn.send_msg(&ServiceMsg::Ok)?;
+        // Match the initiator's requested deadline for this run, so a
+        // side that legitimately computes longer than the host's default
+        // between rounds is not dropped mid-run — but clamp it: the
+        // peer's value must not let it pin this thread forever.
+        let run_timeout = match spec.io_timeout_secs {
+            0 => PARTY_RUN_TIMEOUT_MAX,
+            secs => Duration::from_secs(secs).min(PARTY_RUN_TIMEOUT_MAX),
+        };
+        conn.set_timeouts(Some(run_timeout))?;
         // Errors are shipped to the initiator inside run_over_conn's
         // result exchange; a transport error tears the connection down.
-        match run_over_conn(&mut conn, session, side, &spec.request, Seed(spec.seed)) {
+        let outcome = run_over_conn(&mut conn, session, side, &spec.request, Seed(spec.seed));
+        conn.set_timeouts(Some(PARTY_IO_TIMEOUT))?;
+        match outcome {
             Ok(_) | Err(CommError::Protocol(_) | CommError::LabelMismatch { .. }) => {}
             Err(e @ (CommError::Frame { .. } | CommError::ChannelClosed)) => return Err(e),
             Err(_) => {}
@@ -278,6 +351,30 @@ mod tests {
             assert!(out > 0 && inn > 0);
             host.shutdown();
         }
+    }
+
+    #[test]
+    fn asymmetric_pre_protocol_failure_surfaces_the_peers_error() {
+        use mpest_matrix::CsrMatrix;
+        // The host's copy of the pair fails linf-binary validation
+        // (non-binary values) before its executor moves a single frame;
+        // the initiator's copy is fine. The initiator must receive the
+        // host's real validation error, not a generic frame error.
+        let bad = Session::new(
+            CsrMatrix::from_triplets(12, 16, vec![(0, 1, 5)]),
+            CsrMatrix::from_triplets(16, 12, vec![(2, 3, 7)]),
+        );
+        let host = PartyHost::spawn("127.0.0.1:0", Arc::new(bad), Party::Bob).unwrap();
+        let err = run_with_party(
+            &host.addr().to_string(),
+            &session(),
+            Party::Alice,
+            &EstimateRequest::LinfBinary { eps: 0.3 },
+            Seed(4),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("remote party failed"), "got {err}");
+        host.shutdown();
     }
 
     #[test]

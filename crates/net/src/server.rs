@@ -28,13 +28,58 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// I/O timeout (both directions) for serve connections.
+/// Default read/write deadline for a frame *in flight* (and all
+/// writes). Idle waits between messages are governed separately by
+/// [`ServeConfig::idle_timeout`] so a parked-but-healthy client is
+/// never disconnected for thinking too long.
 pub const SERVE_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default session-cache capacity (see [`ServeConfig::max_sessions`]).
+pub const DEFAULT_MAX_SESSIONS: usize = 64;
+
+/// Daemon tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads per query batch (0 = one per core).
+    pub workers: usize,
+    /// Read deadline while a connection idles *between* service
+    /// messages. `None` (the default) waits as long as the daemon runs:
+    /// clients keep connections open across arbitrarily spaced queries,
+    /// and idle handler threads still exit promptly at shutdown (the
+    /// wait polls the stop flag every [`crate::party::IDLE_POLL`]).
+    pub idle_timeout: Option<Duration>,
+    /// Read/write deadline once a frame is in flight, and for all
+    /// writes: a peer that starts a frame must keep the bytes coming.
+    pub io_timeout: Option<Duration>,
+    /// Session-cache capacity (0 = unbounded). Each cached session can
+    /// hold two 64 MiB uploads plus derived views, so the cache is
+    /// bounded by default: at the cap, the least-recently-used pair is
+    /// evicted (and counted in stats).
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            idle_timeout: None,
+            io_timeout: Some(SERVE_IO_TIMEOUT),
+            max_sessions: DEFAULT_MAX_SESSIONS,
+        }
+    }
+}
+
+/// The fingerprint-keyed session cache: engines plus a recency tick for
+/// least-recently-used eviction at the configured cap.
+struct SessionCache {
+    entries: HashMap<(u64, u64), (Engine, u64)>,
+    tick: u64,
+}
 
 /// Shared daemon state.
 pub struct ServerState {
     /// Session cache keyed by `(fingerprint(A), fingerprint(B))`.
-    sessions: Mutex<HashMap<(u64, u64), Engine>>,
+    sessions: Mutex<SessionCache>,
     /// Logical ledger folded over every served query.
     ledger: Mutex<BatchAccounting>,
     /// Real bytes read/written over all connections (closed + live
@@ -43,23 +88,37 @@ pub struct ServerState {
     wire_out: AtomicU64,
     /// Total requests served.
     queries: AtomicU64,
-    /// Worker threads per query batch (0 = one per core).
-    workers: usize,
+    /// Sessions evicted to stay under `config.max_sessions`.
+    evictions: AtomicU64,
+    config: ServeConfig,
     stop: AtomicBool,
 }
 
 impl ServerState {
-    /// Fresh state; `workers` is the per-query engine fan-out (0 = one
-    /// per core).
+    /// Fresh state with default timeouts and cache cap; `workers` is the
+    /// per-query engine fan-out (0 = one per core).
     #[must_use]
     pub fn new(workers: usize) -> Self {
+        Self::with_config(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        })
+    }
+
+    /// Fresh state with explicit tunables.
+    #[must_use]
+    pub fn with_config(config: ServeConfig) -> Self {
         Self {
-            sessions: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(SessionCache {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
             ledger: Mutex::new(BatchAccounting::new()),
             wire_in: AtomicU64::new(0),
             wire_out: AtomicU64::new(0),
             queries: AtomicU64::new(0),
-            workers,
+            evictions: AtomicU64::new(0),
+            config,
             stop: AtomicBool::new(false),
         }
     }
@@ -69,15 +128,21 @@ impl ServerState {
     pub fn stats(&self) -> StatsMsg {
         StatsMsg {
             accounting: self.ledger.lock().expect("ledger").clone(),
-            sessions: self.sessions.lock().expect("sessions").len() as u64,
+            sessions: self.sessions.lock().expect("sessions").entries.len() as u64,
             queries: self.queries.load(Ordering::Relaxed),
             wire_in: self.wire_in.load(Ordering::Relaxed),
             wire_out: self.wire_out.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     fn lookup(&self, key: (u64, u64)) -> Option<Engine> {
-        self.sessions.lock().expect("sessions").get(&key).cloned()
+        let mut cache = self.sessions.lock().expect("sessions");
+        cache.tick += 1;
+        let tick = cache.tick;
+        let (engine, used) = cache.entries.get_mut(&key)?;
+        *used = tick;
+        Some(engine.clone())
     }
 
     fn insert(&self, key: (u64, u64), a: WCsr, b: WCsr) -> Result<Engine, CommError> {
@@ -90,9 +155,29 @@ impl ServerState {
             )));
         }
         let engine = Engine::new(Session::new(a.0, b.0));
-        let mut sessions = self.sessions.lock().expect("sessions");
+        let mut cache = self.sessions.lock().expect("sessions");
+        cache.tick += 1;
+        let tick = cache.tick;
         // Two clients may race the same upload; first one wins, both use it.
-        Ok(sessions.entry(key).or_insert(engine).clone())
+        if let Some((existing, used)) = cache.entries.get_mut(&key) {
+            *used = tick;
+            return Ok(existing.clone());
+        }
+        // At the cap (0 = unbounded), drop the least-recently-used pair;
+        // in-flight queries keep their cloned engine alive until they
+        // finish.
+        while self.config.max_sessions > 0 && cache.entries.len() >= self.config.max_sessions {
+            let oldest = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+                .expect("cache at cap is non-empty");
+            cache.entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        cache.entries.insert(key, (engine.clone(), tick));
+        Ok(engine)
     }
 }
 
@@ -110,9 +195,25 @@ impl Server {
     ///
     /// I/O errors from binding.
     pub fn spawn(addr: &str, workers: usize) -> std::io::Result<Self> {
+        Self::spawn_with(
+            addr,
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    /// Binds `addr` with explicit tunables and serves in background
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn_with(addr: &str, config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let state = Arc::new(ServerState::new(workers));
+        let state = Arc::new(ServerState::with_config(config));
         let accept_state = Arc::clone(&state);
         let join = std::thread::spawn(move || {
             serve_on(&listener, &accept_state);
@@ -170,28 +271,80 @@ pub fn serve_on(listener: &TcpListener, state: &Arc<ServerState>) {
 
 /// Serves one client connection until EOF or shutdown.
 fn serve_conn(stream: TcpStream, state: &Arc<ServerState>) -> Result<(), CommError> {
+    let ServeConfig {
+        idle_timeout,
+        io_timeout,
+        ..
+    } = state.config;
+    // Bound the handshake too: a peer that connects and never speaks
+    // must not pin this thread forever.
+    stream
+        .set_read_timeout(io_timeout)
+        .and_then(|()| stream.set_write_timeout(io_timeout))
+        .map_err(|e| CommError::frame("accept", format!("socket options failed: {e}")))?;
     let mut conn = FramedConn::accept(stream)?;
-    conn.set_timeouts(Some(SERVE_IO_TIMEOUT))?;
-    // Byte deltas already folded into the state's global counters.
-    let (mut folded_in, mut folded_out) = (0u64, 0u64);
-    let fold = |conn: &FramedConn<TcpStream>, folded_in: &mut u64, folded_out: &mut u64| {
-        state
-            .wire_in
-            .fetch_add(conn.bytes_in() - *folded_in, Ordering::Relaxed);
-        state
-            .wire_out
-            .fetch_add(conn.bytes_out() - *folded_out, Ordering::Relaxed);
-        *folded_in = conn.bytes_in();
-        *folded_out = conn.bytes_out();
-    };
+    let mut folded = (0u64, 0u64);
+    let result = serve_msgs(&mut conn, state, idle_timeout, io_timeout, &mut folded);
+    // Every exit path — clean EOF, shutdown, or a mid-exchange error
+    // (client vanished, reply write failed) — folds the tail delta, so
+    // aborted connections still account their bytes.
+    fold_wire(state, &conn, &mut folded);
+    result
+}
+
+/// Folds this connection's unaccounted byte delta into the daemon's
+/// global counters.
+fn fold_wire(state: &ServerState, conn: &FramedConn<TcpStream>, folded: &mut (u64, u64)) {
+    state
+        .wire_in
+        .fetch_add(conn.bytes_in() - folded.0, Ordering::Relaxed);
+    state
+        .wire_out
+        .fetch_add(conn.bytes_out() - folded.1, Ordering::Relaxed);
+    *folded = (conn.bytes_in(), conn.bytes_out());
+}
+
+/// The per-connection service-message loop.
+fn serve_msgs(
+    conn: &mut FramedConn<TcpStream>,
+    state: &Arc<ServerState>,
+    idle_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
+    folded: &mut (u64, u64),
+) -> Result<(), CommError> {
+    let mut idled = Duration::ZERO;
     loop {
-        let Some(msg) = conn.recv_msg()? else {
-            fold(&conn, &mut folded_in, &mut folded_out);
+        // Patient between messages (a client parked for minutes between
+        // queries is healthy), strict once a frame starts arriving. The
+        // wait runs in short slices so a parked connection still
+        // observes the daemon's stop flag promptly.
+        if state.stop.load(Ordering::SeqCst) {
             return Ok(());
+        }
+        let slice = match idle_timeout {
+            Some(total) => {
+                let left = total.saturating_sub(idled);
+                if left.is_zero() {
+                    return Ok(()); // idle budget exhausted: close quietly
+                }
+                left.min(crate::party::IDLE_POLL)
+            }
+            None => crate::party::IDLE_POLL,
         };
+        let msg = match conn.recv_msg_patient(Some(slice), io_timeout) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return Ok(()),
+            // Nothing arrived this slice; re-check the stop flag.
+            Err(CommError::WouldBlock) => {
+                idled += slice;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        idled = Duration::ZERO;
         match msg {
             ServiceMsg::Query(query) => {
-                let reply = handle_query(&mut conn, state, query)?;
+                let reply = handle_query(conn, state, query)?;
                 conn.send_msg(&reply)?;
             }
             ServiceMsg::Stats => {
@@ -200,7 +353,6 @@ fn serve_conn(stream: TcpStream, state: &Arc<ServerState>) -> Result<(), CommErr
             ServiceMsg::Shutdown => {
                 state.stop.store(true, Ordering::SeqCst);
                 conn.send_msg(&ServiceMsg::Ok)?;
-                fold(&conn, &mut folded_in, &mut folded_out);
                 // Wake the accept loop so the flag is observed.
                 let _ = TcpStream::connect(conn.stream().local_addr().map_err(|e| {
                     CommError::frame("shutdown", format!("local_addr failed: {e}"))
@@ -214,7 +366,8 @@ fn serve_conn(stream: TcpStream, state: &Arc<ServerState>) -> Result<(), CommErr
                 )))?;
             }
         }
-        fold(&conn, &mut folded_in, &mut folded_out);
+        // Keep stats fresh per message on long-lived connections.
+        fold_wire(state, conn, folded);
     }
 }
 
@@ -249,7 +402,7 @@ fn handle_query(
         .into_iter()
         .map(|(seed, request)| (Seed(seed), request))
         .collect();
-    match engine.run_seeded_queries(&queries, state.workers) {
+    match engine.run_seeded_queries(&queries, state.config.workers) {
         Ok((reports, accounting)) => {
             state
                 .queries
@@ -264,5 +417,99 @@ fn handle_query(
             }))
         }
         Err(e) => Ok(ServiceMsg::Error(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ServeClient;
+    use mpest_core::EstimateRequest;
+    use mpest_matrix::{CsrMatrix, Workloads};
+
+    fn pair(val: i64) -> (CsrMatrix, CsrMatrix) {
+        let a = CsrMatrix::from_triplets(3, 4, vec![(0, 1, val), (2, 3, 1)]);
+        let b = CsrMatrix::from_triplets(4, 3, vec![(1, 0, val + 1)]);
+        (a, b)
+    }
+
+    #[test]
+    fn session_cache_evicts_least_recently_used_at_cap() {
+        let state = ServerState::with_config(ServeConfig {
+            max_sessions: 2,
+            ..ServeConfig::default()
+        });
+        let (a1, b1) = pair(1);
+        let (a2, b2) = pair(10);
+        let (a3, b3) = pair(100);
+        let k1 = (fingerprint(&a1), fingerprint(&b1));
+        let k2 = (fingerprint(&a2), fingerprint(&b2));
+        let k3 = (fingerprint(&a3), fingerprint(&b3));
+        state.insert(k1, WCsr(a1), WCsr(b1)).unwrap();
+        state.insert(k2, WCsr(a2), WCsr(b2)).unwrap();
+        // Touch k1 so k2 becomes the least recently used.
+        assert!(state.lookup(k1).is_some());
+        state.insert(k3, WCsr(a3), WCsr(b3)).unwrap();
+        let stats = state.stats();
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(state.lookup(k1).is_some(), "recently used entry survives");
+        assert!(state.lookup(k2).is_none(), "LRU entry was evicted");
+        assert!(state.lookup(k3).is_some());
+    }
+
+    #[test]
+    fn aborted_connections_still_account_their_bytes() {
+        use crate::msg::QueryMsg;
+        let server = Server::spawn("127.0.0.1:0", 1).unwrap();
+        {
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut conn = FramedConn::establish(stream).unwrap();
+            conn.send_msg(&ServiceMsg::Query(QueryMsg {
+                fp_a: 1,
+                fp_b: 2,
+                queries: Vec::new(),
+            }))
+            .unwrap();
+            // The daemon replies need-matrices; vanish instead of
+            // uploading — the connection thread's early error return
+            // must still fold this conversation's bytes.
+        }
+        let mut stats = server.state().stats();
+        for _ in 0..100 {
+            if stats.wire_in > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            stats = server.state().stats();
+        }
+        assert!(stats.wire_in > 0, "aborted connection's inbound bytes");
+        assert!(stats.wire_out > 0, "aborted connection's outbound bytes");
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_client_outlives_the_in_flight_io_timeout() {
+        let a = Workloads::bernoulli_bits(8, 10, 0.3, 1).to_csr();
+        let b = Workloads::bernoulli_bits(10, 8, 0.3, 2).to_csr();
+        let server = Server::spawn_with(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                io_timeout: Some(Duration::from_millis(100)),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = ServeClient::connect(&server.addr().to_string()).unwrap();
+        let queries = [(1u64, EstimateRequest::ExactL1)];
+        client.query(&a, &b, &queries).unwrap();
+        // Park well past the in-flight deadline: idle waits are governed
+        // separately (default: forever), so the connection stays live
+        // and the next query still answers from the cached session.
+        std::thread::sleep(Duration::from_millis(300));
+        let outcome = client.query(&a, &b, &queries).unwrap();
+        assert!(outcome.reports.cache_hit);
+        server.shutdown();
     }
 }

@@ -40,10 +40,12 @@ const USAGE: &str = "usage:
   mpest batch --a FILE --b FILE --requests FILE.jsonl [--workers N] [--seed S]
             [--executor fused|threaded]
   mpest verify [--protocol NAME] [--trials N] [--quick] [--seed S]
-  mpest serve --listen ADDR [--workers N]
+  mpest serve --listen ADDR [--workers N] [--io-timeout SECS] [--idle-timeout SECS]
+            [--max-sessions N]
   mpest party --listen ADDR --a FILE --b FILE [--side alice|bob]
   mpest query PROTOCOL (--connect ADDR | --party ADDR) --a FILE --b FILE
             [options] [--side alice|bob] [--format text|json]
+            [--io-timeout SECS] [--reply-timeout SECS (--connect only)]
 
 verify runs the Monte-Carlo statistical-guarantee sweep: every protocol
 (or just --protocol NAME) over generated dense/sparse/power-law/skewed/
@@ -54,11 +56,17 @@ matrices and trial counts to the CI-smoke scale.
 
 serve runs the estimation daemon: clients send requests plus matrix
 fingerprints, upload each matrix pair once (fingerprint-keyed session
-cache), and get back outputs + transcripts bit-identical to a local run
-under the same seed, with real-socket byte accounting. query --connect
-talks to it. party hosts one side (default bob) of a remote two-party
-run; query --party plays the other side so every protocol message
-crosses the socket.
+cache, LRU-capped at --max-sessions, default 64, 0 = unbounded), and
+get back outputs + transcripts bit-identical to a local run under the
+same seed, with real-socket byte accounting. --io-timeout (default 30,
+0 = none) bounds in-flight frames and writes; --idle-timeout (default
+0 = none) bounds how long a connection may sit idle between queries.
+query --connect talks to it: --reply-timeout (default 600, 0 = wait
+forever) bounds the wait for a reply to start, generous because the
+server may legitimately compute a heavy batch for minutes. party hosts
+one side (default bob) of a remote two-party run; query --party plays
+the other side so every protocol message crosses the socket, matching
+the initiator's --io-timeout for the run (host-clamped at 600s).
 
 batch requests file: one JSON object per line, {\"protocol\": NAME, ...flags},
 e.g. {\"protocol\": \"l0\", \"eps\": 0.2} — keys match the run flags
@@ -934,23 +942,44 @@ fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
 /// `mpest serve`: the estimation daemon (blocks until a client sends
 /// `shutdown`).
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    use mpest::net::{serve_on, ServerState};
+    use mpest::net::{serve_on, ServeConfig, ServerState, DEFAULT_MAX_SESSIONS};
     let addr = flags.str("listen").unwrap_or("127.0.0.1:7117");
     let workers: usize = flags.num("workers", 0)?;
+    let config = ServeConfig {
+        workers,
+        io_timeout: parse_timeout(flags, "io-timeout", 30)?,
+        idle_timeout: parse_timeout(flags, "idle-timeout", 0)?,
+        max_sessions: flags.num("max-sessions", DEFAULT_MAX_SESSIONS)?,
+    };
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     println!("mpest serve: listening on {local} ({workers} worker(s) per query, 0 = per-core)");
     println!("  clients: mpest query PROTOCOL --connect {local} --a A.mtx --b B.mtx [...]");
-    let state = std::sync::Arc::new(ServerState::new(workers));
+    let state = std::sync::Arc::new(ServerState::with_config(config));
     serve_on(&listener, &state);
     let stats = state.stats();
     println!(
-        "mpest serve: shut down after {} request(s), {} cached session(s), \
-         {} logical bits served, {} bytes in / {} bytes out on the wire",
-        stats.queries, stats.sessions, stats.accounting.total_bits, stats.wire_in, stats.wire_out
+        "mpest serve: shut down after {} request(s), {} cached session(s) \
+         ({} evicted), {} logical bits served, {} bytes in / {} bytes out on the wire",
+        stats.queries,
+        stats.sessions,
+        stats.evictions,
+        stats.accounting.total_bits,
+        stats.wire_in,
+        stats.wire_out
     );
     Ok(())
+}
+
+/// Parses a `--KEY SECS` timeout flag; `0` means no deadline.
+fn parse_timeout(
+    flags: &Flags,
+    key: &str,
+    default_secs: u64,
+) -> Result<Option<std::time::Duration>, String> {
+    let secs: u64 = flags.num(key, default_secs)?;
+    Ok((secs > 0).then(|| std::time::Duration::from_secs(secs)))
 }
 
 /// Parses `--side alice|bob` (with a per-command default).
@@ -996,20 +1025,21 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
     let seed: u64 = flags.num("seed", 42u64)?;
     let (a, b) = load_pair(flags)?;
     let binarize = is_binary_request(&request) && !(a.is_binary() && b.is_binary());
-    if binarize {
-        eprintln!("note: binarizing integer inputs (nonzero -> 1) for {protocol}");
-    }
     let as_binary = |m: &CsrMatrix| BitMatrix::from_csr(m).to_csr();
 
     match (flags.str("connect"), flags.str("party")) {
         (Some(addr), None) => {
             use mpest::net::ServeClient;
             let (qa, qb) = if binarize {
+                eprintln!("note: binarizing integer inputs (nonzero -> 1) for {protocol}");
                 (as_binary(&a), as_binary(&b))
             } else {
                 (a, b)
             };
-            let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+            let reply_timeout = parse_timeout(flags, "reply-timeout", 600)?;
+            let io_timeout = parse_timeout(flags, "io-timeout", 30)?;
+            let mut client = ServeClient::connect_with(addr, reply_timeout, io_timeout)
+                .map_err(|e| e.to_string())?;
             let outcome = client
                 .query(&qa, &qb, &[(seed, request)])
                 .map_err(|e| e.to_string())?;
@@ -1055,15 +1085,25 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
             Ok(())
         }
         (None, Some(addr)) => {
-            use mpest::net::run_with_party;
+            use mpest::net::run_with_party_with;
+            // A remote two-party run needs both processes to hold the
+            // same pair; binarizing only this side would desynchronize
+            // the run (and `mpest party` serves the files as given).
+            if binarize {
+                return Err(format!(
+                    "{protocol} requires binary matrices, but the inputs are \
+                     integer-valued; auto-binarizing only the initiator would \
+                     desynchronize the remote run. Binarize the files first \
+                     (e.g. mpest gen --kind bernoulli) so both the party host \
+                     and this side load the same pair, or use --connect."
+                ));
+            }
             let side = parse_side(flags, Party::Alice)?;
-            let session = if binarize {
-                Session::new(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
-            } else {
-                Session::new(a, b)
-            };
-            let (report, out, inn) = run_with_party(addr, &session, side, &request, Seed(seed))
-                .map_err(|e| e.to_string())?;
+            let io_timeout = parse_timeout(flags, "io-timeout", 30)?;
+            let session = Session::new(a, b);
+            let (report, out, inn) =
+                run_with_party_with(addr, &session, side, &request, Seed(seed), io_timeout)
+                    .map_err(|e| e.to_string())?;
             match format {
                 Format::Json => {
                     let extra = vec![
