@@ -31,6 +31,16 @@
 //!                               # and exit nonzero on any remote-vs-
 //!                               # local divergence or if real wire
 //!                               # bytes fall below logical bits/8
+//!   experiments --stream-bench PATH
+//!                               # also run the streaming trajectory —
+//!                               # live-update ingest, incremental vs
+//!                               # rebuild, queries under update load,
+//!                               # and the drift-verification sweep —
+//!                               # write it to PATH (BENCH_stream.json),
+//!                               # and exit nonzero on any divergence,
+//!                               # contract violation, or if the
+//!                               # incremental path fails to beat a
+//!                               # rebuild
 //!
 //! The output of a full run is recorded in EXPERIMENTS.md.
 
@@ -47,6 +57,7 @@ fn main() {
     let mut exec_path: Option<PathBuf> = None;
     let mut accuracy_path: Option<PathBuf> = None;
     let mut serve_path: Option<PathBuf> = None;
+    let mut stream_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -84,10 +95,16 @@ fn main() {
                     args.get(i).expect("--serve-bench needs a path"),
                 ));
             }
+            "--stream-bench" => {
+                i += 1;
+                stream_path = Some(PathBuf::from(
+                    args.get(i).expect("--stream-bench needs a path"),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH] [--accuracy-bench PATH] [--serve-bench PATH]"
+                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH] [--accuracy-bench PATH] [--serve-bench PATH] [--stream-bench PATH]"
                 );
                 std::process::exit(2);
             }
@@ -118,6 +135,7 @@ fn main() {
         && exec_path.is_none()
         && accuracy_path.is_none()
         && serve_path.is_none()
+        && stream_path.is_none()
     {
         eprintln!("no experiments selected; known ids: {IDS:?}");
         std::process::exit(2);
@@ -200,6 +218,30 @@ fn main() {
             eprintln!(
                 "FAIL: remote execution diverged from the fused in-process run \
                  (or wire bytes fell below logical bits/8)"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = stream_path {
+        println!(
+            "# streaming trajectory: live updates, drifted contracts ({} mode)",
+            {
+                if quick {
+                    "quick"
+                } else {
+                    "full"
+                }
+            }
+        );
+        let bench = mpest_bench::stream::run(quick);
+        print!("{}", bench.summary());
+        bench.save_json(&path).expect("write stream bench json");
+        println!("# streaming trajectory written to {}", path.display());
+        if !bench.all_pass {
+            eprintln!(
+                "FAIL: streaming layer diverged (incremental != rebuild, daemon != mirror, \
+                 a drifted contract was violated, or incremental failed to beat rebuild)"
             );
             std::process::exit(1);
         }

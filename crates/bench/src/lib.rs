@@ -24,7 +24,11 @@
 //! * [`serve`] — the serving trajectory (`BENCH_serve.json`): all 14
 //!   protocols over a real loopback socket (remote party) plus
 //!   serve-daemon round-trip throughput, gating on remote == local
-//!   bit-identity and on real wire bytes dominating logical bits.
+//!   bit-identity and on real wire bytes dominating logical bits;
+//! * [`stream`] — the streaming trajectory (`BENCH_stream.json`):
+//!   live-update ingest rate, incremental-vs-rebuild speedup, query
+//!   latency under update load, and the drift-verification sweep,
+//!   gating on bit-identity and on every drifted contract holding.
 //!
 //! `cargo run --release -p mpest-bench --bin experiments` regenerates
 //! everything (the output recorded in EXPERIMENTS.md); the Criterion
@@ -38,3 +42,4 @@ pub mod experiments;
 pub mod fit;
 pub mod report;
 pub mod serve;
+pub mod stream;

@@ -1,0 +1,405 @@
+//! Streaming trajectory: continuous estimation over live updates (the
+//! `BENCH_stream.json` CI artifact).
+//!
+//! Three phases, all gated:
+//!
+//! 1. **Incremental vs rebuild** — a warmed session ingests update
+//!    batches through [`Session::apply_update`] (derived views
+//!    maintained in place); the same schedule is replayed by rebuilding
+//!    a cold session from the mutated pair each epoch and re-warming
+//!    its views ([`Session::warm_views`]). Timed: the cost of getting
+//!    the session back to answer-ready views after each batch. Gated:
+//!    the incremental path must be faster AND a fixed query set must be
+//!    bit-identical across the two paths at every epoch — the
+//!    streaming subsystem's two core claims, measured rather than
+//!    assumed.
+//! 2. **Daemon ingest + query-under-load** — a loopback `mpest serve`
+//!    daemon receives epoch-checked `update` messages while a client
+//!    interleaves queries; reports are gated bit-identical against a
+//!    locally synced mirror, and the daemon's `superseded` counter must
+//!    account every re-keyed fingerprint pair.
+//! 3. **Drift verification** — the [`mpest_verify::drift`] sweep:
+//!    every protocol's (ε, δ) contract re-scored at every epoch of a
+//!    mutating pair, plus per-epoch incremental-vs-rebuild replays.
+//!
+//! The CI `stream-smoke` job runs this in `--quick` mode and fails on
+//! any contract violation or incremental-vs-rebuild divergence.
+
+use crate::report::json_escape;
+use mpest_comm::Seed;
+use mpest_core::{EstimateReport, EstimateRequest, Session, UpdateBatch, UpdateSide};
+use mpest_matrix::{CsrMatrix, PNorm, Workloads};
+use mpest_net::ServeClient;
+use mpest_net::Server;
+use mpest_verify::{drift, DriftConfig};
+use std::path::Path;
+use std::time::Instant;
+
+/// The full streaming trajectory.
+#[derive(Debug, Clone)]
+pub struct StreamBench {
+    /// `"quick"` (smoke) or `"full"`.
+    pub mode: String,
+    /// Row dimension of the drifting pair.
+    pub n: usize,
+    /// Update batches in the incremental-vs-rebuild phase.
+    pub epochs: usize,
+    /// Mutation ops per batch.
+    pub ops_per_batch: usize,
+    /// Seconds for the incremental path: apply each batch to the warm
+    /// session, derived views maintained in place.
+    pub incremental_secs: f64,
+    /// Seconds for the rebuild path: cold session over the same mutated
+    /// content + re-materializing the derived views, per epoch.
+    pub rebuild_secs: f64,
+    /// `rebuild_secs / incremental_secs` — must exceed 1.
+    pub speedup: f64,
+    /// Whether every epoch's reports were bit-identical across paths.
+    pub incremental_matches_rebuild: bool,
+    /// Update batches pushed through the daemon.
+    pub daemon_updates: usize,
+    /// Total ops the daemon ingested.
+    pub daemon_ops: u64,
+    /// Seconds spent in daemon update round-trips.
+    pub ingest_secs: f64,
+    /// Daemon ingest rate (ops/s over loopback round-trips).
+    pub ingest_ops_per_sec: f64,
+    /// Queries interleaved with the daemon updates.
+    pub interleaved_queries: usize,
+    /// Seconds spent in interleaved queries.
+    pub query_under_load_secs: f64,
+    /// Query throughput while the session drifts (queries/s).
+    pub query_under_load_qps: f64,
+    /// Whether every served drifting query matched the synced mirror.
+    pub served_matches_local: bool,
+    /// Whether the daemon's superseded counter equals the pushed updates.
+    pub superseded_accounted: bool,
+    /// Drift-verification cells scored.
+    pub drift_cells: usize,
+    /// Cells that violated their contract.
+    pub drift_failures: usize,
+    /// Incremental-vs-rebuild divergences inside the drift sweep.
+    pub drift_divergences: usize,
+    /// Update ops the drift schedules applied.
+    pub drift_update_ops: u64,
+    /// Whether the drift sweep passed outright.
+    pub drift_pass: bool,
+    /// The CI gate: every phase passed.
+    pub all_pass: bool,
+}
+
+/// The fixed query set answered after every epoch: norm-table-heavy
+/// requests so the cold path pays real view recomputation.
+fn query_set() -> Vec<EstimateRequest> {
+    vec![
+        EstimateRequest::ExactL1,
+        EstimateRequest::LpNorm {
+            p: PNorm::ONE,
+            eps: 0.3,
+        },
+        EstimateRequest::LpNorm {
+            p: PNorm::Zero,
+            eps: 0.3,
+        },
+    ]
+}
+
+/// Runs the query set seeded per epoch.
+fn answer(session: &Session, epoch: usize) -> Vec<EstimateReport> {
+    query_set()
+        .iter()
+        .enumerate()
+        .map(|(i, req)| {
+            session
+                .estimate_seeded(req, Seed(0x5712_0000 + (epoch * 16 + i) as u64))
+                .expect("stream query")
+        })
+        .collect()
+}
+
+/// A deterministic content-changing batch for epoch `i`: overwrites one
+/// entry per side with a value guaranteed to differ from the current
+/// one, plus a few churn ops.
+fn daemon_batch(mirror: &Session, i: usize, ops: usize) -> UpdateBatch {
+    let (a, b) = mirror.csr_halves().expect("mirror pair");
+    let flip = |m: &CsrMatrix, r: u32, c: u32| if m.get(r as usize, c) == 3 { 4 } else { 3 };
+    let (ar, ac) = ((i % a.rows()) as u32, ((i * 7) % a.cols()) as u32);
+    let (br, bc) = (((i * 5) % b.rows()) as u32, (i % b.cols()) as u32);
+    let mut batch = UpdateBatch::new()
+        .set_entry(UpdateSide::Alice, ar, ac, flip(a, ar, ac))
+        .set_entry(UpdateSide::Bob, br, bc, flip(b, br, bc));
+    for k in 0..ops.saturating_sub(2) {
+        let r = ((i * 13 + k * 3) % a.rows()) as u32;
+        let c = ((i * 11 + k * 5) % a.cols()) as u32;
+        batch = if k % 2 == 0 {
+            batch.delete_entry(UpdateSide::Alice, r, c)
+        } else {
+            batch.set_entry(UpdateSide::Alice, r, c, 1 + (k % 5) as i64)
+        };
+    }
+    batch
+}
+
+/// Runs the trajectory. `quick` sizes it for the CI smoke job.
+///
+/// # Panics
+///
+/// Panics if the loopback daemon cannot bind (no loopback network).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run(quick: bool) -> StreamBench {
+    let (n, epochs, ops_per_batch, daemon_updates) = if quick {
+        (96, 24, 8, 16)
+    } else {
+        (192, 64, 16, 48)
+    };
+
+    // Phase 1: incremental vs rebuild over a general integer pair.
+    let base_a = Workloads::integer_csr(n, n / 2, 0.20, 6, false, 0x51a);
+    let base_b = Workloads::integer_csr(n / 2, n, 0.20, 6, false, 0x51b);
+    let mut inc = Session::new(base_a.clone(), base_b.clone()).with_seed(Seed(77));
+    // Materialize the derived views up front so every timed epoch
+    // exercises incremental maintenance, never a first lazy build.
+    inc.warm_views().expect("warm base session");
+
+    let mut incremental_secs = 0.0;
+    let mut rebuild_secs = 0.0;
+    let mut matches = true;
+    for epoch in 1..=epochs {
+        let batch = daemon_batch(&inc, epoch, ops_per_batch);
+
+        // Incremental: one batch splice, views patched in place (the
+        // trailing warm_views is a no-op and keeps the paths symmetric).
+        let start = Instant::now();
+        inc.apply_update(&batch).expect("incremental update");
+        inc.warm_views().expect("views stay warm");
+        incremental_secs += start.elapsed().as_secs_f64();
+
+        // Rebuild: cold session over the same content, views recomputed
+        // from scratch (clone cost excluded — both paths start from
+        // materialized matrices).
+        let (a_now, b_now) = {
+            let (a, b) = inc.csr_halves().expect("pair stays conformable");
+            (a.clone(), b.clone())
+        };
+        let start = Instant::now();
+        let cold = Session::new(a_now, b_now).with_seed(Seed(77));
+        cold.warm_views().expect("warm rebuilt session");
+        rebuild_secs += start.elapsed().as_secs_f64();
+
+        // Untimed gate: both paths answer the query set bit-identically.
+        matches &= answer(&inc, epoch) == answer(&cold, epoch);
+    }
+    let speedup = rebuild_secs / incremental_secs.max(1e-9);
+
+    // Phase 2: daemon ingest + queries under update load.
+    let server = Server::spawn("127.0.0.1:0", 1).expect("bind loopback server");
+    let mut client = ServeClient::connect(&server.addr().to_string()).expect("connect");
+    let mut mirror = Session::new(base_a.clone(), base_b.clone());
+    // Upload once; every later query hits the (re-keyed) cache.
+    client
+        .query(&base_a, &base_b, &[(9000, EstimateRequest::ExactL1)])
+        .expect("upload query");
+
+    let mut ingest_secs = 0.0;
+    let mut query_secs = 0.0;
+    let mut served_matches = true;
+    let mut daemon_ops = 0u64;
+    for i in 0..daemon_updates {
+        let batch = daemon_batch(&mirror, i, ops_per_batch);
+        daemon_ops += batch.len() as u64;
+        let epoch = mirror.epoch();
+        let start = Instant::now();
+        let ack = {
+            let (a, b) = mirror.csr_halves().expect("mirror pair");
+            client.update(a, b, epoch, &batch).expect("daemon update")
+        };
+        ingest_secs += start.elapsed().as_secs_f64();
+        mirror.apply_update(&batch).expect("mirror update");
+        assert_eq!(ack.epoch, mirror.epoch(), "daemon and mirror agree");
+
+        let (a_now, b_now) = {
+            let (a, b) = mirror.csr_halves().expect("mirror pair");
+            (a.clone(), b.clone())
+        };
+        let seed = 9100 + i as u64;
+        let request = query_set()[i % 3].clone();
+        let start = Instant::now();
+        let outcome = client
+            .query_at_epoch(&a_now, &b_now, &[(seed, request.clone())], ack.epoch)
+            .expect("query under load");
+        query_secs += start.elapsed().as_secs_f64();
+        let local = mirror
+            .estimate_seeded(&request, Seed(seed))
+            .expect("mirror query");
+        served_matches &= outcome.reports.reports[0] == local && outcome.reports.epoch == ack.epoch;
+    }
+    let stats = client.stats().expect("daemon stats");
+    // Every pushed batch changes content, so each one retires a pair.
+    let superseded_accounted = stats.superseded == daemon_updates as u64 && stats.sessions == 1;
+    server.shutdown();
+
+    // Phase 3: the drift-verification sweep.
+    let drift_report = drift(&if quick {
+        DriftConfig::quick()
+    } else {
+        DriftConfig::full()
+    });
+
+    let all_pass = matches
+        && speedup > 1.0
+        && served_matches
+        && superseded_accounted
+        && drift_report.all_pass();
+    StreamBench {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        n,
+        epochs,
+        ops_per_batch,
+        incremental_secs,
+        rebuild_secs,
+        speedup,
+        incremental_matches_rebuild: matches,
+        daemon_updates,
+        daemon_ops,
+        ingest_secs,
+        ingest_ops_per_sec: daemon_ops as f64 / ingest_secs.max(1e-9),
+        interleaved_queries: daemon_updates,
+        query_under_load_secs: query_secs,
+        query_under_load_qps: daemon_updates as f64 / query_secs.max(1e-9),
+        served_matches_local: served_matches,
+        superseded_accounted,
+        drift_cells: drift_report.verdicts.len(),
+        drift_failures: drift_report.failures().len(),
+        drift_divergences: drift_report.divergences.len(),
+        drift_update_ops: drift_report.update_ops,
+        drift_pass: drift_report.all_pass(),
+        all_pass,
+    }
+}
+
+impl StreamBench {
+    /// Renders the trajectory as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"stream\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
+        out.push_str(&format!("  \"n\": {},\n", self.n));
+        out.push_str(&format!("  \"epochs\": {},\n", self.epochs));
+        out.push_str(&format!("  \"ops_per_batch\": {},\n", self.ops_per_batch));
+        out.push_str(&format!(
+            "  \"incremental_secs\": {:.6},\n",
+            self.incremental_secs
+        ));
+        out.push_str(&format!("  \"rebuild_secs\": {:.6},\n", self.rebuild_secs));
+        out.push_str(&format!("  \"speedup\": {:.3},\n", self.speedup));
+        out.push_str(&format!(
+            "  \"incremental_matches_rebuild\": {},\n",
+            self.incremental_matches_rebuild
+        ));
+        out.push_str(&format!("  \"daemon_updates\": {},\n", self.daemon_updates));
+        out.push_str(&format!("  \"daemon_ops\": {},\n", self.daemon_ops));
+        out.push_str(&format!("  \"ingest_secs\": {:.6},\n", self.ingest_secs));
+        out.push_str(&format!(
+            "  \"ingest_ops_per_sec\": {:.1},\n",
+            self.ingest_ops_per_sec
+        ));
+        out.push_str(&format!(
+            "  \"interleaved_queries\": {},\n",
+            self.interleaved_queries
+        ));
+        out.push_str(&format!(
+            "  \"query_under_load_secs\": {:.6},\n",
+            self.query_under_load_secs
+        ));
+        out.push_str(&format!(
+            "  \"query_under_load_qps\": {:.1},\n",
+            self.query_under_load_qps
+        ));
+        out.push_str(&format!(
+            "  \"served_matches_local\": {},\n",
+            self.served_matches_local
+        ));
+        out.push_str(&format!(
+            "  \"superseded_accounted\": {},\n",
+            self.superseded_accounted
+        ));
+        out.push_str(&format!("  \"drift_cells\": {},\n", self.drift_cells));
+        out.push_str(&format!("  \"drift_failures\": {},\n", self.drift_failures));
+        out.push_str(&format!(
+            "  \"drift_divergences\": {},\n",
+            self.drift_divergences
+        ));
+        out.push_str(&format!(
+            "  \"drift_update_ops\": {},\n",
+            self.drift_update_ops
+        ));
+        out.push_str(&format!("  \"drift_pass\": {},\n", self.drift_pass));
+        out.push_str(&format!("  \"all_pass\": {}\n", self.all_pass));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the trajectory JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "streaming layer (n={}, {} epochs x {} ops):\n  \
+             incremental {:.3}s vs rebuild {:.3}s ({:.2}x speedup, bit-identical: {})\n  \
+             daemon ingest {:.0} ops/s over {} updates; queries under load {:.1} q/s \
+             (bit-identical: {}, superseded accounted: {})\n  \
+             drift: {} cells, {} failures, {} divergences ({} update ops) — {}\n",
+            self.n,
+            self.epochs,
+            self.ops_per_batch,
+            self.incremental_secs,
+            self.rebuild_secs,
+            self.speedup,
+            self.incremental_matches_rebuild,
+            self.ingest_ops_per_sec,
+            self.daemon_updates,
+            self.query_under_load_qps,
+            self.served_matches_local,
+            self.superseded_accounted,
+            self.drift_cells,
+            self.drift_failures,
+            self.drift_divergences,
+            self.drift_update_ops,
+            if self.drift_pass { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trajectory_passes_and_serializes() {
+        let bench = run(true);
+        assert!(
+            bench.incremental_matches_rebuild,
+            "incremental path diverged from rebuild"
+        );
+        assert!(bench.served_matches_local, "daemon diverged from mirror");
+        assert!(bench.superseded_accounted);
+        assert!(bench.drift_pass, "drift contracts failed");
+        let json = bench.to_json();
+        assert!(json.contains("\"bench\": \"stream\""));
+        assert!(json.contains("\"drift_pass\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -185,6 +185,25 @@ impl Engine {
         &self.session
     }
 
+    /// Applies an [`UpdateBatch`](crate::UpdateBatch) to the engine's
+    /// session in place, returning the new epoch. Requires exclusive
+    /// ownership of the session: callers (the serve cache, the CLI)
+    /// must quiesce in-flight queries before updating.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a typed error if the session `Arc` is shared (another
+    /// engine clone or external handle is outstanding), or surfaces the
+    /// batch's own validation errors.
+    pub fn apply_update(&mut self, batch: &crate::UpdateBatch) -> Result<u64, CommError> {
+        let session = Arc::get_mut(&mut self.session).ok_or_else(|| {
+            CommError::protocol(
+                "cannot update a shared session: outstanding handles must be dropped first",
+            )
+        })?;
+        session.apply_update(batch)
+    }
+
     /// Executes `requests` across the plan's worker pool and returns the
     /// reports in request order with aggregate accounting.
     ///

@@ -95,6 +95,7 @@ pub mod request;
 pub mod result;
 pub mod session;
 pub mod sparse_matmul;
+pub mod stream;
 pub mod trivial;
 pub mod wire;
 
@@ -107,6 +108,7 @@ pub use result::{
     HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares, ProtocolRun,
 };
 pub use session::{Session, SessionCtx, SessionInput};
+pub use stream::{UpdateBatch, UpdateOp, UpdateSide};
 
 // The protocol unit structs, one per entry point.
 pub use exact_l1::ExactL1;

@@ -32,8 +32,9 @@ use std::sync::OnceLock;
 use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
+use crate::stream::{UpdateBatch, UpdateOp, UpdateSide};
 use mpest_comm::{CommError, Exec, ExecBackend, Seed};
-use mpest_matrix::{BitMatrix, CsrMatrix};
+use mpest_matrix::{BitMatrix, CsrMatrix, SparseVec};
 
 /// One party's matrix in whichever representation the caller had.
 #[derive(Debug, Clone)]
@@ -119,6 +120,7 @@ pub struct Session {
     exec: ExecBackend,
     dims: Result<(), CommError>,
     queries: AtomicU64,
+    epoch: u64,
     a_cache: HalfCache,
     b_cache: HalfCache,
     exact: OnceLock<CsrMatrix>,
@@ -139,6 +141,7 @@ impl Session {
             exec: ExecBackend::default(),
             dims,
             queries: AtomicU64::new(0),
+            epoch: 0,
             a_cache: HalfCache::default(),
             b_cache: HalfCache::default(),
             exact: OnceLock::new(),
@@ -375,6 +378,365 @@ impl Session {
         hh.sort_unstable();
         Ok(hh)
     }
+
+    // --- live updates (mpest-stream) --------------------------------------
+
+    /// The session's epoch: 0 at construction, bumped by one per
+    /// successfully applied [`UpdateBatch`]. Queries against a served
+    /// session name `fingerprint@epoch`, so stale snapshots are
+    /// detectable.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Both halves as CSR matrices (cached conversion when a side was
+    /// built from bits) — the canonical content the wire layer
+    /// fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the session's dimension mismatch (if any).
+    pub fn csr_halves(&self) -> Result<(&CsrMatrix, &CsrMatrix), CommError> {
+        self.dims.clone()?;
+        Ok((self.a_csr(), self.b_csr()))
+    }
+
+    /// Applies `batch` atomically and returns the new epoch.
+    ///
+    /// The whole batch is validated first — dimension bounds tracked
+    /// across in-batch appends, and `{0, 1}` value constraints on
+    /// bit-matrix sides — so a failed batch leaves the session entirely
+    /// untouched (same epoch, same content, same caches).
+    ///
+    /// Derived views that are already materialized are maintained
+    /// *incrementally* (CSR splices, transposed ops, arithmetic deltas
+    /// on the norm/support tables); views still lazy stay lazy. Every
+    /// cached view is a pure function of the pair in canonical form, so
+    /// the maintained state is bit-identical to what a fresh `Session`
+    /// over the mutated matrices would compute — the rebuild
+    /// equivalence contract `tests/stream_equivalence.rs` gates on. The
+    /// cached exact product is invalidated (recomputed on next use),
+    /// never patched.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the session's dimension mismatch, out-of-range indices
+    /// (naming the op position), or non-binary values pushed at a
+    /// bit-matrix side.
+    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<u64, CommError> {
+        self.dims.clone()?;
+        let normalized = self.validate_batch(batch)?;
+        for (side, op) in &normalized {
+            match side {
+                UpdateSide::Alice => apply_half_op(&mut self.a, &mut self.a_cache, op),
+                UpdateSide::Bob => apply_half_op(&mut self.b, &mut self.b_cache, op),
+            }
+        }
+        self.exact.take();
+        self.epoch += 1;
+        Ok(self.epoch)
+    }
+
+    /// Materializes every lazily cached derived view (CSR/bit forms,
+    /// transposes, norm and support tables) for both halves.
+    ///
+    /// Freshly built sessions compute views on first use; a *streaming*
+    /// session should pay that cost up front so that
+    /// [`Session::apply_update`] maintains the views incrementally from
+    /// the first batch and queries never hit a cold view mid-stream.
+    /// The serve daemon warms uploaded sessions for the same reason.
+    /// Idempotent; already-materialized views are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the session's dimension mismatch (if any).
+    pub fn warm_views(&self) -> Result<(), CommError> {
+        self.dims.clone()?;
+        for (half, cache) in [(&self.a, &self.a_cache), (&self.b, &self.b_cache)] {
+            let csr = Self::half_csr(half, cache);
+            if let Half::Csr(m) = half {
+                cache
+                    .bits
+                    .get_or_init(|| m.is_binary().then(|| BitMatrix::from_csr(m)));
+            }
+            cache.transpose.get_or_init(|| csr.transpose());
+            cache.col_abs.get_or_init(|| csr.col_abs_sums());
+            cache.row_abs.get_or_init(|| csr.row_abs_sums());
+            cache.col_nnz.get_or_init(|| csr.col_nnz());
+            cache.row_nnz.get_or_init(|| csr.row_nnz());
+        }
+        Ok(())
+    }
+
+    /// Validates every op against simulated dimensions (so entry ops may
+    /// address rows/columns appended earlier in the same batch) and
+    /// normalizes each into its side-local [`HalfOp`], canonicalizing
+    /// append entries up front.
+    fn validate_batch(&self, batch: &UpdateBatch) -> Result<Vec<(UpdateSide, HalfOp)>, CommError> {
+        let (mut a_rows, a_cols) = (self.a.rows(), self.a.cols());
+        let (b_rows, mut b_cols) = (self.b.rows(), self.b.cols());
+        let binary = |side: UpdateSide| match side {
+            UpdateSide::Alice => matches!(self.a, Half::Bits(_)),
+            UpdateSide::Bob => matches!(self.b, Half::Bits(_)),
+        };
+        let mut out = Vec::with_capacity(batch.ops.len());
+        for (k, op) in batch.ops.iter().enumerate() {
+            match op {
+                UpdateOp::AppendRow { side, entries } => {
+                    let dim = match side {
+                        UpdateSide::Alice => a_cols,
+                        UpdateSide::Bob => b_rows,
+                    };
+                    for &(idx, _) in entries {
+                        if (idx as usize) >= dim {
+                            return Err(CommError::protocol(format!(
+                                "update op {k}: append to {} has index {idx} outside the \
+                                 inner dimension {dim}",
+                                side.label()
+                            )));
+                        }
+                    }
+                    let canon = SparseVec::from_entries(dim, entries.clone()).entries;
+                    if binary(*side) {
+                        if let Some(&(idx, v)) = canon.iter().find(|&&(_, v)| v != 1) {
+                            return Err(CommError::protocol(format!(
+                                "update op {k}: append to bit-matrix {} has non-binary \
+                                 value {v} at index {idx} (duplicates are summed)",
+                                side.label()
+                            )));
+                        }
+                    }
+                    match side {
+                        UpdateSide::Alice => {
+                            a_rows += 1;
+                            out.push((*side, HalfOp::AppendRow(canon)));
+                        }
+                        UpdateSide::Bob => {
+                            b_cols += 1;
+                            out.push((*side, HalfOp::AppendCol(canon)));
+                        }
+                    }
+                }
+                UpdateOp::SetEntry { side, row, col, .. }
+                | UpdateOp::DeleteEntry { side, row, col } => {
+                    let val = match op {
+                        UpdateOp::SetEntry { val, .. } => *val,
+                        _ => 0,
+                    };
+                    let (rows, cols) = match side {
+                        UpdateSide::Alice => (a_rows, a_cols),
+                        UpdateSide::Bob => (b_rows, b_cols),
+                    };
+                    if (*row as usize) >= rows || (*col as usize) >= cols {
+                        return Err(CommError::protocol(format!(
+                            "update op {k}: entry ({row},{col}) outside {} of shape \
+                             {rows}x{cols}",
+                            side.label()
+                        )));
+                    }
+                    if binary(*side) && !(val == 0 || val == 1) {
+                        return Err(CommError::protocol(format!(
+                            "update op {k}: bit-matrix {} cannot hold value {val}",
+                            side.label()
+                        )));
+                    }
+                    out.push((
+                        *side,
+                        HalfOp::Set {
+                            row: *row as usize,
+                            col: *col,
+                            val,
+                        },
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A normalized, side-local mutation: append entries are canonical
+/// (sorted, duplicates summed, zeros dropped) and deletes are zero
+/// writes, so application code has one shape per structural change.
+#[derive(Debug)]
+enum HalfOp {
+    /// Overwrite `(row, col)` with `val` (0 deletes).
+    Set { row: usize, col: u32, val: i64 },
+    /// Append a row with these canonical entries.
+    AppendRow(Vec<(u32, i64)>),
+    /// Append a column with these canonical entries.
+    AppendCol(Vec<(u32, i64)>),
+}
+
+/// Applies one normalized op to a half and incrementally maintains every
+/// *materialized* derived view in its cache; lazy views stay lazy.
+/// `OnceLock` maintenance is take-mutate-set (exclusive access is
+/// guaranteed by `&mut`).
+fn apply_half_op(half: &mut Half, cache: &mut HalfCache, op: &HalfOp) {
+    match op {
+        HalfOp::Set { row, col, val } => {
+            let old = match half {
+                Half::Csr(m) => m.get(*row, *col),
+                Half::Bits(m) => i64::from(m.get(*row, *col as usize)),
+            };
+            match half {
+                Half::Csr(m) => m.set_entry(*row, *col, *val),
+                // Validation guarantees `val ∈ {0, 1}` for a bits half.
+                Half::Bits(m) => m.set(*row, *col as usize, *val == 1),
+            }
+            if let Some(mut csr) = cache.csr.take() {
+                csr.set_entry(*row, *col, *val);
+                let _ = cache.csr.set(csr);
+            }
+            match cache.bits.take() {
+                Some(Some(mut bm)) if *val == 0 || *val == 1 => {
+                    bm.set(*row, *col as usize, *val == 1);
+                    let _ = cache.bits.set(Some(bm));
+                }
+                Some(_) if !(*val == 0 || *val == 1) => {
+                    // A non-binary write makes the half definitely
+                    // non-binary, whatever it was before.
+                    let _ = cache.bits.set(None);
+                }
+                // A cached `None` after a delete/overwrite may be stale
+                // (the write may have restored binariness): fall back to
+                // lazy recomputation.
+                _ => {}
+            }
+            if let Some(mut t) = cache.transpose.take() {
+                t.set_entry(*col as usize, *row as u32, *val);
+                let _ = cache.transpose.set(t);
+            }
+            let delta_abs = val.abs() - old.abs();
+            if let Some(mut ca) = cache.col_abs.take() {
+                ca[*col as usize] += delta_abs;
+                let _ = cache.col_abs.set(ca);
+            }
+            if let Some(mut ra) = cache.row_abs.take() {
+                ra[*row] += delta_abs;
+                let _ = cache.row_abs.set(ra);
+            }
+            let (was, is) = (old != 0, *val != 0);
+            if let Some(mut cn) = cache.col_nnz.take() {
+                if was && !is {
+                    cn[*col as usize] -= 1;
+                } else if !was && is {
+                    cn[*col as usize] += 1;
+                }
+                let _ = cache.col_nnz.set(cn);
+            }
+            if let Some(mut rn) = cache.row_nnz.take() {
+                if was && !is {
+                    rn[*row] -= 1;
+                } else if !was && is {
+                    rn[*row] += 1;
+                }
+                let _ = cache.row_nnz.set(rn);
+            }
+        }
+        HalfOp::AppendRow(entries) => {
+            match half {
+                Half::Csr(m) => m.append_row(entries),
+                Half::Bits(m) => {
+                    let ones: Vec<u32> = entries.iter().map(|e| e.0).collect();
+                    m.append_row(&ones);
+                }
+            }
+            if let Some(mut csr) = cache.csr.take() {
+                csr.append_row(entries);
+                let _ = cache.csr.set(csr);
+            }
+            if let Some(bits) = cache.bits.take() {
+                // Appends can never *restore* binariness, so the cached
+                // verdict stays decidable: maintain a binary append,
+                // demote to `None` otherwise.
+                match bits {
+                    Some(mut bm) if entries.iter().all(|&(_, v)| v == 1) => {
+                        let ones: Vec<u32> = entries.iter().map(|e| e.0).collect();
+                        bm.append_row(&ones);
+                        let _ = cache.bits.set(Some(bm));
+                    }
+                    _ => {
+                        let _ = cache.bits.set(None);
+                    }
+                }
+            }
+            if let Some(mut t) = cache.transpose.take() {
+                t.append_col(entries);
+                let _ = cache.transpose.set(t);
+            }
+            if let Some(mut ca) = cache.col_abs.take() {
+                for &(c, v) in entries {
+                    ca[c as usize] += v.abs();
+                }
+                let _ = cache.col_abs.set(ca);
+            }
+            if let Some(mut ra) = cache.row_abs.take() {
+                ra.push(entries.iter().map(|&(_, v)| v.abs()).sum());
+                let _ = cache.row_abs.set(ra);
+            }
+            if let Some(mut cn) = cache.col_nnz.take() {
+                for &(c, _) in entries {
+                    cn[c as usize] += 1;
+                }
+                let _ = cache.col_nnz.set(cn);
+            }
+            if let Some(mut rn) = cache.row_nnz.take() {
+                rn.push(entries.len() as u32);
+                let _ = cache.row_nnz.set(rn);
+            }
+        }
+        HalfOp::AppendCol(entries) => {
+            match half {
+                Half::Csr(m) => m.append_col(entries),
+                Half::Bits(m) => {
+                    let ones: Vec<u32> = entries.iter().map(|e| e.0).collect();
+                    m.append_col(&ones);
+                }
+            }
+            if let Some(mut csr) = cache.csr.take() {
+                csr.append_col(entries);
+                let _ = cache.csr.set(csr);
+            }
+            if let Some(bits) = cache.bits.take() {
+                match bits {
+                    Some(mut bm) if entries.iter().all(|&(_, v)| v == 1) => {
+                        let ones: Vec<u32> = entries.iter().map(|e| e.0).collect();
+                        bm.append_col(&ones);
+                        let _ = cache.bits.set(Some(bm));
+                    }
+                    _ => {
+                        let _ = cache.bits.set(None);
+                    }
+                }
+            }
+            if let Some(mut t) = cache.transpose.take() {
+                t.append_row(entries);
+                let _ = cache.transpose.set(t);
+            }
+            if let Some(mut ca) = cache.col_abs.take() {
+                ca.push(entries.iter().map(|&(_, v)| v.abs()).sum());
+                let _ = cache.col_abs.set(ca);
+            }
+            if let Some(mut ra) = cache.row_abs.take() {
+                for &(r, v) in entries {
+                    ra[r as usize] += v.abs();
+                }
+                let _ = cache.row_abs.set(ra);
+            }
+            if let Some(mut cn) = cache.col_nnz.take() {
+                cn.push(entries.len() as u32);
+                let _ = cache.col_nnz.set(cn);
+            }
+            if let Some(mut rn) = cache.row_nnz.take() {
+                for &(r, _) in entries {
+                    rn[r as usize] += 1;
+                }
+                let _ = cache.row_nnz.set(rn);
+            }
+        }
+    }
 }
 
 /// Per-query execution context handed to [`Protocol::execute`]: the
@@ -581,6 +943,140 @@ mod tests {
         // A dimension mismatch surfaces instead of panicking.
         let bad = Session::new(CsrMatrix::zeros(3, 4), CsrMatrix::zeros(5, 3));
         assert!(bad.exact_product().is_err());
+    }
+
+    /// Asserts every derived view of `s` equals the one a fresh session
+    /// over the same (CSR) content computes — including the lazy ones,
+    /// by forcing both sides.
+    fn assert_views_match_fresh(s: &Session) {
+        let (a, b) = s.csr_halves().unwrap();
+        let fresh = Session::new(a.clone(), b.clone()).with_seed(s.seed());
+        let ctx = s.ctx(Seed(0));
+        let fctx = fresh.ctx(Seed(0));
+        assert_eq!(ctx.csr_pair().0, fctx.csr_pair().0, "A csr");
+        assert_eq!(ctx.csr_pair().1, fctx.csr_pair().1, "B csr");
+        assert_eq!(ctx.a_transpose(), fctx.a_transpose(), "A transpose");
+        assert_eq!(ctx.b_transpose(), fctx.b_transpose(), "B transpose");
+        assert_eq!(ctx.a_col_abs_sums(), fctx.a_col_abs_sums(), "A col abs");
+        assert_eq!(ctx.b_row_abs_sums(), fctx.b_row_abs_sums(), "B row abs");
+        assert_eq!(ctx.a_col_nnz(), fctx.a_col_nnz(), "A col nnz");
+        assert_eq!(ctx.b_row_nnz(), fctx.b_row_nnz(), "B row nnz");
+        assert_eq!(
+            ctx.bit_pair().ok().map(|(x, y)| (x.clone(), y.clone())),
+            fctx.bit_pair().ok().map(|(x, y)| (x.clone(), y.clone())),
+            "bit views"
+        );
+        assert_eq!(
+            s.exact_product().unwrap(),
+            fresh.exact_product().unwrap(),
+            "exact product"
+        );
+    }
+
+    fn warm_all_views(s: &Session) {
+        let ctx = s.ctx(Seed(0));
+        let _ = ctx.csr_pair();
+        let _ = ctx.bit_pair();
+        let _ = (ctx.a_transpose(), ctx.b_transpose());
+        let _ = (ctx.a_col_abs_sums(), ctx.b_row_abs_sums());
+        let _ = (ctx.a_col_nnz(), ctx.b_row_nnz());
+        let _ = s.exact_product();
+    }
+
+    #[test]
+    fn updates_maintain_warmed_views_bit_identically() {
+        use crate::stream::{UpdateBatch, UpdateSide};
+        let a = Workloads::bernoulli_bits(10, 14, 0.3, 3).to_csr();
+        let b = Workloads::bernoulli_bits(14, 10, 0.3, 4).to_csr();
+        let mut s = Session::new(a, b).with_seed(Seed(5));
+        warm_all_views(&s);
+        assert_eq!(s.epoch(), 0);
+        let batch = UpdateBatch::new()
+            .append_row(UpdateSide::Alice, vec![(3, 1), (9, 1), (3, 0)])
+            .append_row(UpdateSide::Bob, vec![(0, 1), (13, 1)])
+            .set_entry(UpdateSide::Alice, 10, 5, 7) // the freshly appended row
+            .set_entry(UpdateSide::Bob, 2, 10, 2)
+            .delete_entry(UpdateSide::Alice, 10, 3)
+            .set_entry(UpdateSide::Alice, 0, 0, 0);
+        assert_eq!(s.apply_update(&batch).unwrap(), 1);
+        assert_views_match_fresh(&s);
+        // Second batch over the already-maintained views.
+        let batch2 = UpdateBatch::new()
+            .set_entry(UpdateSide::Alice, 10, 5, 1) // restore binariness
+            .delete_entry(UpdateSide::Bob, 2, 10);
+        assert_eq!(s.apply_update(&batch2).unwrap(), 2);
+        assert_views_match_fresh(&s);
+    }
+
+    #[test]
+    fn updates_maintain_bit_matrix_sessions() {
+        use crate::stream::{UpdateBatch, UpdateSide};
+        let a = Workloads::bernoulli_bits(8, 12, 0.4, 7);
+        let b = Workloads::bernoulli_bits(12, 8, 0.4, 8);
+        let mut s = Session::new(a, b);
+        warm_all_views(&s);
+        let batch = UpdateBatch::new()
+            .append_row(UpdateSide::Alice, vec![(0, 1), (11, 1)])
+            .append_row(UpdateSide::Bob, vec![(5, 1)])
+            .set_entry(UpdateSide::Alice, 8, 3, 1)
+            .delete_entry(UpdateSide::Bob, 5, 8);
+        s.apply_update(&batch).unwrap();
+        // The bit halves must stay bit views; compare via CSR canon.
+        assert_views_match_fresh(&s);
+        let ctx = s.ctx(Seed(0));
+        assert!(ctx.bit_pair().is_ok());
+    }
+
+    #[test]
+    fn invalid_batches_leave_the_session_untouched() {
+        use crate::stream::{UpdateBatch, UpdateSide};
+        let a = Workloads::bernoulli_bits(6, 6, 0.5, 1);
+        let b = Workloads::bernoulli_bits(6, 6, 0.5, 2).to_csr();
+        let mut s = Session::new(a, b);
+        warm_all_views(&s);
+        let before = s.csr_halves().map(|(x, y)| (x.clone(), y.clone())).unwrap();
+
+        // Out-of-range entry — second op fails, first must not apply.
+        let bad = UpdateBatch::new()
+            .set_entry(UpdateSide::Bob, 0, 0, 9)
+            .set_entry(UpdateSide::Alice, 99, 0, 1);
+        let err = s.apply_update(&bad).unwrap_err();
+        assert!(err.to_string().contains("op 1"), "{err}");
+
+        // Non-binary value into the bit half.
+        let bad = UpdateBatch::new().set_entry(UpdateSide::Alice, 0, 0, 3);
+        let err = s.apply_update(&bad).unwrap_err();
+        assert!(err.to_string().contains("bit-matrix A"), "{err}");
+
+        // Duplicate append entries summing past 1 on the bit half.
+        let bad = UpdateBatch::new().append_row(UpdateSide::Alice, vec![(2, 1), (2, 1)]);
+        let err = s.apply_update(&bad).unwrap_err();
+        assert!(err.to_string().contains("non-binary"), "{err}");
+
+        // Append index outside the inner dimension.
+        let bad = UpdateBatch::new().append_row(UpdateSide::Bob, vec![(6, 1)]);
+        let err = s.apply_update(&bad).unwrap_err();
+        assert!(err.to_string().contains("inner dimension"), "{err}");
+
+        assert_eq!(s.epoch(), 0, "failed batches must not bump the epoch");
+        let after = s.csr_halves().map(|(x, y)| (x.clone(), y.clone())).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn engine_updates_require_exclusive_ownership() {
+        use crate::stream::{UpdateBatch, UpdateSide};
+        let a = Workloads::bernoulli_bits(6, 6, 0.5, 1).to_csr();
+        let b = Workloads::bernoulli_bits(6, 6, 0.5, 2).to_csr();
+        let mut eng = crate::Engine::new(Session::new(a, b));
+        let batch = UpdateBatch::new().set_entry(UpdateSide::Alice, 0, 0, 4);
+        assert_eq!(eng.apply_update(&batch).unwrap(), 1);
+        assert_eq!(eng.session().epoch(), 1);
+        let clone = eng.clone();
+        let err = eng.apply_update(&batch).unwrap_err();
+        assert!(err.to_string().contains("shared session"), "{err}");
+        drop(clone);
+        assert_eq!(eng.apply_update(&batch).unwrap(), 2);
     }
 
     #[test]

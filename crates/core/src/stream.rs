@@ -1,0 +1,132 @@
+//! Live-update model for continuous estimation (mpest-stream).
+//!
+//! The paper motivates its protocols with *monitoring* workloads — live
+//! join sizes, correlations, heavy pairs — where the relations mutate
+//! between queries. This module defines the update vocabulary a
+//! [`Session`](crate::Session) accepts through
+//! [`Session::apply_update`](crate::Session::apply_update): each party
+//! may append a new set to its relation, overwrite a single entry, or
+//! delete one. A whole [`UpdateBatch`] is validated up front and applied
+//! atomically (all ops or none), bumping the session's epoch by exactly
+//! one.
+//!
+//! Conventions: Alice's relation is the *rows* of `A`; Bob's sets are
+//! the *columns* of `B` (so `C = A·B` pairs every Alice set with every
+//! Bob set). An [`UpdateOp::AppendRow`] therefore appends a row of `A`
+//! for Alice and a column of `B` for Bob — either way the inner
+//! dimension `A.cols == B.rows` is untouched, so an update can never
+//! invalidate the pair. Entry-level ops address the side's matrix in
+//! its own `(row, col)` coordinates.
+
+/// Which party's half of the pair an op mutates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateSide {
+    /// Alice's matrix `A` (her sets are rows).
+    Alice,
+    /// Bob's matrix `B` (his sets are columns).
+    Bob,
+}
+
+impl UpdateSide {
+    /// Stable one-letter label (`"A"` / `"B"`) for errors and wire forms.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            UpdateSide::Alice => "A",
+            UpdateSide::Bob => "B",
+        }
+    }
+}
+
+/// One mutation of one side of the pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Appends a new set to `side`'s relation: a new row of `A` for
+    /// Alice, a new column of `B` for Bob. `entries` are
+    /// `(index, value)` pairs over the inner dimension, in any order;
+    /// duplicates are summed and zeros dropped, exactly like
+    /// `CsrMatrix::from_triplets`.
+    AppendRow {
+        /// Whose relation grows.
+        side: UpdateSide,
+        /// The new set's entries over the inner dimension.
+        entries: Vec<(u32, i64)>,
+    },
+    /// Overwrites the entry at `(row, col)` of `side`'s matrix with
+    /// `val` (`val == 0` deletes it).
+    SetEntry {
+        /// Whose matrix is touched.
+        side: UpdateSide,
+        /// Row index into that side's matrix.
+        row: u32,
+        /// Column index into that side's matrix.
+        col: u32,
+        /// The new value.
+        val: i64,
+    },
+    /// Deletes the entry at `(row, col)` of `side`'s matrix (a no-op if
+    /// absent).
+    DeleteEntry {
+        /// Whose matrix is touched.
+        side: UpdateSide,
+        /// Row index into that side's matrix.
+        row: u32,
+        /// Column index into that side's matrix.
+        col: u32,
+    },
+}
+
+/// An ordered batch of updates applied atomically: the whole batch is
+/// validated against the session (dimensions, binary-side constraints)
+/// before any op mutates state, and a batch bumps the epoch by one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// The ops, applied in order.
+    pub ops: Vec<UpdateOp>,
+}
+
+impl UpdateBatch {
+    /// An empty batch (valid: bumps the epoch without changing content).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: appends a new set for `side`.
+    #[must_use]
+    pub fn append_row(mut self, side: UpdateSide, entries: Vec<(u32, i64)>) -> Self {
+        self.ops.push(UpdateOp::AppendRow { side, entries });
+        self
+    }
+
+    /// Builder: overwrites one entry.
+    #[must_use]
+    pub fn set_entry(mut self, side: UpdateSide, row: u32, col: u32, val: i64) -> Self {
+        self.ops.push(UpdateOp::SetEntry {
+            side,
+            row,
+            col,
+            val,
+        });
+        self
+    }
+
+    /// Builder: deletes one entry.
+    #[must_use]
+    pub fn delete_entry(mut self, side: UpdateSide, row: u32, col: u32) -> Self {
+        self.ops.push(UpdateOp::DeleteEntry { side, row, col });
+        self
+    }
+
+    /// Number of ops in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch has no ops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}

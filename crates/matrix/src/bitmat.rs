@@ -260,6 +260,50 @@ impl BitMatrix {
         out
     }
 
+    // --- incremental mutation (the mpest-stream update path) ---------
+
+    /// Appends one all-zero row, then sets the bits named in `ones`.
+    /// The result is bit-identical to rebuilding from scratch with the
+    /// extra row — padding bits stay zero because only valid columns
+    /// are touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    pub fn append_row(&mut self, ones: &[u32]) {
+        self.data.resize(self.data.len() + self.words_per_row, 0u64);
+        self.rows += 1;
+        for &j in ones {
+            self.set(self.rows - 1, j as usize, true);
+        }
+    }
+
+    /// Appends one all-zero column (index `cols`), then sets the bits
+    /// named in `ones` (row indices). When the new column crosses a
+    /// 64-bit word boundary the rows are re-packed with one extra word
+    /// each, so the layout matches a freshly built matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row index is out of range.
+    pub fn append_col(&mut self, ones: &[u32]) {
+        let new_cols = self.cols + 1;
+        let new_wpr = new_cols.div_ceil(64);
+        if new_wpr != self.words_per_row {
+            let mut data = vec![0u64; self.rows * new_wpr];
+            for i in 0..self.rows {
+                data[i * new_wpr..i * new_wpr + self.words_per_row]
+                    .copy_from_slice(self.row_words(i));
+            }
+            self.data = data;
+            self.words_per_row = new_wpr;
+        }
+        self.cols = new_cols;
+        for &i in ones {
+            self.set(i as usize, self.cols - 1, true);
+        }
+    }
+
     /// Entrywise OR of two equal-shaped matrices.
     ///
     /// # Panics
@@ -388,6 +432,46 @@ mod tests {
         assert!(big.get(1, 2));
         assert!(big.get(2, 3));
         assert_eq!(big.count_ones(), 2);
+    }
+
+    #[test]
+    fn append_row_matches_rebuild() {
+        let mut m = sample();
+        m.append_row(&[3, 68]);
+        let mut fresh = BitMatrix::zeros(4, 70);
+        for i in 0..3 {
+            for j in sample().row_indices(i) {
+                fresh.set(i, j as usize, true);
+            }
+        }
+        fresh.set(3, 3, true);
+        fresh.set(3, 68, true);
+        assert_eq!(m, fresh);
+    }
+
+    #[test]
+    fn append_col_matches_rebuild_across_word_boundary() {
+        // 64 cols → 65 grows words_per_row; 65 → 66 does not.
+        for start in [63usize, 64, 70] {
+            let mut m = BitMatrix::zeros(2, start);
+            m.set(0, 0, true);
+            m.set(1, start - 1, true);
+            m.append_col(&[1]);
+            let mut fresh = BitMatrix::zeros(2, start + 1);
+            fresh.set(0, 0, true);
+            fresh.set(1, start - 1, true);
+            fresh.set(1, start, true);
+            assert_eq!(m, fresh, "start cols {start}");
+        }
+    }
+
+    #[test]
+    fn append_ops_roundtrip_through_csr() {
+        let mut m = sample();
+        m.append_col(&[0, 2]);
+        m.append_row(&[70]);
+        let rebuilt = BitMatrix::from_csr(&m.to_csr());
+        assert_eq!(m, rebuilt);
     }
 
     #[test]

@@ -357,6 +357,118 @@ impl CsrMatrix {
         let triplets = self.triplets().filter(|&(_, c, _)| keep(c)).collect();
         Self::from_triplets(self.rows, self.cols, triplets)
     }
+
+    // --- incremental mutation (the mpest-stream update path) ------------
+    //
+    // CSR form here is canonical: per-row column indices sorted, no
+    // explicit zeros, duplicates merged. Each mutator below preserves
+    // that invariant in place, so a mutated matrix is *bit-identical*
+    // (`==`) to `from_triplets` over the same logical content — the
+    // contract the streaming layer's rebuild-equivalence tests gate on.
+
+    /// Sets entry `(i, j)` to `val` in place; `val == 0` deletes the
+    /// entry. `O(nnz)` worst case (one `Vec` splice plus a row-pointer
+    /// sweep) versus the `O(nnz log nnz)` full rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is out of range.
+    pub fn set_entry(&mut self, i: usize, j: u32, val: i64) {
+        assert!(
+            i < self.rows && (j as usize) < self.cols,
+            "entry ({i},{j}) out of range for {}x{}",
+            self.rows,
+            self.cols
+        );
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(pos) => {
+                let at = lo + pos;
+                if val == 0 {
+                    self.col_idx.remove(at);
+                    self.vals.remove(at);
+                    for p in &mut self.row_ptr[i + 1..] {
+                        *p -= 1;
+                    }
+                } else {
+                    self.vals[at] = val;
+                }
+            }
+            Err(pos) => {
+                if val == 0 {
+                    return; // deleting an absent entry is a no-op
+                }
+                let at = lo + pos;
+                self.col_idx.insert(at, j);
+                self.vals.insert(at, val);
+                for p in &mut self.row_ptr[i + 1..] {
+                    *p += 1;
+                }
+            }
+        }
+    }
+
+    /// Appends one row; `entries` are `(col, value)` pairs in any order
+    /// (duplicates summed, zeros dropped, exactly like
+    /// [`CsrMatrix::from_triplets`]). `O(k log k)` in the row's size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of range.
+    pub fn append_row(&mut self, entries: &[(u32, i64)]) {
+        for &(c, _) in entries {
+            assert!(
+                (c as usize) < self.cols,
+                "append_row col {c} out of range for {} cols",
+                self.cols
+            );
+        }
+        let row = SparseVec::from_entries(self.cols, entries.to_vec());
+        self.col_idx.extend(row.entries.iter().map(|e| e.0));
+        self.vals.extend(row.entries.iter().map(|e| e.1));
+        self.rows += 1;
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Appends one column; `entries` are `(row, value)` pairs in any
+    /// order (duplicates summed, zeros dropped). The new column index is
+    /// the old `cols`, so each inserted entry lands at the end of its
+    /// row. `O(nnz + rows)` versus the full rebuild's sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of range.
+    pub fn append_col(&mut self, entries: &[(u32, i64)]) {
+        for &(r, _) in entries {
+            assert!(
+                (r as usize) < self.rows,
+                "append_col row {r} out of range for {} rows",
+                self.rows
+            );
+        }
+        let col = SparseVec::from_entries(self.rows, entries.to_vec());
+        let j = self.cols as u32;
+        // Descending row order: each insertion offset is the row's
+        // *original* end pointer, unperturbed by the insertions already
+        // made for higher rows (all at offsets ≥ this one).
+        for &(r, val) in col.entries.iter().rev() {
+            let at = self.row_ptr[r as usize + 1];
+            self.col_idx.insert(at, j);
+            self.vals.insert(at, val);
+        }
+        // One ascending sweep settles every row pointer.
+        let mut added = 0usize;
+        let mut next = 0usize;
+        for i in 0..self.rows {
+            while next < col.entries.len() && (col.entries[next].0 as usize) == i {
+                added += 1;
+                next += 1;
+            }
+            self.row_ptr[i + 1] += added;
+        }
+        self.cols += 1;
+    }
 }
 
 #[cfg(test)]
@@ -483,5 +595,141 @@ mod tests {
     fn dense_roundtrip() {
         let m = small();
         assert_eq!(CsrMatrix::from_dense(&m.to_dense()), m);
+    }
+
+    /// The mutated matrix rebuilt from scratch: the canonical reference
+    /// every incremental op must be bit-identical to.
+    fn rebuilt(rows: usize, cols: usize, triplets: Vec<(u32, u32, i64)>) -> CsrMatrix {
+        CsrMatrix::from_triplets(rows, cols, triplets)
+    }
+
+    #[test]
+    fn set_entry_insert_overwrite_delete_match_rebuild() {
+        // Insert into an empty slot.
+        let mut m = small();
+        m.set_entry(1, 1, 7);
+        let mut t: Vec<_> = small().triplets().collect();
+        t.push((1, 1, 7));
+        assert_eq!(m, rebuilt(3, 3, t));
+
+        // Overwrite an existing entry.
+        let mut m = small();
+        m.set_entry(2, 1, 9);
+        let t = small()
+            .triplets()
+            .map(|(r, c, v)| {
+                if (r, c) == (2, 1) {
+                    (r, c, 9)
+                } else {
+                    (r, c, v)
+                }
+            })
+            .collect();
+        assert_eq!(m, rebuilt(3, 3, t));
+
+        // Delete via zero.
+        let mut m = small();
+        m.set_entry(0, 2, 0);
+        let t = small()
+            .triplets()
+            .filter(|&(r, c, _)| (r, c) != (0, 2))
+            .collect();
+        assert_eq!(m, rebuilt(3, 3, t));
+
+        // Deleting an absent entry is a no-op.
+        let mut m = small();
+        m.set_entry(1, 0, 0);
+        assert_eq!(m, small());
+    }
+
+    #[test]
+    fn append_row_matches_rebuild_and_canonicalizes() {
+        let mut m = small();
+        // Unsorted, duplicated, and zero entries — must canonicalize.
+        m.append_row(&[(2, 4), (0, 1), (2, -1), (1, 0)]);
+        let mut t: Vec<_> = small().triplets().collect();
+        t.extend([(3, 0, 1), (3, 2, 3)]);
+        assert_eq!(m, rebuilt(4, 3, t));
+
+        // Empty row appends cleanly.
+        let mut m = small();
+        m.append_row(&[]);
+        assert_eq!(m, rebuilt(4, 3, small().triplets().collect()));
+    }
+
+    #[test]
+    fn append_col_matches_rebuild_and_canonicalizes() {
+        let mut m = small();
+        m.append_col(&[(1, 5), (0, 2), (1, 1), (2, 0)]);
+        let mut t: Vec<_> = small().triplets().collect();
+        t.extend([(0, 3, 2), (1, 3, 6)]);
+        assert_eq!(m, rebuilt(3, 4, t));
+
+        // Empty column appends cleanly.
+        let mut m = small();
+        m.append_col(&[]);
+        assert_eq!(m, rebuilt(3, 4, small().triplets().collect()));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        /// Any interleaved schedule of set/delete/append-row/append-col
+        /// ops leaves the matrix bit-identical to `from_triplets` over
+        /// the logical content tracked independently.
+        #[test]
+        fn mutation_schedules_match_from_scratch_rebuild(
+            base in proptest::collection::vec(
+                (0u32..6, 0u32..6, -3i64..4), 0..12),
+            ops in proptest::collection::vec(
+                (0u8..4, 0u32..10, 0u32..10, -3i64..4), 0..24),
+        ) {
+            use std::collections::BTreeMap;
+            let mut content: BTreeMap<(u32, u32), i64> = BTreeMap::new();
+            for &(r, c, v) in &base {
+                *content.entry((r, c)).or_insert(0) += v;
+            }
+            content.retain(|_, v| *v != 0);
+            let (mut rows, mut cols) = (6u32, 6u32);
+            let mut m = CsrMatrix::from_triplets(
+                rows as usize, cols as usize,
+                content.iter().map(|(&(r, c), &v)| (r, c, v)).collect());
+            for &(kind, r, c, v) in &ops {
+                match kind {
+                    0 => {
+                        let (r, c) = (r % rows, c % cols);
+                        m.set_entry(r as usize, c, v);
+                        if v == 0 {
+                            content.remove(&(r, c));
+                        } else {
+                            content.insert((r, c), v);
+                        }
+                    }
+                    1 => {
+                        let (r, c) = (r % rows, c % cols);
+                        m.set_entry(r as usize, c, 0);
+                        content.remove(&(r, c));
+                    }
+                    2 => {
+                        m.append_row(&[(c % cols, v)]);
+                        if v != 0 {
+                            content.insert((rows, c % cols), v);
+                        }
+                        rows += 1;
+                    }
+                    _ => {
+                        m.append_col(&[(r % rows, v)]);
+                        if v != 0 {
+                            content.insert((r % rows, cols), v);
+                        }
+                        cols += 1;
+                    }
+                }
+            }
+            let rebuilt = CsrMatrix::from_triplets(
+                rows as usize, cols as usize,
+                content.iter().map(|(&(r, c), &v)| (r, c, v)).collect());
+            proptest::prop_assert_eq!(&m, &rebuilt);
+        }
     }
 }

@@ -8,9 +8,9 @@
 
 use crate::codec::FramedConn;
 use crate::fingerprint::fingerprint;
-use crate::msg::{QueryMsg, ReportsMsg, ServiceMsg, StatsMsg, WCsr};
+use crate::msg::{QueryMsg, ReportsMsg, ServiceMsg, StatsMsg, UpdateMsg, WCsr};
 use mpest_comm::CommError;
-use mpest_core::EstimateRequest;
+use mpest_core::{EstimateRequest, UpdateBatch};
 use mpest_matrix::CsrMatrix;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -49,6 +49,29 @@ pub struct QueryOutcome {
     pub bytes_out: u64,
     /// Client-side bytes read for this query (reply).
     pub bytes_in: u64,
+}
+
+/// The daemon's acknowledgement of an applied update batch: the mutated
+/// pair's *new* identity. Subsequent queries must name these
+/// fingerprints (and, if pinning, this epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Fingerprint of the updated `A`.
+    pub fp_a: u64,
+    /// Fingerprint of the updated `B`.
+    pub fp_b: u64,
+    /// The session's epoch after the batch.
+    pub epoch: u64,
+}
+
+/// Builds the client-side form of a daemon's `stale-epoch` reply: a
+/// protocol error whose message always starts with `"stale epoch:"` and
+/// names the session's current identity, so callers can both match on
+/// it and recover (re-fingerprint / re-sync the mirror).
+fn stale_epoch_error(fp_a: u64, fp_b: u64, epoch: u64) -> CommError {
+    CommError::protocol(format!(
+        "stale epoch: the daemon's session is now ({fp_a:#x}, {fp_b:#x}) at epoch {epoch}"
+    ))
 }
 
 impl ServeClient {
@@ -120,10 +143,40 @@ impl ServeClient {
         b: &CsrMatrix,
         queries: &[(u64, EstimateRequest)],
     ) -> Result<QueryOutcome, CommError> {
+        self.query_inner(a, b, queries, None)
+    }
+
+    /// [`ServeClient::query`] pinned to an exact epoch: the daemon
+    /// answers only if its cached session for the pair sits at
+    /// `at_epoch`, and replies with a typed stale-epoch error otherwise
+    /// (surfaced here as [`CommError::Protocol`] naming the current
+    /// identity). Requires a codec v3 connection.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeClient::query`], plus the stale-epoch rejection.
+    pub fn query_at_epoch(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        queries: &[(u64, EstimateRequest)],
+        at_epoch: u64,
+    ) -> Result<QueryOutcome, CommError> {
+        self.query_inner(a, b, queries, Some(at_epoch))
+    }
+
+    fn query_inner(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        queries: &[(u64, EstimateRequest)],
+        at_epoch: Option<u64>,
+    ) -> Result<QueryOutcome, CommError> {
         let (out0, in0) = self.wire_bytes();
         self.conn.send_msg(&ServiceMsg::Query(QueryMsg {
             fp_a: fingerprint(a),
             fp_b: fingerprint(b),
+            at_epoch,
             queries: queries.to_vec(),
         }))?;
         let mut uploaded = false;
@@ -137,6 +190,9 @@ impl ServeClient {
                     })?;
                 }
                 ServiceMsg::Reports(reports) => break reports,
+                ServiceMsg::StaleEpoch { fp_a, fp_b, epoch } => {
+                    return Err(stale_epoch_error(fp_a, fp_b, epoch))
+                }
                 ServiceMsg::Error(msg) => {
                     return Err(CommError::protocol(format!("server error: {msg}")))
                 }
@@ -150,6 +206,41 @@ impl ServeClient {
             bytes_out: out1 - out0,
             bytes_in: in1 - in0,
         })
+    }
+
+    /// Pushes an update batch into the daemon's cached session for
+    /// `(a, b)` — the *pre-update* pair, whose fingerprints name the
+    /// session — expecting it to sit at `expect_epoch`. On success the
+    /// daemon has applied the batch incrementally and re-keyed the
+    /// session under the returned fingerprints; apply the same batch to
+    /// the local mirror to stay in sync. Requires a codec v3 connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; a stale-epoch rejection (another client updated
+    /// first — surfaced as [`CommError::Protocol`] naming the current
+    /// identity); or a daemon error (unknown session, invalid batch).
+    pub fn update(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        expect_epoch: u64,
+        batch: &UpdateBatch,
+    ) -> Result<UpdateOutcome, CommError> {
+        self.conn.send_msg(&ServiceMsg::Update(UpdateMsg {
+            fp_a: fingerprint(a),
+            fp_b: fingerprint(b),
+            expect_epoch,
+            batch: batch.clone(),
+        }))?;
+        match self.recv_reply()? {
+            ServiceMsg::UpdateAck { fp_a, fp_b, epoch } => Ok(UpdateOutcome { fp_a, fp_b, epoch }),
+            ServiceMsg::StaleEpoch { fp_a, fp_b, epoch } => {
+                Err(stale_epoch_error(fp_a, fp_b, epoch))
+            }
+            ServiceMsg::Error(msg) => Err(CommError::protocol(format!("server error: {msg}"))),
+            other => Err(CommError::frame(other.name(), "unexpected reply to update")),
+        }
     }
 
     /// Fetches the daemon-wide statistics snapshot.

@@ -1,13 +1,20 @@
 //! The length-prefixed framed codec: how protocol messages, end
 //! markers, and service messages travel over a real byte stream.
 //!
-//! # Connection preamble
+//! # Connection preamble and version negotiation
 //!
-//! Each direction starts with an 8-byte preamble — magic `b"MPST"`, a
-//! big-endian `u16` codec version, and two reserved bytes — exchanged by
-//! [`FramedConn::establish`]. A version bump changes exactly one number;
-//! peers reject mismatches with a typed [`CommError::Frame`] instead of
-//! desynchronizing mid-stream.
+//! Each direction starts with an 8-byte preamble — magic `b"MPST"`, the
+//! *lowest* supported codec version as a big-endian `u16` at bytes
+//! 4..6, and the *highest* at bytes 6..8 — exchanged symmetrically by
+//! [`FramedConn::establish`]. Both sides compute the same negotiated
+//! version: the smaller of the two maxima, provided the ranges
+//! `[min, max]` overlap; otherwise a typed [`CommError::Frame`] names
+//! both ranges. v2 builds wrote their exact version at bytes 4..6 and
+//! zeros at 6..8 (then reserved) and only ever check bytes 4..6 — so a
+//! `max` of 0 is read as "legacy exact-version peer", and keeping
+//! [`MIN_VERSION`] at 2 keeps both directions of v2 interop working:
+//! a v2 peer sees `2` where it expects the version, and this build
+//! negotiates the connection down to v2.
 //!
 //! # Frame layout
 //!
@@ -46,10 +53,17 @@ use std::time::Duration;
 
 /// Connection magic: the first four bytes of every direction.
 pub const MAGIC: [u8; 4] = *b"MPST";
-/// Codec version carried in the preamble. Bump on any layout change.
+/// Highest codec version this build speaks. Bump on any layout change.
 /// v2: `stats-report` gained a trailing `evictions` varint; `run-spec`
 /// gained an `io_timeout_secs` varint between seed and request.
-pub const VERSION: u16 = 2;
+/// v3: the `update` message family (live session updates), epoch-pinned
+/// queries (`query` gained a trailing epoch field), `reports` echoes
+/// the serving epoch, and `stats-report` gained a `superseded` varint.
+pub const VERSION: u16 = 3;
+/// Lowest codec version this build still speaks. Connections negotiate
+/// down to the peer's version when it is at least this old; anything
+/// older fails the handshake with a typed error naming both ranges.
+pub const MIN_VERSION: u16 = 2;
 /// Hard cap on one frame's payload (64 MiB): a corrupt or hostile length
 /// prefix fails typed instead of allocating unboundedly.
 pub const MAX_PAYLOAD_BYTES: u32 = 64 << 20;
@@ -65,6 +79,9 @@ pub const KIND_SERVICE: u8 = 3;
 /// Frame kind: a party's encoded output (the post-protocol output
 /// exchange; physical bytes only, never in the logical transcript).
 pub const KIND_OUTPUT: u8 = 4;
+/// Frame kind: a live-update service message (v3+; pushes an
+/// [`UpdateMsg`](crate::msg::UpdateMsg) batch at a cached session).
+pub const KIND_UPDATE: u8 = 5;
 
 /// A framed, byte-counting connection over any `Read + Write` stream —
 /// [`TcpStream`] in deployments, in-memory pipes in tests.
@@ -73,6 +90,7 @@ pub struct FramedConn<S> {
     stream: S,
     bytes_out: u64,
     bytes_in: u64,
+    version: u16,
 }
 
 /// One decoded frame, header fields included.
@@ -100,21 +118,26 @@ impl<S: Read + Write> FramedConn<S> {
             stream,
             bytes_out: 0,
             bytes_in: 0,
+            version: VERSION,
         }
     }
 
-    /// Wraps a stream and performs the version handshake: writes this
-    /// side's preamble, then reads and verifies the peer's.
+    /// Wraps a stream and performs the negotiating handshake: writes
+    /// this side's supported-version range, reads the peer's, and
+    /// settles on the highest version both speak (see the module docs
+    /// for the legacy-v2 encoding trick).
     ///
     /// # Errors
     ///
     /// Returns [`CommError::Frame`] with label `"handshake"` on a
-    /// truncated preamble, wrong magic, or version mismatch.
+    /// truncated preamble, wrong magic, a malformed range, or
+    /// non-overlapping version ranges (the error names both).
     pub fn establish(stream: S) -> Result<Self, CommError> {
         let mut conn = Self::new(stream);
         let mut preamble = [0u8; 8];
         preamble[..4].copy_from_slice(&MAGIC);
-        preamble[4..6].copy_from_slice(&VERSION.to_be_bytes());
+        preamble[4..6].copy_from_slice(&MIN_VERSION.to_be_bytes());
+        preamble[6..8].copy_from_slice(&VERSION.to_be_bytes());
         conn.write_all("handshake", &preamble)?;
         conn.flush("handshake")?;
         let mut peer = [0u8; 8];
@@ -125,16 +148,46 @@ impl<S: Read + Write> FramedConn<S> {
                 format!("bad magic {:?} (expected {MAGIC:?})", &peer[..4]),
             ));
         }
-        let peer_version = u16::from_be_bytes([peer[4], peer[5]]);
-        if peer_version != VERSION {
+        let peer_min = u16::from_be_bytes([peer[4], peer[5]]);
+        let peer_max = match u16::from_be_bytes([peer[6], peer[7]]) {
+            // Legacy (≤ v2) peers wrote zeros in the then-reserved bytes
+            // 6..8 and speak exactly the version at 4..6.
+            0 => peer_min,
+            max => max,
+        };
+        if peer_min > peer_max || peer_min == 0 {
+            return Err(CommError::frame(
+                "handshake",
+                format!("malformed version range v{peer_min}..=v{peer_max} from peer"),
+            ));
+        }
+        if peer_min > VERSION || peer_max < MIN_VERSION {
             return Err(CommError::frame(
                 "handshake",
                 format!(
-                    "codec version mismatch: peer speaks v{peer_version}, this build v{VERSION}"
+                    "no common codec version: this build supports \
+                     v{MIN_VERSION}..=v{VERSION}, peer offers v{peer_min}..=v{peer_max}"
                 ),
             ));
         }
+        conn.version = VERSION.min(peer_max);
         Ok(conn)
+    }
+
+    /// The codec version negotiated at the handshake ([`VERSION`] for
+    /// connections built without one). Message encodings branch on this
+    /// so v2 peers see byte-identical v2 traffic.
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Overrides the connection's codec version (compatibility testing:
+    /// impersonate an older peer over a hand-rolled handshake).
+    #[must_use]
+    pub fn with_version(mut self, version: u16) -> Self {
+        self.version = version;
+        self
     }
 
     /// Total bytes written to the stream so far (headers + payloads +
@@ -253,7 +306,10 @@ impl<S: Read + Write> FramedConn<S> {
             self.read_exact_ctx("frame-header", &mut header[got..])?;
         }
         let kind = header[0];
-        if !matches!(kind, KIND_PROTO | KIND_END | KIND_SERVICE | KIND_OUTPUT) {
+        if !matches!(
+            kind,
+            KIND_PROTO | KIND_END | KIND_SERVICE | KIND_OUTPUT | KIND_UPDATE
+        ) {
             return Err(CommError::frame(
                 "frame-header",
                 format!("unknown frame kind {kind}"),
@@ -583,7 +639,7 @@ impl<S: Read + Write> FrameIo for FramedConn<S> {
                 if frame.label == "run-result" {
                     let mut r = mpest_comm::BitReader::new(&frame.payload);
                     if let Ok(crate::msg::ServiceMsg::RunResult(res)) =
-                        crate::msg::ServiceMsg::decode_body(&frame.label, &mut r)
+                        crate::msg::ServiceMsg::decode_body(&frame.label, &mut r, self.version)
                     {
                         return Err(match res.error {
                             Some(err) => CommError::protocol(format!(
@@ -737,8 +793,18 @@ mod tests {
         ));
     }
 
+    /// A peer preamble advertising `[min, max]` (`max == 0` is the
+    /// legacy exact-version encoding: zeros in the reserved bytes).
+    fn peer_preamble(min: u16, max: u16) -> Vec<u8> {
+        let mut p = Vec::new();
+        p.extend_from_slice(&MAGIC);
+        p.extend_from_slice(&min.to_be_bytes());
+        p.extend_from_slice(&max.to_be_bytes());
+        p
+    }
+
     #[test]
-    fn handshake_rejects_bad_magic_and_version() {
+    fn handshake_rejects_bad_magic_ranges_and_truncation() {
         // Peer preamble with wrong magic.
         let mut peer = Vec::new();
         peer.extend_from_slice(b"NOPE");
@@ -751,17 +817,13 @@ mod tests {
             "got {err:?}"
         );
 
-        // Right magic, wrong version.
-        let mut peer = Vec::new();
-        peer.extend_from_slice(&MAGIC);
-        peer.extend_from_slice(&(VERSION + 1).to_be_bytes());
-        peer.extend_from_slice(&[0, 0]);
-        let err = FramedConn::establish(Loopback::reading(peer)).unwrap_err();
-        assert!(
-            matches!(&err, CommError::Frame { label, reason }
-                if label == "handshake" && reason.contains("version")),
-            "got {err:?}"
-        );
+        // Inverted range.
+        let err = FramedConn::establish(Loopback::reading(peer_preamble(5, 4))).unwrap_err();
+        assert!(err.to_string().contains("malformed version range"), "{err}");
+
+        // Zero minimum.
+        let err = FramedConn::establish(Loopback::reading(peer_preamble(0, 3))).unwrap_err();
+        assert!(err.to_string().contains("malformed version range"), "{err}");
 
         // Truncated preamble.
         let err = FramedConn::establish(Loopback::reading(MAGIC.to_vec())).unwrap_err();
@@ -769,6 +831,65 @@ mod tests {
             matches!(&err, CommError::Frame { label, .. } if label == "handshake"),
             "got {err:?}"
         );
+    }
+
+    /// The satellite contract: every (client, server) version pairing.
+    /// The handshake is symmetric — each side feeds the other's preamble
+    /// through the same negotiation — so one `establish` against each
+    /// peer shape covers both seats of the pairing; both seats of the
+    /// v3↔v3 case are additionally checked byte-for-byte.
+    #[test]
+    fn handshake_negotiates_every_version_pairing() {
+        // (peer min, peer max on the wire, expected negotiated version).
+        let ok: [(u16, u16, u16); 5] = [
+            (2, 0, 2), // legacy v2 build: exact version, reserved zeros
+            (2, 3, 3), // this build
+            (2, 4, 3), // future v4 build still speaking v2..: meet at v3
+            (3, 3, 3), // hypothetical v3-only peer
+            (3, 9, 3), // far-future peer that kept v3 support
+        ];
+        for (min, max, want) in ok {
+            let conn = FramedConn::establish(Loopback::reading(peer_preamble(min, max))).unwrap();
+            assert_eq!(conn.version(), want, "peer v{min}..={max}");
+        }
+
+        // Unsupported peers fail with a typed error naming both ranges.
+        let bad: [(u16, u16); 3] = [
+            (1, 0), // ancient exact-v1 build
+            (1, 1), // v1-only range
+            (4, 5), // future build that dropped v3
+        ];
+        for (min, max) in bad {
+            let err =
+                FramedConn::establish(Loopback::reading(peer_preamble(min, max))).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("v{MIN_VERSION}..=v{VERSION}")),
+                "peer v{min}..={max}: our range missing in {msg:?}"
+            );
+            let shown_max = if max == 0 { min } else { max };
+            assert!(
+                msg.contains(&format!("v{min}..=v{shown_max}")),
+                "peer v{min}..={max}: peer range missing in {msg:?}"
+            );
+        }
+
+        // Both seats of a v3↔v3 pairing: what this build writes is what
+        // this build accepts, and both sides land on the same version.
+        let mut writer = FramedConn::new(Loopback::reading(Vec::new()));
+        let mut preamble = [0u8; 8];
+        preamble[..4].copy_from_slice(&MAGIC);
+        preamble[4..6].copy_from_slice(&MIN_VERSION.to_be_bytes());
+        preamble[6..8].copy_from_slice(&VERSION.to_be_bytes());
+        writer.write_all("handshake", &preamble).unwrap();
+        let written = writer.stream.output.clone();
+        let conn = FramedConn::establish(Loopback::reading(written)).unwrap();
+        assert_eq!(conn.version(), VERSION);
+
+        // A v2 build reading our preamble sees exactly `2` at bytes
+        // 4..6 — the only bytes it checks — so the legacy exact-match
+        // handshake accepts us.
+        assert_eq!(&preamble[4..6], &2u16.to_be_bytes());
     }
 
     #[test]

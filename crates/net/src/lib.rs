@@ -54,13 +54,17 @@ pub mod msg;
 pub mod party;
 pub mod server;
 
-pub use client::{QueryOutcome, ServeClient, CLIENT_IO_TIMEOUT, DEFAULT_REPLY_TIMEOUT};
-pub use codec::{FramedConn, MAX_PAYLOAD_BYTES, VERSION};
+pub use client::{
+    QueryOutcome, ServeClient, UpdateOutcome, CLIENT_IO_TIMEOUT, DEFAULT_REPLY_TIMEOUT,
+};
+pub use codec::{FramedConn, MAX_PAYLOAD_BYTES, MIN_VERSION, VERSION};
 pub use fingerprint::fingerprint;
 pub use msg::{
-    QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg, WCsr, MAX_WIRE_MATRIX_DIM,
+    QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg, UpdateMsg, WCsr,
+    MAX_WIRE_MATRIX_DIM, MAX_WIRE_UPDATE_OPS,
 };
 pub use party::{
-    run_over_conn, run_with_party, run_with_party_with, PartyHost, PARTY_RUN_TIMEOUT_MAX,
+    run_over_conn, run_with_party, run_with_party_with, update_party, PartyHost,
+    PARTY_RUN_TIMEOUT_MAX,
 };
 pub use server::{serve_on, ServeConfig, Server, ServerState, DEFAULT_MAX_SESSIONS};

@@ -8,11 +8,16 @@
 
 use crate::codec::{FramedConn, RawFrame};
 use mpest_comm::{BatchAccounting, BitReader, BitWriter, CommError, Party, Wire};
-use mpest_core::{EstimateReport, EstimateRequest};
+use mpest_core::{EstimateReport, EstimateRequest, UpdateBatch, UpdateOp, UpdateSide};
 use mpest_matrix::CsrMatrix;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Hard cap on ops in one wire update batch: a hostile varint cannot
+/// force an unbounded allocation, and anything larger should be a
+/// re-upload anyway.
+pub const MAX_WIRE_UPDATE_OPS: u64 = 1 << 20;
 
 /// Hard cap on a wire matrix's row/column count. Triplet indices are
 /// `u32`, so nothing wider is addressable anyway; more importantly,
@@ -72,6 +77,97 @@ pub struct QueryMsg {
     pub fp_b: u64,
     /// `(seed, request)` pairs; request `i` runs under `Seed(seeds[i])`.
     pub queries: Vec<(u64, EstimateRequest)>,
+    /// Pin the query to this epoch of the session (v3+). `None` accepts
+    /// whatever epoch the fingerprints currently name; `Some(e)` fails
+    /// typed (a stale-epoch reply) unless the served session is exactly
+    /// at epoch `e`.
+    pub at_epoch: Option<u64>,
+}
+
+/// Client → daemon / party host: apply an update batch to the live
+/// session the fingerprints name (v3+).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateMsg {
+    /// Fingerprint of Alice's matrix *before* the update.
+    pub fp_a: u64,
+    /// Fingerprint of Bob's matrix *before* the update.
+    pub fp_b: u64,
+    /// The epoch the sender believes the session is at; the receiver
+    /// rejects the batch (stale-epoch reply) on mismatch, so two
+    /// clients racing updates cannot silently diverge.
+    pub expect_epoch: u64,
+    /// The ops to apply atomically.
+    pub batch: UpdateBatch,
+}
+
+fn encode_update_ops(batch: &UpdateBatch, w: &mut BitWriter) {
+    w.write_varint(batch.ops.len() as u64);
+    for op in &batch.ops {
+        match op {
+            UpdateOp::AppendRow { side, entries } => {
+                w.write_varint(0);
+                w.write_bit(matches!(side, UpdateSide::Bob));
+                entries.encode(w);
+            }
+            UpdateOp::SetEntry {
+                side,
+                row,
+                col,
+                val,
+            } => {
+                w.write_varint(1);
+                w.write_bit(matches!(side, UpdateSide::Bob));
+                row.encode(w);
+                col.encode(w);
+                val.encode(w);
+            }
+            UpdateOp::DeleteEntry { side, row, col } => {
+                w.write_varint(2);
+                w.write_bit(matches!(side, UpdateSide::Bob));
+                row.encode(w);
+                col.encode(w);
+            }
+        }
+    }
+}
+
+fn decode_update_ops(r: &mut BitReader<'_>) -> Result<UpdateBatch, CommError> {
+    let count = r.read_varint()?;
+    if count > MAX_WIRE_UPDATE_OPS {
+        return Err(CommError::decode(format!(
+            "update batch of {count} ops exceeds the {MAX_WIRE_UPDATE_OPS} wire cap"
+        )));
+    }
+    let mut ops = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let tag = r.read_varint()?;
+        let side = if r.read_bit()? {
+            UpdateSide::Bob
+        } else {
+            UpdateSide::Alice
+        };
+        ops.push(match tag {
+            0 => UpdateOp::AppendRow {
+                side,
+                entries: Vec::decode(r)?,
+            },
+            1 => UpdateOp::SetEntry {
+                side,
+                row: u32::decode(r)?,
+                col: u32::decode(r)?,
+                val: i64::decode(r)?,
+            },
+            2 => UpdateOp::DeleteEntry {
+                side,
+                row: u32::decode(r)?,
+                col: u32::decode(r)?,
+            },
+            other => {
+                return Err(CommError::decode(format!("unknown update op tag {other}")));
+            }
+        });
+    }
+    Ok(UpdateBatch { ops })
 }
 
 /// The daemon's answer to a query.
@@ -90,6 +186,9 @@ pub struct ReportsMsg {
     /// Real bytes the server has written on this connection so far
     /// (through the previous message; this reply is still in flight).
     pub wire_out: u64,
+    /// The epoch of the session that answered (v3+; 0 from v2 peers,
+    /// which only serve frozen epoch-0 sessions).
+    pub epoch: u64,
 }
 
 /// A daemon-wide statistics snapshot.
@@ -108,6 +207,10 @@ pub struct StatsMsg {
     /// Sessions evicted from the cache (least-recently-used first) to
     /// stay under the daemon's `max_sessions` cap.
     pub evictions: u64,
+    /// Cache entries retired because an update superseded their epoch
+    /// (v3+; distinct from capacity evictions — the content lives on
+    /// under its new `fp@epoch` key).
+    pub superseded: u64,
 }
 
 /// Run negotiation sent by the initiator of a remote two-party run.
@@ -166,6 +269,30 @@ pub enum ServiceMsg {
     RunSpec(RunSpecMsg),
     /// Both directions after a remote run: output / error exchange.
     RunResult(RunResultMsg),
+    /// Client → daemon / party host: apply a live update batch (v3+;
+    /// travels as a [`KIND_UPDATE`](crate::codec::KIND_UPDATE) frame).
+    Update(UpdateMsg),
+    /// Daemon → client: the update applied; the session now lives at
+    /// these fingerprints and epoch (v3+).
+    UpdateAck {
+        /// Alice-side fingerprint after the update.
+        fp_a: u64,
+        /// Bob-side fingerprint after the update.
+        fp_b: u64,
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// Daemon → client: the addressed `fp@epoch` no longer names the
+    /// live session — it was updated (or the pinned epoch never
+    /// existed). Carries where the session is *now* (v3+).
+    StaleEpoch {
+        /// Current Alice-side fingerprint.
+        fp_a: u64,
+        /// Current Bob-side fingerprint.
+        fp_b: u64,
+        /// Current epoch.
+        epoch: u64,
+    },
 }
 
 impl ServiceMsg {
@@ -184,15 +311,33 @@ impl ServiceMsg {
             Self::Error(_) => "error",
             Self::RunSpec(_) => "run-spec",
             Self::RunResult(_) => "run-result",
+            Self::Update(_) => "update",
+            Self::UpdateAck { .. } => "update-ack",
+            Self::StaleEpoch { .. } => "stale-epoch",
         }
     }
 
-    fn encode_body(&self, w: &mut BitWriter) {
+    /// The lowest codec version that can carry this message as
+    /// constructed. Sending it over an older negotiated connection is a
+    /// typed error (never a silently dropped field).
+    #[must_use]
+    pub fn min_version(&self) -> u16 {
+        match self {
+            Self::Update(_) | Self::UpdateAck { .. } | Self::StaleEpoch { .. } => 3,
+            Self::Query(q) if q.at_epoch.is_some() => 3,
+            _ => 2,
+        }
+    }
+
+    fn encode_body(&self, w: &mut BitWriter, version: u16) {
         match self {
             Self::Query(q) => {
                 w.write_varint(q.fp_a);
                 w.write_varint(q.fp_b);
                 q.queries.encode(w);
+                if version >= 3 {
+                    q.at_epoch.encode(w);
+                }
             }
             Self::NeedMatrices | Self::Stats | Self::Shutdown | Self::Ok => {}
             Self::Matrices { a, b } => {
@@ -205,6 +350,9 @@ impl ServiceMsg {
                 w.write_bit(rep.cache_hit);
                 w.write_varint(rep.wire_in);
                 w.write_varint(rep.wire_out);
+                if version >= 3 {
+                    w.write_varint(rep.epoch);
+                }
             }
             Self::StatsReport(s) => {
                 s.accounting.encode(w);
@@ -213,6 +361,9 @@ impl ServiceMsg {
                 w.write_varint(s.wire_in);
                 w.write_varint(s.wire_out);
                 w.write_varint(s.evictions);
+                if version >= 3 {
+                    w.write_varint(s.superseded);
+                }
             }
             Self::Error(msg) => msg.clone().encode(w),
             Self::RunSpec(spec) => {
@@ -222,15 +373,35 @@ impl ServiceMsg {
                 spec.request.encode(w);
             }
             Self::RunResult(res) => res.error.clone().encode(w),
+            Self::Update(u) => {
+                w.write_varint(u.fp_a);
+                w.write_varint(u.fp_b);
+                w.write_varint(u.expect_epoch);
+                encode_update_ops(&u.batch, w);
+            }
+            Self::UpdateAck { fp_a, fp_b, epoch } | Self::StaleEpoch { fp_a, fp_b, epoch } => {
+                w.write_varint(*fp_a);
+                w.write_varint(*fp_b);
+                w.write_varint(*epoch);
+            }
         }
     }
 
-    pub(crate) fn decode_body(name: &str, r: &mut BitReader<'_>) -> Result<Self, CommError> {
+    pub(crate) fn decode_body(
+        name: &str,
+        r: &mut BitReader<'_>,
+        version: u16,
+    ) -> Result<Self, CommError> {
         Ok(match name {
             "query" => Self::Query(QueryMsg {
                 fp_a: r.read_varint()?,
                 fp_b: r.read_varint()?,
                 queries: Vec::decode(r)?,
+                at_epoch: if version >= 3 {
+                    Option::decode(r)?
+                } else {
+                    None
+                },
             }),
             "need-matrices" => Self::NeedMatrices,
             "matrices" => Self::Matrices {
@@ -243,6 +414,7 @@ impl ServiceMsg {
                 cache_hit: r.read_bit()?,
                 wire_in: r.read_varint()?,
                 wire_out: r.read_varint()?,
+                epoch: if version >= 3 { r.read_varint()? } else { 0 },
             }),
             "stats" => Self::Stats,
             "stats-report" => Self::StatsReport(StatsMsg {
@@ -252,6 +424,7 @@ impl ServiceMsg {
                 wire_in: r.read_varint()?,
                 wire_out: r.read_varint()?,
                 evictions: r.read_varint()?,
+                superseded: if version >= 3 { r.read_varint()? } else { 0 },
             }),
             "shutdown" => Self::Shutdown,
             "ok" => Self::Ok,
@@ -265,6 +438,22 @@ impl ServiceMsg {
             "run-result" => Self::RunResult(RunResultMsg {
                 error: Option::decode(r)?,
             }),
+            "update" => Self::Update(UpdateMsg {
+                fp_a: r.read_varint()?,
+                fp_b: r.read_varint()?,
+                expect_epoch: r.read_varint()?,
+                batch: decode_update_ops(r)?,
+            }),
+            "update-ack" => Self::UpdateAck {
+                fp_a: r.read_varint()?,
+                fp_b: r.read_varint()?,
+                epoch: r.read_varint()?,
+            },
+            "stale-epoch" => Self::StaleEpoch {
+                fp_a: r.read_varint()?,
+                fp_b: r.read_varint()?,
+                epoch: r.read_varint()?,
+            },
             other => {
                 return Err(CommError::frame(
                     other,
@@ -276,16 +465,34 @@ impl ServiceMsg {
 }
 
 impl<S: Read + Write> FramedConn<S> {
-    /// Sends one service message as a service frame.
+    /// Sends one service message as a service frame (update messages
+    /// travel as [`KIND_UPDATE`](crate::codec::KIND_UPDATE) frames), in
+    /// the encoding of the connection's negotiated version.
     ///
     /// # Errors
     ///
-    /// Propagates codec/transport errors.
+    /// Propagates codec/transport errors; fails typed when the message
+    /// needs a newer codec than the connection negotiated.
     pub fn send_msg(&mut self, msg: &ServiceMsg) -> Result<(), CommError> {
+        let version = self.version();
+        if msg.min_version() > version {
+            return Err(CommError::frame(
+                msg.name(),
+                format!(
+                    "message requires codec v{} but the connection negotiated v{version}",
+                    msg.min_version()
+                ),
+            ));
+        }
         let mut w = BitWriter::new();
-        msg.encode_body(&mut w);
+        msg.encode_body(&mut w, version);
         let (payload, bits) = w.finish_vec();
-        self.send_raw(crate::codec::KIND_SERVICE, 0, msg.name(), bits, &payload)
+        let kind = if matches!(msg, ServiceMsg::Update(_)) {
+            crate::codec::KIND_UPDATE
+        } else {
+            crate::codec::KIND_SERVICE
+        };
+        self.send_raw(kind, 0, msg.name(), bits, &payload)
     }
 
     /// Receives the next service message; `Ok(None)` on clean EOF.
@@ -295,10 +502,11 @@ impl<S: Read + Write> FramedConn<S> {
     /// Returns a typed error on malformed frames or if a protocol frame
     /// arrives where a service message was expected.
     pub fn recv_msg(&mut self) -> Result<Option<ServiceMsg>, CommError> {
+        let version = self.version();
         let Some(frame) = self.recv_raw()? else {
             return Ok(None);
         };
-        decode_service_frame(&frame).map(Some)
+        decode_service_frame(&frame, version).map(Some)
     }
 
     /// Receives a service message, treating EOF as a closed channel.
@@ -312,16 +520,20 @@ impl<S: Read + Write> FramedConn<S> {
     }
 }
 
-/// Checks the frame kind and decodes the service-message body.
-fn decode_service_frame(frame: &RawFrame) -> Result<ServiceMsg, CommError> {
-    if frame.kind != crate::codec::KIND_SERVICE {
+/// Checks the frame kind and decodes the service-message body. Update
+/// frames carry their own kind so a v2-era peer rejects them at the
+/// frame layer instead of misparsing the body.
+fn decode_service_frame(frame: &RawFrame, version: u16) -> Result<ServiceMsg, CommError> {
+    let service = frame.kind == crate::codec::KIND_SERVICE;
+    let update = frame.kind == crate::codec::KIND_UPDATE && frame.label == "update";
+    if !(service || update) {
         return Err(CommError::frame(
             &frame.label,
             "expected a service message, got a protocol frame",
         ));
     }
     let mut r = BitReader::new(&frame.payload);
-    ServiceMsg::decode_body(&frame.label, &mut r)
+    ServiceMsg::decode_body(&frame.label, &mut r, version)
 }
 
 impl FramedConn<TcpStream> {
@@ -339,10 +551,11 @@ impl FramedConn<TcpStream> {
         idle: Option<Duration>,
         frame_timeout: Option<Duration>,
     ) -> Result<Option<ServiceMsg>, CommError> {
+        let version = self.version();
         let Some(frame) = self.recv_raw_patient(idle, frame_timeout)? else {
             return Ok(None);
         };
-        decode_service_frame(&frame).map(Some)
+        decode_service_frame(&frame, version).map(Some)
     }
 }
 
@@ -352,23 +565,24 @@ mod tests {
     use mpest_matrix::PNorm;
     use std::io::Cursor;
 
+    // Encode into a pipe, then decode from it.
+    struct Buf(Cursor<Vec<u8>>);
+    impl Read for Buf {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+    impl Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.get_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
     fn roundtrip(msg: &ServiceMsg) {
-        // Encode into a pipe, then decode from it.
-        struct Buf(Cursor<Vec<u8>>);
-        impl Read for Buf {
-            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-                self.0.read(buf)
-            }
-        }
-        impl Write for Buf {
-            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.get_mut().extend_from_slice(buf);
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
-        }
         let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new())));
         conn.send_msg(msg).unwrap();
         let back = conn.recv_msg().unwrap().unwrap();
@@ -401,6 +615,7 @@ mod tests {
                         },
                     ),
                 ],
+                at_epoch: Some(4),
             }),
             ServiceMsg::NeedMatrices,
             ServiceMsg::Matrices {
@@ -413,6 +628,7 @@ mod tests {
                 cache_hit: true,
                 wire_in: 100,
                 wire_out: 50,
+                epoch: 6,
             }),
             ServiceMsg::Stats,
             ServiceMsg::StatsReport(StatsMsg {
@@ -422,6 +638,7 @@ mod tests {
                 wire_in: 1,
                 wire_out: 2,
                 evictions: 3,
+                superseded: 4,
             }),
             ServiceMsg::Shutdown,
             ServiceMsg::Ok,
@@ -435,9 +652,132 @@ mod tests {
             ServiceMsg::RunResult(RunResultMsg {
                 error: Some("boom".into()),
             }),
+            ServiceMsg::Update(UpdateMsg {
+                fp_a: 11,
+                fp_b: 12,
+                expect_epoch: 3,
+                batch: UpdateBatch::new()
+                    .append_row(UpdateSide::Alice, vec![(0, 1), (7, -2)])
+                    .set_entry(UpdateSide::Bob, 1, 2, 5)
+                    .delete_entry(UpdateSide::Alice, 0, 0),
+            }),
+            ServiceMsg::UpdateAck {
+                fp_a: 1,
+                fp_b: 2,
+                epoch: 3,
+            },
+            ServiceMsg::StaleEpoch {
+                fp_a: 9,
+                fp_b: 8,
+                epoch: 7,
+            },
         ] {
             roundtrip(&msg);
         }
+    }
+
+    #[test]
+    fn update_frames_use_their_own_kind() {
+        let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new())));
+        conn.send_msg(&ServiceMsg::Update(UpdateMsg {
+            fp_a: 1,
+            fp_b: 2,
+            expect_epoch: 0,
+            batch: UpdateBatch::new(),
+        }))
+        .unwrap();
+        let frame = conn.recv_raw().unwrap().unwrap();
+        assert_eq!(frame.kind, crate::codec::KIND_UPDATE);
+        assert_eq!(frame.label, "update");
+    }
+
+    /// A v2 connection must see byte-identical v2 traffic: the v3-only
+    /// trailing fields are neither written nor read, and v3-only
+    /// messages fail typed at send time instead of emitting frames a v2
+    /// peer cannot parse.
+    #[test]
+    fn v2_connections_stay_v2_compatible() {
+        let query_v2 = ServiceMsg::Query(QueryMsg {
+            fp_a: 5,
+            fp_b: 6,
+            queries: vec![(1, EstimateRequest::ExactL1)],
+            at_epoch: None,
+        });
+        let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new()))).with_version(2);
+        conn.send_msg(&query_v2).unwrap();
+        let back = conn.recv_msg().unwrap().unwrap();
+        assert_eq!(back, query_v2);
+
+        // Version-gated trailing fields drop to their defaults across a
+        // v2 hop.
+        let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new()))).with_version(2);
+        conn.send_msg(&ServiceMsg::Reports(ReportsMsg {
+            reports: Vec::new(),
+            accounting: BatchAccounting::new(),
+            cache_hit: false,
+            wire_in: 1,
+            wire_out: 2,
+            epoch: 99,
+        }))
+        .unwrap();
+        let ServiceMsg::Reports(rep) = conn.recv_msg().unwrap().unwrap() else {
+            panic!("expected reports");
+        };
+        assert_eq!(rep.epoch, 0, "epoch is not carried over v2");
+
+        // v3-only messages are refused on a v2 connection, naming both
+        // versions.
+        let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new()))).with_version(2);
+        for msg in [
+            ServiceMsg::Update(UpdateMsg {
+                fp_a: 0,
+                fp_b: 0,
+                expect_epoch: 0,
+                batch: UpdateBatch::new(),
+            }),
+            ServiceMsg::Query(QueryMsg {
+                fp_a: 0,
+                fp_b: 0,
+                queries: Vec::new(),
+                at_epoch: Some(1),
+            }),
+            ServiceMsg::StaleEpoch {
+                fp_a: 0,
+                fp_b: 0,
+                epoch: 0,
+            },
+        ] {
+            let err = conn.send_msg(&msg).unwrap_err();
+            let s = err.to_string();
+            assert!(s.contains("v3") && s.contains("v2"), "{s}");
+        }
+    }
+
+    #[test]
+    fn hostile_update_batches_fail_typed() {
+        // An op count past the wire cap must not allocate.
+        let mut w = BitWriter::new();
+        w.write_varint(1); // fp_a
+        w.write_varint(2); // fp_b
+        w.write_varint(0); // expect_epoch
+        w.write_varint(MAX_WIRE_UPDATE_OPS + 1);
+        let (bytes, _) = w.finish_vec();
+        let mut r = BitReader::new(&bytes);
+        let err = ServiceMsg::decode_body("update", &mut r, crate::codec::VERSION).unwrap_err();
+        assert!(err.to_string().contains("wire cap"), "{err}");
+
+        // Unknown op tags are rejected.
+        let mut w = BitWriter::new();
+        w.write_varint(1);
+        w.write_varint(2);
+        w.write_varint(0);
+        w.write_varint(1); // one op
+        w.write_varint(9); // bogus tag
+        w.write_bit(false);
+        let (bytes, _) = w.finish_vec();
+        let mut r = BitReader::new(&bytes);
+        let err = ServiceMsg::decode_body("update", &mut r, crate::codec::VERSION).unwrap_err();
+        assert!(err.to_string().contains("op tag"), "{err}");
     }
 
     #[test]

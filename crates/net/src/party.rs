@@ -21,12 +21,13 @@
 //! multi-party" item on the roadmap.
 
 use crate::codec::FramedConn;
-use crate::msg::{RunResultMsg, RunSpecMsg, ServiceMsg};
+use crate::fingerprint::fingerprint;
+use crate::msg::{RunResultMsg, RunSpecMsg, ServiceMsg, UpdateMsg};
 use mpest_comm::{CommError, Party, Seed};
-use mpest_core::{EstimateReport, EstimateRequest, Session};
+use mpest_core::{EstimateReport, EstimateRequest, Session, UpdateBatch};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// I/O timeout (both directions) for party connections: a vanished or
@@ -171,9 +172,25 @@ pub fn run_with_party_with(
     Ok((report, conn.bytes_out(), conn.bytes_in()))
 }
 
+/// How a party host stores its session: the legacy shared (immutable)
+/// form, or the updatable form whose session can mutate between runs.
+#[derive(Clone)]
+enum PartySession {
+    /// An externally shared, immutable session — updates are rejected
+    /// with a typed error (the owner may hold other references).
+    Shared(Arc<Session>),
+    /// A host-owned session behind a lock: runs take the read side,
+    /// updates the write side.
+    Owned(Arc<RwLock<Session>>),
+}
+
 /// A listening party host: accepts connections and plays `side` of its
 /// session for every [`RunSpecMsg`] an initiator sends (several runs may
-/// share one connection).
+/// share one connection). A host spawned with
+/// [`PartyHost::spawn_updatable`] also accepts `update` messages between
+/// runs, mutating its half-pair in place (epoch-checked, fingerprint
+/// addressed) so long-lived monitoring deployments never restart to
+/// ingest new data.
 pub struct PartyHost {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -182,12 +199,34 @@ pub struct PartyHost {
 
 impl PartyHost {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves in background
-    /// threads — one accept loop, one thread per connection.
+    /// threads — one accept loop, one thread per connection. The shared
+    /// session is immutable: this host answers `update` messages with a
+    /// typed error (use [`PartyHost::spawn_updatable`] for live data).
     ///
     /// # Errors
     ///
     /// I/O errors from binding.
     pub fn spawn(addr: &str, session: Arc<Session>, side: Party) -> std::io::Result<Self> {
+        Self::spawn_inner(addr, PartySession::Shared(session), side)
+    }
+
+    /// Binds `addr` owning `session` outright, so remote peers may push
+    /// [`UpdateBatch`]es between runs (see [`update_party`]). Runs and
+    /// updates are serialized through a reader-writer lock: a run
+    /// in flight blocks updates, never the reverse mid-protocol.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn_updatable(addr: &str, session: Session, side: Party) -> std::io::Result<Self> {
+        Self::spawn_inner(
+            addr,
+            PartySession::Owned(Arc::new(RwLock::new(session))),
+            side,
+        )
+    }
+
+    fn spawn_inner(addr: &str, session: PartySession, side: Party) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -195,7 +234,7 @@ impl PartyHost {
         let join = std::thread::spawn(move || {
             let stop_conn = Arc::clone(&stop_accept);
             accept_loop(&listener, &stop_accept, move |stream| {
-                let session = Arc::clone(&session);
+                let session = session.clone();
                 let stop = Arc::clone(&stop_conn);
                 std::thread::spawn(move || {
                     let _ = serve_party_conn(stream, &session, side, &stop);
@@ -258,10 +297,11 @@ pub(crate) fn accept_loop(listener: &TcpListener, stop: &AtomicBool, handle: imp
     }
 }
 
-/// Serves one initiator connection: a sequence of run-specs.
+/// Serves one initiator connection: a sequence of run-specs (and, for
+/// updatable hosts, update batches).
 fn serve_party_conn(
     stream: TcpStream,
-    session: &Session,
+    session: &PartySession,
     side: Party,
     stop: &AtomicBool,
 ) -> Result<(), CommError> {
@@ -287,6 +327,10 @@ fn serve_party_conn(
         };
         let spec = match msg {
             ServiceMsg::RunSpec(spec) => spec,
+            ServiceMsg::Update(update) => {
+                conn.send_msg(&handle_party_update(session, &update))?;
+                continue;
+            }
             other => {
                 conn.send_msg(&ServiceMsg::Error(format!(
                     "expected run-spec, got {}",
@@ -313,13 +357,115 @@ fn serve_party_conn(
         conn.set_timeouts(Some(run_timeout))?;
         // Errors are shipped to the initiator inside run_over_conn's
         // result exchange; a transport error tears the connection down.
-        let outcome = run_over_conn(&mut conn, session, side, &spec.request, Seed(spec.seed));
+        let outcome = match session {
+            PartySession::Shared(s) => {
+                run_over_conn(&mut conn, s, side, &spec.request, Seed(spec.seed))
+            }
+            PartySession::Owned(lock) => {
+                // Hold the read side for the whole run: an update landing
+                // on another connection waits instead of mutating the
+                // pair under a live protocol.
+                let s = lock.read().expect("party session");
+                run_over_conn(&mut conn, &s, side, &spec.request, Seed(spec.seed))
+            }
+        };
         conn.set_timeouts(Some(PARTY_IO_TIMEOUT))?;
         match outcome {
             Ok(_) | Err(CommError::Protocol(_) | CommError::LabelMismatch { .. }) => {}
             Err(e @ (CommError::Frame { .. } | CommError::ChannelClosed)) => return Err(e),
             Err(_) => {}
         }
+    }
+}
+
+/// Applies an update batch to an updatable host's session (fingerprint
+/// addressed, epoch checked); shared hosts reject with a typed error.
+fn handle_party_update(session: &PartySession, update: &UpdateMsg) -> ServiceMsg {
+    let lock = match session {
+        PartySession::Shared(_) => {
+            return ServiceMsg::Error(
+                "this host serves a shared immutable session and cannot accept updates; \
+                 spawn it with an owned (updatable) session to ingest live data"
+                    .to_string(),
+            )
+        }
+        PartySession::Owned(lock) => lock,
+    };
+    let mut s = lock.write().expect("party session");
+    let (current, epoch) = match s.csr_halves() {
+        Ok((a, b)) => ((fingerprint(a), fingerprint(b)), s.epoch()),
+        Err(e) => return ServiceMsg::Error(e.to_string()),
+    };
+    if (update.fp_a, update.fp_b) != current || update.expect_epoch != epoch {
+        // The initiator's mirror is behind (or addresses another pair
+        // entirely): tell it where this host actually is.
+        return ServiceMsg::StaleEpoch {
+            fp_a: current.0,
+            fp_b: current.1,
+            epoch,
+        };
+    }
+    match s.apply_update(&update.batch) {
+        Ok(new_epoch) => match s.csr_halves() {
+            Ok((a, b)) => ServiceMsg::UpdateAck {
+                fp_a: fingerprint(a),
+                fp_b: fingerprint(b),
+                epoch: new_epoch,
+            },
+            Err(e) => ServiceMsg::Error(e.to_string()),
+        },
+        Err(e) => ServiceMsg::Error(e.to_string()),
+    }
+}
+
+/// Pushes `batch` to the updatable party host at `addr` and, once the
+/// host acknowledges, applies the same batch to `local` so the mirror
+/// stays bit-identical — the ack's fingerprints are cross-checked
+/// against the mutated mirror's, so silent divergence is impossible.
+/// Returns the shared new epoch.
+///
+/// # Errors
+///
+/// Transport errors; a typed stale-epoch rejection when the host has
+/// moved past `local`'s epoch; the host's typed refusal if it serves a
+/// shared immutable session; or a protocol error if the mirror's
+/// post-update fingerprints disagree with the host's.
+pub fn update_party(
+    addr: &str,
+    local: &mut Session,
+    batch: &UpdateBatch,
+    io_timeout: Option<Duration>,
+) -> Result<u64, CommError> {
+    let (fp_a, fp_b) = {
+        let (a, b) = local.csr_halves()?;
+        (fingerprint(a), fingerprint(b))
+    };
+    let mut conn = FramedConn::connect(addr, io_timeout)?;
+    conn.send_msg(&ServiceMsg::Update(UpdateMsg {
+        fp_a,
+        fp_b,
+        expect_epoch: local.epoch(),
+        batch: batch.clone(),
+    }))?;
+    match conn.recv_msg_required()? {
+        ServiceMsg::UpdateAck { fp_a, fp_b, epoch } => {
+            let local_epoch = local.apply_update(batch)?;
+            let (a, b) = local.csr_halves()?;
+            let (la, lb) = (fingerprint(a), fingerprint(b));
+            if (la, lb) != (fp_a, fp_b) || local_epoch != epoch {
+                return Err(CommError::protocol(format!(
+                    "local mirror diverged from the party host after the update: \
+                     mirror is ({la:#x}, {lb:#x})@{local_epoch}, \
+                     host is ({fp_a:#x}, {fp_b:#x})@{epoch}"
+                )));
+            }
+            Ok(epoch)
+        }
+        ServiceMsg::StaleEpoch { fp_a, fp_b, epoch } => Err(CommError::protocol(format!(
+            "stale epoch: the party host's session is now ({fp_a:#x}, {fp_b:#x}) at epoch {epoch}"
+        ))),
+        ServiceMsg::Error(msg) => Err(CommError::protocol(format!("party error: {msg}"))),
+        other => Err(CommError::frame(other.name(), "unexpected reply to update")),
     }
 }
 
@@ -374,6 +520,63 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("remote party failed"), "got {err}");
+        host.shutdown();
+    }
+
+    #[test]
+    fn updatable_host_ingests_updates_between_runs() {
+        use mpest_core::{UpdateBatch, UpdateSide};
+        let host = PartyHost::spawn_updatable("127.0.0.1:0", session(), Party::Bob).unwrap();
+        let addr = host.addr().to_string();
+        let mut mirror = session();
+        let request = EstimateRequest::ExactL1;
+        let (before, _, _) =
+            run_with_party(&addr, &mirror, Party::Alice, &request, Seed(9)).unwrap();
+
+        let batch = UpdateBatch::new()
+            .set_entry(UpdateSide::Alice, 0, 0, 1)
+            .delete_entry(UpdateSide::Bob, 1, 1);
+        let epoch = update_party(&addr, &mut mirror, &batch, Some(PARTY_IO_TIMEOUT)).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(mirror.epoch(), 1);
+
+        // The next run answers over the mutated pair, bit-identical to a
+        // local run on the synced mirror.
+        let local = mirror.estimate_seeded(&request, Seed(9)).unwrap();
+        let (after, _, _) =
+            run_with_party(&addr, &mirror, Party::Alice, &request, Seed(9)).unwrap();
+        assert_eq!(after, local);
+        assert_ne!(after.output, before.output, "the update changed ||AB||_1");
+
+        // A second push from a stale mirror (wrong epoch) is rejected.
+        let mut stale = session();
+        let err = update_party(&addr, &mut stale, &batch, Some(PARTY_IO_TIMEOUT)).unwrap_err();
+        assert!(err.to_string().contains("stale epoch"), "got {err}");
+        host.shutdown();
+    }
+
+    #[test]
+    fn shared_host_rejects_updates_with_a_typed_error() {
+        use mpest_core::{UpdateBatch, UpdateSide};
+        let host = PartyHost::spawn("127.0.0.1:0", Arc::new(session()), Party::Bob).unwrap();
+        let mut mirror = session();
+        let batch = UpdateBatch::new().set_entry(UpdateSide::Alice, 0, 0, 1);
+        let err = update_party(
+            &host.addr().to_string(),
+            &mut mirror,
+            &batch,
+            Some(PARTY_IO_TIMEOUT),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("cannot accept updates"),
+            "got {err}"
+        );
+        assert_eq!(
+            mirror.epoch(),
+            0,
+            "rejected update must not touch the mirror"
+        );
         host.shutdown();
     }
 

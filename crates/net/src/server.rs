@@ -1,8 +1,7 @@
 //! The `mpest serve` daemon: estimation-as-a-service over TCP.
 //!
 //! Thread-per-connection around a shared [`ServerState`]: a
-//! fingerprint-keyed cache of [`Arc<Session>`]s (each wrapped in an
-//! [`Engine`] so one query's requests fan out over workers), a global
+//! fingerprint-keyed cache of [`Engine`]-wrapped sessions, a global
 //! logical [`BatchAccounting`] ledger, and real-socket byte counters.
 //! Clients speak the service messages of [`crate::msg`]: a `query`
 //! carries matrix fingerprints plus `(seed, request)` pairs; on a cache
@@ -15,17 +14,39 @@
 //! answer is bit-identical — output *and* transcript — to a local
 //! `Session::estimate_seeded` call on the same pair, no matter how many
 //! clients interleave.
+//!
+//! # Live updates and epochs
+//!
+//! A cached pair is not frozen: an `update` message (codec v3) pushes an
+//! [`UpdateBatch`](mpest_core::UpdateBatch) into the cached session,
+//! bumping its epoch and *re-keying* the cache entry in place under the
+//! matrices' new fingerprints — the session keeps its incrementally
+//! maintained derived views instead of being rebuilt. The retired
+//! fingerprint pair is remembered in a superseded map (and counted in
+//! [`StatsMsg::superseded`]), so a client still naming the old pair gets
+//! a typed `stale-epoch` reply carrying the current pair and epoch, never
+//! a silent answer over different data. Queries may pin an epoch
+//! (`at_epoch`); a pinned query against any other epoch also answers
+//! `stale-epoch`.
+//!
+//! Concurrency: each cache slot is an `RwLock` — queries run under the
+//! read lock, updates under the write lock. Queries never clone the
+//! engine out of the slot, so when an update holds the write lock the
+//! engine's session `Arc` is provably unshared and the batch applies in
+//! place. Lock order is strict: the cache mutex is never held while
+//! taking a slot lock (slot arcs are cloned out first), while an update
+//! holding a slot's write lock may take the cache mutex to re-key.
 
 use crate::codec::FramedConn;
 use crate::fingerprint::fingerprint;
-use crate::msg::{QueryMsg, ReportsMsg, ServiceMsg, StatsMsg, WCsr};
+use crate::msg::{QueryMsg, ReportsMsg, ServiceMsg, StatsMsg, UpdateMsg, WCsr};
 use crate::party::accept_loop;
 use mpest_comm::{BatchAccounting, CommError, Seed};
 use mpest_core::{Engine, Session};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// Default read/write deadline for a frame *in flight* (and all
@@ -69,11 +90,39 @@ impl Default for ServeConfig {
     }
 }
 
-/// The fingerprint-keyed session cache: engines plus a recency tick for
-/// least-recently-used eviction at the configured cap.
+/// One cached session. `key` is the fingerprint pair the slot currently
+/// answers to — an update re-keys it in place, so a reader that raced a
+/// concurrent update can detect (by comparing `key` against the pair the
+/// client named) that its lookup went stale between the cache probe and
+/// the slot lock.
+struct SlotInner {
+    engine: Engine,
+    key: (u64, u64),
+}
+
+type Slot = Arc<RwLock<SlotInner>>;
+
+/// The fingerprint-keyed session cache: slots plus a recency tick for
+/// least-recently-used eviction at the configured cap, and the
+/// superseded map that redirects retired fingerprint pairs to their
+/// current identity.
 struct SessionCache {
-    entries: HashMap<(u64, u64), (Engine, u64)>,
+    entries: HashMap<(u64, u64), (Slot, u64)>,
+    /// Retired pair → (current pair, epoch at retirement). Best-effort
+    /// redirection hints for typed stale-epoch replies; cleared wholesale
+    /// if it ever outgrows a small multiple of the cache cap.
+    superseded: HashMap<(u64, u64), ((u64, u64), u64)>,
     tick: u64,
+}
+
+/// What a cache probe found for a fingerprint pair.
+enum Lookup {
+    /// The pair is cached and current.
+    Found(Slot),
+    /// The pair was retired by an update: current pair + epoch.
+    Superseded((u64, u64), u64),
+    /// Never seen (or evicted without a successor).
+    Missing,
 }
 
 /// Shared daemon state.
@@ -90,6 +139,10 @@ pub struct ServerState {
     queries: AtomicU64,
     /// Sessions evicted to stay under `config.max_sessions`.
     evictions: AtomicU64,
+    /// Fingerprint pairs retired by updates (the slot itself survives
+    /// under its new key — this counts identity retirements, not data
+    /// loss).
+    superseded: AtomicU64,
     config: ServeConfig,
     stop: AtomicBool,
 }
@@ -111,6 +164,7 @@ impl ServerState {
         Self {
             sessions: Mutex::new(SessionCache {
                 entries: HashMap::new(),
+                superseded: HashMap::new(),
                 tick: 0,
             }),
             ledger: Mutex::new(BatchAccounting::new()),
@@ -118,6 +172,7 @@ impl ServerState {
             wire_out: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            superseded: AtomicU64::new(0),
             config,
             stop: AtomicBool::new(false),
         }
@@ -133,19 +188,25 @@ impl ServerState {
             wire_in: self.wire_in.load(Ordering::Relaxed),
             wire_out: self.wire_out.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            superseded: self.superseded.load(Ordering::Relaxed),
         }
     }
 
-    fn lookup(&self, key: (u64, u64)) -> Option<Engine> {
+    fn lookup(&self, key: (u64, u64)) -> Lookup {
         let mut cache = self.sessions.lock().expect("sessions");
         cache.tick += 1;
         let tick = cache.tick;
-        let (engine, used) = cache.entries.get_mut(&key)?;
-        *used = tick;
-        Some(engine.clone())
+        if let Some((slot, used)) = cache.entries.get_mut(&key) {
+            *used = tick;
+            return Lookup::Found(Arc::clone(slot));
+        }
+        match cache.superseded.get(&key) {
+            Some(&(current, epoch)) => Lookup::Superseded(current, epoch),
+            None => Lookup::Missing,
+        }
     }
 
-    fn insert(&self, key: (u64, u64), a: WCsr, b: WCsr) -> Result<Engine, CommError> {
+    fn insert(&self, key: (u64, u64), a: WCsr, b: WCsr) -> Result<Slot, CommError> {
         let (got_a, got_b) = (fingerprint(&a.0), fingerprint(&b.0));
         if (got_a, got_b) != key {
             return Err(CommError::protocol(format!(
@@ -154,18 +215,34 @@ impl ServerState {
                 key.0, key.1
             )));
         }
-        let engine = Engine::new(Session::new(a.0, b.0));
+        // Warm the derived views up front: a served session is a
+        // streaming session, so updates should maintain views
+        // incrementally from the first batch rather than leaving
+        // queries to hit cold views mid-stream.
+        let session = Session::new(a.0, b.0);
+        session.warm_views()?;
+        let slot = Arc::new(RwLock::new(SlotInner {
+            engine: Engine::new(session),
+            key,
+        }));
         let mut cache = self.sessions.lock().expect("sessions");
         cache.tick += 1;
         let tick = cache.tick;
         // Two clients may race the same upload; first one wins, both use it.
         if let Some((existing, used)) = cache.entries.get_mut(&key) {
             *used = tick;
-            return Ok(existing.clone());
+            return Ok(Arc::clone(existing));
         }
-        // At the cap (0 = unbounded), drop the least-recently-used pair;
-        // in-flight queries keep their cloned engine alive until they
-        // finish.
+        self.evict_to_cap(&mut cache);
+        // A freshly uploaded pair is live again, whatever its history.
+        cache.superseded.remove(&key);
+        cache.entries.insert(key, (Arc::clone(&slot), tick));
+        Ok(slot)
+    }
+
+    /// At the cap (0 = unbounded), drops least-recently-used pairs;
+    /// in-flight queries keep their slot arcs alive until they finish.
+    fn evict_to_cap(&self, cache: &mut SessionCache) {
         while self.config.max_sessions > 0 && cache.entries.len() >= self.config.max_sessions {
             let oldest = cache
                 .entries
@@ -176,8 +253,39 @@ impl ServerState {
             cache.entries.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        cache.entries.insert(key, (engine.clone(), tick));
-        Ok(engine)
+    }
+
+    /// Atomically moves a slot from `old_key` to `new_key` after an
+    /// update (called with the slot's write lock held — see the module
+    /// docs for the lock order). The old pair lands in the superseded
+    /// map so late queries get a typed redirect instead of a re-upload.
+    fn rekey(&self, old_key: (u64, u64), new_key: (u64, u64), epoch: u64) {
+        let mut cache = self.sessions.lock().expect("sessions");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(entry) = cache.entries.remove(&old_key) {
+            if new_key != old_key && cache.entries.insert(new_key, (entry.0, tick)).is_some() {
+                // An independently uploaded identical pair occupied the
+                // new key; the updated slot replaces it.
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if new_key != old_key {
+            self.superseded.fetch_add(1, Ordering::Relaxed);
+            // Redirect chains collapse: anything that pointed at the old
+            // identity now points at the new one.
+            for target in cache.superseded.values_mut() {
+                if target.0 == old_key {
+                    *target = (new_key, epoch);
+                }
+            }
+            cache.superseded.insert(old_key, (new_key, epoch));
+            cache.superseded.remove(&new_key);
+            let cap = 4 * self.config.max_sessions.max(16);
+            if cache.superseded.len() > cap {
+                cache.superseded.clear();
+            }
+        }
     }
 }
 
@@ -347,6 +455,19 @@ fn serve_msgs(
                 let reply = handle_query(conn, state, query)?;
                 conn.send_msg(&reply)?;
             }
+            ServiceMsg::Update(update) if conn.version() >= 3 => {
+                let reply = handle_update(state, &update);
+                conn.send_msg(&reply)?;
+            }
+            ServiceMsg::Update(_) => {
+                // A well-behaved v2 peer cannot build this message; a
+                // hostile one sending the raw frame anyway gets a plain
+                // error (the typed replies themselves need v3).
+                conn.send_msg(&ServiceMsg::Error(format!(
+                    "update requires codec v3 but this connection negotiated v{}",
+                    conn.version()
+                )))?;
+            }
             ServiceMsg::Stats => {
                 conn.send_msg(&ServiceMsg::StatsReport(state.stats()))?;
             }
@@ -372,20 +493,28 @@ fn serve_msgs(
 }
 
 /// Resolves the session (asking the client to upload on a cache miss)
-/// and runs the query's requests through the engine.
+/// and runs the query's requests through the engine under the slot's
+/// read lock.
 fn handle_query(
     conn: &mut FramedConn<TcpStream>,
     state: &Arc<ServerState>,
     query: QueryMsg,
 ) -> Result<ServiceMsg, CommError> {
     let key = (query.fp_a, query.fp_b);
-    let (engine, cache_hit) = match state.lookup(key) {
-        Some(engine) => (engine, true),
-        None => {
+    let (slot, cache_hit) = match state.lookup(key) {
+        Lookup::Found(slot) => (slot, true),
+        Lookup::Superseded(current, epoch) => {
+            return Ok(ServiceMsg::StaleEpoch {
+                fp_a: current.0,
+                fp_b: current.1,
+                epoch,
+            })
+        }
+        Lookup::Missing => {
             conn.send_msg(&ServiceMsg::NeedMatrices)?;
             match conn.recv_msg_required()? {
                 ServiceMsg::Matrices { a, b } => match state.insert(key, a, b) {
-                    Ok(engine) => (engine, false),
+                    Ok(slot) => (slot, false),
                     Err(e) => return Ok(ServiceMsg::Error(e.to_string())),
                 },
                 other => {
@@ -397,12 +526,33 @@ fn handle_query(
             }
         }
     };
+    let inner = slot.read().expect("slot");
+    let epoch = inner.engine.session().epoch();
+    if inner.key != key {
+        // An update re-keyed the slot between the cache probe and this
+        // lock: the pair the client named no longer exists.
+        return Ok(ServiceMsg::StaleEpoch {
+            fp_a: inner.key.0,
+            fp_b: inner.key.1,
+            epoch,
+        });
+    }
+    if query.at_epoch.is_some_and(|at| at != epoch) {
+        return Ok(ServiceMsg::StaleEpoch {
+            fp_a: key.0,
+            fp_b: key.1,
+            epoch,
+        });
+    }
     let queries: Vec<(Seed, mpest_core::EstimateRequest)> = query
         .queries
         .into_iter()
         .map(|(seed, request)| (Seed(seed), request))
         .collect();
-    match engine.run_seeded_queries(&queries, state.config.workers) {
+    match inner
+        .engine
+        .run_seeded_queries(&queries, state.config.workers)
+    {
         Ok((reports, accounting)) => {
             state
                 .queries
@@ -412,6 +562,7 @@ fn handle_query(
                 reports,
                 accounting,
                 cache_hit,
+                epoch,
                 wire_in: conn.bytes_in(),
                 wire_out: conn.bytes_out(),
             }))
@@ -420,17 +571,79 @@ fn handle_query(
     }
 }
 
+/// Applies an update batch to a cached session: epoch-checked under the
+/// slot's write lock, then the cache entry is re-keyed to the mutated
+/// pair's new fingerprints.
+fn handle_update(state: &Arc<ServerState>, update: &UpdateMsg) -> ServiceMsg {
+    let key = (update.fp_a, update.fp_b);
+    let slot = match state.lookup(key) {
+        Lookup::Found(slot) => slot,
+        Lookup::Superseded(current, epoch) => {
+            return ServiceMsg::StaleEpoch {
+                fp_a: current.0,
+                fp_b: current.1,
+                epoch,
+            }
+        }
+        Lookup::Missing => {
+            return ServiceMsg::Error(format!(
+                "no cached session for ({:#x}, {:#x}): query (and upload) the pair before \
+                 updating it",
+                key.0, key.1
+            ))
+        }
+    };
+    let mut inner = slot.write().expect("slot");
+    let epoch = inner.engine.session().epoch();
+    if inner.key != key {
+        return ServiceMsg::StaleEpoch {
+            fp_a: inner.key.0,
+            fp_b: inner.key.1,
+            epoch,
+        };
+    }
+    if update.expect_epoch != epoch {
+        // A racing client updated first; this client's mirror is behind.
+        return ServiceMsg::StaleEpoch {
+            fp_a: key.0,
+            fp_b: key.1,
+            epoch,
+        };
+    }
+    let new_epoch = match inner.engine.apply_update(&update.batch) {
+        Ok(epoch) => epoch,
+        Err(e) => return ServiceMsg::Error(e.to_string()),
+    };
+    let new_key = match inner.engine.session().csr_halves() {
+        Ok((a, b)) => (fingerprint(a), fingerprint(b)),
+        Err(e) => return ServiceMsg::Error(e.to_string()),
+    };
+    inner.key = new_key;
+    state.rekey(key, new_key, new_epoch);
+    ServiceMsg::UpdateAck {
+        fp_a: new_key.0,
+        fp_b: new_key.1,
+        epoch: new_epoch,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::ServeClient;
-    use mpest_core::EstimateRequest;
+    use mpest_core::{EstimateRequest, UpdateBatch, UpdateSide};
     use mpest_matrix::{CsrMatrix, Workloads};
 
     fn pair(val: i64) -> (CsrMatrix, CsrMatrix) {
         let a = CsrMatrix::from_triplets(3, 4, vec![(0, 1, val), (2, 3, 1)]);
         let b = CsrMatrix::from_triplets(4, 3, vec![(1, 0, val + 1)]);
         (a, b)
+    }
+
+    fn insert_pair(state: &ServerState, a: CsrMatrix, b: CsrMatrix) -> (u64, u64) {
+        let key = (fingerprint(&a), fingerprint(&b));
+        state.insert(key, WCsr(a), WCsr(b)).unwrap();
+        key
     }
 
     #[test]
@@ -442,20 +655,131 @@ mod tests {
         let (a1, b1) = pair(1);
         let (a2, b2) = pair(10);
         let (a3, b3) = pair(100);
-        let k1 = (fingerprint(&a1), fingerprint(&b1));
-        let k2 = (fingerprint(&a2), fingerprint(&b2));
-        let k3 = (fingerprint(&a3), fingerprint(&b3));
-        state.insert(k1, WCsr(a1), WCsr(b1)).unwrap();
-        state.insert(k2, WCsr(a2), WCsr(b2)).unwrap();
+        let k1 = insert_pair(&state, a1, b1);
+        let k2 = insert_pair(&state, a2, b2);
         // Touch k1 so k2 becomes the least recently used.
-        assert!(state.lookup(k1).is_some());
-        state.insert(k3, WCsr(a3), WCsr(b3)).unwrap();
+        assert!(matches!(state.lookup(k1), Lookup::Found(_)));
+        let k3 = insert_pair(&state, a3, b3);
         let stats = state.stats();
         assert_eq!(stats.sessions, 2);
         assert_eq!(stats.evictions, 1);
-        assert!(state.lookup(k1).is_some(), "recently used entry survives");
-        assert!(state.lookup(k2).is_none(), "LRU entry was evicted");
-        assert!(state.lookup(k3).is_some());
+        assert!(
+            matches!(state.lookup(k1), Lookup::Found(_)),
+            "recently used entry survives"
+        );
+        assert!(
+            matches!(state.lookup(k2), Lookup::Missing),
+            "LRU entry was evicted"
+        );
+        assert!(matches!(state.lookup(k3), Lookup::Found(_)));
+    }
+
+    #[test]
+    fn updates_rekey_without_double_counting_and_redirect_stale_keys() {
+        let state = Arc::new(ServerState::new(1));
+        let (a, b) = pair(1);
+        let old_key = insert_pair(&state, a.clone(), b.clone());
+
+        let batch = UpdateBatch::new().set_entry(UpdateSide::Alice, 0, 1, 7);
+        let ack = handle_update(
+            &state,
+            &UpdateMsg {
+                fp_a: old_key.0,
+                fp_b: old_key.1,
+                expect_epoch: 0,
+                batch: batch.clone(),
+            },
+        );
+        let ServiceMsg::UpdateAck { fp_a, fp_b, epoch } = ack else {
+            panic!("expected update-ack, got {}", ack.name());
+        };
+        assert_eq!(epoch, 1);
+        // The ack names the mutated pair's real fingerprints.
+        let mut mirror = Session::new(a, b);
+        mirror.apply_update(&batch).unwrap();
+        let (ma, mb) = mirror.csr_halves().unwrap();
+        assert_eq!((fp_a, fp_b), (fingerprint(ma), fingerprint(mb)));
+
+        // Exactly one cache entry (no double-count), keyed by the new pair.
+        let stats = state.stats();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.superseded, 1);
+        assert_eq!(stats.evictions, 0);
+        assert!(matches!(state.lookup((fp_a, fp_b)), Lookup::Found(_)));
+        // The retired pair redirects instead of hitting or re-uploading.
+        match state.lookup(old_key) {
+            Lookup::Superseded(current, at) => {
+                assert_eq!(current, (fp_a, fp_b));
+                assert_eq!(at, 1);
+            }
+            _ => panic!("old key must be superseded"),
+        }
+
+        // A second update chained through the new key collapses the
+        // redirect chain: the oldest key points straight at the newest.
+        let batch2 = UpdateBatch::new().set_entry(UpdateSide::Bob, 1, 0, -3);
+        let ServiceMsg::UpdateAck {
+            fp_a: fp_a2,
+            fp_b: fp_b2,
+            epoch: epoch2,
+        } = handle_update(
+            &state,
+            &UpdateMsg {
+                fp_a,
+                fp_b,
+                expect_epoch: 1,
+                batch: batch2,
+            },
+        )
+        else {
+            panic!("second update must ack");
+        };
+        assert_eq!(epoch2, 2);
+        match state.lookup(old_key) {
+            Lookup::Superseded(current, at) => {
+                assert_eq!(current, (fp_a2, fp_b2));
+                assert_eq!(at, 2);
+            }
+            _ => panic!("oldest key must chase the newest identity"),
+        }
+    }
+
+    #[test]
+    fn stale_expect_epoch_is_rejected_with_the_current_identity() {
+        let state = Arc::new(ServerState::new(1));
+        let (a, b) = pair(3);
+        let key = insert_pair(&state, a, b);
+        let reply = handle_update(
+            &state,
+            &UpdateMsg {
+                fp_a: key.0,
+                fp_b: key.1,
+                expect_epoch: 5,
+                batch: UpdateBatch::new(),
+            },
+        );
+        match reply {
+            ServiceMsg::StaleEpoch { fp_a, fp_b, epoch } => {
+                assert_eq!((fp_a, fp_b), key);
+                assert_eq!(epoch, 0);
+            }
+            other => panic!("expected stale-epoch, got {}", other.name()),
+        }
+        // Updating a pair the daemon has never seen is a plain error.
+        let reply = handle_update(
+            &state,
+            &UpdateMsg {
+                fp_a: 0xdead,
+                fp_b: 0xbeef,
+                expect_epoch: 0,
+                batch: UpdateBatch::new(),
+            },
+        );
+        assert!(
+            matches!(&reply, ServiceMsg::Error(msg) if msg.contains("no cached session")),
+            "got {}",
+            reply.name()
+        );
     }
 
     #[test]
@@ -468,6 +792,7 @@ mod tests {
             conn.send_msg(&ServiceMsg::Query(QueryMsg {
                 fp_a: 1,
                 fp_b: 2,
+                at_epoch: None,
                 queries: Vec::new(),
             }))
             .unwrap();

@@ -1,0 +1,475 @@
+//! Drift verification: the statistical contracts under live updates.
+//!
+//! The static sweep ([`crate::verify`]) checks every protocol's
+//! [`GuaranteeSpec`](mpest_core::guarantee::GuaranteeSpec) on frozen
+//! pairs. Monitoring workloads are not frozen: the whole point of
+//! `mpest-stream` is that a session mutates between queries. This module
+//! interleaves deterministic update schedules with contract re-scoring —
+//! epoch 0 is the freshly built pair, then each epoch applies one
+//! [`UpdateBatch`] through [`Session::apply_update`] (the *incremental*
+//! path, maintaining cached views in place) and re-runs every protocol's
+//! Monte-Carlo cell against exact oracles recomputed over the mutated
+//! pair.
+//!
+//! Two families drift: a binary pair (all 14 protocols) and a general
+//! integer pair (the general-matrix protocols). Alongside the contract
+//! gates, every epoch also replays a small query batch on a *cold
+//! rebuild* of the current pair (same seed, fresh derived views) and
+//! requires bit-identical reports — the `rebuild == incremental`
+//! equivalence the streaming subsystem promises, checked end-to-end at
+//! every epoch rather than only at construction.
+
+use crate::runner::{run_cell, runs_on, ProtocolVerdict};
+use crate::workload::{BuiltWorkload, Workload};
+use mpest_comm::Seed;
+use mpest_core::{BatchPlan, Engine, EstimateRequest, Session, UpdateBatch, UpdateSide};
+use mpest_matrix::{BitMatrix, CsrMatrix};
+use std::sync::Arc;
+
+/// Configuration of one drift sweep.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Update batches applied per family (epochs beyond the initial
+    /// epoch 0; every epoch re-scores the contracts).
+    pub epochs: usize,
+    /// Trials per (protocol, epoch) cell.
+    pub trials: usize,
+    /// Mutation ops per update batch.
+    pub ops_per_epoch: usize,
+    /// Trials per protocol in the per-epoch incremental-vs-rebuild
+    /// replay.
+    pub equivalence_trials: usize,
+    /// Master seed: workload generation, schedules, and trial seeds all
+    /// derive from it.
+    pub seed: u64,
+    /// Quick mode shrinks the matrices.
+    pub quick: bool,
+    /// Restrict to these protocol names; `None` runs all 14.
+    pub protocols: Option<Vec<String>>,
+}
+
+impl DriftConfig {
+    /// The reduced configuration CI and the tier-1 suite run.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            epochs: 3,
+            trials: 16,
+            ops_per_epoch: 8,
+            equivalence_trials: 2,
+            seed: 0xd21f_7a5e,
+            quick: true,
+            protocols: None,
+        }
+    }
+
+    /// The full local configuration: larger matrices, more trials.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            epochs: 5,
+            trials: 48,
+            ops_per_epoch: 24,
+            quick: false,
+            ..Self::quick()
+        }
+    }
+
+    /// Overrides the per-cell trial count.
+    #[must_use]
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Overrides the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restricts the sweep to the named protocols.
+    #[must_use]
+    pub fn with_protocols(mut self, protocols: Vec<String>) -> Self {
+        self.protocols = Some(protocols);
+        self
+    }
+}
+
+/// One (protocol, epoch) verdict: the static harness's cell result plus
+/// where in the drift schedule it was scored.
+#[derive(Debug, Clone)]
+pub struct DriftVerdict {
+    /// Drift family name (`"drift-binary"` / `"drift-integer"`).
+    pub family: &'static str,
+    /// Session epoch the cell ran at.
+    pub epoch: u64,
+    /// The contract verdict (workload label carries the family name).
+    pub verdict: ProtocolVerdict,
+}
+
+/// The outcome of one drift sweep.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// The master seed.
+    pub seed: u64,
+    /// Update batches applied per family.
+    pub epochs: usize,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Total update ops applied across families.
+    pub update_ops: u64,
+    /// Epoch-tagged contract verdicts, in schedule order.
+    pub verdicts: Vec<DriftVerdict>,
+    /// Incremental-vs-rebuild mismatches (empty = the bit-identity
+    /// contract held at every epoch).
+    pub divergences: Vec<String>,
+}
+
+impl DriftReport {
+    /// Whether every contract held and no epoch diverged from a rebuild.
+    #[must_use]
+    pub fn all_pass(&self) -> bool {
+        self.divergences.is_empty() && self.verdicts.iter().all(|v| v.verdict.pass)
+    }
+
+    /// The verdicts that failed.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&DriftVerdict> {
+        self.verdicts.iter().filter(|v| !v.verdict.pass).collect()
+    }
+
+    /// Human-readable summary: per-epoch failure counts plus any
+    /// divergences.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "drift verification ({} mode, seed {:#x}, {} epochs, {} trials/cell):\n",
+            self.mode, self.seed, self.epochs, self.trials
+        );
+        for v in &self.verdicts {
+            if v.verdict.pass {
+                continue;
+            }
+            out.push_str(&format!(
+                "  FAIL {:<16} {}@epoch {}: fail {:.1}% (δ ≤ {:.1}%)",
+                v.verdict.protocol,
+                v.family,
+                v.epoch,
+                100.0 * v.verdict.failure_rate,
+                100.0 * v.verdict.delta
+            ));
+            if let Some(why) = &v.verdict.first_failure {
+                out.push_str(&format!("  first violation: {why}"));
+            }
+            out.push('\n');
+        }
+        for d in &self.divergences {
+            out.push_str(&format!("  DIVERGE {d}\n"));
+        }
+        let cells = self.verdicts.len();
+        let failed = self.failures().len();
+        out.push_str(&format!(
+            "  {cells} cells, {failed} failed, {} divergences, {} update ops applied — {}\n",
+            self.divergences.len(),
+            self.update_ops,
+            if self.all_pass() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+/// Deterministic splitmix64 stream for schedule generation.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// One drifting family: which base workload it mutates and whether the
+/// pair must stay binary.
+struct Family {
+    name: &'static str,
+    base: Workload,
+    binary: bool,
+}
+
+const FAMILIES: [Family; 2] = [
+    Family {
+        name: "drift-binary",
+        base: Workload::DenseSquare,
+        binary: true,
+    },
+    Family {
+        name: "drift-integer",
+        base: Workload::IntegerRect,
+        binary: false,
+    },
+];
+
+/// Generates one epoch's update batch over the current shapes,
+/// respecting the family's value domain (binary sides only ever see
+/// 0/1). Shapes are tracked through appends so later ops can address
+/// appended sets.
+fn drift_batch(
+    mix: &mut Mix,
+    ops: usize,
+    binary: bool,
+    a_shape: &mut (usize, usize),
+    b_shape: &mut (usize, usize),
+) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    let mut appends = 0usize;
+    for _ in 0..ops {
+        let side = if mix.below(2) == 0 {
+            UpdateSide::Alice
+        } else {
+            UpdateSide::Bob
+        };
+        // (rows, cols) of the side's matrix; Alice appends rows of A,
+        // Bob appends columns of B, so the inner dimension never moves.
+        let (rows, cols, inner) = match side {
+            UpdateSide::Alice => (a_shape.0, a_shape.1, a_shape.1),
+            UpdateSide::Bob => (b_shape.0, b_shape.1, b_shape.0),
+        };
+        let val = |mix: &mut Mix| {
+            if binary {
+                1
+            } else {
+                1 + mix.below(6) as i64
+            }
+        };
+        match mix.below(10) {
+            // Appends are rarer so shapes grow slowly.
+            0 | 1 if appends < 2 => {
+                appends += 1;
+                let k = 1 + mix.below(4) as usize;
+                let entries: Vec<(u32, i64)> = (0..k)
+                    .map(|_| (mix.below(inner as u64) as u32, val(mix)))
+                    .collect();
+                batch = batch.append_row(side, entries);
+                match side {
+                    UpdateSide::Alice => a_shape.0 += 1,
+                    UpdateSide::Bob => b_shape.1 += 1,
+                }
+            }
+            2..=5 => {
+                batch = batch.set_entry(
+                    side,
+                    mix.below(rows as u64) as u32,
+                    mix.below(cols as u64) as u32,
+                    val(mix),
+                );
+            }
+            _ => {
+                batch = batch.delete_entry(
+                    side,
+                    mix.below(rows as u64) as u32,
+                    mix.below(cols as u64) as u32,
+                );
+            }
+        }
+    }
+    batch
+}
+
+/// Rebuilds a cold session over the pair's current content — same seed,
+/// fresh derived views — the reference side of the per-epoch
+/// `rebuild == incremental` replay.
+fn cold_rebuild(a: &CsrMatrix, b: &CsrMatrix, binary: bool, seed: Seed) -> Session {
+    if binary {
+        Session::new(BitMatrix::from_csr(a), BitMatrix::from_csr(b)).with_seed(seed)
+    } else {
+        Session::new(a.clone(), b.clone()).with_seed(seed)
+    }
+}
+
+/// Runs the drift sweep: per family, alternate contract re-scoring and
+/// update batches, checking incremental-vs-rebuild bit-identity at every
+/// epoch.
+#[must_use]
+pub fn drift(config: &DriftConfig) -> DriftReport {
+    let catalog: Vec<EstimateRequest> = EstimateRequest::catalog()
+        .into_iter()
+        .filter(|req| match &config.protocols {
+            Some(names) => names.iter().any(|n| n == req.name()),
+            None => true,
+        })
+        .collect();
+
+    let mut verdicts = Vec::new();
+    let mut divergences = Vec::new();
+    let mut update_ops = 0u64;
+
+    for (fidx, family) in FAMILIES.iter().enumerate() {
+        let requests: Vec<&EstimateRequest> = catalog
+            .iter()
+            .filter(|req| runs_on(req, family.base))
+            .collect();
+        if requests.is_empty() {
+            continue;
+        }
+        let session_seed = Seed(config.seed)
+            .derive("drift-workload")
+            .derive_u64(fidx as u64);
+        let built = family.base.build(config.quick, config.seed, session_seed);
+        let mut a_shape = (built.a.rows(), built.a.cols());
+        let mut b_shape = (built.b.rows(), built.b.cols());
+        let BuiltWorkload { session, .. } = built;
+        let mut session =
+            Arc::try_unwrap(session).unwrap_or_else(|_| panic!("fresh build is unshared"));
+        let mut mix = Mix(config.seed ^ (0xdf1f << fidx));
+
+        for epoch in 0..=config.epochs {
+            let arc = Arc::new(session);
+            let (a, b) = {
+                let (a, b) = arc.csr_halves().expect("drift pair stays conformable");
+                (a.clone(), b.clone())
+            };
+
+            // Re-score every contract over the mutated pair: fresh exact
+            // oracles, the incrementally maintained session under test.
+            let scored = BuiltWorkload {
+                workload: family.base,
+                a: a.clone(),
+                b: b.clone(),
+                session: Arc::clone(&arc),
+            };
+            for (pidx, req) in requests.iter().enumerate() {
+                let spec = req.guarantee();
+                let base_index = (0x4000 + (fidx * 0x400) + epoch * 0x40 + pidx) as u64;
+                let mut verdict =
+                    run_cell(&scored, req, &spec, config.trials, base_index << 32, false);
+                verdict.workload = family.name.to_string();
+                verdicts.push(DriftVerdict {
+                    family: family.name,
+                    epoch: epoch as u64,
+                    verdict,
+                });
+            }
+
+            // Incremental-vs-rebuild replay: a cold session over the same
+            // content must answer a seeded batch bit-identically.
+            let warm_engine = Engine::from_arc(Arc::clone(&arc));
+            let cold_engine = Engine::new(cold_rebuild(&a, &b, family.binary, session_seed));
+            let plan =
+                BatchPlan::default().at_index((0x8000 + fidx as u64 * 0x100 + epoch as u64) << 32);
+            for req in &requests {
+                let reqs = vec![(*req).clone(); config.equivalence_trials];
+                let warm = warm_engine.run_batch(&reqs, &plan).map(|b| b.reports);
+                let cold = cold_engine.run_batch(&reqs, &plan).map(|b| b.reports);
+                match (warm, cold) {
+                    (Ok(w), Ok(c)) if w == c => {}
+                    (Ok(_), Ok(_)) => divergences.push(format!(
+                        "{} {}@epoch {epoch}: incremental reports differ from cold rebuild",
+                        req.name(),
+                        family.name
+                    )),
+                    (w, c) => divergences.push(format!(
+                        "{} {}@epoch {epoch}: asymmetric outcome (incremental {}, rebuild {})",
+                        req.name(),
+                        family.name,
+                        w.as_ref().map_or_else(|e| e.to_string(), |_| "ok".into()),
+                        c.as_ref().map_or_else(|e| e.to_string(), |_| "ok".into()),
+                    )),
+                }
+            }
+            // Release every holder of the session arc before reclaiming
+            // exclusive ownership for the next mutation.
+            drop(warm_engine);
+            drop(scored);
+            session = Arc::try_unwrap(arc)
+                .unwrap_or_else(|_| panic!("batch engines release the session"));
+
+            // Mutate for the next epoch (the last scored epoch gets no
+            // trailing batch).
+            if epoch < config.epochs {
+                let batch = drift_batch(
+                    &mut mix,
+                    config.ops_per_epoch,
+                    family.binary,
+                    &mut a_shape,
+                    &mut b_shape,
+                );
+                update_ops += batch.len() as u64;
+                let applied = session
+                    .apply_update(&batch)
+                    .expect("drift schedules generate valid batches");
+                debug_assert_eq!(applied, epoch as u64 + 1);
+            }
+        }
+    }
+
+    DriftReport {
+        mode: if config.quick { "quick" } else { "full" }.to_string(),
+        seed: config.seed,
+        epochs: config.epochs,
+        trials: config.trials,
+        update_ops,
+        verdicts,
+        divergences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_drift_sweep_passes_for_a_protocol_slice() {
+        let config = DriftConfig::quick().with_trials(6).with_protocols(vec![
+            "exact-l1".into(),
+            "lp".into(),
+            "linf-binary".into(),
+            "trivial-binary".into(),
+        ]);
+        let report = drift(&config);
+        assert!(report.all_pass(), "{}", report.summary());
+        // Epoch 0 plus each update epoch scored for every runnable cell;
+        // the binary family runs all four, the integer family two.
+        let epochs = config.epochs + 1;
+        assert_eq!(report.verdicts.len(), epochs * 4 + epochs * 2);
+        assert!(report.update_ops > 0);
+        assert!(report
+            .verdicts
+            .iter()
+            .any(|v| v.epoch == config.epochs as u64));
+    }
+
+    #[test]
+    fn drift_is_deterministic_per_seed() {
+        let config = DriftConfig::quick()
+            .with_trials(4)
+            .with_protocols(vec!["exact-l1".into()]);
+        let one = drift(&config);
+        let two = drift(&config);
+        let key = |r: &DriftReport| {
+            r.verdicts
+                .iter()
+                .map(|v| {
+                    (
+                        v.epoch,
+                        v.verdict.protocol.clone(),
+                        v.verdict.failures,
+                        v.verdict.mean_bits.to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&one), key(&two));
+        assert_eq!(one.update_ops, two.update_ops);
+    }
+}

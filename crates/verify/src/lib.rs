@@ -36,10 +36,12 @@
 //! ```
 
 pub mod aggregate;
+pub mod drift;
 pub mod runner;
 pub mod score;
 pub mod workload;
 
 pub use aggregate::{Quantiles, SetQuality};
+pub use drift::{drift, DriftConfig, DriftReport, DriftVerdict};
 pub use runner::{verify, CurvePoint, ProtocolVerdict, VerifyConfig, VerifyReport};
 pub use workload::{BuiltWorkload, Workload};

@@ -237,7 +237,7 @@ impl VerifyReport {
 
 /// Which protocols a workload can serve: binary workloads serve all,
 /// integer ones only the general-matrix protocols.
-fn runs_on(req: &EstimateRequest, workload: Workload) -> bool {
+pub(crate) fn runs_on(req: &EstimateRequest, workload: Workload) -> bool {
     workload.is_binary()
         || !matches!(
             req,
@@ -251,7 +251,7 @@ fn runs_on(req: &EstimateRequest, workload: Workload) -> bool {
 
 /// Runs `trials` seeded trials of `req` over `built` through the batch
 /// engine and returns the aggregated verdict.
-fn run_cell(
+pub(crate) fn run_cell(
     built: &BuiltWorkload,
     req: &EstimateRequest,
     spec: &GuaranteeSpec,

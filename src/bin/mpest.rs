@@ -42,10 +42,13 @@ const USAGE: &str = "usage:
   mpest verify [--protocol NAME] [--trials N] [--quick] [--seed S]
   mpest serve --listen ADDR [--workers N] [--io-timeout SECS] [--idle-timeout SECS]
             [--max-sessions N]
-  mpest party --listen ADDR --a FILE --b FILE [--side alice|bob]
+  mpest party --listen ADDR --a FILE --b FILE [--side alice|bob] [--updatable]
   mpest query PROTOCOL (--connect ADDR | --party ADDR) --a FILE --b FILE
             [options] [--side alice|bob] [--format text|json]
+            [--at-epoch N (--connect only)]
             [--io-timeout SECS] [--reply-timeout SECS (--connect only)]
+  mpest update (--connect ADDR | --party ADDR) --a FILE --b FILE --ops FILE.jsonl
+            [--out-a FILE] [--out-b FILE] [--io-timeout SECS]
 
 verify runs the Monte-Carlo statistical-guarantee sweep: every protocol
 (or just --protocol NAME) over generated dense/sparse/power-law/skewed/
@@ -72,7 +75,24 @@ batch requests file: one JSON object per line, {\"protocol\": NAME, ...flags},
 e.g. {\"protocol\": \"l0\", \"eps\": 0.2} — keys match the run flags
 below ('#' lines and blank lines are skipped). The batch executes across a
 worker pool (--workers 0 = one per core) and is bit-identical to running
-the requests sequentially in file order.
+the requests sequentially in file order. A request may pin \"epoch\": N
+to a session snapshot: the batch refuses to run if the loaded pair's
+epoch (0 for freshly loaded files) differs from any pinned epoch.
+
+update pushes a live mutation batch into the session a daemon caches
+for the pair (--connect), or into the half a `mpest party` host serves
+(--party, the host must be started with --updatable). The local files
+are the mirror: their fingerprints and epoch name the remote session,
+the ops apply locally after the remote acknowledges, and the mutated
+pair is written to --out-a/--out-b (defaulting to overwriting --a/--b)
+so the next query or update starts from the synced snapshot. The ops
+file is one JSON object per line:
+  {\"op\": \"set\",    \"side\": \"alice|bob\", \"row\": R, \"col\": C, \"val\": V}
+  {\"op\": \"delete\", \"side\": \"alice|bob\", \"row\": R, \"col\": C}
+  {\"op\": \"append-row\", \"side\": \"alice|bob\", \"entries\": \"IDX:VAL,IDX:VAL,...\"}
+query --at-epoch N pins a daemon query to an exact session epoch; the
+daemon answers only at that epoch and otherwise replies with a typed
+stale-epoch error naming its current identity.
 
 protocols and their options:
   l0 | l1 | l2 | lp        --eps E [--p P]        (Algorithm 1, 2 rounds)
@@ -104,7 +124,7 @@ impl Flags {
         while i < args.len() {
             let a = &args[i];
             if let Some(key) = a.strip_prefix("--") {
-                if key == "exact" || key == "quick" {
+                if key == "exact" || key == "quick" || key == "updatable" {
                     map.insert(key.to_string(), "true".to_string());
                 } else {
                     i += 1;
@@ -178,8 +198,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| "query needs a protocol name".to_string())?;
             cmd_query(protocol, &flags)
         }
+        Some("update") => cmd_update(&flags),
         _ => Err(
-            "expected a subcommand: gen | exact | run | batch | verify | serve | party | query"
+            "expected a subcommand: gen | exact | run | batch | verify | serve | party | query \
+             | update"
                 .to_string(),
         ),
     }
@@ -707,14 +729,27 @@ fn parse_jsonl_object(line: &str) -> Result<HashMap<String, String>, String> {
 }
 
 /// Every key a batch request line may carry: `protocol` plus the
-/// per-protocol flags of `mpest run`. Unknown keys are rejected so a
-/// typo (`"hheps"`) can't silently fall back to a default.
+/// per-protocol flags of `mpest run`, plus the optional `epoch` pin.
+/// Unknown keys are rejected so a typo (`"hheps"`) can't silently fall
+/// back to a default.
 const REQUEST_KEYS: &[&str] = &[
-    "protocol", "eps", "p", "kappa", "phi", "hh-eps", "t", "slack",
+    "protocol", "eps", "p", "kappa", "phi", "hh-eps", "t", "slack", "epoch",
 ];
 
-/// Parses one already-decoded request object into the uniform shape.
-fn request_from_map(map: HashMap<String, String>) -> Result<EstimateRequest, String> {
+/// One batch request: the uniform shape plus its optional epoch pin and
+/// the (1-based) source line for error context.
+#[derive(Debug)]
+struct PinnedRequest {
+    request: EstimateRequest,
+    epoch: Option<u64>,
+    line: usize,
+}
+
+/// Parses one already-decoded request object into the uniform shape
+/// plus its optional epoch pin.
+fn request_from_map(
+    mut map: HashMap<String, String>,
+) -> Result<(EstimateRequest, Option<u64>), String> {
     for key in map.keys() {
         if !REQUEST_KEYS.contains(&key.as_str()) {
             return Err(if key == "seed" {
@@ -724,16 +759,25 @@ fn request_from_map(map: HashMap<String, String>) -> Result<EstimateRequest, Str
             });
         }
     }
+    let epoch = match map.remove("epoch") {
+        None => None,
+        Some(raw) => Some(raw.parse::<u64>().map_err(|_| {
+            format!(
+                "bad \"epoch\" value {raw:?}: an epoch pin must be a \
+                 non-negative integer"
+            )
+        })?),
+    };
     let protocol = map
         .get("protocol")
         .cloned()
         .ok_or_else(|| "missing \"protocol\" key".to_string())?;
-    parse_request(&protocol, &Flags(map))
+    Ok((parse_request(&protocol, &Flags(map))?, epoch))
 }
 
 /// Reads a JSONL request file into the uniform request shape, reusing
 /// the `mpest run` flag vocabulary for per-protocol parameters.
-fn load_requests(path: &Path) -> Result<Vec<EstimateRequest>, String> {
+fn load_requests(path: &Path) -> Result<Vec<PinnedRequest>, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("--requests {}: {e}", path.display()))?;
     let mut requests = Vec::new();
@@ -744,7 +788,12 @@ fn load_requests(path: &Path) -> Result<Vec<EstimateRequest>, String> {
         }
         let context = |e: String| format!("{}:{}: {e}", path.display(), lineno + 1);
         let map = parse_jsonl_object(trimmed).map_err(context)?;
-        requests.push(request_from_map(map).map_err(context)?);
+        let (request, epoch) = request_from_map(map).map_err(context)?;
+        requests.push(PinnedRequest {
+            request,
+            epoch,
+            line: lineno + 1,
+        });
     }
     if requests.is_empty() {
         return Err(format!("{}: no requests", path.display()));
@@ -757,7 +806,24 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
     let seed = Seed(flags.num("seed", 42u64)?);
     let workers: usize = flags.num("workers", 0)?;
     let executor = parse_executor(flags)?;
-    let requests = load_requests(Path::new(flags.required("requests")?))?;
+    let requests_path = PathBuf::from(flags.required("requests")?);
+    let pinned = load_requests(&requests_path)?;
+    // A freshly loaded pair sits at epoch 0; a request pinned to any
+    // other snapshot must not silently run over the wrong data.
+    for p in &pinned {
+        if let Some(epoch) = p.epoch {
+            if epoch != 0 {
+                return Err(format!(
+                    "{}:{}: request pins epoch {epoch}, but a pair loaded \
+                     from files is at epoch 0; drop the pin or query the \
+                     daemon holding that snapshot (mpest query --at-epoch)",
+                    requests_path.display(),
+                    p.line
+                ));
+            }
+        }
+    }
+    let requests: Vec<EstimateRequest> = pinned.into_iter().map(|p| p.request).collect();
 
     // `mpest run` coerces integer inputs to their binary support view
     // when the (single) request is binary. A batch may only apply that
@@ -961,10 +1027,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let stats = state.stats();
     println!(
         "mpest serve: shut down after {} request(s), {} cached session(s) \
-         ({} evicted), {} logical bits served, {} bytes in / {} bytes out on the wire",
+         ({} evicted, {} superseded by updates), {} logical bits served, \
+         {} bytes in / {} bytes out on the wire",
         stats.queries,
         stats.sessions,
         stats.evictions,
+        stats.superseded,
         stats.accounting.total_bits,
         stats.wire_in,
         stats.wire_out
@@ -995,18 +1063,30 @@ fn parse_side(flags: &Flags, default: Party) -> Result<Party, String> {
 }
 
 /// `mpest party`: host one side of remote two-party runs (blocks).
+/// `--updatable` serves an owned session that also ingests `mpest
+/// update --party` batches between runs.
 fn cmd_party(flags: &Flags) -> Result<(), String> {
     use mpest::net::PartyHost;
     let addr = flags.str("listen").unwrap_or("127.0.0.1:7118");
     let side = parse_side(flags, Party::Bob)?;
+    let updatable = flags.str("updatable").is_some();
     let (a, b) = load_pair(flags)?;
-    let session = std::sync::Arc::new(Session::new(a, b));
-    let host =
-        PartyHost::spawn(addr, session, side).map_err(|e| format!("--listen {addr}: {e}"))?;
+    let session = Session::new(a, b);
+    let host = if updatable {
+        PartyHost::spawn_updatable(addr, session, side)
+    } else {
+        PartyHost::spawn(addr, std::sync::Arc::new(session), side)
+    }
+    .map_err(|e| format!("--listen {addr}: {e}"))?;
     println!(
-        "mpest party: playing {side} on {} — initiators run \
+        "mpest party: playing {side} on {}{} — initiators run \
          `mpest query PROTOCOL --party {} --side {} ...` with the same matrices",
         host.addr(),
+        if updatable {
+            " (updatable: accepts `mpest update --party` batches)"
+        } else {
+            ""
+        },
         host.addr(),
         match side {
             Party::Alice => "bob",
@@ -1040,9 +1120,14 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
             let io_timeout = parse_timeout(flags, "io-timeout", 30)?;
             let mut client = ServeClient::connect_with(addr, reply_timeout, io_timeout)
                 .map_err(|e| e.to_string())?;
-            let outcome = client
-                .query(&qa, &qb, &[(seed, request)])
-                .map_err(|e| e.to_string())?;
+            let outcome = match flags.str("at-epoch") {
+                None => client.query(&qa, &qb, &[(seed, request)]),
+                Some(raw) => {
+                    let at_epoch: u64 = raw.parse().map_err(|e| format!("bad --at-epoch: {e}"))?;
+                    client.query_at_epoch(&qa, &qb, &[(seed, request)], at_epoch)
+                }
+            }
+            .map_err(|e| e.to_string())?;
             let report = outcome
                 .reports
                 .reports
@@ -1086,6 +1171,13 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
         }
         (None, Some(addr)) => {
             use mpest::net::run_with_party_with;
+            if flags.str("at-epoch").is_some() {
+                return Err(
+                    "--at-epoch pins a daemon session's epoch and requires --connect; \
+                     a two-party run always executes over the host's current pair"
+                        .to_string(),
+                );
+            }
             // A remote two-party run needs both processes to hold the
             // same pair; binarizing only this side would desynchronize
             // the run (and `mpest party` serves the files as given).
@@ -1128,6 +1220,189 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
         (Some(_), Some(_)) => Err("--connect and --party are mutually exclusive".to_string()),
         (None, None) => Err("query needs --connect ADDR or --party ADDR".to_string()),
     }
+}
+
+/// Every key an update-ops line may carry.
+const OP_KEYS: &[&str] = &["op", "side", "row", "col", "val", "entries"];
+
+/// Parses `"alice"` / `"bob"`.
+fn parse_update_side(raw: &str) -> Result<UpdateSide, String> {
+    match raw {
+        "alice" => Ok(UpdateSide::Alice),
+        "bob" => Ok(UpdateSide::Bob),
+        other => Err(format!(
+            "unknown \"side\" {other:?} (expected \"alice\" or \"bob\")"
+        )),
+    }
+}
+
+/// Parses the `"entries"` string of an `append-row` op:
+/// comma-separated `IDX:VAL` pairs.
+fn parse_op_entries(raw: &str) -> Result<Vec<(u32, i64)>, String> {
+    let mut entries = Vec::new();
+    for token in raw.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let (idx, val) = token
+            .split_once(':')
+            .ok_or_else(|| format!("bad entry {token:?}: expected IDX:VAL"))?;
+        entries.push((
+            idx.trim()
+                .parse()
+                .map_err(|e| format!("bad entry index {:?}: {e}", idx.trim()))?,
+            val.trim()
+                .parse()
+                .map_err(|e| format!("bad entry value {:?}: {e}", val.trim()))?,
+        ));
+    }
+    Ok(entries)
+}
+
+/// Parses one already-decoded ops object and appends it to `batch`.
+fn op_from_map(map: &HashMap<String, String>, batch: UpdateBatch) -> Result<UpdateBatch, String> {
+    for key in map.keys() {
+        if !OP_KEYS.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown op key {key:?} (expected one of {OP_KEYS:?})"
+            ));
+        }
+    }
+    let field = |key: &str| {
+        map.get(key)
+            .ok_or_else(|| format!("missing {key:?} key"))
+            .map(String::as_str)
+    };
+    let num = |key: &str| -> Result<u32, String> {
+        field(key)?
+            .parse()
+            .map_err(|e| format!("bad {key:?} value: {e}"))
+    };
+    let reject = |keys: &[&str], op: &str| -> Result<(), String> {
+        for key in keys {
+            if map.contains_key(*key) {
+                return Err(format!("op {op:?} takes no {key:?} key"));
+            }
+        }
+        Ok(())
+    };
+    let op = field("op")?;
+    let side = parse_update_side(field("side")?)?;
+    Ok(match op {
+        "set" => {
+            reject(&["entries"], op)?;
+            let val: i64 = field("val")?
+                .parse()
+                .map_err(|e| format!("bad \"val\" value: {e}"))?;
+            batch.set_entry(side, num("row")?, num("col")?, val)
+        }
+        "delete" => {
+            reject(&["val", "entries"], op)?;
+            batch.delete_entry(side, num("row")?, num("col")?)
+        }
+        "append-row" => {
+            reject(&["row", "col", "val"], op)?;
+            batch.append_row(side, parse_op_entries(field("entries")?)?)
+        }
+        other => {
+            return Err(format!(
+                "unknown op {other:?} (expected \"set\", \"delete\", or \"append-row\")"
+            ))
+        }
+    })
+}
+
+/// Reads a JSONL ops file into an [`UpdateBatch`], with file:line
+/// context on every malformed line.
+fn load_ops(path: &Path) -> Result<UpdateBatch, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("--ops {}: {e}", path.display()))?;
+    let mut batch = UpdateBatch::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let context = |e: String| format!("{}:{}: {e}", path.display(), lineno + 1);
+        let map = parse_jsonl_object(trimmed).map_err(context)?;
+        batch = op_from_map(&map, batch).map_err(context)?;
+    }
+    if batch.is_empty() {
+        return Err(format!("{}: no update ops", path.display()));
+    }
+    Ok(batch)
+}
+
+/// `mpest update`: push a live mutation batch into a daemon's cached
+/// session (`--connect`) or an updatable party host (`--party`). The
+/// local files are the mirror: they name the remote session and are
+/// re-written in sync after the remote acknowledges.
+fn cmd_update(flags: &Flags) -> Result<(), String> {
+    use mpest::net::{fingerprint, update_party, ServeClient};
+    let (a, b) = load_pair(flags)?;
+    let batch = load_ops(Path::new(flags.required("ops")?))?;
+    let out_a = PathBuf::from(flags.str("out-a").unwrap_or(flags.required("a")?));
+    let out_b = PathBuf::from(flags.str("out-b").unwrap_or(flags.required("b")?));
+    let io_timeout = parse_timeout(flags, "io-timeout", 30)?;
+    let mut mirror = Session::new(a, b);
+
+    match (flags.str("connect"), flags.str("party")) {
+        (Some(addr), None) => {
+            let reply_timeout = parse_timeout(flags, "reply-timeout", 600)?;
+            let mut client = ServeClient::connect_with(addr, reply_timeout, io_timeout)
+                .map_err(|e| e.to_string())?;
+            let outcome = {
+                let (ca, cb) = mirror.csr_halves().map_err(|e| e.to_string())?;
+                client.update(ca, cb, mirror.epoch(), &batch)
+            }
+            .map_err(|e| e.to_string())?;
+            mirror.apply_update(&batch).map_err(|e| e.to_string())?;
+            let (la, lb) = {
+                let (ca, cb) = mirror.csr_halves().map_err(|e| e.to_string())?;
+                (fingerprint(ca), fingerprint(cb))
+            };
+            if (la, lb) != (outcome.fp_a, outcome.fp_b) || mirror.epoch() != outcome.epoch {
+                return Err(format!(
+                    "local mirror diverged from the daemon after the update: \
+                     daemon is ({:#x}, {:#x}) at epoch {}, mirror is \
+                     ({la:#x}, {lb:#x}) at epoch {}",
+                    outcome.fp_a,
+                    outcome.fp_b,
+                    outcome.epoch,
+                    mirror.epoch()
+                ));
+            }
+            println!(
+                "update applied: daemon session is now ({:#x}, {:#x}) at epoch {} \
+                 ({} op(s))",
+                outcome.fp_a,
+                outcome.fp_b,
+                outcome.epoch,
+                batch.len()
+            );
+        }
+        (None, Some(addr)) => {
+            let epoch =
+                update_party(addr, &mut mirror, &batch, io_timeout).map_err(|e| e.to_string())?;
+            println!(
+                "update applied: party host is now at epoch {epoch} ({} op(s))",
+                batch.len()
+            );
+        }
+        (Some(_), Some(_)) => return Err("--connect and --party are mutually exclusive".into()),
+        (None, None) => return Err("update needs --connect ADDR or --party ADDR".into()),
+    }
+
+    let (ca, cb) = mirror.csr_halves().map_err(|e| e.to_string())?;
+    io::write_csr(ca, &out_a).map_err(|e| format!("--out-a {}: {e}", out_a.display()))?;
+    io::write_csr(cb, &out_b).map_err(|e| format!("--out-b {}: {e}", out_b.display()))?;
+    println!(
+        "synced mirror written to {} and {}",
+        out_a.display(),
+        out_b.display()
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1225,8 +1500,11 @@ mod tests {
         );
         let requests = load_requests(&good).unwrap();
         assert_eq!(requests.len(), 2);
-        assert_eq!(requests[0].name(), "hh-binary");
-        assert_eq!(requests[1].name(), "lp");
+        assert_eq!(requests[0].request.name(), "hh-binary");
+        assert_eq!(requests[1].request.name(), "lp");
+        assert_eq!(requests[0].epoch, None);
+        assert_eq!(requests[0].line, 3);
+        assert_eq!(requests[1].line, 4);
 
         // A malformed object points at its file and (1-based) line.
         let bad = write("bad.jsonl", "{\"protocol\": \"l0\"}\n{not json}\n");
@@ -1257,6 +1535,36 @@ mod tests {
         let missing = write("missing.jsonl", "{\"protocol\": \"at-least-t\"}\n");
         let err = load_requests(&missing).unwrap_err();
         assert!(err.contains("missing --t"), "got: {err}");
+
+        // Epoch pins: a valid pin round-trips, malformed values get a
+        // typed error with file:line context.
+        let pinned = write(
+            "pinned.jsonl",
+            "{\"protocol\": \"l0\", \"eps\": 0.2, \"epoch\": 3}\n",
+        );
+        let requests = load_requests(&pinned).unwrap();
+        assert_eq!(requests[0].epoch, Some(3));
+        for (name, body) in [
+            ("negepoch.jsonl", "{\"protocol\": \"l0\", \"epoch\": -1}\n"),
+            (
+                "fracepoch.jsonl",
+                "{\"protocol\": \"l0\", \"epoch\": 1.5}\n",
+            ),
+            (
+                "strepoch.jsonl",
+                "{\"protocol\": \"l0\", \"epoch\": \"latest\"}\n",
+            ),
+            (
+                "nullepoch.jsonl",
+                "{\"protocol\": \"l0\", \"epoch\": null}\n",
+            ),
+        ] {
+            let err = load_requests(&write(name, body)).unwrap_err();
+            assert!(
+                err.contains(&format!("{name}:1:")) && err.contains("bad \"epoch\" value"),
+                "got: {err}"
+            );
+        }
 
         // All-comment and empty files are "no requests", and a missing
         // file reports the I/O failure.
@@ -1297,7 +1605,11 @@ mod tests {
         let line = |s: &str| parse_jsonl_object(s).unwrap();
         assert!(matches!(
             request_from_map(line(r#"{"protocol": "l0", "eps": 0.25}"#)),
-            Ok(EstimateRequest::LpNorm { .. })
+            Ok((EstimateRequest::LpNorm { .. }, None))
+        ));
+        assert!(matches!(
+            request_from_map(line(r#"{"protocol": "l0", "eps": 0.25, "epoch": 2}"#)),
+            Ok((EstimateRequest::LpNorm { .. }, Some(2)))
         ));
         let err = request_from_map(line(
             r#"{"protocol": "hh-binary", "phi": 0.05, "hheps": 0.005}"#,
@@ -1308,5 +1620,73 @@ mod tests {
         assert!(err.contains("per-request \"seed\""), "got: {err}");
         let err = request_from_map(line(r#"{"eps": 0.2}"#)).unwrap_err();
         assert!(err.contains("protocol"), "got: {err}");
+    }
+
+    #[test]
+    fn update_ops_files_parse_with_typed_line_errors() {
+        let dir = std::env::temp_dir().join(format!("mpest-ops-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            path
+        };
+
+        // All three op kinds parse; comments and blanks are skipped.
+        let good = write(
+            "good.jsonl",
+            "# a mixed batch\n\
+             {\"op\": \"set\", \"side\": \"alice\", \"row\": 1, \"col\": 2, \"val\": 7}\n\
+             {\"op\": \"delete\", \"side\": \"bob\", \"row\": 0, \"col\": 0}\n\
+             {\"op\": \"append-row\", \"side\": \"alice\", \"entries\": \"0:1, 3:2\"}\n",
+        );
+        let batch = load_ops(&good).unwrap();
+        assert_eq!(batch.len(), 3);
+
+        // Malformed lines carry file:line context and a typed message.
+        for (name, body, needle) in [
+            (
+                "badop.jsonl",
+                "{\"op\": \"upsert\", \"side\": \"alice\", \"row\": 1, \"col\": 2, \"val\": 7}\n",
+                "unknown op \"upsert\"",
+            ),
+            (
+                "badside.jsonl",
+                "{\"op\": \"set\", \"side\": \"carol\", \"row\": 1, \"col\": 2, \"val\": 7}\n",
+                "unknown \"side\" \"carol\"",
+            ),
+            (
+                "badrow.jsonl",
+                "{\"op\": \"set\", \"side\": \"alice\", \"row\": -1, \"col\": 2, \"val\": 7}\n",
+                "bad \"row\" value",
+            ),
+            (
+                "extrakey.jsonl",
+                "{\"op\": \"delete\", \"side\": \"bob\", \"row\": 0, \"col\": 0, \"val\": 1}\n",
+                "op \"delete\" takes no \"val\"",
+            ),
+            (
+                "badentries.jsonl",
+                "{\"op\": \"append-row\", \"side\": \"bob\", \"entries\": \"0=1\"}\n",
+                "expected IDX:VAL",
+            ),
+            (
+                "unknownkey.jsonl",
+                "{\"op\": \"set\", \"side\": \"alice\", \"row\": 1, \"col\": 2, \"val\": 7, \"epoch\": 1}\n",
+                "unknown op key \"epoch\"",
+            ),
+        ] {
+            let err = load_ops(&write(name, body)).unwrap_err();
+            assert!(
+                err.contains(&format!("{name}:1:")) && err.contains(needle),
+                "got: {err}"
+            );
+        }
+
+        // Empty batches are rejected.
+        let empty = write("empty.jsonl", "# nothing\n");
+        assert!(load_ops(&empty).unwrap_err().contains("no update ops"));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -122,6 +122,8 @@ pub mod prelude {
         Constants, HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares,
         ProtocolRun,
     };
+    // The streaming layer: live updates over an epoch-versioned session.
+    pub use mpest_core::{UpdateBatch, UpdateOp, UpdateSide};
     // The serving layer: real sockets, remote parties, session cache.
     pub use mpest_net::{PartyHost, ServeClient, Server};
     // Statistical contracts and the Monte-Carlo verification harness.
