@@ -10,11 +10,12 @@ use mpest_matrix::Workloads;
 
 fn engine(n: usize) -> Engine {
     Engine::new(
-        Session::new(
+        Session::builder(
             Workloads::bernoulli_bits(n, n, 0.15, 21),
             Workloads::bernoulli_bits(n, n, 0.15, 22),
         )
-        .with_seed(Seed(77)),
+        .seed(Seed(77))
+        .build(),
     )
 }
 

@@ -10,11 +10,12 @@ use mpest_core::{EstimateRequest, ExactL1, Session};
 use mpest_matrix::Workloads;
 
 fn session(n: usize) -> Session {
-    Session::new(
+    Session::builder(
         Workloads::bernoulli_bits(n, n, 0.15, 21),
         Workloads::bernoulli_bits(n, n, 0.15, 22),
     )
-    .with_seed(Seed(77))
+    .seed(Seed(77))
+    .build()
 }
 
 fn bench_exec(c: &mut Criterion) {

@@ -113,7 +113,9 @@ pub fn run(quick: bool) -> BatchBench {
     let (n, queries) = if quick { (48, 48) } else { (128, 192) };
     let a = Workloads::bernoulli_bits(n, n, 0.15, 21);
     let b = Workloads::bernoulli_bits(n, n, 0.15, 22);
-    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(77));
+    let session = Session::builder(a.clone(), b.clone())
+        .seed(Seed(77))
+        .build();
     let requests = mixed_requests(queries);
 
     // Sequential baselines under both executors: the fused one is the
@@ -166,7 +168,11 @@ pub fn run(quick: bool) -> BatchBench {
             // same one-time derived-view setup the sequential baseline
             // paid — a warmed cache would flatter the speedups in the CI
             // artifact.
-            let engine = Engine::new(Session::new(a.clone(), b.clone()).with_seed(Seed(77)));
+            let engine = Engine::new(
+                Session::builder(a.clone(), b.clone())
+                    .seed(Seed(77))
+                    .build(),
+            );
             let plan = BatchPlan::default()
                 .with_workers(workers)
                 .with_executor(exec)

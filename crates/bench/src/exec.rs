@@ -131,7 +131,9 @@ pub fn run(quick: bool) -> ExecBench {
     let (n, queries, iters) = if quick { (32, 64, 20) } else { (64, 256, 50) };
     let a = Workloads::bernoulli_bits(n, n, 0.15, 21);
     let b = Workloads::bernoulli_bits(n, n, 0.15, 22);
-    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(77));
+    let session = Session::builder(a.clone(), b.clone())
+        .seed(Seed(77))
+        .build();
 
     // Warm every derived view so timings measure queries, not setup.
     let catalog = EstimateRequest::catalog();
@@ -181,7 +183,11 @@ pub fn run(quick: bool) -> ExecBench {
     //    threaded sequential baseline.
     let mut engine_points = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let engine = Engine::new(Session::new(a.clone(), b.clone()).with_seed(Seed(77)));
+        let engine = Engine::new(
+            Session::builder(a.clone(), b.clone())
+                .seed(Seed(77))
+                .build(),
+        );
         let plan = BatchPlan::default()
             .with_workers(workers)
             .with_executor(ExecBackend::Fused)

@@ -96,7 +96,9 @@ pub fn t1(quick: bool) -> Table {
     let seed = Seed(1234);
     // One session serves every row of the table: the pair is validated
     // once and all derived views are shared across the 12 protocols.
-    let session = Session::new(a_bits.clone(), b_bits.clone()).with_seed(seed);
+    let session = Session::builder(a_bits.clone(), b_bits.clone())
+        .seed(seed)
+        .build();
 
     let l0 = norms::csr_lp_pow(&c, PNorm::Zero);
     let run = session

@@ -92,13 +92,19 @@ fn pair(n: usize) -> (mpest_matrix::BitMatrix, mpest_matrix::BitMatrix) {
 pub fn run(quick: bool) -> ServeBench {
     let (n, serve_queries) = if quick { (24, 56) } else { (48, 224) };
     let (a, b) = pair(n);
-    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(77));
+    let session = Session::builder(a.clone(), b.clone())
+        .seed(Seed(77))
+        .build();
     let catalog = EstimateRequest::catalog();
 
     // 1. Per-protocol remote runs over a loopback party host.
     let host = PartyHost::spawn(
         "127.0.0.1:0",
-        Arc::new(Session::new(a.clone(), b.clone()).with_seed(Seed(77))),
+        Arc::new(
+            Session::builder(a.clone(), b.clone())
+                .seed(Seed(77))
+                .build(),
+        ),
         Party::Bob,
     )
     .expect("bind loopback party host");
@@ -132,7 +138,9 @@ pub fn run(quick: bool) -> ServeBench {
     let a_csr = a.to_csr();
     let b_csr = b.to_csr();
 
-    let local_session = Session::new(a_csr.clone(), b_csr.clone()).with_seed(Seed(77));
+    let local_session = Session::builder(a_csr.clone(), b_csr.clone())
+        .seed(Seed(77))
+        .build();
     let start = Instant::now();
     let local_reports: Vec<EstimateReport> = sweep
         .iter()

@@ -18,7 +18,7 @@
 //!    interleaves queries; reports are gated bit-identical against a
 //!    locally synced mirror, and the daemon's `superseded` counter must
 //!    account every re-keyed fingerprint pair.
-//! 3. **Drift verification** — the [`mpest_verify::drift`] sweep:
+//! 3. **Drift verification** — the [`mpest_verify::drift()`] sweep:
 //!    every protocol's (ε, δ) contract re-scored at every epoch of a
 //!    mutating pair, plus per-epoch incremental-vs-rebuild replays.
 //!
@@ -157,7 +157,9 @@ pub fn run(quick: bool) -> StreamBench {
     // Phase 1: incremental vs rebuild over a general integer pair.
     let base_a = Workloads::integer_csr(n, n / 2, 0.20, 6, false, 0x51a);
     let base_b = Workloads::integer_csr(n / 2, n, 0.20, 6, false, 0x51b);
-    let mut inc = Session::new(base_a.clone(), base_b.clone()).with_seed(Seed(77));
+    let mut inc = Session::builder(base_a.clone(), base_b.clone())
+        .seed(Seed(77))
+        .build();
     // Materialize the derived views up front so every timed epoch
     // exercises incremental maintenance, never a first lazy build.
     inc.warm_views().expect("warm base session");
@@ -183,7 +185,7 @@ pub fn run(quick: bool) -> StreamBench {
             (a.clone(), b.clone())
         };
         let start = Instant::now();
-        let cold = Session::new(a_now, b_now).with_seed(Seed(77));
+        let cold = Session::builder(a_now, b_now).seed(Seed(77)).build();
         cold.warm_views().expect("warm rebuilt session");
         rebuild_secs += start.elapsed().as_secs_f64();
 

@@ -57,7 +57,7 @@ use crate::channel::{
     Link,
 };
 use crate::error::CommError;
-use crate::remote::{execute_remote, RemoteCtx};
+use crate::remote::{execute_remote, missing_input, RemoteCtx};
 use crate::transcript::{MsgRecord, Party, Transcript};
 use crate::wire::Wire;
 use std::cell::{Cell, RefCell};
@@ -440,10 +440,46 @@ where
     FA: Fn(&Link<'_>, AIn) -> Result<AOut, CommError> + Send,
     FB: Fn(&Link<'_>, BIn) -> Result<BOut, CommError> + Send,
 {
+    execute_split(exec, Some(alice_in), Some(bob_in), alice_fn, bob_fn)
+}
+
+/// Storage-split variant of [`execute_with`]: each party's input is an
+/// `Option`, present only when this process actually holds it.
+///
+/// The in-process backends run both parties and therefore require both
+/// inputs; a missing one is a typed protocol error. An [`Exec::Remote`]
+/// executor runs only its context's side and requires only that side's
+/// input — this is the entry point that lets a storage-split party
+/// execute a protocol while holding nothing of its peer beyond public
+/// metadata.
+///
+/// # Errors
+///
+/// Same as [`execute_with`], plus a [`CommError::Protocol`] when the
+/// input for a side this process must run is `None`.
+pub fn execute_split<'r, AIn, BIn, AOut, BOut, FA, FB>(
+    exec: impl Into<Exec<'r>>,
+    alice_in: Option<AIn>,
+    bob_in: Option<BIn>,
+    alice_fn: FA,
+    bob_fn: FB,
+) -> Result<ExecutionOutcome<AOut, BOut>, CommError>
+where
+    AIn: Send + Clone,
+    BIn: Send + Clone,
+    AOut: Send + Wire,
+    BOut: Send + Wire,
+    FA: Fn(&Link<'_>, AIn) -> Result<AOut, CommError> + Send,
+    FB: Fn(&Link<'_>, BIn) -> Result<BOut, CommError> + Send,
+{
     match exec.into() {
-        Exec::Backend(ExecBackend::Fused) => execute_fused(alice_in, bob_in, alice_fn, bob_fn),
-        Exec::Backend(ExecBackend::Threaded) => {
-            execute_threaded(alice_in, bob_in, alice_fn, bob_fn)
+        Exec::Backend(backend) => {
+            let alice_in = alice_in.ok_or_else(|| missing_input(Party::Alice))?;
+            let bob_in = bob_in.ok_or_else(|| missing_input(Party::Bob))?;
+            match backend {
+                ExecBackend::Fused => execute_fused(alice_in, bob_in, alice_fn, bob_fn),
+                ExecBackend::Threaded => execute_threaded(alice_in, bob_in, alice_fn, bob_fn),
+            }
         }
         Exec::Remote(rc) => execute_remote(rc, alice_in, bob_in, alice_fn, bob_fn),
     }

@@ -62,8 +62,8 @@ pub use bits::{width_for, BitReader, BitWriter};
 pub use channel::{ExecutionOutcome, Link};
 pub use cost::NetworkModel;
 pub use error::CommError;
-pub use exec::{execute, execute_with, Exec, ExecBackend};
+pub use exec::{execute, execute_split, execute_with, Exec, ExecBackend};
 pub use remote::{intern_label, FrameIo, RemoteCtx, RemoteEvent, RemoteFrame};
 pub use seed::Seed;
-pub use transcript::{BatchAccounting, MsgRecord, Party, Transcript, TranscriptSummary};
+pub use transcript::{BatchAccounting, MsgRecord, Party, Role, Transcript, TranscriptSummary};
 pub use wire::{FixedU64s, Wire};

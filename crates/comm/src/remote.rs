@@ -404,10 +404,18 @@ pub(crate) fn encode_and_send<T: Wire>(
 /// the peer process is expected to run the complementary party over the
 /// same stream. See the module docs for the bit-identity contract and
 /// the post-protocol output exchange.
+/// Error for a split execution that was asked to run a side whose input
+/// the caller does not hold.
+pub(crate) fn missing_input(side: Party) -> CommError {
+    CommError::protocol(format!(
+        "storage-split execution needs {side}'s input, but this party does not hold it"
+    ))
+}
+
 pub(crate) fn execute_remote<AIn, BIn, AOut, BOut, FA, FB>(
     rc: &RemoteCtx<'_>,
-    alice_in: AIn,
-    bob_in: BIn,
+    alice_in: Option<AIn>,
+    bob_in: Option<BIn>,
     alice_fn: FA,
     bob_fn: FB,
 ) -> Result<ExecutionOutcome<AOut, BOut>, CommError>
@@ -423,9 +431,17 @@ where
     let mut bob_out: Option<BOut> = None;
     let my_res: Result<(), CommError> = {
         let link = Link::remote(&core);
+        // Only this context's side runs locally, so only its input is
+        // required — storage-split callers pass `None` for the peer.
         match rc.side {
-            Party::Alice => alice_fn(&link, alice_in).map(|out| alice_out = Some(out)),
-            Party::Bob => bob_fn(&link, bob_in).map(|out| bob_out = Some(out)),
+            Party::Alice => alice_in
+                .ok_or_else(|| missing_input(Party::Alice))
+                .and_then(|input| alice_fn(&link, input))
+                .map(|out| alice_out = Some(out)),
+            Party::Bob => bob_in
+                .ok_or_else(|| missing_input(Party::Bob))
+                .and_then(|input| bob_fn(&link, input))
+                .map(|out| bob_out = Some(out)),
         }
     };
     let peer_res = core.end_exchange(my_res.as_ref().copied());

@@ -2,32 +2,76 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::str::FromStr;
 
-/// Identity of a party in the two-party model.
+/// Identity of a role in the two-party model: the one shared Alice/Bob
+/// enum used by transcripts, party views, remote hosts, and the CLI
+/// `--side` flags. (Formerly named `Party`; the [`Party`] alias keeps
+/// existing code compiling.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Party {
+pub enum Role {
     /// Holds matrix `A` (the left factor).
     Alice,
     /// Holds matrix `B` (the right factor).
     Bob,
 }
 
-impl Party {
-    /// The other party.
+/// Legacy name of [`Role`]. The transcript layer predates the per-party
+/// storage split; both names refer to the same enum.
+pub type Party = Role;
+
+impl Role {
+    /// Both roles, for sweeping tests and benches.
+    pub const BOTH: [Role; 2] = [Role::Alice, Role::Bob];
+
+    /// The other role.
     #[must_use]
-    pub fn peer(self) -> Party {
+    pub fn peer(self) -> Role {
         match self {
-            Party::Alice => Party::Bob,
-            Party::Bob => Party::Alice,
+            Role::Alice => Role::Bob,
+            Role::Bob => Role::Alice,
+        }
+    }
+
+    /// Stable lowercase name (matches the CLI `--side` spelling).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Alice => "alice",
+            Role::Bob => "bob",
+        }
+    }
+
+    /// Stable one-letter label of the half this role holds (`"A"` /
+    /// `"B"`), for errors and wire forms.
+    #[must_use]
+    pub fn half_label(self) -> &'static str {
+        match self {
+            Role::Alice => "A",
+            Role::Bob => "B",
         }
     }
 }
 
-impl fmt::Display for Party {
+impl FromStr for Role {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "alice" | "Alice" => Ok(Role::Alice),
+            "bob" | "Bob" => Ok(Role::Bob),
+            other => Err(format!(
+                "unknown role {other:?} (expected \"alice\" or \"bob\")"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Role {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Party::Alice => write!(f, "Alice"),
-            Party::Bob => write!(f, "Bob"),
+            Role::Alice => write!(f, "Alice"),
+            Role::Bob => write!(f, "Bob"),
         }
     }
 }

@@ -61,10 +61,10 @@ where
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
-    use crate::lp_norm::{self, LpParams};
+    use crate::lp_norm::LpParams;
+    use crate::{LpNorm, Session};
     use mpest_matrix::{stats, PNorm, Workloads};
 
     #[test]
@@ -80,13 +80,18 @@ mod tests {
         let trials = 20;
         let mut single_fail = 0;
         let mut boosted_fail = 0;
+        let session = Session::new(a, b);
         for t in 0..trials {
-            let single = lp_norm::run(&a, &b, &params, Seed(9_000 + t)).unwrap();
+            let single = session
+                .run_seeded(&LpNorm, &params, Seed(9_000 + t))
+                .unwrap();
             if (single.output - truth).abs() > tol * truth {
                 single_fail += 1;
             }
-            let boosted =
-                median_boost(5, Seed(20_000 + t), |s| lp_norm::run(&a, &b, &params, s)).unwrap();
+            let boosted = median_boost(5, Seed(20_000 + t), |s| {
+                session.run_seeded(&LpNorm, &params, s)
+            })
+            .unwrap();
             if (boosted.output - truth).abs() > tol * truth {
                 boosted_fail += 1;
             }
@@ -106,8 +111,9 @@ mod tests {
         let a = Workloads::bernoulli_bits(16, 24, 0.3, 3).to_csr();
         let b = Workloads::bernoulli_bits(24, 16, 0.3, 4).to_csr();
         let params = LpParams::new(PNorm::ONE, 0.4);
-        let one = lp_norm::run(&a, &b, &params, Seed(1)).unwrap();
-        let five = median_boost(5, Seed(1), |s| lp_norm::run(&a, &b, &params, s)).unwrap();
+        let session = Session::new(a, b);
+        let one = session.run_seeded(&LpNorm, &params, Seed(1)).unwrap();
+        let five = median_boost(5, Seed(1), |s| session.run_seeded(&LpNorm, &params, s)).unwrap();
         assert_eq!(five.rounds(), one.rounds());
         assert!(five.bits() > 4 * one.bits() && five.bits() < 6 * one.bits());
     }
@@ -117,8 +123,9 @@ mod tests {
         let a = Workloads::bernoulli_bits(8, 8, 0.3, 5).to_csr();
         let b = Workloads::bernoulli_bits(8, 8, 0.3, 6).to_csr();
         let params = LpParams::new(PNorm::ONE, 0.5);
-        let one = median_boost(1, Seed(2), |s| lp_norm::run(&a, &b, &params, s)).unwrap();
+        let session = Session::new(a, b);
+        let one = median_boost(1, Seed(2), |s| session.run_seeded(&LpNorm, &params, s)).unwrap();
         assert!(one.output >= 0.0);
-        assert!(median_boost(0, Seed(2), |s| lp_norm::run(&a, &b, &params, s)).is_err());
+        assert!(median_boost(0, Seed(2), |s| session.run_seeded(&LpNorm, &params, s)).is_err());
     }
 }

@@ -21,7 +21,7 @@
 //!
 //! let a = Workloads::bernoulli_bits(24, 32, 0.3, 1);
 //! let b = Workloads::bernoulli_bits(32, 24, 0.3, 2);
-//! let engine = Engine::new(Session::new(a, b).with_seed(Seed(7)));
+//! let engine = Engine::new(Session::builder(a, b).seed(Seed(7)).build());
 //! let requests = vec![
 //!     EstimateRequest::LpNorm { p: PNorm::Zero, eps: 0.3 },
 //!     EstimateRequest::ExactL1,
@@ -402,10 +402,10 @@ fn prewarm(session: &Session, requests: &[EstimateRequest]) {
     }
     let ctx = session.ctx(Seed(0));
     if bits {
-        let _ = ctx.bit_pair();
+        let _ = ctx.bit_halves();
     }
     if csr {
-        let _ = ctx.csr_pair();
+        let _ = ctx.csr_halves();
     }
     if a_t {
         let _ = ctx.a_transpose();
@@ -431,7 +431,7 @@ mod tests {
     fn engine() -> Engine {
         let a = Workloads::bernoulli_bits(20, 28, 0.3, 1);
         let b = Workloads::bernoulli_bits(28, 20, 0.3, 2);
-        Engine::new(Session::new(a, b).with_seed(Seed(11)))
+        Engine::new(Session::builder(a, b).seed(Seed(11)).build())
     }
 
     fn mixed_requests() -> Vec<EstimateRequest> {

@@ -13,7 +13,7 @@
 //!
 //! let a = Workloads::bernoulli_bits(32, 48, 0.2, 1).to_csr();
 //! let b = Workloads::bernoulli_bits(48, 32, 0.2, 2).to_csr();
-//! let session = mpest_core::Session::new(a.clone(), b.clone()).with_seed(Seed(7));
+//! let session = mpest_core::Session::builder(a.clone(), b.clone()).seed(Seed(7)).build();
 //! let run = session.run(&mpest_core::ExactL1, &()).unwrap();
 //! assert_eq!(run.rounds(), 1);
 //! assert_eq!(
@@ -22,11 +22,10 @@
 //! );
 //! ```
 
-use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::{Reuse, SessionCtx};
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Link, Seed};
 use mpest_matrix::CsrMatrix;
 
 /// Column sums of `A` as `u64`, reusing a session-cached table if one is
@@ -128,46 +127,34 @@ impl Protocol for ExactL1 {
     }
 
     fn execute(&self, ctx: &SessionCtx<'_>, (): &()) -> Result<ProtocolRun<i128>, CommError> {
-        let (a, b) = ctx.csr_pair();
+        let (a, b) = ctx.csr_halves();
         let reuse = Reuse {
-            a_col_abs: Some(ctx.a_col_abs_sums()),
-            b_row_abs: Some(ctx.b_row_abs_sums()),
+            a_col_abs: ctx.a_col_abs_sums(),
+            b_row_abs: ctx.b_row_abs_sums(),
             ..Reuse::default()
         };
         run_unchecked(a, b, ctx.seed(), reuse, ctx.executor())
     }
 }
 
-/// Runs the one-round exact `‖AB‖₁` protocol (output lands at Bob).
-///
-/// # Errors
-///
-/// Fails on dimension mismatch or if either matrix has negative entries.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `ExactL1` protocol (or use `Session::estimate`)"
-)]
-pub fn run(a: &CsrMatrix, b: &CsrMatrix, seed: Seed) -> Result<ProtocolRun<i128>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default().into())
-}
-
 pub(crate) fn run_unchecked(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
+    a: Option<&CsrMatrix>,
+    b: Option<&CsrMatrix>,
     _seed: Seed,
     reuse: Reuse<'_>,
     exec: Exec<'_>,
 ) -> Result<ProtocolRun<i128>, CommError> {
-    if !a.is_nonnegative() || !b.is_nonnegative() {
+    // Each process validates the halves it holds; a storage-split peer
+    // validates its own and surfaces failures as typed remote errors.
+    if a.is_some_and(|m| !m.is_nonnegative()) || b.is_some_and(|m| !m.is_nonnegative()) {
         return Err(CommError::protocol(
             "Remark 2 requires entrywise non-negative matrices (no cancellation)".to_string(),
         ));
     }
-    let outcome = execute_with(
+    let outcome = execute_split(
         exec,
-        (a, reuse.a_col_abs),
-        (b, reuse.b_row_abs),
+        a.map(|a| (a, reuse.a_col_abs)),
+        b.map(|b| (b, reuse.b_row_abs)),
         |link, (a, pre)| alice_phase_pre(link, 0, a, pre),
         |link, (b, pre)| bob_phase_pre(link, b, pre),
     )?;
@@ -178,11 +165,14 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::norms::PNorm;
     use mpest_matrix::{stats, Workloads};
+
+    fn run(a: &CsrMatrix, b: &CsrMatrix, seed: Seed) -> Result<ProtocolRun<i128>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&ExactL1, &(), seed)
+    }
 
     #[test]
     fn exact_on_random_nonnegative() {

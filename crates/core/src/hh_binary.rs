@@ -31,15 +31,15 @@
 //! assert!(run.output.contains(3, 7), "the planted heavy pair is reported");
 //! ```
 
-use crate::config::{check_dims, check_phi_eps, Constants};
+use crate::config::{check_phi_eps, Constants};
 use crate::exact_l1;
 use crate::exchange::{exchange_alice, exchange_bob, ExchangeCfg};
 use crate::lp_norm::{self, LpParams};
 use crate::protocol::Protocol;
 use crate::result::{HeavyHitters, HhPair, ProtocolRun};
-use crate::session::{cached_or, Reuse, SessionCtx};
+use crate::session::{cached_or, ProductDims, Reuse, SessionCtx};
 use crate::wire::{WBits, WPositions};
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Seed};
 use mpest_matrix::{BitMatrix, PNorm};
 use mpest_sketch::CoordinateSampler;
 
@@ -80,33 +80,6 @@ impl HhBinaryParams {
     }
 }
 
-/// Runs the Theorem 5.3 protocol. Output (at Bob) is a set `S` with
-/// `HH_φ ⊆ S ⊆ HH_{φ−ε}` w.h.p.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch or invalid parameters.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `HhBinary` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &BitMatrix,
-    b: &BitMatrix,
-    params: &HhBinaryParams,
-    seed: Seed,
-) -> Result<ProtocolRun<HeavyHitters>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(
-        a,
-        b,
-        params,
-        seed,
-        Reuse::default(),
-        ExecBackend::default().into(),
-    )
-}
-
 /// The Section 5.2 / Theorem 5.3 protocol as a [`Protocol`]:
 /// `(φ, ε)`-heavy hitters for binary matrices in `O(1)` rounds and
 /// `Õ(n + φ/ε²)` bits.
@@ -126,14 +99,14 @@ impl Protocol for HhBinary {
         ctx: &SessionCtx<'_>,
         params: &HhBinaryParams,
     ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
-        let (a, b) = ctx.bit_pair()?;
-        let (a_csr, b_csr) = ctx.csr_pair();
+        let (a, b) = ctx.bit_halves()?;
+        let (a_csr, b_csr) = ctx.csr_halves();
         let reuse = Reuse {
-            a_csr: Some(a_csr),
-            b_csr: Some(b_csr),
+            a_csr,
+            b_csr,
             ..Reuse::default()
         };
-        run_unchecked(a, b, params, ctx.seed(), reuse, ctx.executor())
+        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), reuse, ctx.executor())
     }
 }
 
@@ -177,8 +150,9 @@ fn verification_sampler(
 
 #[allow(clippy::too_many_lines)]
 pub(crate) fn run_unchecked(
-    a: &BitMatrix,
-    b: &BitMatrix,
+    a: Option<&BitMatrix>,
+    b: Option<&BitMatrix>,
+    dims: ProductDims,
     params: &HhBinaryParams,
     seed: Seed,
     reuse: Reuse<'_>,
@@ -188,10 +162,10 @@ pub(crate) fn run_unchecked(
     let pub_seed = seed.derive("public");
     let alice_seed = seed.derive("alice");
     let p = params.p;
-    let cells = (a.rows() * b.cols()).max(2) as f64;
-    let inner = a.cols();
-    let b_cols = b.cols();
-    let out_rows = a.rows();
+    let cells = (dims.a_rows * dims.b_cols).max(2) as f64;
+    let inner = dims.inner;
+    let b_cols = dims.b_cols;
+    let out_rows = dims.a_rows;
     let lp_params = LpParams {
         p: PNorm::P(p),
         eps: 1.0 / 3.0,
@@ -219,14 +193,15 @@ pub(crate) fn run_unchecked(
     };
 
     // The CSR views feed the exact-`ℓ1` / Algorithm 1 sub-phases; a
-    // session caches them across queries.
-    let a_csr = cached_or(reuse.a_csr, || a.to_csr());
-    let b_csr = cached_or(reuse.b_csr, || b.to_csr());
+    // session caches them across queries. Each process derives only the
+    // view of the half it holds.
+    let a_csr = a.map(|a| cached_or(reuse.a_csr, || a.to_csr()));
+    let b_csr = b.map(|b| cached_or(reuse.b_csr, || b.to_csr()));
 
-    let outcome = execute_with(
+    let outcome = execute_split(
         exec,
-        (a, &*a_csr),
-        (b, &*b_csr),
+        a.zip(a_csr.as_deref()),
+        b.zip(b_csr.as_deref()),
         |link, (a, a_csr): (&BitMatrix, &mpest_matrix::CsrMatrix)| {
             // Phase 1: 2-approximate Lp.
             let lp_pow: f64 = if exact_p1 {
@@ -416,37 +391,6 @@ pub(crate) fn run_unchecked(
     })
 }
 
-/// The **at-least-T join** (the `≥ T` set-intersection join of the
-/// related-work line \[16\], Section 1.3): all pairs `(i, j)` with
-/// `|A_i ∩ B_j| ≥ T`, computed distributively by casting the threshold
-/// as an `ℓ1` heavy-hitter query with `φ = T/‖C‖₁` and tolerance
-/// `ε = slack·φ` (pairs in the `[T·(1−slack), T)` band may also appear).
-///
-/// # Errors
-///
-/// Fails on dimension mismatch, `T == 0`, or `slack ∉ (0, 1]`.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `AtLeastTJoin` protocol (or use `Session::estimate`)"
-)]
-pub fn at_least_t_join(
-    a: &BitMatrix,
-    b: &BitMatrix,
-    t: u32,
-    slack: f64,
-    seed: Seed,
-) -> Result<ProtocolRun<HeavyHitters>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    at_least_t_join_unchecked(
-        a,
-        b,
-        &AtLeastTParams { t, slack },
-        seed,
-        Reuse::default(),
-        ExecBackend::default().into(),
-    )
-}
-
 /// Parameters of the [`AtLeastTJoin`] protocol.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AtLeastTParams {
@@ -456,7 +400,8 @@ pub struct AtLeastTParams {
     pub slack: f64,
 }
 
-/// The at-least-`T` join as a [`Protocol`] (see [`at_least_t_join`]).
+/// The at-least-`T` join as a [`Protocol`]: report the pairs of the
+/// product with value at least `T` (paper Section 4.3 application).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AtLeastTJoin;
 
@@ -473,22 +418,23 @@ impl Protocol for AtLeastTJoin {
         ctx: &SessionCtx<'_>,
         params: &AtLeastTParams,
     ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
-        let (a, b) = ctx.bit_pair()?;
-        let (a_csr, b_csr) = ctx.csr_pair();
+        let (a, b) = ctx.bit_halves()?;
+        let (a_csr, b_csr) = ctx.csr_halves();
         let reuse = Reuse {
-            a_csr: Some(a_csr),
-            b_csr: Some(b_csr),
-            a_col_abs: Some(ctx.a_col_abs_sums()),
-            b_row_abs: Some(ctx.b_row_abs_sums()),
+            a_csr,
+            b_csr,
+            a_col_abs: ctx.a_col_abs_sums(),
+            b_row_abs: ctx.b_row_abs_sums(),
             ..Reuse::default()
         };
-        at_least_t_join_unchecked(a, b, params, ctx.seed(), reuse, ctx.executor())
+        at_least_t_join_unchecked(a, b, ctx.dims(), params, ctx.seed(), reuse, ctx.executor())
     }
 }
 
 fn at_least_t_join_unchecked(
-    a: &BitMatrix,
-    b: &BitMatrix,
+    a: Option<&BitMatrix>,
+    b: Option<&BitMatrix>,
+    dims: ProductDims,
     params: &AtLeastTParams,
     seed: Seed,
     reuse: Reuse<'_>,
@@ -503,10 +449,13 @@ fn at_least_t_join_unchecked(
     if !(slack > 0.0 && slack <= 1.0) {
         return Err(CommError::protocol("slack must lie in (0, 1]".to_string()));
     }
-    let a_csr = cached_or(reuse.a_csr, || a.to_csr());
-    let b_csr = cached_or(reuse.b_csr, || b.to_csr());
+    let a_csr = a.map(|a| cached_or(reuse.a_csr, || a.to_csr()));
+    let b_csr = b.map(|b| cached_or(reuse.b_csr, || b.to_csr()));
     // One extra exact-l1 round prices phi; its transcript is absorbed.
-    let l1_run = crate::exact_l1::run_unchecked(&a_csr, &b_csr, seed, reuse, exec)?;
+    // Both ends learn the exact total (remote runs resolve outputs on
+    // both sides), so the derived phi is identical across processes.
+    let l1_run =
+        crate::exact_l1::run_unchecked(a_csr.as_deref(), b_csr.as_deref(), seed, reuse, exec)?;
     let l1 = l1_run.output as f64;
     if l1 <= 0.0 || f64::from(t) > l1 {
         return Ok(ProtocolRun {
@@ -519,11 +468,12 @@ fn at_least_t_join_unchecked(
     let mut run = run_unchecked(
         a,
         b,
+        dims,
         &HhBinaryParams::new(1.0, phi, eps),
         seed,
         Reuse {
-            a_csr: Some(&a_csr),
-            b_csr: Some(&b_csr),
+            a_csr: a_csr.as_deref(),
+            b_csr: b_csr.as_deref(),
             ..Reuse::default()
         },
         exec,
@@ -535,10 +485,32 @@ fn at_least_t_join_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{norms, stats, Workloads};
+
+    fn run(
+        a: &BitMatrix,
+        b: &BitMatrix,
+        params: &HhBinaryParams,
+        seed: Seed,
+    ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&HhBinary, params, seed)
+    }
+
+    fn at_least_t_join(
+        a: &BitMatrix,
+        b: &BitMatrix,
+        t: u32,
+        slack: f64,
+        seed: Seed,
+    ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(
+            &AtLeastTJoin,
+            &AtLeastTParams { t, slack },
+            seed,
+        )
+    }
 
     fn planted_setup(
         n: usize,
@@ -586,13 +558,13 @@ mod tests {
         let (a, b, _, phi) = planted_setup(48, 96, 64, 3);
         let eps = (phi / 2.0).min(0.4);
         let run_bin = run(&a, &b, &HhBinaryParams::new(1.0, phi, eps), Seed(5)).unwrap();
-        let run_gen = crate::hh_general::run(
-            &a.to_csr(),
-            &b.to_csr(),
-            &crate::hh_general::HhGeneralParams::new(1.0, phi, eps),
-            Seed(5),
-        )
-        .unwrap();
+        let run_gen = crate::Session::new(a.to_csr(), b.to_csr())
+            .run_seeded(
+                &crate::HhGeneral,
+                &crate::hh_general::HhGeneralParams::new(1.0, phi, eps),
+                Seed(5),
+            )
+            .unwrap();
         assert!(
             run_bin.bits() < run_gen.bits() * 3,
             "binary {} vs general {} bits",

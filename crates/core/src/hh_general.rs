@@ -12,14 +12,14 @@
 //! share's entries above a noise floor, and Bob thresholds the combined
 //! values, reporting `S` with `HH_φ ⊆ S ⊆ HH_{φ−ε}`.
 
-use crate::config::{check_dims, check_phi_eps, Constants};
+use crate::config::{check_phi_eps, Constants};
 use crate::exact_l1;
 use crate::lp_norm::{self, LpParams};
 use crate::protocol::Protocol;
 use crate::result::{HeavyHitters, HhPair, ProtocolRun};
-use crate::session::SessionCtx;
+use crate::session::{ProductDims, SessionCtx};
 use crate::sparse_matmul;
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Link, Seed};
 use mpest_matrix::{CsrMatrix, PNorm};
 use rand::Rng;
 
@@ -106,26 +106,6 @@ fn binomial(rng: &mut impl Rng, n: i64, q: f64) -> i64 {
     }
 }
 
-/// Runs Algorithm 4 (with the Corollary 5.2 extension to `p ∈ (0, 2]`).
-/// Output (at Bob) is a set `S` with `HH_φ ⊆ S ⊆ HH_{φ−ε}` w.h.p.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch, invalid parameters, or negative entries.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `HhGeneral` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    params: &HhGeneralParams,
-    seed: Seed,
-) -> Result<ProtocolRun<HeavyHitters>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default().into())
-}
-
 /// The Algorithm 4 / Theorem 5.1 protocol as a [`Protocol`]:
 /// `(φ, ε)`-heavy hitters for non-negative integer matrices in `O(1)`
 /// rounds and `Õ(√φ/ε·n)` bits.
@@ -145,31 +125,33 @@ impl Protocol for HhGeneral {
         ctx: &SessionCtx<'_>,
         params: &HhGeneralParams,
     ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
-        let (a, b) = ctx.csr_pair();
-        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
+        let (a, b) = ctx.csr_halves();
+        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), ctx.executor())
     }
 }
 
 pub(crate) fn run_unchecked(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
+    a: Option<&CsrMatrix>,
+    b: Option<&CsrMatrix>,
+    dims: ProductDims,
     params: &HhGeneralParams,
     seed: Seed,
     exec: Exec<'_>,
 ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
     params.validate()?;
-    if !a.is_nonnegative() || !b.is_nonnegative() {
+    // Each process validates only the halves it holds.
+    if a.is_some_and(|m| !m.is_nonnegative()) || b.is_some_and(|m| !m.is_nonnegative()) {
         return Err(CommError::protocol(
             "Algorithm 4 requires entrywise non-negative matrices".to_string(),
         ));
     }
     let pub_seed = seed.derive("public");
     let alice_seed = seed.derive("alice");
-    let cells = (a.rows() * b.cols()).max(2) as f64;
+    let cells = (dims.a_rows * dims.b_cols).max(2) as f64;
     let p = params.p;
     let pnorm = PNorm::P(p);
-    let b_cols = b.cols();
-    let out_rows = a.rows();
+    let b_cols = dims.b_cols;
+    let out_rows = dims.a_rows;
     let lp_params = LpParams {
         p: pnorm,
         eps: params.sub_eps(),
@@ -177,7 +159,7 @@ pub(crate) fn run_unchecked(
         beta_override: None,
     };
 
-    let outcome = execute_with(
+    let outcome = execute_split(
         exec,
         a,
         b,
@@ -262,10 +244,18 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{norms, stats, Workloads};
+
+    fn run(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        params: &HhGeneralParams,
+        seed: Seed,
+    ) -> Result<ProtocolRun<HeavyHitters>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&HhGeneral, params, seed)
+    }
 
     /// Checks the containment HH_phi ⊆ S ⊆ HH_{phi−eps} on a run.
     fn containment_ok(a: &CsrMatrix, b: &CsrMatrix, params: &HhGeneralParams, seed: Seed) -> bool {

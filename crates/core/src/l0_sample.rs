@@ -32,12 +32,12 @@
 //! }
 //! ```
 
-use crate::config::{check_dims, check_eps, Constants};
+use crate::config::{check_eps, Constants};
 use crate::protocol::Protocol;
 use crate::result::{MatrixSample, ProtocolRun};
-use crate::session::{cached_or, Reuse, SessionCtx};
+use crate::session::{cached_or, ProductDims, Reuse, SessionCtx};
 use crate::wire::WFieldMat;
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Seed};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 use mpest_sketch::linear::combine_rows;
 use mpest_sketch::{L0Sampler, L0Sketch, SampleOutcome, M61};
@@ -63,33 +63,6 @@ impl L0SampleParams {
     }
 }
 
-/// Runs the `ℓ0`-sampling protocol. Output (at Bob) samples each nonzero
-/// entry of `C` with probability `(1±ε)/‖C‖₀`.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch or invalid parameters.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `L0Sample` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    params: &L0SampleParams,
-    seed: Seed,
-) -> Result<ProtocolRun<MatrixSample>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(
-        a,
-        b,
-        params,
-        seed,
-        Reuse::default(),
-        ExecBackend::default().into(),
-    )
-}
-
 /// The Theorem 3.2 protocol as a [`Protocol`]: a `(1±ε)`-uniform sample
 /// from the support of `C = A·B`, one round, `Õ(n/ε²)` bits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -108,19 +81,20 @@ impl Protocol for L0Sample {
         ctx: &SessionCtx<'_>,
         params: &L0SampleParams,
     ) -> Result<ProtocolRun<MatrixSample>, CommError> {
-        let (a, b) = ctx.csr_pair();
+        let (a, b) = ctx.csr_halves();
         let reuse = Reuse {
-            a_t: Some(ctx.a_transpose()),
-            b_t: Some(ctx.b_transpose()),
+            a_t: ctx.a_transpose(),
+            b_t: ctx.b_transpose(),
             ..Reuse::default()
         };
-        run_unchecked(a, b, params, ctx.seed(), reuse, ctx.executor())
+        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), reuse, ctx.executor())
     }
 }
 
 pub(crate) fn run_unchecked(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
+    a: Option<&CsrMatrix>,
+    b: Option<&CsrMatrix>,
+    dims: ProductDims,
     params: &L0SampleParams,
     seed: Seed,
     reuse: Reuse<'_>,
@@ -129,7 +103,7 @@ pub(crate) fn run_unchecked(
     check_eps(params.eps)?;
     let pub_seed = seed.derive("public");
     let bob_seed = seed.derive("bob");
-    let col_dim = a.rows(); // columns of C live in this dimension
+    let col_dim = dims.a_rows; // columns of C live in this dimension
     let norm_sketch = L0Sketch::new(
         col_dim.max(1),
         params.eps,
@@ -142,7 +116,7 @@ pub(crate) fn run_unchecked(
         pub_seed.derive("l0s-sampler").0,
     );
 
-    let outcome = execute_with(
+    let outcome = execute_split(
         exec,
         a,
         b,
@@ -216,11 +190,19 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::Workloads;
     use std::collections::HashMap;
+
+    fn run(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        params: &L0SampleParams,
+        seed: Seed,
+    ) -> Result<ProtocolRun<MatrixSample>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&L0Sample, params, seed)
+    }
 
     #[test]
     fn one_round_and_support_valid() {

@@ -22,12 +22,11 @@
 //! assert_eq!(b.get(s.witness as usize, s.col), 1);
 //! ```
 
-use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::{L1Sample, ProtocolRun};
 use crate::session::{cached_or, Reuse, SessionCtx};
 use mpest_comm::width_for;
-use mpest_comm::{execute_with, BitReader, BitWriter, CommError, Exec, ExecBackend, Seed, Wire};
+use mpest_comm::{execute_split, BitReader, BitWriter, CommError, Exec, Seed, Wire};
 use mpest_matrix::CsrMatrix;
 use rand::Rng;
 
@@ -91,25 +90,6 @@ fn weighted_pick(rng: &mut impl Rng, weights: impl Iterator<Item = u64>, total: 
     unreachable!("weighted_pick: weights exhausted before total");
 }
 
-/// Runs the `ℓ1`-sampling protocol. Output (at Bob) is `None` iff
-/// `‖AB‖₁ = 0`.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch or negative entries.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `L1Sampling` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    seed: Seed,
-) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default().into())
-}
-
 /// The Remark 3 protocol as a [`Protocol`]: an `ℓ1`-sample of `C = A·B`
 /// with its join witness, one round, `O(n log n)` bits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -128,10 +108,10 @@ impl Protocol for L1Sampling {
         ctx: &SessionCtx<'_>,
         (): &(),
     ) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
-        let (a, b) = ctx.csr_pair();
+        let (a, b) = ctx.csr_halves();
         let reuse = Reuse {
-            a_t: Some(ctx.a_transpose()),
-            b_row_abs: Some(ctx.b_row_abs_sums()),
+            a_t: ctx.a_transpose(),
+            b_row_abs: ctx.b_row_abs_sums(),
             ..Reuse::default()
         };
         run_unchecked(a, b, ctx.seed(), reuse, ctx.executor())
@@ -139,20 +119,21 @@ impl Protocol for L1Sampling {
 }
 
 pub(crate) fn run_unchecked(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
+    a: Option<&CsrMatrix>,
+    b: Option<&CsrMatrix>,
     seed: Seed,
     reuse: Reuse<'_>,
     exec: Exec<'_>,
 ) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
-    if !a.is_nonnegative() || !b.is_nonnegative() {
+    // Each process validates only the halves it holds.
+    if a.is_some_and(|m| !m.is_nonnegative()) || b.is_some_and(|m| !m.is_nonnegative()) {
         return Err(CommError::protocol(
             "Remark 3 requires entrywise non-negative matrices".to_string(),
         ));
     }
     let alice_seed = seed.derive("alice");
     let bob_seed = seed.derive("bob");
-    let outcome = execute_with(
+    let outcome = execute_split(
         exec,
         a,
         b,
@@ -238,11 +219,18 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::Workloads;
     use std::collections::HashMap;
+
+    fn run(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        seed: Seed,
+    ) -> Result<ProtocolRun<Option<L1Sample>>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&L1Sampling, &(), seed)
+    }
 
     #[test]
     fn one_round_and_witness_valid() {

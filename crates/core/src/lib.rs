@@ -61,7 +61,7 @@
 //!
 //! // One session, many queries: dimensions validated once, derived
 //! // state shared, per-query seeds derived deterministically.
-//! let session = Session::new(a, b).with_seed(Seed(7));
+//! let session = Session::builder(a, b).seed(Seed(7)).build();
 //!
 //! // Typed entry point (static dispatch).
 //! let run = session.run(&LpNorm, &LpParams::new(PNorm::Zero, 0.25)).unwrap();
@@ -107,7 +107,10 @@ pub use request::{AnyOutput, EstimateReport, EstimateRequest, OutputParty};
 pub use result::{
     HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares, ProtocolRun,
 };
-pub use session::{Session, SessionCtx, SessionInput};
+pub use session::{
+    PartyView, PeerInfo, ProductDims, Session, SessionBuilder, SessionCtx, SessionHalf,
+    SessionInput,
+};
 pub use stream::{UpdateBatch, UpdateOp, UpdateSide};
 
 // The protocol unit structs, one per entry point.
@@ -125,4 +128,6 @@ pub use sparse_matmul::SparseMatmul;
 pub use trivial::{TrivialBinary, TrivialCsr};
 
 // Re-export the substrate types a user needs at the API boundary.
-pub use mpest_comm::{BatchAccounting, CommError, Exec, ExecBackend, Party, Seed, Transcript};
+pub use mpest_comm::{
+    BatchAccounting, CommError, Exec, ExecBackend, Party, Role, Seed, Transcript,
+};

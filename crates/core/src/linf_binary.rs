@@ -34,13 +34,13 @@
 //! assert!(run.output.estimate >= truth / 3.0 && run.output.estimate <= 1.6 * truth);
 //! ```
 
-use crate::config::{check_dims, check_eps, Constants};
+use crate::config::{check_eps, Constants};
 use crate::exchange::{ExchangeCfg, ItemLists};
 use crate::protocol::Protocol;
 use crate::result::{LinfEstimate, ProtocolRun};
-use crate::session::SessionCtx;
+use crate::session::{ProductDims, SessionCtx};
 use crate::wire::WU64Grid;
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Seed};
 use mpest_matrix::BitMatrix;
 
 /// Parameters of the binary `ℓ∞` protocol.
@@ -115,26 +115,6 @@ fn level_col_sums(cols: &[Vec<(u32, u32)>], levels: usize) -> Vec<Vec<u64>> {
     sums
 }
 
-/// Runs Algorithm 2. Output (at Bob) approximates `‖AB‖∞` within
-/// `2 + O(ε)`.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch or invalid `ε`.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `LinfBinary` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &BitMatrix,
-    b: &BitMatrix,
-    params: &LinfBinaryParams,
-    seed: Seed,
-) -> Result<ProtocolRun<LinfEstimate>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default().into())
-}
-
 /// The Algorithm 2 / Theorem 4.1 protocol as a [`Protocol`]:
 /// `(2+ε)·‖AB‖∞` for binary matrices, 3 rounds, `Õ(n^1.5/ε)` bits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -153,44 +133,47 @@ impl Protocol for LinfBinary {
         ctx: &SessionCtx<'_>,
         params: &LinfBinaryParams,
     ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
-        let (a, b) = ctx.bit_pair()?;
-        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
+        let (a, b) = ctx.bit_halves()?;
+        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), ctx.executor())
     }
 }
 
 pub(crate) fn run_unchecked(
-    a: &BitMatrix,
-    b: &BitMatrix,
+    a: Option<&BitMatrix>,
+    b: Option<&BitMatrix>,
+    dims: ProductDims,
     params: &LinfBinaryParams,
     seed: Seed,
     exec: Exec<'_>,
 ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
     check_eps(params.eps)?;
     let eps = params.eps;
-    let cells = (a.rows() * b.cols()).max(2) as f64;
+    let cells = (dims.a_rows * dims.b_cols).max(2) as f64;
     let gamma = params.consts.gamma_const * cells.ln() / (eps * eps);
     let threshold = gamma * cells;
     let alice_seed = seed.derive("alice-linf-levels");
-    let inner = a.cols();
+    let inner = dims.inner;
     let cfg = ExchangeCfg {
         round: 0, // unused; staggered sends annotate rounds themselves
         binary: true,
-        out_rows: a.rows(),
-        out_cols: b.cols(),
+        out_rows: dims.a_rows,
+        out_cols: dims.b_cols,
         inner_dim: inner,
     };
-    let max_level = {
-        let ones = a.count_ones().max(1) as f64;
-        (ones.ln() / (1.0 + eps).ln()).ceil() as u32 + 1
-    };
-    let levels = max_level as usize + 1;
     let items: Vec<u32> = (0..inner as u32).collect();
 
-    let outcome = execute_with(
+    let outcome = execute_split(
         exec,
         a,
         b,
         |link, a: &BitMatrix| {
+            // The level cap depends on ‖A‖₀ — Alice-private, never needed
+            // by Bob (he reads the level count off the shipped grid).
+            let max_level = {
+                let ones = a.count_ones().max(1) as f64;
+                (ones.ln() / (1.0 + eps).ln()).ceil() as u32 + 1
+            };
+            let levels = max_level as usize + 1;
             let cols = columns_with_levels(a, alice_seed, eps, max_level);
             let sums = level_col_sums(&cols, levels);
             link.send(0, "linf-level-colsums", &WU64Grid(sums.clone()))?;
@@ -267,10 +250,18 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};
+
+    fn run(
+        a: &BitMatrix,
+        b: &BitMatrix,
+        params: &LinfBinaryParams,
+        seed: Seed,
+    ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&LinfBinary, params, seed)
+    }
 
     #[test]
     fn three_rounds_and_factor_two_without_sampling() {

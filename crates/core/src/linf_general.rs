@@ -10,12 +10,12 @@
 //! Bob finishes the product by linearity and takes the max over all
 //! columns and blocks.
 
-use crate::config::{check_dims, Constants};
+use crate::config::Constants;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
-use crate::session::{cached_or, Reuse, SessionCtx};
+use crate::session::{cached_or, ProductDims, Reuse, SessionCtx};
 use crate::wire::WSkMat;
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Seed};
 use mpest_matrix::CsrMatrix;
 use mpest_sketch::linear::combine_rows;
 use mpest_sketch::{BlockAmsSketch, SkMat};
@@ -40,33 +40,6 @@ impl LinfGeneralParams {
     }
 }
 
-/// Runs the one-round block-AMS protocol. Output (at Bob) satisfies
-/// (w.h.p.) `‖AB‖∞ ≲ output ≲ κ·‖AB‖∞`.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch or `κ == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `LinfGeneral` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    params: &LinfGeneralParams,
-    seed: Seed,
-) -> Result<ProtocolRun<f64>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(
-        a,
-        b,
-        params,
-        seed,
-        Reuse::default(),
-        ExecBackend::default().into(),
-    )
-}
-
 /// The Theorem 4.8(1) protocol as a [`Protocol`]: `κ`-approximate
 /// `‖AB‖∞` for general integer matrices in one round and `Õ(n²/κ²)`
 /// bits.
@@ -86,19 +59,20 @@ impl Protocol for LinfGeneral {
         ctx: &SessionCtx<'_>,
         params: &LinfGeneralParams,
     ) -> Result<ProtocolRun<f64>, CommError> {
-        let (a, b) = ctx.csr_pair();
+        let (a, b) = ctx.csr_halves();
         let reuse = Reuse {
-            a_t: Some(ctx.a_transpose()),
-            b_t: Some(ctx.b_transpose()),
+            a_t: ctx.a_transpose(),
+            b_t: ctx.b_transpose(),
             ..Reuse::default()
         };
-        run_unchecked(a, b, params, ctx.seed(), reuse, ctx.executor())
+        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), reuse, ctx.executor())
     }
 }
 
 pub(crate) fn run_unchecked(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
+    a: Option<&CsrMatrix>,
+    b: Option<&CsrMatrix>,
+    dims: ProductDims,
     params: &LinfGeneralParams,
     seed: Seed,
     reuse: Reuse<'_>,
@@ -109,13 +83,13 @@ pub(crate) fn run_unchecked(
     }
     let pub_seed = seed.derive("public");
     let sketch = BlockAmsSketch::new(
-        a.rows().max(1),
+        dims.a_rows.max(1),
         params.kappa,
         params.consts.sketch_reps,
         pub_seed.derive("block-ams").0,
     );
 
-    let outcome = execute_with(
+    let outcome = execute_split(
         exec,
         a,
         b,
@@ -163,10 +137,18 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};
+
+    fn run(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        params: &LinfGeneralParams,
+        seed: Seed,
+    ) -> Result<ProtocolRun<f64>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&LinfGeneral, params, seed)
+    }
 
     #[test]
     fn one_round_sandwich_bounds() {

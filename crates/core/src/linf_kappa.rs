@@ -12,13 +12,13 @@
 //! answering `1` (or `0` for a zero product, checked via Remark 2 on the
 //! full `A`) is already a `κ`-approximation.
 
-use crate::config::{check_dims, Constants};
+use crate::config::Constants;
 use crate::exchange::{ExchangeCfg, ItemLists};
 use crate::protocol::Protocol;
 use crate::result::{LinfEstimate, ProtocolRun};
-use crate::session::SessionCtx;
+use crate::session::{ProductDims, SessionCtx};
 use crate::wire::WU64Grid;
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Seed};
 use mpest_matrix::BitMatrix;
 
 /// Parameters of the `κ`-approximation protocol.
@@ -52,27 +52,6 @@ fn entry_level2(seed: Seed, key: u64, max_level: u32) -> u32 {
     }
 }
 
-/// Runs Algorithm 3. Output (at Bob) approximates `‖AB‖∞` within a
-/// factor `κ` (paper convention: `output ∈ [truth/β, γ·truth]` with
-/// `βγ ≤ κ(1+o(1))`).
-///
-/// # Errors
-///
-/// Fails on dimension mismatch or `κ < 1`.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `LinfKappa` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &BitMatrix,
-    b: &BitMatrix,
-    params: &LinfKappaParams,
-    seed: Seed,
-) -> Result<ProtocolRun<LinfEstimate>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default().into())
-}
-
 /// The Algorithm 3 / Theorem 4.3 protocol as a [`Protocol`]:
 /// `κ`-approximate `‖AB‖∞` for binary matrices in `O(1)` rounds and
 /// `Õ(n^1.5/κ)` bits.
@@ -92,14 +71,15 @@ impl Protocol for LinfKappa {
         ctx: &SessionCtx<'_>,
         params: &LinfKappaParams,
     ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
-        let (a, b) = ctx.bit_pair()?;
-        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
+        let (a, b) = ctx.bit_halves()?;
+        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), ctx.executor())
     }
 }
 
 pub(crate) fn run_unchecked(
-    a: &BitMatrix,
-    b: &BitMatrix,
+    a: Option<&BitMatrix>,
+    b: Option<&BitMatrix>,
+    dims: ProductDims,
     params: &LinfKappaParams,
     seed: Seed,
     exec: Exec<'_>,
@@ -110,32 +90,34 @@ pub(crate) fn run_unchecked(
             params.kappa
         )));
     }
-    let cells = (a.rows() * b.cols()).max(2) as f64;
+    let cells = (dims.a_rows * dims.b_cols).max(2) as f64;
     let alpha = params.consts.alpha_const * cells.ln();
     let q = (alpha / params.kappa).min(1.0);
     let threshold = alpha * cells / params.kappa;
-    let inner = a.cols();
+    let inner = dims.inner;
     let universe_seed = seed.derive("alice-universe");
     let level_seed = seed.derive("alice-linf2-levels");
     let cfg = ExchangeCfg {
         round: 0,
         binary: true,
-        out_rows: a.rows(),
-        out_cols: b.cols(),
+        out_rows: dims.a_rows,
+        out_cols: dims.b_cols,
         inner_dim: inner,
     };
-    let max_level = {
-        let ones = a.count_ones().max(1) as f64;
-        ones.log2().ceil() as u32 + 1
-    };
-    let levels = max_level as usize + 1;
     let items: Vec<u32> = (0..inner as u32).collect();
 
-    let outcome = execute_with(
+    let outcome = execute_split(
         exec,
         a,
         b,
         |link, a: &BitMatrix| {
+            // The level cap depends on ‖A‖₀ — Alice-private, never needed
+            // by Bob (he reads the level count off the shipped grid).
+            let max_level = {
+                let ones = a.count_ones().max(1) as f64;
+                ones.log2().ceil() as u32 + 1
+            };
+            let levels = max_level as usize + 1;
             // Universe sampling (Alice's coins): survive(j) with prob q.
             let survives = |j: u32| universe_seed.unit_at(u64::from(j)) < q;
             // Per-column entries of A' with powers-of-two levels.
@@ -273,10 +255,18 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};
+
+    fn run(
+        a: &BitMatrix,
+        b: &BitMatrix,
+        params: &LinfKappaParams,
+        seed: Seed,
+    ) -> Result<ProtocolRun<LinfEstimate>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&LinfKappa, params, seed)
+    }
 
     #[test]
     fn constant_rounds_and_within_kappa_on_planted() {

@@ -7,12 +7,12 @@
 //! is the separation Theorem 3.1 establishes (and the `Ω(n/ε²)` one-round
 //! lower bound of \[16\] shows is inherent).
 
-use crate::config::{check_dims, check_eps, Constants};
+use crate::config::{check_eps, Constants};
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
-use crate::session::SessionCtx;
+use crate::session::{ProductDims, SessionCtx};
 use crate::wire::WSkMat;
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Link, Seed};
 use mpest_matrix::{CsrMatrix, PNorm};
 use mpest_sketch::NormSketch;
 
@@ -94,26 +94,6 @@ pub(crate) fn alice_phase(
     Ok(total)
 }
 
-/// Runs the baseline. Output (at Alice) estimates `‖AB‖_p^p` within
-/// `(1+ε)`, in exactly one round.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch or invalid parameters.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `LpBaseline` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    params: &BaselineParams,
-    seed: Seed,
-) -> Result<ProtocolRun<f64>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default().into())
-}
-
 /// The one-round \[16\]-style baseline as a [`Protocol`]:
 /// `(1±ε)·‖AB‖_p^p` in one round and `Õ(n/ε²)` bits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -132,14 +112,15 @@ impl Protocol for LpBaseline {
         ctx: &SessionCtx<'_>,
         params: &BaselineParams,
     ) -> Result<ProtocolRun<f64>, CommError> {
-        let (a, b) = ctx.csr_pair();
-        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
+        let (a, b) = ctx.csr_halves();
+        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), ctx.executor())
     }
 }
 
 pub(crate) fn run_unchecked(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
+    a: Option<&CsrMatrix>,
+    b: Option<&CsrMatrix>,
+    dims: ProductDims,
     params: &BaselineParams,
     seed: Seed,
     exec: Exec<'_>,
@@ -152,8 +133,8 @@ pub(crate) fn run_unchecked(
         )));
     }
     let pub_seed = seed.derive("public");
-    let b_cols = b.cols();
-    let outcome = execute_with(
+    let b_cols = dims.b_cols;
+    let outcome = execute_split(
         exec,
         a,
         b,
@@ -167,10 +148,18 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};
+
+    fn run(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        params: &BaselineParams,
+        seed: Seed,
+    ) -> Result<ProtocolRun<f64>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&LpBaseline, params, seed)
+    }
 
     #[test]
     fn one_round_and_accurate() {
@@ -198,13 +187,13 @@ mod tests {
         let b = Workloads::bernoulli_bits(96, 24, 0.2, 6).to_csr();
         let eps = 0.05;
         let base = run(&a, &b, &BaselineParams::new(PNorm::Zero, eps), Seed(1)).unwrap();
-        let two_round = crate::lp_norm::run(
-            &a,
-            &b,
-            &crate::lp_norm::LpParams::new(PNorm::Zero, eps),
-            Seed(1),
-        )
-        .unwrap();
+        let two_round = crate::Session::new(a.clone(), b.clone())
+            .run_seeded(
+                &crate::LpNorm,
+                &crate::lp_norm::LpParams::new(PNorm::Zero, eps),
+                Seed(1),
+            )
+            .unwrap();
         assert!(
             base.bits() > 2 * two_round.bits(),
             "baseline {} bits vs Algorithm 1 {} bits",

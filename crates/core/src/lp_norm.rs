@@ -21,12 +21,12 @@
 //! sampler (the estimator is unbiased regardless), which is why `β = √ε`
 //! suffices — and the total cost is `Õ(n/β²) + Õ(n/ε) = Õ(n/ε)`.
 
-use crate::config::{check_dims, check_eps, Constants};
+use crate::config::{check_eps, Constants};
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
-use crate::session::SessionCtx;
+use crate::session::{ProductDims, SessionCtx};
 use crate::wire::{WSkMat, WSparseVec};
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Link, Seed};
 use mpest_matrix::norms::sparse_lp_pow;
 use mpest_matrix::{CsrMatrix, PNorm, SparseVec};
 use mpest_sketch::NormSketch;
@@ -203,25 +203,6 @@ pub(crate) fn bob_phase(
     Ok(estimate)
 }
 
-/// Runs Algorithm 1. Output (at Bob) is the estimate of `‖AB‖_p^p`.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch or invalid parameters.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `LpNorm` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    params: &LpParams,
-    seed: Seed,
-) -> Result<ProtocolRun<f64>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, params, seed, ExecBackend::default().into())
-}
-
 /// The Algorithm 1 / Theorem 3.1 protocol as a [`Protocol`]:
 /// `(1±ε)·‖AB‖_p^p` for `p ∈ [0, 2]` in 2 rounds and `Õ(n/ε)` bits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -240,14 +221,15 @@ impl Protocol for LpNorm {
         ctx: &SessionCtx<'_>,
         params: &LpParams,
     ) -> Result<ProtocolRun<f64>, CommError> {
-        let (a, b) = ctx.csr_pair();
-        run_unchecked(a, b, params, ctx.seed(), ctx.executor())
+        let (a, b) = ctx.csr_halves();
+        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), ctx.executor())
     }
 }
 
 pub(crate) fn run_unchecked(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
+    a: Option<&CsrMatrix>,
+    b: Option<&CsrMatrix>,
+    dims: ProductDims,
     params: &LpParams,
     seed: Seed,
     exec: Exec<'_>,
@@ -255,8 +237,8 @@ pub(crate) fn run_unchecked(
     params.validate()?;
     let pub_seed = seed.derive("public");
     let alice_seed = seed.derive("alice");
-    let b_cols = b.cols();
-    let outcome = execute_with(
+    let b_cols = dims.b_cols;
+    let outcome = execute_split(
         exec,
         a,
         b,
@@ -270,10 +252,18 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};
+
+    fn run(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        params: &LpParams,
+        seed: Seed,
+    ) -> Result<ProtocolRun<f64>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&LpNorm, params, seed)
+    }
 
     fn relative_error_ok(p: PNorm, eps: f64, tolerance: f64, seed_base: u64) {
         let a = Workloads::bernoulli_bits(48, 64, 0.25, seed_base).to_csr();

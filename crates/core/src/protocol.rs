@@ -15,7 +15,7 @@
 //!
 //! let a = Workloads::bernoulli_bits(16, 24, 0.3, 1).to_csr();
 //! let b = Workloads::bernoulli_bits(24, 16, 0.3, 2).to_csr();
-//! let session = Session::new(a, b).with_seed(Seed(1));
+//! let session = Session::builder(a, b).seed(Seed(1)).build();
 //! assert_eq!(ExactL1.name(), "exact-l1");
 //! let run = session.run(&ExactL1, &()).unwrap();
 //! assert!(run.output > 0);
@@ -30,6 +30,34 @@ use mpest_comm::CommError;
 /// Implementations are stateless unit structs (e.g.
 /// [`LpNorm`](crate::LpNorm), [`HhBinary`](crate::HhBinary)); all
 /// per-query inputs travel through `Params` and the [`SessionCtx`].
+///
+/// # Per-party execution and storage-split contexts
+///
+/// A context does not necessarily hold both halves. A full
+/// [`Session`](crate::Session) runs both roles in one process, while a
+/// storage-split [`PartyView`](crate::PartyView) executes the same
+/// `execute` with only its own half present — the peer is public
+/// metadata ([`PeerInfo`](crate::PeerInfo)) and every cross-party byte
+/// travels through the billed link. Outputs *and* transcripts are
+/// bit-identical between the two modes.
+///
+/// ## Migration note for `Protocol` implementors (0.7)
+///
+/// Before 0.7, `execute` could assume both matrices were readable. The
+/// context accessors are now per-side and `Option`-returning:
+///
+/// * Read public scalars (shapes, cell counts) from
+///   [`SessionCtx::dims`](crate::SessionCtx::dims) — **never** from the
+///   peer's matrix. `dims()` is always available; the peer's entries are
+///   not.
+/// * Fetch halves via `csr_halves()` / `bit_halves()` and hand them to
+///   [`execute_split`](mpest_comm::execute_split), which runs whichever
+///   closures this process holds inputs for. Validate only halves that
+///   are `Some` (the peer validates its own and failures surface as
+///   typed remote errors).
+/// * Values derivable only from one party's entries (e.g. a level cap
+///   from `‖A‖₀`) must be computed *inside* that party's closure and, if
+///   the peer needs them, shipped as protocol messages.
 pub trait Protocol {
     /// Query parameters (`()` for parameterless protocols).
     type Params;

@@ -75,11 +75,10 @@ impl RectShape {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
-    use crate::lp_norm::{self, LpParams};
-    use crate::{hh_binary, linf_binary};
+    use crate::lp_norm::LpParams;
+    use crate::{hh_binary, linf_binary, Session};
     use mpest_comm::Seed;
     use mpest_matrix::{norms, stats, PNorm};
 
@@ -110,7 +109,9 @@ mod tests {
         let params = LpParams::new(PNorm::Zero, 0.3);
         let mut ok = 0;
         for t in 0..9 {
-            let run = lp_norm::run(&ac, &bc, &params, Seed(10 + t)).unwrap();
+            let run = Session::new(ac.clone(), bc.clone())
+                .run_seeded(&crate::LpNorm, &params, Seed(10 + t))
+                .unwrap();
             if (run.output - truth).abs() <= 0.35 * truth {
                 ok += 1;
             }
@@ -129,8 +130,13 @@ mod tests {
         let truth = stats::linf_of_product_binary(&a, &b).0 as f64;
         let c = a.matmul(&b);
         assert!(c.get(i as usize, j as usize) >= 48);
-        let run =
-            linf_binary::run(&a, &b, &linf_binary::LinfBinaryParams::new(0.3), Seed(7)).unwrap();
+        let run = Session::new(a.clone(), b.clone())
+            .run_seeded(
+                &crate::LinfBinary,
+                &linf_binary::LinfBinaryParams::new(0.3),
+                Seed(7),
+            )
+            .unwrap();
         assert!(
             run.output.estimate >= truth / 3.0 && run.output.estimate <= 2.0 * truth,
             "rect linf estimate {} vs truth {truth}",
@@ -152,7 +158,9 @@ mod tests {
         let params = hh_binary::HhBinaryParams::new(1.0, phi, (phi / 2.0).min(0.4));
         let mut hit = 0;
         for t in 0..9 {
-            let run = hh_binary::run(&a, &b, &params, Seed(600 + t)).unwrap();
+            let run = Session::new(a.clone(), b.clone())
+                .run_seeded(&crate::HhBinary, &params, Seed(600 + t))
+                .unwrap();
             if run.output.contains(i, j) {
                 hit += 1;
             }

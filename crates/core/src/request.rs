@@ -14,7 +14,7 @@
 //!
 //! let a = Workloads::bernoulli_bits(32, 48, 0.2, 1).to_csr();
 //! let b = Workloads::bernoulli_bits(48, 32, 0.2, 2).to_csr();
-//! let session = Session::new(a, b).with_seed(Seed(3));
+//! let session = Session::builder(a, b).seed(Seed(3)).build();
 //! let report = session
 //!     .estimate(&EstimateRequest::LpNorm { p: PNorm::Zero, eps: 0.25 })
 //!     .unwrap();
@@ -33,7 +33,7 @@ use crate::lp_norm::{LpNorm, LpParams};
 use crate::result::{
     HeavyHitters, L1Sample, LinfEstimate, MatrixSample, ProductShares, ProtocolRun,
 };
-use crate::session::Session;
+use crate::session::{run_on, Parties, PartyView, Session};
 use crate::trivial::{ExactStats, TrivialBinary, TrivialCsr};
 use crate::{exact_l1::ExactL1, sparse_matmul::SparseMatmul};
 use mpest_comm::remote::{FrameIo, RemoteCtx};
@@ -378,80 +378,156 @@ impl Session {
         seed: Seed,
         exec: Exec<'r>,
     ) -> Result<EstimateReport, CommError> {
-        let name = request.name();
-        Ok(match *request {
-            EstimateRequest::LpNorm { p, eps } => report(
-                name,
-                self.run_seeded_exec(&LpNorm, &LpParams::new(p, eps), seed, exec)?,
-                AnyOutput::Scalar,
-            ),
-            EstimateRequest::LpBaseline { p, eps } => report(
-                name,
-                self.run_seeded_exec(&LpBaseline, &BaselineParams::new(p, eps), seed, exec)?,
-                AnyOutput::Scalar,
-            ),
-            EstimateRequest::ExactL1 => report(
-                name,
-                self.run_seeded_exec(&ExactL1, &(), seed, exec)?,
-                AnyOutput::Count,
-            ),
-            EstimateRequest::L1Sample => report(
-                name,
-                self.run_seeded_exec(&L1Sampling, &(), seed, exec)?,
-                AnyOutput::L1Sample,
-            ),
-            EstimateRequest::L0Sample { eps } => report(
-                name,
-                self.run_seeded_exec(&L0Sample, &L0SampleParams::new(eps), seed, exec)?,
-                AnyOutput::Sample,
-            ),
-            EstimateRequest::SparseMatmul => report(
-                name,
-                self.run_seeded_exec(&SparseMatmul, &(), seed, exec)?,
-                AnyOutput::Shares,
-            ),
-            EstimateRequest::LinfBinary { eps } => report(
-                name,
-                self.run_seeded_exec(&LinfBinary, &LinfBinaryParams::new(eps), seed, exec)?,
-                AnyOutput::Linf,
-            ),
-            EstimateRequest::LinfKappa { kappa } => report(
-                name,
-                self.run_seeded_exec(&LinfKappa, &LinfKappaParams::new(kappa), seed, exec)?,
-                AnyOutput::Linf,
-            ),
-            EstimateRequest::LinfGeneral { kappa } => report(
-                name,
-                self.run_seeded_exec(&LinfGeneral, &LinfGeneralParams::new(kappa), seed, exec)?,
-                AnyOutput::Scalar,
-            ),
-            EstimateRequest::HhGeneral { p, phi, eps } => report(
-                name,
-                self.run_seeded_exec(&HhGeneral, &HhGeneralParams::new(p, phi, eps), seed, exec)?,
-                AnyOutput::HeavyHitters,
-            ),
-            EstimateRequest::HhBinary { p, phi, eps } => report(
-                name,
-                self.run_seeded_exec(&HhBinary, &HhBinaryParams::new(p, phi, eps), seed, exec)?,
-                AnyOutput::HeavyHitters,
-            ),
-            EstimateRequest::AtLeastTJoin { t, slack } => report(
-                name,
-                self.run_seeded_exec(&AtLeastTJoin, &AtLeastTParams { t, slack }, seed, exec)?,
-                AnyOutput::HeavyHitters,
-            ),
-            EstimateRequest::TrivialBinary => report(
-                name,
-                self.run_seeded_exec(&TrivialBinary, &(), seed, exec)?,
-                AnyOutput::Exact,
-            ),
-            EstimateRequest::TrivialCsr => report(
-                name,
-                self.run_seeded_exec(&TrivialCsr, &(), seed, exec)?,
-                AnyOutput::Exact,
-            ),
-        })
+        estimate_on(Parties::Both(self), request, seed, exec)
     }
+}
+
+impl PartyView {
+    /// Executes a dynamically dispatched request as this view's role
+    /// against a remote peer behind `io` — the storage-split counterpart
+    /// of [`Session::estimate_remote`]. This process holds only its own
+    /// half; the peer process must call the same method for the
+    /// complementary role with the same request and seed. Reports are
+    /// bit-identical to an in-process [`Session`] run over the assembled
+    /// pair, on **both** processes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::estimate_remote`].
+    pub fn estimate_remote(
+        &self,
+        request: &EstimateRequest,
+        seed: Seed,
+        io: &mut dyn FrameIo,
+    ) -> Result<EstimateReport, CommError> {
+        let rc = RemoteCtx::new(self.role(), io);
+        estimate_on(Parties::One(self), request, seed, Exec::Remote(&rc))
+    }
+}
+
+/// The one request → protocol dispatch table, shared by the full-pair
+/// ([`Session`]) and storage-split ([`PartyView`]) entry points.
+fn estimate_on<'r>(
+    parties: Parties<'r>,
+    request: &EstimateRequest,
+    seed: Seed,
+    exec: Exec<'r>,
+) -> Result<EstimateReport, CommError> {
+    let name = request.name();
+    Ok(match *request {
+        EstimateRequest::LpNorm { p, eps } => report(
+            name,
+            run_on(parties, &LpNorm, &LpParams::new(p, eps), seed, exec)?,
+            AnyOutput::Scalar,
+        ),
+        EstimateRequest::LpBaseline { p, eps } => report(
+            name,
+            run_on(
+                parties,
+                &LpBaseline,
+                &BaselineParams::new(p, eps),
+                seed,
+                exec,
+            )?,
+            AnyOutput::Scalar,
+        ),
+        EstimateRequest::ExactL1 => report(
+            name,
+            run_on(parties, &ExactL1, &(), seed, exec)?,
+            AnyOutput::Count,
+        ),
+        EstimateRequest::L1Sample => report(
+            name,
+            run_on(parties, &L1Sampling, &(), seed, exec)?,
+            AnyOutput::L1Sample,
+        ),
+        EstimateRequest::L0Sample { eps } => report(
+            name,
+            run_on(parties, &L0Sample, &L0SampleParams::new(eps), seed, exec)?,
+            AnyOutput::Sample,
+        ),
+        EstimateRequest::SparseMatmul => report(
+            name,
+            run_on(parties, &SparseMatmul, &(), seed, exec)?,
+            AnyOutput::Shares,
+        ),
+        EstimateRequest::LinfBinary { eps } => report(
+            name,
+            run_on(
+                parties,
+                &LinfBinary,
+                &LinfBinaryParams::new(eps),
+                seed,
+                exec,
+            )?,
+            AnyOutput::Linf,
+        ),
+        EstimateRequest::LinfKappa { kappa } => report(
+            name,
+            run_on(
+                parties,
+                &LinfKappa,
+                &LinfKappaParams::new(kappa),
+                seed,
+                exec,
+            )?,
+            AnyOutput::Linf,
+        ),
+        EstimateRequest::LinfGeneral { kappa } => report(
+            name,
+            run_on(
+                parties,
+                &LinfGeneral,
+                &LinfGeneralParams::new(kappa),
+                seed,
+                exec,
+            )?,
+            AnyOutput::Scalar,
+        ),
+        EstimateRequest::HhGeneral { p, phi, eps } => report(
+            name,
+            run_on(
+                parties,
+                &HhGeneral,
+                &HhGeneralParams::new(p, phi, eps),
+                seed,
+                exec,
+            )?,
+            AnyOutput::HeavyHitters,
+        ),
+        EstimateRequest::HhBinary { p, phi, eps } => report(
+            name,
+            run_on(
+                parties,
+                &HhBinary,
+                &HhBinaryParams::new(p, phi, eps),
+                seed,
+                exec,
+            )?,
+            AnyOutput::HeavyHitters,
+        ),
+        EstimateRequest::AtLeastTJoin { t, slack } => report(
+            name,
+            run_on(
+                parties,
+                &AtLeastTJoin,
+                &AtLeastTParams { t, slack },
+                seed,
+                exec,
+            )?,
+            AnyOutput::HeavyHitters,
+        ),
+        EstimateRequest::TrivialBinary => report(
+            name,
+            run_on(parties, &TrivialBinary, &(), seed, exec)?,
+            AnyOutput::Exact,
+        ),
+        EstimateRequest::TrivialCsr => report(
+            name,
+            run_on(parties, &TrivialCsr, &(), seed, exec)?,
+            AnyOutput::Exact,
+        ),
+    })
 }
 
 #[cfg(test)]
@@ -462,7 +538,7 @@ mod tests {
     fn session() -> Session {
         let a = Workloads::bernoulli_bits(20, 28, 0.3, 1);
         let b = Workloads::bernoulli_bits(28, 20, 0.3, 2);
-        Session::new(a, b).with_seed(Seed(11))
+        Session::builder(a, b).seed(Seed(11)).build()
     }
 
     #[test]

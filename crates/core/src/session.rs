@@ -17,7 +17,7 @@
 //!
 //! let a = Workloads::bernoulli_bits(32, 48, 0.2, 1).to_csr();
 //! let b = Workloads::bernoulli_bits(48, 32, 0.2, 2).to_csr();
-//! let session = Session::new(a, b).with_seed(Seed(7));
+//! let session = Session::builder(a, b).seed(Seed(7)).build();
 //! let run = session.run(&LpNorm, &LpParams::new(PNorm::Zero, 0.25)).unwrap();
 //! assert!(run.output > 0.0);
 //! // A second query reuses the session's cached derived state and gets
@@ -33,7 +33,8 @@ use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::stream::{UpdateBatch, UpdateOp, UpdateSide};
-use mpest_comm::{CommError, Exec, ExecBackend, Seed};
+use mpest_comm::remote::{FrameIo, RemoteCtx};
+use mpest_comm::{CommError, Exec, ExecBackend, Role, Seed};
 use mpest_matrix::{BitMatrix, CsrMatrix, SparseVec};
 
 /// One party's matrix in whichever representation the caller had.
@@ -83,6 +84,12 @@ impl SessionInput for BitMatrix {
     }
 }
 
+impl SessionInput for SessionHalf {
+    fn into_half(self) -> SessionHalf {
+        self
+    }
+}
+
 /// Lazily cached derived state for one half of the pair.
 #[derive(Debug, Default)]
 struct HalfCache {
@@ -107,7 +114,7 @@ struct HalfCache {
 /// Alice's matrix is `A` (her relation's rows are her sets), Bob's is
 /// `B`. The session validates `A.cols == B.rows` once at construction;
 /// every query re-surfaces that error instead of panicking, so the
-/// builder chain `Session::new(a, b).with_seed(..)` stays infallible.
+/// builder chain `Session::builder(a, b).seed(..).build()` stays infallible.
 ///
 /// Queries run through [`Session::run`] (static dispatch over a
 /// [`Protocol`]) or [`Session::estimate`] (dynamic dispatch over an
@@ -148,7 +155,23 @@ impl Session {
         }
     }
 
+    /// Starts a [`SessionBuilder`] over `(a, b)` — the one place to set
+    /// the seed, executor, and view warming before the session is built.
+    pub fn builder(a: impl SessionInput, b: impl SessionInput) -> SessionBuilder {
+        SessionBuilder {
+            a: a.into_half(),
+            b: b.into_half(),
+            seed: Seed(0),
+            exec: ExecBackend::default(),
+            warm: false,
+        }
+    }
+
     /// Sets the session seed all per-query seeds derive from.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `Session::builder(a, b).seed(..).build()`"
+    )]
     #[must_use]
     pub fn with_seed(mut self, seed: Seed) -> Self {
         self.seed = seed;
@@ -164,6 +187,10 @@ impl Session {
     /// Selects the executor backend queries run on (default
     /// [`ExecBackend::Fused`]). Backends are bit-identical — outputs and
     /// transcripts never depend on this choice, only wall-clock does.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `Session::builder(a, b).executor(..).build()`"
+    )]
     #[must_use]
     pub fn with_executor(mut self, exec: ExecBackend) -> Self {
         self.exec = exec;
@@ -212,7 +239,7 @@ impl Session {
     /// shared derived views before fanning out).
     pub(crate) fn ctx(&self, seed: Seed) -> SessionCtx<'_> {
         SessionCtx {
-            session: self,
+            parties: Parties::Both(self),
             seed,
             exec: Exec::Backend(self.exec),
         }
@@ -280,51 +307,17 @@ impl Session {
         seed: Seed,
         exec: Exec<'r>,
     ) -> Result<ProtocolRun<P::Output>, CommError> {
-        self.dims.clone()?;
-        protocol.execute(
-            &SessionCtx {
-                session: self,
-                seed,
-                exec,
-            },
-            params,
-        )
+        run_on(Parties::Both(self), protocol, params, seed, exec)
     }
 
     // --- cached views ----------------------------------------------------
 
-    fn half_csr<'s>(half: &'s Half, cache: &'s HalfCache) -> &'s CsrMatrix {
-        match half {
-            Half::Csr(m) => m,
-            Half::Bits(m) => cache.csr.get_or_init(|| m.to_csr()),
-        }
-    }
-
-    fn half_bits<'s>(
-        half: &'s Half,
-        cache: &'s HalfCache,
-        side: &str,
-    ) -> Result<&'s BitMatrix, CommError> {
-        match half {
-            Half::Bits(m) => Ok(m),
-            Half::Csr(m) => cache
-                .bits
-                .get_or_init(|| m.is_binary().then(|| BitMatrix::from_csr(m)))
-                .as_ref()
-                .ok_or_else(|| {
-                    CommError::protocol(format!(
-                        "binary protocol requested but matrix {side} has non-binary entries"
-                    ))
-                }),
-        }
-    }
-
     fn a_csr(&self) -> &CsrMatrix {
-        Self::half_csr(&self.a, &self.a_cache)
+        half_csr(&self.a, &self.a_cache)
     }
 
     fn b_csr(&self) -> &CsrMatrix {
-        Self::half_csr(&self.b, &self.b_cache)
+        half_csr(&self.b, &self.b_cache)
     }
 
     // --- exact references -------------------------------------------------
@@ -454,17 +447,7 @@ impl Session {
     pub fn warm_views(&self) -> Result<(), CommError> {
         self.dims.clone()?;
         for (half, cache) in [(&self.a, &self.a_cache), (&self.b, &self.b_cache)] {
-            let csr = Self::half_csr(half, cache);
-            if let Half::Csr(m) = half {
-                cache
-                    .bits
-                    .get_or_init(|| m.is_binary().then(|| BitMatrix::from_csr(m)));
-            }
-            cache.transpose.get_or_init(|| csr.transpose());
-            cache.col_abs.get_or_init(|| csr.col_abs_sums());
-            cache.row_abs.get_or_init(|| csr.row_abs_sums());
-            cache.col_nnz.get_or_init(|| csr.col_nnz());
-            cache.row_nnz.get_or_init(|| csr.row_nnz());
+            warm_half(half, cache);
         }
         Ok(())
     }
@@ -474,86 +457,570 @@ impl Session {
     /// normalizes each into its side-local [`HalfOp`], canonicalizing
     /// append entries up front.
     fn validate_batch(&self, batch: &UpdateBatch) -> Result<Vec<(UpdateSide, HalfOp)>, CommError> {
-        let (mut a_rows, a_cols) = (self.a.rows(), self.a.cols());
-        let (b_rows, mut b_cols) = (self.b.rows(), self.b.cols());
-        let binary = |side: UpdateSide| match side {
-            UpdateSide::Alice => matches!(self.a, Half::Bits(_)),
-            UpdateSide::Bob => matches!(self.b, Half::Bits(_)),
+        validate_ops(
+            &batch.ops,
+            Some(HalfShape::of(&self.a)),
+            Some(HalfShape::of(&self.b)),
+        )
+    }
+
+    /// Splits off the storage `role` would hold in a storage-split
+    /// deployment: a clone of its own half plus the *public* metadata of
+    /// the peer half ([`PeerInfo`] — dimensions and binariness, never
+    /// entries). Two views split from the same session and driven over a
+    /// transport reproduce the session's outputs and transcripts
+    /// bit-identically.
+    #[must_use]
+    pub fn party_view(&self, role: Role) -> PartyView {
+        let (own, peer, peer_cache) = match role {
+            Role::Alice => (&self.a, &self.b, &self.b_cache),
+            Role::Bob => (&self.b, &self.a, &self.a_cache),
         };
-        let mut out = Vec::with_capacity(batch.ops.len());
-        for (k, op) in batch.ops.iter().enumerate() {
-            match op {
-                UpdateOp::AppendRow { side, entries } => {
-                    let dim = match side {
-                        UpdateSide::Alice => a_cols,
-                        UpdateSide::Bob => b_rows,
-                    };
-                    for &(idx, _) in entries {
-                        if (idx as usize) >= dim {
-                            return Err(CommError::protocol(format!(
-                                "update op {k}: append to {} has index {idx} outside the \
-                                 inner dimension {dim}",
-                                side.label()
-                            )));
-                        }
-                    }
-                    let canon = SparseVec::from_entries(dim, entries.clone()).entries;
-                    if binary(*side) {
-                        if let Some(&(idx, v)) = canon.iter().find(|&&(_, v)| v != 1) {
-                            return Err(CommError::protocol(format!(
-                                "update op {k}: append to bit-matrix {} has non-binary \
-                                 value {v} at index {idx} (duplicates are summed)",
-                                side.label()
-                            )));
-                        }
-                    }
-                    match side {
-                        UpdateSide::Alice => {
-                            a_rows += 1;
-                            out.push((*side, HalfOp::AppendRow(canon)));
-                        }
-                        UpdateSide::Bob => {
-                            b_cols += 1;
-                            out.push((*side, HalfOp::AppendCol(canon)));
-                        }
+        let peer = PeerInfo::new(peer.rows(), peer.cols(), half_is_binary(peer, peer_cache));
+        PartyView::new(role, SessionHalf(own.clone()), peer)
+    }
+}
+
+/// A half's shape plus whether its *representation* is bit-packed (which
+/// constrains writable values), tracked through a batch's simulated
+/// appends during validation.
+#[derive(Clone, Copy)]
+struct HalfShape {
+    rows: usize,
+    cols: usize,
+    binary: bool,
+}
+
+impl HalfShape {
+    fn of(half: &Half) -> Self {
+        Self {
+            rows: half.rows(),
+            cols: half.cols(),
+            binary: matches!(half, Half::Bits(_)),
+        }
+    }
+}
+
+/// The shared validation/normalization behind [`Session::apply_update`]
+/// and [`PartyView::apply_update`]: a `None` shape means this process
+/// does not hold that half, so any op addressed to it is rejected typed
+/// (storage-split parties mutate only their own side).
+fn validate_ops(
+    ops: &[UpdateOp],
+    mut a: Option<HalfShape>,
+    mut b: Option<HalfShape>,
+) -> Result<Vec<(UpdateSide, HalfOp)>, CommError> {
+    fn held<'s>(
+        a: &'s mut Option<HalfShape>,
+        b: &'s mut Option<HalfShape>,
+        side: UpdateSide,
+        k: usize,
+    ) -> Result<&'s mut HalfShape, CommError> {
+        match side {
+            UpdateSide::Alice => a.as_mut().ok_or_else(|| foreign_side_op(side, k)),
+            UpdateSide::Bob => b.as_mut().ok_or_else(|| foreign_side_op(side, k)),
+        }
+    }
+    let mut out = Vec::with_capacity(ops.len());
+    for (k, op) in ops.iter().enumerate() {
+        match op {
+            UpdateOp::AppendRow { side, entries } => {
+                let shape = held(&mut a, &mut b, *side, k)?;
+                // Alice appends a row of `A` (entries over her columns);
+                // Bob appends a column of `B` (entries over his rows).
+                let dim = match side {
+                    UpdateSide::Alice => shape.cols,
+                    UpdateSide::Bob => shape.rows,
+                };
+                for &(idx, _) in entries {
+                    if (idx as usize) >= dim {
+                        return Err(CommError::protocol(format!(
+                            "update op {k}: append to {} has index {idx} outside the \
+                             inner dimension {dim}",
+                            side.half_label()
+                        )));
                     }
                 }
-                UpdateOp::SetEntry { side, row, col, .. }
-                | UpdateOp::DeleteEntry { side, row, col } => {
-                    let val = match op {
-                        UpdateOp::SetEntry { val, .. } => *val,
-                        _ => 0,
-                    };
-                    let (rows, cols) = match side {
-                        UpdateSide::Alice => (a_rows, a_cols),
-                        UpdateSide::Bob => (b_rows, b_cols),
-                    };
-                    if (*row as usize) >= rows || (*col as usize) >= cols {
+                let canon = SparseVec::from_entries(dim, entries.clone()).entries;
+                if shape.binary {
+                    if let Some(&(idx, v)) = canon.iter().find(|&&(_, v)| v != 1) {
                         return Err(CommError::protocol(format!(
-                            "update op {k}: entry ({row},{col}) outside {} of shape \
-                             {rows}x{cols}",
-                            side.label()
+                            "update op {k}: append to bit-matrix {} has non-binary \
+                             value {v} at index {idx} (duplicates are summed)",
+                            side.half_label()
                         )));
                     }
-                    if binary(*side) && !(val == 0 || val == 1) {
-                        return Err(CommError::protocol(format!(
-                            "update op {k}: bit-matrix {} cannot hold value {val}",
-                            side.label()
-                        )));
+                }
+                match side {
+                    UpdateSide::Alice => {
+                        shape.rows += 1;
+                        out.push((*side, HalfOp::AppendRow(canon)));
                     }
-                    out.push((
-                        *side,
-                        HalfOp::Set {
-                            row: *row as usize,
-                            col: *col,
-                            val,
-                        },
-                    ));
+                    UpdateSide::Bob => {
+                        shape.cols += 1;
+                        out.push((*side, HalfOp::AppendCol(canon)));
+                    }
                 }
             }
+            UpdateOp::SetEntry { side, row, col, .. }
+            | UpdateOp::DeleteEntry { side, row, col } => {
+                let val = match op {
+                    UpdateOp::SetEntry { val, .. } => *val,
+                    _ => 0,
+                };
+                let shape = held(&mut a, &mut b, *side, k)?;
+                if (*row as usize) >= shape.rows || (*col as usize) >= shape.cols {
+                    return Err(CommError::protocol(format!(
+                        "update op {k}: entry ({row},{col}) outside {} of shape \
+                         {rows}x{cols}",
+                        side.half_label(),
+                        rows = shape.rows,
+                        cols = shape.cols,
+                    )));
+                }
+                if shape.binary && !(val == 0 || val == 1) {
+                    return Err(CommError::protocol(format!(
+                        "update op {k}: bit-matrix {} cannot hold value {val}",
+                        side.half_label()
+                    )));
+                }
+                out.push((
+                    *side,
+                    HalfOp::Set {
+                        row: *row as usize,
+                        col: *col,
+                        val,
+                    },
+                ));
+            }
         }
-        Ok(out)
     }
+    Ok(out)
+}
+
+/// The typed rejection a storage-split party raises for an op addressed
+/// to the half it does not hold.
+fn foreign_side_op(side: UpdateSide, k: usize) -> CommError {
+    CommError::protocol(format!(
+        "update op {k} targets matrix {} but this party holds only its own half; \
+         route the op to the {} party",
+        side.half_label(),
+        side.as_str()
+    ))
+}
+
+fn half_csr<'s>(half: &'s Half, cache: &'s HalfCache) -> &'s CsrMatrix {
+    match half {
+        Half::Csr(m) => m,
+        Half::Bits(m) => cache.csr.get_or_init(|| m.to_csr()),
+    }
+}
+
+fn half_bits<'s>(
+    half: &'s Half,
+    cache: &'s HalfCache,
+    side: &str,
+) -> Result<&'s BitMatrix, CommError> {
+    match half {
+        Half::Bits(m) => Ok(m),
+        Half::Csr(m) => cache
+            .bits
+            .get_or_init(|| m.is_binary().then(|| BitMatrix::from_csr(m)))
+            .as_ref()
+            .ok_or_else(|| non_binary_half(side)),
+    }
+}
+
+fn non_binary_half(side: &str) -> CommError {
+    CommError::protocol(format!(
+        "binary protocol requested but matrix {side} has non-binary entries"
+    ))
+}
+
+/// Whether a half's *content* is binary (bit-packed representation, or a
+/// CSR whose entries are all `{0, 1}`), memoizing the verdict in the
+/// cache's bit view.
+fn half_is_binary(half: &Half, cache: &HalfCache) -> bool {
+    match half {
+        Half::Bits(_) => true,
+        Half::Csr(m) => cache
+            .bits
+            .get_or_init(|| m.is_binary().then(|| BitMatrix::from_csr(m)))
+            .is_some(),
+    }
+}
+
+/// Materializes every lazily cached derived view of one half — the
+/// shared implementation of [`Session::warm_views`] and
+/// [`PartyView::warm_views`], so split and local sessions warm
+/// bit-identical caches.
+fn warm_half(half: &Half, cache: &HalfCache) {
+    let csr = half_csr(half, cache);
+    if let Half::Csr(m) = half {
+        cache
+            .bits
+            .get_or_init(|| m.is_binary().then(|| BitMatrix::from_csr(m)));
+    }
+    cache.transpose.get_or_init(|| csr.transpose());
+    cache.col_abs.get_or_init(|| csr.col_abs_sums());
+    cache.row_abs.get_or_init(|| csr.row_abs_sums());
+    cache.col_nnz.get_or_init(|| csr.col_nnz());
+    cache.row_nnz.get_or_init(|| csr.row_nnz());
+}
+
+/// Builder for a [`Session`]: seed, executor, and view warming in one
+/// infallible chain (replaces the deprecated `with_seed`/`with_executor`
+/// post-hoc mutators).
+///
+/// ```
+/// use mpest_core::Session;
+/// use mpest_comm::{ExecBackend, Seed};
+/// use mpest_matrix::Workloads;
+///
+/// let a = Workloads::bernoulli_bits(8, 12, 0.4, 1).to_csr();
+/// let b = Workloads::bernoulli_bits(12, 8, 0.4, 2).to_csr();
+/// let session = Session::builder(a, b)
+///     .seed(Seed(7))
+///     .executor(ExecBackend::Fused)
+///     .warm_views()
+///     .build();
+/// assert_eq!(session.seed(), Seed(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    a: SessionHalf,
+    b: SessionHalf,
+    seed: Seed,
+    exec: ExecBackend,
+    warm: bool,
+}
+
+impl SessionBuilder {
+    /// Sets the session seed all per-query seeds derive from.
+    #[must_use]
+    pub fn seed(mut self, seed: Seed) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the executor backend queries run on (default
+    /// [`ExecBackend::Fused`]); backends are bit-identical.
+    #[must_use]
+    pub fn executor(mut self, exec: ExecBackend) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Materializes every derived view at build time (see
+    /// [`Session::warm_views`]) so the first query and the first
+    /// streamed update never hit a cold view.
+    #[must_use]
+    pub fn warm_views(mut self) -> Self {
+        self.warm = true;
+        self
+    }
+
+    /// Builds the session. Infallible: a dimension mismatch is recorded
+    /// and surfaced by the first query, exactly like [`Session::new`]
+    /// (warming is skipped for a mismatched pair).
+    #[must_use]
+    pub fn build(self) -> Session {
+        let mut session = Session::new(self.a, self.b);
+        session.seed = self.seed;
+        session.exec = self.exec;
+        if self.warm {
+            let _ = session.warm_views();
+        }
+        session
+    }
+}
+
+/// Public dimensions of the product `C = A·B` — everything a party may
+/// know about the *shape* of its peer's half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductDims {
+    /// Rows of `A` (= rows of `C`).
+    pub a_rows: usize,
+    /// The inner dimension `A.cols == B.rows`.
+    pub inner: usize,
+    /// Columns of `B` (= columns of `C`).
+    pub b_cols: usize,
+}
+
+/// The public metadata one party holds about its peer's half: dimensions
+/// and whether the peer's matrix is binary. Deliberately *not* the
+/// matrix — constructing a [`PartyView`] with a `PeerInfo` is the
+/// compile-level guarantee that a split party cannot reach the peer's
+/// entries:
+///
+/// ```compile_fail
+/// use mpest_core::{PeerInfo, PartyView, Role};
+/// use mpest_matrix::Workloads;
+///
+/// let a = Workloads::bernoulli_bits(8, 12, 0.4, 1).to_csr();
+/// let view = PartyView::new(Role::Alice, a, PeerInfo::new(12, 8, true));
+/// // There is no accessor for the peer's entries: `PeerInfo` holds
+/// // dimensions and a binariness flag, nothing else.
+/// let _ = view.peer().get(0, 0); // ERROR: no method `get` on `&PeerInfo`
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerInfo {
+    rows: usize,
+    cols: usize,
+    binary: bool,
+}
+
+impl PeerInfo {
+    /// Describes a peer half of shape `rows × cols`; `binary` states
+    /// whether every entry of the peer's matrix is in `{0, 1}` (it gates
+    /// the binary-only protocols and is cross-checked by the net layer's
+    /// handshake).
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, binary: bool) -> Self {
+        Self { rows, cols, binary }
+    }
+
+    /// Rows of the peer's matrix.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the peer's matrix.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the peer's matrix is binary.
+    #[must_use]
+    pub fn binary(&self) -> bool {
+        self.binary
+    }
+}
+
+/// One party's storage-split view of a session: its own half (with the
+/// same lazily cached derived views a [`Session`] keeps), plus the
+/// peer's *public* metadata ([`PeerInfo`]). This is what a remote party
+/// process holds instead of the full pair — protocols executed through
+/// it run this role's closures locally and reach the peer only through
+/// billed protocol messages.
+#[derive(Debug)]
+pub struct PartyView {
+    role: Role,
+    own: Half,
+    cache: HalfCache,
+    peer: PeerInfo,
+    dims: Result<(), CommError>,
+    epoch: u64,
+}
+
+impl PartyView {
+    /// Builds the view `role` holds: its own matrix plus the peer's
+    /// public metadata. The inner dimension (`A.cols == B.rows`) is
+    /// validated here, once; a mismatch is reported by the first run.
+    pub fn new(role: Role, own: impl SessionInput, peer: PeerInfo) -> Self {
+        let own = own.into_half().0;
+        let dims = match role {
+            Role::Alice => check_dims(own.cols(), peer.rows()),
+            Role::Bob => check_dims(peer.cols(), own.rows()),
+        };
+        Self {
+            role,
+            own,
+            cache: HalfCache::default(),
+            peer,
+            dims,
+            epoch: 0,
+        }
+    }
+
+    /// Which role this view plays.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The peer's public metadata.
+    #[must_use]
+    pub fn peer(&self) -> &PeerInfo {
+        &self.peer
+    }
+
+    /// Shape of this party's own matrix.
+    #[must_use]
+    pub fn own_shape(&self) -> (usize, usize) {
+        (self.own.rows(), self.own.cols())
+    }
+
+    /// Whether this party's own matrix is binary (content-wise).
+    #[must_use]
+    pub fn own_binary(&self) -> bool {
+        half_is_binary(&self.own, &self.cache)
+    }
+
+    /// This party's own matrix as CSR (cached conversion when it was
+    /// built from bits) — the canonical content the wire layer
+    /// fingerprints.
+    #[must_use]
+    pub fn own_csr(&self) -> &CsrMatrix {
+        half_csr(&self.own, &self.cache)
+    }
+
+    /// Public dimensions of the product, assembled from the own half and
+    /// the peer metadata.
+    #[must_use]
+    pub fn product_dims(&self) -> ProductDims {
+        match self.role {
+            Role::Alice => ProductDims {
+                a_rows: self.own.rows(),
+                inner: self.own.cols(),
+                b_cols: self.peer.cols(),
+            },
+            Role::Bob => ProductDims {
+                a_rows: self.peer.rows(),
+                inner: self.own.rows(),
+                b_cols: self.own.cols(),
+            },
+        }
+    }
+
+    /// The view's epoch: 0 at construction, bumped by one per applied
+    /// update batch. Storage-split epochs are *per side* — each party
+    /// versions only its own half.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Replaces the peer's public metadata (a peer whose half grew via
+    /// appends announces new dimensions through the handshake).
+    /// Re-validates the inner dimension.
+    pub fn set_peer(&mut self, peer: PeerInfo) {
+        self.dims = match self.role {
+            Role::Alice => check_dims(self.own.cols(), peer.rows()),
+            Role::Bob => check_dims(peer.cols(), self.own.rows()),
+        };
+        self.peer = peer;
+    }
+
+    /// Materializes every lazily cached derived view of the own half
+    /// (same contract as [`Session::warm_views`], for one side).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the view's inner-dimension mismatch (if any).
+    pub fn warm_views(&self) -> Result<(), CommError> {
+        self.dims.clone()?;
+        warm_half(&self.own, &self.cache);
+        Ok(())
+    }
+
+    /// Applies `batch` atomically to the *own* half and returns the new
+    /// per-side epoch. Ops addressed to the peer's matrix are rejected
+    /// typed — a storage-split party cannot mutate what it does not
+    /// hold. Validation and incremental view maintenance are the same
+    /// code paths as [`Session::apply_update`], so a split half stays
+    /// bit-identical to the matching half of a full session fed the same
+    /// ops.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the view's dimension mismatch, foreign-side ops,
+    /// out-of-range indices, or non-binary values pushed at a bit-matrix
+    /// half.
+    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<u64, CommError> {
+        self.dims.clone()?;
+        let own_shape = HalfShape::of(&self.own);
+        let (a, b) = match self.role {
+            Role::Alice => (Some(own_shape), None),
+            Role::Bob => (None, Some(own_shape)),
+        };
+        let normalized = validate_ops(&batch.ops, a, b)?;
+        for (_, op) in &normalized {
+            apply_half_op(&mut self.own, &mut self.cache, op);
+        }
+        self.epoch += 1;
+        Ok(self.epoch)
+    }
+
+    /// Runs `protocol` as this view's role against a remote peer behind
+    /// `io` — the storage-split counterpart of
+    /// [`Session::run_seeded`]. Outputs *and* transcripts are
+    /// bit-identical to an in-process run over the assembled pair.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces dimension mismatches, per-side validation errors (the
+    /// peer's own validation failures arrive as typed remote errors),
+    /// and transport failures.
+    pub fn run_remote<P: Protocol>(
+        &self,
+        protocol: &P,
+        params: &P::Params,
+        seed: Seed,
+        io: &mut dyn FrameIo,
+    ) -> Result<ProtocolRun<P::Output>, CommError> {
+        let rc = RemoteCtx::new(self.role, io);
+        run_on(
+            Parties::One(self),
+            protocol,
+            params,
+            seed,
+            Exec::Remote(&rc),
+        )
+    }
+
+    /// Runs `protocol` under an explicit executor handle. With
+    /// [`Exec::Remote`] this is [`PartyView::run_remote`]; an in-process
+    /// backend fails typed, since this process holds only one half.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartyView::run_remote`].
+    pub fn run_seeded_exec<'r, P: Protocol>(
+        &'r self,
+        protocol: &P,
+        params: &P::Params,
+        seed: Seed,
+        exec: Exec<'r>,
+    ) -> Result<ProtocolRun<P::Output>, CommError> {
+        run_on(Parties::One(self), protocol, params, seed, exec)
+    }
+}
+
+/// Whose halves a [`SessionCtx`] can see: both (the local
+/// [`Session`] case) or exactly one (a storage-split [`PartyView`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Parties<'a> {
+    /// Both halves live in this process.
+    Both(&'a Session),
+    /// Only this party's half lives here; the peer is metadata.
+    One(&'a PartyView),
+}
+
+/// The one dispatch point behind [`Session::run_seeded_exec`] and
+/// [`PartyView::run_seeded_exec`]: validates dimensions, builds the
+/// per-query [`SessionCtx`], and hands it to the protocol.
+pub(crate) fn run_on<'r, P: Protocol>(
+    parties: Parties<'r>,
+    protocol: &P,
+    params: &P::Params,
+    seed: Seed,
+    exec: Exec<'r>,
+) -> Result<ProtocolRun<P::Output>, CommError> {
+    match parties {
+        Parties::Both(s) => s.dims.clone()?,
+        Parties::One(v) => v.dims.clone()?,
+    }
+    protocol.execute(
+        &SessionCtx {
+            parties,
+            seed,
+            exec,
+        },
+        params,
+    )
 }
 
 /// A normalized, side-local mutation: append entries are canonical
@@ -739,11 +1206,19 @@ fn apply_half_op(half: &mut Half, cache: &mut HalfCache, op: &HalfOp) {
     }
 }
 
-/// Per-query execution context handed to [`Protocol::execute`]: the
-/// session's cached views of `(A, B)` plus this query's seed.
+/// Per-query execution context handed to [`Protocol::execute`]: cached
+/// views of whichever halves live in this process, public dimensions of
+/// both, this query's seed, and the executor handle.
+///
+/// Every half accessor returns an `Option`: `Some` with the (cached)
+/// view when that half is local, `None` when it belongs to a remote
+/// peer. A full-pair [`Session`] context answers `Some` for both sides;
+/// a storage-split [`PartyView`] context answers `Some` only for its
+/// own role — the type itself is what keeps a protocol from touching
+/// entries the party does not hold.
 #[derive(Debug, Clone, Copy)]
 pub struct SessionCtx<'a> {
-    session: &'a Session,
+    parties: Parties<'a>,
     seed: Seed,
     exec: Exec<'a>,
 }
@@ -762,64 +1237,153 @@ impl<'a> SessionCtx<'a> {
         self.exec
     }
 
-    /// The pair as CSR matrices (cached conversion if a side was built
-    /// from bits).
+    /// The role whose half is local, or `None` when both halves are
+    /// (the full-pair [`Session`] case).
     #[must_use]
-    pub fn csr_pair(&self) -> (&'a CsrMatrix, &'a CsrMatrix) {
-        (self.session.a_csr(), self.session.b_csr())
+    pub fn role(&self) -> Option<Role> {
+        match self.parties {
+            Parties::Both(_) => None,
+            Parties::One(v) => Some(v.role),
+        }
     }
 
-    /// The pair as bit matrices.
+    /// Public dimensions of the product `C = A·B` — always available,
+    /// whichever halves are local.
+    #[must_use]
+    pub fn dims(&self) -> ProductDims {
+        match self.parties {
+            Parties::Both(s) => ProductDims {
+                a_rows: s.a.rows(),
+                inner: s.a.cols(),
+                b_cols: s.b.cols(),
+            },
+            Parties::One(v) => v.product_dims(),
+        }
+    }
+
+    /// The given role's half and cache, when local.
+    fn half(&self, role: Role) -> Option<(&'a Half, &'a HalfCache)> {
+        match self.parties {
+            Parties::Both(s) => Some(match role {
+                Role::Alice => (&s.a, &s.a_cache),
+                Role::Bob => (&s.b, &s.b_cache),
+            }),
+            Parties::One(v) if v.role == role => Some((&v.own, &v.cache)),
+            Parties::One(_) => None,
+        }
+    }
+
+    /// The peer metadata standing in for the given role's half, when
+    /// that half is remote.
+    fn peer_of(&self, role: Role) -> Option<&'a PeerInfo> {
+        match self.parties {
+            Parties::Both(_) => None,
+            Parties::One(v) if v.role != role => Some(&v.peer),
+            Parties::One(_) => None,
+        }
+    }
+
+    /// `A` as a CSR matrix (cached conversion if it was built from
+    /// bits); `None` when Alice's half is remote.
+    #[must_use]
+    pub fn a_csr(&self) -> Option<&'a CsrMatrix> {
+        self.half(Role::Alice).map(|(h, c)| half_csr(h, c))
+    }
+
+    /// `B` as a CSR matrix; `None` when Bob's half is remote.
+    #[must_use]
+    pub fn b_csr(&self) -> Option<&'a CsrMatrix> {
+        self.half(Role::Bob).map(|(h, c)| half_csr(h, c))
+    }
+
+    /// The local halves as CSR matrices, by side.
+    #[must_use]
+    pub fn csr_halves(&self) -> (Option<&'a CsrMatrix>, Option<&'a CsrMatrix>) {
+        (self.a_csr(), self.b_csr())
+    }
+
+    /// The local halves as bit matrices, validating that *both* sides of
+    /// the pair are binary (a remote half is checked against the peer's
+    /// announced binariness, which the net handshake cross-checks).
     ///
     /// # Errors
     ///
     /// Fails if either side has non-binary entries.
-    pub fn bit_pair(&self) -> Result<(&'a BitMatrix, &'a BitMatrix), CommError> {
-        let a = Session::half_bits(&self.session.a, &self.session.a_cache, "A")?;
-        let b = Session::half_bits(&self.session.b, &self.session.b_cache, "B")?;
+    pub fn bit_halves(&self) -> Result<(Option<&'a BitMatrix>, Option<&'a BitMatrix>), CommError> {
+        let side = |role: Role| match self.half(role) {
+            Some((h, c)) => half_bits(h, c, role.half_label()).map(Some),
+            None => match self.peer_of(role) {
+                Some(peer) if peer.binary() => Ok(None),
+                _ => Err(non_binary_half(role.half_label())),
+            },
+        };
+        let a = side(Role::Alice)?;
+        let b = side(Role::Bob)?;
         Ok((a, b))
     }
 
-    /// Cached CSR transpose of `A`.
+    /// Whether *both* halves of the pair are binary (content-wise); a
+    /// remote half answers with the peer's announced binariness.
     #[must_use]
-    pub fn a_transpose(&self) -> &'a CsrMatrix {
-        let s = self.session;
-        s.a_cache.transpose.get_or_init(|| s.a_csr().transpose())
+    pub fn pair_binary(&self) -> bool {
+        Role::BOTH.iter().all(|&role| match self.half(role) {
+            Some((h, c)) => half_is_binary(h, c),
+            None => self.peer_of(role).is_some_and(PeerInfo::binary),
+        })
     }
 
-    /// Cached CSR transpose of `B`.
+    /// Cached CSR transpose of `A`, when local.
     #[must_use]
-    pub fn b_transpose(&self) -> &'a CsrMatrix {
-        let s = self.session;
-        s.b_cache.transpose.get_or_init(|| s.b_csr().transpose())
+    pub fn a_transpose(&self) -> Option<&'a CsrMatrix> {
+        self.half(Role::Alice)
+            .map(|(h, c)| c.transpose.get_or_init(|| half_csr(h, c).transpose()))
     }
 
-    /// Cached per-column absolute sums of `A`.
+    /// Cached CSR transpose of `B`, when local.
     #[must_use]
-    pub fn a_col_abs_sums(&self) -> &'a [i64] {
-        let s = self.session;
-        s.a_cache.col_abs.get_or_init(|| s.a_csr().col_abs_sums())
+    pub fn b_transpose(&self) -> Option<&'a CsrMatrix> {
+        self.half(Role::Bob)
+            .map(|(h, c)| c.transpose.get_or_init(|| half_csr(h, c).transpose()))
     }
 
-    /// Cached per-row absolute sums of `B`.
+    /// Cached per-column absolute sums of `A`, when local.
     #[must_use]
-    pub fn b_row_abs_sums(&self) -> &'a [i64] {
-        let s = self.session;
-        s.b_cache.row_abs.get_or_init(|| s.b_csr().row_abs_sums())
+    pub fn a_col_abs_sums(&self) -> Option<&'a [i64]> {
+        self.half(Role::Alice).map(|(h, c)| {
+            c.col_abs
+                .get_or_init(|| half_csr(h, c).col_abs_sums())
+                .as_slice()
+        })
     }
 
-    /// Cached per-column support sizes of `A`.
+    /// Cached per-row absolute sums of `B`, when local.
     #[must_use]
-    pub fn a_col_nnz(&self) -> &'a [u32] {
-        let s = self.session;
-        s.a_cache.col_nnz.get_or_init(|| s.a_csr().col_nnz())
+    pub fn b_row_abs_sums(&self) -> Option<&'a [i64]> {
+        self.half(Role::Bob).map(|(h, c)| {
+            c.row_abs
+                .get_or_init(|| half_csr(h, c).row_abs_sums())
+                .as_slice()
+        })
     }
 
-    /// Cached per-row support sizes of `B`.
+    /// Cached per-column support sizes of `A`, when local.
     #[must_use]
-    pub fn b_row_nnz(&self) -> &'a [u32] {
-        let s = self.session;
-        s.b_cache.row_nnz.get_or_init(|| s.b_csr().row_nnz())
+    pub fn a_col_nnz(&self) -> Option<&'a [u32]> {
+        self.half(Role::Alice).map(|(h, c)| {
+            c.col_nnz
+                .get_or_init(|| half_csr(h, c).col_nnz())
+                .as_slice()
+        })
+    }
+
+    /// Cached per-row support sizes of `B`, when local.
+    #[must_use]
+    pub fn b_row_nnz(&self) -> Option<&'a [u32]> {
+        self.half(Role::Bob).map(|(h, c)| {
+            c.row_nnz
+                .get_or_init(|| half_csr(h, c).row_nnz())
+                .as_slice()
+        })
     }
 }
 
@@ -883,19 +1447,29 @@ mod tests {
         let csr = Workloads::bernoulli_bits(12, 8, 0.4, 2).to_csr();
         let s = Session::new(bits.clone(), csr.clone());
         let ctx = SessionCtx {
-            session: &s,
+            parties: Parties::Both(&s),
             seed: Seed(0),
             exec: Exec::Backend(ExecBackend::default()),
         };
-        let (a_csr, b_csr) = ctx.csr_pair();
-        assert_eq!(a_csr, &bits.to_csr());
-        assert_eq!(b_csr, &csr);
-        let (a_bits, b_bits) = ctx.bit_pair().unwrap();
-        assert_eq!(a_bits, &bits);
-        assert_eq!(b_bits, &BitMatrix::from_csr(&csr));
+        let (a_csr, b_csr) = ctx.csr_halves();
+        assert_eq!(a_csr.unwrap(), &bits.to_csr());
+        assert_eq!(b_csr.unwrap(), &csr);
+        let (a_bits, b_bits) = ctx.bit_halves().unwrap();
+        assert_eq!(a_bits.unwrap(), &bits);
+        assert_eq!(b_bits.unwrap(), &BitMatrix::from_csr(&csr));
+        assert!(ctx.pair_binary());
+        assert_eq!(ctx.role(), None);
+        let dims = ctx.dims();
+        assert_eq!((dims.a_rows, dims.inner, dims.b_cols), (8, 12, 8));
         // Cached views are pointer-stable across calls.
-        assert!(std::ptr::eq(ctx.a_transpose(), ctx.a_transpose()));
-        assert!(std::ptr::eq(ctx.csr_pair().0, ctx.csr_pair().0));
+        assert!(std::ptr::eq(
+            ctx.a_transpose().unwrap(),
+            ctx.a_transpose().unwrap()
+        ));
+        assert!(std::ptr::eq(
+            ctx.csr_halves().0.unwrap(),
+            ctx.csr_halves().0.unwrap()
+        ));
     }
 
     #[test]
@@ -904,12 +1478,13 @@ mod tests {
         let b = CsrMatrix::from_triplets(2, 2, vec![(1, 1, 1)]);
         let s = Session::new(a, b);
         let ctx = SessionCtx {
-            session: &s,
+            parties: Parties::Both(&s),
             seed: Seed(0),
             exec: Exec::Backend(ExecBackend::default()),
         };
-        let err = ctx.bit_pair().unwrap_err();
+        let err = ctx.bit_halves().unwrap_err();
         assert!(err.to_string().contains("non-binary"));
+        assert!(!ctx.pair_binary());
     }
 
     #[test]
@@ -950,11 +1525,13 @@ mod tests {
     /// by forcing both sides.
     fn assert_views_match_fresh(s: &Session) {
         let (a, b) = s.csr_halves().unwrap();
-        let fresh = Session::new(a.clone(), b.clone()).with_seed(s.seed());
+        let fresh = Session::builder(a.clone(), b.clone())
+            .seed(s.seed())
+            .build();
         let ctx = s.ctx(Seed(0));
         let fctx = fresh.ctx(Seed(0));
-        assert_eq!(ctx.csr_pair().0, fctx.csr_pair().0, "A csr");
-        assert_eq!(ctx.csr_pair().1, fctx.csr_pair().1, "B csr");
+        assert_eq!(ctx.csr_halves().0, fctx.csr_halves().0, "A csr");
+        assert_eq!(ctx.csr_halves().1, fctx.csr_halves().1, "B csr");
         assert_eq!(ctx.a_transpose(), fctx.a_transpose(), "A transpose");
         assert_eq!(ctx.b_transpose(), fctx.b_transpose(), "B transpose");
         assert_eq!(ctx.a_col_abs_sums(), fctx.a_col_abs_sums(), "A col abs");
@@ -962,8 +1539,10 @@ mod tests {
         assert_eq!(ctx.a_col_nnz(), fctx.a_col_nnz(), "A col nnz");
         assert_eq!(ctx.b_row_nnz(), fctx.b_row_nnz(), "B row nnz");
         assert_eq!(
-            ctx.bit_pair().ok().map(|(x, y)| (x.clone(), y.clone())),
-            fctx.bit_pair().ok().map(|(x, y)| (x.clone(), y.clone())),
+            ctx.bit_halves().ok().map(|(x, y)| (x.cloned(), y.cloned())),
+            fctx.bit_halves()
+                .ok()
+                .map(|(x, y)| (x.cloned(), y.cloned())),
             "bit views"
         );
         assert_eq!(
@@ -975,8 +1554,8 @@ mod tests {
 
     fn warm_all_views(s: &Session) {
         let ctx = s.ctx(Seed(0));
-        let _ = ctx.csr_pair();
-        let _ = ctx.bit_pair();
+        let _ = ctx.csr_halves();
+        let _ = ctx.bit_halves();
         let _ = (ctx.a_transpose(), ctx.b_transpose());
         let _ = (ctx.a_col_abs_sums(), ctx.b_row_abs_sums());
         let _ = (ctx.a_col_nnz(), ctx.b_row_nnz());
@@ -988,7 +1567,7 @@ mod tests {
         use crate::stream::{UpdateBatch, UpdateSide};
         let a = Workloads::bernoulli_bits(10, 14, 0.3, 3).to_csr();
         let b = Workloads::bernoulli_bits(14, 10, 0.3, 4).to_csr();
-        let mut s = Session::new(a, b).with_seed(Seed(5));
+        let mut s = Session::builder(a, b).seed(Seed(5)).build();
         warm_all_views(&s);
         assert_eq!(s.epoch(), 0);
         let batch = UpdateBatch::new()
@@ -1024,7 +1603,7 @@ mod tests {
         // The bit halves must stay bit views; compare via CSR canon.
         assert_views_match_fresh(&s);
         let ctx = s.ctx(Seed(0));
-        assert!(ctx.bit_pair().is_ok());
+        assert!(ctx.bit_halves().is_ok());
     }
 
     #[test]
@@ -1083,7 +1662,7 @@ mod tests {
     fn derived_seeds_are_distinct_and_deterministic() {
         let a = Workloads::bernoulli_bits(4, 4, 0.5, 1).to_csr();
         let b = Workloads::bernoulli_bits(4, 4, 0.5, 2).to_csr();
-        let s = Session::new(a, b).with_seed(Seed(9));
+        let s = Session::builder(a, b).seed(Seed(9)).build();
         assert_eq!(s.query_seed(0), s.query_seed(0));
         assert_ne!(s.query_seed(0), s.query_seed(1));
         assert_eq!(s.queries_issued(), 0);

@@ -25,12 +25,11 @@
 //! assert_eq!(run.rounds(), 2);
 //! ```
 
-use crate::config::check_dims;
 use crate::exchange::{exchange_alice, exchange_bob, ExchangeCfg};
 use crate::protocol::Protocol;
 use crate::result::{ProductShares, ProtocolRun};
-use crate::session::{cached_or, Reuse, SessionCtx};
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Link, Seed};
+use crate::session::{cached_or, ProductDims, Reuse, SessionCtx};
+use mpest_comm::{execute_split, CommError, Exec, Link, Seed};
 use mpest_matrix::{Accumulator, CsrMatrix};
 
 /// Alice's phases (rounds `base_round` and `base_round + 1`); returns her
@@ -143,25 +142,6 @@ fn bob_phase_pre(
     )
 }
 
-/// Runs the distributed sparse matrix multiplication. The output contains
-/// both parties' shares; `output.reconstruct(...)` equals `A·B` exactly.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `SparseMatmul` protocol (or use `Session::estimate`)"
-)]
-pub fn run(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    seed: Seed,
-) -> Result<ProtocolRun<ProductShares>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_unchecked(a, b, seed, Reuse::default(), ExecBackend::default().into())
-}
-
 /// The Lemma 2.5 protocol as a [`Protocol`]: additive shares
 /// `C_A + C_B = A·B` in 2 rounds and `Õ(n√‖AB‖₀)` bits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -180,29 +160,38 @@ impl Protocol for SparseMatmul {
         ctx: &SessionCtx<'_>,
         (): &(),
     ) -> Result<ProtocolRun<ProductShares>, CommError> {
-        let (a, b) = ctx.csr_pair();
+        let (a, b) = ctx.csr_halves();
         let reuse = Reuse {
-            a_t: Some(ctx.a_transpose()),
-            a_col_nnz: Some(ctx.a_col_nnz()),
-            b_row_nnz: Some(ctx.b_row_nnz()),
+            a_t: ctx.a_transpose(),
+            a_col_nnz: ctx.a_col_nnz(),
+            b_row_nnz: ctx.b_row_nnz(),
             ..Reuse::default()
         };
-        run_unchecked(a, b, ctx.seed(), reuse, ctx.executor())
+        run_unchecked(
+            a,
+            b,
+            ctx.dims(),
+            ctx.pair_binary(),
+            ctx.seed(),
+            reuse,
+            ctx.executor(),
+        )
     }
 }
 
 pub(crate) fn run_unchecked(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
+    a: Option<&CsrMatrix>,
+    b: Option<&CsrMatrix>,
+    dims: ProductDims,
+    binary: bool,
     seed: Seed,
     reuse: Reuse<'_>,
     exec: Exec<'_>,
 ) -> Result<ProtocolRun<ProductShares>, CommError> {
     let _ = seed; // deterministic protocol: no coins needed
-    let binary = a.is_binary() && b.is_binary();
-    let out_rows = a.rows();
-    let out_cols = b.cols();
-    let outcome = execute_with(
+    let out_rows = dims.a_rows;
+    let out_cols = dims.b_cols;
+    let outcome = execute_split(
         exec,
         a,
         b,
@@ -224,10 +213,17 @@ pub(crate) fn run_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::Workloads;
+
+    fn run(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        seed: Seed,
+    ) -> Result<ProtocolRun<ProductShares>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&SparseMatmul, &(), seed)
+    }
 
     #[test]
     fn exact_reconstruction_binary() {

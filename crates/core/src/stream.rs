@@ -18,25 +18,10 @@
 //! invalidate the pair. Entry-level ops address the side's matrix in
 //! its own `(row, col)` coordinates.
 
-/// Which party's half of the pair an op mutates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum UpdateSide {
-    /// Alice's matrix `A` (her sets are rows).
-    Alice,
-    /// Bob's matrix `B` (his sets are columns).
-    Bob,
-}
-
-impl UpdateSide {
-    /// Stable one-letter label (`"A"` / `"B"`) for errors and wire forms.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            UpdateSide::Alice => "A",
-            UpdateSide::Bob => "B",
-        }
-    }
-}
+/// Which party's half of the pair an op mutates — the shared
+/// [`Role`](mpest_comm::Role) enum (Alice's matrix `A`, Bob's matrix
+/// `B`), kept under its streaming-layer name.
+pub type UpdateSide = mpest_comm::Role;
 
 /// One mutation of one side of the pair.
 #[derive(Debug, Clone, PartialEq, Eq)]

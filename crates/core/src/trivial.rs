@@ -3,12 +3,11 @@
 //! inputs), one round. Every non-trivial bound in the paper is measured
 //! against this.
 
-use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
-use crate::session::SessionCtx;
+use crate::session::{ProductDims, SessionCtx};
 use crate::wire::{WBits, WSparseVec};
-use mpest_comm::{execute_with, CommError, Exec, ExecBackend, Seed};
+use mpest_comm::{execute_split, CommError, Exec, Seed};
 use mpest_matrix::norms::{dense_linf, dense_lp_pow, PNorm};
 use mpest_matrix::{BitMatrix, CsrMatrix};
 
@@ -39,8 +38,8 @@ impl Protocol for TrivialBinary {
     }
 
     fn execute(&self, ctx: &SessionCtx<'_>, (): &()) -> Result<ProtocolRun<ExactStats>, CommError> {
-        let (a, b) = ctx.bit_pair()?;
-        run_binary_unchecked(a, b, ctx.seed(), ctx.executor())
+        let (a, b) = ctx.bit_halves()?;
+        run_binary_unchecked(a, b, ctx.dims(), ctx.seed(), ctx.executor())
     }
 }
 
@@ -58,39 +57,24 @@ impl Protocol for TrivialCsr {
     }
 
     fn execute(&self, ctx: &SessionCtx<'_>, (): &()) -> Result<ProtocolRun<ExactStats>, CommError> {
-        let (a, b) = ctx.csr_pair();
-        run_csr_unchecked(a, b, ctx.seed(), ctx.executor())
+        let (a, b) = ctx.csr_halves();
+        run_csr_unchecked(a, b, ctx.dims(), ctx.seed(), ctx.executor())
     }
 }
 
-/// Runs the trivial protocol on binary matrices: Alice ships `A` as a raw
-/// bitmap (`rows·cols` bits exactly).
-///
-/// # Errors
-///
-/// Fails on dimension mismatch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `TrivialBinary` protocol (or use `Session::estimate`)"
-)]
-pub fn run_binary(
-    a: &BitMatrix,
-    b: &BitMatrix,
-    seed: Seed,
-) -> Result<ProtocolRun<ExactStats>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_binary_unchecked(a, b, seed, ExecBackend::default().into())
-}
-
 pub(crate) fn run_binary_unchecked(
-    a: &BitMatrix,
-    b: &BitMatrix,
+    a: Option<&BitMatrix>,
+    b: Option<&BitMatrix>,
+    dims: ProductDims,
     _seed: Seed,
     exec: Exec<'_>,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
-    let rows = a.rows();
-    let cols = a.cols();
-    let outcome = execute_with(
+    // `A`'s shape is public — both parties derive it from the product
+    // dimensions, so a storage-split Bob sizes the decode without ever
+    // holding `A`.
+    let rows = dims.a_rows;
+    let cols = dims.inner;
+    let outcome = execute_split(
         exec,
         a,
         b,
@@ -132,34 +116,16 @@ pub(crate) fn run_binary_unchecked(
     })
 }
 
-/// Runs the trivial protocol on integer matrices: Alice ships `A` as
-/// sparse rows.
-///
-/// # Errors
-///
-/// Fails on dimension mismatch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and run the `TrivialCsr` protocol (or use `Session::estimate`)"
-)]
-pub fn run_csr(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
-    seed: Seed,
-) -> Result<ProtocolRun<ExactStats>, CommError> {
-    check_dims(a.cols(), b.rows())?;
-    run_csr_unchecked(a, b, seed, ExecBackend::default().into())
-}
-
 pub(crate) fn run_csr_unchecked(
-    a: &CsrMatrix,
-    b: &CsrMatrix,
+    a: Option<&CsrMatrix>,
+    b: Option<&CsrMatrix>,
+    dims: ProductDims,
     _seed: Seed,
     exec: Exec<'_>,
 ) -> Result<ProtocolRun<ExactStats>, CommError> {
-    let rows = a.rows();
-    let cols = a.cols();
-    let outcome = execute_with(
+    let rows = dims.a_rows;
+    let cols = dims.inner;
+    let outcome = execute_split(
         exec,
         a,
         b,
@@ -205,10 +171,25 @@ pub(crate) fn run_csr_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests keep exercising the legacy one-shot wrappers
 mod tests {
     use super::*;
     use mpest_matrix::{stats, Workloads};
+
+    fn run_binary(
+        a: &BitMatrix,
+        b: &BitMatrix,
+        seed: Seed,
+    ) -> Result<ProtocolRun<ExactStats>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&TrivialBinary, &(), seed)
+    }
+
+    fn run_csr(
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        seed: Seed,
+    ) -> Result<ProtocolRun<ExactStats>, CommError> {
+        crate::Session::new(a.clone(), b.clone()).run_seeded(&TrivialCsr, &(), seed)
+    }
 
     #[test]
     fn binary_exact_and_bit_cost() {

@@ -59,7 +59,10 @@ pub const MAGIC: [u8; 4] = *b"MPST";
 /// v3: the `update` message family (live session updates), epoch-pinned
 /// queries (`query` gained a trailing epoch field), `reports` echoes
 /// the serving epoch, and `stats-report` gained a `superseded` varint.
-pub const VERSION: u16 = 3;
+/// v4: the `party-hello` handshake for storage-split parties (each
+/// process holds only its half and announces shape + representation +
+/// fingerprint + per-side epoch before a run).
+pub const VERSION: u16 = 4;
 /// Lowest codec version this build still speaks. Connections negotiate
 /// down to the peer's version when it is at least this old; anything
 /// older fails the handshake with a typed error naming both ranges.
@@ -837,16 +840,16 @@ mod tests {
     /// The handshake is symmetric — each side feeds the other's preamble
     /// through the same negotiation — so one `establish` against each
     /// peer shape covers both seats of the pairing; both seats of the
-    /// v3↔v3 case are additionally checked byte-for-byte.
+    /// current↔current case are additionally checked byte-for-byte.
     #[test]
     fn handshake_negotiates_every_version_pairing() {
         // (peer min, peer max on the wire, expected negotiated version).
         let ok: [(u16, u16, u16); 5] = [
             (2, 0, 2), // legacy v2 build: exact version, reserved zeros
-            (2, 3, 3), // this build
-            (2, 4, 3), // future v4 build still speaking v2..: meet at v3
+            (2, 3, 3), // a v3 build: meet at its ceiling
+            (2, 4, 4), // this build
             (3, 3, 3), // hypothetical v3-only peer
-            (3, 9, 3), // far-future peer that kept v3 support
+            (3, 9, 4), // far-future peer that kept v3+ support
         ];
         for (min, max, want) in ok {
             let conn = FramedConn::establish(Loopback::reading(peer_preamble(min, max))).unwrap();
@@ -857,7 +860,7 @@ mod tests {
         let bad: [(u16, u16); 3] = [
             (1, 0), // ancient exact-v1 build
             (1, 1), // v1-only range
-            (4, 5), // future build that dropped v3
+            (5, 6), // future build that dropped v4
         ];
         for (min, max) in bad {
             let err =
@@ -874,7 +877,7 @@ mod tests {
             );
         }
 
-        // Both seats of a v3↔v3 pairing: what this build writes is what
+        // Both seats of a current↔current pairing: what this build writes is what
         // this build accepts, and both sides land on the same version.
         let mut writer = FramedConn::new(Loopback::reading(Vec::new()));
         let mut preamble = [0u8; 8];

@@ -16,9 +16,15 @@
 //! 2. **[`party`]** — remote two-party execution: a [`PartyHost`]
 //!    process plays one side of the pair and an initiator
 //!    ([`run_with_party`]) plays the other, with every protocol message
-//!    a framed socket write. Outputs and transcripts are bit-identical
-//!    to the fused in-process executor (`tests/remote_equivalence.rs`
-//!    proves it for all 14 protocols).
+//!    a framed socket write. Storage-split deployments
+//!    ([`PartyHost::spawn_split`] / [`run_with_party_view`]) hold only
+//!    a [`PartyView`](mpest_core::PartyView) — one matrix per process —
+//!    and cross-check a `party-hello` handshake (shape, representation,
+//!    fingerprint, per-side epoch) before any run. Outputs and
+//!    transcripts are bit-identical to the fused in-process executor
+//!    (`tests/remote_equivalence.rs` and
+//!    `tests/party_split_equivalence.rs` prove it for all 14
+//!    protocols).
 //! 3. **[`server`] / [`client`]** — the `mpest serve` daemon:
 //!    thread-per-connection over a shared
 //!    [`Engine`](mpest_core::Engine)-wrapped session cache keyed by
@@ -60,11 +66,12 @@ pub use client::{
 pub use codec::{FramedConn, MAX_PAYLOAD_BYTES, MIN_VERSION, VERSION};
 pub use fingerprint::fingerprint;
 pub use msg::{
-    QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg, UpdateMsg, WCsr,
-    MAX_WIRE_MATRIX_DIM, MAX_WIRE_UPDATE_OPS,
+    PartyInfoMsg, QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg, UpdateMsg,
+    WCsr, MAX_WIRE_MATRIX_DIM, MAX_WIRE_UPDATE_OPS,
 };
 pub use party::{
-    run_over_conn, run_with_party, run_with_party_with, update_party, PartyHost,
+    party_info, run_over_conn, run_view_over_conn, run_with_party, run_with_party_view,
+    run_with_party_view_with, run_with_party_with, update_party, update_split_party, PartyHost,
     PARTY_RUN_TIMEOUT_MAX,
 };
 pub use server::{serve_on, ServeConfig, Server, ServerState, DEFAULT_MAX_SESSIONS};

@@ -213,6 +213,30 @@ pub struct StatsMsg {
     pub superseded: u64,
 }
 
+/// One party's public description of the half it holds, exchanged at
+/// the start of a storage-split connection (v4+). This is everything a
+/// peer may learn about the matrix outside billed protocol messages:
+/// shape, representation, a content fingerprint, and the half's
+/// per-side epoch — never entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartyInfoMsg {
+    /// Which side the *sender* plays (and therefore which half of the
+    /// pair this message describes).
+    pub side: Party,
+    /// Rows of the sender's matrix.
+    pub rows: u64,
+    /// Columns of the sender's matrix.
+    pub cols: u64,
+    /// Whether the sender's half is binary (content-wise).
+    pub binary: bool,
+    /// Content fingerprint of the sender's half (see
+    /// [`crate::fingerprint()`]), for pinning a run to exact content.
+    pub fp: u64,
+    /// The sender's per-side epoch (updates version each half
+    /// independently in a storage split).
+    pub epoch: u64,
+}
+
 /// Run negotiation sent by the initiator of a remote two-party run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSpecMsg {
@@ -282,6 +306,12 @@ pub enum ServiceMsg {
         /// The new epoch.
         epoch: u64,
     },
+    /// Both directions on a storage-split connection: announce the half
+    /// this process holds before negotiating a run (v4+). Each side
+    /// cross-checks the peer's announcement against its stored
+    /// [`PeerInfo`](mpest_core::PeerInfo) — dimensions and binariness
+    /// must match; a nonzero stored fingerprint pins exact content.
+    PartyHello(PartyInfoMsg),
     /// Daemon → client: the addressed `fp@epoch` no longer names the
     /// live session — it was updated (or the pinned epoch never
     /// existed). Carries where the session is *now* (v3+).
@@ -313,6 +343,7 @@ impl ServiceMsg {
             Self::RunResult(_) => "run-result",
             Self::Update(_) => "update",
             Self::UpdateAck { .. } => "update-ack",
+            Self::PartyHello(_) => "party-hello",
             Self::StaleEpoch { .. } => "stale-epoch",
         }
     }
@@ -323,6 +354,7 @@ impl ServiceMsg {
     #[must_use]
     pub fn min_version(&self) -> u16 {
         match self {
+            Self::PartyHello(_) => 4,
             Self::Update(_) | Self::UpdateAck { .. } | Self::StaleEpoch { .. } => 3,
             Self::Query(q) if q.at_epoch.is_some() => 3,
             _ => 2,
@@ -383,6 +415,14 @@ impl ServiceMsg {
                 w.write_varint(*fp_a);
                 w.write_varint(*fp_b);
                 w.write_varint(*epoch);
+            }
+            Self::PartyHello(info) => {
+                info.side.encode(w);
+                w.write_varint(info.rows);
+                w.write_varint(info.cols);
+                w.write_bit(info.binary);
+                w.write_varint(info.fp);
+                w.write_varint(info.epoch);
             }
         }
     }
@@ -449,6 +489,14 @@ impl ServiceMsg {
                 fp_b: r.read_varint()?,
                 epoch: r.read_varint()?,
             },
+            "party-hello" => Self::PartyHello(PartyInfoMsg {
+                side: Party::decode(r)?,
+                rows: r.read_varint()?,
+                cols: r.read_varint()?,
+                binary: r.read_bit()?,
+                fp: r.read_varint()?,
+                epoch: r.read_varint()?,
+            }),
             "stale-epoch" => Self::StaleEpoch {
                 fp_a: r.read_varint()?,
                 fp_b: r.read_varint()?,
@@ -671,8 +719,39 @@ mod tests {
                 fp_b: 8,
                 epoch: 7,
             },
+            ServiceMsg::PartyHello(PartyInfoMsg {
+                side: Party::Bob,
+                rows: 28,
+                cols: 20,
+                binary: true,
+                fp: 0xdead_beef,
+                epoch: 5,
+            }),
         ] {
             roundtrip(&msg);
+        }
+    }
+
+    /// `party-hello` is v4-only: a pre-v4 connection refuses to send it,
+    /// naming both versions in the error.
+    #[test]
+    fn party_hello_is_refused_pre_v4() {
+        let hello = ServiceMsg::PartyHello(PartyInfoMsg {
+            side: Party::Alice,
+            rows: 4,
+            cols: 4,
+            binary: false,
+            fp: 1,
+            epoch: 0,
+        });
+        for version in [2u16, 3] {
+            let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new()))).with_version(version);
+            let err = conn.send_msg(&hello).unwrap_err();
+            let s = err.to_string();
+            assert!(
+                s.contains("v4") && s.contains(&format!("v{version}")),
+                "{s}"
+            );
         }
     }
 

@@ -13,18 +13,25 @@
 //! resynchronization barrier that also surfaces asymmetric failures
 //! (e.g. one side rejecting its inputs before any frame moved).
 //!
-//! The data split is role-wise, not storage-wise: each process holds the
-//! session pair (the protocols' entry points validate against both
-//! halves), but a party function only ever reads its own side's matrix,
-//! and every cross-party byte is paid on the wire. Enforcing a storage
-//! split (each process holding only its matrix) is the "sharded
-//! multi-party" item on the roadmap.
+//! Two data splits are supported. The legacy **role-wise** split
+//! ([`PartyHost::spawn`], [`run_with_party`]): each process holds the
+//! full session pair, but a party function only ever reads its own
+//! side's matrix, and every cross-party byte is paid on the wire. The
+//! **storage-wise** split ([`PartyHost::spawn_split`],
+//! [`run_with_party_view`]): each process holds a
+//! [`PartyView`] — its own matrix plus the peer's public
+//! [`PeerInfo`](mpest_core::PeerInfo) — and *cannot* reach the peer's
+//! entries even by accident. Storage-split connections open with a
+//! mandatory bidirectional `party-hello` (shape, representation,
+//! fingerprint, per-side epoch), which replaces the full-pair
+//! validation a [`Session`] would have done: dimension, binariness, or
+//! epoch divergence fails typed before a single protocol frame moves.
 
 use crate::codec::FramedConn;
 use crate::fingerprint::fingerprint;
-use crate::msg::{RunResultMsg, RunSpecMsg, ServiceMsg, UpdateMsg};
+use crate::msg::{PartyInfoMsg, RunResultMsg, RunSpecMsg, ServiceMsg, UpdateMsg};
 use mpest_comm::{CommError, Party, Seed};
-use mpest_core::{EstimateReport, EstimateRequest, Session, UpdateBatch};
+use mpest_core::{EstimateReport, EstimateRequest, PartyView, Session, UpdateBatch};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
@@ -60,6 +67,31 @@ pub fn run_over_conn(
     seed: Seed,
 ) -> Result<EstimateReport, CommError> {
     let local = session.estimate_remote(request, seed, my_side, conn);
+    finish_run(conn, local)
+}
+
+/// The storage-split counterpart of [`run_over_conn`]: runs `request`
+/// through a [`PartyView`] (this process holds only its own half) over
+/// an established connection, with the same closing result exchange.
+///
+/// # Errors
+///
+/// Protocol/validation errors from either side, or transport errors.
+pub fn run_view_over_conn(
+    conn: &mut FramedConn<TcpStream>,
+    view: &PartyView,
+    request: &EstimateRequest,
+    seed: Seed,
+) -> Result<EstimateReport, CommError> {
+    let local = view.estimate_remote(request, seed, conn);
+    finish_run(conn, local)
+}
+
+/// The closing [`RunResultMsg`] exchange both run paths share.
+fn finish_run(
+    conn: &mut FramedConn<TcpStream>,
+    local: Result<EstimateReport, CommError>,
+) -> Result<EstimateReport, CommError> {
     // A local failure is the primary diagnosis (the peer usually echoes
     // it), so the closing result exchange is best-effort in that case —
     // a dead connection must not replace the real error with a generic
@@ -172,6 +204,163 @@ pub fn run_with_party_with(
     Ok((report, conn.bytes_out(), conn.bytes_in()))
 }
 
+/// The `party-hello` a [`PartyView`] announces: its side, the shape and
+/// representation of the half it holds, that half's content
+/// fingerprint, and its per-side epoch.
+#[must_use]
+pub fn party_info(view: &PartyView) -> PartyInfoMsg {
+    let (rows, cols) = view.own_shape();
+    PartyInfoMsg {
+        side: view.role(),
+        rows: rows as u64,
+        cols: cols as u64,
+        binary: view.own_binary(),
+        fp: fingerprint(view.own_csr()),
+        epoch: view.epoch(),
+    }
+}
+
+/// Cross-checks a peer's `party-hello` against what `view` already
+/// knows: the peer must play the complementary side, its announced
+/// shape and binariness must match the stored
+/// [`PeerInfo`](mpest_core::PeerInfo), and the per-side epochs must
+/// agree (both halves must have ingested the same number of update
+/// rounds — the storage-split replacement for full-pair fingerprint
+/// validation).
+fn check_hello(view: &PartyView, hello: &PartyInfoMsg) -> Result<(), CommError> {
+    let me = view.role();
+    if hello.side != me.peer() {
+        return Err(CommError::protocol(format!(
+            "party-hello side collision: this process plays {me}, \
+             but the peer announced {}",
+            hello.side
+        )));
+    }
+    let peer = view.peer();
+    if (hello.rows, hello.cols) != (peer.rows() as u64, peer.cols() as u64) {
+        return Err(CommError::protocol(format!(
+            "party-hello shape mismatch: expected the {} half to be \
+             {}x{}, peer announced {}x{}",
+            hello.side,
+            peer.rows(),
+            peer.cols(),
+            hello.rows,
+            hello.cols
+        )));
+    }
+    if hello.binary != peer.binary() {
+        return Err(CommError::protocol(format!(
+            "party-hello representation mismatch: expected the {} half \
+             to be {}binary, peer announced the opposite",
+            hello.side,
+            if peer.binary() { "" } else { "non-" }
+        )));
+    }
+    if hello.epoch != view.epoch() {
+        return Err(CommError::protocol(format!(
+            "party-hello epoch divergence: this {} half is at epoch {}, \
+             the peer's {} half is at epoch {} — per-side updates must \
+             be applied in lockstep",
+            me,
+            view.epoch(),
+            hello.side,
+            hello.epoch
+        )));
+    }
+    Ok(())
+}
+
+/// Connects to a **storage-split** party host at `addr` and runs
+/// `request`, this process holding only `view`'s half. Opens with the
+/// bidirectional `party-hello` handshake; both sides cross-check before
+/// the run is negotiated. Returns the report plus `(bytes_out,
+/// bytes_in)`.
+///
+/// # Errors
+///
+/// Handshake divergence (shape, binariness, side, or epoch), a pre-v4
+/// host, and any error [`run_view_over_conn`] surfaces.
+pub fn run_with_party_view(
+    addr: &str,
+    view: &PartyView,
+    request: &EstimateRequest,
+    seed: Seed,
+) -> Result<(EstimateReport, u64, u64), CommError> {
+    run_with_party_view_with(addr, view, request, seed, Some(PARTY_IO_TIMEOUT), None)
+}
+
+/// [`run_with_party_view`] with an explicit per-read/write deadline
+/// (same semantics as [`run_with_party_with`]) and an optional content
+/// pin: when `pin_peer_fp` is `Some`, the host's announced fingerprint
+/// must match it exactly — shape and binariness checks catch structural
+/// divergence, the pin catches a peer whose half has the right shape
+/// but the wrong entries.
+///
+/// # Errors
+///
+/// Same as [`run_with_party_view`], plus a typed rejection when the pin
+/// does not match.
+pub fn run_with_party_view_with(
+    addr: &str,
+    view: &PartyView,
+    request: &EstimateRequest,
+    seed: Seed,
+    io_timeout: Option<Duration>,
+    pin_peer_fp: Option<u64>,
+) -> Result<(EstimateReport, u64, u64), CommError> {
+    let mut conn = FramedConn::connect(addr, io_timeout)?;
+    conn.send_msg(&ServiceMsg::PartyHello(party_info(view)))?;
+    match conn.recv_msg_required()? {
+        ServiceMsg::PartyHello(hello) => {
+            check_hello(view, &hello)?;
+            if let Some(pin) = pin_peer_fp {
+                if hello.fp != pin {
+                    return Err(CommError::protocol(format!(
+                        "party-hello fingerprint mismatch: pinned the peer \
+                         half to {pin:#x}, host announced {:#x}",
+                        hello.fp
+                    )));
+                }
+            }
+        }
+        ServiceMsg::Error(msg) => {
+            return Err(CommError::protocol(format!(
+                "party rejected the handshake: {msg}"
+            )))
+        }
+        other => {
+            return Err(CommError::frame(
+                other.name(),
+                "expected party-hello in reply to party-hello",
+            ))
+        }
+    }
+    conn.send_msg(&ServiceMsg::RunSpec(RunSpecMsg {
+        initiator_side: view.role(),
+        seed: seed.0,
+        io_timeout_secs: io_timeout.map_or(0, |t| {
+            (t.as_secs() + u64::from(t.subsec_nanos() != 0)).max(1)
+        }),
+        request: request.clone(),
+    }))?;
+    match conn.recv_msg_required()? {
+        ServiceMsg::Ok => {}
+        ServiceMsg::Error(msg) => {
+            return Err(CommError::protocol(format!(
+                "party rejected the run: {msg}"
+            )))
+        }
+        other => {
+            return Err(CommError::frame(
+                other.name(),
+                "expected ok/error in reply to run-spec",
+            ))
+        }
+    }
+    let report = run_view_over_conn(&mut conn, view, request, seed)?;
+    Ok((report, conn.bytes_out(), conn.bytes_in()))
+}
+
 /// How a party host stores its session: the legacy shared (immutable)
 /// form, or the updatable form whose session can mutate between runs.
 #[derive(Clone)]
@@ -182,6 +371,10 @@ enum PartySession {
     /// A host-owned session behind a lock: runs take the read side,
     /// updates the write side.
     Owned(Arc<RwLock<Session>>),
+    /// A storage-split host: only this party's half, behind a lock so
+    /// per-side updates can land between runs. Connections must open
+    /// with `party-hello` before any run is accepted.
+    Split(Arc<RwLock<PartyView>>),
 }
 
 /// A listening party host: accepts connections and plays `side` of its
@@ -224,6 +417,22 @@ impl PartyHost {
             PartySession::Owned(Arc::new(RwLock::new(session))),
             side,
         )
+    }
+
+    /// Binds `addr` holding only **one half**: `view`'s own matrix plus
+    /// the peer's public metadata — the storage-split deployment where
+    /// a party process never sees the other matrix. The served side is
+    /// `view.role()`. Every connection must open with a `party-hello`
+    /// handshake (cross-checked both ways) before runs are accepted,
+    /// and per-side [`UpdateBatch`]es may land between runs (see
+    /// [`update_split_party`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn_split(addr: &str, view: PartyView) -> std::io::Result<Self> {
+        let side = view.role();
+        Self::spawn_inner(addr, PartySession::Split(Arc::new(RwLock::new(view))), side)
     }
 
     fn spawn_inner(addr: &str, session: PartySession, side: Party) -> std::io::Result<Self> {
@@ -312,6 +521,10 @@ fn serve_party_conn(
         .and_then(|()| stream.set_write_timeout(Some(PARTY_IO_TIMEOUT)))
         .map_err(|e| CommError::frame("accept", format!("socket options failed: {e}")))?;
     let mut conn = FramedConn::accept(stream)?;
+    // Storage-split hosts demand the handshake before any run: the
+    // hello's cross-check is what replaces the full-pair validation a
+    // Session would have done locally.
+    let mut greeted = !matches!(session, PartySession::Split(_));
     loop {
         // Patient between runs (an initiator may park the connection
         // indefinitely), strict once a frame starts arriving; the wait
@@ -331,6 +544,25 @@ fn serve_party_conn(
                 conn.send_msg(&handle_party_update(session, &update))?;
                 continue;
             }
+            ServiceMsg::PartyHello(hello) => {
+                let PartySession::Split(lock) = session else {
+                    conn.send_msg(&ServiceMsg::Error(
+                        "this host holds the full session pair; party-hello \
+                         is for storage-split hosts (spawn_split)"
+                            .to_string(),
+                    ))?;
+                    continue;
+                };
+                let view = lock.read().expect("party view");
+                match check_hello(&view, &hello) {
+                    Ok(()) => {
+                        greeted = true;
+                        conn.send_msg(&ServiceMsg::PartyHello(party_info(&view)))?;
+                    }
+                    Err(e) => conn.send_msg(&ServiceMsg::Error(e.to_string()))?,
+                }
+                continue;
+            }
             other => {
                 conn.send_msg(&ServiceMsg::Error(format!(
                     "expected run-spec, got {}",
@@ -339,6 +571,14 @@ fn serve_party_conn(
                 continue;
             }
         };
+        if !greeted {
+            conn.send_msg(&ServiceMsg::Error(
+                "this host is storage-split: send party-hello before the \
+                 first run-spec so both halves are cross-checked"
+                    .to_string(),
+            ))?;
+            continue;
+        }
         if spec.initiator_side == side {
             conn.send_msg(&ServiceMsg::Error(format!(
                 "initiator claims side {side}, but this host already plays it"
@@ -368,6 +608,10 @@ fn serve_party_conn(
                 let s = lock.read().expect("party session");
                 run_over_conn(&mut conn, &s, side, &spec.request, Seed(spec.seed))
             }
+            PartySession::Split(lock) => {
+                let view = lock.read().expect("party view");
+                run_view_over_conn(&mut conn, &view, &spec.request, Seed(spec.seed))
+            }
         };
         conn.set_timeouts(Some(PARTY_IO_TIMEOUT))?;
         match outcome {
@@ -380,6 +624,11 @@ fn serve_party_conn(
 
 /// Applies an update batch to an updatable host's session (fingerprint
 /// addressed, epoch checked); shared hosts reject with a typed error.
+/// Storage-split hosts validate **per-side**: only the fingerprint slot
+/// for the half this host actually holds is checked (a nonzero value
+/// pins content, zero skips), the ack reports zero for the unknown peer
+/// slot, and a batch touching the peer's side fails typed inside
+/// [`PartyView::apply_update`].
 fn handle_party_update(session: &PartySession, update: &UpdateMsg) -> ServiceMsg {
     let lock = match session {
         PartySession::Shared(_) => {
@@ -390,6 +639,31 @@ fn handle_party_update(session: &PartySession, update: &UpdateMsg) -> ServiceMsg
             )
         }
         PartySession::Owned(lock) => lock,
+        PartySession::Split(lock) => {
+            let mut view = lock.write().expect("party view");
+            let own_fp = fingerprint(view.own_csr());
+            let epoch = view.epoch();
+            let side = view.role();
+            let slots = |fp: u64, epoch: u64| match side {
+                Party::Alice => (fp, 0, epoch),
+                Party::Bob => (0, fp, epoch),
+            };
+            let expect_fp = match side {
+                Party::Alice => update.fp_a,
+                Party::Bob => update.fp_b,
+            };
+            if (expect_fp != 0 && expect_fp != own_fp) || update.expect_epoch != epoch {
+                let (fp_a, fp_b, epoch) = slots(own_fp, epoch);
+                return ServiceMsg::StaleEpoch { fp_a, fp_b, epoch };
+            }
+            return match view.apply_update(&update.batch) {
+                Ok(new_epoch) => {
+                    let (fp_a, fp_b, epoch) = slots(fingerprint(view.own_csr()), new_epoch);
+                    ServiceMsg::UpdateAck { fp_a, fp_b, epoch }
+                }
+                Err(e) => ServiceMsg::Error(e.to_string()),
+            };
+        }
     };
     let mut s = lock.write().expect("party session");
     let (current, epoch) = match s.csr_halves() {
@@ -469,6 +743,62 @@ pub fn update_party(
     }
 }
 
+/// Pushes `batch` to the **storage-split** party host playing
+/// `host_side` at `addr`. The pusher does not hold the host's matrix,
+/// so addressing is per-side: `expect_fp` pins the host half's content
+/// (zero skips the pin), `expect_epoch` must match the host's per-side
+/// epoch, and the batch must only touch `host_side` (ops for the other
+/// side fail typed on the host). Returns the host half's post-update
+/// `(fingerprint, epoch)` so the caller can keep its own view's epoch
+/// in lockstep (see [`PartyView::apply_update`]) and pin future runs.
+///
+/// # Errors
+///
+/// Transport errors; a typed stale-epoch rejection when pin or epoch
+/// disagree; the host's typed refusal for foreign-side ops or a
+/// non-updatable deployment.
+pub fn update_split_party(
+    addr: &str,
+    host_side: Party,
+    expect_fp: u64,
+    expect_epoch: u64,
+    batch: &UpdateBatch,
+    io_timeout: Option<Duration>,
+) -> Result<(u64, u64), CommError> {
+    let (fp_a, fp_b) = match host_side {
+        Party::Alice => (expect_fp, 0),
+        Party::Bob => (0, expect_fp),
+    };
+    let mut conn = FramedConn::connect(addr, io_timeout)?;
+    conn.send_msg(&ServiceMsg::Update(UpdateMsg {
+        fp_a,
+        fp_b,
+        expect_epoch,
+        batch: batch.clone(),
+    }))?;
+    match conn.recv_msg_required()? {
+        ServiceMsg::UpdateAck { fp_a, fp_b, epoch } => {
+            let host_fp = match host_side {
+                Party::Alice => fp_a,
+                Party::Bob => fp_b,
+            };
+            Ok((host_fp, epoch))
+        }
+        ServiceMsg::StaleEpoch { fp_a, fp_b, epoch } => {
+            let host_fp = match host_side {
+                Party::Alice => fp_a,
+                Party::Bob => fp_b,
+            };
+            Err(CommError::protocol(format!(
+                "stale epoch: the split host's {host_side} half is now \
+                 {host_fp:#x} at epoch {epoch}"
+            )))
+        }
+        ServiceMsg::Error(msg) => Err(CommError::protocol(format!("party error: {msg}"))),
+        other => Err(CommError::frame(other.name(), "unexpected reply to update")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,7 +807,7 @@ mod tests {
     fn session() -> Session {
         let a = Workloads::bernoulli_bits(12, 16, 0.3, 1);
         let b = Workloads::bernoulli_bits(16, 12, 0.3, 2);
-        Session::new(a, b).with_seed(Seed(5))
+        Session::builder(a, b).seed(Seed(5)).build()
     }
 
     #[test]
@@ -577,6 +907,157 @@ mod tests {
             0,
             "rejected update must not touch the mirror"
         );
+        host.shutdown();
+    }
+
+    #[test]
+    fn split_loopback_matches_in_process_for_both_initiator_sides() {
+        use mpest_comm::Role;
+        let reference = session();
+        for (host_role, my_role) in [(Role::Bob, Role::Alice), (Role::Alice, Role::Bob)] {
+            let host =
+                PartyHost::spawn_split("127.0.0.1:0", reference.party_view(host_role)).unwrap();
+            let addr = host.addr().to_string();
+            let view = reference.party_view(my_role);
+            let request = EstimateRequest::ExactL1;
+            let local = reference.estimate_seeded(&request, Seed(9)).unwrap();
+            let (remote, out, inn) = run_with_party_view(&addr, &view, &request, Seed(9)).unwrap();
+            assert_eq!(remote, local, "initiator playing {my_role}");
+            assert!(out > 0 && inn > 0);
+            host.shutdown();
+        }
+    }
+
+    #[test]
+    fn split_handshake_rejects_divergence() {
+        use mpest_comm::Role;
+        use mpest_core::PeerInfo;
+        let reference = session();
+        let host = PartyHost::spawn_split("127.0.0.1:0", reference.party_view(Role::Bob)).unwrap();
+        let addr = host.addr().to_string();
+        let request = EstimateRequest::ExactL1;
+        let own = reference.party_view(Role::Alice).own_csr().clone();
+
+        // Wrong idea of the peer's shape: both directions of the hello
+        // check it, so the run never starts.
+        let bad_shape = PartyView::new(Role::Alice, own.clone(), PeerInfo::new(16, 13, true));
+        let err = run_with_party_view(&addr, &bad_shape, &request, Seed(1)).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "got {err}");
+
+        // Wrong idea of the peer's representation.
+        let bad_repr = PartyView::new(Role::Alice, own.clone(), PeerInfo::new(16, 12, false));
+        let err = run_with_party_view(&addr, &bad_repr, &request, Seed(1)).unwrap_err();
+        assert!(
+            err.to_string().contains("representation mismatch"),
+            "got {err}"
+        );
+
+        // Epochs out of lockstep: the initiator ingested an update the
+        // host never saw.
+        let mut ahead = reference.party_view(Role::Alice);
+        ahead
+            .apply_update(&UpdateBatch::new().set_entry(mpest_core::UpdateSide::Alice, 0, 0, 1))
+            .unwrap();
+        let err = run_with_party_view(&addr, &ahead, &request, Seed(1)).unwrap_err();
+        assert!(err.to_string().contains("epoch divergence"), "got {err}");
+
+        // A content pin that does not match the host's half.
+        let good = reference.party_view(Role::Alice);
+        let err = run_with_party_view_with(
+            &addr,
+            &good,
+            &request,
+            Seed(1),
+            Some(PARTY_IO_TIMEOUT),
+            Some(0xbad),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("fingerprint mismatch"),
+            "got {err}"
+        );
+
+        // The correct pin (taken from the host's own announcement) runs.
+        let host_fp = fingerprint(reference.party_view(Role::Bob).own_csr());
+        let (report, _, _) = run_with_party_view_with(
+            &addr,
+            &good,
+            &request,
+            Seed(1),
+            Some(PARTY_IO_TIMEOUT),
+            Some(host_fp),
+        )
+        .unwrap();
+        assert_eq!(
+            report,
+            reference.estimate_seeded(&request, Seed(1)).unwrap()
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn split_host_requires_hello_before_runs() {
+        use mpest_comm::Role;
+        let reference = session();
+        let host = PartyHost::spawn_split("127.0.0.1:0", reference.party_view(Role::Bob)).unwrap();
+        // The legacy initiator never sends a hello; the split host must
+        // refuse the run instead of silently skipping the cross-check.
+        let err = run_with_party(
+            &host.addr().to_string(),
+            &reference,
+            Party::Alice,
+            &EstimateRequest::ExactL1,
+            Seed(2),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("party-hello"), "got {err}");
+        host.shutdown();
+    }
+
+    #[test]
+    fn split_updates_apply_per_side_and_stay_bit_identical() {
+        use mpest_comm::Role;
+        use mpest_core::UpdateSide;
+        let mut reference = session();
+        let host = PartyHost::spawn_split("127.0.0.1:0", reference.party_view(Role::Bob)).unwrap();
+        let addr = host.addr().to_string();
+        let mut alice = reference.party_view(Role::Alice);
+        let request = EstimateRequest::ExactL1;
+        let before = reference.estimate_seeded(&request, Seed(9)).unwrap();
+        let (got, _, _) = run_with_party_view(&addr, &alice, &request, Seed(9)).unwrap();
+        assert_eq!(got, before);
+
+        // Ops for the half the host does not hold fail typed.
+        let foreign = UpdateBatch::new().set_entry(UpdateSide::Alice, 0, 0, 1);
+        let err = update_split_party(&addr, Party::Bob, 0, 0, &foreign, Some(PARTY_IO_TIMEOUT))
+            .unwrap_err();
+        assert!(err.to_string().contains("own half"), "got {err}");
+
+        // Route each side's ops to the party that holds that half; the
+        // epochs advance in lockstep and the next run matches a local
+        // run over the fully updated pair.
+        let bob_ops = UpdateBatch::new().delete_entry(UpdateSide::Bob, 1, 1);
+        let alice_ops = UpdateBatch::new().set_entry(UpdateSide::Alice, 0, 0, 1);
+        let (host_fp, epoch) =
+            update_split_party(&addr, Party::Bob, 0, 0, &bob_ops, Some(PARTY_IO_TIMEOUT)).unwrap();
+        assert_eq!(epoch, 1);
+        assert!(host_fp != 0);
+        assert_eq!(alice.apply_update(&alice_ops).unwrap(), 1);
+        // The full-pair reference ingests both sides' ops as one round,
+        // so its matrices match the assembled split state.
+        reference
+            .apply_update(&bob_ops.clone().set_entry(UpdateSide::Alice, 0, 0, 1))
+            .unwrap();
+        let local = reference.estimate_seeded(&request, Seed(9)).unwrap();
+        let (after, _, _) = run_with_party_view(&addr, &alice, &request, Seed(9)).unwrap();
+        assert_eq!(after, local);
+        assert_ne!(after.output, before.output, "the updates changed ||AB||_1");
+
+        // A stale pusher (wrong epoch) is rejected with the host's
+        // current per-side position.
+        let err = update_split_party(&addr, Party::Bob, 0, 0, &bob_ops, Some(PARTY_IO_TIMEOUT))
+            .unwrap_err();
+        assert!(err.to_string().contains("stale epoch"), "got {err}");
         host.shutdown();
     }
 

@@ -67,7 +67,7 @@ pub struct ServeConfig {
     /// messages. `None` (the default) waits as long as the daemon runs:
     /// clients keep connections open across arbitrarily spaced queries,
     /// and idle handler threads still exit promptly at shutdown (the
-    /// wait polls the stop flag every [`crate::party::IDLE_POLL`]).
+    /// wait polls the stop flag every `IDLE_POLL` (500 ms)).
     pub idle_timeout: Option<Duration>,
     /// Read/write deadline once a frame is in flight, and for all
     /// writes: a peer that starts a frame must keep the bytes coming.

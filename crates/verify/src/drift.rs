@@ -291,9 +291,11 @@ fn drift_batch(
 /// `rebuild == incremental` replay.
 fn cold_rebuild(a: &CsrMatrix, b: &CsrMatrix, binary: bool, seed: Seed) -> Session {
     if binary {
-        Session::new(BitMatrix::from_csr(a), BitMatrix::from_csr(b)).with_seed(seed)
+        Session::builder(BitMatrix::from_csr(a), BitMatrix::from_csr(b))
+            .seed(seed)
+            .build()
     } else {
-        Session::new(a.clone(), b.clone()).with_seed(seed)
+        Session::builder(a.clone(), b.clone()).seed(seed).build()
     }
 }
 

@@ -121,11 +121,12 @@ impl Workload {
             }
         };
         let session = if self.is_binary() {
-            Session::new(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
+            Session::builder(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
         } else {
-            Session::new(a.clone(), b.clone())
+            Session::builder(a.clone(), b.clone())
         }
-        .with_seed(session_seed);
+        .seed(session_seed)
+        .build();
         BuiltWorkload {
             workload: self,
             a,

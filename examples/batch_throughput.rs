@@ -48,7 +48,7 @@ fn main() {
     );
 
     // Sequential baseline: one session, one query at a time.
-    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(7));
+    let session = Session::builder(a.clone(), b.clone()).seed(Seed(7)).build();
     let start = Instant::now();
     let sequential: Vec<EstimateReport> = requests
         .iter()
@@ -66,7 +66,7 @@ fn main() {
     );
 
     // The engine: same session semantics, fanned out over workers.
-    let engine = Engine::new(Session::new(a, b).with_seed(Seed(7)));
+    let engine = Engine::new(Session::builder(a, b).seed(Seed(7)).build());
     for workers in [1, 2, 4, 8] {
         let plan = BatchPlan::default().with_workers(workers).at_index(0);
         let start = Instant::now();

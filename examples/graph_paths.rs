@@ -33,7 +33,7 @@ fn main() {
     }
     let (ac, bc) = (a.to_csr(), b.to_csr());
     let c = ac.matmul(&bc);
-    let session = Session::new(ac, bc).with_seed(seed);
+    let session = Session::builder(ac, bc).seed(seed).build();
 
     println!("== two-hop analytics over a federated {n}-vertex graph ==\n");
 

@@ -45,7 +45,7 @@ fn main() {
     let a_csr = a.to_csr();
     let b_csr = b.to_csr();
     let c = a_csr.matmul(&b_csr);
-    let session = Session::new(a.clone(), b.clone()).with_seed(seed);
+    let session = Session::builder(a.clone(), b.clone()).seed(seed).build();
 
     println!("== job matching: {applicants} applicants x {jobs} jobs over {skills} skills ==\n");
 

@@ -26,8 +26,8 @@ fn main() {
     let t = Workloads::bernoulli_bits(n, n, 0.01, 3); // Z -> set of W
 
     let (rc, sc, tc) = (r.to_csr(), s.to_csr(), t.to_csr());
-    let rs_session = Session::new(r.clone(), s.clone()).with_seed(seed);
-    let st_session = Session::new(s.clone(), t.clone()).with_seed(seed);
+    let rs_session = Session::builder(r.clone(), s.clone()).seed(seed).build();
+    let st_session = Session::builder(s.clone(), t.clone()).seed(seed).build();
 
     println!("== federated join-order selection: R ⋈ S ⋈ T over domains of size {n} ==\n");
 

@@ -20,7 +20,9 @@ fn main() {
     let c = a_bits.to_csr().matmul(&b_bits.to_csr());
 
     // The session: one pair, many queries, seeds derived from Seed(42).
-    let session = Session::new(a_bits.clone(), b_bits.clone()).with_seed(Seed(42));
+    let session = Session::builder(a_bits.clone(), b_bits.clone())
+        .seed(Seed(42))
+        .build();
 
     println!("== mpest quickstart: A is {n}x{n} at Alice, B is {n}x{n} at Bob ==\n");
 

@@ -19,7 +19,7 @@ fn main() {
     // Two relations: rows of A are Alice's sets, columns of B are Bob's.
     let a = Workloads::bernoulli_bits(96, 128, 0.15, 1);
     let b = Workloads::bernoulli_bits(128, 96, 0.15, 2);
-    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(7));
+    let session = Session::builder(a.clone(), b.clone()).seed(Seed(7)).build();
     let request = EstimateRequest::LpNorm {
         p: PNorm::Zero,
         eps: 0.25,
@@ -40,7 +40,7 @@ fn main() {
     //    bit-identical to the in-process run.
     let host = PartyHost::spawn(
         "127.0.0.1:0",
-        Arc::new(Session::new(a.clone(), b.clone()).with_seed(Seed(7))),
+        Arc::new(Session::builder(a.clone(), b.clone()).seed(Seed(7)).build()),
         Party::Bob,
     )
     .expect("bind party host");

@@ -39,7 +39,7 @@ fn main() {
         b = CsrMatrix::from_triplets(dims, n, tb);
     }
     let c = a.matmul(&b);
-    let session = Session::new(a.clone(), b.clone()).with_seed(seed);
+    let session = Session::builder(a.clone(), b.clone()).seed(seed).build();
 
     println!("== similarity join: {n} users x {n} items over {dims} features ==\n");
 
@@ -98,7 +98,7 @@ fn main() {
     let (bt, _) = norms::csr_linf(&cb);
     let l1b = norms::csr_lp_pow(&cb, PNorm::ONE);
     let phib = (bt as f64 * 0.7) / l1b;
-    let binary_session = Session::new(a_bin, b_bin).with_seed(seed);
+    let binary_session = Session::builder(a_bin, b_bin).seed(seed).build();
     let run_b = binary_session
         .run(&HhBinary, &HhBinaryParams::new(1.0, phib, phib / 2.0))
         .unwrap();

@@ -42,8 +42,13 @@ const USAGE: &str = "usage:
   mpest verify [--protocol NAME] [--trials N] [--quick] [--seed S]
   mpest serve --listen ADDR [--workers N] [--io-timeout SECS] [--idle-timeout SECS]
             [--max-sessions N]
-  mpest party --listen ADDR --a FILE --b FILE [--side alice|bob] [--updatable]
-  mpest query PROTOCOL (--connect ADDR | --party ADDR) --a FILE --b FILE
+  mpest party --listen ADDR [--side alice|bob]
+            (--a FILE --b FILE [--updatable]
+             | --matrix FILE --peer-rows N --peer-cols N [--peer-binary])
+  mpest query PROTOCOL (--connect ADDR | --party ADDR)
+            (--a FILE --b FILE
+             | --matrix FILE --peer-rows N --peer-cols N [--peer-binary]
+               [--peer-fp FP] (--party only))
             [options] [--side alice|bob] [--format text|json]
             [--at-epoch N (--connect only)]
             [--io-timeout SECS] [--reply-timeout SECS (--connect only)]
@@ -70,6 +75,16 @@ server may legitimately compute a heavy batch for minutes. party hosts
 one side (default bob) of a remote two-party run; query --party plays
 the other side so every protocol message crosses the socket, matching
 the initiator's --io-timeout for the run (host-clamped at 600s).
+
+party/query --matrix is the storage-split form: each process loads ONLY
+its own half; the peer is known by shape and representation alone
+(--peer-rows/--peer-cols/--peer-binary). The connection opens with a
+bidirectional party-hello handshake — shape, binariness, content
+fingerprint, and per-side epoch are cross-checked both ways, and any
+divergence fails typed before a protocol frame moves. query --peer-fp
+additionally pins the host half's content fingerprint (as printed in a
+previous run's party-hello, decimal or 0x-hex). Outputs and transcripts
+are bit-identical to an in-process run over the assembled pair.
 
 batch requests file: one JSON object per line, {\"protocol\": NAME, ...flags},
 e.g. {\"protocol\": \"l0\", \"eps\": 0.2} — keys match the run flags
@@ -124,7 +139,7 @@ impl Flags {
         while i < args.len() {
             let a = &args[i];
             if let Some(key) = a.strip_prefix("--") {
-                if key == "exact" || key == "quick" || key == "updatable" {
+                if key == "exact" || key == "quick" || key == "updatable" || key == "peer-binary" {
                     map.insert(key.to_string(), "true".to_string());
                 } else {
                     i += 1;
@@ -845,12 +860,13 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
         eprintln!(
             "note: binarizing integer inputs (nonzero -> 1) for an all-binary-protocol batch"
         );
-        Session::new(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
+        Session::builder(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
     } else {
-        Session::new(a, b)
+        Session::builder(a, b)
     }
-    .with_seed(seed)
-    .with_executor(executor);
+    .seed(seed)
+    .executor(executor)
+    .build();
 
     let engine = Engine::new(session);
     let plan = BatchPlan::default().with_workers(workers);
@@ -976,12 +992,13 @@ fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
     // nonzeros to 1 (the support view); keep that CLI behavior.
     let session = if is_binary_request(&request) && !(a.is_binary() && b.is_binary()) {
         eprintln!("note: binarizing integer inputs (nonzero -> 1) for {protocol}");
-        Session::new(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
+        Session::builder(BitMatrix::from_csr(&a), BitMatrix::from_csr(&b))
     } else {
-        Session::new(a, b)
+        Session::builder(a, b)
     }
-    .with_seed(seed)
-    .with_executor(executor);
+    .seed(seed)
+    .executor(executor)
+    .build();
     let report = session
         .estimate_seeded(&request, seed)
         .map_err(|e| e.to_string())?;
@@ -1050,25 +1067,70 @@ fn parse_timeout(
     Ok((secs > 0).then(|| std::time::Duration::from_secs(secs)))
 }
 
-/// Parses `--side alice|bob` (with a per-command default).
+/// Parses `--side alice|bob` (with a per-command default) through the
+/// shared [`Role`] vocabulary.
 fn parse_side(flags: &Flags, default: Party) -> Result<Party, String> {
     match flags.str("side") {
         None => Ok(default),
-        Some("alice") => Ok(Party::Alice),
-        Some("bob") => Ok(Party::Bob),
-        Some(other) => Err(format!(
-            "unknown --side {other:?} (expected \"alice\" or \"bob\")"
-        )),
+        Some(s) => s.parse::<Party>().map_err(|e| format!("--side: {e}")),
     }
 }
 
+/// Loads the storage-split view for `side`: only this party's matrix
+/// comes off disk (`--matrix`); the peer is known by its public
+/// metadata alone (`--peer-rows`, `--peer-cols`, `--peer-binary`).
+fn load_party_view(flags: &Flags, side: Party) -> Result<PartyView, String> {
+    let own =
+        io::read_csr(Path::new(flags.required("matrix")?)).map_err(|e| format!("--matrix: {e}"))?;
+    let peer = PeerInfo::new(
+        flags.required_num("peer-rows")?,
+        flags.required_num("peer-cols")?,
+        flags.str("peer-binary").is_some(),
+    );
+    let view = PartyView::new(side, own, peer);
+    // Surface an inner-dimension mismatch now, at the CLI boundary,
+    // instead of at the first run (this also warms the derived views).
+    view.warm_views().map_err(|e| e.to_string())?;
+    Ok(view)
+}
+
 /// `mpest party`: host one side of remote two-party runs (blocks).
-/// `--updatable` serves an owned session that also ingests `mpest
-/// update --party` batches between runs.
+///
+/// With `--matrix`, the host is **storage-split**: it loads only its
+/// own half, never sees the peer's entries, cross-checks every
+/// connection's `party-hello` handshake, and ingests per-side update
+/// batches between runs. With `--a`/`--b`, it is the legacy role-split
+/// form holding the full pair; `--updatable` additionally accepts
+/// `mpest update --party` batches.
 fn cmd_party(flags: &Flags) -> Result<(), String> {
     use mpest::net::PartyHost;
     let addr = flags.str("listen").unwrap_or("127.0.0.1:7118");
     let side = parse_side(flags, Party::Bob)?;
+    if flags.str("matrix").is_some() {
+        if flags.str("a").is_some() || flags.str("b").is_some() {
+            return Err(
+                "--matrix (storage-split, one half) and --a/--b (full pair) \
+                 are mutually exclusive"
+                    .to_string(),
+            );
+        }
+        let view = load_party_view(flags, side)?;
+        let (rows, cols) = view.own_shape();
+        let host =
+            PartyHost::spawn_split(addr, view).map_err(|e| format!("--listen {addr}: {e}"))?;
+        println!(
+            "mpest party: playing {side} on {} holding only the {rows}x{cols} \
+             {} half (storage-split; per-side updates accepted) — initiators \
+             run `mpest query PROTOCOL --party {} --side {} --matrix THEIR.mtx \
+             --peer-rows {rows} --peer-cols {cols} ...`",
+            host.addr(),
+            side.half_label(),
+            host.addr(),
+            side.peer().as_str(),
+        );
+        host.wait();
+        return Ok(());
+    }
     let updatable = flags.str("updatable").is_some();
     let (a, b) = load_pair(flags)?;
     let session = Session::new(a, b);
@@ -1088,10 +1150,7 @@ fn cmd_party(flags: &Flags) -> Result<(), String> {
             ""
         },
         host.addr(),
-        match side {
-            Party::Alice => "bob",
-            Party::Bob => "alice",
-        },
+        side.peer().as_str(),
     );
     host.wait();
     Ok(())
@@ -1103,6 +1162,9 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
     let request = parse_request(protocol, flags)?;
     let format = parse_format(flags)?;
     let seed: u64 = flags.num("seed", 42u64)?;
+    if flags.str("matrix").is_some() {
+        return query_split(protocol, &request, format, seed, flags);
+    }
     let (a, b) = load_pair(flags)?;
     let binarize = is_binary_request(&request) && !(a.is_binary() && b.is_binary());
     let as_binary = |m: &CsrMatrix| BitMatrix::from_csr(m).to_csr();
@@ -1200,7 +1262,7 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
                 Format::Json => {
                     let extra = vec![
                         format!("\"seed\": {seed}"),
-                        format!("\"side\": \"{}\"", side.to_string().to_lowercase()),
+                        format!("\"side\": \"{}\"", side.as_str()),
                         format!("\"wire_bytes_out\": {out}"),
                         format!("\"wire_bytes_in\": {inn}"),
                     ];
@@ -1220,6 +1282,94 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
         (Some(_), Some(_)) => Err("--connect and --party are mutually exclusive".to_string()),
         (None, None) => Err("query needs --connect ADDR or --party ADDR".to_string()),
     }
+}
+
+/// Parses `--peer-fp` (decimal or `0x`-prefixed hex) into the content
+/// pin a split run enforces on the host's announced fingerprint.
+fn parse_peer_fp(flags: &Flags) -> Result<Option<u64>, String> {
+    let Some(raw) = flags.str("peer-fp") else {
+        return Ok(None);
+    };
+    let parsed = match raw.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.map(Some).map_err(|e| format!("bad --peer-fp: {e}"))
+}
+
+/// The storage-split `mpest query --party` path: this process loads
+/// only `--matrix` and plays `--side` against a `mpest party --matrix`
+/// host, opening with the `party-hello` cross-check.
+fn query_split(
+    protocol: &str,
+    request: &EstimateRequest,
+    format: Format,
+    seed: u64,
+    flags: &Flags,
+) -> Result<(), String> {
+    use mpest::net::run_with_party_view_with;
+    let Some(addr) = flags.str("party") else {
+        return Err(
+            "--matrix loads only this party's half and requires --party ADDR \
+             (a storage-split run); --connect uploads the full pair, use \
+             --a/--b there"
+                .to_string(),
+        );
+    };
+    if flags.str("a").is_some() || flags.str("b").is_some() {
+        return Err(
+            "--matrix (storage-split, one half) and --a/--b (full pair) are \
+             mutually exclusive"
+                .to_string(),
+        );
+    }
+    if flags.str("at-epoch").is_some() {
+        return Err(
+            "--at-epoch pins a daemon session's epoch and requires --connect; \
+             a two-party run always executes over the host's current pair"
+                .to_string(),
+        );
+    }
+    let side = parse_side(flags, Party::Alice)?;
+    let view = load_party_view(flags, side)?;
+    if is_binary_request(request) && !(view.own_binary() && view.peer().binary()) {
+        return Err(format!(
+            "{protocol} requires binary matrices, but this half (or the \
+             announced peer) is integer-valued; a storage-split run cannot \
+             binarize one side without desynchronizing the pair — binarize \
+             the files first (e.g. mpest gen --kind bernoulli)"
+        ));
+    }
+    let io_timeout = parse_timeout(flags, "io-timeout", 30)?;
+    let pin = parse_peer_fp(flags)?;
+    let (report, out, inn) =
+        run_with_party_view_with(addr, &view, request, Seed(seed), io_timeout, pin)
+            .map_err(|e| e.to_string())?;
+    match format {
+        Format::Json => {
+            let extra = vec![
+                format!("\"seed\": {seed}"),
+                format!("\"side\": \"{}\"", side.as_str()),
+                "\"storage_split\": true".to_string(),
+                format!("\"wire_bytes_out\": {out}"),
+                format!("\"wire_bytes_in\": {inn}"),
+            ];
+            println!("{}", report_json(&report, &extra));
+        }
+        Format::Text => {
+            print_report(&report);
+            println!(
+                "  storage-split run playing {side} against {addr} \
+                 (this process held only its {} half)",
+                side.half_label()
+            );
+            println!(
+                "  real wire  = {out} bytes out, {inn} bytes in ({} logical payload bytes)",
+                report.bits().div_ceil(8),
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Every key an update-ops line may carry.

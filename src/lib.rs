@@ -45,7 +45,7 @@
 //! let b = Workloads::bernoulli_bits(96, 64, 0.2, 2).to_csr();
 //!
 //! // One session, many queries over the same pair.
-//! let session = Session::new(a, b).with_seed(Seed(7));
+//! let session = Session::builder(a, b).seed(Seed(7)).build();
 //!
 //! // Estimate the set-intersection join size ||AB||_0 within (1+eps)
 //! // using 2 rounds and O~(n/eps) bits (paper Algorithm 1).
@@ -91,7 +91,8 @@ pub use mpest_verify as verify;
 pub mod prelude {
     // The session-first API: start here.
     pub use mpest_core::{
-        AnyOutput, EstimateReport, EstimateRequest, Protocol, Session, SessionCtx, SessionInput,
+        AnyOutput, EstimateReport, EstimateRequest, PartyView, PeerInfo, ProductDims, Protocol,
+        Session, SessionBuilder, SessionCtx, SessionInput,
     };
     // Parallel batched execution over one session.
     pub use mpest_core::{BatchPlan, BatchReport, Engine, SeedSchedule};
@@ -110,14 +111,13 @@ pub mod prelude {
     pub use mpest_core::linf_kappa::LinfKappaParams;
     pub use mpest_core::lp_baseline::BaselineParams;
     pub use mpest_core::lp_norm::LpParams;
-    // Legacy one-shot modules (their free `run` functions are deprecated
-    // wrappers around the protocols above).
+    // Protocol modules (parameter types and the combinators live here).
     pub use mpest_core::{
         boost, exact_l1, hh_binary, hh_general, l0_sample, l1_sample, linf_binary, linf_general,
         linf_kappa, lp_baseline, lp_norm, sparse_matmul, trivial,
     };
     // Output and substrate types.
-    pub use mpest_comm::{BatchAccounting, ExecBackend, Party, Seed, Transcript};
+    pub use mpest_comm::{BatchAccounting, ExecBackend, Party, Role, Seed, Transcript};
     pub use mpest_core::{
         Constants, HeavyHitters, HhPair, L1Sample, LinfEstimate, MatrixSample, ProductShares,
         ProtocolRun,
@@ -142,7 +142,7 @@ mod tests {
     fn facade_exposes_working_api() {
         let a = Workloads::bernoulli_bits(16, 24, 0.3, 1).to_csr();
         let b = Workloads::bernoulli_bits(24, 16, 0.3, 2).to_csr();
-        let session = Session::new(a, b).with_seed(Seed(1));
+        let session = Session::builder(a, b).seed(Seed(1)).build();
         let run = session.run(&ExactL1, &()).unwrap();
         assert!(run.output > 0);
         let report = session.estimate(&EstimateRequest::ExactL1).unwrap();

@@ -24,7 +24,9 @@ fn batch_matches_sequential_seeded_runs_for_every_protocol() {
     let requests = EstimateRequest::catalog();
     assert_eq!(requests.len(), 14, "one request per protocol");
 
-    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(42));
+    let session = Session::builder(a.clone(), b.clone())
+        .seed(Seed(42))
+        .build();
     let sequential: Vec<EstimateReport> = requests
         .iter()
         .enumerate()
@@ -35,7 +37,7 @@ fn batch_matches_sequential_seeded_runs_for_every_protocol() {
         })
         .collect();
 
-    let engine = Engine::new(Session::new(a, b).with_seed(Seed(42)));
+    let engine = Engine::new(Session::builder(a, b).seed(Seed(42)).build());
     let batch = engine
         .run_batch(&requests, &BatchPlan::default().with_workers(4).at_index(0))
         .unwrap();
@@ -69,8 +71,8 @@ fn batch_matches_sequential_seeded_runs_for_every_protocol() {
 #[test]
 fn batch_matches_typed_run_seeded() {
     let (a, b) = pair();
-    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(9));
-    let engine = Engine::new(Session::new(a, b).with_seed(Seed(9)));
+    let session = Session::builder(a.clone(), b.clone()).seed(Seed(9)).build();
+    let engine = Engine::new(Session::builder(a, b).seed(Seed(9)).build());
     let requests = vec![
         EstimateRequest::LpNorm {
             p: PNorm::ONE,
@@ -115,7 +117,7 @@ fn batch_matches_typed_run_seeded() {
 #[test]
 fn batch_results_are_invariant_under_worker_count() {
     let (a, b) = pair();
-    let engine = Engine::new(Session::new(a, b).with_seed(Seed(1234)));
+    let engine = Engine::new(Session::builder(a, b).seed(Seed(1234)).build());
     // A batch longer than the protocol list, so workers interleave.
     let requests: Vec<EstimateRequest> = EstimateRequest::catalog()
         .into_iter()
@@ -168,7 +170,7 @@ fn batch_seed_derivation_matches_session_query_seed() {
 
     // Reference: a pure-session interleaving — one single query, then
     // the three "batch" queries sequentially, then another single.
-    let reference = Session::new(a.clone(), b.clone()).with_seed(Seed(5));
+    let reference = Session::builder(a.clone(), b.clone()).seed(Seed(5)).build();
     let single_before = reference.estimate(&EstimateRequest::ExactL1).unwrap();
     let sequential: Vec<EstimateReport> = requests
         .iter()
@@ -177,7 +179,7 @@ fn batch_seed_derivation_matches_session_query_seed() {
     let single_after = reference.estimate(&EstimateRequest::ExactL1).unwrap();
 
     // Same schedule through the engine.
-    let engine = Engine::new(Session::new(a, b).with_seed(Seed(5)));
+    let engine = Engine::new(Session::builder(a, b).seed(Seed(5)).build());
     let before = engine
         .session()
         .estimate(&EstimateRequest::ExactL1)

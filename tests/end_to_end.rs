@@ -21,7 +21,9 @@ fn world() -> World {
     let b = b_bits.to_csr();
     let c = a.matmul(&b);
     World {
-        session: Session::new(a_bits.clone(), b_bits.clone()).with_seed(Seed(404)),
+        session: Session::builder(a_bits.clone(), b_bits.clone())
+            .seed(Seed(404))
+            .build(),
         a_bits,
         b_bits,
         a,

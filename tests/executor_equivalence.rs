@@ -24,7 +24,9 @@ fn fused_matches_threaded_for_every_protocol_and_seed() {
     let requests = EstimateRequest::catalog();
     assert_eq!(requests.len(), 14, "one request per protocol");
     for session_seed in [3u64, 77, 1_000_003] {
-        let session = Session::new(a.clone(), b.clone()).with_seed(Seed(session_seed));
+        let session = Session::builder(a.clone(), b.clone())
+            .seed(Seed(session_seed))
+            .build();
         for (i, request) in requests.iter().enumerate() {
             let seed = session.query_seed(i as u64);
             let fused = session
@@ -56,11 +58,12 @@ fn fused_matches_threaded_for_every_protocol_and_seed() {
 #[test]
 fn session_executor_choice_never_changes_results() {
     let (a, b) = pair();
-    let fused_session = Session::new(a.clone(), b.clone()).with_seed(Seed(9));
+    let fused_session = Session::builder(a.clone(), b.clone()).seed(Seed(9)).build();
     assert_eq!(fused_session.executor(), ExecBackend::Fused);
-    let threaded_session = Session::new(a, b)
-        .with_seed(Seed(9))
-        .with_executor(ExecBackend::Threaded);
+    let threaded_session = Session::builder(a, b)
+        .seed(Seed(9))
+        .executor(ExecBackend::Threaded)
+        .build();
     assert_eq!(threaded_session.executor(), ExecBackend::Threaded);
     let params = LpParams::new(PNorm::Zero, 0.25);
     let fused = fused_session.run_seeded(&LpNorm, &params, Seed(5)).unwrap();
@@ -78,7 +81,7 @@ fn session_executor_choice_never_changes_results() {
 #[test]
 fn fused_engine_is_deterministic_across_worker_counts() {
     let (a, b) = pair();
-    let engine = Engine::new(Session::new(a, b).with_seed(Seed(41)));
+    let engine = Engine::new(Session::builder(a, b).seed(Seed(41)).build());
     // Two rounds of the full mix so workers genuinely interleave.
     let requests: Vec<EstimateRequest> = EstimateRequest::catalog()
         .into_iter()
@@ -125,9 +128,10 @@ fn fused_engine_is_deterministic_across_worker_counts() {
 #[test]
 fn batch_plan_inherits_session_executor_by_default() {
     let (a, b) = pair();
-    let session = Session::new(a, b)
-        .with_seed(Seed(13))
-        .with_executor(ExecBackend::Threaded);
+    let session = Session::builder(a, b)
+        .seed(Seed(13))
+        .executor(ExecBackend::Threaded)
+        .build();
     let plan = BatchPlan::default();
     assert_eq!(plan.effective_executor(&session), ExecBackend::Threaded);
     assert_eq!(

@@ -1,0 +1,126 @@
+//! The storage-split contract: a party process holding **only its own
+//! matrix** (a [`PartyView`]) runs every protocol over a real socket
+//! **bit-identically** — outputs *and* transcripts — to an in-process
+//! [`Session`] over the assembled pair. The peer is known by its public
+//! metadata alone ([`PeerInfo`]); the compile-level guarantee that a
+//! split party cannot reach the peer's entries is the `compile_fail`
+//! doctest on [`PeerInfo`] in `mpest-core` (there is no accessor for
+//! the peer's matrix, only dimensions and a binariness flag).
+
+use mpest::net::{party_info, run_with_party_view, PartyHost};
+use mpest::prelude::*;
+
+fn pair() -> (BitMatrix, BitMatrix) {
+    (
+        Workloads::bernoulli_bits(20, 28, 0.3, 1),
+        Workloads::bernoulli_bits(28, 20, 0.3, 2),
+    )
+}
+
+/// Storage-split remote == fused in-process for all 14 protocols × 2
+/// session seeds: identical type-erased outputs and identical
+/// transcripts (record by record — sender, round, label, and exact bit
+/// count), plus the physical-dominance invariant that the real socket
+/// moved at least `⌈bits/8⌉` bytes. The host process holds only `B`,
+/// the initiator only `A`.
+#[test]
+fn split_remote_matches_in_process_for_every_protocol_and_seed() {
+    let (a, b) = pair();
+    let requests = EstimateRequest::catalog();
+    assert_eq!(requests.len(), 14, "one request per protocol");
+    let reference = Session::new(a.clone(), b.clone());
+    let host = PartyHost::spawn_split("127.0.0.1:0", reference.party_view(Role::Bob))
+        .expect("bind loopback split host");
+    let addr = host.addr().to_string();
+    for session_seed in [3u64, 77] {
+        let session = Session::builder(a.clone(), b.clone())
+            .seed(Seed(session_seed))
+            .build();
+        let view = session.party_view(Role::Alice);
+        for (i, request) in requests.iter().enumerate() {
+            let seed = session.query_seed(i as u64);
+            let local = session
+                .estimate_seeded(request, seed)
+                .unwrap_or_else(|e| panic!("{} (local, seed {session_seed}): {e}", request.name()));
+            let (remote, out, inn) = run_with_party_view(&addr, &view, request, seed)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} (split remote, seed {session_seed}): {e}",
+                        request.name()
+                    )
+                });
+            assert_eq!(
+                remote.output,
+                local.output,
+                "{} output diverged under seed {session_seed}",
+                request.name()
+            );
+            assert_eq!(
+                remote.transcript.records,
+                local.transcript.records,
+                "{} transcript diverged under seed {session_seed}",
+                request.name()
+            );
+            assert!(
+                out + inn >= local.bits().div_ceil(8),
+                "{}: {} wire bytes cannot carry {} logical bits",
+                request.name(),
+                out + inn,
+                local.bits()
+            );
+        }
+    }
+    host.shutdown();
+}
+
+/// Both host-side roles work storage-split: a host holding only `A`
+/// serves an initiator holding only `B` with identical results.
+#[test]
+fn split_roles_are_symmetric() {
+    let (a, b) = pair();
+    let reference = Session::new(a, b);
+    let host =
+        PartyHost::spawn_split("127.0.0.1:0", reference.party_view(Role::Alice)).expect("bind");
+    let view = reference.party_view(Role::Bob);
+    for request in [
+        EstimateRequest::ExactL1,
+        EstimateRequest::SparseMatmul,
+        EstimateRequest::LpBaseline {
+            p: PNorm::ONE,
+            eps: 0.4,
+        },
+        EstimateRequest::AtLeastTJoin { t: 2, slack: 0.5 },
+    ] {
+        let local = reference.estimate_seeded(&request, Seed(11)).unwrap();
+        let (remote, _, _) =
+            run_with_party_view(&host.addr().to_string(), &view, &request, Seed(11))
+                .unwrap_or_else(|e| panic!("{}: {e}", request.name()));
+        assert_eq!(remote, local, "{}", request.name());
+    }
+    host.shutdown();
+}
+
+/// What crosses the wire before a run is metadata only: the
+/// `party-hello` a view announces carries its side, shape, binariness,
+/// content fingerprint, and epoch — never entries. (That a `PartyView`
+/// cannot even *express* access to the peer's entries is enforced at
+/// compile time; see the `compile_fail` doctest on `PeerInfo`.)
+#[test]
+fn party_hello_announces_public_metadata_only() {
+    let (a, b) = pair();
+    let session = Session::new(a, b);
+    let alice = session.party_view(Role::Alice);
+    let info = party_info(&alice);
+    assert_eq!(info.side, Role::Alice);
+    assert_eq!((info.rows, info.cols), (20, 28));
+    assert!(info.binary);
+    assert_ne!(info.fp, 0, "content fingerprint pins the own half");
+    assert_eq!(info.epoch, 0);
+    // The view's public peer knowledge is exactly the three metadata
+    // fields the handshake cross-checks.
+    let peer = alice.peer();
+    assert_eq!((peer.rows(), peer.cols(), peer.binary()), (28, 20, true));
+    // Both views assemble the same public product dimensions.
+    let bob = session.party_view(Role::Bob);
+    assert_eq!(alice.product_dims(), bob.product_dims());
+}

@@ -35,7 +35,9 @@ fn remote_matches_local_for_every_protocol_and_seed() {
     .expect("bind loopback party host");
     let addr = host.addr().to_string();
     for session_seed in [3u64, 77] {
-        let session = Session::new(a.clone(), b.clone()).with_seed(Seed(session_seed));
+        let session = Session::builder(a.clone(), b.clone())
+            .seed(Seed(session_seed))
+            .build();
         for (i, request) in requests.iter().enumerate() {
             let seed = session.query_seed(i as u64);
             let local = session

@@ -47,14 +47,14 @@ fn protocols_reject_mismatched_dimensions() {
             req.name()
         );
     }
-    // The deprecated one-shot wrappers keep the same contract.
-    #[allow(deprecated)]
-    {
-        let a = CsrMatrix::zeros(8, 9);
-        let b = CsrMatrix::zeros(8, 8);
-        assert!(lp_norm::run(&a, &b, &LpParams::new(PNorm::ONE, 0.5), Seed(0)).is_err());
-        assert!(exact_l1::run(&a, &b, Seed(0)).is_err());
-    }
+    // The typed interface surfaces the same construction-time error.
+    let err = session
+        .run_seeded(&LpNorm, &LpParams::new(PNorm::ONE, 0.5), Seed(0))
+        .unwrap_err();
+    assert!(matches!(err, CommError::Protocol(_)));
+    // A storage-split view records the same mismatch at construction.
+    let view = session.party_view(Role::Alice);
+    assert!(view.warm_views().is_err());
 }
 
 #[test]

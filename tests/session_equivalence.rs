@@ -1,15 +1,26 @@
 //! The Session/Protocol API contract: for every protocol, running
-//! through a cached [`Session`] is *bit-identical* — same output, same
-//! transcript bits and rounds — to the legacy one-shot `run` functions,
-//! because every cached derived view (CSR/bit conversions, transposes,
-//! norm and support tables) is a pure function of the pair. Also checks
-//! that the dynamic [`EstimateRequest`] layer matches both, and that
-//! distinct queries through one session never alias seeds.
-
-#![allow(deprecated)] // the whole point: compare against the legacy wrappers
+//! through a warm, cached [`Session`] is *bit-identical* — same output,
+//! same transcript bits and rounds — to a cold one-shot session built
+//! fresh for that single query, because every cached derived view
+//! (CSR/bit conversions, transposes, norm and support tables) is a pure
+//! function of the pair. Also checks that the dynamic
+//! [`EstimateRequest`] layer matches both, and that distinct queries
+//! through one session never alias seeds.
 
 use mpest::prelude::*;
 use proptest::prelude::*;
+
+/// A cold one-shot run: a fresh session for exactly this query (all
+/// derived views recomputed from scratch).
+fn one_shot<P: Protocol>(
+    a: impl SessionInput,
+    b: impl SessionInput,
+    protocol: &P,
+    params: &P::Params,
+    seed: Seed,
+) -> Result<ProtocolRun<P::Output>, mpest::comm::CommError> {
+    Session::new(a, b).run_seeded(protocol, params, seed)
+}
 
 /// Strategy: a compatible binary pair (as bit matrices) whose product is
 /// usually nonzero.
@@ -33,36 +44,36 @@ fn csr_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
     })
 }
 
-/// Asserts that a session-run and a legacy run agree exactly: output and
-/// full transcript (hence bits and rounds).
+/// Asserts that a cached-session run and a cold one-shot run agree
+/// exactly: output and full transcript (hence bits and rounds).
 #[track_caller]
 fn assert_same<T: PartialEq + std::fmt::Debug>(
     name: &str,
     session_run: &ProtocolRun<T>,
-    legacy_run: &ProtocolRun<T>,
+    cold_run: &ProtocolRun<T>,
 ) {
     assert_eq!(
-        session_run.output, legacy_run.output,
-        "{name}: outputs differ between Session and legacy run"
+        session_run.output, cold_run.output,
+        "{name}: outputs differ between cached session and cold run"
     );
     assert_eq!(
-        session_run.transcript, legacy_run.transcript,
-        "{name}: transcripts differ between Session and legacy run"
+        session_run.transcript, cold_run.transcript,
+        "{name}: transcripts differ between cached session and cold run"
     );
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Every CSR protocol: Session == legacy, and the dynamic layer
-    /// agrees with both (same outputs, same bits/rounds).
+    /// Every CSR protocol: cached session == cold one-shot, and the
+    /// dynamic layer agrees with both (same outputs, same bits/rounds).
     #[test]
     fn csr_protocols_bit_identical((a, b) in csr_pair(), seed in 0u64..1000) {
         let seed = Seed(seed);
-        let session = Session::new(a.clone(), b.clone()).with_seed(Seed(99));
+        let session = Session::builder(a.clone(), b.clone()).seed(Seed(99)).build();
 
         let s = session.run_seeded(&LpNorm, &LpParams::new(PNorm::ONE, 0.3), seed).unwrap();
-        let l = lp_norm::run(&a, &b, &LpParams::new(PNorm::ONE, 0.3), seed).unwrap();
+        let l = one_shot(a.clone(), b.clone(), &LpNorm, &LpParams::new(PNorm::ONE, 0.3), seed).unwrap();
         assert_same("lp", &s, &l);
         let d = session
             .estimate_seeded(&EstimateRequest::LpNorm { p: PNorm::ONE, eps: 0.3 }, seed)
@@ -71,44 +82,44 @@ proptest! {
         prop_assert_eq!(d.transcript, l.transcript);
 
         let s = session.run_seeded(&LpBaseline, &BaselineParams::new(PNorm::TWO, 0.4), seed).unwrap();
-        let l = lp_baseline::run(&a, &b, &BaselineParams::new(PNorm::TWO, 0.4), seed).unwrap();
+        let l = one_shot(a.clone(), b.clone(), &LpBaseline, &BaselineParams::new(PNorm::TWO, 0.4), seed).unwrap();
         assert_same("lp-baseline", &s, &l);
 
         let s = session.run_seeded(&ExactL1, &(), seed).unwrap();
-        let l = exact_l1::run(&a, &b, seed).unwrap();
+        let l = one_shot(a.clone(), b.clone(), &ExactL1, &(), seed).unwrap();
         assert_same("exact-l1", &s, &l);
         let d = session.estimate_seeded(&EstimateRequest::ExactL1, seed).unwrap();
         prop_assert_eq!(d.output, AnyOutput::Count(l.output));
         prop_assert_eq!((d.bits(), d.rounds()), (l.bits(), l.rounds()));
 
         let s = session.run_seeded(&L1Sampling, &(), seed).unwrap();
-        let l = l1_sample::run(&a, &b, seed).unwrap();
+        let l = one_shot(a.clone(), b.clone(), &L1Sampling, &(), seed).unwrap();
         assert_same("l1-sample", &s, &l);
 
         let s = session.run_seeded(&L0Sample, &L0SampleParams::new(0.3), seed).unwrap();
-        let l = l0_sample::run(&a, &b, &L0SampleParams::new(0.3), seed).unwrap();
+        let l = one_shot(a.clone(), b.clone(), &L0Sample, &L0SampleParams::new(0.3), seed).unwrap();
         assert_same("l0-sample", &s, &l);
 
         let s = session.run_seeded(&SparseMatmul, &(), seed).unwrap();
-        let l = sparse_matmul::run(&a, &b, seed).unwrap();
+        let l = one_shot(a.clone(), b.clone(), &SparseMatmul, &(), seed).unwrap();
         assert_same("sparse-matmul", &s, &l);
 
         let s = session.run_seeded(&LinfGeneral, &LinfGeneralParams::new(4), seed).unwrap();
-        let l = linf_general::run(&a, &b, &LinfGeneralParams::new(4), seed).unwrap();
+        let l = one_shot(a.clone(), b.clone(), &LinfGeneral, &LinfGeneralParams::new(4), seed).unwrap();
         assert_same("linf-general", &s, &l);
 
         let s = session.run_seeded(&HhGeneral, &HhGeneralParams::new(1.0, 0.1, 0.05), seed).unwrap();
-        let l = hh_general::run(&a, &b, &HhGeneralParams::new(1.0, 0.1, 0.05), seed).unwrap();
+        let l = one_shot(a.clone(), b.clone(), &HhGeneral, &HhGeneralParams::new(1.0, 0.1, 0.05), seed).unwrap();
         assert_same("hh-general", &s, &l);
 
         let s = session.run_seeded(&TrivialCsr, &(), seed).unwrap();
-        let l = trivial::run_csr(&a, &b, seed).unwrap();
+        let l = one_shot(a.clone(), b.clone(), &TrivialCsr, &(), seed).unwrap();
         assert_same("trivial-csr", &s, &l);
     }
 
-    /// Every binary protocol: Session == legacy — including sessions
-    /// built from *CSR* inputs, whose bit views come from the session
-    /// cache rather than the caller.
+    /// Every binary protocol: cached session == cold one-shot over the
+    /// bit matrices — including sessions built from *CSR* inputs, whose
+    /// bit views come from the session cache rather than the caller.
     #[test]
     fn binary_protocols_bit_identical((a, b) in bit_pair(), seed in 0u64..1000) {
         let seed = Seed(seed);
@@ -119,23 +130,23 @@ proptest! {
 
         for session in [&from_bits, &from_csr] {
             let s = session.run_seeded(&LinfBinary, &LinfBinaryParams::new(0.3), seed).unwrap();
-            let l = linf_binary::run(&a, &b, &LinfBinaryParams::new(0.3), seed).unwrap();
+            let l = one_shot(a.clone(), b.clone(), &LinfBinary, &LinfBinaryParams::new(0.3), seed).unwrap();
             assert_same("linf-binary", &s, &l);
 
             let s = session.run_seeded(&LinfKappa, &LinfKappaParams::new(4.0), seed).unwrap();
-            let l = linf_kappa::run(&a, &b, &LinfKappaParams::new(4.0), seed).unwrap();
+            let l = one_shot(a.clone(), b.clone(), &LinfKappa, &LinfKappaParams::new(4.0), seed).unwrap();
             assert_same("linf-kappa", &s, &l);
 
             let s = session.run_seeded(&HhBinary, &HhBinaryParams::new(1.0, 0.2, 0.1), seed).unwrap();
-            let l = hh_binary::run(&a, &b, &HhBinaryParams::new(1.0, 0.2, 0.1), seed).unwrap();
+            let l = one_shot(a.clone(), b.clone(), &HhBinary, &HhBinaryParams::new(1.0, 0.2, 0.1), seed).unwrap();
             assert_same("hh-binary", &s, &l);
 
             let s = session.run_seeded(&AtLeastTJoin, &AtLeastTParams { t: 2, slack: 0.5 }, seed).unwrap();
-            let l = hh_binary::at_least_t_join(&a, &b, 2, 0.5, seed).unwrap();
+            let l = one_shot(a.clone(), b.clone(), &AtLeastTJoin, &AtLeastTParams { t: 2, slack: 0.5 }, seed).unwrap();
             assert_same("at-least-t-join", &s, &l);
 
             let s = session.run_seeded(&TrivialBinary, &(), seed).unwrap();
-            let l = trivial::run_binary(&a, &b, seed).unwrap();
+            let l = one_shot(a.clone(), b.clone(), &TrivialBinary, &(), seed).unwrap();
             assert_same("trivial-binary", &s, &l);
         }
     }
@@ -151,7 +162,7 @@ proptest! {
         let _ = session.run(&SparseMatmul, &());
         let _ = session.run(&ExactL1, &());
         let warm = session.run_seeded(&L0Sample, &L0SampleParams::new(0.4), seed).unwrap();
-        let cold = l0_sample::run(&a, &b, &L0SampleParams::new(0.4), seed).unwrap();
+        let cold = one_shot(a.clone(), b.clone(), &L0Sample, &L0SampleParams::new(0.4), seed).unwrap();
         assert_same("l0-sample (warm)", &warm, &cold);
     }
 }
@@ -160,7 +171,9 @@ proptest! {
 fn two_session_queries_use_distinct_derived_seeds() {
     let a = Workloads::bernoulli_bits(24, 32, 0.3, 5).to_csr();
     let b = Workloads::bernoulli_bits(32, 24, 0.3, 6).to_csr();
-    let session = Session::new(a.clone(), b.clone()).with_seed(Seed(42));
+    let session = Session::builder(a.clone(), b.clone())
+        .seed(Seed(42))
+        .build();
 
     // The derived seed schedule is deterministic, query-indexed, and
     // collision-free over a long horizon.
@@ -172,30 +185,27 @@ fn two_session_queries_use_distinct_derived_seeds() {
     // different derived seeds, and those seeds match the schedule.
     let q0 = session.run(&L1Sampling, &()).unwrap();
     let q1 = session.run(&L1Sampling, &()).unwrap();
-    #[allow(deprecated)]
-    {
-        let r0 = l1_sample::run(&a, &b, schedule[0]).unwrap();
-        let r1 = l1_sample::run(&a, &b, schedule[1]).unwrap();
-        assert_eq!(q0.output, r0.output, "query 0 did not use derived seed 0");
-        assert_eq!(q1.output, r1.output, "query 1 did not use derived seed 1");
-    }
+    let r0 = one_shot(a.clone(), b.clone(), &L1Sampling, &(), schedule[0]).unwrap();
+    let r1 = one_shot(a.clone(), b.clone(), &L1Sampling, &(), schedule[1]).unwrap();
+    assert_eq!(q0.output, r0.output, "query 0 did not use derived seed 0");
+    assert_eq!(q1.output, r1.output, "query 1 did not use derived seed 1");
     assert_eq!(session.queries_issued(), 2);
 
     // Different session seeds produce different schedules.
-    let other = Session::new(a, b).with_seed(Seed(43));
+    let other = Session::builder(a, b).seed(Seed(43)).build();
     assert_ne!(other.query_seed(0), session.query_seed(0));
 }
 
 #[test]
-fn session_reports_errors_like_legacy() {
-    // Dimension mismatch surfaces identically through both paths.
+fn session_reports_errors_consistently() {
+    // Dimension mismatch surfaces identically through the typed run and
+    // a fresh one-shot session.
     let a = CsrMatrix::zeros(4, 5);
     let b = CsrMatrix::zeros(6, 4);
     let session = Session::new(a.clone(), b.clone());
     let via_session = session.run(&ExactL1, &()).unwrap_err();
-    #[allow(deprecated)]
-    let via_legacy = exact_l1::run(&a, &b, Seed(0)).unwrap_err();
-    assert_eq!(via_session, via_legacy);
+    let via_one_shot = one_shot(a, b, &ExactL1, &(), Seed(0)).unwrap_err();
+    assert_eq!(via_session, via_one_shot);
 
     // Binary-only protocols reject non-binary sessions.
     let a = CsrMatrix::from_triplets(3, 3, vec![(0, 0, 2)]);
