@@ -1,0 +1,79 @@
+//! Wall-clock micro-benches for the sketch kernel layer: scalar
+//! reference vs memoized table vs fused multi-seed passes, per sketch
+//! family, on the column-repetition-heavy workloads the kernels target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpest_matrix::{PNorm, Workloads};
+use mpest_sketch::{
+    set_reference_mode, sketch_rows_multi, sketch_rows_tab, BlockAmsSketch, L0Sampler, L0Sketch,
+    NormSketch, StableSketch,
+};
+
+fn bench_kernels(c: &mut Criterion) {
+    // Tall matrix, moderately dense columns: every column feeds many
+    // rows, the regime where per-distinct-column memoization pays.
+    let dim = 256;
+    let m = Workloads::integer_csr(384, dim, 0.25, 5, false, 1);
+
+    let mut g = c.benchmark_group("kernel_single_384xdim256");
+    g.sample_size(10);
+    g.bench_function("stable_p1_scalar", |b| {
+        let s = StableSketch::new(dim, 1.0, 0.35, 5, 3);
+        set_reference_mode(true);
+        b.iter(|| s.sketch_rows(&m));
+        set_reference_mode(false);
+    });
+    g.bench_function("stable_p1_tab", |b| {
+        let s = StableSketch::new(dim, 1.0, 0.35, 5, 3);
+        b.iter(|| sketch_rows_tab(&s, &m));
+    });
+    g.bench_function("l0_scalar", |b| {
+        let s = L0Sketch::new(dim, 0.35, 5, 4);
+        set_reference_mode(true);
+        b.iter(|| s.sketch_rows(&m));
+        set_reference_mode(false);
+    });
+    g.bench_function("l0_tab", |b| {
+        let s = L0Sketch::new(dim, 0.35, 5, 4);
+        b.iter(|| sketch_rows_tab(&s, &m));
+    });
+    g.bench_function("l0_sampler_tab", |b| {
+        let s = L0Sampler::new(dim, 10, 5);
+        b.iter(|| sketch_rows_tab(&s, &m));
+    });
+    g.bench_function("block_ams_k8_tab", |b| {
+        let s = BlockAmsSketch::new(dim, 8, 5, 7);
+        b.iter(|| sketch_rows_tab(&s, &m));
+    });
+    g.finish();
+
+    // The engine-prewarm regime: 8 same-shape seeds over one matrix,
+    // fused into a single pass vs 8 independent table builds.
+    let mut g = c.benchmark_group("kernel_multi8_384xdim256");
+    g.sample_size(10);
+    let stable_fleet: Vec<StableSketch> = (0..8)
+        .map(|s| StableSketch::new(dim, 1.0, 0.35, 5, 100 + s))
+        .collect();
+    let stable_refs: Vec<&StableSketch> = stable_fleet.iter().collect();
+    g.bench_function("stable_p1_fused", |b| {
+        b.iter(|| sketch_rows_multi(&stable_refs, &m));
+    });
+    g.bench_function("stable_p1_per_seed_tab", |b| {
+        b.iter(|| {
+            stable_fleet
+                .iter()
+                .map(|s| sketch_rows_tab(s, &m))
+                .collect::<Vec<_>>()
+        });
+    });
+    let norm_fleet: Vec<NormSketch> = (0..8)
+        .map(|s| NormSketch::for_norm(PNorm::Zero, dim, 0.35, 5, 200 + s))
+        .collect();
+    g.bench_function("normsketch_l0_fused", |b| {
+        b.iter(|| NormSketch::sketch_rows_multi(&norm_fleet, &m));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

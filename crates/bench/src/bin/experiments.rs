@@ -31,6 +31,16 @@
 //!                               # and exit nonzero on any remote-vs-
 //!                               # local divergence or if real wire
 //!                               # bytes fall below logical bits/8
+//!   experiments --kernels-bench PATH
+//!                               # also run the sketch-kernel
+//!                               # trajectory — fast kernels vs the
+//!                               # scalar reference end-to-end, fused
+//!                               # multi-seed passes vs per-seed
+//!                               # builds — write it to PATH
+//!                               # (BENCH_kernels.json), and exit
+//!                               # nonzero if a fast path diverges from
+//!                               # scalar bit-for-bit or fails its
+//!                               # speedup gate
 //!   experiments --stream-bench PATH
 //!                               # also run the streaming trajectory —
 //!                               # live-update ingest, incremental vs
@@ -58,6 +68,7 @@ fn main() {
     let mut accuracy_path: Option<PathBuf> = None;
     let mut serve_path: Option<PathBuf> = None;
     let mut stream_path: Option<PathBuf> = None;
+    let mut kernels_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -101,10 +112,16 @@ fn main() {
                     args.get(i).expect("--stream-bench needs a path"),
                 ));
             }
+            "--kernels-bench" => {
+                i += 1;
+                kernels_path = Some(PathBuf::from(
+                    args.get(i).expect("--kernels-bench needs a path"),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH] [--accuracy-bench PATH] [--serve-bench PATH] [--stream-bench PATH]"
+                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH] [--accuracy-bench PATH] [--serve-bench PATH] [--stream-bench PATH] [--kernels-bench PATH]"
                 );
                 std::process::exit(2);
             }
@@ -136,6 +153,7 @@ fn main() {
         && accuracy_path.is_none()
         && serve_path.is_none()
         && stream_path.is_none()
+        && kernels_path.is_none()
     {
         eprintln!("no experiments selected; known ids: {IDS:?}");
         std::process::exit(2);
@@ -242,6 +260,27 @@ fn main() {
             eprintln!(
                 "FAIL: streaming layer diverged (incremental != rebuild, daemon != mirror, \
                  a drifted contract was violated, or incremental failed to beat rebuild)"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = kernels_path {
+        println!("# sketch-kernel trajectory: fast vs scalar ({} mode)", {
+            if quick {
+                "quick"
+            } else {
+                "full"
+            }
+        });
+        let bench = mpest_bench::kernels::run(quick);
+        print!("{}", bench.summary());
+        bench.save_json(&path).expect("write kernels bench json");
+        println!("# kernel trajectory written to {}", path.display());
+        if !bench.all_pass() {
+            eprintln!(
+                "FAIL: a fast kernel diverged from the scalar reference, \
+                 or a speedup gate (single-query >=2x, multi-seed >=3x) failed"
             );
             std::process::exit(1);
         }

@@ -1,0 +1,419 @@
+//! Sketch-kernel trajectory: memoized/vectorized kernels vs the scalar
+//! reference, and fused multi-seed passes vs per-seed builds (the
+//! `BENCH_kernels.json` CI artifact).
+//!
+//! The kernel layer in `mpest-sketch` makes sketch application fast
+//! three ways — per-distinct-column hash memoization, chunked Horner
+//! evaluation, and multi-seed fused matrix passes — under a hard
+//! bit-identity contract: the fast paths produce byte-for-byte the
+//! sketches the scalar closures produce. This trajectory measures both
+//! halves of that claim on protocol-shaped workloads:
+//!
+//! 1. **End-to-end single queries**: `lp` (ℓ1, the memoized
+//!    transcendental table) and `l0-sample` (the memoized field-hash
+//!    table) through a full [`Session`] query, fast kernels vs
+//!    [`mpest_sketch::set_reference_mode`], fresh seeds per query so the
+//!    session sketch cache never hits. CI gates on a ≥2x speedup for at
+//!    least one protocol.
+//! 2. **Multi-seed fused passes**: 8 same-shape sketches applied to one
+//!    matrix via [`NormSketch::sketch_rows_multi`] vs 8 scalar builds —
+//!    the engine-prewarm regime. CI gates on the amortized per-seed cost
+//!    beating the scalar build by ≥3x for at least one sketch family.
+//! 3. **Bit-identity, same run**: every timed comparison also compares
+//!    the outputs (reports resp. sketch matrices), and a mixed 16-query
+//!    engine batch — whose prewarm builds the lp/l0/block-AMS groups in
+//!    fused passes — is checked against the reference-mode sequential
+//!    run. Any mismatch fails CI regardless of speed.
+//!
+//! [`KernelsBench::save_json`] writes the artifact; `--kernels-bench`
+//! on the `experiments` binary runs it and exits nonzero if a gate or
+//! identity check fails.
+//!
+//! [`Session`]: mpest_core::Session
+
+use crate::report::json_escape;
+use mpest_comm::Seed;
+use mpest_core::{Engine, EstimateReport, EstimateRequest, Session};
+use mpest_matrix::{BitMatrix, CsrMatrix, PNorm, Workloads};
+use mpest_sketch::{set_reference_mode, NormSketch, SkMat};
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// One end-to-end protocol comparison, fast kernels vs scalar reference.
+#[derive(Debug, Clone)]
+pub struct EndToEnd {
+    /// Protocol name.
+    pub protocol: String,
+    /// Best-of-sweeps mean per-query latency with the fast kernels, µs.
+    pub fast_micros: f64,
+    /// Same measurement in reference (scalar) mode, µs.
+    pub scalar_micros: f64,
+    /// `scalar_micros / fast_micros` (>1 = kernels win).
+    pub speedup: f64,
+    /// Whether fast and scalar reports are bit-identical.
+    pub matches: bool,
+}
+
+/// One fused multi-seed pass vs per-seed scalar builds.
+#[derive(Debug, Clone)]
+pub struct MultiSeed {
+    /// Sketch family (`"stable-l1"` or `"l0"`).
+    pub family: String,
+    /// Number of same-shape sketches in the fleet.
+    pub seeds: usize,
+    /// Scalar per-seed build cost, µs.
+    pub scalar_per_seed_micros: f64,
+    /// Fused per-seed cost (`multi pass / seeds`), µs.
+    pub fused_per_seed_micros: f64,
+    /// `scalar_per_seed / fused_per_seed` — the amortization ratio.
+    pub amortized_speedup: f64,
+    /// Whether every fused output equals its scalar build bit-for-bit.
+    pub matches: bool,
+}
+
+/// The full sketch-kernel trajectory.
+#[derive(Debug, Clone)]
+pub struct KernelsBench {
+    /// `"quick"` (smoke) or `"full"`.
+    pub mode: String,
+    /// End-to-end single-query comparisons (`lp`, `l0-sample`).
+    pub end_to_end: Vec<EndToEnd>,
+    /// Fused multi-seed pass comparisons.
+    pub multi_seed: Vec<MultiSeed>,
+    /// Whether a mixed multi-seed engine batch (fused prewarm) matched
+    /// the reference-mode sequential run bit-for-bit.
+    pub engine_batch_matches: bool,
+    /// ≥2x end-to-end speedup on at least one protocol.
+    pub single_query_gate: bool,
+    /// ≥3x amortized per-seed speedup on at least one sketch family.
+    pub multi_seed_gate: bool,
+    /// Every identity check (end-to-end, multi-seed, engine) passed.
+    pub all_identical: bool,
+}
+
+impl KernelsBench {
+    /// The CI gate: both speed gates plus every bit-identity check.
+    #[must_use]
+    pub fn all_pass(&self) -> bool {
+        self.single_query_gate && self.multi_seed_gate && self.all_identical
+    }
+}
+
+/// Times `iters` single queries under fresh per-query seeds (so the
+/// session sketch cache never hits and every query pays a full sketch
+/// build), repeated `sweeps` times keeping the fastest sweep. Returns
+/// the best mean per-query latency in µs plus the first sweep's reports
+/// (whose seeds are shared across modes) for the identity check.
+fn time_queries(
+    a: &BitMatrix,
+    b: &BitMatrix,
+    req: &EstimateRequest,
+    iters: usize,
+    sweeps: usize,
+) -> (f64, Vec<EstimateReport>) {
+    let session = Session::builder(a.clone(), b.clone()).seed(Seed(7)).build();
+    let _ = session.estimate_seeded(req, Seed(1)).expect("warmup query");
+    let mut best = f64::INFINITY;
+    let mut first_reports = Vec::new();
+    for s in 0..sweeps {
+        let start = Instant::now();
+        let reports: Vec<EstimateReport> = (0..iters)
+            .map(|i| {
+                let seed = Seed(10_000 + (s * iters + i) as u64);
+                session.estimate_seeded(req, seed).expect("timed query")
+            })
+            .collect();
+        best = best.min(start.elapsed().as_secs_f64());
+        if s == 0 {
+            first_reports = reports;
+        }
+    }
+    (best * 1e6 / iters as f64, first_reports)
+}
+
+fn end_to_end(
+    name: &str,
+    a: &BitMatrix,
+    b: &BitMatrix,
+    req: &EstimateRequest,
+    iters: usize,
+    sweeps: usize,
+) -> EndToEnd {
+    set_reference_mode(false);
+    let (fast_micros, fast_reports) = time_queries(a, b, req, iters, sweeps);
+    set_reference_mode(true);
+    let (scalar_micros, scalar_reports) = time_queries(a, b, req, iters, sweeps);
+    set_reference_mode(false);
+    EndToEnd {
+        protocol: name.to_string(),
+        fast_micros,
+        scalar_micros,
+        speedup: scalar_micros / fast_micros.max(1e-9),
+        matches: fast_reports == scalar_reports,
+    }
+}
+
+/// Builds a fleet of `seeds` same-shape [`NormSketch`]es and compares
+/// one fused [`NormSketch::sketch_rows_multi`] pass against `seeds`
+/// scalar single-sketch builds over the same matrix.
+fn multi_seed(family: &str, p: PNorm, m: &CsrMatrix, seeds: usize, sweeps: usize) -> MultiSeed {
+    let dim = m.cols().max(1);
+    let fleet: Vec<NormSketch> = (0..seeds)
+        .map(|s| NormSketch::for_norm(p, dim, 0.35, 5, 1_000 + s as u64))
+        .collect();
+
+    set_reference_mode(true);
+    let mut scalar_secs = f64::INFINITY;
+    let mut scalar_outs: Vec<SkMat> = Vec::new();
+    for s in 0..sweeps {
+        let start = Instant::now();
+        let outs: Vec<SkMat> = fleet.iter().map(|sk| sk.sketch_rows(m)).collect();
+        scalar_secs = scalar_secs.min(start.elapsed().as_secs_f64());
+        if s == 0 {
+            scalar_outs = outs;
+        }
+    }
+    set_reference_mode(false);
+
+    let mut fused_secs = f64::INFINITY;
+    let mut fused_outs: Vec<SkMat> = Vec::new();
+    for s in 0..sweeps {
+        let start = Instant::now();
+        let outs = NormSketch::sketch_rows_multi(&fleet, m);
+        fused_secs = fused_secs.min(start.elapsed().as_secs_f64());
+        if s == 0 {
+            fused_outs = outs;
+        }
+    }
+
+    let scalar_per_seed = scalar_secs * 1e6 / seeds as f64;
+    let fused_per_seed = fused_secs * 1e6 / seeds as f64;
+    MultiSeed {
+        family: family.to_string(),
+        seeds,
+        scalar_per_seed_micros: scalar_per_seed,
+        fused_per_seed_micros: fused_per_seed,
+        amortized_speedup: scalar_per_seed / fused_per_seed.max(1e-9),
+        matches: fused_outs == scalar_outs,
+    }
+}
+
+/// A mixed multi-seed batch whose engine prewarm builds the lp, ℓ0, and
+/// block-AMS groups in fused passes, checked bit-for-bit against the
+/// reference-mode sequential run of the same `(seed, request)` pairs.
+fn engine_batch_matches(a: &BitMatrix, b: &BitMatrix) -> bool {
+    let mut queries: Vec<(Seed, EstimateRequest)> = Vec::new();
+    for i in 0..8u64 {
+        queries.push((
+            Seed(900 + i),
+            EstimateRequest::LpNorm {
+                p: PNorm::ONE,
+                eps: 0.3,
+            },
+        ));
+    }
+    for i in 0..4u64 {
+        queries.push((Seed(950 + i), EstimateRequest::L0Sample { eps: 0.4 }));
+        queries.push((Seed(970 + i), EstimateRequest::LinfGeneral { kappa: 4 }));
+    }
+
+    set_reference_mode(false);
+    let engine = Engine::new(Session::builder(a.clone(), b.clone()).seed(Seed(3)).build());
+    let (fast, _) = engine
+        .run_seeded_queries(&queries, 1)
+        .expect("fused engine batch");
+
+    set_reference_mode(true);
+    let session = Session::builder(a.clone(), b.clone()).seed(Seed(3)).build();
+    let reference: Vec<EstimateReport> = queries
+        .iter()
+        .map(|(seed, req)| {
+            session
+                .estimate_seeded(req, *seed)
+                .expect("reference sequential query")
+        })
+        .collect();
+    set_reference_mode(false);
+
+    fast == reference
+}
+
+/// Runs the trajectory. `quick` sizes the sweeps for the CI smoke job.
+#[must_use]
+pub fn run(quick: bool) -> KernelsBench {
+    let (iters, sweeps) = if quick { (6, 3) } else { (16, 3) };
+
+    // lp regime: a thin A over a tall B, so Bob's row-sketch build of B
+    // dominates the query and columns repeat across many rows (the
+    // memoized-table regime).
+    let (lp_inner, lp_cols) = if quick { (160, 48) } else { (384, 64) };
+    let lp_a = Workloads::bernoulli_bits(4, lp_inner, 0.4, 31);
+    let lp_b = Workloads::bernoulli_bits(lp_inner, lp_cols, 0.3, 32);
+
+    // l0-sample regime: a wide A (Alice sketches the rows of Aᵀ) over a
+    // thin B, so the field-hash kernel build dominates.
+    let (l0_rows, l0_inner) = if quick { (48, 160) } else { (64, 320) };
+    let l0_a = Workloads::bernoulli_bits(l0_rows, l0_inner, 0.3, 33);
+    let l0_b = Workloads::bernoulli_bits(l0_inner, 12, 0.2, 34);
+
+    let end_to_end = vec![
+        end_to_end(
+            "lp",
+            &lp_a,
+            &lp_b,
+            &EstimateRequest::LpNorm {
+                p: PNorm::ONE,
+                eps: 0.25,
+            },
+            iters,
+            sweeps,
+        ),
+        end_to_end(
+            "l0-sample",
+            &l0_a,
+            &l0_b,
+            &EstimateRequest::L0Sample { eps: 0.4 },
+            iters,
+            sweeps,
+        ),
+    ];
+
+    let multi_matrix = lp_b.to_csr();
+    let multi_sweeps = if quick { 3 } else { 5 };
+    let multi_seed = vec![
+        multi_seed("stable-l1", PNorm::ONE, &multi_matrix, 8, multi_sweeps),
+        multi_seed("l0", PNorm::Zero, &multi_matrix, 8, multi_sweeps),
+    ];
+
+    let engine_matches = engine_batch_matches(&lp_a, &lp_b);
+
+    let single_query_gate = end_to_end.iter().any(|e| e.speedup >= 2.0);
+    let multi_seed_gate = multi_seed.iter().any(|m| m.amortized_speedup >= 3.0);
+    let all_identical = end_to_end.iter().all(|e| e.matches)
+        && multi_seed.iter().all(|m| m.matches)
+        && engine_matches;
+    KernelsBench {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        end_to_end,
+        multi_seed,
+        engine_batch_matches: engine_matches,
+        single_query_gate,
+        multi_seed_gate,
+        all_identical,
+    }
+}
+
+impl KernelsBench {
+    /// Renders the trajectory as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"sketch-kernels\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
+        out.push_str("  \"end_to_end\": [");
+        for (i, e) in self.end_to_end.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"protocol\": \"{}\", \"fast_micros\": {:.2}, \"scalar_micros\": {:.2}, \"speedup\": {:.3}, \"matches\": {}}}",
+                json_escape(&e.protocol), e.fast_micros, e.scalar_micros, e.speedup, e.matches
+            ));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"multi_seed\": [");
+        for (i, m) in self.multi_seed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"family\": \"{}\", \"seeds\": {}, \"scalar_per_seed_micros\": {:.2}, \"fused_per_seed_micros\": {:.2}, \"amortized_speedup\": {:.3}, \"matches\": {}}}",
+                json_escape(&m.family), m.seeds, m.scalar_per_seed_micros,
+                m.fused_per_seed_micros, m.amortized_speedup, m.matches
+            ));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str(&format!(
+            "  \"engine_batch_matches\": {},\n",
+            self.engine_batch_matches
+        ));
+        out.push_str(&format!(
+            "  \"single_query_gate\": {},\n",
+            self.single_query_gate
+        ));
+        out.push_str(&format!(
+            "  \"multi_seed_gate\": {},\n",
+            self.multi_seed_gate
+        ));
+        out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical));
+        out.push_str(&format!("  \"all_pass\": {}\n", self.all_pass()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the trajectory JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())
+    }
+
+    /// Human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::from("sketch kernels: fast vs scalar reference\n");
+        for e in &self.end_to_end {
+            out.push_str(&format!(
+                "  {:<10} fast {:>9.1}us  scalar {:>9.1}us  {:>5.2}x  bit-identical: {}\n",
+                e.protocol, e.fast_micros, e.scalar_micros, e.speedup, e.matches
+            ));
+        }
+        for m in &self.multi_seed {
+            out.push_str(&format!(
+                "  multi[{:<9}] {} seeds: fused {:>8.1}us/seed vs scalar {:>8.1}us/seed  {:>5.2}x  bit-identical: {}\n",
+                m.family, m.seeds, m.fused_per_seed_micros, m.scalar_per_seed_micros,
+                m.amortized_speedup, m.matches
+            ));
+        }
+        out.push_str(&format!(
+            "  engine 16-query multi-seed batch bit-identical: {}\n  gates: single-query >=2x: {}; multi-seed >=3x: {}; all identical: {}\n",
+            self.engine_batch_matches,
+            self.single_query_gate,
+            self.multi_seed_gate,
+            self.all_identical
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The quick trajectory asserts structure and the bit-identity half
+    // of the contract only: the speed gates run in the CI smoke job's
+    // dedicated process, where no concurrent test threads (or a
+    // neighbor's reference-mode toggle) can skew the timings.
+    #[test]
+    fn quick_trajectory_is_identical_and_serializes() {
+        let bench = run(true);
+        assert!(bench.all_identical, "a fast path diverged from scalar");
+        assert!(bench.engine_batch_matches);
+        assert_eq!(bench.end_to_end.len(), 2);
+        assert_eq!(bench.multi_seed.len(), 2);
+        assert!(bench.end_to_end.iter().all(|e| e.fast_micros > 0.0));
+        let json = bench.to_json();
+        assert!(json.contains("\"bench\": \"sketch-kernels\""));
+        assert!(json.contains("\"protocol\": \"lp\""));
+        assert!(json.contains("\"family\": \"stable-l1\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -21,6 +21,10 @@
 //!   per-protocol error quantiles, failure rates, and
 //!   communication-vs-accuracy curves, gating on every protocol
 //!   honoring its [`GuaranteeSpec`](mpest_core::GuaranteeSpec);
+//! * [`kernels`] — the sketch-kernel trajectory (`BENCH_kernels.json`):
+//!   memoized/vectorized kernels vs the scalar reference end-to-end,
+//!   fused multi-seed passes vs per-seed builds, gating on bit-identity
+//!   plus the ≥2x single-query and ≥3x amortized multi-seed speedups;
 //! * [`serve`] — the serving trajectory (`BENCH_serve.json`): all 14
 //!   protocols over a real loopback socket (remote party) plus
 //!   serve-daemon round-trip throughput, gating on remote == local
@@ -40,6 +44,7 @@ pub mod batch;
 pub mod exec;
 pub mod experiments;
 pub mod fit;
+pub mod kernels;
 pub mod report;
 pub mod serve;
 pub mod stream;

@@ -227,7 +227,12 @@ impl Engine {
             SeedSchedule::AtIndex(i) => i,
         };
         if plan.prewarm {
-            prewarm(&self.session, requests);
+            let pairs: Vec<(Seed, &EstimateRequest)> = requests
+                .iter()
+                .enumerate()
+                .map(|(i, req)| (self.session.query_seed(first + i as u64), req))
+                .collect();
+            prewarm(&self.session, &pairs);
         }
         let workers = plan.effective_workers(n);
         let exec = plan.effective_executor(&self.session);
@@ -284,8 +289,9 @@ impl Engine {
         queries: &[(Seed, EstimateRequest)],
         workers: usize,
     ) -> Result<(Vec<EstimateReport>, BatchAccounting), CommError> {
-        let requests: Vec<EstimateRequest> = queries.iter().map(|(_, r)| r.clone()).collect();
-        prewarm(&self.session, &requests);
+        let pairs: Vec<(Seed, &EstimateRequest)> =
+            queries.iter().map(|(seed, req)| (*seed, req)).collect();
+        prewarm(&self.session, &pairs);
         let workers = BatchPlan::default()
             .with_workers(workers)
             .effective_workers(queries.len());
@@ -360,15 +366,17 @@ fn run_pool<'q>(
 }
 
 /// Materializes every session-cached view the batch's protocols read, so
-/// concurrent workers never convoy on a one-time conversion. Purely an
-/// ordering optimization: the views are pure functions of the pair, and
+/// concurrent workers never convoy on a one-time conversion, then builds
+/// the batch's row sketches in fused multi-seed matrix passes (see
+/// [`prewarm_sketches`]). Purely an ordering optimization: the views and
+/// sketches are pure functions of the pair and the per-query seeds, and
 /// a failed bit-view (non-binary pair) is ignored here so the affected
 /// requests fail with exactly the error the sequential run reports.
-fn prewarm(session: &Session, requests: &[EstimateRequest]) {
+fn prewarm(session: &Session, queries: &[(Seed, &EstimateRequest)]) {
     use EstimateRequest as R;
     let (mut bits, mut csr, mut a_t, mut b_t, mut abs, mut nnz) =
         (false, false, false, false, false, false);
-    for request in requests {
+    for (_, request) in queries {
         match request {
             R::LpNorm { .. } | R::LpBaseline { .. } | R::HhGeneral { .. } | R::TrivialCsr => {
                 csr = true;
@@ -420,6 +428,139 @@ fn prewarm(session: &Session, requests: &[EstimateRequest]) {
     if nnz {
         let _ = ctx.a_col_nnz();
         let _ = ctx.b_row_nnz();
+    }
+    prewarm_sketches(&ctx, queries);
+}
+
+/// Builds every distinct row sketch the batch's `lp`, `lp-baseline`,
+/// `l0-sample`, and `linf-general` queries will ship, grouping same-kind
+/// jobs into **fused multi-seed matrix passes**
+/// ([`NormSketch::sketch_rows_multi`] over the rows of `B`,
+/// [`mpest_sketch::sketch_rows_multi`] over the rows of `Aᵀ`) and
+/// inserting the results into the session's sketch cache, where the
+/// in-phase lookups hit. An `N`-seed batch therefore pays each matrix
+/// walk once instead of `N` times.
+///
+/// Skips singleton jobs (the phase builds them at no extra cost),
+/// already-cached keys, and requests whose parameters the protocol will
+/// reject — those must surface their error in-phase, not panic here.
+/// Inert in reference mode so the scalar path stays the one measured.
+fn prewarm_sketches(ctx: &crate::SessionCtx<'_>, queries: &[(Seed, &EstimateRequest)]) {
+    use crate::config::check_eps;
+    use crate::sketchcache::SketchKey;
+    use crate::{l0_sample, linf_general, lp_baseline, lp_norm};
+    use mpest_sketch::{BlockAmsSketch, L0Sampler, L0Sketch, NormSketch, SkMat};
+    use EstimateRequest as R;
+
+    if mpest_sketch::kernel::reference_mode() {
+        return;
+    }
+    let cache = ctx.sketch_cache();
+    let dims = ctx.dims();
+    let mut seen = std::collections::HashSet::<SketchKey>::new();
+    let mut b_rows: Vec<(SketchKey, NormSketch)> = Vec::new();
+    let mut l0_norms: Vec<(SketchKey, L0Sketch)> = Vec::new();
+    let mut l0_samplers: Vec<(SketchKey, L0Sampler)> = Vec::new();
+    let mut block_ams: Vec<(SketchKey, BlockAmsSketch)> = Vec::new();
+    for &(seed, request) in queries {
+        let pub_seed = seed.derive("public");
+        match request {
+            R::LpNorm { p, eps } => {
+                let params = lp_norm::LpParams::new(*p, *eps);
+                if params.validate().is_err() {
+                    continue;
+                }
+                let dim = dims.b_cols.max(1);
+                let key = params.cache_key(dim, pub_seed);
+                if seen.insert(key) && !cache.contains(key) {
+                    b_rows.push((key, params.sketch(dim, pub_seed)));
+                }
+            }
+            R::LpBaseline { p, eps } => {
+                let params = lp_baseline::BaselineParams::new(*p, *eps);
+                if check_eps(*eps).is_err() || !p.supported_by_lp_protocol() {
+                    continue;
+                }
+                let key = lp_baseline::cache_key(&params, dims.b_cols, pub_seed);
+                if seen.insert(key) && !cache.contains(key) {
+                    b_rows.push((
+                        key,
+                        lp_baseline::make_sketch(&params, dims.b_cols, pub_seed),
+                    ));
+                }
+            }
+            R::L0Sample { eps } => {
+                let params = l0_sample::L0SampleParams::new(*eps);
+                if check_eps(*eps).is_err() {
+                    continue;
+                }
+                let nk = l0_sample::norm_key(&params, dims.a_rows, pub_seed);
+                if seen.insert(nk) && !cache.contains(nk) {
+                    l0_norms.push((
+                        nk,
+                        l0_sample::norm_sketch_for(&params, dims.a_rows, pub_seed),
+                    ));
+                }
+                let sk = l0_sample::sampler_key(&params, dims.a_rows, pub_seed);
+                if seen.insert(sk) && !cache.contains(sk) {
+                    l0_samplers.push((sk, l0_sample::sampler_for(&params, dims.a_rows, pub_seed)));
+                }
+            }
+            R::LinfGeneral { kappa } => {
+                let params = linf_general::LinfGeneralParams::new(*kappa);
+                if params.kappa == 0 {
+                    continue;
+                }
+                let key = linf_general::cache_key(&params, dims.a_rows, pub_seed);
+                if seen.insert(key) && !cache.contains(key) {
+                    block_ams.push((
+                        key,
+                        linf_general::sketch_for(&params, dims.a_rows, pub_seed),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    if b_rows.len() >= 2 {
+        if let (_, Some(b)) = ctx.csr_halves() {
+            let sketches: Vec<NormSketch> = b_rows.iter().map(|(_, s)| s.clone()).collect();
+            for ((key, _), mat) in b_rows
+                .iter()
+                .zip(NormSketch::sketch_rows_multi(&sketches, b))
+            {
+                cache.insert_norm(*key, mat);
+            }
+        }
+    }
+    if let Some(at) = ctx.a_transpose() {
+        if l0_norms.len() >= 2 {
+            let kernels: Vec<&L0Sketch> = l0_norms.iter().map(|(_, s)| s).collect();
+            for ((key, _), mat) in l0_norms
+                .iter()
+                .zip(mpest_sketch::sketch_rows_multi(&kernels, at))
+            {
+                cache.insert_field(*key, mat);
+            }
+        }
+        if l0_samplers.len() >= 2 {
+            let kernels: Vec<&L0Sampler> = l0_samplers.iter().map(|(_, s)| s).collect();
+            for ((key, _), mat) in l0_samplers
+                .iter()
+                .zip(mpest_sketch::sketch_rows_multi(&kernels, at))
+            {
+                cache.insert_field(*key, mat);
+            }
+        }
+        if block_ams.len() >= 2 {
+            let kernels: Vec<&BlockAmsSketch> = block_ams.iter().map(|(_, s)| s).collect();
+            for ((key, _), mat) in block_ams
+                .iter()
+                .zip(mpest_sketch::sketch_rows_multi(&kernels, at))
+            {
+                cache.insert_norm(*key, SkMat::Real(mat));
+            }
+        }
     }
 }
 

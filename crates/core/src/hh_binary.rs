@@ -295,7 +295,8 @@ pub(crate) fn run_unchecked(
             let lp_pow: f64 = if exact_p1 {
                 exact_l1::exchange_bob(link, 0, b_csr)? as f64
             } else {
-                let est = lp_norm::bob_phase(link, 0, b_csr, &lp_params, pub_seed.derive("hh-lp"))?;
+                let est =
+                    lp_norm::bob_phase(link, 0, b_csr, &lp_params, pub_seed.derive("hh-lp"), None)?;
                 link.send(2, "hhb-lp-estimate", &est)?;
                 est
             };

@@ -207,7 +207,8 @@ pub(crate) fn run_unchecked(
             let (lp_pow, mm_base): (f64, u16) = if params.is_exact_l1() {
                 (exact_l1::exchange_bob(link, 0, b)? as f64, 1)
             } else {
-                let est = lp_norm::bob_phase(link, 0, b, &lp_params, pub_seed.derive("hh-lp"))?;
+                let est =
+                    lp_norm::bob_phase(link, 0, b, &lp_params, pub_seed.derive("hh-lp"), None)?;
                 link.send(2, "hh-lp-estimate", &est)?;
                 (est.max(0.0), 3)
             };

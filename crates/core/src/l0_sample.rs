@@ -36,12 +36,14 @@ use crate::config::{check_eps, Constants};
 use crate::protocol::Protocol;
 use crate::result::{MatrixSample, ProtocolRun};
 use crate::session::{cached_or, ProductDims, Reuse, SessionCtx};
-use crate::wire::WFieldMat;
+use crate::sketchcache::{SketchKey, SketchKind};
+use crate::wire::{WFieldMat, WFieldMatShared};
 use mpest_comm::{execute_split, CommError, Exec, Seed};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 use mpest_sketch::linear::combine_rows;
 use mpest_sketch::{L0Sampler, L0Sketch, SampleOutcome, M61};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Parameters of the `ℓ0`-sampling protocol.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +62,41 @@ impl L0SampleParams {
             eps,
             consts: Constants::default(),
         }
+    }
+}
+
+pub(crate) fn norm_sketch_for(params: &L0SampleParams, col_dim: usize, pub_seed: Seed) -> L0Sketch {
+    L0Sketch::new(
+        col_dim.max(1),
+        params.eps,
+        params.consts.sketch_reps,
+        pub_seed.derive("l0s-norm").0,
+    )
+}
+
+pub(crate) fn norm_key(params: &L0SampleParams, col_dim: usize, pub_seed: Seed) -> SketchKey {
+    SketchKey {
+        kind: SketchKind::L0NormRowsAt,
+        seed: pub_seed.derive("l0s-norm").0,
+        dim: col_dim.max(1),
+        params: [0, params.eps.to_bits(), params.consts.sketch_reps as u64],
+    }
+}
+
+pub(crate) fn sampler_for(params: &L0SampleParams, col_dim: usize, pub_seed: Seed) -> L0Sampler {
+    L0Sampler::new(
+        col_dim.max(1),
+        params.consts.sampler_reps,
+        pub_seed.derive("l0s-sampler").0,
+    )
+}
+
+pub(crate) fn sampler_key(params: &L0SampleParams, col_dim: usize, pub_seed: Seed) -> SketchKey {
+    SketchKey {
+        kind: SketchKind::L0SamplerRowsAt,
+        seed: pub_seed.derive("l0s-sampler").0,
+        dim: col_dim.max(1),
+        params: [0, 0, params.consts.sampler_reps as u64],
     }
 }
 
@@ -85,6 +122,7 @@ impl Protocol for L0Sample {
         let reuse = Reuse {
             a_t: ctx.a_transpose(),
             b_t: ctx.b_transpose(),
+            sketches: Some(ctx.sketch_cache()),
             ..Reuse::default()
         };
         run_unchecked(a, b, ctx.dims(), params, ctx.seed(), reuse, ctx.executor())
@@ -104,17 +142,8 @@ pub(crate) fn run_unchecked(
     let pub_seed = seed.derive("public");
     let bob_seed = seed.derive("bob");
     let col_dim = dims.a_rows; // columns of C live in this dimension
-    let norm_sketch = L0Sketch::new(
-        col_dim.max(1),
-        params.eps,
-        params.consts.sketch_reps,
-        pub_seed.derive("l0s-norm").0,
-    );
-    let sampler = L0Sampler::new(
-        col_dim.max(1),
-        params.consts.sampler_reps,
-        pub_seed.derive("l0s-sampler").0,
-    );
+    let norm_sketch = norm_sketch_for(params, col_dim, pub_seed);
+    let sampler = sampler_for(params, col_dim, pub_seed);
 
     let outcome = execute_split(
         exec,
@@ -122,18 +151,23 @@ pub(crate) fn run_unchecked(
         b,
         |link, a: &CsrMatrix| {
             // Sketch every column of A (rows of Aᵀ), reusing the
-            // session's cached transpose when present.
+            // session's cached transpose when present, and the session's
+            // sketch cache so repeated/prewarmed queries skip the pass.
             let at = cached_or(reuse.a_t, || a.transpose());
-            link.send(
-                0,
-                "l0s-norm-sketches",
-                &WFieldMat(norm_sketch.sketch_rows(&at)),
-            )?;
-            link.send(
-                0,
-                "l0s-sampler-sketches",
-                &WFieldMat(sampler.sketch_rows(&at)),
-            )
+            let norm_mat = match reuse.sketches {
+                Some(c) => c.field(norm_key(params, col_dim, pub_seed), || {
+                    norm_sketch.sketch_rows(&at)
+                }),
+                None => Arc::new(norm_sketch.sketch_rows(&at)),
+            };
+            let samp_mat = match reuse.sketches {
+                Some(c) => c.field(sampler_key(params, col_dim, pub_seed), || {
+                    sampler.sketch_rows(&at)
+                }),
+                None => Arc::new(sampler.sketch_rows(&at)),
+            };
+            link.send(0, "l0s-norm-sketches", &WFieldMatShared(norm_mat))?;
+            link.send(0, "l0s-sampler-sketches", &WFieldMatShared(samp_mat))
         },
         |link, b: &CsrMatrix| {
             let norm_rows: DenseMatrix<M61> = link.recv::<WFieldMat>("l0s-norm-sketches")?.0;

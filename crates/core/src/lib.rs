@@ -94,6 +94,7 @@ pub mod rect;
 pub mod request;
 pub mod result;
 pub mod session;
+mod sketchcache;
 pub mod sparse_matmul;
 pub mod stream;
 pub mod trivial;

@@ -14,11 +14,13 @@ use crate::config::Constants;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::{cached_or, ProductDims, Reuse, SessionCtx};
-use crate::wire::WSkMat;
+use crate::sketchcache::{SketchKey, SketchKind};
+use crate::wire::{WSkMat, WSkMatShared};
 use mpest_comm::{execute_split, CommError, Exec, Seed};
 use mpest_matrix::CsrMatrix;
 use mpest_sketch::linear::combine_rows;
 use mpest_sketch::{BlockAmsSketch, SkMat};
+use std::sync::Arc;
 
 /// Parameters of the general-matrix `ℓ∞` protocol.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +39,28 @@ impl LinfGeneralParams {
             kappa,
             consts: Constants::default(),
         }
+    }
+}
+
+pub(crate) fn sketch_for(
+    params: &LinfGeneralParams,
+    a_rows: usize,
+    pub_seed: Seed,
+) -> BlockAmsSketch {
+    BlockAmsSketch::new(
+        a_rows.max(1),
+        params.kappa,
+        params.consts.sketch_reps,
+        pub_seed.derive("block-ams").0,
+    )
+}
+
+pub(crate) fn cache_key(params: &LinfGeneralParams, a_rows: usize, pub_seed: Seed) -> SketchKey {
+    SketchKey {
+        kind: SketchKind::BlockAmsRowsAt,
+        seed: pub_seed.derive("block-ams").0,
+        dim: a_rows.max(1),
+        params: [params.kappa as u64, 0, params.consts.sketch_reps as u64],
     }
 }
 
@@ -63,6 +87,7 @@ impl Protocol for LinfGeneral {
         let reuse = Reuse {
             a_t: ctx.a_transpose(),
             b_t: ctx.b_transpose(),
+            sketches: Some(ctx.sketch_cache()),
             ..Reuse::default()
         };
         run_unchecked(a, b, ctx.dims(), params, ctx.seed(), reuse, ctx.executor())
@@ -82,12 +107,7 @@ pub(crate) fn run_unchecked(
         return Err(CommError::protocol("kappa must be positive".to_string()));
     }
     let pub_seed = seed.derive("public");
-    let sketch = BlockAmsSketch::new(
-        dims.a_rows.max(1),
-        params.kappa,
-        params.consts.sketch_reps,
-        pub_seed.derive("block-ams").0,
-    );
+    let sketch = sketch_for(params, dims.a_rows, pub_seed);
 
     let outcome = execute_split(
         exec,
@@ -95,13 +115,16 @@ pub(crate) fn run_unchecked(
         b,
         |link, a: &CsrMatrix| {
             // Sketch every column of A (= rows of Aᵀ), reusing the
-            // session's cached transpose when present.
+            // session's cached transpose when present, and the session's
+            // sketch cache so repeated/prewarmed queries skip the pass.
             let at = cached_or(reuse.a_t, || a.transpose());
-            link.send(
-                0,
-                "blockams-col-sketches",
-                &WSkMat(SkMat::Real(sketch.sketch_rows(&at))),
-            )
+            let ska = match reuse.sketches {
+                Some(c) => c.norm(cache_key(params, dims.a_rows, pub_seed), || {
+                    SkMat::Real(sketch.sketch_rows(&at))
+                }),
+                None => Arc::new(SkMat::Real(sketch.sketch_rows(&at))),
+            };
+            link.send(0, "blockams-col-sketches", &WSkMatShared(ska))
         },
         |link, b: &CsrMatrix| {
             let ska = match link.recv::<WSkMat>("blockams-col-sketches")?.0 {

@@ -11,10 +11,12 @@ use crate::config::{check_eps, Constants};
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::{ProductDims, SessionCtx};
-use crate::wire::WSkMat;
+use crate::sketchcache::{pnorm_bits, SketchCache, SketchKey, SketchKind};
+use crate::wire::{WSkMat, WSkMatShared};
 use mpest_comm::{execute_split, CommError, Exec, Link, Seed};
 use mpest_matrix::{CsrMatrix, PNorm};
 use mpest_sketch::NormSketch;
+use std::sync::Arc;
 
 /// Parameters of the one-round baseline.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +41,7 @@ impl BaselineParams {
     }
 }
 
-fn make_sketch(params: &BaselineParams, dim: usize, pub_seed: Seed) -> NormSketch {
+pub(crate) fn make_sketch(params: &BaselineParams, dim: usize, pub_seed: Seed) -> NormSketch {
     NormSketch::for_norm(
         params.p,
         dim.max(1),
@@ -49,6 +51,19 @@ fn make_sketch(params: &BaselineParams, dim: usize, pub_seed: Seed) -> NormSketc
     )
 }
 
+pub(crate) fn cache_key(params: &BaselineParams, dim: usize, pub_seed: Seed) -> SketchKey {
+    SketchKey {
+        kind: SketchKind::BaselineRowsB,
+        seed: pub_seed.derive("lp-baseline-sketch").0,
+        dim: dim.max(1),
+        params: [
+            pnorm_bits(params.p),
+            params.eps.to_bits(),
+            params.consts.sketch_reps as u64,
+        ],
+    }
+}
+
 /// Bob's phase: one message of full-accuracy row sketches.
 pub(crate) fn bob_phase(
     link: &Link<'_>,
@@ -56,13 +71,15 @@ pub(crate) fn bob_phase(
     b: &CsrMatrix,
     params: &BaselineParams,
     pub_seed: Seed,
+    cache: Option<&SketchCache>,
 ) -> Result<(), CommError> {
-    let sketch = make_sketch(params, b.cols(), pub_seed);
-    link.send(
-        round,
-        "baseline-row-sketches",
-        &WSkMat(sketch.sketch_rows(b)),
-    )
+    let skb = match cache {
+        Some(c) => c.norm(cache_key(params, b.cols(), pub_seed), || {
+            make_sketch(params, b.cols(), pub_seed).sketch_rows(b)
+        }),
+        None => Arc::new(make_sketch(params, b.cols(), pub_seed).sketch_rows(b)),
+    };
+    link.send(round, "baseline-row-sketches", &WSkMatShared(skb))
 }
 
 /// Alice's phase: combines and sums per-row estimates.
@@ -113,7 +130,15 @@ impl Protocol for LpBaseline {
         params: &BaselineParams,
     ) -> Result<ProtocolRun<f64>, CommError> {
         let (a, b) = ctx.csr_halves();
-        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), ctx.executor())
+        run_unchecked(
+            a,
+            b,
+            ctx.dims(),
+            params,
+            ctx.seed(),
+            Some(ctx.sketch_cache()),
+            ctx.executor(),
+        )
     }
 }
 
@@ -123,6 +148,7 @@ pub(crate) fn run_unchecked(
     dims: ProductDims,
     params: &BaselineParams,
     seed: Seed,
+    cache: Option<&SketchCache>,
     exec: Exec<'_>,
 ) -> Result<ProtocolRun<f64>, CommError> {
     check_eps(params.eps)?;
@@ -139,7 +165,7 @@ pub(crate) fn run_unchecked(
         a,
         b,
         |link, a| alice_phase(link, a, b_cols, params, pub_seed),
-        |link, b| bob_phase(link, 0, b, params, pub_seed),
+        |link, b| bob_phase(link, 0, b, params, pub_seed, cache),
     )?;
     Ok(ProtocolRun {
         output: outcome.alice,

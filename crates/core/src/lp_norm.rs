@@ -25,13 +25,15 @@ use crate::config::{check_eps, Constants};
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
 use crate::session::{ProductDims, SessionCtx};
-use crate::wire::{WSkMat, WSparseVec};
+use crate::sketchcache::{pnorm_bits, SketchCache, SketchKey, SketchKind};
+use crate::wire::{WSkMat, WSkMatShared, WSparseVec};
 use mpest_comm::{execute_split, CommError, Exec, Link, Seed};
 use mpest_matrix::norms::sparse_lp_pow;
 use mpest_matrix::{CsrMatrix, PNorm, SparseVec};
 use mpest_sketch::NormSketch;
 use rand::Rng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Parameters of the `ℓp`-norm protocol.
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +63,7 @@ impl LpParams {
         }
     }
 
-    fn validate(&self) -> Result<(), CommError> {
+    pub(crate) fn validate(&self) -> Result<(), CommError> {
         check_eps(self.eps)?;
         if !self.p.supported_by_lp_protocol() {
             return Err(CommError::protocol(format!(
@@ -81,7 +83,7 @@ impl LpParams {
             .clamp(1e-6, 1.0)
     }
 
-    fn sketch(&self, dim: usize, pub_seed: Seed) -> NormSketch {
+    pub(crate) fn sketch(&self, dim: usize, pub_seed: Seed) -> NormSketch {
         NormSketch::for_norm(
             self.p,
             dim,
@@ -89,6 +91,22 @@ impl LpParams {
             self.consts.sketch_reps,
             pub_seed.derive("lp-sketch").0,
         )
+    }
+
+    /// The memo-store identity of the round-1 row sketches of `B` that
+    /// [`LpParams::sketch`] would build — shared by `bob_phase` and the
+    /// engine's batch prewarm, so both address the same entry.
+    pub(crate) fn cache_key(&self, dim: usize, pub_seed: Seed) -> SketchKey {
+        SketchKey {
+            kind: SketchKind::LpRowsB,
+            seed: pub_seed.derive("lp-sketch").0,
+            dim,
+            params: [
+                pnorm_bits(self.p),
+                self.beta().to_bits(),
+                self.consts.sketch_reps as u64,
+            ],
+        }
     }
 }
 
@@ -179,10 +197,20 @@ pub(crate) fn bob_phase(
     b: &CsrMatrix,
     params: &LpParams,
     pub_seed: Seed,
+    cache: Option<&SketchCache>,
 ) -> Result<f64, CommError> {
-    let sketch = params.sketch(b.cols().max(1), pub_seed);
-    let skb = sketch.sketch_rows(b);
-    link.send(base_round, "lp-row-sketches", &WSkMat(skb))?;
+    let dim = b.cols().max(1);
+    let sketch = params.sketch(dim, pub_seed);
+    // The row sketches are a pure function of (params, derived seed, B):
+    // consult the session memo store — a batch prewarm or an earlier
+    // replay may have built them already — before paying the matrix
+    // pass. The encoding (and hence the transcript) is identical either
+    // way.
+    let skb = match cache {
+        Some(c) => c.norm(params.cache_key(dim, pub_seed), || sketch.sketch_rows(b)),
+        None => Arc::new(sketch.sketch_rows(b)),
+    };
+    link.send(base_round, "lp-row-sketches", &WSkMatShared(skb))?;
     let sampled: Vec<(u32, f64, WSparseVec)> = link.recv("lp-sampled-rows")?;
     let mut estimate = 0.0f64;
     for (i, p_i, row) in sampled {
@@ -222,7 +250,15 @@ impl Protocol for LpNorm {
         params: &LpParams,
     ) -> Result<ProtocolRun<f64>, CommError> {
         let (a, b) = ctx.csr_halves();
-        run_unchecked(a, b, ctx.dims(), params, ctx.seed(), ctx.executor())
+        run_unchecked(
+            a,
+            b,
+            ctx.dims(),
+            params,
+            ctx.seed(),
+            Some(ctx.sketch_cache()),
+            ctx.executor(),
+        )
     }
 }
 
@@ -232,6 +268,7 @@ pub(crate) fn run_unchecked(
     dims: ProductDims,
     params: &LpParams,
     seed: Seed,
+    cache: Option<&SketchCache>,
     exec: Exec<'_>,
 ) -> Result<ProtocolRun<f64>, CommError> {
     params.validate()?;
@@ -243,7 +280,7 @@ pub(crate) fn run_unchecked(
         a,
         b,
         |link, a| alice_phase(link, 0, a, b_cols, params, pub_seed, alice_seed),
-        |link, b| bob_phase(link, 0, b, params, pub_seed),
+        |link, b| bob_phase(link, 0, b, params, pub_seed, cache),
     )?;
     Ok(ProtocolRun {
         output: outcome.bob,

@@ -32,6 +32,7 @@ use std::sync::OnceLock;
 use crate::config::check_dims;
 use crate::protocol::Protocol;
 use crate::result::ProtocolRun;
+use crate::sketchcache::SketchCache;
 use crate::stream::{UpdateBatch, UpdateOp, UpdateSide};
 use mpest_comm::remote::{FrameIo, RemoteCtx};
 use mpest_comm::{CommError, Exec, ExecBackend, Role, Seed};
@@ -130,6 +131,7 @@ pub struct Session {
     epoch: u64,
     a_cache: HalfCache,
     b_cache: HalfCache,
+    sketches: SketchCache,
     exact: OnceLock<CsrMatrix>,
 }
 
@@ -151,6 +153,7 @@ impl Session {
             epoch: 0,
             a_cache: HalfCache::default(),
             b_cache: HalfCache::default(),
+            sketches: SketchCache::default(),
             exact: OnceLock::new(),
         }
     }
@@ -427,6 +430,9 @@ impl Session {
             }
         }
         self.exact.take();
+        // Cached sketches are content-addressed only while the pair is
+        // frozen: any mutation invalidates all of them.
+        self.sketches.clear();
         self.epoch += 1;
         Ok(self.epoch)
     }
@@ -810,6 +816,7 @@ pub struct PartyView {
     role: Role,
     own: Half,
     cache: HalfCache,
+    sketches: SketchCache,
     peer: PeerInfo,
     dims: Result<(), CommError>,
     epoch: u64,
@@ -829,6 +836,7 @@ impl PartyView {
             role,
             own,
             cache: HalfCache::default(),
+            sketches: SketchCache::default(),
             peer,
             dims,
             epoch: 0,
@@ -940,6 +948,7 @@ impl PartyView {
         for (_, op) in &normalized {
             apply_half_op(&mut self.own, &mut self.cache, op);
         }
+        self.sketches.clear();
         self.epoch += 1;
         Ok(self.epoch)
     }
@@ -1332,6 +1341,19 @@ impl<'a> SessionCtx<'a> {
         })
     }
 
+    /// The sketch memo store of whichever parties back this context —
+    /// the [`Session`]'s for a full pair, the [`PartyView`]'s for a
+    /// storage-split role. Protocol phases consult it for public-coin
+    /// sketch matrices keyed by fully derived seeds (see
+    /// [`crate::sketchcache`]); the engine's batch prewarm fills it via
+    /// fused multi-seed kernel passes.
+    pub(crate) fn sketch_cache(&self) -> &'a SketchCache {
+        match self.parties {
+            Parties::Both(s) => &s.sketches,
+            Parties::One(v) => &v.sketches,
+        }
+    }
+
     /// Cached CSR transpose of `A`, when local.
     #[must_use]
     pub fn a_transpose(&self) -> Option<&'a CsrMatrix> {
@@ -1425,6 +1447,8 @@ pub(crate) struct Reuse<'a> {
     pub a_col_nnz: Option<&'a [u32]>,
     /// Per-row support sizes of `B`.
     pub b_row_nnz: Option<&'a [u32]>,
+    /// Session-scoped memo store for public-coin sketch matrices.
+    pub sketches: Option<&'a SketchCache>,
 }
 
 #[cfg(test)]

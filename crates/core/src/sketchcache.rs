@@ -1,0 +1,240 @@
+//! Cross-query memoization of *public-coin* sketch matrices.
+//!
+//! Every sketch a protocol phase builds over a session half is a pure
+//! function of `(sketch parameters, fully derived sketch seed, matrix
+//! content)`. The matrix content is pinned by the owning [`Session`]
+//! or [`PartyView`] (the cache is cleared whenever an update batch
+//! mutates a half), so a key of *kind + derived seed + parameters*
+//! identifies a sketch matrix exactly. That makes three reuse patterns
+//! free:
+//!
+//! * **replays** — `estimate_seeded` under a pinned seed rebuilds
+//!   nothing on the second call;
+//! * **engine prewarm** — a batch groups same-kind jobs and builds all
+//!   of them in one fused multi-seed matrix pass
+//!   ([`mpest_sketch::sketch_rows_multi`]), inserting each result here
+//!   so the in-phase lookups hit;
+//! * **serve** — clients that pin seeds get cached answers no matter
+//!   how queries interleave.
+//!
+//! Reuse never changes outputs or transcripts: the fused kernels are
+//! bit-identical to the in-phase builds (the contract
+//! `crates/sketch/tests/kernel_equivalence.rs` enforces), and a cached
+//! matrix is byte-for-byte what the phase would have sent.
+//!
+//! [`Session`]: crate::Session
+//! [`PartyView`]: crate::PartyView
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use mpest_matrix::{DenseMatrix, PNorm};
+use mpest_sketch::{SkMat, M61};
+
+/// Which protocol phase builds the sketch, and over which half — part
+/// of the cache key, so protocols can never alias each other's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum SketchKind {
+    /// `lp` round-1: coarse `ℓp` sketches of the rows of `B`.
+    LpRowsB,
+    /// `lp-baseline`: full-accuracy `ℓp` sketches of the rows of `B`.
+    BaselineRowsB,
+    /// `l0-sample`: `ℓ0` norm sketches of the rows of `Aᵀ`.
+    L0NormRowsAt,
+    /// `l0-sample`: `ℓ0` sampler sketches of the rows of `Aᵀ`.
+    L0SamplerRowsAt,
+    /// `linf-general`: block-AMS sketches of the rows of `Aᵀ`.
+    BlockAmsRowsAt,
+}
+
+/// Full identity of one cached sketch matrix. `seed` is the *fully
+/// derived* sketch seed (already below the per-query public seed), and
+/// `params` pins every remaining constructor argument, so two queries
+/// share an entry iff they would build bit-identical sketches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct SketchKey {
+    /// Which phase/half the sketch belongs to.
+    pub kind: SketchKind,
+    /// Fully derived sketch seed.
+    pub seed: u64,
+    /// Sketch input dimension.
+    pub dim: usize,
+    /// Kind-specific constructor parameters, as bits (norm, accuracy,
+    /// repetition counts, `κ`, …).
+    pub params: [u64; 3],
+}
+
+/// A stable bit encoding of a [`PNorm`] for [`SketchKey::params`].
+pub(crate) fn pnorm_bits(p: PNorm) -> u64 {
+    match p {
+        PNorm::Zero => u64::MAX,
+        PNorm::Inf => u64::MAX - 1,
+        PNorm::P(x) => x.to_bits(),
+    }
+}
+
+/// A memoized sketch matrix, word-type erased like the wire layer.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedSketch {
+    /// A [`NormSketch`](mpest_sketch::NormSketch)-shaped matrix (also
+    /// used for real-word single sketches via [`SkMat::Real`]).
+    Norm(Arc<SkMat>),
+    /// A field-word matrix (the `ℓ0` norm/sampler sketches).
+    Field(Arc<DenseMatrix<M61>>),
+}
+
+/// The per-session (and per-[`PartyView`](crate::PartyView)) sketch
+/// store. Interior-mutable so `&Session` queries can fill it; cleared
+/// wholesale by `apply_update` (sketches are content-addressed only
+/// while the pair is frozen).
+#[derive(Debug, Default)]
+pub(crate) struct SketchCache {
+    map: Mutex<HashMap<SketchKey, CachedSketch>>,
+}
+
+/// Entry cap: one engine batch prewarm plus in-phase inserts stay far
+/// below this; a long pinned-seed serve session cannot grow without
+/// bound. Crossing the cap clears the map (entries are cheap to
+/// rebuild and never load-bearing).
+const CACHE_CAP: usize = 128;
+
+impl SketchCache {
+    /// Drops every entry (update batches, cap overflow).
+    pub(crate) fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Number of live entries (tests and diagnostics).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<SketchKey, CachedSketch>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// First-insert-wins put: under a race, every caller ends up
+    /// holding the same `Arc`, and the cap keeps the map bounded.
+    fn put(&self, key: SketchKey, value: CachedSketch) -> CachedSketch {
+        let mut map = self.lock();
+        if map.len() >= CACHE_CAP && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.entry(key).or_insert(value).clone()
+    }
+
+    /// The word-type-erased sketch matrix under `key`, building (outside
+    /// the lock) and inserting on miss.
+    pub(crate) fn norm(&self, key: SketchKey, build: impl FnOnce() -> SkMat) -> Arc<SkMat> {
+        if let Some(CachedSketch::Norm(m)) = self.lock().get(&key).cloned() {
+            return m;
+        }
+        let built = Arc::new(build());
+        match self.put(key, CachedSketch::Norm(Arc::clone(&built))) {
+            CachedSketch::Norm(m) => m,
+            CachedSketch::Field(_) => built,
+        }
+    }
+
+    /// The field-word sketch matrix under `key`, building (outside the
+    /// lock) and inserting on miss.
+    pub(crate) fn field(
+        &self,
+        key: SketchKey,
+        build: impl FnOnce() -> DenseMatrix<M61>,
+    ) -> Arc<DenseMatrix<M61>> {
+        if let Some(CachedSketch::Field(m)) = self.lock().get(&key).cloned() {
+            return m;
+        }
+        let built = Arc::new(build());
+        match self.put(key, CachedSketch::Field(Arc::clone(&built))) {
+            CachedSketch::Field(m) => m,
+            CachedSketch::Norm(_) => built,
+        }
+    }
+
+    /// Prewarm insert of a word-type-erased matrix (engine batch path).
+    pub(crate) fn insert_norm(&self, key: SketchKey, m: SkMat) {
+        let _ = self.put(key, CachedSketch::Norm(Arc::new(m)));
+    }
+
+    /// Prewarm insert of a field-word matrix (engine batch path).
+    pub(crate) fn insert_field(&self, key: SketchKey, m: DenseMatrix<M61>) {
+        let _ = self.put(key, CachedSketch::Field(Arc::new(m)));
+    }
+
+    /// Whether `key` is already resident (prewarm dedup).
+    pub(crate) fn contains(&self, key: SketchKey) -> bool {
+        self.lock().contains_key(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> SketchKey {
+        SketchKey {
+            kind: SketchKind::LpRowsB,
+            seed,
+            dim: 8,
+            params: [pnorm_bits(PNorm::ONE), 0.5f64.to_bits(), 5],
+        }
+    }
+
+    #[test]
+    fn build_once_then_share() {
+        let cache = SketchCache::default();
+        let mut builds = 0;
+        let m1 = cache.norm(key(1), || {
+            builds += 1;
+            SkMat::Real(DenseMatrix::from_vec(1, 2, vec![1.0, 2.0]))
+        });
+        let m2 = cache.norm(key(1), || {
+            builds += 1;
+            SkMat::Real(DenseMatrix::from_vec(1, 2, vec![9.0, 9.0]))
+        });
+        assert_eq!(builds, 1, "second lookup must hit");
+        assert!(Arc::ptr_eq(&m1, &m2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_entries() {
+        let cache = SketchCache::default();
+        let _ = cache.field(key(1), || DenseMatrix::from_vec(1, 1, vec![M61::new(3)]));
+        let _ = cache.field(key(2), || DenseMatrix::from_vec(1, 1, vec![M61::new(4)]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(key(1)));
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn cap_clears_instead_of_growing() {
+        let cache = SketchCache::default();
+        for s in 0..(CACHE_CAP as u64 + 3) {
+            cache.insert_field(key(s), DenseMatrix::from_vec(1, 1, vec![M61::new(s)]));
+        }
+        assert!(cache.len() <= CACHE_CAP);
+        // The entries inserted after the clear are present.
+        assert!(cache.contains(key(CACHE_CAP as u64 + 2)));
+    }
+
+    #[test]
+    fn pnorm_bits_are_injective_on_supported_norms() {
+        let ps = [
+            pnorm_bits(PNorm::Zero),
+            pnorm_bits(PNorm::ONE),
+            pnorm_bits(PNorm::TWO),
+            pnorm_bits(PNorm::P(0.5)),
+            pnorm_bits(PNorm::Inf),
+        ];
+        for (i, a) in ps.iter().enumerate() {
+            for b in &ps[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -91,26 +91,33 @@ impl Wire for WIndexVec {
 #[derive(Debug, Clone, PartialEq)]
 pub struct WSkMat(pub SkMat);
 
-impl Wire for WSkMat {
-    fn encode(&self, w: &mut BitWriter) {
-        match &self.0 {
-            SkMat::Real(m) => {
-                w.write_bit(false);
-                w.write_varint(m.rows() as u64);
-                w.write_varint(m.cols() as u64);
-                for &x in m.as_slice() {
-                    w.write_f64(x);
-                }
-            }
-            SkMat::Field(m) => {
-                w.write_bit(true);
-                w.write_varint(m.rows() as u64);
-                w.write_varint(m.cols() as u64);
-                for &x in m.as_slice() {
-                    w.write_bits(x.value(), 61);
-                }
+/// The shared encoding behind [`WSkMat`] and [`WSkMatShared`]: the two
+/// wrappers are byte-identical on the wire, so a cached `Arc` sketch can
+/// answer a peer that decodes the owned form.
+fn encode_skmat(m: &SkMat, w: &mut BitWriter) {
+    match m {
+        SkMat::Real(m) => {
+            w.write_bit(false);
+            w.write_varint(m.rows() as u64);
+            w.write_varint(m.cols() as u64);
+            for &x in m.as_slice() {
+                w.write_f64(x);
             }
         }
+        SkMat::Field(m) => {
+            w.write_bit(true);
+            w.write_varint(m.rows() as u64);
+            w.write_varint(m.cols() as u64);
+            for &x in m.as_slice() {
+                w.write_bits(x.value(), 61);
+            }
+        }
+    }
+}
+
+impl Wire for WSkMat {
+    fn encode(&self, w: &mut BitWriter) {
+        encode_skmat(&self.0, w);
     }
 
     fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
@@ -140,17 +147,39 @@ impl Wire for WSkMat {
     }
 }
 
+/// Arc-backed counterpart of [`WSkMat`] for cache-resident sketches:
+/// byte-identical on the wire, but sends straight out of the session's
+/// sketch memo store without cloning the matrix. Decodes into a fresh
+/// `Arc`, so the two wrappers interoperate across a channel.
+#[derive(Debug, Clone)]
+pub struct WSkMatShared(pub std::sync::Arc<SkMat>);
+
+impl Wire for WSkMatShared {
+    fn encode(&self, w: &mut BitWriter) {
+        encode_skmat(&self.0, w);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        WSkMat::decode(r).map(|m| Self(std::sync::Arc::new(m.0)))
+    }
+}
+
 /// A dense field matrix (the `ℓ0`-sampler sketches of Theorem 3.2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WFieldMat(pub DenseMatrix<M61>);
 
+/// The shared encoding behind [`WFieldMat`] and [`WFieldMatShared`].
+fn encode_field_mat(m: &DenseMatrix<M61>, w: &mut BitWriter) {
+    w.write_varint(m.rows() as u64);
+    w.write_varint(m.cols() as u64);
+    for &x in m.as_slice() {
+        w.write_bits(x.value(), 61);
+    }
+}
+
 impl Wire for WFieldMat {
     fn encode(&self, w: &mut BitWriter) {
-        w.write_varint(self.0.rows() as u64);
-        w.write_varint(self.0.cols() as u64);
-        for &x in self.0.as_slice() {
-            w.write_bits(x.value(), 61);
-        }
+        encode_field_mat(&self.0, w);
     }
 
     fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
@@ -166,6 +195,20 @@ impl Wire for WFieldMat {
             data.push(M61::new(r.read_bits(61)?));
         }
         Ok(WFieldMat(DenseMatrix::from_vec(rows, cols, data)))
+    }
+}
+
+/// Arc-backed counterpart of [`WFieldMat`] (see [`WSkMatShared`]).
+#[derive(Debug, Clone)]
+pub struct WFieldMatShared(pub std::sync::Arc<DenseMatrix<M61>>);
+
+impl Wire for WFieldMatShared {
+    fn encode(&self, w: &mut BitWriter) {
+        encode_field_mat(&self.0, w);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CommError> {
+        WFieldMat::decode(r).map(|m| Self(std::sync::Arc::new(m.0)))
     }
 }
 

@@ -8,7 +8,8 @@
 //! also the per-block estimator inside the Theorem 4.8 `ℓ∞` sketch.
 
 use crate::hash::{derive, PolyHash};
-use crate::linear;
+use crate::kernel::{self, ColumnSink, SketchKernel};
+use crate::linear::{self, ColumnScatter};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 
 /// An AMS sketch of dimension-`dim` integer vectors.
@@ -82,13 +83,22 @@ impl AmsSketch {
     /// Sketches a sparse vector.
     #[must_use]
     pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<f64> {
-        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        } else {
+            linear::sketch_entries_scatter(self, entries)
+        }
     }
 
-    /// Sketches every row of `m` (row `i` of the result is `sk(M_{i,*})`).
+    /// Sketches every row of `m` (row `i` of the result is `sk(M_{i,*})`;
+    /// memoized kernel, bit-identical to the closure reference).
     #[must_use]
     pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<f64> {
-        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        } else {
+            kernel::sketch_rows_tab(self, m)
+        }
     }
 
     /// Estimates `‖x‖₂²` from a sketch vector (median of group means).
@@ -110,6 +120,63 @@ impl AmsSketch {
     #[must_use]
     pub fn estimate_norm(&self, sk: &[f64]) -> f64 {
         self.estimate_sq(sk).max(0.0).sqrt()
+    }
+}
+
+impl ColumnScatter for AmsSketch {
+    type Word = f64;
+
+    fn scatter_rows(&self) -> usize {
+        self.rows()
+    }
+
+    #[inline]
+    fn scatter(&self, i: u64, v: i64, acc: &mut [f64]) {
+        let vf = v as f64;
+        for (o, h) in acc.iter_mut().zip(&self.signs) {
+            *o += h.sign(i) as f64 * vf;
+        }
+    }
+}
+
+impl SketchKernel for AmsSketch {
+    type Word = f64;
+
+    fn kernel_rows(&self) -> usize {
+        self.rows()
+    }
+
+    fn dense_stride(&self) -> Option<usize> {
+        // Every sign row is nonzero for every column: dense layout, the
+        // scatter becomes a straight zip-FMA over `rows()` counters.
+        Some(self.rows())
+    }
+
+    fn column_arity_hint(&self) -> usize {
+        self.rows()
+    }
+
+    fn append_columns(&self, ids: &[u64], sink: &mut ColumnSink<f64>) {
+        let n = self.rows();
+        let mut coef_s = vec![0f64; n * 4];
+        let mut chunks = ids.chunks_exact(4);
+        for ch in &mut chunks {
+            let xs = [ch[0], ch[1], ch[2], ch[3]];
+            for (r, h) in self.signs.iter().enumerate() {
+                let ss = h.sign4(xs);
+                for l in 0..4 {
+                    coef_s[l * n + r] = ss[l] as f64;
+                }
+            }
+            for &c in &coef_s {
+                sink.push_dense(c);
+            }
+        }
+        for &i in chunks.remainder() {
+            for h in &self.signs {
+                sink.push_dense(h.sign(i) as f64);
+            }
+        }
     }
 }
 
@@ -185,6 +252,17 @@ mod tests {
         let rows = s.sketch_rows(&m);
         for i in 0..3 {
             assert_eq!(rows.row(i), s.sketch_entries(&m.row_vec(i).entries));
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_bitwise() {
+        let m = CsrMatrix::from_triplets(3, 10, vec![(0, 1, 4), (1, 2, -2), (1, 7, 1), (2, 9, 3)]);
+        let s = AmsSketch::new(10, 0.5, 3, 5);
+        let fast = s.sketch_rows(&m);
+        let slow = linear::sketch_rows::<f64, _>(s.rows(), &m, |i, buf| s.column(i, buf));
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

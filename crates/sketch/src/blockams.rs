@@ -8,7 +8,8 @@
 //! to all columns of `C = A·B`.
 
 use crate::hash::{derive, PolyHash};
-use crate::linear::{self};
+use crate::kernel::{self, ColumnSink, SketchKernel};
+use crate::linear::{self, ColumnScatter};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 
 /// A block-AMS `ℓ∞` sketch with `reps` counters per block.
@@ -73,13 +74,22 @@ impl BlockAmsSketch {
     /// Sketches a sparse vector.
     #[must_use]
     pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<f64> {
-        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        } else {
+            linear::sketch_entries_scatter(self, entries)
+        }
     }
 
-    /// Sketches every row of `m`.
+    /// Sketches every row of `m` (memoized kernel; bit-identical to the
+    /// closure reference).
     #[must_use]
     pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<f64> {
-        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        } else {
+            kernel::sketch_rows_tab(self, m)
+        }
     }
 
     /// Estimates `‖x‖∞` within a `κ(1+o(1))` factor: the maximum over
@@ -102,9 +112,80 @@ impl BlockAmsSketch {
     }
 }
 
+impl ColumnScatter for BlockAmsSketch {
+    type Word = f64;
+
+    fn scatter_rows(&self) -> usize {
+        self.rows()
+    }
+
+    #[inline]
+    fn scatter(&self, i: u64, v: i64, acc: &mut [f64]) {
+        let block = i as usize / self.block_size;
+        let vf = v as f64;
+        for (r, h) in self.signs.iter().enumerate() {
+            acc[block * self.reps + r] += h.sign(i) as f64 * vf;
+        }
+    }
+}
+
+impl SketchKernel for BlockAmsSketch {
+    type Word = f64;
+
+    fn kernel_rows(&self) -> usize {
+        self.rows()
+    }
+
+    fn column_arity_hint(&self) -> usize {
+        self.reps
+    }
+
+    fn append_columns(&self, ids: &[u64], sink: &mut ColumnSink<f64>) {
+        let mut row_s = vec![0u32; self.reps * 4];
+        let mut coef_s = vec![0f64; self.reps * 4];
+        let mut chunks = ids.chunks_exact(4);
+        for ch in &mut chunks {
+            let xs = [ch[0], ch[1], ch[2], ch[3]];
+            for (r, h) in self.signs.iter().enumerate() {
+                let ss = h.sign4(xs);
+                for l in 0..4 {
+                    let block = xs[l] as usize / self.block_size;
+                    row_s[r * 4 + l] = (block * self.reps + r) as u32;
+                    coef_s[r * 4 + l] = ss[l] as f64;
+                }
+            }
+            for l in 0..4 {
+                for r in 0..self.reps {
+                    sink.push(row_s[r * 4 + l], coef_s[r * 4 + l]);
+                }
+                sink.end_column();
+            }
+        }
+        for &i in chunks.remainder() {
+            let block = i as usize / self.block_size;
+            for (r, h) in self.signs.iter().enumerate() {
+                sink.push((block * self.reps + r) as u32, h.sign(i) as f64);
+            }
+            sink.end_column();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kernel_matches_reference_bitwise() {
+        let m =
+            CsrMatrix::from_triplets(3, 100, vec![(0, 0, 1), (0, 99, -4), (1, 50, 7), (2, 3, 2)]);
+        let s = BlockAmsSketch::new(100, 3, 5, 7);
+        let fast = s.sketch_rows(&m);
+        let slow = linear::sketch_rows::<f64, _>(s.rows(), &m, |i, buf| s.column(i, buf));
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
 
     #[test]
     fn shape() {

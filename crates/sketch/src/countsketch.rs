@@ -6,7 +6,8 @@
 //! and it provides candidate verification for heavy-hitter experiments.
 
 use crate::hash::{derive, PolyHash};
-use crate::linear::{self};
+use crate::kernel::{self, ColumnSink, SketchKernel};
+use crate::linear::{self, ColumnScatter};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 
 /// A CountSketch with `depth` independent rows of `width` buckets.
@@ -22,6 +23,12 @@ pub struct CountSketch {
 impl CountSketch {
     /// Creates a sketch; point queries have additive error
     /// `O(‖x‖₂ / √width)` with failure probability `exp(−Ω(depth))`.
+    ///
+    /// **Invariant:** `depth` is rounded up to the next odd value when
+    /// even (the median estimator needs an odd count), so
+    /// [`CountSketch::rows`] is `round_odd(depth) · width`, not
+    /// `depth · width`. Both parties must construct from the same
+    /// requested `depth` for sketch lengths to agree.
     ///
     /// # Panics
     ///
@@ -73,16 +80,32 @@ impl CountSketch {
     /// Sketches a sparse vector.
     #[must_use]
     pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<f64> {
-        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        } else {
+            linear::sketch_entries_scatter(self, entries)
+        }
     }
 
-    /// Sketches every row of `m`.
+    /// Sketches every row of `m` (memoized kernel; bit-identical to the
+    /// closure reference).
     #[must_use]
     pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<f64> {
-        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        } else {
+            kernel::sketch_rows_tab(self, m)
+        }
     }
 
+    /// Depth cap below which `point_query` estimates live on the stack.
+    const QUERY_STACK_DEPTH: usize = 33;
+
     /// Point query: estimates `x_i` from a sketch vector.
+    ///
+    /// Per-row estimates are collected in a fixed-size stack array for
+    /// depths up to `QUERY_STACK_DEPTH` (33; a heap `Vec` past
+    /// that), so the hot heavy-hitter verification loop is allocation-free.
     ///
     /// # Panics
     ///
@@ -90,13 +113,83 @@ impl CountSketch {
     #[must_use]
     pub fn point_query(&self, sk: &[f64], i: u64) -> f64 {
         assert_eq!(sk.len(), self.rows(), "sketch length mismatch");
-        let mut ests: Vec<f64> = (0..self.depth)
-            .map(|r| {
+        let mut stack = [0.0f64; Self::QUERY_STACK_DEPTH];
+        let mut heap: Vec<f64>;
+        let ests: &mut [f64] = if self.depth <= Self::QUERY_STACK_DEPTH {
+            &mut stack[..self.depth]
+        } else {
+            heap = vec![0.0; self.depth];
+            &mut heap
+        };
+        for (r, e) in ests.iter_mut().enumerate() {
+            let b = self.buckets[r].bucket(i, self.width);
+            *e = sk[r * self.width + b] * self.signs[r].sign(i) as f64;
+        }
+        linear::median_f64(ests)
+    }
+}
+
+impl ColumnScatter for CountSketch {
+    type Word = f64;
+
+    fn scatter_rows(&self) -> usize {
+        self.rows()
+    }
+
+    #[inline]
+    fn scatter(&self, i: u64, v: i64, acc: &mut [f64]) {
+        // Same (row, coeff) order as `column()` — bit-identical sums.
+        for r in 0..self.depth {
+            let b = self.buckets[r].bucket(i, self.width);
+            let s = self.signs[r].sign(i) as f64;
+            let idx = r * self.width + b;
+            acc[idx] += s * v as f64;
+        }
+    }
+}
+
+impl SketchKernel for CountSketch {
+    type Word = f64;
+
+    fn kernel_rows(&self) -> usize {
+        self.rows()
+    }
+
+    fn column_arity_hint(&self) -> usize {
+        self.depth
+    }
+
+    fn append_columns(&self, ids: &[u64], sink: &mut ColumnSink<f64>) {
+        // Four columns at a time: each depth-row hashes all four lanes in
+        // one eval4 pass; the scratch regroups lanes back into per-column
+        // order before pushing, preserving the reference entry order.
+        let mut row_s = vec![0u32; self.depth * 4];
+        let mut coef_s = vec![0f64; self.depth * 4];
+        let mut chunks = ids.chunks_exact(4);
+        for ch in &mut chunks {
+            let xs = [ch[0], ch[1], ch[2], ch[3]];
+            for r in 0..self.depth {
+                let bs = self.buckets[r].bucket4(xs, self.width);
+                let ss = self.signs[r].sign4(xs);
+                for l in 0..4 {
+                    row_s[r * 4 + l] = (r * self.width + bs[l]) as u32;
+                    coef_s[r * 4 + l] = ss[l] as f64;
+                }
+            }
+            for l in 0..4 {
+                for r in 0..self.depth {
+                    sink.push(row_s[r * 4 + l], coef_s[r * 4 + l]);
+                }
+                sink.end_column();
+            }
+        }
+        for &i in chunks.remainder() {
+            for r in 0..self.depth {
                 let b = self.buckets[r].bucket(i, self.width);
-                sk[r * self.width + b] * self.signs[r].sign(i) as f64
-            })
-            .collect();
-        linear::median_f64(&mut ests)
+                sink.push((r * self.width + b) as u32, self.signs[r].sign(i) as f64);
+            }
+            sink.end_column();
+        }
     }
 }
 
@@ -146,6 +239,53 @@ mod tests {
         for r in 0..cs.rows() {
             assert!((sm[r] - (sx[r] + sy[r])).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn even_depth_rounds_up_to_odd() {
+        // Pin the rounding invariant: rows() for even requested depths
+        // must equal (depth + 1) * width, so both parties agree on sketch
+        // length regardless of which constructor argument they started
+        // from.
+        for (depth, width) in [(2usize, 8usize), (4, 16), (6, 3), (100, 5)] {
+            let cs = CountSketch::new(64, depth, width, 9);
+            assert_eq!(cs.rows(), (depth + 1) * width, "depth {depth}");
+        }
+        for (depth, width) in [(1usize, 8usize), (3, 16), (7, 3)] {
+            let cs = CountSketch::new(64, depth, width, 9);
+            assert_eq!(cs.rows(), depth * width, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_bitwise() {
+        let m = CsrMatrix::from_triplets(
+            4,
+            200,
+            vec![(0, 5, 2), (0, 7, -3), (1, 7, 9), (2, 199, 1), (3, 0, -8)],
+        );
+        let cs = CountSketch::new(200, 5, 16, 11);
+        let fast = cs.sketch_rows(&m);
+        let slow = crate::linear::sketch_rows::<f64, _>(cs.rows(), &m, |i, buf| cs.column(i, buf));
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let entries = [(5u32, 2i64), (7, -3), (199, 4)];
+        let ef = cs.sketch_entries(&entries);
+        let es = crate::linear::sketch_entries::<f64, _>(cs.rows(), &entries, |i, buf| {
+            cs.column(i, buf)
+        });
+        for (a, b) in ef.iter().zip(&es) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn point_query_deep_sketch_uses_heap_path() {
+        let cs = CountSketch::new(500, 41, 32, 13);
+        assert!(cs.rows() > CountSketch::QUERY_STACK_DEPTH * 32);
+        let sk = cs.sketch_entries(&[(123, 42)]);
+        assert_eq!(cs.point_query(&sk, 123), 42.0);
     }
 
     #[test]

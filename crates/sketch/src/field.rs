@@ -101,6 +101,58 @@ impl M61 {
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
+
+    /// Four-lane add: `[a_l + b_l; 4]`.
+    ///
+    /// Field arithmetic is exact, so each lane is identical to the scalar
+    /// operator — the lane forms exist purely so independent hash chains
+    /// evaluate with instruction-level parallelism (explicit `[u64; 4]`
+    /// chunking LLVM can keep in registers / vectorize on stable).
+    #[inline]
+    #[must_use]
+    pub fn add4(a: [M61; 4], b: [M61; 4]) -> [M61; 4] {
+        let mut out = [M61::ZERO; 4];
+        for l in 0..4 {
+            out[l] = M61(fold(a[l].0 + b[l].0));
+        }
+        out
+    }
+
+    /// Four-lane multiply: `[a_l · b_l; 4]` via `[u128; 4]` products.
+    #[inline]
+    #[must_use]
+    pub fn mul4(a: [M61; 4], b: [M61; 4]) -> [M61; 4] {
+        let mut prod = [0u128; 4];
+        for l in 0..4 {
+            prod[l] = u128::from(a[l].0) * u128::from(b[l].0);
+        }
+        let mut out = [M61::ZERO; 4];
+        for l in 0..4 {
+            let lo = (prod[l] & u128::from(MODULUS)) as u64;
+            let hi = (prod[l] >> 61) as u64;
+            out[l] = M61(fold(lo + hi));
+        }
+        out
+    }
+
+    /// Four-lane fused Horner step: `[a_l · b_l + c; 4]` (`c` broadcast).
+    /// Lane `l` computes exactly `a[l] * b[l] + c` — same folds, same
+    /// result bits as the scalar ops.
+    #[inline]
+    #[must_use]
+    pub fn mul_add4(a: [M61; 4], b: [M61; 4], c: M61) -> [M61; 4] {
+        let mut prod = [0u128; 4];
+        for l in 0..4 {
+            prod[l] = u128::from(a[l].0) * u128::from(b[l].0);
+        }
+        let mut out = [M61::ZERO; 4];
+        for l in 0..4 {
+            let lo = (prod[l] & u128::from(MODULUS)) as u64;
+            let hi = (prod[l] >> 61) as u64;
+            out[l] = M61(fold(fold(lo + hi) + c.0));
+        }
+        out
+    }
 }
 
 impl std::ops::Add for M61 {
@@ -224,6 +276,31 @@ mod tests {
         assert_eq!(Ring::add(a, b), a + b);
         assert_eq!(Ring::mul(a, b), a * b);
         assert!(Ring::is_zero(M61::ZERO));
+    }
+
+    #[test]
+    fn lane_helpers_match_scalar_ops_exactly() {
+        let xs = [
+            M61::new(0),
+            M61::new(MODULUS - 1),
+            M61::new(u64::MAX),
+            M61::new(0x1234_5678_9abc_def0),
+        ];
+        let ys = [
+            M61::new(MODULUS),
+            M61::new(7),
+            M61::new(1 << 60),
+            M61::new(0xfeed_f00d_dead_beef),
+        ];
+        let c = M61::new(0xabc_0123);
+        let add = M61::add4(xs, ys);
+        let mul = M61::mul4(xs, ys);
+        let fma = M61::mul_add4(xs, ys, c);
+        for l in 0..4 {
+            assert_eq!(add[l], xs[l] + ys[l], "add lane {l}");
+            assert_eq!(mul[l], xs[l] * ys[l], "mul lane {l}");
+            assert_eq!(fma[l], xs[l] * ys[l] + c, "fma lane {l}");
+        }
     }
 
     #[test]

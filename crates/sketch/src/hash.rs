@@ -84,6 +84,62 @@ impl PolyHash {
         }
     }
 
+    /// Four-lane [`PolyHash::eval`]: Horner over four independent keys at
+    /// once. Field arithmetic is exact, so each lane equals the scalar
+    /// evaluation bit-for-bit; the lanes exist so the memoized kernels
+    /// derive four columns per Horner step ([`M61::mul_add4`]).
+    #[inline]
+    #[must_use]
+    pub fn eval4(&self, xs: [u64; 4]) -> [M61; 4] {
+        let xf = [
+            M61::new(xs[0]),
+            M61::new(xs[1]),
+            M61::new(xs[2]),
+            M61::new(xs[3]),
+        ];
+        let mut acc = [M61::ZERO; 4];
+        for &c in self.coeffs.iter().rev() {
+            acc = M61::mul_add4(acc, xf, c);
+        }
+        acc
+    }
+
+    /// Four-lane [`PolyHash::bucket`].
+    #[inline]
+    #[must_use]
+    pub fn bucket4(&self, xs: [u64; 4], m: usize) -> [usize; 4] {
+        let h = self.eval4(xs);
+        let mut out = [0usize; 4];
+        for l in 0..4 {
+            out[l] = ((u128::from(h[l].value()) * m as u128) >> 61) as usize;
+        }
+        out
+    }
+
+    /// Four-lane [`PolyHash::sign`].
+    #[inline]
+    #[must_use]
+    pub fn sign4(&self, xs: [u64; 4]) -> [i64; 4] {
+        let h = self.eval4(xs);
+        let mut out = [0i64; 4];
+        for l in 0..4 {
+            out[l] = if h[l].value() & 1 == 1 { 1 } else { -1 };
+        }
+        out
+    }
+
+    /// Four-lane [`PolyHash::geometric_level`].
+    #[inline]
+    #[must_use]
+    pub fn geometric_level4(&self, xs: [u64; 4]) -> [u32; 4] {
+        let h = self.eval4(xs);
+        let mut out = [0u32; 4];
+        for l in 0..4 {
+            out[l] = (h[l].value() | (1 << 60)).trailing_zeros();
+        }
+        out
+    }
+
     /// A uniform `f64` in `[0, 1)` from the hash value.
     #[inline]
     #[must_use]
@@ -178,6 +234,24 @@ mod tests {
                 (got - expect).abs() < 5.0 * expect.sqrt().max(30.0),
                 "level {l}: got {got}, expect {expect}"
             );
+        }
+    }
+
+    #[test]
+    fn lane_evals_match_scalar_bitwise() {
+        for k in [1usize, 2, 4, 7] {
+            let h = PolyHash::new(k, 0xdead_beef ^ k as u64);
+            let xs = [0u64, 12345, u64::MAX, 0x9e37_79b9];
+            let e4 = h.eval4(xs);
+            let b4 = h.bucket4(xs, 17);
+            let s4 = h.sign4(xs);
+            let g4 = h.geometric_level4(xs);
+            for l in 0..4 {
+                assert_eq!(e4[l], h.eval(xs[l]), "eval lane {l} (k={k})");
+                assert_eq!(b4[l], h.bucket(xs[l], 17), "bucket lane {l}");
+                assert_eq!(s4[l], h.sign(xs[l]), "sign lane {l}");
+                assert_eq!(g4[l], h.geometric_level(xs[l]), "level lane {l}");
+            }
         }
     }
 

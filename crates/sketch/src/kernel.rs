@@ -1,0 +1,441 @@
+//! Memoized, batched sketch-application kernels.
+//!
+//! [`linear::sketch_rows`](crate::linear::sketch_rows) re-derives column
+//! `i` of the implicit sketch matrix `S` — `~depth` Horner evaluations —
+//! once per *nonzero*, even though `S[:, i]` depends only on `(seed, i)`.
+//! The kernels here exploit that a CSR matrix announces its distinct
+//! column ids up front:
+//!
+//! 1. **Hash memoization** ([`ColumnTable`]): every distinct column's
+//!    `(row, coeff)` pairs are derived exactly once into a lookup table;
+//!    the per-nonzero inner loop becomes table-lookup + scatter.
+//! 2. **Vectorized derivation**: tables are filled through the 4-lane
+//!    [`PolyHash::eval4`](crate::hash::PolyHash::eval4) family, so
+//!    independent columns (and independent depth-rows) evaluate in
+//!    instruction-parallel lanes.
+//! 3. **Multi-seed fused passes** ([`sketch_rows_multi`]): `N` implicit
+//!    sketches over the same matrix share one column-id scan and one
+//!    traversal of the nonzeros, feeding `N` output buffers — the
+//!    Engine's whole-batch amortization.
+//!
+//! **Bit-identity contract.** A table stores, per distinct column, the
+//! exact `(row, coeff)` pairs the reference closure would have pushed, in
+//! the same per-column order; [`ColumnTable::apply`] replays them against
+//! the accumulator in the same matrix-nonzero order. Every output counter
+//! therefore receives the same `f64`/[`crate::M61`] additions in the same order
+//! as the scalar path — no reassociation — so results are bit-identical,
+//! which the `kernel_equivalence` proptest suite and the bench gates
+//! enforce. The scalar closure path stays available as the reference
+//! implementation via [`set_reference_mode`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use mpest_matrix::{CsrMatrix, DenseMatrix};
+
+use crate::linear::SketchWord;
+
+static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Routes `sketch_rows` on every sketch type through the scalar closure
+/// reference instead of the memoized kernels. Benches and CI use this to
+/// time and cross-check the fast path against the reference; it is not
+/// meant for production use (results are bit-identical either way).
+pub fn set_reference_mode(on: bool) {
+    REFERENCE_MODE.store(on, Ordering::Relaxed);
+}
+
+/// True while the scalar reference path is forced.
+#[must_use]
+pub fn reference_mode() -> bool {
+    REFERENCE_MODE.load(Ordering::Relaxed)
+}
+
+/// The distinct column ids of a CSR matrix, each assigned a dense slot.
+///
+/// `ids` is ascending; `slot_of` maps a column id to its slot index.
+/// Shared by every [`ColumnTable`] of a multi-sketch pass so the id scan
+/// happens once per matrix, not once per seed.
+#[derive(Debug, Clone)]
+pub struct ColumnSlots {
+    ids: Vec<u64>,
+    map: Vec<u32>,
+}
+
+impl ColumnSlots {
+    const ABSENT: u32 = u32::MAX;
+
+    /// Scans the matrix once and assigns ascending slots to its distinct
+    /// column ids.
+    #[must_use]
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let mut present = vec![false; m.cols()];
+        for i in 0..m.rows() {
+            let (cols, _) = m.row(i);
+            for &j in cols {
+                present[j as usize] = true;
+            }
+        }
+        let mut ids = Vec::new();
+        let mut map = vec![Self::ABSENT; m.cols()];
+        for (j, &p) in present.iter().enumerate() {
+            if p {
+                map[j] = ids.len() as u32;
+                ids.push(j as u64);
+            }
+        }
+        Self { ids, map }
+    }
+
+    /// The distinct column ids, ascending.
+    #[must_use]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The slot of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not a column of the scanned matrix.
+    #[inline]
+    #[must_use]
+    pub fn slot_of(&self, j: u32) -> usize {
+        let s = self.map[j as usize];
+        debug_assert_ne!(s, Self::ABSENT, "column {j} absent from slot map");
+        s as usize
+    }
+}
+
+/// Receives one column's `(row, coeff)` pairs at table-build time.
+///
+/// Kernels push entries in exactly the order their reference `column()`
+/// closure would, then call [`ColumnSink::end_column`]; dense kernels
+/// (every row nonzero, rows implicit `0..stride`) push coefficients only
+/// via [`ColumnSink::push_dense`].
+#[derive(Debug)]
+pub struct ColumnSink<W> {
+    rows: Vec<u32>,
+    coeffs: Vec<W>,
+    offsets: Vec<u32>,
+    dense: bool,
+}
+
+impl<W: SketchWord> ColumnSink<W> {
+    fn new(dense: bool, n_cols: usize, arity_hint: usize) -> Self {
+        let cap = n_cols * arity_hint;
+        Self {
+            rows: if dense {
+                Vec::new()
+            } else {
+                Vec::with_capacity(cap)
+            },
+            coeffs: Vec::with_capacity(cap),
+            offsets: if dense {
+                Vec::new()
+            } else {
+                let mut o = Vec::with_capacity(n_cols + 1);
+                o.push(0);
+                o
+            },
+            dense,
+        }
+    }
+
+    /// Appends one `(row, coeff)` pair of the current (sparse) column.
+    #[inline]
+    pub fn push(&mut self, row: u32, coeff: W) {
+        debug_assert!(!self.dense, "push on a dense sink");
+        self.rows.push(row);
+        self.coeffs.push(coeff);
+    }
+
+    /// Appends the next implicit-row coefficient of a dense column.
+    #[inline]
+    pub fn push_dense(&mut self, coeff: W) {
+        debug_assert!(self.dense, "push_dense on a sparse sink");
+        self.coeffs.push(coeff);
+    }
+
+    /// Marks the current column complete (records its offset).
+    #[inline]
+    pub fn end_column(&mut self) {
+        if !self.dense {
+            self.offsets.push(self.coeffs.len() as u32);
+        }
+    }
+}
+
+/// A sketch whose implicit columns can be memoized into a [`ColumnTable`].
+///
+/// Implementors derive each column's `(row, coeff)` pairs in **exactly**
+/// the order of their reference `column()` closure — the bit-identity
+/// contract depends on it. `append_columns` receives the full distinct-id
+/// list so implementations can batch hash evaluations 4 ids at a time.
+pub trait SketchKernel {
+    /// Sketch word type.
+    type Word: SketchWord;
+
+    /// Sketch length (accumulator width).
+    fn kernel_rows(&self) -> usize;
+
+    /// `Some(stride)` when every column is fully dense with implicit rows
+    /// `0..stride` (AMS, p-stable); the table then skips row storage and
+    /// the scatter becomes a straight-line zip-accumulate.
+    fn dense_stride(&self) -> Option<usize> {
+        None
+    }
+
+    /// Expected `(row, coeff)` pairs per column (capacity hint only).
+    fn column_arity_hint(&self) -> usize;
+
+    /// Derives the columns `ids` into `sink`, calling
+    /// [`ColumnSink::end_column`] after each id (sparse kernels only;
+    /// dense kernels just push `stride` coefficients per id).
+    fn append_columns(&self, ids: &[u64], sink: &mut ColumnSink<Self::Word>);
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TabLayout {
+    Sparse,
+    Dense { stride: usize },
+}
+
+/// Per-distinct-column memoized sketch coefficients.
+#[derive(Debug)]
+pub struct ColumnTable<W> {
+    layout: TabLayout,
+    rows: Vec<u32>,
+    coeffs: Vec<W>,
+    offsets: Vec<u32>,
+}
+
+impl<W: SketchWord> ColumnTable<W> {
+    /// Derives every column in `slots` through the kernel exactly once.
+    #[must_use]
+    pub fn build<K: SketchKernel<Word = W> + ?Sized>(kernel: &K, slots: &ColumnSlots) -> Self {
+        let layout = match kernel.dense_stride() {
+            Some(stride) => TabLayout::Dense { stride },
+            None => TabLayout::Sparse,
+        };
+        let dense = matches!(layout, TabLayout::Dense { .. });
+        let mut sink = ColumnSink::new(dense, slots.ids().len(), kernel.column_arity_hint());
+        kernel.append_columns(slots.ids(), &mut sink);
+        if let TabLayout::Dense { stride } = layout {
+            debug_assert_eq!(sink.coeffs.len(), stride * slots.ids().len());
+        } else {
+            debug_assert_eq!(sink.offsets.len(), slots.ids().len() + 1);
+        }
+        Self {
+            layout,
+            rows: sink.rows,
+            coeffs: sink.coeffs,
+            offsets: sink.offsets,
+        }
+    }
+
+    /// Adds `v · S[:, column-of-slot]` into `acc` — the memoized
+    /// replacement for one closure round-trip. Entry order matches the
+    /// reference closure exactly, so accumulation is bit-identical.
+    #[inline]
+    pub fn apply(&self, slot: usize, v: i64, acc: &mut [W]) {
+        match self.layout {
+            TabLayout::Dense { stride } => {
+                let cs = &self.coeffs[slot * stride..(slot + 1) * stride];
+                // Independent output counters fill in lanes: the zip is a
+                // reassociation-free element-wise FMA LLVM can vectorize.
+                for (o, &c) in acc.iter_mut().zip(cs) {
+                    *o = o.add(c.scale_i64(v));
+                }
+            }
+            TabLayout::Sparse => {
+                let (s, e) = (self.offsets[slot] as usize, self.offsets[slot + 1] as usize);
+                for (r, &c) in self.rows[s..e].iter().zip(&self.coeffs[s..e]) {
+                    let r = *r as usize;
+                    acc[r] = acc[r].add(c.scale_i64(v));
+                }
+            }
+        }
+    }
+}
+
+/// Memoized `sketch_rows`: bit-identical to
+/// [`linear::sketch_rows`](crate::linear::sketch_rows) over the kernel's
+/// reference columns, with each distinct column derived once.
+#[must_use]
+pub fn sketch_rows_tab<K: SketchKernel + ?Sized>(
+    kernel: &K,
+    m: &CsrMatrix,
+) -> DenseMatrix<K::Word> {
+    let slots = ColumnSlots::from_csr(m);
+    let table = ColumnTable::build(kernel, &slots);
+    let mut out = DenseMatrix::zeros(m.rows(), kernel.kernel_rows());
+    for i in 0..m.rows() {
+        let (cols, vals) = m.row(i);
+        let out_row = out.row_mut(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            table.apply(slots.slot_of(j), v, out_row);
+        }
+    }
+    out
+}
+
+/// Multi-seed fused pass: applies `N` implicit sketches in **one**
+/// traversal of the matrix. The distinct-column scan is shared, all `N`
+/// column tables are built against it, and each nonzero feeds every
+/// output buffer before the walk advances — so an `N`-seed Engine batch
+/// pays for the matrix walk once.
+///
+/// Output `n` is bit-identical to `sketch_rows_tab(kernels[n], m)` (and
+/// therefore to the scalar reference): per-output accumulation order is
+/// unchanged, only the interleaving *between* independent outputs differs.
+#[must_use]
+pub fn sketch_rows_multi<K: SketchKernel + ?Sized>(
+    kernels: &[&K],
+    m: &CsrMatrix,
+) -> Vec<DenseMatrix<K::Word>> {
+    let slots = ColumnSlots::from_csr(m);
+    let tables: Vec<ColumnTable<K::Word>> = kernels
+        .iter()
+        .map(|k| ColumnTable::build(*k, &slots))
+        .collect();
+    let mut outs: Vec<DenseMatrix<K::Word>> = kernels
+        .iter()
+        .map(|k| DenseMatrix::zeros(m.rows(), k.kernel_rows()))
+        .collect();
+    for i in 0..m.rows() {
+        let (cols, vals) = m.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            let slot = slots.slot_of(j);
+            for (table, out) in tables.iter().zip(outs.iter_mut()) {
+                table.apply(slot, v, out.row_mut(i));
+            }
+        }
+    }
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy sparse kernel: column i hits rows {i % 4, (i + 1) % 4}.
+    struct Toy;
+
+    impl SketchKernel for Toy {
+        type Word = f64;
+        fn kernel_rows(&self) -> usize {
+            4
+        }
+        fn column_arity_hint(&self) -> usize {
+            2
+        }
+        fn append_columns(&self, ids: &[u64], sink: &mut ColumnSink<f64>) {
+            for &i in ids {
+                sink.push((i % 4) as u32, 1.0);
+                sink.push(((i + 1) % 4) as u32, -2.0);
+                sink.end_column();
+            }
+        }
+    }
+
+    /// A toy dense kernel: column i is [i, i+1, i+2].
+    struct ToyDense;
+
+    impl SketchKernel for ToyDense {
+        type Word = f64;
+        fn kernel_rows(&self) -> usize {
+            3
+        }
+        fn dense_stride(&self) -> Option<usize> {
+            Some(3)
+        }
+        fn column_arity_hint(&self) -> usize {
+            3
+        }
+        fn append_columns(&self, ids: &[u64], sink: &mut ColumnSink<f64>) {
+            for &i in ids {
+                for r in 0..3 {
+                    sink.push_dense((i + r) as f64);
+                }
+            }
+        }
+    }
+
+    fn toy_closure(i: u64, buf: &mut Vec<(u32, f64)>) {
+        buf.push(((i % 4) as u32, 1.0));
+        buf.push((((i + 1) % 4) as u32, -2.0));
+    }
+
+    #[test]
+    fn slots_are_ascending_and_dense() {
+        let m = CsrMatrix::from_triplets(2, 10, vec![(0, 7, 1), (0, 2, 3), (1, 2, -1), (1, 9, 5)]);
+        let slots = ColumnSlots::from_csr(&m);
+        assert_eq!(slots.ids(), &[2, 7, 9]);
+        assert_eq!(slots.slot_of(2), 0);
+        assert_eq!(slots.slot_of(7), 1);
+        assert_eq!(slots.slot_of(9), 2);
+    }
+
+    #[test]
+    fn tab_matches_closure_bitwise() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            8,
+            vec![(0, 0, 2), (0, 5, -3), (1, 5, 7), (2, 1, 1), (2, 7, -9)],
+        );
+        let fast = sketch_rows_tab(&Toy, &m);
+        let slow = crate::linear::sketch_rows::<f64, _>(4, &m, toy_closure);
+        assert_eq!(fast.as_slice().len(), slow.as_slice().len());
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn dense_tab_matches_closure_bitwise() {
+        let m = CsrMatrix::from_triplets(2, 6, vec![(0, 1, 4), (0, 3, -1), (1, 5, 2)]);
+        let fast = sketch_rows_tab(&ToyDense, &m);
+        let slow = crate::linear::sketch_rows::<f64, _>(3, &m, |i, buf| {
+            for r in 0..3u64 {
+                buf.push((r as u32, (i + r) as f64));
+            }
+        });
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn multi_matches_single_bitwise() {
+        let m = CsrMatrix::from_triplets(3, 8, vec![(0, 0, 2), (1, 5, 7), (2, 7, -9), (2, 0, 1)]);
+        let kernels: Vec<&Toy> = vec![&Toy, &Toy, &Toy];
+        let multi = sketch_rows_multi(&kernels, &m);
+        let single = sketch_rows_tab(&Toy, &m);
+        assert_eq!(multi.len(), 3);
+        for out in &multi {
+            for (a, b) in out.as_slice().iter().zip(single.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_rows() {
+        let m = CsrMatrix::from_triplets(0, 5, vec![]);
+        let out = sketch_rows_tab(&Toy, &m);
+        assert_eq!(out.rows(), 0);
+        let m2 = CsrMatrix::from_triplets(3, 5, vec![]);
+        let out2 = sketch_rows_tab(&Toy, &m2);
+        assert_eq!(out2.rows(), 3);
+        assert!(out2.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn reference_mode_toggles() {
+        assert!(!reference_mode());
+        set_reference_mode(true);
+        assert!(reference_mode());
+        set_reference_mode(false);
+        assert!(!reference_mode());
+    }
+}

@@ -15,7 +15,8 @@
 
 use crate::field::{M61, MODULUS};
 use crate::hash::{derive, mix64, PolyHash};
-use crate::linear::{self};
+use crate::kernel::{self, ColumnSink, SketchKernel};
+use crate::linear::{self, ColumnScatter};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 
 /// A linear `ℓ0` sketch of dimension-`dim` integer vectors.
@@ -109,13 +110,22 @@ impl L0Sketch {
     /// Sketches a sparse vector.
     #[must_use]
     pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<M61> {
-        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        } else {
+            linear::sketch_entries_scatter(self, entries)
+        }
     }
 
-    /// Sketches every row of `m`.
+    /// Sketches every row of `m` (memoized kernel; identical field words
+    /// as the closure reference — `M61` arithmetic is exact).
     #[must_use]
     pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<M61> {
-        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        } else {
+            kernel::sketch_rows_tab(self, m)
+        }
     }
 
     /// Estimates `‖x‖₀` from a sketch vector.
@@ -159,6 +169,79 @@ impl L0Sketch {
             }));
         }
         linear::median_f64(&mut per_rep)
+    }
+}
+
+impl ColumnScatter for L0Sketch {
+    type Word = M61;
+
+    fn scatter_rows(&self) -> usize {
+        self.rows()
+    }
+
+    #[inline]
+    fn scatter(&self, i: u64, v: i64, acc: &mut [M61]) {
+        let add = self.fingerprint(i) * M61::from_i64(v);
+        for r in 0..self.reps {
+            let max_level = (self.level_hash[r].geometric_level(i) as usize).min(self.levels - 1);
+            for l in 0..=max_level {
+                let b = self.bucket_hash[r * self.levels + l].bucket(i, self.buckets);
+                let row = (r * self.levels + l) * self.buckets + b;
+                acc[row] = acc[row] + add;
+            }
+        }
+    }
+}
+
+impl SketchKernel for L0Sketch {
+    type Word = M61;
+
+    fn kernel_rows(&self) -> usize {
+        self.rows()
+    }
+
+    fn column_arity_hint(&self) -> usize {
+        // E[levels survived] ≈ 2 per rep.
+        self.reps * 2
+    }
+
+    fn append_columns(&self, ids: &[u64], sink: &mut ColumnSink<M61>) {
+        // Level hashes evaluate four columns per Horner pass; the
+        // variable-arity bucket walk stays scalar per lane, replaying the
+        // exact (r, l) order of `column()`.
+        let mut max_s = vec![0usize; self.reps * 4];
+        let mut chunks = ids.chunks_exact(4);
+        for ch in &mut chunks {
+            let xs = [ch[0], ch[1], ch[2], ch[3]];
+            for r in 0..self.reps {
+                let gs = self.level_hash[r].geometric_level4(xs);
+                for l in 0..4 {
+                    max_s[r * 4 + l] = (gs[l] as usize).min(self.levels - 1);
+                }
+            }
+            for (l, &i) in ch.iter().enumerate() {
+                let fp = self.fingerprint(i);
+                for r in 0..self.reps {
+                    for lev in 0..=max_s[r * 4 + l] {
+                        let b = self.bucket_hash[r * self.levels + lev].bucket(i, self.buckets);
+                        sink.push(((r * self.levels + lev) * self.buckets + b) as u32, fp);
+                    }
+                }
+                sink.end_column();
+            }
+        }
+        for &i in chunks.remainder() {
+            let fp = self.fingerprint(i);
+            for r in 0..self.reps {
+                let max_level =
+                    (self.level_hash[r].geometric_level(i) as usize).min(self.levels - 1);
+                for lev in 0..=max_level {
+                    let b = self.bucket_hash[r * self.levels + lev].bucket(i, self.buckets);
+                    sink.push(((r * self.levels + lev) * self.buckets + b) as u32, fp);
+                }
+            }
+            sink.end_column();
+        }
     }
 }
 
@@ -246,6 +329,15 @@ mod tests {
         for i in 0..2 {
             assert_eq!(rows.row(i), s.sketch_entries(&m.row_vec(i).entries));
         }
+    }
+
+    #[test]
+    fn kernel_matches_reference_exactly() {
+        let m = CsrMatrix::from_triplets(3, 64, vec![(0, 1, 1), (0, 5, 2), (1, 60, -3), (2, 0, 7)]);
+        let s = L0Sketch::new(64, 0.4, 3, 4);
+        let fast = s.sketch_rows(&m);
+        let slow = linear::sketch_rows::<M61, _>(s.rows(), &m, |i, buf| s.column(i, buf));
+        assert_eq!(fast.as_slice(), slow.as_slice());
     }
 
     #[test]

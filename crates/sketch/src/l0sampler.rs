@@ -19,7 +19,8 @@
 
 use crate::field::{M61, MODULUS};
 use crate::hash::{derive, mix64, PolyHash};
-use crate::linear::{self};
+use crate::kernel::{self, ColumnSink, SketchKernel};
+use crate::linear::{self, ColumnScatter};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 
 /// Result of decoding an `ℓ0`-sampler sketch.
@@ -106,13 +107,22 @@ impl L0Sampler {
     /// Sketches a sparse vector.
     #[must_use]
     pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<M61> {
-        linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_entries(self.rows(), entries, |i, buf| self.column(i, buf))
+        } else {
+            linear::sketch_entries_scatter(self, entries)
+        }
     }
 
-    /// Sketches every row of `m`.
+    /// Sketches every row of `m` (memoized kernel; identical field words
+    /// as the closure reference — `M61` arithmetic is exact).
     #[must_use]
     pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<M61> {
-        linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_rows(self.rows(), m, |i, buf| self.column(i, buf))
+        } else {
+            kernel::sketch_rows_tab(self, m)
+        }
     }
 
     /// Decodes a sample from a sketch vector.
@@ -161,6 +171,88 @@ impl L0Sampler {
             SampleOutcome::Failed
         } else {
             SampleOutcome::ZeroVector
+        }
+    }
+}
+
+impl ColumnScatter for L0Sampler {
+    type Word = M61;
+
+    fn scatter_rows(&self) -> usize {
+        self.rows()
+    }
+
+    #[inline]
+    fn scatter(&self, i: u64, v: i64, acc: &mut [M61]) {
+        let vf = M61::from_i64(v);
+        let add0 = M61::ONE * vf;
+        let add1 = M61::new(i + 1) * vf;
+        let add2 = self.rho(i) * vf;
+        for r in 0..self.reps {
+            let max_level = (self.level_hash[r].geometric_level(i) as usize).min(self.levels - 1);
+            for l in 0..=max_level {
+                let base = (r * self.levels + l) * 3;
+                acc[base] = acc[base] + add0;
+                acc[base + 1] = acc[base + 1] + add1;
+                acc[base + 2] = acc[base + 2] + add2;
+            }
+        }
+    }
+}
+
+impl SketchKernel for L0Sampler {
+    type Word = M61;
+
+    fn kernel_rows(&self) -> usize {
+        self.rows()
+    }
+
+    fn column_arity_hint(&self) -> usize {
+        // E[levels survived] ≈ 2 per rep, 3 triple entries each.
+        self.reps * 6
+    }
+
+    fn append_columns(&self, ids: &[u64], sink: &mut ColumnSink<M61>) {
+        // Level hashes evaluate four columns per Horner pass; the triple
+        // pushes replay the exact (r, l) order of `column()` per lane.
+        let mut max_s = vec![0usize; self.reps * 4];
+        let mut chunks = ids.chunks_exact(4);
+        for ch in &mut chunks {
+            let xs = [ch[0], ch[1], ch[2], ch[3]];
+            for r in 0..self.reps {
+                let gs = self.level_hash[r].geometric_level4(xs);
+                for l in 0..4 {
+                    max_s[r * 4 + l] = (gs[l] as usize).min(self.levels - 1);
+                }
+            }
+            for (l, &i) in ch.iter().enumerate() {
+                let rho = self.rho(i);
+                let idx = M61::new(i + 1);
+                for r in 0..self.reps {
+                    for lev in 0..=max_s[r * 4 + l] {
+                        let base = ((r * self.levels + lev) * 3) as u32;
+                        sink.push(base, M61::ONE);
+                        sink.push(base + 1, idx);
+                        sink.push(base + 2, rho);
+                    }
+                }
+                sink.end_column();
+            }
+        }
+        for &i in chunks.remainder() {
+            let rho = self.rho(i);
+            let idx = M61::new(i + 1);
+            for r in 0..self.reps {
+                let max_level =
+                    (self.level_hash[r].geometric_level(i) as usize).min(self.levels - 1);
+                for lev in 0..=max_level {
+                    let base = ((r * self.levels + lev) * 3) as u32;
+                    sink.push(base, M61::ONE);
+                    sink.push(base + 1, idx);
+                    sink.push(base + 2, rho);
+                }
+            }
+            sink.end_column();
         }
     }
 }
@@ -281,5 +373,15 @@ mod tests {
         for i in 0..2 {
             assert_eq!(rows.row(i), s.sketch_entries(&m.row_vec(i).entries));
         }
+    }
+
+    #[test]
+    fn kernel_matches_reference_exactly() {
+        let m =
+            CsrMatrix::from_triplets(3, 50, vec![(0, 1, 1), (1, 30, 4), (1, 45, -2), (2, 49, 9)]);
+        let s = L0Sampler::new(50, 6, 5);
+        let fast = s.sketch_rows(&m);
+        let slow = linear::sketch_rows::<M61, _>(s.rows(), &m, |i, buf| s.column(i, buf));
+        assert_eq!(fast.as_slice(), slow.as_slice());
     }
 }

@@ -27,6 +27,7 @@ pub mod countsketch;
 pub mod field;
 pub mod hash;
 pub mod inner;
+pub mod kernel;
 pub mod l0;
 pub mod l0sampler;
 pub mod linear;
@@ -40,6 +41,10 @@ pub use countsketch::CountSketch;
 pub use field::M61;
 pub use hash::PolyHash;
 pub use inner::CoordinateSampler;
+pub use kernel::{
+    set_reference_mode, sketch_rows_multi, sketch_rows_tab, ColumnSink, ColumnSlots, ColumnTable,
+    SketchKernel,
+};
 pub use l0::L0Sketch;
 pub use l0sampler::{L0Sampler, SampleOutcome};
 pub use lp::StableSketch;

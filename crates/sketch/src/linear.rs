@@ -34,6 +34,57 @@ impl SketchWord for M61 {
     }
 }
 
+/// Direct column scatter: adds `v · S[:, i]` straight into `acc`.
+///
+/// The original closure contract (`column(i, &mut Vec<(u32, W)>)`) pushes
+/// every column through an intermediate buffer and re-reads it — a
+/// round-trip the hot paths don't need. Implementors accumulate in
+/// **exactly** the entry order of their `column()` closure, so the two
+/// contracts are bit-identical; the closure API below stays as the
+/// reference implementation (exercised in reference mode and tests).
+pub trait ColumnScatter {
+    /// Sketch word type.
+    type Word: SketchWord;
+
+    /// Sketch length (accumulator width).
+    fn scatter_rows(&self) -> usize;
+
+    /// Adds `v · S[:, i]` into `acc` (`acc.len() == scatter_rows()`).
+    fn scatter(&self, i: u64, v: i64, acc: &mut [Self::Word]);
+}
+
+/// Sketches a sparse vector through the direct-scatter contract —
+/// bit-identical to [`sketch_entries`] over the same columns, without the
+/// per-column buffer round-trip.
+#[must_use]
+pub fn sketch_entries_scatter<S: ColumnScatter + ?Sized>(
+    s: &S,
+    entries: &[(u32, i64)],
+) -> Vec<S::Word> {
+    let mut out = vec![S::Word::zero(); s.scatter_rows()];
+    for &(i, v) in entries {
+        s.scatter(u64::from(i), v, &mut out);
+    }
+    out
+}
+
+/// Sketches every row of `m` through the direct-scatter contract.
+#[must_use]
+pub fn sketch_rows_scatter<S: ColumnScatter + ?Sized>(
+    s: &S,
+    m: &CsrMatrix,
+) -> DenseMatrix<S::Word> {
+    let mut out: DenseMatrix<S::Word> = DenseMatrix::zeros(m.rows(), s.scatter_rows());
+    for i in 0..m.rows() {
+        let (cols, vals) = m.row(i);
+        let out_row: &mut [S::Word] = out.row_mut(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            s.scatter(u64::from(j), v, out_row);
+        }
+    }
+    out
+}
+
 /// Sketches a sparse vector: `out = Σ_{(i,v)} v · S[:, i]`, where
 /// `column(i, buf)` writes the nonzero entries of `S[:, i]` into `buf`.
 #[must_use]

@@ -8,7 +8,8 @@
 //! `p = 2`, where it is cheaper, but `p = 2` works here too).
 
 use crate::hash::{derive, mix64};
-use crate::linear::{self};
+use crate::kernel::{self, ColumnSink, SketchKernel};
+use crate::linear::{self, ColumnScatter};
 use crate::stable::{median_abs_stable, stable};
 use mpest_matrix::{CsrMatrix, DenseMatrix};
 
@@ -89,13 +90,24 @@ impl StableSketch {
     /// Sketches a sparse vector.
     #[must_use]
     pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> Vec<f64> {
-        linear::sketch_entries(self.rows, entries, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_entries(self.rows, entries, |i, buf| self.column(i, buf))
+        } else {
+            linear::sketch_entries_scatter(self, entries)
+        }
     }
 
-    /// Sketches every row of `m`.
+    /// Sketches every row of `m` (memoized kernel: each distinct column's
+    /// `rows` stable variates — two mix64 chains plus a transcendental
+    /// transform per entry — are derived once instead of once per nonzero;
+    /// bit-identical to the closure reference).
     #[must_use]
     pub fn sketch_rows(&self, m: &CsrMatrix) -> DenseMatrix<f64> {
-        linear::sketch_rows(self.rows, m, |i, buf| self.column(i, buf))
+        if kernel::reference_mode() {
+            linear::sketch_rows(self.rows, m, |i, buf| self.column(i, buf))
+        } else {
+            kernel::sketch_rows_tab(self, m)
+        }
     }
 
     /// Estimates `‖x‖_p` from a sketch vector.
@@ -114,6 +126,48 @@ impl StableSketch {
     #[must_use]
     pub fn estimate_pow(&self, sk: &[f64]) -> f64 {
         self.estimate_norm(sk).powf(self.p)
+    }
+}
+
+impl ColumnScatter for StableSketch {
+    type Word = f64;
+
+    fn scatter_rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn scatter(&self, i: u64, v: i64, acc: &mut [f64]) {
+        let vf = v as f64;
+        for (r, o) in acc.iter_mut().enumerate() {
+            *o += self.entry(r as u64, i) * vf;
+        }
+    }
+}
+
+impl SketchKernel for StableSketch {
+    type Word = f64;
+
+    fn kernel_rows(&self) -> usize {
+        self.rows
+    }
+
+    fn dense_stride(&self) -> Option<usize> {
+        Some(self.rows)
+    }
+
+    fn column_arity_hint(&self) -> usize {
+        self.rows
+    }
+
+    fn append_columns(&self, ids: &[u64], sink: &mut ColumnSink<f64>) {
+        // The stable transform is transcendental (ln/sin/pow) — lanes buy
+        // little; memoizing each column once is the entire win here.
+        for &i in ids {
+            for r in 0..self.rows {
+                sink.push_dense(self.entry(r as u64, i));
+            }
+        }
     }
 }
 
@@ -216,6 +270,17 @@ mod tests {
             for (r, &d) in direct.iter().enumerate() {
                 assert!((rows.get(i, r) - d).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_bitwise() {
+        let m = CsrMatrix::from_triplets(2, 30, vec![(0, 3, 2), (1, 20, -1), (1, 29, 4)]);
+        let s = StableSketch::new(30, 1.0, 0.4, 3, 8);
+        let fast = s.sketch_rows(&m);
+        let slow = linear::sketch_rows::<f64, _>(s.rows(), &m, |i, buf| s.column(i, buf));
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

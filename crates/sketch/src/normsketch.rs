@@ -8,6 +8,7 @@
 
 use crate::ams::AmsSketch;
 use crate::field::M61;
+use crate::kernel;
 use crate::l0::L0Sketch;
 use crate::linear::combine_rows;
 use crate::lp::StableSketch;
@@ -133,6 +134,59 @@ impl NormSketch {
         }
     }
 
+    /// Applies `N` norm sketches to the same matrix in fused passes:
+    /// same-variant sketches share one distinct-column scan and one
+    /// traversal of the nonzeros ([`kernel::sketch_rows_multi`]), so an
+    /// `N`-seed Engine batch pays the matrix walk once. Output `n` is
+    /// bit-identical to `sketches[n].sketch_rows(m)`.
+    #[must_use]
+    pub fn sketch_rows_multi(sketches: &[NormSketch], m: &CsrMatrix) -> Vec<SkMat> {
+        if kernel::reference_mode() {
+            return sketches.iter().map(|s| s.sketch_rows(m)).collect();
+        }
+        let mut out: Vec<Option<SkMat>> = (0..sketches.len()).map(|_| None).collect();
+        let mut l0_idx = Vec::new();
+        let mut l0_ker: Vec<&L0Sketch> = Vec::new();
+        let mut st_idx = Vec::new();
+        let mut st_ker: Vec<&StableSketch> = Vec::new();
+        let mut ams_idx = Vec::new();
+        let mut ams_ker: Vec<&AmsSketch> = Vec::new();
+        for (n, s) in sketches.iter().enumerate() {
+            match s {
+                NormSketch::L0(k) => {
+                    l0_idx.push(n);
+                    l0_ker.push(k);
+                }
+                NormSketch::Stable(k) => {
+                    st_idx.push(n);
+                    st_ker.push(k);
+                }
+                NormSketch::Ams(k) => {
+                    ams_idx.push(n);
+                    ams_ker.push(k);
+                }
+            }
+        }
+        if !l0_ker.is_empty() {
+            for (&n, mat) in l0_idx.iter().zip(kernel::sketch_rows_multi(&l0_ker, m)) {
+                out[n] = Some(SkMat::Field(mat));
+            }
+        }
+        if !st_ker.is_empty() {
+            for (&n, mat) in st_idx.iter().zip(kernel::sketch_rows_multi(&st_ker, m)) {
+                out[n] = Some(SkMat::Real(mat));
+            }
+        }
+        if !ams_ker.is_empty() {
+            for (&n, mat) in ams_idx.iter().zip(kernel::sketch_rows_multi(&ams_ker, m)) {
+                out[n] = Some(SkMat::Real(mat));
+            }
+        }
+        out.into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+
     /// Sketches a single sparse vector.
     #[must_use]
     pub fn sketch_entries(&self, entries: &[(u32, i64)]) -> SkVec {
@@ -245,6 +299,31 @@ mod tests {
                     (SkVec::Field(x), SkVec::Field(y)) => assert_eq!(x, y, "p={p:?}"),
                     _ => panic!("word type mismatch"),
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_matches_single_per_variant() {
+        let m = Workloads::integer_csr(8, 128, 0.3, 4, false, 12);
+        let sketches: Vec<NormSketch> =
+            [PNorm::Zero, PNorm::ONE, PNorm::TWO, PNorm::Zero, PNorm::ONE]
+                .iter()
+                .enumerate()
+                .map(|(n, &p)| NormSketch::for_norm(p, 128, 0.3, 3, 500 + n as u64))
+                .collect();
+        let multi = NormSketch::sketch_rows_multi(&sketches, &m);
+        assert_eq!(multi.len(), sketches.len());
+        for (s, got) in sketches.iter().zip(&multi) {
+            let single = s.sketch_rows(&m);
+            match (got, &single) {
+                (SkMat::Real(x), SkMat::Real(y)) => {
+                    for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                (SkMat::Field(x), SkMat::Field(y)) => assert_eq!(x, y),
+                _ => panic!("variant mismatch"),
             }
         }
     }

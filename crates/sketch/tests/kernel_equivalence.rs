@@ -1,0 +1,218 @@
+//! Property tests: the memoized / vectorized / multi-seed kernels are
+//! **bit-identical** to the scalar closure reference — exact `f64` bit
+//! equality and exact `M61` equality — across random shapes, depths,
+//! widths, seeds, and empty/degenerate matrices. This is the contract
+//! that lets the fast kernels become the default under the repo's
+//! standing bit-identity gates (executor, remote, party-split, stream).
+
+use mpest_matrix::{CsrMatrix, DenseMatrix, PNorm};
+use mpest_sketch::{
+    kernel, linear, AmsSketch, BlockAmsSketch, CountSketch, L0Sampler, L0Sketch, NormSketch, SkMat,
+    StableSketch, M61,
+};
+use proptest::prelude::*;
+
+/// A random sparse matrix (possibly empty, possibly with empty rows).
+fn csr_strategy() -> impl Strategy<Value = CsrMatrix> {
+    ((0usize..6), (1usize..80)).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            ((0u32..rows.max(1) as u32), (0u32..cols as u32), -9i64..=9),
+            0..40,
+        )
+        .prop_map(move |trips| {
+            let trips: Vec<(u32, u32, i64)> = trips
+                .into_iter()
+                .filter(|&(r, _, _)| (r as usize) < rows)
+                .collect();
+            CsrMatrix::from_triplets(rows, cols, trips)
+        })
+    })
+}
+
+fn assert_f64_bits_eq(a: &DenseMatrix<f64>, b: &DenseMatrix<f64>) {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "f64 bit mismatch");
+    }
+}
+
+/// Checks every path for an f64 sketch: closure reference == direct
+/// scatter == memoized table == multi-seed fused pass.
+fn check_f64<K, C>(single: &K, fleet: &[&K], m: &CsrMatrix, column: C)
+where
+    K: kernel::SketchKernel<Word = f64> + linear::ColumnScatter<Word = f64>,
+    C: FnMut(u64, &mut Vec<(u32, f64)>),
+{
+    let reference = linear::sketch_rows::<f64, _>(single.kernel_rows(), m, column);
+    let scatter = linear::sketch_rows_scatter(single, m);
+    let tab = kernel::sketch_rows_tab(single, m);
+    assert_f64_bits_eq(&scatter, &reference);
+    assert_f64_bits_eq(&tab, &reference);
+    for (k, out) in fleet.iter().zip(kernel::sketch_rows_multi(fleet, m)) {
+        assert_f64_bits_eq(&out, &kernel::sketch_rows_tab(*k, m));
+    }
+}
+
+/// Same for field-word sketches (`M61` equality is exact `Eq`).
+fn check_m61<K, C>(single: &K, fleet: &[&K], m: &CsrMatrix, column: C)
+where
+    K: kernel::SketchKernel<Word = M61> + linear::ColumnScatter<Word = M61>,
+    C: FnMut(u64, &mut Vec<(u32, M61)>),
+{
+    let reference = linear::sketch_rows::<M61, _>(single.kernel_rows(), m, column);
+    let scatter = linear::sketch_rows_scatter(single, m);
+    let tab = kernel::sketch_rows_tab(single, m);
+    assert_eq!(scatter.as_slice(), reference.as_slice());
+    assert_eq!(tab.as_slice(), reference.as_slice());
+    for (k, out) in fleet.iter().zip(kernel::sketch_rows_multi(fleet, m)) {
+        assert_eq!(out.as_slice(), kernel::sketch_rows_tab(*k, m).as_slice());
+    }
+}
+
+proptest! {
+    #[test]
+    fn countsketch_kernels_bit_identical(
+        m in csr_strategy(),
+        depth in 1usize..8,
+        width_log in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let dim = m.cols();
+        let cs = CountSketch::new(dim, depth, 1 << width_log, seed);
+        let cs2 = CountSketch::new(dim, depth, 1 << width_log, seed ^ 0xffff);
+        check_f64(&cs, &[&cs, &cs2], &m, |i, buf| cs.column(i, buf));
+    }
+
+    #[test]
+    fn ams_kernels_bit_identical(
+        m in csr_strategy(),
+        reps in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let dim = m.cols();
+        let s = AmsSketch::new(dim, 0.5, reps, seed);
+        let s2 = AmsSketch::new(dim, 0.5, reps, seed.wrapping_add(1));
+        check_f64(&s, &[&s, &s2], &m, |i, buf| s.column(i, buf));
+    }
+
+    #[test]
+    fn stable_kernels_bit_identical(
+        m in csr_strategy(),
+        p10 in 2u32..=20,
+        seed in any::<u64>(),
+    ) {
+        let dim = m.cols();
+        let p = f64::from(p10) / 10.0;
+        let s = StableSketch::new(dim, p, 0.5, 3, seed);
+        let s2 = StableSketch::new(dim, p, 0.5, 3, seed ^ 0xabc);
+        check_f64(&s, &[&s, &s2], &m, |i, buf| s.column(i, buf));
+    }
+
+    #[test]
+    fn l0_kernels_identical(
+        m in csr_strategy(),
+        reps in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let dim = m.cols();
+        let s = L0Sketch::new(dim, 0.4, reps, seed);
+        let s2 = L0Sketch::new(dim, 0.4, reps, seed ^ 0x55);
+        check_m61(&s, &[&s, &s2], &m, |i, buf| s.column(i, buf));
+    }
+
+    #[test]
+    fn l0sampler_kernels_identical(
+        m in csr_strategy(),
+        reps in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let dim = m.cols();
+        let s = L0Sampler::new(dim, reps, seed);
+        let s2 = L0Sampler::new(dim, reps, seed ^ 0x77);
+        check_m61(&s, &[&s, &s2], &m, |i, buf| s.column(i, buf));
+    }
+
+    #[test]
+    fn blockams_kernels_bit_identical(
+        m in csr_strategy(),
+        kappa in 1usize..8,
+        reps in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let dim = m.cols();
+        let s = BlockAmsSketch::new(dim, kappa, reps, seed);
+        let s2 = BlockAmsSketch::new(dim, kappa, reps, seed ^ 0x11);
+        check_f64(&s, &[&s, &s2], &m, |i, buf| s.column(i, buf));
+    }
+
+    #[test]
+    fn sketch_entries_scatter_matches_closure(
+        entries in proptest::collection::btree_map(0u32..64, -20i64..=20, 0..24),
+        seed in any::<u64>(),
+    ) {
+        let entries: Vec<(u32, i64)> =
+            entries.into_iter().filter(|&(_, v)| v != 0).collect();
+        let cs = CountSketch::new(64, 3, 16, seed);
+        let via_closure = linear::sketch_entries::<f64, _>(
+            linear::ColumnScatter::scatter_rows(&cs),
+            &entries,
+            |i, buf| cs.column(i, buf),
+        );
+        let via_scatter = linear::sketch_entries_scatter(&cs, &entries);
+        for (a, b) in via_scatter.iter().zip(&via_closure) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let l0 = L0Sketch::new(64, 0.4, 3, seed);
+        let vc = linear::sketch_entries::<M61, _>(l0.rows(), &entries, |i, buf| l0.column(i, buf));
+        prop_assert_eq!(linear::sketch_entries_scatter(&l0, &entries), vc);
+    }
+
+    #[test]
+    fn normsketch_multi_matches_singles(
+        m in csr_strategy(),
+        seed in any::<u64>(),
+        p_sel in 0usize..4,
+    ) {
+        let dim = m.cols().max(1);
+        let p = [PNorm::Zero, PNorm::ONE, PNorm::TWO, PNorm::P(0.7)][p_sel];
+        let sketches: Vec<NormSketch> = (0..4)
+            .map(|n| NormSketch::for_norm(p, dim, 0.4, 3, seed.wrapping_add(n)))
+            .collect();
+        let multi = NormSketch::sketch_rows_multi(&sketches, &m);
+        for (s, got) in sketches.iter().zip(&multi) {
+            let single = s.sketch_rows(&m);
+            match (got, &single) {
+                (SkMat::Real(x), SkMat::Real(y)) => {
+                    for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                (SkMat::Field(x), SkMat::Field(y)) => prop_assert_eq!(x, y),
+                _ => prop_assert!(false, "variant mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn reference_mode_is_also_bit_identical(
+        m in csr_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // The dispatch itself must not change results: force the closure
+        // reference, sketch, then compare against the kernel default.
+        let dim = m.cols();
+        let cs = CountSketch::new(dim, 3, 16, seed);
+        let l0 = L0Sketch::new(dim, 0.4, 3, seed);
+        kernel::set_reference_mode(true);
+        let cs_ref = cs.sketch_rows(&m);
+        let l0_ref = l0.sketch_rows(&m);
+        kernel::set_reference_mode(false);
+        let cs_fast = cs.sketch_rows(&m);
+        let l0_fast = l0.sketch_rows(&m);
+        for (a, b) in cs_fast.as_slice().iter().zip(cs_ref.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(l0_fast.as_slice(), l0_ref.as_slice());
+    }
+}

@@ -141,6 +141,89 @@ fn batch_plan_inherits_session_executor_by_default() {
     );
 }
 
+/// FNV-1a over a report's exact wire encoding: any change to outputs,
+/// transcript accounting, or encodings moves the fingerprint.
+fn fp(report: &EstimateReport) -> u64 {
+    use mpest_comm::{BitWriter, Wire};
+    let mut w = BitWriter::new();
+    report.encode(&mut w);
+    let (bytes, _) = w.finish();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes.as_ref() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Protocol outputs are pinned to the pre-kernel scalar implementation:
+/// these fingerprints were captured on the seed build, before the
+/// memoized/vectorized sketch kernels and the session sketch cache
+/// landed. Every protocol under two session seeds must still produce
+/// byte-identical reports — the fast kernels are an implementation
+/// detail, never a behavior change.
+#[test]
+fn reports_match_pre_kernel_golden_corpus() {
+    let golden: [(u64, [u64; 14]); 2] = [
+        (
+            3,
+            [
+                0x7b74496eb38ab48c,
+                0xe2ba41bb014b1a73,
+                0x58f18743fa048e79,
+                0xa4525ab096e70127,
+                0xcbedc05a4ebf0fc2,
+                0x99cd31c6723049d9,
+                0xa2a3b2522ce14372,
+                0x1e5e7a4d821bce8a,
+                0x8055d15d1fa01907,
+                0x0125878a1646f047,
+                0x5d8cae001274f5d7,
+                0x2d0804f0976c6b25,
+                0x6319b29dbaf94ea3,
+                0x3cc83c809f79b3d8,
+            ],
+        ),
+        (
+            77,
+            [
+                0x7b74496eb38ab48c,
+                0xcb9e8e3a0a0d655b,
+                0x58f18743fa048e79,
+                0xdf77f69526ddfc9f,
+                0xd4b05d8719f615ca,
+                0x99cd31c6723049d9,
+                0x502ed3da151e0665,
+                0x048b5752881958ca,
+                0xb91e4e6d10de9b62,
+                0x0125878a1646f047,
+                0xfe46b86623ef81ff,
+                0x2d0804f0976c6b25,
+                0x6319b29dbaf94ea3,
+                0x3cc83c809f79b3d8,
+            ],
+        ),
+    ];
+    let (a, b) = pair();
+    let requests = EstimateRequest::catalog();
+    for (session_seed, want) in golden {
+        let session = Session::builder(a.clone(), b.clone())
+            .seed(Seed(session_seed))
+            .build();
+        for (i, (request, want)) in requests.iter().zip(want).enumerate() {
+            let report = session
+                .estimate_seeded(request, session.query_seed(i as u64))
+                .unwrap_or_else(|e| panic!("{} (seed {session_seed}): {e}", request.name()));
+            assert_eq!(
+                fp(&report),
+                want,
+                "{} report diverged from the seed-build corpus under session seed {session_seed}",
+                request.name()
+            );
+        }
+    }
+}
+
 /// Error reporting is backend-independent: a protocol-level validation
 /// error (binary protocol over a non-binary pair) surfaces identically.
 #[test]
