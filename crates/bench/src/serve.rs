@@ -17,6 +17,12 @@
 //!    hits), reported as queries/s against the same sweep run directly
 //!    on the in-process session: the price of a socket round-trip per
 //!    query.
+//! 3. **Concurrent connections** — ~1k parked clients (scaled down to
+//!    the process's fd budget when it is lower) sit on the reactor
+//!    while the same sweep flows as frame-id-tagged *pipelined* query
+//!    batches on one busy connection. Gated on bit-identity again and
+//!    on loaded throughput staying within 5× of the unloaded sweep —
+//!    a parked crowd must cost the reactor (amortized) nothing.
 //!
 //! The CI `serve-smoke` job runs this in `--quick` mode and fails on
 //! any remote-vs-local divergence.
@@ -25,7 +31,7 @@ use crate::report::json_escape;
 use mpest_comm::{Party, Seed};
 use mpest_core::{EstimateReport, EstimateRequest, Session};
 use mpest_matrix::Workloads;
-use mpest_net::{run_with_party, PartyHost, ServeClient, Server};
+use mpest_net::{run_with_party, FramedConn, PartyHost, ServeClient, Server};
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::Arc;
@@ -72,8 +78,36 @@ pub struct ServeBench {
     pub serve_matches: bool,
     /// Whether the daemon's session cache hit after the first upload.
     pub cache_hit: bool,
+    /// Idle clients actually parked on the reactor during the
+    /// concurrent point (1000, or less under a tight fd limit).
+    pub idle_connections: usize,
+    /// Queries in the pipelined-under-load sweep.
+    pub concurrent_queries: usize,
+    /// Pipelined-under-load sweep wall-clock seconds.
+    pub concurrent_secs: f64,
+    /// Queries per second with the parked crowd attached.
+    pub concurrent_qps: f64,
+    /// Every pipelined reply bit-identical to the local run.
+    pub concurrent_matches: bool,
+    /// The concurrent gate: bit-identity and loaded throughput at
+    /// least a fifth of the unloaded sweep's.
+    pub concurrent_ok: bool,
     /// The CI gate: every per-protocol and serve comparison passed.
     pub all_match: bool,
+}
+
+/// The process's soft open-files limit (Linux `/proc`; a conservative
+/// default elsewhere) — the concurrent point must not exhaust it.
+fn fd_soft_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1024)
 }
 
 fn pair(n: usize) -> (mpest_matrix::BitMatrix, mpest_matrix::BitMatrix) {
@@ -170,10 +204,42 @@ pub fn run(quick: bool) -> ServeBench {
         cache_hit &= outcome.reports.cache_hit;
     }
     let serve_secs = start.elapsed().as_secs_f64();
+
+    // 3. The concurrent-connections point: park a crowd of idle,
+    //    handshake-complete clients on the reactor, then run the same
+    //    sweep as pipelined query batches on the busy connection. The
+    //    parked clients never become poll work (no wakeups, no reads),
+    //    so loaded throughput must stay in the unloaded sweep's league.
+    let idle_connections = 1000usize.min(fd_soft_limit().saturating_sub(64));
+    let mut parked = Vec::with_capacity(idle_connections);
+    for _ in 0..idle_connections {
+        parked
+            .push(FramedConn::connect(&server.addr().to_string(), None).expect("park idle client"));
+    }
+    let batches: Vec<Vec<(u64, EstimateRequest)>> = sweep.chunks(8).map(<[_]>::to_vec).collect();
+    let start = Instant::now();
+    let replies = client
+        .query_pipelined(&a_csr, &b_csr, &batches)
+        .expect("pipelined sweep under load");
+    let concurrent_secs = start.elapsed().as_secs_f64();
+    let mut concurrent_matches = replies.len() == batches.len();
+    let mut local_iter = local_reports.iter();
+    for reply in &replies {
+        let reply = reply.as_ref().expect("pipelined batch failed");
+        for report in &reply.reports {
+            concurrent_matches &= Some(report) == local_iter.next();
+        }
+    }
+    concurrent_matches &= local_iter.next().is_none();
+    drop(parked);
     server.shutdown();
 
+    let serve_qps = serve_queries as f64 / serve_secs.max(1e-9);
+    let concurrent_qps = serve_queries as f64 / concurrent_secs.max(1e-9);
+    let concurrent_ok = concurrent_matches && concurrent_qps >= 0.2 * serve_qps;
     let all_match = serve_matches
         && cache_hit
+        && concurrent_ok
         && per_protocol
             .iter()
             .all(|p| p.matches_local && p.wire_covers_logical);
@@ -183,11 +249,17 @@ pub fn run(quick: bool) -> ServeBench {
         per_protocol,
         serve_queries,
         serve_secs,
-        serve_qps: serve_queries as f64 / serve_secs.max(1e-9),
+        serve_qps,
         local_secs,
         local_qps: serve_queries as f64 / local_secs.max(1e-9),
         serve_matches,
         cache_hit,
+        idle_connections,
+        concurrent_queries: serve_queries,
+        concurrent_secs,
+        concurrent_qps,
+        concurrent_matches,
+        concurrent_ok,
         all_match,
     }
 }
@@ -224,6 +296,27 @@ impl ServeBench {
         out.push_str(&format!("  \"local_qps\": {:.2},\n", self.local_qps));
         out.push_str(&format!("  \"serve_matches\": {},\n", self.serve_matches));
         out.push_str(&format!("  \"cache_hit\": {},\n", self.cache_hit));
+        out.push_str(&format!(
+            "  \"idle_connections\": {},\n",
+            self.idle_connections
+        ));
+        out.push_str(&format!(
+            "  \"concurrent_queries\": {},\n",
+            self.concurrent_queries
+        ));
+        out.push_str(&format!(
+            "  \"concurrent_secs\": {:.6},\n",
+            self.concurrent_secs
+        ));
+        out.push_str(&format!(
+            "  \"concurrent_qps\": {:.2},\n",
+            self.concurrent_qps
+        ));
+        out.push_str(&format!(
+            "  \"concurrent_matches\": {},\n",
+            self.concurrent_matches
+        ));
+        out.push_str(&format!("  \"concurrent_ok\": {},\n", self.concurrent_ok));
         out.push_str(&format!("  \"all_match\": {}\n", self.all_match));
         out.push_str("}\n");
         out
@@ -256,6 +349,11 @@ impl ServeBench {
             self.serve_matches,
             self.cache_hit
         );
+        out.push_str(&format!(
+            "  {} parked clients + pipelined sweep: {:.1} q/s loaded vs {:.1} q/s \
+             unloaded (bit-identical: {})\n",
+            self.idle_connections, self.concurrent_qps, self.serve_qps, self.concurrent_matches
+        ));
         for p in &self.per_protocol {
             out.push_str(&format!(
                 "  {:<16} {:>10} logical bits  {:>10} wire bytes  {:>6.3}x overhead  \
@@ -285,8 +383,11 @@ mod tests {
                 p.logical_bits.div_ceil(8)
             );
         }
+        assert!(bench.concurrent_ok, "concurrent-connections gate failed");
+        assert!(bench.idle_connections > 0, "no clients parked");
         let json = bench.to_json();
         assert!(json.contains("\"bench\": \"serve\""));
+        assert!(json.contains("\"concurrent_ok\": true"));
         assert!(json.contains("\"all_match\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -135,7 +135,19 @@ pub enum RemoteEvent {
 /// A framed, bidirectional, FIFO byte transport linking this process to
 /// the peer party. `mpest-net` implements it over TCP with a
 /// length-prefixed, versioned codec; tests implement it over in-memory
-/// pipes. All methods block.
+/// pipes.
+///
+/// The contract is *completion*, not blocking. The blocking reference
+/// implementation writes and reads synchronously, so two parties that
+/// both send before reading can stall once their payloads overflow the
+/// kernel socket buffers (surfaced as a typed write-timeout). The
+/// default readiness-driven implementation (`mpest-net`'s `DuplexConn`)
+/// instead *spools* sends and progresses both directions on kernel
+/// readiness inside every wait, so a send may return before its bytes
+/// hit the wire — but frames still arrive in order, byte-identical,
+/// and simultaneous rounds of any size complete. Callers must not
+/// assume a returned send has been flushed; only protocol completion
+/// (the end/output exchange) orders the conversation.
 pub trait FrameIo {
     /// Ships one protocol message to the peer.
     ///

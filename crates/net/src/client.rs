@@ -178,6 +178,7 @@ impl ServeClient {
             fp_b: fingerprint(b),
             at_epoch,
             queries: queries.to_vec(),
+            id: 0,
         }))?;
         let mut uploaded = false;
         let reports = loop {
@@ -206,6 +207,104 @@ impl ServeClient {
             bytes_out: out1 - out0,
             bytes_in: in1 - in0,
         })
+    }
+
+    /// Sends every query batch as its own *pipelined* message — frame
+    /// ids `1..=k` — before reading any reply, then collects the `k`
+    /// replies in whatever order the daemon answers them. Requires a
+    /// codec v5 connection.
+    ///
+    /// The returned vector is ordered by input index, not by arrival:
+    /// `result[i]` answers `batches[i]`. One pipelined query failing
+    /// (the typed `query-failed` reply) lands as an `Err` in its slot
+    /// without poisoning the connection or the other queries.
+    ///
+    /// On a cache miss the daemon answers a single `need-matrices` and
+    /// parks every pipelined query behind the upload — with the
+    /// readiness-driven reactor core (the daemon's default). The
+    /// blocking reference server interleaves the upload conversation
+    /// with the queued queries instead, so against `--io-mode blocking`
+    /// pipelining is only usable once the pair is already cached (warm
+    /// it with one [`ServeClient::query`] first).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, a pre-v5 connection, or a daemon reply that
+    /// breaks the pipelining contract (unknown or duplicate id).
+    pub fn query_pipelined(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        batches: &[Vec<(u64, EstimateRequest)>],
+    ) -> Result<Vec<Result<ReportsMsg, CommError>>, CommError> {
+        if self.conn.version() < 5 {
+            return Err(CommError::protocol(format!(
+                "pipelined queries need codec v5 but this connection negotiated v{}",
+                self.conn.version()
+            )));
+        }
+        let (fp_a, fp_b) = (fingerprint(a), fingerprint(b));
+        for (i, batch) in batches.iter().enumerate() {
+            self.conn.send_msg(&ServiceMsg::Query(QueryMsg {
+                fp_a,
+                fp_b,
+                at_epoch: None,
+                queries: batch.clone(),
+                id: (i + 1) as u64,
+            }))?;
+        }
+        let mut results: Vec<Option<Result<ReportsMsg, CommError>>> =
+            batches.iter().map(|_| None).collect();
+        let mut remaining = batches.len();
+        let mut slot = |id: u64, outcome| -> Result<(), CommError> {
+            let ix = usize::try_from(id)
+                .ok()
+                .and_then(|id| id.checked_sub(1))
+                .filter(|&ix| ix < batches.len())
+                .ok_or_else(|| {
+                    CommError::protocol(format!("daemon answered unknown pipelined id {id}"))
+                })?;
+            if results[ix].replace(outcome).is_some() {
+                return Err(CommError::protocol(format!(
+                    "daemon answered pipelined id {id} twice"
+                )));
+            }
+            Ok(())
+        };
+        while remaining > 0 {
+            match self.recv_reply()? {
+                ServiceMsg::NeedMatrices => {
+                    self.conn.send_msg(&ServiceMsg::Matrices {
+                        a: WCsr(a.clone()),
+                        b: WCsr(b.clone()),
+                    })?;
+                }
+                ServiceMsg::Reports(reports) => {
+                    slot(reports.id, Ok(reports))?;
+                    remaining -= 1;
+                }
+                ServiceMsg::QueryFailed { id, error } => {
+                    slot(
+                        id,
+                        Err(CommError::protocol(format!("server error: {error}"))),
+                    )?;
+                    remaining -= 1;
+                }
+                ServiceMsg::Error(msg) => {
+                    return Err(CommError::protocol(format!("server error: {msg}")))
+                }
+                other => {
+                    return Err(CommError::frame(
+                        other.name(),
+                        "unexpected reply to pipelined query",
+                    ))
+                }
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every pipelined id answered"))
+            .collect())
     }
 
     /// Pushes an update batch into the daemon's cached session for

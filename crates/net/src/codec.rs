@@ -62,7 +62,10 @@ pub const MAGIC: [u8; 4] = *b"MPST";
 /// v4: the `party-hello` handshake for storage-split parties (each
 /// process holds only its half and announces shape + representation +
 /// fingerprint + per-side epoch before a run).
-pub const VERSION: u16 = 4;
+/// v5: frame-id multiplexing for pipelined serving (`query` and
+/// `reports` gained a trailing id varint; the `query-failed` reply
+/// carries a failed query's id so out-of-order replies stay matchable).
+pub const VERSION: u16 = 5;
 /// Lowest codec version this build still speaks. Connections negotiate
 /// down to the peer's version when it is at least this old; anything
 /// older fails the handshake with a typed error naming both ranges.
@@ -137,43 +140,12 @@ impl<S: Read + Write> FramedConn<S> {
     /// non-overlapping version ranges (the error names both).
     pub fn establish(stream: S) -> Result<Self, CommError> {
         let mut conn = Self::new(stream);
-        let mut preamble = [0u8; 8];
-        preamble[..4].copy_from_slice(&MAGIC);
-        preamble[4..6].copy_from_slice(&MIN_VERSION.to_be_bytes());
-        preamble[6..8].copy_from_slice(&VERSION.to_be_bytes());
+        let preamble = local_preamble();
         conn.write_all("handshake", &preamble)?;
         conn.flush("handshake")?;
         let mut peer = [0u8; 8];
         conn.read_exact_ctx("handshake", &mut peer)?;
-        if peer[..4] != MAGIC {
-            return Err(CommError::frame(
-                "handshake",
-                format!("bad magic {:?} (expected {MAGIC:?})", &peer[..4]),
-            ));
-        }
-        let peer_min = u16::from_be_bytes([peer[4], peer[5]]);
-        let peer_max = match u16::from_be_bytes([peer[6], peer[7]]) {
-            // Legacy (≤ v2) peers wrote zeros in the then-reserved bytes
-            // 6..8 and speak exactly the version at 4..6.
-            0 => peer_min,
-            max => max,
-        };
-        if peer_min > peer_max || peer_min == 0 {
-            return Err(CommError::frame(
-                "handshake",
-                format!("malformed version range v{peer_min}..=v{peer_max} from peer"),
-            ));
-        }
-        if peer_min > VERSION || peer_max < MIN_VERSION {
-            return Err(CommError::frame(
-                "handshake",
-                format!(
-                    "no common codec version: this build supports \
-                     v{MIN_VERSION}..=v{VERSION}, peer offers v{peer_min}..=v{peer_max}"
-                ),
-            ));
-        }
-        conn.version = VERSION.min(peer_max);
+        conn.version = negotiate_version(&peer)?;
         Ok(conn)
     }
 
@@ -209,6 +181,14 @@ impl<S: Read + Write> FramedConn<S> {
     /// The underlying stream (e.g. to clone a [`TcpStream`] handle).
     pub fn stream(&self) -> &S {
         &self.stream
+    }
+
+    /// Decomposes the connection into `(stream, bytes_out, bytes_in,
+    /// version)` — how an established blocking connection hands its
+    /// socket, byte counters, and negotiated version over to the duplex
+    /// layer without losing accounting.
+    pub(crate) fn into_parts(self) -> (S, u64, u64, u16) {
+        (self.stream, self.bytes_out, self.bytes_in, self.version)
     }
 
     fn write_all(&mut self, label: &str, bytes: &[u8]) -> Result<(), CommError> {
@@ -254,20 +234,7 @@ impl<S: Read + Write> FramedConn<S> {
         bits: u64,
         payload: &[u8],
     ) -> Result<(), CommError> {
-        let label_len = u8::try_from(label.len())
-            .map_err(|_| CommError::frame(label, format!("label of {} bytes", label.len())))?;
-        let payload_len = u32::try_from(payload.len())
-            .ok()
-            .filter(|&len| len <= MAX_PAYLOAD_BYTES)
-            .ok_or_else(|| {
-                CommError::frame(label, format!("payload of {} bytes", payload.len()))
-            })?;
-        let mut header = [0u8; HEADER_LEN];
-        header[0] = kind;
-        header[1] = label_len;
-        header[2..4].copy_from_slice(&round.to_be_bytes());
-        header[4..12].copy_from_slice(&bits.to_be_bytes());
-        header[12..16].copy_from_slice(&payload_len.to_be_bytes());
+        let header = build_header(kind, round, label, bits, payload.len())?;
         self.write_all(label, &header)?;
         self.write_all(label, label.as_bytes())?;
         self.write_all(label, payload)?;
@@ -308,45 +275,18 @@ impl<S: Read + Write> FramedConn<S> {
         if got < HEADER_LEN {
             self.read_exact_ctx("frame-header", &mut header[got..])?;
         }
-        let kind = header[0];
-        if !matches!(
-            kind,
-            KIND_PROTO | KIND_END | KIND_SERVICE | KIND_OUTPUT | KIND_UPDATE
-        ) {
-            return Err(CommError::frame(
-                "frame-header",
-                format!("unknown frame kind {kind}"),
-            ));
-        }
-        let label_len = usize::from(header[1]);
-        let round = u16::from_be_bytes([header[2], header[3]]);
-        let bits = u64::from_be_bytes(header[4..12].try_into().expect("8 bytes"));
-        let payload_len = u32::from_be_bytes(header[12..16].try_into().expect("4 bytes"));
-        if payload_len > MAX_PAYLOAD_BYTES {
-            return Err(CommError::frame(
-                "frame-header",
-                format!("payload length {payload_len} exceeds the {MAX_PAYLOAD_BYTES}-byte cap"),
-            ));
-        }
-        let mut label_bytes = vec![0u8; label_len];
+        let fields = check_header(&header)?;
+        let mut label_bytes = vec![0u8; fields.label_len];
         self.read_exact_ctx("frame-label", &mut label_bytes)?;
-        let label = String::from_utf8(label_bytes)
-            .map_err(|_| CommError::frame("frame-label", "label is not UTF-8"))?;
-        // The logical bit count must fit in the payload that carries it;
-        // a mismatch means the stream is corrupt or lying.
-        if bits.div_ceil(8) != payload_len as u64 {
-            return Err(CommError::frame(
-                &label,
-                format!("{bits} logical bits do not pack into {payload_len} payload byte(s)"),
-            ));
-        }
-        let mut payload = vec![0u8; payload_len as usize];
+        let label = check_label(label_bytes)?;
+        check_bits(&label, fields.bits, fields.payload_len)?;
+        let mut payload = vec![0u8; fields.payload_len];
         self.read_exact_ctx(&label, &mut payload)?;
         Ok(RawFrame {
-            kind,
-            round,
+            kind: fields.kind,
+            round: fields.round,
             label,
-            bits,
+            bits: fields.bits,
             payload,
         })
     }
@@ -410,13 +350,16 @@ impl FramedConn<TcpStream> {
     }
 
     /// Bounds every blocking write the same way. Protocol execution over
-    /// a blocking socket writes before it reads, so a *simultaneous*
+    /// a *blocking* socket writes before it reads, so a simultaneous
     /// round in which both parties ship payloads larger than the kernel
-    /// socket buffers would otherwise deadlock with both sides stuck in
-    /// `write` (where the read timeout can never fire). The write
-    /// timeout converts that into a typed [`CommError::Frame`]; true
-    /// full-duplex spooling for huge simultaneous rounds is the async
-    /// backend on the roadmap.
+    /// socket buffers deadlocks with both sides stuck in `write` (where
+    /// the read timeout can never fire); the write timeout converts that
+    /// hang into a typed [`CommError::Frame`]. This failure mode only
+    /// exists on the blocking *reference* path: the default duplex path
+    /// ([`DuplexConn`](crate::DuplexConn)) spools outgoing frames and
+    /// progresses both directions on kernel readiness, so the same round
+    /// drains incrementally and completes — the regression suite pins
+    /// both behaviors under a shrunken `SO_SNDBUF`.
     ///
     /// # Errors
     ///
@@ -483,7 +426,174 @@ impl FramedConn<TcpStream> {
     }
 }
 
-fn io_to_comm(label: &str, what: &str, e: &std::io::Error) -> CommError {
+/// The validated fields of a 16-byte frame header.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeaderFields {
+    pub(crate) kind: u8,
+    pub(crate) label_len: usize,
+    pub(crate) round: u16,
+    pub(crate) bits: u64,
+    pub(crate) payload_len: usize,
+}
+
+/// Builds and validates a frame header — the single encoder both the
+/// blocking [`FramedConn::send_raw`] path and the duplex spool share, so
+/// the wire layout cannot drift between them.
+pub(crate) fn build_header(
+    kind: u8,
+    round: u16,
+    label: &str,
+    bits: u64,
+    payload_len: usize,
+) -> Result<[u8; HEADER_LEN], CommError> {
+    let label_len = u8::try_from(label.len())
+        .map_err(|_| CommError::frame(label, format!("label of {} bytes", label.len())))?;
+    let payload_len = u32::try_from(payload_len)
+        .ok()
+        .filter(|&len| len <= MAX_PAYLOAD_BYTES)
+        .ok_or_else(|| CommError::frame(label, format!("payload of {payload_len} bytes")))?;
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = kind;
+    header[1] = label_len;
+    header[2..4].copy_from_slice(&round.to_be_bytes());
+    header[4..12].copy_from_slice(&bits.to_be_bytes());
+    header[12..16].copy_from_slice(&payload_len.to_be_bytes());
+    Ok(header)
+}
+
+/// Validates a complete frame header (known kind, payload under the
+/// cap) — shared by the blocking reader and the incremental duplex
+/// parser so hostile input fails identically on both paths.
+pub(crate) fn check_header(header: &[u8; HEADER_LEN]) -> Result<HeaderFields, CommError> {
+    let kind = header[0];
+    if !matches!(
+        kind,
+        KIND_PROTO | KIND_END | KIND_SERVICE | KIND_OUTPUT | KIND_UPDATE
+    ) {
+        return Err(CommError::frame(
+            "frame-header",
+            format!("unknown frame kind {kind}"),
+        ));
+    }
+    let payload_len = u32::from_be_bytes(header[12..16].try_into().expect("4 bytes"));
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(CommError::frame(
+            "frame-header",
+            format!("payload length {payload_len} exceeds the {MAX_PAYLOAD_BYTES}-byte cap"),
+        ));
+    }
+    Ok(HeaderFields {
+        kind,
+        label_len: usize::from(header[1]),
+        round: u16::from_be_bytes([header[2], header[3]]),
+        bits: u64::from_be_bytes(header[4..12].try_into().expect("8 bytes")),
+        payload_len: payload_len as usize,
+    })
+}
+
+/// Validates a frame's label bytes as UTF-8.
+pub(crate) fn check_label(label_bytes: Vec<u8>) -> Result<String, CommError> {
+    String::from_utf8(label_bytes)
+        .map_err(|_| CommError::frame("frame-label", "label is not UTF-8"))
+}
+
+/// The logical bit count must fit in the payload that carries it;
+/// a mismatch means the stream is corrupt or lying.
+pub(crate) fn check_bits(label: &str, bits: u64, payload_len: usize) -> Result<(), CommError> {
+    if bits.div_ceil(8) != payload_len as u64 {
+        return Err(CommError::frame(
+            label,
+            format!("{bits} logical bits do not pack into {payload_len} payload byte(s)"),
+        ));
+    }
+    Ok(())
+}
+
+/// Maps one received frame onto the [`FrameIo`] event vocabulary — the
+/// shared tail of the blocking and duplex `recv_event` implementations.
+pub(crate) fn frame_to_event(frame: RawFrame, version: u16) -> Result<RemoteEvent, CommError> {
+    match frame.kind {
+        KIND_PROTO => Ok(RemoteEvent::Frame(RemoteFrame {
+            round: frame.round,
+            label: frame.label,
+            bits: frame.bits,
+            payload: frame.payload,
+        })),
+        KIND_END => Ok(RemoteEvent::End(decode_status(&frame.payload)?)),
+        KIND_OUTPUT => Ok(RemoteEvent::Output(frame.payload)),
+        _ => {
+            // A peer that failed *before* its executor started (e.g.
+            // input validation) never sends an end marker — it ships
+            // its error as a run-result service message instead.
+            // Surface that real failure rather than a generic
+            // mid-protocol frame error.
+            if frame.label == "run-result" {
+                let mut r = mpest_comm::BitReader::new(&frame.payload);
+                if let Ok(crate::msg::ServiceMsg::RunResult(res)) =
+                    crate::msg::ServiceMsg::decode_body(&frame.label, &mut r, version)
+                {
+                    return Err(match res.error {
+                        Some(err) => CommError::protocol(format!(
+                            "remote party failed before the protocol started: {err}"
+                        )),
+                        None => CommError::frame("run-result", "peer ended the run mid-protocol"),
+                    });
+                }
+            }
+            Err(CommError::frame(
+                &frame.label,
+                "service frame arrived mid-protocol",
+            ))
+        }
+    }
+}
+
+/// The 8-byte preamble this build writes: magic, lowest supported
+/// version, highest supported version (see the module docs).
+pub(crate) fn local_preamble() -> [u8; 8] {
+    let mut preamble = [0u8; 8];
+    preamble[..4].copy_from_slice(&MAGIC);
+    preamble[4..6].copy_from_slice(&MIN_VERSION.to_be_bytes());
+    preamble[6..8].copy_from_slice(&VERSION.to_be_bytes());
+    preamble
+}
+
+/// Validates a peer's 8-byte preamble and computes the negotiated codec
+/// version — the shared core of [`FramedConn::establish`] and the
+/// reactor's nonblocking handshake.
+pub(crate) fn negotiate_version(peer: &[u8; 8]) -> Result<u16, CommError> {
+    if peer[..4] != MAGIC {
+        return Err(CommError::frame(
+            "handshake",
+            format!("bad magic {:?} (expected {MAGIC:?})", &peer[..4]),
+        ));
+    }
+    let peer_min = u16::from_be_bytes([peer[4], peer[5]]);
+    let peer_max = match u16::from_be_bytes([peer[6], peer[7]]) {
+        // Legacy (≤ v2) peers wrote zeros in the then-reserved bytes
+        // 6..8 and speak exactly the version at 4..6.
+        0 => peer_min,
+        max => max,
+    };
+    if peer_min > peer_max || peer_min == 0 {
+        return Err(CommError::frame(
+            "handshake",
+            format!("malformed version range v{peer_min}..=v{peer_max} from peer"),
+        ));
+    }
+    if peer_min > VERSION || peer_max < MIN_VERSION {
+        return Err(CommError::frame(
+            "handshake",
+            format!(
+                "no common codec version: this build supports \
+                 v{MIN_VERSION}..=v{VERSION}, peer offers v{peer_min}..=v{peer_max}"
+            ),
+        ));
+    }
+    Ok(VERSION.min(peer_max))
+}
+
+pub(crate) fn io_to_comm(label: &str, what: &str, e: &std::io::Error) -> CommError {
     if matches!(
         e.kind(),
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
@@ -624,42 +734,7 @@ impl<S: Read + Write> FrameIo for FramedConn<S> {
 
     fn recv_event(&mut self) -> Result<RemoteEvent, CommError> {
         let frame = self.recv_required()?;
-        match frame.kind {
-            KIND_PROTO => Ok(RemoteEvent::Frame(RemoteFrame {
-                round: frame.round,
-                label: frame.label,
-                bits: frame.bits,
-                payload: frame.payload,
-            })),
-            KIND_END => Ok(RemoteEvent::End(decode_status(&frame.payload)?)),
-            KIND_OUTPUT => Ok(RemoteEvent::Output(frame.payload)),
-            _ => {
-                // A peer that failed *before* its executor started (e.g.
-                // input validation) never sends an end marker — it ships
-                // its error as a run-result service message instead.
-                // Surface that real failure rather than a generic
-                // mid-protocol frame error.
-                if frame.label == "run-result" {
-                    let mut r = mpest_comm::BitReader::new(&frame.payload);
-                    if let Ok(crate::msg::ServiceMsg::RunResult(res)) =
-                        crate::msg::ServiceMsg::decode_body(&frame.label, &mut r, self.version)
-                    {
-                        return Err(match res.error {
-                            Some(err) => CommError::protocol(format!(
-                                "remote party failed before the protocol started: {err}"
-                            )),
-                            None => {
-                                CommError::frame("run-result", "peer ended the run mid-protocol")
-                            }
-                        });
-                    }
-                }
-                Err(CommError::frame(
-                    &frame.label,
-                    "service frame arrived mid-protocol",
-                ))
-            }
-        }
+        frame_to_event(frame, self.version)
     }
 }
 
@@ -844,12 +919,13 @@ mod tests {
     #[test]
     fn handshake_negotiates_every_version_pairing() {
         // (peer min, peer max on the wire, expected negotiated version).
-        let ok: [(u16, u16, u16); 5] = [
+        let ok: [(u16, u16, u16); 6] = [
             (2, 0, 2), // legacy v2 build: exact version, reserved zeros
             (2, 3, 3), // a v3 build: meet at its ceiling
-            (2, 4, 4), // this build
+            (2, 4, 4), // a v4 build: meet at its ceiling
+            (2, 5, 5), // this build
             (3, 3, 3), // hypothetical v3-only peer
-            (3, 9, 4), // far-future peer that kept v3+ support
+            (3, 9, 5), // far-future peer that kept v3+ support
         ];
         for (min, max, want) in ok {
             let conn = FramedConn::establish(Loopback::reading(peer_preamble(min, max))).unwrap();
@@ -860,7 +936,7 @@ mod tests {
         let bad: [(u16, u16); 3] = [
             (1, 0), // ancient exact-v1 build
             (1, 1), // v1-only range
-            (5, 6), // future build that dropped v4
+            (6, 7), // future build that dropped v5
         ];
         for (min, max) in bad {
             let err =

@@ -13,7 +13,17 @@
 //!    per-connection byte counters. Truncated/oversized/malformed frames
 //!    surface as typed [`CommError::Frame`](mpest_comm::CommError)
 //!    errors naming the offending label — never a panic or a hang.
-//! 2. **[`party`]** — remote two-party execution: a [`PartyHost`]
+//! 2. **[`reactor`](crate::duplex) / duplex I/O** — a hand-rolled
+//!    `poll(2)` readiness layer under the codec. [`DuplexConn`] owns a
+//!    nonblocking socket with spool queues in both directions and
+//!    progresses *both* whenever the kernel is ready, so a simultaneous
+//!    protocol round whose payloads exceed the socket buffers drains
+//!    incrementally instead of deadlocking (the write-stall the blocking
+//!    codec can only convert into a timeout). Frames stay byte-identical
+//!    to the blocking path; it is the default transport everywhere, with
+//!    blocking sockets kept as the reference implementation
+//!    ([`IoMode`]).
+//! 3. **[`party`]** — remote two-party execution: a [`PartyHost`]
 //!    process plays one side of the pair and an initiator
 //!    ([`run_with_party`]) plays the other, with every protocol message
 //!    a framed socket write. Storage-split deployments
@@ -25,13 +35,17 @@
 //!    (`tests/remote_equivalence.rs` and
 //!    `tests/party_split_equivalence.rs` prove it for all 14
 //!    protocols).
-//! 3. **[`server`] / [`client`]** — the `mpest serve` daemon:
-//!    thread-per-connection over a shared
+//! 4. **[`server`] / [`client`]** — the `mpest serve` daemon: a
+//!    readiness-driven reactor multiplexing many connections per thread
+//!    (with frame-id-tagged pipelined queries and spool-budget
+//!    backpressure) over a shared
 //!    [`Engine`](mpest_core::Engine)-wrapped session cache keyed by
 //!    matrix [`fingerprint()`]s, serving
 //!    [`EstimateRequest`](mpest_core::EstimateRequest)s from many
 //!    concurrent clients with real-socket byte accounting alongside the
 //!    logical [`BatchAccounting`](mpest_comm::BatchAccounting) ledger.
+//!    A thread-per-connection blocking server remains as the reference
+//!    path.
 //!
 //! ```no_run
 //! use mpest_core::EstimateRequest;
@@ -55,23 +69,29 @@
 
 pub mod client;
 pub mod codec;
+pub mod duplex;
 pub mod fingerprint;
 pub mod msg;
 pub mod party;
+mod reactor;
 pub mod server;
+mod server_reactor;
 
 pub use client::{
     QueryOutcome, ServeClient, UpdateOutcome, CLIENT_IO_TIMEOUT, DEFAULT_REPLY_TIMEOUT,
 };
 pub use codec::{FramedConn, MAX_PAYLOAD_BYTES, MIN_VERSION, VERSION};
+pub use duplex::{DuplexConn, IoMode, ServiceConn};
 pub use fingerprint::fingerprint;
 pub use msg::{
     PartyInfoMsg, QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg, UpdateMsg,
     WCsr, MAX_WIRE_MATRIX_DIM, MAX_WIRE_UPDATE_OPS,
 };
 pub use party::{
-    party_info, run_over_conn, run_view_over_conn, run_with_party, run_with_party_view,
-    run_with_party_view_with, run_with_party_with, update_party, update_split_party, PartyHost,
-    PARTY_RUN_TIMEOUT_MAX,
+    party_info, run_over_conn, run_view_over_conn, run_with_party, run_with_party_io,
+    run_with_party_view, run_with_party_view_io, run_with_party_view_with, run_with_party_with,
+    update_party, update_split_party, PartyHost, PARTY_RUN_TIMEOUT_MAX,
 };
-pub use server::{serve_on, ServeConfig, Server, ServerState, DEFAULT_MAX_SESSIONS};
+pub use server::{
+    serve_on, ServeConfig, Server, ServerState, DEFAULT_MAX_SESSIONS, DEFAULT_SPOOL_BUDGET,
+};

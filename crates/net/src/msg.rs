@@ -82,6 +82,12 @@ pub struct QueryMsg {
     /// typed (a stale-epoch reply) unless the served session is exactly
     /// at epoch `e`.
     pub at_epoch: Option<u64>,
+    /// Frame id for pipelined serving (v5+). `0` means unpipelined:
+    /// the classic strict request/reply alternation. A nonzero id lets
+    /// a client keep several queries in flight on one connection; the
+    /// daemon echoes the id in the matching [`ReportsMsg`] (or a
+    /// [`ServiceMsg::QueryFailed`]), so replies may arrive in any order.
+    pub id: u64,
 }
 
 /// Client → daemon / party host: apply an update batch to the live
@@ -189,6 +195,10 @@ pub struct ReportsMsg {
     /// The epoch of the session that answered (v3+; 0 from v2 peers,
     /// which only serve frozen epoch-0 sessions).
     pub epoch: u64,
+    /// Echo of the query's frame id (v5+; 0 for unpipelined queries and
+    /// from pre-v5 peers). Pipelining clients match replies to requests
+    /// by this id.
+    pub id: u64,
 }
 
 /// A daemon-wide statistics snapshot.
@@ -312,6 +322,16 @@ pub enum ServiceMsg {
     /// [`PeerInfo`](mpest_core::PeerInfo) — dimensions and binariness
     /// must match; a nonzero stored fingerprint pins exact content.
     PartyHello(PartyInfoMsg),
+    /// Daemon → client: one *pipelined* query failed, without poisoning
+    /// the connection or the other in-flight queries (v5+). Unpipelined
+    /// failures keep using [`ServiceMsg::Error`] /
+    /// [`ServiceMsg::StaleEpoch`], whose meaning is unchanged.
+    QueryFailed {
+        /// Echo of the failed query's frame id (never 0).
+        id: u64,
+        /// What went wrong.
+        error: String,
+    },
     /// Daemon → client: the addressed `fp@epoch` no longer names the
     /// live session — it was updated (or the pinned epoch never
     /// existed). Carries where the session is *now* (v3+).
@@ -344,6 +364,7 @@ impl ServiceMsg {
             Self::Update(_) => "update",
             Self::UpdateAck { .. } => "update-ack",
             Self::PartyHello(_) => "party-hello",
+            Self::QueryFailed { .. } => "query-failed",
             Self::StaleEpoch { .. } => "stale-epoch",
         }
     }
@@ -354,6 +375,9 @@ impl ServiceMsg {
     #[must_use]
     pub fn min_version(&self) -> u16 {
         match self {
+            Self::QueryFailed { .. } => 5,
+            Self::Query(q) if q.id != 0 => 5,
+            Self::Reports(rep) if rep.id != 0 => 5,
             Self::PartyHello(_) => 4,
             Self::Update(_) | Self::UpdateAck { .. } | Self::StaleEpoch { .. } => 3,
             Self::Query(q) if q.at_epoch.is_some() => 3,
@@ -370,6 +394,9 @@ impl ServiceMsg {
                 if version >= 3 {
                     q.at_epoch.encode(w);
                 }
+                if version >= 5 {
+                    w.write_varint(q.id);
+                }
             }
             Self::NeedMatrices | Self::Stats | Self::Shutdown | Self::Ok => {}
             Self::Matrices { a, b } => {
@@ -384,6 +411,9 @@ impl ServiceMsg {
                 w.write_varint(rep.wire_out);
                 if version >= 3 {
                     w.write_varint(rep.epoch);
+                }
+                if version >= 5 {
+                    w.write_varint(rep.id);
                 }
             }
             Self::StatsReport(s) => {
@@ -424,6 +454,10 @@ impl ServiceMsg {
                 w.write_varint(info.fp);
                 w.write_varint(info.epoch);
             }
+            Self::QueryFailed { id, error } => {
+                w.write_varint(*id);
+                error.clone().encode(w);
+            }
         }
     }
 
@@ -442,6 +476,7 @@ impl ServiceMsg {
                 } else {
                     None
                 },
+                id: if version >= 5 { r.read_varint()? } else { 0 },
             }),
             "need-matrices" => Self::NeedMatrices,
             "matrices" => Self::Matrices {
@@ -455,6 +490,7 @@ impl ServiceMsg {
                 wire_in: r.read_varint()?,
                 wire_out: r.read_varint()?,
                 epoch: if version >= 3 { r.read_varint()? } else { 0 },
+                id: if version >= 5 { r.read_varint()? } else { 0 },
             }),
             "stats" => Self::Stats,
             "stats-report" => Self::StatsReport(StatsMsg {
@@ -497,6 +533,10 @@ impl ServiceMsg {
                 fp: r.read_varint()?,
                 epoch: r.read_varint()?,
             }),
+            "query-failed" => Self::QueryFailed {
+                id: r.read_varint()?,
+                error: String::decode(r)?,
+            },
             "stale-epoch" => Self::StaleEpoch {
                 fp_a: r.read_varint()?,
                 fp_b: r.read_varint()?,
@@ -522,25 +562,8 @@ impl<S: Read + Write> FramedConn<S> {
     /// Propagates codec/transport errors; fails typed when the message
     /// needs a newer codec than the connection negotiated.
     pub fn send_msg(&mut self, msg: &ServiceMsg) -> Result<(), CommError> {
-        let version = self.version();
-        if msg.min_version() > version {
-            return Err(CommError::frame(
-                msg.name(),
-                format!(
-                    "message requires codec v{} but the connection negotiated v{version}",
-                    msg.min_version()
-                ),
-            ));
-        }
-        let mut w = BitWriter::new();
-        msg.encode_body(&mut w, version);
-        let (payload, bits) = w.finish_vec();
-        let kind = if matches!(msg, ServiceMsg::Update(_)) {
-            crate::codec::KIND_UPDATE
-        } else {
-            crate::codec::KIND_SERVICE
-        };
-        self.send_raw(kind, 0, msg.name(), bits, &payload)
+        let (kind, name, bits, payload) = encode_service_frame(msg, self.version())?;
+        self.send_raw(kind, 0, name, bits, &payload)
     }
 
     /// Receives the next service message; `Ok(None)` on clean EOF.
@@ -568,10 +591,43 @@ impl<S: Read + Write> FramedConn<S> {
     }
 }
 
+/// Encodes one service message into the pieces of a frame — `(kind,
+/// label, payload bit count, payload)` — in the encoding of `version`,
+/// enforcing the message's [`ServiceMsg::min_version`]. Shared by the
+/// blocking [`FramedConn::send_msg`] and the spooling
+/// [`DuplexConn::send_msg`](crate::DuplexConn::send_msg), so both paths
+/// emit byte-identical frames by construction.
+pub(crate) fn encode_service_frame(
+    msg: &ServiceMsg,
+    version: u16,
+) -> Result<(u8, &'static str, u64, Vec<u8>), CommError> {
+    if msg.min_version() > version {
+        return Err(CommError::frame(
+            msg.name(),
+            format!(
+                "message requires codec v{} but the connection negotiated v{version}",
+                msg.min_version()
+            ),
+        ));
+    }
+    let mut w = BitWriter::new();
+    msg.encode_body(&mut w, version);
+    let (payload, bits) = w.finish_vec();
+    let kind = if matches!(msg, ServiceMsg::Update(_)) {
+        crate::codec::KIND_UPDATE
+    } else {
+        crate::codec::KIND_SERVICE
+    };
+    Ok((kind, msg.name(), bits, payload))
+}
+
 /// Checks the frame kind and decodes the service-message body. Update
 /// frames carry their own kind so a v2-era peer rejects them at the
 /// frame layer instead of misparsing the body.
-fn decode_service_frame(frame: &RawFrame, version: u16) -> Result<ServiceMsg, CommError> {
+pub(crate) fn decode_service_frame(
+    frame: &RawFrame,
+    version: u16,
+) -> Result<ServiceMsg, CommError> {
     let service = frame.kind == crate::codec::KIND_SERVICE;
     let update = frame.kind == crate::codec::KIND_UPDATE && frame.label == "update";
     if !(service || update) {
@@ -664,6 +720,7 @@ mod tests {
                     ),
                 ],
                 at_epoch: Some(4),
+                id: 17,
             }),
             ServiceMsg::NeedMatrices,
             ServiceMsg::Matrices {
@@ -677,7 +734,12 @@ mod tests {
                 wire_in: 100,
                 wire_out: 50,
                 epoch: 6,
+                id: 17,
             }),
+            ServiceMsg::QueryFailed {
+                id: 17,
+                error: "session went stale mid-flight".into(),
+            },
             ServiceMsg::Stats,
             ServiceMsg::StatsReport(StatsMsg {
                 accounting,
@@ -755,6 +817,58 @@ mod tests {
         }
     }
 
+    /// Frame ids are v5-only: a pre-v5 connection refuses to send a
+    /// pipelined query, a pipelined reports echo, or a `query-failed`
+    /// reply — while id-0 (unpipelined) traffic still flows and decodes
+    /// to id 0 on both sides.
+    #[test]
+    fn frame_ids_are_refused_pre_v5() {
+        let pipelined = [
+            ServiceMsg::Query(QueryMsg {
+                fp_a: 1,
+                fp_b: 2,
+                queries: Vec::new(),
+                at_epoch: None,
+                id: 3,
+            }),
+            ServiceMsg::Reports(ReportsMsg {
+                reports: Vec::new(),
+                accounting: BatchAccounting::new(),
+                cache_hit: false,
+                wire_in: 0,
+                wire_out: 0,
+                epoch: 0,
+                id: 3,
+            }),
+            ServiceMsg::QueryFailed {
+                id: 3,
+                error: "nope".into(),
+            },
+        ];
+        for msg in &pipelined {
+            let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new()))).with_version(4);
+            let err = conn.send_msg(msg).unwrap_err();
+            let s = err.to_string();
+            assert!(s.contains("v5") && s.contains("v4"), "{s}");
+        }
+
+        // Unpipelined (id 0) messages are still v4-sendable, and the id
+        // simply is not carried: a v4 hop drops nothing.
+        let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new()))).with_version(4);
+        conn.send_msg(&ServiceMsg::Query(QueryMsg {
+            fp_a: 1,
+            fp_b: 2,
+            queries: Vec::new(),
+            at_epoch: Some(7),
+            id: 0,
+        }))
+        .unwrap();
+        let ServiceMsg::Query(q) = conn.recv_msg().unwrap().unwrap() else {
+            panic!("expected query");
+        };
+        assert_eq!((q.id, q.at_epoch), (0, Some(7)));
+    }
+
     #[test]
     fn update_frames_use_their_own_kind() {
         let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new())));
@@ -781,6 +895,7 @@ mod tests {
             fp_b: 6,
             queries: vec![(1, EstimateRequest::ExactL1)],
             at_epoch: None,
+            id: 0,
         });
         let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new()))).with_version(2);
         conn.send_msg(&query_v2).unwrap();
@@ -797,6 +912,7 @@ mod tests {
             wire_in: 1,
             wire_out: 2,
             epoch: 99,
+            id: 0,
         }))
         .unwrap();
         let ServiceMsg::Reports(rep) = conn.recv_msg().unwrap().unwrap() else {
@@ -819,6 +935,7 @@ mod tests {
                 fp_b: 0,
                 queries: Vec::new(),
                 at_epoch: Some(1),
+                id: 0,
             }),
             ServiceMsg::StaleEpoch {
                 fp_a: 0,

@@ -28,22 +28,19 @@
 //! epoch divergence fails typed before a single protocol frame moves.
 
 use crate::codec::FramedConn;
+use crate::duplex::{DuplexConn, IoMode, ServiceConn};
 use crate::fingerprint::fingerprint;
 use crate::msg::{PartyInfoMsg, RunResultMsg, RunSpecMsg, ServiceMsg, UpdateMsg};
+use crate::reactor::{wait_ready, Readiness, StopSignal, POLLIN};
 use mpest_comm::{CommError, Party, Seed};
 use mpest_core::{EstimateReport, EstimateRequest, PartyView, Session, UpdateBatch};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// I/O timeout (both directions) for party connections: a vanished or
 /// wedged peer surfaces as a typed error, not a hang.
 pub const PARTY_IO_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// How often an idle serve/party connection wakes to check its host's
-/// stop flag while waiting for the next message.
-pub(crate) const IDLE_POLL: Duration = Duration::from_millis(500);
 
 /// Hard ceiling on the per-read/write run deadline a party host accepts
 /// from an initiator's run-spec (a request for "no deadline" clamps
@@ -59,8 +56,8 @@ pub const PARTY_RUN_TIMEOUT_MAX: Duration = Duration::from_secs(600);
 /// # Errors
 ///
 /// Protocol/validation errors from either side, or transport errors.
-pub fn run_over_conn(
-    conn: &mut FramedConn<TcpStream>,
+pub fn run_over_conn<C: ServiceConn>(
+    conn: &mut C,
     session: &Session,
     my_side: Party,
     request: &EstimateRequest,
@@ -77,8 +74,8 @@ pub fn run_over_conn(
 /// # Errors
 ///
 /// Protocol/validation errors from either side, or transport errors.
-pub fn run_view_over_conn(
-    conn: &mut FramedConn<TcpStream>,
+pub fn run_view_over_conn<C: ServiceConn>(
+    conn: &mut C,
     view: &PartyView,
     request: &EstimateRequest,
     seed: Seed,
@@ -88,8 +85,8 @@ pub fn run_view_over_conn(
 }
 
 /// The closing [`RunResultMsg`] exchange both run paths share.
-fn finish_run(
-    conn: &mut FramedConn<TcpStream>,
+fn finish_run<C: ServiceConn>(
+    conn: &mut C,
     local: Result<EstimateReport, CommError>,
 ) -> Result<EstimateReport, CommError> {
     // A local failure is the primary diagnosis (the peer usually echoes
@@ -107,13 +104,13 @@ fn finish_run(
             local,
             Err(CommError::Frame { .. } | CommError::ChannelClosed)
         ) {
-            let _ = conn.send_msg(&result_msg);
-            let _ = conn.recv_msg();
+            let _ = conn.send_service(&result_msg);
+            let _ = conn.recv_service(Some(PARTY_IO_TIMEOUT));
         }
         return local;
     }
-    conn.send_msg(&result_msg)?;
-    let peer = match conn.recv_msg_required()? {
+    conn.send_service(&result_msg)?;
+    let peer = match conn.recv_service_required()? {
         ServiceMsg::RunResult(res) => res,
         other => {
             return Err(CommError::frame(
@@ -177,8 +174,76 @@ pub fn run_with_party_with(
     seed: Seed,
     io_timeout: Option<Duration>,
 ) -> Result<(EstimateReport, u64, u64), CommError> {
-    let mut conn = FramedConn::connect(addr, io_timeout)?;
-    conn.send_msg(&ServiceMsg::RunSpec(RunSpecMsg {
+    run_with_party_io(
+        addr,
+        session,
+        my_side,
+        request,
+        seed,
+        io_timeout,
+        IoMode::default(),
+    )
+}
+
+/// [`run_with_party_with`] with an explicit [`IoMode`]. `Blocking`
+/// selects the reference implementation — still subject to the
+/// full-duplex write stall on simultaneous rounds whose payloads exceed
+/// the kernel socket buffers (surfaced as a typed write-timeout), which
+/// is exactly what the regression tests pin down.
+///
+/// # Errors
+///
+/// Same as [`run_with_party`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_party_io(
+    addr: &str,
+    session: &Session,
+    my_side: Party,
+    request: &EstimateRequest,
+    seed: Seed,
+    io_timeout: Option<Duration>,
+    io_mode: IoMode,
+) -> Result<(EstimateReport, u64, u64), CommError> {
+    let conn = FramedConn::connect(addr, io_timeout)?;
+    match io_mode {
+        IoMode::Blocking => initiate_run(conn, session, my_side, request, seed, io_timeout),
+        IoMode::Duplex => initiate_run(
+            DuplexConn::from_framed(conn, io_timeout)?,
+            session,
+            my_side,
+            request,
+            seed,
+            io_timeout,
+        ),
+    }
+}
+
+/// The initiator's conversation after the transport is chosen:
+/// negotiate the run-spec, execute, drain, report wire costs.
+fn initiate_run<C: ServiceConn>(
+    mut conn: C,
+    session: &Session,
+    my_side: Party,
+    request: &EstimateRequest,
+    seed: Seed,
+    io_timeout: Option<Duration>,
+) -> Result<(EstimateReport, u64, u64), CommError> {
+    negotiate_spec(&mut conn, my_side, request, seed, io_timeout)?;
+    let report = run_over_conn(&mut conn, session, my_side, request, seed)?;
+    conn.drain()?;
+    let (out, inn) = conn.wire_counts();
+    Ok((report, out, inn))
+}
+
+/// Sends the run-spec and waits for the host's ok/error verdict.
+fn negotiate_spec<C: ServiceConn>(
+    conn: &mut C,
+    my_side: Party,
+    request: &EstimateRequest,
+    seed: Seed,
+    io_timeout: Option<Duration>,
+) -> Result<(), CommError> {
+    conn.send_service(&ServiceMsg::RunSpec(RunSpecMsg {
         initiator_side: my_side,
         seed: seed.0,
         io_timeout_secs: io_timeout.map_or(0, |t| {
@@ -186,22 +251,16 @@ pub fn run_with_party_with(
         }),
         request: request.clone(),
     }))?;
-    match conn.recv_msg_required()? {
-        ServiceMsg::Ok => {}
-        ServiceMsg::Error(msg) => {
-            return Err(CommError::protocol(format!(
-                "party rejected the run: {msg}"
-            )))
-        }
-        other => {
-            return Err(CommError::frame(
-                other.name(),
-                "expected ok/error in reply to run-spec",
-            ))
-        }
+    match conn.recv_service_required()? {
+        ServiceMsg::Ok => Ok(()),
+        ServiceMsg::Error(msg) => Err(CommError::protocol(format!(
+            "party rejected the run: {msg}"
+        ))),
+        other => Err(CommError::frame(
+            other.name(),
+            "expected ok/error in reply to run-spec",
+        )),
     }
-    let report = run_over_conn(&mut conn, session, my_side, request, seed)?;
-    Ok((report, conn.bytes_out(), conn.bytes_in()))
 }
 
 /// The `party-hello` a [`PartyView`] announces: its side, the shape and
@@ -308,9 +367,59 @@ pub fn run_with_party_view_with(
     io_timeout: Option<Duration>,
     pin_peer_fp: Option<u64>,
 ) -> Result<(EstimateReport, u64, u64), CommError> {
-    let mut conn = FramedConn::connect(addr, io_timeout)?;
-    conn.send_msg(&ServiceMsg::PartyHello(party_info(view)))?;
-    match conn.recv_msg_required()? {
+    run_with_party_view_io(
+        addr,
+        view,
+        request,
+        seed,
+        io_timeout,
+        pin_peer_fp,
+        IoMode::default(),
+    )
+}
+
+/// [`run_with_party_view_with`] with an explicit [`IoMode`] (see
+/// [`run_with_party_io`] for what `Blocking` means).
+///
+/// # Errors
+///
+/// Same as [`run_with_party_view_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_party_view_io(
+    addr: &str,
+    view: &PartyView,
+    request: &EstimateRequest,
+    seed: Seed,
+    io_timeout: Option<Duration>,
+    pin_peer_fp: Option<u64>,
+    io_mode: IoMode,
+) -> Result<(EstimateReport, u64, u64), CommError> {
+    let conn = FramedConn::connect(addr, io_timeout)?;
+    match io_mode {
+        IoMode::Blocking => initiate_view_run(conn, view, request, seed, io_timeout, pin_peer_fp),
+        IoMode::Duplex => initiate_view_run(
+            DuplexConn::from_framed(conn, io_timeout)?,
+            view,
+            request,
+            seed,
+            io_timeout,
+            pin_peer_fp,
+        ),
+    }
+}
+
+/// The storage-split initiator's conversation: hello cross-check, pin
+/// check, run-spec, protocol, drain.
+fn initiate_view_run<C: ServiceConn>(
+    mut conn: C,
+    view: &PartyView,
+    request: &EstimateRequest,
+    seed: Seed,
+    io_timeout: Option<Duration>,
+    pin_peer_fp: Option<u64>,
+) -> Result<(EstimateReport, u64, u64), CommError> {
+    conn.send_service(&ServiceMsg::PartyHello(party_info(view)))?;
+    match conn.recv_service_required()? {
         ServiceMsg::PartyHello(hello) => {
             check_hello(view, &hello)?;
             if let Some(pin) = pin_peer_fp {
@@ -335,30 +444,11 @@ pub fn run_with_party_view_with(
             ))
         }
     }
-    conn.send_msg(&ServiceMsg::RunSpec(RunSpecMsg {
-        initiator_side: view.role(),
-        seed: seed.0,
-        io_timeout_secs: io_timeout.map_or(0, |t| {
-            (t.as_secs() + u64::from(t.subsec_nanos() != 0)).max(1)
-        }),
-        request: request.clone(),
-    }))?;
-    match conn.recv_msg_required()? {
-        ServiceMsg::Ok => {}
-        ServiceMsg::Error(msg) => {
-            return Err(CommError::protocol(format!(
-                "party rejected the run: {msg}"
-            )))
-        }
-        other => {
-            return Err(CommError::frame(
-                other.name(),
-                "expected ok/error in reply to run-spec",
-            ))
-        }
-    }
+    negotiate_spec(&mut conn, view.role(), request, seed, io_timeout)?;
     let report = run_view_over_conn(&mut conn, view, request, seed)?;
-    Ok((report, conn.bytes_out(), conn.bytes_in()))
+    conn.drain()?;
+    let (out, inn) = conn.wire_counts();
+    Ok((report, out, inn))
 }
 
 /// How a party host stores its session: the legacy shared (immutable)
@@ -386,7 +476,7 @@ enum PartySession {
 /// ingest new data.
 pub struct PartyHost {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    stop: StopSignal,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -395,12 +485,30 @@ impl PartyHost {
     /// threads — one accept loop, one thread per connection. The shared
     /// session is immutable: this host answers `update` messages with a
     /// typed error (use [`PartyHost::spawn_updatable`] for live data).
+    /// Connections run duplex I/O (see [`PartyHost::spawn_io`]).
     ///
     /// # Errors
     ///
     /// I/O errors from binding.
     pub fn spawn(addr: &str, session: Arc<Session>, side: Party) -> std::io::Result<Self> {
-        Self::spawn_inner(addr, PartySession::Shared(session), side)
+        Self::spawn_inner(addr, PartySession::Shared(session), side, IoMode::default())
+    }
+
+    /// [`PartyHost::spawn`] with an explicit [`IoMode`] for accepted
+    /// connections — `Blocking` keeps the reference implementation
+    /// (subject to the documented write stall on big simultaneous
+    /// rounds), which the regression tests run against.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn_io(
+        addr: &str,
+        session: Arc<Session>,
+        side: Party,
+        io_mode: IoMode,
+    ) -> std::io::Result<Self> {
+        Self::spawn_inner(addr, PartySession::Shared(session), side, io_mode)
     }
 
     /// Binds `addr` owning `session` outright, so remote peers may push
@@ -412,10 +520,26 @@ impl PartyHost {
     ///
     /// I/O errors from binding.
     pub fn spawn_updatable(addr: &str, session: Session, side: Party) -> std::io::Result<Self> {
+        Self::spawn_updatable_io(addr, session, side, IoMode::default())
+    }
+
+    /// [`PartyHost::spawn_updatable`] with an explicit [`IoMode`] (see
+    /// [`PartyHost::spawn_io`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn_updatable_io(
+        addr: &str,
+        session: Session,
+        side: Party,
+        io_mode: IoMode,
+    ) -> std::io::Result<Self> {
         Self::spawn_inner(
             addr,
             PartySession::Owned(Arc::new(RwLock::new(session))),
             side,
+            io_mode,
         )
     }
 
@@ -431,22 +555,42 @@ impl PartyHost {
     ///
     /// I/O errors from binding.
     pub fn spawn_split(addr: &str, view: PartyView) -> std::io::Result<Self> {
-        let side = view.role();
-        Self::spawn_inner(addr, PartySession::Split(Arc::new(RwLock::new(view))), side)
+        Self::spawn_split_io(addr, view, IoMode::default())
     }
 
-    fn spawn_inner(addr: &str, session: PartySession, side: Party) -> std::io::Result<Self> {
+    /// [`PartyHost::spawn_split`] with an explicit [`IoMode`] (see
+    /// [`PartyHost::spawn_io`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn_split_io(addr: &str, view: PartyView, io_mode: IoMode) -> std::io::Result<Self> {
+        let side = view.role();
+        Self::spawn_inner(
+            addr,
+            PartySession::Split(Arc::new(RwLock::new(view))),
+            side,
+            io_mode,
+        )
+    }
+
+    fn spawn_inner(
+        addr: &str,
+        session: PartySession,
+        side: Party,
+        io_mode: IoMode,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_accept = Arc::clone(&stop);
+        let stop = StopSignal::new()?;
+        let stop_accept = stop.clone();
         let join = std::thread::spawn(move || {
-            let stop_conn = Arc::clone(&stop_accept);
+            let stop_conn = stop_accept.clone();
             accept_loop(&listener, &stop_accept, move |stream| {
                 let session = session.clone();
-                let stop = Arc::clone(&stop_conn);
+                let stop = stop_conn.clone();
                 std::thread::spawn(move || {
-                    let _ = serve_party_conn(stream, &session, side, &stop);
+                    let _ = serve_party_conn(stream, &session, side, &stop, io_mode);
                 });
             });
         });
@@ -472,9 +616,11 @@ impl PartyHost {
         }
     }
 
-    /// Stops accepting and joins the accept loop.
+    /// Stops accepting and joins the accept loop. Parked connections
+    /// wake immediately: every serve loop polls the host's stop pipe
+    /// alongside its socket, so shutdown needs no 500ms slices.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.trigger();
         // Unblock the accept call.
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
@@ -485,7 +631,7 @@ impl PartyHost {
 
 impl Drop for PartyHost {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.trigger();
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
             let _ = join.join();
@@ -494,9 +640,9 @@ impl Drop for PartyHost {
 }
 
 /// Shared accept loop: hand every connection to `handle` until `stop`.
-pub(crate) fn accept_loop(listener: &TcpListener, stop: &AtomicBool, handle: impl Fn(TcpStream)) {
+pub(crate) fn accept_loop(listener: &TcpListener, stop: &StopSignal, handle: impl Fn(TcpStream)) {
     for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
+        if stop.is_set() {
             break;
         }
         match stream {
@@ -512,7 +658,8 @@ fn serve_party_conn(
     stream: TcpStream,
     session: &PartySession,
     side: Party,
-    stop: &AtomicBool,
+    stop: &StopSignal,
+    io_mode: IoMode,
 ) -> Result<(), CommError> {
     // Bound the handshake too: a peer that connects and never speaks
     // must not pin this thread forever.
@@ -520,19 +667,46 @@ fn serve_party_conn(
         .set_read_timeout(Some(PARTY_IO_TIMEOUT))
         .and_then(|()| stream.set_write_timeout(Some(PARTY_IO_TIMEOUT)))
         .map_err(|e| CommError::frame("accept", format!("socket options failed: {e}")))?;
-    let mut conn = FramedConn::accept(stream)?;
+    let conn = FramedConn::accept(stream)?;
+    match io_mode {
+        IoMode::Blocking => serve_party_loop(conn, session, side, stop),
+        IoMode::Duplex => serve_party_loop(
+            DuplexConn::from_framed(conn, Some(PARTY_IO_TIMEOUT))?,
+            session,
+            side,
+            stop,
+        ),
+    }
+}
+
+/// The per-connection serve loop, generic over the transport. Parks in
+/// a zero-wakeup readiness wait (socket + stop pipe) between messages —
+/// an initiator may hold the connection idle indefinitely — then reads
+/// one message under the in-flight deadline.
+fn serve_party_loop<C: ServiceConn>(
+    mut conn: C,
+    session: &PartySession,
+    side: Party,
+    stop: &StopSignal,
+) -> Result<(), CommError> {
     // Storage-split hosts demand the handshake before any run: the
     // hello's cross-check is what replaces the full-pair validation a
     // Session would have done locally.
     let mut greeted = !matches!(session, PartySession::Split(_));
     loop {
-        // Patient between runs (an initiator may park the connection
-        // indefinitely), strict once a frame starts arriving; the wait
-        // polls the host's stop flag so shutdown reaps this thread.
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
+        // Message boundary: flush replies before parking, so a parked
+        // connection has no pending writes and read-readiness alone is
+        // the complete wake condition.
+        conn.drain()?;
+        if !conn.has_buffered() {
+            match wait_ready(conn.raw_fd(), POLLIN, Some(stop), None)
+                .map_err(|e| CommError::frame("accept", format!("poll failed: {e}")))?
+            {
+                Readiness::Stopped => return Ok(()),
+                Readiness::Ready | Readiness::TimedOut => {}
+            }
         }
-        let msg = match conn.recv_msg_patient(Some(IDLE_POLL), Some(PARTY_IO_TIMEOUT)) {
+        let msg = match conn.recv_service(Some(PARTY_IO_TIMEOUT)) {
             Ok(Some(msg)) => msg,
             Ok(None) => return Ok(()), // initiator hung up cleanly
             Err(CommError::WouldBlock) => continue,
@@ -541,12 +715,12 @@ fn serve_party_conn(
         let spec = match msg {
             ServiceMsg::RunSpec(spec) => spec,
             ServiceMsg::Update(update) => {
-                conn.send_msg(&handle_party_update(session, &update))?;
+                conn.send_service(&handle_party_update(session, &update))?;
                 continue;
             }
             ServiceMsg::PartyHello(hello) => {
                 let PartySession::Split(lock) = session else {
-                    conn.send_msg(&ServiceMsg::Error(
+                    conn.send_service(&ServiceMsg::Error(
                         "this host holds the full session pair; party-hello \
                          is for storage-split hosts (spawn_split)"
                             .to_string(),
@@ -557,14 +731,14 @@ fn serve_party_conn(
                 match check_hello(&view, &hello) {
                     Ok(()) => {
                         greeted = true;
-                        conn.send_msg(&ServiceMsg::PartyHello(party_info(&view)))?;
+                        conn.send_service(&ServiceMsg::PartyHello(party_info(&view)))?;
                     }
-                    Err(e) => conn.send_msg(&ServiceMsg::Error(e.to_string()))?,
+                    Err(e) => conn.send_service(&ServiceMsg::Error(e.to_string()))?,
                 }
                 continue;
             }
             other => {
-                conn.send_msg(&ServiceMsg::Error(format!(
+                conn.send_service(&ServiceMsg::Error(format!(
                     "expected run-spec, got {}",
                     other.name()
                 )))?;
@@ -572,7 +746,7 @@ fn serve_party_conn(
             }
         };
         if !greeted {
-            conn.send_msg(&ServiceMsg::Error(
+            conn.send_service(&ServiceMsg::Error(
                 "this host is storage-split: send party-hello before the \
                  first run-spec so both halves are cross-checked"
                     .to_string(),
@@ -580,12 +754,12 @@ fn serve_party_conn(
             continue;
         }
         if spec.initiator_side == side {
-            conn.send_msg(&ServiceMsg::Error(format!(
+            conn.send_service(&ServiceMsg::Error(format!(
                 "initiator claims side {side}, but this host already plays it"
             )))?;
             continue;
         }
-        conn.send_msg(&ServiceMsg::Ok)?;
+        conn.send_service(&ServiceMsg::Ok)?;
         // Match the initiator's requested deadline for this run, so a
         // side that legitimately computes longer than the host's default
         // between rounds is not dropped mid-run — but clamp it: the
@@ -594,7 +768,7 @@ fn serve_party_conn(
             0 => PARTY_RUN_TIMEOUT_MAX,
             secs => Duration::from_secs(secs).min(PARTY_RUN_TIMEOUT_MAX),
         };
-        conn.set_timeouts(Some(run_timeout))?;
+        conn.set_run_deadline(Some(run_timeout))?;
         // Errors are shipped to the initiator inside run_over_conn's
         // result exchange; a transport error tears the connection down.
         let outcome = match session {
@@ -613,7 +787,7 @@ fn serve_party_conn(
                 run_view_over_conn(&mut conn, &view, &spec.request, Seed(spec.seed))
             }
         };
-        conn.set_timeouts(Some(PARTY_IO_TIMEOUT))?;
+        conn.set_run_deadline(Some(PARTY_IO_TIMEOUT))?;
         match outcome {
             Ok(_) | Err(CommError::Protocol(_) | CommError::LabelMismatch { .. }) => {}
             Err(e @ (CommError::Frame { .. } | CommError::ChannelClosed)) => return Err(e),

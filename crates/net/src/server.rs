@@ -1,8 +1,14 @@
 //! The `mpest serve` daemon: estimation-as-a-service over TCP.
 //!
-//! Thread-per-connection around a shared [`ServerState`]: a
-//! fingerprint-keyed cache of [`Engine`]-wrapped sessions, a global
-//! logical [`BatchAccounting`] ledger, and real-socket byte counters.
+//! Two serving cores share one [`ServerState`]: the default
+//! readiness-driven reactor (the private `server_reactor` module)
+//! multiplexes
+//! every connection on one thread with a worker pool for query compute,
+//! while [`ServeConfig::io_mode`] can select this module's blocking
+//! thread-per-connection path as the reference implementation. The
+//! state is a fingerprint-keyed cache of [`Engine`]-wrapped sessions, a
+//! global logical [`BatchAccounting`] ledger, and real-socket byte
+//! counters.
 //! Clients speak the service messages of [`crate::msg`]: a `query`
 //! carries matrix fingerprints plus `(seed, request)` pairs; on a cache
 //! miss the daemon answers `need-matrices` and the client uploads the
@@ -38,14 +44,17 @@
 //! holding a slot's write lock may take the cache mutex to re-key.
 
 use crate::codec::FramedConn;
+use crate::duplex::IoMode;
 use crate::fingerprint::fingerprint;
 use crate::msg::{QueryMsg, ReportsMsg, ServiceMsg, StatsMsg, UpdateMsg, WCsr};
 use crate::party::accept_loop;
+use crate::reactor::{wait_ready, Readiness, StopSignal, POLLIN};
 use mpest_comm::{BatchAccounting, CommError, Seed};
 use mpest_core::{Engine, Session};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
@@ -58,6 +67,12 @@ pub const SERVE_IO_TIMEOUT: Duration = Duration::from_secs(30);
 /// Default session-cache capacity (see [`ServeConfig::max_sessions`]).
 pub const DEFAULT_MAX_SESSIONS: usize = 64;
 
+/// Default per-connection outbound spool budget on the reactor path
+/// (see [`ServeConfig::spool_budget`]): an eighth of the frame payload
+/// cap, sized so one connection's backlog stays a small fraction of a
+/// single cached session's byte budget.
+pub const DEFAULT_SPOOL_BUDGET: usize = (crate::codec::MAX_PAYLOAD_BYTES as usize) / 8;
+
 /// Daemon tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
@@ -65,9 +80,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Read deadline while a connection idles *between* service
     /// messages. `None` (the default) waits as long as the daemon runs:
-    /// clients keep connections open across arbitrarily spaced queries,
-    /// and idle handler threads still exit promptly at shutdown (the
-    /// wait polls the stop flag every `IDLE_POLL` (500 ms)).
+    /// clients keep connections open across arbitrarily spaced queries.
+    /// Idle waits park on readiness (socket plus the daemon's stop
+    /// pipe), so a parked connection costs zero wakeups and still
+    /// observes shutdown immediately.
     pub idle_timeout: Option<Duration>,
     /// Read/write deadline once a frame is in flight, and for all
     /// writes: a peer that starts a frame must keep the bytes coming.
@@ -77,6 +93,15 @@ pub struct ServeConfig {
     /// bounded by default: at the cap, the least-recently-used pair is
     /// evicted (and counted in stats).
     pub max_sessions: usize,
+    /// Which serving core runs connections: the readiness-driven
+    /// reactor (default — one thread multiplexes every connection,
+    /// pipelined v5 queries, zero idle wakeups) or the blocking
+    /// thread-per-connection reference implementation.
+    pub io_mode: IoMode,
+    /// Reactor backpressure: once a connection's outbound spool holds
+    /// more than this many unwritten bytes, the reactor stops reading
+    /// new requests from that peer until the kernel drains the spool.
+    pub spool_budget: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +111,8 @@ impl Default for ServeConfig {
             idle_timeout: None,
             io_timeout: Some(SERVE_IO_TIMEOUT),
             max_sessions: DEFAULT_MAX_SESSIONS,
+            io_mode: IoMode::default(),
+            spool_budget: DEFAULT_SPOOL_BUDGET,
         }
     }
 }
@@ -95,12 +122,12 @@ impl Default for ServeConfig {
 /// concurrent update can detect (by comparing `key` against the pair the
 /// client named) that its lookup went stale between the cache probe and
 /// the slot lock.
-struct SlotInner {
+pub(crate) struct SlotInner {
     engine: Engine,
     key: (u64, u64),
 }
 
-type Slot = Arc<RwLock<SlotInner>>;
+pub(crate) type Slot = Arc<RwLock<SlotInner>>;
 
 /// The fingerprint-keyed session cache: slots plus a recency tick for
 /// least-recently-used eviction at the configured cap, and the
@@ -116,7 +143,7 @@ struct SessionCache {
 }
 
 /// What a cache probe found for a fingerprint pair.
-enum Lookup {
+pub(crate) enum Lookup {
     /// The pair is cached and current.
     Found(Slot),
     /// The pair was retired by an update: current pair + epoch.
@@ -133,8 +160,8 @@ pub struct ServerState {
     ledger: Mutex<BatchAccounting>,
     /// Real bytes read/written over all connections (closed + live
     /// deltas folded in per query).
-    wire_in: AtomicU64,
-    wire_out: AtomicU64,
+    pub(crate) wire_in: AtomicU64,
+    pub(crate) wire_out: AtomicU64,
     /// Total requests served.
     queries: AtomicU64,
     /// Sessions evicted to stay under `config.max_sessions`.
@@ -143,8 +170,12 @@ pub struct ServerState {
     /// under its new key — this counts identity retirements, not data
     /// loss).
     superseded: AtomicU64,
-    config: ServeConfig,
-    stop: AtomicBool,
+    /// Reactor wakeups that found nothing to do (no ready descriptor,
+    /// no expired deadline). Stays zero while connections merely idle —
+    /// the regression signal for the old 500 ms stop-flag slices.
+    pub(crate) idle_wakeups: AtomicU64,
+    pub(crate) config: ServeConfig,
+    pub(crate) stop: StopSignal,
 }
 
 impl ServerState {
@@ -173,9 +204,18 @@ impl ServerState {
             queries: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             superseded: AtomicU64::new(0),
+            idle_wakeups: AtomicU64::new(0),
             config,
-            stop: AtomicBool::new(false),
+            stop: StopSignal::new().expect("stop signal pipe"),
         }
+    }
+
+    /// How many times the serving loop woke up with nothing to do.
+    /// Zero while connections merely idle — the daemon parks on
+    /// readiness instead of slicing waits.
+    #[must_use]
+    pub fn idle_wakeups(&self) -> u64 {
+        self.idle_wakeups.load(Ordering::Relaxed)
     }
 
     /// Snapshot for `stats` replies.
@@ -192,7 +232,7 @@ impl ServerState {
         }
     }
 
-    fn lookup(&self, key: (u64, u64)) -> Lookup {
+    pub(crate) fn lookup(&self, key: (u64, u64)) -> Lookup {
         let mut cache = self.sessions.lock().expect("sessions");
         cache.tick += 1;
         let tick = cache.tick;
@@ -206,7 +246,7 @@ impl ServerState {
         }
     }
 
-    fn insert(&self, key: (u64, u64), a: WCsr, b: WCsr) -> Result<Slot, CommError> {
+    pub(crate) fn insert(&self, key: (u64, u64), a: WCsr, b: WCsr) -> Result<Slot, CommError> {
         let (got_a, got_b) = (fingerprint(&a.0), fingerprint(&b.0));
         if (got_a, got_b) != key {
             return Err(CommError::protocol(format!(
@@ -345,10 +385,10 @@ impl Server {
         &self.state
     }
 
-    /// Stops the accept loop and joins it (live connections finish their
-    /// current message and then drop).
+    /// Stops the serving loop and joins it (live connections finish
+    /// their current message and then drop).
     pub fn shutdown(mut self) {
-        self.state.stop.store(true, Ordering::SeqCst);
+        self.state.stop.trigger();
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
             let _ = join.join();
@@ -358,7 +398,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.state.stop.store(true, Ordering::SeqCst);
+        self.state.stop.trigger();
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
             let _ = join.join();
@@ -366,15 +406,22 @@ impl Drop for Server {
     }
 }
 
-/// Blocking accept loop over an already-bound listener (the CLI's
+/// Serves an already-bound listener until shutdown (the CLI's
 /// foreground path; [`Server::spawn`] wraps it in a thread).
+///
+/// Dispatches on [`ServeConfig::io_mode`]: the readiness-driven
+/// reactor multiplexes every connection on this thread (the default),
+/// the blocking reference path accepts into a thread per connection.
 pub fn serve_on(listener: &TcpListener, state: &Arc<ServerState>) {
-    accept_loop(listener, &state.stop, |stream| {
-        let state = Arc::clone(state);
-        std::thread::spawn(move || {
-            let _ = serve_conn(stream, &state);
-        });
-    });
+    match state.config.io_mode {
+        IoMode::Duplex => crate::server_reactor::serve_reactor(listener, state),
+        IoMode::Blocking => accept_loop(listener, &state.stop, |stream| {
+            let state = Arc::clone(state);
+            std::thread::spawn(move || {
+                let _ = serve_conn(stream, &state);
+            });
+        }),
+    }
 }
 
 /// Serves one client connection until EOF or shutdown.
@@ -420,36 +467,30 @@ fn serve_msgs(
     io_timeout: Option<Duration>,
     folded: &mut (u64, u64),
 ) -> Result<(), CommError> {
-    let mut idled = Duration::ZERO;
     loop {
         // Patient between messages (a client parked for minutes between
         // queries is healthy), strict once a frame starts arriving. The
-        // wait runs in short slices so a parked connection still
-        // observes the daemon's stop flag promptly.
-        if state.stop.load(Ordering::SeqCst) {
+        // idle wait parks on readiness — socket plus the daemon's stop
+        // pipe — so it costs zero wakeups and still observes shutdown
+        // immediately.
+        if state.stop.is_set() {
             return Ok(());
         }
-        let slice = match idle_timeout {
-            Some(total) => {
-                let left = total.saturating_sub(idled);
-                if left.is_zero() {
-                    return Ok(()); // idle budget exhausted: close quietly
-                }
-                left.min(crate::party::IDLE_POLL)
-            }
-            None => crate::party::IDLE_POLL,
-        };
-        let msg = match conn.recv_msg_patient(Some(slice), io_timeout) {
+        let fd = conn.stream().as_raw_fd();
+        match wait_ready(fd, POLLIN, Some(&state.stop), idle_timeout)
+            .map_err(|e| CommError::frame("idle-wait", format!("poll failed: {e}")))?
+        {
+            Readiness::Stopped => return Ok(()),
+            Readiness::TimedOut => return Ok(()), // idle budget exhausted: close quietly
+            Readiness::Ready => {}
+        }
+        let msg = match conn.recv_msg_patient(io_timeout, io_timeout) {
             Ok(Some(msg)) => msg,
             Ok(None) => return Ok(()),
-            // Nothing arrived this slice; re-check the stop flag.
-            Err(CommError::WouldBlock) => {
-                idled += slice;
-                continue;
-            }
+            // Readiness without a complete frame start; park again.
+            Err(CommError::WouldBlock) => continue,
             Err(e) => return Err(e),
         };
-        idled = Duration::ZERO;
         match msg {
             ServiceMsg::Query(query) => {
                 let reply = handle_query(conn, state, query)?;
@@ -472,7 +513,7 @@ fn serve_msgs(
                 conn.send_msg(&ServiceMsg::StatsReport(state.stats()))?;
             }
             ServiceMsg::Shutdown => {
-                state.stop.store(true, Ordering::SeqCst);
+                state.stop.trigger();
                 conn.send_msg(&ServiceMsg::Ok)?;
                 // Wake the accept loop so the flag is observed.
                 let _ = TcpStream::connect(conn.stream().local_addr().map_err(|e| {
@@ -493,8 +534,7 @@ fn serve_msgs(
 }
 
 /// Resolves the session (asking the client to upload on a cache miss)
-/// and runs the query's requests through the engine under the slot's
-/// read lock.
+/// and answers the query via the shared [`answer_query`] helper.
 fn handle_query(
     conn: &mut FramedConn<TcpStream>,
     state: &Arc<ServerState>,
@@ -504,77 +544,123 @@ fn handle_query(
     let (slot, cache_hit) = match state.lookup(key) {
         Lookup::Found(slot) => (slot, true),
         Lookup::Superseded(current, epoch) => {
-            return Ok(ServiceMsg::StaleEpoch {
-                fp_a: current.0,
-                fp_b: current.1,
-                epoch,
-            })
+            return Ok(pipeline_wrap(
+                query.id,
+                ServiceMsg::StaleEpoch {
+                    fp_a: current.0,
+                    fp_b: current.1,
+                    epoch,
+                },
+            ))
         }
         Lookup::Missing => {
             conn.send_msg(&ServiceMsg::NeedMatrices)?;
             match conn.recv_msg_required()? {
                 ServiceMsg::Matrices { a, b } => match state.insert(key, a, b) {
                     Ok(slot) => (slot, false),
-                    Err(e) => return Ok(ServiceMsg::Error(e.to_string())),
+                    Err(e) => return Ok(pipeline_wrap(query.id, ServiceMsg::Error(e.to_string()))),
                 },
                 other => {
-                    return Ok(ServiceMsg::Error(format!(
-                        "expected matrices after need-matrices, got {}",
-                        other.name()
-                    )))
+                    return Ok(pipeline_wrap(
+                        query.id,
+                        ServiceMsg::Error(format!(
+                            "expected matrices after need-matrices, got {}",
+                            other.name()
+                        )),
+                    ))
                 }
             }
         }
     };
+    let wire = (conn.bytes_in(), conn.bytes_out());
+    Ok(answer_query(state, &slot, query, cache_hit, wire))
+}
+
+/// Converts a failure reply to a *pipelined* query (`id != 0`) into the
+/// connection-preserving `query-failed` form; unpipelined queries keep
+/// the classic typed replies.
+pub(crate) fn pipeline_wrap(id: u64, reply: ServiceMsg) -> ServiceMsg {
+    if id == 0 {
+        return reply;
+    }
+    match reply {
+        ServiceMsg::Error(error) => ServiceMsg::QueryFailed { id, error },
+        ServiceMsg::StaleEpoch { fp_a, fp_b, epoch } => ServiceMsg::QueryFailed {
+            id,
+            error: format!(
+                "stale epoch: the daemon's session is now ({fp_a:#x}, {fp_b:#x}) at epoch {epoch}"
+            ),
+        },
+        other => other,
+    }
+}
+
+/// Runs a resolved query against its cache slot: epoch checks, the
+/// engine run under the slot's read lock, and the stats fold. Shared by
+/// the blocking path (connection thread) and the reactor path (worker
+/// pool); `wire` is the connection's byte counters at query time.
+/// Failures of pipelined queries come back as `query-failed`
+/// ([`pipeline_wrap`]).
+pub(crate) fn answer_query(
+    state: &ServerState,
+    slot: &Slot,
+    query: QueryMsg,
+    cache_hit: bool,
+    wire: (u64, u64),
+) -> ServiceMsg {
+    let key = (query.fp_a, query.fp_b);
+    let id = query.id;
     let inner = slot.read().expect("slot");
     let epoch = inner.engine.session().epoch();
-    if inner.key != key {
+    let reply = if inner.key != key {
         // An update re-keyed the slot between the cache probe and this
         // lock: the pair the client named no longer exists.
-        return Ok(ServiceMsg::StaleEpoch {
+        ServiceMsg::StaleEpoch {
             fp_a: inner.key.0,
             fp_b: inner.key.1,
             epoch,
-        });
-    }
-    if query.at_epoch.is_some_and(|at| at != epoch) {
-        return Ok(ServiceMsg::StaleEpoch {
+        }
+    } else if query.at_epoch.is_some_and(|at| at != epoch) {
+        ServiceMsg::StaleEpoch {
             fp_a: key.0,
             fp_b: key.1,
             epoch,
-        });
-    }
-    let queries: Vec<(Seed, mpest_core::EstimateRequest)> = query
-        .queries
-        .into_iter()
-        .map(|(seed, request)| (Seed(seed), request))
-        .collect();
-    match inner
-        .engine
-        .run_seeded_queries(&queries, state.config.workers)
-    {
-        Ok((reports, accounting)) => {
-            state
-                .queries
-                .fetch_add(reports.len() as u64, Ordering::Relaxed);
-            state.ledger.lock().expect("ledger").merge(&accounting);
-            Ok(ServiceMsg::Reports(ReportsMsg {
-                reports,
-                accounting,
-                cache_hit,
-                epoch,
-                wire_in: conn.bytes_in(),
-                wire_out: conn.bytes_out(),
-            }))
         }
-        Err(e) => Ok(ServiceMsg::Error(e.to_string())),
-    }
+    } else {
+        let queries: Vec<(Seed, mpest_core::EstimateRequest)> = query
+            .queries
+            .into_iter()
+            .map(|(seed, request)| (Seed(seed), request))
+            .collect();
+        match inner
+            .engine
+            .run_seeded_queries(&queries, state.config.workers)
+        {
+            Ok((reports, accounting)) => {
+                state
+                    .queries
+                    .fetch_add(reports.len() as u64, Ordering::Relaxed);
+                state.ledger.lock().expect("ledger").merge(&accounting);
+                ServiceMsg::Reports(ReportsMsg {
+                    reports,
+                    accounting,
+                    cache_hit,
+                    epoch,
+                    wire_in: wire.0,
+                    wire_out: wire.1,
+                    id,
+                })
+            }
+            Err(e) => ServiceMsg::Error(e.to_string()),
+        }
+    };
+    pipeline_wrap(id, reply)
 }
 
 /// Applies an update batch to a cached session: epoch-checked under the
 /// slot's write lock, then the cache entry is re-keyed to the mutated
-/// pair's new fingerprints.
-fn handle_update(state: &Arc<ServerState>, update: &UpdateMsg) -> ServiceMsg {
+/// pair's new fingerprints. Shared by the blocking and reactor paths.
+pub(crate) fn handle_update(state: &ServerState, update: &UpdateMsg) -> ServiceMsg {
     let key = (update.fp_a, update.fp_b);
     let slot = match state.lookup(key) {
         Lookup::Found(slot) => slot,
@@ -794,6 +880,7 @@ mod tests {
                 fp_b: 2,
                 at_epoch: None,
                 queries: Vec::new(),
+                id: 0,
             }))
             .unwrap();
             // The daemon replies need-matrices; vanish instead of
@@ -835,6 +922,71 @@ mod tests {
         std::thread::sleep(Duration::from_millis(300));
         let outcome = client.query(&a, &b, &queries).unwrap();
         assert!(outcome.reports.cache_hit);
+        server.shutdown();
+    }
+
+    #[test]
+    fn parked_connections_cost_zero_wakeups_and_shutdown_is_prompt() {
+        use std::time::Instant;
+        let server = Server::spawn("127.0.0.1:0", 1).unwrap();
+        // An established-then-silent client: once the handshake settles
+        // the reactor must park in `poll` with no expiring deadline —
+        // not spin 500 ms stop-flag slices like the old accept loop.
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let _conn = FramedConn::establish(stream).unwrap();
+        std::thread::sleep(Duration::from_millis(1200));
+        assert_eq!(
+            server.state().idle_wakeups(),
+            0,
+            "the reactor woke from poll with nothing to do"
+        );
+        // Shutdown rides the stop signal's descriptor in the poll set:
+        // it must interrupt the park immediately, not wait out a slice.
+        let begun = Instant::now();
+        server.shutdown();
+        assert!(
+            begun.elapsed() < Duration::from_millis(400),
+            "shutdown took {:?}; the stop signal did not interrupt the poll",
+            begun.elapsed()
+        );
+    }
+
+    #[test]
+    fn a_connection_cut_mid_frame_still_folds_its_partial_bytes() {
+        use crate::codec::{build_header, HEADER_LEN, KIND_SERVICE};
+        use std::io::Write;
+        let server = Server::spawn("127.0.0.1:0", 1).unwrap();
+        // Kernel-accepted bytes of a frame that never completes: the
+        // preamble, a 64 KB-payload header, the label, and half the
+        // payload — then vanish. The reactor is left mid-frame and the
+        // close must still fold every byte it read into the ledger.
+        const PAYLOAD: usize = 64_000;
+        const SENT: usize = PAYLOAD / 2;
+        {
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let conn = FramedConn::establish(stream).unwrap();
+            let header =
+                build_header(KIND_SERVICE, 0, "query", 8 * PAYLOAD as u64, PAYLOAD).unwrap();
+            let mut raw = conn.stream();
+            raw.write_all(&header).unwrap();
+            raw.write_all(b"query").unwrap();
+            raw.write_all(&vec![0u8; SENT]).unwrap();
+        }
+        let floor = (8 + HEADER_LEN + "query".len() + SENT) as u64;
+        let mut stats = server.state().stats();
+        for _ in 0..100 {
+            if stats.wire_in >= floor {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            stats = server.state().stats();
+        }
+        assert!(
+            stats.wire_in >= floor,
+            "only {} of the {floor} kernel-accepted inbound bytes were folded",
+            stats.wire_in
+        );
+        assert!(stats.wire_out >= 8, "the daemon's own preamble bytes");
         server.shutdown();
     }
 }

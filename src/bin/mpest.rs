@@ -41,8 +41,8 @@ const USAGE: &str = "usage:
             [--executor fused|threaded]
   mpest verify [--protocol NAME] [--trials N] [--quick] [--seed S]
   mpest serve --listen ADDR [--workers N] [--io-timeout SECS] [--idle-timeout SECS]
-            [--max-sessions N]
-  mpest party --listen ADDR [--side alice|bob]
+            [--max-sessions N] [--io-mode duplex|blocking]
+  mpest party --listen ADDR [--side alice|bob] [--io-mode duplex|blocking]
             (--a FILE --b FILE [--updatable]
              | --matrix FILE --peer-rows N --peer-cols N [--peer-binary])
   mpest query PROTOCOL (--connect ADDR | --party ADDR)
@@ -52,6 +52,7 @@ const USAGE: &str = "usage:
             [options] [--side alice|bob] [--format text|json]
             [--at-epoch N (--connect only)]
             [--io-timeout SECS] [--reply-timeout SECS (--connect only)]
+            [--io-mode duplex|blocking (--party only)]
   mpest update (--connect ADDR | --party ADDR) --a FILE --b FILE --ops FILE.jsonl
             [--out-a FILE] [--out-b FILE] [--io-timeout SECS]
 
@@ -75,6 +76,13 @@ server may legitimately compute a heavy batch for minutes. party hosts
 one side (default bob) of a remote two-party run; query --party plays
 the other side so every protocol message crosses the socket, matching
 the initiator's --io-timeout for the run (host-clamped at 600s).
+
+--io-mode picks the I/O engine: duplex (default) is the readiness-
+driven reactor — the serve daemon multiplexes every connection on one
+thread, and party runs progress both directions simultaneously so big
+simultaneous rounds can never deadlock; blocking keeps the reference
+thread-per-connection implementation (big simultaneous payloads
+surface the documented write-stall as a typed timeout).
 
 party/query --matrix is the storage-split form: each process loads ONLY
 its own half; the peer is known by shape and representation alone
@@ -1033,6 +1041,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         io_timeout: parse_timeout(flags, "io-timeout", 30)?,
         idle_timeout: parse_timeout(flags, "idle-timeout", 0)?,
         max_sessions: flags.num("max-sessions", DEFAULT_MAX_SESSIONS)?,
+        io_mode: parse_io_mode(flags)?,
+        ..ServeConfig::default()
     };
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
@@ -1055,6 +1065,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         stats.wire_out
     );
     Ok(())
+}
+
+/// Parses `--io-mode duplex|blocking` (default: the duplex reactor).
+fn parse_io_mode(flags: &Flags) -> Result<mpest::net::IoMode, String> {
+    match flags.str("io-mode") {
+        None => Ok(mpest::net::IoMode::default()),
+        Some(raw) => mpest::net::IoMode::parse(raw).map_err(|e| format!("--io-mode: {e}")),
+    }
 }
 
 /// Parses a `--KEY SECS` timeout flag; `0` means no deadline.
@@ -1106,6 +1124,7 @@ fn cmd_party(flags: &Flags) -> Result<(), String> {
     use mpest::net::PartyHost;
     let addr = flags.str("listen").unwrap_or("127.0.0.1:7118");
     let side = parse_side(flags, Party::Bob)?;
+    let io_mode = parse_io_mode(flags)?;
     if flags.str("matrix").is_some() {
         if flags.str("a").is_some() || flags.str("b").is_some() {
             return Err(
@@ -1116,8 +1135,8 @@ fn cmd_party(flags: &Flags) -> Result<(), String> {
         }
         let view = load_party_view(flags, side)?;
         let (rows, cols) = view.own_shape();
-        let host =
-            PartyHost::spawn_split(addr, view).map_err(|e| format!("--listen {addr}: {e}"))?;
+        let host = PartyHost::spawn_split_io(addr, view, io_mode)
+            .map_err(|e| format!("--listen {addr}: {e}"))?;
         println!(
             "mpest party: playing {side} on {} holding only the {rows}x{cols} \
              {} half (storage-split; per-side updates accepted) — initiators \
@@ -1135,9 +1154,9 @@ fn cmd_party(flags: &Flags) -> Result<(), String> {
     let (a, b) = load_pair(flags)?;
     let session = Session::new(a, b);
     let host = if updatable {
-        PartyHost::spawn_updatable(addr, session, side)
+        PartyHost::spawn_updatable_io(addr, session, side, io_mode)
     } else {
-        PartyHost::spawn(addr, std::sync::Arc::new(session), side)
+        PartyHost::spawn_io(addr, std::sync::Arc::new(session), side, io_mode)
     }
     .map_err(|e| format!("--listen {addr}: {e}"))?;
     println!(
@@ -1232,7 +1251,7 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
             Ok(())
         }
         (None, Some(addr)) => {
-            use mpest::net::run_with_party_with;
+            use mpest::net::run_with_party_io;
             if flags.str("at-epoch").is_some() {
                 return Err(
                     "--at-epoch pins a daemon session's epoch and requires --connect; \
@@ -1254,10 +1273,18 @@ fn cmd_query(protocol: &str, flags: &Flags) -> Result<(), String> {
             }
             let side = parse_side(flags, Party::Alice)?;
             let io_timeout = parse_timeout(flags, "io-timeout", 30)?;
+            let io_mode = parse_io_mode(flags)?;
             let session = Session::new(a, b);
-            let (report, out, inn) =
-                run_with_party_with(addr, &session, side, &request, Seed(seed), io_timeout)
-                    .map_err(|e| e.to_string())?;
+            let (report, out, inn) = run_with_party_io(
+                addr,
+                &session,
+                side,
+                &request,
+                Seed(seed),
+                io_timeout,
+                io_mode,
+            )
+            .map_err(|e| e.to_string())?;
             match format {
                 Format::Json => {
                     let extra = vec![
@@ -1307,7 +1334,7 @@ fn query_split(
     seed: u64,
     flags: &Flags,
 ) -> Result<(), String> {
-    use mpest::net::run_with_party_view_with;
+    use mpest::net::run_with_party_view_io;
     let Some(addr) = flags.str("party") else {
         return Err(
             "--matrix loads only this party's half and requires --party ADDR \
@@ -1342,8 +1369,9 @@ fn query_split(
     }
     let io_timeout = parse_timeout(flags, "io-timeout", 30)?;
     let pin = parse_peer_fp(flags)?;
+    let io_mode = parse_io_mode(flags)?;
     let (report, out, inn) =
-        run_with_party_view_with(addr, &view, request, Seed(seed), io_timeout, pin)
+        run_with_party_view_io(addr, &view, request, Seed(seed), io_timeout, pin, io_mode)
             .map_err(|e| e.to_string())?;
     match format {
         Format::Json => {

@@ -458,6 +458,7 @@ fn v2_client_completes_a_query_against_a_v3_daemon() {
         fp_b: fingerprint(&b),
         queries: queries.clone(),
         at_epoch: None,
+        id: 0,
     }))
     .expect("v2 query sends");
     assert!(
