@@ -41,6 +41,15 @@
 //!                               # nonzero if a fast path diverges from
 //!                               # scalar bit-for-bit or fails its
 //!                               # speedup gate
+//!   experiments --obs-bench PATH
+//!                               # also run the observability-overhead
+//!                               # trajectory — the serve mix with the
+//!                               # metrics registry off/on/traced —
+//!                               # write it to PATH (BENCH_obs.json),
+//!                               # and exit nonzero if the enabled tier
+//!                               # costs more than 3% qps, a disabled
+//!                               # handle is measurably hot, or the
+//!                               # emitted spans break their contract
 //!   experiments --stream-bench PATH
 //!                               # also run the streaming trajectory —
 //!                               # live-update ingest, incremental vs
@@ -67,6 +76,7 @@ fn main() {
     let mut exec_path: Option<PathBuf> = None;
     let mut accuracy_path: Option<PathBuf> = None;
     let mut serve_path: Option<PathBuf> = None;
+    let mut obs_path: Option<PathBuf> = None;
     let mut stream_path: Option<PathBuf> = None;
     let mut kernels_path: Option<PathBuf> = None;
     let mut i = 0;
@@ -106,6 +116,12 @@ fn main() {
                     args.get(i).expect("--serve-bench needs a path"),
                 ));
             }
+            "--obs-bench" => {
+                i += 1;
+                obs_path = Some(PathBuf::from(
+                    args.get(i).expect("--obs-bench needs a path"),
+                ));
+            }
             "--stream-bench" => {
                 i += 1;
                 stream_path = Some(PathBuf::from(
@@ -121,7 +137,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH] [--accuracy-bench PATH] [--serve-bench PATH] [--stream-bench PATH] [--kernels-bench PATH]"
+                    "usage: experiments [--quick] [--only t1,f1,...] [--json PATH] [--batch-bench PATH] [--exec-bench PATH] [--accuracy-bench PATH] [--serve-bench PATH] [--obs-bench PATH] [--stream-bench PATH] [--kernels-bench PATH]"
                 );
                 std::process::exit(2);
             }
@@ -152,6 +168,7 @@ fn main() {
         && exec_path.is_none()
         && accuracy_path.is_none()
         && serve_path.is_none()
+        && obs_path.is_none()
         && stream_path.is_none()
         && kernels_path.is_none()
     {
@@ -236,6 +253,27 @@ fn main() {
             eprintln!(
                 "FAIL: remote execution diverged from the fused in-process run \
                  (or wire bytes fell below logical bits/8)"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = obs_path {
+        println!("# observability-overhead trajectory ({} mode)", {
+            if quick {
+                "quick"
+            } else {
+                "full"
+            }
+        });
+        let bench = mpest_bench::obs::run(quick);
+        print!("{}", bench.summary());
+        bench.save_json(&path).expect("write obs bench json");
+        println!("# observability trajectory written to {}", path.display());
+        if !bench.all_ok {
+            eprintln!(
+                "FAIL: observability gate — enabled tier cost >3% qps, a disabled \
+                 handle was measurably hot, or a span broke its phase contract"
             );
             std::process::exit(1);
         }

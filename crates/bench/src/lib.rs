@@ -45,6 +45,7 @@ pub mod exec;
 pub mod experiments;
 pub mod fit;
 pub mod kernels;
+pub mod obs;
 pub mod report;
 pub mod serve;
 pub mod stream;

@@ -522,6 +522,22 @@ fn prewarm_sketches(ctx: &crate::SessionCtx<'_>, queries: &[(Seed, &EstimateRequ
             _ => {}
         }
     }
+    // Observability: group sizes >= 2 take the fused kernel pass,
+    // singletons are left to the in-phase scalar-cost build. Recorded
+    // before the builds so the split is visible even if a build path
+    // bails on a missing view.
+    for list_len in [
+        b_rows.len(),
+        l0_norms.len(),
+        l0_samplers.len(),
+        block_ams.len(),
+    ] {
+        match list_len {
+            0 => {}
+            1 => cache.record_prewarm(false, 1),
+            n => cache.record_prewarm(true, n),
+        }
+    }
     if b_rows.len() >= 2 {
         if let (_, Some(b)) = ctx.csr_halves() {
             let sketches: Vec<NormSketch> = b_rows.iter().map(|(_, s)| s.clone()).collect();

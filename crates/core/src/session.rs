@@ -437,6 +437,16 @@ impl Session {
         Ok(self.epoch)
     }
 
+    /// Points this session's sketch-cache metric handles (hit/miss
+    /// counters, prewarm kernel-vs-scalar counters, fused-group-size
+    /// histogram) at `registry`. Takes `&mut self`: wire observability
+    /// up *before* sharing the session (the serve daemon does this on
+    /// upload). Recording never changes estimates, transcripts, or
+    /// cache contents.
+    pub fn set_obs(&mut self, registry: &mpest_obs::Registry) {
+        self.sketches.set_obs(registry);
+    }
+
     /// Materializes every lazily cached derived view (CSR/bit forms,
     /// transposes, norm and support tables) for both halves.
     ///
@@ -910,6 +920,12 @@ impl PartyView {
             Role::Bob => check_dims(peer.cols(), self.own.rows()),
         };
         self.peer = peer;
+    }
+
+    /// Points this view's sketch-cache metric handles at `registry`
+    /// (same contract as [`Session::set_obs`], for one side).
+    pub fn set_obs(&mut self, registry: &mpest_obs::Registry) {
+        self.sketches.set_obs(registry);
     }
 
     /// Materializes every lazily cached derived view of the own half

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use mpest_matrix::{DenseMatrix, PNorm};
+use mpest_obs::{Counter, Histogram, Registry};
 use mpest_sketch::{SkMat, M61};
 
 /// Which protocol phase builds the sketch, and over which half — part
@@ -90,6 +91,14 @@ pub(crate) enum CachedSketch {
 #[derive(Debug, Default)]
 pub(crate) struct SketchCache {
     map: Mutex<HashMap<SketchKey, CachedSketch>>,
+    /// Observability handles — no-op by default, wired by
+    /// [`SketchCache::set_obs`] before the owning session is shared.
+    /// Recording into them never changes what the cache returns.
+    hits: Counter,
+    misses: Counter,
+    prewarm_kernel: Counter,
+    prewarm_scalar: Counter,
+    fused_group: Histogram,
 }
 
 /// Entry cap: one engine batch prewarm plus in-phase inserts stay far
@@ -99,6 +108,29 @@ pub(crate) struct SketchCache {
 const CACHE_CAP: usize = 128;
 
 impl SketchCache {
+    /// Point the cache's metric handles at `registry` (hit/miss
+    /// counters, prewarm kernel-vs-scalar counters, fused-group-size
+    /// histogram). Takes `&mut self`: call before the owning session
+    /// is Arc-shared.
+    pub(crate) fn set_obs(&mut self, registry: &Registry) {
+        self.hits = registry.counter("sketch.cache.hits");
+        self.misses = registry.counter("sketch.cache.misses");
+        self.prewarm_kernel = registry.counter("sketch.prewarm.kernel");
+        self.prewarm_scalar = registry.counter("sketch.prewarm.scalar");
+        self.fused_group = registry.histogram("sketch.fused.group_size");
+    }
+
+    /// Record one engine prewarm group: `n` same-kind sketches built
+    /// in one pass, via the vectorized kernel or the scalar fallback.
+    pub(crate) fn record_prewarm(&self, kernel: bool, n: usize) {
+        self.fused_group.record(n as u64);
+        if kernel {
+            self.prewarm_kernel.add(n as u64);
+        } else {
+            self.prewarm_scalar.add(n as u64);
+        }
+    }
+
     /// Drops every entry (update batches, cap overflow).
     pub(crate) fn clear(&self) {
         self.lock().clear();
@@ -128,8 +160,10 @@ impl SketchCache {
     /// the lock) and inserting on miss.
     pub(crate) fn norm(&self, key: SketchKey, build: impl FnOnce() -> SkMat) -> Arc<SkMat> {
         if let Some(CachedSketch::Norm(m)) = self.lock().get(&key).cloned() {
+            self.hits.inc();
             return m;
         }
+        self.misses.inc();
         let built = Arc::new(build());
         match self.put(key, CachedSketch::Norm(Arc::clone(&built))) {
             CachedSketch::Norm(m) => m,
@@ -145,8 +179,10 @@ impl SketchCache {
         build: impl FnOnce() -> DenseMatrix<M61>,
     ) -> Arc<DenseMatrix<M61>> {
         if let Some(CachedSketch::Field(m)) = self.lock().get(&key).cloned() {
+            self.hits.inc();
             return m;
         }
+        self.misses.inc();
         let built = Arc::new(build());
         match self.put(key, CachedSketch::Field(Arc::clone(&built))) {
             CachedSketch::Field(m) => m,

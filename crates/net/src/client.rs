@@ -355,6 +355,32 @@ impl ServeClient {
         }
     }
 
+    /// Pulls the daemon's full observability-registry snapshot —
+    /// every counter, gauge (with high-water mark), and sparse
+    /// histogram the serving stack records — beyond the fixed fields
+    /// [`ServeClient::stats`] reports. Requires a codec v6 connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, a pre-v6 connection, or an unexpected reply.
+    pub fn metrics(&mut self) -> Result<mpest_obs::Snapshot, CommError> {
+        if self.conn.version() < 6 {
+            return Err(CommError::protocol(format!(
+                "metrics need codec v6 but this connection negotiated v{}",
+                self.conn.version()
+            )));
+        }
+        self.conn.send_msg(&ServiceMsg::Metrics)?;
+        match self.recv_reply()? {
+            ServiceMsg::MetricsReport(m) => Ok(m.snapshot),
+            ServiceMsg::Error(msg) => Err(CommError::protocol(format!("server error: {msg}"))),
+            other => Err(CommError::frame(
+                other.name(),
+                "unexpected reply to metrics",
+            )),
+        }
+    }
+
     /// Asks the daemon to stop accepting connections.
     ///
     /// # Errors

@@ -65,7 +65,11 @@ pub const MAGIC: [u8; 4] = *b"MPST";
 /// v5: frame-id multiplexing for pipelined serving (`query` and
 /// `reports` gained a trailing id varint; the `query-failed` reply
 /// carries a failed query's id so out-of-order replies stay matchable).
-pub const VERSION: u16 = 5;
+/// v6: the `metrics` / `metrics-report` message pair — a live daemon
+/// answers with a full observability-registry snapshot (counters,
+/// gauges, sparse histogram buckets) beyond the fixed `stats-report`
+/// fields.
+pub const VERSION: u16 = 6;
 /// Lowest codec version this build still speaks. Connections negotiate
 /// down to the peer's version when it is at least this old; anything
 /// older fails the handshake with a typed error naming both ranges.
@@ -919,13 +923,14 @@ mod tests {
     #[test]
     fn handshake_negotiates_every_version_pairing() {
         // (peer min, peer max on the wire, expected negotiated version).
-        let ok: [(u16, u16, u16); 6] = [
+        let ok: [(u16, u16, u16); 7] = [
             (2, 0, 2), // legacy v2 build: exact version, reserved zeros
             (2, 3, 3), // a v3 build: meet at its ceiling
             (2, 4, 4), // a v4 build: meet at its ceiling
-            (2, 5, 5), // this build
+            (2, 5, 5), // a v5 build: meet at its ceiling
+            (2, 6, 6), // this build
             (3, 3, 3), // hypothetical v3-only peer
-            (3, 9, 5), // far-future peer that kept v3+ support
+            (3, 9, 6), // far-future peer that kept v3+ support
         ];
         for (min, max, want) in ok {
             let conn = FramedConn::establish(Loopback::reading(peer_preamble(min, max))).unwrap();
@@ -936,7 +941,7 @@ mod tests {
         let bad: [(u16, u16); 3] = [
             (1, 0), // ancient exact-v1 build
             (1, 1), // v1-only range
-            (6, 7), // future build that dropped v5
+            (7, 8), // future build that dropped v6
         ];
         for (min, max) in bad {
             let err =

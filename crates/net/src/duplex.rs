@@ -345,6 +345,12 @@ pub(crate) struct DuplexCore {
     pub(crate) bytes_out: u64,
     /// Bytes actually read off the stream, including partial frames.
     pub(crate) bytes_in: u64,
+    /// Spool depth gauge (value + high-water) — no-op unless the serve
+    /// reactor wires it via [`DuplexCore::set_obs`]. Recording changes
+    /// neither the spool nor the bytes it writes.
+    spool_depth: mpest_obs::Gauge,
+    /// Spooled bytes the kernel actually accepted.
+    spool_drained: mpest_obs::Counter,
 }
 
 impl DuplexCore {
@@ -358,6 +364,14 @@ impl DuplexCore {
         }
     }
 
+    /// Points the spool metrics at real registry handles (the serve
+    /// reactor shares one gauge/counter pair across connections, so the
+    /// gauge reads as daemon-wide spool depth).
+    pub(crate) fn set_obs(&mut self, depth: mpest_obs::Gauge, drained: mpest_obs::Counter) {
+        self.spool_depth = depth;
+        self.spool_drained = drained;
+    }
+
     /// Encodes and spools one frame (does not write).
     pub(crate) fn queue_frame(
         &mut self,
@@ -367,7 +381,9 @@ impl DuplexCore {
         bits: u64,
         payload: &[u8],
     ) -> Result<(), CommError> {
-        self.out.push_frame(kind, round, label, bits, payload)
+        self.out.push_frame(kind, round, label, bits, payload)?;
+        self.spool_depth.record(self.out.queued_bytes() as u64);
+        Ok(())
     }
 
     /// The next fully parsed inbound frame, if any.
@@ -400,6 +416,10 @@ impl DuplexCore {
     pub(crate) fn write_step<W: Write>(&mut self, w: &mut W) -> std::io::Result<usize> {
         let n = self.out.write_step(w)?;
         self.bytes_out += n as u64;
+        if n > 0 {
+            self.spool_drained.add(n as u64);
+            self.spool_depth.record(self.out.queued_bytes() as u64);
+        }
         Ok(n)
     }
 

@@ -84,9 +84,14 @@ pub use codec::{FramedConn, MAX_PAYLOAD_BYTES, MIN_VERSION, VERSION};
 pub use duplex::{DuplexConn, IoMode, ServiceConn};
 pub use fingerprint::fingerprint;
 pub use msg::{
-    PartyInfoMsg, QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg, UpdateMsg,
-    WCsr, MAX_WIRE_MATRIX_DIM, MAX_WIRE_UPDATE_OPS,
+    MetricsMsg, PartyInfoMsg, QueryMsg, ReportsMsg, RunResultMsg, RunSpecMsg, ServiceMsg, StatsMsg,
+    UpdateMsg, WCsr, MAX_WIRE_MATRIX_DIM, MAX_WIRE_METRICS, MAX_WIRE_UPDATE_OPS,
 };
+// The observability vocabulary (registry, snapshot, tracer) client code
+// needs to consume `ServeClient::metrics()` or attach a trace to
+// `ServerState::with_config_traced`, re-exported so downstream crates
+// need not depend on `mpest-obs` directly.
+pub use mpest_obs::{Registry, Snapshot, TraceFormat, Tracer};
 pub use party::{
     party_info, run_over_conn, run_view_over_conn, run_with_party, run_with_party_io,
     run_with_party_view, run_with_party_view_io, run_with_party_view_with, run_with_party_with,

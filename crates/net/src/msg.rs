@@ -10,6 +10,7 @@ use crate::codec::{FramedConn, RawFrame};
 use mpest_comm::{BatchAccounting, BitReader, BitWriter, CommError, Party, Wire};
 use mpest_core::{EstimateReport, EstimateRequest, UpdateBatch, UpdateOp, UpdateSide};
 use mpest_matrix::CsrMatrix;
+use mpest_obs::{GaugeSnapshot, HistogramSnapshot, Snapshot, HIST_BUCKETS};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -223,6 +224,104 @@ pub struct StatsMsg {
     pub superseded: u64,
 }
 
+/// Hard cap on entries per metric section in one wire snapshot: a
+/// hostile varint cannot force an unbounded allocation, and a real
+/// registry holds a few dozen names.
+pub const MAX_WIRE_METRICS: u64 = 1 << 16;
+
+/// A full observability-registry snapshot on the wire (v6+): every
+/// counter, gauge, and sparse-bucket histogram the daemon records,
+/// beyond the fixed [`StatsMsg`] fields. See [`mpest_obs::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsMsg {
+    /// The deterministic registry snapshot (name-sorted maps,
+    /// index-sorted sparse buckets).
+    pub snapshot: Snapshot,
+}
+
+fn encode_snapshot(s: &Snapshot, w: &mut BitWriter) {
+    w.write_varint(s.counters.len() as u64);
+    for (name, v) in &s.counters {
+        name.clone().encode(w);
+        w.write_varint(*v);
+    }
+    w.write_varint(s.gauges.len() as u64);
+    for (name, g) in &s.gauges {
+        name.clone().encode(w);
+        w.write_varint(g.value);
+        w.write_varint(g.high);
+    }
+    w.write_varint(s.histograms.len() as u64);
+    for (name, h) in &s.histograms {
+        name.clone().encode(w);
+        w.write_varint(h.count);
+        w.write_varint(h.sum);
+        w.write_varint(h.buckets.len() as u64);
+        for &(idx, n) in &h.buckets {
+            w.write_varint(u64::from(idx));
+            w.write_varint(n);
+        }
+    }
+}
+
+fn read_metric_len(r: &mut BitReader<'_>, what: &str) -> Result<u64, CommError> {
+    let len = r.read_varint()?;
+    if len > MAX_WIRE_METRICS {
+        return Err(CommError::decode(format!(
+            "{what} count {len} exceeds the {MAX_WIRE_METRICS} wire cap"
+        )));
+    }
+    Ok(len)
+}
+
+fn decode_snapshot(r: &mut BitReader<'_>) -> Result<Snapshot, CommError> {
+    let mut snap = Snapshot::default();
+    for _ in 0..read_metric_len(r, "counter")? {
+        let name = String::decode(r)?;
+        snap.counters.insert(name, r.read_varint()?);
+    }
+    for _ in 0..read_metric_len(r, "gauge")? {
+        let name = String::decode(r)?;
+        snap.gauges.insert(
+            name,
+            GaugeSnapshot {
+                value: r.read_varint()?,
+                high: r.read_varint()?,
+            },
+        );
+    }
+    for _ in 0..read_metric_len(r, "histogram")? {
+        let name = String::decode(r)?;
+        let count = r.read_varint()?;
+        let sum = r.read_varint()?;
+        let nbuckets = r.read_varint()?;
+        if nbuckets > HIST_BUCKETS as u64 {
+            return Err(CommError::decode(format!(
+                "histogram bucket count {nbuckets} exceeds the {HIST_BUCKETS} layout"
+            )));
+        }
+        let mut buckets = Vec::with_capacity(nbuckets as usize);
+        for _ in 0..nbuckets {
+            let idx = r.read_varint()?;
+            if idx >= HIST_BUCKETS as u64 {
+                return Err(CommError::decode(format!(
+                    "histogram bucket index {idx} outside the {HIST_BUCKETS}-bucket layout"
+                )));
+            }
+            buckets.push((idx as u16, r.read_varint()?));
+        }
+        snap.histograms.insert(
+            name,
+            HistogramSnapshot {
+                count,
+                sum,
+                buckets,
+            },
+        );
+    }
+    Ok(snap)
+}
+
 /// One party's public description of the half it holds, exchanged at
 /// the start of a storage-split connection (v4+). This is everything a
 /// peer may learn about the matrix outside billed protocol messages:
@@ -332,6 +431,12 @@ pub enum ServiceMsg {
         /// What went wrong.
         error: String,
     },
+    /// Client → daemon: report the full observability registry (v6+).
+    /// The fixed-field [`ServiceMsg::Stats`] stays the compatible path
+    /// for older peers.
+    Metrics,
+    /// Daemon → client: the registry snapshot (v6+).
+    MetricsReport(MetricsMsg),
     /// Daemon → client: the addressed `fp@epoch` no longer names the
     /// live session — it was updated (or the pinned epoch never
     /// existed). Carries where the session is *now* (v3+).
@@ -365,6 +470,8 @@ impl ServiceMsg {
             Self::UpdateAck { .. } => "update-ack",
             Self::PartyHello(_) => "party-hello",
             Self::QueryFailed { .. } => "query-failed",
+            Self::Metrics => "metrics",
+            Self::MetricsReport(_) => "metrics-report",
             Self::StaleEpoch { .. } => "stale-epoch",
         }
     }
@@ -375,6 +482,7 @@ impl ServiceMsg {
     #[must_use]
     pub fn min_version(&self) -> u16 {
         match self {
+            Self::Metrics | Self::MetricsReport(_) => 6,
             Self::QueryFailed { .. } => 5,
             Self::Query(q) if q.id != 0 => 5,
             Self::Reports(rep) if rep.id != 0 => 5,
@@ -398,7 +506,8 @@ impl ServiceMsg {
                     w.write_varint(q.id);
                 }
             }
-            Self::NeedMatrices | Self::Stats | Self::Shutdown | Self::Ok => {}
+            Self::NeedMatrices | Self::Stats | Self::Shutdown | Self::Ok | Self::Metrics => {}
+            Self::MetricsReport(m) => encode_snapshot(&m.snapshot, w),
             Self::Matrices { a, b } => {
                 a.encode(w);
                 b.encode(w);
@@ -537,6 +646,10 @@ impl ServiceMsg {
                 id: r.read_varint()?,
                 error: String::decode(r)?,
             },
+            "metrics" => Self::Metrics,
+            "metrics-report" => Self::MetricsReport(MetricsMsg {
+                snapshot: decode_snapshot(r)?,
+            }),
             "stale-epoch" => Self::StaleEpoch {
                 fp_a: r.read_varint()?,
                 fp_b: r.read_varint()?,
@@ -789,9 +902,29 @@ mod tests {
                 fp: 0xdead_beef,
                 epoch: 5,
             }),
+            ServiceMsg::Metrics,
+            ServiceMsg::MetricsReport(MetricsMsg {
+                snapshot: sample_snapshot(),
+            }),
         ] {
             roundtrip(&msg);
         }
+    }
+
+    /// A registry snapshot with every section populated, including the
+    /// extreme histogram buckets (0 and `u64::MAX`).
+    fn sample_snapshot() -> Snapshot {
+        let registry = mpest_obs::Registry::new();
+        registry.counter("cache.hit").add(41);
+        registry.counter("wire.in").add(u64::MAX);
+        let g = registry.gauge("spool.depth");
+        g.record(900);
+        g.record(7);
+        let h = registry.histogram("phase.run_us");
+        h.record(0);
+        h.record(130);
+        h.record(u64::MAX);
+        registry.snapshot()
     }
 
     /// `party-hello` is v4-only: a pre-v4 connection refuses to send it,
@@ -867,6 +1000,51 @@ mod tests {
             panic!("expected query");
         };
         assert_eq!((q.id, q.at_epoch), (0, Some(7)));
+    }
+
+    /// The metrics message pair is v6-only: a pre-v6 connection refuses
+    /// to send either side of it, naming both versions in the error —
+    /// older peers keep using the fixed-field `stats` exchange.
+    #[test]
+    fn metrics_messages_are_refused_pre_v6() {
+        let msgs = [
+            ServiceMsg::Metrics,
+            ServiceMsg::MetricsReport(MetricsMsg {
+                snapshot: sample_snapshot(),
+            }),
+        ];
+        for msg in &msgs {
+            for version in [2u16, 3, 4, 5] {
+                let mut conn = FramedConn::new(Buf(Cursor::new(Vec::new()))).with_version(version);
+                let err = conn.send_msg(msg).unwrap_err();
+                let s = err.to_string();
+                assert!(
+                    s.contains("v6") && s.contains(&format!("v{version}")),
+                    "{s}"
+                );
+            }
+        }
+    }
+
+    /// Hostile metrics payloads fail typed instead of allocating: a
+    /// bucket index outside the fixed layout is a decode error.
+    #[test]
+    fn metrics_snapshot_rejects_out_of_layout_buckets() {
+        use mpest_comm::{BitReader, BitWriter};
+        let mut w = BitWriter::new();
+        w.write_varint(0); // counters
+        w.write_varint(0); // gauges
+        w.write_varint(1); // one histogram
+        String::from("h").encode(&mut w);
+        w.write_varint(1); // count
+        w.write_varint(1); // sum
+        w.write_varint(1); // one bucket
+        w.write_varint(HIST_BUCKETS as u64); // index out of layout
+        w.write_varint(1);
+        let (bytes, _bits) = w.finish_vec();
+        let mut r = BitReader::new(&bytes);
+        let err = decode_snapshot(&mut r).unwrap_err();
+        assert!(err.to_string().contains("bucket index"), "{err}");
     }
 
     #[test]

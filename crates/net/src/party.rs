@@ -34,9 +34,35 @@ use crate::msg::{PartyInfoMsg, RunResultMsg, RunSpecMsg, ServiceMsg, UpdateMsg};
 use crate::reactor::{wait_ready, Readiness, StopSignal, POLLIN};
 use mpest_comm::{CommError, Party, Seed};
 use mpest_core::{EstimateReport, EstimateRequest, PartyView, Session, UpdateBatch};
+use mpest_obs::{Counter, Registry, Snapshot};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
+
+/// Light per-host counters: how many runs/updates this party host has
+/// served and the logical traffic they moved. Purely additive — the
+/// protocol bytes on the wire are identical with or without anyone
+/// reading them.
+#[derive(Clone, Default)]
+struct PartyMetrics {
+    runs: Counter,
+    run_failures: Counter,
+    updates: Counter,
+    bits: Counter,
+    rounds: Counter,
+}
+
+impl PartyMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            runs: registry.counter("party.runs"),
+            run_failures: registry.counter("party.run_failures"),
+            updates: registry.counter("party.updates"),
+            bits: registry.counter("party.bits"),
+            rounds: registry.counter("party.rounds"),
+        }
+    }
+}
 
 /// I/O timeout (both directions) for party connections: a vanished or
 /// wedged peer surfaces as a typed error, not a hang.
@@ -477,6 +503,7 @@ enum PartySession {
 pub struct PartyHost {
     addr: SocketAddr,
     stop: StopSignal,
+    registry: Registry,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -584,19 +611,23 @@ impl PartyHost {
         let local = listener.local_addr()?;
         let stop = StopSignal::new()?;
         let stop_accept = stop.clone();
+        let registry = Registry::new();
+        let metrics = PartyMetrics::new(&registry);
         let join = std::thread::spawn(move || {
             let stop_conn = stop_accept.clone();
             accept_loop(&listener, &stop_accept, move |stream| {
                 let session = session.clone();
                 let stop = stop_conn.clone();
+                let metrics = metrics.clone();
                 std::thread::spawn(move || {
-                    let _ = serve_party_conn(stream, &session, side, &stop, io_mode);
+                    let _ = serve_party_conn(stream, &session, side, &stop, io_mode, &metrics);
                 });
             });
         });
         Ok(Self {
             addr: local,
             stop,
+            registry,
             join: Some(join),
         })
     }
@@ -605,6 +636,14 @@ impl PartyHost {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// A deterministic snapshot of this host's run counters
+    /// (`party.runs`, `party.run_failures`, `party.updates`,
+    /// `party.bits`, `party.rounds`).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 
     /// Blocks until the accept loop exits (the foreground CLI path; the
@@ -660,6 +699,7 @@ fn serve_party_conn(
     side: Party,
     stop: &StopSignal,
     io_mode: IoMode,
+    metrics: &PartyMetrics,
 ) -> Result<(), CommError> {
     // Bound the handshake too: a peer that connects and never speaks
     // must not pin this thread forever.
@@ -669,12 +709,13 @@ fn serve_party_conn(
         .map_err(|e| CommError::frame("accept", format!("socket options failed: {e}")))?;
     let conn = FramedConn::accept(stream)?;
     match io_mode {
-        IoMode::Blocking => serve_party_loop(conn, session, side, stop),
+        IoMode::Blocking => serve_party_loop(conn, session, side, stop, metrics),
         IoMode::Duplex => serve_party_loop(
             DuplexConn::from_framed(conn, Some(PARTY_IO_TIMEOUT))?,
             session,
             side,
             stop,
+            metrics,
         ),
     }
 }
@@ -688,6 +729,7 @@ fn serve_party_loop<C: ServiceConn>(
     session: &PartySession,
     side: Party,
     stop: &StopSignal,
+    metrics: &PartyMetrics,
 ) -> Result<(), CommError> {
     // Storage-split hosts demand the handshake before any run: the
     // hello's cross-check is what replaces the full-pair validation a
@@ -715,6 +757,7 @@ fn serve_party_loop<C: ServiceConn>(
         let spec = match msg {
             ServiceMsg::RunSpec(spec) => spec,
             ServiceMsg::Update(update) => {
+                metrics.updates.inc();
                 conn.send_service(&handle_party_update(session, &update))?;
                 continue;
             }
@@ -789,9 +832,16 @@ fn serve_party_loop<C: ServiceConn>(
         };
         conn.set_run_deadline(Some(PARTY_IO_TIMEOUT))?;
         match outcome {
-            Ok(_) | Err(CommError::Protocol(_) | CommError::LabelMismatch { .. }) => {}
-            Err(e @ (CommError::Frame { .. } | CommError::ChannelClosed)) => return Err(e),
-            Err(_) => {}
+            Ok(report) => {
+                metrics.runs.inc();
+                metrics.bits.add(report.bits());
+                metrics.rounds.add(u64::from(report.rounds()));
+            }
+            Err(e @ (CommError::Frame { .. } | CommError::ChannelClosed)) => {
+                metrics.run_failures.inc();
+                return Err(e);
+            }
+            Err(_) => metrics.run_failures.inc(),
         }
     }
 }

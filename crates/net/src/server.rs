@@ -51,12 +51,12 @@ use crate::party::accept_loop;
 use crate::reactor::{wait_ready, Readiness, StopSignal, POLLIN};
 use mpest_comm::{BatchAccounting, CommError, Seed};
 use mpest_core::{Engine, Session};
+use mpest_obs::{Counter, Gauge, Histogram, Registry, Snapshot, Tracer};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default read/write deadline for a frame *in flight* (and all
 /// writes). Idle waits between messages are governed separately by
@@ -102,6 +102,13 @@ pub struct ServeConfig {
     /// more than this many unwritten bytes, the reactor stops reading
     /// new requests from that peer until the kernel drains the spool.
     pub spool_budget: usize,
+    /// Extended observability (default on): per-phase latency
+    /// histograms, cache hit/miss/parked counters, reactor wakeup
+    /// causes, backpressure transitions, spool/worker gauges. When
+    /// false those handles are no-ops (zero atomic traffic); the core
+    /// counters behind [`StatsMsg`] are always recorded. Never changes
+    /// outputs, transcripts, or wire bytes either way.
+    pub obs: bool,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +120,83 @@ impl Default for ServeConfig {
             max_sessions: DEFAULT_MAX_SESSIONS,
             io_mode: IoMode::default(),
             spool_budget: DEFAULT_SPOOL_BUDGET,
+            obs: true,
+        }
+    }
+}
+
+/// Pre-fetched metric handles, split in two tiers. The *core* tier
+/// backs [`StatsMsg`] (and always records, so `stats` keeps answering
+/// whatever the config says); the *extended* tier is the deep
+/// instrumentation, downgraded to no-op handles when
+/// [`ServeConfig::obs`] is false so the disabled daemon pays nothing.
+pub(crate) struct ServerMetrics {
+    // Core tier — the registry names behind every StatsMsg field.
+    pub(crate) wire_in: Counter,
+    pub(crate) wire_out: Counter,
+    pub(crate) queries: Counter,
+    pub(crate) evictions: Counter,
+    pub(crate) superseded: Counter,
+    pub(crate) wakeup_idle: Counter,
+    pub(crate) sessions_cached: Gauge,
+    // Extended tier — no-ops when `ServeConfig::obs` is false.
+    pub(crate) cache_hit: Counter,
+    pub(crate) cache_miss: Counter,
+    pub(crate) cache_parked: Counter,
+    pub(crate) wakeup_accept: Counter,
+    pub(crate) wakeup_worker: Counter,
+    pub(crate) wakeup_conn: Counter,
+    pub(crate) wakeup_deadline: Counter,
+    pub(crate) bp_pause: Counter,
+    pub(crate) bp_resume: Counter,
+    pub(crate) spool_drained: Counter,
+    pub(crate) inflight: Gauge,
+    pub(crate) worker_queue: Gauge,
+    pub(crate) worker_busy: Gauge,
+    pub(crate) spool_depth: Gauge,
+    pub(crate) decode_us: Histogram,
+    pub(crate) lookup_us: Histogram,
+    pub(crate) run_us: Histogram,
+    pub(crate) encode_us: Histogram,
+    pub(crate) write_pass_us: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry, obs: bool) -> Self {
+        // Extended handles come from a disabled registry when obs is
+        // off: same code path, no atomics, nothing in snapshots.
+        let ext = if obs {
+            registry.clone()
+        } else {
+            Registry::disabled()
+        };
+        Self {
+            wire_in: registry.counter("wire.in"),
+            wire_out: registry.counter("wire.out"),
+            queries: registry.counter("queries.served"),
+            evictions: registry.counter("sessions.evicted"),
+            superseded: registry.counter("sessions.superseded"),
+            wakeup_idle: registry.counter("reactor.wakeup.idle"),
+            sessions_cached: registry.gauge("sessions.cached"),
+            cache_hit: ext.counter("cache.hit"),
+            cache_miss: ext.counter("cache.miss"),
+            cache_parked: ext.counter("cache.parked"),
+            wakeup_accept: ext.counter("reactor.wakeup.accept"),
+            wakeup_worker: ext.counter("reactor.wakeup.worker"),
+            wakeup_conn: ext.counter("reactor.wakeup.conn"),
+            wakeup_deadline: ext.counter("reactor.wakeup.deadline"),
+            bp_pause: ext.counter("backpressure.pause"),
+            bp_resume: ext.counter("backpressure.resume"),
+            spool_drained: ext.counter("spool.drained_bytes"),
+            inflight: ext.gauge("conn.inflight"),
+            worker_queue: ext.gauge("worker.queue_depth"),
+            worker_busy: ext.gauge("worker.busy"),
+            spool_depth: ext.gauge("spool.depth"),
+            decode_us: ext.histogram("phase.decode_us"),
+            lookup_us: ext.histogram("phase.lookup_us"),
+            run_us: ext.histogram("phase.run_us"),
+            encode_us: ext.histogram("phase.encode_us"),
+            write_pass_us: ext.histogram("reactor.write_pass_us"),
         }
     }
 }
@@ -158,22 +242,19 @@ pub struct ServerState {
     sessions: Mutex<SessionCache>,
     /// Logical ledger folded over every served query.
     ledger: Mutex<BatchAccounting>,
-    /// Real bytes read/written over all connections (closed + live
-    /// deltas folded in per query).
-    pub(crate) wire_in: AtomicU64,
-    pub(crate) wire_out: AtomicU64,
-    /// Total requests served.
-    queries: AtomicU64,
-    /// Sessions evicted to stay under `config.max_sessions`.
-    evictions: AtomicU64,
-    /// Fingerprint pairs retired by updates (the slot itself survives
-    /// under its new key — this counts identity retirements, not data
-    /// loss).
-    superseded: AtomicU64,
-    /// Reactor wakeups that found nothing to do (no ready descriptor,
-    /// no expired deadline). Stays zero while connections merely idle —
-    /// the regression signal for the old 500 ms stop-flag slices.
-    pub(crate) idle_wakeups: AtomicU64,
+    /// The one source of truth for every number the daemon reports:
+    /// `stats` replies, the `metrics` snapshot, and the shutdown
+    /// summary are all projections of this registry.
+    pub(crate) registry: Registry,
+    /// Pre-fetched handles into `registry` (see [`ServerMetrics`]).
+    pub(crate) metrics: ServerMetrics,
+    /// Memoized per-protocol `(bits, rounds)` counter handles, so the
+    /// hot batch path pays one registry lookup per protocol name over
+    /// the daemon's lifetime instead of two string formats per report.
+    protocol_stats: Mutex<HashMap<&'static str, (Counter, Counter)>>,
+    /// Per-query span sink (`mpest serve --trace-out`); disabled by
+    /// default.
+    pub(crate) tracer: Tracer,
     pub(crate) config: ServeConfig,
     pub(crate) stop: StopSignal,
 }
@@ -192,6 +273,15 @@ impl ServerState {
     /// Fresh state with explicit tunables.
     #[must_use]
     pub fn with_config(config: ServeConfig) -> Self {
+        Self::with_config_traced(config, Tracer::disabled())
+    }
+
+    /// Fresh state with explicit tunables and a span sink for per-query
+    /// tracing (the CLI's `--trace-out` path).
+    #[must_use]
+    pub fn with_config_traced(config: ServeConfig, tracer: Tracer) -> Self {
+        let registry = Registry::new();
+        let metrics = ServerMetrics::new(&registry, config.obs);
         Self {
             sessions: Mutex::new(SessionCache {
                 entries: HashMap::new(),
@@ -199,12 +289,10 @@ impl ServerState {
                 tick: 0,
             }),
             ledger: Mutex::new(BatchAccounting::new()),
-            wire_in: AtomicU64::new(0),
-            wire_out: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            superseded: AtomicU64::new(0),
-            idle_wakeups: AtomicU64::new(0),
+            registry,
+            metrics,
+            protocol_stats: Mutex::new(HashMap::new()),
+            tracer,
             config,
             stop: StopSignal::new().expect("stop signal pipe"),
         }
@@ -215,21 +303,62 @@ impl ServerState {
     /// readiness instead of slicing waits.
     #[must_use]
     pub fn idle_wakeups(&self) -> u64 {
-        self.idle_wakeups.load(Ordering::Relaxed)
+        self.metrics.wakeup_idle.get()
     }
 
-    /// Snapshot for `stats` replies.
+    /// Full registry snapshot (the `metrics` wire reply and the
+    /// shutdown summary). Refreshes the `sessions.cached` gauge first
+    /// so the snapshot is self-contained.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let sessions = self.sessions.lock().expect("sessions").entries.len() as u64;
+        self.metrics.sessions_cached.record(sessions);
+        self.registry.snapshot()
+    }
+
+    /// Snapshot for `stats` replies — a fixed-field projection of the
+    /// same registry the `metrics` reply snapshots, so the two can
+    /// never disagree on a total.
     #[must_use]
     pub fn stats(&self) -> StatsMsg {
+        let snap = self.metrics_snapshot();
         StatsMsg {
             accounting: self.ledger.lock().expect("ledger").clone(),
-            sessions: self.sessions.lock().expect("sessions").entries.len() as u64,
-            queries: self.queries.load(Ordering::Relaxed),
-            wire_in: self.wire_in.load(Ordering::Relaxed),
-            wire_out: self.wire_out.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            superseded: self.superseded.load(Ordering::Relaxed),
+            sessions: snap
+                .gauges
+                .get("sessions.cached")
+                .map_or(0, |gauge| gauge.value),
+            queries: snap.counter("queries.served"),
+            wire_in: snap.counter("wire.in"),
+            wire_out: snap.counter("wire.out"),
+            evictions: snap.counter("sessions.evicted"),
+            superseded: snap.counter("sessions.superseded"),
         }
+    }
+
+    /// The shutdown summary: the classic one-line ledger sentence plus
+    /// the full registry rendering, both read off *one* snapshot so the
+    /// summary can never disagree with what `stats`/`metrics` reported.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let snap = self.metrics_snapshot();
+        let accounting = self.ledger.lock().expect("ledger").clone();
+        let mut out = format!(
+            "shut down after {} request(s), {} cached session(s) ({} evicted, {} superseded \
+             by updates), {} logical bits served, {} bytes in / {} bytes out on the wire",
+            snap.counter("queries.served"),
+            snap.gauges
+                .get("sessions.cached")
+                .map_or(0, |gauge| gauge.value),
+            snap.counter("sessions.evicted"),
+            snap.counter("sessions.superseded"),
+            accounting.total_bits,
+            snap.counter("wire.in"),
+            snap.counter("wire.out"),
+        );
+        out.push('\n');
+        out.push_str(&snap.render());
+        out
     }
 
     pub(crate) fn lookup(&self, key: (u64, u64)) -> Lookup {
@@ -259,7 +388,12 @@ impl ServerState {
         // streaming session, so updates should maintain views
         // incrementally from the first batch rather than leaving
         // queries to hit cold views mid-stream.
-        let session = Session::new(a.0, b.0);
+        let mut session = Session::new(a.0, b.0);
+        if self.config.obs {
+            // Wire the session's sketch-cache metrics into the daemon
+            // registry while the session is still unshared.
+            session.set_obs(&self.registry);
+        }
         session.warm_views()?;
         let slot = Arc::new(RwLock::new(SlotInner {
             engine: Engine::new(session),
@@ -291,7 +425,7 @@ impl ServerState {
                 .map(|(k, _)| *k)
                 .expect("cache at cap is non-empty");
             cache.entries.remove(&oldest);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.metrics.evictions.inc();
         }
     }
 
@@ -307,11 +441,11 @@ impl ServerState {
             if new_key != old_key && cache.entries.insert(new_key, (entry.0, tick)).is_some() {
                 // An independently uploaded identical pair occupied the
                 // new key; the updated slot replaces it.
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.metrics.evictions.inc();
             }
         }
         if new_key != old_key {
-            self.superseded.fetch_add(1, Ordering::Relaxed);
+            self.metrics.superseded.inc();
             // Redirect chains collapse: anything that pointed at the old
             // identity now points at the new one.
             for target in cache.superseded.values_mut() {
@@ -359,9 +493,21 @@ impl Server {
     ///
     /// I/O errors from binding.
     pub fn spawn_with(addr: &str, config: ServeConfig) -> std::io::Result<Self> {
+        Self::spawn_traced(addr, config, Tracer::disabled())
+    }
+
+    /// [`Server::spawn_with`] with a span tracer attached: every served
+    /// query emits a phase-timed span (see
+    /// [`ServerState::with_config_traced`]). The trace is sealed when
+    /// the serve loop exits.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn_traced(addr: &str, config: ServeConfig, tracer: Tracer) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let state = Arc::new(ServerState::with_config(config));
+        let state = Arc::new(ServerState::with_config_traced(config, tracer));
         let accept_state = Arc::clone(&state);
         let join = std::thread::spawn(move || {
             serve_on(&listener, &accept_state);
@@ -422,6 +568,9 @@ pub fn serve_on(listener: &TcpListener, state: &Arc<ServerState>) {
             });
         }),
     }
+    // Seal the trace (a Chrome-format file needs its closing bracket);
+    // a no-op without an attached tracer.
+    state.tracer.finish();
 }
 
 /// Serves one client connection until EOF or shutdown.
@@ -450,12 +599,8 @@ fn serve_conn(stream: TcpStream, state: &Arc<ServerState>) -> Result<(), CommErr
 /// Folds this connection's unaccounted byte delta into the daemon's
 /// global counters.
 fn fold_wire(state: &ServerState, conn: &FramedConn<TcpStream>, folded: &mut (u64, u64)) {
-    state
-        .wire_in
-        .fetch_add(conn.bytes_in() - folded.0, Ordering::Relaxed);
-    state
-        .wire_out
-        .fetch_add(conn.bytes_out() - folded.1, Ordering::Relaxed);
+    state.metrics.wire_in.add(conn.bytes_in() - folded.0);
+    state.metrics.wire_out.add(conn.bytes_out() - folded.1);
     *folded = (conn.bytes_in(), conn.bytes_out());
 }
 
@@ -511,6 +656,11 @@ fn serve_msgs(
             }
             ServiceMsg::Stats => {
                 conn.send_msg(&ServiceMsg::StatsReport(state.stats()))?;
+            }
+            ServiceMsg::Metrics if conn.version() >= 6 => {
+                conn.send_msg(&ServiceMsg::MetricsReport(crate::msg::MetricsMsg {
+                    snapshot: state.metrics_snapshot(),
+                }))?;
             }
             ServiceMsg::Shutdown => {
                 state.stop.trigger();
@@ -632,15 +782,34 @@ pub(crate) fn answer_query(
             .into_iter()
             .map(|(seed, request)| (Seed(seed), request))
             .collect();
+        let began = Instant::now();
         match inner
             .engine
             .run_seeded_queries(&queries, state.config.workers)
         {
             Ok((reports, accounting)) => {
-                state
-                    .queries
-                    .fetch_add(reports.len() as u64, Ordering::Relaxed);
+                state.metrics.queries.add(reports.len() as u64);
                 state.ledger.lock().expect("ledger").merge(&accounting);
+                // Timing and per-protocol round/bit totals go to the
+                // registry only — the reply bytes are untouched.
+                state
+                    .metrics
+                    .run_us
+                    .record(began.elapsed().as_micros() as u64);
+                if state.config.obs {
+                    let mut memo = state.protocol_stats.lock().expect("protocol stats");
+                    for report in &reports {
+                        let name = report.protocol;
+                        let (bits, rounds) = memo.entry(name).or_insert_with(|| {
+                            (
+                                state.registry.counter(&format!("protocol.{name}.bits")),
+                                state.registry.counter(&format!("protocol.{name}.rounds")),
+                            )
+                        });
+                        bits.add(report.bits());
+                        rounds.add(u64::from(report.rounds()));
+                    }
+                }
                 ServiceMsg::Reports(ReportsMsg {
                     reports,
                     accounting,
@@ -949,6 +1118,99 @@ mod tests {
             "shutdown took {:?}; the stop signal did not interrupt the poll",
             begun.elapsed()
         );
+    }
+
+    /// Satellite fix: the shutdown summary and the stats/metrics
+    /// replies historically could disagree on byte totals for
+    /// connections cut mid-spool, depending on exit-path ordering. Both
+    /// are now projections of one registry, so after shutdown (when
+    /// every exit path has folded its tail delta) they must agree to
+    /// the byte.
+    #[test]
+    fn summary_and_snapshot_agree_after_a_mid_spool_cut() {
+        use crate::msg::QueryMsg;
+        let a = Workloads::bernoulli_bits(8, 10, 0.3, 1).to_csr();
+        let b = Workloads::bernoulli_bits(10, 8, 0.3, 2).to_csr();
+        let server = Server::spawn("127.0.0.1:0", 1).unwrap();
+        let mut client = ServeClient::connect(&server.addr().to_string()).unwrap();
+        let queries = [(1u64, EstimateRequest::ExactL1)];
+        client.query(&a, &b, &queries).unwrap();
+        {
+            // A second connection floods pipelined queries and vanishes
+            // without reading a single reply, leaving the reactor with
+            // a spooled outbound backlog it can never finish draining.
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut conn = FramedConn::establish(stream).unwrap();
+            let (fa, fb) = (fingerprint(&a), fingerprint(&b));
+            for id in 1..=16u64 {
+                conn.send_msg(&ServiceMsg::Query(QueryMsg {
+                    fp_a: fa,
+                    fp_b: fb,
+                    queries: vec![(id, EstimateRequest::ExactL1)],
+                    at_epoch: None,
+                    id,
+                }))
+                .unwrap();
+            }
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        let state = Arc::clone(server.state());
+        server.shutdown();
+        let summary = state.summary();
+        let stats = state.stats();
+        let snap = state.metrics_snapshot();
+        assert_eq!(stats.wire_in, snap.counter("wire.in"));
+        assert_eq!(stats.wire_out, snap.counter("wire.out"));
+        assert!(
+            summary.contains(&format!(
+                "{} bytes in / {} bytes out",
+                stats.wire_in, stats.wire_out
+            )),
+            "summary renders different byte totals than the snapshot:\n{summary}"
+        );
+        assert!(stats.wire_in > 0 && stats.wire_out > 0);
+        assert_eq!(stats.queries, snap.counter("queries.served"));
+    }
+
+    /// `obs: false` removes the extended tier entirely — no names in
+    /// the snapshot, no atomic traffic — while the core stats keep
+    /// working and answers stay bit-identical (covered by the
+    /// equivalence suites).
+    #[test]
+    fn disabling_obs_keeps_stats_but_drops_extended_metrics() {
+        let a = Workloads::bernoulli_bits(8, 10, 0.3, 1).to_csr();
+        let b = Workloads::bernoulli_bits(10, 8, 0.3, 2).to_csr();
+        let server = Server::spawn_with(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                obs: false,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = ServeClient::connect(&server.addr().to_string()).unwrap();
+        let queries = [(1u64, EstimateRequest::ExactL1)];
+        client.query(&a, &b, &queries).unwrap();
+        client.query(&a, &b, &queries).unwrap();
+        // Wire bytes fold into the daemon counters when a connection
+        // closes; shut down before asserting on them.
+        drop(client);
+        let state = Arc::clone(server.state());
+        server.shutdown();
+        let stats = state.stats();
+        assert_eq!(stats.queries, 2);
+        assert!(stats.wire_in > 0);
+        let snap = state.metrics_snapshot();
+        assert_eq!(snap.counter("cache.hit"), 0);
+        assert!(
+            !snap.counters.contains_key("cache.hit")
+                && !snap.counters.contains_key("cache.miss")
+                && snap.histograms.is_empty(),
+            "extended metrics must not register when obs is off: {:?}",
+            snap.counters.keys().collect::<Vec<_>>()
+        );
+        assert!(snap.counters.contains_key("wire.in"));
     }
 
     #[test]

@@ -35,12 +35,12 @@ use crate::reactor::{poll_fds, PollFd, POLLIN, POLLOUT};
 use crate::server::{answer_query, handle_update, pipeline_wrap, ServeConfig, ServerState};
 use crate::server::{Lookup, Slot};
 use mpest_comm::CommError;
+use mpest_obs::Span;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -50,6 +50,46 @@ const SHUTDOWN_FLUSH: Duration = Duration::from_millis(500);
 
 /// The preamble is 8 bytes each way ([`local_preamble`]).
 const PREAMBLE_LEN: usize = 8;
+
+/// Reactor-side phase timings riding a job to the worker pool. `t0` is
+/// populated only while a tracer is attached: the metrics histograms
+/// are fed where the phases happen, but a *span* needs the origin
+/// instant carried end to end so the completion can close it out.
+#[derive(Clone, Copy)]
+struct QueryTiming {
+    /// Decode-start instant — the span's clock origin (tracing only).
+    t0: Option<Instant>,
+    decode_us: u64,
+    lookup_us: u64,
+    /// Cache-path tag for the span: "hit", "miss", or "parked".
+    cache: &'static str,
+}
+
+/// A finished query's phase breakdown, ready for the tracer once the
+/// reply's encode phase lands in [`Reactor::apply_completions`].
+struct SpanInfo {
+    t0: Instant,
+    decode_us: u64,
+    lookup_us: u64,
+    run_us: u64,
+    cache: &'static str,
+    id: u64,
+}
+
+/// Closes out a traced job: pairs the reactor-side timings with the
+/// worker-side run duration. `None` (the overwhelmingly common case)
+/// when no tracer is attached.
+fn finish_span(timing: QueryTiming, began: Option<Instant>, id: u64) -> Option<SpanInfo> {
+    let t0 = timing.t0?;
+    Some(SpanInfo {
+        t0,
+        decode_us: timing.decode_us,
+        lookup_us: timing.lookup_us,
+        run_us: began.map_or(0, |b| b.elapsed().as_micros() as u64),
+        cache: timing.cache,
+        id,
+    })
+}
 
 /// Compute shipped off the reactor thread to the worker pool.
 enum Job {
@@ -61,6 +101,7 @@ enum Job {
         slot: Slot,
         cache_hit: bool,
         wire: (u64, u64),
+        timing: QueryTiming,
     },
     /// An upload answering `need-matrices`: insert the pair (warming
     /// the derived views — too heavy for the reactor thread), then run
@@ -73,6 +114,7 @@ enum Job {
         b: crate::msg::WCsr,
         parked: Vec<QueryMsg>,
         wire: (u64, u64),
+        timing: QueryTiming,
     },
     /// An update batch (takes the slot's write lock; applying can be
     /// heavy).
@@ -88,6 +130,8 @@ struct Completion {
     token: usize,
     gen: u64,
     reply: ServiceMsg,
+    /// Present only when a tracer is attached and the job was a query.
+    span: Option<SpanInfo>,
 }
 
 /// Nonblocking handshake progress: our preamble drains from `out`, the
@@ -129,6 +173,10 @@ struct Conn {
     eof: bool,
     /// Close as soon as the spool drains (shutdown acknowledged).
     closing: bool,
+    /// Whether the last drive left this peer over its spool budget
+    /// (reads withheld). Tracked so pause/resume *transitions* can be
+    /// counted rather than every budget check.
+    paused: bool,
 }
 
 impl Conn {
@@ -150,6 +198,7 @@ impl Conn {
             active_at: now,
             eof: false,
             closing: false,
+            paused: false,
         }
     }
 
@@ -218,11 +267,13 @@ fn queue_reply(conn: &mut Conn, version: u16, msg: &ServiceMsg) -> Result<(), Co
 /// `core.bytes_out` only grows on accepted writes.
 fn fold_wire(state: &ServerState, conn: &mut Conn) {
     state
+        .metrics
         .wire_in
-        .fetch_add(conn.core.bytes_in - conn.folded.0, Ordering::Relaxed);
+        .add(conn.core.bytes_in - conn.folded.0);
     state
+        .metrics
         .wire_out
-        .fetch_add(conn.core.bytes_out - conn.folded.1, Ordering::Relaxed);
+        .add(conn.core.bytes_out - conn.folded.1);
     conn.folded = (conn.core.bytes_in, conn.core.bytes_out);
 }
 
@@ -295,11 +346,18 @@ fn worker_loop(
             rx.recv()
         };
         let Ok(job) = job else { return };
-        let post = |token: usize, gen: u64, reply: ServiceMsg| {
+        state.metrics.worker_queue.dec();
+        state.metrics.worker_busy.inc();
+        let post = |token: usize, gen: u64, reply: ServiceMsg, span: Option<SpanInfo>| {
             completions
                 .lock()
                 .expect("completions")
-                .push_back(Completion { token, gen, reply });
+                .push_back(Completion {
+                    token,
+                    gen,
+                    reply,
+                    span,
+                });
             // The byte is the wakeup, the queue is the truth: a full
             // pipe just means the reactor is already waking.
             let mut wake = wake;
@@ -313,11 +371,13 @@ fn worker_loop(
                 slot,
                 cache_hit,
                 wire,
-            } => post(
-                token,
-                gen,
-                answer_query(state, &slot, query, cache_hit, wire),
-            ),
+                timing,
+            } => {
+                let id = query.id;
+                let began = timing.t0.map(|_| Instant::now());
+                let reply = answer_query(state, &slot, query, cache_hit, wire);
+                post(token, gen, reply, finish_span(timing, began, id));
+            }
             Job::Upload {
                 token,
                 gen,
@@ -326,10 +386,14 @@ fn worker_loop(
                 b,
                 parked,
                 wire,
+                timing,
             } => match state.insert(key, a, b) {
                 Ok(slot) => {
                     for query in parked {
-                        post(token, gen, answer_query(state, &slot, query, false, wire));
+                        let id = query.id;
+                        let began = timing.t0.map(|_| Instant::now());
+                        let reply = answer_query(state, &slot, query, false, wire);
+                        post(token, gen, reply, finish_span(timing, began, id));
                     }
                 }
                 Err(e) => {
@@ -338,14 +402,16 @@ fn worker_loop(
                             token,
                             gen,
                             pipeline_wrap(query.id, ServiceMsg::Error(e.to_string())),
+                            None,
                         );
                     }
                 }
             },
             Job::Update { token, gen, update } => {
-                post(token, gen, handle_update(state, &update));
+                post(token, gen, handle_update(state, &update), None);
             }
         }
+        state.metrics.worker_busy.dec();
     }
 }
 
@@ -383,22 +449,28 @@ impl Reactor<'_> {
                 return;
             }
             if fds[0].ready(POLLIN) {
+                self.state.metrics.wakeup_accept.inc();
                 self.accept_new(listener, now);
             }
             if fds[2].ready(POLLIN) {
+                self.state.metrics.wakeup_worker.inc();
                 self.drain_wake();
                 self.apply_completions(now);
             }
             for (i, &token) in tokens.iter().enumerate() {
                 if fds[3 + i].ready(POLLIN | POLLOUT) {
+                    self.state.metrics.wakeup_conn.inc();
                     self.pump_conn(token, now);
                 }
             }
             let expired = self.sweep_deadlines(now);
+            if expired {
+                self.state.metrics.wakeup_deadline.inc();
+            }
             if ready == 0 && !expired {
                 // Woke with nothing ready and nothing expired: the
                 // wakeup the design promises never happens.
-                self.state.idle_wakeups.fetch_add(1, Ordering::Relaxed);
+                self.state.metrics.wakeup_idle.inc();
             }
         }
     }
@@ -431,7 +503,15 @@ impl Reactor<'_> {
                         continue;
                     }
                     let gen = self.next_gen();
-                    let token = self.insert(Conn::new(stream, gen, now));
+                    let mut conn = Conn::new(stream, gen, now);
+                    // No-op handles unless extended observability is
+                    // on; the gauge is shared, so it reads daemon-wide
+                    // spool depth.
+                    conn.core.set_obs(
+                        self.state.metrics.spool_depth.clone(),
+                        self.state.metrics.spool_drained.clone(),
+                    );
+                    let token = self.insert(conn);
                     // Push the preamble immediately: it virtually
                     // always fits a fresh socket buffer in one write.
                     self.pump_conn(token, now);
@@ -457,10 +537,15 @@ impl Reactor<'_> {
     /// Applies every queued worker completion: spool the reply on its
     /// connection (if it still exists at the same generation) and pump.
     fn apply_completions(&mut self, now: Instant) {
+        let timed = self.state.config.obs || self.state.tracer.enabled();
         let mut touched = Vec::new();
         loop {
             let item = self.completions.lock().expect("completions").pop_front();
             let Some(c) = item else { break };
+            // One decrement per completion, even for vanished or
+            // regenerated connections — the gauge pairs with the
+            // increments at submit time, not with delivery.
+            self.state.metrics.inflight.dec();
             let Some(conn) = self.conns.get_mut(c.token).and_then(Option::as_mut) else {
                 continue;
             };
@@ -472,6 +557,7 @@ impl Reactor<'_> {
             let Stage::Active { version } = conn.stage else {
                 continue;
             };
+            let began = timed.then(Instant::now);
             if queue_reply(conn, version, &c.reply).is_err() {
                 // The reply can't be encoded for this peer's codec
                 // version — unreachable for well-formed traffic (ids
@@ -480,6 +566,29 @@ impl Reactor<'_> {
                     self.close(c.token, conn);
                 }
                 continue;
+            }
+            let encode_us = began.map_or(0, |b| b.elapsed().as_micros() as u64);
+            if began.is_some() {
+                self.state.metrics.encode_us.record(encode_us);
+            }
+            if let Some(span) = c.span {
+                if self.state.tracer.enabled() {
+                    let dur_us = span.t0.elapsed().as_micros() as u64;
+                    self.state.tracer.record(&Span {
+                        name: "query",
+                        conn: c.token as u64,
+                        id: span.id,
+                        start_us: self.state.tracer.now_us().saturating_sub(dur_us),
+                        dur_us,
+                        phases: vec![
+                            ("decode", span.decode_us),
+                            ("lookup", span.lookup_us),
+                            ("run", span.run_us),
+                            ("encode", encode_us),
+                        ],
+                        tags: vec![("cache", span.cache.to_string())],
+                    });
+                }
             }
             touched.push(c.token);
         }
@@ -555,13 +664,39 @@ impl Reactor<'_> {
                 conn.progress_at = now;
             }
         }
+        // Timing is off the hot path entirely (no clock reads) unless
+        // extended observability or a tracer asks for it.
+        let timed = self.state.config.obs || self.state.tracer.enabled();
         while let Some(frame) = conn.core.take_frame() {
+            let began = timed.then(Instant::now);
             let msg = decode_service_frame(&frame, version)?;
+            let decode_us = began.map_or(0, |b| b.elapsed().as_micros() as u64);
+            if began.is_some() {
+                self.state.metrics.decode_us.record(decode_us);
+            }
             conn.active_at = now;
-            self.dispatch(conn, token, version, msg)?;
+            self.dispatch(conn, token, version, msg, began.map(|b| (b, decode_us)))?;
         }
         // Replies spooled by dispatch go out now, not next readiness.
+        let began = self.state.config.obs.then(Instant::now);
         write_pass(conn, now)?;
+        if let Some(b) = began {
+            self.state
+                .metrics
+                .write_pass_us
+                .record(b.elapsed().as_micros() as u64);
+        }
+        // Count backpressure *transitions* against the spool budget —
+        // the same comparison [`Conn::events`] uses to withhold POLLIN.
+        let over = conn.core.queued_out_bytes() > self.state.config.spool_budget;
+        if over != conn.paused {
+            conn.paused = over;
+            if over {
+                self.state.metrics.bp_pause.inc();
+            } else {
+                self.state.metrics.bp_resume.inc();
+            }
+        }
         if conn.closing && !conn.core.has_out() {
             return Ok(false);
         }
@@ -579,18 +714,40 @@ impl Reactor<'_> {
         token: usize,
         version: u16,
         msg: ServiceMsg,
+        timed: Option<(Instant, u64)>,
     ) -> Result<(), CommError> {
         match msg {
             ServiceMsg::Query(query) => {
                 let key = (query.fp_a, query.fp_b);
                 if let Some((pending, parked)) = &mut conn.awaiting_upload {
                     if *pending == key {
+                        self.state.metrics.cache_parked.inc();
                         parked.push(query);
                         return Ok(());
                     }
                 }
-                match self.state.lookup(key) {
-                    Lookup::Found(slot) => self.submit_query(conn, token, query, slot, true),
+                let began = timed.is_some().then(Instant::now);
+                let lookup = self.state.lookup(key);
+                let lookup_us = began.map_or(0, |b| b.elapsed().as_micros() as u64);
+                if began.is_some() {
+                    self.state.metrics.lookup_us.record(lookup_us);
+                }
+                match lookup {
+                    Lookup::Found(slot) => {
+                        self.state.metrics.cache_hit.inc();
+                        let timing = QueryTiming {
+                            t0: self
+                                .state
+                                .tracer
+                                .enabled()
+                                .then_some(())
+                                .and(timed.map(|(t0, _)| t0)),
+                            decode_us: timed.map_or(0, |(_, d)| d),
+                            lookup_us,
+                            cache: "hit",
+                        };
+                        self.submit_query(conn, token, query, slot, true, timing);
+                    }
                     Lookup::Superseded(current, epoch) => {
                         let reply = pipeline_wrap(
                             query.id,
@@ -616,6 +773,7 @@ impl Reactor<'_> {
                         queue_reply(conn, version, &reply)?;
                     }
                     Lookup::Missing => {
+                        self.state.metrics.cache_miss.inc();
                         conn.awaiting_upload = Some((key, vec![query]));
                         queue_reply(conn, version, &ServiceMsg::NeedMatrices)?;
                     }
@@ -631,7 +789,23 @@ impl Reactor<'_> {
                     return Ok(());
                 };
                 conn.inflight += parked.len();
+                self.state.metrics.inflight.add(parked.len() as u64);
+                self.state.metrics.worker_queue.inc();
                 let wire = (conn.core.bytes_in, conn.core.bytes_out);
+                // The parked queries' spans share the upload frame's
+                // decode as their origin: that is when the reply
+                // became computable.
+                let timing = QueryTiming {
+                    t0: self
+                        .state
+                        .tracer
+                        .enabled()
+                        .then_some(())
+                        .and(timed.map(|(t0, _)| t0)),
+                    decode_us: timed.map_or(0, |(_, d)| d),
+                    lookup_us: 0,
+                    cache: "parked",
+                };
                 let _ = self.jobs.send(Job::Upload {
                     token,
                     gen: conn.gen,
@@ -640,10 +814,13 @@ impl Reactor<'_> {
                     b,
                     parked,
                     wire,
+                    timing,
                 });
             }
             ServiceMsg::Update(update) if version >= 3 => {
                 conn.inflight += 1;
+                self.state.metrics.inflight.inc();
+                self.state.metrics.worker_queue.inc();
                 let _ = self.jobs.send(Job::Update {
                     token,
                     gen: conn.gen,
@@ -661,6 +838,12 @@ impl Reactor<'_> {
             }
             ServiceMsg::Stats => {
                 queue_reply(conn, version, &ServiceMsg::StatsReport(self.state.stats()))?;
+            }
+            ServiceMsg::Metrics if version >= 6 => {
+                let reply = ServiceMsg::MetricsReport(crate::msg::MetricsMsg {
+                    snapshot: self.state.metrics_snapshot(),
+                });
+                queue_reply(conn, version, &reply)?;
             }
             ServiceMsg::Shutdown => {
                 self.state.stop.trigger();
@@ -685,8 +868,11 @@ impl Reactor<'_> {
         query: QueryMsg,
         slot: Slot,
         cache_hit: bool,
+        timing: QueryTiming,
     ) {
         conn.inflight += 1;
+        self.state.metrics.inflight.inc();
+        self.state.metrics.worker_queue.inc();
         let wire = (conn.core.bytes_in, conn.core.bytes_out);
         let _ = self.jobs.send(Job::Query {
             token,
@@ -695,6 +881,7 @@ impl Reactor<'_> {
             slot,
             cache_hit,
             wire,
+            timing,
         });
     }
 

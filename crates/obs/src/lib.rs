@@ -1,0 +1,980 @@
+//! Observability primitives for the mpest serving stack.
+//!
+//! The crate is deliberately std-only and lock-light: hot paths touch
+//! handles ([`Counter`], [`Gauge`], [`Histogram`]) that are either a
+//! single `Arc<Atomic…>` (enabled) or `None` (disabled), so disabling
+//! observability compiles the same code down to a branch on a `None`
+//! and *zero* atomic operations. Registration (name → handle) goes
+//! through a mutex, but registration happens once per metric at setup
+//! time, never per event.
+//!
+//! The three exported pieces:
+//!
+//! * [`Registry`] — named counters/gauges/histograms, snapshotted into
+//!   a deterministic, order-stable [`Snapshot`] that can cross the
+//!   wire or render as text/JSON.
+//! * [`Histogram`] — log-linear buckets (4 sub-buckets per power of
+//!   two) with *fixed* boundaries, so two runs that observe the same
+//!   values produce byte-identical snapshots.
+//! * [`Tracer`] — span-based per-query trace writer emitting JSONL
+//!   (one object per line) or Chrome `about://tracing` JSON.
+//!
+//! The hard contract, tested in the serving crates: enabling any of
+//! this never changes outputs, transcripts, or wire bytes — timing
+//! only ever lands in histograms and trace files.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of histogram buckets: values 0..=3 get singleton buckets,
+/// then 4 sub-buckets per power-of-two octave up to `u64::MAX`.
+pub const HIST_BUCKETS: usize = 252;
+
+/// Map a value to its fixed log-linear bucket index.
+///
+/// Values `0..=3` own their index. For `v >= 4` the bucket is derived
+/// from the most significant bit (the octave) refined by the next two
+/// bits (4 linear sub-buckets per octave). `u64::MAX` lands in the
+/// last bucket, `HIST_BUCKETS - 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 2 here
+    let sub = ((v >> (msb - 2)) & 3) as usize;
+    4 * (msb - 1) + sub
+}
+
+/// Inclusive lower bound of bucket `index` (the smallest value that
+/// maps there). Bucket boundaries are fixed for all time; snapshots
+/// taken on different machines agree bucket-for-bucket.
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    debug_assert!(index < HIST_BUCKETS);
+    if index < 4 {
+        return index as u64;
+    }
+    let msb = index / 4 + 1;
+    let sub = (index % 4) as u64;
+    (1u64 << msb) + (sub << (msb - 2))
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// Monotone event counter. Cloning shares the underlying cell; the
+/// default value is a no-op handle that ignores every increment.
+#[derive(Clone, Default, Debug)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that does nothing: no allocation, no atomics.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// True when increments actually land somewhere.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Default)]
+struct GaugeCore {
+    value: AtomicU64,
+    high: AtomicU64,
+}
+
+/// Last-value gauge with a high-water mark. `record` stores the new
+/// value and folds it into the high-water; `inc`/`dec` adjust a level
+/// (queue depth, in-flight count) the same way.
+#[derive(Clone, Default, Debug)]
+pub struct Gauge(Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// A handle that does nothing.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// True when updates actually land somewhere.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Set the current value and update the high-water mark.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.value.store(v, Ordering::Relaxed);
+            core.high.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the level by one and update the high-water mark.
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(core) = &self.0 {
+            let now = core.value.fetch_add(1, Ordering::Relaxed) + 1;
+            core.high.fetch_max(now, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the level by `n` and update the high-water mark.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.0 {
+            let now = core.value.fetch_add(n, Ordering::Relaxed) + n;
+            core.high.fetch_max(now, Ordering::Relaxed);
+        }
+    }
+
+    /// Lower the level by one (saturating at zero).
+    #[inline]
+    pub fn dec(&self) {
+        self.sub(1)
+    }
+
+    /// Lower the level by `n` (saturating at zero).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if let Some(core) = &self.0 {
+            let _ = core
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(n))
+                });
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+
+    /// High-water mark since registration (0 for a no-op handle).
+    #[inline]
+    pub fn high(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.high.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistoCore {
+    buckets: Vec<AtomicU64>, // HIST_BUCKETS long
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistoCore {
+    fn new() -> Self {
+        HistoCore {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log-linear histogram handle with fixed bucket boundaries (see
+/// [`bucket_index`] / [`bucket_lower_bound`]).
+#[derive(Clone, Default, Debug)]
+pub struct Histogram(Option<Arc<HistoCore>>);
+
+impl Histogram {
+    /// A handle that does nothing.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// True when observations actually land somewhere.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            core.count.fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of observations so far (0 for a no-op handle).
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of observed values (wrapping; 0 for a no-op handle).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCore>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistoCore>>>,
+}
+
+/// Named metric registry. Cloning shares the registry; a
+/// [`Registry::disabled`] registry hands out no-op handles everywhere
+/// so instrumented code pays nothing.
+#[derive(Clone, Default)]
+pub struct Registry(Option<Arc<RegistryInner>>);
+
+impl Registry {
+    /// A live registry.
+    pub fn new() -> Self {
+        Registry(Some(Arc::new(RegistryInner::default())))
+    }
+
+    /// A registry whose every handle is a no-op.
+    pub fn disabled() -> Self {
+        Registry(None)
+    }
+
+    /// True when this registry records anything at all.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.0 {
+            None => Counter::noop(),
+            Some(inner) => {
+                let mut map = inner.counters.lock().unwrap();
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+                Counter(Some(cell.clone()))
+            }
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.0 {
+            None => Gauge::noop(),
+            Some(inner) => {
+                let mut map = inner.gauges.lock().unwrap();
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(GaugeCore::default()));
+                Gauge(Some(cell.clone()))
+            }
+        }
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.0 {
+            None => Histogram::noop(),
+            Some(inner) => {
+                let mut map = inner.histograms.lock().unwrap();
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistoCore::new()));
+                Histogram(Some(cell.clone()))
+            }
+        }
+    }
+
+    /// Deterministic point-in-time snapshot: metrics sorted by name,
+    /// histogram buckets sparse and index-sorted. Two identical runs
+    /// produce equal snapshots.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        let inner = match &self.0 {
+            None => return snap,
+            Some(inner) => inner,
+        };
+        for (name, cell) in inner.counters.lock().unwrap().iter() {
+            snap.counters
+                .insert(name.clone(), cell.load(Ordering::Relaxed));
+        }
+        for (name, core) in inner.gauges.lock().unwrap().iter() {
+            snap.gauges.insert(
+                name.clone(),
+                GaugeSnapshot {
+                    value: core.value.load(Ordering::Relaxed),
+                    high: core.high.load(Ordering::Relaxed),
+                },
+            );
+        }
+        for (name, core) in inner.histograms.lock().unwrap().iter() {
+            let mut buckets = Vec::new();
+            for (i, b) in core.buckets.iter().enumerate() {
+                let n = b.load(Ordering::Relaxed);
+                if n != 0 {
+                    buckets.push((i as u16, n));
+                }
+            }
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    count: core.count.load(Ordering::Relaxed),
+                    sum: core.sum.load(Ordering::Relaxed),
+                    buckets,
+                },
+            );
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// Point-in-time value of one gauge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Last recorded value / current level.
+    pub value: u64,
+    /// High-water mark since registration.
+    pub high: u64,
+}
+
+/// Point-in-time state of one histogram, buckets stored sparse as
+/// `(bucket_index, count)` pairs sorted by index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets, index-sorted.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile `q` in `[0, 1]`: the lower bound of the
+    /// bucket containing the `q`-th observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_lower_bound(idx as usize);
+            }
+        }
+        self.buckets
+            .last()
+            .map_or(0, |&(idx, _)| bucket_lower_bound(idx as usize))
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Deterministic registry snapshot: every map is name-sorted, every
+/// bucket list index-sorted, so equality is meaningful and encoding is
+/// stable across runs and machines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value by name, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Multi-line human-readable rendering (name-sorted; the shutdown
+    /// summary and `mpest stats` both print this).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<32} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, g) in &self.gauges {
+                let _ = writeln!(out, "  {name:<32} {} (high {})", g.value, g.high);
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} count {} mean {} p50 {} p99 {} max<= {}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.buckets.last().map_or(0, |&(i, _)| {
+                        let i = i as usize;
+                        if i + 1 < HIST_BUCKETS {
+                            bucket_lower_bound(i + 1).saturating_sub(1)
+                        } else {
+                            u64::MAX
+                        }
+                    })
+                );
+            }
+        }
+        out
+    }
+
+    /// JSON rendering (stable key order, hand-rolled: no serde in the
+    /// offline workspace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"value\":{},\"high\":{}}}",
+                json_string(name),
+                g.value,
+                g.high
+            );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"buckets\":[",
+                json_string(name),
+                h.count,
+                h.sum
+            );
+            for (j, (idx, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{idx},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+/// On-disk trace encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line; trivially greppable and streamable.
+    Jsonl,
+    /// Chrome trace-event JSON array, loadable in `about://tracing`.
+    Chrome,
+}
+
+/// One completed span: a named unit of work with phase sub-timings.
+/// All times are microseconds relative to the tracer's origin.
+#[derive(Clone, Debug, Default)]
+pub struct Span {
+    /// Span kind, e.g. `"query"` or `"upload"`.
+    pub name: &'static str,
+    /// Connection token the work arrived on.
+    pub conn: u64,
+    /// Pipelined frame id (0 when unpiplined).
+    pub id: u64,
+    /// Start offset from tracer origin, microseconds.
+    pub start_us: u64,
+    /// Wall duration, microseconds.
+    pub dur_us: u64,
+    /// `(phase_name, micros)` pairs in execution order. Phase sums are
+    /// at most `dur_us` (phases never overlap).
+    pub phases: Vec<(&'static str, u64)>,
+    /// Free-form `(key, value)` annotations, e.g. `("cache", "hit")`.
+    pub tags: Vec<(&'static str, String)>,
+}
+
+struct TracerInner {
+    out: Mutex<TracerOut>,
+    format: TraceFormat,
+    origin: Instant,
+    wrote_any: AtomicBool,
+}
+
+struct TracerOut {
+    sink: Box<dyn Write + Send>,
+}
+
+/// Span sink shared across threads. A disabled tracer is a `None` and
+/// every call on it is a no-op; check [`Tracer::enabled`] before
+/// assembling a [`Span`] so disabled tracing costs one branch.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<TracerInner>>);
+
+impl Tracer {
+    /// Tracer that ignores everything.
+    pub fn disabled() -> Self {
+        Tracer(None)
+    }
+
+    /// Tracer writing spans to `sink` in `format`. For
+    /// [`TraceFormat::Chrome`], the opening `[` is written here and
+    /// the closing `]` by [`Tracer::finish`].
+    pub fn new(mut sink: Box<dyn Write + Send>, format: TraceFormat) -> std::io::Result<Self> {
+        if format == TraceFormat::Chrome {
+            sink.write_all(b"[\n")?;
+        }
+        Ok(Tracer(Some(Arc::new(TracerInner {
+            out: Mutex::new(TracerOut { sink }),
+            format,
+            origin: Instant::now(),
+            wrote_any: AtomicBool::new(false),
+        }))))
+    }
+
+    /// Tracer writing to a freshly created file at `path`.
+    pub fn to_file(path: &str, format: TraceFormat) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Tracer::new(Box::new(std::io::BufWriter::new(file)), format)
+    }
+
+    /// True when spans actually go somewhere.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Microseconds since the tracer was created (0 when disabled).
+    /// Use this for `Span::start_us` so spans share one clock.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |inner| inner.origin.elapsed().as_micros() as u64)
+    }
+
+    /// Write one span. Errors are swallowed: tracing must never fail
+    /// the serving path.
+    pub fn record(&self, span: &Span) {
+        let inner = match &self.0 {
+            None => return,
+            Some(inner) => inner,
+        };
+        let mut buf = String::with_capacity(192);
+        match inner.format {
+            TraceFormat::Jsonl => {
+                Self::jsonl_line(&mut buf, span);
+                buf.push('\n');
+            }
+            TraceFormat::Chrome => {
+                let first = !inner.wrote_any.swap(true, Ordering::Relaxed);
+                Self::chrome_events(&mut buf, span, first);
+            }
+        }
+        let mut out = inner.out.lock().unwrap();
+        let _ = out.sink.write_all(buf.as_bytes());
+        if inner.format == TraceFormat::Jsonl {
+            let _ = out.sink.flush();
+        }
+    }
+
+    fn jsonl_line(buf: &mut String, span: &Span) {
+        let _ = write!(
+            buf,
+            "{{\"name\":{},\"conn\":{},\"id\":{},\"ts_us\":{},\"dur_us\":{}",
+            json_string(span.name),
+            span.conn,
+            span.id,
+            span.start_us,
+            span.dur_us
+        );
+        for (k, v) in &span.tags {
+            let _ = write!(buf, ",{}:{}", json_string(k), json_string(v));
+        }
+        buf.push_str(",\"phases\":{");
+        for (i, (k, us)) in span.phases.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let _ = write!(buf, "{}:{}", json_string(k), us);
+        }
+        buf.push_str("}}");
+    }
+
+    fn chrome_events(buf: &mut String, span: &Span, first: bool) {
+        let mut lead = if first { "" } else { ",\n" };
+        let mut args = String::new();
+        for (k, v) in &span.tags {
+            let _ = write!(args, ",{}:{}", json_string(k), json_string(v));
+        }
+        let _ = write!(
+            buf,
+            "{lead}{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{}{args}}}}}",
+            json_string(span.name),
+            span.conn,
+            span.start_us,
+            span.dur_us,
+            span.id
+        );
+        lead = ",\n";
+        // Lay phases out sequentially under the parent so the trace
+        // viewer shows where the time went.
+        let mut at = span.start_us;
+        for (k, us) in &span.phases {
+            let _ = write!(
+                buf,
+                "{lead}{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{}}}}",
+                json_string(k),
+                span.conn,
+                at,
+                us
+            );
+            at = at.saturating_add(*us);
+        }
+    }
+
+    /// Flush and, for Chrome format, terminate the JSON array. Safe to
+    /// call more than once; later spans after `finish` would produce a
+    /// malformed Chrome file, so call it at shutdown only.
+    pub fn finish(&self) {
+        let inner = match &self.0 {
+            None => return,
+            Some(inner) => inner,
+        };
+        let mut out = inner.out.lock().unwrap();
+        if inner.format == TraceFormat::Chrome {
+            let _ = out.sink.write_all(b"\n]\n");
+        }
+        let _ = out.sink.flush();
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_handles_boundaries_zero_and_max() {
+        // Singleton small buckets.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 3);
+        // First octave with sub-buckets is seamless: 4..=7 map to 4..=7.
+        for v in 4..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+        }
+        // Powers of two start a fresh octave, and the value just below
+        // lands in the previous octave's last sub-bucket.
+        for msb in 3..64usize {
+            let p = 1u64 << msb;
+            assert_eq!(bucket_index(p), 4 * (msb - 1));
+            assert_eq!(bucket_index(p - 1), 4 * (msb - 1) - 1);
+            assert_eq!(bucket_lower_bound(4 * (msb - 1)), p);
+        }
+        // The top of the range.
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(
+            bucket_lower_bound(HIST_BUCKETS - 1),
+            (1u64 << 63) + (3u64 << 61)
+        );
+        // Every bucket's lower bound maps back to that bucket, and
+        // bounds are strictly increasing.
+        let mut prev = None;
+        for i in 0..HIST_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            if let Some(p) = prev {
+                assert!(lo > p, "bounds must increase at {i}");
+            }
+            prev = Some(lo);
+        }
+    }
+
+    #[test]
+    fn identical_runs_produce_equal_snapshots() {
+        let run = || {
+            let reg = Registry::new();
+            let c = reg.counter("queries");
+            let g = reg.gauge("depth");
+            let h = reg.histogram("latency_us");
+            for i in 0..100u64 {
+                c.inc();
+                g.record(i % 7);
+                h.record(i * i);
+            }
+            h.record(0);
+            h.record(u64::MAX);
+            reg.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.counter("queries"), 100);
+        assert_eq!(a.histograms["latency_us"].count, 102);
+        // Buckets come out index-sorted and sparse.
+        let buckets = &a.histograms["latency_us"].buckets;
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(buckets.iter().all(|&(_, n)| n > 0));
+        assert_eq!(buckets.last().unwrap().0 as usize, HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn disabled_registry_hands_out_inert_handles() {
+        let reg = Registry::disabled();
+        let c = reg.counter("never");
+        let g = reg.gauge("never");
+        let h = reg.histogram("never");
+        assert!(!c.enabled() && !g.enabled() && !h.enabled());
+        for _ in 0..1000 {
+            c.inc();
+            c.add(17);
+            g.record(99);
+            g.inc();
+            h.record(123);
+        }
+        // The whole point: nothing was recorded anywhere.
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.high(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(reg.snapshot(), Snapshot::default());
+        // Standalone no-op handles behave identically.
+        let c = Counter::noop();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_high_water() {
+        let reg = Registry::new();
+        let g = reg.gauge("inflight");
+        g.inc();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high(), 3);
+        g.record(10);
+        g.dec();
+        assert_eq!(g.get(), 9);
+        assert_eq!(g.high(), 10);
+        // dec saturates rather than wrapping.
+        let g2 = reg.gauge("zero");
+        g2.dec();
+        assert_eq!(g2.get(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_use_bucket_lower_bounds() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let snap = reg.snapshot();
+        let hs = &snap.histograms["h"];
+        assert_eq!(hs.quantile(0.5), bucket_lower_bound(bucket_index(10)));
+        assert_eq!(
+            hs.quantile(1.0),
+            bucket_lower_bound(bucket_index(1_000_000))
+        );
+        assert_eq!(hs.mean(), (99 * 10 + 1_000_000) / 100);
+    }
+
+    #[test]
+    fn registry_handles_share_cells_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("shared");
+        let b = reg.counter("shared");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counter("shared"), 3);
+    }
+
+    #[test]
+    fn jsonl_tracer_emits_one_parseable_line_per_span() {
+        let sink: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let tracer = Tracer::new(Box::new(Shared(sink.clone())), TraceFormat::Jsonl).unwrap();
+        assert!(tracer.enabled());
+        tracer.record(&Span {
+            name: "query",
+            conn: 3,
+            id: 7,
+            start_us: 10,
+            dur_us: 50,
+            phases: vec![("decode_us", 5), ("run_us", 40)],
+            tags: vec![("cache", "hit".to_string())],
+        });
+        tracer.record(&Span {
+            name: "upload",
+            ..Span::default()
+        });
+        tracer.finish();
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"name\":\"query\""));
+        assert!(lines[0].contains("\"cache\":\"hit\""));
+        assert!(lines[0].contains("\"phases\":{\"decode_us\":5,\"run_us\":40}"));
+        assert!(lines[1].contains("\"name\":\"upload\""));
+    }
+
+    #[test]
+    fn chrome_tracer_writes_a_closed_json_array() {
+        let sink: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let tracer = Tracer::new(Box::new(Shared(sink.clone())), TraceFormat::Chrome).unwrap();
+        tracer.record(&Span {
+            name: "query",
+            conn: 1,
+            id: 1,
+            start_us: 0,
+            dur_us: 9,
+            phases: vec![("run_us", 9)],
+            tags: vec![],
+        });
+        tracer.finish();
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        let trimmed = text.trim();
+        assert!(trimmed.starts_with('[') && trimmed.ends_with(']'));
+        // Parent span + one phase event.
+        assert_eq!(trimmed.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        assert_eq!(tracer.now_us(), 0);
+        tracer.record(&Span::default());
+        tracer.finish();
+    }
+}

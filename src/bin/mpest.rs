@@ -41,7 +41,10 @@ const USAGE: &str = "usage:
             [--executor fused|threaded]
   mpest verify [--protocol NAME] [--trials N] [--quick] [--seed S]
   mpest serve --listen ADDR [--workers N] [--io-timeout SECS] [--idle-timeout SECS]
-            [--max-sessions N] [--io-mode duplex|blocking]
+            [--max-sessions N] [--io-mode duplex|blocking] [--no-obs]
+            [--trace-out FILE [--trace-format jsonl|chrome]]
+  mpest stats --connect ADDR [--format text|json]
+  mpest shutdown --connect ADDR
   mpest party --listen ADDR [--side alice|bob] [--io-mode duplex|blocking]
             (--a FILE --b FILE [--updatable]
              | --matrix FILE --peer-rows N --peer-cols N [--peer-binary])
@@ -70,6 +73,14 @@ get back outputs + transcripts bit-identical to a local run under the
 same seed, with real-socket byte accounting. --io-timeout (default 30,
 0 = none) bounds in-flight frames and writes; --idle-timeout (default
 0 = none) bounds how long a connection may sit idle between queries.
+serve records an observability registry (cache hits, per-phase
+latency histograms, reactor wakeup causes, spool depth, backpressure
+transitions) alongside the core counters; --no-obs drops the extended
+tier to zero cost. --trace-out streams one span per query (decode/
+lookup/run/encode phase timings, cache tag) as JSON lines, or as a
+chrome://tracing array with --trace-format chrome. stats --connect
+pulls the live registry from a running daemon (codec v6); --format
+json emits the raw snapshot.
 query --connect talks to it: --reply-timeout (default 600, 0 = wait
 forever) bounds the wait for a reply to start, generous because the
 server may legitimately compute a heavy batch for minutes. party hosts
@@ -147,7 +158,12 @@ impl Flags {
         while i < args.len() {
             let a = &args[i];
             if let Some(key) = a.strip_prefix("--") {
-                if key == "exact" || key == "quick" || key == "updatable" || key == "peer-binary" {
+                if key == "exact"
+                    || key == "quick"
+                    || key == "updatable"
+                    || key == "peer-binary"
+                    || key == "no-obs"
+                {
                     map.insert(key.to_string(), "true".to_string());
                 } else {
                     i += 1;
@@ -214,6 +230,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             cmd_verify(&flags)
         }
         Some("serve") => cmd_serve(&flags),
+        Some("stats") => cmd_stats(&flags),
+        Some("shutdown") => cmd_shutdown(&flags),
         Some("party") => cmd_party(&flags),
         Some("query") => {
             let protocol = pos
@@ -223,8 +241,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         }
         Some("update") => cmd_update(&flags),
         _ => Err(
-            "expected a subcommand: gen | exact | run | batch | verify | serve | party | query \
-             | update"
+            "expected a subcommand: gen | exact | run | batch | verify | serve | stats \
+             | shutdown | party | query | update"
                 .to_string(),
         ),
     }
@@ -1033,7 +1051,8 @@ fn cmd_run(protocol: &str, flags: &Flags) -> Result<(), String> {
 /// `mpest serve`: the estimation daemon (blocks until a client sends
 /// `shutdown`).
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    use mpest::net::{serve_on, ServeConfig, ServerState, DEFAULT_MAX_SESSIONS};
+    use mpest::net::DEFAULT_MAX_SESSIONS;
+    use mpest::net::{serve_on, ServeConfig, ServerState, TraceFormat, Tracer};
     let addr = flags.str("listen").unwrap_or("127.0.0.1:7117");
     let workers: usize = flags.num("workers", 0)?;
     let config = ServeConfig {
@@ -1042,28 +1061,72 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         idle_timeout: parse_timeout(flags, "idle-timeout", 0)?,
         max_sessions: flags.num("max-sessions", DEFAULT_MAX_SESSIONS)?,
         io_mode: parse_io_mode(flags)?,
+        obs: flags.str("no-obs").is_none(),
         ..ServeConfig::default()
+    };
+    let trace_format = match flags.str("trace-format") {
+        None | Some("jsonl") => TraceFormat::Jsonl,
+        Some("chrome") => TraceFormat::Chrome,
+        Some(other) => {
+            return Err(format!(
+                "--trace-format: expected jsonl|chrome, got {other}"
+            ))
+        }
+    };
+    let tracer = match flags.str("trace-out") {
+        None => Tracer::disabled(),
+        Some(path) => {
+            Tracer::to_file(path, trace_format).map_err(|e| format!("--trace-out {path}: {e}"))?
+        }
     };
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     println!("mpest serve: listening on {local} ({workers} worker(s) per query, 0 = per-core)");
     println!("  clients: mpest query PROTOCOL --connect {local} --a A.mtx --b B.mtx [...]");
-    let state = std::sync::Arc::new(ServerState::with_config(config));
+    println!("  metrics: mpest stats --connect {local} [--format json]");
+    let state = std::sync::Arc::new(ServerState::with_config_traced(config, tracer));
     serve_on(&listener, &state);
-    let stats = state.stats();
-    println!(
-        "mpest serve: shut down after {} request(s), {} cached session(s) \
-         ({} evicted, {} superseded by updates), {} logical bits served, \
-         {} bytes in / {} bytes out on the wire",
-        stats.queries,
-        stats.sessions,
-        stats.evictions,
-        stats.superseded,
-        stats.accounting.total_bits,
-        stats.wire_in,
-        stats.wire_out
-    );
+    // The shutdown summary is a rendering of the same registry the
+    // `metrics` wire reply snapshots — one source of truth for totals.
+    println!("mpest serve: {}", state.summary());
+    Ok(())
+}
+
+/// `mpest shutdown`: asks a live daemon to stop (it prints its summary
+/// and seals any trace file on the way out).
+fn cmd_shutdown(flags: &Flags) -> Result<(), String> {
+    use mpest::net::ServeClient;
+    let addr = flags.required("connect")?;
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("--connect {addr}: {e}"))?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("daemon at {addr} acknowledged shutdown");
+    Ok(())
+}
+
+/// `mpest stats`: pulls the daemon-wide statistics plus (on codec v6)
+/// the full observability-registry snapshot from a live daemon.
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    use mpest::net::ServeClient;
+    let addr = flags.required("connect")?;
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("--connect {addr}: {e}"))?;
+    let snapshot = client.metrics().map_err(|e| e.to_string())?;
+    match parse_format(flags)? {
+        Format::Json => println!("{}", snapshot.to_json()),
+        Format::Text => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "daemon at {addr}: {} request(s) served, {} cached session(s), \
+                 {} logical bits, {} bytes in / {} bytes out on the wire",
+                stats.queries,
+                stats.sessions,
+                stats.accounting.total_bits,
+                stats.wire_in,
+                stats.wire_out
+            );
+            print!("{}", snapshot.render());
+        }
+    }
     Ok(())
 }
 
